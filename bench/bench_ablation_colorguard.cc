@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablations beyond the paper's headline numbers:
+ *  (1) slot-size sweep — density gain vs slot size (the 8x/15x curve);
+ *  (2) key-budget sweep — mixing stripes and guards when fewer than 15
+ *      keys are available (§5.1);
+ *  (3) epoch-period sweep on the simulated FaaS host — preemption
+ *      granularity vs throughput;
+ *  (4) 4- vs 5-level paging in the dTLB model (§8's 25% walk-cost
+ *      note).
+ */
+#include <cstdio>
+
+#include "base/units.h"
+#include "bench/bench_util.h"
+#include "pool/layout.h"
+#include "simx/faas_sim.h"
+
+namespace sfi {
+namespace {
+
+int
+run()
+{
+    bench::header("Ablations — ColorGuard design-space sweeps",
+                  "DESIGN.md ablation index");
+
+    std::printf("(1) density vs slot size (8 GiB contract, 15 keys):\n");
+    std::printf("    %-12s %10s %10s %8s\n", "slot size", "stripes",
+                "stride", "density");
+    for (uint64_t mb : {4096, 2048, 1024, 544, 256, 128}) {
+        pool::PoolConfig c;
+        c.numSlots = 64;
+        c.maxMemoryBytes = mb * kMiB;
+        c.guardBytes = 8 * kGiB - alignUp(mb * kMiB, kWasmPageSize);
+        c.stripingEnabled = true;
+        auto lay = pool::computeLayout(c);
+        SFI_CHECK(lay.isOk());
+        std::printf("    %8llu MiB %10llu %7.2f GiB %7.1fx\n",
+                    (unsigned long long)mb,
+                    (unsigned long long)lay->numStripes,
+                    double(lay->slotBytes) / double(kGiB),
+                    double(8 * kGiB) / double(lay->slotBytes));
+    }
+
+    std::printf("\n(2) density vs available keys (544 MiB slots):\n");
+    std::printf("    %-6s %10s %12s %8s\n", "keys", "stripes",
+                "slot stride", "density");
+    for (int keys : {15, 12, 8, 4, 2, 1}) {
+        pool::PoolConfig c;
+        c.numSlots = 64;
+        c.maxMemoryBytes = 544 * kMiB;
+        c.guardBytes = 8 * kGiB - 544 * kMiB;
+        c.stripingEnabled = true;
+        c.keysAvailable = keys;
+        auto lay = pool::computeLayout(c);
+        SFI_CHECK(lay.isOk());
+        std::printf("    %-6d %10llu %9.2f GiB %7.1fx\n", keys,
+                    (unsigned long long)lay->numStripes,
+                    double(lay->slotBytes) / double(kGiB),
+                    double(8 * kGiB) / double(lay->slotBytes));
+    }
+
+    std::printf("\n(3) epoch period vs ColorGuard throughput "
+                "(simulated, 480 concurrent):\n");
+    std::printf("    %-12s %14s %14s\n", "epoch", "throughput",
+                "transitions/s");
+    for (double epoch_ms : {0.1, 0.25, 0.5, 1.0, 2.0, 5.0}) {
+        simx::FaasSimConfig cfg;
+        cfg.colorguard = true;
+        cfg.epochMs = epoch_ms;
+        cfg.simSeconds = 5;
+        auto r = simx::simulateFaas(cfg);
+        std::printf("    %8.2f ms %11.0f rps %14.0f\n", epoch_ms,
+                    r.throughputRps,
+                    double(r.sandboxTransitions) / cfg.simSeconds);
+    }
+
+    std::printf("\n(4) 4- vs 5-level paging (§8), multiprocess N=15:\n");
+    for (int levels : {4, 5}) {
+        simx::FaasSimConfig cfg;
+        cfg.numProcesses = 15;
+        cfg.concurrentRequests = 64 * 15;
+        cfg.tlb.walkLevels = levels;
+        cfg.simSeconds = 5;
+        auto r = simx::simulateFaas(cfg);
+        std::printf("    %d-level walks: %10.0f rps  (%.1f dTLB "
+                    "misses/request)\n",
+                    levels, r.throughputRps, r.dtlbMissesPerRequest());
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace sfi
+
+int
+main()
+{
+    return sfi::run();
+}

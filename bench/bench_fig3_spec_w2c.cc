@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 3: SPEC-CPU-2006-like suite on the wasm2c-style path,
+ * normalized to native. Reports classic SFI vs Segue, plus the
+ * bounds-checked variants (§6.1's 25.2% note).
+ *
+ * Expected shape: wasm2c > 100% on most kernels, Segue cutting a large
+ * fraction of that overhead; pointer-chasing kernels (mincost/mcf) may
+ * dip below native (the 32-bit-offset cache effect); astar-like tight
+ * loops may show Segue's instruction-length cost (§6.1 outliers).
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "w2c/heap.h"
+#include "w2c/kernels.h"
+
+namespace sfi::w2c {
+namespace {
+
+constexpr uint32_t kScale = 16;
+constexpr int kReps = 5;
+
+template <typename P>
+double
+timeKernel(int k, uint64_t* checksum)
+{
+    auto heap = SandboxHeap::create(kernelHeapBytes(kScale));
+    SFI_CHECK(heap.isOk());
+    auto guard = heap->template enter<P>();
+    P policy = heap->template policy<P>();
+    uint64_t cs = 0;
+    double sec = bench::timeMinSec(
+        [&] { cs += kKernels<P>[k].fn(policy, kScale); }, kReps);
+    *checksum ^= cs;
+    return sec;
+}
+
+int
+run()
+{
+    bench::header("Figure 3 — Segue on wasm2c: SPEC CPU 2006 analogs",
+                  "norm. runtime vs native; paper: Segue removes 44.7% "
+                  "of geomean overhead");
+
+    std::printf("%-16s %10s %10s %10s %10s %10s\n", "benchmark",
+                "native(s)", "wasm2c", "+segue", "bounds", "b+segue");
+    std::vector<double> over_base, over_segue, over_bounds,
+        over_sbounds;
+    uint64_t sink = 0;
+    for (int k = 0; k < kNumKernels; k++) {
+        double native = timeKernel<NativePolicy>(k, &sink);
+        double base = timeKernel<BaseAddPolicy>(k, &sink);
+        double segue = timeKernel<SeguePolicy>(k, &sink);
+        double bounds = timeKernel<BoundsPolicy>(k, &sink);
+        double sbounds = timeKernel<SegueBoundsPolicy>(k, &sink);
+        std::printf("%-16s %10.3f %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+                    kKernels<NativePolicy>[k].name, native,
+                    100 * base / native, 100 * segue / native,
+                    100 * bounds / native, 100 * sbounds / native);
+        over_base.push_back(base / native);
+        over_segue.push_back(segue / native);
+        over_bounds.push_back(bounds / native);
+        over_sbounds.push_back(sbounds / native);
+    }
+    double gb = geomean(over_base), gs = geomean(over_segue);
+    double gbo = geomean(over_bounds), gso = geomean(over_sbounds);
+    bench::hr();
+    std::printf("%-16s %10s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", "geomean",
+                "", 100 * gb, 100 * gs, 100 * gbo, 100 * gso);
+    if (gb > 1.0) {
+        std::printf(
+            "Segue eliminates %.1f%% of wasm2c's overhead "
+            "(paper: 44.7%%)\n",
+            100 * (gb - gs) / (gb - 1.0));
+    }
+    if (gbo > 1.0) {
+        std::printf(
+            "Segue eliminates %.1f%% of the bounds-checked overhead "
+            "(paper: 25.2%%)\n",
+            100 * (gbo - gso) / (gbo - 1.0));
+    }
+    std::printf("(sink=%llx)\n", (unsigned long long)sink);
+    return 0;
+}
+
+}  // namespace
+}  // namespace sfi::w2c
+
+int
+main()
+{
+    return sfi::w2c::run();
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 4: Sightglass-like micros under the WAMR-style JIT — Segue for
+ * loads+stores, and loads-only — normalized to the unsandboxed build of
+ * the same JIT (our "native" substitute, DESIGN.md §1).
+ *
+ * Expected shape: most benchmarks within noise of 100%; `memmove` and
+ * `sieve` regress sharply under full Segue (the vectorized bulk-memory
+ * fast path can't pattern-match segment-relative stores, §4.2) and
+ * recover under Segue-for-loads-only.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "jit/compiler.h"
+#include "runtime/instance.h"
+#include "wkld/workloads.h"
+
+namespace sfi {
+namespace {
+
+using jit::CompilerConfig;
+
+std::vector<double>
+timeWorkloadConfigs(const wkld::Workload& w,
+                    const std::vector<CompilerConfig>& cfgs,
+                    uint64_t* sink)
+{
+    std::vector<std::unique_ptr<rt::Instance>> instances;
+    for (const CompilerConfig& cfg : cfgs) {
+        auto shared = rt::SharedModule::compile(w.make(), cfg);
+        SFI_CHECK_MSG(shared.isOk(), "%s", shared.message().c_str());
+        auto inst = rt::Instance::create(*shared);
+        SFI_CHECK(inst.isOk());
+        instances.push_back(std::move(*inst));
+    }
+    std::vector<std::function<void()>> fns;
+    for (auto& inst : instances) {
+        rt::Instance* p = inst.get();
+        fns.push_back([p, &w, sink] {
+            auto out = p->call("run", {w.benchScale});
+            SFI_CHECK_MSG(out.ok(), "trap in %s", w.name);
+            *sink ^= out.value;
+        });
+    }
+    return bench::timeInterleavedMinSec(fns, 5);
+}
+
+int
+run()
+{
+    bench::header(
+        "Figure 4 — Sightglass on the WAMR-style JIT",
+        "paper: mostly noise; memmove +35.6%, sieve +48.7% with full "
+        "Segue; loads-only fixes both");
+
+    std::printf("%-14s %11s %9s %9s %12s\n", "benchmark", "native(s)",
+                "wamr", "+segue", "+segue-loads");
+    uint64_t sink = 0;
+    std::vector<double> base_overhead, segue_overhead;
+    for (const auto& w : wkld::sightglass()) {
+        auto t = timeWorkloadConfigs(
+            w,
+            {CompilerConfig::native(), CompilerConfig::wamrBase(),
+             CompilerConfig::wamrSegue(),
+             CompilerConfig::wamrSegueLoads()},
+            &sink);
+        double native = t[0], base = t[1], segue = t[2], loads = t[3];
+        std::printf("%-14s %11.3f %8.1f%% %8.1f%% %11.1f%%\n", w.name,
+                    native, 100 * base / native, 100 * segue / native,
+                    100 * loads / native);
+        base_overhead.push_back(base / native);
+        segue_overhead.push_back(segue / native);
+    }
+    bench::hr();
+    std::printf("%-14s %11s %8.1f%% %8.1f%%\n", "geomean", "",
+                100 * geomean(base_overhead),
+                100 * geomean(segue_overhead));
+    std::printf("(sink=%llx)\n", (unsigned long long)sink);
+    return 0;
+}
+
+}  // namespace
+}  // namespace sfi
+
+int
+main()
+{
+    return sfi::run();
+}

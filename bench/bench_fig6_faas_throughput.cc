@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 6: ColorGuard vs multiprocess scaling, single core — the
+ * throughput gain of keeping every instance in one address space as the
+ * process count the alternative deployment needs grows from 1 to 15.
+ *
+ * The comparison runs on the simx discrete-event model (DESIGN.md §1's
+ * substitution for the paper's Tokio + pinned-process testbed), with
+ * the sandbox-transition cost taken from the real §6.4.1 measurement
+ * and the per-request compute calibrated by actually running each FaaS
+ * workload in the sfikit runtime.
+ *
+ * Expected shape: gain grows with the process count, topping out
+ * around the paper's ~29% at 15 processes.
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "faas/scheduler.h"
+#include "simx/faas_sim.h"
+#include "wkld/workloads.h"
+
+namespace sfi {
+namespace {
+
+/** Measures mean compute time per request by running the real
+ *  workload (no IO delay) in the sfikit FaaS host. */
+double
+calibrateComputeUs(const wkld::Workload& w)
+{
+    faas::FaasHost::Options opts;
+    opts.maxConcurrent = 4;
+    opts.ioDelayMeanMs = 0.0001;  // effectively no IO
+    auto host = faas::FaasHost::create(w.make(), std::move(opts));
+    SFI_CHECK_MSG(host.isOk(), "%s", host.message().c_str());
+    const uint64_t kReqs = 200;
+    auto stats = (*host)->run(kReqs);
+    SFI_CHECK(stats.isOk());
+    return stats->elapsedSec * 1e6 / double(kReqs);
+}
+
+int
+run()
+{
+    bench::header("Figure 6 — ColorGuard vs multiprocess throughput",
+                  "paper: gain grows with process count, up to ~29% at "
+                  "15 processes");
+
+    const auto& workloads = wkld::faasWorkloads();
+    double compute_us[3];
+    for (int i = 0; i < 3; i++) {
+        compute_us[i] = calibrateComputeUs(workloads[i]);
+        std::printf("calibrated %-18s : %.0f us compute/request\n",
+                    workloads[i].name, compute_us[i]);
+    }
+
+    std::printf("\n%-10s", "processes");
+    for (const auto& w : workloads)
+        std::printf(" %18s", w.name);
+    std::printf("\n");
+
+    for (int n = 1; n <= 15; n++) {
+        std::printf("%-10d", n);
+        for (int i = 0; i < 3; i++) {
+            simx::FaasSimConfig base;
+            base.computeMeanUs = compute_us[i];
+            base.concurrentRequests = 64 * n;  // load that needs n procs
+
+            simx::FaasSimConfig cg = base;
+            cg.colorguard = true;
+            simx::FaasSimConfig mp = base;
+            mp.numProcesses = n;
+
+            double tput_cg = simx::simulateFaas(cg).throughputRps;
+            double tput_mp = simx::simulateFaas(mp).throughputRps;
+            double gain = 100.0 * (tput_cg / tput_mp - 1.0);
+            std::printf(" %17.1f%%", gain);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(throughput gain of ColorGuard over N-process "
+                "scaling; single simulated core)\n");
+    return 0;
+}
+
+}  // namespace
+}  // namespace sfi
+
+int
+main()
+{
+    return sfi::run();
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * §6.2: PolybenchC-like kernels + Dhrystone-alike on the WAMR-style
+ * JIT, with and without Segue, normalized to the unsandboxed build.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "jit/compiler.h"
+#include "runtime/instance.h"
+#include "wkld/workloads.h"
+
+namespace sfi {
+namespace {
+
+using jit::CompilerConfig;
+
+int
+run()
+{
+    bench::header("§6.2 — PolybenchC + Dhrystone on the WAMR-style JIT",
+                  "paper: Wasm ~6% faster than native geomean; Segue "
+                  "improves further");
+
+    std::printf("%-14s %11s %9s %9s\n", "benchmark", "native(s)", "wamr",
+                "+segue");
+    uint64_t sink = 0;
+    std::vector<double> base_n, segue_n;
+    for (const auto& w : wkld::polydhry()) {
+        std::vector<std::unique_ptr<rt::Instance>> instances;
+        for (const CompilerConfig& cfg :
+             {CompilerConfig::native(), CompilerConfig::wamrBase(),
+              CompilerConfig::wamrSegue()}) {
+            auto shared = rt::SharedModule::compile(w.make(), cfg);
+            SFI_CHECK(shared.isOk());
+            auto inst = rt::Instance::create(*shared);
+            SFI_CHECK(inst.isOk());
+            instances.push_back(std::move(*inst));
+        }
+        std::vector<std::function<void()>> fns;
+        for (auto& inst : instances) {
+            rt::Instance* p = inst.get();
+            fns.push_back([p, &w, &sink] {
+                auto out = p->call("run", {w.benchScale});
+                SFI_CHECK(out.ok());
+                sink ^= out.value;
+            });
+        }
+        auto t = bench::timeInterleavedMinSec(fns, 5);
+        double native = t[0], base = t[1], segue = t[2];
+        std::printf("%-14s %11.3f %8.1f%% %8.1f%%\n", w.name, native,
+                    100 * base / native, 100 * segue / native);
+        base_n.push_back(base / native);
+        segue_n.push_back(segue / native);
+    }
+    bench::hr();
+    std::printf("%-14s %11s %8.1f%% %8.1f%%\n", "geomean", "",
+                100 * geomean(base_n), 100 * geomean(segue_n));
+    std::printf("(sink=%llx)\n", (unsigned long long)sink);
+    return 0;
+}
+
+}  // namespace
+}  // namespace sfi
+
+int
+main()
+{
+    return sfi::run();
+}

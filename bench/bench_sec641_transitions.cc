@@ -1,0 +1,140 @@
+/**
+ * @file
+ * §6.4.1: sandbox-transition microbenchmark (Wasmtime's call.rs
+ * analog). Measures the cost of calling a trivial exported function —
+ * the full transition in and out — without and with ColorGuard's PKRU
+ * switch, plus the isolated cost of the (modelled/real) wrpkru write
+ * and the two %gs write paths.
+ *
+ * Paper: 30.34 ns -> 51.52 ns per transition (~44 cycles for wrpkru).
+ */
+#include <benchmark/benchmark.h>
+
+#include "jit/compiler.h"
+#include "mpk/mpk.h"
+#include "runtime/instance.h"
+#include "seg/seg.h"
+#include "wasm/builder.h"
+
+namespace sfi {
+namespace {
+
+using VT = wasm::ValType;
+
+std::unique_ptr<rt::Instance>
+makeTrivialInstance(const jit::CompilerConfig& cfg, mpk::System* mpk,
+                    mpk::Pkey key)
+{
+    wasm::ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("nop", {VT::I32}, {VT::I32});
+    f.localGet(0).end();
+    mb.exportFunc("nop", f.index());
+    auto shared = rt::SharedModule::compile(std::move(mb).build(), cfg);
+    SFI_CHECK(shared.isOk());
+    rt::Instance::Options opts;
+    opts.mpkSystem = mpk;
+    opts.pkey = key;
+    auto inst = rt::Instance::create(*shared, {}, std::move(opts));
+    SFI_CHECK(inst.isOk());
+    return std::move(*inst);
+}
+
+void
+BM_TransitionBaseline(benchmark::State& state)
+{
+    auto inst = makeTrivialInstance(jit::CompilerConfig::wamrBase(),
+                                    nullptr, 0);
+    uint64_t x = 0;
+    for (auto _ : state) {
+        x += inst->call("nop", {x & 0xff}).value;
+    }
+    benchmark::DoNotOptimize(x);
+    state.SetLabel("plain transition (no gs, no pkru)");
+}
+BENCHMARK(BM_TransitionBaseline);
+
+void
+BM_TransitionSegue(benchmark::State& state)
+{
+    auto inst = makeTrivialInstance(jit::CompilerConfig::wamrSegue(),
+                                    nullptr, 0);
+    uint64_t x = 0;
+    for (auto _ : state) {
+        x += inst->call("nop", {x & 0xff}).value;
+    }
+    benchmark::DoNotOptimize(x);
+    state.SetLabel("transition + gs base switch (Segue)");
+}
+BENCHMARK(BM_TransitionSegue);
+
+void
+BM_TransitionColorGuard(benchmark::State& state)
+{
+    static auto mpk = mpk::makeEmulated();
+    static mpk::Pkey key = mpk->allocKey().value();
+    auto inst = makeTrivialInstance(jit::CompilerConfig::wamrSegue(),
+                                    mpk.get(), key);
+    uint64_t x = 0;
+    for (auto _ : state) {
+        x += inst->call("nop", {x & 0xff}).value;
+    }
+    benchmark::DoNotOptimize(x);
+    state.SetLabel(
+        "transition + gs + PKRU switch (ColorGuard; paper: +~20ns)");
+}
+BENCHMARK(BM_TransitionColorGuard);
+
+void
+BM_WrpkruAlone(benchmark::State& state)
+{
+    auto mpk = mpk::makeEmulated();  // models the ~44-cycle wrpkru
+    mpk::Pkru a = mpk::Pkru::allowAll();
+    mpk::Pkru b = mpk::Pkru::allowOnly(3);
+    bool flip = false;
+    for (auto _ : state) {
+        mpk->writePkru(flip ? a : b);
+        flip = !flip;
+    }
+    state.SetLabel(mpk::hardwareAvailable()
+                       ? "hardware wrpkru"
+                       : "emulated wrpkru (44-cycle model)");
+}
+BENCHMARK(BM_WrpkruAlone);
+
+void
+BM_GsWriteFsgsbase(benchmark::State& state)
+{
+    if (!seg::fsgsbaseUsable()) {
+        state.SkipWithError("FSGSBASE not usable");
+        return;
+    }
+    uint64_t saved = seg::getGsBase();
+    uint64_t v = 0x10000;
+    for (auto _ : state) {
+        seg::setGsBaseWith(seg::GsWriteMode::Fsgsbase, v);
+        v ^= 0x20000;
+    }
+    seg::setGsBase(saved);
+    state.SetLabel("wrgsbase (userspace, post-IvyBridge path)");
+}
+BENCHMARK(BM_GsWriteFsgsbase);
+
+void
+BM_GsWriteArchPrctl(benchmark::State& state)
+{
+    uint64_t saved = seg::getGsBase();
+    uint64_t v = 0x10000;
+    for (auto _ : state) {
+        seg::setGsBaseWith(seg::GsWriteMode::ArchPrctl, v);
+        v ^= 0x20000;
+    }
+    seg::setGsBase(saved);
+    state.SetLabel("arch_prctl syscall (old-CPU fallback, §4.1)");
+}
+BENCHMARK(BM_GsWriteArchPrctl);
+
+}  // namespace
+}  // namespace sfi
+
+BENCHMARK_MAIN();

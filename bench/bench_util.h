@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared helpers for the paper-figure benchmark binaries: repetition
+ * timing with median/stddev reporting and table printing.
+ */
+#ifndef SFIKIT_BENCH_BENCH_UTIL_H_
+#define SFIKIT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/cpu.h"
+#include "base/stats.h"
+
+namespace sfi::bench {
+
+/**
+ * Times @p fn: runs it @p reps times, returns the median seconds per
+ * run. A value computed by fn should be accumulated by the caller to
+ * defeat dead-code elimination.
+ */
+inline double
+timeMedianSec(const std::function<void()>& fn, int reps = 5)
+{
+    RunningStat stat;
+    for (int r = 0; r < reps; r++) {
+        uint64_t t0 = monotonicNs();
+        fn();
+        uint64_t t1 = monotonicNs();
+        stat.add(double(t1 - t0) / 1e9);
+    }
+    return stat.median();
+}
+
+/**
+ * Best-of-N timing with one warmup run. On shared/virtualized hosts the
+ * minimum is the standard noise-robust estimator (interference only
+ * ever adds time).
+ */
+inline double
+timeMinSec(const std::function<void()>& fn, int reps = 7)
+{
+    fn();  // warmup
+    RunningStat stat;
+    for (int r = 0; r < reps; r++) {
+        uint64_t t0 = monotonicNs();
+        fn();
+        uint64_t t1 = monotonicNs();
+        stat.add(double(t1 - t0) / 1e9);
+    }
+    return stat.min();
+}
+
+/**
+ * Times several competing configurations with interleaved repetitions
+ * (a-b-c, a-b-c, ...) so machine-load bursts hit every configuration
+ * equally, then returns the per-configuration minimum.
+ */
+inline std::vector<double>
+timeInterleavedMinSec(const std::vector<std::function<void()>>& fns,
+                      int reps = 5)
+{
+    std::vector<double> best(fns.size(), 1e100);
+    for (const auto& fn : fns)
+        fn();  // warmup
+    for (int r = 0; r < reps; r++) {
+        for (size_t i = 0; i < fns.size(); i++) {
+            uint64_t t0 = monotonicNs();
+            fns[i]();
+            uint64_t t1 = monotonicNs();
+            double sec = double(t1 - t0) / 1e9;
+            if (sec < best[i])
+                best[i] = sec;
+        }
+    }
+    return best;
+}
+
+inline void
+hr()
+{
+    std::printf(
+        "--------------------------------------------------------------"
+        "--------\n");
+}
+
+inline void
+header(const char* title, const char* paper_ref)
+{
+    hr();
+    std::printf("%s\n  reproduces: %s\n", title, paper_ref);
+    hr();
+}
+
+}  // namespace sfi::bench
+
+#endif  // SFIKIT_BENCH_BENCH_UTIL_H_

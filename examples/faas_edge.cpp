@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A miniature FaaS edge node (the paper's §6.4 scenario): thousands of
+ * requests served by ColorGuard-striped sandbox instances in ONE
+ * process, scheduled cooperatively on fibers with 1 ms epoch
+ * preemption and Poisson IO waits.
+ *
+ *   $ ./examples/faas_edge [requests] [concurrency]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "faas/scheduler.h"
+#include "wkld/workloads.h"
+
+using namespace sfi;
+
+int
+main(int argc, char** argv)
+{
+    uint64_t requests = argc > 1 ? strtoull(argv[1], nullptr, 10) : 500;
+    int concurrency = argc > 2 ? atoi(argv[2]) : 64;
+
+    std::printf("sfikit FaaS edge node — 1 process, ColorGuard "
+                "striping, epoch preemption\n\n");
+
+    for (const auto& w : wkld::faasWorkloads()) {
+        faas::FaasHost::Options opts;
+        opts.maxConcurrent = concurrency;
+        opts.colorguard = true;
+        opts.epochUs = 1000;       // paper: 1 ms epochs
+        opts.ioDelayMeanMs = 5.0;  // paper: Poisson 5 ms IO
+        opts.config = jit::CompilerConfig::wamrSegue();
+
+        auto host = faas::FaasHost::create(w.make(), std::move(opts));
+        if (!host) {
+            std::fprintf(stderr, "host: %s\n", host.message().c_str());
+            return 1;
+        }
+        const auto& layout = (*host)->memoryPool().layout();
+        std::printf("%-18s  pool: %llu slots x %.0f MiB, %llu MPK "
+                    "stripes\n",
+                    w.name,
+                    (unsigned long long)layout.numSlots,
+                    double(layout.slotBytes) / double(kMiB),
+                    (unsigned long long)layout.numStripes);
+
+        auto stats = (*host)->run(requests);
+        if (!stats) {
+            std::fprintf(stderr, "run: %s\n", stats.message().c_str());
+            return 1;
+        }
+        std::printf("  %llu requests in %.2f s  ->  %.0f req/s   "
+                    "(io yields %llu, epoch preemptions %llu, "
+                    "transitions %llu)\n\n",
+                    (unsigned long long)stats->completed,
+                    stats->elapsedSec, stats->throughputRps,
+                    (unsigned long long)stats->ioYields,
+                    (unsigned long long)stats->epochYields,
+                    (unsigned long long)stats->transitions);
+    }
+    std::printf("every instance ran in its own ColorGuard stripe; IO "
+                "waits overlapped inside one address space.\n");
+    return 0;
+}

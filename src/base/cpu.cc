@@ -1,0 +1,69 @@
+#include "base/cpu.h"
+
+#include <cpuid.h>
+#include <time.h>
+#include <x86intrin.h>
+
+namespace sfi {
+
+namespace {
+
+CpuFeatures
+queryCpuFeatures()
+{
+    CpuFeatures f;
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+        f.fsgsbase = (ebx & (1u << 0)) != 0;
+        f.pku = (ecx & (1u << 3)) != 0;
+        f.ospke = (ecx & (1u << 4)) != 0;
+    }
+    return f;
+}
+
+}  // namespace
+
+const CpuFeatures&
+cpuFeatures()
+{
+    static const CpuFeatures features = queryCpuFeatures();
+    return features;
+}
+
+uint64_t
+rdtscFenced()
+{
+    _mm_lfence();
+    uint64_t t = __rdtsc();
+    _mm_lfence();
+    return t;
+}
+
+uint64_t
+monotonicNs()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+}
+
+double
+tscHz()
+{
+    static const double hz = [] {
+        uint64_t ns0 = monotonicNs();
+        uint64_t c0 = rdtscFenced();
+        // ~20 ms calibration window keeps startup fast while staying well
+        // above timer granularity.
+        while (monotonicNs() - ns0 < 20'000'000) {
+        }
+        uint64_t ns1 = monotonicNs();
+        uint64_t c1 = rdtscFenced();
+        return static_cast<double>(c1 - c0) /
+               (static_cast<double>(ns1 - ns0) * 1e-9);
+    }();
+    return hz;
+}
+
+}  // namespace sfi

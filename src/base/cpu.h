@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Host-CPU feature detection and timing.
+ *
+ * Segue needs FSGSBASE (userspace wrgsbase) or falls back to
+ * arch_prctl(2); ColorGuard needs MPK (PKU/OSPKE) or falls back to an
+ * emulated backend. Mirrors the graceful-fallback requirements the paper
+ * describes for production deployment (§4.1, §5.1).
+ */
+#ifndef SFIKIT_BASE_CPU_H_
+#define SFIKIT_BASE_CPU_H_
+
+#include <cstdint>
+
+namespace sfi {
+
+/** Capabilities of the host CPU relevant to Segue and ColorGuard. */
+struct CpuFeatures
+{
+    /** CPUID.7.0:EBX[0] — userspace wrfsbase/wrgsbase available. */
+    bool fsgsbase = false;
+    /** CPUID.7.0:ECX[3] — protection keys for userspace exist. */
+    bool pku = false;
+    /** CPUID.7.0:ECX[4] — OS has enabled PKU (CR4.PKE). */
+    bool ospke = false;
+};
+
+/** Queries CPUID once and caches the result. */
+const CpuFeatures& cpuFeatures();
+
+/** Serializing-ish cycle counter read (rdtsc; lfence-fenced). */
+uint64_t rdtscFenced();
+
+/** Monotonic wall-clock in nanoseconds. */
+uint64_t monotonicNs();
+
+/**
+ * Estimated TSC frequency in Hz, measured once against the monotonic
+ * clock. Used to convert cycle deltas into ns for reporting.
+ */
+double tscHz();
+
+}  // namespace sfi
+
+#endif  // SFIKIT_BASE_CPU_H_

@@ -1,0 +1,67 @@
+#include "base/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sfi {
+namespace detail {
+
+void
+logv(LogLevel level, const char* file, int line, const char* fmt, va_list ap)
+{
+    const char* tag = "info";
+    switch (level) {
+      case LogLevel::Inform: tag = "info"; break;
+      case LogLevel::Warn: tag = "warn"; break;
+      case LogLevel::Fatal: tag = "fatal"; break;
+      case LogLevel::Panic: tag = "panic"; break;
+    }
+    std::fprintf(stderr, "[%s] ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    if (level == LogLevel::Fatal || level == LogLevel::Panic)
+        std::fprintf(stderr, " (%s:%d)", file, line);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+}  // namespace detail
+
+void
+informAt(const char* file, int line, const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    detail::logv(LogLevel::Inform, file, line, fmt, ap);
+    va_end(ap);
+}
+
+void
+warnAt(const char* file, int line, const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    detail::logv(LogLevel::Warn, file, line, fmt, ap);
+    va_end(ap);
+}
+
+void
+fatalAt(const char* file, int line, const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    detail::logv(LogLevel::Fatal, file, line, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panicAt(const char* file, int line, const char* fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    detail::logv(LogLevel::Panic, file, line, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+}  // namespace sfi

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Status-message and error-exit helpers in the gem5 style.
+ *
+ * fatal()  — the situation is the *user's* fault (bad configuration,
+ *            unsupported hardware, invalid arguments); exits with code 1.
+ * panic()  — the situation is a bug in sfikit itself; aborts so a core
+ *            dump / debugger can capture the state.
+ * warn()   — something works, but not as well as it should.
+ * inform() — neutral operational status.
+ */
+#ifndef SFIKIT_BASE_LOGGING_H_
+#define SFIKIT_BASE_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace sfi {
+
+/** Severity levels for log messages. */
+enum class LogLevel : uint8_t { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+/** Core logging sink; printf-style formatting, writes to stderr. */
+void logv(LogLevel level, const char* file, int line, const char* fmt,
+          va_list ap);
+}  // namespace detail
+
+/** Print an informational message to stderr. */
+void informAt(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a warning message to stderr. */
+void warnAt(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Report a user-caused error and exit(1). */
+[[noreturn]] void fatalAt(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Report an internal sfikit bug and abort(). */
+[[noreturn]] void panicAt(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace sfi
+
+#define SFI_INFORM(...) ::sfi::informAt(__FILE__, __LINE__, __VA_ARGS__)
+#define SFI_WARN(...) ::sfi::warnAt(__FILE__, __LINE__, __VA_ARGS__)
+#define SFI_FATAL(...) ::sfi::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+#define SFI_PANIC(...) ::sfi::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Internal-invariant check: failure means an sfikit bug, so panic. */
+#define SFI_CHECK(cond)                                              \
+    do {                                                             \
+        if (__builtin_expect(!(cond), 0)) {                          \
+            ::sfi::panicAt(__FILE__, __LINE__,                       \
+                           "check failed: %s", #cond);               \
+        }                                                            \
+    } while (0)
+
+/** Internal-invariant check with a formatted explanation. */
+#define SFI_CHECK_MSG(cond, ...)                                     \
+    do {                                                             \
+        if (__builtin_expect(!(cond), 0)) {                          \
+            ::sfi::panicAt(__FILE__, __LINE__, __VA_ARGS__);         \
+        }                                                            \
+    } while (0)
+
+#endif  // SFIKIT_BASE_LOGGING_H_

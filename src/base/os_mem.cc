@@ -1,0 +1,140 @@
+#include "base/os_mem.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "base/units.h"
+
+namespace sfi {
+
+namespace {
+
+int
+protFlags(PageAccess access)
+{
+    switch (access) {
+      case PageAccess::None: return PROT_NONE;
+      case PageAccess::ReadOnly: return PROT_READ;
+      case PageAccess::ReadWrite: return PROT_READ | PROT_WRITE;
+      case PageAccess::ReadExec: return PROT_READ | PROT_EXEC;
+      case PageAccess::ReadWriteExec:
+        return PROT_READ | PROT_WRITE | PROT_EXEC;
+    }
+    return PROT_NONE;
+}
+
+}  // namespace
+
+Result<Reservation>
+Reservation::reserve(uint64_t bytes)
+{
+    bytes = alignUp(bytes, kOsPageSize);
+    void* p = mmap(nullptr, bytes, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (p == MAP_FAILED) {
+        return Result<Reservation>::error(
+            std::string("mmap reserve failed: ") + std::strerror(errno));
+    }
+    return Reservation(static_cast<uint8_t*>(p), bytes);
+}
+
+Result<Reservation>
+Reservation::allocate(uint64_t bytes)
+{
+    bytes = alignUp(bytes, kOsPageSize);
+    void* p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) {
+        return Result<Reservation>::error(
+            std::string("mmap allocate failed: ") + std::strerror(errno));
+    }
+    return Reservation(static_cast<uint8_t*>(p), bytes);
+}
+
+Reservation::~Reservation()
+{
+    if (base_ != nullptr)
+        munmap(base_, size_);
+}
+
+Reservation::Reservation(Reservation&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0))
+{
+}
+
+Reservation&
+Reservation::operator=(Reservation&& other) noexcept
+{
+    if (this != &other) {
+        if (base_ != nullptr)
+            munmap(base_, size_);
+        base_ = std::exchange(other.base_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+}
+
+Status
+Reservation::protect(uint64_t offset, uint64_t bytes, PageAccess access)
+{
+    if (offset + bytes > size_ || offset % kOsPageSize != 0 ||
+        bytes % kOsPageSize != 0) {
+        return Status::error("protect range not page aligned or in bounds");
+    }
+    if (mprotect(base_ + offset, bytes, protFlags(access)) != 0) {
+        return Status::error(std::string("mprotect failed: ") +
+                             std::strerror(errno));
+    }
+    return Status::ok();
+}
+
+Status
+Reservation::decommit(uint64_t offset, uint64_t bytes)
+{
+    if (offset + bytes > size_ || offset % kOsPageSize != 0 ||
+        bytes % kOsPageSize != 0) {
+        return Status::error("decommit range not page aligned or in bounds");
+    }
+    if (madvise(base_ + offset, bytes, MADV_DONTNEED) != 0) {
+        return Status::error(std::string("madvise failed: ") +
+                             std::strerror(errno));
+    }
+    return Status::ok();
+}
+
+uint64_t
+currentVmaCount()
+{
+    std::FILE* f = std::fopen("/proc/self/maps", "r");
+    if (f == nullptr)
+        return 0;
+    uint64_t lines = 0;
+    int c;
+    while ((c = std::fgetc(f)) != EOF) {
+        if (c == '\n')
+            lines++;
+    }
+    std::fclose(f);
+    return lines;
+}
+
+uint64_t
+maxVmaCount()
+{
+    std::FILE* f = std::fopen("/proc/sys/vm/max_map_count", "r");
+    if (f == nullptr)
+        return 65530;  // Linux default.
+    unsigned long long v = 65530;
+    if (std::fscanf(f, "%llu", &v) != 1)
+        v = 65530;
+    std::fclose(f);
+    return v;
+}
+
+}  // namespace sfi

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * RAII wrappers over mmap/mprotect/madvise.
+ *
+ * Guard-region-based SFI rests on the OS virtual-memory substrate: Wasm
+ * engines reserve huge PROT_NONE spans, commit the accessible prefix, and
+ * recycle slots with madvise(MADV_DONTNEED) (§2, §5.1). These helpers make
+ * those idioms safe and explicit.
+ */
+#ifndef SFIKIT_BASE_OS_MEM_H_
+#define SFIKIT_BASE_OS_MEM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/result.h"
+
+namespace sfi {
+
+/** Page protections, a safer tri-state over PROT_* flags. */
+enum class PageAccess : uint8_t {
+    None,       ///< PROT_NONE — guard regions.
+    ReadOnly,   ///< PROT_READ.
+    ReadWrite,  ///< PROT_READ | PROT_WRITE.
+    ReadExec,   ///< PROT_READ | PROT_EXEC — finalized JIT code.
+    ReadWriteExec,  ///< For single-step JIT emission where W^X is relaxed.
+};
+
+/**
+ * An owned span of virtual address space obtained from mmap.
+ *
+ * The reservation is PROT_NONE + MAP_NORESERVE by default, so reserving
+ * terabytes costs only a VMA. Sub-ranges are committed/protected
+ * explicitly.
+ */
+class Reservation
+{
+  public:
+    Reservation() = default;
+
+    /** Reserves @p bytes of PROT_NONE address space. */
+    static Result<Reservation> reserve(uint64_t bytes);
+
+    /** Maps @p bytes read-write immediately (small allocations). */
+    static Result<Reservation> allocate(uint64_t bytes);
+
+    ~Reservation();
+
+    Reservation(Reservation&& other) noexcept;
+    Reservation& operator=(Reservation&& other) noexcept;
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+
+    /** Change protection of [offset, offset+bytes); page-aligned. */
+    Status protect(uint64_t offset, uint64_t bytes, PageAccess access);
+
+    /**
+     * Return the pages of [offset, offset+bytes) to the OS and zero them
+     * on next touch (madvise MADV_DONTNEED). The mapping and, on real MPK
+     * hardware, the page protection keys survive — the property §7
+     * contrasts with MTE's tag discarding.
+     */
+    Status decommit(uint64_t offset, uint64_t bytes);
+
+    uint8_t* base() const { return base_; }
+    uint64_t size() const { return size_; }
+    bool valid() const { return base_ != nullptr; }
+
+  private:
+    Reservation(uint8_t* base, uint64_t size) : base_(base), size_(size) {}
+
+    uint8_t* base_ = nullptr;
+    uint64_t size_ = 0;
+};
+
+/** Number of distinct VMAs currently mapped by this process. */
+uint64_t currentVmaCount();
+
+/** Value of the vm.max_map_count sysctl (VMA-count limit, §5.1). */
+uint64_t maxVmaCount();
+
+}  // namespace sfi
+
+#endif  // SFIKIT_BASE_OS_MEM_H_

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Lightweight error propagation: Status and Result<T>.
+ *
+ * sfikit reserves exceptions for internal bugs (panic); recoverable errors
+ * (bad module bytes, unsupported configuration, exhausted pool) travel
+ * through these value types so callers can handle them.
+ */
+#ifndef SFIKIT_BASE_RESULT_H_
+#define SFIKIT_BASE_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace sfi {
+
+/** The outcome of an operation with no payload: ok, or an error message. */
+class Status
+{
+  public:
+    /** Constructs an OK status. */
+    Status() = default;
+
+    /** Constructs an error status carrying @p message. */
+    static Status
+    error(std::string message)
+    {
+        Status s;
+        s.message_ = std::move(message);
+        s.ok_ = false;
+        return s;
+    }
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return ok_; }
+    explicit operator bool() const { return ok_; }
+
+    /** Error message; empty for OK statuses. */
+    const std::string& message() const { return message_; }
+
+  private:
+    bool ok_ = true;
+    std::string message_;
+};
+
+/** A value of type T, or an error message. */
+template <typename T>
+class Result
+{
+  public:
+    /** Implicitly constructs a success result. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Constructs a failed result from a non-OK Status. */
+    Result(Status status) : status_(std::move(status))
+    {
+        SFI_CHECK_MSG(!status_.isOk(),
+                      "Result constructed from an OK status");
+    }
+
+    static Result<T>
+    error(std::string message)
+    {
+        return Result<T>(Status::error(std::move(message)));
+    }
+
+    bool isOk() const { return value_.has_value(); }
+    explicit operator bool() const { return isOk(); }
+
+    /** Error message; empty on success. */
+    const std::string& message() const { return status_.message(); }
+    const Status& status() const { return status_; }
+
+    /** Access the payload; panics if this result is an error. */
+    T&
+    value()
+    {
+        SFI_CHECK_MSG(isOk(), "Result::value() on error: %s",
+                      status_.message().c_str());
+        return *value_;
+    }
+
+    const T&
+    value() const
+    {
+        SFI_CHECK_MSG(isOk(), "Result::value() on error: %s",
+                      status_.message().c_str());
+        return *value_;
+    }
+
+    T* operator->() { return &value(); }
+    const T* operator->() const { return &value(); }
+    T& operator*() { return value(); }
+    const T& operator*() const { return value(); }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+}  // namespace sfi
+
+#endif  // SFIKIT_BASE_RESULT_H_

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (splitmix64 / xoshiro256**).
+ *
+ * Benchmarks and property tests need reproducible randomness that is
+ * identical across platforms and standard-library versions, so we do not
+ * use <random> engines for anything whose sequence matters.
+ */
+#ifndef SFIKIT_BASE_RNG_H_
+#define SFIKIT_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace sfi {
+
+/** splitmix64 step; good for seeding and hashing. */
+constexpr uint64_t
+splitmix64(uint64_t& state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator: fast, high-quality, and deterministic.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedull)
+    {
+        uint64_t sm = seed;
+        for (auto& s : state_)
+            s = splitmix64(sm);
+    }
+
+    /** Next 64 uniformly random bits. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Lemire-style rejection-free for our purposes: modulo bias is
+        // negligible for the bounds used in tests/benches, but we still use
+        // multiply-shift reduction for speed and better distribution.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                        below(static_cast<uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Sample from an exponential distribution with the given mean — used
+     * to model inter-arrival / IO delays (the paper draws IO latencies
+     * from a Poisson process, 5 ms mean).
+     */
+    double
+    nextExponential(double mean)
+    {
+        double u = nextDouble();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * log_(u);
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Natural log via __builtin to avoid a <cmath> include in a header. */
+    static double log_(double x) { return __builtin_log(x); }
+
+    uint64_t state_[4];
+};
+
+}  // namespace sfi
+
+#endif  // SFIKIT_BASE_RNG_H_

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Small statistics helpers used by benchmark harnesses: running mean and
+ * standard deviation, percentiles, and geometric mean — the aggregations
+ * the paper reports (geomean overheads, medians, stddev < 1%).
+ */
+#ifndef SFIKIT_BASE_STATS_H_
+#define SFIKIT_BASE_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sfi {
+
+/** Accumulates samples; provides mean / stddev / min / max / percentiles. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sum_ += x;
+        sumSq_ += x * x;
+    }
+
+    size_t count() const { return samples_.size(); }
+
+    double
+    mean() const
+    {
+        return samples_.empty() ? 0.0 : sum_ / samples_.size();
+    }
+
+    double
+    stddev() const
+    {
+        if (samples_.size() < 2)
+            return 0.0;
+        double n = static_cast<double>(samples_.size());
+        double var = (sumSq_ - sum_ * sum_ / n) / (n - 1);
+        return var > 0 ? std::sqrt(var) : 0.0;
+    }
+
+    double
+    min() const
+    {
+        return samples_.empty()
+                   ? 0.0
+                   : *std::min_element(samples_.begin(), samples_.end());
+    }
+
+    double
+    max() const
+    {
+        return samples_.empty()
+                   ? 0.0
+                   : *std::max_element(samples_.begin(), samples_.end());
+    }
+
+    /** p-th percentile (p in [0, 100]) by nearest-rank on sorted samples. */
+    double
+    percentile(double p) const
+    {
+        if (samples_.empty())
+            return 0.0;
+        std::vector<double> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        double rank = p / 100.0 * (sorted.size() - 1);
+        size_t lo = static_cast<size_t>(rank);
+        size_t hi = std::min(lo + 1, sorted.size() - 1);
+        double frac = rank - lo;
+        return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+    }
+
+    double median() const { return percentile(50); }
+
+  private:
+    std::vector<double> samples_;
+    double sum_ = 0;
+    double sumSq_ = 0;
+};
+
+/** Geometric mean of a set of (positive) ratios. */
+inline double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0;
+    for (double x : xs)
+        logSum += std::log(x);
+    return std::exp(logSum / xs.size());
+}
+
+/** Fixed-width histogram over [lo, hi); out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins)
+        : lo_(lo), hi_(hi), counts_(bins, 0)
+    {
+    }
+
+    void
+    add(double x)
+    {
+        double t = (x - lo_) / (hi_ - lo_);
+        t = std::clamp(t, 0.0, 1.0);
+        size_t bin = std::min(static_cast<size_t>(t * counts_.size()),
+                              counts_.size() - 1);
+        counts_[bin]++;
+        total_++;
+    }
+
+    uint64_t count(size_t bin) const { return counts_.at(bin); }
+    uint64_t total() const { return total_; }
+    size_t bins() const { return counts_.size(); }
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+}  // namespace sfi
+
+#endif  // SFIKIT_BASE_STATS_H_

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Size units and alignment helpers used throughout sfikit.
+ */
+#ifndef SFIKIT_BASE_UNITS_H_
+#define SFIKIT_BASE_UNITS_H_
+
+#include <cstdint>
+
+namespace sfi {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+/** Host (OS) page size assumed by layout math; verified at startup. */
+inline constexpr uint64_t kOsPageSize = 4096;
+
+/** WebAssembly page size: 64 KiB, fixed by the spec. */
+inline constexpr uint64_t kWasmPageSize = 64 * kKiB;
+
+/** Returns true iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Rounds @p v up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Rounds @p v down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Returns true iff @p v is a multiple of @p align. */
+constexpr bool
+isAligned(uint64_t v, uint64_t align)
+{
+    return align != 0 && (v % align) == 0;
+}
+
+}  // namespace sfi
+
+#endif  // SFIKIT_BASE_UNITS_H_

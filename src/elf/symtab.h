@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal ELF64 symbol-table reader.
+ *
+ * Table 2 reports per-benchmark binary sizes with and without Segue.
+ * For the wasm2c-style path, each kernel×policy instantiation is a
+ * distinct function symbol in this very binary; reading our own symbol
+ * table gives exact per-policy machine-code sizes without external
+ * tooling.
+ */
+#ifndef SFIKIT_ELF_SYMTAB_H_
+#define SFIKIT_ELF_SYMTAB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace sfi::elf {
+
+/** One function symbol. */
+struct FuncSymbol
+{
+    std::string name;  ///< mangled
+    uint64_t addr = 0;
+    uint64_t size = 0;
+};
+
+/** Reads all STT_FUNC symbols from @p path (e.g. "/proc/self/exe"). */
+Result<std::vector<FuncSymbol>> readFunctionSymbols(
+    const std::string& path);
+
+/**
+ * Sum of sizes of function symbols whose mangled names contain every
+ * string in @p needles. Returns 0 when nothing matches.
+ */
+uint64_t totalSizeMatching(const std::vector<FuncSymbol>& symbols,
+                           const std::vector<std::string>& needles);
+
+}  // namespace sfi::elf
+
+#endif  // SFIKIT_ELF_SYMTAB_H_

@@ -1,0 +1,118 @@
+#include "faas/fiber.h"
+
+#include "base/logging.h"
+#include "base/units.h"
+
+// Context switch: save SysV callee-saved registers on the current
+// stack, store rsp through save_slot, adopt new_sp, restore, return on
+// the other stack.
+asm(R"(
+.text
+.globl sfikit_fiber_switch
+.type sfikit_fiber_switch, @function
+sfikit_fiber_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+.size sfikit_fiber_switch, . - sfikit_fiber_switch
+
+.globl sfikit_fiber_boot
+.type sfikit_fiber_boot, @function
+sfikit_fiber_boot:
+    movq %r12, %rdi
+    callq *%r13
+    ud2
+.size sfikit_fiber_boot, . - sfikit_fiber_boot
+)");
+
+extern "C" {
+void sfikit_fiber_switch(void** save_slot, void* new_sp);
+void sfikit_fiber_boot();
+}
+
+namespace sfi::faas {
+
+Result<std::unique_ptr<Fiber>>
+Fiber::create(std::function<void()> fn, uint64_t stack_bytes)
+{
+    auto fiber = std::unique_ptr<Fiber>(new Fiber());
+    fiber->fn_ = std::move(fn);
+
+    stack_bytes = alignUp(stack_bytes, kOsPageSize);
+    // One guard page below the stack.
+    auto stack = Reservation::reserve(stack_bytes + kOsPageSize);
+    if (!stack)
+        return Result<std::unique_ptr<Fiber>>::error(stack.message());
+    if (auto st = stack->protect(kOsPageSize, stack_bytes,
+                                 PageAccess::ReadWrite);
+        !st) {
+        return Result<std::unique_ptr<Fiber>>::error(st.message());
+    }
+    fiber->stack_ = std::move(*stack);
+
+    // Build the initial frame so the first switch "returns" into
+    // sfikit_fiber_boot with r12 = this, r13 = entryThunk. Choose
+    // addresses so rsp % 16 == 0 when boot's `callq` executes.
+    uint8_t* top = fiber->stack_.base() + fiber->stack_.size();
+    uint64_t* sp = reinterpret_cast<uint64_t*>(top);
+    sp -= 2;  // keep 16-byte alignment after the ret into boot
+    *--sp = reinterpret_cast<uint64_t>(&sfikit_fiber_boot);  // ret target
+    *--sp = 0;                                            // rbp
+    *--sp = 0;                                            // rbx
+    *--sp = reinterpret_cast<uint64_t>(fiber.get());      // r12 = arg
+    *--sp = reinterpret_cast<uint64_t>(&Fiber::entryThunk);  // r13 = fn
+    *--sp = 0;                                            // r14
+    *--sp = 0;                                            // r15
+    fiber->fiberSp_ = sp;
+    return fiber;
+}
+
+Fiber::~Fiber()
+{
+    SFI_CHECK_MSG(!running_, "destroying a running fiber");
+    if (started_ && !finished_)
+        SFI_WARN("fiber destroyed while suspended; stack abandoned");
+}
+
+void
+Fiber::entryThunk(void* self)
+{
+    Fiber* fiber = static_cast<Fiber*>(self);
+    fiber->fn_();
+    fiber->finished_ = true;
+    // Final switch back; never returns.
+    sfikit_fiber_switch(&fiber->fiberSp_, fiber->resumerSp_);
+    SFI_PANIC("resumed a finished fiber");
+}
+
+void
+Fiber::resume()
+{
+    SFI_CHECK_MSG(!finished_, "resuming a finished fiber");
+    SFI_CHECK_MSG(!running_, "fiber already running");
+    running_ = true;
+    started_ = true;
+    sfikit_fiber_switch(&resumerSp_, fiberSp_);
+    running_ = false;
+}
+
+void
+Fiber::yield()
+{
+    SFI_CHECK_MSG(running_, "yield outside the fiber");
+    sfikit_fiber_switch(&fiberSp_, resumerSp_);
+}
+
+}  // namespace sfi::faas

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal stackful fibers — the substrate for async sandbox scheduling.
+ *
+ * Wasmtime's async support runs every instance on its own fiber so
+ * epoch interruption can *yield* (not kill) a sandbox mid-execution
+ * (§6.4.3's Tokio harness). sfikit's fibers are ~100 lines: an mmap'd
+ * stack with a guard page and a context switch that saves exactly the
+ * SysV callee-saved registers.
+ */
+#ifndef SFIKIT_FAAS_FIBER_H_
+#define SFIKIT_FAAS_FIBER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "base/os_mem.h"
+#include "base/result.h"
+
+namespace sfi::faas {
+
+/** A suspended or running fiber. */
+class Fiber
+{
+  public:
+    /**
+     * Creates a fiber that will run @p fn when first resumed. The fiber
+     * must finish (fn returns) or be abandoned before destruction.
+     */
+    static Result<std::unique_ptr<Fiber>>
+    create(std::function<void()> fn, uint64_t stack_bytes = 256 * 1024);
+
+    ~Fiber();
+
+    /**
+     * Switches from the calling context into this fiber; returns when
+     * the fiber yields or finishes.
+     */
+    void resume();
+
+    /** From inside the fiber: switch back to the resumer. */
+    void yield();
+
+    bool finished() const { return finished_; }
+
+    Fiber(const Fiber&) = delete;
+    Fiber& operator=(const Fiber&) = delete;
+
+  private:
+    Fiber() = default;
+
+    static void entryThunk(void* self);
+
+    Reservation stack_;
+    std::function<void()> fn_;
+    void* fiberSp_ = nullptr;   ///< saved rsp when suspended
+    void* resumerSp_ = nullptr; ///< saved rsp of whoever resumed us
+    bool started_ = false;
+    bool finished_ = false;
+    bool running_ = false;
+};
+
+}  // namespace sfi::faas
+
+#endif  // SFIKIT_FAAS_FIBER_H_

@@ -1,0 +1,244 @@
+#include "faas/scheduler.h"
+
+#include <algorithm>
+
+#include "base/cpu.h"
+#include "base/logging.h"
+#include "base/units.h"
+#include "runtime/signals.h"
+#include "seg/seg.h"
+
+namespace sfi::faas {
+
+EpochTimer::EpochTimer(uint64_t period_us)
+{
+    thread_ = std::thread([this, period_us] {
+        while (!stop_.load(std::memory_order_relaxed)) {
+            struct timespec ts;
+            ts.tv_sec = 0;
+            ts.tv_nsec = long(period_us * 1000);
+            nanosleep(&ts, nullptr);
+            epoch_.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+}
+
+EpochTimer::~EpochTimer()
+{
+    stop_.store(true);
+    thread_.join();
+}
+
+/** One in-flight request: fiber + pooled instance + schedule state. */
+struct FaasHost::RequestSlot
+{
+    FaasHost* host = nullptr;
+    int index = 0;
+    std::unique_ptr<Fiber> fiber;
+    pool::Slot poolSlot;
+    std::unique_ptr<rt::Instance> instance;
+
+    uint64_t requestId = 0;
+    /** Wall-clock ns when this fiber may run again. */
+    uint64_t readyAtNs = 0;
+    bool active = false;      ///< has an in-flight request
+    bool needsRequest = true; ///< waiting to be assigned one
+
+    /** Saved sandbox context across yields. */
+    rt::ActiveExecution* savedExec = nullptr;
+    uint64_t savedGs = 0;
+    mpk::Pkru savedPkru{};
+};
+
+Result<std::unique_ptr<FaasHost>>
+FaasHost::create(wasm::Module workload, Options options)
+{
+    auto host = std::unique_ptr<FaasHost>(new FaasHost());
+    host->opts_ = std::move(options);
+    host->rng_ = Rng(host->opts_.seed);
+
+    jit::CompilerConfig cfg = host->opts_.config;
+    cfg.epochChecks = true;
+    auto shared = rt::SharedModule::compile(std::move(workload), cfg);
+    if (!shared)
+        return Result<std::unique_ptr<FaasHost>>::error(shared.message());
+    host->module_ = *shared;
+
+    // Pool: slots sized to the workload's memory, ColorGuard striping.
+    host->mpk_ = mpk::makeEmulated();
+    pool::MemoryPool::Options popt;
+    popt.config.numSlots = uint64_t(host->opts_.maxConcurrent);
+    popt.config.maxMemoryBytes = host->opts_.slotBytes;
+    popt.config.guardBytes = 8 * host->opts_.slotBytes;
+    popt.config.stripingEnabled = host->opts_.colorguard;
+    popt.mpk = host->mpk_.get();
+    auto pool = pool::MemoryPool::create(std::move(popt));
+    if (!pool)
+        return Result<std::unique_ptr<FaasHost>>::error(pool.message());
+    host->pool_ =
+        std::make_unique<pool::MemoryPool>(std::move(*pool));
+
+    host->timer_ = std::make_unique<EpochTimer>(host->opts_.epochUs);
+    return Result<std::unique_ptr<FaasHost>>(std::move(host));
+}
+
+FaasHost::~FaasHost() = default;
+
+void
+FaasHost::yieldFromGuest(RequestSlot* slot)
+{
+    // Stash the sandbox context (signal ownership, %gs, PKRU) so other
+    // instances can run, then restore it on resume.
+    slot->savedExec = rt::setActiveExecution(nullptr);
+    slot->savedGs = seg::getGsBase();
+    slot->savedPkru = mpk_->readPkru();
+    mpk_->writePkru(mpk::Pkru::allowAll());
+
+    slot->fiber->yield();
+
+    mpk_->writePkru(slot->savedPkru);
+    seg::setGsBase(slot->savedGs);
+    rt::setActiveExecution(slot->savedExec);
+}
+
+void
+FaasHost::requestBody(RequestSlot* slot)
+{
+    const uint32_t min_pages = std::max<uint32_t>(
+        module_->module().memory.minPages, 1);
+    const uint32_t max_pages = static_cast<uint32_t>(
+        std::min<uint64_t>(module_->module().memory.maxPages,
+                           opts_.slotBytes / kWasmPageSize));
+
+    rt::Instance::Options iopt;
+    iopt.memoryView = pool_->memoryView(slot->poolSlot, min_pages,
+                                        max_pages);
+    if (opts_.colorguard) {
+        iopt.mpkSystem = mpk_.get();
+        iopt.pkey = slot->poolSlot.pkey;
+    }
+    auto inst = rt::Instance::create(
+        module_,
+        {{"io_wait",
+          [this, slot](uint64_t*, size_t) {
+              // Simulated IO: park until the Poisson delay elapses.
+              double delay =
+                  rng_.nextExponential(opts_.ioDelayMeanMs * 1e6);
+              slot->readyAtNs = monotonicNs() + uint64_t(delay);
+              stats_.ioYields++;
+              yieldFromGuest(slot);
+              return rt::HostOutcome{};
+          }}},
+        std::move(iopt));
+    SFI_CHECK_MSG(inst.isOk(), "instance creation failed: %s",
+                  inst.message().c_str());
+    slot->instance = std::move(*inst);
+    slot->instance->setEpoch(timer_->counter(), timer_->now());
+    slot->instance->setEpochCallback([this, slot] {
+        // Preempted: yield to the scheduler, run again next round.
+        slot->readyAtNs = 0;
+        stats_.epochYields++;
+        yieldFromGuest(slot);
+        slot->instance->setEpochDeadline(timer_->now());
+    });
+
+    auto out = slot->instance->call(
+        "handle", {slot->requestId & 0xffffffffu});
+    SFI_CHECK_MSG(out.ok(), "request trapped: %s", rt::name(out.trap));
+    stats_.checksum ^= out.value + slot->requestId;
+    stats_.completed++;
+    slot->active = false;
+}
+
+Result<FaasHost::Stats>
+FaasHost::run(uint64_t total_requests)
+{
+    stats_ = Stats{};
+    remaining_ = total_requests;
+    nextRequestId_ = 0;
+
+    slots_.clear();
+    for (int i = 0; i < opts_.maxConcurrent; i++) {
+        auto slot = std::make_unique<RequestSlot>();
+        slot->host = this;
+        slot->index = i;
+        auto ps = pool_->allocate();
+        if (!ps)
+            return Result<Stats>::error(ps.message());
+        slot->poolSlot = *ps;
+        slots_.push_back(std::move(slot));
+    }
+
+    uint64_t start_ns = monotonicNs();
+    uint64_t live = 0;
+
+    while (stats_.completed < total_requests) {
+        uint64_t now = monotonicNs();
+        uint64_t next_ready = UINT64_MAX;
+        bool progressed = false;
+
+        for (auto& slot_ptr : slots_) {
+            RequestSlot* slot = slot_ptr.get();
+            if (!slot->active) {
+                if (remaining_ == 0)
+                    continue;
+                // Assign a new request: fresh fiber + recycled slot
+                // memory (decommit -> zero on reuse).
+                remaining_--;
+                slot->requestId = nextRequestId_++;
+                slot->active = true;
+                slot->readyAtNs = 0;
+                SFI_CHECK(pool_->free(slot->poolSlot).isOk());
+                auto ps = pool_->allocate();
+                SFI_CHECK(ps.isOk());
+                slot->poolSlot = *ps;
+                auto fiber = Fiber::create(
+                    [this, slot] { requestBody(slot); });
+                SFI_CHECK_MSG(fiber.isOk(), "%s",
+                              fiber.message().c_str());
+                slot->fiber = std::move(*fiber);
+                live++;
+            }
+            if (slot->readyAtNs > now) {
+                next_ready = std::min(next_ready, slot->readyAtNs);
+                continue;
+            }
+            stats_.transitions++;
+            slot->fiber->resume();
+            progressed = true;
+            if (slot->fiber->finished()) {
+                slot->fiber.reset();
+                live--;
+            } else if (slot->readyAtNs > 0) {
+                next_ready = std::min(next_ready, slot->readyAtNs);
+            }
+            now = monotonicNs();
+        }
+
+        if (!progressed && next_ready != UINT64_MAX) {
+            uint64_t wait = next_ready > now ? next_ready - now : 0;
+            if (wait > 10'000) {
+                struct timespec ts;
+                ts.tv_sec = long(wait / 1'000'000'000ull);
+                ts.tv_nsec = long(wait % 1'000'000'000ull);
+                nanosleep(&ts, nullptr);
+            }
+        }
+    }
+
+    // Return every slot to the pool so run() can be called again.
+    for (auto& slot : slots_) {
+        SFI_CHECK(pool_->free(slot->poolSlot).isOk());
+        slot->instance.reset();
+    }
+    slots_.clear();
+
+    stats_.elapsedSec =
+        double(monotonicNs() - start_ns) / 1e9;
+    stats_.throughputRps =
+        stats_.elapsedSec > 0 ? double(stats_.completed) / stats_.elapsedSec
+                              : 0;
+    return stats_;
+}
+
+}  // namespace sfi::faas

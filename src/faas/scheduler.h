@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A single-process FaaS host: the paper's simulated edge platform
+ * (§6.4.3) built for real on sfikit — pooled ColorGuard instances,
+ * fiber-per-request execution, epoch-interruption preemption at a
+ * configurable period, and Poisson-distributed IO waits during which
+ * other requests are scheduled.
+ */
+#ifndef SFIKIT_FAAS_SCHEDULER_H_
+#define SFIKIT_FAAS_SCHEDULER_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "faas/fiber.h"
+#include "pool/pool.h"
+#include "runtime/instance.h"
+#include "wasm/module.h"
+
+namespace sfi::faas {
+
+/** Background thread bumping the global epoch (Wasmtime's design). */
+class EpochTimer
+{
+  public:
+    explicit EpochTimer(uint64_t period_us);
+    ~EpochTimer();
+
+    const uint64_t*
+    counter() const
+    {
+        return reinterpret_cast<const uint64_t*>(&epoch_);
+    }
+    uint64_t now() const { return epoch_.load(std::memory_order_relaxed); }
+
+  private:
+    // The JIT reads this as a plain u64 through ctx->epochPtr; the
+    // atomic wrapper keeps the host side well-defined.
+    std::atomic<uint64_t> epoch_{0};
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+
+    static_assert(sizeof(std::atomic<uint64_t>) == sizeof(uint64_t));
+};
+
+/** The host. */
+class FaasHost
+{
+  public:
+    struct Options
+    {
+        Options() {}
+
+        /** In-flight request slots (instances + fibers). */
+        int maxConcurrent = 64;
+        /** Pool slot size (max linear memory per instance). */
+        uint64_t slotBytes = 2 * kMiB;
+        /** ColorGuard striping + per-slot PKRU switching. */
+        bool colorguard = true;
+        /** Epoch-interruption period (paper: 1000 us). */
+        uint64_t epochUs = 1000;
+        /** Mean of the exponential IO delay (paper: 5 ms). */
+        double ioDelayMeanMs = 5.0;
+        uint64_t seed = 42;
+        /** SFI strategy; epoch checks are forced on. */
+        jit::CompilerConfig config = jit::CompilerConfig::wamrSegue();
+    };
+
+    struct Stats
+    {
+        uint64_t completed = 0;
+        double elapsedSec = 0;
+        double throughputRps = 0;
+        uint64_t epochYields = 0;
+        uint64_t ioYields = 0;
+        uint64_t transitions = 0;
+        uint64_t checksum = 0;  ///< xor of responses (verification)
+    };
+
+    /**
+     * Compiles @p workload (must export `handle(i32)->i64` and import
+     * `io_wait(i32)`) and builds the instance pool.
+     */
+    static Result<std::unique_ptr<FaasHost>> create(wasm::Module workload,
+                                                    Options options);
+
+    ~FaasHost();
+
+    /** Serves @p total_requests closed-loop at full concurrency. */
+    Result<Stats> run(uint64_t total_requests);
+
+    const pool::MemoryPool& memoryPool() const { return *pool_; }
+
+  private:
+    struct RequestSlot;
+
+    FaasHost() = default;
+
+    void requestBody(RequestSlot* slot);
+    void yieldFromGuest(RequestSlot* slot);
+
+    Options opts_;
+    std::shared_ptr<const rt::SharedModule> module_;
+    // mpk_ must outlive pool_ (the pool frees its stripe keys on
+    // destruction), so it is declared first.
+    std::unique_ptr<mpk::System> mpk_;
+    std::unique_ptr<pool::MemoryPool> pool_;
+    std::unique_ptr<EpochTimer> timer_;
+    Rng rng_{42};
+
+    std::vector<std::unique_ptr<RequestSlot>> slots_;
+    uint64_t nextRequestId_ = 0;
+    uint64_t remaining_ = 0;
+    Stats stats_;
+};
+
+}  // namespace sfi::faas
+
+#endif  // SFIKIT_FAAS_SCHEDULER_H_

@@ -1,0 +1,696 @@
+#include "interp/interp.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "base/logging.h"
+#include "wasm/validator.h"
+
+namespace sfi::interp {
+
+using rt::TrapKind;
+using wasm::Instr;
+using wasm::Op;
+
+namespace {
+
+/** Maximum interpreter call depth before StackExhausted. */
+constexpr int kMaxCallDepth = 1000;
+
+double
+asF64(uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+uint64_t
+asBits(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+Result<Instance>
+Instance::instantiate(const wasm::Module& module,
+                      std::map<std::string, HostFn> host_fns)
+{
+    if (auto st = wasm::validate(module); !st)
+        return Result<Instance>::error("validation: " + st.message());
+
+    Instance inst;
+    inst.module_ = module;
+
+    // Memory: the interpreter always bounds-checks in software, so no
+    // guard reservation is needed.
+    rt::LinearMemory::Config cfg;
+    cfg.minPages = module.memory.minPages;
+    cfg.maxPages = module.memory.maxPages;
+    cfg.guardBytes = 0;
+    cfg.reserveFull = false;
+    auto mem = rt::LinearMemory::create(cfg);
+    if (!mem)
+        return Result<Instance>::error(mem.message());
+    inst.memory_ = std::move(*mem);
+
+    for (const wasm::DataSegment& seg : module.data)
+        std::memcpy(inst.memory_.base() + seg.offset, seg.bytes.data(),
+                    seg.bytes.size());
+
+    for (const wasm::Global& g : module.globals)
+        inst.globals_.push_back(g.init);
+
+    for (const wasm::Import& imp : module.imports) {
+        auto it = host_fns.find(imp.name);
+        if (it == host_fns.end()) {
+            return Result<Instance>::error("unresolved import: " +
+                                           imp.name);
+        }
+        inst.imports_.push_back(it->second);
+    }
+
+    // Precompute matching End/Else for every structured opcode.
+    for (const wasm::Function& fn : module.functions) {
+        ControlMap cm;
+        cm.endOf.assign(fn.body.size(), SIZE_MAX);
+        cm.elseOf.assign(fn.body.size(), SIZE_MAX);
+        std::vector<size_t> stack;
+        for (size_t pc = 0; pc < fn.body.size(); pc++) {
+            Op op = fn.body[pc].op;
+            if (op == Op::Block || op == Op::Loop || op == Op::If) {
+                stack.push_back(pc);
+            } else if (op == Op::Else) {
+                SFI_CHECK(!stack.empty());
+                cm.elseOf[stack.back()] = pc;
+            } else if (op == Op::End) {
+                if (stack.empty())
+                    continue;  // function End
+                cm.endOf[stack.back()] = pc;
+                // An Else "belongs" to its If; record End there too.
+                if (cm.elseOf[stack.back()] != SIZE_MAX)
+                    cm.endOf[cm.elseOf[stack.back()]] = pc;
+                stack.pop_back();
+            }
+        }
+        inst.controlMaps_.push_back(std::move(cm));
+    }
+    return inst;
+}
+
+Outcome
+Instance::callExport(const std::string& name,
+                     const std::vector<uint64_t>& args)
+{
+    auto it = module_.exports.find(name);
+    SFI_CHECK_MSG(it != module_.exports.end(), "no export named '%s'",
+                  name.c_str());
+    return callFunction(it->second, args);
+}
+
+Outcome
+Instance::callFunction(uint32_t func_idx, const std::vector<uint64_t>& args)
+{
+    fuelEnabled_ = fuel_ > 0;
+    return invoke(func_idx, args.data(), args.size(), 0);
+}
+
+Outcome
+Instance::invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
+                 int depth)
+{
+    if (depth > kMaxCallDepth)
+        return {TrapKind::StackExhausted, 0};
+
+    if (func_idx < module_.numImports()) {
+        HostOutcome ho = imports_[func_idx](const_cast<uint64_t*>(args),
+                                            nargs);
+        return {ho.trap, ho.value};
+    }
+
+    const wasm::Function& fn =
+        module_.functions[func_idx - module_.numImports()];
+    const ControlMap& cm = controlMaps_[func_idx - module_.numImports()];
+    const wasm::FuncType& ft = module_.types[fn.typeIdx];
+    SFI_CHECK_MSG(nargs == ft.params.size(),
+                  "call arity mismatch on '%s'", fn.name.c_str());
+
+    std::vector<uint64_t> locals(ft.params.size() + fn.locals.size(), 0);
+    std::copy(args, args + nargs, locals.begin());
+
+    struct Ctrl
+    {
+        Op op;       ///< Block / Loop / If / Else
+        size_t pc;   ///< position of the opener
+        size_t height;
+    };
+    std::vector<Ctrl> ctrl;
+    std::vector<uint64_t> stack;
+
+    auto push = [&](uint64_t v) { stack.push_back(v); };
+    auto pop = [&]() {
+        uint64_t v = stack.back();
+        stack.pop_back();
+        return v;
+    };
+    auto pushF = [&](double v) { stack.push_back(asBits(v)); };
+    auto popF = [&]() { return asF64(pop()); };
+
+    auto memCheck = [&](uint64_t addr, uint64_t len, bool is_write,
+                        TrapKind* out) {
+        if (!memory_.inBounds(addr, len)) {
+            *out = TrapKind::OutOfBounds;
+            return false;
+        }
+        if (accessHook_ &&
+            !accessHook_(memory_.base() + addr, is_write)) {
+            *out = TrapKind::MpkViolation;
+            return false;
+        }
+        return true;
+    };
+
+    size_t pc = 0;
+    const size_t body_size = fn.body.size();
+    while (pc < body_size) {
+        if (fuelEnabled_) {
+            if (fuel_ == 0)
+                return {TrapKind::EpochInterrupt, 0};
+            fuel_--;
+        }
+        const Instr& in = fn.body[pc];
+        switch (in.op) {
+          case Op::Unreachable:
+            return {TrapKind::Unreachable, 0};
+          case Op::Nop:
+            break;
+
+          case Op::Block:
+          case Op::Loop:
+            ctrl.push_back({in.op, pc, stack.size()});
+            break;
+          case Op::If: {
+            uint64_t cond = pop();
+            if (cond & 0xffffffffu) {
+                ctrl.push_back({Op::If, pc, stack.size()});
+            } else if (cm.elseOf[pc] != SIZE_MAX) {
+                ctrl.push_back({Op::Else, cm.elseOf[pc], stack.size()});
+                pc = cm.elseOf[pc];  // jump into the else arm
+            } else {
+                pc = cm.endOf[pc];  // skip the whole If
+            }
+            break;
+          }
+          case Op::Else: {
+            // Falling into Else from the then-arm: skip to End.
+            SFI_CHECK(!ctrl.empty());
+            size_t if_pc = ctrl.back().pc;
+            ctrl.pop_back();
+            pc = cm.endOf[if_pc];
+            break;
+          }
+          case Op::End:
+            if (!ctrl.empty())
+                ctrl.pop_back();
+            break;
+
+          case Op::Br:
+          case Op::BrIf: {
+            if (in.op == Op::BrIf) {
+                uint64_t cond = pop();
+                if (!(cond & 0xffffffffu))
+                    break;
+            }
+            uint32_t d = in.a;
+            if (d >= ctrl.size()) {
+                // Branch to the function frame = return.
+                uint64_t rv = module_.types[fn.typeIdx].results.empty()
+                                  ? 0
+                                  : pop();
+                return {TrapKind::None, rv};
+            }
+            Ctrl target = ctrl[ctrl.size() - 1 - d];
+            ctrl.resize(ctrl.size() - d);  // keep target for loops
+            stack.resize(target.height);
+            if (target.op == Op::Loop) {
+                pc = target.pc;  // re-enter loop body (frame kept)
+            } else {
+                ctrl.pop_back();
+                pc = cm.endOf[target.pc];
+            }
+            break;
+          }
+          case Op::BrTable: {
+            uint32_t idx = static_cast<uint32_t>(pop());
+            const auto& depths = fn.brTables[in.a];
+            uint32_t d = idx < depths.size() - 1 ? depths[idx]
+                                                 : depths.back();
+            if (d >= ctrl.size()) {
+                uint64_t rv = module_.types[fn.typeIdx].results.empty()
+                                  ? 0
+                                  : pop();
+                return {TrapKind::None, rv};
+            }
+            Ctrl target = ctrl[ctrl.size() - 1 - d];
+            ctrl.resize(ctrl.size() - d);
+            stack.resize(target.height);
+            if (target.op == Op::Loop) {
+                pc = target.pc;
+            } else {
+                ctrl.pop_back();
+                pc = cm.endOf[target.pc];
+            }
+            break;
+          }
+          case Op::Return: {
+            uint64_t rv =
+                module_.types[fn.typeIdx].results.empty() ? 0 : pop();
+            return {TrapKind::None, rv};
+          }
+
+          case Op::Call: {
+            const wasm::FuncType& callee = module_.typeOfFunc(in.a);
+            size_t n = callee.params.size();
+            std::vector<uint64_t> call_args(n);
+            for (size_t i = n; i-- > 0;)
+                call_args[i] = pop();
+            Outcome out =
+                invoke(in.a, call_args.data(), n, depth + 1);
+            if (out.trap != TrapKind::None)
+                return out;
+            if (!callee.results.empty())
+                push(out.value);
+            break;
+          }
+          case Op::CallIndirect: {
+            uint32_t ti = static_cast<uint32_t>(pop());
+            if (ti >= module_.table.size())
+                return {TrapKind::IndirectCallOutOfRange, 0};
+            uint32_t target = module_.table[ti];
+            const wasm::FuncType& want = module_.types[in.a];
+            if (!(module_.typeOfFunc(target) == want))
+                return {TrapKind::IndirectCallTypeMismatch, 0};
+            size_t n = want.params.size();
+            std::vector<uint64_t> call_args(n);
+            for (size_t i = n; i-- > 0;)
+                call_args[i] = pop();
+            Outcome out = invoke(target, call_args.data(), n, depth + 1);
+            if (out.trap != TrapKind::None)
+                return out;
+            if (!want.results.empty())
+                push(out.value);
+            break;
+          }
+
+          case Op::Drop:
+            pop();
+            break;
+          case Op::Select: {
+            uint64_t cond = pop();
+            uint64_t b = pop();
+            uint64_t a = pop();
+            push((cond & 0xffffffffu) ? a : b);
+            break;
+          }
+
+          case Op::LocalGet:
+            push(locals[in.a]);
+            break;
+          case Op::LocalSet:
+            locals[in.a] = pop();
+            break;
+          case Op::LocalTee:
+            locals[in.a] = stack.back();
+            break;
+          case Op::GlobalGet:
+            push(globals_[in.a]);
+            break;
+          case Op::GlobalSet:
+            globals_[in.a] = pop();
+            break;
+
+#define SFIKIT_LOAD(T, push_expr)                                      \
+    {                                                                  \
+        uint64_t addr = (pop() & 0xffffffffu) + in.imm;                \
+        TrapKind tk;                                                   \
+        if (!memCheck(addr, sizeof(T), false, &tk))                    \
+            return {tk, 0};                                            \
+        T v;                                                           \
+        std::memcpy(&v, memory_.base() + addr, sizeof(T));             \
+        push_expr;                                                     \
+    }                                                                  \
+    break
+
+          case Op::I32Load:
+            SFIKIT_LOAD(uint32_t, push(v));
+          case Op::I64Load:
+            SFIKIT_LOAD(uint64_t, push(v));
+          case Op::F64Load:
+            SFIKIT_LOAD(uint64_t, push(v));
+          case Op::I32Load8S:
+            SFIKIT_LOAD(int8_t, push(uint32_t(int32_t(v))));
+          case Op::I32Load8U:
+            SFIKIT_LOAD(uint8_t, push(v));
+          case Op::I32Load16S:
+            SFIKIT_LOAD(int16_t, push(uint32_t(int32_t(v))));
+          case Op::I32Load16U:
+            SFIKIT_LOAD(uint16_t, push(v));
+          case Op::I64Load32S:
+            SFIKIT_LOAD(int32_t, push(uint64_t(int64_t(v))));
+          case Op::I64Load32U:
+            SFIKIT_LOAD(uint32_t, push(v));
+#undef SFIKIT_LOAD
+
+#define SFIKIT_STORE(T)                                                \
+    {                                                                  \
+        T v = static_cast<T>(pop());                                   \
+        uint64_t addr = (pop() & 0xffffffffu) + in.imm;                \
+        TrapKind tk;                                                   \
+        if (!memCheck(addr, sizeof(T), true, &tk))                     \
+            return {tk, 0};                                            \
+        std::memcpy(memory_.base() + addr, &v, sizeof(T));             \
+    }                                                                  \
+    break
+
+          case Op::I32Store:
+            SFIKIT_STORE(uint32_t);
+          case Op::I64Store:
+            SFIKIT_STORE(uint64_t);
+          case Op::F64Store:
+            SFIKIT_STORE(uint64_t);
+          case Op::I32Store8:
+            SFIKIT_STORE(uint8_t);
+          case Op::I32Store16:
+            SFIKIT_STORE(uint16_t);
+#undef SFIKIT_STORE
+
+          case Op::MemorySize:
+            push(memory_.pages());
+            break;
+          case Op::MemoryGrow: {
+            uint32_t delta = static_cast<uint32_t>(pop());
+            push(static_cast<uint32_t>(memory_.grow(delta)));
+            break;
+          }
+          case Op::MemoryFill: {
+            uint32_t n = static_cast<uint32_t>(pop());
+            uint32_t val = static_cast<uint32_t>(pop());
+            uint32_t dst = static_cast<uint32_t>(pop());
+            TrapKind tk;
+            if (n > 0 && !memCheck(dst, n, true, &tk))
+                return {tk, 0};
+            std::memset(memory_.base() + dst, int(val & 0xff), n);
+            break;
+          }
+          case Op::MemoryCopy: {
+            uint32_t n = static_cast<uint32_t>(pop());
+            uint32_t src = static_cast<uint32_t>(pop());
+            uint32_t dst = static_cast<uint32_t>(pop());
+            TrapKind tk;
+            if (n > 0 && (!memCheck(src, n, false, &tk) ||
+                          !memCheck(dst, n, true, &tk)))
+                return {tk, 0};
+            std::memmove(memory_.base() + dst, memory_.base() + src, n);
+            break;
+          }
+
+          case Op::I32Const:
+          case Op::I64Const:
+          case Op::F64Const:
+            push(in.imm);
+            break;
+
+          // --- i32 ---
+#define SFIKIT_I32_CMP(expr)                                           \
+    {                                                                  \
+        uint32_t b = static_cast<uint32_t>(pop());                     \
+        uint32_t a = static_cast<uint32_t>(pop());                     \
+        (void)a;                                                       \
+        (void)b;                                                       \
+        push((expr) ? 1 : 0);                                          \
+    }                                                                  \
+    break
+#define SFIKIT_I32_BIN(expr)                                           \
+    {                                                                  \
+        uint32_t b = static_cast<uint32_t>(pop());                     \
+        uint32_t a = static_cast<uint32_t>(pop());                     \
+        (void)a;                                                       \
+        (void)b;                                                       \
+        push(static_cast<uint32_t>(expr));                             \
+    }                                                                  \
+    break
+
+          case Op::I32Eqz:
+            push((static_cast<uint32_t>(pop()) == 0) ? 1 : 0);
+            break;
+          case Op::I32Eq: SFIKIT_I32_CMP(a == b);
+          case Op::I32Ne: SFIKIT_I32_CMP(a != b);
+          case Op::I32LtS: SFIKIT_I32_CMP(int32_t(a) < int32_t(b));
+          case Op::I32LtU: SFIKIT_I32_CMP(a < b);
+          case Op::I32GtS: SFIKIT_I32_CMP(int32_t(a) > int32_t(b));
+          case Op::I32GtU: SFIKIT_I32_CMP(a > b);
+          case Op::I32LeS: SFIKIT_I32_CMP(int32_t(a) <= int32_t(b));
+          case Op::I32LeU: SFIKIT_I32_CMP(a <= b);
+          case Op::I32GeS: SFIKIT_I32_CMP(int32_t(a) >= int32_t(b));
+          case Op::I32GeU: SFIKIT_I32_CMP(a >= b);
+          case Op::I32Add: SFIKIT_I32_BIN(a + b);
+          case Op::I32Sub: SFIKIT_I32_BIN(a - b);
+          case Op::I32Mul: SFIKIT_I32_BIN(a * b);
+          case Op::I32And: SFIKIT_I32_BIN(a & b);
+          case Op::I32Or: SFIKIT_I32_BIN(a | b);
+          case Op::I32Xor: SFIKIT_I32_BIN(a ^ b);
+          case Op::I32Shl: SFIKIT_I32_BIN(a << (b & 31));
+          case Op::I32ShrU: SFIKIT_I32_BIN(a >> (b & 31));
+          case Op::I32ShrS: SFIKIT_I32_BIN(int32_t(a) >> (b & 31));
+          case Op::I32Rotl: SFIKIT_I32_BIN(std::rotl(a, int(b & 31)));
+          case Op::I32Rotr: SFIKIT_I32_BIN(std::rotr(a, int(b & 31)));
+          case Op::I32DivS: {
+            uint32_t b = static_cast<uint32_t>(pop());
+            uint32_t a = static_cast<uint32_t>(pop());
+            if (b == 0)
+                return {TrapKind::DivByZero, 0};
+            if (a == 0x80000000u && b == 0xffffffffu)
+                return {TrapKind::IntegerOverflow, 0};
+            push(uint32_t(int32_t(a) / int32_t(b)));
+            break;
+          }
+          case Op::I32DivU: {
+            uint32_t b = static_cast<uint32_t>(pop());
+            uint32_t a = static_cast<uint32_t>(pop());
+            if (b == 0)
+                return {TrapKind::DivByZero, 0};
+            push(a / b);
+            break;
+          }
+          case Op::I32RemS: {
+            uint32_t b = static_cast<uint32_t>(pop());
+            uint32_t a = static_cast<uint32_t>(pop());
+            if (b == 0)
+                return {TrapKind::DivByZero, 0};
+            if (b == 0xffffffffu) {
+                push(0);  // INT_MIN % -1 == 0 per Wasm
+            } else {
+                push(uint32_t(int32_t(a) % int32_t(b)));
+            }
+            break;
+          }
+          case Op::I32RemU: {
+            uint32_t b = static_cast<uint32_t>(pop());
+            uint32_t a = static_cast<uint32_t>(pop());
+            if (b == 0)
+                return {TrapKind::DivByZero, 0};
+            push(a % b);
+            break;
+          }
+          case Op::I32Popcnt:
+            push(uint32_t(
+                std::popcount(static_cast<uint32_t>(pop()))));
+            break;
+#undef SFIKIT_I32_CMP
+#undef SFIKIT_I32_BIN
+
+          // --- i64 ---
+#define SFIKIT_I64_CMP(expr)                                           \
+    {                                                                  \
+        uint64_t b = pop();                                            \
+        uint64_t a = pop();                                            \
+        (void)a;                                                       \
+        (void)b;                                                       \
+        push((expr) ? 1 : 0);                                          \
+    }                                                                  \
+    break
+#define SFIKIT_I64_BIN(expr)                                           \
+    {                                                                  \
+        uint64_t b = pop();                                            \
+        uint64_t a = pop();                                            \
+        (void)a;                                                       \
+        (void)b;                                                       \
+        push(static_cast<uint64_t>(expr));                             \
+    }                                                                  \
+    break
+
+          case Op::I64Eqz:
+            push((pop() == 0) ? 1 : 0);
+            break;
+          case Op::I64Eq: SFIKIT_I64_CMP(a == b);
+          case Op::I64Ne: SFIKIT_I64_CMP(a != b);
+          case Op::I64LtS: SFIKIT_I64_CMP(int64_t(a) < int64_t(b));
+          case Op::I64LtU: SFIKIT_I64_CMP(a < b);
+          case Op::I64GtS: SFIKIT_I64_CMP(int64_t(a) > int64_t(b));
+          case Op::I64GtU: SFIKIT_I64_CMP(a > b);
+          case Op::I64LeS: SFIKIT_I64_CMP(int64_t(a) <= int64_t(b));
+          case Op::I64LeU: SFIKIT_I64_CMP(a <= b);
+          case Op::I64GeS: SFIKIT_I64_CMP(int64_t(a) >= int64_t(b));
+          case Op::I64GeU: SFIKIT_I64_CMP(a >= b);
+          case Op::I64Add: SFIKIT_I64_BIN(a + b);
+          case Op::I64Sub: SFIKIT_I64_BIN(a - b);
+          case Op::I64Mul: SFIKIT_I64_BIN(a * b);
+          case Op::I64And: SFIKIT_I64_BIN(a & b);
+          case Op::I64Or: SFIKIT_I64_BIN(a | b);
+          case Op::I64Xor: SFIKIT_I64_BIN(a ^ b);
+          case Op::I64Shl: SFIKIT_I64_BIN(a << (b & 63));
+          case Op::I64ShrU: SFIKIT_I64_BIN(a >> (b & 63));
+          case Op::I64ShrS: SFIKIT_I64_BIN(int64_t(a) >> (b & 63));
+          case Op::I64Rotl: SFIKIT_I64_BIN(std::rotl(a, int(b & 63)));
+          case Op::I64Rotr: SFIKIT_I64_BIN(std::rotr(a, int(b & 63)));
+          case Op::I64DivS: {
+            uint64_t b = pop();
+            uint64_t a = pop();
+            if (b == 0)
+                return {TrapKind::DivByZero, 0};
+            if (a == 0x8000000000000000ull && b == UINT64_MAX)
+                return {TrapKind::IntegerOverflow, 0};
+            push(uint64_t(int64_t(a) / int64_t(b)));
+            break;
+          }
+          case Op::I64DivU: {
+            uint64_t b = pop();
+            uint64_t a = pop();
+            if (b == 0)
+                return {TrapKind::DivByZero, 0};
+            push(a / b);
+            break;
+          }
+          case Op::I64RemS: {
+            uint64_t b = pop();
+            uint64_t a = pop();
+            if (b == 0)
+                return {TrapKind::DivByZero, 0};
+            if (b == UINT64_MAX) {
+                push(0);
+            } else {
+                push(uint64_t(int64_t(a) % int64_t(b)));
+            }
+            break;
+          }
+          case Op::I64RemU: {
+            uint64_t b = pop();
+            uint64_t a = pop();
+            if (b == 0)
+                return {TrapKind::DivByZero, 0};
+            push(a % b);
+            break;
+          }
+          case Op::I64Popcnt:
+            push(uint64_t(std::popcount(pop())));
+            break;
+#undef SFIKIT_I64_CMP
+#undef SFIKIT_I64_BIN
+
+          case Op::I32WrapI64:
+            push(pop() & 0xffffffffu);
+            break;
+          case Op::I64ExtendI32S:
+            push(uint64_t(int64_t(int32_t(uint32_t(pop())))));
+            break;
+          case Op::I64ExtendI32U:
+            push(pop() & 0xffffffffu);
+            break;
+
+          // --- f64 ---
+#define SFIKIT_F64_CMP(expr)                                           \
+    {                                                                  \
+        double b = popF();                                             \
+        double a = popF();                                             \
+        (void)a;                                                       \
+        (void)b;                                                       \
+        push((expr) ? 1 : 0);                                          \
+    }                                                                  \
+    break
+#define SFIKIT_F64_BIN(expr)                                           \
+    {                                                                  \
+        double b = popF();                                             \
+        double a = popF();                                             \
+        (void)a;                                                       \
+        (void)b;                                                       \
+        pushF(expr);                                                   \
+    }                                                                  \
+    break
+
+          case Op::F64Eq: SFIKIT_F64_CMP(a == b);
+          case Op::F64Ne: SFIKIT_F64_CMP(a != b);
+          case Op::F64Lt: SFIKIT_F64_CMP(a < b);
+          case Op::F64Gt: SFIKIT_F64_CMP(a > b);
+          case Op::F64Le: SFIKIT_F64_CMP(a <= b);
+          case Op::F64Ge: SFIKIT_F64_CMP(a >= b);
+          case Op::F64Add: SFIKIT_F64_BIN(a + b);
+          case Op::F64Sub: SFIKIT_F64_BIN(a - b);
+          case Op::F64Mul: SFIKIT_F64_BIN(a * b);
+          case Op::F64Div: SFIKIT_F64_BIN(a / b);
+          // min/max mirror x86 minsd/maxsd semantics (returns second
+          // operand on NaN/equal-zero cases) so interp == JIT.
+          case Op::F64Min: SFIKIT_F64_BIN(a < b ? a : b);
+          case Op::F64Max: SFIKIT_F64_BIN(a > b ? a : b);
+          case Op::F64Sqrt:
+            pushF(std::sqrt(popF()));
+            break;
+          case Op::F64Neg:
+            push(pop() ^ 0x8000000000000000ull);
+            break;
+          case Op::F64Abs:
+            push(pop() & 0x7fffffffffffffffull);
+            break;
+#undef SFIKIT_F64_CMP
+#undef SFIKIT_F64_BIN
+
+          case Op::F64ConvertI32S:
+            pushF(double(int32_t(uint32_t(pop()))));
+            break;
+          case Op::F64ConvertI32U:
+            pushF(double(uint32_t(pop())));
+            break;
+          case Op::F64ConvertI64S:
+            pushF(double(int64_t(pop())));
+            break;
+          case Op::I32TruncF64S: {
+            double f = popF();
+            // Subset rule (matches the JIT's cvttsd2si sentinel check):
+            // the result must lie strictly inside (INT32_MIN, INT32_MAX].
+            if (!(f > -2147483648.0 && f < 2147483648.0))
+                return {TrapKind::IntegerOverflow, 0};
+            push(uint32_t(int32_t(f)));
+            break;
+          }
+          case Op::I64TruncF64S: {
+            double f = popF();
+            if (!(f > -9223372036854775808.0 &&
+                  f < 9223372036854775808.0))
+                return {TrapKind::IntegerOverflow, 0};
+            push(uint64_t(int64_t(f)));
+            break;
+          }
+          case Op::F64ReinterpretI64:
+          case Op::I64ReinterpretF64:
+            break;  // bits already on the stack
+        }
+        pc++;
+    }
+
+    // Implicit end of function.
+    uint64_t rv = module_.types[fn.typeIdx].results.empty()
+                      ? 0
+                      : (stack.empty() ? 0 : stack.back());
+    return {TrapKind::None, rv};
+}
+
+}  // namespace sfi::interp

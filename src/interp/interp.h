@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Reference interpreter for the sfikit Wasm subset.
+ *
+ * The interpreter is the semantic oracle: the JIT is differentially
+ * tested against it on random programs (tests/jit/differential_test.cc).
+ * It bounds-checks every access in software, can enforce emulated-MPK
+ * colors (ColorGuard semantics without hardware), and supports fuel
+ * limits to model epoch interruption deterministically.
+ */
+#ifndef SFIKIT_INTERP_INTERP_H_
+#define SFIKIT_INTERP_INTERP_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "runtime/memory.h"
+#include "runtime/trap.h"
+#include "wasm/module.h"
+
+namespace sfi::interp {
+
+/** Result of a host function: a trap or a (possibly unused) value. */
+struct HostOutcome
+{
+    rt::TrapKind trap = rt::TrapKind::None;
+    uint64_t value = 0;
+};
+
+/** Host function: receives raw 64-bit argument slots. */
+using HostFn = std::function<HostOutcome(uint64_t* args, size_t n)>;
+
+/** Result of invoking a Wasm function. */
+struct Outcome
+{
+    rt::TrapKind trap = rt::TrapKind::None;
+    uint64_t value = 0;  ///< result bits (f64 via bit pattern); 0 if none
+
+    bool ok() const { return trap == rt::TrapKind::None; }
+};
+
+/** An instantiated module executing under the interpreter. */
+class Instance
+{
+  public:
+    /**
+     * Validates and instantiates @p module. Host imports are resolved by
+     * name from @p host_fns.
+     */
+    static Result<Instance>
+    instantiate(const wasm::Module& module,
+                std::map<std::string, HostFn> host_fns = {});
+
+    /** Calls an exported function. */
+    Outcome callExport(const std::string& name,
+                       const std::vector<uint64_t>& args = {});
+
+    /** Calls any function by index. */
+    Outcome callFunction(uint32_t func_idx,
+                         const std::vector<uint64_t>& args = {});
+
+    rt::LinearMemory& memory() { return memory_; }
+    const rt::LinearMemory& memory() const { return memory_; }
+
+    uint64_t global(uint32_t i) const { return globals_.at(i); }
+    void setGlobal(uint32_t i, uint64_t v) { globals_.at(i) = v; }
+
+    /**
+     * Limits execution to roughly @p instructions interpreter steps;
+     * exceeding it traps with EpochInterrupt. 0 disables (default).
+     */
+    void setFuel(uint64_t instructions) { fuel_ = instructions; }
+    uint64_t fuelRemaining() const { return fuel_; }
+
+    /**
+     * Installs an access-legality hook consulted on every linear-memory
+     * access — this is how emulated-MPK ColorGuard semantics are checked
+     * without MPK hardware. Returning false traps with MpkViolation.
+     */
+    void
+    setAccessHook(std::function<bool(const void*, bool)> hook)
+    {
+        accessHook_ = std::move(hook);
+    }
+
+    const wasm::Module& module() const { return module_; }
+
+  private:
+    friend class Frame;
+
+    /** Matching-construct indices precomputed per function. */
+    struct ControlMap
+    {
+        /** For each Block/Loop/If pc: index of its matching End. */
+        std::vector<size_t> endOf;
+        /** For each If pc: index of its Else, or SIZE_MAX. */
+        std::vector<size_t> elseOf;
+    };
+
+    Outcome invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
+                   int depth);
+
+    wasm::Module module_;
+    rt::LinearMemory memory_;
+    std::vector<uint64_t> globals_;
+    std::vector<HostFn> imports_;
+    std::vector<ControlMap> controlMaps_;
+    uint64_t fuel_ = 0;
+    bool fuelEnabled_ = false;
+    std::function<bool(const void*, bool)> accessHook_;
+};
+
+}  // namespace sfi::interp
+
+#endif  // SFIKIT_INTERP_INTERP_H_

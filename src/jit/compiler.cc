@@ -1,0 +1,1809 @@
+#include "jit/compiler.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "base/logging.h"
+#include "base/units.h"
+#include "jit/vectorize.h"
+#include "runtime/trap.h"
+#include "wasm/validator.h"
+#include "x64/assembler.h"
+
+namespace sfi::jit {
+
+using wasm::Instr;
+using wasm::Op;
+using wasm::ValType;
+using x64::AluOp;
+using x64::Assembler;
+using x64::Cond;
+using x64::Label;
+using x64::Mem;
+using x64::Reg;
+using x64::ShiftOp;
+using x64::Width;
+using x64::Xmm;
+
+namespace {
+
+/** Pinned registers. */
+constexpr Reg kCtxReg = Reg::r14;
+constexpr Reg kHeapReg = Reg::r15;
+constexpr Reg kCodeReg = Reg::r13;  // LFI mode only
+
+/** Integer-argument registers of the internal calling convention. */
+constexpr Reg kIntArgRegs[6] = {Reg::rdi, Reg::rsi, Reg::rdx,
+                                Reg::rcx, Reg::r8,  Reg::r9};
+
+/** Context-field memory operands. */
+Mem
+ctxField(uint32_t offset)
+{
+    return Mem::baseDisp(kCtxReg, static_cast<int32_t>(offset));
+}
+
+constexpr uint32_t kOffMemBase = offsetof(JitContext, memBase);
+constexpr uint32_t kOffMemSize = offsetof(JitContext, memSize);
+constexpr uint32_t kOffEpochPtr = offsetof(JitContext, epochPtr);
+constexpr uint32_t kOffEpochDeadline = offsetof(JitContext, epochDeadline);
+constexpr uint32_t kOffGlobals = offsetof(JitContext, globals);
+constexpr uint32_t kOffTableTypeIds = offsetof(JitContext, tableTypeIds);
+constexpr uint32_t kOffTableEntries = offsetof(JitContext, tableEntries);
+constexpr uint32_t kOffTableSize = offsetof(JitContext, tableSize);
+constexpr uint32_t kOffRuntimeData = offsetof(JitContext, runtimeData);
+constexpr uint32_t kOffTrapFn = offsetof(JitContext, trapFn);
+constexpr uint32_t kOffGrowFn = offsetof(JitContext, growFn);
+constexpr uint32_t kOffHostFn = offsetof(JitContext, hostFn);
+constexpr uint32_t kOffFillFn = offsetof(JitContext, fillFn);
+constexpr uint32_t kOffCopyFn = offsetof(JitContext, copyFn);
+constexpr uint32_t kOffEpochFn = offsetof(JitContext, epochFn);
+constexpr uint32_t kOffMemPages = offsetof(JitContext, memPages);
+constexpr uint32_t kOffStackLimit = offsetof(JitContext, stackLimit);
+constexpr uint32_t kOffHostArgs = offsetof(JitContext, hostArgs);
+constexpr uint32_t kOffCodeBase = offsetof(JitContext, codeBase);
+
+/** Module-wide emission state shared across functions. */
+struct ModuleState
+{
+    Assembler asm_;
+    const wasm::Module* module = nullptr;
+    CompilerConfig config;
+    std::vector<Label> funcLabels;  ///< per defined function
+    /** Lazily created trap stubs, keyed by trap code. */
+    std::optional<Label> trapStubs[16];
+
+    Label&
+    trapStub(rt::TrapKind kind)
+    {
+        auto idx = static_cast<size_t>(kind);
+        if (!trapStubs[idx])
+            trapStubs[idx] = asm_.newLabel();
+        return *trapStubs[idx];
+    }
+};
+
+/** Compiles one function. */
+class FunctionCompiler
+{
+  public:
+    FunctionCompiler(ModuleState& ms, const wasm::Function& fn)
+        : ms_(ms), a_(ms.asm_), mod_(*ms.module), cfg_(ms.config), fn_(fn),
+          type_(mod_.types[fn.typeIdx])
+    {
+        numParams_ = type_.params.size();
+        numLocals_ = numParams_ + fn.locals.size();
+        localTypes_ = type_.params;
+        localTypes_.insert(localTypes_.end(), fn.locals.begin(),
+                           fn.locals.end());
+        buildGprPool();
+    }
+
+    void compile();
+
+  private:
+    // --- virtual stack ---
+    struct VEntry
+    {
+        enum class Loc : uint8_t { Gpr, Xmm, Const, Slot } loc;
+        ValType type;
+        Reg reg{};
+        Xmm xmm{};
+        uint64_t imm = 0;
+    };
+
+    struct CtrlFrame
+    {
+        Op kind;  ///< Block / Loop / If / Else
+        Label end;
+        Label head;      ///< loops
+        Label elseArm;   ///< ifs
+        bool hasElse = false;
+        size_t entryHeight;
+    };
+
+    void
+    buildGprPool()
+    {
+        gprPool_ = {Reg::rbx, Reg::rsi, Reg::rdi, Reg::r8, Reg::r9,
+                    Reg::r10, Reg::r11, Reg::r12};
+        if (cfg_.cfi != CfiMode::Lfi)
+            gprPool_.push_back(kCodeReg);  // r13 free without LFI
+        if (!cfg_.needsHeapBaseReg())
+            gprPool_.push_back(kHeapReg);  // Segue frees r15 (§3.1)
+        gprFree_ = gprPool_;
+        for (int i = 4; i <= 15; i++)
+            xmmFree_.push_back(static_cast<Xmm>(i));
+    }
+
+    /** Frame slot of local @p i (8 bytes each, below rbp). */
+    Mem
+    localSlot(uint32_t i) const
+    {
+        return Mem::baseDisp(Reg::rbp, -8 * (static_cast<int32_t>(i) + 1));
+    }
+
+    /** Frame slot of vstack position @p pos. */
+    Mem
+    stackSlot(size_t pos) const
+    {
+        return Mem::baseDisp(
+            Reg::rbp,
+            -8 * (static_cast<int32_t>(numLocals_ + pos) + 1));
+    }
+
+    Reg
+    allocGpr()
+    {
+        if (gprFree_.empty())
+            spillOldestGpr();
+        Reg r = gprFree_.back();
+        gprFree_.pop_back();
+        return r;
+    }
+
+    Xmm
+    allocXmm()
+    {
+        if (xmmFree_.empty())
+            spillOldestXmm();
+        Xmm x = xmmFree_.back();
+        xmmFree_.pop_back();
+        return x;
+    }
+
+    void freeGpr(Reg r) { gprFree_.push_back(r); }
+    void freeXmm(Xmm x) { xmmFree_.push_back(x); }
+
+    void
+    spillOldestGpr()
+    {
+        for (size_t i = 0; i < vstack_.size(); i++) {
+            if (vstack_[i].loc == VEntry::Loc::Gpr) {
+                a_.store(Width::W64, stackSlot(i), vstack_[i].reg);
+                freeGpr(vstack_[i].reg);
+                vstack_[i].loc = VEntry::Loc::Slot;
+                return;
+            }
+        }
+        SFI_PANIC("GPR pool exhausted with nothing to spill");
+    }
+
+    void
+    spillOldestXmm()
+    {
+        for (size_t i = 0; i < vstack_.size(); i++) {
+            if (vstack_[i].loc == VEntry::Loc::Xmm) {
+                a_.movsdStore(stackSlot(i), vstack_[i].xmm);
+                freeXmm(vstack_[i].xmm);
+                vstack_[i].loc = VEntry::Loc::Slot;
+                return;
+            }
+        }
+        SFI_PANIC("XMM pool exhausted with nothing to spill");
+    }
+
+    /** Spills every vstack entry to its canonical slot. */
+    void
+    spillAll()
+    {
+        for (size_t i = 0; i < vstack_.size(); i++) {
+            VEntry& e = vstack_[i];
+            switch (e.loc) {
+              case VEntry::Loc::Gpr:
+                a_.store(Width::W64, stackSlot(i), e.reg);
+                freeGpr(e.reg);
+                break;
+              case VEntry::Loc::Xmm:
+                a_.movsdStore(stackSlot(i), e.xmm);
+                freeXmm(e.xmm);
+                break;
+              case VEntry::Loc::Const:
+                materializeConstToSlot(e, i);
+                break;
+              case VEntry::Loc::Slot:
+                continue;
+            }
+            e.loc = VEntry::Loc::Slot;
+        }
+    }
+
+    void
+    materializeConstToSlot(const VEntry& e, size_t pos)
+    {
+        int64_t as_signed = static_cast<int64_t>(e.imm);
+        if (as_signed >= INT32_MIN && as_signed <= INT32_MAX) {
+            a_.storeImm32(Width::W64, stackSlot(pos),
+                          static_cast<int32_t>(e.imm));
+        } else {
+            a_.movImm64(Reg::rax, e.imm);
+            a_.store(Width::W64, stackSlot(pos), Reg::rax);
+        }
+    }
+
+    void
+    pushGpr(Reg r, ValType t)
+    {
+        vstack_.push_back({VEntry::Loc::Gpr, t, r, Xmm::xmm0, 0});
+    }
+
+    void
+    pushXmm(Xmm x, ValType t)
+    {
+        vstack_.push_back({VEntry::Loc::Xmm, t, Reg::rax, x, 0});
+    }
+
+    void
+    pushConst(uint64_t v, ValType t)
+    {
+        vstack_.push_back({VEntry::Loc::Const, t, Reg::rax, Xmm::xmm0, v});
+    }
+
+    VEntry
+    popV()
+    {
+        SFI_CHECK(!vstack_.empty());
+        VEntry e = vstack_.back();
+        vstack_.pop_back();
+        return e;
+    }
+
+    /**
+     * Restores the compile-time stack to @p height at a control join.
+     * Dead code (after return/br) may leave the stack shorter; the
+     * placeholders are Slot-resident so they hold no registers. All
+     * live entries are already spilled when this is called.
+     */
+    void
+    resizeStackTo(size_t height)
+    {
+        while (vstack_.size() < height) {
+            vstack_.push_back(
+                {VEntry::Loc::Slot, ValType::I64, Reg::rax, Xmm::xmm0, 0});
+        }
+        if (vstack_.size() > height)
+            vstack_.resize(height);
+    }
+
+    /** Materializes @p e into a pool GPR (caller owns the register). */
+    Reg
+    intoGpr(const VEntry& e, size_t slot_pos)
+    {
+        switch (e.loc) {
+          case VEntry::Loc::Gpr:
+            return e.reg;
+          case VEntry::Loc::Const: {
+            Reg r = allocGpr();
+            loadConst(r, e);
+            return r;
+          }
+          case VEntry::Loc::Slot: {
+            Reg r = allocGpr();
+            a_.load(Width::W64, false, r, stackSlot(slot_pos));
+            return r;
+          }
+          case VEntry::Loc::Xmm:
+            SFI_PANIC("intoGpr on f64 value");
+        }
+        __builtin_unreachable();
+    }
+
+    void
+    loadConst(Reg r, const VEntry& e)
+    {
+        if (e.type == ValType::I32 || (e.imm >> 32) == 0) {
+            a_.movImm32(r, static_cast<uint32_t>(e.imm));
+        } else {
+            a_.movImm64(r, e.imm);
+        }
+    }
+
+    Xmm
+    intoXmm(const VEntry& e, size_t slot_pos)
+    {
+        switch (e.loc) {
+          case VEntry::Loc::Xmm:
+            return e.xmm;
+          case VEntry::Loc::Const: {
+            Xmm x = allocXmm();
+            a_.movImm64(Reg::rax, e.imm);
+            a_.movqToXmm(x, Reg::rax);
+            return x;
+          }
+          case VEntry::Loc::Slot: {
+            Xmm x = allocXmm();
+            a_.movsdLoad(x, stackSlot(slot_pos));
+            return x;
+          }
+          case VEntry::Loc::Gpr:
+            SFI_PANIC("intoXmm on integer value");
+        }
+        __builtin_unreachable();
+    }
+
+    /** Pops the top entry into a pool GPR. */
+    Reg
+    popGpr()
+    {
+        size_t pos = vstack_.size() - 1;
+        VEntry e = popV();
+        return intoGpr(e, pos);
+    }
+
+    Xmm
+    popXmm()
+    {
+        size_t pos = vstack_.size() - 1;
+        VEntry e = popV();
+        return intoXmm(e, pos);
+    }
+
+    void
+    freeEntryReg(const VEntry& e)
+    {
+        if (e.loc == VEntry::Loc::Gpr)
+            freeGpr(e.reg);
+        else if (e.loc == VEntry::Loc::Xmm)
+            freeXmm(e.xmm);
+    }
+
+    // --- codegen helpers ---
+
+    Width
+    widthOf(ValType t) const
+    {
+        return t == ValType::I64 ? Width::W64 : Width::W32;
+    }
+
+    void
+    jumpTrap(rt::TrapKind kind)
+    {
+        a_.jmp(ms_.trapStub(kind));
+    }
+
+    void
+    jccTrap(Cond cc, rt::TrapKind kind)
+    {
+        a_.jcc(cc, ms_.trapStub(kind));
+    }
+
+    /**
+     * Builds the memory operand for a heap access and emits any
+     * strategy-required checks. @p idx holds a (possibly untrusted)
+     * index register; may clobber rax.
+     */
+    Mem
+    heapOperand(Reg idx, uint32_t disp, uint32_t access_bytes,
+                bool is_store)
+    {
+        bool use_segue =
+            is_store ? cfg_.segueStores() : cfg_.segueLoads();
+
+        if (cfg_.explicitBounds()) {
+            // lea rax, [idx + disp + size]; cmp rax, ctx->memSize; ja trap
+            a_.lea(Width::W64, Reg::rax,
+                   Mem::baseDisp(idx,
+                                 static_cast<int32_t>(disp + access_bytes)));
+            a_.aluMem(AluOp::Cmp, Width::W64, Reg::rax,
+                      ctxField(kOffMemSize));
+            jccTrap(Cond::A, rt::TrapKind::OutOfBounds);
+        }
+
+        if (use_segue) {
+            if (cfg_.untrustedIndexRegs) {
+                // LFI/Figure 1c: one instruction; 0x67 truncates the
+                // effective address to 32 bits, %gs adds the base.
+                Mem m = Mem::gs32(idx, static_cast<int32_t>(disp));
+                return m;
+            }
+            // Wasm: idx is a clean u32, so a plain 64-bit EA gives exact
+            // 33-bit semantics: gs:[idx + disp].
+            Mem m = Mem::baseDisp(idx, static_cast<int32_t>(disp));
+            m.seg = x64::Seg::Gs;
+            return m;
+        }
+
+        if (cfg_.untrustedIndexRegs &&
+            cfg_.mem != MemStrategy::Unsandboxed) {
+            // Figure 1b: explicit truncation, then base-indexed access.
+            a_.mov(Width::W32, idx, idx);
+        }
+        return Mem::baseIndex(kHeapReg, idx, 1,
+                              static_cast<int32_t>(disp));
+    }
+
+    void emitLoad(const Instr& in);
+    void emitStore(const Instr& in);
+    void emitI32Bin(Op op);
+    void emitI64Bin(Op op);
+    void emitIntCompare(Op op);
+    void emitF64Bin(Op op);
+    void emitF64Compare(Op op);
+    void emitDivRem(Op op);
+    void emitShift(Op op);
+    void emitSelect();
+    void emitCall(const Instr& in);
+    void emitCallIndirect(const Instr& in);
+    void emitHostCall(uint32_t import_idx);
+    void emitRuntimeCall3(uint32_t fn_off, int nargs);
+    void emitEpochCheck();
+    void emitBranch(uint32_t depth);
+    void emitReturn();
+    void emitEpilogue();
+    void setResultRegsForBranch();
+    void loadCallArgs(const wasm::FuncType& ft);
+    void setResultRegs();
+
+    CtrlFrame&
+    frameAt(uint32_t depth)
+    {
+        SFI_CHECK(depth < ctrl_.size());
+        return ctrl_[ctrl_.size() - 1 - depth];
+    }
+
+    /** Computes the maximum vstack height (frame sizing prepass). */
+    size_t maxStackHeight() const;
+
+    ModuleState& ms_;
+    Assembler& a_;
+    const wasm::Module& mod_;
+    CompilerConfig cfg_;
+    const wasm::Function& fn_;
+    const wasm::FuncType& type_;
+
+    size_t numParams_ = 0;
+    size_t numLocals_ = 0;
+    std::vector<ValType> localTypes_;
+
+    std::vector<Reg> gprPool_, gprFree_;
+    std::vector<Xmm> xmmFree_;
+    std::vector<VEntry> vstack_;
+    std::vector<CtrlFrame> ctrl_;
+    Label epilogue_;
+    size_t pc_ = 0;
+    /** True after an unconditional transfer; cleared at End/Else. */
+    bool dead_ = false;
+};
+
+size_t
+FunctionCompiler::maxStackHeight() const
+{
+    // Heights are deterministic under validation; simulate them.
+    size_t h = 0, maxh = 0;
+    std::vector<size_t> entry;  // frame entry heights
+    auto bump = [&](int delta) {
+        h = static_cast<size_t>(static_cast<int64_t>(h) + delta);
+        maxh = std::max(maxh, h);
+    };
+    for (const Instr& in : fn_.body) {
+        switch (in.op) {
+          case Op::Block:
+          case Op::Loop:
+            entry.push_back(h);
+            break;
+          case Op::If:
+            bump(-1);
+            entry.push_back(h);
+            break;
+          case Op::Else:
+            h = entry.back();
+            break;
+          case Op::End:
+            if (!entry.empty()) {
+                h = entry.back();
+                entry.pop_back();
+            }
+            break;
+          case Op::Br:
+          case Op::Return:
+          case Op::Unreachable:
+            // Unreachable until the frame closes; height resets at
+            // End/Else via the entry stack.
+            break;
+          case Op::BrIf:
+          case Op::BrTable:
+            bump(-1);
+            break;
+          case Op::Call:
+          case Op::CallIndirect: {
+            const wasm::FuncType& ft =
+                in.op == Op::Call ? mod_.typeOfFunc(in.a)
+                                  : mod_.types[in.a];
+            if (in.op == Op::CallIndirect)
+                bump(-1);
+            bump(-static_cast<int>(ft.params.size()));
+            bump(static_cast<int>(ft.results.size()));
+            break;
+          }
+          case Op::Drop:
+            bump(-1);
+            break;
+          case Op::Select:
+            bump(-2);
+            break;
+          case Op::LocalGet:
+          case Op::GlobalGet:
+          case Op::I32Const:
+          case Op::I64Const:
+          case Op::F64Const:
+          case Op::MemorySize:
+            bump(+1);
+            break;
+          case Op::LocalSet:
+          case Op::GlobalSet:
+            bump(-1);
+            break;
+          case Op::LocalTee:
+          case Op::MemoryGrow:
+            break;  // net zero
+          case Op::MemoryFill:
+          case Op::MemoryCopy:
+            bump(-3);
+            break;
+          // Loads and unary ops: net zero. Stores: -2. Binary ops: -1.
+          case Op::I32Store: case Op::I64Store: case Op::F64Store:
+          case Op::I32Store8: case Op::I32Store16:
+            bump(-2);
+            break;
+          case Op::I32Load: case Op::I64Load: case Op::F64Load:
+          case Op::I32Load8S: case Op::I32Load8U: case Op::I32Load16S:
+          case Op::I32Load16U: case Op::I64Load32S: case Op::I64Load32U:
+          case Op::I32Eqz: case Op::I64Eqz: case Op::I32Popcnt:
+          case Op::I64Popcnt: case Op::I32WrapI64:
+          case Op::I64ExtendI32S: case Op::I64ExtendI32U:
+          case Op::F64Sqrt: case Op::F64Neg: case Op::F64Abs:
+          case Op::F64ConvertI32S: case Op::F64ConvertI32U:
+          case Op::F64ConvertI64S: case Op::I32TruncF64S:
+          case Op::I64TruncF64S: case Op::F64ReinterpretI64:
+          case Op::I64ReinterpretF64: case Op::Nop:
+            break;
+          default:
+            // All remaining opcodes are binary: two in, one out.
+            bump(-1);
+            break;
+        }
+    }
+    return maxh + 2;  // slack for transient scratch spills
+}
+
+void
+FunctionCompiler::compile()
+{
+    epilogue_ = a_.newLabel();
+
+    // --- prologue ---
+    a_.push(Reg::rbp);
+    a_.mov(Width::W64, Reg::rbp, Reg::rsp);
+    size_t frame_slots = numLocals_ + maxStackHeight();
+    uint32_t frame_bytes =
+        static_cast<uint32_t>(alignUp(frame_slots * 8, 16));
+    if (frame_bytes > 0)
+        a_.aluImm(AluOp::Sub, Width::W64, Reg::rsp,
+                  static_cast<int32_t>(frame_bytes));
+
+    // Stack-overflow check against ctx->stackLimit.
+    a_.aluMem(AluOp::Cmp, Width::W64, Reg::rsp,
+              ctxField(kOffStackLimit));
+    jccTrap(Cond::B, rt::TrapKind::StackExhausted);
+
+    // Store parameters into local slots.
+    size_t int_pos = 0, f64_pos = 0;
+    for (size_t i = 0; i < numParams_; i++) {
+        if (localTypes_[i] == ValType::F64) {
+            a_.movsdStore(localSlot(static_cast<uint32_t>(i)),
+                          static_cast<Xmm>(f64_pos));
+            f64_pos++;
+        } else {
+            a_.store(Width::W64, localSlot(static_cast<uint32_t>(i)),
+                     kIntArgRegs[int_pos]);
+            int_pos++;
+        }
+    }
+    // Zero the declared locals (Wasm requires zero-initialization).
+    if (numLocals_ > numParams_) {
+        a_.alu(AluOp::Xor, Width::W32, Reg::rax, Reg::rax);
+        for (size_t i = numParams_; i < numLocals_; i++)
+            a_.store(Width::W64, localSlot(static_cast<uint32_t>(i)),
+                     Reg::rax);
+    }
+
+    // --- body ---
+    for (pc_ = 0; pc_ < fn_.body.size(); pc_++) {
+        const Instr& in = fn_.body[pc_];
+        switch (in.op) {
+          case Op::Unreachable:
+            spillAll();  // free registers held by pending values
+            jumpTrap(rt::TrapKind::Unreachable);
+            dead_ = true;
+            break;
+          case Op::Nop:
+            break;
+
+          case Op::Block: {
+            spillAll();
+            CtrlFrame f{Op::Block, a_.newLabel(), {}, {}, false,
+                        vstack_.size()};
+            ctrl_.push_back(f);
+            break;
+          }
+          case Op::Loop: {
+            spillAll();
+            CtrlFrame f{Op::Loop, a_.newLabel(), a_.newLabel(), {}, false,
+                        vstack_.size()};
+            // Align loop headers so hot-loop performance doesn't depend
+            // on how many bytes the chosen SFI strategy happened to
+            // emit earlier — strategies are compared on their
+            // instruction streams, not alignment luck.
+            a_.alignTo(16);
+            a_.bind(f.head);
+            ctrl_.push_back(f);
+            if (cfg_.epochChecks)
+                emitEpochCheck();
+            break;
+          }
+          case Op::If: {
+            Reg cond = popGpr();
+            spillAll();
+            a_.test(Width::W32, cond, cond);
+            freeGpr(cond);
+            CtrlFrame f{Op::If, a_.newLabel(), {}, a_.newLabel(), false,
+                        vstack_.size()};
+            a_.jcc(Cond::E, f.elseArm);
+            ctrl_.push_back(f);
+            break;
+          }
+          case Op::Else: {
+            CtrlFrame& f = ctrl_.back();
+            spillAll();
+            resizeStackTo(f.entryHeight);
+            if (!dead_)
+                a_.jmp(f.end);
+            a_.bind(f.elseArm);
+            f.hasElse = true;
+            dead_ = false;
+            break;
+          }
+          case Op::End: {
+            if (ctrl_.empty()) {
+                // Function end: result (if any) to the return registers.
+                if (!dead_)
+                    setResultRegs();
+                a_.bind(epilogue_);
+                emitEpilogue();
+                break;
+            }
+            CtrlFrame f = ctrl_.back();
+            ctrl_.pop_back();
+            spillAll();
+            resizeStackTo(f.entryHeight);
+            if (f.kind == Op::If && !f.hasElse)
+                a_.bind(f.elseArm);
+            a_.bind(f.end);
+            dead_ = false;
+            break;
+          }
+
+          case Op::Br:
+            emitBranch(in.a);
+            dead_ = true;
+            break;
+          case Op::BrIf: {
+            Reg cond = popGpr();
+            spillAll();
+            a_.test(Width::W32, cond, cond);
+            freeGpr(cond);
+            Label skip = a_.newLabel();
+            a_.jcc(Cond::E, skip);
+            if (in.a >= ctrl_.size()) {
+                setResultRegsForBranch();
+                a_.jmp(epilogue_);
+            } else {
+                CtrlFrame& t = frameAt(in.a);
+                a_.jmp(t.kind == Op::Loop ? t.head : t.end);
+            }
+            a_.bind(skip);
+            break;
+          }
+          case Op::BrTable: {
+            Reg idx = popGpr();
+            a_.mov(Width::W32, Reg::rax, idx);
+            freeGpr(idx);
+            spillAll();
+            const auto& depths = fn_.brTables[in.a];
+            for (size_t i = 0; i + 1 < depths.size(); i++) {
+                a_.aluImm(AluOp::Cmp, Width::W32, Reg::rax,
+                          static_cast<int32_t>(i));
+                uint32_t d = depths[i];
+                if (d >= ctrl_.size()) {
+                    // Branch to function frame: route via epilogue.
+                    Label skip = a_.newLabel();
+                    a_.jcc(Cond::NE, skip);
+                    setResultRegsForBranch();
+                    a_.jmp(epilogue_);
+                    a_.bind(skip);
+                } else {
+                    CtrlFrame& t = frameAt(d);
+                    a_.jcc(Cond::E, t.kind == Op::Loop ? t.head : t.end);
+                }
+            }
+            uint32_t dd = depths.back();
+            if (dd >= ctrl_.size()) {
+                setResultRegsForBranch();
+                a_.jmp(epilogue_);
+            } else {
+                CtrlFrame& t = frameAt(dd);
+                a_.jmp(t.kind == Op::Loop ? t.head : t.end);
+            }
+            dead_ = true;
+            break;
+          }
+          case Op::Return:
+            emitReturn();
+            dead_ = true;
+            break;
+
+          case Op::Call:
+            emitCall(in);
+            break;
+          case Op::CallIndirect:
+            emitCallIndirect(in);
+            break;
+
+          case Op::Drop: {
+            VEntry e = popV();
+            freeEntryReg(e);
+            break;
+          }
+          case Op::Select:
+            emitSelect();
+            break;
+
+          case Op::LocalGet: {
+            if (localTypes_[in.a] == ValType::F64) {
+                Xmm x = allocXmm();
+                a_.movsdLoad(x, localSlot(in.a));
+                pushXmm(x, ValType::F64);
+            } else {
+                Reg r = allocGpr();
+                a_.load(Width::W64, false, r, localSlot(in.a));
+                pushGpr(r, localTypes_[in.a]);
+            }
+            break;
+          }
+          case Op::LocalSet: {
+            size_t pos = vstack_.size() - 1;
+            VEntry e = popV();
+            if (e.type == ValType::F64) {
+                Xmm x = intoXmm(e, pos);
+                a_.movsdStore(localSlot(in.a), x);
+                freeXmm(x);
+            } else if (e.loc == VEntry::Loc::Const &&
+                       static_cast<int64_t>(e.imm) >= INT32_MIN &&
+                       static_cast<int64_t>(e.imm) <= INT32_MAX) {
+                a_.storeImm32(Width::W64, localSlot(in.a),
+                              static_cast<int32_t>(e.imm));
+            } else {
+                Reg r = intoGpr(e, pos);
+                a_.store(Width::W64, localSlot(in.a), r);
+                freeGpr(r);
+            }
+            break;
+          }
+          case Op::LocalTee: {
+            size_t pos = vstack_.size() - 1;
+            VEntry e = popV();
+            if (e.type == ValType::F64) {
+                Xmm x = intoXmm(e, pos);
+                a_.movsdStore(localSlot(in.a), x);
+                pushXmm(x, ValType::F64);
+            } else {
+                Reg r = intoGpr(e, pos);
+                a_.store(Width::W64, localSlot(in.a), r);
+                pushGpr(r, e.type);
+            }
+            break;
+          }
+          case Op::GlobalGet: {
+            ValType t = mod_.globals[in.a].type;
+            a_.load(Width::W64, false, Reg::rax, ctxField(kOffGlobals));
+            if (t == ValType::F64) {
+                Xmm x = allocXmm();
+                a_.movsdLoad(x, Mem::baseDisp(Reg::rax, 8 * in.a));
+                pushXmm(x, t);
+            } else {
+                Reg r = allocGpr();
+                a_.load(Width::W64, false, r,
+                        Mem::baseDisp(Reg::rax, 8 * in.a));
+                pushGpr(r, t);
+            }
+            break;
+          }
+          case Op::GlobalSet: {
+            size_t pos = vstack_.size() - 1;
+            VEntry e = popV();
+            a_.load(Width::W64, false, Reg::rax, ctxField(kOffGlobals));
+            if (e.type == ValType::F64) {
+                Xmm x = intoXmm(e, pos);
+                a_.movsdStore(Mem::baseDisp(Reg::rax, 8 * in.a), x);
+                freeXmm(x);
+            } else {
+                Reg r = intoGpr(e, pos);
+                a_.store(Width::W64, Mem::baseDisp(Reg::rax, 8 * in.a),
+                         r);
+                freeGpr(r);
+            }
+            break;
+          }
+
+          case Op::I32Load: case Op::I64Load: case Op::F64Load:
+          case Op::I32Load8S: case Op::I32Load8U: case Op::I32Load16S:
+          case Op::I32Load16U: case Op::I64Load32S: case Op::I64Load32U:
+            emitLoad(in);
+            break;
+          case Op::I32Store: case Op::I64Store: case Op::F64Store:
+          case Op::I32Store8: case Op::I32Store16:
+            emitStore(in);
+            break;
+
+          case Op::MemorySize: {
+            Reg r = allocGpr();
+            a_.load(Width::W64, false, r, ctxField(kOffMemPages));
+            pushGpr(r, ValType::I32);
+            break;
+          }
+          case Op::MemoryGrow:
+            emitRuntimeCall3(kOffGrowFn, 1);
+            break;
+          case Op::MemoryFill:
+            emitRuntimeCall3(kOffFillFn, 3);
+            break;
+          case Op::MemoryCopy:
+            emitRuntimeCall3(kOffCopyFn, 3);
+            break;
+
+          case Op::I32Const:
+            pushConst(in.imm & 0xffffffffu, ValType::I32);
+            break;
+          case Op::I64Const:
+            pushConst(in.imm, ValType::I64);
+            break;
+          case Op::F64Const:
+            pushConst(in.imm, ValType::F64);
+            break;
+
+          case Op::I32Eqz: {
+            Reg r = popGpr();
+            a_.test(Width::W32, r, r);
+            a_.setcc(Cond::E, r);
+            a_.movzx8(r, r);
+            pushGpr(r, ValType::I32);
+            break;
+          }
+          case Op::I64Eqz: {
+            Reg r = popGpr();
+            a_.test(Width::W64, r, r);
+            a_.setcc(Cond::E, r);
+            a_.movzx8(r, r);
+            pushGpr(r, ValType::I32);
+            break;
+          }
+
+          case Op::I32Eq: case Op::I32Ne: case Op::I32LtS:
+          case Op::I32LtU: case Op::I32GtS: case Op::I32GtU:
+          case Op::I32LeS: case Op::I32LeU: case Op::I32GeS:
+          case Op::I32GeU: case Op::I64Eq: case Op::I64Ne:
+          case Op::I64LtS: case Op::I64LtU: case Op::I64GtS:
+          case Op::I64GtU: case Op::I64LeS: case Op::I64LeU:
+          case Op::I64GeS: case Op::I64GeU:
+            emitIntCompare(in.op);
+            break;
+
+          case Op::I32Add: case Op::I32Sub: case Op::I32Mul:
+          case Op::I32And: case Op::I32Or: case Op::I32Xor:
+            emitI32Bin(in.op);
+            break;
+          case Op::I64Add: case Op::I64Sub: case Op::I64Mul:
+          case Op::I64And: case Op::I64Or: case Op::I64Xor:
+            emitI64Bin(in.op);
+            break;
+
+          case Op::I32DivS: case Op::I32DivU: case Op::I32RemS:
+          case Op::I32RemU: case Op::I64DivS: case Op::I64DivU:
+          case Op::I64RemS: case Op::I64RemU:
+            emitDivRem(in.op);
+            break;
+
+          case Op::I32Shl: case Op::I32ShrS: case Op::I32ShrU:
+          case Op::I32Rotl: case Op::I32Rotr: case Op::I64Shl:
+          case Op::I64ShrS: case Op::I64ShrU: case Op::I64Rotl:
+          case Op::I64Rotr:
+            emitShift(in.op);
+            break;
+
+          case Op::I32Popcnt: {
+            Reg r = popGpr();
+            a_.popcnt(Width::W32, r, r);
+            pushGpr(r, ValType::I32);
+            break;
+          }
+          case Op::I64Popcnt: {
+            Reg r = popGpr();
+            a_.popcnt(Width::W64, r, r);
+            pushGpr(r, ValType::I64);
+            break;
+          }
+
+          case Op::I32WrapI64: {
+            Reg r = popGpr();
+            a_.mov(Width::W32, r, r);
+            pushGpr(r, ValType::I32);
+            break;
+          }
+          case Op::I64ExtendI32S: {
+            Reg r = popGpr();
+            a_.movsxd(r, r);
+            pushGpr(r, ValType::I64);
+            break;
+          }
+          case Op::I64ExtendI32U: {
+            // i32 values are already zero-extended.
+            Reg r = popGpr();
+            pushGpr(r, ValType::I64);
+            break;
+          }
+
+          case Op::F64Eq: case Op::F64Ne: case Op::F64Lt: case Op::F64Gt:
+          case Op::F64Le: case Op::F64Ge:
+            emitF64Compare(in.op);
+            break;
+          case Op::F64Add: case Op::F64Sub: case Op::F64Mul:
+          case Op::F64Div: case Op::F64Min: case Op::F64Max:
+            emitF64Bin(in.op);
+            break;
+          case Op::F64Sqrt: {
+            Xmm x = popXmm();
+            a_.sqrtsd(x, x);
+            pushXmm(x, ValType::F64);
+            break;
+          }
+          case Op::F64Neg: {
+            Xmm x = popXmm();
+            a_.movqFromXmm(Reg::rax, x);
+            a_.movImm64(Reg::rdx, 0x8000000000000000ull);
+            a_.alu(AluOp::Xor, Width::W64, Reg::rax, Reg::rdx);
+            a_.movqToXmm(x, Reg::rax);
+            pushXmm(x, ValType::F64);
+            break;
+          }
+          case Op::F64Abs: {
+            Xmm x = popXmm();
+            a_.movqFromXmm(Reg::rax, x);
+            a_.movImm64(Reg::rdx, 0x7fffffffffffffffull);
+            a_.alu(AluOp::And, Width::W64, Reg::rax, Reg::rdx);
+            a_.movqToXmm(x, Reg::rax);
+            pushXmm(x, ValType::F64);
+            break;
+          }
+
+          case Op::F64ConvertI32S: {
+            Reg r = popGpr();
+            Xmm x = allocXmm();
+            a_.cvtsi2sd(x, Width::W32, r);
+            freeGpr(r);
+            pushXmm(x, ValType::F64);
+            break;
+          }
+          case Op::F64ConvertI32U: {
+            // Zero-extended u32 in a 64-bit reg converts exactly.
+            Reg r = popGpr();
+            Xmm x = allocXmm();
+            a_.cvtsi2sd(x, Width::W64, r);
+            freeGpr(r);
+            pushXmm(x, ValType::F64);
+            break;
+          }
+          case Op::F64ConvertI64S: {
+            Reg r = popGpr();
+            Xmm x = allocXmm();
+            a_.cvtsi2sd(x, Width::W64, r);
+            freeGpr(r);
+            pushXmm(x, ValType::F64);
+            break;
+          }
+          case Op::I32TruncF64S: {
+            Xmm x = popXmm();
+            Reg r = allocGpr();
+            a_.cvttsd2si(Width::W32, r, x);
+            freeXmm(x);
+            a_.aluImm(AluOp::Cmp, Width::W32, r, INT32_MIN);
+            jccTrap(Cond::E, rt::TrapKind::IntegerOverflow);
+            pushGpr(r, ValType::I32);
+            break;
+          }
+          case Op::I64TruncF64S: {
+            Xmm x = popXmm();
+            Reg r = allocGpr();
+            a_.cvttsd2si(Width::W64, r, x);
+            freeXmm(x);
+            a_.movImm64(Reg::rax, 0x8000000000000000ull);
+            a_.alu(AluOp::Cmp, Width::W64, r, Reg::rax);
+            jccTrap(Cond::E, rt::TrapKind::IntegerOverflow);
+            pushGpr(r, ValType::I64);
+            break;
+          }
+          case Op::F64ReinterpretI64: {
+            Reg r = popGpr();
+            Xmm x = allocXmm();
+            a_.movqToXmm(x, r);
+            freeGpr(r);
+            pushXmm(x, ValType::F64);
+            break;
+          }
+          case Op::I64ReinterpretF64: {
+            Xmm x = popXmm();
+            Reg r = allocGpr();
+            a_.movqFromXmm(r, x);
+            freeXmm(x);
+            pushGpr(r, ValType::I64);
+            break;
+          }
+        }
+    }
+}
+
+void
+FunctionCompiler::setResultRegs()
+{
+    if (type_.results.empty())
+        return;
+    size_t pos = vstack_.size() - 1;
+    VEntry e = popV();
+    if (e.type == ValType::F64) {
+        Xmm x = intoXmm(e, pos);
+        if (x != Xmm::xmm0)
+            a_.movsd(Xmm::xmm0, x);
+        freeXmm(x);
+    } else {
+        if (e.loc == VEntry::Loc::Const) {
+            loadConst(Reg::rax, e);
+        } else if (e.loc == VEntry::Loc::Slot) {
+            a_.load(Width::W64, false, Reg::rax, stackSlot(pos));
+        } else {
+            a_.mov(Width::W64, Reg::rax, e.reg);
+            freeGpr(e.reg);
+        }
+    }
+}
+
+void
+FunctionCompiler::emitReturn()
+{
+    setResultRegs();
+    spillAll();  // release registers of any values below the result
+    a_.jmp(epilogue_);
+}
+
+void
+FunctionCompiler::setResultRegsForBranch()
+{
+    // Branch to the function frame: the result sits at the top of the
+    // (fully spilled) vstack; load it without changing compile state —
+    // the not-taken path continues with the value still on the stack.
+    if (type_.results.empty())
+        return;
+    SFI_CHECK(!vstack_.empty());
+    size_t pos = vstack_.size() - 1;
+    if (type_.results[0] == ValType::F64) {
+        a_.movsdLoad(Xmm::xmm0, stackSlot(pos));
+    } else {
+        a_.load(Width::W64, false, Reg::rax, stackSlot(pos));
+    }
+}
+
+void
+FunctionCompiler::emitEpilogue()
+{
+    // leave = mov rsp, rbp; pop rbp.
+    a_.mov(Width::W64, Reg::rsp, Reg::rbp);
+    a_.pop(Reg::rbp);
+    if (cfg_.cfi == CfiMode::Lfi) {
+        // NaCl/LFI-style protected return: truncate the return address
+        // to 32 bits relative to the code base, re-add the base, jump.
+        a_.pop(Reg::rcx);
+        a_.alu(AluOp::Sub, Width::W64, Reg::rcx, kCodeReg);
+        a_.mov(Width::W32, Reg::rcx, Reg::rcx);
+        a_.alu(AluOp::Add, Width::W64, Reg::rcx, kCodeReg);
+        a_.jmpReg(Reg::rcx);
+    } else {
+        a_.ret();
+    }
+}
+
+void
+FunctionCompiler::emitBranch(uint32_t depth)
+{
+    spillAll();
+    if (depth >= ctrl_.size()) {
+        setResultRegsForBranch();
+        a_.jmp(epilogue_);
+        return;
+    }
+    CtrlFrame& t = frameAt(depth);
+    a_.jmp(t.kind == Op::Loop ? t.head : t.end);
+}
+
+void
+FunctionCompiler::emitEpochCheck()
+{
+    // vstack is fully spilled at loop heads, so the callback is safe.
+    Label skip = a_.newLabel();
+    a_.load(Width::W64, false, Reg::rax, ctxField(kOffEpochPtr));
+    a_.load(Width::W64, false, Reg::rax, Mem::baseDisp(Reg::rax, 0));
+    a_.aluMem(AluOp::Cmp, Width::W64, Reg::rax,
+              ctxField(kOffEpochDeadline));
+    a_.jcc(Cond::BE, skip);
+    a_.load(Width::W64, false, Reg::rdi, ctxField(kOffRuntimeData));
+    a_.load(Width::W64, false, Reg::rax, ctxField(kOffEpochFn));
+    a_.callReg(Reg::rax);
+    a_.bind(skip);
+}
+
+void
+FunctionCompiler::emitLoad(const Instr& in)
+{
+    Width w{};
+    bool sx = false;
+    ValType out = ValType::I32;
+    switch (in.op) {
+      case Op::I32Load: w = Width::W32; out = ValType::I32; break;
+      case Op::I64Load: w = Width::W64; out = ValType::I64; break;
+      case Op::F64Load: w = Width::W64; out = ValType::F64; break;
+      case Op::I32Load8S: w = Width::W8; sx = true; break;
+      case Op::I32Load8U: w = Width::W8; break;
+      case Op::I32Load16S: w = Width::W16; sx = true; break;
+      case Op::I32Load16U: w = Width::W16; break;
+      case Op::I64Load32S:
+        w = Width::W32; sx = true; out = ValType::I64; break;
+      case Op::I64Load32U: w = Width::W32; out = ValType::I64; break;
+      default: SFI_PANIC("not a load");
+    }
+    uint32_t bytes = w == Width::W64   ? 8
+                     : w == Width::W32 ? 4
+                     : w == Width::W16 ? 2
+                                       : 1;
+    Reg idx = popGpr();
+    Mem m = heapOperand(idx, static_cast<uint32_t>(in.imm), bytes,
+                        /*is_store=*/false);
+    if (out == ValType::F64) {
+        Xmm x = allocXmm();
+        a_.movsdLoad(x, m);
+        freeGpr(idx);
+        pushXmm(x, out);
+    } else {
+        // For sign-extended i32 loads, extension stops at bit 31: use
+        // the 32-bit movsx forms, then the value is a clean u32.
+        if ((in.op == Op::I32Load8S || in.op == Op::I32Load16S)) {
+            a_.load(w, true, idx, m);
+            a_.mov(Width::W32, idx, idx);
+        } else {
+            a_.load(w, sx, idx, m);
+        }
+        pushGpr(idx, out);
+    }
+}
+
+void
+FunctionCompiler::emitStore(const Instr& in)
+{
+    Width w{};
+    bool is_f64 = false;
+    switch (in.op) {
+      case Op::I32Store: w = Width::W32; break;
+      case Op::I64Store: w = Width::W64; break;
+      case Op::F64Store: w = Width::W64; is_f64 = true; break;
+      case Op::I32Store8: w = Width::W8; break;
+      case Op::I32Store16: w = Width::W16; break;
+      default: SFI_PANIC("not a store");
+    }
+    uint32_t bytes = w == Width::W64   ? 8
+                     : w == Width::W32 ? 4
+                     : w == Width::W16 ? 2
+                                       : 1;
+    size_t vpos = vstack_.size() - 1;
+    VEntry val = popV();
+    Reg idx = popGpr();
+    Mem m = heapOperand(idx, static_cast<uint32_t>(in.imm), bytes,
+                        /*is_store=*/true);
+    if (is_f64) {
+        Xmm x = intoXmm(val, vpos);
+        a_.movsdStore(m, x);
+        freeXmm(x);
+    } else if (val.loc == VEntry::Loc::Const && w != Width::W64) {
+        a_.storeImm32(w, m, static_cast<int32_t>(val.imm));
+    } else {
+        Reg v = intoGpr(val, vpos);
+        a_.store(w, m, v);
+        freeGpr(v);
+    }
+    freeGpr(idx);
+}
+
+void
+FunctionCompiler::emitI32Bin(Op op)
+{
+    // Constant folding keeps address arithmetic tight.
+    if (vstack_.size() >= 2 &&
+        vstack_[vstack_.size() - 1].loc == VEntry::Loc::Const &&
+        vstack_[vstack_.size() - 2].loc == VEntry::Loc::Const) {
+        uint32_t b = static_cast<uint32_t>(popV().imm);
+        uint32_t a = static_cast<uint32_t>(popV().imm);
+        uint32_t r = 0;
+        switch (op) {
+          case Op::I32Add: r = a + b; break;
+          case Op::I32Sub: r = a - b; break;
+          case Op::I32Mul: r = a * b; break;
+          case Op::I32And: r = a & b; break;
+          case Op::I32Or: r = a | b; break;
+          case Op::I32Xor: r = a ^ b; break;
+          default: SFI_PANIC("bad fold");
+        }
+        pushConst(r, ValType::I32);
+        return;
+    }
+
+    size_t bpos = vstack_.size() - 1;
+    VEntry be = popV();
+    Reg ra = popGpr();
+    AluOp alu{};
+    switch (op) {
+      case Op::I32Add: alu = AluOp::Add; break;
+      case Op::I32Sub: alu = AluOp::Sub; break;
+      case Op::I32And: alu = AluOp::And; break;
+      case Op::I32Or: alu = AluOp::Or; break;
+      case Op::I32Xor: alu = AluOp::Xor; break;
+      case Op::I32Mul: {
+        Reg rb = intoGpr(be, bpos);
+        a_.imul(Width::W32, ra, rb);
+        freeGpr(rb);
+        pushGpr(ra, ValType::I32);
+        return;
+      }
+      default: SFI_PANIC("bad i32 bin");
+    }
+    if (be.loc == VEntry::Loc::Const) {
+        a_.aluImm(alu, Width::W32, ra, static_cast<int32_t>(be.imm));
+    } else if (be.loc == VEntry::Loc::Slot) {
+        a_.aluMem(alu, Width::W32, ra, stackSlot(bpos));
+    } else {
+        a_.alu(alu, Width::W32, ra, be.reg);
+        freeGpr(be.reg);
+    }
+    pushGpr(ra, ValType::I32);
+}
+
+void
+FunctionCompiler::emitI64Bin(Op op)
+{
+    size_t bpos = vstack_.size() - 1;
+    VEntry be = popV();
+    Reg ra = popGpr();
+    AluOp alu{};
+    switch (op) {
+      case Op::I64Add: alu = AluOp::Add; break;
+      case Op::I64Sub: alu = AluOp::Sub; break;
+      case Op::I64And: alu = AluOp::And; break;
+      case Op::I64Or: alu = AluOp::Or; break;
+      case Op::I64Xor: alu = AluOp::Xor; break;
+      case Op::I64Mul: {
+        Reg rb = intoGpr(be, bpos);
+        a_.imul(Width::W64, ra, rb);
+        freeGpr(rb);
+        pushGpr(ra, ValType::I64);
+        return;
+      }
+      default: SFI_PANIC("bad i64 bin");
+    }
+    if (be.loc == VEntry::Loc::Const &&
+        static_cast<int64_t>(be.imm) >= INT32_MIN &&
+        static_cast<int64_t>(be.imm) <= INT32_MAX) {
+        a_.aluImm(alu, Width::W64, ra, static_cast<int32_t>(be.imm));
+    } else if (be.loc == VEntry::Loc::Slot) {
+        a_.aluMem(alu, Width::W64, ra, stackSlot(bpos));
+    } else {
+        Reg rb = intoGpr(be, bpos);
+        a_.alu(alu, Width::W64, ra, rb);
+        freeGpr(rb);
+    }
+    pushGpr(ra, ValType::I64);
+}
+
+void
+FunctionCompiler::emitIntCompare(Op op)
+{
+    bool is64 = op >= Op::I64Eq && op <= Op::I64GeU;
+    Width w = is64 ? Width::W64 : Width::W32;
+    size_t bpos = vstack_.size() - 1;
+    VEntry be = popV();
+    Reg ra = popGpr();
+    if (be.loc == VEntry::Loc::Const && !is64) {
+        a_.aluImm(AluOp::Cmp, w, ra, static_cast<int32_t>(be.imm));
+    } else {
+        Reg rb = intoGpr(be, bpos);
+        a_.alu(AluOp::Cmp, w, ra, rb);
+        freeGpr(rb);
+    }
+    Cond cc{};
+    switch (op) {
+      case Op::I32Eq: case Op::I64Eq: cc = Cond::E; break;
+      case Op::I32Ne: case Op::I64Ne: cc = Cond::NE; break;
+      case Op::I32LtS: case Op::I64LtS: cc = Cond::L; break;
+      case Op::I32LtU: case Op::I64LtU: cc = Cond::B; break;
+      case Op::I32GtS: case Op::I64GtS: cc = Cond::G; break;
+      case Op::I32GtU: case Op::I64GtU: cc = Cond::A; break;
+      case Op::I32LeS: case Op::I64LeS: cc = Cond::LE; break;
+      case Op::I32LeU: case Op::I64LeU: cc = Cond::BE; break;
+      case Op::I32GeS: case Op::I64GeS: cc = Cond::GE; break;
+      case Op::I32GeU: case Op::I64GeU: cc = Cond::AE; break;
+      default: SFI_PANIC("bad compare");
+    }
+    a_.setcc(cc, ra);
+    a_.movzx8(ra, ra);
+    pushGpr(ra, ValType::I32);
+}
+
+void
+FunctionCompiler::emitDivRem(Op op)
+{
+    bool is64 = op == Op::I64DivS || op == Op::I64DivU ||
+                op == Op::I64RemS || op == Op::I64RemU;
+    bool is_signed = op == Op::I32DivS || op == Op::I32RemS ||
+                     op == Op::I64DivS || op == Op::I64RemS;
+    bool is_rem = op == Op::I32RemS || op == Op::I32RemU ||
+                  op == Op::I64RemS || op == Op::I64RemU;
+    Width w = is64 ? Width::W64 : Width::W32;
+
+    Reg rb = popGpr();
+    Reg ra_entry = popGpr();
+    a_.mov(w, Reg::rax, ra_entry);
+    freeGpr(ra_entry);
+
+    a_.test(w, rb, rb);
+    jccTrap(Cond::E, rt::TrapKind::DivByZero);
+
+    Label done = a_.newLabel();
+    if (is_signed) {
+        if (is_rem) {
+            // Wasm: INT_MIN % -1 == 0 (idiv would fault).
+            Label do_div = a_.newLabel();
+            a_.aluImm(AluOp::Cmp, w, rb, -1);
+            a_.jcc(Cond::NE, do_div);
+            a_.movImm32(Reg::rdx, 0);
+            a_.jmp(done);
+            a_.bind(do_div);
+        }
+        if (is64)
+            a_.cqo();
+        else
+            a_.cdq();
+        // INT_MIN / -1 faults in hardware -> SIGFPE -> IntegerOverflow.
+        a_.idiv(w, rb);
+    } else {
+        a_.movImm32(Reg::rdx, 0);
+        a_.div(w, rb);
+    }
+    a_.bind(done);
+    freeGpr(rb);
+    Reg out = allocGpr();
+    a_.mov(Width::W64, out, is_rem ? Reg::rdx : Reg::rax);
+    pushGpr(out, is64 ? ValType::I64 : ValType::I32);
+}
+
+void
+FunctionCompiler::emitShift(Op op)
+{
+    bool is64 = op >= Op::I64Shl && op <= Op::I64Rotr;
+    Width w = is64 ? Width::W64 : Width::W32;
+    ShiftOp so{};
+    switch (op) {
+      case Op::I32Shl: case Op::I64Shl: so = ShiftOp::Shl; break;
+      case Op::I32ShrU: case Op::I64ShrU: so = ShiftOp::Shr; break;
+      case Op::I32ShrS: case Op::I64ShrS: so = ShiftOp::Sar; break;
+      case Op::I32Rotl: case Op::I64Rotl: so = ShiftOp::Rol; break;
+      case Op::I32Rotr: case Op::I64Rotr: so = ShiftOp::Ror; break;
+      default: SFI_PANIC("bad shift");
+    }
+    size_t bpos = vstack_.size() - 1;
+    VEntry count = popV();
+    Reg ra = popGpr();
+    if (count.loc == VEntry::Loc::Const) {
+        a_.shiftImm(so, w, ra,
+                    static_cast<uint8_t>(count.imm & (is64 ? 63 : 31)));
+    } else {
+        Reg rc = intoGpr(count, bpos);
+        a_.mov(Width::W64, Reg::rcx, rc);
+        freeGpr(rc);
+        a_.shiftCl(so, w, ra);  // hardware masks the count
+    }
+    pushGpr(ra, is64 ? ValType::I64 : ValType::I32);
+}
+
+void
+FunctionCompiler::emitF64Bin(Op op)
+{
+    size_t bpos = vstack_.size() - 1;
+    VEntry be = popV();
+    Xmm xb = intoXmm(be, bpos);
+    Xmm xa = popXmm();
+    switch (op) {
+      case Op::F64Add: a_.addsd(xa, xb); break;
+      case Op::F64Sub: a_.subsd(xa, xb); break;
+      case Op::F64Mul: a_.mulsd(xa, xb); break;
+      case Op::F64Div: a_.divsd(xa, xb); break;
+      case Op::F64Min: a_.minsd(xa, xb); break;
+      case Op::F64Max: a_.maxsd(xa, xb); break;
+      default: SFI_PANIC("bad f64 bin");
+    }
+    freeXmm(xb);
+    pushXmm(xa, ValType::F64);
+}
+
+void
+FunctionCompiler::emitF64Compare(Op op)
+{
+    size_t bpos = vstack_.size() - 1;
+    VEntry be = popV();
+    Xmm xb = intoXmm(be, bpos);
+    Xmm xa = popXmm();
+    Reg out = allocGpr();
+    switch (op) {
+      case Op::F64Lt:
+        a_.ucomisd(xb, xa);
+        a_.setcc(Cond::A, out);
+        break;
+      case Op::F64Le:
+        a_.ucomisd(xb, xa);
+        a_.setcc(Cond::AE, out);
+        break;
+      case Op::F64Gt:
+        a_.ucomisd(xa, xb);
+        a_.setcc(Cond::A, out);
+        break;
+      case Op::F64Ge:
+        a_.ucomisd(xa, xb);
+        a_.setcc(Cond::AE, out);
+        break;
+      case Op::F64Eq: {
+        a_.ucomisd(xa, xb);
+        a_.setcc(Cond::NP, out);
+        a_.setcc(Cond::E, Reg::rax);
+        a_.alu(AluOp::And, Width::W8, out, Reg::rax);
+        break;
+      }
+      case Op::F64Ne: {
+        a_.ucomisd(xa, xb);
+        a_.setcc(Cond::P, out);
+        a_.setcc(Cond::NE, Reg::rax);
+        a_.alu(AluOp::Or, Width::W8, out, Reg::rax);
+        break;
+      }
+      default:
+        SFI_PANIC("bad f64 compare");
+    }
+    a_.movzx8(out, out);
+    freeXmm(xa);
+    freeXmm(xb);
+    pushGpr(out, ValType::I32);
+}
+
+void
+FunctionCompiler::emitSelect()
+{
+    Reg cond = popGpr();
+    if (vstack_.back().type == ValType::F64) {
+        size_t bpos = vstack_.size() - 1;
+        VEntry be = popV();
+        Xmm xb = intoXmm(be, bpos);
+        Xmm xa = popXmm();
+        Label keep = a_.newLabel();
+        a_.test(Width::W32, cond, cond);
+        a_.jcc(Cond::NE, keep);
+        a_.movsd(xa, xb);
+        a_.bind(keep);
+        freeXmm(xb);
+        freeGpr(cond);
+        pushXmm(xa, ValType::F64);
+        return;
+    }
+    size_t bpos = vstack_.size() - 1;
+    VEntry be = popV();
+    Reg rb = intoGpr(be, bpos);
+    Reg ra = popGpr();
+    ValType t = be.type;
+    a_.test(Width::W32, cond, cond);
+    a_.cmovcc(Cond::E, Width::W64, ra, rb);  // cond==0 -> b
+    freeGpr(rb);
+    freeGpr(cond);
+    pushGpr(ra, t);
+}
+
+void
+FunctionCompiler::loadCallArgs(const wasm::FuncType& ft)
+{
+    // Arguments are the top N vstack entries, all in slots (spillAll ran).
+    size_t n = ft.params.size();
+    size_t base = vstack_.size() - n;
+    size_t int_pos = 0, f64_pos = 0;
+    for (size_t j = 0; j < n; j++) {
+        Mem slot = stackSlot(base + j);
+        if (ft.params[j] == ValType::F64) {
+            a_.movsdLoad(static_cast<Xmm>(f64_pos), slot);
+            f64_pos++;
+        } else {
+            a_.load(Width::W64, false, kIntArgRegs[int_pos], slot);
+            int_pos++;
+        }
+    }
+    vstack_.resize(base);
+}
+
+void
+FunctionCompiler::emitCall(const Instr& in)
+{
+    if (in.a < mod_.numImports()) {
+        emitHostCall(in.a);
+        return;
+    }
+    const wasm::FuncType& ft = mod_.typeOfFunc(in.a);
+    spillAll();
+    loadCallArgs(ft);
+    a_.call(ms_.funcLabels[in.a - mod_.numImports()]);
+    if (!ft.results.empty()) {
+        if (ft.results[0] == ValType::F64) {
+            Xmm x = allocXmm();
+            a_.movsd(x, Xmm::xmm0);
+            pushXmm(x, ValType::F64);
+        } else {
+            Reg r = allocGpr();
+            a_.mov(Width::W64, r, Reg::rax);
+            pushGpr(r, ft.results[0]);
+        }
+    }
+}
+
+void
+FunctionCompiler::emitCallIndirect(const Instr& in)
+{
+    const wasm::FuncType& ft = mod_.types[in.a];
+    // Pop the table index into rax (survives spillAll).
+    Reg idx = popGpr();
+    a_.mov(Width::W32, Reg::rax, idx);
+    freeGpr(idx);
+    spillAll();
+
+    a_.aluMem(AluOp::Cmp, Width::W64, Reg::rax, ctxField(kOffTableSize));
+    jccTrap(Cond::AE, rt::TrapKind::IndirectCallOutOfRange);
+    a_.load(Width::W64, false, Reg::r10, ctxField(kOffTableTypeIds));
+    a_.load(Width::W64, false, Reg::r10,
+            Mem::baseIndex(Reg::r10, Reg::rax, 8, 0));
+    a_.aluImm(AluOp::Cmp, Width::W64, Reg::r10,
+              static_cast<int32_t>(in.a));
+    jccTrap(Cond::NE, rt::TrapKind::IndirectCallTypeMismatch);
+    a_.load(Width::W64, false, Reg::r11, ctxField(kOffTableEntries));
+    a_.load(Width::W64, false, Reg::r11,
+            Mem::baseIndex(Reg::r11, Reg::rax, 8, 0));
+
+    loadCallArgs(ft);
+    if (cfg_.cfi == CfiMode::Lfi) {
+        // Mask the indirect target into the code region (§4.3).
+        a_.alu(AluOp::Sub, Width::W64, Reg::r11, kCodeReg);
+        a_.mov(Width::W32, Reg::r11, Reg::r11);
+        a_.alu(AluOp::Add, Width::W64, Reg::r11, kCodeReg);
+    }
+    a_.callReg(Reg::r11);
+    if (!ft.results.empty()) {
+        if (ft.results[0] == ValType::F64) {
+            Xmm x = allocXmm();
+            a_.movsd(x, Xmm::xmm0);
+            pushXmm(x, ValType::F64);
+        } else {
+            Reg r = allocGpr();
+            a_.mov(Width::W64, r, Reg::rax);
+            pushGpr(r, ft.results[0]);
+        }
+    }
+}
+
+void
+FunctionCompiler::emitHostCall(uint32_t import_idx)
+{
+    const wasm::FuncType& ft = mod_.typeOfFunc(import_idx);
+    spillAll();
+    size_t n = ft.params.size();
+    size_t base = vstack_.size() - n;
+    for (size_t j = 0; j < n; j++) {
+        a_.load(Width::W64, false, Reg::rax, stackSlot(base + j));
+        a_.store(Width::W64,
+                 ctxField(kOffHostArgs + 8 * static_cast<uint32_t>(j)),
+                 Reg::rax);
+    }
+    vstack_.resize(base);
+    a_.load(Width::W64, false, Reg::rdi, ctxField(kOffRuntimeData));
+    a_.movImm32(Reg::rsi, import_idx);
+    a_.lea(Width::W64, Reg::rdx, ctxField(kOffHostArgs));
+    a_.movImm32(Reg::rcx, static_cast<uint32_t>(n));
+    a_.load(Width::W64, false, Reg::rax, ctxField(kOffHostFn));
+    a_.callReg(Reg::rax);
+    if (!ft.results.empty()) {
+        if (ft.results[0] == ValType::F64) {
+            Xmm x = allocXmm();
+            a_.movqToXmm(x, Reg::rax);
+            pushXmm(x, ValType::F64);
+        } else {
+            Reg r = allocGpr();
+            a_.mov(Width::W64, r, Reg::rax);
+            pushGpr(r, ft.results[0]);
+        }
+    }
+}
+
+void
+FunctionCompiler::emitRuntimeCall3(uint32_t fn_off, int nargs)
+{
+    // (rdi = runtimeData, rsi, rdx, rcx = up to 3 popped operands).
+    spillAll();
+    size_t base = vstack_.size() - static_cast<size_t>(nargs);
+    static constexpr Reg kSlots[3] = {Reg::rsi, Reg::rdx, Reg::rcx};
+    for (int j = 0; j < nargs; j++) {
+        a_.load(Width::W64, false, kSlots[j],
+                stackSlot(base + static_cast<size_t>(j)));
+    }
+    vstack_.resize(base);
+    a_.load(Width::W64, false, Reg::rdi, ctxField(kOffRuntimeData));
+    a_.load(Width::W64, false, Reg::rax, ctxField(fn_off));
+    a_.callReg(Reg::rax);
+    if (fn_off == kOffGrowFn) {
+        Reg r = allocGpr();
+        a_.mov(Width::W64, r, Reg::rax);
+        pushGpr(r, ValType::I32);
+    }
+}
+
+}  // namespace
+
+const char*
+name(MemStrategy s)
+{
+    switch (s) {
+      case MemStrategy::Unsandboxed: return "unsandboxed";
+      case MemStrategy::BaseReg: return "base-reg";
+      case MemStrategy::Segue: return "segue";
+      case MemStrategy::SegueLoadsOnly: return "segue-loads-only";
+      case MemStrategy::BoundsCheck: return "bounds-check";
+      case MemStrategy::SegueBounds: return "segue-bounds";
+    }
+    return "?";
+}
+
+const char*
+name(CfiMode m)
+{
+    return m == CfiMode::Lfi ? "lfi" : "none";
+}
+
+Result<CompiledModule>
+compile(const wasm::Module& module, const CompilerConfig& config)
+{
+    if (auto st = wasm::validate(module); !st)
+        return Result<CompiledModule>::error("validation: " + st.message());
+
+    ModuleState ms;
+    ms.module = &module;
+    ms.config = config;
+    Assembler& a = ms.asm_;
+
+    for (size_t i = 0; i < module.functions.size(); i++)
+        ms.funcLabels.push_back(a.newLabel());
+
+    CompiledModule out;
+    out.config = config;
+
+    // --- generic entry trampoline ---
+    // EntryResult entry(JitContext* ctx /*rdi*/, const void* fn /*rsi*/,
+    //                   const uint64_t* args /*rdx*/)
+    out.entryOffset = a.size();
+    a.push(Reg::rbp);
+    a.mov(Width::W64, Reg::rbp, Reg::rsp);
+    a.push(Reg::rbx);
+    a.push(Reg::r12);
+    a.push(Reg::r13);
+    a.push(Reg::r14);
+    a.push(Reg::r15);
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 8);  // 16-byte alignment
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);   // target fn
+    a.mov(Width::W64, Reg::r10, Reg::rdx);   // args array
+    if (config.needsHeapBaseReg())
+        a.load(Width::W64, false, kHeapReg, ctxField(kOffMemBase));
+    if (config.cfi == CfiMode::Lfi)
+        a.load(Width::W64, false, kCodeReg, ctxField(kOffCodeBase));
+    a.load(Width::W64, false, Reg::rdi, Mem::baseDisp(Reg::r10, 0));
+    a.load(Width::W64, false, Reg::rsi, Mem::baseDisp(Reg::r10, 8));
+    a.load(Width::W64, false, Reg::rdx, Mem::baseDisp(Reg::r10, 16));
+    a.load(Width::W64, false, Reg::rcx, Mem::baseDisp(Reg::r10, 24));
+    a.load(Width::W64, false, Reg::r8, Mem::baseDisp(Reg::r10, 32));
+    a.load(Width::W64, false, Reg::r9, Mem::baseDisp(Reg::r10, 40));
+    a.movsdLoad(Xmm::xmm0, Mem::baseDisp(Reg::r10, 48));
+    a.movsdLoad(Xmm::xmm1, Mem::baseDisp(Reg::r10, 56));
+    a.movsdLoad(Xmm::xmm2, Mem::baseDisp(Reg::r10, 64));
+    a.movsdLoad(Xmm::xmm3, Mem::baseDisp(Reg::r10, 72));
+    a.callReg(Reg::r11);
+    a.movqFromXmm(Reg::rdx, Xmm::xmm0);  // EntryResult.f64Bits
+    a.aluImm(AluOp::Add, Width::W64, Reg::rsp, 8);
+    a.pop(Reg::r15);
+    a.pop(Reg::r14);
+    a.pop(Reg::r13);
+    a.pop(Reg::r12);
+    a.pop(Reg::rbx);
+    a.pop(Reg::rbp);
+    a.ret();
+
+    // --- functions ---
+    for (size_t i = 0; i < module.functions.size(); i++) {
+        a.alignTo(16);
+        a.bind(ms.funcLabels[i]);
+        uint64_t start = a.size();
+        out.funcOffsets.push_back(start);
+
+        wasm::Function transformed;
+        const wasm::Function* src = &module.functions[i];
+        if (config.vectorizeBulkLoops &&
+            !config.segueStores()) {
+            transformed = vectorizeBulkLoops(module.functions[i]);
+            src = &transformed;
+        }
+        FunctionCompiler fc(ms, *src);
+        fc.compile();
+        out.funcCodeSizes.push_back(a.size() - start);
+    }
+
+    // --- trap stubs ---
+    for (size_t k = 0; k < 16; k++) {
+        if (!ms.trapStubs[k])
+            continue;
+        a.bind(*ms.trapStubs[k]);
+        a.load(Width::W64, false, Reg::rdi, ctxField(kOffRuntimeData));
+        a.movImm32(Reg::rsi, static_cast<uint32_t>(k));
+        a.load(Width::W64, false, Reg::rax, ctxField(kOffTrapFn));
+        a.callReg(Reg::rax);
+        a.ud2();  // trapFn never returns
+    }
+
+    out.totalCodeBytes = a.size();
+    auto code = x64::ExecCode::publish(a.code());
+    if (!code)
+        return Result<CompiledModule>::error(code.message());
+    out.code = std::move(*code);
+    return out;
+}
+
+}  // namespace sfi::jit

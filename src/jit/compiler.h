@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Single-pass baseline JIT compiler: Wasm-subset IR -> x86-64, with
+ * pluggable SFI strategies (strategy.h).
+ *
+ * Design notes:
+ *  - %r14 is pinned to the JitContext; %r15 to the heap base (except in
+ *    full-Segue modes, where %r15 joins the allocatable pool — Segue's
+ *    freed-GPR benefit, §3.1); %r13 to the code base in LFI mode (§4.3).
+ *  - Values live on a virtual stack cached in registers; everything is
+ *    spilled to canonical frame slots at control-flow boundaries and
+ *    calls, so merge points need no reconciliation (flat-stack
+ *    discipline, module.h).
+ *  - One code buffer per module; intra-module calls are rel32; traps
+ *    funnel through per-module stubs into ctx->trapFn.
+ */
+#ifndef SFIKIT_JIT_COMPILER_H_
+#define SFIKIT_JIT_COMPILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/result.h"
+#include "jit/context.h"
+#include "jit/strategy.h"
+#include "wasm/module.h"
+#include "x64/exec_code.h"
+
+namespace sfi::jit {
+
+/** A compiled module: executable code + metadata. */
+struct CompiledModule
+{
+    x64::ExecCode code;
+    CompilerConfig config;
+
+    /** Offset of each defined function's entry (index = defined index). */
+    std::vector<uint64_t> funcOffsets;
+    /** Machine-code bytes per defined function (Table 2 measurements). */
+    std::vector<uint64_t> funcCodeSizes;
+    /** Offset of the generic entry trampoline. */
+    uint64_t entryOffset = 0;
+    /** Total bytes of emitted code. */
+    uint64_t totalCodeBytes = 0;
+
+    /**
+     * Result of the generic entry trampoline: integer results arrive in
+     * intBits (rax), f64 results in f64Bits (rdx, mirrored from xmm0).
+     * The caller picks by signature.
+     */
+    struct EntryResult
+    {
+        uint64_t intBits;
+        uint64_t f64Bits;
+    };
+
+    /**
+     * Entry trampoline. args: 10 slots — [0..5] integer params in
+     * order, [6..9] f64 params (as bit patterns) in order.
+     */
+    using EntryFn = EntryResult (*)(JitContext* ctx, const void* fn,
+                                    const uint64_t* args);
+
+    EntryFn
+    entry() const
+    {
+        return code.entry<EntryFn>(entryOffset);
+    }
+
+    /** Native address of defined function @p defined_idx. */
+    const void*
+    funcAddr(uint32_t defined_idx) const
+    {
+        return code.base() + funcOffsets.at(defined_idx);
+    }
+};
+
+/** Compiles a validated module under @p config. */
+Result<CompiledModule> compile(const wasm::Module& module,
+                               const CompilerConfig& config);
+
+}  // namespace sfi::jit
+
+#endif  // SFIKIT_JIT_COMPILER_H_

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The contract between JIT'd code and the runtime.
+ *
+ * Compiled code holds a pointer to JitContext in %r14 for its entire
+ * execution and reaches runtime state through fixed offsets. Like
+ * Wasmtime's VMContext, this layout is an explicit compiler/runtime
+ * contract: the static_asserts below keep the two sides in lockstep
+ * (§5.1 discusses why such contracts are security-critical).
+ */
+#ifndef SFIKIT_JIT_CONTEXT_H_
+#define SFIKIT_JIT_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sfi::jit {
+
+/** Runtime state visible to JIT'd code through %r14. */
+struct JitContext
+{
+    /** Base of the active linear memory (also mirrored in %r15 / %gs). */
+    uint8_t* memBase;                                          // +0
+    /** Current memory size in bytes (explicit-bounds-check strategies). */
+    uint64_t memSize;                                          // +8
+    /** Global epoch counter (incremented by the scheduler). */
+    const uint64_t* epochPtr;                                  // +16
+    /** Executing past this epoch triggers the epoch callback (§6.4). */
+    uint64_t epochDeadline;                                    // +24
+    /** Global variables, one 64-bit slot each. */
+    uint64_t* globals;                                         // +32
+    /** call_indirect: per-table-slot signature ids. */
+    const uint64_t* tableTypeIds;                              // +40
+    /** call_indirect: per-table-slot native entry points. */
+    const uint64_t* tableEntries;                              // +48
+    uint64_t tableSize;                                        // +56
+    /** Opaque runtime object (rt::Instance) passed to callbacks. */
+    void* runtimeData;                                         // +64
+    /** Noreturn trap exit: unwinds to the host via siglongjmp. */
+    void (*trapFn)(void* runtime_data, uint64_t trap_code);    // +72
+    /** memory.grow; returns old page count or u32(-1). */
+    uint64_t (*growFn)(void* runtime_data, uint64_t delta);    // +80
+    /** Uniform host-call trampoline; traps never return through it. */
+    uint64_t (*hostFn)(void* runtime_data, uint64_t import_idx,
+                       const uint64_t* args, uint64_t nargs);  // +88
+    /** memory.fill(dst, val, n); bounds-checked, traps on OOB. */
+    void (*fillFn)(void* runtime_data, uint64_t dst, uint64_t val,
+                   uint64_t n);                                // +96
+    /** memory.copy(dst, src, n); bounds-checked, traps on OOB. */
+    void (*copyFn)(void* runtime_data, uint64_t dst, uint64_t src,
+                   uint64_t n);                                // +104
+    /** Epoch callback: may yield (fiber switch) and return, or trap. */
+    void (*epochFn)(void* runtime_data);                       // +112
+    /** Current memory size in Wasm pages (memory.size). */
+    uint64_t memPages;                                         // +120
+    /** Traps StackExhausted when %rsp sinks below this. */
+    uint64_t stackLimit;                                       // +128
+    /** Argument staging area for host calls (max 8 slots). */
+    uint64_t hostArgs[8];                                      // +136
+    /** Base of the module's code region (LFI control-flow masking). */
+    uint64_t codeBase;                                         // +200
+};
+
+// The compiler emits these offsets into instructions; keep them honest.
+static_assert(offsetof(JitContext, memBase) == 0);
+static_assert(offsetof(JitContext, memSize) == 8);
+static_assert(offsetof(JitContext, epochPtr) == 16);
+static_assert(offsetof(JitContext, epochDeadline) == 24);
+static_assert(offsetof(JitContext, globals) == 32);
+static_assert(offsetof(JitContext, tableTypeIds) == 40);
+static_assert(offsetof(JitContext, tableEntries) == 48);
+static_assert(offsetof(JitContext, tableSize) == 56);
+static_assert(offsetof(JitContext, runtimeData) == 64);
+static_assert(offsetof(JitContext, trapFn) == 72);
+static_assert(offsetof(JitContext, growFn) == 80);
+static_assert(offsetof(JitContext, hostFn) == 88);
+static_assert(offsetof(JitContext, fillFn) == 96);
+static_assert(offsetof(JitContext, copyFn) == 104);
+static_assert(offsetof(JitContext, epochFn) == 112);
+static_assert(offsetof(JitContext, memPages) == 120);
+static_assert(offsetof(JitContext, stackLimit) == 128);
+static_assert(offsetof(JitContext, hostArgs) == 136);
+static_assert(offsetof(JitContext, codeBase) == 200);
+
+}  // namespace sfi::jit
+
+#endif  // SFIKIT_JIT_CONTEXT_H_

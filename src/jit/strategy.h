@@ -1,0 +1,163 @@
+/**
+ * @file
+ * SFI code-generation strategies — the experimental axis of the paper.
+ *
+ * Every linear-memory access compiles as one of:
+ *
+ *  BaseReg      classic guard-region SFI: the heap base is pinned in
+ *               %r15 and accesses are `mov r, [r15 + idx + disp]`. Burns
+ *               a GPR and the memory operand's base slot (§2, §3.1).
+ *  Segue        the heap base lives in %gs; accesses are
+ *               `mov r, gs:[idx + disp]`. Frees %r15 for allocation and
+ *               the base operand slot (§3.1). This corresponds to the
+ *               "limited" Segue WAMR ships (§4.2): the register-pressure
+ *               and encoding benefits, applied inside a baseline JIT.
+ *  SegueLoadsOnly  Segue addressing for loads, BaseReg for stores — the
+ *               WAMR tuning knob that sidesteps the vectorizer
+ *               interaction (§4.2, §6.2).
+ *  BoundsCheck  explicit limit compare + trap before every access, with
+ *               base-register addressing: what engines must do for
+ *               64-bit memories or tiny guard regions (§6.1).
+ *  SegueBounds  explicit bounds checks + %gs addressing: Segue's 25.2%
+ *               overhead reduction for bounds-checked engines (§6.1).
+ *  Unsandboxed  no SFI at all — raw host addressing. Serves as the
+ *               "native execution" baseline the figures normalize to
+ *               (our substitution for native clang builds; DESIGN.md §1).
+ */
+#ifndef SFIKIT_JIT_STRATEGY_H_
+#define SFIKIT_JIT_STRATEGY_H_
+
+#include <cstdint>
+
+namespace sfi::jit {
+
+enum class MemStrategy : uint8_t {
+    Unsandboxed,
+    BaseReg,
+    Segue,
+    SegueLoadsOnly,
+    BoundsCheck,
+    SegueBounds,
+};
+
+const char* name(MemStrategy s);
+
+/** Control-flow sandboxing, layered on top of a MemStrategy (§4.3). */
+enum class CfiMode : uint8_t {
+    None,
+    /**
+     * LFI/NaCl-style: a reserved GPR (%r13) holds the code-region base;
+     * returns and indirect calls truncate the target to 32 bits relative
+     * to it. Models the x86-64 LFI backend the paper builds (§4.3),
+     * including the fact that Segue cannot remove this reserved GPR.
+     */
+    Lfi,
+};
+
+const char* name(CfiMode m);
+
+/** Full compiler configuration. */
+struct CompilerConfig
+{
+    MemStrategy mem = MemStrategy::BaseReg;
+    CfiMode cfi = CfiMode::None;
+    /**
+     * Recognize canonical byte fill/copy loops and rewrite them to bulk
+     * memory operations — sfikit's stand-in for WAMR's vectorization
+     * passes. The pass only fires when stores use non-segment
+     * addressing, reproducing the §4.2 Segue interaction.
+     */
+    bool vectorizeBulkLoops = true;
+    /** Emit epoch-interruption checks at loop headers (§6.4). */
+    bool epochChecks = false;
+    /**
+     * LFI semantics: index registers are untrusted 64-bit values (the
+     * input is rewritten native code, not type-checked Wasm), so
+     * BaseReg-style accesses need an explicit truncation first — the
+     * two-instruction Figure 1b pattern — while Segue collapses both
+     * into one instruction via the 0x67 address-size override
+     * (Figure 1c). Wasm JITs leave this false: their i32 values are
+     * zero-extended by construction.
+     */
+    bool untrustedIndexRegs = false;
+
+    // --- presets used by the benchmark harnesses ---
+    static CompilerConfig
+    native()
+    {
+        return {MemStrategy::Unsandboxed, CfiMode::None, true, false,
+                false};
+    }
+    static CompilerConfig
+    wamrBase()
+    {
+        return {MemStrategy::BaseReg, CfiMode::None, true, false, false};
+    }
+    static CompilerConfig
+    wamrSegue()
+    {
+        return {MemStrategy::Segue, CfiMode::None, true, false, false};
+    }
+    static CompilerConfig
+    wamrSegueLoads()
+    {
+        return {MemStrategy::SegueLoadsOnly, CfiMode::None, true, false,
+                false};
+    }
+    static CompilerConfig
+    lfiBase()
+    {
+        return {MemStrategy::BaseReg, CfiMode::Lfi, true, false, true};
+    }
+    static CompilerConfig
+    lfiSegue()
+    {
+        return {MemStrategy::Segue, CfiMode::Lfi, true, false, true};
+    }
+
+    /** True when loads go through %gs. */
+    bool
+    segueLoads() const
+    {
+        return mem == MemStrategy::Segue ||
+               mem == MemStrategy::SegueLoadsOnly ||
+               mem == MemStrategy::SegueBounds;
+    }
+
+    /** True when stores go through %gs. */
+    bool
+    segueStores() const
+    {
+        return mem == MemStrategy::Segue ||
+               mem == MemStrategy::SegueBounds;
+    }
+
+    /** True when %r15 must stay pinned to the heap base. */
+    bool
+    needsHeapBaseReg() const
+    {
+        return mem == MemStrategy::Unsandboxed ||
+               mem == MemStrategy::BaseReg ||
+               mem == MemStrategy::SegueLoadsOnly ||
+               mem == MemStrategy::BoundsCheck;
+    }
+
+    /** True when the %gs base must be set on entry. */
+    bool
+    needsGsBase() const
+    {
+        return segueLoads() || segueStores();
+    }
+
+    /** True when explicit limit checks guard every access. */
+    bool
+    explicitBounds() const
+    {
+        return mem == MemStrategy::BoundsCheck ||
+               mem == MemStrategy::SegueBounds;
+    }
+};
+
+}  // namespace sfi::jit
+
+#endif  // SFIKIT_JIT_STRATEGY_H_

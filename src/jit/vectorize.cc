@@ -1,0 +1,217 @@
+#include "jit/vectorize.h"
+
+#include <optional>
+
+namespace sfi::jit {
+
+using wasm::Instr;
+using wasm::Op;
+
+namespace {
+
+/** A matched fill loop: fills [d, e) with a byte value. */
+struct FillMatch
+{
+    uint32_t d, e;
+    Instr valSrc;   ///< I32Const or LocalGet producing the byte
+    size_t length;  ///< instructions consumed
+};
+
+/** A matched copy loop: copies [s, s+(e-d)) to [d, e). */
+struct CopyMatch
+{
+    uint32_t d, s, e;
+    size_t length;
+};
+
+bool
+is(const Instr& in, Op op)
+{
+    return in.op == op;
+}
+
+bool
+isLocalGet(const Instr& in, uint32_t idx)
+{
+    return in.op == Op::LocalGet && in.a == idx;
+}
+
+/**
+ * The canonical byte-fill loop (emitted by kernel helpers):
+ *   block loop
+ *     local.get d ; local.get e ; i32.ge_u ; br_if 1
+ *     local.get d ; <val> ; i32.store8 0
+ *     local.get d ; i32.const 1 ; i32.add ; local.set d
+ *     br 0
+ *   end end
+ */
+std::optional<FillMatch>
+matchFill(const std::vector<Instr>& body, size_t i)
+{
+    if (i + 16 > body.size())
+        return std::nullopt;
+    const Instr* p = &body[i];
+    if (!is(p[0], Op::Block) || !is(p[1], Op::Loop))
+        return std::nullopt;
+    if (p[2].op != Op::LocalGet || p[3].op != Op::LocalGet)
+        return std::nullopt;
+    uint32_t d = p[2].a, e = p[3].a;
+    if (d == e)
+        return std::nullopt;
+    if (!is(p[4], Op::I32GeU) || !is(p[5], Op::BrIf) || p[5].a != 1)
+        return std::nullopt;
+    if (!isLocalGet(p[6], d))
+        return std::nullopt;
+    const Instr& val = p[7];
+    bool val_ok = val.op == Op::I32Const ||
+                  (val.op == Op::LocalGet && val.a != d);
+    if (!val_ok)
+        return std::nullopt;
+    if (!is(p[8], Op::I32Store8) || p[8].imm != 0)
+        return std::nullopt;
+    if (!isLocalGet(p[9], d) || p[10].op != Op::I32Const ||
+        p[10].imm != 1 || !is(p[11], Op::I32Add) ||
+        p[12].op != Op::LocalSet || p[12].a != d)
+        return std::nullopt;
+    if (!is(p[13], Op::Br) || p[13].a != 0 || !is(p[14], Op::End) ||
+        !is(p[15], Op::End))
+        return std::nullopt;
+    return FillMatch{d, e, val, 16};
+}
+
+/**
+ * The canonical byte-copy loop:
+ *   block loop
+ *     local.get d ; local.get e ; i32.ge_u ; br_if 1
+ *     local.get d ; local.get s ; i32.load8_u 0 ; i32.store8 0
+ *     local.get d ; i32.const 1 ; i32.add ; local.set d
+ *     local.get s ; i32.const 1 ; i32.add ; local.set s
+ *     br 0
+ *   end end
+ */
+std::optional<CopyMatch>
+matchCopy(const std::vector<Instr>& body, size_t i)
+{
+    if (i + 21 > body.size())
+        return std::nullopt;
+    const Instr* p = &body[i];
+    if (!is(p[0], Op::Block) || !is(p[1], Op::Loop))
+        return std::nullopt;
+    if (p[2].op != Op::LocalGet || p[3].op != Op::LocalGet)
+        return std::nullopt;
+    uint32_t d = p[2].a, e = p[3].a;
+    if (!is(p[4], Op::I32GeU) || !is(p[5], Op::BrIf) || p[5].a != 1)
+        return std::nullopt;
+    if (!isLocalGet(p[6], d) || p[7].op != Op::LocalGet)
+        return std::nullopt;
+    uint32_t s = p[7].a;
+    if (s == d || e == d || e == s)
+        return std::nullopt;
+    if (!is(p[8], Op::I32Load8U) || p[8].imm != 0 ||
+        !is(p[9], Op::I32Store8) || p[9].imm != 0)
+        return std::nullopt;
+    if (!isLocalGet(p[10], d) || p[11].op != Op::I32Const ||
+        p[11].imm != 1 || !is(p[12], Op::I32Add) ||
+        p[13].op != Op::LocalSet || p[13].a != d)
+        return std::nullopt;
+    if (!isLocalGet(p[14], s) || p[15].op != Op::I32Const ||
+        p[15].imm != 1 || !is(p[16], Op::I32Add) ||
+        p[17].op != Op::LocalSet || p[17].a != s)
+        return std::nullopt;
+    if (!is(p[18], Op::Br) || p[18].a != 0 || !is(p[19], Op::End) ||
+        !is(p[20], Op::End))
+        return std::nullopt;
+    return CopyMatch{d, s, e, 21};
+}
+
+void
+emitFillReplacement(std::vector<Instr>& out, const FillMatch& m)
+{
+    // if (d < e) { memory.fill(d, val, e - d); d = e; }
+    out.push_back({Op::LocalGet, m.d, 0});
+    out.push_back({Op::LocalGet, m.e, 0});
+    out.push_back({Op::I32LtU, 0, 0});
+    out.push_back({Op::If, 0, 0});
+    out.push_back({Op::LocalGet, m.d, 0});
+    out.push_back(m.valSrc);
+    out.push_back({Op::LocalGet, m.e, 0});
+    out.push_back({Op::LocalGet, m.d, 0});
+    out.push_back({Op::I32Sub, 0, 0});
+    out.push_back({Op::MemoryFill, 0, 0});
+    out.push_back({Op::LocalGet, m.e, 0});
+    out.push_back({Op::LocalSet, m.d, 0});
+    out.push_back({Op::End, 0, 0});
+}
+
+void
+emitCopyReplacement(std::vector<Instr>& out, const CopyMatch& m)
+{
+    // if (d < e) { memory.copy(d, s, e - d); s += e - d; d = e; }
+    out.push_back({Op::LocalGet, m.d, 0});
+    out.push_back({Op::LocalGet, m.e, 0});
+    out.push_back({Op::I32LtU, 0, 0});
+    out.push_back({Op::If, 0, 0});
+    out.push_back({Op::LocalGet, m.d, 0});
+    out.push_back({Op::LocalGet, m.s, 0});
+    out.push_back({Op::LocalGet, m.e, 0});
+    out.push_back({Op::LocalGet, m.d, 0});
+    out.push_back({Op::I32Sub, 0, 0});
+    out.push_back({Op::MemoryCopy, 0, 0});
+    out.push_back({Op::LocalGet, m.s, 0});
+    out.push_back({Op::LocalGet, m.e, 0});
+    out.push_back({Op::LocalGet, m.d, 0});
+    out.push_back({Op::I32Sub, 0, 0});
+    out.push_back({Op::I32Add, 0, 0});
+    out.push_back({Op::LocalSet, m.s, 0});
+    out.push_back({Op::LocalGet, m.e, 0});
+    out.push_back({Op::LocalSet, m.d, 0});
+    out.push_back({Op::End, 0, 0});
+}
+
+}  // namespace
+
+wasm::Function
+vectorizeBulkLoops(const wasm::Function& fn)
+{
+    wasm::Function out = fn;
+    out.body.clear();
+    size_t i = 0;
+    while (i < fn.body.size()) {
+        if (auto m = matchCopy(fn.body, i)) {
+            emitCopyReplacement(out.body, *m);
+            i += m->length;
+            continue;
+        }
+        if (auto m = matchFill(fn.body, i)) {
+            emitFillReplacement(out.body, *m);
+            i += m->length;
+            continue;
+        }
+        out.body.push_back(fn.body[i]);
+        i++;
+    }
+    return out;
+}
+
+int
+countVectorizableLoops(const wasm::Function& fn)
+{
+    int count = 0;
+    size_t i = 0;
+    while (i < fn.body.size()) {
+        if (auto m = matchCopy(fn.body, i)) {
+            count++;
+            i += m->length;
+            continue;
+        }
+        if (auto m = matchFill(fn.body, i)) {
+            count++;
+            i += m->length;
+            continue;
+        }
+        i++;
+    }
+    return count;
+}
+
+}  // namespace sfi::jit

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Bulk-memory loop idiom recognition — sfikit's stand-in for WAMR's
+ * vectorization passes (§4.2).
+ *
+ * WAMR converts long load sequences and loops into SIMD code, but those
+ * passes pattern-match ordinary base+offset memory accesses and do not
+ * recognize segment-relative ones; enabling full Segue therefore
+ * disables them and regresses benchmarks like `memmove` and `sieve`
+ * (Figure 4). sfikit reproduces the mechanism: this pass rewrites
+ * canonical byte fill/copy loops into memory.fill/memory.copy (which
+ * execute as memset/memmove), and the compiler only runs it when stores
+ * use non-segment addressing.
+ *
+ * Semantics note: like real engines' bulk ops, a rewritten loop that
+ * would trap mid-way no longer performs the partial writes preceding
+ * the trap; the trap itself occurs under exactly the same conditions.
+ */
+#ifndef SFIKIT_JIT_VECTORIZE_H_
+#define SFIKIT_JIT_VECTORIZE_H_
+
+#include "wasm/module.h"
+
+namespace sfi::jit {
+
+/**
+ * Returns a copy of @p fn with every recognized byte fill/copy loop
+ * replaced by bulk memory operations. Unrecognized code is untouched.
+ */
+wasm::Function vectorizeBulkLoops(const wasm::Function& fn);
+
+/** Number of loops the last transformation of @p fn would rewrite
+ *  (introspection for tests/benches). */
+int countVectorizableLoops(const wasm::Function& fn);
+
+}  // namespace sfi::jit
+
+#endif  // SFIKIT_JIT_VECTORIZE_H_

@@ -1,0 +1,416 @@
+#include "mpk/mpk.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "base/cpu.h"
+#include "base/logging.h"
+#include "base/units.h"
+
+namespace sfi::mpk {
+
+namespace {
+
+/** ~3-cycle dependent multiplies to model a fixed instruction latency. */
+inline void
+latencyChain(int cycles)
+{
+    uint64_t x = 3;
+    for (int i = 0; i < cycles / 3; i++)
+        asm volatile("imulq %0, %0" : "+r"(x));
+}
+
+/** Colored range bookkeeping shared by every backend: addr -> (end, key). */
+class ColorMap
+{
+  public:
+    struct Range
+    {
+        uint64_t end;
+        Pkey key;
+        PageAccess access;
+    };
+
+    void
+    set(uint64_t start, uint64_t end, Pkey key, PageAccess access)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // Split any interval overlapping [start, end).
+        auto it = ranges_.lower_bound(start);
+        if (it != ranges_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > start) {
+                Range tail = prev->second;
+                uint64_t tail_end = tail.end;
+                prev->second.end = start;
+                if (tail_end > end)
+                    ranges_[end] = {tail_end, tail.key, tail.access};
+            }
+        }
+        while (it != ranges_.end() && it->first < end) {
+            Range cur = it->second;
+            uint64_t cur_start = it->first;
+            it = ranges_.erase(it);
+            (void)cur_start;
+            if (cur.end > end)
+                ranges_[end] = cur;
+        }
+        ranges_[start] = {end, key, access};
+    }
+
+    /** Key + access of the range containing @p addr; key 0 if uncolored. */
+    Range
+    lookup(uint64_t addr) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = ranges_.upper_bound(addr);
+        if (it != ranges_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > addr)
+                return prev->second;
+        }
+        return {0, 0, PageAccess::ReadWrite};
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [start, r] : ranges_)
+            fn(start, r);
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::map<uint64_t, Range> ranges_;
+};
+
+/** Key-allocation bitmap shared by every backend. */
+class KeyPool
+{
+  public:
+    Result<Pkey>
+    alloc()
+    {
+        for (Pkey k = 1; k < kNumKeys; k++) {
+            if (!(used_ & (1u << k))) {
+                used_ |= 1u << k;
+                return k;
+            }
+        }
+        return Result<Pkey>::error("protection keys exhausted (15 in use)");
+    }
+
+    Status
+    free(Pkey key)
+    {
+        if (key <= 0 || key >= kNumKeys || !(used_ & (1u << key)))
+            return Status::error("freeing unallocated key");
+        used_ &= ~(1u << key);
+        return Status::ok();
+    }
+
+  private:
+    uint32_t used_ = 0;
+};
+
+bool
+accessAllows(PageAccess access, bool is_write)
+{
+    switch (access) {
+      case PageAccess::None: return false;
+      case PageAccess::ReadOnly: return !is_write;
+      default: return true;
+    }
+}
+
+int
+protFlags(PageAccess access)
+{
+    switch (access) {
+      case PageAccess::None: return PROT_NONE;
+      case PageAccess::ReadOnly: return PROT_READ;
+      case PageAccess::ReadWrite: return PROT_READ | PROT_WRITE;
+      case PageAccess::ReadExec: return PROT_READ | PROT_EXEC;
+      case PageAccess::ReadWriteExec:
+        return PROT_READ | PROT_WRITE | PROT_EXEC;
+    }
+    return PROT_NONE;
+}
+
+/**
+ * Real MPK. PKRU is genuinely per-thread in hardware; bookkeeping mirrors
+ * the kernel's view so checkAccess() can answer without faulting.
+ */
+class HardwareMpk : public System
+{
+  public:
+    const char* name() const override { return "hardware-mpk"; }
+    bool enforcesInHardware() const override { return true; }
+
+    Result<Pkey>
+    allocKey() override
+    {
+        long k = syscall(SYS_pkey_alloc, 0, 0);
+        if (k < 0) {
+            return Result<Pkey>::error(std::string("pkey_alloc: ") +
+                                       std::strerror(errno));
+        }
+        return static_cast<Pkey>(k);
+    }
+
+    Status
+    freeKey(Pkey key) override
+    {
+        if (syscall(SYS_pkey_free, key) != 0) {
+            return Status::error(std::string("pkey_free: ") +
+                                 std::strerror(errno));
+        }
+        return Status::ok();
+    }
+
+    Status
+    protectRange(void* addr, uint64_t len, PageAccess access,
+                 Pkey key) override
+    {
+        if (syscall(SYS_pkey_mprotect, addr, len, protFlags(access), key) !=
+            0) {
+            return Status::error(std::string("pkey_mprotect: ") +
+                                 std::strerror(errno));
+        }
+        colors_.set(reinterpret_cast<uint64_t>(addr),
+                    reinterpret_cast<uint64_t>(addr) + len, key, access);
+        return Status::ok();
+    }
+
+    void
+    writePkru(Pkru pkru) override
+    {
+        uint32_t v = pkru.bits();
+        asm volatile("wrpkru" : : "a"(v), "c"(0), "d"(0));
+    }
+
+    Pkru
+    readPkru() const override
+    {
+        uint32_t v;
+        asm volatile("rdpkru" : "=a"(v) : "c"(0) : "rdx");
+        return Pkru(v);
+    }
+
+    bool
+    checkAccess(const void* addr, bool is_write) const override
+    {
+        auto r = colors_.lookup(reinterpret_cast<uint64_t>(addr));
+        if (!accessAllows(r.access, is_write))
+            return false;
+        Pkru pkru = readPkru();
+        return is_write ? pkru.canWrite(r.key) : pkru.canAccess(r.key);
+    }
+
+    Pkey
+    keyOf(const void* addr) const override
+    {
+        return colors_.lookup(reinterpret_cast<uint64_t>(addr)).key;
+    }
+
+  private:
+    ColorMap colors_;
+};
+
+/**
+ * Emulated MPK: full bookkeeping, no hardware traps. PKRU lives on the
+ * instance (sfikit sandbox execution is single-threaded per engine; real
+ * hardware would make it per-thread).
+ */
+class EmulatedMpk : public System
+{
+  public:
+    explicit EmulatedMpk(int modeled_wrpkru_cycles)
+        : modeledCycles_(modeled_wrpkru_cycles)
+    {
+    }
+
+    const char* name() const override { return "emulated-mpk"; }
+    bool enforcesInHardware() const override { return false; }
+
+    Result<Pkey> allocKey() override { return keys_.alloc(); }
+    Status freeKey(Pkey key) override { return keys_.free(key); }
+
+    Status
+    protectRange(void* addr, uint64_t len, PageAccess access,
+                 Pkey key) override
+    {
+        if (key < 0 || key >= kNumKeys)
+            return Status::error("bad pkey");
+        uint64_t start = reinterpret_cast<uint64_t>(addr);
+        if (!isAligned(start, kOsPageSize) || !isAligned(len, kOsPageSize))
+            return Status::error("pkey_mprotect range not page aligned");
+        // The real syscall also applies the page protection.
+        if (mprotect(addr, len, protFlags(access)) != 0) {
+            return Status::error(std::string("mprotect: ") +
+                                 std::strerror(errno));
+        }
+        colors_.set(start, start + len, key, access);
+        return Status::ok();
+    }
+
+    void
+    writePkru(Pkru pkru) override
+    {
+        pkru_ = pkru;
+        if (modeledCycles_ > 0)
+            latencyChain(modeledCycles_);
+    }
+
+    Pkru readPkru() const override { return pkru_; }
+
+    bool
+    checkAccess(const void* addr, bool is_write) const override
+    {
+        auto r = colors_.lookup(reinterpret_cast<uint64_t>(addr));
+        if (!accessAllows(r.access, is_write))
+            return false;
+        return is_write ? pkru_.canWrite(r.key) : pkru_.canAccess(r.key);
+    }
+
+    Pkey
+    keyOf(const void* addr) const override
+    {
+        return colors_.lookup(reinterpret_cast<uint64_t>(addr)).key;
+    }
+
+  private:
+    KeyPool keys_;
+    ColorMap colors_;
+    Pkru pkru_ = Pkru::allowAll();
+    int modeledCycles_;
+};
+
+/**
+ * Enforcing fallback: every PKRU write is realized by re-mprotecting all
+ * colored ranges. Orders of magnitude slower than WRPKRU — exactly the
+ * cost ColorGuard exists to avoid — but gives hardware-grade enforcement
+ * on machines without PKU, so tests can validate trapping behaviour.
+ */
+class MprotectMpk : public System
+{
+  public:
+    const char* name() const override { return "mprotect-mpk"; }
+    bool enforcesInHardware() const override { return true; }
+
+    Result<Pkey> allocKey() override { return keys_.alloc(); }
+    Status freeKey(Pkey key) override { return keys_.free(key); }
+
+    Status
+    protectRange(void* addr, uint64_t len, PageAccess access,
+                 Pkey key) override
+    {
+        if (key < 0 || key >= kNumKeys)
+            return Status::error("bad pkey");
+        uint64_t start = reinterpret_cast<uint64_t>(addr);
+        colors_.set(start, start + len, key, access);
+        return applyOne(start, len, key, access);
+    }
+
+    void
+    writePkru(Pkru pkru) override
+    {
+        pkru_ = pkru;
+        colors_.forEach([&](uint64_t start, const ColorMap::Range& r) {
+            applyOne(start, r.end - start, r.key, r.access);
+        });
+    }
+
+    Pkru readPkru() const override { return pkru_; }
+
+    bool
+    checkAccess(const void* addr, bool is_write) const override
+    {
+        auto r = colors_.lookup(reinterpret_cast<uint64_t>(addr));
+        if (!accessAllows(r.access, is_write))
+            return false;
+        return is_write ? pkru_.canWrite(r.key) : pkru_.canAccess(r.key);
+    }
+
+    Pkey
+    keyOf(const void* addr) const override
+    {
+        return colors_.lookup(reinterpret_cast<uint64_t>(addr)).key;
+    }
+
+  private:
+    Status
+    applyOne(uint64_t start, uint64_t len, Pkey key, PageAccess access)
+    {
+        PageAccess effective = access;
+        if (!pkru_.canAccess(key)) {
+            effective = PageAccess::None;
+        } else if (!pkru_.canWrite(key) && access == PageAccess::ReadWrite) {
+            effective = PageAccess::ReadOnly;
+        }
+        if (mprotect(reinterpret_cast<void*>(start), len,
+                     protFlags(effective)) != 0) {
+            return Status::error(std::string("mprotect: ") +
+                                 std::strerror(errno));
+        }
+        return Status::ok();
+    }
+
+    KeyPool keys_;
+    ColorMap colors_;
+    Pkru pkru_ = Pkru::allowAll();
+};
+
+}  // namespace
+
+bool
+hardwareAvailable()
+{
+    return cpuFeatures().ospke;
+}
+
+Result<std::unique_ptr<System>>
+makeHardware()
+{
+    if (!hardwareAvailable()) {
+        return Result<std::unique_ptr<System>>::error(
+            "CPU/OS does not support MPK (no OSPKE)");
+    }
+    return std::unique_ptr<System>(new HardwareMpk());
+}
+
+std::unique_ptr<System>
+makeEmulated(int modeled_wrpkru_cycles)
+{
+    return std::make_unique<EmulatedMpk>(modeled_wrpkru_cycles);
+}
+
+std::unique_ptr<System>
+makeMprotect()
+{
+    return std::make_unique<MprotectMpk>();
+}
+
+System&
+defaultSystem()
+{
+    static std::unique_ptr<System> system = [] {
+        if (hardwareAvailable()) {
+            SFI_INFORM("mpk: using hardware MPK backend");
+            return std::move(makeHardware().value());
+        }
+        SFI_INFORM("mpk: no PKU on this CPU; using emulated MPK backend");
+        return makeEmulated();
+    }();
+    return *system;
+}
+
+}  // namespace sfi::mpk

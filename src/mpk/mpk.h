@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Memory Protection Key (MPK) backends for ColorGuard (§3.2, §5.1).
+ *
+ * ColorGuard assigns each sandbox slot a 4-bit color (protection key) in
+ * its page-table entries and flips the PKRU register on sandbox
+ * transitions so a thread can only touch the active slot's color. The
+ * layout/striping logic is backend-independent; this module abstracts the
+ * enforcement mechanism:
+ *
+ *  - HardwareMpk:  real pkey_alloc / pkey_mprotect / WRPKRU. Selected when
+ *                  the CPU reports OSPKE.
+ *  - EmulatedMpk:  keeps the per-page key assignment in an interval map
+ *                  and the PKRU in a thread-local; access legality is
+ *                  checked by the interpreter and by an explicit probe
+ *                  API. WRPKRU cost is modelled with a ~44-cycle dependency
+ *                  chain (the paper measures ≈44 cycles, §6.4.1) so
+ *                  transition-sensitive macrobenchmarks behave as they
+ *                  would on real MPK hardware.
+ *  - MprotectMpk:  enforcing fallback that realizes PKRU writes as
+ *                  mprotect() flips — the "prohibitively expensive page
+ *                  permission" alternative §8 cites; kept as a correctness
+ *                  oracle for tests.
+ */
+#ifndef SFIKIT_MPK_MPK_H_
+#define SFIKIT_MPK_MPK_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "base/os_mem.h"
+#include "base/result.h"
+
+namespace sfi::mpk {
+
+/** Number of protection keys the ISA provides (key 0 = default color). */
+inline constexpr int kNumKeys = 16;
+
+/** Keys usable for sandbox stripes (all but the default key 0). */
+inline constexpr int kNumSandboxKeys = kNumKeys - 1;
+
+using Pkey = int;
+
+/**
+ * Value of the PKRU register: 2 bits per key — AD (access disable) and
+ * WD (write disable).
+ */
+class Pkru
+{
+  public:
+    constexpr Pkru() = default;
+    constexpr explicit Pkru(uint32_t bits) : bits_(bits) {}
+
+    /** Everything accessible (all AD/WD clear). */
+    static constexpr Pkru allowAll() { return Pkru(0); }
+
+    /**
+     * Host default during sandbox execution: only key 0 (runtime memory)
+     * and @p key (the active stripe) accessible; every other color
+     * access-disabled. This is the value ColorGuard writes when entering
+     * a sandbox.
+     */
+    static constexpr Pkru
+    allowOnly(Pkey key)
+    {
+        uint32_t bits = 0;
+        for (int k = 1; k < kNumKeys; k++) {
+            if (k != key)
+                bits |= 0b11u << (2 * k);
+        }
+        return Pkru(bits);
+    }
+
+    constexpr bool
+    canAccess(Pkey key) const
+    {
+        return (bits_ & (0b01u << (2 * key))) == 0;
+    }
+
+    constexpr bool
+    canWrite(Pkey key) const
+    {
+        return canAccess(key) && (bits_ & (0b10u << (2 * key))) == 0;
+    }
+
+    constexpr uint32_t bits() const { return bits_; }
+    constexpr bool operator==(const Pkru&) const = default;
+
+  private:
+    uint32_t bits_ = 0;
+};
+
+/** Abstract protection-key system. */
+class System
+{
+  public:
+    virtual ~System() = default;
+
+    virtual const char* name() const = 0;
+
+    /** True if out-of-color accesses trap in hardware. */
+    virtual bool enforcesInHardware() const = 0;
+
+    /** Allocate a key (1..15). Fails when the key space is exhausted. */
+    virtual Result<Pkey> allocKey() = 0;
+
+    virtual Status freeKey(Pkey key) = 0;
+
+    /** pkey_mprotect(): set protection + color on a page range. */
+    virtual Status protectRange(void* addr, uint64_t len, PageAccess access,
+                                Pkey key) = 0;
+
+    /** Write the PKRU (WRPKRU or emulation). */
+    virtual void writePkru(Pkru pkru) = 0;
+
+    virtual Pkru readPkru() const = 0;
+
+    /**
+     * Would an access at @p addr be permitted under the current PKRU and
+     * color assignment? Hardware backends answer via bookkeeping as well
+     * so the probe never faults.
+     */
+    virtual bool checkAccess(const void* addr, bool is_write) const = 0;
+
+    /** The color assigned to the page containing @p addr (0 if none). */
+    virtual Pkey keyOf(const void* addr) const = 0;
+};
+
+/** True if the CPU+OS support real MPK (CPUID OSPKE). */
+bool hardwareAvailable();
+
+/** Hardware-backed system; Result error when OSPKE is unavailable. */
+Result<std::unique_ptr<System>> makeHardware();
+
+/**
+ * Emulated system.
+ * @param modeled_wrpkru_cycles dependency-chain length added to each
+ *        writePkru() to model the hardware WRPKRU cost; 0 disables.
+ */
+std::unique_ptr<System> makeEmulated(int modeled_wrpkru_cycles = 44);
+
+/** Enforcing mprotect()-based fallback (slow; tests only). */
+std::unique_ptr<System> makeMprotect();
+
+/**
+ * Process-wide default: hardware when available, otherwise emulated.
+ * The choice is logged once.
+ */
+System& defaultSystem();
+
+}  // namespace sfi::mpk
+
+#endif  // SFIKIT_MPK_MPK_H_

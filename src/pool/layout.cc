@@ -1,0 +1,219 @@
+#include "pool/layout.h"
+
+#include <algorithm>
+
+#include "base/units.h"
+
+namespace sfi::pool {
+
+namespace {
+
+/** Arithmetic helpers that either saturate (buggy) or flag overflow. */
+class Arith
+{
+  public:
+    explicit Arith(LayoutArithmetic mode) : mode_(mode) {}
+
+    uint64_t
+    add(uint64_t a, uint64_t b)
+    {
+        uint64_t r;
+        if (__builtin_add_overflow(a, b, &r)) {
+            if (mode_ == LayoutArithmetic::SaturatingBuggy)
+                return UINT64_MAX;  // the §5.2 bug: silently saturate
+            overflowed_ = true;
+            return 0;
+        }
+        return r;
+    }
+
+    uint64_t
+    mul(uint64_t a, uint64_t b)
+    {
+        uint64_t r;
+        if (__builtin_mul_overflow(a, b, &r)) {
+            if (mode_ == LayoutArithmetic::SaturatingBuggy)
+                return UINT64_MAX;
+            overflowed_ = true;
+            return 0;
+        }
+        return r;
+    }
+
+    bool overflowed() const { return overflowed_; }
+
+  private:
+    LayoutArithmetic mode_;
+    bool overflowed_ = false;
+};
+
+uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+}  // namespace
+
+Result<SlotLayout>
+computeLayout(const PoolConfig& config, LayoutArithmetic arithmetic)
+{
+    if (config.numSlots == 0)
+        return Result<SlotLayout>::error("pool needs at least one slot");
+    if (config.maxMemoryBytes == 0)
+        return Result<SlotLayout>::error("maxMemoryBytes must be nonzero");
+    if (config.keysAvailable < 1 ||
+        config.keysAvailable > 15) {
+        return Result<SlotLayout>::error(
+            "keysAvailable must be within [1, 15]");
+    }
+
+    Arith ar(arithmetic);
+    SlotLayout lay;
+    lay.numSlots = config.numSlots;
+    lay.maxMemoryBytes = alignUp(config.maxMemoryBytes, kWasmPageSize);
+    lay.guardBytes = alignUp(config.guardBytes, kOsPageSize);
+    lay.expectedSlotBytes =
+        config.expectedSlotBytes != 0
+            ? alignUp(config.expectedSlotBytes, kWasmPageSize)
+            : alignUp(ar.add(lay.maxMemoryBytes, lay.guardBytes),
+                      kWasmPageSize);
+
+    if (lay.expectedSlotBytes <
+        ar.add(lay.maxMemoryBytes, lay.guardBytes)) {
+        return Result<SlotLayout>::error(
+            "expectedSlotBytes smaller than maxMemory + guard");
+    }
+
+    if (!config.stripingEnabled || config.keysAvailable < 2 ||
+        config.numSlots == 1) {
+        // Classic layout: every slot carries its own guard space.
+        lay.numStripes = 1;
+        lay.slotBytes = lay.expectedSlotBytes;
+    } else {
+        // ColorGuard: shrink slots to the memory size and let striped
+        // colors provide the guard. numStripes * slotBytes must cover
+        // expectedSlotBytes so the slot of the same color is always at
+        // least the contract distance away (Invariant 6).
+        lay.slotBytes = alignUp(lay.maxMemoryBytes, kOsPageSize);
+        uint64_t needed = ceilDiv(lay.expectedSlotBytes, lay.slotBytes);
+        uint64_t avail =
+            std::min<uint64_t>(config.keysAvailable, config.numSlots);
+        if (needed > avail) {
+            // Not enough keys: grow slots until avail stripes suffice —
+            // a mix of striping and per-slot guard space (§5.1).
+            lay.slotBytes = alignUp(
+                ceilDiv(lay.expectedSlotBytes, avail), kOsPageSize);
+            needed = ceilDiv(lay.expectedSlotBytes, lay.slotBytes);
+        }
+        lay.numStripes = std::max<uint64_t>(needed, 1);
+        // Cap by Invariant 5: more stripes than guard/maxMemory + 2 is
+        // never necessary.
+        uint64_t cap = lay.guardBytes / lay.maxMemoryBytes + 2;
+        if (lay.numStripes > cap) {
+            // Re-derive the slot size directly so the capped stripe
+            // count still covers the contract (Invariant 6).
+            lay.numStripes = cap;
+            lay.slotBytes = alignUp(
+                ceilDiv(lay.expectedSlotBytes, lay.numStripes),
+                kOsPageSize);
+        }
+        if (ar.mul(lay.numStripes, lay.slotBytes) <
+            lay.expectedSlotBytes) {
+            lay.slotBytes = alignUp(
+                ceilDiv(lay.expectedSlotBytes, lay.numStripes),
+                kOsPageSize);
+        }
+    }
+
+    lay.preSlotGuardBytes = config.guardBeforeSlots ? lay.guardBytes : 0;
+    // The final slot must not rely on MPK: give it enough real guard to
+    // honor the contract (Invariant 6, second clause).
+    lay.postSlotGuardBytes =
+        lay.expectedSlotBytes > lay.slotBytes
+            ? lay.expectedSlotBytes - lay.slotBytes
+            : lay.guardBytes;
+    lay.totalSlotBytes =
+        ar.add(ar.add(lay.preSlotGuardBytes,
+                      ar.mul(lay.slotBytes, lay.numSlots)),
+               lay.postSlotGuardBytes);
+
+    if (ar.overflowed()) {
+        return Result<SlotLayout>::error(
+            "pool layout arithmetic overflow (checked mode)");
+    }
+    return lay;
+}
+
+Status
+SlotLayout::validate(const PoolConfig& config) const
+{
+    auto fail = [](int n, const char* what) {
+        return Status::error("invariant " + std::to_string(n) +
+                             " violated: " + what);
+    };
+
+    // 1. No leaks / overlaps: piecewise sizes equal the total.
+    // (Computed with explicit wideners so a saturated total mismatches.)
+    unsigned __int128 pieces =
+        static_cast<unsigned __int128>(preSlotGuardBytes) +
+        static_cast<unsigned __int128>(slotBytes) * numSlots +
+        postSlotGuardBytes;
+    if (pieces != static_cast<unsigned __int128>(totalSlotBytes))
+        return fail(1, "total != pre + slots + post");
+
+    // 2. Slots hold the largest allowed memory.
+    if (slotBytes < maxMemoryBytes)
+        return fail(2, "slot smaller than max memory");
+
+    // 3. Page alignment of every size.
+    for (uint64_t v : {slotBytes, maxMemoryBytes, preSlotGuardBytes,
+                       postSlotGuardBytes, totalSlotBytes}) {
+        if (!isAligned(v, kOsPageSize))
+            return fail(3, "size not page aligned");
+    }
+
+    // 4. Stripe count within MPK's and the pool's capability.
+    if (numStripes < 1)
+        return fail(4, "no stripes");
+    if (numStripes > static_cast<uint64_t>(config.keysAvailable) &&
+        numStripes > 1) {
+        return fail(4, "more stripes than protection keys");
+    }
+    if (numStripes > numSlots && numStripes > 1)
+        return fail(4, "more stripes than slots");
+
+    // 5. No more stripes than the guard region can ever require.
+    if (maxMemoryBytes > 0 &&
+        numStripes > guardBytes / maxMemoryBytes + 2) {
+        return fail(5, "more stripes than guard/maxMemory + 2");
+    }
+
+    // 6. Striping preserves the compiler contract.
+    uint64_t to_next_same_color = numStripes * slotBytes;
+    uint64_t contract = std::max(expectedSlotBytes, maxMemoryBytes);
+    if (numStripes > 1 && to_next_same_color < contract)
+        return fail(6, "same-color slots closer than the contract");
+    if (slotBytes + postSlotGuardBytes < expectedSlotBytes)
+        return fail(6, "last slot relies on MPK for protection");
+
+    // 7. [found by verification] expected slot size Wasm-page aligned.
+    if (!isAligned(expectedSlotBytes, kWasmPageSize))
+        return fail(7, "expectedSlotBytes not Wasm-page aligned");
+
+    // 8. [found by verification] max memory Wasm-page aligned.
+    if (!isAligned(maxMemoryBytes, kWasmPageSize))
+        return fail(8, "maxMemoryBytes not Wasm-page aligned");
+
+    // 9. [found by verification] guards OS-page aligned.
+    if (!isAligned(guardBytes, kOsPageSize))
+        return fail(9, "guardBytes not OS-page aligned");
+
+    // 10. [found by verification] the contract fits the allocation.
+    if (expectedSlotBytes > totalSlotBytes)
+        return fail(10, "expectedSlotBytes exceeds total allocation");
+
+    return Status::ok();
+}
+
+}  // namespace sfi::pool

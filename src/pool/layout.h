@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Pooling-allocator slot-layout computation and the Table 1 invariants.
+ *
+ * The layout is the explicit contract between the allocator and the
+ * compiler (§5.1): the compiler elides bounds checks because the
+ * allocator promises that the `expected_slot_bytes` of address space
+ * after each slot's base are either that slot's memory or inaccessible
+ * (guard pages, or — with ColorGuard — stripes of other colors).
+ * Getting this wrong breaks isolation, which is why the paper formally
+ * verified it (§5.2); here the same invariants are enforced at runtime
+ * by SlotLayout::validate() and fuzzed by property tests.
+ *
+ * Layout model (mirrors Wasmtime's memory pool):
+ *
+ *   [pre-guard][slot 0][slot 1]...[slot n-1][post-guard]
+ *
+ * Slot starts are `slotBytes` apart. Without striping,
+ * slotBytes >= maxMemoryBytes + guardBytes, so the space between one
+ * slot's memory and the next slot is unmapped guard. With ColorGuard,
+ * slotBytes can shrink to maxMemoryBytes: the next numStripes-1 slots
+ * carry different MPK colors and are inaccessible while this slot's
+ * color is active (Figure 2). The final slot never relies on MPK — a
+ * real guard region follows it (Invariant 6).
+ */
+#ifndef SFIKIT_POOL_LAYOUT_H_
+#define SFIKIT_POOL_LAYOUT_H_
+
+#include <cstdint>
+
+#include "base/result.h"
+
+namespace sfi::pool {
+
+/** How layout arithmetic handles overflow. */
+enum class LayoutArithmetic : uint8_t {
+    /**
+     * Checked additions/multiplications; overflow is a configuration
+     * error. This is the post-verification behaviour.
+     */
+    Checked,
+    /**
+     * Saturating arithmetic — reproduces the bug the paper's
+     * verification effort found (§5.2): if a computation actually
+     * saturates, the resulting layout silently violates Invariant 1.
+     * Kept for the Table 1 demonstration; never use in production.
+     */
+    SaturatingBuggy,
+};
+
+/** User-facing pool configuration. */
+struct PoolConfig
+{
+    /** Number of instance slots. */
+    uint64_t numSlots = 16;
+    /** Maximum linear-memory bytes an instance may grow to. */
+    uint64_t maxMemoryBytes = 0;
+    /**
+     * Address space the compiler assumes after each slot base
+     * (classically maxMemoryBytes + guardBytes; 8 GiB in the standard
+     * Wasm scheme, 6 GiB with Wasmtime's shared pre-guards).
+     */
+    uint64_t expectedSlotBytes = 0;
+    /** Guard region each slot requires beyond its memory. */
+    uint64_t guardBytes = 0;
+    /** Place a guard region before slot 0 (shared pre-guard scheme). */
+    bool guardBeforeSlots = false;
+    /** Enable ColorGuard striping. */
+    bool stripingEnabled = false;
+    /**
+     * Protection keys the pool may use (user-configurable since the
+     * embedding application may use keys for other purposes, §5.1).
+     */
+    int keysAvailable = 15;
+};
+
+/** The computed contract. */
+struct SlotLayout
+{
+    uint64_t slotBytes = 0;          ///< spacing between slot bases
+    uint64_t preSlotGuardBytes = 0;
+    uint64_t postSlotGuardBytes = 0;
+    uint64_t numSlots = 0;
+    uint64_t numStripes = 1;         ///< 1 = no striping
+    uint64_t maxMemoryBytes = 0;
+    uint64_t expectedSlotBytes = 0;
+    uint64_t guardBytes = 0;
+    uint64_t totalSlotBytes = 0;     ///< whole slab reservation
+
+    /** Byte offset of slot @p i's base within the slab. */
+    uint64_t
+    slotOffset(uint64_t i) const
+    {
+        return preSlotGuardBytes + i * slotBytes;
+    }
+
+    /** Stripe (color index, 0-based) of slot @p i. */
+    uint64_t stripeOf(uint64_t i) const { return i % numStripes; }
+
+    /**
+     * Checks the full Table 1 invariant set (1-6 upstream, 7-10 found
+     * by verification) against @p config. Returns the first violated
+     * invariant in the error message.
+     */
+    Status validate(const PoolConfig& config) const;
+};
+
+/**
+ * Computes the slot layout for @p config. With Checked arithmetic,
+ * impossible configurations fail; with SaturatingBuggy they may produce
+ * a layout that fails validate() — exactly the §5.2 bug.
+ */
+Result<SlotLayout> computeLayout(const PoolConfig& config,
+                                 LayoutArithmetic arithmetic =
+                                     LayoutArithmetic::Checked);
+
+}  // namespace sfi::pool
+
+#endif  // SFIKIT_POOL_LAYOUT_H_

@@ -1,0 +1,130 @@
+#include "pool/pool.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/units.h"
+
+namespace sfi::pool {
+
+Result<MemoryPool>
+MemoryPool::create(Options options)
+{
+    auto layout = computeLayout(options.config, options.arithmetic);
+    if (!layout)
+        return Result<MemoryPool>::error(layout.message());
+    if (auto st = layout->validate(options.config); !st) {
+        return Result<MemoryPool>::error(
+            "layout fails safety validation: " + st.message());
+    }
+
+    MemoryPool pool;
+    pool.layout_ = *layout;
+    pool.config_ = options.config;
+    pool.mpk_ = options.mpk ? options.mpk : &mpk::defaultSystem();
+
+    auto slab = Reservation::reserve(pool.layout_.totalSlotBytes);
+    if (!slab)
+        return Result<MemoryPool>::error(slab.message());
+    pool.slab_ = std::move(*slab);
+
+    // One key per stripe; striping disabled when numStripes == 1.
+    if (pool.layout_.numStripes > 1) {
+        for (uint64_t s = 0; s < pool.layout_.numStripes; s++) {
+            auto key = pool.mpk_->allocKey();
+            if (!key) {
+                return Result<MemoryPool>::error(
+                    "allocating stripe keys: " + key.message());
+            }
+            pool.stripeKeys_.push_back(*key);
+        }
+    }
+
+    pool.freeList_.reserve(pool.layout_.numSlots);
+    for (uint64_t i = pool.layout_.numSlots; i-- > 0;)
+        pool.freeList_.push_back(i);
+    pool.committed_.assign(pool.layout_.numSlots, false);
+    pool.inUseFlags_.assign(pool.layout_.numSlots, false);
+    return pool;
+}
+
+MemoryPool::~MemoryPool()
+{
+    if (mpk_ != nullptr) {
+        for (mpk::Pkey key : stripeKeys_)
+            (void)mpk_->freeKey(key);
+    }
+}
+
+Result<Slot>
+MemoryPool::allocate()
+{
+    if (freeList_.empty())
+        return Result<Slot>::error("pool exhausted");
+    uint64_t i = freeList_.back();
+    freeList_.pop_back();
+    inUseFlags_[i] = true;
+    inUse_++;
+
+    Slot slot;
+    slot.index = i;
+    slot.base = slab_.base() + layout_.slotOffset(i);
+    slot.pkey = keyOfStripe(layout_.stripeOf(i));
+
+    if (!committed_[i]) {
+        // First use: commit the memory range and stamp its color. The
+        // color persists across free/decommit cycles (MPK stores it in
+        // the PTE), so this happens once per slot lifetime.
+        uint64_t commit = layout_.maxMemoryBytes;
+        if (slot.pkey != 0) {
+            Status st = mpk_->protectRange(
+                slot.base, commit, PageAccess::ReadWrite, slot.pkey);
+            if (!st) {
+                free(slot);
+                return Result<Slot>::error(st.message());
+            }
+        } else {
+            Status st = slab_.protect(layout_.slotOffset(i), commit,
+                                      PageAccess::ReadWrite);
+            if (!st) {
+                free(slot);
+                return Result<Slot>::error(st.message());
+            }
+        }
+        committed_[i] = true;
+    }
+    return slot;
+}
+
+Status
+MemoryPool::free(const Slot& slot)
+{
+    if (slot.index >= layout_.numSlots || !inUseFlags_[slot.index])
+        return Status::error("freeing a slot that is not in use");
+    inUseFlags_[slot.index] = false;
+    inUse_--;
+    freeList_.push_back(slot.index);
+    if (committed_[slot.index]) {
+        // Zero-on-reuse without losing the mapping or the color.
+        return slab_.decommit(layout_.slotOffset(slot.index),
+                              layout_.maxMemoryBytes);
+    }
+    return Status::ok();
+}
+
+rt::LinearMemory
+MemoryPool::memoryView(const Slot& slot, uint32_t initial_pages,
+                       uint32_t max_pages) const
+{
+    uint64_t max_bytes = uint64_t(max_pages) * kWasmPageSize;
+    SFI_CHECK_MSG(max_bytes <= layout_.maxMemoryBytes,
+                  "instance max memory exceeds pool slot size");
+    // Fault attribution covers the compiler contract window.
+    uint64_t reserved = std::min(
+        layout_.expectedSlotBytes,
+        layout_.totalSlotBytes - layout_.slotOffset(slot.index));
+    return rt::LinearMemory::view(slot.base, initial_pages, max_pages,
+                                  reserved);
+}
+
+}  // namespace sfi::pool

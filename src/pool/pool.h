@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The pooling allocator: a pre-reserved slab of instance slots with
+ * guard regions and optional ColorGuard striping (§5.1).
+ *
+ * Slots are handed out and recycled without unmapping: freeing a slot
+ * decommits its pages (madvise MADV_DONTNEED), which zeroes them on next
+ * use while keeping both the mapping and — crucially — the MPK colors
+ * in the page tables, so recycled slots need no re-striping (the very
+ * property §7 shows MTE lacks).
+ */
+#ifndef SFIKIT_POOL_POOL_H_
+#define SFIKIT_POOL_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/os_mem.h"
+#include "base/result.h"
+#include "mpk/mpk.h"
+#include "pool/layout.h"
+#include "runtime/memory.h"
+
+namespace sfi::pool {
+
+/** A checked-out slot. */
+struct Slot
+{
+    uint64_t index = UINT64_MAX;
+    uint8_t* base = nullptr;
+    /** MPK key protecting this slot (0 when striping is off). */
+    mpk::Pkey pkey = 0;
+
+    bool valid() const { return base != nullptr; }
+};
+
+class MemoryPool
+{
+  public:
+    struct Options
+    {
+        PoolConfig config;
+        /** Key system for striping; nullptr = mpk::defaultSystem(). */
+        mpk::System* mpk = nullptr;
+        LayoutArithmetic arithmetic = LayoutArithmetic::Checked;
+    };
+
+    /**
+     * Reserves the slab, computes + validates the layout, allocates
+     * protection keys, and marks guard regions.
+     */
+    static Result<MemoryPool> create(Options options);
+
+    ~MemoryPool();
+    MemoryPool(MemoryPool&&) = default;
+    MemoryPool& operator=(MemoryPool&&) = default;
+
+    /** Checks out a free slot (commits + colors it on first use). */
+    Result<Slot> allocate();
+
+    /** Returns a slot: decommit (zero-on-reuse), keep mapping+colors. */
+    Status free(const Slot& slot);
+
+    const SlotLayout& layout() const { return layout_; }
+    uint64_t slotsInUse() const { return inUse_; }
+    uint64_t capacity() const { return layout_.numSlots; }
+    mpk::System& mpkSystem() const { return *mpk_; }
+
+    /** Key assigned to stripe @p s (identity 0 when striping is off). */
+    mpk::Pkey
+    keyOfStripe(uint64_t s) const
+    {
+        return stripeKeys_.empty() ? 0
+                                   : stripeKeys_[s % stripeKeys_.size()];
+    }
+
+    /**
+     * Builds a linear-memory view over @p slot for instantiation. The
+     * reported reserved span covers the expected-slot contract so guard
+     * faults attribute correctly.
+     */
+    rt::LinearMemory
+    memoryView(const Slot& slot, uint32_t initial_pages,
+               uint32_t max_pages) const;
+
+  private:
+    MemoryPool() = default;
+
+    Reservation slab_;
+    SlotLayout layout_;
+    PoolConfig config_;
+    mpk::System* mpk_ = nullptr;
+    std::vector<mpk::Pkey> stripeKeys_;  ///< empty when striping off
+    std::vector<uint64_t> freeList_;
+    std::vector<bool> committed_;  ///< slot has been colored+committed
+    std::vector<bool> inUseFlags_;
+    uint64_t inUse_ = 0;
+};
+
+}  // namespace sfi::pool
+
+#endif  // SFIKIT_POOL_POOL_H_

@@ -1,0 +1,279 @@
+#include "runtime/instance.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+#include "runtime/signals.h"
+#include "seg/seg.h"
+#include "wasm/validator.h"
+
+namespace sfi::rt {
+
+Result<std::shared_ptr<SharedModule>>
+SharedModule::compile(wasm::Module module, const jit::CompilerConfig& config)
+{
+    auto compiled = jit::compile(module, config);
+    if (!compiled) {
+        return Result<std::shared_ptr<SharedModule>>::error(
+            compiled.message());
+    }
+    auto shared = std::make_shared<SharedModule>();
+    shared->module_ = std::move(module);
+    shared->code_ = std::move(*compiled);
+    return std::shared_ptr<SharedModule>(std::move(shared));
+}
+
+Result<std::unique_ptr<Instance>>
+Instance::create(std::shared_ptr<const SharedModule> shared,
+                 std::map<std::string, HostFn> host_fns, Options options)
+{
+    const wasm::Module& m = shared->module();
+    auto inst = std::unique_ptr<Instance>(new Instance());
+    inst->shared_ = std::move(shared);
+    inst->stackBudget_ = options.stackBudget;
+    inst->mpkSystem_ = options.mpkSystem;
+    inst->pkey_ = options.pkey;
+
+    // --- memory ---
+    if (options.memoryView.valid()) {
+        inst->memory_ = std::move(options.memoryView);
+    } else {
+        LinearMemory::Config cfg;
+        cfg.minPages = m.memory.minPages;
+        cfg.maxPages = m.memory.maxPages;
+        if (inst->shared_->config().explicitBounds()) {
+            // Bounds checks make guard reservations unnecessary.
+            cfg.guardBytes = 0;
+            cfg.reserveFull = false;
+        } else {
+            cfg.guardBytes = options.guardBytes;
+            cfg.reserveFull = true;
+        }
+        auto mem = LinearMemory::create(cfg);
+        if (!mem)
+            return Result<std::unique_ptr<Instance>>::error(mem.message());
+        inst->memory_ = std::move(*mem);
+    }
+    for (const wasm::DataSegment& seg : m.data) {
+        if (!inst->memory_.inBounds(seg.offset, seg.bytes.size())) {
+            return Result<std::unique_ptr<Instance>>::error(
+                "data segment exceeds instance memory");
+        }
+        std::memcpy(inst->memory_.base() + seg.offset, seg.bytes.data(),
+                    seg.bytes.size());
+    }
+
+    // --- globals, imports, table ---
+    for (const wasm::Global& g : m.globals)
+        inst->globals_.push_back(g.init);
+    for (const wasm::Import& imp : m.imports) {
+        auto it = host_fns.find(imp.name);
+        if (it == host_fns.end()) {
+            return Result<std::unique_ptr<Instance>>::error(
+                "unresolved import: " + imp.name);
+        }
+        inst->hostFns_.push_back(it->second);
+    }
+    for (uint32_t fi : m.table) {
+        if (fi < m.numImports()) {
+            // Host functions are not directly callable through tables;
+            // poison the slot so call_indirect traps with a mismatch.
+            inst->tableTypeIds_.push_back(~0ull);
+            inst->tableEntries_.push_back(0);
+        } else {
+            inst->tableTypeIds_.push_back(m.typeIndexOfFunc(fi));
+            inst->tableEntries_.push_back(reinterpret_cast<uint64_t>(
+                inst->shared_->code().funcAddr(fi - m.numImports())));
+        }
+    }
+
+    // --- context wiring ---
+    jit::JitContext& ctx = inst->ctx_;
+    ctx.memBase = inst->memory_.base();
+    ctx.memSize = inst->memory_.byteSize();
+    ctx.memPages = inst->memory_.pages();
+    ctx.epochPtr = &inst->epochStorage_;
+    ctx.epochDeadline = UINT64_MAX;
+    ctx.globals = inst->globals_.data();
+    ctx.tableTypeIds = inst->tableTypeIds_.data();
+    ctx.tableEntries = inst->tableEntries_.data();
+    ctx.tableSize = inst->tableTypeIds_.size();
+    ctx.runtimeData = inst.get();
+    ctx.trapFn = &Instance::trapFnImpl;
+    ctx.growFn = &Instance::growFnImpl;
+    ctx.hostFn = &Instance::hostFnImpl;
+    ctx.fillFn = &Instance::fillFnImpl;
+    ctx.copyFn = &Instance::copyFnImpl;
+    ctx.epochFn = &Instance::epochFnImpl;
+    ctx.codeBase =
+        reinterpret_cast<uint64_t>(inst->shared_->code().code.base());
+
+    installSignalHandlers();
+    return Result<std::unique_ptr<Instance>>(std::move(inst));
+}
+
+Outcome
+Instance::call(const std::string& export_name,
+               const std::vector<uint64_t>& args)
+{
+    const auto& exports = shared_->module().exports;
+    auto it = exports.find(export_name);
+    SFI_CHECK_MSG(it != exports.end(), "no export named '%s'",
+                  export_name.c_str());
+    return callFunction(it->second, args);
+}
+
+Outcome
+Instance::callFunction(uint32_t func_idx,
+                       const std::vector<uint64_t>& args)
+{
+    const wasm::Module& m = shared_->module();
+    SFI_CHECK_MSG(func_idx >= m.numImports(),
+                  "cannot call an import directly");
+    const wasm::FuncType& ft = m.typeOfFunc(func_idx);
+    SFI_CHECK_MSG(args.size() == ft.params.size(), "call arity mismatch");
+
+    // Marshal into the trampoline layout: ints at [0..5], f64 at [6..9].
+    uint64_t slots[10] = {0};
+    size_t int_pos = 0, f64_pos = 0;
+    for (size_t i = 0; i < args.size(); i++) {
+        if (ft.params[i] == wasm::ValType::F64)
+            slots[6 + f64_pos++] = args[i];
+        else
+            slots[int_pos++] = args[i];
+    }
+
+    // Refresh the parts of the context that may have changed.
+    ctx_.memSize = memory_.byteSize();
+    ctx_.memPages = memory_.pages();
+    uint64_t rsp_now =
+        reinterpret_cast<uint64_t>(__builtin_frame_address(0));
+    ctx_.stackLimit = rsp_now > stackBudget_ ? rsp_now - stackBudget_ : 0;
+
+    const jit::CompiledModule& code = shared_->code();
+    const void* fn = code.funcAddr(func_idx - m.numImports());
+
+    // --- the transition in (§6.4.1) ---
+    transitions_++;
+
+    // Segment base for Segue strategies.
+    uint64_t saved_gs = 0;
+    bool set_gs = shared_->config().needsGsBase();
+    if (set_gs) {
+        saved_gs = seg::getGsBase();
+        seg::setGsBase(reinterpret_cast<uint64_t>(memory_.base()));
+    }
+    // MPK color for ColorGuard.
+    mpk::Pkru saved_pkru{};
+    if (mpkSystem_ != nullptr) {
+        saved_pkru = mpkSystem_->readPkru();
+        mpkSystem_->writePkru(mpk::Pkru::allowOnly(pkey_));
+    }
+
+    sigjmp_buf jmp;
+    ActiveExecution exec;
+    exec.trapJmp = &jmp;
+    exec.memStart = reinterpret_cast<uint64_t>(memory_.base());
+    exec.memEnd = exec.memStart + memory_.reservedBytes();
+    exec.codeStart = reinterpret_cast<uint64_t>(code.code.base());
+    exec.codeEnd = exec.codeStart + code.code.size();
+    ActiveExecution* prev = setActiveExecution(&exec);
+
+    Outcome out;
+    int trap_code = sigsetjmp(jmp, 0);
+    if (trap_code == 0) {
+        jit::CompiledModule::EntryResult r =
+            code.entry()(&ctx_, fn, slots);
+        out.trap = TrapKind::None;
+        if (!ft.results.empty()) {
+            out.value = ft.results[0] == wasm::ValType::F64 ? r.f64Bits
+                                                            : r.intBits;
+            if (ft.results[0] == wasm::ValType::I32)
+                out.value &= 0xffffffffu;
+        }
+    } else {
+        out.trap = static_cast<TrapKind>(trap_code);
+    }
+
+    // --- the transition out ---
+    setActiveExecution(prev);
+    if (mpkSystem_ != nullptr)
+        mpkSystem_->writePkru(saved_pkru);
+    if (set_gs)
+        seg::setGsBase(saved_gs);
+    return out;
+}
+
+void
+Instance::trapFnImpl(void* rd, uint64_t code)
+{
+    (void)rd;
+    ActiveExecution* active = activeExecution();
+    SFI_CHECK_MSG(active != nullptr, "trap outside sandbox execution");
+    siglongjmp(*active->trapJmp, static_cast<int>(code));
+}
+
+uint64_t
+Instance::growFnImpl(void* rd, uint64_t delta)
+{
+    auto* inst = static_cast<Instance*>(rd);
+    int64_t old = inst->memory_.grow(static_cast<uint32_t>(delta));
+    inst->ctx_.memSize = inst->memory_.byteSize();
+    inst->ctx_.memPages = inst->memory_.pages();
+    return static_cast<uint32_t>(old);
+}
+
+uint64_t
+Instance::hostFnImpl(void* rd, uint64_t idx, const uint64_t* args,
+                     uint64_t n)
+{
+    auto* inst = static_cast<Instance*>(rd);
+    HostOutcome out = inst->hostFns_.at(idx)(
+        const_cast<uint64_t*>(args), static_cast<size_t>(n));
+    if (out.trap != TrapKind::None)
+        trapFnImpl(rd, static_cast<uint64_t>(out.trap));
+    return out.value;
+}
+
+void
+Instance::fillFnImpl(void* rd, uint64_t dst, uint64_t val, uint64_t n)
+{
+    auto* inst = static_cast<Instance*>(rd);
+    dst &= 0xffffffffu;
+    val &= 0xffffffffu;
+    n &= 0xffffffffu;
+    if (n == 0)
+        return;
+    if (!inst->memory_.inBounds(dst, n))
+        trapFnImpl(rd, static_cast<uint64_t>(TrapKind::OutOfBounds));
+    std::memset(inst->memory_.base() + dst, static_cast<int>(val & 0xff),
+                n);
+}
+
+void
+Instance::copyFnImpl(void* rd, uint64_t dst, uint64_t src, uint64_t n)
+{
+    auto* inst = static_cast<Instance*>(rd);
+    dst &= 0xffffffffu;
+    src &= 0xffffffffu;
+    n &= 0xffffffffu;
+    if (n == 0)
+        return;
+    if (!inst->memory_.inBounds(dst, n) || !inst->memory_.inBounds(src, n))
+        trapFnImpl(rd, static_cast<uint64_t>(TrapKind::OutOfBounds));
+    std::memmove(inst->memory_.base() + dst, inst->memory_.base() + src,
+                 n);
+}
+
+void
+Instance::epochFnImpl(void* rd)
+{
+    auto* inst = static_cast<Instance*>(rd);
+    if (inst->epochCallback_) {
+        inst->epochCallback_();
+        return;  // resumed
+    }
+    trapFnImpl(rd, static_cast<uint64_t>(TrapKind::EpochInterrupt));
+}
+
+}  // namespace sfi::rt

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The sfikit runtime: instantiation and execution of compiled modules.
+ *
+ * A SharedModule is compiled once (per SFI strategy) and can back many
+ * Instances — the FaaS pattern where thousands of sandboxes share one
+ * program (§2). Each Instance owns its linear memory (or a pooling-
+ * allocator slot view), globals, and host bindings.
+ *
+ * Entering a sandbox is a *transition* (§6.4.1): the runtime sets the
+ * %gs base for Segue strategies, switches the MPK protection key for
+ * ColorGuard, arms trap recovery, and calls the JIT'd entry. Traps —
+ * guard-region faults (SIGSEGV), arithmetic faults (SIGFPE), explicit
+ * trap stubs — unwind back here and surface as Outcome values.
+ */
+#ifndef SFIKIT_RUNTIME_INSTANCE_H_
+#define SFIKIT_RUNTIME_INSTANCE_H_
+
+#include <csetjmp>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "jit/compiler.h"
+#include "jit/context.h"
+#include "jit/strategy.h"
+#include "mpk/mpk.h"
+#include "runtime/memory.h"
+#include "runtime/trap.h"
+#include "wasm/module.h"
+
+namespace sfi::rt {
+
+/** Result of invoking a sandboxed function. */
+struct Outcome
+{
+    TrapKind trap = TrapKind::None;
+    uint64_t value = 0;  ///< result bits (f64 via bit pattern)
+
+    bool ok() const { return trap == TrapKind::None; }
+};
+
+/** Host-function outcome (mirrors interp::HostOutcome). */
+struct HostOutcome
+{
+    TrapKind trap = TrapKind::None;
+    uint64_t value = 0;
+};
+
+using HostFn = std::function<HostOutcome(uint64_t* args, size_t n)>;
+
+/** A module compiled once under one SFI strategy, shareable across
+ *  instances. */
+class SharedModule
+{
+  public:
+    static Result<std::shared_ptr<SharedModule>>
+    compile(wasm::Module module, const jit::CompilerConfig& config);
+
+    const wasm::Module& module() const { return module_; }
+    const jit::CompiledModule& code() const { return code_; }
+    const jit::CompilerConfig& config() const { return code_.config; }
+
+  private:
+    wasm::Module module_;
+    jit::CompiledModule code_;
+};
+
+/** One executing sandbox. */
+class Instance
+{
+  public:
+    struct Options
+    {
+        Options() {}
+        Options(Options&&) = default;
+        Options& operator=(Options&&) = default;
+
+        /** Pre-built memory (pooling-allocator slot); empty = owned. */
+        LinearMemory memoryView;
+        /** Guard bytes for owned memory. */
+        uint64_t guardBytes = 4 * kGiB;
+        /** Host-stack budget enforced via ctx->stackLimit. */
+        uint64_t stackBudget = 4 * kMiB;
+        /** ColorGuard: protection-key system + this sandbox's key. */
+        mpk::System* mpkSystem = nullptr;
+        mpk::Pkey pkey = 0;
+    };
+
+    static Result<std::unique_ptr<Instance>>
+    create(std::shared_ptr<const SharedModule> shared,
+           std::map<std::string, HostFn> host_fns = {},
+           Options options = {});
+
+    /** Calls an exported function (a full sandbox transition). */
+    Outcome call(const std::string& export_name,
+                 const std::vector<uint64_t>& args = {});
+
+    /** Calls any defined function by index. */
+    Outcome callFunction(uint32_t func_idx,
+                         const std::vector<uint64_t>& args = {});
+
+    LinearMemory& memory() { return memory_; }
+    uint64_t global(uint32_t i) const { return globals_.at(i); }
+    void setGlobal(uint32_t i, uint64_t v) { globals_.at(i) = v; }
+
+    /**
+     * Points epoch interruption at a scheduler-owned counter: when
+     * *counter > deadline at a loop back-edge, the epoch callback runs
+     * (§6.4). Requires the module to be compiled with epochChecks.
+     */
+    void
+    setEpoch(const uint64_t* counter, uint64_t deadline)
+    {
+        ctx_.epochPtr = counter;
+        ctx_.epochDeadline = deadline;
+    }
+
+    void setEpochDeadline(uint64_t d) { ctx_.epochDeadline = d; }
+
+    /**
+     * Called when the epoch deadline is exceeded. May return to resume
+     * the sandbox (async yield via fibers) — when unset, the sandbox
+     * traps with EpochInterrupt.
+     */
+    void
+    setEpochCallback(std::function<void()> cb)
+    {
+        epochCallback_ = std::move(cb);
+    }
+
+    /** Transition counter (entries into the sandbox). */
+    uint64_t transitions() const { return transitions_; }
+
+    const SharedModule& shared() const { return *shared_; }
+
+  private:
+    Instance() = default;
+
+    static void trapFnImpl(void* rd, uint64_t code);
+    static uint64_t growFnImpl(void* rd, uint64_t delta);
+    static uint64_t hostFnImpl(void* rd, uint64_t idx,
+                               const uint64_t* args, uint64_t n);
+    static void fillFnImpl(void* rd, uint64_t dst, uint64_t val,
+                           uint64_t n);
+    static void copyFnImpl(void* rd, uint64_t dst, uint64_t src,
+                           uint64_t n);
+    static void epochFnImpl(void* rd);
+
+    friend struct SignalAccess;
+
+    std::shared_ptr<const SharedModule> shared_;
+    jit::JitContext ctx_{};
+    LinearMemory memory_;
+    std::vector<uint64_t> globals_;
+    std::vector<HostFn> hostFns_;
+    std::vector<uint64_t> tableTypeIds_;
+    std::vector<uint64_t> tableEntries_;
+    std::function<void()> epochCallback_;
+    uint64_t epochStorage_ = 0;  ///< default epoch counter target
+    uint64_t stackBudget_ = 4 * kMiB;
+    mpk::System* mpkSystem_ = nullptr;
+    mpk::Pkey pkey_ = 0;
+    uint64_t transitions_ = 0;
+};
+
+}  // namespace sfi::rt
+
+#endif  // SFIKIT_RUNTIME_INSTANCE_H_

@@ -1,0 +1,75 @@
+#include "runtime/memory.h"
+
+namespace sfi::rt {
+
+Result<LinearMemory>
+LinearMemory::create(const Config& config)
+{
+    if (config.maxPages < config.minPages)
+        return Result<LinearMemory>::error("memory max < min");
+    if (uint64_t(config.maxPages) * kWasmPageSize > 4 * kGiB)
+        return Result<LinearMemory>::error("memory exceeds 4 GiB");
+
+    uint64_t reserve_bytes =
+        config.reserveFull
+            ? 4 * kGiB + config.guardBytes
+            : uint64_t(config.maxPages) * kWasmPageSize + config.guardBytes;
+    // Memory-less modules still get one inaccessible page so base() is a
+    // real address.
+    if (reserve_bytes == 0)
+        reserve_bytes = kOsPageSize;
+    auto res = Reservation::reserve(reserve_bytes);
+    if (!res)
+        return Result<LinearMemory>::error(res.message());
+
+    uint64_t commit = uint64_t(config.minPages) * kWasmPageSize;
+    if (commit > 0) {
+        if (auto st = res->protect(0, commit, PageAccess::ReadWrite); !st)
+            return Result<LinearMemory>::error(st.message());
+    }
+
+    LinearMemory mem;
+    mem.owned_ = std::move(*res);
+    mem.base_ = mem.owned_.base();
+    mem.pages_ = config.minPages;
+    mem.maxPages_ = config.maxPages;
+    mem.reservedBytes_ = mem.owned_.size();
+    mem.ownsMapping_ = true;
+    return mem;
+}
+
+LinearMemory
+LinearMemory::view(uint8_t* base, uint32_t pages, uint32_t max_pages,
+                   uint64_t reserved_bytes)
+{
+    LinearMemory mem;
+    mem.base_ = base;
+    mem.pages_ = pages;
+    mem.maxPages_ = max_pages;
+    mem.reservedBytes_ =
+        reserved_bytes ? reserved_bytes
+                       : uint64_t(max_pages) * kWasmPageSize;
+    mem.ownsMapping_ = false;
+    return mem;
+}
+
+int64_t
+LinearMemory::grow(uint32_t delta_pages)
+{
+    uint64_t new_pages = uint64_t(pages_) + delta_pages;
+    if (new_pages > maxPages_)
+        return -1;
+    if (ownsMapping_ && delta_pages > 0) {
+        Status st =
+            owned_.protect(uint64_t(pages_) * kWasmPageSize,
+                           uint64_t(delta_pages) * kWasmPageSize,
+                           PageAccess::ReadWrite);
+        if (!st)
+            return -1;
+    }
+    uint32_t old = pages_;
+    pages_ = static_cast<uint32_t>(new_pages);
+    return old;
+}
+
+}  // namespace sfi::rt

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Wasm linear memory backed by guard regions (§2).
+ *
+ * The standard production layout: reserve 4 GiB of address space plus a
+ * guard region, commit only the current memory size as read-write, and
+ * leave everything else PROT_NONE. Because compiled code adds a 32-bit
+ * index (plus a bounded static offset) to the base, every possible
+ * access lands either in committed memory or in a mapping that faults —
+ * bounds checking by construction, with no per-access instructions.
+ */
+#ifndef SFIKIT_RUNTIME_MEMORY_H_
+#define SFIKIT_RUNTIME_MEMORY_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "base/os_mem.h"
+#include "base/result.h"
+#include "base/units.h"
+
+namespace sfi::rt {
+
+/** One linear memory: either owning its reservation or a view into a
+ *  pooling-allocator slot. */
+class LinearMemory
+{
+  public:
+    struct Config
+    {
+        uint32_t minPages = 0;
+        uint32_t maxPages = 0;
+        /** Guard bytes beyond the 4 GiB index range. */
+        uint64_t guardBytes = 4 * kGiB;
+        /**
+         * Reserve the full 4 GiB index space (guard-region bounds
+         * enforcement). When false, only maxPages are reserved and the
+         * compiler must emit explicit bounds checks.
+         */
+        bool reserveFull = true;
+    };
+
+    LinearMemory() = default;
+
+    /** Creates an owning memory per @p config. */
+    static Result<LinearMemory> create(const Config& config);
+
+    /**
+     * Wraps memory owned by a pooling-allocator slot. The pool has
+     * already established protections/colors; grow only moves the
+     * committed-size bookkeeping. @p reserved_bytes is the span
+     * (slot + trailing guard) within which faults should be attributed
+     * to this memory.
+     */
+    static LinearMemory view(uint8_t* base, uint32_t pages,
+                             uint32_t max_pages,
+                             uint64_t reserved_bytes = 0);
+
+    /** Bytes of address space (memory + guard) behind base(). */
+    uint64_t reservedBytes() const { return reservedBytes_; }
+
+    uint8_t* base() const { return base_; }
+    uint32_t pages() const { return pages_; }
+    uint32_t maxPages() const { return maxPages_; }
+    uint64_t byteSize() const { return uint64_t(pages_) * kWasmPageSize; }
+    bool valid() const { return base_ != nullptr; }
+
+    /**
+     * memory.grow: extends by @p delta_pages. Returns the old size in
+     * pages, or -1 when the limit would be exceeded.
+     */
+    int64_t grow(uint32_t delta_pages);
+
+    /** True iff [offset, offset+len) is inside current memory. */
+    bool
+    inBounds(uint64_t offset, uint64_t len) const
+    {
+        uint64_t size = byteSize();
+        return offset <= size && len <= size - offset;
+    }
+
+    /** Checked typed read (interpreter path). */
+    template <typename T>
+    bool
+    read(uint64_t offset, T* out) const
+    {
+        if (!inBounds(offset, sizeof(T)))
+            return false;
+        std::memcpy(out, base_ + offset, sizeof(T));
+        return true;
+    }
+
+    /** Checked typed write (interpreter path). */
+    template <typename T>
+    bool
+    write(uint64_t offset, T value)
+    {
+        if (!inBounds(offset, sizeof(T)))
+            return false;
+        std::memcpy(base_ + offset, &value, sizeof(T));
+        return true;
+    }
+
+  private:
+    Reservation owned_;
+    uint8_t* base_ = nullptr;
+    uint32_t pages_ = 0;
+    uint32_t maxPages_ = 0;
+    uint64_t reservedBytes_ = 0;
+    bool ownsMapping_ = false;
+};
+
+}  // namespace sfi::rt
+
+#endif  // SFIKIT_RUNTIME_MEMORY_H_

@@ -1,0 +1,101 @@
+#include "runtime/signals.h"
+
+#include <csignal>
+#include <cstdlib>
+
+#include "base/logging.h"
+
+namespace sfi::rt {
+
+namespace {
+
+thread_local ActiveExecution* tl_active = nullptr;
+
+/** Restores default disposition and re-raises (a genuine crash). */
+void
+reraise(int sig, siginfo_t* info)
+{
+    signal(sig, SIG_DFL);
+    raise(sig);
+}
+
+void
+handler(int sig, siginfo_t* info, void* ucontext_raw)
+{
+    ActiveExecution* active = tl_active;
+    uint64_t fault_addr = reinterpret_cast<uint64_t>(info->si_addr);
+
+    if (active == nullptr) {
+        reraise(sig, info);
+        return;
+    }
+
+    TrapKind kind = TrapKind::None;
+    if (sig == SIGSEGV || sig == SIGBUS) {
+        if (fault_addr >= active->memStart && fault_addr < active->memEnd)
+            kind = TrapKind::OutOfBounds;
+    } else if (sig == SIGFPE) {
+        // si_addr is the faulting RIP for SIGFPE. Division by zero is
+        // pre-checked in generated code, so a hardware #DE inside JIT
+        // code can only be INT_MIN / -1.
+        if (fault_addr >= active->codeStart &&
+            fault_addr < active->codeEnd) {
+            kind = TrapKind::IntegerOverflow;
+        }
+    } else if (sig == SIGILL) {
+        if (fault_addr >= active->codeStart &&
+            fault_addr < active->codeEnd) {
+            kind = TrapKind::Unreachable;
+        }
+    }
+
+    if (kind == TrapKind::None) {
+        reraise(sig, info);
+        return;
+    }
+
+    // The signal being handled is blocked during delivery; unblock it
+    // before the longjmp (we use the fast sigsetjmp(buf, 0) variant that
+    // does not save masks).
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, sig);
+    sigprocmask(SIG_UNBLOCK, &set, nullptr);
+
+    siglongjmp(*active->trapJmp, static_cast<int>(kind));
+}
+
+}  // namespace
+
+void
+installSignalHandlers()
+{
+    static bool installed = [] {
+        struct sigaction sa;
+        sa.sa_sigaction = handler;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = SA_SIGINFO;
+        for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL}) {
+            if (sigaction(sig, &sa, nullptr) != 0)
+                SFI_FATAL("failed to install handler for signal %d", sig);
+        }
+        return true;
+    }();
+    (void)installed;
+}
+
+ActiveExecution*
+setActiveExecution(ActiveExecution* exec)
+{
+    ActiveExecution* prev = tl_active;
+    tl_active = exec;
+    return prev;
+}
+
+ActiveExecution*
+activeExecution()
+{
+    return tl_active;
+}
+
+}  // namespace sfi::rt

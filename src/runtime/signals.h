@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Hardware-fault to Wasm-trap conversion.
+ *
+ * Guard-region SFI works because out-of-bounds accesses really fault:
+ * a SIGSEGV whose fault address falls inside the active instance's
+ * reserved memory span (or a SIGFPE/SIGILL whose RIP falls inside its
+ * code) is converted into a deterministic trap by longjmp'ing back to
+ * the runtime's entry point. Faults that belong to nobody re-raise with
+ * default disposition — sfikit never swallows genuine crashes.
+ */
+#ifndef SFIKIT_RUNTIME_SIGNALS_H_
+#define SFIKIT_RUNTIME_SIGNALS_H_
+
+#include <csetjmp>
+#include <cstdint>
+
+#include "runtime/trap.h"
+
+namespace sfi::rt {
+
+/** What the signal layer needs to know about the running sandbox. */
+struct ActiveExecution
+{
+    sigjmp_buf* trapJmp = nullptr;
+    /** Linear-memory reservation: faults here = OutOfBounds. */
+    uint64_t memStart = 0, memEnd = 0;
+    /** Code region: SIGFPE here = IntegerOverflow (div pre-checked). */
+    uint64_t codeStart = 0, codeEnd = 0;
+};
+
+/** Installs the process-wide handlers once (idempotent). */
+void installSignalHandlers();
+
+/**
+ * Marks @p exec as the sandbox execution owning faults on this thread.
+ * Returns the previous value so nested entries can restore it.
+ */
+ActiveExecution* setActiveExecution(ActiveExecution* exec);
+
+/** The execution currently owning faults (explicit trap exits use its
+ *  jump buffer too). */
+ActiveExecution* activeExecution();
+
+}  // namespace sfi::rt
+
+#endif  // SFIKIT_RUNTIME_SIGNALS_H_

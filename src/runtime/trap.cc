@@ -1,0 +1,26 @@
+#include "runtime/trap.h"
+
+namespace sfi::rt {
+
+const char*
+name(TrapKind k)
+{
+    switch (k) {
+      case TrapKind::None: return "none";
+      case TrapKind::OutOfBounds: return "out of bounds memory access";
+      case TrapKind::DivByZero: return "integer divide by zero";
+      case TrapKind::IntegerOverflow: return "integer overflow";
+      case TrapKind::Unreachable: return "unreachable executed";
+      case TrapKind::StackExhausted: return "call stack exhausted";
+      case TrapKind::IndirectCallOutOfRange:
+        return "undefined element in table";
+      case TrapKind::IndirectCallTypeMismatch:
+        return "indirect call type mismatch";
+      case TrapKind::EpochInterrupt: return "epoch interrupt";
+      case TrapKind::HostError: return "host error";
+      case TrapKind::MpkViolation: return "MPK protection violation";
+    }
+    return "?";
+}
+
+}  // namespace sfi::rt

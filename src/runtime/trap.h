@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Wasm-style traps. SFI turns every safety violation into a deterministic
+ * trap (§2) — out-of-bounds accesses hit guard regions or bounds checks,
+ * arithmetic faults come from the hardware, epoch interruption preempts
+ * runaway code.
+ */
+#ifndef SFIKIT_RUNTIME_TRAP_H_
+#define SFIKIT_RUNTIME_TRAP_H_
+
+#include <cstdint>
+
+namespace sfi::rt {
+
+/** Why execution stopped abnormally. */
+enum class TrapKind : uint8_t {
+    None = 0,
+    OutOfBounds,       ///< linear-memory access outside bounds
+    DivByZero,
+    IntegerOverflow,   ///< INT_MIN / -1 and out-of-range float->int
+    Unreachable,
+    StackExhausted,
+    IndirectCallOutOfRange,
+    IndirectCallTypeMismatch,
+    EpochInterrupt,    ///< preempted by epoch_interruption (§6.4)
+    HostError,
+    MpkViolation,      ///< emulated-MPK color violation (ColorGuard)
+};
+
+const char* name(TrapKind k);
+
+}  // namespace sfi::rt
+
+#endif  // SFIKIT_RUNTIME_TRAP_H_

@@ -1,0 +1,108 @@
+#include "seg/seg.h"
+
+#include <asm/prctl.h>
+#include <csetjmp>
+#include <csignal>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "base/cpu.h"
+#include "base/logging.h"
+
+namespace sfi::seg {
+
+namespace {
+
+sigjmp_buf g_probe_jmp;
+
+void
+probeSigill(int)
+{
+    siglongjmp(g_probe_jmp, 1);
+}
+
+/**
+ * CPUID's FSGSBASE bit says the instructions exist, not that the kernel
+ * enabled them (CR4.FSGSBASE, Linux >= 5.9). Execute RDGSBASE under a
+ * SIGILL handler to find out for sure.
+ */
+bool
+probeFsgsbase()
+{
+    if (!cpuFeatures().fsgsbase)
+        return false;
+    struct sigaction sa, old_sa;
+    sa.sa_handler = probeSigill;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGILL, &sa, &old_sa);
+    bool ok = false;
+    if (sigsetjmp(g_probe_jmp, 1) == 0) {
+        uint64_t v;
+        asm volatile("rdgsbase %0" : "=r"(v));
+        (void)v;
+        ok = true;
+    }
+    sigaction(SIGILL, &old_sa, nullptr);
+    return ok;
+}
+
+void
+archPrctlSetGs(uint64_t base)
+{
+    long rc = syscall(SYS_arch_prctl, ARCH_SET_GS, base);
+    SFI_CHECK_MSG(rc == 0, "arch_prctl(ARCH_SET_GS) failed");
+}
+
+uint64_t
+archPrctlGetGs()
+{
+    uint64_t base = 0;
+    long rc = syscall(SYS_arch_prctl, ARCH_GET_GS, &base);
+    SFI_CHECK_MSG(rc == 0, "arch_prctl(ARCH_GET_GS) failed");
+    return base;
+}
+
+}  // namespace
+
+bool
+fsgsbaseUsable()
+{
+    static const bool usable = probeFsgsbase();
+    return usable;
+}
+
+GsWriteMode
+gsWriteMode()
+{
+    return fsgsbaseUsable() ? GsWriteMode::Fsgsbase : GsWriteMode::ArchPrctl;
+}
+
+void
+setGsBase(uint64_t base)
+{
+    setGsBaseWith(gsWriteMode(), base);
+}
+
+void
+setGsBaseWith(GsWriteMode mode, uint64_t base)
+{
+    if (mode == GsWriteMode::Fsgsbase) {
+        asm volatile("wrgsbase %0" : : "r"(base));
+    } else {
+        archPrctlSetGs(base);
+    }
+}
+
+uint64_t
+getGsBase()
+{
+    if (fsgsbaseUsable()) {
+        uint64_t v;
+        asm volatile("rdgsbase %0" : "=r"(v));
+        return v;
+    }
+    return archPrctlGetGs();
+}
+
+}  // namespace sfi::seg

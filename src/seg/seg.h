@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Segment-base control for Segue (§3.1, §4.1).
+ *
+ * Segue stores the active sandbox's linear-memory base in %gs and uses
+ * segment-relative addressing for all heap accesses. Linux dedicates %fs
+ * to TLS, leaving %gs free for SFI. Setting the base uses the userspace
+ * WRGSBASE instruction when FSGSBASE is available (IvyBridge, 2011, and
+ * later, with kernel support), or falls back to arch_prctl(ARCH_SET_GS) —
+ * a full syscall, whose extra transition cost the paper calls out for
+ * older-CPU Firefox deployments.
+ */
+#ifndef SFIKIT_SEG_SEG_H_
+#define SFIKIT_SEG_SEG_H_
+
+#include <cstdint>
+
+namespace sfi::seg {
+
+/** How the %gs base is written. */
+enum class GsWriteMode : uint8_t {
+    Fsgsbase,   ///< Userspace WRGSBASE (fast path).
+    ArchPrctl,  ///< arch_prctl(ARCH_SET_GS) syscall (fallback).
+};
+
+/**
+ * True iff userspace WRGSBASE/RDGSBASE actually work (CPUID advertises
+ * FSGSBASE *and* the kernel set CR4.FSGSBASE). Probed once by executing
+ * the instruction under a SIGILL guard.
+ */
+bool fsgsbaseUsable();
+
+/** The write mode the process will use (resolved once). */
+GsWriteMode gsWriteMode();
+
+/** Sets the %gs base to @p base using the resolved mode. */
+void setGsBase(uint64_t base);
+
+/** Sets the %gs base using a specific mode (benchmarking both paths). */
+void setGsBaseWith(GsWriteMode mode, uint64_t base);
+
+/** Reads the current %gs base. */
+uint64_t getGsBase();
+
+/**
+ * RAII: sets the %gs base for the current scope and restores the previous
+ * value on destruction — the pattern Wasm2c's runtime uses on module entry
+ * so callers never track the register manually (§4.1).
+ */
+class ScopedGsBase
+{
+  public:
+    explicit ScopedGsBase(uint64_t base) : saved_(getGsBase())
+    {
+        setGsBase(base);
+    }
+
+    ~ScopedGsBase() { setGsBase(saved_); }
+
+    ScopedGsBase(const ScopedGsBase&) = delete;
+    ScopedGsBase& operator=(const ScopedGsBase&) = delete;
+
+  private:
+    uint64_t saved_;
+};
+
+}  // namespace sfi::seg
+
+#endif  // SFIKIT_SEG_SEG_H_

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue with
+ * deterministic tie-breaking (insertion order).
+ */
+#ifndef SFIKIT_SIMX_EVENT_QUEUE_H_
+#define SFIKIT_SIMX_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace sfi::simx {
+
+/** Simulated time in nanoseconds. */
+using Time = uint64_t;
+
+inline constexpr Time kUs = 1000;
+inline constexpr Time kMs = 1000 * kUs;
+inline constexpr Time kSec = 1000 * kMs;
+
+/** A deterministic discrete-event queue. */
+class EventQueue
+{
+  public:
+    /** Schedules @p fn at absolute time @p at (>= now). */
+    void
+    schedule(Time at, std::function<void()> fn)
+    {
+        SFI_CHECK_MSG(at >= now_, "scheduling into the past");
+        heap_.push(Entry{at, seq_++, std::move(fn)});
+    }
+
+    void
+    scheduleAfter(Time delay, std::function<void()> fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Runs events until the queue drains or time reaches @p until. */
+    void
+    runUntil(Time until)
+    {
+        while (!heap_.empty() && heap_.top().at <= until) {
+            Entry e = heap_.top();
+            heap_.pop();
+            now_ = e.at;
+            e.fn();
+        }
+        if (now_ < until)
+            now_ = until;
+    }
+
+    Time now() const { return now_; }
+    bool empty() const { return heap_.empty(); }
+    size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Time at;
+        uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry& o) const
+        {
+            return at != o.at ? at > o.at : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    Time now_ = 0;
+    uint64_t seq_ = 0;
+};
+
+}  // namespace sfi::simx
+
+#endif  // SFIKIT_SIMX_EVENT_QUEUE_H_

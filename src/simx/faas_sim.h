@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Single-core FaaS scaling simulation: ColorGuard (one address space,
+ * epoch-scheduled) vs multiprocess scaling (§6.4.3, Figures 6/7).
+ *
+ * The simulated machine runs a closed-loop population of concurrent
+ * requests, each alternating exponential IO waits (mean 5 ms — the
+ * paper's Poisson IO model) with epoch-sliced compute. Two scheduling
+ * regimes:
+ *
+ *  - ColorGuard: every instance lives in one process. Switching between
+ *    instances costs one sandbox transition (gs base + wrpkru, ~tens of
+ *    ns) and never flushes the TLB.
+ *  - Multiprocess: instances are spread over N processes. The OS
+ *    scheduler (CFS-like: quantum = period/N floored at a minimum
+ *    granularity, plus blocking when a process has no runnable
+ *    instance) switches processes; each switch pays a direct kernel
+ *    cost, a full dTLB flush (modelled per-access afterwards), and a
+ *    cache re-warm surcharge for the evicted working set.
+ *
+ * Cost parameters are documented in FaasSimConfig with their
+ * provenance; EXPERIMENTS.md discusses sensitivity.
+ */
+#ifndef SFIKIT_SIMX_FAAS_SIM_H_
+#define SFIKIT_SIMX_FAAS_SIM_H_
+
+#include <cstdint>
+
+#include "simx/tlb.h"
+
+namespace sfi::simx {
+
+struct FaasSimConfig
+{
+    /** 1..15 processes (Figure 6's x-axis); ignored when colorguard. */
+    int numProcesses = 1;
+    /** Single-address-space ColorGuard scheduling. */
+    bool colorguard = false;
+
+    /** Concurrent in-flight requests (closed loop). */
+    int concurrentRequests = 480;
+    /** Mean exponential IO wait per request (paper: 5 ms). */
+    double ioDelayMeanMs = 5.0;
+    /** Mean exponential compute per request. */
+    double computeMeanUs = 150.0;
+    /** Epoch-interruption period (paper: 1 ms). */
+    double epochMs = 1.0;
+
+    /** Sandbox transition cost incl. wrpkru (§6.4.1 measures ~51 ns). */
+    double transitionNs = 52.0;
+    /** Direct kernel cost of a process context switch. */
+    double osSwitchDirectUs = 2.0;
+    /**
+     * Indirect cost of a cross-process switch: re-warming the evicted
+     * working set through the memory hierarchy (LLC/DRAM refill of
+     * O(1 MiB) state ~ 100+ us). The dominant term behind Figure 6's
+     * gap; see EXPERIMENTS.md for the sensitivity sweep.
+     */
+    double cacheRewarmUs = 150.0;
+    /** CFS-like scheduling period and minimum granularity. */
+    double schedPeriodMs = 12.0;
+    double minGranularityMs = 1.0;
+
+    /** Pages touched per compute slice. */
+    int instancePages = 8;    ///< per-request private state
+    int runtimePages = 64;    ///< per-process shared runtime/JIT pages
+
+    /**
+     * Modelled as an L2 STLB: big enough that the shared runtime and
+     * hot instances stay resident — until a process switch flushes it.
+     */
+    TlbModel::Config tlb{2048, 8, 4, 5.0};
+
+    double simSeconds = 10.0;
+    uint64_t seed = 42;
+};
+
+struct FaasSimResult
+{
+    double throughputRps = 0;
+    uint64_t completedRequests = 0;
+    /** OS-level process context switches (Figure 7a). */
+    uint64_t osContextSwitches = 0;
+    /** In-process sandbox transitions. */
+    uint64_t sandboxTransitions = 0;
+    /** dTLB misses (Figure 7b). */
+    uint64_t dtlbMisses = 0;
+    uint64_t dtlbAccesses = 0;
+
+    /** dTLB miss rate — the load-independent Figure 7b comparison. */
+    double
+    dtlbMissRate() const
+    {
+        return dtlbAccesses ? double(dtlbMisses) / double(dtlbAccesses)
+                            : 0;
+    }
+
+    /** dTLB misses normalized per completed request. */
+    double
+    dtlbMissesPerRequest() const
+    {
+        return completedRequests
+                   ? double(dtlbMisses) / double(completedRequests)
+                   : 0;
+    }
+    double avgLatencyMs = 0;
+    double cpuBusyFraction = 0;
+};
+
+FaasSimResult simulateFaas(const FaasSimConfig& config);
+
+}  // namespace sfi::simx
+
+#endif  // SFIKIT_SIMX_FAAS_SIM_H_

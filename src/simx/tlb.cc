@@ -1,0 +1,54 @@
+#include "simx/tlb.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/units.h"
+
+namespace sfi::simx {
+
+TlbModel::TlbModel() : TlbModel(Config()) {}
+
+TlbModel::TlbModel(const Config& config) : cfg_(config)
+{
+    SFI_CHECK(cfg_.ways > 0 && cfg_.entries >= cfg_.ways);
+    sets_ = cfg_.entries / cfg_.ways;
+    SFI_CHECK(isPow2(sets_));
+    sets_data_.assign(sets_, {});
+}
+
+double
+TlbModel::missCostNs() const
+{
+    return cfg_.walkLevels * cfg_.walkCostNsPerLevel;
+}
+
+double
+TlbModel::access(uint64_t page)
+{
+    auto& set = sets_data_[page & (sets_ - 1)];
+    uint64_t tagged = page + 1;
+    auto it = std::find(set.begin(), set.end(), tagged);
+    if (it != set.end()) {
+        // Move to MRU position (front).
+        set.erase(it);
+        set.insert(set.begin(), tagged);
+        hits_++;
+        return 0.0;
+    }
+    misses_++;
+    set.insert(set.begin(), tagged);
+    if (set.size() > cfg_.ways)
+        set.pop_back();
+    return missCostNs();
+}
+
+void
+TlbModel::flush()
+{
+    for (auto& set : sets_data_)
+        set.clear();
+    flushes_++;
+}
+
+}  // namespace sfi::simx

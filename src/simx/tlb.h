@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A set-associative dTLB model with page-walk costs.
+ *
+ * Used by the FaaS scaling simulation (Figure 7b): OS process switches
+ * flush the TLB (CR3 reload without PCID), so multiprocess scaling pays
+ * recurring page-walk costs that single-address-space ColorGuard
+ * scheduling avoids — plus §8's observation that 5-level paging makes
+ * each walk ~25% more expensive.
+ */
+#ifndef SFIKIT_SIMX_TLB_H_
+#define SFIKIT_SIMX_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sfi::simx {
+
+class TlbModel
+{
+  public:
+    struct Config
+    {
+        uint32_t entries = 64;  ///< dTLB entries (L1 dTLB-sized)
+        uint32_t ways = 4;
+        int walkLevels = 4;     ///< 4-level vs 5-level paging (§8)
+        double walkCostNsPerLevel = 5.0;
+    };
+
+    TlbModel();
+    explicit TlbModel(const Config& config);
+
+    /**
+     * Simulates a data access to @p page (virtual page number).
+     * Returns the access cost in ns (0 on hit) and updates stats.
+     */
+    double access(uint64_t page);
+
+    /** Full flush (process context switch without PCID). */
+    void flush();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t flushes() const { return flushes_; }
+    double missCostNs() const;
+
+  private:
+    Config cfg_;
+    uint32_t sets_;
+    /** entry = page number + 1; 0 = invalid. LRU via per-set ordering. */
+    std::vector<std::vector<uint64_t>> sets_data_;
+    uint64_t hits_ = 0, misses_ = 0, flushes_ = 0;
+};
+
+}  // namespace sfi::simx
+
+#endif  // SFIKIT_SIMX_TLB_H_

@@ -1,0 +1,278 @@
+#include "w2c/expat_lite.h"
+
+#include <cstdio>
+
+namespace sfi::w2c {
+
+namespace {
+
+bool
+isNameStart(uint8_t c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+}
+
+bool
+isNameChar(uint8_t c)
+{
+    return isNameStart(c) || (c >= '0' && c <= '9') || c == '-' ||
+           c == '.';
+}
+
+bool
+isSpace(uint8_t c)
+{
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
+template <typename P>
+XmlStats
+parseXml(const P& m, uint32_t doc, uint32_t len, uint32_t scratch)
+{
+    XmlStats st;
+    uint32_t pos = 0;
+    // Element stack in the heap: entries are (nameHash u32, nameLen u32).
+    uint32_t depth = 0;
+    const uint32_t kMaxDepth = 4096;
+
+    auto peek = [&](uint32_t at) -> uint8_t {
+        return at < len ? m.template loadAt<uint8_t>(doc, at) : 0;
+    };
+    auto mix = [&](uint64_t v) {
+        st.checksum = st.checksum * 1099511628211ull + v;
+    };
+
+    // Scans a Name at pos; returns its hash and advances pos.
+    auto scanName = [&](uint32_t* hash) -> bool {
+        if (!isNameStart(peek(pos)))
+            return false;
+        uint32_t h = 2166136261u;
+        while (pos < len && isNameChar(peek(pos))) {
+            h = (h ^ peek(pos)) * 16777619u;
+            pos++;
+        }
+        *hash = h;
+        return true;
+    };
+
+    auto skipSpace = [&] {
+        while (pos < len && isSpace(peek(pos)))
+            pos++;
+    };
+
+    // Decodes text content up to the next '<'; counts entities.
+    auto scanText = [&] {
+        while (pos < len && peek(pos) != '<') {
+            uint8_t c = peek(pos);
+            if (c == '&') {
+                // &lt; &gt; &amp; &apos; &quot; and numeric &#NN;.
+                uint32_t start = pos + 1;
+                uint32_t end = start;
+                while (end < len && end - start < 8 && peek(end) != ';')
+                    end++;
+                if (end >= len || peek(end) != ';')
+                    return false;
+                uint32_t h = 0;
+                for (uint32_t i = start; i < end; i++)
+                    h = h * 31 + peek(i);
+                mix(h);
+                st.entities++;
+                pos = end + 1;
+            } else {
+                st.textBytes++;
+                pos++;
+            }
+        }
+        return true;
+    };
+
+    while (pos < len) {
+        if (peek(pos) != '<') {
+            if (!scanText())
+                return st;
+            continue;
+        }
+        pos++;  // consume '<'
+        uint8_t c = peek(pos);
+
+        if (c == '?') {
+            // <?xml ... ?> or processing instruction.
+            pos++;
+            while (pos + 1 < len &&
+                   !(peek(pos) == '?' && peek(pos + 1) == '>')) {
+                pos++;
+            }
+            if (pos + 1 >= len)
+                return st;
+            pos += 2;
+            continue;
+        }
+        if (c == '!') {
+            pos++;
+            if (peek(pos) == '-' && peek(pos + 1) == '-') {
+                pos += 2;  // comment
+                while (pos + 2 < len &&
+                       !(peek(pos) == '-' && peek(pos + 1) == '-' &&
+                         peek(pos + 2) == '>')) {
+                    pos++;
+                }
+                if (pos + 2 >= len)
+                    return st;
+                pos += 3;
+                continue;
+            }
+            // <![CDATA[ ... ]]>
+            const char* cdata = "[CDATA[";
+            bool is_cdata = true;
+            for (int i = 0; i < 7; i++) {
+                if (peek(pos + uint32_t(i)) != uint8_t(cdata[i]))
+                    is_cdata = false;
+            }
+            if (is_cdata) {
+                pos += 7;
+                while (pos + 2 < len &&
+                       !(peek(pos) == ']' && peek(pos + 1) == ']' &&
+                         peek(pos + 2) == '>')) {
+                    st.textBytes++;
+                    pos++;
+                }
+                if (pos + 2 >= len)
+                    return st;
+                pos += 3;
+                continue;
+            }
+            // DOCTYPE etc.: skip to '>'.
+            while (pos < len && peek(pos) != '>')
+                pos++;
+            pos++;
+            continue;
+        }
+        if (c == '/') {
+            // Closing tag: must match the top of the stack.
+            pos++;
+            uint32_t h;
+            if (!scanName(&h) || depth == 0)
+                return st;
+            uint32_t expect = m.template loadAt<uint32_t>(
+                scratch, depth - 1);
+            if (expect != h)
+                return st;  // mismatched tag
+            depth--;
+            skipSpace();
+            if (peek(pos) != '>')
+                return st;
+            pos++;
+            mix(h ^ 0x5a5a);
+            continue;
+        }
+
+        // Opening tag.
+        uint32_t h;
+        if (!scanName(&h))
+            return st;
+        st.elements++;
+        mix(h);
+
+        // Attributes.
+        while (true) {
+            skipSpace();
+            uint8_t n = peek(pos);
+            if (n == '>' || n == '/' || pos >= len)
+                break;
+            uint32_t ah;
+            if (!scanName(&ah))
+                return st;
+            skipSpace();
+            if (peek(pos) != '=')
+                return st;
+            pos++;
+            skipSpace();
+            uint8_t quote = peek(pos);
+            if (quote != '"' && quote != '\'')
+                return st;
+            pos++;
+            uint32_t vh = 2166136261u;
+            while (pos < len && peek(pos) != quote) {
+                vh = (vh ^ peek(pos)) * 16777619u;
+                pos++;
+            }
+            if (pos >= len)
+                return st;
+            pos++;  // closing quote
+            st.attributes++;
+            mix((uint64_t(ah) << 32) | vh);
+        }
+
+        if (peek(pos) == '/') {
+            pos++;
+            if (peek(pos) != '>')
+                return st;
+            pos++;
+            mix(h ^ 0x5a5a);  // implicit close
+            continue;
+        }
+        if (peek(pos) != '>')
+            return st;
+        pos++;
+        if (depth >= kMaxDepth)
+            return st;
+        m.template storeAt<uint32_t>(scratch, depth, h);
+        depth++;
+        if (depth > st.maxDepth)
+            st.maxDepth = depth;
+    }
+
+    st.wellFormed = (depth == 0);
+    return st;
+}
+
+std::string
+makeSvgDocument(int icons, int repeat)
+{
+    std::string icon_block;
+    icon_block += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+    icon_block += "<svg xmlns=\"http://www.w3.org/2000/svg\" "
+                  "width=\"1024\" height=\"32\">\n";
+    icon_block += "<!-- toolbar icon strip -->\n";
+    for (int i = 0; i < icons; i++) {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "<g id=\"icon%d\" transform=\"translate(%d,0)\">"
+            "<rect x=\"1\" y=\"1\" width=\"30\" height=\"30\" "
+            "rx=\"%d\" fill=\"#4a90d9\" opacity=\"0.%02d\"/>"
+            "<path d=\"M%d %d L%d %d Q%d %d %d %d Z\" "
+            "stroke=\"#222\" stroke-width=\"2\" fill=\"none\"/>"
+            "<text x=\"16\" y=\"28\" font-size=\"6\">ic&amp;n "
+            "&#37;d</text>"
+            "</g>\n",
+            i, i * 32, (i % 7) + 1, (i % 90) + 10, (i * 3) % 20 + 4,
+            (i * 5) % 20 + 4, (i * 7) % 20 + 8, (i * 11) % 20 + 8,
+            16, 16, (i * 13) % 24 + 4, (i * 17) % 24 + 4);
+        icon_block += buf;
+    }
+    icon_block += "</svg>\n";
+
+    std::string doc;
+    for (int r = 0; r < repeat; r++)
+        doc += icon_block;
+    return doc;
+}
+
+// Explicit instantiations for every policy.
+template XmlStats parseXml<NativePolicy>(const NativePolicy&, uint32_t,
+                                         uint32_t, uint32_t);
+template XmlStats parseXml<BaseAddPolicy>(const BaseAddPolicy&, uint32_t,
+                                          uint32_t, uint32_t);
+template XmlStats parseXml<SeguePolicy>(const SeguePolicy&, uint32_t,
+                                        uint32_t, uint32_t);
+template XmlStats parseXml<BoundsPolicy>(const BoundsPolicy&, uint32_t,
+                                         uint32_t, uint32_t);
+template XmlStats parseXml<SegueBoundsPolicy>(const SegueBoundsPolicy&,
+                                              uint32_t, uint32_t,
+                                              uint32_t);
+
+}  // namespace sfi::w2c

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * expat_lite: a from-scratch, non-validating XML pull parser that runs
+ * entirely inside a sandbox heap through an access policy — the
+ * stand-in for Firefox's Wasm-sandboxed libexpat (§6.1).
+ *
+ * Supports the subset SVG documents exercise: elements, attributes,
+ * self-closing tags, character data, comments, CDATA sections, XML
+ * declarations/processing instructions, and the five predefined
+ * entities. The parser's working state (element-name stack) also lives
+ * in the sandbox heap, as it would in the real sandboxed library.
+ */
+#ifndef SFIKIT_W2C_EXPAT_LITE_H_
+#define SFIKIT_W2C_EXPAT_LITE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "w2c/policy.h"
+
+namespace sfi::w2c {
+
+/** Aggregated parse results (what the host would collect via events). */
+struct XmlStats
+{
+    bool wellFormed = false;
+    uint32_t elements = 0;
+    uint32_t attributes = 0;
+    uint32_t textBytes = 0;
+    uint32_t maxDepth = 0;
+    uint32_t entities = 0;
+    /** Order-sensitive hash over names/values — the differential check. */
+    uint64_t checksum = 0;
+};
+
+/**
+ * Parses the document at [doc, doc+len) in the sandbox heap. Uses
+ * [scratch, scratch+64KiB) for the element stack.
+ */
+template <typename P>
+XmlStats parseXml(const P& m, uint32_t doc, uint32_t len,
+                  uint32_t scratch);
+
+/** Host-side helper: a deterministic SVG-toolbar-like document
+ *  (@p icons icon groups, concatenated @p repeat times, §6.1). */
+std::string makeSvgDocument(int icons, int repeat);
+
+}  // namespace sfi::w2c
+
+#endif  // SFIKIT_W2C_EXPAT_LITE_H_

@@ -1,0 +1,256 @@
+#include "w2c/graphite_lite.h"
+
+#include <cstring>
+
+namespace sfi::w2c {
+
+namespace {
+
+// Font table layout (all u32, 26.6 fixed point coordinates):
+//   header: [numGlyphs][glyphOffsets[numGlyphs]]
+//   glyph:  [numContours][perContour: numPoints, then points]
+//   point:  x(u32, 26.6 signed-as-bits), y, onCurve flag
+//
+// Contours are generated as rounded star/loop shapes varying per glyph,
+// in a 64x64 em box (26.6: 0..4096).
+
+struct Pt
+{
+    int32_t x, y;
+    bool on;
+};
+
+uint32_t
+putU32(uint8_t* base, uint32_t off, uint32_t v)
+{
+    std::memcpy(base + off, &v, 4);
+    return off + 4;
+}
+
+}  // namespace
+
+uint32_t
+buildSyntheticFont(uint8_t* heap_base, uint32_t font_off)
+{
+    // First pass into a local buffer per glyph, then emit.
+    uint32_t off = font_off;
+    off = putU32(heap_base, off, kFontGlyphs);
+    uint32_t offsets_at = off;
+    off += 4 * kFontGlyphs;  // patched below
+
+    for (uint32_t g = 0; g < kFontGlyphs; g++) {
+        putU32(heap_base, offsets_at + 4 * g, off - font_off);
+        uint32_t contours = 1 + (g % 3);
+        off = putU32(heap_base, off, contours);
+        uint32_t seed = g * 2654435761u + 12345;
+        for (uint32_t c = 0; c < contours; c++) {
+            uint32_t points = 6 + ((g + c) % 6) * 2;
+            off = putU32(heap_base, off, points);
+            // A star-ish loop: alternate on-curve ring points and
+            // off-curve control points at varying radius.
+            int32_t cx = 2048, cy = 2048;
+            int32_t r_base = 600 + int32_t((seed >> (c * 4)) % 900);
+            for (uint32_t p = 0; p < points; p++) {
+                // Fixed-point sin/cos via a coarse table walk.
+                static const int32_t kCos[16] = {
+                    64, 59, 45, 24, 0, -24, -45, -59,
+                    -64, -59, -45, -24, 0, 24, 45, 59};
+                static const int32_t kSin[16] = {
+                    0, 24, 45, 59, 64, 59, 45, 24,
+                    0, -24, -45, -59, -64, -59, -45, -24};
+                uint32_t ang = (p * 16) / points;
+                int32_t r = r_base +
+                            ((p & 1) ? int32_t((seed >> 8) % 500)
+                                     : -int32_t((seed >> 16) % 300));
+                int32_t x = cx + (r * kCos[ang & 15]) / 64;
+                int32_t y = cy + (r * kSin[ang & 15]) / 64;
+                off = putU32(heap_base, off, uint32_t(x));
+                off = putU32(heap_base, off, uint32_t(y));
+                off = putU32(heap_base, off, (p & 1) ? 0 : 1);
+            }
+        }
+    }
+    return off - font_off;
+}
+
+template <typename P>
+uint64_t
+renderGlyph(const P& m, uint32_t font_off, uint32_t glyph_id,
+            uint32_t size_px, uint32_t bitmap_off, uint32_t scratch)
+{
+    glyph_id %= m.template loadAt<uint32_t>(font_off, 0);
+    uint32_t glyph_rel =
+        m.template loadAt<uint32_t>(font_off + 4, glyph_id);
+    uint32_t gp = font_off + glyph_rel;
+
+    // Edge list in scratch: each edge is 4 i32: x0,y0,x1,y1 in pixel
+    // 26.6 coordinates (y0 < y1 guaranteed by insertion).
+    uint32_t edges = 0;
+    const uint32_t edge_words = 4;
+    auto addEdge = [&](int32_t x0, int32_t y0, int32_t x1, int32_t y1) {
+        if (y0 == y1)
+            return;
+        // Record winding direction in the low bit of a flags word —
+        // pack dir into x-order: store as-is; filler uses sign.
+        m.template storeAt<int32_t>(scratch, edges * edge_words + 0, x0);
+        m.template storeAt<int32_t>(scratch, edges * edge_words + 1, y0);
+        m.template storeAt<int32_t>(scratch, edges * edge_words + 2, x1);
+        m.template storeAt<int32_t>(scratch, edges * edge_words + 3, y1);
+        edges++;
+    };
+
+    // Flatten: quadratic segments split into 8 lines.
+    uint32_t num_contours = m.template loadAt<uint32_t>(gp, 0);
+    uint32_t pos = gp + 4;
+    int32_t scale_num = int32_t(size_px) * 64;  // em 4096 -> px<<6
+
+    for (uint32_t c = 0; c < num_contours; c++) {
+        uint32_t points = m.template loadAt<uint32_t>(pos, 0);
+        pos += 4;
+        uint32_t pts_at = pos;
+        pos += points * 12;
+
+        auto getPt = [&](uint32_t i) {
+            i %= points;
+            int32_t ex = int32_t(
+                m.template loadAt<uint32_t>(pts_at, i * 3 + 0));
+            int32_t ey = int32_t(
+                m.template loadAt<uint32_t>(pts_at, i * 3 + 1));
+            bool on =
+                m.template loadAt<uint32_t>(pts_at, i * 3 + 2) != 0;
+            // Scale from em (0..4096) to pixel 26.6.
+            return Pt{int32_t(int64_t(ex) * scale_num / 4096),
+                      int32_t(int64_t(ey) * scale_num / 4096), on};
+        };
+
+        Pt start = getPt(0);
+        Pt prev = start;
+        for (uint32_t i = 1; i <= points; i++) {
+            Pt cur = getPt(i);
+            if (cur.on || i == points) {
+                addEdge(prev.x, prev.y, cur.x, cur.y);
+                prev = cur;
+            } else {
+                // Off-curve control: quadratic to the next on point.
+                Pt next = getPt(i + 1);
+                Pt end = next.on
+                             ? next
+                             : Pt{(cur.x + next.x) / 2,
+                                  (cur.y + next.y) / 2, true};
+                // Flatten into 8 segments.
+                int32_t px0 = prev.x, py0 = prev.y;
+                for (int s = 1; s <= 8; s++) {
+                    int32_t t = s * 8;  // 0..64
+                    int32_t mt = 64 - t;
+                    int64_t bx = (int64_t(prev.x) * mt * mt +
+                                  2ll * cur.x * mt * t +
+                                  int64_t(end.x) * t * t) >>
+                                 12;
+                    int64_t by = (int64_t(prev.y) * mt * mt +
+                                  2ll * cur.y * mt * t +
+                                  int64_t(end.y) * t * t) >>
+                                 12;
+                    addEdge(px0, py0, int32_t(bx), int32_t(by));
+                    px0 = int32_t(bx);
+                    py0 = int32_t(by);
+                }
+                prev = end;
+                if (next.on)
+                    i++;  // consumed the next point
+            }
+        }
+        addEdge(prev.x, prev.y, start.x, start.y);
+    }
+
+    // Clear the bitmap.
+    for (uint32_t i = 0; i < size_px * size_px; i++)
+        m.template storeAt<uint8_t>(bitmap_off, i, 0);
+
+    // Scanline fill: for each pixel row, collect x crossings with
+    // winding, sort (insertion into scratch tail), fill spans.
+    uint32_t xs = scratch + edges * edge_words * 4 + 64;
+    for (uint32_t row = 0; row < size_px; row++) {
+        int32_t sy = int32_t(row) * 64 + 32;  // sample mid-row
+        uint32_t nx = 0;
+        for (uint32_t e = 0; e < edges; e++) {
+            int32_t x0 =
+                m.template loadAt<int32_t>(scratch, e * edge_words + 0);
+            int32_t y0 =
+                m.template loadAt<int32_t>(scratch, e * edge_words + 1);
+            int32_t x1 =
+                m.template loadAt<int32_t>(scratch, e * edge_words + 2);
+            int32_t y1 =
+                m.template loadAt<int32_t>(scratch, e * edge_words + 3);
+            int32_t w = 1;
+            if (y0 > y1) {
+                int32_t t = y0;
+                y0 = y1;
+                y1 = t;
+                t = x0;
+                x0 = x1;
+                x1 = t;
+                w = -1;
+            }
+            if (sy < y0 || sy >= y1)
+                continue;
+            int32_t x = x0 + int32_t(int64_t(x1 - x0) * (sy - y0) /
+                                     (y1 - y0));
+            uint32_t packed = (uint32_t(x + 0x100000) << 1) |
+                              (w > 0 ? 1u : 0u);
+            // Insertion sort by x.
+            uint32_t j = nx;
+            while (j > 0 &&
+                   m.template loadAt<uint32_t>(xs, j - 1) > packed) {
+                m.template storeAt<uint32_t>(
+                    xs, j, m.template loadAt<uint32_t>(xs, j - 1));
+                j--;
+            }
+            m.template storeAt<uint32_t>(xs, j, packed);
+            nx++;
+        }
+        // Nonzero winding fill.
+        int32_t winding = 0;
+        uint32_t span_start = 0;
+        for (uint32_t k = 0; k < nx; k++) {
+            uint32_t packed = m.template loadAt<uint32_t>(xs, k);
+            int32_t x = int32_t(packed >> 1) - 0x100000;
+            int32_t dir = (packed & 1) ? 1 : -1;
+            int32_t prev_w = winding;
+            winding += dir;
+            uint32_t px = uint32_t(x < 0 ? 0 : x) / 64;
+            if (px > size_px)
+                px = size_px;
+            if (prev_w == 0 && winding != 0) {
+                span_start = px;
+            } else if (prev_w != 0 && winding == 0) {
+                for (uint32_t fill = span_start;
+                     fill < px && fill < size_px; fill++) {
+                    m.template storeAt<uint8_t>(
+                        bitmap_off, row * size_px + fill, 255);
+                }
+            }
+        }
+    }
+
+    // Coverage checksum.
+    uint64_t checksum = 0;
+    for (uint32_t i = 0; i < size_px * size_px; i++) {
+        checksum = checksum * 131 +
+                   m.template loadAt<uint8_t>(bitmap_off, i);
+    }
+    return checksum;
+}
+
+#define SFIKIT_INSTANTIATE_RG(P)                                       \
+    template uint64_t renderGlyph<P>(const P&, uint32_t, uint32_t,     \
+                                     uint32_t, uint32_t, uint32_t);
+
+SFIKIT_INSTANTIATE_RG(NativePolicy)
+SFIKIT_INSTANTIATE_RG(BaseAddPolicy)
+SFIKIT_INSTANTIATE_RG(SeguePolicy)
+SFIKIT_INSTANTIATE_RG(BoundsPolicy)
+SFIKIT_INSTANTIATE_RG(SegueBoundsPolicy)
+
+#undef SFIKIT_INSTANTIATE_RG
+
+}  // namespace sfi::w2c

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * graphite_lite: a from-scratch scanline glyph rasterizer running inside
+ * a sandbox heap — the stand-in for Firefox's Wasm-sandboxed libgraphite
+ * font engine (§6.1).
+ *
+ * A synthetic font stores per-glyph outlines as quadratic-Bezier
+ * contours in 26.6 fixed point. Rendering flattens curves into an edge
+ * list (in sandbox scratch memory), sorts edges, and fills scanlines by
+ * the nonzero winding rule into a coverage bitmap (also in the heap).
+ * Firefox re-enters the sandbox per glyph, so the harness sets the
+ * segment base once per renderGlyph call — capturing the transition
+ * cost the paper measures.
+ */
+#ifndef SFIKIT_W2C_GRAPHITE_LITE_H_
+#define SFIKIT_W2C_GRAPHITE_LITE_H_
+
+#include <cstdint>
+
+#include "w2c/policy.h"
+
+namespace sfi::w2c {
+
+/** Number of glyphs in the synthetic font. */
+inline constexpr uint32_t kFontGlyphs = 96;  // printable ASCII
+
+/**
+ * Host-side: writes the synthetic font tables at @p font_off in the raw
+ * heap. Returns the table size in bytes.
+ */
+uint32_t buildSyntheticFont(uint8_t* heap_base, uint32_t font_off);
+
+/**
+ * Rasterizes glyph @p glyph_id at @p size_px into a size_px x size_px
+ * coverage bitmap at @p bitmap_off. @p scratch is edge-list workspace
+ * (>= 256 KiB). Returns a coverage checksum.
+ */
+template <typename P>
+uint64_t renderGlyph(const P& m, uint32_t font_off, uint32_t glyph_id,
+                     uint32_t size_px, uint32_t bitmap_off,
+                     uint32_t scratch);
+
+}  // namespace sfi::w2c
+
+#endif  // SFIKIT_W2C_GRAPHITE_LITE_H_

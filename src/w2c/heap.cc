@@ -1,0 +1,45 @@
+#include "w2c/heap.h"
+
+#include <cstdlib>
+
+#include "base/units.h"
+
+namespace sfi::w2c {
+
+namespace {
+void (*g_bounds_handler)() = nullptr;
+}  // namespace
+
+void
+boundsTrap()
+{
+    if (g_bounds_handler != nullptr)
+        g_bounds_handler();  // expected to longjmp
+    SFI_FATAL("w2c bounds check failed");
+}
+
+void
+setBoundsTrapHandler(void (*handler)())
+{
+    g_bounds_handler = handler;
+}
+
+Result<SandboxHeap>
+SandboxHeap::create(uint64_t committed_bytes)
+{
+    rt::LinearMemory::Config cfg;
+    uint32_t pages = static_cast<uint32_t>(
+        alignUp(committed_bytes, kWasmPageSize) / kWasmPageSize);
+    cfg.minPages = pages;
+    cfg.maxPages = pages;
+    cfg.guardBytes = 4 * kGiB;
+    cfg.reserveFull = true;
+    auto mem = rt::LinearMemory::create(cfg);
+    if (!mem)
+        return Result<SandboxHeap>::error(mem.message());
+    SandboxHeap heap;
+    heap.memory_ = std::move(*mem);
+    return heap;
+}
+
+}  // namespace sfi::w2c

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sandbox heap management for the wasm2c-style path: a guard-protected
+ * linear memory plus policy construction and the per-entry segment-base
+ * switch (§4.1's "set the segment base on function entry").
+ */
+#ifndef SFIKIT_W2C_HEAP_H_
+#define SFIKIT_W2C_HEAP_H_
+
+#include <memory>
+
+#include "base/result.h"
+#include "runtime/memory.h"
+#include "seg/seg.h"
+#include "w2c/policy.h"
+
+namespace sfi::w2c {
+
+/** A linear memory usable through any access policy. */
+class SandboxHeap
+{
+  public:
+    /**
+     * Creates a heap with @p committed_bytes of read-write memory.
+     * Reserves the full 4 GiB + guard for guard-based policies.
+     */
+    static Result<SandboxHeap> create(uint64_t committed_bytes);
+
+    uint8_t* base() const { return memory_.base(); }
+    uint64_t size() const { return memory_.byteSize(); }
+
+    /** Builds a policy bound to this heap. */
+    template <typename P>
+    P
+    policy() const
+    {
+        P p;
+        p.base = memory_.base();
+        p.size = memory_.byteSize();
+        return p;
+    }
+
+    /**
+     * Enters the sandbox for policy P: sets %gs to the heap base when P
+     * addresses through the segment. The returned guard restores the
+     * previous base — wasm2c's module-entry discipline.
+     */
+    template <typename P>
+    std::unique_ptr<seg::ScopedGsBase>
+    enter() const
+    {
+        if constexpr (P::kUsesGs) {
+            return std::make_unique<seg::ScopedGsBase>(
+                reinterpret_cast<uint64_t>(memory_.base()));
+        } else {
+            return nullptr;
+        }
+    }
+
+    rt::LinearMemory& memory() { return memory_; }
+
+  private:
+    rt::LinearMemory memory_;
+};
+
+}  // namespace sfi::w2c
+
+#endif  // SFIKIT_W2C_HEAP_H_

@@ -1,0 +1,810 @@
+#include "w2c/kernels.h"
+
+#include "base/units.h"
+
+namespace sfi::w2c {
+
+namespace {
+
+/** Deterministic 32-bit generator used to synthesize kernel inputs. */
+struct X32
+{
+    uint32_t s;
+    explicit X32(uint32_t seed) : s(seed ? seed : 1) {}
+    uint32_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 17;
+        s ^= s << 5;
+        return s;
+    }
+};
+
+}  // namespace
+
+uint64_t
+kernelHeapBytes(uint32_t scale)
+{
+    // The largest consumer is the stencil (9 f64 fields, two copies).
+    uint64_t cells = uint64_t(scale) * scale;
+    return alignUp(64 * kMiB + cells * 9 * 8 * 2, kWasmPageSize);
+}
+
+// --------------------------------------------------------------------
+// 401.bzip2 analog: byte-stream compression passes (RLE + move-to-front
+// + histogram entropy estimate) over generated blocks.
+// --------------------------------------------------------------------
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernCompress(const P& m, uint32_t scale)
+{
+    const uint32_t block = 64 * 1024;
+    const uint32_t in = 0, rle = block * 2, mtf = block * 4,
+                   table = block * 6, hist = table + 256;
+    uint64_t checksum = 0;
+    X32 rng(0xb21b2);
+
+    for (uint32_t b = 0; b < scale; b++) {
+        // Generate a compressible block: runs + noise.
+        uint32_t pos = 0;
+        while (pos < block) {
+            uint32_t r = rng.next();
+            uint32_t run = 1 + ((r >> 8) & 0x1f);
+            uint8_t byte = uint8_t(r & 0x3f);
+            for (uint32_t k = 0; k < run && pos < block; k++, pos++)
+                m.template storeAt<uint8_t>(in, pos, byte);
+        }
+
+        // Pass 1: run-length encode.
+        uint32_t out = 0;
+        uint32_t i = 0;
+        while (i < block) {
+            uint8_t c = m.template loadAt<uint8_t>(in, i);
+            uint32_t run = 1;
+            while (i + run < block && run < 255 &&
+                   m.template loadAt<uint8_t>(in, i + run) == c) {
+                run++;
+            }
+            m.template storeAt<uint8_t>(rle, out++, c);
+            m.template storeAt<uint8_t>(rle, out++, uint8_t(run));
+            i += run;
+        }
+        uint32_t rle_len = out;
+
+        // Pass 2: move-to-front over the RLE stream.
+        for (uint32_t t = 0; t < 256; t++)
+            m.template storeAt<uint8_t>(table, t, uint8_t(t));
+        for (uint32_t t = 0; t < 256; t++)
+            m.template storeAt<uint32_t>(hist, t, 0);
+        for (uint32_t j = 0; j < rle_len; j++) {
+            uint8_t c = m.template loadAt<uint8_t>(rle, j);
+            uint32_t rank = 0;
+            while (m.template loadAt<uint8_t>(table, rank) != c)
+                rank++;
+            for (uint32_t k = rank; k > 0; k--) {
+                m.template storeAt<uint8_t>(
+                    table, k, m.template loadAt<uint8_t>(table, k - 1));
+            }
+            m.template storeAt<uint8_t>(table, 0, c);
+            m.template storeAt<uint8_t>(mtf, j, uint8_t(rank));
+            m.template storeAt<uint32_t>(
+                hist, rank,
+                m.template loadAt<uint32_t>(hist, rank) + 1);
+        }
+
+        // Pass 3: entropy-ish cost from the histogram.
+        uint64_t cost = 0;
+        for (uint32_t t = 0; t < 256; t++) {
+            uint32_t n = m.template loadAt<uint32_t>(hist, t);
+            uint32_t bits = 1;
+            uint32_t v = t + 1;
+            while (v >>= 1)
+                bits++;
+            cost += uint64_t(n) * bits;
+        }
+        checksum = checksum * 31 + cost + rle_len;
+    }
+    return checksum;
+}
+
+// --------------------------------------------------------------------
+// 429.mcf analog: sparse min-cost-flow-ish relaxation — adjacency-list
+// pointer chasing with cache-hostile access order.
+// --------------------------------------------------------------------
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernMincost(const P& m, uint32_t scale)
+{
+    const uint32_t V = 4096 * (1 + scale / 4);
+    const uint32_t E = V * 4;
+    // Layout: head[V], dst[E], next[E], cost[E], dist[V]
+    const uint32_t head = 0;
+    const uint32_t dst = head + V * 4;
+    const uint32_t nxt = dst + E * 4;
+    const uint32_t cst = nxt + E * 4;
+    const uint32_t dist = cst + E * 4;
+
+    X32 rng(0x3cf);
+    for (uint32_t v = 0; v < V; v++)
+        m.template storeAt<uint32_t>(head, v, 0xffffffffu);
+    for (uint32_t e = 0; e < E; e++) {
+        uint32_t from = rng.next() % V;
+        uint32_t to = rng.next() % V;
+        m.template storeAt<uint32_t>(dst, e, to);
+        m.template storeAt<uint32_t>(cst, e, 1 + (rng.next() & 0xff));
+        m.template storeAt<uint32_t>(
+            nxt, e, m.template loadAt<uint32_t>(head, from));
+        m.template storeAt<uint32_t>(head, from, e);
+    }
+    const uint32_t kInf = 0x3fffffff;
+    for (uint32_t v = 0; v < V; v++)
+        m.template storeAt<uint32_t>(dist, v, v == 0 ? 0 : kInf);
+
+    // Relaxation sweeps (Bellman-Ford flavoured).
+    uint32_t rounds = 6 + scale;
+    for (uint32_t r = 0; r < rounds; r++) {
+        uint32_t changed = 0;
+        for (uint32_t v = 0; v < V; v++) {
+            uint32_t dv = m.template loadAt<uint32_t>(dist, v);
+            if (dv >= kInf)
+                continue;
+            uint32_t e = m.template loadAt<uint32_t>(head, v);
+            while (e != 0xffffffffu) {
+                uint32_t to = m.template loadAt<uint32_t>(dst, e);
+                uint32_t c = m.template loadAt<uint32_t>(cst, e);
+                uint32_t nd = dv + c;
+                if (nd < m.template loadAt<uint32_t>(dist, to)) {
+                    m.template storeAt<uint32_t>(dist, to, nd);
+                    changed++;
+                }
+                e = m.template loadAt<uint32_t>(nxt, e);
+            }
+        }
+        if (changed == 0)
+            break;
+    }
+
+    uint64_t checksum = 0;
+    for (uint32_t v = 0; v < V; v++)
+        checksum += m.template loadAt<uint32_t>(dist, v) % kInf;
+    return checksum;
+}
+
+// --------------------------------------------------------------------
+// 433.milc analog: sweeps of 2x2 complex-matrix multiplies over a
+// lattice of f64 data.
+// --------------------------------------------------------------------
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernLattice(const P& m, uint32_t scale)
+{
+    const uint32_t sites = 4096 * (1 + scale / 2);
+    const uint32_t doubles_per_site = 8;  // 2x2 complex
+    const uint32_t lat = 0;
+
+    X32 rng(0x111c);
+    for (uint32_t i = 0; i < sites * doubles_per_site; i++) {
+        double v = (double(rng.next() & 0xffff) - 32768.0) / 65536.0;
+        m.template storeAt<double>(lat, i, v);
+    }
+
+    double traceSum = 0;
+    uint32_t sweeps = 2 + scale / 2;
+    for (uint32_t s = 0; s < sweeps; s++) {
+        for (uint32_t i = 0; i + 1 < sites; i++) {
+            uint32_t a = i * doubles_per_site;
+            uint32_t b = (i + 1) * doubles_per_site;
+            // C = A*B for 2x2 complex matrices laid out
+            // [re00 im00 re01 im01 re10 im10 re11 im11].
+            double c[8];
+            for (uint32_t r = 0; r < 2; r++) {
+                for (uint32_t cc = 0; cc < 2; cc++) {
+                    double re = 0, im = 0;
+                    for (uint32_t k = 0; k < 2; k++) {
+                        double ar = m.template loadAt<double>(
+                            lat, a + (r * 2 + k) * 2);
+                        double ai = m.template loadAt<double>(
+                            lat, a + (r * 2 + k) * 2 + 1);
+                        double br = m.template loadAt<double>(
+                            lat, b + (k * 2 + cc) * 2);
+                        double bi = m.template loadAt<double>(
+                            lat, b + (k * 2 + cc) * 2 + 1);
+                        re += ar * br - ai * bi;
+                        im += ar * bi + ai * br;
+                    }
+                    c[(r * 2 + cc) * 2] = re;
+                    c[(r * 2 + cc) * 2 + 1] = im;
+                }
+            }
+            // Renormalize to keep values bounded, write back to A.
+            for (uint32_t k = 0; k < 8; k++)
+                m.template storeAt<double>(lat, a + k, c[k] * 0.5);
+            traceSum += c[0] + c[6];
+        }
+    }
+    return uint64_t(int64_t(traceSum * 1e6));
+}
+
+// --------------------------------------------------------------------
+// 444.namd analog: cutoff pair forces over particle arrays.
+// --------------------------------------------------------------------
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernNbody(const P& m, uint32_t scale)
+{
+    const uint32_t N = 2048 * (1 + scale / 2);
+    const uint32_t window = 64;
+    // SoA: x y z fx fy fz, each N doubles.
+    const uint32_t X = 0, Y = X + N * 8, Z = Y + N * 8, FX = Z + N * 8,
+                   FY = FX + N * 8, FZ = FY + N * 8;
+
+    X32 rng(0xa4d);
+    for (uint32_t i = 0; i < N; i++) {
+        m.template storeAt<double>(X, i,
+                                   double(rng.next() & 0x3ff) / 16.0);
+        m.template storeAt<double>(Y, i,
+                                   double(rng.next() & 0x3ff) / 16.0);
+        m.template storeAt<double>(Z, i,
+                                   double(rng.next() & 0x3ff) / 16.0);
+        m.template storeAt<double>(FX, i, 0.0);
+        m.template storeAt<double>(FY, i, 0.0);
+        m.template storeAt<double>(FZ, i, 0.0);
+    }
+
+    const double cutoff2 = 36.0;
+    for (uint32_t i = 0; i < N; i++) {
+        double xi = m.template loadAt<double>(X, i);
+        double yi = m.template loadAt<double>(Y, i);
+        double zi = m.template loadAt<double>(Z, i);
+        double fx = 0, fy = 0, fz = 0;
+        uint32_t jend = i + window < N ? i + window : N;
+        for (uint32_t j = i + 1; j < jend; j++) {
+            double dx = xi - m.template loadAt<double>(X, j);
+            double dy = yi - m.template loadAt<double>(Y, j);
+            double dz = zi - m.template loadAt<double>(Z, j);
+            double r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < cutoff2 && r2 > 1e-9) {
+                double inv = 1.0 / r2;
+                double s = inv * inv - 0.01 * inv;
+                fx += dx * s;
+                fy += dy * s;
+                fz += dz * s;
+            }
+        }
+        m.template storeAt<double>(
+            FX, i, m.template loadAt<double>(FX, i) + fx);
+        m.template storeAt<double>(
+            FY, i, m.template loadAt<double>(FY, i) + fy);
+        m.template storeAt<double>(
+            FZ, i, m.template loadAt<double>(FZ, i) + fz);
+    }
+
+    double total = 0;
+    for (uint32_t i = 0; i < N; i++) {
+        total += m.template loadAt<double>(FX, i) +
+                 m.template loadAt<double>(FY, i) +
+                 m.template loadAt<double>(FZ, i);
+    }
+    return uint64_t(int64_t(total * 1e3));
+}
+
+// --------------------------------------------------------------------
+// 445.gobmk analog: board scans, group flood fills, pattern counting.
+// --------------------------------------------------------------------
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernGotactics(const P& m, uint32_t scale)
+{
+    const uint32_t W = 19, H = 19, B = W * H;
+    const uint32_t board = 0, mark = B, stack = 2 * B;
+
+    uint64_t checksum = 0;
+    X32 rng(0x60b);
+    uint32_t positions = 200 * scale;
+    for (uint32_t g = 0; g < positions; g++) {
+        for (uint32_t i = 0; i < B; i++)
+            m.template storeAt<uint8_t>(board, i,
+                                        uint8_t(rng.next() % 3));
+        // Liberties of every group by flood fill.
+        for (uint32_t i = 0; i < B; i++)
+            m.template storeAt<uint8_t>(mark, i, 0);
+        uint32_t total_libs = 0;
+        for (uint32_t s = 0; s < B; s++) {
+            uint8_t color = m.template loadAt<uint8_t>(board, s);
+            if (color == 0 || m.template loadAt<uint8_t>(mark, s))
+                continue;
+            uint32_t sp = 0;
+            m.template storeAt<uint32_t>(stack, sp++, s);
+            m.template storeAt<uint8_t>(mark, s, 1);
+            uint32_t libs = 0;
+            while (sp > 0) {
+                uint32_t p = m.template loadAt<uint32_t>(stack, --sp);
+                uint32_t x = p % W, y = p / W;
+                const int32_t dx[4] = {1, -1, 0, 0};
+                const int32_t dy[4] = {0, 0, 1, -1};
+                for (int d = 0; d < 4; d++) {
+                    int32_t nx = int32_t(x) + dx[d];
+                    int32_t ny = int32_t(y) + dy[d];
+                    if (nx < 0 || ny < 0 || nx >= int32_t(W) ||
+                        ny >= int32_t(H)) {
+                        continue;
+                    }
+                    uint32_t np = uint32_t(ny) * W + uint32_t(nx);
+                    uint8_t nc = m.template loadAt<uint8_t>(board, np);
+                    if (nc == 0) {
+                        libs++;
+                    } else if (nc == color &&
+                               !m.template loadAt<uint8_t>(mark, np)) {
+                        m.template storeAt<uint8_t>(mark, np, 1);
+                        m.template storeAt<uint32_t>(stack, sp++, np);
+                    }
+                }
+            }
+            total_libs += libs;
+        }
+        // 3x3 pattern census (diagonal cross shapes).
+        uint32_t patterns = 0;
+        for (uint32_t y = 1; y + 1 < H; y++) {
+            for (uint32_t x = 1; x + 1 < W; x++) {
+                uint8_t c =
+                    m.template loadAt<uint8_t>(board, y * W + x);
+                if (c == 0)
+                    continue;
+                uint8_t a = m.template loadAt<uint8_t>(
+                    board, (y - 1) * W + (x - 1));
+                uint8_t b = m.template loadAt<uint8_t>(
+                    board, (y - 1) * W + (x + 1));
+                uint8_t d = m.template loadAt<uint8_t>(
+                    board, (y + 1) * W + (x - 1));
+                uint8_t e = m.template loadAt<uint8_t>(
+                    board, (y + 1) * W + (x + 1));
+                if (a == c && b == c && d == c && e == c)
+                    patterns++;
+            }
+        }
+        checksum = checksum * 131 + total_libs * 7 + patterns;
+    }
+    return checksum;
+}
+
+// --------------------------------------------------------------------
+// 458.sjeng analog: alpha-beta negamax over a synthetic game with a
+// transposition table in linear memory.
+// --------------------------------------------------------------------
+namespace {
+
+template <typename P>
+int32_t
+negamax(const P& m, uint32_t tt, uint64_t state, uint32_t depth,
+        int32_t alpha, int32_t beta)
+{
+    if (depth == 0) {
+        // Leaf evaluation: mix the state.
+        uint64_t h = state * 0x9e3779b97f4a7c15ull;
+        h ^= h >> 29;
+        return int32_t(h & 0xfff) - 2048;
+    }
+    // Transposition probe (32K entries of {key32, value32}).
+    uint32_t slot = uint32_t(state >> 17) & 0x7fff;
+    uint32_t key = uint32_t(state) ^ depth;
+    if (m.template loadAt<uint32_t>(tt, slot * 2) == key)
+        return int32_t(m.template loadAt<uint32_t>(tt, slot * 2 + 1));
+
+    int32_t best = -0x40000000;
+    const uint32_t branching = 6;
+    for (uint32_t mv = 0; mv < branching; mv++) {
+        uint64_t child = state * 6364136223846793005ull + mv * 2654435761u + 1;
+        int32_t score =
+            -negamax(m, tt, child, depth - 1, -beta, -alpha);
+        if (score > best)
+            best = score;
+        if (best > alpha)
+            alpha = best;
+        if (alpha >= beta)
+            break;
+    }
+    m.template storeAt<uint32_t>(tt, slot * 2, key);
+    m.template storeAt<uint32_t>(tt, slot * 2 + 1, uint32_t(best));
+    return best;
+}
+
+}  // namespace
+
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernMinimax(const P& m, uint32_t scale)
+{
+    const uint32_t tt = 0;
+    for (uint32_t i = 0; i < 0x8000 * 2; i++)
+        m.template storeAt<uint32_t>(tt, i, 0);
+    uint64_t checksum = 0;
+    uint32_t depth = 6 + (scale > 4 ? 2 : scale / 2);
+    for (uint32_t game = 0; game < 4 + scale; game++) {
+        int32_t v = negamax(m, tt, 0xabcdef12u + game * 7919, depth,
+                            -0x40000000, 0x40000000);
+        checksum = checksum * 1000003 + uint32_t(v);
+    }
+    return checksum;
+}
+
+// --------------------------------------------------------------------
+// 462.libquantum analog: strided bit-level gate application over a
+// quantum-register-like array.
+// --------------------------------------------------------------------
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernQsim(const P& m, uint32_t scale)
+{
+    const uint32_t qubits = 18;
+    const uint32_t states = 1u << qubits;  // 256K entries
+    const uint32_t reg = 0;
+
+    for (uint32_t i = 0; i < states; i++)
+        m.template storeAt<uint32_t>(reg, i, i * 2654435761u);
+
+    uint64_t checksum = 0;
+    uint32_t gates = 16 * scale;
+    X32 rng(0x9517);
+    for (uint32_t g = 0; g < gates; g++) {
+        uint32_t target = rng.next() % qubits;
+        uint32_t stride = 1u << target;
+        switch (rng.next() % 3) {
+          case 0:
+            // "X": swap amplitude pairs differing in the target bit.
+            for (uint32_t i = 0; i < states; i++) {
+                if ((i & stride) == 0) {
+                    uint32_t a =
+                        m.template loadAt<uint32_t>(reg, i);
+                    uint32_t b = m.template loadAt<uint32_t>(
+                        reg, i | stride);
+                    m.template storeAt<uint32_t>(reg, i, b);
+                    m.template storeAt<uint32_t>(reg, i | stride, a);
+                }
+            }
+            break;
+          case 1:
+            // "Phase": twiddle amplitudes with the bit set.
+            for (uint32_t i = 0; i < states; i++) {
+                if (i & stride) {
+                    uint32_t v = m.template loadAt<uint32_t>(reg, i);
+                    m.template storeAt<uint32_t>(
+                        reg, i, (v << 1) | (v >> 31));
+                }
+            }
+            break;
+          default: {
+            // "CNOT" with control = next qubit.
+            uint32_t control = 1u << ((target + 1) % qubits);
+            for (uint32_t i = 0; i < states; i++) {
+                if ((i & control) && (i & stride) == 0) {
+                    uint32_t a = m.template loadAt<uint32_t>(reg, i);
+                    uint32_t b = m.template loadAt<uint32_t>(
+                        reg, i | stride);
+                    m.template storeAt<uint32_t>(reg, i, a ^ b);
+                    m.template storeAt<uint32_t>(reg, i | stride,
+                                                 b ^ (a >> 3));
+                }
+            }
+            break;
+          }
+        }
+    }
+    for (uint32_t i = 0; i < states; i += 97)
+        checksum += m.template loadAt<uint32_t>(reg, i);
+    return checksum;
+}
+
+// --------------------------------------------------------------------
+// 464.h264ref analog: SAD motion search + 4x4 transform/quantization.
+// --------------------------------------------------------------------
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernBlockcodec(const P& m, uint32_t scale)
+{
+    const uint32_t W = 320, H = 192;
+    const uint32_t ref = 0, cur = W * H;
+
+    X32 rng(0x264);
+    for (uint32_t i = 0; i < W * H; i++) {
+        uint8_t v = uint8_t((i % 255) ^ (rng.next() & 0x0f));
+        m.template storeAt<uint8_t>(ref, i, v);
+        m.template storeAt<uint8_t>(cur, i,
+                                    uint8_t(v + ((rng.next() & 7) - 3)));
+    }
+
+    uint64_t checksum = 0;
+    uint32_t frames = scale;
+    for (uint32_t f = 0; f < frames; f++) {
+        for (uint32_t by = 8; by + 24 < H; by += 16) {
+            for (uint32_t bx = 8; bx + 24 < W; bx += 16) {
+                // Motion search: +-4 window, full 16x16 SAD.
+                uint32_t best_sad = 0xffffffff;
+                int32_t best_dx = 0, best_dy = 0;
+                for (int32_t dy = -4; dy <= 4; dy += 2) {
+                    for (int32_t dx = -4; dx <= 4; dx += 2) {
+                        uint32_t sad = 0;
+                        for (uint32_t y = 0; y < 16; y++) {
+                            for (uint32_t x = 0; x < 16; x++) {
+                                uint32_t cp = (by + y) * W + bx + x;
+                                uint32_t rp =
+                                    uint32_t(int32_t(by + y) + dy) * W +
+                                    uint32_t(int32_t(bx + x) + dx);
+                                int32_t d =
+                                    int32_t(m.template loadAt<uint8_t>(
+                                        cur, cp)) -
+                                    int32_t(m.template loadAt<uint8_t>(
+                                        ref, rp));
+                                sad += uint32_t(d < 0 ? -d : d);
+                            }
+                        }
+                        if (sad < best_sad) {
+                            best_sad = sad;
+                            best_dx = dx;
+                            best_dy = dy;
+                        }
+                    }
+                }
+                // 4x4 integer transform + quantization of the residual.
+                uint32_t energy = 0;
+                for (uint32_t sy = 0; sy < 16; sy += 4) {
+                    for (uint32_t sx = 0; sx < 16; sx += 4) {
+                        int32_t blk[16];
+                        for (uint32_t y = 0; y < 4; y++) {
+                            for (uint32_t x = 0; x < 4; x++) {
+                                uint32_t cp =
+                                    (by + sy + y) * W + bx + sx + x;
+                                uint32_t rp =
+                                    uint32_t(int32_t(by + sy + y) +
+                                             best_dy) *
+                                        W +
+                                    uint32_t(int32_t(bx + sx + x) +
+                                             best_dx);
+                                blk[y * 4 + x] =
+                                    int32_t(m.template loadAt<uint8_t>(
+                                        cur, cp)) -
+                                    int32_t(m.template loadAt<uint8_t>(
+                                        ref, rp));
+                            }
+                        }
+                        // Hadamard-ish butterfly rows then columns.
+                        for (uint32_t y = 0; y < 4; y++) {
+                            int32_t a = blk[y * 4] + blk[y * 4 + 3];
+                            int32_t b = blk[y * 4 + 1] + blk[y * 4 + 2];
+                            int32_t c = blk[y * 4 + 1] - blk[y * 4 + 2];
+                            int32_t d = blk[y * 4] - blk[y * 4 + 3];
+                            blk[y * 4] = a + b;
+                            blk[y * 4 + 1] = c + d;
+                            blk[y * 4 + 2] = a - b;
+                            blk[y * 4 + 3] = d - c;
+                        }
+                        for (uint32_t x = 0; x < 4; x++) {
+                            int32_t a = blk[x] + blk[12 + x];
+                            int32_t b = blk[4 + x] + blk[8 + x];
+                            int32_t c = blk[4 + x] - blk[8 + x];
+                            int32_t d = blk[x] - blk[12 + x];
+                            blk[x] = (a + b) >> 2;
+                            blk[4 + x] = (c + d) >> 2;
+                            blk[8 + x] = (a - b) >> 2;
+                            blk[12 + x] = (d - c) >> 2;
+                        }
+                        for (int k = 0; k < 16; k++)
+                            energy += uint32_t(blk[k] * blk[k]);
+                    }
+                }
+                checksum = checksum * 31 + best_sad + energy +
+                           uint32_t(best_dx + 8) * 17 +
+                           uint32_t(best_dy + 8);
+            }
+        }
+    }
+    return checksum;
+}
+
+// --------------------------------------------------------------------
+// 470.lbm analog: 9-direction streaming stencil over an f64 grid.
+// --------------------------------------------------------------------
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernStencil(const P& m, uint32_t scale)
+{
+    const uint32_t W = 128, H = 128;
+    const uint32_t Q = 9;
+    const uint32_t cells = W * H;
+    const uint32_t f0 = 0, f1 = cells * Q * 8;
+
+    X32 rng(0x1b3);
+    for (uint32_t i = 0; i < cells * Q; i++) {
+        m.template storeAt<double>(
+            f0, i, 0.1 + double(rng.next() & 0xff) / 2560.0);
+    }
+
+    static const int32_t cx[9] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+    static const int32_t cy[9] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+    static const double w[9] = {4.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9,
+                                1.0 / 9, 1.0 / 36, 1.0 / 36, 1.0 / 36,
+                                1.0 / 36};
+
+    uint32_t steps = 4 * scale;
+    uint32_t src = f0, dst = f1;
+    for (uint32_t t = 0; t < steps; t++) {
+        for (uint32_t y = 0; y < H; y++) {
+            for (uint32_t x = 0; x < W; x++) {
+                uint32_t c = y * W + x;
+                // Collide: relax toward the weighted mean.
+                double rho = 0;
+                for (uint32_t q = 0; q < Q; q++)
+                    rho += m.template loadAt<double>(src, c * Q + q);
+                for (uint32_t q = 0; q < Q; q++) {
+                    double fq =
+                        m.template loadAt<double>(src, c * Q + q);
+                    double feq = w[q] * rho;
+                    double post = fq + 0.6 * (feq - fq);
+                    // Stream to the neighbour (periodic wrap).
+                    uint32_t nx = uint32_t((int32_t(x) + cx[q] +
+                                            int32_t(W))) %
+                                  W;
+                    uint32_t ny = uint32_t((int32_t(y) + cy[q] +
+                                            int32_t(H))) %
+                                  H;
+                    m.template storeAt<double>(
+                        dst, (ny * W + nx) * Q + q, post);
+                }
+            }
+        }
+        uint32_t tmp = src;
+        src = dst;
+        dst = tmp;
+    }
+
+    double mass = 0;
+    for (uint32_t i = 0; i < cells * Q; i += 7)
+        mass += m.template loadAt<double>(src, i);
+    return uint64_t(int64_t(mass * 1e6));
+}
+
+// --------------------------------------------------------------------
+// 473.astar analog: grid A* with a binary heap in linear memory. The
+// tight heap-sift inner loop is the Segue code-size outlier candidate.
+// --------------------------------------------------------------------
+template <typename P>
+__attribute__((noinline)) uint64_t
+kernAstar(const P& m, uint32_t scale)
+{
+    const uint32_t W = 256, H = 256, cells = W * H;
+    const uint32_t grid = 0;             // u8 walls
+    const uint32_t gcost = cells;        // u32 g
+    const uint32_t heap = gcost + cells * 4;  // u64 entries {f<<32|pos}
+    const uint32_t closed = heap + cells * 8;
+
+    X32 rng(0xa57a);
+    for (uint32_t i = 0; i < cells; i++)
+        m.template storeAt<uint8_t>(grid, i,
+                                    uint8_t((rng.next() & 7) == 0));
+
+    uint64_t checksum = 0;
+    uint32_t queries = 4 * scale;
+    for (uint32_t q = 0; q < queries; q++) {
+        uint32_t start = (rng.next() % cells) & ~1u;
+        uint32_t goal = (rng.next() % cells) | 1u;
+        m.template storeAt<uint8_t>(grid, start, 0);
+        m.template storeAt<uint8_t>(grid, goal, 0);
+        for (uint32_t i = 0; i < cells; i++) {
+            m.template storeAt<uint32_t>(gcost, i, 0xffffffffu);
+            m.template storeAt<uint8_t>(closed, i, 0);
+        }
+        uint32_t hn = 0;  // heap size
+        auto hpush = [&](uint32_t f, uint32_t pos) {
+            uint32_t i = hn++;
+            m.template storeAt<uint64_t>(heap, i,
+                                         (uint64_t(f) << 32) | pos);
+            while (i > 0) {
+                uint32_t parent = (i - 1) / 2;
+                uint64_t pi =
+                    m.template loadAt<uint64_t>(heap, parent);
+                uint64_t ci = m.template loadAt<uint64_t>(heap, i);
+                if (pi <= ci)
+                    break;
+                m.template storeAt<uint64_t>(heap, parent, ci);
+                m.template storeAt<uint64_t>(heap, i, pi);
+                i = parent;
+            }
+        };
+        auto hpop = [&]() {
+            uint64_t top = m.template loadAt<uint64_t>(heap, 0);
+            uint64_t last = m.template loadAt<uint64_t>(heap, --hn);
+            m.template storeAt<uint64_t>(heap, 0, last);
+            uint32_t i = 0;
+            while (true) {
+                uint32_t l = 2 * i + 1, r = 2 * i + 2, s = i;
+                uint64_t si = m.template loadAt<uint64_t>(heap, s);
+                if (l < hn &&
+                    m.template loadAt<uint64_t>(heap, l) < si) {
+                    s = l;
+                    si = m.template loadAt<uint64_t>(heap, l);
+                }
+                if (r < hn &&
+                    m.template loadAt<uint64_t>(heap, r) < si) {
+                    s = r;
+                }
+                if (s == i)
+                    break;
+                uint64_t a = m.template loadAt<uint64_t>(heap, i);
+                uint64_t b = m.template loadAt<uint64_t>(heap, s);
+                m.template storeAt<uint64_t>(heap, i, b);
+                m.template storeAt<uint64_t>(heap, s, a);
+                i = s;
+            }
+            return top;
+        };
+        auto heuristic = [&](uint32_t pos) {
+            int32_t dx = int32_t(pos % W) - int32_t(goal % W);
+            int32_t dy = int32_t(pos / W) - int32_t(goal / W);
+            return uint32_t((dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy));
+        };
+
+        m.template storeAt<uint32_t>(gcost, start, 0);
+        hpush(heuristic(start), start);
+        uint32_t path_cost = 0;
+        uint32_t expanded = 0;
+        while (hn > 0 && expanded < 60000) {
+            uint64_t top = hpop();
+            uint32_t pos = uint32_t(top);
+            if (pos == goal) {
+                path_cost = m.template loadAt<uint32_t>(gcost, pos);
+                break;
+            }
+            if (m.template loadAt<uint8_t>(closed, pos))
+                continue;
+            m.template storeAt<uint8_t>(closed, pos, 1);
+            expanded++;
+            uint32_t g = m.template loadAt<uint32_t>(gcost, pos);
+            const int32_t dx[4] = {1, -1, 0, 0};
+            const int32_t dy[4] = {0, 0, 1, -1};
+            for (int d = 0; d < 4; d++) {
+                int32_t nx = int32_t(pos % W) + dx[d];
+                int32_t ny = int32_t(pos / W) + dy[d];
+                if (nx < 0 || ny < 0 || nx >= int32_t(W) ||
+                    ny >= int32_t(H)) {
+                    continue;
+                }
+                uint32_t np = uint32_t(ny) * W + uint32_t(nx);
+                if (m.template loadAt<uint8_t>(grid, np))
+                    continue;
+                uint32_t ng = g + 1;
+                if (ng < m.template loadAt<uint32_t>(gcost, np)) {
+                    m.template storeAt<uint32_t>(gcost, np, ng);
+                    hpush(ng + heuristic(np), np);
+                }
+            }
+        }
+        checksum = checksum * 2654435761u + path_cost + expanded;
+    }
+    return checksum;
+}
+
+// --------------------------------------------------------------------
+// Explicit instantiations: one copy of every kernel per policy, so the
+// symbol table exposes per-policy code sizes (Table 2).
+// --------------------------------------------------------------------
+#define SFIKIT_INSTANTIATE(P)                                          \
+    template uint64_t kernCompress<P>(const P&, uint32_t);             \
+    template uint64_t kernMincost<P>(const P&, uint32_t);              \
+    template uint64_t kernLattice<P>(const P&, uint32_t);              \
+    template uint64_t kernNbody<P>(const P&, uint32_t);                \
+    template uint64_t kernGotactics<P>(const P&, uint32_t);            \
+    template uint64_t kernMinimax<P>(const P&, uint32_t);              \
+    template uint64_t kernQsim<P>(const P&, uint32_t);                 \
+    template uint64_t kernBlockcodec<P>(const P&, uint32_t);           \
+    template uint64_t kernStencil<P>(const P&, uint32_t);              \
+    template uint64_t kernAstar<P>(const P&, uint32_t);
+
+SFIKIT_INSTANTIATE(NativePolicy)
+SFIKIT_INSTANTIATE(BaseAddPolicy)
+SFIKIT_INSTANTIATE(SeguePolicy)
+SFIKIT_INSTANTIATE(BoundsPolicy)
+SFIKIT_INSTANTIATE(SegueBoundsPolicy)
+
+#undef SFIKIT_INSTANTIATE
+
+}  // namespace sfi::w2c

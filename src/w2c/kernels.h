@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The SPEC-CPU-2006-like workload suite for the wasm2c-style SFI path
+ * (Figure 3, Table 2, and the bounds-check variant of §6.1).
+ *
+ * SPEC itself is not redistributable, so each kernel is a from-scratch
+ * program with the same computational character as its namesake (see
+ * DESIGN.md §5 for the mapping). Every kernel:
+ *  - builds its input deterministically inside the sandbox heap,
+ *  - performs all data accesses through the policy template parameter,
+ *  - returns a checksum that must be identical under every policy
+ *    (verified by tests — the cross-policy differential check).
+ *
+ * Definitions are explicitly instantiated (kernels.cc) for each policy
+ * and marked noinline, so per-policy code size is measurable from the
+ * ELF symbol table (Table 2) and benchmark timing is honest.
+ */
+#ifndef SFIKIT_W2C_KERNELS_H_
+#define SFIKIT_W2C_KERNELS_H_
+
+#include <cstdint>
+
+#include "w2c/policy.h"
+
+namespace sfi::w2c {
+
+// Each kernel: (policy, scale) -> checksum. Scale ~ problem size; the
+// required heap size is kernelHeapBytes(scale).
+
+template <typename P> uint64_t kernCompress(const P& m, uint32_t scale);
+template <typename P> uint64_t kernMincost(const P& m, uint32_t scale);
+template <typename P> uint64_t kernLattice(const P& m, uint32_t scale);
+template <typename P> uint64_t kernNbody(const P& m, uint32_t scale);
+template <typename P> uint64_t kernGotactics(const P& m, uint32_t scale);
+template <typename P> uint64_t kernMinimax(const P& m, uint32_t scale);
+template <typename P> uint64_t kernQsim(const P& m, uint32_t scale);
+template <typename P> uint64_t kernBlockcodec(const P& m, uint32_t scale);
+template <typename P> uint64_t kernStencil(const P& m, uint32_t scale);
+template <typename P> uint64_t kernAstar(const P& m, uint32_t scale);
+
+/** Heap bytes every kernel fits in at @p scale. */
+uint64_t kernelHeapBytes(uint32_t scale);
+
+/** Registry for harnesses: name + function pointer per policy. */
+template <typename P>
+struct KernelEntry
+{
+    const char* name;        ///< SPEC-2006 benchmark it mirrors
+    const char* ours;        ///< sfikit kernel name
+    uint64_t (*fn)(const P&, uint32_t);
+};
+
+template <typename P>
+inline const KernelEntry<P> kKernels[] = {
+    {"401.bzip2", "compress", &kernCompress<P>},
+    {"429.mcf", "mincost", &kernMincost<P>},
+    {"433.milc", "lattice", &kernLattice<P>},
+    {"444.namd", "nbody", &kernNbody<P>},
+    {"445.gobmk", "gotactics", &kernGotactics<P>},
+    {"458.sjeng", "minimax", &kernMinimax<P>},
+    {"462.libquantum", "qsim", &kernQsim<P>},
+    {"464.h264ref", "blockcodec", &kernBlockcodec<P>},
+    {"470.lbm", "stencil", &kernStencil<P>},
+    {"473.astar", "astar", &kernAstar<P>},
+};
+
+inline constexpr int kNumKernels = 10;
+
+}  // namespace sfi::w2c
+
+#endif  // SFIKIT_W2C_KERNELS_H_

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * wasm2c-style compile-time SFI: heap-access policies (§4.1).
+ *
+ * wasm2c transpiles Wasm to C in which every memory access is a
+ * (heap base + u32 offset) computation; the host C compiler then
+ * optimizes the result. sfikit reproduces that pipeline by writing the
+ * workloads once against a *policy* template parameter that decides how
+ * a u32 offset turns into a machine access:
+ *
+ *   NativePolicy       native-width (64-bit) index arithmetic folded
+ *                      into addressing modes — the "native execution"
+ *                      baseline of Figure 3.
+ *   BaseAddPolicy      classic wasm2c SFI: 32-bit offset arithmetic
+ *                      materialized, then added to a 64-bit base — the
+ *                      two-instruction Figure 1b pattern.
+ *   SeguePolicy        the base lives in %gs; a single gs-relative
+ *                      instruction performs the access with the full
+ *                      addressing mode folded (Figure 1c). Implemented
+ *                      with inline asm "m" operands so GCC still
+ *                      chooses [base + index*scale + disp] forms.
+ *   BoundsPolicy       explicit limit check before each access — what
+ *                      engines emit for 64-bit memories (§6.1).
+ *   SegueBoundsPolicy  bounds check + gs-relative access.
+ *
+ * All SFI policies use u32 offsets into a 4 GiB-reserved linear memory
+ * with trailing guard pages, so stray accesses fault exactly as in
+ * production Wasm engines.
+ */
+#ifndef SFIKIT_W2C_POLICY_H_
+#define SFIKIT_W2C_POLICY_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace sfi::w2c {
+
+/** Called by bounds-checking policies on a failed check. Noreturn;
+ *  defaults to abort, replaceable for tests. */
+[[noreturn]] void boundsTrap();
+
+/** Hook used by tests to intercept bounds traps (longjmp target). */
+void setBoundsTrapHandler(void (*handler)());
+
+/** Native baseline: pointer-width arithmetic, direct addressing. */
+struct NativePolicy
+{
+    static constexpr const char* kName = "native";
+    static constexpr bool kUsesGs = false;
+
+    uint8_t* base = nullptr;
+    uint64_t size = 0;
+
+    using Index = size_t;
+
+    template <typename T>
+    T
+    load(Index off) const
+    {
+        T v;
+        std::memcpy(&v, base + off, sizeof v);
+        return v;
+    }
+
+    template <typename T>
+    void
+    store(Index off, T v) const
+    {
+        std::memcpy(base + off, &v, sizeof v);
+    }
+
+    template <typename T>
+    T
+    loadAt(Index array, Index idx) const
+    {
+        return load<T>(array + idx * sizeof(T));
+    }
+
+    template <typename T>
+    void
+    storeAt(Index array, Index idx, T v) const
+    {
+        store<T>(array + idx * sizeof(T), v);
+    }
+};
+
+/** Classic wasm2c: u32 offsets, explicit 64-bit base addition. */
+struct BaseAddPolicy
+{
+    static constexpr const char* kName = "wasm2c";
+    static constexpr bool kUsesGs = false;
+
+    uint8_t* base = nullptr;
+    uint64_t size = 0;
+
+    using Index = uint32_t;
+
+    template <typename T>
+    T
+    load(Index off) const
+    {
+        T v;
+        // The u32 offset is zero-extended and added to the 64-bit base:
+        // the compiler must materialize the 32-bit offset computation
+        // before the access (Figure 1b).
+        std::memcpy(&v, base + uint64_t(off), sizeof v);
+        return v;
+    }
+
+    template <typename T>
+    void
+    store(Index off, T v) const
+    {
+        std::memcpy(base + uint64_t(off), &v, sizeof v);
+    }
+
+    template <typename T>
+    T
+    loadAt(Index array, Index idx) const
+    {
+        return load<T>(Index(array + idx * sizeof(T)));
+    }
+
+    template <typename T>
+    void
+    storeAt(Index array, Index idx, T v) const
+    {
+        store<T>(Index(array + idx * sizeof(T)), v);
+    }
+};
+
+namespace detail {
+
+// The "m" operands below are lvalues at raw u32 addresses; GCC's
+// array-bounds analysis flags constant-folded low addresses even though
+// the asm only uses the *address* (relative to %gs).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+
+/** gs-relative load of any scalar type, with full mode folding. */
+template <typename T>
+inline T
+gsLoad(uint64_t ea)
+{
+    T v;
+    if constexpr (sizeof(T) == 8 && __is_same(T, double)) {
+        asm("movsd %%gs:%1, %0"
+            : "=x"(v)
+            : "m"(*reinterpret_cast<const T*>(ea)));
+    } else {
+        asm("mov %%gs:%1, %0"
+            : "=r"(v)
+            : "m"(*reinterpret_cast<const T*>(ea)));
+    }
+    return v;
+}
+
+template <typename T>
+inline void
+gsStore(uint64_t ea, T v)
+{
+    // The "=m" output expresses the written location; GCC's dependence
+    // analysis orders these against the gsLoad "m" inputs without a
+    // full "memory" clobber (which would be an optimization barrier the
+    // plain-pointer policies don't pay).
+    if constexpr (sizeof(T) == 8 && __is_same(T, double)) {
+        asm("movsd %1, %%gs:%0"
+            : "=m"(*reinterpret_cast<T*>(ea))
+            : "x"(v));
+    } else {
+        asm("mov %1, %%gs:%0"
+            : "=m"(*reinterpret_cast<T*>(ea))
+            : "r"(v));
+    }
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace detail
+
+/**
+ * Segue: %gs holds the heap base (set by the harness via
+ * seg::ScopedGsBase before entering the sandbox); one instruction per
+ * access.
+ */
+struct SeguePolicy
+{
+    static constexpr const char* kName = "wasm2c+segue";
+    static constexpr bool kUsesGs = true;
+
+    uint8_t* base = nullptr;  ///< kept for checksum verification only
+    uint64_t size = 0;
+
+    using Index = uint32_t;
+
+    template <typename T>
+    T
+    load(Index off) const
+    {
+        return detail::gsLoad<T>(uint64_t(off));
+    }
+
+    template <typename T>
+    void
+    store(Index off, T v) const
+    {
+        detail::gsStore<T>(uint64_t(off), v);
+    }
+
+    template <typename T>
+    T
+    loadAt(Index array, Index idx) const
+    {
+        // 64-bit effective-address arithmetic is safe here (both values
+        // are clean u32), and it lets the compiler fold the whole
+        // [base + index*scale] form into the gs access.
+        return detail::gsLoad<T>(uint64_t(array) +
+                                 uint64_t(idx) * sizeof(T));
+    }
+
+    template <typename T>
+    void
+    storeAt(Index array, Index idx, T v) const
+    {
+        detail::gsStore<T>(uint64_t(array) + uint64_t(idx) * sizeof(T),
+                           v);
+    }
+};
+
+/** Explicit bounds checks + base addition (no guard reliance). */
+struct BoundsPolicy
+{
+    static constexpr const char* kName = "wasm2c+bounds";
+    static constexpr bool kUsesGs = false;
+
+    uint8_t* base = nullptr;
+    uint64_t size = 0;
+
+    using Index = uint32_t;
+
+    template <typename T>
+    T
+    load(Index off) const
+    {
+        if (uint64_t(off) + sizeof(T) > size) [[unlikely]]
+            boundsTrap();
+        T v;
+        std::memcpy(&v, base + uint64_t(off), sizeof v);
+        return v;
+    }
+
+    template <typename T>
+    void
+    store(Index off, T v) const
+    {
+        if (uint64_t(off) + sizeof(T) > size) [[unlikely]]
+            boundsTrap();
+        std::memcpy(base + uint64_t(off), &v, sizeof v);
+    }
+
+    template <typename T>
+    T
+    loadAt(Index array, Index idx) const
+    {
+        return load<T>(Index(array + idx * sizeof(T)));
+    }
+
+    template <typename T>
+    void
+    storeAt(Index array, Index idx, T v) const
+    {
+        store<T>(Index(array + idx * sizeof(T)), v);
+    }
+};
+
+/** Bounds checks + gs-relative access (§6.1's 25.2% case). */
+struct SegueBoundsPolicy
+{
+    static constexpr const char* kName = "wasm2c+bounds+segue";
+    static constexpr bool kUsesGs = true;
+
+    uint8_t* base = nullptr;
+    uint64_t size = 0;
+
+    using Index = uint32_t;
+
+    template <typename T>
+    T
+    load(Index off) const
+    {
+        if (uint64_t(off) + sizeof(T) > size) [[unlikely]]
+            boundsTrap();
+        return detail::gsLoad<T>(uint64_t(off));
+    }
+
+    template <typename T>
+    void
+    store(Index off, T v) const
+    {
+        if (uint64_t(off) + sizeof(T) > size) [[unlikely]]
+            boundsTrap();
+        detail::gsStore<T>(uint64_t(off), v);
+    }
+
+    template <typename T>
+    T
+    loadAt(Index array, Index idx) const
+    {
+        uint64_t ea = uint64_t(array) + uint64_t(idx) * sizeof(T);
+        if (ea + sizeof(T) > size) [[unlikely]]
+            boundsTrap();
+        return detail::gsLoad<T>(ea);
+    }
+
+    template <typename T>
+    void
+    storeAt(Index array, Index idx, T v) const
+    {
+        uint64_t ea = uint64_t(array) + uint64_t(idx) * sizeof(T);
+        if (ea + sizeof(T) > size) [[unlikely]]
+            boundsTrap();
+        detail::gsStore<T>(ea, v);
+    }
+};
+
+}  // namespace sfi::w2c
+
+#endif  // SFIKIT_W2C_POLICY_H_

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Fluent module/function builders.
+ *
+ * The workload kernels (SPEC-like suites, Sightglass-like micros, FaaS
+ * functions) are authored against this API instead of a binary decoder —
+ * sfikit's "frontend". Usage:
+ *
+ *   ModuleBuilder mb;
+ *   mb.memory(16, 16);
+ *   auto f = mb.func("sum", {ValType::I32}, {ValType::I32});
+ *   f.i32Const(0).localSet(acc) ... .end();
+ *   mb.exportFunc("sum", f.index());
+ *   Module m = mb.build();   // validated
+ */
+#ifndef SFIKIT_WASM_BUILDER_H_
+#define SFIKIT_WASM_BUILDER_H_
+
+#include <bit>
+#include <deque>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "wasm/module.h"
+#include "wasm/validator.h"
+
+namespace sfi::wasm {
+
+class ModuleBuilder;
+
+/** Builds one function body with chainable emitters. */
+class FunctionBuilder
+{
+  public:
+    /** Function index (in the module's function index space). */
+    uint32_t index() const { return index_; }
+
+    /** Adds a local and returns its index (params come first). */
+    uint32_t
+    local(ValType t)
+    {
+        fn_->locals.push_back(t);
+        return static_cast<uint32_t>(numParams_ + fn_->locals.size() - 1);
+    }
+
+    /** Index of parameter @p i as a local. */
+    uint32_t param(uint32_t i) const
+    {
+        SFI_CHECK(i < numParams_);
+        return i;
+    }
+
+    // --- raw emit ---
+    FunctionBuilder&
+    op(Op o, uint32_t a = 0, uint64_t imm = 0)
+    {
+        fn_->body.push_back(Instr{o, a, imm});
+        return *this;
+    }
+
+    // --- control flow ---
+    FunctionBuilder& block() { return op(Op::Block); }
+    FunctionBuilder& loop() { return op(Op::Loop); }
+    FunctionBuilder& if_() { return op(Op::If); }
+    FunctionBuilder& else_() { return op(Op::Else); }
+    FunctionBuilder& end() { return op(Op::End); }
+    FunctionBuilder& br(uint32_t depth) { return op(Op::Br, depth); }
+    FunctionBuilder& brIf(uint32_t depth) { return op(Op::BrIf, depth); }
+    FunctionBuilder&
+    brTable(std::vector<uint32_t> depths_then_default)
+    {
+        fn_->brTables.push_back(std::move(depths_then_default));
+        return op(Op::BrTable,
+                  static_cast<uint32_t>(fn_->brTables.size() - 1));
+    }
+    FunctionBuilder& ret() { return op(Op::Return); }
+    FunctionBuilder& call(uint32_t func_idx) { return op(Op::Call, func_idx); }
+    FunctionBuilder&
+    callIndirect(uint32_t type_idx)
+    {
+        return op(Op::CallIndirect, type_idx);
+    }
+    FunctionBuilder& unreachable() { return op(Op::Unreachable); }
+    FunctionBuilder& drop() { return op(Op::Drop); }
+    FunctionBuilder& select() { return op(Op::Select); }
+
+    // --- variables ---
+    FunctionBuilder& localGet(uint32_t i) { return op(Op::LocalGet, i); }
+    FunctionBuilder& localSet(uint32_t i) { return op(Op::LocalSet, i); }
+    FunctionBuilder& localTee(uint32_t i) { return op(Op::LocalTee, i); }
+    FunctionBuilder& globalGet(uint32_t i) { return op(Op::GlobalGet, i); }
+    FunctionBuilder& globalSet(uint32_t i) { return op(Op::GlobalSet, i); }
+
+    // --- constants ---
+    FunctionBuilder&
+    i32Const(uint32_t v)
+    {
+        return op(Op::I32Const, 0, v);
+    }
+    FunctionBuilder&
+    i64Const(uint64_t v)
+    {
+        return op(Op::I64Const, 0, v);
+    }
+    FunctionBuilder&
+    f64Const(double v)
+    {
+        return op(Op::F64Const, 0, std::bit_cast<uint64_t>(v));
+    }
+
+    // --- memory ---
+    FunctionBuilder& i32Load(uint32_t off = 0) { return op(Op::I32Load, 0, off); }
+    FunctionBuilder& i64Load(uint32_t off = 0) { return op(Op::I64Load, 0, off); }
+    FunctionBuilder& f64Load(uint32_t off = 0) { return op(Op::F64Load, 0, off); }
+    FunctionBuilder& i32Load8u(uint32_t off = 0) { return op(Op::I32Load8U, 0, off); }
+    FunctionBuilder& i32Load8s(uint32_t off = 0) { return op(Op::I32Load8S, 0, off); }
+    FunctionBuilder& i32Load16u(uint32_t off = 0) { return op(Op::I32Load16U, 0, off); }
+    FunctionBuilder& i32Load16s(uint32_t off = 0) { return op(Op::I32Load16S, 0, off); }
+    FunctionBuilder& i32Store(uint32_t off = 0) { return op(Op::I32Store, 0, off); }
+    FunctionBuilder& i64Store(uint32_t off = 0) { return op(Op::I64Store, 0, off); }
+    FunctionBuilder& f64Store(uint32_t off = 0) { return op(Op::F64Store, 0, off); }
+    FunctionBuilder& i32Store8(uint32_t off = 0) { return op(Op::I32Store8, 0, off); }
+    FunctionBuilder& i32Store16(uint32_t off = 0) { return op(Op::I32Store16, 0, off); }
+    FunctionBuilder& memorySize() { return op(Op::MemorySize); }
+    FunctionBuilder& memoryGrow() { return op(Op::MemoryGrow); }
+    FunctionBuilder& memoryFill() { return op(Op::MemoryFill); }
+    FunctionBuilder& memoryCopy() { return op(Op::MemoryCopy); }
+
+    // --- i32 ---
+    FunctionBuilder& i32Add() { return op(Op::I32Add); }
+    FunctionBuilder& i32Sub() { return op(Op::I32Sub); }
+    FunctionBuilder& i32Mul() { return op(Op::I32Mul); }
+    FunctionBuilder& i32DivS() { return op(Op::I32DivS); }
+    FunctionBuilder& i32DivU() { return op(Op::I32DivU); }
+    FunctionBuilder& i32RemS() { return op(Op::I32RemS); }
+    FunctionBuilder& i32RemU() { return op(Op::I32RemU); }
+    FunctionBuilder& i32And() { return op(Op::I32And); }
+    FunctionBuilder& i32Or() { return op(Op::I32Or); }
+    FunctionBuilder& i32Xor() { return op(Op::I32Xor); }
+    FunctionBuilder& i32Shl() { return op(Op::I32Shl); }
+    FunctionBuilder& i32ShrS() { return op(Op::I32ShrS); }
+    FunctionBuilder& i32ShrU() { return op(Op::I32ShrU); }
+    FunctionBuilder& i32Rotl() { return op(Op::I32Rotl); }
+    FunctionBuilder& i32Rotr() { return op(Op::I32Rotr); }
+    FunctionBuilder& i32Popcnt() { return op(Op::I32Popcnt); }
+    FunctionBuilder& i32Eqz() { return op(Op::I32Eqz); }
+    FunctionBuilder& i32Eq() { return op(Op::I32Eq); }
+    FunctionBuilder& i32Ne() { return op(Op::I32Ne); }
+    FunctionBuilder& i32LtS() { return op(Op::I32LtS); }
+    FunctionBuilder& i32LtU() { return op(Op::I32LtU); }
+    FunctionBuilder& i32GtS() { return op(Op::I32GtS); }
+    FunctionBuilder& i32GtU() { return op(Op::I32GtU); }
+    FunctionBuilder& i32LeS() { return op(Op::I32LeS); }
+    FunctionBuilder& i32LeU() { return op(Op::I32LeU); }
+    FunctionBuilder& i32GeS() { return op(Op::I32GeS); }
+    FunctionBuilder& i32GeU() { return op(Op::I32GeU); }
+
+    // --- i64 ---
+    FunctionBuilder& i64Add() { return op(Op::I64Add); }
+    FunctionBuilder& i64Sub() { return op(Op::I64Sub); }
+    FunctionBuilder& i64Mul() { return op(Op::I64Mul); }
+    FunctionBuilder& i64DivS() { return op(Op::I64DivS); }
+    FunctionBuilder& i64DivU() { return op(Op::I64DivU); }
+    FunctionBuilder& i64RemS() { return op(Op::I64RemS); }
+    FunctionBuilder& i64RemU() { return op(Op::I64RemU); }
+    FunctionBuilder& i64And() { return op(Op::I64And); }
+    FunctionBuilder& i64Or() { return op(Op::I64Or); }
+    FunctionBuilder& i64Xor() { return op(Op::I64Xor); }
+    FunctionBuilder& i64Shl() { return op(Op::I64Shl); }
+    FunctionBuilder& i64ShrS() { return op(Op::I64ShrS); }
+    FunctionBuilder& i64ShrU() { return op(Op::I64ShrU); }
+    FunctionBuilder& i64Rotl() { return op(Op::I64Rotl); }
+    FunctionBuilder& i64Rotr() { return op(Op::I64Rotr); }
+    FunctionBuilder& i64Popcnt() { return op(Op::I64Popcnt); }
+    FunctionBuilder& i64Eqz() { return op(Op::I64Eqz); }
+    FunctionBuilder& i64Eq() { return op(Op::I64Eq); }
+    FunctionBuilder& i64Ne() { return op(Op::I64Ne); }
+    FunctionBuilder& i64LtS() { return op(Op::I64LtS); }
+    FunctionBuilder& i64LtU() { return op(Op::I64LtU); }
+    FunctionBuilder& i64GtS() { return op(Op::I64GtS); }
+    FunctionBuilder& i64GtU() { return op(Op::I64GtU); }
+    FunctionBuilder& i64LeS() { return op(Op::I64LeS); }
+    FunctionBuilder& i64LeU() { return op(Op::I64LeU); }
+    FunctionBuilder& i64GeS() { return op(Op::I64GeS); }
+    FunctionBuilder& i64GeU() { return op(Op::I64GeU); }
+
+    // --- conversions ---
+    FunctionBuilder& i32WrapI64() { return op(Op::I32WrapI64); }
+    FunctionBuilder& i64ExtendI32S() { return op(Op::I64ExtendI32S); }
+    FunctionBuilder& i64ExtendI32U() { return op(Op::I64ExtendI32U); }
+
+    // --- f64 ---
+    FunctionBuilder& f64Add() { return op(Op::F64Add); }
+    FunctionBuilder& f64Sub() { return op(Op::F64Sub); }
+    FunctionBuilder& f64Mul() { return op(Op::F64Mul); }
+    FunctionBuilder& f64Div() { return op(Op::F64Div); }
+    FunctionBuilder& f64Sqrt() { return op(Op::F64Sqrt); }
+    FunctionBuilder& f64Min() { return op(Op::F64Min); }
+    FunctionBuilder& f64Max() { return op(Op::F64Max); }
+    FunctionBuilder& f64Neg() { return op(Op::F64Neg); }
+    FunctionBuilder& f64Abs() { return op(Op::F64Abs); }
+    FunctionBuilder& f64Eq() { return op(Op::F64Eq); }
+    FunctionBuilder& f64Ne() { return op(Op::F64Ne); }
+    FunctionBuilder& f64Lt() { return op(Op::F64Lt); }
+    FunctionBuilder& f64Gt() { return op(Op::F64Gt); }
+    FunctionBuilder& f64Le() { return op(Op::F64Le); }
+    FunctionBuilder& f64Ge() { return op(Op::F64Ge); }
+    FunctionBuilder& f64ConvertI32S() { return op(Op::F64ConvertI32S); }
+    FunctionBuilder& f64ConvertI32U() { return op(Op::F64ConvertI32U); }
+    FunctionBuilder& f64ConvertI64S() { return op(Op::F64ConvertI64S); }
+    FunctionBuilder& i32TruncF64S() { return op(Op::I32TruncF64S); }
+    FunctionBuilder& i64TruncF64S() { return op(Op::I64TruncF64S); }
+
+  private:
+    friend class ModuleBuilder;
+
+    FunctionBuilder(Function* fn, uint32_t index, size_t num_params)
+        : fn_(fn), index_(index), numParams_(num_params)
+    {
+    }
+
+    Function* fn_;
+    uint32_t index_;
+    size_t numParams_;
+};
+
+/** Builds a Module; build() validates. */
+class ModuleBuilder
+{
+  public:
+    /** Declares linear-memory limits in Wasm pages. */
+    ModuleBuilder&
+    memory(uint32_t min_pages, uint32_t max_pages)
+    {
+        module_.memory = {min_pages, max_pages};
+        return *this;
+    }
+
+    /** Declares a host-function import; returns its function index. */
+    uint32_t
+    importFunc(std::string name, std::vector<ValType> params,
+               std::vector<ValType> results)
+    {
+        SFI_CHECK_MSG(pending_.empty(),
+                      "imports must be declared before functions");
+        uint32_t ti =
+            module_.internType({std::move(params), std::move(results)});
+        module_.imports.push_back({std::move(name), ti});
+        return module_.numImports() - 1;
+    }
+
+    /**
+     * Starts a new function; returns a builder bound to it. Functions
+     * live in a deque until build(), so earlier FunctionBuilders stay
+     * valid while later functions are added.
+     */
+    FunctionBuilder
+    func(std::string name, std::vector<ValType> params,
+         std::vector<ValType> results)
+    {
+        size_t num_params = params.size();
+        uint32_t ti =
+            module_.internType({std::move(params), std::move(results)});
+        Function fn;
+        fn.typeIdx = ti;
+        fn.name = std::move(name);
+        pending_.push_back(std::move(fn));
+        uint32_t index = module_.numImports() +
+                         static_cast<uint32_t>(pending_.size()) - 1;
+        return FunctionBuilder(&pending_.back(), index, num_params);
+    }
+
+    ModuleBuilder&
+    global(ValType t, bool is_mutable, uint64_t init)
+    {
+        module_.globals.push_back({t, is_mutable, init});
+        return *this;
+    }
+
+    ModuleBuilder&
+    data(uint32_t offset, std::vector<uint8_t> bytes)
+    {
+        module_.data.push_back({offset, std::move(bytes)});
+        return *this;
+    }
+
+    ModuleBuilder&
+    table(std::vector<uint32_t> func_indices)
+    {
+        module_.table = std::move(func_indices);
+        return *this;
+    }
+
+    ModuleBuilder&
+    exportFunc(const std::string& name, uint32_t func_idx)
+    {
+        module_.exports[name] = func_idx;
+        return *this;
+    }
+
+    uint32_t
+    typeIndexOf(std::vector<ValType> params, std::vector<ValType> results)
+    {
+        return module_.internType({std::move(params), std::move(results)});
+    }
+
+    /** Validates and returns the module; panics on validation failure
+     *  (builder misuse is an sfikit bug, not user input). */
+    Module
+    build() &&
+    {
+        finalize();
+        Status st = validate(module_);
+        SFI_CHECK_MSG(st.isOk(), "built module fails validation: %s",
+                      st.message().c_str());
+        return std::move(module_);
+    }
+
+    /** Access without validation (negative validator tests). */
+    Module
+    takeUnvalidated() &&
+    {
+        finalize();
+        return std::move(module_);
+    }
+
+  private:
+    void
+    finalize()
+    {
+        module_.functions.assign(
+            std::make_move_iterator(pending_.begin()),
+            std::make_move_iterator(pending_.end()));
+        pending_.clear();
+    }
+
+    Module module_;
+    std::deque<Function> pending_;
+};
+
+}  // namespace sfi::wasm
+
+#endif  // SFIKIT_WASM_BUILDER_H_

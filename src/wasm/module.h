@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The Wasm-subset intermediate representation sfikit's SFI toolchain
+ * compiles.
+ *
+ * This models the part of WebAssembly the paper's evaluation exercises:
+ * a 32-bit linear memory addressed by (u32 index + static offset), typed
+ * locals/globals, structured control flow, direct/indirect/host calls,
+ * and bulk memory operations (whose vectorized implementations are the
+ * source of the WAMR/Segue interaction in §4.2).
+ *
+ * Deliberate subset restrictions (documented in DESIGN.md):
+ *  - value types are i32, i64, f64 (no f32, no SIMD values);
+ *  - blocks/loops/ifs have void type — values cross control flow through
+ *    locals or `select` ("flat-stack discipline"), which lets the
+ *    baseline JIT avoid merge-point reconciliation entirely;
+ *  - ≤ 6 parameters (≤ 4 of them f64) and ≤ 1 result per function.
+ *
+ * The validator (validator.h) enforces all of these, so the JIT and the
+ * interpreter may assume them.
+ */
+#ifndef SFIKIT_WASM_MODULE_H_
+#define SFIKIT_WASM_MODULE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sfi::wasm {
+
+/** Value types. */
+enum class ValType : uint8_t { I32, I64, F64 };
+
+const char* name(ValType t);
+
+/** Every opcode in the subset. */
+enum class Op : uint8_t {
+    // Control.
+    Unreachable, Nop, Block, Loop, If, Else, End,
+    Br, BrIf, BrTable, Return, Call, CallIndirect,
+    Drop, Select,
+    // Variables.
+    LocalGet, LocalSet, LocalTee, GlobalGet, GlobalSet,
+    // Memory.
+    I32Load, I64Load, F64Load,
+    I32Load8S, I32Load8U, I32Load16S, I32Load16U,
+    I64Load32S, I64Load32U,
+    I32Store, I64Store, F64Store, I32Store8, I32Store16,
+    MemorySize, MemoryGrow, MemoryFill, MemoryCopy,
+    // Constants.
+    I32Const, I64Const, F64Const,
+    // i32 compare/arithmetic.
+    I32Eqz, I32Eq, I32Ne, I32LtS, I32LtU, I32GtS, I32GtU,
+    I32LeS, I32LeU, I32GeS, I32GeU,
+    I32Add, I32Sub, I32Mul, I32DivS, I32DivU, I32RemS, I32RemU,
+    I32And, I32Or, I32Xor, I32Shl, I32ShrS, I32ShrU, I32Rotl, I32Rotr,
+    I32Popcnt,
+    // i64 compare/arithmetic.
+    I64Eqz, I64Eq, I64Ne, I64LtS, I64LtU, I64GtS, I64GtU,
+    I64LeS, I64LeU, I64GeS, I64GeU,
+    I64Add, I64Sub, I64Mul, I64DivS, I64DivU, I64RemS, I64RemU,
+    I64And, I64Or, I64Xor, I64Shl, I64ShrS, I64ShrU, I64Rotl, I64Rotr,
+    I64Popcnt,
+    // Conversions.
+    I32WrapI64, I64ExtendI32S, I64ExtendI32U,
+    // f64.
+    F64Eq, F64Ne, F64Lt, F64Gt, F64Le, F64Ge,
+    F64Add, F64Sub, F64Mul, F64Div, F64Sqrt, F64Min, F64Max,
+    F64Neg, F64Abs,
+    F64ConvertI32S, F64ConvertI32U, F64ConvertI64S,
+    I32TruncF64S, I64TruncF64S,
+    F64ReinterpretI64, I64ReinterpretF64,
+};
+
+const char* name(Op op);
+
+/**
+ * One instruction. Field use by opcode:
+ *  - a: local/global/function index, label depth, br_table index,
+ *       call_indirect type index;
+ *  - imm: constant payload (f64 via bit pattern) or static memory offset.
+ */
+struct Instr
+{
+    Op op;
+    uint32_t a = 0;
+    uint64_t imm = 0;
+};
+
+/** A function signature. */
+struct FuncType
+{
+    std::vector<ValType> params;
+    std::vector<ValType> results;  ///< 0 or 1 entries.
+
+    bool operator==(const FuncType&) const = default;
+};
+
+/** An imported (host) function slot. */
+struct Import
+{
+    std::string name;
+    uint32_t typeIdx;
+};
+
+/**
+ * A function body. Function index space: imports first ([0, numImports)),
+ * then module functions.
+ */
+struct Function
+{
+    uint32_t typeIdx = 0;
+    std::vector<ValType> locals;  ///< excluding params
+    std::vector<Instr> body;
+    std::string name;  ///< for diagnostics and size reporting
+
+    /** br_table depth lists, referenced by Instr::a. */
+    std::vector<std::vector<uint32_t>> brTables;
+};
+
+/** A global variable. */
+struct Global
+{
+    ValType type = ValType::I32;
+    bool isMutable = true;
+    uint64_t init = 0;  ///< f64 via bit pattern
+};
+
+/** Linear-memory limits, in Wasm pages (64 KiB). */
+struct MemoryDecl
+{
+    uint32_t minPages = 0;
+    uint32_t maxPages = 0;
+};
+
+/** Active data segment copied into memory at instantiation. */
+struct DataSegment
+{
+    uint32_t offset = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** A complete module. */
+struct Module
+{
+    std::vector<FuncType> types;
+    std::vector<Import> imports;
+    std::vector<Function> functions;
+    std::vector<Global> globals;
+    MemoryDecl memory;
+    std::vector<DataSegment> data;
+    /** Function table for call_indirect (entries are function indices). */
+    std::vector<uint32_t> table;
+    /** Exported function name -> function index. */
+    std::map<std::string, uint32_t> exports;
+
+    uint32_t numImports() const
+    {
+        return static_cast<uint32_t>(imports.size());
+    }
+
+    uint32_t
+    numFuncs() const
+    {
+        return numImports() + static_cast<uint32_t>(functions.size());
+    }
+
+    /** Signature of function index @p fi (import or defined). */
+    const FuncType&
+    typeOfFunc(uint32_t fi) const
+    {
+        return types.at(typeIndexOfFunc(fi));
+    }
+
+    /** Type index of function index @p fi. */
+    uint32_t
+    typeIndexOfFunc(uint32_t fi) const
+    {
+        if (fi < numImports())
+            return imports.at(fi).typeIdx;
+        return functions.at(fi - numImports()).typeIdx;
+    }
+
+    /** Interns @p ft into the type list, returning its index. */
+    uint32_t
+    internType(const FuncType& ft)
+    {
+        for (uint32_t i = 0; i < types.size(); i++) {
+            if (types[i] == ft)
+                return i;
+        }
+        types.push_back(ft);
+        return static_cast<uint32_t>(types.size() - 1);
+    }
+};
+
+/** Calling-convention caps enforced by the validator. */
+inline constexpr size_t kMaxParams = 6;
+inline constexpr size_t kMaxF64Params = 4;
+
+}  // namespace sfi::wasm
+
+#endif  // SFIKIT_WASM_MODULE_H_

@@ -1,0 +1,74 @@
+#include "wasm/module.h"
+
+namespace sfi::wasm {
+
+const char*
+name(ValType t)
+{
+    switch (t) {
+      case ValType::I32: return "i32";
+      case ValType::I64: return "i64";
+      case ValType::F64: return "f64";
+    }
+    return "?";
+}
+
+const char*
+name(Op op)
+{
+    switch (op) {
+#define SFIKIT_OP(x)                                                   \
+    case Op::x:                                                        \
+        return #x;
+      SFIKIT_OP(Unreachable) SFIKIT_OP(Nop) SFIKIT_OP(Block)
+      SFIKIT_OP(Loop) SFIKIT_OP(If) SFIKIT_OP(Else) SFIKIT_OP(End)
+      SFIKIT_OP(Br) SFIKIT_OP(BrIf) SFIKIT_OP(BrTable) SFIKIT_OP(Return)
+      SFIKIT_OP(Call) SFIKIT_OP(CallIndirect) SFIKIT_OP(Drop)
+      SFIKIT_OP(Select)
+      SFIKIT_OP(LocalGet) SFIKIT_OP(LocalSet) SFIKIT_OP(LocalTee)
+      SFIKIT_OP(GlobalGet) SFIKIT_OP(GlobalSet)
+      SFIKIT_OP(I32Load) SFIKIT_OP(I64Load) SFIKIT_OP(F64Load)
+      SFIKIT_OP(I32Load8S) SFIKIT_OP(I32Load8U) SFIKIT_OP(I32Load16S)
+      SFIKIT_OP(I32Load16U) SFIKIT_OP(I64Load32S) SFIKIT_OP(I64Load32U)
+      SFIKIT_OP(I32Store) SFIKIT_OP(I64Store) SFIKIT_OP(F64Store)
+      SFIKIT_OP(I32Store8) SFIKIT_OP(I32Store16)
+      SFIKIT_OP(MemorySize) SFIKIT_OP(MemoryGrow) SFIKIT_OP(MemoryFill)
+      SFIKIT_OP(MemoryCopy)
+      SFIKIT_OP(I32Const) SFIKIT_OP(I64Const) SFIKIT_OP(F64Const)
+      SFIKIT_OP(I32Eqz) SFIKIT_OP(I32Eq) SFIKIT_OP(I32Ne)
+      SFIKIT_OP(I32LtS) SFIKIT_OP(I32LtU) SFIKIT_OP(I32GtS)
+      SFIKIT_OP(I32GtU) SFIKIT_OP(I32LeS) SFIKIT_OP(I32LeU)
+      SFIKIT_OP(I32GeS) SFIKIT_OP(I32GeU)
+      SFIKIT_OP(I32Add) SFIKIT_OP(I32Sub) SFIKIT_OP(I32Mul)
+      SFIKIT_OP(I32DivS) SFIKIT_OP(I32DivU) SFIKIT_OP(I32RemS)
+      SFIKIT_OP(I32RemU) SFIKIT_OP(I32And) SFIKIT_OP(I32Or)
+      SFIKIT_OP(I32Xor) SFIKIT_OP(I32Shl) SFIKIT_OP(I32ShrS)
+      SFIKIT_OP(I32ShrU) SFIKIT_OP(I32Rotl) SFIKIT_OP(I32Rotr)
+      SFIKIT_OP(I32Popcnt)
+      SFIKIT_OP(I64Eqz) SFIKIT_OP(I64Eq) SFIKIT_OP(I64Ne)
+      SFIKIT_OP(I64LtS) SFIKIT_OP(I64LtU) SFIKIT_OP(I64GtS)
+      SFIKIT_OP(I64GtU) SFIKIT_OP(I64LeS) SFIKIT_OP(I64LeU)
+      SFIKIT_OP(I64GeS) SFIKIT_OP(I64GeU)
+      SFIKIT_OP(I64Add) SFIKIT_OP(I64Sub) SFIKIT_OP(I64Mul)
+      SFIKIT_OP(I64DivS) SFIKIT_OP(I64DivU) SFIKIT_OP(I64RemS)
+      SFIKIT_OP(I64RemU) SFIKIT_OP(I64And) SFIKIT_OP(I64Or)
+      SFIKIT_OP(I64Xor) SFIKIT_OP(I64Shl) SFIKIT_OP(I64ShrS)
+      SFIKIT_OP(I64ShrU) SFIKIT_OP(I64Rotl) SFIKIT_OP(I64Rotr)
+      SFIKIT_OP(I64Popcnt)
+      SFIKIT_OP(I32WrapI64) SFIKIT_OP(I64ExtendI32S)
+      SFIKIT_OP(I64ExtendI32U)
+      SFIKIT_OP(F64Eq) SFIKIT_OP(F64Ne) SFIKIT_OP(F64Lt) SFIKIT_OP(F64Gt)
+      SFIKIT_OP(F64Le) SFIKIT_OP(F64Ge)
+      SFIKIT_OP(F64Add) SFIKIT_OP(F64Sub) SFIKIT_OP(F64Mul)
+      SFIKIT_OP(F64Div) SFIKIT_OP(F64Sqrt) SFIKIT_OP(F64Min)
+      SFIKIT_OP(F64Max) SFIKIT_OP(F64Neg) SFIKIT_OP(F64Abs)
+      SFIKIT_OP(F64ConvertI32S) SFIKIT_OP(F64ConvertI32U)
+      SFIKIT_OP(F64ConvertI64S)
+      SFIKIT_OP(I32TruncF64S) SFIKIT_OP(I64TruncF64S)
+      SFIKIT_OP(F64ReinterpretI64) SFIKIT_OP(I64ReinterpretF64)
+#undef SFIKIT_OP
+    }
+    return "?";
+}
+
+}  // namespace sfi::wasm

@@ -1,0 +1,530 @@
+#include "wasm/validator.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/units.h"
+
+namespace sfi::wasm {
+
+namespace {
+
+/** Per-function validation context. */
+class FuncValidator
+{
+  public:
+    FuncValidator(const Module& module, const Function& fn, uint32_t index)
+        : module_(module), fn_(fn), index_(index)
+    {
+    }
+
+    Status
+    run()
+    {
+        const FuncType& ft = module_.types.at(fn_.typeIdx);
+        locals_ = ft.params;
+        locals_.insert(locals_.end(), fn_.locals.begin(), fn_.locals.end());
+        frames_.push_back({FrameKind::Func, 0, false});
+
+        for (pc_ = 0; pc_ < fn_.body.size(); pc_++) {
+            Status st = check(fn_.body[pc_]);
+            if (!st)
+                return fail(st.message());
+        }
+        if (!frames_.empty())
+            return fail("function body not terminated by matching End");
+        return Status::ok();
+    }
+
+  private:
+    enum class FrameKind { Func, Block, Loop, If, Else };
+
+    struct Frame
+    {
+        FrameKind kind;
+        size_t entryHeight;
+        bool unreachable;
+    };
+
+    Status
+    fail(const std::string& why) const
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, " [func %u", index_);
+        std::string where = buf;
+        if (!fn_.name.empty())
+            where += " '" + fn_.name + "'";
+        std::snprintf(buf, sizeof buf, " at instr %zu", pc_);
+        where += buf;
+        if (pc_ < fn_.body.size()) {
+            where += " (";
+            where += name(fn_.body[pc_].op);
+            where += ")";
+        }
+        where += "]";
+        return Status::error(why + where);
+    }
+
+    Status
+    pop(ValType want)
+    {
+        if (stack_.empty())
+            return Status::error("value stack underflow");
+        ValType got = stack_.back();
+        stack_.pop_back();
+        if (got != want) {
+            return Status::error(std::string("type mismatch: want ") +
+                                 name(want) + ", got " + name(got));
+        }
+        return Status::ok();
+    }
+
+    Status
+    popAny(ValType* out)
+    {
+        if (stack_.empty())
+            return Status::error("value stack underflow");
+        *out = stack_.back();
+        stack_.pop_back();
+        return Status::ok();
+    }
+
+    void push(ValType t) { stack_.push_back(t); }
+
+    Status
+    binary(ValType in, ValType out)
+    {
+        if (auto st = pop(in); !st)
+            return st;
+        if (auto st = pop(in); !st)
+            return st;
+        push(out);
+        return Status::ok();
+    }
+
+    Status
+    unary(ValType in, ValType out)
+    {
+        if (auto st = pop(in); !st)
+            return st;
+        push(out);
+        return Status::ok();
+    }
+
+    /** Loads pop an i32 address and push the loaded type. */
+    Status
+    checkLoad(ValType out, uint64_t offset, uint32_t access_bytes)
+    {
+        if (offset + access_bytes > kGiB) {
+            // Static offsets must stay within what the guard region
+            // demonstrably covers (runtime reserves 4 GiB + guards; we
+            // conservatively cap static offsets at 1 GiB).
+            return Status::error("static memory offset too large");
+        }
+        if (auto st = pop(ValType::I32); !st)
+            return st;
+        push(out);
+        return Status::ok();
+    }
+
+    Status
+    checkStore(ValType in, uint64_t offset, uint32_t access_bytes)
+    {
+        if (offset + access_bytes > kGiB)
+            return Status::error("static memory offset too large");
+        if (auto st = pop(in); !st)
+            return st;
+        return pop(ValType::I32);
+    }
+
+    /** Branch target frame for depth @p d (0 = innermost). */
+    Status
+    branchTarget(uint32_t d, Frame** out)
+    {
+        if (d >= frames_.size())
+            return Status::error("branch depth out of range");
+        *out = &frames_[frames_.size() - 1 - d];
+        return Status::ok();
+    }
+
+    /**
+     * Flat-stack discipline: a branch (or fallthrough into End/Else) must
+     * see exactly the height the target frame started with; for the
+     * function frame, exactly the result values.
+     */
+    Status
+    checkBranchShape(const Frame& target)
+    {
+        if (target.kind == FrameKind::Func) {
+            const FuncType& ft = module_.types.at(fn_.typeIdx);
+            if (stack_.size() != ft.results.size())
+                return Status::error("return: stack height != result arity");
+            for (size_t i = 0; i < ft.results.size(); i++) {
+                if (stack_[i] != ft.results[i])
+                    return Status::error("return: result type mismatch");
+            }
+            return Status::ok();
+        }
+        if (stack_.size() != target.entryHeight) {
+            return Status::error(
+                "flat-stack discipline: branch with non-empty block stack");
+        }
+        return Status::ok();
+    }
+
+    void
+    markUnreachable()
+    {
+        frames_.back().unreachable = true;
+    }
+
+    Status
+    check(const Instr& in)
+    {
+        // In unreachable code we only accept the structural closers —
+        // sfikit's builders never emit other dead code.
+        if (!frames_.empty() && frames_.back().unreachable &&
+            in.op != Op::End && in.op != Op::Else) {
+            return Status::error(
+                "dead code after unconditional transfer (subset rule)");
+        }
+
+        switch (in.op) {
+          case Op::Unreachable:
+            markUnreachable();
+            return Status::ok();
+          case Op::Nop:
+            return Status::ok();
+
+          case Op::Block:
+            frames_.push_back({FrameKind::Block, stack_.size(), false});
+            return Status::ok();
+          case Op::Loop:
+            frames_.push_back({FrameKind::Loop, stack_.size(), false});
+            return Status::ok();
+          case Op::If:
+            if (auto st = pop(ValType::I32); !st)
+                return st;
+            frames_.push_back({FrameKind::If, stack_.size(), false});
+            return Status::ok();
+          case Op::Else: {
+            if (frames_.empty() || frames_.back().kind != FrameKind::If)
+                return Status::error("Else without If");
+            Frame f = frames_.back();
+            if (!f.unreachable && stack_.size() != f.entryHeight)
+                return Status::error("If arm left values on the stack");
+            stack_.resize(f.entryHeight);
+            frames_.back() = {FrameKind::Else, f.entryHeight, false};
+            return Status::ok();
+          }
+          case Op::End: {
+            if (frames_.empty())
+                return Status::error("End without open frame");
+            Frame f = frames_.back();
+            if (f.kind == FrameKind::Func) {
+                if (!f.unreachable) {
+                    const FuncType& ft = module_.types.at(fn_.typeIdx);
+                    if (auto st = checkBranchShape(f); !st)
+                        return st;
+                    (void)ft;
+                }
+                frames_.pop_back();
+                if (pc_ + 1 != fn_.body.size())
+                    return Status::error("code after function End");
+                return Status::ok();
+            }
+            if (!f.unreachable && stack_.size() != f.entryHeight)
+                return Status::error("block left values on the stack");
+            stack_.resize(f.entryHeight);
+            frames_.pop_back();
+            return Status::ok();
+          }
+
+          case Op::Br: {
+            Frame* target;
+            if (auto st = branchTarget(in.a, &target); !st)
+                return st;
+            if (auto st = checkBranchShape(*target); !st)
+                return st;
+            markUnreachable();
+            return Status::ok();
+          }
+          case Op::BrIf: {
+            if (auto st = pop(ValType::I32); !st)
+                return st;
+            Frame* target;
+            if (auto st = branchTarget(in.a, &target); !st)
+                return st;
+            return checkBranchShape(*target);
+          }
+          case Op::BrTable: {
+            if (in.a >= fn_.brTables.size())
+                return Status::error("br_table index out of range");
+            if (auto st = pop(ValType::I32); !st)
+                return st;
+            const auto& depths = fn_.brTables[in.a];
+            if (depths.empty())
+                return Status::error("br_table needs a default target");
+            for (uint32_t d : depths) {
+                Frame* target;
+                if (auto st = branchTarget(d, &target); !st)
+                    return st;
+                if (auto st = checkBranchShape(*target); !st)
+                    return st;
+            }
+            markUnreachable();
+            return Status::ok();
+          }
+          case Op::Return: {
+            if (auto st = checkBranchShape(frames_.front()); !st)
+                return st;
+            markUnreachable();
+            return Status::ok();
+          }
+
+          case Op::Call: {
+            if (in.a >= module_.numFuncs())
+                return Status::error("call: function index out of range");
+            const FuncType& ft = module_.typeOfFunc(in.a);
+            for (auto it = ft.params.rbegin(); it != ft.params.rend();
+                 ++it) {
+                if (auto st = pop(*it); !st)
+                    return st;
+            }
+            for (ValType r : ft.results)
+                push(r);
+            return Status::ok();
+          }
+          case Op::CallIndirect: {
+            if (in.a >= module_.types.size())
+                return Status::error("call_indirect: bad type index");
+            if (module_.table.empty())
+                return Status::error("call_indirect without a table");
+            if (auto st = pop(ValType::I32); !st)  // table index
+                return st;
+            const FuncType& ft = module_.types[in.a];
+            for (auto it = ft.params.rbegin(); it != ft.params.rend();
+                 ++it) {
+                if (auto st = pop(*it); !st)
+                    return st;
+            }
+            for (ValType r : ft.results)
+                push(r);
+            return Status::ok();
+          }
+
+          case Op::Drop: {
+            ValType t;
+            return popAny(&t);
+          }
+          case Op::Select: {
+            if (auto st = pop(ValType::I32); !st)
+                return st;
+            ValType b, a;
+            if (auto st = popAny(&b); !st)
+                return st;
+            if (auto st = popAny(&a); !st)
+                return st;
+            if (a != b)
+                return Status::error("select arms have different types");
+            push(a);
+            return Status::ok();
+          }
+
+          case Op::LocalGet:
+            if (in.a >= locals_.size())
+                return Status::error("local index out of range");
+            push(locals_[in.a]);
+            return Status::ok();
+          case Op::LocalSet:
+            if (in.a >= locals_.size())
+                return Status::error("local index out of range");
+            return pop(locals_[in.a]);
+          case Op::LocalTee: {
+            if (in.a >= locals_.size())
+                return Status::error("local index out of range");
+            if (auto st = pop(locals_[in.a]); !st)
+                return st;
+            push(locals_[in.a]);
+            return Status::ok();
+          }
+          case Op::GlobalGet:
+            if (in.a >= module_.globals.size())
+                return Status::error("global index out of range");
+            push(module_.globals[in.a].type);
+            return Status::ok();
+          case Op::GlobalSet:
+            if (in.a >= module_.globals.size())
+                return Status::error("global index out of range");
+            if (!module_.globals[in.a].isMutable)
+                return Status::error("assignment to immutable global");
+            return pop(module_.globals[in.a].type);
+
+          // Loads.
+          case Op::I32Load: return checkLoad(ValType::I32, in.imm, 4);
+          case Op::I64Load: return checkLoad(ValType::I64, in.imm, 8);
+          case Op::F64Load: return checkLoad(ValType::F64, in.imm, 8);
+          case Op::I32Load8S:
+          case Op::I32Load8U: return checkLoad(ValType::I32, in.imm, 1);
+          case Op::I32Load16S:
+          case Op::I32Load16U: return checkLoad(ValType::I32, in.imm, 2);
+          case Op::I64Load32S:
+          case Op::I64Load32U: return checkLoad(ValType::I64, in.imm, 4);
+
+          // Stores.
+          case Op::I32Store: return checkStore(ValType::I32, in.imm, 4);
+          case Op::I64Store: return checkStore(ValType::I64, in.imm, 8);
+          case Op::F64Store: return checkStore(ValType::F64, in.imm, 8);
+          case Op::I32Store8: return checkStore(ValType::I32, in.imm, 1);
+          case Op::I32Store16: return checkStore(ValType::I32, in.imm, 2);
+
+          case Op::MemorySize:
+            push(ValType::I32);
+            return Status::ok();
+          case Op::MemoryGrow:
+            return unary(ValType::I32, ValType::I32);
+          case Op::MemoryFill:
+          case Op::MemoryCopy: {
+            // (dst: i32, val/src: i32, n: i32) -> ()
+            for (int i = 0; i < 3; i++) {
+                if (auto st = pop(ValType::I32); !st)
+                    return st;
+            }
+            return Status::ok();
+          }
+
+          case Op::I32Const:
+            push(ValType::I32);
+            return Status::ok();
+          case Op::I64Const:
+            push(ValType::I64);
+            return Status::ok();
+          case Op::F64Const:
+            push(ValType::F64);
+            return Status::ok();
+
+          case Op::I32Eqz: return unary(ValType::I32, ValType::I32);
+          case Op::I32Eq: case Op::I32Ne: case Op::I32LtS: case Op::I32LtU:
+          case Op::I32GtS: case Op::I32GtU: case Op::I32LeS:
+          case Op::I32LeU: case Op::I32GeS: case Op::I32GeU:
+            return binary(ValType::I32, ValType::I32);
+          case Op::I32Add: case Op::I32Sub: case Op::I32Mul:
+          case Op::I32DivS: case Op::I32DivU: case Op::I32RemS:
+          case Op::I32RemU: case Op::I32And: case Op::I32Or:
+          case Op::I32Xor: case Op::I32Shl: case Op::I32ShrS:
+          case Op::I32ShrU: case Op::I32Rotl: case Op::I32Rotr:
+            return binary(ValType::I32, ValType::I32);
+          case Op::I32Popcnt: return unary(ValType::I32, ValType::I32);
+
+          case Op::I64Eqz: return unary(ValType::I64, ValType::I32);
+          case Op::I64Eq: case Op::I64Ne: case Op::I64LtS: case Op::I64LtU:
+          case Op::I64GtS: case Op::I64GtU: case Op::I64LeS:
+          case Op::I64LeU: case Op::I64GeS: case Op::I64GeU:
+            return binary(ValType::I64, ValType::I32);
+          case Op::I64Add: case Op::I64Sub: case Op::I64Mul:
+          case Op::I64DivS: case Op::I64DivU: case Op::I64RemS:
+          case Op::I64RemU: case Op::I64And: case Op::I64Or:
+          case Op::I64Xor: case Op::I64Shl: case Op::I64ShrS:
+          case Op::I64ShrU: case Op::I64Rotl: case Op::I64Rotr:
+            return binary(ValType::I64, ValType::I64);
+          case Op::I64Popcnt: return unary(ValType::I64, ValType::I64);
+
+          case Op::I32WrapI64: return unary(ValType::I64, ValType::I32);
+          case Op::I64ExtendI32S:
+          case Op::I64ExtendI32U:
+            return unary(ValType::I32, ValType::I64);
+
+          case Op::F64Eq: case Op::F64Ne: case Op::F64Lt: case Op::F64Gt:
+          case Op::F64Le: case Op::F64Ge:
+            return binary(ValType::F64, ValType::I32);
+          case Op::F64Add: case Op::F64Sub: case Op::F64Mul:
+          case Op::F64Div: case Op::F64Min: case Op::F64Max:
+            return binary(ValType::F64, ValType::F64);
+          case Op::F64Sqrt: case Op::F64Neg: case Op::F64Abs:
+            return unary(ValType::F64, ValType::F64);
+          case Op::F64ConvertI32S:
+          case Op::F64ConvertI32U:
+            return unary(ValType::I32, ValType::F64);
+          case Op::F64ConvertI64S:
+            return unary(ValType::I64, ValType::F64);
+          case Op::I32TruncF64S:
+            return unary(ValType::F64, ValType::I32);
+          case Op::I64TruncF64S:
+            return unary(ValType::F64, ValType::I64);
+          case Op::F64ReinterpretI64:
+            return unary(ValType::I64, ValType::F64);
+          case Op::I64ReinterpretF64:
+            return unary(ValType::F64, ValType::I64);
+        }
+        return Status::error("unknown opcode");
+    }
+
+    const Module& module_;
+    const Function& fn_;
+    uint32_t index_;
+    size_t pc_ = 0;
+    std::vector<ValType> locals_;
+    std::vector<ValType> stack_;
+    std::vector<Frame> frames_;
+};
+
+}  // namespace
+
+Status
+validate(const Module& module)
+{
+    // Types.
+    for (const FuncType& ft : module.types) {
+        if (ft.results.size() > 1)
+            return Status::error("multi-value results unsupported");
+        if (ft.params.size() > kMaxParams)
+            return Status::error("too many parameters (max 6)");
+        size_t f64s = 0;
+        for (ValType p : ft.params)
+            f64s += (p == ValType::F64);
+        if (f64s > kMaxF64Params)
+            return Status::error("too many f64 parameters (max 4)");
+    }
+    for (const Import& imp : module.imports) {
+        if (imp.typeIdx >= module.types.size())
+            return Status::error("import type index out of range");
+    }
+    for (const Function& fn : module.functions) {
+        if (fn.typeIdx >= module.types.size())
+            return Status::error("function type index out of range");
+    }
+    // Memory limits.
+    if (module.memory.maxPages < module.memory.minPages)
+        return Status::error("memory max < min");
+    if (module.memory.maxPages > 65536)
+        return Status::error("memory max exceeds 4 GiB");
+    // Data segments must fit the initial memory.
+    for (const DataSegment& seg : module.data) {
+        uint64_t end = static_cast<uint64_t>(seg.offset) + seg.bytes.size();
+        if (end > static_cast<uint64_t>(module.memory.minPages) *
+                      kWasmPageSize) {
+            return Status::error("data segment out of initial memory");
+        }
+    }
+    // Table entries must reference real functions.
+    for (uint32_t fi : module.table) {
+        if (fi >= module.numFuncs())
+            return Status::error("table entry out of range");
+    }
+    // Exports.
+    for (const auto& [name, fi] : module.exports) {
+        if (fi >= module.numFuncs())
+            return Status::error("export '" + name + "' out of range");
+    }
+    // Bodies.
+    for (uint32_t i = 0; i < module.functions.size(); i++) {
+        FuncValidator fv(module, module.functions[i],
+                         module.numImports() + i);
+        if (auto st = fv.run(); !st)
+            return st;
+    }
+    return Status::ok();
+}
+
+}  // namespace sfi::wasm

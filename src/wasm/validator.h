@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Module validation.
+ *
+ * Validation is the first line of the SFI security argument: the JIT and
+ * interpreter assume type-correct, discipline-respecting input, so every
+ * module must pass here before it may be compiled or run. The checks
+ * cover standard Wasm typing plus sfikit's subset restrictions
+ * (module.h).
+ */
+#ifndef SFIKIT_WASM_VALIDATOR_H_
+#define SFIKIT_WASM_VALIDATOR_H_
+
+#include "base/result.h"
+#include "wasm/module.h"
+
+namespace sfi::wasm {
+
+/** Validates @p module; the error message names the offending function
+ *  and instruction on failure. */
+Status validate(const Module& module);
+
+}  // namespace sfi::wasm
+
+#endif  // SFIKIT_WASM_VALIDATOR_H_

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Emission helpers for authoring bytecode workloads: counted loops,
+ * while loops, inline xorshift PRNG — the idioms every benchmark needs,
+ * emitted under the flat-stack discipline the validator enforces.
+ */
+#ifndef SFIKIT_WKLD_EMIT_UTIL_H_
+#define SFIKIT_WKLD_EMIT_UTIL_H_
+
+#include <functional>
+
+#include "wasm/builder.h"
+
+namespace sfi::wkld {
+
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::ValType;
+
+/**
+ * for (i = start; i < end_local; i++) body()
+ * @p i must be a dedicated i32 local; @p end_local an i32 local.
+ */
+inline void
+forLoop(FunctionBuilder& f, uint32_t i, uint32_t end_local,
+        const std::function<void()>& body, uint32_t start = 0,
+        uint32_t step = 1)
+{
+    f.i32Const(start).localSet(i);
+    f.block().loop();
+    f.localGet(i).localGet(end_local).i32GeU().brIf(1);
+    body();
+    f.localGet(i).i32Const(step).i32Add().localSet(i);
+    f.br(0);
+    f.end().end();
+}
+
+/** for (i = start; i < end_const; i++) body() */
+inline void
+forLoopConst(FunctionBuilder& f, uint32_t i, uint32_t end_const,
+             const std::function<void()>& body, uint32_t start = 0,
+             uint32_t step = 1)
+{
+    f.i32Const(start).localSet(i);
+    f.block().loop();
+    f.localGet(i).i32Const(end_const).i32GeU().brIf(1);
+    body();
+    f.localGet(i).i32Const(step).i32Add().localSet(i);
+    f.br(0);
+    f.end().end();
+}
+
+/** while (cond()) body(); cond leaves one i32 on the stack. */
+inline void
+whileLoop(FunctionBuilder& f, const std::function<void()>& cond,
+          const std::function<void()>& body)
+{
+    f.block().loop();
+    cond();
+    f.i32Eqz().brIf(1);
+    body();
+    f.br(0);
+    f.end().end();
+}
+
+/** Advances xorshift32 state in local @p s and leaves it on the stack. */
+inline void
+xorshift32(FunctionBuilder& f, uint32_t s)
+{
+    f.localGet(s).localGet(s).i32Const(13).i32Shl().i32Xor().localSet(s);
+    f.localGet(s).localGet(s).i32Const(17).i32ShrU().i32Xor().localSet(s);
+    f.localGet(s).localGet(s).i32Const(5).i32Shl().i32Xor().localTee(s);
+}
+
+/**
+ * The canonical byte-fill loop the vectorizer recognizes
+ * (jit/vectorize.h): fills [d, e) with constant @p val; d ends at e.
+ * Must stay in exact sync with matchFill().
+ */
+inline void
+emitByteFillLoop(FunctionBuilder& f, uint32_t d, uint32_t e, uint32_t val)
+{
+    f.block().loop();
+    f.localGet(d).localGet(e).i32GeU().brIf(1);
+    f.localGet(d).i32Const(val).i32Store8();
+    f.localGet(d).i32Const(1).i32Add().localSet(d);
+    f.br(0);
+    f.end().end();
+}
+
+/**
+ * The canonical byte-copy loop the vectorizer recognizes: copies
+ * [s, s + (e-d)) to [d, e); d and s advance.
+ */
+inline void
+emitByteCopyLoop(FunctionBuilder& f, uint32_t d, uint32_t s, uint32_t e)
+{
+    f.block().loop();
+    f.localGet(d).localGet(e).i32GeU().brIf(1);
+    f.localGet(d).localGet(s).i32Load8u().i32Store8();
+    f.localGet(d).i32Const(1).i32Add().localSet(d);
+    f.localGet(s).i32Const(1).i32Add().localSet(s);
+    f.br(0);
+    f.end().end();
+}
+
+}  // namespace sfi::wkld
+
+#endif  // SFIKIT_WKLD_EMIT_UTIL_H_

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * The FaaS edge workloads of §6.4.3: HTML templating, hash-based load
+ * balancing, and pattern filtering of URLs — each as a bytecode module
+ * whose exported `handle(request_id) -> i64` first awaits simulated IO
+ * through the imported `io_wait` host call, then computes.
+ */
+#include "wkld/workloads.h"
+
+#include <cstring>
+
+#include "wkld/emit_util.h"
+
+namespace sfi::wkld {
+
+using VT = wasm::ValType;
+
+namespace {
+
+/** Common preamble: io_wait import + handle() skeleton. */
+struct FaasCtx
+{
+    ModuleBuilder mb;
+    uint32_t ioWait;
+    FunctionBuilder f;
+
+    FaasCtx()
+        : ioWait(mb.importFunc("io_wait", {VT::I32}, {})),
+          f((mb.memory(16, 16), mb.func("handle", {VT::I32}, {VT::I64})))
+    {
+    }
+
+    wasm::Module
+    done(uint32_t acc)
+    {
+        f.localGet(acc).end();
+        mb.exportFunc("handle", f.index());
+        return std::move(mb).build();
+    }
+};
+
+// HTML templating: expand "{{name}}" placeholders from the request.
+wasm::Module
+mkTemplating()
+{
+    FaasCtx c;
+    auto& f = c.f;
+    const char* tpl =
+        "<html><head><title>{{t}}</title></head><body>"
+        "<h1>Hello {{u}}</h1><ul>{{i}}</ul>"
+        "<footer>req {{r}} served by edge-{{e}}</footer></body></html>";
+    std::vector<uint8_t> tpl_bytes(tpl, tpl + std::strlen(tpl));
+    uint32_t tpl_len = static_cast<uint32_t>(tpl_bytes.size());
+    c.mb.data(0, tpl_bytes);
+    const uint32_t out = 4096;
+
+    uint32_t req = f.param(0);
+    uint32_t i = f.local(VT::I32);
+    uint32_t o = f.local(VT::I32);
+    uint32_t ch = f.local(VT::I32);
+    uint32_t k = f.local(VT::I32);
+    uint32_t v = f.local(VT::I32);
+    uint32_t len = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    f.localGet(req).call(c.ioWait);  // await backend data
+
+    // Expand the template 8 times (several fragments per page).
+    uint32_t frag = f.local(VT::I32);
+    f.i32Const(tpl_len).localSet(len);
+    forLoopConst(f, frag, 8, [&] {
+        f.i32Const(out).localSet(o);
+        f.i32Const(0).localSet(i);
+        whileLoop(
+            f, [&] { f.localGet(i).localGet(len).i32LtU(); },
+            [&] {
+                f.localGet(i).i32Load8u(0).localSet(ch);
+                // "{{x}}" ?
+                f.localGet(ch).i32Const('{').i32Eq()
+                    .localGet(i).i32Const(4).i32Add().localGet(len)
+                    .i32LtU().i32And()
+                    .if_()
+                    // substitute: write decimal digits of a value
+                    // derived from the request and the key char.
+                    .localGet(i).i32Load8u(2).localSet(k)
+                    .localGet(req).localGet(k).i32Mul()
+                    .localGet(frag).i32Add().i32Const(99991)
+                    .i32RemU().localSet(v)
+                    // 5 decimal digits, most significant first.
+                    .i32Const(10000).localSet(ch)
+                    .block().loop()
+                    .localGet(ch).i32Eqz().brIf(1)
+                    .localGet(o)
+                    .localGet(v).localGet(ch).i32DivU().i32Const(10)
+                    .i32RemU().i32Const('0').i32Add()
+                    .i32Store8()
+                    .localGet(o).i32Const(1).i32Add().localSet(o)
+                    .localGet(ch).i32Const(10).i32DivU().localSet(ch)
+                    .br(0)
+                    .end().end()
+                    .localGet(i).i32Const(5).i32Add().localSet(i)
+                    .else_()
+                    .localGet(o).localGet(ch).i32Store8()
+                    .localGet(o).i32Const(1).i32Add().localSet(o)
+                    .localGet(i).i32Const(1).i32Add().localSet(i)
+                    .end();
+            });
+        // Hash the rendered fragment into the response checksum.
+        f.i32Const(out).localSet(i);
+        whileLoop(
+            f, [&] { f.localGet(i).localGet(o).i32LtU(); },
+            [&] {
+                f.localGet(acc).i64Const(131).i64Mul()
+                    .localGet(i).i32Load8u().i64ExtendI32U().i64Add()
+                    .localSet(acc);
+                f.localGet(i).i32Const(1).i32Add().localSet(i);
+            });
+    });
+    return c.done(acc);
+}
+
+// Hash-based load balancing: consistent-hash a synthetic request key.
+wasm::Module
+mkHashBalance()
+{
+    FaasCtx c;
+    auto& f = c.f;
+    const uint32_t key = 0, ring = 4096;
+    uint32_t req = f.param(0);
+    uint32_t i = f.local(VT::I32);
+    uint32_t h = f.local(VT::I32);
+    uint32_t best = f.local(VT::I32);
+    uint32_t bestd = f.local(VT::I32);
+    uint32_t d = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    f.localGet(req).call(c.ioWait);
+
+    // 64 virtual nodes on the ring, deterministic positions.
+    forLoopConst(f, i, 64, [&] {
+        f.localGet(i).i32Const(2).i32Shl()
+            .localGet(i).i32Const(0x9e3779b9).i32Mul()
+            .i32Store(ring);
+    });
+    // 128 sub-requests (cache keys) per request.
+    uint32_t sub = f.local(VT::I32);
+    forLoopConst(f, sub, 128, [&] {
+        // Build a 24-byte key from req + sub.
+        forLoopConst(f, i, 24, [&] {
+            f.localGet(i)
+                .localGet(req).localGet(sub).i32Mul().localGet(i)
+                .i32Add().i32Const(251).i32RemU()
+                .i32Store8(key);
+        });
+        // FNV the key.
+        f.i32Const(2166136261u).localSet(h);
+        forLoopConst(f, i, 24, [&] {
+            f.localGet(h).localGet(i).i32Load8u(key).i32Xor()
+                .i32Const(16777619).i32Mul().localSet(h);
+        });
+        // Nearest ring node (min |h - node|).
+        f.i32Const(0xffffffffu).localSet(bestd);
+        f.i32Const(0).localSet(best);
+        forLoopConst(f, i, 64, [&] {
+            f.localGet(h)
+                .localGet(i).i32Const(2).i32Shl().i32Load(ring)
+                .i32Sub().localSet(d);
+            // d = min(d, -d) unsigned-wrapped ring distance.
+            f.i32Const(0).localGet(d).i32Sub()
+                .localGet(d)
+                .localGet(d).i32Const(0x80000000u).i32LtU()
+                .select().localSet(d);
+            f.localGet(d).localGet(bestd).i32LtU()
+                .if_()
+                .localGet(d).localSet(bestd)
+                .localGet(i).localSet(best)
+                .end();
+        });
+        f.localGet(acc).i64Const(67).i64Mul()
+            .localGet(best).i64ExtendI32U().i64Add().localSet(acc);
+    });
+    return c.done(acc);
+}
+
+// URL filtering: glob-style pattern matching ('*', '?', literals) of
+// synthetic request paths against a rule set.
+wasm::Module
+mkRegexFilter()
+{
+    FaasCtx c;
+    auto& f = c.f;
+    // Rule set in a data segment: null-separated patterns.
+    static const char rules[] =
+        "/api/*/users\0/static/*.css\0/img/??/thumb-*\0"
+        "/api/v2/orders/*\0/health\0/api/*/cart/items\0";
+    std::vector<uint8_t> rule_bytes(rules, rules + sizeof(rules));
+    c.mb.data(0, rule_bytes);
+    const uint32_t url = 2048;
+
+    uint32_t req = f.param(0);
+    uint32_t i = f.local(VT::I32);
+    uint32_t s = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    // match(p: i32, u: i32) -> i32 — recursive glob matcher.
+    auto match = c.mb.func("match", {VT::I32, VT::I32}, {VT::I32});
+    {
+        auto& g = match;
+        uint32_t pc = g.local(VT::I32);
+        uint32_t uc = g.local(VT::I32);
+        g.localGet(0).i32Load8u().localSet(pc);
+        g.localGet(1).i32Load8u().localSet(uc);
+        // End of pattern: match iff end of url.
+        g.localGet(pc).i32Eqz()
+            .if_().localGet(uc).i32Eqz().ret().end();
+        // '*' : match zero chars or consume one url char.
+        g.localGet(pc).i32Const('*').i32Eq()
+            .if_()
+            .localGet(0).i32Const(1).i32Add().localGet(1)
+            .call(match.index())
+            .if_().i32Const(1).ret().end()
+            .localGet(uc).i32Eqz()
+            .if_().i32Const(0).ret().end()
+            .localGet(0).localGet(1).i32Const(1).i32Add()
+            .call(match.index()).ret()
+            .end();
+        // '?' or exact char.
+        g.localGet(uc).i32Eqz()
+            .if_().i32Const(0).ret().end();
+        g.localGet(pc).i32Const('?').i32Eq()
+            .localGet(pc).localGet(uc).i32Eq().i32Or()
+            .if_()
+            .localGet(0).i32Const(1).i32Add()
+            .localGet(1).i32Const(1).i32Add()
+            .call(match.index()).ret()
+            .end();
+        g.i32Const(0).end();
+    }
+
+    f.localGet(req).call(c.ioWait);
+
+    // 64 synthetic URLs per request; count rule hits.
+    uint32_t q = f.local(VT::I32);
+    uint32_t rule_off = f.local(VT::I32);
+    forLoopConst(f, q, 64, [&] {
+        // Build "/api/vN/users" style path with variation.
+        // Compose: "/api/v" + digit + "/users" or other shapes by mod.
+        f.i32Const(url).localSet(s);
+        // Write "/api/v".
+        const char* head = "/api/v";
+        for (int k = 0; k < 6; k++) {
+            f.localGet(s).i32Const(uint32_t(head[k])).i32Store8();
+            f.localGet(s).i32Const(1).i32Add().localSet(s);
+        }
+        f.localGet(s)
+            .localGet(req).localGet(q).i32Add().i32Const(10).i32RemU()
+            .i32Const('0').i32Add().i32Store8();
+        f.localGet(s).i32Const(1).i32Add().localSet(s);
+        // Vary the tail so the rule-hit pattern depends on the request.
+        auto writeTail = [&](const char* tail) {
+            for (int k = 0; tail[k] != 0; k++) {
+                f.localGet(s).i32Const(uint32_t(tail[k])).i32Store8();
+                f.localGet(s).i32Const(1).i32Add().localSet(s);
+            }
+        };
+        f.localGet(req).localGet(q).i32Add().i32Const(3).i32RemU()
+            .i32Eqz()
+            .if_();
+        writeTail("/users");
+        f.else_();
+        f.localGet(req).localGet(q).i32Add().i32Const(3).i32RemU()
+            .i32Const(1).i32Eq()
+            .if_();
+        writeTail("/cart/items");
+        f.else_();
+        writeTail("/orders/77");
+        f.end();
+        f.end();
+        f.localGet(s).i32Const(0).i32Store8();  // NUL
+        // Try every rule; mix the matching rule index in.
+        f.i32Const(0).localSet(rule_off);
+        forLoopConst(f, i, 6, [&] {
+            f.localGet(rule_off).i32Const(url).call(match.index())
+                .if_()
+                .localGet(acc).i64Const(131).i64Mul()
+                .localGet(i).localGet(q).i32Add().i64ExtendI32U()
+                .i64Add().i64Const(1).i64Add().localSet(acc)
+                .end();
+            // Advance to the next NUL-terminated rule.
+            whileLoop(
+                f,
+                [&] {
+                    f.localGet(rule_off).i32Load8u().i32Const(0)
+                        .i32Ne();
+                },
+                [&] {
+                    f.localGet(rule_off).i32Const(1).i32Add()
+                        .localSet(rule_off);
+                });
+            f.localGet(rule_off).i32Const(1).i32Add()
+                .localSet(rule_off);
+        });
+    });
+    return c.done(acc);
+}
+
+}  // namespace
+
+const std::vector<Workload>&
+faasWorkloads()
+{
+    static const std::vector<Workload> suite = {
+        {"faas", "html-templating", &mkTemplating, 1, 1},
+        {"faas", "hash-load-balance", &mkHashBalance, 1, 1},
+        {"faas", "regex-filtering", &mkRegexFilter, 1, 1},
+    };
+    return suite;
+}
+
+}  // namespace sfi::wkld

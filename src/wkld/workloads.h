@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Bytecode workload registry: the benchmark programs the JIT figures
+ * run.
+ *
+ * Three suites (DESIGN.md §5):
+ *  - sightglass(): 14 micros mirroring the Bytecode Alliance Sightglass
+ *    suite WAMR uses (Figure 4), including the two vectorization-
+ *    sensitive cases (`memmove`, `sieve`).
+ *  - spec17(): 14 kernels mirroring the SPECrate 2017 C/C++ subset the
+ *    LFI evaluation uses (Figure 5).
+ *  - polydhry(): PolybenchC-flavoured kernels + a Dhrystone-alike
+ *    (§6.2).
+ *
+ * Every module exports "run": (scale: i32) -> i64 checksum; checksums
+ * are strategy- and engine-independent (verified by differential
+ * tests).
+ */
+#ifndef SFIKIT_WKLD_WORKLOADS_H_
+#define SFIKIT_WKLD_WORKLOADS_H_
+
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace sfi::wkld {
+
+struct Workload
+{
+    const char* suite;
+    const char* name;
+    wasm::Module (*make)();
+    /** Scale used by benches (larger) and tests (small). */
+    uint32_t benchScale;
+    uint32_t testScale;
+};
+
+const std::vector<Workload>& sightglass();
+const std::vector<Workload>& spec17();
+const std::vector<Workload>& polydhry();
+
+/**
+ * The §6.4.3 FaaS functions. These modules import `io_wait(i32)` and
+ * export `handle(request_id: i32) -> i64` instead of `run`.
+ */
+const std::vector<Workload>& faasWorkloads();
+
+/** Lookup by name across all suites; panics if missing. */
+const Workload& findWorkload(const char* name);
+
+}  // namespace sfi::wkld
+
+#endif  // SFIKIT_WKLD_WORKLOADS_H_

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * PolybenchC-flavoured kernels and a Dhrystone-alike (§6.2): linear
+ * algebra, stencils, and the synthetic systems-programming mix WAMR's
+ * own benchmark scripts use.
+ */
+#include "wkld/workloads.h"
+
+#include "wkld/emit_util.h"
+
+namespace sfi::wkld {
+
+using VT = wasm::ValType;
+
+namespace {
+
+// poly.2mm: D = A*B*C (f64, N x N).
+wasm::Module
+mk2mm()
+{
+    ModuleBuilder mb;
+    mb.memory(64, 64);
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    const uint32_t N = 40;
+    const uint32_t A = 0, B = N * N * 8, C = 2 * N * N * 8,
+                   T = 3 * N * N * 8, D = 4 * N * N * 8;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t j = f.local(VT::I32);
+    uint32_t k = f.local(VT::I32);
+    uint32_t sum = f.local(VT::F64);
+    uint32_t acc = f.local(VT::I64);
+    uint32_t nn = f.local(VT::I32);
+    f.i32Const(N * N).localSet(nn);
+    forLoop(f, i, nn, [&] {
+        f.localGet(i).i32Const(3).i32Shl()
+            .localGet(i).i32Const(13).i32RemU().f64ConvertI32U()
+            .f64Const(0.125).f64Mul().f64Store(A);
+        f.localGet(i).i32Const(3).i32Shl()
+            .localGet(i).i32Const(17).i32RemU().f64ConvertI32U()
+            .f64Const(0.0625).f64Mul().f64Store(B);
+        f.localGet(i).i32Const(3).i32Shl()
+            .localGet(i).i32Const(7).i32RemU().f64ConvertI32U()
+            .f64Const(0.5).f64Mul().f64Store(C);
+    });
+    auto matmul = [&](uint32_t X, uint32_t Y, uint32_t Z) {
+        forLoopConst(f, i, N, [&] {
+            forLoopConst(f, j, N, [&] {
+                f.f64Const(0).localSet(sum);
+                forLoopConst(f, k, N, [&] {
+                    f.localGet(sum);
+                    f.localGet(i).i32Const(N).i32Mul().localGet(k)
+                        .i32Add().i32Const(3).i32Shl().f64Load(X);
+                    f.localGet(k).i32Const(N).i32Mul().localGet(j)
+                        .i32Add().i32Const(3).i32Shl().f64Load(Y);
+                    f.f64Mul().f64Add().localSet(sum);
+                });
+                f.localGet(i).i32Const(N).i32Mul().localGet(j)
+                    .i32Add().i32Const(3).i32Shl().localGet(sum)
+                    .f64Store(Z);
+            });
+        });
+    };
+    forLoop(f, rep, f.param(0), [&] {
+        matmul(A, B, T);
+        matmul(T, C, D);
+        f.localGet(acc)
+            .i32Const((N + 2) * 8).f64Load(D).f64Const(100).f64Mul()
+            .i64TruncF64S().i64Add().localSet(acc);
+    });
+    f.localGet(acc).end();
+    mb.exportFunc("run", f.index());
+    return std::move(mb).build();
+}
+
+// poly.jacobi2d: 5-point relaxation.
+wasm::Module
+mkJacobi2d()
+{
+    ModuleBuilder mb;
+    mb.memory(64, 64);
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    const uint32_t N = 192;
+    const uint32_t A = 0, B = N * N * 8;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t j = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+    uint32_t nn = f.local(VT::I32);
+    f.i32Const(N * N).localSet(nn);
+    forLoop(f, i, nn, [&] {
+        f.localGet(i).i32Const(3).i32Shl()
+            .localGet(i).i32Const(101).i32RemU().f64ConvertI32U()
+            .f64Store(A);
+    });
+    forLoop(f, rep, f.param(0), [&] {
+        forLoopConst(f, i, N - 2, [&] {
+            forLoopConst(f, j, N - 2, [&] {
+                // B[c] = 0.2*(A[c] + A[c-1] + A[c+1] + A[c-N] + A[c+N])
+                // with c = (i+1)*N + (j+1); use top-left indexing so all
+                // offsets are non-negative.
+                f.localGet(i).i32Const(N).i32Mul().localGet(j).i32Add()
+                    .i32Const(3).i32Shl();
+                f.localGet(i).i32Const(N).i32Mul().localGet(j).i32Add()
+                    .i32Const(3).i32Shl().f64Load(A + (N + 1) * 8);
+                f.localGet(i).i32Const(N).i32Mul().localGet(j).i32Add()
+                    .i32Const(3).i32Shl().f64Load(A + N * 8).f64Add();
+                f.localGet(i).i32Const(N).i32Mul().localGet(j).i32Add()
+                    .i32Const(3).i32Shl().f64Load(A + (N + 2) * 8)
+                    .f64Add();
+                f.localGet(i).i32Const(N).i32Mul().localGet(j).i32Add()
+                    .i32Const(3).i32Shl().f64Load(A + 8).f64Add();
+                f.localGet(i).i32Const(N).i32Mul().localGet(j).i32Add()
+                    .i32Const(3).i32Shl().f64Load(A + (2 * N + 1) * 8)
+                    .f64Add();
+                f.f64Const(0.2).f64Mul();
+                f.f64Store(B + (N + 1) * 8);
+            });
+        });
+        // Copy back.
+        forLoop(f, i, nn, [&] {
+            f.localGet(i).i32Const(3).i32Shl();
+            f.localGet(i).i32Const(3).i32Shl().f64Load(B);
+            f.f64Store(A);
+        });
+        f.localGet(acc)
+            .i32Const((N * 5 + 5) * 8).f64Load(A).f64Const(1000)
+            .f64Mul().i64TruncF64S().i64Add().localSet(acc);
+    });
+    f.localGet(acc).end();
+    mb.exportFunc("run", f.index());
+    return std::move(mb).build();
+}
+
+// poly.atax: A^T * (A * x).
+wasm::Module
+mkAtax()
+{
+    ModuleBuilder mb;
+    mb.memory(64, 64);
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    const uint32_t N = 256;
+    const uint32_t A = 0, X = N * N * 8, T = X + N * 8, Y = T + N * 8;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t j = f.local(VT::I32);
+    uint32_t sum = f.local(VT::F64);
+    uint32_t acc = f.local(VT::I64);
+    uint32_t nn = f.local(VT::I32);
+    f.i32Const(N * N).localSet(nn);
+    forLoop(f, i, nn, [&] {
+        f.localGet(i).i32Const(3).i32Shl()
+            .localGet(i).i32Const(31).i32And().f64ConvertI32U()
+            .f64Const(0.03125).f64Mul().f64Store(A);
+    });
+    uint32_t nl = f.local(VT::I32);
+    f.i32Const(N).localSet(nl);
+    forLoop(f, i, nl, [&] {
+        f.localGet(i).i32Const(3).i32Shl()
+            .localGet(i).i32Const(5).i32RemU().f64ConvertI32U()
+            .f64Store(X);
+    });
+    forLoop(f, rep, f.param(0), [&] {
+        forLoopConst(f, i, N, [&] {
+            f.f64Const(0).localSet(sum);
+            forLoopConst(f, j, N, [&] {
+                f.localGet(sum);
+                f.localGet(i).i32Const(N).i32Mul().localGet(j).i32Add()
+                    .i32Const(3).i32Shl().f64Load(A);
+                f.localGet(j).i32Const(3).i32Shl().f64Load(X);
+                f.f64Mul().f64Add().localSet(sum);
+            });
+            f.localGet(i).i32Const(3).i32Shl().localGet(sum)
+                .f64Store(T);
+        });
+        forLoopConst(f, i, N, [&] {
+            f.f64Const(0).localSet(sum);
+            forLoopConst(f, j, N, [&] {
+                f.localGet(sum);
+                f.localGet(j).i32Const(N).i32Mul().localGet(i).i32Add()
+                    .i32Const(3).i32Shl().f64Load(A);
+                f.localGet(j).i32Const(3).i32Shl().f64Load(T);
+                f.f64Mul().f64Add().localSet(sum);
+            });
+            f.localGet(i).i32Const(3).i32Shl().localGet(sum)
+                .f64Store(Y);
+        });
+        f.localGet(acc)
+            .i32Const(100 * 8).f64Load(Y).i64TruncF64S().i64Add()
+            .localSet(acc);
+    });
+    f.localGet(acc).end();
+    mb.exportFunc("run", f.index());
+    return std::move(mb).build();
+}
+
+// dhrystone-alike: record copies, string compares, branchy control.
+wasm::Module
+mkDhrystone()
+{
+    ModuleBuilder mb;
+    mb.memory(4, 4);
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    // Records: 64 bytes each; string area.
+    const uint32_t recA = 0, recB = 64, str1 = 256, str2 = 320;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t loops = f.local(VT::I32);
+    uint32_t eq = f.local(VT::I32);
+    uint32_t k = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    // Initialize strings (30 chars, differ at the last position).
+    uint32_t thirty = f.local(VT::I32);
+    f.i32Const(30).localSet(thirty);
+    forLoop(f, i, thirty, [&] {
+        f.localGet(i).localGet(i).i32Const(65).i32Add().i32Store8(str1);
+        f.localGet(i).localGet(i).i32Const(65).i32Add().i32Store8(str2);
+    });
+    f.i32Const(29).i32Const(90).i32Store8(str2);
+
+    forLoop(f, rep, f.param(0), [&] {
+        f.i32Const(40000).localSet(loops);
+        forLoop(f, i, loops, [&] {
+            // Proc: fill record A fields, copy to B, branch on values.
+            f.i32Const(0).localGet(i).i32Store(recA);        // int comp
+            f.i32Const(0).i32Const(2).i32Store(recA + 4);    // enum
+            f.i32Const(0).localGet(i).i32Const(10).i32RemU()
+                .i32Store(recA + 8);
+            // Record assignment (8 words).
+            forLoopConst(f, k, 8, [&] {
+                f.localGet(k).i32Const(2).i32Shl();
+                f.localGet(k).i32Const(2).i32Shl().i32Load(recA);
+                f.i32Store(recB);
+            });
+            // String compare.
+            f.i32Const(1).localSet(eq);
+            forLoop(f, k, thirty, [&] {
+                f.localGet(k).i32Load8u(str1)
+                    .localGet(k).i32Load8u(str2).i32Ne()
+                    .if_().i32Const(0).localSet(eq).end();
+            });
+            // Branch chain like Proc_6/Func_2.
+            f.localGet(eq)
+                .if_()
+                .localGet(acc).i64Const(3).i64Add().localSet(acc)
+                .else_()
+                .i32Const(0).i32Load(recB + 8).i32Const(5).i32GtU()
+                .if_()
+                .localGet(acc).i64Const(7).i64Add().localSet(acc)
+                .else_()
+                .localGet(acc).i64Const(1).i64Add().localSet(acc)
+                .end()
+                .end();
+        });
+    });
+    f.localGet(acc).end();
+    mb.exportFunc("run", f.index());
+    return std::move(mb).build();
+}
+
+}  // namespace
+
+const std::vector<Workload>&
+polydhry()
+{
+    static const std::vector<Workload> suite = {
+        {"polybench", "2mm", &mk2mm, 40, 1},
+        {"polybench", "jacobi-2d", &mkJacobi2d, 80, 1},
+        {"polybench", "atax", &mkAtax, 60, 1},
+        {"dhrystone", "dhrystone", &mkDhrystone, 25, 1},
+    };
+    return suite;
+}
+
+const Workload&
+findWorkload(const char* name)
+{
+    for (const auto* suite : {&sightglass(), &spec17(), &polydhry()}) {
+        for (const Workload& w : *suite) {
+            if (std::string(w.name) == name)
+                return w;
+        }
+    }
+    SFI_PANIC("unknown workload '%s'", name);
+}
+
+}  // namespace sfi::wkld

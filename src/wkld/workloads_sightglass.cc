@@ -1,0 +1,697 @@
+/**
+ * @file
+ * The Sightglass-like micro suite (Figure 4). Names and characters
+ * follow the Bytecode Alliance suite WAMR benchmarks with: crypto
+ * permutation, sorting, matrix math, memory movement, loop nests,
+ * hashing, scanning, and switch dispatch.
+ *
+ * `memmove` and `sieve` deliberately use the canonical byte-loop
+ * patterns (emit_util.h) that the vectorizer pass rewrites to bulk
+ * operations — the mechanism behind their full-Segue regressions
+ * (§4.2, §6.2).
+ */
+#include "wkld/workloads.h"
+
+#include "wkld/emit_util.h"
+
+namespace sfi::wkld {
+
+using VT = wasm::ValType;
+
+namespace {
+
+/** Standard preamble: memory + "run" function signature. */
+FunctionBuilder
+runFunc(ModuleBuilder& mb, uint32_t pages = 64)
+{
+    mb.memory(pages, pages);
+    return mb.func("run", {VT::I32}, {VT::I64});
+}
+
+void
+finish(ModuleBuilder& mb, FunctionBuilder& f)
+{
+    mb.exportFunc("run", f.index());
+}
+
+// --- base64: encode a pseudo-random buffer ---
+wasm::Module
+mkBase64()
+{
+    ModuleBuilder mb;
+    auto f = runFunc(mb);
+    // Alphabet as a data segment at 0; input at 256; output at 128K.
+    const char* alpha =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    mb.data(0, std::vector<uint8_t>(alpha, alpha + 64));
+    const uint32_t in = 256, out = 128 * 1024, n = 96 * 1024;
+
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t o = f.local(VT::I32);
+    uint32_t s = f.local(VT::I32);
+    uint32_t w = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+    uint32_t nloc = f.local(VT::I32);
+
+    f.i32Const(0x1234).localSet(s);
+    f.i32Const(n).localSet(nloc);
+    // Fill input with xorshift bytes.
+    forLoop(f, i, nloc, [&] {
+        f.localGet(i);
+        xorshift32(f, s);
+        f.i32Store8(in);
+    });
+    // scale encode passes.
+    forLoop(f, rep, f.param(0), [&] {
+        f.i32Const(out).localSet(o);
+        f.i32Const(0).localSet(i);
+        whileLoop(
+            f,
+            [&] { f.localGet(i).i32Const(n - 3).i32LtU(); },
+            [&] {
+                // w = 3 input bytes packed.
+                f.localGet(i).i32Load8u(in).i32Const(16).i32Shl();
+                f.localGet(i).i32Load8u(in + 1).i32Const(8).i32Shl();
+                f.i32Or();
+                f.localGet(i).i32Load8u(in + 2).i32Or();
+                f.localSet(w);
+                // 4 output symbols via the table.
+                f.localGet(o)
+                    .localGet(w).i32Const(18).i32ShrU().i32Const(63)
+                    .i32And().i32Load8u(0).i32Store8(out - out);
+                f.localGet(o)
+                    .localGet(w).i32Const(12).i32ShrU().i32Const(63)
+                    .i32And().i32Load8u(0).i32Store8(1);
+                f.localGet(o)
+                    .localGet(w).i32Const(6).i32ShrU().i32Const(63)
+                    .i32And().i32Load8u(0).i32Store8(2);
+                f.localGet(o)
+                    .localGet(w).i32Const(63).i32And().i32Load8u(0)
+                    .i32Store8(3);
+                f.localGet(o).i32Const(4).i32Add().localSet(o);
+                f.localGet(i).i32Const(3).i32Add().localSet(i);
+            });
+        // Mix a sample of the output into the checksum.
+        f.localGet(acc)
+            .localGet(o).i32Load8u(out - 128 * 1024 + 0)
+            .i64ExtendI32U().i64Add()
+            .localGet(o).i64ExtendI32U().i64Add()
+            .localSet(acc);
+    });
+    f.localGet(acc).end();
+    finish(mb, f);
+    return std::move(mb).build();
+}
+
+// --- fib2: recursive Fibonacci (call-heavy) ---
+wasm::Module
+mkFib2()
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto fib = mb.func("fib", {VT::I32}, {VT::I32});
+    fib.localGet(0).i32Const(2).i32LtU()
+        .if_().localGet(0).ret().end()
+        .localGet(0).i32Const(1).i32Sub().call(fib.index())
+        .localGet(0).i32Const(2).i32Sub().call(fib.index())
+        .i32Add()
+        .end();
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    uint32_t rep = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+    forLoop(f, rep, f.param(0), [&] {
+        f.i32Const(24).call(fib.index()).i64ExtendI32U()
+            .localGet(acc).i64Add().localSet(acc);
+    });
+    f.localGet(acc).end();
+    mb.exportFunc("run", f.index());
+    return std::move(mb).build();
+}
+
+// --- gimli: 384-bit permutation (rotate/xor heavy) ---
+wasm::Module
+mkGimli()
+{
+    ModuleBuilder mb;
+    auto f = runFunc(mb, 1);
+    // State: 12 u32 words at offset 0.
+    uint32_t rep = f.local(VT::I32);
+    uint32_t round = f.local(VT::I32);
+    uint32_t col = f.local(VT::I32);
+    uint32_t x = f.local(VT::I32);
+    uint32_t y = f.local(VT::I32);
+    uint32_t z = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t twelve = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    f.i32Const(12).localSet(twelve);
+    // Init state deterministically.
+    forLoop(f, i, twelve, [&] {
+        f.localGet(i).i32Const(2).i32Shl();
+        f.localGet(i).i32Const(0x9e3779b9).i32Mul()
+            .localGet(i).i32Const(7).i32Add().i32Xor();
+        f.i32Store();
+    });
+    forLoop(f, rep, f.param(0), [&] {
+        forLoopConst(f, round, 24, [&] {
+            forLoopConst(f, col, 4, [&] {
+                // x = rotl(s[col], 24); y = rotl(s[col+4], 9);
+                // z = s[col+8]
+                f.localGet(col).i32Const(2).i32Shl().i32Load()
+                    .i32Const(24).i32Rotl().localSet(x);
+                f.localGet(col).i32Const(2).i32Shl().i32Load(16)
+                    .i32Const(9).i32Rotl().localSet(y);
+                f.localGet(col).i32Const(2).i32Shl().i32Load(32)
+                    .localSet(z);
+                // s[col+8] = x ^ (z<<1) ^ ((y & z) << 2)
+                f.localGet(col).i32Const(2).i32Shl();
+                f.localGet(x)
+                    .localGet(z).i32Const(1).i32Shl().i32Xor()
+                    .localGet(y).localGet(z).i32And().i32Const(2)
+                    .i32Shl().i32Xor();
+                f.i32Store(32);
+                // s[col+4] = y ^ x ^ ((x | z) << 1)
+                f.localGet(col).i32Const(2).i32Shl();
+                f.localGet(y).localGet(x).i32Xor()
+                    .localGet(x).localGet(z).i32Or().i32Const(1)
+                    .i32Shl().i32Xor();
+                f.i32Store(16);
+                // s[col] = z ^ y ^ ((x & y) << 3)
+                f.localGet(col).i32Const(2).i32Shl();
+                f.localGet(z).localGet(y).i32Xor()
+                    .localGet(x).localGet(y).i32And().i32Const(3)
+                    .i32Shl().i32Xor();
+                f.i32Store();
+            });
+            // Small-swap / big-swap + round constant on round & 3.
+            f.localGet(round).i32Const(3).i32And().i32Eqz()
+                .if_()
+                .i32Const(0).i32Const(0).i32Load().i32Const(0x9e377900)
+                .i32Xor().localGet(round).i32Xor().i32Store()
+                .end();
+        });
+        // Fold state word 0 into the checksum.
+        f.localGet(acc).i32Const(0).i32Load().i64ExtendI32U().i64Add()
+            .localSet(acc);
+    });
+    f.localGet(acc).end();
+    finish(mb, f);
+    return std::move(mb).build();
+}
+
+// --- heapsort over a u32 array ---
+wasm::Module
+mkHeapsort()
+{
+    ModuleBuilder mb;
+    auto f = runFunc(mb);
+    const uint32_t arr = 0, n = 48 * 1024;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t s = f.local(VT::I32);
+    uint32_t heap_n = f.local(VT::I32);
+    uint32_t root = f.local(VT::I32);
+    uint32_t child = f.local(VT::I32);
+    uint32_t tmp = f.local(VT::I32);
+    uint32_t nloc = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    f.i32Const(n).localSet(nloc);
+    // siftDown(root, heap_n) expressed inline inside the two phases.
+    auto sift_down = [&] {
+        whileLoop(
+            f,
+            [&] {
+                f.localGet(root).i32Const(1).i32Shl().i32Const(1)
+                    .i32Add().localGet(heap_n).i32LtU();
+            },
+            [&] {
+                f.localGet(root).i32Const(1).i32Shl().i32Const(1)
+                    .i32Add().localSet(child);
+                // pick larger child
+                f.localGet(child).i32Const(1).i32Add().localGet(heap_n)
+                    .i32LtU()
+                    .if_()
+                    .localGet(child).i32Const(2).i32Shl().i32Load(arr)
+                    .localGet(child).i32Const(2).i32Shl().i32Load(arr + 4)
+                    .i32LtU()
+                    .if_()
+                    .localGet(child).i32Const(1).i32Add().localSet(child)
+                    .end()
+                    .end();
+                // if (a[root] >= a[child]) break (set root = heap_n)
+                f.localGet(root).i32Const(2).i32Shl().i32Load(arr)
+                    .localGet(child).i32Const(2).i32Shl().i32Load(arr)
+                    .i32GeU()
+                    .if_()
+                    .localGet(heap_n).localSet(root)
+                    .else_()
+                    // swap a[root], a[child]; root = child
+                    .localGet(root).i32Const(2).i32Shl().i32Load(arr)
+                    .localSet(tmp)
+                    .localGet(root).i32Const(2).i32Shl()
+                    .localGet(child).i32Const(2).i32Shl().i32Load(arr)
+                    .i32Store(arr)
+                    .localGet(child).i32Const(2).i32Shl().localGet(tmp)
+                    .i32Store(arr)
+                    .localGet(child).localSet(root)
+                    .end();
+            });
+    };
+
+    forLoop(f, rep, f.param(0), [&] {
+        // Fill with xorshift values (re-seeded per repetition).
+        f.localGet(rep).i32Const(0x5eed).i32Add().localSet(s);
+        forLoop(f, i, nloc, [&] {
+            f.localGet(i).i32Const(2).i32Shl();
+            xorshift32(f, s);
+            f.i32Store(arr);
+        });
+        // Heapify.
+        f.i32Const(n).localSet(heap_n);
+        f.i32Const(n / 2).localSet(i);
+        whileLoop(
+            f, [&] { f.localGet(i).i32Const(0).i32GtU(); },
+            [&] {
+                f.localGet(i).i32Const(1).i32Sub().localSet(i);
+                f.localGet(i).localSet(root);
+                sift_down();
+            });
+        // Extract.
+        whileLoop(
+            f, [&] { f.localGet(heap_n).i32Const(1).i32GtU(); },
+            [&] {
+                f.localGet(heap_n).i32Const(1).i32Sub().localSet(heap_n);
+                // swap a[0], a[heap_n]
+                f.i32Const(0).i32Load(arr).localSet(tmp);
+                f.i32Const(0)
+                    .localGet(heap_n).i32Const(2).i32Shl().i32Load(arr)
+                    .i32Store(arr);
+                f.localGet(heap_n).i32Const(2).i32Shl().localGet(tmp)
+                    .i32Store(arr);
+                f.i32Const(0).localSet(root);
+                sift_down();
+            });
+        // Verify order cheaply via sampled sums.
+        f.localGet(acc)
+            .i32Const((n / 4) * 4).i32Load(arr).i64ExtendI32U().i64Add()
+            .i32Const((n / 2) * 4).i32Load(arr).i64ExtendI32U().i64Add()
+            .localSet(acc);
+    });
+    f.localGet(acc).end();
+    finish(mb, f);
+    return std::move(mb).build();
+}
+
+// --- matrix: f64 matrix multiply ---
+wasm::Module
+mkMatrix()
+{
+    ModuleBuilder mb;
+    auto f = runFunc(mb);
+    const uint32_t N = 48;
+    const uint32_t A = 0, B = N * N * 8, C = 2 * N * N * 8;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t j = f.local(VT::I32);
+    uint32_t k = f.local(VT::I32);
+    uint32_t nn = f.local(VT::I32);
+    uint32_t sum = f.local(VT::F64);
+    uint32_t acc = f.local(VT::F64);
+
+    f.i32Const(N * N).localSet(nn);
+    forLoop(f, i, nn, [&] {
+        f.localGet(i).i32Const(3).i32Shl()
+            .localGet(i).i32Const(7).i32RemU().f64ConvertI32U()
+            .f64Const(0.25).f64Mul().f64Store(A);
+        f.localGet(i).i32Const(3).i32Shl()
+            .localGet(i).i32Const(11).i32RemU().f64ConvertI32U()
+            .f64Const(0.125).f64Mul().f64Store(B);
+    });
+    forLoop(f, rep, f.param(0), [&] {
+        forLoopConst(f, i, N, [&] {
+            forLoopConst(f, j, N, [&] {
+                f.f64Const(0).localSet(sum);
+                forLoopConst(f, k, N, [&] {
+                    f.localGet(sum);
+                    f.localGet(i).i32Const(N).i32Mul().localGet(k)
+                        .i32Add().i32Const(3).i32Shl().f64Load(A);
+                    f.localGet(k).i32Const(N).i32Mul().localGet(j)
+                        .i32Add().i32Const(3).i32Shl().f64Load(B);
+                    f.f64Mul().f64Add().localSet(sum);
+                });
+                f.localGet(i).i32Const(N).i32Mul().localGet(j).i32Add()
+                    .i32Const(3).i32Shl().localGet(sum).f64Store(C);
+            });
+        });
+        f.localGet(acc).i32Const((N + 1) * 8).f64Load(C).f64Add()
+            .localSet(acc);
+    });
+    f.localGet(acc).f64Const(1e6).f64Mul().i64TruncF64S().end();
+    finish(mb, f);
+    return std::move(mb).build();
+}
+
+// --- memmove: explicit byte-copy loop (vectorizer-sensitive) ---
+wasm::Module
+mkMemmove()
+{
+    ModuleBuilder mb;
+    auto f = runFunc(mb);
+    const uint32_t src = 0, dst = 1024 * 1024, n = 768 * 1024;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t d = f.local(VT::I32);
+    uint32_t sp = f.local(VT::I32);
+    uint32_t e = f.local(VT::I32);
+    uint32_t seed = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t nloc = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    f.i32Const(0xfeed).localSet(seed);
+    f.i32Const(4096).localSet(nloc);
+    forLoop(f, i, nloc, [&] {
+        f.localGet(i);
+        xorshift32(f, seed);
+        f.i32Store8(src);
+    });
+    forLoop(f, rep, f.param(0), [&] {
+        f.i32Const(dst).localSet(d);
+        f.i32Const(src).localSet(sp);
+        f.i32Const(dst + n).localSet(e);
+        emitByteCopyLoop(f, d, sp, e);
+        f.localGet(acc)
+            .i32Const(dst + 4095).i32Load8u().i64ExtendI32U().i64Add()
+            .localGet(d).i64ExtendI32U().i64Add()
+            .localSet(acc);
+    });
+    f.localGet(acc).end();
+    finish(mb, f);
+    return std::move(mb).build();
+}
+
+// --- nested loops (pure arithmetic) ---
+wasm::Module
+mkNestedLoopN(int depth)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    uint32_t rep = f.local(VT::I32);
+    uint32_t a = f.local(VT::I32);
+    uint32_t b = f.local(VT::I32);
+    uint32_t c = f.local(VT::I32);
+    uint32_t d = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+    const uint32_t inner = depth == 1 ? 4000 : (depth == 2 ? 160 : 40);
+
+    forLoop(f, rep, f.param(0), [&] {
+        forLoopConst(f, a, inner, [&] {
+            if (depth >= 2) {
+                forLoopConst(f, b, inner, [&] {
+                    if (depth >= 3) {
+                        forLoopConst(f, c, inner, [&] {
+                            f.localGet(acc)
+                                .localGet(a).localGet(b).i32Mul()
+                                .localGet(c).i32Add()
+                                .i64ExtendI32U().i64Add()
+                                .localSet(acc);
+                        });
+                    } else {
+                        f.localGet(acc)
+                            .localGet(a).localGet(b).i32Xor()
+                            .i64ExtendI32U().i64Add().localSet(acc);
+                    }
+                });
+            } else {
+                f.localGet(acc)
+                    .localGet(a).i32Const(2654435761u).i32Mul()
+                    .i64ExtendI32U().i64Add().localSet(acc);
+            }
+        });
+    });
+    (void)d;
+    f.localGet(acc).end();
+    mb.exportFunc("run", f.index());
+    return std::move(mb).build();
+}
+
+wasm::Module mkNestedLoop() { return mkNestedLoopN(1); }
+wasm::Module mkNestedLoop2() { return mkNestedLoopN(2); }
+wasm::Module mkNestedLoop3() { return mkNestedLoopN(3); }
+
+// --- random: PRNG stream + histogram stores ---
+wasm::Module
+mkRandom()
+{
+    ModuleBuilder mb;
+    mb.memory(16, 16);
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    const uint32_t hist = 0;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t s = f.local(VT::I32);
+    uint32_t slot = f.local(VT::I32);
+    uint32_t nloc = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    f.i32Const(0xc0ffee).localSet(s);
+    f.i32Const(200000).localSet(nloc);
+    forLoop(f, rep, f.param(0), [&] {
+        forLoop(f, i, nloc, [&] {
+            // hist[rand & 0xffff]++
+            xorshift32(f, s);
+            f.i32Const(0xffff).i32And().i32Const(2).i32Shl()
+                .localSet(slot);
+            f.localGet(slot)
+                .localGet(slot).i32Load(hist).i32Const(1).i32Add()
+                .i32Store(hist);
+        });
+        f.localGet(acc)
+            .i32Const(0x1234 * 4).i32Load(hist).i64ExtendI32U()
+            .i64Add().localSet(acc);
+    });
+    f.localGet(acc).end();
+    mb.exportFunc("run", f.index());
+    return std::move(mb).build();
+}
+
+// --- seqhash: FNV over a buffer ---
+wasm::Module
+mkSeqhash()
+{
+    ModuleBuilder mb;
+    auto f = runFunc(mb, 32);
+    const uint32_t buf = 0, n = 1024 * 1024;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t h = f.local(VT::I32);
+    uint32_t s = f.local(VT::I32);
+    uint32_t nloc = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    f.i32Const(0xabcd).localSet(s);
+    f.i32Const(n).localSet(nloc);
+    forLoop(f, i, nloc, [&] {
+        f.localGet(i);
+        xorshift32(f, s);
+        f.i32Store8(buf);
+    });
+    forLoop(f, rep, f.param(0), [&] {
+        f.i32Const(2166136261u).localSet(h);
+        forLoop(f, i, nloc, [&] {
+            f.localGet(h).localGet(i).i32Load8u(buf).i32Xor()
+                .i32Const(16777619).i32Mul().localSet(h);
+        });
+        f.localGet(acc).localGet(h).i64ExtendI32U().i64Add()
+            .localSet(acc);
+    });
+    f.localGet(acc).end();
+    finish(mb, f);
+    return std::move(mb).build();
+}
+
+// --- sieve: array clear (vectorizable) + composite marking ---
+wasm::Module
+mkSieve()
+{
+    ModuleBuilder mb;
+    auto f = runFunc(mb, 32);
+    const uint32_t flags = 0, n = 1024 * 1024;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t d = f.local(VT::I32);
+    uint32_t e = f.local(VT::I32);
+    uint32_t p = f.local(VT::I32);
+    uint32_t q = f.local(VT::I32);
+    uint32_t count = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    forLoop(f, rep, f.param(0), [&] {
+        // Re-initialize the flag array each iteration — the canonical
+        // fill loop the vectorizer recognizes (cf. WAMR's sieve, §6.2).
+        f.i32Const(flags).localSet(d);
+        f.i32Const(flags + n).localSet(e);
+        emitByteFillLoop(f, d, e, 1);
+        // Mark composites.
+        f.i32Const(2).localSet(p);
+        whileLoop(
+            f,
+            [&] {
+                f.localGet(p).localGet(p).i32Mul().i32Const(n).i32LtU();
+            },
+            [&] {
+                f.localGet(p).i32Load8u(flags)
+                    .if_()
+                    .localGet(p).localGet(p).i32Mul().localSet(q)
+                    .block().loop()
+                    .localGet(q).i32Const(n).i32GeU().brIf(1)
+                    .localGet(q).i32Const(0).i32Store8(flags)
+                    .localGet(q).localGet(p).i32Add().localSet(q)
+                    .br(0)
+                    .end().end()
+                    .end();
+                f.localGet(p).i32Const(1).i32Add().localSet(p);
+            });
+        // Count primes in a sample window.
+        f.i32Const(0).localSet(count);
+        f.i32Const(2).localSet(q);
+        whileLoop(
+            f, [&] { f.localGet(q).i32Const(65536).i32LtU(); },
+            [&] {
+                f.localGet(count).localGet(q).i32Load8u(flags).i32Add()
+                    .localSet(count);
+                f.localGet(q).i32Const(1).i32Add().localSet(q);
+            });
+        f.localGet(acc).localGet(count).i64ExtendI32U().i64Add()
+            .localSet(acc);
+    });
+    f.localGet(acc).end();
+    finish(mb, f);
+    return std::move(mb).build();
+}
+
+// --- strchr: byte scan with early exit ---
+wasm::Module
+mkStrchr()
+{
+    ModuleBuilder mb;
+    auto f = runFunc(mb, 32);
+    const uint32_t buf = 0, n = 512 * 1024;
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t s = f.local(VT::I32);
+    uint32_t needle = f.local(VT::I32);
+    uint32_t found = f.local(VT::I32);
+    uint32_t nloc = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    f.i32Const(0xdead).localSet(s);
+    f.i32Const(n).localSet(nloc);
+    forLoop(f, i, nloc, [&] {
+        f.localGet(i);
+        xorshift32(f, s);
+        f.i32Const(0x7f).i32And().i32Store8(buf);
+    });
+    forLoop(f, rep, f.param(0), [&] {
+        // Search for a needle derived from the iteration; usually a
+        // long scan (values 128..255 never appear -> full scan half
+        // the time).
+        f.localGet(rep).i32Const(0xff).i32And().localSet(needle);
+        f.i32Const(0xffffffffu).localSet(found);
+        f.i32Const(0).localSet(i);
+        f.block();
+        f.loop();
+        f.localGet(i).localGet(nloc).i32GeU().brIf(1);
+        f.localGet(i).i32Load8u(buf).localGet(needle).i32Eq()
+            .if_()
+            .localGet(i).localSet(found)
+            .br(2)  // break out of the scan
+            .end();
+        f.localGet(i).i32Const(1).i32Add().localSet(i);
+        f.br(0);
+        f.end();
+        f.end();
+        f.localGet(acc).localGet(found).i64ExtendI32U().i64Add()
+            .localSet(acc);
+    });
+    f.localGet(acc).end();
+    finish(mb, f);
+    return std::move(mb).build();
+}
+
+// --- switch2: br_table dispatch ---
+wasm::Module
+mkSwitch2()
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    uint32_t rep = f.local(VT::I32);
+    uint32_t i = f.local(VT::I32);
+    uint32_t s = f.local(VT::I32);
+    uint32_t v = f.local(VT::I32);
+    uint32_t nloc = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+
+    f.i32Const(0x51e).localSet(s);
+    f.i32Const(200000).localSet(nloc);
+    forLoop(f, rep, f.param(0), [&] {
+        forLoop(f, i, nloc, [&] {
+            xorshift32(f, s);
+            f.i32Const(7).i32And().localSet(v);
+            // 8-way dispatch: blocks 7..0, each case adds a distinct
+            // amount to acc.
+            f.block().block().block().block()
+                .block().block().block().block().block();
+            f.localGet(v).brTable({0, 1, 2, 3, 4, 5, 6, 7, 8});
+            f.end();
+            f.localGet(acc).i64Const(1).i64Add().localSet(acc).br(7);
+            f.end();
+            f.localGet(acc).i64Const(3).i64Add().localSet(acc).br(6);
+            f.end();
+            f.localGet(acc).i64Const(5).i64Add().localSet(acc).br(5);
+            f.end();
+            f.localGet(acc).i64Const(7).i64Add().localSet(acc).br(4);
+            f.end();
+            f.localGet(acc).i64Const(11).i64Add().localSet(acc).br(3);
+            f.end();
+            f.localGet(acc).i64Const(13).i64Add().localSet(acc).br(2);
+            f.end();
+            f.localGet(acc).i64Const(17).i64Add().localSet(acc).br(1);
+            f.end();
+            f.localGet(acc).i64Const(19).i64Add().localSet(acc);
+            f.end();
+        });
+    });
+    f.localGet(acc).end();
+    mb.exportFunc("run", f.index());
+    return std::move(mb).build();
+}
+
+}  // namespace
+
+const std::vector<Workload>&
+sightglass()
+{
+    static const std::vector<Workload> suite = {
+        {"sightglass", "base64", &mkBase64, 40, 1},
+        {"sightglass", "fib2", &mkFib2, 60, 1},
+        {"sightglass", "gimli", &mkGimli, 30000, 2},
+        {"sightglass", "heapsort", &mkHeapsort, 30, 1},
+        {"sightglass", "matrix", &mkMatrix, 60, 1},
+        {"sightglass", "memmove", &mkMemmove, 400, 1},
+        {"sightglass", "nestedloop", &mkNestedLoop, 8000, 2},
+        {"sightglass", "nestedloop2", &mkNestedLoop2, 1200, 2},
+        {"sightglass", "nestedloop3", &mkNestedLoop3, 500, 2},
+        {"sightglass", "random", &mkRandom, 30, 1},
+        {"sightglass", "seqhash", &mkSeqhash, 30, 1},
+        {"sightglass", "sieve", &mkSieve, 12, 1},
+        {"sightglass", "strchr", &mkStrchr, 40, 1},
+        {"sightglass", "switch2", &mkSwitch2, 30, 1},
+    };
+    return suite;
+}
+
+}  // namespace sfi::wkld

@@ -1,0 +1,941 @@
+/**
+ * @file
+ * The SPEC-CPU-2017-like suite (Figure 5): fourteen kernels mirroring
+ * the SPECrate C/C++ subset the LFI paper evaluates. Each is a
+ * from-scratch bytecode program with the namesake's computational
+ * character (DESIGN.md §5).
+ */
+#include "wkld/workloads.h"
+
+#include "wkld/emit_util.h"
+
+namespace sfi::wkld {
+
+using VT = wasm::ValType;
+
+namespace {
+
+struct Ctx
+{
+    ModuleBuilder mb;
+    FunctionBuilder f;
+    uint32_t rep, i, j, s, acc;
+
+    explicit Ctx(uint32_t pages)
+        : f((mb.memory(pages, pages),
+             mb.func("run", {VT::I32}, {VT::I64})))
+    {
+        rep = f.local(VT::I32);
+        i = f.local(VT::I32);
+        j = f.local(VT::I32);
+        s = f.local(VT::I32);
+        acc = f.local(VT::I64);
+    }
+
+    wasm::Module
+    done()
+    {
+        f.localGet(acc).end();
+        mb.exportFunc("run", f.index());
+        return std::move(mb).build();
+    }
+};
+
+/** Fill [base, base+n*4) u32 slots from xorshift (seed local s). */
+void
+fillWords(Ctx& c, uint32_t base, uint32_t n, uint32_t mask = 0xffffffffu)
+{
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(n).localSet(nloc);
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i).i32Const(2).i32Shl();
+        xorshift32(c.f, c.s);
+        if (mask != 0xffffffffu)
+            c.f.i32Const(mask).i32And();
+        c.f.i32Store(base);
+    });
+}
+
+// 502.gcc_r: token dispatch + symbol hashing over a synthetic stream.
+wasm::Module
+mk502()
+{
+    Ctx c(32);
+    const uint32_t toks = 0, symtab = 1024 * 1024, N = 200000;
+    uint32_t v = c.f.local(VT::I32);
+    uint32_t slot = c.f.local(VT::I32);
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(0x6cc).localSet(c.s);
+    fillWords(c, toks, N, 0xffff);
+    c.f.i32Const(N).localSet(nloc);
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        forLoop(c.f, c.i, nloc, [&] {
+            c.f.localGet(c.i).i32Const(2).i32Shl().i32Load(toks)
+                .localSet(v);
+            // 6-way "IR opcode" dispatch.
+            c.f.block().block().block().block().block().block().block();
+            c.f.localGet(v).i32Const(7).i32And().brTable(
+                {0, 1, 2, 3, 4, 5, 6, 6});
+            c.f.end();
+            // def: insert into hash table.
+            c.f.localGet(v).i32Const(2654435761u).i32Mul()
+                .i32Const(0x3ffff).i32And().i32Const(2).i32Shl()
+                .localSet(slot);
+            c.f.localGet(slot).localGet(v).i32Store(symtab).br(5);
+            c.f.end();
+            // use: probe.
+            c.f.localGet(v).i32Const(2654435761u).i32Mul()
+                .i32Const(0x3ffff).i32And().i32Const(2).i32Shl()
+                .i32Load(symtab).i64ExtendI32U()
+                .localGet(c.acc).i64Add().localSet(c.acc).br(4);
+            c.f.end();
+            c.f.localGet(c.acc).i64Const(3).i64Add().localSet(c.acc)
+                .br(3);
+            c.f.end();
+            c.f.localGet(c.acc).localGet(v).i64ExtendI32U().i64Xor()
+                .localSet(c.acc).br(2);
+            c.f.end();
+            c.f.localGet(c.acc).i64Const(1).i64Shl().localSet(c.acc)
+                .br(1);
+            c.f.end();
+            c.f.localGet(c.acc).i64Const(7).i64Add().localSet(c.acc);
+            c.f.end();
+        });
+    });
+    return c.done();
+}
+
+// 505.mcf_r: adjacency pointer chasing.
+wasm::Module
+mk505()
+{
+    Ctx c(64);
+    const uint32_t V = 65536;
+    const uint32_t nxt = 0, val = V * 4, dist = V * 8;
+    uint32_t cur = c.f.local(VT::I32);
+    uint32_t steps = c.f.local(VT::I32);
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(0x5cf).localSet(c.s);
+    fillWords(c, nxt, V, V - 1);
+    fillWords(c, val, V, 0xff);
+    c.f.i32Const(V).localSet(nloc);
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        // Long pointer chase accumulating values.
+        c.f.i32Const(1).localSet(cur);
+        c.f.i32Const(300000).localSet(steps);
+        forLoop(c.f, c.i, steps, [&] {
+            c.f.localGet(cur).i32Const(2).i32Shl().i32Load(val)
+                .i64ExtendI32U().localGet(c.acc).i64Add()
+                .localSet(c.acc);
+            c.f.localGet(cur).i32Const(2).i32Shl().i32Load(nxt)
+                .localSet(cur);
+        });
+        // Relaxation sweep.
+        forLoop(c.f, c.i, nloc, [&] {
+            c.f.localGet(c.i).i32Const(2).i32Shl();
+            c.f.localGet(c.i).i32Const(2).i32Shl().i32Load(dist)
+                .localGet(c.i).i32Const(2).i32Shl().i32Load(val)
+                .i32Add();
+            c.f.i32Store(dist);
+        });
+    });
+    return c.done();
+}
+
+// 508.namd_r: windowed pair forces (f64).
+wasm::Module
+mk508()
+{
+    Ctx c(64);
+    const uint32_t N = 16384;
+    const uint32_t X = 0, F = N * 8;
+    uint32_t fx = c.f.local(VT::F64);
+    uint32_t xi = c.f.local(VT::F64);
+    uint32_t dx = c.f.local(VT::F64);
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(N).localSet(nloc);
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i).i32Const(3).i32Shl()
+            .localGet(c.i).i32Const(1023).i32And().f64ConvertI32U()
+            .f64Const(0.03125).f64Mul().f64Store(X);
+        c.f.localGet(c.i).i32Const(3).i32Shl().f64Const(0).f64Store(F);
+    });
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        forLoop(c.f, c.i, nloc, [&] {
+            c.f.localGet(c.i).i32Const(3).i32Shl().f64Load(X)
+                .localSet(xi);
+            c.f.f64Const(0).localSet(fx);
+            // window of 16 neighbours (wrapping).
+            forLoopConst(c.f, c.j, 16, [&] {
+                c.f.localGet(xi)
+                    .localGet(c.i).localGet(c.j).i32Add().i32Const(N - 1)
+                    .i32And().i32Const(3).i32Shl().f64Load(X)
+                    .f64Sub().localSet(dx);
+                c.f.localGet(dx).localGet(dx).f64Mul().f64Const(0.5)
+                    .f64Add();
+                c.f.localGet(dx).f64Mul();
+                c.f.localGet(fx).f64Add().localSet(fx);
+            });
+            c.f.localGet(c.i).i32Const(3).i32Shl();
+            c.f.localGet(c.i).i32Const(3).i32Shl().f64Load(F)
+                .localGet(fx).f64Add();
+            c.f.f64Store(F);
+        });
+        c.f.localGet(c.acc)
+            .i32Const(128 * 8).f64Load(F).f64Const(100).f64Mul()
+            .i64TruncF64S().i64Add().localSet(c.acc);
+    });
+    return c.done();
+}
+
+// 510.parest_r: CSR sparse matrix-vector products (f64).
+wasm::Module
+mk510()
+{
+    Ctx c(64);
+    const uint32_t R = 32768, NNZ_PER = 8;
+    const uint32_t colidx = 0, vals = R * NNZ_PER * 4,
+                   x = vals + R * NNZ_PER * 8, y = x + R * 8;
+    uint32_t sum = c.f.local(VT::F64);
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(0xbe57).localSet(c.s);
+    fillWords(c, colidx, R * NNZ_PER, R - 1);
+    c.f.i32Const(R * NNZ_PER).localSet(nloc);
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i).i32Const(3).i32Shl()
+            .localGet(c.i).i32Const(255).i32And().f64ConvertI32U()
+            .f64Const(0.004).f64Mul().f64Store(vals);
+    });
+    c.f.i32Const(R).localSet(nloc);
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i).i32Const(3).i32Shl()
+            .localGet(c.i).i32Const(127).i32And().f64ConvertI32U()
+            .f64Store(x);
+    });
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        forLoop(c.f, c.i, nloc, [&] {
+            c.f.f64Const(0).localSet(sum);
+            forLoopConst(c.f, c.j, NNZ_PER, [&] {
+                // sum += vals[i*8+j] * x[colidx[i*8+j]]
+                c.f.localGet(sum);
+                c.f.localGet(c.i).i32Const(3).i32Shl().localGet(c.j)
+                    .i32Add().i32Const(3).i32Shl().f64Load(vals);
+                c.f.localGet(c.i).i32Const(3).i32Shl().localGet(c.j)
+                    .i32Add().i32Const(2).i32Shl().i32Load(colidx)
+                    .i32Const(3).i32Shl().f64Load(x);
+                c.f.f64Mul().f64Add().localSet(sum);
+            });
+            c.f.localGet(c.i).i32Const(3).i32Shl().localGet(sum)
+                .f64Store(y);
+        });
+        c.f.localGet(c.acc)
+            .i32Const(999 * 8).f64Load(y).i64TruncF64S().i64Add()
+            .localSet(c.acc);
+    });
+    return c.done();
+}
+
+// 511.povray_r: ray-sphere intersection tests (f64 + sqrt).
+wasm::Module
+mk511()
+{
+    Ctx c(16);
+    const uint32_t S = 512;  // spheres: cx, cy, cz, r (4 f64 each)
+    const uint32_t sph = 0;
+    uint32_t t = c.f.local(VT::F64);
+    uint32_t b = c.f.local(VT::F64);
+    uint32_t disc = c.f.local(VT::F64);
+    uint32_t ox = c.f.local(VT::F64);
+    uint32_t dx = c.f.local(VT::F64);
+    uint32_t hits = c.f.local(VT::I32);
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(S * 4).localSet(nloc);
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i).i32Const(3).i32Shl()
+            .localGet(c.i).i32Const(63).i32And().f64ConvertI32U()
+            .f64Const(0.25).f64Mul().f64Const(1.0).f64Add()
+            .f64Store(sph);
+    });
+    c.f.i32Const(S).localSet(nloc);
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        c.f.i32Const(0).localSet(hits);
+        forLoopConst(c.f, c.j, 256, [&] {  // rays
+            c.f.localGet(c.j).f64ConvertI32U().f64Const(0.07).f64Mul()
+                .localSet(dx);
+            forLoop(c.f, c.i, nloc, [&] {
+                // b = dot(center - origin, dir); disc = b*b - (|c|^2 - r^2)
+                c.f.localGet(c.i).i32Const(5).i32Shl().f64Load(sph)
+                    .localGet(dx).f64Sub().localSet(ox);
+                c.f.localGet(ox).localGet(dx).f64Mul().localSet(b);
+                c.f.localGet(b).localGet(b).f64Mul()
+                    .localGet(ox).localGet(ox).f64Mul()
+                    .localGet(c.i).i32Const(5).i32Shl().f64Load(sph + 24)
+                    .f64Sub().f64Sub().localSet(disc);
+                c.f.localGet(disc).f64Const(0).f64Gt()
+                    .if_()
+                    .localGet(b).localGet(disc).f64Sqrt().f64Sub()
+                    .localSet(t)
+                    .localGet(t).f64Const(0).f64Gt()
+                    .if_()
+                    .localGet(hits).i32Const(1).i32Add().localSet(hits)
+                    .end()
+                    .end();
+            });
+        });
+        c.f.localGet(c.acc).localGet(hits).i64ExtendI32U().i64Add()
+            .localSet(c.acc);
+    });
+    return c.done();
+}
+
+// 519.lbm_r: 1D-blocked f64 streaming stencil.
+wasm::Module
+mk519()
+{
+    Ctx c(64);
+    const uint32_t N = 262144;
+    const uint32_t A = 0, B = N * 8;
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(N).localSet(nloc);
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i).i32Const(3).i32Shl()
+            .localGet(c.i).i32Const(8191).i32And().f64ConvertI32U()
+            .f64Const(0.0001).f64Mul().f64Store(A);
+    });
+    uint32_t n2 = c.f.local(VT::I32);
+    c.f.i32Const(N - 2).localSet(n2);
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        forLoop(c.f, c.i, n2, [&] {
+            // B[i+1] = 0.25*A[i] + 0.5*A[i+1] + 0.25*A[i+2]
+            c.f.localGet(c.i).i32Const(3).i32Shl();
+            c.f.localGet(c.i).i32Const(3).i32Shl().f64Load(A)
+                .f64Const(0.25).f64Mul();
+            c.f.localGet(c.i).i32Const(3).i32Shl().f64Load(A + 8)
+                .f64Const(0.5).f64Mul().f64Add();
+            c.f.localGet(c.i).i32Const(3).i32Shl().f64Load(A + 16)
+                .f64Const(0.25).f64Mul().f64Add();
+            c.f.f64Store(B + 8);
+        });
+        forLoop(c.f, c.i, n2, [&] {  // copy back
+            c.f.localGet(c.i).i32Const(3).i32Shl();
+            c.f.localGet(c.i).i32Const(3).i32Shl().f64Load(B + 8);
+            c.f.f64Store(A + 8);
+        });
+        c.f.localGet(c.acc)
+            .i32Const(1000 * 8).f64Load(A).f64Const(1e6).f64Mul()
+            .i64TruncF64S().i64Add().localSet(c.acc);
+    });
+    return c.done();
+}
+
+// 520.omnetpp_r: discrete-event heap simulation (i64 keys).
+wasm::Module
+mk520()
+{
+    Ctx c(32);
+    const uint32_t heap = 0;
+    uint32_t hn = c.f.local(VT::I32);
+    uint32_t idx = c.f.local(VT::I32);
+    uint32_t child = c.f.local(VT::I32);
+    uint32_t tmp = c.f.local(VT::I64);
+    uint32_t now = c.f.local(VT::I64);
+    uint32_t events = c.f.local(VT::I32);
+    c.f.i32Const(0x04e7).localSet(c.s);
+
+    auto sift_up = [&] {
+        whileLoop(
+            c.f, [&] { c.f.localGet(idx).i32Const(0).i32GtU(); },
+            [&] {
+                // parent = (idx-1)/2
+                c.f.localGet(idx).i32Const(1).i32Sub().i32Const(1)
+                    .i32ShrU().localSet(c.j);
+                c.f.localGet(c.j).i32Const(3).i32Shl().i64Load(heap)
+                    .localGet(idx).i32Const(3).i32Shl().i64Load(heap)
+                    .i64LeU()
+                    .if_()
+                    .i32Const(0).localSet(idx)
+                    .else_()
+                    .localGet(c.j).i32Const(3).i32Shl().i64Load(heap)
+                    .localSet(tmp)
+                    .localGet(c.j).i32Const(3).i32Shl()
+                    .localGet(idx).i32Const(3).i32Shl().i64Load(heap)
+                    .i64Store(heap)
+                    .localGet(idx).i32Const(3).i32Shl().localGet(tmp)
+                    .i64Store(heap)
+                    .localGet(c.j).localSet(idx)
+                    .end();
+            });
+    };
+
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        c.f.i32Const(0).localSet(hn);
+        c.f.i64Const(0).localSet(now);
+        c.f.i32Const(200000).localSet(events);
+        // Seed 64 initial events.
+        forLoopConst(c.f, c.i, 64, [&] {
+            xorshift32(c.f, c.s);
+            c.f.i64ExtendI32U().localSet(tmp);
+            c.f.localGet(hn).i32Const(3).i32Shl().localGet(tmp)
+                .i64Store(heap);
+            c.f.localGet(hn).localSet(idx);
+            c.f.localGet(hn).i32Const(1).i32Add().localSet(hn);
+            sift_up();
+        });
+        forLoop(c.f, c.i, events, [&] {
+            // Pop min into now.
+            c.f.i32Const(0).i64Load(heap).localSet(now);
+            c.f.localGet(hn).i32Const(1).i32Sub().localSet(hn);
+            c.f.i32Const(0)
+                .localGet(hn).i32Const(3).i32Shl().i64Load(heap)
+                .i64Store(heap);
+            // Sift down.
+            c.f.i32Const(0).localSet(idx);
+            whileLoop(
+                c.f,
+                [&] {
+                    c.f.localGet(idx).i32Const(1).i32Shl().i32Const(1)
+                        .i32Add().localGet(hn).i32LtU();
+                },
+                [&] {
+                    c.f.localGet(idx).i32Const(1).i32Shl().i32Const(1)
+                        .i32Add().localSet(child);
+                    c.f.localGet(child).i32Const(1).i32Add()
+                        .localGet(hn).i32LtU()
+                        .if_()
+                        .localGet(child).i32Const(3).i32Shl()
+                        .i64Load(heap + 8)
+                        .localGet(child).i32Const(3).i32Shl()
+                        .i64Load(heap)
+                        .i64LtU()
+                        .if_()
+                        .localGet(child).i32Const(1).i32Add()
+                        .localSet(child)
+                        .end()
+                        .end();
+                    c.f.localGet(idx).i32Const(3).i32Shl().i64Load(heap)
+                        .localGet(child).i32Const(3).i32Shl()
+                        .i64Load(heap)
+                        .i64LeU()
+                        .if_()
+                        .localGet(hn).localSet(idx)
+                        .else_()
+                        .localGet(idx).i32Const(3).i32Shl().i64Load(heap)
+                        .localSet(tmp)
+                        .localGet(idx).i32Const(3).i32Shl()
+                        .localGet(child).i32Const(3).i32Shl()
+                        .i64Load(heap).i64Store(heap)
+                        .localGet(child).i32Const(3).i32Shl()
+                        .localGet(tmp).i64Store(heap)
+                        .localGet(child).localSet(idx)
+                        .end();
+                });
+            // Schedule a follow-up event.
+            xorshift32(c.f, c.s);
+            c.f.i32Const(0xffff).i32And().i64ExtendI32U()
+                .localGet(now).i64Add().localSet(tmp);
+            c.f.localGet(hn).i32Const(3).i32Shl().localGet(tmp)
+                .i64Store(heap);
+            c.f.localGet(hn).localSet(idx);
+            c.f.localGet(hn).i32Const(1).i32Add().localSet(hn);
+            sift_up();
+        });
+        c.f.localGet(c.acc).localGet(now).i64Add().localSet(c.acc);
+    });
+    return c.done();
+}
+
+// 523.xalancbmk_r: tree walk + string hashing.
+wasm::Module
+mk523()
+{
+    Ctx c(32);
+    const uint32_t NODES = 65536;
+    // node: left(u32), right(u32), tag(u32)
+    const uint32_t left = 0, right = NODES * 4, tag = NODES * 8;
+    uint32_t cur = c.f.local(VT::I32);
+    uint32_t depth = c.f.local(VT::I32);
+    uint32_t h = c.f.local(VT::I32);
+    uint32_t walks = c.f.local(VT::I32);
+    c.f.i32Const(0xa1a).localSet(c.s);
+    fillWords(c, left, NODES, NODES - 1);
+    fillWords(c, right, NODES, NODES - 1);
+    fillWords(c, tag, NODES, 0xffff);
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        c.f.i32Const(40000).localSet(walks);
+        forLoop(c.f, c.i, walks, [&] {
+            // Walk 24 levels, picking left/right by tag parity,
+            // hashing tags like element names.
+            c.f.localGet(c.i).i32Const(0x7ff).i32And().localSet(cur);
+            c.f.i32Const(2166136261u).localSet(h);
+            forLoopConst(c.f, depth, 24, [&] {
+                c.f.localGet(h)
+                    .localGet(cur).i32Const(2).i32Shl().i32Load(tag)
+                    .i32Xor().i32Const(16777619).i32Mul().localSet(h);
+                c.f.localGet(cur).i32Const(2).i32Shl().i32Load(tag)
+                    .i32Const(1).i32And()
+                    .if_()
+                    .localGet(cur).i32Const(2).i32Shl().i32Load(left)
+                    .localSet(cur)
+                    .else_()
+                    .localGet(cur).i32Const(2).i32Shl().i32Load(right)
+                    .localSet(cur)
+                    .end();
+            });
+            c.f.localGet(c.acc).localGet(h).i64ExtendI32U().i64Add()
+                .localSet(c.acc);
+        });
+    });
+    return c.done();
+}
+
+// 525.x264_r: block SAD sweeps.
+wasm::Module
+mk525()
+{
+    Ctx c(32);
+    const uint32_t W = 512, H = 256;
+    const uint32_t ref = 0, cur = W * H;
+    uint32_t sad = c.f.local(VT::I32);
+    uint32_t x = c.f.local(VT::I32);
+    uint32_t y = c.f.local(VT::I32);
+    uint32_t bx = c.f.local(VT::I32);
+    uint32_t by = c.f.local(VT::I32);
+    uint32_t d = c.f.local(VT::I32);
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(0x264).localSet(c.s);
+    c.f.i32Const(W * H).localSet(nloc);
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i);
+        xorshift32(c.f, c.s);
+        c.f.i32Store8(ref);
+        c.f.localGet(c.i);
+        xorshift32(c.f, c.s);
+        c.f.i32Store8(cur);
+    });
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        c.f.i32Const(0).localSet(by);
+        whileLoop(
+            c.f, [&] { c.f.localGet(by).i32Const(H - 16).i32LtU(); },
+            [&] {
+                c.f.i32Const(0).localSet(bx);
+                whileLoop(
+                    c.f,
+                    [&] { c.f.localGet(bx).i32Const(W - 16).i32LtU(); },
+                    [&] {
+                        c.f.i32Const(0).localSet(sad);
+                        forLoopConst(c.f, y, 16, [&] {
+                            forLoopConst(c.f, x, 16, [&] {
+                                c.f.localGet(by).localGet(y).i32Add()
+                                    .i32Const(W).i32Mul()
+                                    .localGet(bx).i32Add()
+                                    .localGet(x).i32Add()
+                                    .localSet(d);
+                                c.f.localGet(d).i32Load8u(cur)
+                                    .localGet(d).i32Load8u(ref)
+                                    .i32Sub().localSet(d);
+                                // abs via mask trick
+                                c.f.localGet(d).i32Const(31).i32ShrS()
+                                    .localSet(c.j);
+                                c.f.localGet(sad)
+                                    .localGet(d).localGet(c.j).i32Xor()
+                                    .localGet(c.j).i32Sub()
+                                    .i32Add().localSet(sad);
+                            });
+                        });
+                        c.f.localGet(c.acc).localGet(sad)
+                            .i64ExtendI32U().i64Add().localSet(c.acc);
+                        c.f.localGet(bx).i32Const(16).i32Add()
+                            .localSet(bx);
+                    });
+                c.f.localGet(by).i32Const(16).i32Add().localSet(by);
+            });
+    });
+    return c.done();
+}
+
+// 531.deepsjeng_r: recursive negamax with a transposition table.
+wasm::Module
+mk531()
+{
+    ModuleBuilder mb;
+    mb.memory(16, 16);
+    // search(state: i64, depth: i32) -> i32
+    auto search = mb.func("search", {VT::I64, VT::I32}, {VT::I32});
+    {
+        auto& f = search;
+        uint32_t best = f.local(VT::I32);
+        uint32_t mv = f.local(VT::I32);
+        uint32_t child = f.local(VT::I64);
+        uint32_t slot = f.local(VT::I32);
+        f.localGet(1).i32Eqz()
+            .if_()
+            .localGet(0).i64Const(0x9e3779b97f4a7c15ull).i64Mul()
+            .i64Const(29).i64ShrU().i32WrapI64().i32Const(0xfff)
+            .i32And().i32Const(2048).i32Sub().ret()
+            .end();
+        // TT probe: 64K entries {key u32, val u32}.
+        f.localGet(0).i64Const(17).i64ShrU().i32WrapI64()
+            .i32Const(0xffff).i32And().i32Const(3).i32Shl()
+            .localSet(slot);
+        f.localGet(slot).i32Load(0)
+            .localGet(0).i32WrapI64().localGet(1).i32Xor().i32Eq()
+            .if_()
+            .localGet(slot).i32Load(4).ret()
+            .end();
+        f.i32Const(0xc0000000u).localSet(best);
+        forLoopConst(f, mv, 5, [&] {
+            f.localGet(0).i64Const(6364136223846793005ull).i64Mul()
+                .localGet(mv).i64ExtendI32U().i64Const(2654435761u)
+                .i64Mul().i64Add().i64Const(1).i64Add()
+                .localSet(child);
+            // score = -search(child, depth-1)
+            f.i32Const(0)
+                .localGet(child).localGet(1).i32Const(1).i32Sub()
+                .call(search.index())
+                .i32Sub().localSet(slot);
+            f.localGet(slot).localGet(best).i32GtS()
+                .if_()
+                .localGet(slot).localSet(best)
+                .end();
+        });
+        // TT store.
+        f.localGet(0).i64Const(17).i64ShrU().i32WrapI64()
+            .i32Const(0xffff).i32And().i32Const(3).i32Shl()
+            .localSet(slot);
+        f.localGet(slot)
+            .localGet(0).i32WrapI64().localGet(1).i32Xor()
+            .i32Store(0);
+        f.localGet(slot).localGet(best).i32Store(4);
+        f.localGet(best).end();
+    }
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    uint32_t rep = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I64);
+    forLoop(f, rep, f.param(0), [&] {
+        f.localGet(rep).i64ExtendI32U().i64Const(0xabcdull).i64Add()
+            .i32Const(7).call(search.index())
+            .i64ExtendI32S().localGet(acc).i64Add().localSet(acc);
+    });
+    f.localGet(acc).end();
+    mb.exportFunc("run", f.index());
+    return std::move(mb).build();
+}
+
+// 538.imagick_r: 3x3 convolution over bytes.
+wasm::Module
+mk538()
+{
+    Ctx c(32);
+    const uint32_t W = 512, H = 256;
+    const uint32_t src = 0, dst = W * H;
+    uint32_t x = c.f.local(VT::I32);
+    uint32_t y = c.f.local(VT::I32);
+    uint32_t sum = c.f.local(VT::I32);
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(0x1346).localSet(c.s);
+    c.f.i32Const(W * H).localSet(nloc);
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i);
+        xorshift32(c.f, c.s);
+        c.f.i32Store8(src);
+    });
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        c.f.i32Const(1).localSet(y);
+        whileLoop(
+            c.f, [&] { c.f.localGet(y).i32Const(H - 1).i32LtU(); },
+            [&] {
+                c.f.i32Const(1).localSet(x);
+                whileLoop(
+                    c.f,
+                    [&] { c.f.localGet(x).i32Const(W - 1).i32LtU(); },
+                    [&] {
+                        // 3x3 blur: j = top-left corner so every
+                        // neighbour has a non-negative static offset.
+                        c.f.localGet(y).i32Const(1).i32Sub()
+                            .i32Const(W).i32Mul()
+                            .localGet(x).i32Add().i32Const(1).i32Sub()
+                            .localSet(c.j);
+                        c.f.localGet(c.j).i32Load8u(src + W + 1)
+                            .i32Const(2).i32Shl();
+                        c.f.localGet(c.j).i32Load8u(src).i32Add();
+                        c.f.localGet(c.j).i32Load8u(src + 1).i32Add();
+                        c.f.localGet(c.j).i32Load8u(src + 2).i32Add();
+                        c.f.localGet(c.j).i32Load8u(src + W).i32Add();
+                        c.f.localGet(c.j).i32Load8u(src + W + 2)
+                            .i32Add();
+                        c.f.localGet(c.j).i32Load8u(src + 2 * W)
+                            .i32Add();
+                        c.f.localGet(c.j).i32Load8u(src + 2 * W + 1)
+                            .i32Add();
+                        c.f.localGet(c.j).i32Load8u(src + 2 * W + 2)
+                            .i32Add();
+                        c.f.i32Const(3).i32ShrU().localSet(sum);
+                        c.f.localGet(c.j).localGet(sum)
+                            .i32Store8(dst + W + 1);
+                        c.f.localGet(x).i32Const(1).i32Add()
+                            .localSet(x);
+                    });
+                c.f.localGet(y).i32Const(1).i32Add().localSet(y);
+            });
+        c.f.localGet(c.acc)
+            .i32Const(W * 100 + 77).i32Load8u(dst).i64ExtendI32U()
+            .i64Add().localSet(c.acc);
+    });
+    return c.done();
+}
+
+// 541.leela_r: board flood fills.
+wasm::Module
+mk541()
+{
+    Ctx c(16);
+    const uint32_t B = 361;  // 19x19
+    const uint32_t board = 0, mark = 512, stack = 1024;
+    uint32_t sp = c.f.local(VT::I32);
+    uint32_t pos = c.f.local(VT::I32);
+    uint32_t libs = c.f.local(VT::I32);
+    uint32_t nloc = c.f.local(VT::I32);
+    uint32_t games = c.f.local(VT::I32);
+    c.f.i32Const(0x1ee1a).localSet(c.s);
+    c.f.i32Const(B).localSet(nloc);
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        c.f.i32Const(2000).localSet(games);
+        forLoop(c.f, c.j, games, [&] {
+            forLoop(c.f, c.i, nloc, [&] {
+                c.f.localGet(c.i);
+                xorshift32(c.f, c.s);
+                c.f.i32Const(3).i32RemU().i32Store8(board);
+                c.f.localGet(c.i).i32Const(0).i32Store8(mark);
+            });
+            c.f.i32Const(0).localSet(libs);
+            forLoop(c.f, c.i, nloc, [&] {
+                c.f.localGet(c.i).i32Load8u(board).i32Eqz()
+                    .localGet(c.i).i32Load8u(mark).i32Const(0).i32Ne()
+                    .i32Or()
+                    .if_().else_()
+                    // flood fill empties from i, counting area
+                    .i32Const(0).localSet(sp)
+                    .localGet(sp).i32Const(2).i32Shl().localGet(c.i)
+                    .i32Store(stack)
+                    .localGet(sp).i32Const(1).i32Add().localSet(sp)
+                    .localGet(c.i).i32Const(1).i32Store8(mark)
+                    .block().loop()
+                    .localGet(sp).i32Eqz().brIf(1)
+                    .localGet(sp).i32Const(1).i32Sub().localSet(sp)
+                    .localGet(sp).i32Const(2).i32Shl().i32Load(stack)
+                    .localSet(pos)
+                    .localGet(libs).i32Const(1).i32Add().localSet(libs)
+                    // right neighbour
+                    .localGet(pos).i32Const(19).i32RemU().i32Const(18)
+                    .i32LtU()
+                    .if_()
+                    .localGet(pos).i32Load8u(board + 1).i32Eqz()
+                    .localGet(pos).i32Load8u(mark + 1).i32Eqz().i32And()
+                    .if_()
+                    .localGet(pos).i32Const(1).i32Add().i32Const(1)
+                    .i32Store8(mark - 1)
+                    .localGet(sp).i32Const(2).i32Shl()
+                    .localGet(pos).i32Const(1).i32Add().i32Store(stack)
+                    .localGet(sp).i32Const(1).i32Add().localSet(sp)
+                    .end()
+                    .end()
+                    // down neighbour
+                    .localGet(pos).i32Const(B - 19).i32LtU()
+                    .if_()
+                    .localGet(pos).i32Load8u(board + 19).i32Eqz()
+                    .localGet(pos).i32Load8u(mark + 19).i32Eqz()
+                    .i32And()
+                    .if_()
+                    .localGet(pos).i32Const(19).i32Add().i32Const(1)
+                    .i32Store8(mark - 19)
+                    .localGet(sp).i32Const(2).i32Shl()
+                    .localGet(pos).i32Const(19).i32Add().i32Store(stack)
+                    .localGet(sp).i32Const(1).i32Add().localSet(sp)
+                    .end()
+                    .end()
+                    .br(0)
+                    .end().end()
+                    .end();
+            });
+            c.f.localGet(c.acc).localGet(libs).i64ExtendI32U().i64Add()
+                .localSet(c.acc);
+        });
+    });
+    return c.done();
+}
+
+// 544.nab_r: nonbonded force accumulation (f64, reciprocals).
+wasm::Module
+mk544()
+{
+    Ctx c(32);
+    const uint32_t N = 8192;
+    const uint32_t Q = 0, E = N * 8;
+    uint32_t e = c.f.local(VT::F64);
+    uint32_t r2 = c.f.local(VT::F64);
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(N).localSet(nloc);
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i).i32Const(3).i32Shl()
+            .localGet(c.i).i32Const(15).i32And().f64ConvertI32U()
+            .f64Const(0.1).f64Mul().f64Const(0.2).f64Add().f64Store(Q);
+    });
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        forLoop(c.f, c.i, nloc, [&] {
+            c.f.f64Const(0).localSet(e);
+            forLoopConst(c.f, c.j, 32, [&] {
+                c.f.localGet(c.i).localGet(c.j).i32Add().i32Const(1)
+                    .i32Add().f64ConvertI32U().localSet(r2);
+                // e += q_i*q_j / r2 - 1/(r2*r2)
+                c.f.localGet(e);
+                c.f.localGet(c.i).i32Const(3).i32Shl().f64Load(Q);
+                c.f.localGet(c.i).localGet(c.j).i32Add()
+                    .i32Const(N - 1).i32And().i32Const(3).i32Shl()
+                    .f64Load(Q);
+                c.f.f64Mul().localGet(r2).f64Div().f64Add();
+                c.f.f64Const(1).localGet(r2).localGet(r2).f64Mul()
+                    .f64Div().f64Sub();
+                c.f.localSet(e);
+            });
+            c.f.localGet(c.i).i32Const(3).i32Shl();
+            c.f.localGet(c.i).i32Const(3).i32Shl().f64Load(E)
+                .localGet(e).f64Add();
+            c.f.f64Store(E);
+        });
+        c.f.localGet(c.acc)
+            .i32Const(77 * 8).f64Load(E).f64Const(1000).f64Mul()
+            .i64TruncF64S().i64Add().localSet(c.acc);
+    });
+    return c.done();
+}
+
+// 557.xz_r: LZ77-style match finder with hash chains.
+wasm::Module
+mk557()
+{
+    Ctx c(64);
+    const uint32_t N = 1024 * 1024;
+    const uint32_t buf = 0, head = N, prev = N + 0x40000;
+    uint32_t pos = c.f.local(VT::I32);
+    uint32_t h = c.f.local(VT::I32);
+    uint32_t cand = c.f.local(VT::I32);
+    uint32_t len = c.f.local(VT::I32);
+    uint32_t best = c.f.local(VT::I32);
+    uint32_t tries = c.f.local(VT::I32);
+    uint32_t nloc = c.f.local(VT::I32);
+    c.f.i32Const(0x715).localSet(c.s);
+    c.f.i32Const(N).localSet(nloc);
+    // Compressible input: low-entropy bytes.
+    forLoop(c.f, c.i, nloc, [&] {
+        c.f.localGet(c.i);
+        xorshift32(c.f, c.s);
+        c.f.i32Const(15).i32And().i32Store8(buf);
+    });
+    forLoop(c.f, c.rep, c.f.param(0), [&] {
+        // Reset the hash heads (prev chains are gated by head+cand<pos).
+        forLoopConst(c.f, c.i, 0x10000, [&] {
+            c.f.localGet(c.i).i32Const(2).i32Shl().i32Const(0xffffffffu)
+                .i32Store(head);
+        });
+        c.f.i32Const(0).localSet(pos);
+        whileLoop(
+            c.f,
+            [&] { c.f.localGet(pos).i32Const(N - 64).i32LtU(); },
+            [&] {
+                // h = hash of 3 bytes.
+                c.f.localGet(pos).i32Load8u(buf).i32Const(16).i32Shl()
+                    .localGet(pos).i32Load8u(buf + 1).i32Const(8)
+                    .i32Shl().i32Or()
+                    .localGet(pos).i32Load8u(buf + 2).i32Or()
+                    .i32Const(2654435761u).i32Mul().i32Const(16)
+                    .i32ShrU().localSet(h);
+                c.f.localGet(h).i32Const(2).i32Shl().i32Load(head)
+                    .localSet(cand);
+                c.f.i32Const(0).localSet(best);
+                c.f.i32Const(8).localSet(tries);
+                whileLoop(
+                    c.f,
+                    [&] {
+                        c.f.localGet(cand).i32Const(0xffffffffu)
+                            .i32Ne()
+                            .localGet(tries).i32Const(0).i32GtU()
+                            .i32And()
+                            .localGet(cand).localGet(pos).i32LtU()
+                            .i32And();
+                    },
+                    [&] {
+                        // match length up to 32.
+                        c.f.i32Const(0).localSet(len);
+                        whileLoop(
+                            c.f,
+                            [&] {
+                                c.f.localGet(len).i32Const(32).i32LtU();
+                            },
+                            [&] {
+                                c.f.localGet(cand).localGet(len)
+                                    .i32Add().i32Load8u(buf)
+                                    .localGet(pos).localGet(len)
+                                    .i32Add().i32Load8u(buf)
+                                    .i32Ne()
+                                    .if_()
+                                    .i32Const(32).localSet(len)
+                                    // force-exit marker: len=32 ends loop
+                                    .else_()
+                                    .localGet(len).i32Const(1).i32Add()
+                                    .localSet(len)
+                                    .end();
+                            });
+                        c.f.localGet(len).localGet(best).i32GtU()
+                            .if_()
+                            .localGet(len).localSet(best)
+                            .end();
+                        c.f.localGet(cand).i32Const(0x7ffff).i32And()
+                            .i32Const(2).i32Shl().i32Load(prev)
+                            .localSet(cand);
+                        c.f.localGet(tries).i32Const(1).i32Sub()
+                            .localSet(tries);
+                    });
+                // Insert pos into the chain.
+                c.f.localGet(pos).i32Const(0x7ffff).i32And()
+                    .i32Const(2).i32Shl()
+                    .localGet(h).i32Const(2).i32Shl().i32Load(head)
+                    .i32Store(prev);
+                c.f.localGet(h).i32Const(2).i32Shl().localGet(pos)
+                    .i32Store(head);
+                c.f.localGet(c.acc).localGet(best).i64ExtendI32U()
+                    .i64Add().localSet(c.acc);
+                // Skip by matched length (like lazy matching off):
+                // pos += best > 1 ? best : 1.
+                c.f.localGet(best).i32Const(1)
+                    .localGet(best).i32Const(1).i32GtU().select()
+                    .localGet(pos).i32Add().localSet(pos);
+            });
+    });
+    return c.done();
+}
+
+}  // namespace
+
+const std::vector<Workload>&
+spec17()
+{
+    static const std::vector<Workload> suite = {
+        {"spec17", "502.gcc_r", &mk502, 12, 1},
+        {"spec17", "505.mcf_r", &mk505, 20, 1},
+        {"spec17", "508.namd_r", &mk508, 12, 1},
+        {"spec17", "510.parest_r", &mk510, 12, 1},
+        {"spec17", "511.povray_r", &mk511, 16, 1},
+        {"spec17", "519.lbm_r", &mk519, 16, 1},
+        {"spec17", "520.omnetpp_r", &mk520, 10, 1},
+        {"spec17", "523.xalancbmk_r", &mk523, 12, 1},
+        {"spec17", "525.x264_r", &mk525, 12, 1},
+        {"spec17", "531.deepsjeng_r", &mk531, 40, 1},
+        {"spec17", "538.imagick_r", &mk538, 16, 1},
+        {"spec17", "541.leela_r", &mk541, 6, 1},
+        {"spec17", "544.nab_r", &mk544, 10, 1},
+        {"spec17", "557.xz_r", &mk557, 8, 1},
+    };
+    return suite;
+}
+
+}  // namespace sfi::wkld

@@ -1,0 +1,738 @@
+#include "x64/assembler.h"
+
+#include <cstring>
+
+namespace sfi::x64 {
+
+namespace {
+
+constexpr uint8_t
+bits(Reg r)
+{
+    return static_cast<uint8_t>(r);
+}
+
+constexpr uint8_t
+bits(Xmm r)
+{
+    return static_cast<uint8_t>(r);
+}
+
+constexpr uint8_t
+log2Scale(uint8_t scale)
+{
+    switch (scale) {
+      case 1: return 0;
+      case 2: return 1;
+      case 4: return 2;
+      case 8: return 3;
+    }
+    SFI_PANIC("invalid SIB scale %u", scale);
+}
+
+constexpr bool
+fitsInt8(int32_t v)
+{
+    return v >= -128 && v <= 127;
+}
+
+}  // namespace
+
+void
+Assembler::emit32(uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        emit8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+Assembler::emit64(uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        emit8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+Assembler::emitPrefixes(Width w, uint8_t reg, const Mem& m,
+                        bool byte_reg_rex, uint8_t mandatory)
+{
+    if (m.seg == Seg::Gs)
+        emit8(0x65);
+    else if (m.seg == Seg::Fs)
+        emit8(0x64);
+    if (m.addr32)
+        emit8(0x67);
+    if (w == Width::W16)
+        emit8(0x66);
+    if (mandatory != 0)
+        emit8(mandatory);
+    uint8_t rex = 0x40;
+    if (w == Width::W64)
+        rex |= 0x08;
+    if (reg & 0x8)
+        rex |= 0x04;
+    if (m.hasIndex && (bits(m.index) & 0x8))
+        rex |= 0x02;
+    if (m.hasBase && (bits(m.base) & 0x8))
+        rex |= 0x01;
+    bool need_byte_rex =
+        byte_reg_rex && w == Width::W8 && (reg & 0x7) >= 4 && !(reg & 0x8);
+    if (rex != 0x40 || need_byte_rex)
+        emit8(rex);
+}
+
+void
+Assembler::emitPrefixesRR(Width w, uint8_t reg, uint8_t rm,
+                          bool byte_reg_rex, uint8_t mandatory)
+{
+    if (w == Width::W16)
+        emit8(0x66);
+    if (mandatory != 0)
+        emit8(mandatory);
+    uint8_t rex = 0x40;
+    if (w == Width::W64)
+        rex |= 0x08;
+    if (reg & 0x8)
+        rex |= 0x04;
+    if (rm & 0x8)
+        rex |= 0x01;
+    bool need_byte_rex = byte_reg_rex && w == Width::W8 &&
+                         (((reg & 0x7) >= 4 && !(reg & 0x8)) ||
+                          ((rm & 0x7) >= 4 && !(rm & 0x8)));
+    if (rex != 0x40 || need_byte_rex)
+        emit8(rex);
+}
+
+void
+Assembler::emitModRmMem(uint8_t reg_field, const Mem& m)
+{
+    const uint8_t reg3 = reg_field & 0x7;
+    auto modrm = [&](uint8_t mod, uint8_t rm) {
+        emit8(static_cast<uint8_t>((mod << 6) | (reg3 << 3) | rm));
+    };
+    auto sib = [&](uint8_t ss, uint8_t idx, uint8_t base) {
+        emit8(static_cast<uint8_t>((ss << 6) | ((idx & 0x7) << 3) |
+                                   (base & 0x7)));
+    };
+
+    if (!m.hasBase && !m.hasIndex) {
+        // [disp32] absolute (via SIB base=101, index=none).
+        modrm(0, 4);
+        sib(0, 4, 5);
+        emit32(static_cast<uint32_t>(m.disp));
+        return;
+    }
+
+    if (m.hasIndex) {
+        SFI_CHECK_MSG(m.index != Reg::rsp, "rsp cannot be an index");
+        uint8_t ss = log2Scale(m.scale);
+        if (!m.hasBase) {
+            modrm(0, 4);
+            sib(ss, bits(m.index), 5);
+            emit32(static_cast<uint32_t>(m.disp));
+            return;
+        }
+        uint8_t base3 = bits(m.base) & 0x7;
+        if (m.disp == 0 && base3 != 5) {
+            modrm(0, 4);
+            sib(ss, bits(m.index), bits(m.base));
+        } else if (fitsInt8(m.disp)) {
+            modrm(1, 4);
+            sib(ss, bits(m.index), bits(m.base));
+            emit8(static_cast<uint8_t>(m.disp));
+        } else {
+            modrm(2, 4);
+            sib(ss, bits(m.index), bits(m.base));
+            emit32(static_cast<uint32_t>(m.disp));
+        }
+        return;
+    }
+
+    // Base only.
+    uint8_t base3 = bits(m.base) & 0x7;
+    if (base3 == 4) {
+        // rsp/r12 require a SIB byte.
+        if (m.disp == 0) {
+            modrm(0, 4);
+            sib(0, 4, bits(m.base));
+        } else if (fitsInt8(m.disp)) {
+            modrm(1, 4);
+            sib(0, 4, bits(m.base));
+            emit8(static_cast<uint8_t>(m.disp));
+        } else {
+            modrm(2, 4);
+            sib(0, 4, bits(m.base));
+            emit32(static_cast<uint32_t>(m.disp));
+        }
+        return;
+    }
+    if (m.disp == 0 && base3 != 5) {
+        modrm(0, base3);
+    } else if (fitsInt8(m.disp)) {
+        modrm(1, base3);
+        emit8(static_cast<uint8_t>(m.disp));
+    } else {
+        modrm(2, base3);
+        emit32(static_cast<uint32_t>(m.disp));
+    }
+}
+
+void
+Assembler::emitModRmReg(uint8_t reg_field, uint8_t rm_reg)
+{
+    emit8(static_cast<uint8_t>(0xc0 | ((reg_field & 0x7) << 3) |
+                               (rm_reg & 0x7)));
+}
+
+Label
+Assembler::newLabel()
+{
+    Label l;
+    l.id_ = static_cast<int32_t>(labels_.size());
+    labels_.emplace_back();
+    return l;
+}
+
+void
+Assembler::bind(Label& label)
+{
+    SFI_CHECK(label.valid());
+    LabelState& st = labels_.at(label.id_);
+    SFI_CHECK_MSG(st.offset < 0, "label bound twice");
+    st.offset = static_cast<int64_t>(code_.size());
+    for (size_t pos : st.fixups) {
+        int64_t rel = st.offset - (static_cast<int64_t>(pos) + 4);
+        SFI_CHECK(rel >= INT32_MIN && rel <= INT32_MAX);
+        uint32_t rel32 = static_cast<uint32_t>(rel);
+        std::memcpy(&code_[pos], &rel32, 4);
+    }
+    st.fixups.clear();
+}
+
+uint64_t
+Assembler::labelOffset(const Label& label) const
+{
+    SFI_CHECK(label.valid());
+    const LabelState& st = labels_.at(label.id_);
+    SFI_CHECK_MSG(st.offset >= 0, "label not bound");
+    return static_cast<uint64_t>(st.offset);
+}
+
+void
+Assembler::emitRel32(Label& label)
+{
+    SFI_CHECK(label.valid());
+    LabelState& st = labels_.at(label.id_);
+    if (st.offset >= 0) {
+        int64_t rel = st.offset - (static_cast<int64_t>(code_.size()) + 4);
+        SFI_CHECK(rel >= INT32_MIN && rel <= INT32_MAX);
+        emit32(static_cast<uint32_t>(rel));
+    } else {
+        st.fixups.push_back(code_.size());
+        emit32(0);
+    }
+}
+
+// --- moves ---
+
+void
+Assembler::movImm64(Reg dst, uint64_t imm)
+{
+    emit8(static_cast<uint8_t>(0x48 | ((bits(dst) & 0x8) ? 1 : 0)));
+    emit8(static_cast<uint8_t>(0xb8 | (bits(dst) & 0x7)));
+    emit64(imm);
+}
+
+void
+Assembler::movImm32(Reg dst, uint32_t imm)
+{
+    if (bits(dst) & 0x8)
+        emit8(0x41);
+    emit8(static_cast<uint8_t>(0xb8 | (bits(dst) & 0x7)));
+    emit32(imm);
+}
+
+void
+Assembler::mov(Width w, Reg dst, Reg src)
+{
+    // mov r/m, r form: rm = dst, reg = src.
+    emitPrefixesRR(w, bits(src), bits(dst), w == Width::W8);
+    emit8(w == Width::W8 ? 0x88 : 0x89);
+    emitModRmReg(bits(src), bits(dst));
+}
+
+void
+Assembler::load(Width w, bool sign_extend, Reg dst, const Mem& m)
+{
+    switch (w) {
+      case Width::W8:
+        // movzx zero-extends through bit 63; movsx needs REX.W to reach
+        // the full register.
+        emitPrefixes(sign_extend ? Width::W64 : Width::W32, bits(dst), m);
+        emit8(0x0f);
+        emit8(sign_extend ? 0xbe : 0xb6);
+        emitModRmMem(bits(dst), m);
+        return;
+      case Width::W16:
+        emitPrefixes(sign_extend ? Width::W64 : Width::W32, bits(dst), m);
+        emit8(0x0f);
+        emit8(sign_extend ? 0xbf : 0xb7);
+        emitModRmMem(bits(dst), m);
+        return;
+      case Width::W32:
+        if (sign_extend) {
+            emitPrefixes(Width::W64, bits(dst), m);
+            emit8(0x63);  // movsxd
+        } else {
+            emitPrefixes(Width::W32, bits(dst), m);
+            emit8(0x8b);
+        }
+        emitModRmMem(bits(dst), m);
+        return;
+      case Width::W64:
+        emitPrefixes(Width::W64, bits(dst), m);
+        emit8(0x8b);
+        emitModRmMem(bits(dst), m);
+        return;
+    }
+}
+
+void
+Assembler::store(Width w, const Mem& m, Reg src)
+{
+    emitPrefixes(w, bits(src), m, w == Width::W8);
+    emit8(w == Width::W8 ? 0x88 : 0x89);
+    emitModRmMem(bits(src), m);
+}
+
+void
+Assembler::storeImm32(Width w, const Mem& m, int32_t imm)
+{
+    emitPrefixes(w, 0, m);
+    if (w == Width::W8) {
+        emit8(0xc6);
+        emitModRmMem(0, m);
+        emit8(static_cast<uint8_t>(imm));
+    } else if (w == Width::W16) {
+        emit8(0xc7);
+        emitModRmMem(0, m);
+        emit8(static_cast<uint8_t>(imm));
+        emit8(static_cast<uint8_t>(imm >> 8));
+    } else {
+        emit8(0xc7);
+        emitModRmMem(0, m);
+        emit32(static_cast<uint32_t>(imm));
+    }
+}
+
+void
+Assembler::lea(Width w, Reg dst, const Mem& m)
+{
+    SFI_CHECK(w == Width::W32 || w == Width::W64);
+    emitPrefixes(w, bits(dst), m);
+    emit8(0x8d);
+    emitModRmMem(bits(dst), m);
+}
+
+// --- integer ALU ---
+
+void
+Assembler::alu(AluOp op, Width w, Reg dst, Reg src)
+{
+    // "op r, r/m" form (base+3): reg = dst, rm = src.
+    uint8_t base = static_cast<uint8_t>(static_cast<uint8_t>(op) << 3);
+    emitPrefixesRR(w, bits(dst), bits(src), w == Width::W8);
+    emit8(static_cast<uint8_t>(base | (w == Width::W8 ? 0x02 : 0x03)));
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::aluImm(AluOp op, Width w, Reg dst, int32_t imm)
+{
+    uint8_t ext = static_cast<uint8_t>(op);
+    if (w == Width::W8) {
+        emitPrefixesRR(w, 0, bits(dst), true);
+        emit8(0x80);
+        emitModRmReg(ext, bits(dst));
+        emit8(static_cast<uint8_t>(imm));
+        return;
+    }
+    emitPrefixesRR(w, 0, bits(dst));
+    if (fitsInt8(imm)) {
+        emit8(0x83);
+        emitModRmReg(ext, bits(dst));
+        emit8(static_cast<uint8_t>(imm));
+    } else {
+        emit8(0x81);
+        emitModRmReg(ext, bits(dst));
+        emit32(static_cast<uint32_t>(imm));
+    }
+}
+
+void
+Assembler::aluMem(AluOp op, Width w, Reg dst, const Mem& m)
+{
+    uint8_t base = static_cast<uint8_t>(static_cast<uint8_t>(op) << 3);
+    emitPrefixes(w, bits(dst), m);
+    emit8(static_cast<uint8_t>(base | (w == Width::W8 ? 0x02 : 0x03)));
+    emitModRmMem(bits(dst), m);
+}
+
+void
+Assembler::test(Width w, Reg a, Reg b)
+{
+    emitPrefixesRR(w, bits(b), bits(a), w == Width::W8);
+    emit8(w == Width::W8 ? 0x84 : 0x85);
+    emitModRmReg(bits(b), bits(a));
+}
+
+void
+Assembler::imul(Width w, Reg dst, Reg src)
+{
+    emitPrefixesRR(w, bits(dst), bits(src));
+    emit8(0x0f);
+    emit8(0xaf);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::neg(Width w, Reg r)
+{
+    emitPrefixesRR(w, 0, bits(r));
+    emit8(w == Width::W8 ? 0xf6 : 0xf7);
+    emitModRmReg(3, bits(r));
+}
+
+void
+Assembler::notR(Width w, Reg r)
+{
+    emitPrefixesRR(w, 0, bits(r));
+    emit8(w == Width::W8 ? 0xf6 : 0xf7);
+    emitModRmReg(2, bits(r));
+}
+
+void
+Assembler::div(Width w, Reg r)
+{
+    emitPrefixesRR(w, 0, bits(r));
+    emit8(0xf7);
+    emitModRmReg(6, bits(r));
+}
+
+void
+Assembler::idiv(Width w, Reg r)
+{
+    emitPrefixesRR(w, 0, bits(r));
+    emit8(0xf7);
+    emitModRmReg(7, bits(r));
+}
+
+void
+Assembler::cdq()
+{
+    emit8(0x99);
+}
+
+void
+Assembler::cqo()
+{
+    emit8(0x48);
+    emit8(0x99);
+}
+
+void
+Assembler::shiftCl(ShiftOp op, Width w, Reg r)
+{
+    emitPrefixesRR(w, 0, bits(r));
+    emit8(w == Width::W8 ? 0xd2 : 0xd3);
+    emitModRmReg(static_cast<uint8_t>(op), bits(r));
+}
+
+void
+Assembler::shiftImm(ShiftOp op, Width w, Reg r, uint8_t amount)
+{
+    emitPrefixesRR(w, 0, bits(r));
+    emit8(w == Width::W8 ? 0xc0 : 0xc1);
+    emitModRmReg(static_cast<uint8_t>(op), bits(r));
+    emit8(amount);
+}
+
+void
+Assembler::movzx8(Reg dst, Reg src)
+{
+    emitPrefixesRR(Width::W8, bits(dst), bits(src), true);
+    emit8(0x0f);
+    emit8(0xb6);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::movzx16(Reg dst, Reg src)
+{
+    emitPrefixesRR(Width::W32, bits(dst), bits(src));
+    emit8(0x0f);
+    emit8(0xb7);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::movsx8(Width w, Reg dst, Reg src)
+{
+    // REX.W taken from the destination width; source is a byte register.
+    if (w == Width::W64) {
+        emitPrefixesRR(Width::W64, bits(dst), bits(src));
+    } else {
+        emitPrefixesRR(Width::W8, bits(dst), bits(src), true);
+    }
+    emit8(0x0f);
+    emit8(0xbe);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::movsx16(Width w, Reg dst, Reg src)
+{
+    emitPrefixesRR(w == Width::W64 ? Width::W64 : Width::W32, bits(dst),
+                   bits(src));
+    emit8(0x0f);
+    emit8(0xbf);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::movsxd(Reg dst, Reg src)
+{
+    emitPrefixesRR(Width::W64, bits(dst), bits(src));
+    emit8(0x63);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::setcc(Cond cc, Reg dst)
+{
+    emitPrefixesRR(Width::W8, 0, bits(dst), true);
+    emit8(0x0f);
+    emit8(static_cast<uint8_t>(0x90 | static_cast<uint8_t>(cc)));
+    emitModRmReg(0, bits(dst));
+}
+
+void
+Assembler::cmovcc(Cond cc, Width w, Reg dst, Reg src)
+{
+    emitPrefixesRR(w, bits(dst), bits(src));
+    emit8(0x0f);
+    emit8(static_cast<uint8_t>(0x40 | static_cast<uint8_t>(cc)));
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::popcnt(Width w, Reg dst, Reg src)
+{
+    emit8(0xf3);
+    uint8_t rex = 0x40;
+    if (w == Width::W64)
+        rex |= 0x08;
+    if (bits(dst) & 0x8)
+        rex |= 0x04;
+    if (bits(src) & 0x8)
+        rex |= 0x01;
+    if (rex != 0x40)
+        emit8(rex);
+    emit8(0x0f);
+    emit8(0xb8);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+// --- control flow ---
+
+void
+Assembler::jmp(Label& target)
+{
+    emit8(0xe9);
+    emitRel32(target);
+}
+
+void
+Assembler::jcc(Cond cc, Label& target)
+{
+    emit8(0x0f);
+    emit8(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(cc)));
+    emitRel32(target);
+}
+
+void
+Assembler::jmpReg(Reg r)
+{
+    if (bits(r) & 0x8)
+        emit8(0x41);
+    emit8(0xff);
+    emitModRmReg(4, bits(r));
+}
+
+void
+Assembler::call(Label& target)
+{
+    emit8(0xe8);
+    emitRel32(target);
+}
+
+void
+Assembler::callReg(Reg r)
+{
+    if (bits(r) & 0x8)
+        emit8(0x41);
+    emit8(0xff);
+    emitModRmReg(2, bits(r));
+}
+
+void
+Assembler::ret()
+{
+    emit8(0xc3);
+}
+
+void
+Assembler::push(Reg r)
+{
+    if (bits(r) & 0x8)
+        emit8(0x41);
+    emit8(static_cast<uint8_t>(0x50 | (bits(r) & 0x7)));
+}
+
+void
+Assembler::pop(Reg r)
+{
+    if (bits(r) & 0x8)
+        emit8(0x41);
+    emit8(static_cast<uint8_t>(0x58 | (bits(r) & 0x7)));
+}
+
+void
+Assembler::nop(size_t count)
+{
+    // Recommended multi-byte NOP sequences (Intel SDM Table 4-12).
+    static const uint8_t seqs[9][9] = {
+        {0x90},
+        {0x66, 0x90},
+        {0x0f, 0x1f, 0x00},
+        {0x0f, 0x1f, 0x40, 0x00},
+        {0x0f, 0x1f, 0x44, 0x00, 0x00},
+        {0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00},
+        {0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00},
+        {0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+        {0x66, 0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+    };
+    while (count > 0) {
+        size_t n = count > 9 ? 9 : count;
+        for (size_t i = 0; i < n; i++)
+            emit8(seqs[n - 1][i]);
+        count -= n;
+    }
+}
+
+void
+Assembler::ud2()
+{
+    emit8(0x0f);
+    emit8(0x0b);
+}
+
+void
+Assembler::int3()
+{
+    emit8(0xcc);
+}
+
+// --- SSE2 f64 ---
+
+void
+Assembler::movsdLoad(Xmm dst, const Mem& m)
+{
+    emitPrefixes(Width::W32, bits(dst), m, false, 0xf2);
+    emit8(0x0f);
+    emit8(0x10);
+    emitModRmMem(bits(dst), m);
+}
+
+void
+Assembler::movsdStore(const Mem& m, Xmm src)
+{
+    emitPrefixes(Width::W32, bits(src), m, false, 0xf2);
+    emit8(0x0f);
+    emit8(0x11);
+    emitModRmMem(bits(src), m);
+}
+
+void
+Assembler::movsd(Xmm dst, Xmm src)
+{
+    emitPrefixesRR(Width::W32, bits(dst), bits(src), false, 0xf2);
+    emit8(0x0f);
+    emit8(0x10);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::movqToXmm(Xmm dst, Reg src)
+{
+    emitPrefixesRR(Width::W64, bits(dst), bits(src), false, 0x66);
+    emit8(0x0f);
+    emit8(0x6e);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::movqFromXmm(Reg dst, Xmm src)
+{
+    emitPrefixesRR(Width::W64, bits(src), bits(dst), false, 0x66);
+    emit8(0x0f);
+    emit8(0x7e);
+    emitModRmReg(bits(src), bits(dst));
+}
+
+namespace {
+constexpr uint8_t kSseF2 = 0xf2;
+constexpr uint8_t kSse66 = 0x66;
+}  // namespace
+
+#define SFIKIT_SSE_RR(NAME, PREFIX, OPCODE)                            \
+    void Assembler::NAME(Xmm dst, Xmm src)                             \
+    {                                                                  \
+        emitPrefixesRR(Width::W32, bits(dst), bits(src), false,        \
+                       PREFIX);                                        \
+        emit8(0x0f);                                                   \
+        emit8(OPCODE);                                                 \
+        emitModRmReg(bits(dst), bits(src));                            \
+    }
+
+SFIKIT_SSE_RR(addsd, kSseF2, 0x58)
+SFIKIT_SSE_RR(subsd, kSseF2, 0x5c)
+SFIKIT_SSE_RR(mulsd, kSseF2, 0x59)
+SFIKIT_SSE_RR(divsd, kSseF2, 0x5e)
+SFIKIT_SSE_RR(sqrtsd, kSseF2, 0x51)
+SFIKIT_SSE_RR(minsd, kSseF2, 0x5d)
+SFIKIT_SSE_RR(maxsd, kSseF2, 0x5f)
+SFIKIT_SSE_RR(ucomisd, kSse66, 0x2e)
+SFIKIT_SSE_RR(xorpd, kSse66, 0x57)
+
+#undef SFIKIT_SSE_RR
+
+void
+Assembler::cvtsi2sd(Xmm dst, Width w, Reg src)
+{
+    emitPrefixesRR(w, bits(dst), bits(src), false, 0xf2);
+    emit8(0x0f);
+    emit8(0x2a);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+void
+Assembler::cvttsd2si(Width w, Reg dst, Xmm src)
+{
+    emitPrefixesRR(w, bits(dst), bits(src), false, 0xf2);
+    emit8(0x0f);
+    emit8(0x2c);
+    emitModRmReg(bits(dst), bits(src));
+}
+
+}  // namespace sfi::x64

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * x86-64 instruction encoder.
+ *
+ * Emits the subset of x86-64 sfikit's JIT needs, including the two
+ * encodings Segue is built on (§3.1):
+ *
+ *  - the %gs segment-override prefix (0x65), which adds the segment base
+ *    to the effective address inside a single load/store; and
+ *  - the address-size override prefix (0x67), which computes the
+ *    effective address in 32-bit arithmetic — the "mixed-mode" addition
+ *    that lets `mov r11, gs:[ecx + edx*4 + 8]` replace an explicit
+ *    truncate+add pair (Figure 1c).
+ *
+ * The encoder is deliberately explicit (one method per instruction form)
+ * so generated sequences are easy to audit — SFI code generation is
+ * security-critical.
+ */
+#ifndef SFIKIT_X64_ASSEMBLER_H_
+#define SFIKIT_X64_ASSEMBLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace sfi::x64 {
+
+/** General-purpose registers, numbered by hardware encoding. */
+enum class Reg : uint8_t {
+    rax = 0, rcx, rdx, rbx, rsp, rbp, rsi, rdi,
+    r8, r9, r10, r11, r12, r13, r14, r15,
+};
+
+/** SSE registers. */
+enum class Xmm : uint8_t {
+    xmm0 = 0, xmm1, xmm2, xmm3, xmm4, xmm5, xmm6, xmm7,
+    xmm8, xmm9, xmm10, xmm11, xmm12, xmm13, xmm14, xmm15,
+};
+
+/** Operand widths. */
+enum class Width : uint8_t { W8, W16, W32, W64 };
+
+/** Segment override for memory operands. */
+enum class Seg : uint8_t { None, Gs, Fs };
+
+/** Condition codes (tttn field). */
+enum class Cond : uint8_t {
+    O = 0x0, NO = 0x1, B = 0x2, AE = 0x3, E = 0x4, NE = 0x5,
+    BE = 0x6, A = 0x7, S = 0x8, NS = 0x9, P = 0xa, NP = 0xb,
+    L = 0xc, GE = 0xd, LE = 0xe, G = 0xf,
+};
+
+/** Two-operand ALU operations sharing the standard opcode pattern. */
+enum class AluOp : uint8_t {
+    Add = 0, Or = 1, Adc = 2, Sbb = 3, And = 4, Sub = 5, Xor = 6, Cmp = 7,
+};
+
+/** Shift/rotate operations (the /n extension of group 2). */
+enum class ShiftOp : uint8_t { Rol = 0, Ror = 1, Shl = 4, Shr = 5, Sar = 7 };
+
+/**
+ * A memory operand: [base + index*scale + disp32], optionally with a
+ * segment override and/or 32-bit effective-address computation.
+ */
+struct Mem
+{
+    Reg base = Reg::rax;
+    Reg index = Reg::rax;
+    bool hasBase = false;
+    bool hasIndex = false;
+    uint8_t scale = 1;  ///< 1, 2, 4 or 8.
+    int32_t disp = 0;
+    Seg seg = Seg::None;
+    /** Emit 0x67: compute the address in 32 bits (Segue mixed-mode). */
+    bool addr32 = false;
+
+    /** [base + disp] */
+    static Mem
+    baseDisp(Reg base, int32_t disp = 0)
+    {
+        Mem m;
+        m.base = base;
+        m.hasBase = true;
+        m.disp = disp;
+        return m;
+    }
+
+    /** [base + index*scale + disp] */
+    static Mem
+    baseIndex(Reg base, Reg index, uint8_t scale = 1, int32_t disp = 0)
+    {
+        Mem m = baseDisp(base, disp);
+        m.index = index;
+        m.hasIndex = true;
+        m.scale = scale;
+        return m;
+    }
+
+    /**
+     * Segue form: gs:[base32 (+ index32*scale) + disp], address computed
+     * in 32 bits then extended with the %gs base — one instruction per
+     * heap access.
+     */
+    static Mem
+    gs32(Reg base, int32_t disp = 0)
+    {
+        Mem m = baseDisp(base, disp);
+        m.seg = Seg::Gs;
+        m.addr32 = true;
+        return m;
+    }
+
+    static Mem
+    gs32Index(Reg base, Reg index, uint8_t scale = 1, int32_t disp = 0)
+    {
+        Mem m = baseIndex(base, index, scale, disp);
+        m.seg = Seg::Gs;
+        m.addr32 = true;
+        return m;
+    }
+};
+
+/** A forward-referenceable code position. */
+class Label
+{
+  public:
+    Label() = default;
+    bool valid() const { return id_ >= 0; }
+
+  private:
+    friend class Assembler;
+    int32_t id_ = -1;
+};
+
+/**
+ * The encoder. Appends instructions to an internal byte buffer; branch
+ * targets use Labels with rel32 fixups patched at bind time.
+ */
+class Assembler
+{
+  public:
+    const std::vector<uint8_t>& code() const { return code_; }
+    size_t size() const { return code_.size(); }
+
+    /** Creates an unbound label. */
+    Label newLabel();
+
+    /** Binds @p label to the current position, patching fixups. */
+    void bind(Label& label);
+
+    /** Offset a bound label was bound at. */
+    uint64_t labelOffset(const Label& label) const;
+
+    // --- moves ---
+    void movImm64(Reg dst, uint64_t imm);  ///< movabs dst, imm64
+    void movImm32(Reg dst, uint32_t imm);  ///< mov dst32, imm32 (zero-ext)
+    void mov(Width w, Reg dst, Reg src);
+    /** Load with zero/sign extension into a 64-bit register. */
+    void load(Width w, bool sign_extend, Reg dst, const Mem& m);
+    void store(Width w, const Mem& m, Reg src);
+    void storeImm32(Width w, const Mem& m, int32_t imm);
+    void lea(Width w, Reg dst, const Mem& m);
+
+    // --- integer ALU ---
+    void alu(AluOp op, Width w, Reg dst, Reg src);
+    void aluImm(AluOp op, Width w, Reg dst, int32_t imm);
+    void aluMem(AluOp op, Width w, Reg dst, const Mem& m);
+    void test(Width w, Reg a, Reg b);
+    void imul(Width w, Reg dst, Reg src);
+    void neg(Width w, Reg r);
+    void notR(Width w, Reg r);
+    /** Unsigned divide rdx:rax by r; quotient rax, remainder rdx. */
+    void div(Width w, Reg r);
+    /** Signed divide rdx:rax by r. */
+    void idiv(Width w, Reg r);
+    void cdq();  ///< sign-extend eax into edx
+    void cqo();  ///< sign-extend rax into rdx
+    void shiftCl(ShiftOp op, Width w, Reg r);
+    void shiftImm(ShiftOp op, Width w, Reg r, uint8_t amount);
+    void movzx8(Reg dst, Reg src);   ///< movzx dst32, src8
+    void movzx16(Reg dst, Reg src);  ///< movzx dst32, src16
+    void movsx8(Width w, Reg dst, Reg src);
+    void movsx16(Width w, Reg dst, Reg src);
+    void movsxd(Reg dst, Reg src);   ///< movsxd dst64, src32
+    void setcc(Cond cc, Reg dst);    ///< setcc dst8 (caller zero-extends)
+    void cmovcc(Cond cc, Width w, Reg dst, Reg src);
+    void popcnt(Width w, Reg dst, Reg src);
+
+    // --- control flow ---
+    void jmp(Label& target);
+    void jcc(Cond cc, Label& target);
+    void jmpReg(Reg r);
+    void call(Label& target);
+    void callReg(Reg r);
+    void ret();
+    void push(Reg r);
+    void pop(Reg r);
+    void nop(size_t bytes = 1);
+    /** Pads with NOPs to the next @p boundary (power of two). */
+    void
+    alignTo(size_t boundary)
+    {
+        size_t rem = code_.size() & (boundary - 1);
+        if (rem != 0)
+            nop(boundary - rem);
+    }
+    void ud2();
+    void int3();
+
+    // --- SSE2 f64 ---
+    void movsdLoad(Xmm dst, const Mem& m);
+    void movsdStore(const Mem& m, Xmm src);
+    void movsd(Xmm dst, Xmm src);
+    void movqToXmm(Xmm dst, Reg src);
+    void movqFromXmm(Reg dst, Xmm src);
+    void addsd(Xmm dst, Xmm src);
+    void subsd(Xmm dst, Xmm src);
+    void mulsd(Xmm dst, Xmm src);
+    void divsd(Xmm dst, Xmm src);
+    void sqrtsd(Xmm dst, Xmm src);
+    void minsd(Xmm dst, Xmm src);
+    void maxsd(Xmm dst, Xmm src);
+    void ucomisd(Xmm a, Xmm b);
+    void xorpd(Xmm dst, Xmm src);
+    void cvtsi2sd(Xmm dst, Width w, Reg src);
+    void cvttsd2si(Width w, Reg dst, Xmm src);
+
+    /** Raw byte escape hatch (tests, padding). */
+    void emitByte(uint8_t b) { code_.push_back(b); }
+
+  private:
+    struct LabelState
+    {
+        int64_t offset = -1;
+        std::vector<size_t> fixups;  ///< positions of rel32 fields
+    };
+
+    void emit8(uint8_t b) { code_.push_back(b); }
+    void emit32(uint32_t v);
+    void emit64(uint64_t v);
+
+    /** Legacy prefixes + REX for a reg/mem form. */
+    void emitPrefixes(Width w, uint8_t reg, const Mem& m,
+                      bool byte_reg_rex = false, uint8_t mandatory = 0);
+    /** Legacy prefixes + REX for a reg/reg form (reg field, rm field). */
+    void emitPrefixesRR(Width w, uint8_t reg, uint8_t rm,
+                        bool byte_reg_rex = false, uint8_t mandatory = 0);
+    /** ModRM (+SIB +disp) for a memory operand. */
+    void emitModRmMem(uint8_t reg_field, const Mem& m);
+    void emitModRmReg(uint8_t reg_field, uint8_t rm_reg);
+
+    void emitRel32(Label& label);
+
+    std::vector<uint8_t> code_;
+    std::vector<LabelState> labels_;
+};
+
+}  // namespace sfi::x64
+
+#endif  // SFIKIT_X64_ASSEMBLER_H_

@@ -1,0 +1,27 @@
+#include "x64/exec_code.h"
+
+#include <cstring>
+
+#include "base/units.h"
+
+namespace sfi::x64 {
+
+Result<ExecCode>
+ExecCode::publish(const std::vector<uint8_t>& code)
+{
+    if (code.empty())
+        return Result<ExecCode>::error("publishing empty code buffer");
+    auto mapping = Reservation::allocate(alignUp(code.size(), kOsPageSize));
+    if (!mapping)
+        return Result<ExecCode>::error(mapping.message());
+    std::memcpy(mapping->base(), code.data(), code.size());
+    Status st = mapping->protect(0, mapping->size(), PageAccess::ReadExec);
+    if (!st)
+        return Result<ExecCode>::error(st.message());
+    ExecCode ec;
+    ec.mapping_ = std::move(*mapping);
+    ec.codeSize_ = code.size();
+    return ec;
+}
+
+}  // namespace sfi::x64

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Publishing JIT'd bytes as executable code (W^X discipline: written into
+ * a read-write mapping, then flipped to read-execute).
+ */
+#ifndef SFIKIT_X64_EXEC_CODE_H_
+#define SFIKIT_X64_EXEC_CODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/os_mem.h"
+#include "base/result.h"
+
+namespace sfi::x64 {
+
+/** An immutable, executable copy of a code buffer. */
+class ExecCode
+{
+  public:
+    ExecCode() = default;
+
+    /** Copies @p code into fresh pages and makes them read-execute. */
+    static Result<ExecCode> publish(const std::vector<uint8_t>& code);
+
+    const uint8_t* base() const { return mapping_.base(); }
+    uint64_t size() const { return codeSize_; }
+    bool valid() const { return mapping_.valid(); }
+
+    /** Typed entry point at @p offset bytes into the code. */
+    template <typename Fn>
+    Fn
+    entry(uint64_t offset = 0) const
+    {
+        SFI_CHECK(offset < codeSize_);
+        return reinterpret_cast<Fn>(
+            const_cast<uint8_t*>(mapping_.base() + offset));
+    }
+
+  private:
+    Reservation mapping_;
+    uint64_t codeSize_ = 0;
+};
+
+}  // namespace sfi::x64
+
+#endif  // SFIKIT_X64_EXEC_CODE_H_

@@ -1,0 +1,76 @@
+#include "base/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "base/result.h"
+
+namespace sfi {
+namespace {
+
+TEST(Logging, InformAndWarnDoNotTerminate)
+{
+    SFI_INFORM("informational message %d", 42);
+    SFI_WARN("warning message %s", "w");
+    SUCCEED();
+}
+
+TEST(Logging, CheckPassesOnTrue)
+{
+    SFI_CHECK(1 + 1 == 2);
+    SUCCEED();
+}
+
+TEST(LoggingDeath, CheckAborts)
+{
+    EXPECT_DEATH({ SFI_CHECK(false); }, "check failed");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ SFI_PANIC("boom %d", 7); }, "boom 7");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT({ SFI_FATAL("bad config"); },
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(Result, OkStatus)
+{
+    Status s = Status::ok();
+    EXPECT_TRUE(s.isOk());
+    EXPECT_TRUE(static_cast<bool>(s));
+    EXPECT_EQ(s.message(), "");
+}
+
+TEST(Result, ErrorStatus)
+{
+    Status s = Status::error("nope");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.message(), "nope");
+}
+
+TEST(Result, ValueResult)
+{
+    Result<int> r(7);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(r.value(), 7);
+    EXPECT_EQ(*r, 7);
+}
+
+TEST(Result, ErrorResult)
+{
+    Result<int> r = Result<int>::error("missing");
+    EXPECT_FALSE(r.isOk());
+    EXPECT_EQ(r.message(), "missing");
+}
+
+TEST(ResultDeath, ValueOnErrorPanics)
+{
+    Result<int> r = Result<int>::error("missing");
+    EXPECT_DEATH({ (void)r.value(); }, "missing");
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,104 @@
+#include "base/os_mem.h"
+
+#include <csetjmp>
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+
+namespace sfi {
+namespace {
+
+TEST(Reservation, ReserveHugeIsCheap)
+{
+    // Guard-region SFI depends on reserving far more address space than
+    // RAM: 64 GiB PROT_NONE must succeed on any reasonable machine.
+    auto r = Reservation::reserve(64 * kGiB);
+    ASSERT_TRUE(r.isOk()) << r.message();
+    EXPECT_EQ(r->size(), 64 * kGiB);
+    EXPECT_NE(r->base(), nullptr);
+}
+
+TEST(Reservation, AllocateIsWritable)
+{
+    auto r = Reservation::allocate(2 * kOsPageSize);
+    ASSERT_TRUE(r.isOk());
+    r->base()[0] = 0xab;
+    r->base()[2 * kOsPageSize - 1] = 0xcd;
+    EXPECT_EQ(r->base()[0], 0xab);
+}
+
+TEST(Reservation, CommitPartOfReservation)
+{
+    auto r = Reservation::reserve(16 * kOsPageSize);
+    ASSERT_TRUE(r.isOk());
+    ASSERT_TRUE(r->protect(4 * kOsPageSize, 4 * kOsPageSize,
+                           PageAccess::ReadWrite));
+    uint8_t* p = r->base() + 4 * kOsPageSize;
+    p[0] = 1;
+    p[4 * kOsPageSize - 1] = 2;
+    EXPECT_EQ(p[0], 1);
+}
+
+TEST(Reservation, DecommitZeroes)
+{
+    auto r = Reservation::allocate(kOsPageSize);
+    ASSERT_TRUE(r.isOk());
+    r->base()[100] = 42;
+    ASSERT_TRUE(r->decommit(0, kOsPageSize));
+    EXPECT_EQ(r->base()[100], 0);
+}
+
+TEST(Reservation, RejectsUnalignedProtect)
+{
+    auto r = Reservation::reserve(4 * kOsPageSize);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_FALSE(r->protect(1, kOsPageSize, PageAccess::ReadWrite));
+    EXPECT_FALSE(r->protect(0, kOsPageSize + 1, PageAccess::ReadWrite));
+    EXPECT_FALSE(
+        r->protect(0, 8 * kOsPageSize, PageAccess::ReadWrite));  // OOB
+}
+
+TEST(Reservation, MoveTransfersOwnership)
+{
+    auto r = Reservation::allocate(kOsPageSize);
+    ASSERT_TRUE(r.isOk());
+    uint8_t* base = r->base();
+    Reservation moved = std::move(*r);
+    EXPECT_EQ(moved.base(), base);
+    EXPECT_FALSE(r->valid());
+}
+
+TEST(VmaAccounting, CountsAndLimit)
+{
+    EXPECT_GT(currentVmaCount(), 0u);
+    EXPECT_GE(maxVmaCount(), 1024u);
+}
+
+// SIGSEGV-based probe that a guard page actually faults.
+sigjmp_buf g_jmp;
+void onSegv(int) { siglongjmp(g_jmp, 1); }
+
+TEST(Reservation, GuardPageFaults)
+{
+    auto r = Reservation::reserve(2 * kOsPageSize);
+    ASSERT_TRUE(r.isOk());
+    ASSERT_TRUE(r->protect(0, kOsPageSize, PageAccess::ReadWrite));
+    struct sigaction sa, old_sa;
+    sa.sa_handler = onSegv;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGSEGV, &sa, &old_sa);
+    volatile bool faulted = false;
+    if (sigsetjmp(g_jmp, 1) == 0) {
+        r->base()[kOsPageSize] = 1;  // touches the PROT_NONE page
+    } else {
+        faulted = true;
+    }
+    sigaction(SIGSEGV, &old_sa, nullptr);
+    EXPECT_TRUE(faulted);
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,82 @@
+#include "base/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace sfi {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++) {
+        if (a.next() == b.next())
+            same++;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; i++) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; i++) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; i++)
+        sum += rng.nextExponential(5.0);
+    double mean = sum / n;
+    EXPECT_NEAR(mean, 5.0, 0.1);
+}
+
+TEST(Rng, UniformityGross)
+{
+    // Each of 8 buckets should get roughly 1/8 of the draws.
+    Rng rng(17);
+    int buckets[8] = {0};
+    const int n = 80000;
+    for (int i = 0; i < n; i++)
+        buckets[rng.below(8)]++;
+    for (int b = 0; b < 8; b++)
+        EXPECT_NEAR(buckets[b], n / 8, n / 8 * 0.1);
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,61 @@
+#include "base/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace sfi {
+namespace {
+
+TEST(RunningStat, MeanAndStddev)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, Percentiles)
+{
+    RunningStat s;
+    for (int i = 1; i <= 100; i++)
+        s.add(i);
+    EXPECT_NEAR(s.median(), 50.5, 0.01);
+    EXPECT_NEAR(s.percentile(0), 1.0, 0.01);
+    EXPECT_NEAR(s.percentile(100), 100.0, 0.01);
+    EXPECT_NEAR(s.percentile(99), 99.01, 0.1);
+}
+
+TEST(Geomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Histogram, Bins)
+{
+    Histogram h(0, 10, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.7);
+    h.add(9.9);
+    h.add(42.0);  // clamps to last bin
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+}  // namespace
+}  // namespace sfi

@@ -1,0 +1,50 @@
+#include "base/units.h"
+
+#include <gtest/gtest.h>
+
+namespace sfi {
+namespace {
+
+TEST(Units, Constants)
+{
+    EXPECT_EQ(kKiB, 1024u);
+    EXPECT_EQ(kMiB, 1024u * 1024u);
+    EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+    EXPECT_EQ(kWasmPageSize, 65536u);
+}
+
+TEST(Units, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(kGiB));
+    EXPECT_FALSE(isPow2(kGiB + 1));
+}
+
+TEST(Units, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 4096), 0u);
+    EXPECT_EQ(alignUp(1, 4096), 4096u);
+    EXPECT_EQ(alignUp(4096, 4096), 4096u);
+    EXPECT_EQ(alignUp(4097, 4096), 8192u);
+}
+
+TEST(Units, AlignDown)
+{
+    EXPECT_EQ(alignDown(4095, 4096), 0u);
+    EXPECT_EQ(alignDown(4096, 4096), 4096u);
+    EXPECT_EQ(alignDown(8191, 4096), 4096u);
+}
+
+TEST(Units, IsAligned)
+{
+    EXPECT_TRUE(isAligned(0, 8));
+    EXPECT_TRUE(isAligned(64, 8));
+    EXPECT_FALSE(isAligned(65, 8));
+    EXPECT_FALSE(isAligned(65, 0));
+}
+
+}  // namespace
+}  // namespace sfi

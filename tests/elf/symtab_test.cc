@@ -1,0 +1,47 @@
+#include "elf/symtab.h"
+
+#include <gtest/gtest.h>
+
+#include "w2c/kernels.h"
+
+namespace sfi::elf {
+namespace {
+
+TEST(Symtab, ReadsOwnBinary)
+{
+    auto syms = readFunctionSymbols("/proc/self/exe");
+    ASSERT_TRUE(syms.isOk()) << syms.message();
+    EXPECT_GT(syms->size(), 100u);
+}
+
+TEST(Symtab, FindsKernelInstantiations)
+{
+    // Force the instantiations to be referenced so the linker keeps
+    // them.
+    volatile auto keep = &w2c::kernCompress<w2c::SeguePolicy>;
+    (void)keep;
+    auto syms = readFunctionSymbols("/proc/self/exe");
+    ASSERT_TRUE(syms.isOk());
+    uint64_t segue = totalSizeMatching(
+        *syms, {"kernCompress", "SeguePolicy"});
+    uint64_t base = totalSizeMatching(
+        *syms, {"kernCompress", "BaseAddPolicy"});
+    EXPECT_GT(segue, 100u);
+    EXPECT_GT(base, 100u);
+}
+
+TEST(Symtab, MissingFileFails)
+{
+    EXPECT_FALSE(readFunctionSymbols("/nonexistent").isOk());
+}
+
+TEST(Symtab, MatchingIsConjunctive)
+{
+    auto syms = readFunctionSymbols("/proc/self/exe");
+    ASSERT_TRUE(syms.isOk());
+    EXPECT_EQ(totalSizeMatching(*syms, {"kernCompress", "NoSuchPolicy"}),
+              0u);
+}
+
+}  // namespace
+}  // namespace sfi::elf

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "faas/fiber.h"
+#include "faas/scheduler.h"
+#include "wkld/workloads.h"
+
+namespace sfi::faas {
+namespace {
+
+TEST(Fiber, RunsToCompletion)
+{
+    int steps = 0;
+    auto fiber = Fiber::create([&] { steps = 42; });
+    ASSERT_TRUE(fiber.isOk()) << fiber.message();
+    (*fiber)->resume();
+    EXPECT_EQ(steps, 42);
+    EXPECT_TRUE((*fiber)->finished());
+}
+
+TEST(Fiber, YieldAndResume)
+{
+    std::vector<int> trace;
+    std::unique_ptr<Fiber> fiber;
+    fiber = std::move(Fiber::create([&] {
+                          trace.push_back(1);
+                          fiber->yield();
+                          trace.push_back(3);
+                          fiber->yield();
+                          trace.push_back(5);
+                      }).value());
+    fiber->resume();
+    trace.push_back(2);
+    fiber->resume();
+    trace.push_back(4);
+    fiber->resume();
+    EXPECT_TRUE(fiber->finished());
+    EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, ManyFibersInterleave)
+{
+    const int kN = 32;
+    std::vector<std::unique_ptr<Fiber>> fibers(kN);
+    std::vector<int> counts(kN, 0);
+    for (int i = 0; i < kN; i++) {
+        fibers[i] = std::move(Fiber::create([&fibers, &counts, i] {
+                                  for (int r = 0; r < 5; r++) {
+                                      counts[i]++;
+                                      fibers[i]->yield();
+                                  }
+                              }).value());
+    }
+    for (int round = 0; round < 6; round++) {
+        for (int i = 0; i < kN; i++) {
+            if (!fibers[i]->finished())
+                fibers[i]->resume();
+        }
+    }
+    for (int i = 0; i < kN; i++) {
+        EXPECT_TRUE(fibers[i]->finished()) << i;
+        EXPECT_EQ(counts[i], 5) << i;
+    }
+}
+
+TEST(Fiber, DeepStackUse)
+{
+    // Recursion inside the fiber exercises the dedicated stack.
+    std::function<uint64_t(int)> rec = [&](int n) -> uint64_t {
+        volatile char pad[512];
+        pad[0] = char(n);
+        return n <= 1 ? 1 + pad[0] - pad[0] : n * rec(n - 1) % 1000003;
+    };
+    uint64_t result = 0;
+    auto fiber = Fiber::create([&] { result = rec(100); });
+    ASSERT_TRUE(fiber.isOk());
+    (*fiber)->resume();
+    EXPECT_NE(result, 0u);
+}
+
+class FaasHostTest : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(FaasHostTest, ServesRequestsConcurrently)
+{
+    const wkld::Workload& w = [&] {
+        for (const auto& x : wkld::faasWorkloads()) {
+            if (std::string(x.name) == GetParam())
+                return x;
+        }
+        SFI_PANIC("missing workload");
+    }();
+
+    FaasHost::Options opts;
+    opts.maxConcurrent = 16;
+    opts.ioDelayMeanMs = 0.5;  // keep the test fast
+    opts.epochUs = 200;
+    auto host = FaasHost::create(w.make(), std::move(opts));
+    ASSERT_TRUE(host.isOk()) << host.message();
+
+    auto stats = (*host)->run(64);
+    ASSERT_TRUE(stats.isOk()) << stats.message();
+    EXPECT_EQ(stats->completed, 64u);
+    EXPECT_GT(stats->throughputRps, 0.0);
+    EXPECT_GE(stats->ioYields, 64u);  // every request waits on IO once
+    EXPECT_NE(stats->checksum, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, FaasHostTest,
+                         ::testing::Values("html-templating",
+                                           "hash-load-balance",
+                                           "regex-filtering"),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(FaasHost, ResultsDeterministicAcrossStrategies)
+{
+    // The served responses (checksum) must not depend on the SFI
+    // strategy — end-to-end differential check of the whole stack:
+    // pool + ColorGuard keys + fibers + epochs + JIT.
+    uint64_t checksums[2];
+    int i = 0;
+    for (auto cfg : {jit::CompilerConfig::wamrBase(),
+                     jit::CompilerConfig::wamrSegue()}) {
+        FaasHost::Options opts;
+        opts.maxConcurrent = 8;
+        opts.ioDelayMeanMs = 0.2;
+        opts.config = cfg;
+        auto host = FaasHost::create(
+            wkld::faasWorkloads()[0].make(), std::move(opts));
+        ASSERT_TRUE(host.isOk());
+        auto stats = (*host)->run(32);
+        ASSERT_TRUE(stats.isOk());
+        EXPECT_EQ(stats->completed, 32u);
+        checksums[i++] = stats->checksum;
+    }
+    EXPECT_EQ(checksums[0], checksums[1]);
+}
+
+TEST(FaasHost, EpochPreemptionHappens)
+{
+    // With a long-running request mix and a short epoch, at least some
+    // epoch yields must occur (requests run > 1 epoch of compute).
+    FaasHost::Options opts;
+    opts.maxConcurrent = 4;
+    opts.ioDelayMeanMs = 0.1;
+    opts.epochUs = 50;  // very aggressive preemption
+    auto host = FaasHost::create(
+        wkld::faasWorkloads()[0].make(), std::move(opts));
+    ASSERT_TRUE(host.isOk());
+    auto stats = (*host)->run(40);
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_EQ(stats->completed, 40u);
+    EXPECT_GT(stats->epochYields, 0u);
+}
+
+TEST(FaasHost, PoolSlotsRecycledAcrossRuns)
+{
+    FaasHost::Options opts;
+    opts.maxConcurrent = 4;
+    opts.ioDelayMeanMs = 0.1;
+    auto host = FaasHost::create(
+        wkld::faasWorkloads()[1].make(), std::move(opts));
+    ASSERT_TRUE(host.isOk());
+    auto a = (*host)->run(8);
+    ASSERT_TRUE(a.isOk());
+    auto b = (*host)->run(8);
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ((*host)->memoryPool().slotsInUse(), 0u);
+}
+
+}  // namespace
+}  // namespace sfi::faas

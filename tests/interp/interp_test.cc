@@ -1,0 +1,514 @@
+#include "interp/interp.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "wasm/builder.h"
+
+namespace sfi::interp {
+namespace {
+
+using rt::TrapKind;
+using wasm::ModuleBuilder;
+using wasm::ValType;
+using VT = wasm::ValType;
+
+Instance
+make(ModuleBuilder&& mb, std::map<std::string, HostFn> host = {})
+{
+    auto inst = Instance::instantiate(std::move(mb).build(),
+                                      std::move(host));
+    SFI_CHECK_MSG(inst.isOk(), "%s", inst.message().c_str());
+    return std::move(inst.value());
+}
+
+TEST(Interp, ConstAndAdd)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32, VT::I32}, {VT::I32});
+    f.localGet(0).localGet(1).i32Add().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    auto out = inst.callExport("f", {40, 2});
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value, 42u);
+}
+
+TEST(Interp, I32WrapsAt32Bits)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32, VT::I32}, {VT::I32});
+    f.localGet(0).localGet(1).i32Add().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f", {0xffffffffu, 1}).value, 0u);
+}
+
+TEST(Interp, SignedVsUnsignedComparisons)
+{
+    ModuleBuilder mb;
+    auto lts = mb.func("lts", {VT::I32, VT::I32}, {VT::I32});
+    lts.localGet(0).localGet(1).i32LtS().end();
+    auto ltu = mb.func("ltu", {VT::I32, VT::I32}, {VT::I32});
+    ltu.localGet(0).localGet(1).i32LtU().end();
+    mb.exportFunc("lts", lts.index());
+    mb.exportFunc("ltu", ltu.index());
+    auto inst = make(std::move(mb));
+    // -1 < 1 signed, but 0xffffffff > 1 unsigned.
+    EXPECT_EQ(inst.callExport("lts", {0xffffffffu, 1}).value, 1u);
+    EXPECT_EQ(inst.callExport("ltu", {0xffffffffu, 1}).value, 0u);
+}
+
+TEST(Interp, DivisionSemantics)
+{
+    ModuleBuilder mb;
+    auto divs = mb.func("divs", {VT::I32, VT::I32}, {VT::I32});
+    divs.localGet(0).localGet(1).i32DivS().end();
+    auto rems = mb.func("rems", {VT::I32, VT::I32}, {VT::I32});
+    rems.localGet(0).localGet(1).i32RemS().end();
+    mb.exportFunc("divs", divs.index());
+    mb.exportFunc("rems", rems.index());
+    auto inst = make(std::move(mb));
+
+    EXPECT_EQ(inst.callExport("divs", {uint64_t(uint32_t(-7)), 2}).value,
+              uint32_t(-3));
+    EXPECT_EQ(inst.callExport("divs", {7, 0}).trap, TrapKind::DivByZero);
+    EXPECT_EQ(inst.callExport("divs", {0x80000000u, 0xffffffffu}).trap,
+              TrapKind::IntegerOverflow);
+    // Wasm: INT_MIN % -1 == 0, no trap.
+    auto r = inst.callExport("rems", {0x80000000u, 0xffffffffu});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value, 0u);
+}
+
+TEST(Interp, ShiftsAndRotatesMask)
+{
+    ModuleBuilder mb;
+    auto shl = mb.func("shl", {VT::I32, VT::I32}, {VT::I32});
+    shl.localGet(0).localGet(1).i32Shl().end();
+    auto rot = mb.func("rot", {VT::I32, VT::I32}, {VT::I32});
+    rot.localGet(0).localGet(1).i32Rotl().end();
+    mb.exportFunc("shl", shl.index());
+    mb.exportFunc("rot", rot.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("shl", {1, 33}).value, 2u);  // count mod 32
+    EXPECT_EQ(inst.callExport("rot", {0x80000001u, 1}).value, 3u);
+}
+
+TEST(Interp, LoopComputesSum)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("sum", {VT::I32}, {VT::I32});
+    uint32_t i = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I32);
+    f.block()
+        .loop()
+        .localGet(i).localGet(f.param(0)).i32GeU().brIf(1)
+        .localGet(acc).localGet(i).i32Add().localSet(acc)
+        .localGet(i).i32Const(1).i32Add().localSet(i)
+        .br(0)
+        .end()
+        .end()
+        .localGet(acc)
+        .end();
+    mb.exportFunc("sum", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("sum", {0}).value, 0u);
+    EXPECT_EQ(inst.callExport("sum", {10}).value, 45u);
+    EXPECT_EQ(inst.callExport("sum", {1000}).value, 499500u);
+}
+
+TEST(Interp, IfElseBothArms)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("pick", {VT::I32}, {VT::I32});
+    uint32_t out = f.local(VT::I32);
+    f.localGet(0)
+        .if_().i32Const(111).localSet(out)
+        .else_().i32Const(222).localSet(out)
+        .end()
+        .localGet(out)
+        .end();
+    mb.exportFunc("pick", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("pick", {1}).value, 111u);
+    EXPECT_EQ(inst.callExport("pick", {0}).value, 222u);
+}
+
+TEST(Interp, IfWithoutElse)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    uint32_t out = f.local(VT::I32);
+    f.i32Const(5).localSet(out)
+        .localGet(0).if_().i32Const(9).localSet(out).end()
+        .localGet(out)
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f", {1}).value, 9u);
+    EXPECT_EQ(inst.callExport("f", {0}).value, 5u);
+}
+
+TEST(Interp, BrTableSwitch)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("sw", {VT::I32}, {VT::I32});
+    uint32_t out = f.local(VT::I32);
+    f.block().block().block()
+        .localGet(0).brTable({0, 1, 2})
+        .end()
+        .i32Const(100).localSet(out).br(1)
+        .end()
+        .i32Const(200).localSet(out).br(0)
+        .end()
+        .localGet(out)
+        .end();
+    mb.exportFunc("sw", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("sw", {0}).value, 100u);
+    EXPECT_EQ(inst.callExport("sw", {1}).value, 200u);
+    EXPECT_EQ(inst.callExport("sw", {2}).value, 0u);   // default: falls out
+    EXPECT_EQ(inst.callExport("sw", {99}).value, 0u);  // default clamps
+}
+
+TEST(Interp, MemoryLoadStore)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto store = mb.func("store", {VT::I32, VT::I32}, {});
+    store.localGet(0).localGet(1).i32Store().end();
+    auto load = mb.func("load", {VT::I32}, {VT::I32});
+    load.localGet(0).i32Load().end();
+    mb.exportFunc("store", store.index());
+    mb.exportFunc("load", load.index());
+    auto inst = make(std::move(mb));
+    ASSERT_TRUE(inst.callExport("store", {100, 0xdeadbeefu}).ok());
+    EXPECT_EQ(inst.callExport("load", {100}).value, 0xdeadbeefu);
+}
+
+TEST(Interp, SubWordAccesses)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {}, {VT::I32});
+    // Store 0x80 as a byte at 10; load back sign- and zero-extended.
+    f.i32Const(10).i32Const(0x80).i32Store8()
+        .i32Const(10).i32Load8s()       // -128
+        .i32Const(10).i32Load8u()       // 128
+        .i32Add()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f").value, 0u);  // -128 + 128
+}
+
+TEST(Interp, OutOfBoundsTraps)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);  // 64 KiB
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    f.localGet(0).i32Load().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_TRUE(inst.callExport("f", {65532}).ok());
+    EXPECT_EQ(inst.callExport("f", {65533}).trap, TrapKind::OutOfBounds);
+    EXPECT_EQ(inst.callExport("f", {0xffffffffu}).trap,
+              TrapKind::OutOfBounds);
+}
+
+TEST(Interp, StaticOffsetBeyondMemoryTraps)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    f.localGet(0).i32Load(65000).end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_TRUE(inst.callExport("f", {0}).ok());
+    EXPECT_EQ(inst.callExport("f", {1000}).trap, TrapKind::OutOfBounds);
+}
+
+TEST(Interp, MemoryGrowAndSize)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 3);
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    f.localGet(0).memoryGrow().end();
+    auto size = mb.func("size", {}, {VT::I32});
+    size.memorySize().end();
+    mb.exportFunc("grow", f.index());
+    mb.exportFunc("size", size.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("size").value, 1u);
+    EXPECT_EQ(inst.callExport("grow", {1}).value, 1u);   // old size
+    EXPECT_EQ(inst.callExport("size").value, 2u);
+    EXPECT_EQ(inst.callExport("grow", {5}).value, 0xffffffffu);  // -1
+    EXPECT_EQ(inst.callExport("size").value, 2u);
+}
+
+TEST(Interp, MemoryFillAndCopy)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {}, {VT::I32});
+    f.i32Const(0).i32Const(0xab).i32Const(16).memoryFill()
+        .i32Const(100).i32Const(0).i32Const(8).memoryCopy()
+        .i32Const(104).i32Load()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f").value, 0xabababab);
+}
+
+TEST(Interp, MemoryFillOutOfBoundsTraps)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {}, {});
+    f.i32Const(65530).i32Const(0).i32Const(100).memoryFill().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f").trap, TrapKind::OutOfBounds);
+}
+
+TEST(Interp, DataSegmentsInitializeMemory)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    mb.data(8, {0x78, 0x56, 0x34, 0x12});
+    auto f = mb.func("f", {}, {VT::I32});
+    f.i32Const(8).i32Load().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f").value, 0x12345678u);
+}
+
+TEST(Interp, GlobalsReadWrite)
+{
+    ModuleBuilder mb;
+    mb.global(VT::I64, true, 7);
+    auto f = mb.func("bump", {}, {VT::I64});
+    f.globalGet(0).i64Const(1).i64Add().globalSet(0).globalGet(0).end();
+    mb.exportFunc("bump", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("bump").value, 8u);
+    EXPECT_EQ(inst.callExport("bump").value, 9u);
+    EXPECT_EQ(inst.global(0), 9u);
+}
+
+TEST(Interp, DirectCallsAndRecursion)
+{
+    ModuleBuilder mb;
+    auto fib = mb.func("fib", {VT::I32}, {VT::I32});
+    fib.localGet(0).i32Const(2).i32LtU()
+        .if_()
+        .localGet(0).ret()
+        .end()
+        .localGet(0).i32Const(1).i32Sub().call(fib.index())
+        .localGet(0).i32Const(2).i32Sub().call(fib.index())
+        .i32Add()
+        .end();
+    mb.exportFunc("fib", fib.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("fib", {10}).value, 55u);
+    EXPECT_EQ(inst.callExport("fib", {20}).value, 6765u);
+}
+
+TEST(Interp, InfiniteRecursionExhaustsStack)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {}, {});
+    f.call(0).end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f").trap, TrapKind::StackExhausted);
+}
+
+TEST(Interp, CallIndirect)
+{
+    ModuleBuilder mb;
+    auto add = mb.func("add", {VT::I32, VT::I32}, {VT::I32});
+    add.localGet(0).localGet(1).i32Add().end();
+    auto sub = mb.func("sub", {VT::I32, VT::I32}, {VT::I32});
+    sub.localGet(0).localGet(1).i32Sub().end();
+    auto other = mb.func("other", {}, {});
+    other.end();
+    mb.table({add.index(), sub.index(), other.index()});
+    uint32_t sig = mb.typeIndexOf({VT::I32, VT::I32}, {VT::I32});
+    auto f = mb.func("dispatch", {VT::I32, VT::I32, VT::I32}, {VT::I32});
+    f.localGet(1).localGet(2).localGet(0).callIndirect(sig).end();
+    mb.exportFunc("dispatch", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("dispatch", {0, 30, 12}).value, 42u);
+    EXPECT_EQ(inst.callExport("dispatch", {1, 30, 12}).value, 18u);
+    EXPECT_EQ(inst.callExport("dispatch", {2, 0, 0}).trap,
+              TrapKind::IndirectCallTypeMismatch);
+    EXPECT_EQ(inst.callExport("dispatch", {9, 0, 0}).trap,
+              TrapKind::IndirectCallOutOfRange);
+}
+
+TEST(Interp, HostCalls)
+{
+    ModuleBuilder mb;
+    uint32_t h = mb.importFunc("double_it", {VT::I64}, {VT::I64});
+    auto f = mb.func("f", {VT::I64}, {VT::I64});
+    f.localGet(0).call(h).end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb),
+                     {{"double_it", [](uint64_t* a, size_t) {
+                           return HostOutcome{rt::TrapKind::None,
+                                              a[0] * 2};
+                       }}});
+    EXPECT_EQ(inst.callExport("f", {21}).value, 42u);
+}
+
+TEST(Interp, HostTrapPropagates)
+{
+    ModuleBuilder mb;
+    uint32_t h = mb.importFunc("bad", {}, {});
+    auto f = mb.func("f", {}, {});
+    f.call(h).end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb),
+                     {{"bad", [](uint64_t*, size_t) {
+                           return HostOutcome{rt::TrapKind::HostError, 0};
+                       }}});
+    EXPECT_EQ(inst.callExport("f").trap, TrapKind::HostError);
+}
+
+TEST(Interp, UnresolvedImportFailsInstantiation)
+{
+    ModuleBuilder mb;
+    mb.importFunc("ghost", {}, {});
+    auto inst = Instance::instantiate(std::move(mb).build(), {});
+    EXPECT_FALSE(inst.isOk());
+}
+
+TEST(Interp, UnreachableTraps)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {}, {});
+    f.unreachable().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f").trap, TrapKind::Unreachable);
+}
+
+TEST(Interp, FuelLimitsExecution)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("spin", {}, {});
+    f.block().loop().br(0).end().end().end();
+    mb.exportFunc("spin", f.index());
+    auto inst = make(std::move(mb));
+    inst.setFuel(10000);
+    EXPECT_EQ(inst.callExport("spin").trap, TrapKind::EpochInterrupt);
+}
+
+TEST(Interp, AccessHookEnforcesColors)
+{
+    // Emulated-MPK semantics: the hook denies writes, mimicking a
+    // wrong-color stripe.
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {}, {});
+    f.i32Const(0).i32Const(1).i32Store().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    inst.setAccessHook([](const void*, bool is_write) {
+        return !is_write;
+    });
+    EXPECT_EQ(inst.callExport("f").trap, TrapKind::MpkViolation);
+    inst.setAccessHook({});
+    EXPECT_TRUE(inst.callExport("f").ok());
+}
+
+TEST(Interp, F64Arithmetic)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::F64, VT::F64}, {VT::F64});
+    f.localGet(0).localGet(1).f64Add()
+        .localGet(0).f64Mul()
+        .f64Sqrt()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    // sqrt((3+4)*3) = sqrt(21)
+    auto out = inst.callExport(
+        "f", {std::bit_cast<uint64_t>(3.0), std::bit_cast<uint64_t>(4.0)});
+    ASSERT_TRUE(out.ok());
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.value), std::sqrt(21.0));
+}
+
+TEST(Interp, F64Conversions)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("round_trip", {VT::I32}, {VT::I32});
+    f.localGet(0).f64ConvertI32S().f64Const(2.0).f64Mul().i32TruncF64S()
+        .end();
+    mb.exportFunc("round_trip", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("round_trip", {21}).value, 42u);
+    EXPECT_EQ(inst.callExport("round_trip", {uint32_t(-21)}).value,
+              uint32_t(-42));
+}
+
+TEST(Interp, TruncOutOfRangeTraps)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::F64}, {VT::I32});
+    f.localGet(0).i32TruncF64S().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f", {std::bit_cast<uint64_t>(1e20)}).trap,
+              TrapKind::IntegerOverflow);
+    EXPECT_EQ(
+        inst.callExport("f", {std::bit_cast<uint64_t>(-3e9)}).trap,
+        TrapKind::IntegerOverflow);
+    EXPECT_TRUE(
+        inst.callExport("f", {std::bit_cast<uint64_t>(1e9)}).ok());
+}
+
+TEST(Interp, SelectPicksByCondition)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    f.i32Const(7).i32Const(8).localGet(0).select().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f", {1}).value, 7u);
+    EXPECT_EQ(inst.callExport("f", {0}).value, 8u);
+}
+
+TEST(Interp, I64FullWidth)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I64, VT::I64}, {VT::I64});
+    f.localGet(0).localGet(1).i64Mul().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("f", {0x100000000ull, 4}).value,
+              0x400000000ull);
+}
+
+TEST(Interp, ExtendAndWrap)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32}, {VT::I64});
+    f.localGet(0).i64ExtendI32S().end();
+    auto g = mb.func("g", {VT::I32}, {VT::I64});
+    g.localGet(0).i64ExtendI32U().end();
+    mb.exportFunc("exts", f.index());
+    mb.exportFunc("extu", g.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst.callExport("exts", {0x80000000u}).value,
+              0xffffffff80000000ull);
+    EXPECT_EQ(inst.callExport("extu", {0x80000000u}).value,
+              0x80000000ull);
+}
+
+}  // namespace
+}  // namespace sfi::interp

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Differential testing: every SFI strategy must compute exactly what the
+ * reference interpreter computes — same result bits, same trap kind,
+ * same final memory and global state. This is the strongest correctness
+ * evidence for the Segue code generator: gs-relative addressing must be
+ * observationally identical to classic base+offset SFI.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "interp/interp.h"
+#include "jit/compiler.h"
+#include "runtime/instance.h"
+#include "tests/support/program_gen.h"
+
+namespace sfi {
+namespace {
+
+using jit::CompilerConfig;
+
+uint64_t
+hashMemory(const uint8_t* data, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; i++) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+struct RunResult
+{
+    rt::TrapKind trap;
+    uint64_t value;
+    uint64_t memHash;
+    uint64_t global0;
+};
+
+RunResult
+runInterp(const wasm::Module& m, uint64_t a0, uint64_t a1)
+{
+    auto inst = interp::Instance::instantiate(m);
+    SFI_CHECK(inst.isOk());
+    auto out = inst->callExport("main", {a0, a1});
+    return {out.trap, out.trap == rt::TrapKind::None ? out.value : 0,
+            hashMemory(inst->memory().base(), inst->memory().byteSize()),
+            inst->global(0)};
+}
+
+RunResult
+runJit(const wasm::Module& m, const CompilerConfig& cfg, uint64_t a0,
+       uint64_t a1)
+{
+    auto shared = rt::SharedModule::compile(m, cfg);
+    SFI_CHECK_MSG(shared.isOk(), "%s", shared.message().c_str());
+    auto inst = rt::Instance::create(*shared);
+    SFI_CHECK_MSG(inst.isOk(), "%s", inst.message().c_str());
+    auto out = (*inst)->call("main", {a0, a1});
+    return {out.trap, out.trap == rt::TrapKind::None ? out.value : 0,
+            hashMemory((*inst)->memory().base(),
+                       (*inst)->memory().byteSize()),
+            (*inst)->global(0)};
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DifferentialTest, AllStrategiesMatchInterpreter)
+{
+    uint64_t seed = GetParam();
+    wasm::Module m = testing::generateProgram(seed);
+
+    const CompilerConfig configs[] = {
+        CompilerConfig::native(),       CompilerConfig::wamrBase(),
+        CompilerConfig::wamrSegue(),    CompilerConfig::wamrSegueLoads(),
+        CompilerConfig::lfiBase(),      CompilerConfig::lfiSegue(),
+        {jit::MemStrategy::BoundsCheck},
+        {jit::MemStrategy::SegueBounds},
+    };
+
+    const uint64_t arg_sets[][2] = {
+        {0, 0},
+        {7, 0x123456789abcdefull},
+        {0xffffffffu, UINT64_MAX},
+        {42, 42},
+    };
+
+    for (const auto& args : arg_sets) {
+        RunResult ref = runInterp(m, args[0], args[1]);
+        for (const CompilerConfig& cfg : configs) {
+            RunResult got = runJit(m, cfg, args[0], args[1]);
+            std::string where = std::string(jit::name(cfg.mem)) + "/" +
+                                jit::name(cfg.cfi) + " seed=" +
+                                std::to_string(seed);
+            EXPECT_EQ(static_cast<int>(got.trap),
+                      static_cast<int>(ref.trap))
+                << where;
+            EXPECT_EQ(got.value, ref.value) << where;
+            EXPECT_EQ(got.memHash, ref.memHash) << where;
+            EXPECT_EQ(got.global0, ref.global0) << where;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(Differential, LargerProgramsSpotCheck)
+{
+    testing::GenOptions opts;
+    opts.numFunctions = 5;
+    opts.maxStatements = 30;
+    opts.maxExprDepth = 7;
+    for (uint64_t seed = 1000; seed < 1008; seed++) {
+        wasm::Module m = testing::generateProgram(seed, opts);
+        RunResult ref = runInterp(m, 3, 99);
+        for (const CompilerConfig& cfg :
+             {CompilerConfig::wamrSegue(), CompilerConfig::lfiSegue()}) {
+            RunResult got = runJit(m, cfg, 3, 99);
+            EXPECT_EQ(got.value, ref.value) << seed;
+            EXPECT_EQ(got.memHash, ref.memHash) << seed;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace sfi

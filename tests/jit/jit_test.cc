@@ -1,0 +1,676 @@
+#include "jit/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "runtime/instance.h"
+#include "wasm/builder.h"
+
+namespace sfi::jit {
+namespace {
+
+using rt::HostFn;
+using rt::HostOutcome;
+using rt::Instance;
+using rt::Outcome;
+using rt::SharedModule;
+using rt::TrapKind;
+using wasm::ModuleBuilder;
+using VT = wasm::ValType;
+
+/** All strategies every behavioral test must pass under. */
+const CompilerConfig kAllConfigs[] = {
+    CompilerConfig::native(),       CompilerConfig::wamrBase(),
+    CompilerConfig::wamrSegue(),    CompilerConfig::wamrSegueLoads(),
+    CompilerConfig::lfiBase(),      CompilerConfig::lfiSegue(),
+    {MemStrategy::BoundsCheck},     {MemStrategy::SegueBounds},
+};
+
+std::string
+configName(const CompilerConfig& c)
+{
+    std::string n = name(c.mem);
+    if (c.cfi == CfiMode::Lfi)
+        n += "_lfi";
+    for (char& ch : n)
+        if (ch == '-')
+            ch = '_';
+    return n;
+}
+
+class JitStrategyTest : public ::testing::TestWithParam<CompilerConfig>
+{
+  protected:
+    std::unique_ptr<Instance>
+    make(ModuleBuilder&& mb, std::map<std::string, HostFn> host = {})
+    {
+        auto shared =
+            SharedModule::compile(std::move(mb).build(), GetParam());
+        SFI_CHECK_MSG(shared.isOk(), "%s", shared.message().c_str());
+        auto inst = Instance::create(std::move(*shared), std::move(host));
+        SFI_CHECK_MSG(inst.isOk(), "%s", inst.message().c_str());
+        return std::move(*inst);
+    }
+};
+
+TEST_P(JitStrategyTest, ConstReturn)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {}, {VT::I32});
+    f.i32Const(42).end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    auto out = inst->call("f");
+    ASSERT_TRUE(out.ok()) << rt::name(out.trap);
+    EXPECT_EQ(out.value, 42u);
+}
+
+TEST_P(JitStrategyTest, ParamsAndArith)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32, VT::I32, VT::I32}, {VT::I32});
+    // (a + b) * c - a
+    f.localGet(0).localGet(1).i32Add()
+        .localGet(2).i32Mul()
+        .localGet(0).i32Sub()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("f", {3, 4, 5}).value, 32u);
+}
+
+TEST_P(JitStrategyTest, MemoryRoundTrip)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 2);
+    auto f = mb.func("f", {VT::I32, VT::I32}, {VT::I32});
+    f.localGet(0).localGet(1).i32Store(16)
+        .localGet(0).i32Load(16)
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("f", {100, 0xfeedfaceu}).value, 0xfeedfaceu);
+    EXPECT_EQ(inst->call("f", {0, 7}).value, 7u);
+}
+
+TEST_P(JitStrategyTest, SubWordMemory)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {}, {VT::I32});
+    f.i32Const(10).i32Const(0x8081).i32Store16()
+        .i32Const(10).i32Load16s()
+        .i32Const(10).i32Load16u()
+        .i32Add()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    // (i32)(int16)0x8081 + 0x8081 = -32639 + 32897 = 258
+    EXPECT_EQ(inst->call("f").value, 258u);
+}
+
+TEST_P(JitStrategyTest, OutOfBoundsTraps)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);  // 64 KiB
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    f.localGet(0).i32Load().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    if (GetParam().mem == MemStrategy::Unsandboxed)
+        return;  // the native baseline makes no isolation claims
+    EXPECT_TRUE(inst->call("f", {65532}).ok());
+    EXPECT_EQ(inst->call("f", {0x00ffffffu}).trap, TrapKind::OutOfBounds);
+    EXPECT_EQ(inst->call("f", {0xfffffff0u}).trap, TrapKind::OutOfBounds);
+}
+
+TEST_P(JitStrategyTest, TrapRecoveryIsReusable)
+{
+    // After a trap the instance must stay usable (FaaS reuse pattern).
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    f.localGet(0).i32Load().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    if (GetParam().mem == MemStrategy::Unsandboxed)
+        return;
+    for (int i = 0; i < 3; i++) {
+        EXPECT_EQ(inst->call("f", {0x7fffffffu}).trap,
+                  TrapKind::OutOfBounds);
+        EXPECT_TRUE(inst->call("f", {0}).ok());
+    }
+}
+
+TEST_P(JitStrategyTest, LoopSum)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("sum", {VT::I32}, {VT::I32});
+    uint32_t i = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I32);
+    f.block()
+        .loop()
+        .localGet(i).localGet(f.param(0)).i32GeU().brIf(1)
+        .localGet(acc).localGet(i).i32Add().localSet(acc)
+        .localGet(i).i32Const(1).i32Add().localSet(i)
+        .br(0)
+        .end()
+        .end()
+        .localGet(acc)
+        .end();
+    mb.exportFunc("sum", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("sum", {0}).value, 0u);
+    EXPECT_EQ(inst->call("sum", {10}).value, 45u);
+    EXPECT_EQ(inst->call("sum", {100000}).value, 704982704u);
+}
+
+TEST_P(JitStrategyTest, IfElseChains)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("clamp", {VT::I32}, {VT::I32});
+    uint32_t out = f.local(VT::I32);
+    f.localGet(0).localSet(out)
+        .localGet(0).i32Const(10).i32GtS()
+        .if_().i32Const(10).localSet(out)
+        .else_()
+        .localGet(0).i32Const(0).i32LtS()
+        .if_().i32Const(0).localSet(out).end()
+        .end()
+        .localGet(out)
+        .end();
+    mb.exportFunc("clamp", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("clamp", {5}).value, 5u);
+    EXPECT_EQ(inst->call("clamp", {50}).value, 10u);
+    EXPECT_EQ(inst->call("clamp", {uint32_t(-3)}).value, 0u);
+}
+
+TEST_P(JitStrategyTest, DivisionAndTraps)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("divs", {VT::I32, VT::I32}, {VT::I32});
+    f.localGet(0).localGet(1).i32DivS().end();
+    auto g = mb.func("rems", {VT::I32, VT::I32}, {VT::I32});
+    g.localGet(0).localGet(1).i32RemS().end();
+    mb.exportFunc("divs", f.index());
+    mb.exportFunc("rems", g.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("divs", {uint32_t(-12), 4}).value, uint32_t(-3));
+    EXPECT_EQ(inst->call("divs", {12, 0}).trap, TrapKind::DivByZero);
+    EXPECT_EQ(inst->call("divs", {0x80000000u, 0xffffffffu}).trap,
+              TrapKind::IntegerOverflow);
+    auto r = inst->call("rems", {0x80000000u, 0xffffffffu});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value, 0u);
+    EXPECT_EQ(inst->call("rems", {13, 5}).value, 3u);
+}
+
+TEST_P(JitStrategyTest, RecursionAndCalls)
+{
+    ModuleBuilder mb;
+    auto fib = mb.func("fib", {VT::I32}, {VT::I32});
+    fib.localGet(0).i32Const(2).i32LtU()
+        .if_().localGet(0).ret().end()
+        .localGet(0).i32Const(1).i32Sub().call(fib.index())
+        .localGet(0).i32Const(2).i32Sub().call(fib.index())
+        .i32Add()
+        .end();
+    mb.exportFunc("fib", fib.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("fib", {20}).value, 6765u);
+}
+
+TEST_P(JitStrategyTest, InfiniteRecursionTrapsCleanly)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {}, {});
+    f.call(0).end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("f").trap, TrapKind::StackExhausted);
+    // And the instance survives.
+    EXPECT_EQ(inst->call("f").trap, TrapKind::StackExhausted);
+}
+
+TEST_P(JitStrategyTest, CallIndirect)
+{
+    ModuleBuilder mb;
+    auto add = mb.func("add", {VT::I32, VT::I32}, {VT::I32});
+    add.localGet(0).localGet(1).i32Add().end();
+    auto mul = mb.func("mul", {VT::I32, VT::I32}, {VT::I32});
+    mul.localGet(0).localGet(1).i32Mul().end();
+    auto nullary = mb.func("nullary", {}, {});
+    nullary.end();
+    mb.table({add.index(), mul.index(), nullary.index()});
+    uint32_t sig = mb.typeIndexOf({VT::I32, VT::I32}, {VT::I32});
+    auto f = mb.func("go", {VT::I32}, {VT::I32});
+    f.i32Const(6).i32Const(7).localGet(0).callIndirect(sig).end();
+    mb.exportFunc("go", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("go", {0}).value, 13u);
+    EXPECT_EQ(inst->call("go", {1}).value, 42u);
+    EXPECT_EQ(inst->call("go", {2}).trap,
+              TrapKind::IndirectCallTypeMismatch);
+    EXPECT_EQ(inst->call("go", {3}).trap,
+              TrapKind::IndirectCallOutOfRange);
+}
+
+TEST_P(JitStrategyTest, HostCalls)
+{
+    ModuleBuilder mb;
+    uint32_t h = mb.importFunc("mix", {VT::I64, VT::I64}, {VT::I64});
+    auto f = mb.func("f", {VT::I64}, {VT::I64});
+    f.localGet(0).i64Const(100).call(h).end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb),
+                     {{"mix", [](uint64_t* a, size_t n) {
+                           return HostOutcome{TrapKind::None,
+                                              a[0] * 3 + a[1] + n};
+                       }}});
+    EXPECT_EQ(inst->call("f", {5}).value, 117u);
+}
+
+TEST_P(JitStrategyTest, HostTrapUnwinds)
+{
+    ModuleBuilder mb;
+    uint32_t h = mb.importFunc("boom", {}, {});
+    auto f = mb.func("f", {}, {});
+    f.call(h).end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb),
+                     {{"boom", [](uint64_t*, size_t) {
+                           return HostOutcome{TrapKind::HostError, 0};
+                       }}});
+    EXPECT_EQ(inst->call("f").trap, TrapKind::HostError);
+}
+
+TEST_P(JitStrategyTest, GlobalState)
+{
+    ModuleBuilder mb;
+    mb.global(VT::I64, true, 100);
+    auto f = mb.func("bump", {VT::I64}, {VT::I64});
+    f.globalGet(0).localGet(0).i64Add().globalSet(0).globalGet(0).end();
+    mb.exportFunc("bump", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("bump", {11}).value, 111u);
+    EXPECT_EQ(inst->call("bump", {9}).value, 120u);
+    EXPECT_EQ(inst->global(0), 120u);
+}
+
+TEST_P(JitStrategyTest, F64Pipeline)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::F64, VT::F64}, {VT::F64});
+    // sqrt(|a| * b + a)
+    f.localGet(0).f64Abs().localGet(1).f64Mul().localGet(0).f64Add()
+        .f64Sqrt().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    auto out = inst->call("f", {std::bit_cast<uint64_t>(-2.0),
+                                std::bit_cast<uint64_t>(9.0)});
+    ASSERT_TRUE(out.ok());
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(out.value), 4.0);
+}
+
+TEST_P(JitStrategyTest, F64CompareNaNSemantics)
+{
+    ModuleBuilder mb;
+    auto lt = mb.func("lt", {VT::F64, VT::F64}, {VT::I32});
+    lt.localGet(0).localGet(1).f64Lt().end();
+    auto ne = mb.func("ne", {VT::F64, VT::F64}, {VT::I32});
+    ne.localGet(0).localGet(1).f64Ne().end();
+    auto eq = mb.func("eq", {VT::F64, VT::F64}, {VT::I32});
+    eq.localGet(0).localGet(1).f64Eq().end();
+    mb.exportFunc("lt", lt.index());
+    mb.exportFunc("ne", ne.index());
+    mb.exportFunc("eq", eq.index());
+    auto inst = make(std::move(mb));
+    uint64_t nan = std::bit_cast<uint64_t>(
+        std::numeric_limits<double>::quiet_NaN());
+    uint64_t one = std::bit_cast<uint64_t>(1.0);
+    uint64_t two = std::bit_cast<uint64_t>(2.0);
+    EXPECT_EQ(inst->call("lt", {one, two}).value, 1u);
+    EXPECT_EQ(inst->call("lt", {two, one}).value, 0u);
+    EXPECT_EQ(inst->call("lt", {nan, one}).value, 0u);
+    EXPECT_EQ(inst->call("lt", {one, nan}).value, 0u);
+    EXPECT_EQ(inst->call("eq", {nan, nan}).value, 0u);
+    EXPECT_EQ(inst->call("ne", {nan, nan}).value, 1u);
+    EXPECT_EQ(inst->call("eq", {one, one}).value, 1u);
+}
+
+TEST_P(JitStrategyTest, MemoryGrowAndSize)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 4);
+    auto f = mb.func("grow", {VT::I32}, {VT::I32});
+    f.localGet(0).memoryGrow().end();
+    auto s = mb.func("size", {}, {VT::I32});
+    s.memorySize().end();
+    auto touch = mb.func("touch", {VT::I32}, {VT::I32});
+    touch.localGet(0).i32Load().end();
+    mb.exportFunc("grow", f.index());
+    mb.exportFunc("size", s.index());
+    mb.exportFunc("touch", touch.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("size").value, 1u);
+    if (GetParam().mem != MemStrategy::Unsandboxed)
+        EXPECT_EQ(inst->call("touch", {70000}).trap,
+                  TrapKind::OutOfBounds);
+    EXPECT_EQ(inst->call("grow", {2}).value, 1u);
+    EXPECT_EQ(inst->call("size").value, 3u);
+    EXPECT_TRUE(inst->call("touch", {70000}).ok());
+    EXPECT_EQ(inst->call("grow", {5}).value, 0xffffffffu);
+}
+
+TEST_P(JitStrategyTest, BulkMemoryOps)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {}, {VT::I32});
+    f.i32Const(0).i32Const(0x5a).i32Const(64).memoryFill()
+        .i32Const(256).i32Const(0).i32Const(32).memoryCopy()
+        .i32Const(256 + 28).i32Load()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("f").value, 0x5a5a5a5au);
+}
+
+TEST_P(JitStrategyTest, BulkFillOutOfBoundsTraps)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {}, {});
+    f.i32Const(65000).i32Const(1).i32Const(10000).memoryFill().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("f").trap, TrapKind::OutOfBounds);
+}
+
+TEST_P(JitStrategyTest, BrTableDispatch)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("sw", {VT::I32}, {VT::I32});
+    uint32_t out = f.local(VT::I32);
+    f.block().block().block()
+        .localGet(0).brTable({0, 1, 2})
+        .end()
+        .i32Const(11).localSet(out).br(1)
+        .end()
+        .i32Const(22).localSet(out).br(0)
+        .end()
+        .localGet(out)
+        .end();
+    mb.exportFunc("sw", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("sw", {0}).value, 11u);
+    EXPECT_EQ(inst->call("sw", {1}).value, 22u);
+    EXPECT_EQ(inst->call("sw", {2}).value, 0u);
+    EXPECT_EQ(inst->call("sw", {77}).value, 0u);
+}
+
+TEST_P(JitStrategyTest, UnreachableTraps)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {}, {});
+    f.unreachable().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("f").trap, TrapKind::Unreachable);
+}
+
+TEST_P(JitStrategyTest, ShiftsRotatesPopcnt)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32, VT::I32}, {VT::I32});
+    // rotl(a, b) ^ (a << (b & 31)) ^ popcnt(a)
+    f.localGet(0).localGet(1).i32Rotl()
+        .localGet(0).localGet(1).i32Shl()
+        .i32Xor()
+        .localGet(0).i32Popcnt()
+        .i32Xor()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    auto expect = [](uint32_t a, uint32_t b) {
+        uint32_t r = std::rotl(a, int(b & 31)) ^ (a << (b & 31)) ^
+                     uint32_t(std::popcount(a));
+        return r;
+    };
+    EXPECT_EQ(inst->call("f", {0x80000001u, 1}).value,
+              expect(0x80000001u, 1));
+    EXPECT_EQ(inst->call("f", {0xdeadbeefu, 13}).value,
+              expect(0xdeadbeefu, 13));
+    EXPECT_EQ(inst->call("f", {5, 33}).value, expect(5, 33));
+}
+
+TEST_P(JitStrategyTest, I64Wideness)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I64, VT::I64}, {VT::I64});
+    f.localGet(0).localGet(1).i64Mul()
+        .localGet(0).i64Const(17).i64ShrU().i64Add()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    uint64_t a = 0x123456789abcdef0ull, b = 0xfedcba9876543210ull;
+    EXPECT_EQ(inst->call("f", {a, b}).value, a * b + (a >> 17));
+}
+
+TEST_P(JitStrategyTest, TruncAndConvert)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    f.localGet(0).f64ConvertI32S().f64Const(1.5).f64Mul().i32TruncF64S()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("f", {10}).value, 15u);
+    EXPECT_EQ(inst->call("f", {uint32_t(-10)}).value, uint32_t(-15));
+}
+
+TEST_P(JitStrategyTest, TruncOverflowTraps)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::F64}, {VT::I32});
+    f.localGet(0).i32TruncF64S().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(
+        inst->call("f", {std::bit_cast<uint64_t>(1e18)}).trap,
+        TrapKind::IntegerOverflow);
+    EXPECT_TRUE(inst->call("f", {std::bit_cast<uint64_t>(-7.0)}).ok());
+}
+
+TEST_P(JitStrategyTest, SelectBothTypes)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("sel", {VT::I32}, {VT::I64});
+    f.i64Const(0x100000001ull).i64Const(0x200000002ull).localGet(0)
+        .select().end();
+    auto g = mb.func("self", {VT::I32}, {VT::F64});
+    g.f64Const(2.5).f64Const(-8.5).localGet(0).select().end();
+    mb.exportFunc("sel", f.index());
+    mb.exportFunc("self", g.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("sel", {1}).value, 0x100000001ull);
+    EXPECT_EQ(inst->call("sel", {0}).value, 0x200000002ull);
+    EXPECT_DOUBLE_EQ(
+        std::bit_cast<double>(inst->call("self", {1}).value), 2.5);
+    EXPECT_DOUBLE_EQ(
+        std::bit_cast<double>(inst->call("self", {0}).value), -8.5);
+}
+
+TEST_P(JitStrategyTest, DeepExpressionSpills)
+{
+    // Force register-pool exhaustion: a long chain of pending adds.
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    const int kDepth = 24;
+    for (int i = 0; i < kDepth; i++)
+        f.localGet(0).i32Const(i).i32Add();
+    for (int i = 0; i < kDepth - 1; i++)
+        f.i32Add();
+    f.end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    uint32_t x = 7;
+    uint32_t want = 0;
+    for (int i = 0; i < kDepth; i++)
+        want += x + i;
+    EXPECT_EQ(inst->call("f", {x}).value, want);
+}
+
+TEST_P(JitStrategyTest, DataSegments)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    mb.data(32, {0xef, 0xbe, 0xad, 0xde});
+    auto f = mb.func("f", {}, {VT::I32});
+    f.i32Const(32).i32Load().end();
+    mb.exportFunc("f", f.index());
+    auto inst = make(std::move(mb));
+    EXPECT_EQ(inst->call("f").value, 0xdeadbeefu);
+}
+
+TEST_P(JitStrategyTest, MultipleInstancesShareModule)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    f.i32Const(0).localGet(0).i32Store()
+        .i32Const(0).i32Load()
+        .end();
+    mb.exportFunc("f", f.index());
+    auto shared = SharedModule::compile(std::move(mb).build(), GetParam());
+    ASSERT_TRUE(shared.isOk());
+    auto i1 = Instance::create(*shared);
+    auto i2 = Instance::create(*shared);
+    ASSERT_TRUE(i1.isOk() && i2.isOk());
+    EXPECT_EQ((*i1)->call("f", {111}).value, 111u);
+    EXPECT_EQ((*i2)->call("f", {222}).value, 222u);
+    // Isolation: i1's memory is untouched by i2's store.
+    uint32_t v1;
+    std::memcpy(&v1, (*i1)->memory().base(), 4);
+    EXPECT_EQ(v1, 111u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, JitStrategyTest,
+                         ::testing::ValuesIn(kAllConfigs),
+                         [](const auto& info) {
+                             return configName(info.param);
+                         });
+
+// --- non-parameterized JIT behaviors ---
+
+TEST(Jit, SegueFreesTheHeapRegister)
+{
+    // The same deep-expression function must spill later (emit less
+    // code) when %r15 is allocatable — observable as differing code
+    // sizes between BaseReg and Segue builds.
+    ModuleBuilder mb;
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    const int kDepth = 12;
+    for (int i = 0; i < kDepth; i++)
+        f.localGet(0).i32Const(i).i32Add();
+    for (int i = 0; i < kDepth - 1; i++)
+        f.i32Add();
+    f.end();
+    wasm::Module m = std::move(mb).takeUnvalidated();
+    auto base = compile(m, CompilerConfig::wamrBase());
+    auto segue = compile(m, CompilerConfig::wamrSegue());
+    ASSERT_TRUE(base.isOk() && segue.isOk());
+    // Not asserting a specific delta — just that both compile and code
+    // was produced for one function.
+    EXPECT_EQ(base->funcCodeSizes.size(), 1u);
+    EXPECT_EQ(segue->funcCodeSizes.size(), 1u);
+}
+
+TEST(Jit, LfiTruncationCostsInstructions)
+{
+    // LFI (untrusted index registers) emits the Figure 1b truncation on
+    // BaseReg but not with Segue: per-access code must be smaller with
+    // Segue under the LFI configs.
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("f", {VT::I32}, {VT::I32});
+    for (int i = 0; i < 16; i++)
+        f.localGet(0).i32Load(uint32_t(4 * i)).drop();
+    f.i32Const(0).end();
+    wasm::Module m = std::move(mb).takeUnvalidated();
+    auto lfi = compile(m, CompilerConfig::lfiBase());
+    auto lfi_segue = compile(m, CompilerConfig::lfiSegue());
+    ASSERT_TRUE(lfi.isOk() && lfi_segue.isOk());
+    EXPECT_LT(lfi_segue->funcCodeSizes[0], lfi->funcCodeSizes[0]);
+}
+
+TEST(Jit, EpochInterruptStopsInfiniteLoop)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("spin", {}, {});
+    f.block().loop().br(0).end().end().end();
+    mb.exportFunc("spin", f.index());
+    CompilerConfig cfg = CompilerConfig::wamrBase();
+    cfg.epochChecks = true;
+    auto shared = SharedModule::compile(std::move(mb).build(), cfg);
+    ASSERT_TRUE(shared.isOk());
+    auto inst = Instance::create(*shared);
+    ASSERT_TRUE(inst.isOk());
+    static uint64_t epoch = 100;
+    (*inst)->setEpoch(&epoch, 50);  // already past the deadline
+    EXPECT_EQ((*inst)->call("spin").trap, TrapKind::EpochInterrupt);
+}
+
+TEST(Jit, EpochCallbackCanResume)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("loop10", {}, {VT::I32});
+    uint32_t i = f.local(VT::I32);
+    f.block().loop()
+        .localGet(i).i32Const(10).i32GeU().brIf(1)
+        .localGet(i).i32Const(1).i32Add().localSet(i)
+        .br(0)
+        .end().end()
+        .localGet(i)
+        .end();
+    mb.exportFunc("loop10", f.index());
+    CompilerConfig cfg = CompilerConfig::wamrBase();
+    cfg.epochChecks = true;
+    auto shared = SharedModule::compile(std::move(mb).build(), cfg);
+    ASSERT_TRUE(shared.isOk());
+    auto inst = Instance::create(*shared);
+    ASSERT_TRUE(inst.isOk());
+    static uint64_t epoch = 10;
+    int fired = 0;
+    (*inst)->setEpoch(&epoch, 5);
+    (*inst)->setEpochCallback([&] {
+        fired++;
+        (*inst)->setEpochDeadline(UINT64_MAX);  // let it finish
+    });
+    auto out = (*inst)->call("loop10");
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value, 10u);
+    EXPECT_GE(fired, 1);
+}
+
+TEST(Jit, TransitionsAreCounted)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("f", {}, {VT::I32});
+    f.i32Const(1).end();
+    mb.exportFunc("f", f.index());
+    auto shared = SharedModule::compile(std::move(mb).build(),
+                                        CompilerConfig::wamrSegue());
+    ASSERT_TRUE(shared.isOk());
+    auto inst = Instance::create(*shared);
+    ASSERT_TRUE(inst.isOk());
+    for (int i = 0; i < 5; i++)
+        (*inst)->call("f");
+    EXPECT_EQ((*inst)->transitions(), 5u);
+}
+
+}  // namespace
+}  // namespace sfi::jit

@@ -1,0 +1,88 @@
+#include "mpk/mte.h"
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+
+namespace sfi::mpk {
+namespace {
+
+TEST(Mte, TagsStartZero)
+{
+    MteEmu mte(64 * kKiB);
+    EXPECT_EQ(mte.granules(), 64 * kKiB / kMteGranule);
+    EXPECT_EQ(mte.tagAt(0), 0);
+    EXPECT_EQ(mte.tagAt(64 * kKiB - 16), 0);
+}
+
+TEST(Mte, UserTaggingSetsRange)
+{
+    MteEmu mte(4096);
+    mte.setTagRangeUser(256, 512, 0x7);
+    EXPECT_EQ(mte.tagAt(255), 0);
+    EXPECT_EQ(mte.tagAt(256), 0x7);
+    EXPECT_EQ(mte.tagAt(256 + 511), 0x7);
+    EXPECT_EQ(mte.tagAt(256 + 512), 0);
+}
+
+TEST(Mte, BulkTaggingMatchesUserTagging)
+{
+    MteEmu a(4096), b(4096);
+    a.setTagRangeUser(0, 4096, 0x3);
+    b.setTagRangeBulk(0, 4096, 0x3);
+    for (uint64_t off = 0; off < 4096; off += 16)
+        EXPECT_EQ(a.tagAt(off), b.tagAt(off));
+}
+
+TEST(Mte, PointerTagChecking)
+{
+    MteEmu mte(4096);
+    mte.setTagRangeBulk(0, 2048, 0x5);
+    mte.setTagRangeBulk(2048, 2048, 0x9);
+    EXPECT_TRUE(mte.checkAccess(0x5, 0, 8));
+    EXPECT_TRUE(mte.checkAccess(0x5, 2032, 16));
+    EXPECT_FALSE(mte.checkAccess(0x5, 2048, 8));   // wrong color
+    EXPECT_TRUE(mte.checkAccess(0x9, 2048, 8));
+    EXPECT_FALSE(mte.checkAccess(0x5, 2040, 16));  // straddles colors
+    EXPECT_FALSE(mte.checkAccess(0x9, 4096 - 8, 16));  // out of region
+}
+
+TEST(Mte, TagNibbleMasked)
+{
+    MteEmu mte(256);
+    mte.setTagRangeBulk(0, 256, 0xf5);  // only low nibble stored
+    EXPECT_EQ(mte.tagAt(0), 0x5);
+    EXPECT_TRUE(mte.checkAccess(0x5, 0, 16));
+}
+
+TEST(Mte, DecommitDiscardsTagsByDefault)
+{
+    // §7 Observation 2: madvise(MADV_DONTNEED) resets MTE tags...
+    MteEmu mte(4096);
+    mte.setTagRangeBulk(0, 4096, 0x5);
+    uint64_t cleared = mte.decommit(0, 4096, /*preserve_tags=*/false);
+    EXPECT_EQ(cleared, 4096u / kMteGranule);
+    EXPECT_EQ(mte.tagAt(0), 0);
+    EXPECT_FALSE(mte.checkAccess(0x5, 0, 16));
+}
+
+TEST(Mte, DecommitCanPreserveTags)
+{
+    // ...while the paper's proposed madvise flag would keep them (like
+    // MPK's PTE colors), making slot recycling free.
+    MteEmu mte(4096);
+    mte.setTagRangeBulk(0, 4096, 0x5);
+    uint64_t cleared = mte.decommit(0, 4096, /*preserve_tags=*/true);
+    EXPECT_EQ(cleared, 0u);
+    EXPECT_EQ(mte.tagAt(0), 0x5);
+    EXPECT_TRUE(mte.checkAccess(0x5, 0, 16));
+}
+
+TEST(Mte, ZeroLengthAccessAllowed)
+{
+    MteEmu mte(256);
+    EXPECT_TRUE(mte.checkAccess(0x0, 0, 0));
+}
+
+}  // namespace
+}  // namespace sfi::mpk

@@ -1,0 +1,260 @@
+#include "pool/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/units.h"
+
+namespace sfi::pool {
+namespace {
+
+PoolConfig
+classicWasmConfig()
+{
+    // The standard scheme: 4 GiB memory + 4 GiB guard = 8 GiB/instance.
+    PoolConfig c;
+    c.numSlots = 64;
+    c.maxMemoryBytes = 4 * kGiB;
+    c.guardBytes = 4 * kGiB;
+    return c;
+}
+
+TEST(Layout, ClassicWasmScheme)
+{
+    auto lay = computeLayout(classicWasmConfig());
+    ASSERT_TRUE(lay.isOk()) << lay.message();
+    EXPECT_EQ(lay->numStripes, 1u);
+    EXPECT_EQ(lay->slotBytes, 8 * kGiB);
+    EXPECT_EQ(lay->expectedSlotBytes, 8 * kGiB);
+    EXPECT_TRUE(lay->validate(classicWasmConfig()));
+}
+
+TEST(Layout, WasmtimeSharedPreGuardScheme)
+{
+    // §5.1: 2 GiB pre-guard + 2 GiB post-guard, shared between
+    // neighbours -> 6 GiB per instance instead of 8 GiB.
+    PoolConfig c;
+    c.numSlots = 64;
+    c.maxMemoryBytes = 4 * kGiB;
+    c.guardBytes = 2 * kGiB;
+    c.guardBeforeSlots = true;
+    auto lay = computeLayout(c);
+    ASSERT_TRUE(lay.isOk());
+    EXPECT_EQ(lay->slotBytes, 6 * kGiB);
+    EXPECT_EQ(lay->preSlotGuardBytes, 2 * kGiB);
+    EXPECT_TRUE(lay->validate(c));
+}
+
+TEST(Layout, ColorGuardShrinksSlots)
+{
+    // Figure 2: 1 GiB memories in an 8 GiB contract pack 8x denser.
+    PoolConfig c;
+    c.numSlots = 64;
+    c.maxMemoryBytes = 1 * kGiB;
+    c.guardBytes = 7 * kGiB;
+    c.expectedSlotBytes = 8 * kGiB;
+    c.stripingEnabled = true;
+    auto lay = computeLayout(c);
+    ASSERT_TRUE(lay.isOk()) << lay.message();
+    EXPECT_EQ(lay->slotBytes, 1 * kGiB);
+    EXPECT_EQ(lay->numStripes, 8u);
+    EXPECT_TRUE(lay->validate(c)) << lay->validate(c).message();
+}
+
+TEST(Layout, ColorGuard15xDensity)
+{
+    // §6.4.2: 8 GiB / 15 colors ≈ 550 MB slots at maximum density. The
+    // compiler contract stays 8 GiB (4 GiB index space + 4 GiB guard);
+    // with 544 MiB memories the per-slot guard requirement is the rest.
+    PoolConfig c;
+    c.numSlots = 256;
+    c.maxMemoryBytes = 544 * kMiB;  // multiple of 64 KiB
+    c.guardBytes = 8 * kGiB - 544 * kMiB;
+    c.stripingEnabled = true;
+    auto lay = computeLayout(c);
+    ASSERT_TRUE(lay.isOk()) << lay.message();
+    EXPECT_EQ(lay->numStripes, 15u);
+    EXPECT_TRUE(lay->validate(c)) << lay->validate(c).message();
+    // Density vs the classic layout:
+    auto classic = computeLayout([&] {
+        PoolConfig cc = c;
+        cc.stripingEnabled = false;
+        return cc;
+    }());
+    ASSERT_TRUE(classic.isOk());
+    EXPECT_GE(classic->slotBytes / lay->slotBytes, 14u);
+}
+
+TEST(Layout, InsufficientKeysMixesGuardsAndStripes)
+{
+    // With only 4 keys, the slots must grow so 4 stripes still cover
+    // the 8 GiB contract (§5.1's "combination of stripes and guards").
+    PoolConfig c;
+    c.numSlots = 64;
+    c.maxMemoryBytes = 1 * kGiB;
+    c.guardBytes = 7 * kGiB;
+    c.expectedSlotBytes = 8 * kGiB;
+    c.stripingEnabled = true;
+    c.keysAvailable = 4;
+    auto lay = computeLayout(c);
+    ASSERT_TRUE(lay.isOk());
+    EXPECT_LE(lay->numStripes, 4u);
+    EXPECT_GE(lay->numStripes * lay->slotBytes, 8 * kGiB);
+    EXPECT_TRUE(lay->validate(c)) << lay->validate(c).message();
+}
+
+TEST(Layout, SingleSlotNeverStripes)
+{
+    PoolConfig c;
+    c.numSlots = 1;
+    c.maxMemoryBytes = kGiB;
+    c.guardBytes = kGiB;
+    c.stripingEnabled = true;
+    auto lay = computeLayout(c);
+    ASSERT_TRUE(lay.isOk());
+    EXPECT_EQ(lay->numStripes, 1u);
+    EXPECT_TRUE(lay->validate(c));
+}
+
+TEST(Layout, LastSlotHasRealGuard)
+{
+    PoolConfig c;
+    c.numSlots = 32;
+    c.maxMemoryBytes = 256 * kMiB;
+    c.guardBytes = kGiB;
+    c.expectedSlotBytes = 2 * kGiB;
+    c.stripingEnabled = true;
+    auto lay = computeLayout(c);
+    ASSERT_TRUE(lay.isOk());
+    // Invariant 6, second clause.
+    EXPECT_GE(lay->slotBytes + lay->postSlotGuardBytes,
+              lay->expectedSlotBytes);
+    EXPECT_TRUE(lay->validate(c));
+}
+
+TEST(Layout, RejectsZeroSlots)
+{
+    PoolConfig c;
+    c.maxMemoryBytes = kGiB;
+    c.numSlots = 0;
+    EXPECT_FALSE(computeLayout(c).isOk());
+}
+
+TEST(Layout, RejectsContractSmallerThanMemoryPlusGuard)
+{
+    PoolConfig c;
+    c.numSlots = 4;
+    c.maxMemoryBytes = 4 * kGiB;
+    c.guardBytes = 4 * kGiB;
+    c.expectedSlotBytes = 6 * kGiB;  // < 8 GiB
+    EXPECT_FALSE(computeLayout(c).isOk());
+}
+
+TEST(Layout, CheckedArithmeticCatchesOverflow)
+{
+    // Absurd configuration whose total overflows 64 bits.
+    PoolConfig c;
+    c.numSlots = UINT64_MAX / 2;
+    c.maxMemoryBytes = 4 * kGiB;
+    c.guardBytes = 4 * kGiB;
+    auto lay = computeLayout(c, LayoutArithmetic::Checked);
+    EXPECT_FALSE(lay.isOk());
+    EXPECT_NE(lay.message().find("overflow"), std::string::npos);
+}
+
+TEST(Layout, SaturatingBugBreaksInvariant1)
+{
+    // The §5.2 bug: the same configuration silently saturates and the
+    // resulting layout violates Invariant 1 — caught only because the
+    // invariants are checked independently of the computation.
+    PoolConfig c;
+    c.numSlots = UINT64_MAX / 2;
+    c.maxMemoryBytes = 4 * kGiB;
+    c.guardBytes = 4 * kGiB;
+    auto lay = computeLayout(c, LayoutArithmetic::SaturatingBuggy);
+    ASSERT_TRUE(lay.isOk()) << "buggy mode must not flag the overflow";
+    Status st = lay->validate(c);
+    EXPECT_FALSE(st);
+    EXPECT_NE(st.message().find("invariant 1"), std::string::npos);
+}
+
+TEST(Layout, StripeAssignmentCycles)
+{
+    PoolConfig c;
+    c.numSlots = 20;
+    c.maxMemoryBytes = kGiB;
+    c.guardBytes = 3 * kGiB;
+    c.stripingEnabled = true;
+    auto lay = computeLayout(c);
+    ASSERT_TRUE(lay.isOk());
+    ASSERT_EQ(lay->numStripes, 4u);
+    for (uint64_t i = 0; i < 20; i++)
+        EXPECT_EQ(lay->stripeOf(i), i % 4);
+    // Adjacent slots within a contract window never share a stripe.
+    for (uint64_t i = 0; i + 1 < 20; i++) {
+        for (uint64_t j = i + 1;
+             j < 20 && (j - i) * lay->slotBytes < lay->expectedSlotBytes;
+             j++) {
+            EXPECT_NE(lay->stripeOf(i), lay->stripeOf(j))
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(Layout, SlotOffsetsAccountForPreGuard)
+{
+    PoolConfig c;
+    c.numSlots = 4;
+    c.maxMemoryBytes = 64 * kMiB;
+    c.guardBytes = 64 * kMiB;
+    c.guardBeforeSlots = true;
+    auto lay = computeLayout(c);
+    ASSERT_TRUE(lay.isOk());
+    EXPECT_EQ(lay->slotOffset(0), lay->preSlotGuardBytes);
+    EXPECT_EQ(lay->slotOffset(1), lay->preSlotGuardBytes + lay->slotBytes);
+}
+
+// Property test: random *reasonable* configurations always produce
+// layouts that pass the full invariant suite — the paper's attacker
+// model says the allocator must be defensive for any inputs (§5.2).
+class LayoutPropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(LayoutPropertyTest, CheckedLayoutsAlwaysValidate)
+{
+    Rng rng(GetParam());
+    for (int iter = 0; iter < 200; iter++) {
+        PoolConfig c;
+        c.numSlots = 1 + rng.below(300);
+        c.maxMemoryBytes = (1 + rng.below(1024)) * kWasmPageSize;
+        c.guardBytes = rng.below(64) * kOsPageSize * (1 + rng.below(512));
+        c.expectedSlotBytes = 0;  // derive
+        if (rng.below(2)) {
+            c.expectedSlotBytes =
+                alignUp(c.maxMemoryBytes + c.guardBytes +
+                            rng.below(8) * kWasmPageSize,
+                        kWasmPageSize);
+        }
+        c.guardBeforeSlots = rng.below(2);
+        c.stripingEnabled = rng.below(2);
+        c.keysAvailable = 1 + static_cast<int>(rng.below(15));
+        auto lay = computeLayout(c);
+        if (!lay.isOk())
+            continue;  // rejected configurations are fine
+        Status st = lay->validate(c);
+        EXPECT_TRUE(st) << st.message()
+                        << " slots=" << c.numSlots
+                        << " maxMem=" << c.maxMemoryBytes
+                        << " guard=" << c.guardBytes
+                        << " expected=" << c.expectedSlotBytes
+                        << " striping=" << c.stripingEnabled
+                        << " keys=" << c.keysAvailable;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace sfi::pool

@@ -1,0 +1,452 @@
+#include "tests/support/program_gen.h"
+
+#include <vector>
+
+#include "wasm/builder.h"
+
+namespace sfi::testing {
+
+using wasm::FunctionBuilder;
+using wasm::ModuleBuilder;
+using wasm::ValType;
+using VT = wasm::ValType;
+
+namespace {
+
+/** Per-function generation state. */
+class FuncGen
+{
+  public:
+    FuncGen(Rng& rng, FunctionBuilder& f, int max_depth,
+            uint32_t callable_funcs)
+        : rng_(rng), f_(f), maxDepth_(max_depth),
+          callableFuncs_(callable_funcs)
+    {
+        // Locals: params (i32, i64) + general locals + loop counters.
+        i32Locals_ = {f.param(0)};
+        i64Locals_ = {f.param(1)};
+        for (int i = 0; i < 2; i++)
+            i32Locals_.push_back(f.local(VT::I32));
+        for (int i = 0; i < 2; i++)
+            i64Locals_.push_back(f.local(VT::I64));
+        for (int i = 0; i < 2; i++)
+            f64Locals_.push_back(f.local(VT::F64));
+        for (int i = 0; i < 3; i++)
+            counters_.push_back(f.local(VT::I32));
+    }
+
+    void
+    run(int statements)
+    {
+        emitStatements(statements, 0);
+        // Return a value derived from the locals so state matters.
+        f_.localGet(i64Locals_[0]);
+        f_.localGet(i32Locals_[1]).i64ExtendI32U().i64Add();
+        f_.i32Const(0).i32Load(0).i64ExtendI32U().i64Add();
+        f_.end();
+    }
+
+  private:
+    uint64_t pick(uint64_t n) { return rng_.below(n); }
+
+    uint32_t
+    randomLocal(VT t)
+    {
+        const std::vector<uint32_t>& pool =
+            t == VT::I32 ? i32Locals_
+            : t == VT::I64 ? i64Locals_
+                           : f64Locals_;
+        return pool[pick(pool.size())];
+    }
+
+    void
+    emitStatements(int budget, int loop_depth)
+    {
+        while (budget > 0) {
+            int kind = static_cast<int>(pick(10));
+            if (kind < 4) {
+                // local = expr
+                VT t = pickType();
+                expr(t, maxDepth_);
+                f_.localSet(randomLocal(t));
+                budget--;
+            } else if (kind < 7) {
+                emitStore();
+                budget--;
+            } else if (kind == 7 && budget >= 3) {
+                // if/else
+                expr(VT::I32, 2);
+                f_.if_();
+                emitStatements(1, loop_depth);
+                if (pick(2)) {
+                    f_.else_();
+                    emitStatements(1, loop_depth);
+                }
+                f_.end();
+                budget -= 3;
+            } else if (kind == 8 && loop_depth < 3 && budget >= 4) {
+                emitLoop(loop_depth);
+                budget -= 4;
+            } else {
+                // global twiddle
+                expr(VT::I64, 2);
+                f_.globalSet(0);
+                budget--;
+            }
+        }
+    }
+
+    void
+    emitLoop(int loop_depth)
+    {
+        uint32_t ctr = counters_[loop_depth];
+        uint32_t iters = 1 + static_cast<uint32_t>(pick(6));
+        f_.i32Const(0).localSet(ctr);
+        f_.block().loop();
+        f_.localGet(ctr).i32Const(iters).i32GeU().brIf(1);
+        emitStatements(1, loop_depth + 1);
+        f_.localGet(ctr).i32Const(1).i32Add().localSet(ctr);
+        f_.br(0);
+        f_.end().end();
+    }
+
+    void
+    emitStore()
+    {
+        emitIndex();
+        switch (pick(4)) {
+          case 0:
+            expr(VT::I32, 3);
+            f_.i32Store(static_cast<uint32_t>(pick(8)));
+            break;
+          case 1:
+            expr(VT::I64, 3);
+            f_.i64Store(static_cast<uint32_t>(pick(8)));
+            break;
+          case 2:
+            expr(VT::I32, 3);
+            f_.i32Store8(static_cast<uint32_t>(pick(8)));
+            break;
+          default:
+            expr(VT::F64, 3);
+            f_.f64Store(static_cast<uint32_t>(pick(8)));
+            break;
+        }
+    }
+
+    VT
+    pickType()
+    {
+        switch (pick(3)) {
+          case 0: return VT::I32;
+          case 1: return VT::I64;
+          default: return VT::F64;
+        }
+    }
+
+    /** Emits an in-bounds i32 index (mask keeps idx + offset < 128 KiB). */
+    void
+    emitIndex()
+    {
+        expr(VT::I32, 2);
+        f_.i32Const(0x1fff0).i32And();
+    }
+
+    void
+    expr(VT t, int depth)
+    {
+        if (depth <= 0) {
+            leaf(t);
+            return;
+        }
+        switch (t) {
+          case VT::I32: i32Expr(depth); return;
+          case VT::I64: i64Expr(depth); return;
+          case VT::F64: f64Expr(depth); return;
+        }
+    }
+
+    void
+    leaf(VT t)
+    {
+        switch (t) {
+          case VT::I32:
+            if (pick(2))
+                f_.i32Const(static_cast<uint32_t>(rng_.next()));
+            else
+                f_.localGet(randomLocal(VT::I32));
+            return;
+          case VT::I64:
+            switch (pick(3)) {
+              case 0: f_.i64Const(rng_.next()); return;
+              case 1: f_.localGet(randomLocal(VT::I64)); return;
+              default: f_.globalGet(0); return;
+            }
+          case VT::F64:
+            if (pick(2)) {
+                // Mix of magnitudes, always finite.
+                double v = (static_cast<double>(rng_.next() >> 32) -
+                            2147483648.0) /
+                           (1 + static_cast<double>(pick(1000)));
+                f_.f64Const(v);
+            } else {
+                f_.localGet(randomLocal(VT::F64));
+            }
+            return;
+        }
+    }
+
+    void
+    i32Expr(int depth)
+    {
+        switch (pick(12)) {
+          case 0: {  // plain binop
+            expr(VT::I32, depth - 1);
+            expr(VT::I32, depth - 1);
+            static const wasm::Op ops[] = {
+                wasm::Op::I32Add, wasm::Op::I32Sub, wasm::Op::I32Mul,
+                wasm::Op::I32And, wasm::Op::I32Or, wasm::Op::I32Xor,
+                wasm::Op::I32Shl, wasm::Op::I32ShrS, wasm::Op::I32ShrU,
+                wasm::Op::I32Rotl, wasm::Op::I32Rotr};
+            f_.op(ops[pick(std::size(ops))]);
+            return;
+          }
+          case 1: {  // division with nonzero divisor
+            expr(VT::I32, depth - 1);
+            expr(VT::I32, depth - 1);
+            f_.i32Const(1).i32Or();
+            static const wasm::Op ops[] = {
+                wasm::Op::I32DivS, wasm::Op::I32DivU, wasm::Op::I32RemS,
+                wasm::Op::I32RemU};
+            f_.op(ops[pick(std::size(ops))]);
+            return;
+          }
+          case 2: {  // comparison
+            expr(VT::I32, depth - 1);
+            expr(VT::I32, depth - 1);
+            static const wasm::Op ops[] = {
+                wasm::Op::I32Eq, wasm::Op::I32Ne, wasm::Op::I32LtS,
+                wasm::Op::I32LtU, wasm::Op::I32GtS, wasm::Op::I32GtU,
+                wasm::Op::I32LeS, wasm::Op::I32LeU, wasm::Op::I32GeS,
+                wasm::Op::I32GeU};
+            f_.op(ops[pick(std::size(ops))]);
+            return;
+          }
+          case 3: {  // i64 comparison
+            expr(VT::I64, depth - 1);
+            expr(VT::I64, depth - 1);
+            static const wasm::Op ops[] = {
+                wasm::Op::I64Eq, wasm::Op::I64Ne, wasm::Op::I64LtS,
+                wasm::Op::I64LtU, wasm::Op::I64GeU};
+            f_.op(ops[pick(std::size(ops))]);
+            return;
+          }
+          case 4: {  // f64 comparison
+            expr(VT::F64, depth - 1);
+            expr(VT::F64, depth - 1);
+            static const wasm::Op ops[] = {
+                wasm::Op::F64Eq, wasm::Op::F64Ne, wasm::Op::F64Lt,
+                wasm::Op::F64Gt, wasm::Op::F64Le, wasm::Op::F64Ge};
+            f_.op(ops[pick(std::size(ops))]);
+            return;
+          }
+          case 5: {  // load
+            emitIndex();
+            static const wasm::Op ops[] = {
+                wasm::Op::I32Load, wasm::Op::I32Load8S,
+                wasm::Op::I32Load8U, wasm::Op::I32Load16S,
+                wasm::Op::I32Load16U};
+            f_.op(ops[pick(std::size(ops))], 0, pick(8));
+            return;
+          }
+          case 6: {  // select
+            expr(VT::I32, depth - 1);
+            expr(VT::I32, depth - 1);
+            expr(VT::I32, depth - 1);
+            f_.select();
+            return;
+          }
+          case 7:
+            expr(VT::I64, depth - 1);
+            f_.i32WrapI64();
+            return;
+          case 8: {  // clamped trunc from f64
+            expr(VT::F64, depth - 1);
+            f_.f64Const(-1e9).f64Max().f64Const(1e9).f64Min()
+                .i32TruncF64S();
+            return;
+          }
+          case 9:
+            expr(VT::I32, depth - 1);
+            f_.i32Eqz();
+            return;
+          case 10:
+            expr(VT::I32, depth - 1);
+            f_.i32Popcnt();
+            return;
+          default:
+            leaf(VT::I32);
+            return;
+        }
+    }
+
+    void
+    i64Expr(int depth)
+    {
+        switch (pick(9)) {
+          case 0: {
+            expr(VT::I64, depth - 1);
+            expr(VT::I64, depth - 1);
+            static const wasm::Op ops[] = {
+                wasm::Op::I64Add, wasm::Op::I64Sub, wasm::Op::I64Mul,
+                wasm::Op::I64And, wasm::Op::I64Or, wasm::Op::I64Xor,
+                wasm::Op::I64Shl, wasm::Op::I64ShrS, wasm::Op::I64ShrU,
+                wasm::Op::I64Rotl, wasm::Op::I64Rotr};
+            f_.op(ops[pick(std::size(ops))]);
+            return;
+          }
+          case 1: {
+            expr(VT::I64, depth - 1);
+            expr(VT::I64, depth - 1);
+            f_.i64Const(1).i64Or();
+            static const wasm::Op ops[] = {
+                wasm::Op::I64DivS, wasm::Op::I64DivU, wasm::Op::I64RemS,
+                wasm::Op::I64RemU};
+            f_.op(ops[pick(std::size(ops))]);
+            return;
+          }
+          case 2: {
+            emitIndex();
+            static const wasm::Op ops[] = {wasm::Op::I64Load,
+                                           wasm::Op::I64Load32S,
+                                           wasm::Op::I64Load32U};
+            f_.op(ops[pick(std::size(ops))], 0, pick(8));
+            return;
+          }
+          case 3:
+            expr(VT::I32, depth - 1);
+            if (pick(2))
+                f_.i64ExtendI32S();
+            else
+                f_.i64ExtendI32U();
+            return;
+          case 4: {
+            expr(VT::I64, depth - 1);
+            expr(VT::I64, depth - 1);
+            expr(VT::I32, depth - 1);
+            f_.select();
+            return;
+          }
+          case 5:
+            expr(VT::F64, depth - 1);
+            f_.op(wasm::Op::I64ReinterpretF64);
+            return;
+          case 6:
+            if (callableFuncs_ > 0) {
+                expr(VT::I32, depth - 1);
+                expr(VT::I64, depth - 1);
+                f_.call(static_cast<uint32_t>(pick(callableFuncs_)));
+                return;
+            }
+            leaf(VT::I64);
+            return;
+          case 7:
+            expr(VT::I64, depth - 1);
+            f_.i64Popcnt();
+            return;
+          default:
+            leaf(VT::I64);
+            return;
+        }
+    }
+
+    void
+    f64Expr(int depth)
+    {
+        switch (pick(8)) {
+          case 0: {
+            expr(VT::F64, depth - 1);
+            expr(VT::F64, depth - 1);
+            static const wasm::Op ops[] = {
+                wasm::Op::F64Add, wasm::Op::F64Sub, wasm::Op::F64Mul,
+                wasm::Op::F64Div, wasm::Op::F64Min, wasm::Op::F64Max};
+            f_.op(ops[pick(std::size(ops))]);
+            return;
+          }
+          case 1:
+            emitIndex();
+            f_.f64Load(static_cast<uint32_t>(pick(8)));
+            return;
+          case 2:
+            expr(VT::I32, depth - 1);
+            if (pick(2))
+                f_.f64ConvertI32S();
+            else
+                f_.f64ConvertI32U();
+            return;
+          case 3:
+            expr(VT::I64, depth - 1);
+            f_.f64ConvertI64S();
+            return;
+          case 4:
+            expr(VT::F64, depth - 1);
+            f_.f64Abs().f64Sqrt();
+            return;
+          case 5:
+            expr(VT::F64, depth - 1);
+            if (pick(2))
+                f_.f64Neg();
+            else
+                f_.f64Abs();
+            return;
+          case 6: {
+            expr(VT::F64, depth - 1);
+            expr(VT::F64, depth - 1);
+            expr(VT::I32, depth - 1);
+            f_.select();
+            return;
+          }
+          default:
+            leaf(VT::F64);
+            return;
+        }
+    }
+
+    Rng& rng_;
+    FunctionBuilder& f_;
+    int maxDepth_;
+    uint32_t callableFuncs_;
+    std::vector<uint32_t> i32Locals_, i64Locals_, f64Locals_, counters_;
+};
+
+}  // namespace
+
+wasm::Module
+generateProgram(uint64_t seed, const GenOptions& options)
+{
+    Rng rng(seed);
+    ModuleBuilder mb;
+    mb.memory(options.memPages, options.memPages);
+    mb.global(VT::I64, true, 0x1234567890abcdefull);
+
+    // Deterministic initial memory contents.
+    std::vector<uint8_t> data(4096);
+    Rng dataRng(seed ^ 0xda7a);
+    for (auto& b : data)
+        b = static_cast<uint8_t>(dataRng.next());
+    mb.data(0, data);
+
+    std::vector<FunctionBuilder> funcs;
+    for (int i = 0; i < options.numFunctions; i++) {
+        auto f = mb.func("f" + std::to_string(i), {VT::I32, VT::I64},
+                         {VT::I64});
+        FuncGen gen(rng, f, options.maxExprDepth,
+                    static_cast<uint32_t>(i));  // call lower-indexed only
+        gen.run(options.maxStatements);
+        funcs.push_back(f);
+    }
+    mb.exportFunc("main", funcs.back().index());
+    return std::move(mb).build();
+}
+
+}  // namespace sfi::testing

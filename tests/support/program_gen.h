@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Random Wasm-subset program generator for differential testing.
+ *
+ * Programs are generated under constraints that make interpreter/JIT
+ * comparison exact across every SFI strategy:
+ *  - memory indices are masked in-bounds (OOB wrap semantics differ
+ *    between Wasm guard regions and LFI masking — footnote 1 of the
+ *    paper — so bounds traps are exercised by dedicated tests instead);
+ *  - divisors are forced nonzero (divide traps are tested separately);
+ *  - loops are bounded by construction.
+ * Everything else — arithmetic, conversions, control flow, calls,
+ * loads/stores of every width, globals, select — is fair game.
+ */
+#ifndef SFIKIT_TESTS_SUPPORT_PROGRAM_GEN_H_
+#define SFIKIT_TESTS_SUPPORT_PROGRAM_GEN_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "wasm/module.h"
+
+namespace sfi::testing {
+
+struct GenOptions
+{
+    int numFunctions = 3;
+    int maxExprDepth = 5;
+    int maxStatements = 12;
+    uint32_t memPages = 2;
+};
+
+/** Generates a validated module whose export "main" takes (i32, i64)
+ *  and returns i64. */
+wasm::Module generateProgram(uint64_t seed, const GenOptions& options = {});
+
+}  // namespace sfi::testing
+
+#endif  // SFIKIT_TESTS_SUPPORT_PROGRAM_GEN_H_

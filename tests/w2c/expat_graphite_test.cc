@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "w2c/expat_lite.h"
+#include "w2c/graphite_lite.h"
+#include "w2c/heap.h"
+
+namespace sfi::w2c {
+namespace {
+
+template <typename P>
+XmlStats
+parseDoc(const std::string& doc)
+{
+    auto heap = SandboxHeap::create(8 * kMiB);
+    SFI_CHECK(heap.isOk());
+    std::memcpy(heap->base(), doc.data(), doc.size());
+    auto guard = heap->template enter<P>();
+    P p = heap->template policy<P>();
+    return parseXml(p, 0, static_cast<uint32_t>(doc.size()),
+                    4 * kMiB);
+}
+
+TEST(ExpatLite, ParsesSimpleDocument)
+{
+    auto st = parseDoc<NativePolicy>(
+        "<?xml version=\"1.0\"?>"
+        "<a x=\"1\" y='2'><b>hi &amp; bye</b><c/></a>");
+    EXPECT_TRUE(st.wellFormed);
+    EXPECT_EQ(st.elements, 3u);
+    EXPECT_EQ(st.attributes, 2u);
+    EXPECT_EQ(st.entities, 1u);
+    EXPECT_EQ(st.maxDepth, 2u);
+    EXPECT_GT(st.textBytes, 0u);
+}
+
+TEST(ExpatLite, DetectsMismatchedTags)
+{
+    auto st = parseDoc<NativePolicy>("<a><b></a></b>");
+    EXPECT_FALSE(st.wellFormed);
+}
+
+TEST(ExpatLite, DetectsUnclosedTags)
+{
+    auto st = parseDoc<NativePolicy>("<a><b></b>");
+    EXPECT_FALSE(st.wellFormed);
+}
+
+TEST(ExpatLite, HandlesCommentsAndCdata)
+{
+    auto st = parseDoc<NativePolicy>(
+        "<r><!-- a comment with <tags> inside -->"
+        "<![CDATA[raw < > & bytes]]></r>");
+    EXPECT_TRUE(st.wellFormed);
+    EXPECT_EQ(st.elements, 1u);
+    EXPECT_GT(st.textBytes, 10u);
+}
+
+TEST(ExpatLite, SvgDocumentWellFormed)
+{
+    std::string doc = makeSvgDocument(20, 3);
+    auto st = parseDoc<NativePolicy>(doc);
+    EXPECT_TRUE(st.wellFormed);
+    // 20 icons x (g + rect + path + text) + svg root, x3 repeats.
+    EXPECT_EQ(st.elements, 3u * (1 + 20 * 4));
+    EXPECT_GT(st.attributes, 100u);
+}
+
+TEST(ExpatLite, AllPoliciesAgreeOnSvg)
+{
+    std::string doc = makeSvgDocument(16, 2);
+    auto native = parseDoc<NativePolicy>(doc);
+    auto base = parseDoc<BaseAddPolicy>(doc);
+    auto segue = parseDoc<SeguePolicy>(doc);
+    auto bounds = parseDoc<BoundsPolicy>(doc);
+    EXPECT_EQ(native.checksum, base.checksum);
+    EXPECT_EQ(native.checksum, segue.checksum);
+    EXPECT_EQ(native.checksum, bounds.checksum);
+    EXPECT_EQ(native.elements, segue.elements);
+    EXPECT_EQ(native.attributes, segue.attributes);
+    EXPECT_TRUE(segue.wellFormed);
+}
+
+// --- graphite_lite ---
+
+template <typename P>
+uint64_t
+renderAll(uint32_t size_px)
+{
+    auto heap = SandboxHeap::create(16 * kMiB);
+    SFI_CHECK(heap.isOk());
+    uint32_t font_size = buildSyntheticFont(heap->base(), 0);
+    EXPECT_GT(font_size, 1000u);
+    uint64_t sum = 0;
+    for (uint32_t g = 0; g < kFontGlyphs; g++) {
+        // Firefox re-enters the sandbox per glyph (§6.1): the segment
+        // base is set per call.
+        auto guard = heap->template enter<P>();
+        P p = heap->template policy<P>();
+        sum = sum * 31 +
+              renderGlyph(p, 0, g, size_px, 4 * kMiB, 8 * kMiB);
+    }
+    return sum;
+}
+
+TEST(GraphiteLite, RendersNonEmptyGlyphs)
+{
+    auto heap = SandboxHeap::create(16 * kMiB);
+    ASSERT_TRUE(heap.isOk());
+    buildSyntheticFont(heap->base(), 0);
+    auto p = heap->policy<NativePolicy>();
+    uint64_t cs = renderGlyph(p, 0, 5, 32, 4 * kMiB, 8 * kMiB);
+    // Some pixels must be set (checksum over a zero bitmap is 0).
+    EXPECT_NE(cs, 0u);
+    // Count set pixels directly.
+    uint32_t set = 0;
+    for (uint32_t i = 0; i < 32 * 32; i++)
+        set += heap->base()[4 * kMiB + i] != 0;
+    EXPECT_GT(set, 16u);
+    EXPECT_LT(set, 32u * 32);
+}
+
+TEST(GraphiteLite, SizesProduceDifferentBitmaps)
+{
+    auto heap = SandboxHeap::create(16 * kMiB);
+    ASSERT_TRUE(heap.isOk());
+    buildSyntheticFont(heap->base(), 0);
+    auto p = heap->policy<NativePolicy>();
+    EXPECT_NE(renderGlyph(p, 0, 7, 16, 4 * kMiB, 8 * kMiB),
+              renderGlyph(p, 0, 7, 48, 4 * kMiB, 8 * kMiB));
+}
+
+TEST(GraphiteLite, AllPoliciesAgree)
+{
+    uint64_t native = renderAll<NativePolicy>(24);
+    EXPECT_EQ(renderAll<BaseAddPolicy>(24), native);
+    EXPECT_EQ(renderAll<SeguePolicy>(24), native);
+    EXPECT_EQ(renderAll<BoundsPolicy>(24), native);
+    EXPECT_EQ(renderAll<SegueBoundsPolicy>(24), native);
+}
+
+TEST(GraphiteLite, GlyphsDiffer)
+{
+    auto heap = SandboxHeap::create(16 * kMiB);
+    ASSERT_TRUE(heap.isOk());
+    buildSyntheticFont(heap->base(), 0);
+    auto p = heap->policy<NativePolicy>();
+    EXPECT_NE(renderGlyph(p, 0, 1, 32, 4 * kMiB, 8 * kMiB),
+              renderGlyph(p, 0, 2, 32, 4 * kMiB, 8 * kMiB));
+}
+
+}  // namespace
+}  // namespace sfi::w2c

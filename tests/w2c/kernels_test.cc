@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cross-policy differential tests for the wasm2c-style path: every
+ * kernel must produce the identical checksum under every access policy
+ * — native, classic SFI, Segue, and the bounds-checked variants. This
+ * is the correctness backbone of the Figure 3 measurements.
+ */
+#include "w2c/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "w2c/heap.h"
+
+namespace sfi::w2c {
+namespace {
+
+constexpr uint32_t kTestScale = 1;
+
+template <typename P>
+uint64_t
+runKernel(int k)
+{
+    auto heap = SandboxHeap::create(kernelHeapBytes(kTestScale));
+    SFI_CHECK_MSG(heap.isOk(), "%s", heap.message().c_str());
+    auto guard = heap->template enter<P>();
+    P policy = heap->template policy<P>();
+    return kKernels<P>[k].fn(policy, kTestScale);
+}
+
+class KernelPolicyEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KernelPolicyEquivalence, AllPoliciesAgree)
+{
+    int k = GetParam();
+    uint64_t native = runKernel<NativePolicy>(k);
+    EXPECT_NE(native, 0u) << "degenerate checksum";
+    EXPECT_EQ(runKernel<BaseAddPolicy>(k), native) << "wasm2c";
+    EXPECT_EQ(runKernel<SeguePolicy>(k), native) << "segue";
+    EXPECT_EQ(runKernel<BoundsPolicy>(k), native) << "bounds";
+    EXPECT_EQ(runKernel<SegueBoundsPolicy>(k), native) << "segue+bounds";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelPolicyEquivalence, ::testing::Range(0, kNumKernels),
+    [](const auto& info) {
+        return std::string(
+            kKernels<NativePolicy>[info.index].ours);
+    });
+
+TEST(Kernels, DeterministicAcrossRuns)
+{
+    uint64_t a = runKernel<NativePolicy>(0);
+    uint64_t b = runKernel<NativePolicy>(0);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Kernels, ScaleChangesWork)
+{
+    auto heap = SandboxHeap::create(kernelHeapBytes(2));
+    ASSERT_TRUE(heap.isOk());
+    auto p = heap->policy<NativePolicy>();
+    EXPECT_NE(kernCompress(p, 1), kernCompress(p, 2));
+}
+
+TEST(Heap, GuardPagesArePresent)
+{
+    auto heap = SandboxHeap::create(kWasmPageSize);
+    ASSERT_TRUE(heap.isOk());
+    EXPECT_EQ(heap->size(), kWasmPageSize);
+    // Reservation spans the full 4 GiB + guard.
+    EXPECT_GE(heap->memory().reservedBytes(), 4 * kGiB);
+}
+
+TEST(Policies, SegueReadsThroughGs)
+{
+    auto heap = SandboxHeap::create(kWasmPageSize);
+    ASSERT_TRUE(heap.isOk());
+    heap->base()[64] = 0x5c;
+    auto guard = heap->enter<SeguePolicy>();
+    auto p = heap->policy<SeguePolicy>();
+    EXPECT_EQ(p.load<uint8_t>(64), 0x5c);
+    p.store<uint32_t>(128, 0xfeedface);
+    uint32_t direct;
+    std::memcpy(&direct, heap->base() + 128, 4);
+    EXPECT_EQ(direct, 0xfeedfaceu);
+}
+
+TEST(Policies, SegueFloatingPoint)
+{
+    auto heap = SandboxHeap::create(kWasmPageSize);
+    ASSERT_TRUE(heap.isOk());
+    auto guard = heap->enter<SeguePolicy>();
+    auto p = heap->policy<SeguePolicy>();
+    p.storeAt<double>(0, 3, 2.718281828);
+    EXPECT_DOUBLE_EQ(p.loadAt<double>(0, 3), 2.718281828);
+    double direct;
+    std::memcpy(&direct, heap->base() + 24, 8);
+    EXPECT_DOUBLE_EQ(direct, 2.718281828);
+}
+
+TEST(Policies, BoundsPolicyChecksLimits)
+{
+    static bool tripped;
+    tripped = false;
+    setBoundsTrapHandler([] {
+        tripped = true;
+        // Tests must not continue the access; abuse exceptions? The
+        // handler contract is noreturn-ish; for the test we exit the
+        // access via longjmp-free EXPECT + abort suppression is messy,
+        // so instead verify via the in-bounds probe below and the
+        // death test.
+        std::abort();
+    });
+    setBoundsTrapHandler(nullptr);
+    auto heap = SandboxHeap::create(kWasmPageSize);
+    ASSERT_TRUE(heap.isOk());
+    auto p = heap->policy<BoundsPolicy>();
+    // In-bounds accesses work.
+    p.store<uint32_t>(kWasmPageSize - 4, 7);
+    EXPECT_EQ(p.load<uint32_t>(kWasmPageSize - 4), 7u);
+    EXPECT_DEATH((void)p.load<uint32_t>(kWasmPageSize - 3),
+                 "bounds check failed");
+}
+
+}  // namespace
+}  // namespace sfi::w2c

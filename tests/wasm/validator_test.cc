@@ -1,0 +1,288 @@
+#include "wasm/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+
+namespace sfi::wasm {
+namespace {
+
+using VT = ValType;
+
+TEST(Validator, EmptyModuleIsValid)
+{
+    Module m;
+    EXPECT_TRUE(validate(m));
+}
+
+TEST(Validator, SimpleAddFunction)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("add", {VT::I32, VT::I32}, {VT::I32});
+    f.localGet(0).localGet(1).i32Add().end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_TRUE(validate(m)) << validate(m).message();
+}
+
+TEST(Validator, TypeMismatchRejected)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {VT::I32, VT::I64}, {VT::I32});
+    f.localGet(0).localGet(1).i32Add().end();  // i32 + i64
+    Module m = std::move(mb).takeUnvalidated();
+    Status st = validate(m);
+    EXPECT_FALSE(st);
+    EXPECT_NE(st.message().find("type mismatch"), std::string::npos);
+}
+
+TEST(Validator, StackUnderflowRejected)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {}, {VT::I32});
+    f.i32Add().end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, MissingEndRejected)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {}, {});
+    f.block();  // no End for block or function
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, ResultArityChecked)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {}, {VT::I32});
+    f.end();  // returns nothing
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, ResultTypeChecked)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {}, {VT::I32});
+    f.i64Const(1).end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, LocalIndexChecked)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {VT::I32}, {});
+    f.localGet(3).drop().end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, FlatStackDisciplineEnforced)
+{
+    // A branch with a value left in the current block must be rejected.
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {}, {});
+    f.block().i32Const(1).br(0).end().end();
+    Module m = std::move(mb).takeUnvalidated();
+    Status st = validate(m);
+    EXPECT_FALSE(st);
+    EXPECT_NE(st.message().find("flat-stack"), std::string::npos);
+}
+
+TEST(Validator, BranchDepthChecked)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {}, {});
+    f.block().br(5).end().end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, DeadCodeRejected)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {}, {});
+    f.block().br(0).i32Const(1).drop().end().end();
+    Module m = std::move(mb).takeUnvalidated();
+    Status st = validate(m);
+    EXPECT_FALSE(st);
+    EXPECT_NE(st.message().find("dead code"), std::string::npos);
+}
+
+TEST(Validator, WellFormedLoopAccepted)
+{
+    // Canonical counted loop under the flat-stack discipline.
+    ModuleBuilder mb;
+    auto f = mb.func("sum", {VT::I32}, {VT::I32});
+    uint32_t i = f.local(VT::I32);
+    uint32_t acc = f.local(VT::I32);
+    f.block()
+        .loop()
+        .localGet(i).localGet(f.param(0)).i32GeU().brIf(1)
+        .localGet(acc).localGet(i).i32Add().localSet(acc)
+        .localGet(i).i32Const(1).i32Add().localSet(i)
+        .br(0)
+        .end()
+        .end()
+        .localGet(acc)
+        .end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_TRUE(validate(m)) << validate(m).message();
+}
+
+TEST(Validator, IfElseBalancedStacks)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("sel", {VT::I32}, {VT::I32});
+    uint32_t out = f.local(VT::I32);
+    f.localGet(0)
+        .if_()
+        .i32Const(10).localSet(out)
+        .else_()
+        .i32Const(20).localSet(out)
+        .end()
+        .localGet(out)
+        .end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_TRUE(validate(m)) << validate(m).message();
+}
+
+TEST(Validator, IfArmLeavingValueRejected)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {VT::I32}, {});
+    f.localGet(0).if_().i32Const(1).else_().end().end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, CallSignatureChecked)
+{
+    ModuleBuilder mb;
+    auto callee = mb.func("callee", {VT::I64}, {VT::I64});
+    callee.localGet(0).end();
+    auto f = mb.func("caller", {}, {});
+    f.i32Const(1).call(callee.index()).drop().end();  // i32 arg to i64
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, CallIndexChecked)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {}, {});
+    f.call(42).end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, TooManyParamsRejected)
+{
+    Module m;
+    m.types.push_back({{VT::I32, VT::I32, VT::I32, VT::I32, VT::I32,
+                        VT::I32, VT::I32},
+                       {}});
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, TooManyF64ParamsRejected)
+{
+    Module m;
+    m.types.push_back(
+        {{VT::F64, VT::F64, VT::F64, VT::F64, VT::F64}, {}});
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, MultiResultRejected)
+{
+    Module m;
+    m.types.push_back({{}, {VT::I32, VT::I32}});
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, DataSegmentBoundsChecked)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    mb.data(65536 - 2, {1, 2, 3, 4});  // spills past initial memory
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, TableEntriesChecked)
+{
+    ModuleBuilder mb;
+    mb.table({7});
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, ExportTargetChecked)
+{
+    ModuleBuilder mb;
+    mb.exportFunc("ghost", 3);
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, ImmutableGlobalAssignmentRejected)
+{
+    ModuleBuilder mb;
+    mb.global(VT::I32, /*is_mutable=*/false, 7);
+    auto f = mb.func("bad", {}, {});
+    f.i32Const(1).globalSet(0).end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, HugeStaticOffsetRejected)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("bad", {}, {VT::I32});
+    f.i32Const(0).i32Load(0x7fffffff).end();  // ~2 GiB static offset
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, SelectTypesMustMatch)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("bad", {}, {});
+    f.i32Const(1).i64Const(2).i32Const(0).select().drop().end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, MemoryLimitsChecked)
+{
+    Module m;
+    m.memory = {10, 5};
+    EXPECT_FALSE(validate(m));
+    m.memory = {0, 70000};
+    EXPECT_FALSE(validate(m));
+}
+
+TEST(Validator, BrTableValidated)
+{
+    ModuleBuilder mb;
+    auto f = mb.func("sw", {VT::I32}, {VT::I32});
+    uint32_t out = f.local(VT::I32);
+    f.block().block().block()
+        .localGet(0).brTable({0, 1, 2})
+        .end()
+        .i32Const(10).localSet(out).br(1)
+        .end()
+        .i32Const(20).localSet(out).br(0)
+        .end()
+        .localGet(out)
+        .end();
+    Module m = std::move(mb).takeUnvalidated();
+    EXPECT_TRUE(validate(m)) << validate(m).message();
+}
+
+}  // namespace
+}  // namespace sfi::wasm

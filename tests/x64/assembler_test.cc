@@ -1,0 +1,295 @@
+#include "x64/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sfi::x64 {
+namespace {
+
+/** Collects emitted bytes for exact comparison (objdump-verified). */
+std::vector<uint8_t>
+emit(void (*fn)(Assembler&))
+{
+    Assembler a;
+    fn(a);
+    return a.code();
+}
+
+using Bytes = std::vector<uint8_t>;
+
+// --- The Figure 1 instruction patterns, byte-exact ---
+
+TEST(Assembler, Fig1bTruncate)
+{
+    // mov ebx, ebx — the explicit 32-bit truncation classic SFI needs.
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.mov(Width::W32, Reg::rbx, Reg::rbx);
+              }),
+              (Bytes{0x89, 0xdb}));
+}
+
+TEST(Assembler, Fig1bBasePlusOffsetLoad)
+{
+    // mov r10, [rax + rbx] — heap_base in %rax + truncated offset.
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.load(Width::W64, false, Reg::r10,
+                         Mem::baseIndex(Reg::rax, Reg::rbx));
+              }),
+              (Bytes{0x4c, 0x8b, 0x14, 0x18}));
+}
+
+TEST(Assembler, Fig1bTruncatingLea)
+{
+    // lea edi, [ecx + edx*4 + 8] (32-bit dest truncates).
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.lea(Width::W32, Reg::rdi,
+                        Mem::baseIndex(Reg::rcx, Reg::rdx, 4, 8));
+              }),
+              (Bytes{0x8d, 0x7c, 0x91, 0x08}));
+}
+
+TEST(Assembler, Fig1cSegueLoad)
+{
+    // mov r10, gs:[ebx] — Segue's one-instruction sandboxed load:
+    // 65 = %gs override, 67 = 32-bit effective address.
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.load(Width::W64, false, Reg::r10, Mem::gs32(Reg::rbx));
+              }),
+              (Bytes{0x65, 0x67, 0x4c, 0x8b, 0x13}));
+}
+
+TEST(Assembler, Fig1cSegueLoadWithIndex)
+{
+    // mov r11, gs:[ecx + edx*4 + 8] — mixed-mode arithmetic in one insn.
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.load(Width::W64, false, Reg::r11,
+                         Mem::gs32Index(Reg::rcx, Reg::rdx, 4, 8));
+              }),
+              (Bytes{0x65, 0x67, 0x4c, 0x8b, 0x5c, 0x91, 0x08}));
+}
+
+TEST(Assembler, SegueCodeSizeAdvantage)
+{
+    // Pattern 1 of Figure 1: two instructions (6 bytes) without Segue,
+    // one instruction (5 bytes) with. The per-pattern byte saving drives
+    // the Table 2 binary-size reductions.
+    Assembler base;
+    base.mov(Width::W32, Reg::rbx, Reg::rbx);
+    base.load(Width::W64, false, Reg::r10,
+              Mem::baseIndex(Reg::rax, Reg::rbx));
+    Assembler segue;
+    segue.load(Width::W64, false, Reg::r10, Mem::gs32(Reg::rbx));
+    EXPECT_LT(segue.size(), base.size());
+}
+
+// --- general encodings ---
+
+TEST(Assembler, MovImm)
+{
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.movImm64(Reg::rax, 0x1122334455667788ull);
+              }),
+              (Bytes{0x48, 0xb8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22,
+                     0x11}));
+    EXPECT_EQ(emit([](Assembler& a) { a.movImm32(Reg::r9, 0xdeadbeef); }),
+              (Bytes{0x41, 0xb9, 0xef, 0xbe, 0xad, 0xde}));
+}
+
+TEST(Assembler, ByteStoreNeedsRexForDil)
+{
+    // mov [rsi+1], dil requires a bare REX (0x40).
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.store(Width::W8, Mem::baseDisp(Reg::rsi, 1), Reg::rdi);
+              }),
+              (Bytes{0x40, 0x88, 0x7e, 0x01}));
+}
+
+TEST(Assembler, R12BaseNeedsSib)
+{
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.store(Width::W16, Mem::baseDisp(Reg::r12, 0), Reg::rax);
+              }),
+              (Bytes{0x66, 0x41, 0x89, 0x04, 0x24}));
+}
+
+TEST(Assembler, RbpBaseNeedsDisp8)
+{
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.store(Width::W32, Mem::baseDisp(Reg::rbp, 0), Reg::r15);
+              }),
+              (Bytes{0x44, 0x89, 0x7d, 0x00}));
+}
+
+TEST(Assembler, Disp32)
+{
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.store(Width::W64, Mem::baseDisp(Reg::r13, 256),
+                          Reg::rcx);
+              }),
+              (Bytes{0x49, 0x89, 0x8d, 0x00, 0x01, 0x00, 0x00}));
+}
+
+TEST(Assembler, SignExtendingLoads)
+{
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.load(Width::W8, true, Reg::rax,
+                         Mem::baseDisp(Reg::rdx, -4));
+              }),
+              (Bytes{0x48, 0x0f, 0xbe, 0x42, 0xfc}));
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.load(Width::W32, true, Reg::rcx,
+                         Mem::baseDisp(Reg::rsp, 8));
+              }),
+              (Bytes{0x48, 0x63, 0x4c, 0x24, 0x08}));
+}
+
+TEST(Assembler, Alu)
+{
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.alu(AluOp::Add, Width::W64, Reg::rax, Reg::rbx);
+              }),
+              (Bytes{0x48, 0x03, 0xc3}));
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.alu(AluOp::Cmp, Width::W32, Reg::r10, Reg::r11);
+              }),
+              (Bytes{0x45, 0x3b, 0xd3}));
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 0x28);
+              }),
+              (Bytes{0x48, 0x83, 0xec, 0x28}));
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.aluImm(AluOp::And, Width::W32, Reg::rax, 0x7fffffff);
+              }),
+              (Bytes{0x81, 0xe0, 0xff, 0xff, 0xff, 0x7f}));
+}
+
+TEST(Assembler, AluMemUsesSegueOperandSlot)
+{
+    // add rax, gs:[ebx+16] — the freed operand slot in action.
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.aluMem(AluOp::Add, Width::W64, Reg::rax,
+                           Mem::gs32(Reg::rbx, 16));
+              }),
+              (Bytes{0x65, 0x67, 0x48, 0x03, 0x43, 0x10}));
+}
+
+TEST(Assembler, MulDivShift)
+{
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.imul(Width::W32, Reg::rax, Reg::r9);
+              }),
+              (Bytes{0x41, 0x0f, 0xaf, 0xc1}));
+    EXPECT_EQ(emit([](Assembler& a) { a.div(Width::W32, Reg::rcx); }),
+              (Bytes{0xf7, 0xf1}));
+    EXPECT_EQ(emit([](Assembler& a) { a.idiv(Width::W64, Reg::r8); }),
+              (Bytes{0x49, 0xf7, 0xf8}));
+    EXPECT_EQ(emit([](Assembler& a) { a.cqo(); }), (Bytes{0x48, 0x99}));
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.shiftCl(ShiftOp::Shl, Width::W32, Reg::rax);
+              }),
+              (Bytes{0xd3, 0xe0}));
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.shiftImm(ShiftOp::Sar, Width::W64, Reg::rdx, 3);
+              }),
+              (Bytes{0x48, 0xc1, 0xfa, 0x03}));
+}
+
+TEST(Assembler, SetccAndCmov)
+{
+    EXPECT_EQ(emit([](Assembler& a) { a.setcc(Cond::E, Reg::rax); }),
+              (Bytes{0x0f, 0x94, 0xc0}));
+    // seta sil needs the bare REX.
+    EXPECT_EQ(emit([](Assembler& a) { a.setcc(Cond::A, Reg::rsi); }),
+              (Bytes{0x40, 0x0f, 0x97, 0xc6}));
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.cmovcc(Cond::NE, Width::W64, Reg::rax, Reg::rbx);
+              }),
+              (Bytes{0x48, 0x0f, 0x45, 0xc3}));
+}
+
+TEST(Assembler, ControlFlow)
+{
+    EXPECT_EQ(emit([](Assembler& a) { a.jmpReg(Reg::r11); }),
+              (Bytes{0x41, 0xff, 0xe3}));
+    EXPECT_EQ(emit([](Assembler& a) { a.callReg(Reg::rax); }),
+              (Bytes{0xff, 0xd0}));
+    EXPECT_EQ(emit([](Assembler& a) { a.ret(); }), (Bytes{0xc3}));
+    EXPECT_EQ(emit([](Assembler& a) { a.ud2(); }), (Bytes{0x0f, 0x0b}));
+}
+
+TEST(Assembler, Sse2)
+{
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.movsdLoad(Xmm::xmm0, Mem::baseDisp(Reg::rax, 8));
+              }),
+              (Bytes{0xf2, 0x0f, 0x10, 0x40, 0x08}));
+    // Segue'd FP load.
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.movsdLoad(Xmm::xmm9,
+                              Mem::gs32Index(Reg::rbx, Reg::rcx, 8, 0));
+              }),
+              (Bytes{0x65, 0x67, 0xf2, 0x44, 0x0f, 0x10, 0x0c, 0xcb}));
+    EXPECT_EQ(emit([](Assembler& a) { a.addsd(Xmm::xmm0, Xmm::xmm1); }),
+              (Bytes{0xf2, 0x0f, 0x58, 0xc1}));
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.cvtsi2sd(Xmm::xmm1, Width::W64, Reg::r8);
+              }),
+              (Bytes{0xf2, 0x49, 0x0f, 0x2a, 0xc8}));
+    EXPECT_EQ(emit([](Assembler& a) {
+                  a.movqToXmm(Xmm::xmm3, Reg::rax);
+              }),
+              (Bytes{0x66, 0x48, 0x0f, 0x6e, 0xd8}));
+}
+
+TEST(Assembler, LabelsForwardAndBackward)
+{
+    Assembler a;
+    auto l = a.newLabel();
+    a.jcc(Cond::L, l);   // forward, 6 bytes
+    a.jmp(l);            // forward, 5 bytes
+    a.bind(l);
+    a.call(l);           // backward, rel = -5
+    Bytes expect{
+        0x0f, 0x8c, 0x05, 0x00, 0x00, 0x00,  // jl +5
+        0xe9, 0x00, 0x00, 0x00, 0x00,        // jmp +0
+        0xe8, 0xfb, 0xff, 0xff, 0xff,        // call -5
+    };
+    EXPECT_EQ(a.code(), expect);
+    EXPECT_EQ(a.labelOffset(l), 11u);
+}
+
+TEST(Assembler, NopPadding)
+{
+    for (size_t n : {1u, 2u, 5u, 9u, 13u, 32u}) {
+        Assembler a;
+        a.nop(n);
+        EXPECT_EQ(a.size(), n) << "nop(" << n << ")";
+    }
+}
+
+TEST(AssemblerDeath, RspIndexRejected)
+{
+    Assembler a;
+    EXPECT_DEATH(a.load(Width::W64, false, Reg::rax,
+                        Mem::baseIndex(Reg::rbx, Reg::rsp)),
+                 "rsp cannot be an index");
+}
+
+TEST(AssemblerDeath, DoubleBindRejected)
+{
+    Assembler a;
+    auto l = a.newLabel();
+    a.bind(l);
+    EXPECT_DEATH(a.bind(l), "bound twice");
+}
+
+TEST(AssemblerDeath, UnboundLabelOffsetRejected)
+{
+    Assembler a;
+    auto l = a.newLabel();
+    EXPECT_DEATH((void)a.labelOffset(l), "not bound");
+}
+
+}  // namespace
+}  // namespace sfi::x64

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "x64/assembler.h"
+#include "x64/exec_code.h"
+
+namespace sfi::x64 {
+namespace {
+
+// System V AMD64: args rdi, rsi, rdx, rcx, r8, r9; return rax.
+
+TEST(ExecCode, ReturnConstant)
+{
+    Assembler a;
+    a.movImm64(Reg::rax, 1234567890123ull);
+    a.ret();
+    auto code = ExecCode::publish(a.code());
+    ASSERT_TRUE(code.isOk()) << code.message();
+    auto fn = code->entry<uint64_t (*)()>();
+    EXPECT_EQ(fn(), 1234567890123ull);
+}
+
+TEST(ExecCode, AddTwoArgs)
+{
+    Assembler a;
+    a.mov(Width::W64, Reg::rax, Reg::rdi);
+    a.alu(AluOp::Add, Width::W64, Reg::rax, Reg::rsi);
+    a.ret();
+    auto code = ExecCode::publish(a.code());
+    ASSERT_TRUE(code.isOk());
+    auto fn = code->entry<uint64_t (*)(uint64_t, uint64_t)>();
+    EXPECT_EQ(fn(40, 2), 42u);
+    EXPECT_EQ(fn(UINT64_MAX, 1), 0u);
+}
+
+TEST(ExecCode, Mov32TruncatesLikeFig1)
+{
+    // mov eax, edi zero-extends: the SFI truncation primitive.
+    Assembler a;
+    a.mov(Width::W32, Reg::rax, Reg::rdi);
+    a.ret();
+    auto code = ExecCode::publish(a.code());
+    ASSERT_TRUE(code.isOk());
+    auto fn = code->entry<uint64_t (*)(uint64_t)>();
+    EXPECT_EQ(fn(0xffffffff12345678ull), 0x12345678ull);
+}
+
+TEST(ExecCode, LoadThroughPointer)
+{
+    // mov rax, [rdi + rsi*8]
+    Assembler a;
+    a.load(Width::W64, false, Reg::rax,
+           Mem::baseIndex(Reg::rdi, Reg::rsi, 8, 0));
+    a.ret();
+    auto code = ExecCode::publish(a.code());
+    ASSERT_TRUE(code.isOk());
+    auto fn = code->entry<uint64_t (*)(const uint64_t*, uint64_t)>();
+    uint64_t table[4] = {10, 20, 30, 40};
+    EXPECT_EQ(fn(table, 0), 10u);
+    EXPECT_EQ(fn(table, 3), 40u);
+}
+
+TEST(ExecCode, BranchesAndLoops)
+{
+    // Sum 0..n-1 with a loop: tests labels, jcc, inc-by-add.
+    Assembler a;
+    a.movImm32(Reg::rax, 0);                    // acc = 0
+    a.movImm32(Reg::rcx, 0);                    // i = 0
+    auto head = a.newLabel();
+    auto done = a.newLabel();
+    a.bind(head);
+    a.alu(AluOp::Cmp, Width::W64, Reg::rcx, Reg::rdi);
+    a.jcc(Cond::AE, done);
+    a.alu(AluOp::Add, Width::W64, Reg::rax, Reg::rcx);
+    a.aluImm(AluOp::Add, Width::W64, Reg::rcx, 1);
+    a.jmp(head);
+    a.bind(done);
+    a.ret();
+    auto code = ExecCode::publish(a.code());
+    ASSERT_TRUE(code.isOk());
+    auto fn = code->entry<uint64_t (*)(uint64_t)>();
+    EXPECT_EQ(fn(0), 0u);
+    EXPECT_EQ(fn(10), 45u);
+    EXPECT_EQ(fn(1000), 499500u);
+}
+
+TEST(ExecCode, DivisionPair)
+{
+    // (rdi / rsi, remainder) — returns quotient.
+    Assembler a;
+    a.mov(Width::W64, Reg::rax, Reg::rdi);
+    a.movImm32(Reg::rdx, 0);
+    a.div(Width::W64, Reg::rsi);
+    a.ret();
+    auto code = ExecCode::publish(a.code());
+    ASSERT_TRUE(code.isOk());
+    auto fn = code->entry<uint64_t (*)(uint64_t, uint64_t)>();
+    EXPECT_EQ(fn(100, 7), 14u);
+}
+
+TEST(ExecCode, Float64Arithmetic)
+{
+    // (a + b) * a
+    Assembler a;
+    a.movsd(Xmm::xmm2, Xmm::xmm0);
+    a.addsd(Xmm::xmm2, Xmm::xmm1);
+    a.mulsd(Xmm::xmm2, Xmm::xmm0);
+    a.movsd(Xmm::xmm0, Xmm::xmm2);
+    a.ret();
+    auto code = ExecCode::publish(a.code());
+    ASSERT_TRUE(code.isOk());
+    auto fn = code->entry<double (*)(double, double)>();
+    EXPECT_DOUBLE_EQ(fn(3.0, 4.0), 21.0);
+}
+
+TEST(ExecCode, SetccMaterializesFlags)
+{
+    // rdi < rsi (unsigned) ? 1 : 0
+    Assembler a;
+    a.alu(AluOp::Cmp, Width::W64, Reg::rdi, Reg::rsi);
+    a.setcc(Cond::B, Reg::rax);
+    a.movzx8(Reg::rax, Reg::rax);
+    a.ret();
+    auto code = ExecCode::publish(a.code());
+    ASSERT_TRUE(code.isOk());
+    auto fn = code->entry<uint64_t (*)(uint64_t, uint64_t)>();
+    EXPECT_EQ(fn(1, 2), 1u);
+    EXPECT_EQ(fn(2, 1), 0u);
+    EXPECT_EQ(fn(5, 5), 0u);
+}
+
+TEST(ExecCode, EmptyBufferRejected)
+{
+    EXPECT_FALSE(ExecCode::publish({}).isOk());
+}
+
+}  // namespace
+}  // namespace sfi::x64
