@@ -12,8 +12,16 @@
  *
  * Expected shape: gain grows with the process count, topping out
  * around the paper's ~29% at 15 processes.
+ *
+ * A second, measured (not simulated) section then drives the real
+ * multi-worker FaaS host across 1-16 scheduler threads for the three
+ * pool-recycling strategies (cold / warm-affinity / deferred-decommit),
+ * exercising the concurrent pooling allocator end to end. `--json
+ * out.json` emits both sections machine-readably; `--sim-only` /
+ * `--mt-only` select one.
  */
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "faas/scheduler.h"
@@ -39,13 +47,9 @@ calibrateComputeUs(const wkld::Workload& w)
     return stats->elapsedSec * 1e6 / double(kReqs);
 }
 
-int
-run()
+void
+runSimulated(bench::JsonEmitter& json)
 {
-    bench::header("Figure 6 — ColorGuard vs multiprocess throughput",
-                  "paper: gain grows with process count, up to ~29% at "
-                  "15 processes");
-
     const auto& workloads = wkld::faasWorkloads();
     double compute_us[3];
     for (int i = 0; i < 3; i++) {
@@ -65,7 +69,6 @@ run()
             simx::FaasSimConfig base;
             base.computeMeanUs = compute_us[i];
             base.concurrentRequests = 64 * n;  // load that needs n procs
-
             simx::FaasSimConfig cg = base;
             cg.colorguard = true;
             simx::FaasSimConfig mp = base;
@@ -75,11 +78,112 @@ run()
             double tput_mp = simx::simulateFaas(mp).throughputRps;
             double gain = 100.0 * (tput_cg / tput_mp - 1.0);
             std::printf(" %17.1f%%", gain);
+            json.row()
+                .field("section", std::string("simulated"))
+                .field("workload", std::string(workloads[i].name))
+                .field("processes", n)
+                .field("colorguard_rps", tput_cg)
+                .field("multiprocess_rps", tput_mp)
+                .field("gain_pct", gain);
         }
         std::printf("\n");
     }
     std::printf("\n(throughput gain of ColorGuard over N-process "
                 "scaling; single simulated core)\n");
+}
+
+struct HostConfig
+{
+    const char* name;
+    bool warmAffinity;
+    bool deferredDecommit;
+};
+
+constexpr HostConfig kHostConfigs[] = {
+    {"cold", false, false},
+    {"warm", true, false},
+    {"deferred", true, true},
+};
+
+void
+runMultithreaded(bench::JsonEmitter& json)
+{
+    std::printf("\nMeasured multi-worker host (concurrent pool, "
+                "%u cores):\n",
+                std::thread::hardware_concurrency());
+    std::printf("%-10s %8s %10s %12s %10s %12s\n", "config", "threads",
+                "requests", "rps", "warm-hit%", "checksum");
+
+    const auto& w = wkld::faasWorkloads()[0];
+    const uint64_t kReqs = 400;
+    uint64_t ref_checksum = 0;
+    bool have_ref = false;
+    for (const HostConfig& cfg : kHostConfigs) {
+        for (int threads : {1, 2, 4, 8, 16}) {
+            faas::FaasHost::Options opts;
+            opts.maxConcurrent = 32;
+            opts.workerThreads = threads;
+            opts.warmAffinity = cfg.warmAffinity;
+            opts.deferredDecommit = cfg.deferredDecommit;
+            opts.ioDelayMeanMs = 0.2;
+            auto host = faas::FaasHost::create(w.make(), std::move(opts));
+            SFI_CHECK_MSG(host.isOk(), "%s", host.message().c_str());
+            auto stats = (*host)->run(kReqs);
+            SFI_CHECK_MSG(stats.isOk(), "%s", stats.message().c_str());
+            SFI_CHECK(stats->completed == kReqs);
+            // The response checksum is order-independent (xor), so every
+            // configuration and thread count must agree on it.
+            if (!have_ref) {
+                ref_checksum = stats->checksum;
+                have_ref = true;
+            }
+            SFI_CHECK(stats->checksum == ref_checksum);
+
+            auto ps = (*host)->memoryPool().stats();
+            double warm_pct =
+                ps.allocations ? 100.0 * double(ps.warmHits) /
+                                     double(ps.allocations)
+                               : 0;
+            std::printf("%-10s %8d %10llu %12.0f %9.1f%% %12llx\n",
+                        cfg.name, threads,
+                        (unsigned long long)stats->completed,
+                        stats->throughputRps, warm_pct,
+                        (unsigned long long)stats->checksum);
+            json.row()
+                .field("section", std::string("measured"))
+                .field("config", std::string(cfg.name))
+                .field("threads", threads)
+                .field("requests", stats->completed)
+                .field("rps", stats->throughputRps)
+                .field("warm_hits", ps.warmHits)
+                .field("steals", ps.steals)
+                .field("decommits", ps.decommits);
+        }
+    }
+    std::printf("(closed-loop, %llu requests, workload %s; checksum "
+                "verified identical across all configs)\n",
+                (unsigned long long)kReqs, w.name);
+}
+
+int
+run(int argc, char** argv)
+{
+    bench::header("Figure 6 — ColorGuard vs multiprocess throughput",
+                  "paper: gain grows with process count, up to ~29% at "
+                  "15 processes");
+    bench::JsonEmitter json(argc, argv, "fig6_faas_throughput");
+
+    bool sim_only = false, mt_only = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--sim-only") == 0)
+            sim_only = true;
+        if (std::strcmp(argv[i], "--mt-only") == 0)
+            mt_only = true;
+    }
+    if (!mt_only)
+        runSimulated(json);
+    if (!sim_only)
+        runMultithreaded(json);
     return 0;
 }
 
@@ -87,7 +191,7 @@ run()
 }  // namespace sfi
 
 int
-main()
+main(int argc, char** argv)
 {
-    return sfi::run();
+    return sfi::run(argc, argv);
 }

@@ -1,17 +1,22 @@
 /**
  * @file
  * Shared helpers for the paper-figure benchmark binaries: repetition
- * timing with median/stddev reporting and table printing.
+ * timing with median/stddev reporting, table printing, and a
+ * machine-readable JSON results emitter (`--json out.json`) so perf
+ * trajectories can be tracked across PRs.
  */
 #ifndef SFIKIT_BENCH_BENCH_UTIL_H_
 #define SFIKIT_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/cpu.h"
+#include "base/logging.h"
 #include "base/stats.h"
 
 namespace sfi::bench {
@@ -93,6 +98,132 @@ header(const char* title, const char* paper_ref)
     std::printf("%s\n  reproduces: %s\n", title, paper_ref);
     hr();
 }
+
+/**
+ * Machine-readable results sink. Construct from main()'s argv; when the
+ * user passed `--json <path>` every row() lands in a JSON file of the
+ * shape
+ *
+ *   {"bench": "<name>", "results": [{"metric": 1.0, ...}, ...]}
+ *
+ * on destruction. Without the flag all calls are no-ops, so benches can
+ * emit rows unconditionally.
+ */
+class JsonEmitter
+{
+  public:
+    /** One result row: a flat set of string/number fields. */
+    class Row
+    {
+      public:
+        Row&
+        field(const char* name, double value)
+        {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.17g", value);
+            fields_.emplace_back(name, buf);
+            return *this;
+        }
+
+        Row&
+        field(const char* name, uint64_t value)
+        {
+            fields_.emplace_back(
+                name, std::to_string((unsigned long long)value));
+            return *this;
+        }
+
+        Row&
+        field(const char* name, int value)
+        {
+            fields_.emplace_back(name, std::to_string(value));
+            return *this;
+        }
+
+        Row&
+        field(const char* name, const std::string& value)
+        {
+            fields_.emplace_back(name, "\"" + escape(value) + "\"");
+            return *this;
+        }
+
+      private:
+        friend class JsonEmitter;
+
+        static std::string
+        escape(const std::string& s)
+        {
+            std::string out;
+            for (char c : s) {
+                if (c == '"' || c == '\\')
+                    out.push_back('\\');
+                out.push_back(c);
+            }
+            return out;
+        }
+
+        /** name -> already-JSON-encoded value */
+        std::vector<std::pair<std::string, std::string>> fields_;
+    };
+
+    JsonEmitter(int argc, char** argv, const char* bench_name)
+        : benchName_(bench_name)
+    {
+        for (int i = 1; i < argc; i++) {
+            if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+                path_ = argv[i + 1];
+            else if (std::strncmp(argv[i], "--json=", 7) == 0)
+                path_ = argv[i] + 7;
+        }
+    }
+
+    ~JsonEmitter() { write(); }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Appends and returns a fresh result row. */
+    Row& row()
+    {
+        rows_.emplace_back();
+        return rows_.back();
+    }
+
+    /** Writes the file now (also runs at destruction). */
+    void
+    write()
+    {
+        if (path_.empty() || written_)
+            return;
+        std::FILE* f = std::fopen(path_.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         path_.c_str());
+            return;
+        }
+        std::fprintf(f, "{\"bench\": \"%s\", \"results\": [\n",
+                     benchName_.c_str());
+        for (size_t i = 0; i < rows_.size(); i++) {
+            std::fprintf(f, "  {");
+            const auto& fields = rows_[i].fields_;
+            for (size_t j = 0; j < fields.size(); j++) {
+                std::fprintf(f, "\"%s\": %s%s", fields[j].first.c_str(),
+                             fields[j].second.c_str(),
+                             j + 1 < fields.size() ? ", " : "");
+            }
+            std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("results written to %s\n", path_.c_str());
+        written_ = true;
+    }
+
+  private:
+    std::string benchName_;
+    std::string path_;
+    std::vector<Row> rows_;
+    bool written_ = false;
+};
 
 }  // namespace sfi::bench
 

@@ -108,6 +108,15 @@ Reservation::decommit(uint64_t offset, uint64_t bytes)
     return Status::ok();
 }
 
+Status
+Reservation::zero(uint64_t offset, uint64_t bytes)
+{
+    if (offset > size_ || bytes > size_ - offset)
+        return Status::error("zero range out of bounds");
+    std::memset(base_ + offset, 0, bytes);
+    return Status::ok();
+}
+
 uint64_t
 currentVmaCount()
 {

@@ -62,6 +62,15 @@ class Reservation
      */
     Status decommit(uint64_t offset, uint64_t bytes);
 
+    /**
+     * Zero [offset, offset+bytes) with a plain memset. The pages stay
+     * committed and their PTEs (including MPK colors) stay warm — the
+     * cheap alternative to decommit() when the dirty span is small and
+     * the slot is about to be reused (warm-affinity reuse). The range
+     * must already be writable.
+     */
+    Status zero(uint64_t offset, uint64_t bytes);
+
     uint8_t* base() const { return base_; }
     uint64_t size() const { return size_; }
     bool valid() const { return base_ != nullptr; }

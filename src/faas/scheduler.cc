@@ -33,7 +33,7 @@ EpochTimer::~EpochTimer()
 struct FaasHost::RequestSlot
 {
     FaasHost* host = nullptr;
-    int index = 0;
+    Worker* worker = nullptr;
     std::unique_ptr<Fiber> fiber;
     pool::Slot poolSlot;
     std::unique_ptr<rt::Instance> instance;
@@ -41,8 +41,7 @@ struct FaasHost::RequestSlot
     uint64_t requestId = 0;
     /** Wall-clock ns when this fiber may run again. */
     uint64_t readyAtNs = 0;
-    bool active = false;      ///< has an in-flight request
-    bool needsRequest = true; ///< waiting to be assigned one
+    bool active = false;  ///< has an in-flight request
 
     /** Saved sandbox context across yields. */
     rt::ActiveExecution* savedExec = nullptr;
@@ -50,12 +49,26 @@ struct FaasHost::RequestSlot
     mpk::Pkru savedPkru{};
 };
 
+/** One scheduler thread: a private share of the request slots plus
+ *  per-thread RNG and statistics (merged after the run). */
+struct FaasHost::Worker
+{
+    FaasHost* host = nullptr;
+    int index = 0;
+    int numSlots = 0;
+    Rng rng{42};
+    Stats stats;
+    Status failure;
+    std::vector<std::unique_ptr<RequestSlot>> slots;
+};
+
 Result<std::unique_ptr<FaasHost>>
 FaasHost::create(wasm::Module workload, Options options)
 {
     auto host = std::unique_ptr<FaasHost>(new FaasHost());
     host->opts_ = std::move(options);
-    host->rng_ = Rng(host->opts_.seed);
+    if (host->opts_.workerThreads < 1)
+        host->opts_.workerThreads = 1;
 
     jit::CompilerConfig cfg = host->opts_.config;
     cfg.epochChecks = true;
@@ -64,7 +77,9 @@ FaasHost::create(wasm::Module workload, Options options)
         return Result<std::unique_ptr<FaasHost>>::error(shared.message());
     host->module_ = *shared;
 
-    // Pool: slots sized to the workload's memory, ColorGuard striping.
+    // Pool: slots sized to the workload's memory, ColorGuard striping,
+    // one free-list shard per worker so checkout never funnels through
+    // a single lock.
     host->mpk_ = mpk::makeEmulated();
     pool::MemoryPool::Options popt;
     popt.config.numSlots = uint64_t(host->opts_.maxConcurrent);
@@ -72,6 +87,13 @@ FaasHost::create(wasm::Module workload, Options options)
     popt.config.guardBytes = 8 * host->opts_.slotBytes;
     popt.config.stripingEnabled = host->opts_.colorguard;
     popt.mpk = host->mpk_.get();
+    popt.shards = uint32_t(host->opts_.workerThreads);
+    popt.warmSlotsPerShard =
+        host->opts_.warmAffinity
+            ? uint32_t(std::max(1, host->opts_.maxConcurrent /
+                                       host->opts_.workerThreads))
+            : 0;
+    popt.deferredDecommit = host->opts_.deferredDecommit;
     auto pool = pool::MemoryPool::create(std::move(popt));
     if (!pool)
         return Result<std::unique_ptr<FaasHost>>::error(pool.message());
@@ -83,6 +105,17 @@ FaasHost::create(wasm::Module workload, Options options)
 }
 
 FaasHost::~FaasHost() = default;
+
+uint64_t
+FaasHost::takeRequestId()
+{
+    uint64_t cur = nextRequestId_.load(std::memory_order_relaxed);
+    while (cur < totalRequests_ &&
+           !nextRequestId_.compare_exchange_weak(
+               cur, cur + 1, std::memory_order_relaxed)) {
+    }
+    return cur < totalRequests_ ? cur : UINT64_MAX;
+}
 
 void
 FaasHost::yieldFromGuest(RequestSlot* slot)
@@ -117,15 +150,16 @@ FaasHost::requestBody(RequestSlot* slot)
         iopt.mpkSystem = mpk_.get();
         iopt.pkey = slot->poolSlot.pkey;
     }
+    Worker* worker = slot->worker;
     auto inst = rt::Instance::create(
         module_,
         {{"io_wait",
-          [this, slot](uint64_t*, size_t) {
+          [this, slot, worker](uint64_t*, size_t) {
               // Simulated IO: park until the Poisson delay elapses.
               double delay =
-                  rng_.nextExponential(opts_.ioDelayMeanMs * 1e6);
+                  worker->rng.nextExponential(opts_.ioDelayMeanMs * 1e6);
               slot->readyAtNs = monotonicNs() + uint64_t(delay);
-              stats_.ioYields++;
+              worker->stats.ioYields++;
               yieldFromGuest(slot);
               return rt::HostOutcome{};
           }}},
@@ -134,10 +168,10 @@ FaasHost::requestBody(RequestSlot* slot)
                   inst.message().c_str());
     slot->instance = std::move(*inst);
     slot->instance->setEpoch(timer_->counter(), timer_->now());
-    slot->instance->setEpochCallback([this, slot] {
+    slot->instance->setEpochCallback([this, slot, worker] {
         // Preempted: yield to the scheduler, run again next round.
         slot->readyAtNs = 0;
-        stats_.epochYields++;
+        worker->stats.epochYields++;
         yieldFromGuest(slot);
         slot->instance->setEpochDeadline(timer_->now());
     });
@@ -145,100 +179,161 @@ FaasHost::requestBody(RequestSlot* slot)
     auto out = slot->instance->call(
         "handle", {slot->requestId & 0xffffffffu});
     SFI_CHECK_MSG(out.ok(), "request trapped: %s", rt::name(out.trap));
-    stats_.checksum ^= out.value + slot->requestId;
-    stats_.completed++;
+    worker->stats.checksum ^= out.value + slot->requestId;
+    worker->stats.completed++;
     slot->active = false;
+}
+
+Status
+FaasHost::workerSetup(Worker* w)
+{
+    for (int i = 0; i < w->numSlots; i++) {
+        auto slot = std::make_unique<RequestSlot>();
+        slot->host = this;
+        slot->worker = w;
+        auto ps = pool_->allocate();
+        if (!ps)
+            return Status::error(ps.message());
+        slot->poolSlot = *ps;
+        w->slots.push_back(std::move(slot));
+    }
+    return Status::ok();
+}
+
+void
+FaasHost::workerTeardown(Worker* w)
+{
+    for (auto& slot : w->slots) {
+        uint64_t touched =
+            slot->instance ? slot->instance->memory().highWaterBytes()
+                           : 0;
+        SFI_CHECK(pool_->free(slot->poolSlot, touched).isOk());
+        slot->instance.reset();
+    }
+    w->slots.clear();
+}
+
+void
+FaasHost::workerLoop(Worker* w)
+{
+    // Checkout happens on the worker thread so slots land in (and
+    // return to) this thread's free-list shard.
+    w->failure = workerSetup(w);
+    if (w->failure.isOk()) {
+        while (true) {
+            uint64_t now = monotonicNs();
+            uint64_t next_ready = UINT64_MAX;
+            bool progressed = false;
+            bool any_active = false;
+
+            for (auto& slot_ptr : w->slots) {
+                RequestSlot* slot = slot_ptr.get();
+                if (!slot->active) {
+                    uint64_t id = takeRequestId();
+                    if (id == UINT64_MAX)
+                        continue;
+                    // Assign a new request: fresh fiber + recycled slot
+                    // memory. With warm affinity the slot usually comes
+                    // straight back from this shard's cache — zeroed by
+                    // memset over the previous request's footprint, no
+                    // decommit/refault.
+                    slot->requestId = id;
+                    slot->active = true;
+                    slot->readyAtNs = 0;
+                    uint64_t touched =
+                        slot->instance
+                            ? slot->instance->memory().highWaterBytes()
+                            : 0;
+                    SFI_CHECK(
+                        pool_->free(slot->poolSlot, touched).isOk());
+                    auto ps = pool_->allocate();
+                    SFI_CHECK(ps.isOk());
+                    slot->poolSlot = *ps;
+                    auto fiber = Fiber::create(
+                        [this, slot] { requestBody(slot); });
+                    SFI_CHECK_MSG(fiber.isOk(), "%s",
+                                  fiber.message().c_str());
+                    slot->fiber = std::move(*fiber);
+                }
+                any_active = true;
+                if (slot->readyAtNs > now) {
+                    next_ready = std::min(next_ready, slot->readyAtNs);
+                    continue;
+                }
+                w->stats.transitions++;
+                slot->fiber->resume();
+                progressed = true;
+                if (slot->fiber->finished()) {
+                    slot->fiber.reset();
+                } else if (slot->readyAtNs > 0) {
+                    next_ready = std::min(next_ready, slot->readyAtNs);
+                }
+                now = monotonicNs();
+            }
+
+            if (!any_active)
+                break;
+            if (!progressed && next_ready != UINT64_MAX) {
+                uint64_t wait = next_ready > now ? next_ready - now : 0;
+                if (wait > 10'000) {
+                    struct timespec ts;
+                    ts.tv_sec = long(wait / 1'000'000'000ull);
+                    ts.tv_nsec = long(wait % 1'000'000'000ull);
+                    nanosleep(&ts, nullptr);
+                }
+            }
+        }
+    }
+    // Return every slot to the pool so run() can be called again.
+    workerTeardown(w);
 }
 
 Result<FaasHost::Stats>
 FaasHost::run(uint64_t total_requests)
 {
-    stats_ = Stats{};
-    remaining_ = total_requests;
-    nextRequestId_ = 0;
+    totalRequests_ = total_requests;
+    nextRequestId_.store(0);
 
-    slots_.clear();
-    for (int i = 0; i < opts_.maxConcurrent; i++) {
-        auto slot = std::make_unique<RequestSlot>();
-        slot->host = this;
-        slot->index = i;
-        auto ps = pool_->allocate();
-        if (!ps)
-            return Result<Stats>::error(ps.message());
-        slot->poolSlot = *ps;
-        slots_.push_back(std::move(slot));
+    int num_workers = opts_.workerThreads;
+    std::vector<std::unique_ptr<Worker>> workers;
+    for (int i = 0; i < num_workers; i++) {
+        auto w = std::make_unique<Worker>();
+        w->host = this;
+        w->index = i;
+        // Distribute the concurrency budget; early workers take the
+        // remainder.
+        w->numSlots = opts_.maxConcurrent / num_workers +
+                      (i < opts_.maxConcurrent % num_workers ? 1 : 0);
+        w->rng = Rng(opts_.seed + uint64_t(i) * 0x9e3779b97f4a7c15ull);
+        workers.push_back(std::move(w));
     }
 
     uint64_t start_ns = monotonicNs();
-    uint64_t live = 0;
-
-    while (stats_.completed < total_requests) {
-        uint64_t now = monotonicNs();
-        uint64_t next_ready = UINT64_MAX;
-        bool progressed = false;
-
-        for (auto& slot_ptr : slots_) {
-            RequestSlot* slot = slot_ptr.get();
-            if (!slot->active) {
-                if (remaining_ == 0)
-                    continue;
-                // Assign a new request: fresh fiber + recycled slot
-                // memory (decommit -> zero on reuse).
-                remaining_--;
-                slot->requestId = nextRequestId_++;
-                slot->active = true;
-                slot->readyAtNs = 0;
-                SFI_CHECK(pool_->free(slot->poolSlot).isOk());
-                auto ps = pool_->allocate();
-                SFI_CHECK(ps.isOk());
-                slot->poolSlot = *ps;
-                auto fiber = Fiber::create(
-                    [this, slot] { requestBody(slot); });
-                SFI_CHECK_MSG(fiber.isOk(), "%s",
-                              fiber.message().c_str());
-                slot->fiber = std::move(*fiber);
-                live++;
-            }
-            if (slot->readyAtNs > now) {
-                next_ready = std::min(next_ready, slot->readyAtNs);
-                continue;
-            }
-            stats_.transitions++;
-            slot->fiber->resume();
-            progressed = true;
-            if (slot->fiber->finished()) {
-                slot->fiber.reset();
-                live--;
-            } else if (slot->readyAtNs > 0) {
-                next_ready = std::min(next_ready, slot->readyAtNs);
-            }
-            now = monotonicNs();
-        }
-
-        if (!progressed && next_ready != UINT64_MAX) {
-            uint64_t wait = next_ready > now ? next_ready - now : 0;
-            if (wait > 10'000) {
-                struct timespec ts;
-                ts.tv_sec = long(wait / 1'000'000'000ull);
-                ts.tv_nsec = long(wait % 1'000'000'000ull);
-                nanosleep(&ts, nullptr);
-            }
-        }
+    if (num_workers == 1) {
+        workerLoop(workers[0].get());
+    } else {
+        std::vector<std::thread> threads;
+        for (auto& w : workers)
+            threads.emplace_back([this, &w] { workerLoop(w.get()); });
+        for (auto& t : threads)
+            t.join();
     }
+    double elapsed = double(monotonicNs() - start_ns) / 1e9;
 
-    // Return every slot to the pool so run() can be called again.
-    for (auto& slot : slots_) {
-        SFI_CHECK(pool_->free(slot->poolSlot).isOk());
-        slot->instance.reset();
+    Stats stats;
+    for (auto& w : workers) {
+        if (!w->failure.isOk())
+            return Result<Stats>::error(w->failure.message());
+        stats.completed += w->stats.completed;
+        stats.epochYields += w->stats.epochYields;
+        stats.ioYields += w->stats.ioYields;
+        stats.transitions += w->stats.transitions;
+        stats.checksum ^= w->stats.checksum;
     }
-    slots_.clear();
-
-    stats_.elapsedSec =
-        double(monotonicNs() - start_ns) / 1e9;
-    stats_.throughputRps =
-        stats_.elapsedSec > 0 ? double(stats_.completed) / stats_.elapsedSec
-                              : 0;
-    return stats_;
+    stats.elapsedSec = elapsed;
+    stats.throughputRps =
+        elapsed > 0 ? double(stats.completed) / elapsed : 0;
+    return stats;
 }
 
 }  // namespace sfi::faas

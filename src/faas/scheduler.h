@@ -5,6 +5,13 @@
  * fiber-per-request execution, epoch-interruption preemption at a
  * configurable period, and Poisson-distributed IO waits during which
  * other requests are scheduled.
+ *
+ * The host scales across cores: `workerThreads` OS threads each run
+ * their own fiber scheduler over a private share of the request slots,
+ * drawing request ids from one atomic counter and checking instance
+ * memory in and out of the shared concurrent MemoryPool (sharded
+ * free-lists + warm-slot affinity, so per-request recycling does not
+ * serialize the workers).
  */
 #ifndef SFIKIT_FAAS_SCHEDULER_H_
 #define SFIKIT_FAAS_SCHEDULER_H_
@@ -55,12 +62,18 @@ class FaasHost
     {
         Options() {}
 
-        /** In-flight request slots (instances + fibers). */
+        /** In-flight request slots (instances + fibers), all workers. */
         int maxConcurrent = 64;
+        /** Scheduler threads; 1 = run on the caller's thread. */
+        int workerThreads = 1;
         /** Pool slot size (max linear memory per instance). */
         uint64_t slotBytes = 2 * kMiB;
         /** ColorGuard striping + per-slot PKRU switching. */
         bool colorguard = true;
+        /** Warm-slot affinity reuse when recycling between requests. */
+        bool warmAffinity = true;
+        /** Take slot decommit off the request path (reclaim thread). */
+        bool deferredDecommit = false;
         /** Epoch-interruption period (paper: 1000 us). */
         uint64_t epochUs = 1000;
         /** Mean of the exponential IO delay (paper: 5 ms). */
@@ -97,11 +110,18 @@ class FaasHost
 
   private:
     struct RequestSlot;
+    struct Worker;
 
     FaasHost() = default;
 
+    void workerLoop(Worker* worker);
+    Status workerSetup(Worker* worker);
+    void workerTeardown(Worker* worker);
     void requestBody(RequestSlot* slot);
     void yieldFromGuest(RequestSlot* slot);
+
+    /** Claims the next request id, or UINT64_MAX when none remain. */
+    uint64_t takeRequestId();
 
     Options opts_;
     std::shared_ptr<const rt::SharedModule> module_;
@@ -110,12 +130,9 @@ class FaasHost
     std::unique_ptr<mpk::System> mpk_;
     std::unique_ptr<pool::MemoryPool> pool_;
     std::unique_ptr<EpochTimer> timer_;
-    Rng rng_{42};
 
-    std::vector<std::unique_ptr<RequestSlot>> slots_;
-    uint64_t nextRequestId_ = 0;
-    uint64_t remaining_ = 0;
-    Stats stats_;
+    uint64_t totalRequests_ = 0;
+    std::atomic<uint64_t> nextRequestId_{0};
 };
 
 }  // namespace sfi::faas

@@ -4,6 +4,7 @@
 #include <sys/syscall.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <map>
@@ -92,13 +93,14 @@ class ColorMap
     std::map<uint64_t, Range> ranges_;
 };
 
-/** Key-allocation bitmap shared by every backend. */
+/** Key-allocation bitmap shared by every backend (thread-safe). */
 class KeyPool
 {
   public:
     Result<Pkey>
     alloc()
     {
+        std::lock_guard<std::mutex> lock(mu_);
         for (Pkey k = 1; k < kNumKeys; k++) {
             if (!(used_ & (1u << k))) {
                 used_ |= 1u << k;
@@ -111,6 +113,7 @@ class KeyPool
     Status
     free(Pkey key)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         if (key <= 0 || key >= kNumKeys || !(used_ & (1u << key)))
             return Status::error("freeing unallocated key");
         used_ &= ~(1u << key);
@@ -118,6 +121,7 @@ class KeyPool
     }
 
   private:
+    std::mutex mu_;
     uint32_t used_ = 0;
 };
 
@@ -226,9 +230,10 @@ class HardwareMpk : public System
 };
 
 /**
- * Emulated MPK: full bookkeeping, no hardware traps. PKRU lives on the
- * instance (sfikit sandbox execution is single-threaded per engine; real
- * hardware would make it per-thread).
+ * Emulated MPK: full bookkeeping, no hardware traps. The PKRU is
+ * per-(instance, thread), mirroring hardware where PKRU is a per-thread
+ * register — concurrent FaaS workers each hold their own sandbox color
+ * without racing on a shared register image.
  */
 class EmulatedMpk : public System
 {
@@ -265,12 +270,12 @@ class EmulatedMpk : public System
     void
     writePkru(Pkru pkru) override
     {
-        pkru_ = pkru;
+        tlPkru() = pkru;
         if (modeledCycles_ > 0)
             latencyChain(modeledCycles_);
     }
 
-    Pkru readPkru() const override { return pkru_; }
+    Pkru readPkru() const override { return tlPkru(); }
 
     bool
     checkAccess(const void* addr, bool is_write) const override
@@ -278,7 +283,8 @@ class EmulatedMpk : public System
         auto r = colors_.lookup(reinterpret_cast<uint64_t>(addr));
         if (!accessAllows(r.access, is_write))
             return false;
-        return is_write ? pkru_.canWrite(r.key) : pkru_.canAccess(r.key);
+        Pkru pkru = tlPkru();
+        return is_write ? pkru.canWrite(r.key) : pkru.canAccess(r.key);
     }
 
     Pkey
@@ -288,9 +294,30 @@ class EmulatedMpk : public System
     }
 
   private:
+    /**
+     * This thread's PKRU image for this system (default allowAll).
+     * Keyed by a monotonically-unique system id — never the address —
+     * so a recycled allocation cannot inherit a stale register image,
+     * and no destructor has to touch the thread_local map (which may
+     * already be gone during static teardown).
+     */
+    Pkru&
+    tlPkru() const
+    {
+        static thread_local std::map<uint64_t, Pkru> map;
+        return map[id_];
+    }
+
+    static uint64_t
+    nextId()
+    {
+        static std::atomic<uint64_t> next{0};
+        return next.fetch_add(1, std::memory_order_relaxed);
+    }
+
     KeyPool keys_;
     ColorMap colors_;
-    Pkru pkru_ = Pkru::allowAll();
+    uint64_t id_ = nextId();
     int modeledCycles_;
 };
 

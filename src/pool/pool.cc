@@ -1,11 +1,101 @@
 #include "pool/pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
 
+#include "base/cpu.h"
 #include "base/logging.h"
 #include "base/units.h"
 
 namespace sfi::pool {
+
+namespace {
+
+/** Slot lifecycle. Transitions always hand the slot off through a
+ *  mutex (shard or reclaim queue), so the per-slot metadata arrays
+ *  need no atomics of their own. */
+enum SlotState : uint8_t {
+    kCold = 0,  ///< decommitted (or never committed): zero on next touch
+    kWarm,      ///< in a warm-affinity cache, still committed
+    kInUse,
+    kFreeing,   ///< claimed by free(), not yet on a list
+    kPending,   ///< queued for the reclamation thread
+};
+
+/** Stable small integer per thread, used to pick a home shard. */
+uint32_t
+threadOrdinal()
+{
+    static std::atomic<uint32_t> next{0};
+    static thread_local uint32_t ordinal =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal;
+}
+
+}  // namespace
+
+struct MemoryPool::Core
+{
+    struct Shard
+    {
+        std::mutex mu;
+        std::vector<uint64_t> cold;
+        std::vector<uint64_t> warm;
+    };
+
+    Reservation slab;
+    SlotLayout layout;
+    PoolConfig config;
+    Options opts;
+    mpk::System* mpk = nullptr;
+    std::vector<mpk::Pkey> stripeKeys;  ///< empty when striping off
+
+    std::vector<Shard> shards;
+    /** Guarded by slot-ownership handoff (see SlotState). */
+    std::vector<uint8_t> committed;
+    std::vector<uint64_t> dirtyBytes;  ///< page-aligned high-water span
+    std::unique_ptr<std::atomic<uint8_t>[]> state;
+    std::atomic<uint64_t> inUse{0};
+
+    struct Counters
+    {
+        std::atomic<uint64_t> allocations{0};
+        std::atomic<uint64_t> frees{0};
+        std::atomic<uint64_t> firstCommits{0};
+        std::atomic<uint64_t> warmHits{0};
+        std::atomic<uint64_t> steals{0};
+        std::atomic<uint64_t> decommits{0};
+        std::atomic<uint64_t> decommittedBytes{0};
+    } counters;
+
+    // Reclamation thread state.
+    std::mutex reclaimMu;
+    std::condition_variable reclaimCv;  ///< work for the reclaimer
+    std::condition_variable idleCv;     ///< reclaimer went idle
+    std::deque<uint64_t> reclaimQueue;
+    uint64_t pendingDirty = 0;
+    bool reclaimerBusy = false;
+    bool drainRequested = false;
+    bool stopRequested = false;
+    std::thread reclaimer;
+
+    ~Core();
+
+    uint32_t homeShard() const
+    {
+        return threadOrdinal() % uint32_t(shards.size());
+    }
+
+    Status decommitSlot(uint64_t index);
+    void firstCommitFailed(uint64_t index);
+    void reclaimerLoop();
+    bool popPendingReclaim(uint64_t* index);
+};
 
 Result<MemoryPool>
 MemoryPool::create(Options options)
@@ -18,111 +108,435 @@ MemoryPool::create(Options options)
             "layout fails safety validation: " + st.message());
     }
 
-    MemoryPool pool;
-    pool.layout_ = *layout;
-    pool.config_ = options.config;
-    pool.mpk_ = options.mpk ? options.mpk : &mpk::defaultSystem();
+    auto core = std::make_unique<Core>();
+    core->layout = *layout;
+    core->config = options.config;
+    core->opts = options;
+    core->mpk = options.mpk ? options.mpk : &mpk::defaultSystem();
 
-    auto slab = Reservation::reserve(pool.layout_.totalSlotBytes);
+    auto slab = Reservation::reserve(core->layout.totalSlotBytes);
     if (!slab)
         return Result<MemoryPool>::error(slab.message());
-    pool.slab_ = std::move(*slab);
+    core->slab = std::move(*slab);
 
     // One key per stripe; striping disabled when numStripes == 1.
-    if (pool.layout_.numStripes > 1) {
-        for (uint64_t s = 0; s < pool.layout_.numStripes; s++) {
-            auto key = pool.mpk_->allocKey();
+    if (core->layout.numStripes > 1) {
+        for (uint64_t s = 0; s < core->layout.numStripes; s++) {
+            auto key = core->mpk->allocKey();
             if (!key) {
+                // ~Core returns the keys allocated so far.
+                for (mpk::Pkey k : core->stripeKeys)
+                    (void)core->mpk->freeKey(k);
+                core->stripeKeys.clear();
                 return Result<MemoryPool>::error(
                     "allocating stripe keys: " + key.message());
             }
-            pool.stripeKeys_.push_back(*key);
+            core->stripeKeys.push_back(*key);
         }
     }
 
-    pool.freeList_.reserve(pool.layout_.numSlots);
-    for (uint64_t i = pool.layout_.numSlots; i-- > 0;)
-        pool.freeList_.push_back(i);
-    pool.committed_.assign(pool.layout_.numSlots, false);
-    pool.inUseFlags_.assign(pool.layout_.numSlots, false);
-    return pool;
+    uint64_t n = core->layout.numSlots;
+    uint32_t shards = options.shards;
+    if (shards == 0) {
+        shards = std::min(8u,
+                          std::max(1u, std::thread::hardware_concurrency()));
+    }
+    shards = uint32_t(std::min<uint64_t>(shards, n));
+    core->shards = std::vector<Core::Shard>(shards);
+
+    // Low slot indexes end on top of shard 0's LIFO stack so the first
+    // single-threaded allocation is slot 0, matching the pre-sharding
+    // allocator.
+    for (uint64_t i = n; i-- > 0;)
+        core->shards[i % shards].cold.push_back(i);
+
+    core->committed.assign(n, 0);
+    core->dirtyBytes.assign(n, 0);
+    core->state = std::make_unique<std::atomic<uint8_t>[]>(n);
+
+    if (options.deferredDecommit) {
+        Core* c = core.get();
+        core->reclaimer = std::thread([c] { c->reclaimerLoop(); });
+    }
+    return MemoryPool(std::move(core));
 }
 
-MemoryPool::~MemoryPool()
+MemoryPool::Core::~Core()
 {
-    if (mpk_ != nullptr) {
-        for (mpk::Pkey key : stripeKeys_)
-            (void)mpk_->freeKey(key);
+    if (reclaimer.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(reclaimMu);
+            stopRequested = true;
+        }
+        reclaimCv.notify_all();
+        reclaimer.join();
     }
+    if (mpk != nullptr) {
+        for (mpk::Pkey key : stripeKeys)
+            (void)mpk->freeKey(key);
+    }
+}
+
+MemoryPool::MemoryPool(std::unique_ptr<Core> core) : core_(std::move(core))
+{
+}
+
+MemoryPool::~MemoryPool() = default;
+MemoryPool::MemoryPool(MemoryPool&&) noexcept = default;
+
+MemoryPool&
+MemoryPool::operator=(MemoryPool&& other) noexcept
+{
+    if (this != &other) {
+        // Tear down this pool's reclamation thread and stripe keys
+        // before adopting the other's state.
+        core_.reset();
+        core_ = std::move(other.core_);
+    }
+    return *this;
+}
+
+Status
+MemoryPool::Core::decommitSlot(uint64_t index)
+{
+    uint64_t span = dirtyBytes[index];
+    if (!committed[index] || span == 0)
+        return Status::ok();
+    Status st = slab.decommit(layout.slotOffset(index), span);
+    if (st) {
+        counters.decommits.fetch_add(1, std::memory_order_relaxed);
+        counters.decommittedBytes.fetch_add(span,
+                                            std::memory_order_relaxed);
+        dirtyBytes[index] = 0;
+    }
+    return st;
+}
+
+/** Undo a failed checkout: the slot goes back to its cold list. */
+void
+MemoryPool::Core::firstCommitFailed(uint64_t index)
+{
+    Shard& sh = shards[index % shards.size()];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    state[index].store(kCold, std::memory_order_relaxed);
+    sh.cold.push_back(index);
+}
+
+bool
+MemoryPool::Core::popPendingReclaim(uint64_t* index)
+{
+    std::lock_guard<std::mutex> lock(reclaimMu);
+    if (reclaimQueue.empty())
+        return false;
+    *index = reclaimQueue.back();
+    reclaimQueue.pop_back();
+    pendingDirty -= std::min(pendingDirty, dirtyBytes[*index]);
+    return true;
 }
 
 Result<Slot>
 MemoryPool::allocate()
 {
-    if (freeList_.empty())
+    Core& c = *core_;
+    const uint32_t nshards = uint32_t(c.shards.size());
+    const uint32_t home = c.homeShard();
+
+    uint64_t index = UINT64_MAX;
+    bool from_warm = false;
+    for (int attempt = 0; attempt < 2 && index == UINT64_MAX; attempt++) {
+        for (uint32_t round = 0; round < nshards && index == UINT64_MAX;
+             round++) {
+            Core::Shard& sh = c.shards[(home + round) % nshards];
+            std::lock_guard<std::mutex> lock(sh.mu);
+            if (!sh.warm.empty()) {
+                index = sh.warm.back();
+                sh.warm.pop_back();
+                from_warm = true;
+            } else if (!sh.cold.empty()) {
+                index = sh.cold.back();
+                sh.cold.pop_back();
+            } else {
+                continue;
+            }
+            c.state[index].store(kInUse, std::memory_order_relaxed);
+            if (round > 0)
+                c.counters.steals.fetch_add(1,
+                                            std::memory_order_relaxed);
+        }
+        if (index != UINT64_MAX || !c.opts.deferredDecommit)
+            break;
+
+        // Every free list is empty but slots may still sit in (or be
+        // mid-flight through) the reclaim queue: claim one and decommit
+        // it inline rather than reporting a transient exhaustion.
+        if (c.popPendingReclaim(&index)) {
+            c.state[index].store(kInUse, std::memory_order_relaxed);
+            if (Status st = c.decommitSlot(index); !st) {
+                c.firstCommitFailed(index);
+                return Result<Slot>::error(st.message());
+            }
+        } else if (attempt == 0) {
+            // A reclaim batch may be in flight between the queue and
+            // the cold lists; wait for the reclaimer and rescan once.
+            std::unique_lock<std::mutex> lock(c.reclaimMu);
+            c.idleCv.wait(lock, [&] { return !c.reclaimerBusy; });
+        }
+    }
+    if (index == UINT64_MAX)
         return Result<Slot>::error("pool exhausted");
-    uint64_t i = freeList_.back();
-    freeList_.pop_back();
-    inUseFlags_[i] = true;
-    inUse_++;
 
     Slot slot;
-    slot.index = i;
-    slot.base = slab_.base() + layout_.slotOffset(i);
-    slot.pkey = keyOfStripe(layout_.stripeOf(i));
+    slot.index = index;
+    slot.base = c.slab.base() + c.layout.slotOffset(index);
+    slot.pkey = keyOfStripe(c.layout.stripeOf(index));
 
-    if (!committed_[i]) {
+    if (!c.committed[index]) {
         // First use: commit the memory range and stamp its color. The
         // color persists across free/decommit cycles (MPK stores it in
         // the PTE), so this happens once per slot lifetime.
-        uint64_t commit = layout_.maxMemoryBytes;
-        if (slot.pkey != 0) {
-            Status st = mpk_->protectRange(
-                slot.base, commit, PageAccess::ReadWrite, slot.pkey);
-            if (!st) {
-                free(slot);
-                return Result<Slot>::error(st.message());
-            }
-        } else {
-            Status st = slab_.protect(layout_.slotOffset(i), commit,
-                                      PageAccess::ReadWrite);
-            if (!st) {
-                free(slot);
-                return Result<Slot>::error(st.message());
-            }
+        uint64_t commit = c.layout.maxMemoryBytes;
+        Status st =
+            slot.pkey != 0
+                ? c.mpk->protectRange(slot.base, commit,
+                                      PageAccess::ReadWrite, slot.pkey)
+                : c.slab.protect(c.layout.slotOffset(index), commit,
+                                 PageAccess::ReadWrite);
+        if (!st) {
+            c.firstCommitFailed(index);
+            return Result<Slot>::error(st.message());
         }
-        committed_[i] = true;
+        c.committed[index] = 1;
+        c.counters.firstCommits.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    c.inUse.fetch_add(1, std::memory_order_relaxed);
+    c.counters.allocations.fetch_add(1, std::memory_order_relaxed);
+
+    if (from_warm) {
+        c.counters.warmHits.fetch_add(1, std::memory_order_relaxed);
+        slot.warm = true;
+        if (c.opts.zeroOnWarmReuse && c.dirtyBytes[index] > 0) {
+            SFI_CHECK(c.slab
+                          .zero(c.layout.slotOffset(index),
+                                c.dirtyBytes[index])
+                          .isOk());
+            c.dirtyBytes[index] = 0;
+        }
+        slot.dirtyBytes = c.dirtyBytes[index];
     }
     return slot;
 }
 
 Status
+MemoryPool::free(const Slot& slot, uint64_t touched_bytes)
+{
+    Core& c = *core_;
+    if (slot.index >= c.layout.numSlots)
+        return Status::error("freeing a slot that is not in use");
+    // The in-use check is a CAS so a concurrent double free cannot
+    // slip a slot onto two free lists.
+    uint8_t expected = kInUse;
+    if (!c.state[slot.index].compare_exchange_strong(
+            expected, kFreeing, std::memory_order_relaxed))
+        return Status::error("freeing a slot that is not in use");
+
+    uint64_t dirty = std::min(alignUp(touched_bytes, kOsPageSize),
+                              c.layout.maxMemoryBytes);
+    if (c.committed[slot.index])
+        c.dirtyBytes[slot.index] =
+            std::max(c.dirtyBytes[slot.index], dirty);
+
+    c.counters.frees.fetch_add(1, std::memory_order_relaxed);
+    c.inUse.fetch_sub(1, std::memory_order_relaxed);
+
+    // Warm-affinity: keep the slot committed in the freeing thread's
+    // shard if there is cache room.
+    if (c.opts.warmSlotsPerShard > 0 && c.committed[slot.index]) {
+        // Trim the resident span first: memset-zeroing on reuse only
+        // beats decommit+refault while the span is small, so a large
+        // footprint keeps just its head committed and the tail goes
+        // through one madvise here.
+        uint64_t keep =
+            alignDown(c.opts.warmKeepResidentBytes, kOsPageSize);
+        bool trimmed = true;
+        if (c.dirtyBytes[slot.index] > keep) {
+            uint64_t tail = c.dirtyBytes[slot.index] - keep;
+            if (c.slab
+                    .decommit(c.layout.slotOffset(slot.index) + keep,
+                              tail)
+                    .isOk()) {
+                c.counters.decommits.fetch_add(
+                    1, std::memory_order_relaxed);
+                c.counters.decommittedBytes.fetch_add(
+                    tail, std::memory_order_relaxed);
+                c.dirtyBytes[slot.index] = keep;
+            } else {
+                // Full decommit below; the slot skips the warm cache.
+                trimmed = false;
+            }
+        }
+        if (trimmed) {
+            Core::Shard& sh = c.shards[c.homeShard()];
+            std::lock_guard<std::mutex> lock(sh.mu);
+            if (sh.warm.size() < c.opts.warmSlotsPerShard) {
+                c.state[slot.index].store(kWarm,
+                                          std::memory_order_relaxed);
+                sh.warm.push_back(slot.index);
+                return Status::ok();
+            }
+        }
+    }
+
+    if (c.opts.deferredDecommit) {
+        bool kick;
+        {
+            std::lock_guard<std::mutex> lock(c.reclaimMu);
+            c.state[slot.index].store(kPending,
+                                      std::memory_order_relaxed);
+            c.reclaimQueue.push_back(slot.index);
+            c.pendingDirty += c.dirtyBytes[slot.index];
+            kick = c.pendingDirty >= c.opts.dirtyByteBudget;
+        }
+        if (kick)
+            c.reclaimCv.notify_one();
+        return Status::ok();
+    }
+
+    // Synchronous path: zero-on-reuse via decommit of the dirty span.
+    Status st = c.decommitSlot(slot.index);
+    Core::Shard& sh = c.shards[c.homeShard()];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    c.state[slot.index].store(kCold, std::memory_order_relaxed);
+    sh.cold.push_back(slot.index);
+    return st;
+}
+
+Status
 MemoryPool::free(const Slot& slot)
 {
-    if (slot.index >= layout_.numSlots || !inUseFlags_[slot.index])
-        return Status::error("freeing a slot that is not in use");
-    inUseFlags_[slot.index] = false;
-    inUse_--;
-    freeList_.push_back(slot.index);
-    if (committed_[slot.index]) {
-        // Zero-on-reuse without losing the mapping or the color.
-        return slab_.decommit(layout_.slotOffset(slot.index),
-                              layout_.maxMemoryBytes);
+    return free(slot, core_->layout.maxMemoryBytes);
+}
+
+void
+MemoryPool::Core::reclaimerLoop()
+{
+    std::unique_lock<std::mutex> lock(reclaimMu);
+    for (;;) {
+        reclaimCv.wait(lock, [&] {
+            return stopRequested ||
+                   (!reclaimQueue.empty() &&
+                    (drainRequested ||
+                     pendingDirty >= opts.dirtyByteBudget));
+        });
+        if (reclaimQueue.empty() && stopRequested)
+            return;
+
+        std::deque<uint64_t> batch = std::move(reclaimQueue);
+        reclaimQueue.clear();
+        pendingDirty = 0;
+        reclaimerBusy = true;
+        lock.unlock();
+
+        // Batched madvise, then back to the cold lists. Slot metadata
+        // is owned by the reclaimer here (state == kPending).
+        for (uint64_t index : batch) {
+            (void)decommitSlot(index);
+            Shard& sh = shards[index % shards.size()];
+            std::lock_guard<std::mutex> shard_lock(sh.mu);
+            state[index].store(kCold, std::memory_order_relaxed);
+            sh.cold.push_back(index);
+        }
+
+        lock.lock();
+        reclaimerBusy = false;
+        idleCv.notify_all();
     }
-    return Status::ok();
+}
+
+void
+MemoryPool::quiesce()
+{
+    Core& c = *core_;
+    if (!c.reclaimer.joinable())
+        return;
+    std::unique_lock<std::mutex> lock(c.reclaimMu);
+    c.drainRequested = true;
+    c.reclaimCv.notify_all();
+    c.idleCv.wait(lock, [&] {
+        return c.reclaimQueue.empty() && !c.reclaimerBusy;
+    });
+    c.drainRequested = false;
+}
+
+MemoryPool::Stats
+MemoryPool::stats() const
+{
+    Core& c = *core_;
+    Stats s;
+    s.allocations = c.counters.allocations.load(std::memory_order_relaxed);
+    s.frees = c.counters.frees.load(std::memory_order_relaxed);
+    s.firstCommits =
+        c.counters.firstCommits.load(std::memory_order_relaxed);
+    s.warmHits = c.counters.warmHits.load(std::memory_order_relaxed);
+    s.steals = c.counters.steals.load(std::memory_order_relaxed);
+    s.decommits = c.counters.decommits.load(std::memory_order_relaxed);
+    s.decommittedBytes =
+        c.counters.decommittedBytes.load(std::memory_order_relaxed);
+    for (Core::Shard& sh : c.shards) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        s.coldDepth += sh.cold.size();
+        s.warmDepth += sh.warm.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(c.reclaimMu);
+        s.pendingReclaim = c.reclaimQueue.size();
+    }
+    return s;
+}
+
+const SlotLayout&
+MemoryPool::layout() const
+{
+    return core_->layout;
+}
+
+uint64_t
+MemoryPool::slotsInUse() const
+{
+    return core_->inUse.load(std::memory_order_relaxed);
+}
+
+uint64_t
+MemoryPool::capacity() const
+{
+    return core_->layout.numSlots;
+}
+
+mpk::System&
+MemoryPool::mpkSystem() const
+{
+    return *core_->mpk;
+}
+
+mpk::Pkey
+MemoryPool::keyOfStripe(uint64_t s) const
+{
+    const auto& keys = core_->stripeKeys;
+    return keys.empty() ? 0 : keys[s % keys.size()];
 }
 
 rt::LinearMemory
 MemoryPool::memoryView(const Slot& slot, uint32_t initial_pages,
                        uint32_t max_pages) const
 {
+    const Core& c = *core_;
     uint64_t max_bytes = uint64_t(max_pages) * kWasmPageSize;
-    SFI_CHECK_MSG(max_bytes <= layout_.maxMemoryBytes,
+    SFI_CHECK_MSG(max_bytes <= c.layout.maxMemoryBytes,
                   "instance max memory exceeds pool slot size");
     // Fault attribution covers the compiler contract window.
     uint64_t reserved = std::min(
-        layout_.expectedSlotBytes,
-        layout_.totalSlotBytes - layout_.slotOffset(slot.index));
+        c.layout.expectedSlotBytes,
+        c.layout.totalSlotBytes - c.layout.slotOffset(slot.index));
     return rt::LinearMemory::view(slot.base, initial_pages, max_pages,
                                   reserved);
 }

@@ -8,15 +8,35 @@
  * use while keeping both the mapping and — crucially — the MPK colors
  * in the page tables, so recycled slots need no re-striping (the very
  * property §7 shows MTE lacks).
+ *
+ * The allocator is concurrent and multi-core scalable, modelled on
+ * production pooling allocators (Wasmtime's, which §5.1 describes):
+ *
+ *  - The free slots are sharded into per-shard locked sub-lists. A
+ *    thread checks out from its home shard and steals from the others
+ *    only on exhaustion, so N workers allocating/freeing in parallel do
+ *    not contend on one structure.
+ *  - Warm-slot affinity: each shard keeps a bounded cache of
+ *    recently-freed *still-committed* slots. Reusing one skips the
+ *    decommit/refault cycle entirely — the PTEs (and their MPK colors)
+ *    stay warm in the TLB. Zero-on-reuse is preserved by memset'ing
+ *    only the slot's dirty high-water span, which the caller reports at
+ *    free() time.
+ *  - Deferred decommit: with `deferredDecommit`, the madvise leaves the
+ *    critical path. free() queues the slot on a background reclamation
+ *    thread which batches decommits once the pending dirty-byte budget
+ *    is exceeded; only the tracked dirty span is decommitted, not all
+ *    of maxMemoryBytes.
  */
 #ifndef SFIKIT_POOL_POOL_H_
 #define SFIKIT_POOL_POOL_H_
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "base/os_mem.h"
 #include "base/result.h"
+#include "base/units.h"
 #include "mpk/mpk.h"
 #include "pool/layout.h"
 #include "runtime/memory.h"
@@ -30,6 +50,13 @@ struct Slot
     uint8_t* base = nullptr;
     /** MPK key protecting this slot (0 when striping is off). */
     mpk::Pkey pkey = 0;
+    /** Reused from the warm-affinity cache (no decommit in between). */
+    bool warm = false;
+    /**
+     * Bytes from base that may hold stale data from the previous
+     * occupant. Always 0 unless Options::zeroOnWarmReuse was disabled.
+     */
+    uint64_t dirtyBytes = 0;
 
     bool valid() const { return base != nullptr; }
 };
@@ -43,58 +70,133 @@ class MemoryPool
         /** Key system for striping; nullptr = mpk::defaultSystem(). */
         mpk::System* mpk = nullptr;
         LayoutArithmetic arithmetic = LayoutArithmetic::Checked;
+
+        /**
+         * Free-list shards. 0 = one per hardware thread (capped at 8);
+         * always clamped to [1, numSlots].
+         */
+        uint32_t shards = 0;
+        /** Warm-affinity cache capacity per shard; 0 disables. */
+        uint32_t warmSlotsPerShard = 4;
+        /**
+         * Largest dirty span kept committed (and later memset-zeroed)
+         * when a slot enters the warm cache; the tail beyond it is
+         * decommitted at free() time. Zeroing by memset beats
+         * decommit+refault only while the span is small — for a large
+         * footprint one madvise syscall is far cheaper than touching
+         * every byte, so the pool keeps just the hot head of the slot
+         * resident (the same trade Wasmtime exposes as
+         * `linear_memory_keep_resident`). Rounded down to a page
+         * boundary; UINT64_MAX keeps everything resident.
+         */
+        uint64_t warmKeepResidentBytes = kWasmPageSize;
+        /**
+         * Zero a warm slot's dirty span on reuse (memset, pages stay
+         * committed). Disable only when the embedder guarantees slot
+         * affinity to a single tenant (Wasmtime's module-affinity
+         * reuse); the Slot then reports its dirtyBytes.
+         */
+        bool zeroOnWarmReuse = true;
+        /** Decommit on a background reclamation thread. */
+        bool deferredDecommit = false;
+        /**
+         * Pending dirty bytes that trigger a reclamation batch. Bounds
+         * how much committed-but-free memory the pool can hold; the
+         * reclaimer also drains on destruction and quiesce().
+         */
+        uint64_t dirtyByteBudget = 32 * (1ull << 20);
+    };
+
+    /** Monotonic counters; read with stats(). */
+    struct Stats
+    {
+        uint64_t allocations = 0;
+        uint64_t frees = 0;
+        /** Slots committed + colored for the first time. */
+        uint64_t firstCommits = 0;
+        /** Allocations served from the warm-affinity cache. */
+        uint64_t warmHits = 0;
+        /** Allocations served from another thread's shard. */
+        uint64_t steals = 0;
+        /** madvise batches issued (sync or by the reclaimer). */
+        uint64_t decommits = 0;
+        uint64_t decommittedBytes = 0;
+        /** Current depth of the cold free-lists (all shards). */
+        uint64_t coldDepth = 0;
+        /** Current warm-affinity cache population (all shards). */
+        uint64_t warmDepth = 0;
+        /** Slots queued for the reclamation thread right now. */
+        uint64_t pendingReclaim = 0;
     };
 
     /**
      * Reserves the slab, computes + validates the layout, allocates
-     * protection keys, and marks guard regions.
+     * protection keys, marks guard regions, and (when configured)
+     * starts the reclamation thread.
      */
     static Result<MemoryPool> create(Options options);
 
     ~MemoryPool();
-    MemoryPool(MemoryPool&&) = default;
-    MemoryPool& operator=(MemoryPool&&) = default;
+    MemoryPool(MemoryPool&&) noexcept;
+    /**
+     * Releases the destination's resources (reclamation thread, MPK
+     * stripe keys) before taking over the source's — a defaulted
+     * move-assign would leak the destination's keys.
+     */
+    MemoryPool& operator=(MemoryPool&&) noexcept;
 
-    /** Checks out a free slot (commits + colors it on first use). */
+    /**
+     * Checks out a free slot. Preference order: home-shard warm cache,
+     * home-shard cold list, stealing from other shards, then slots
+     * still queued for reclamation. Commits + colors the slot on first
+     * use. Thread-safe.
+     */
     Result<Slot> allocate();
 
-    /** Returns a slot: decommit (zero-on-reuse), keep mapping+colors. */
+    /**
+     * Returns a slot. @p touched_bytes is the span from the slot base
+     * the occupant may have written (e.g. its linear memory size); the
+     * pool tracks the high-water mark and only zeroes/decommits that
+     * much instead of all of maxMemoryBytes. Thread-safe.
+     */
+    Status free(const Slot& slot, uint64_t touched_bytes);
+
+    /** free() with the conservative full-slot dirty span. */
     Status free(const Slot& slot);
 
-    const SlotLayout& layout() const { return layout_; }
-    uint64_t slotsInUse() const { return inUse_; }
-    uint64_t capacity() const { return layout_.numSlots; }
-    mpk::System& mpkSystem() const { return *mpk_; }
+    /**
+     * Blocks until the reclamation thread has drained every pending
+     * decommit. No-op without deferredDecommit.
+     */
+    void quiesce();
+
+    /** Snapshot of the counters (takes the shard locks briefly). */
+    Stats stats() const;
+
+    const SlotLayout& layout() const;
+    uint64_t slotsInUse() const;
+    uint64_t capacity() const;
+    mpk::System& mpkSystem() const;
 
     /** Key assigned to stripe @p s (identity 0 when striping is off). */
-    mpk::Pkey
-    keyOfStripe(uint64_t s) const
-    {
-        return stripeKeys_.empty() ? 0
-                                   : stripeKeys_[s % stripeKeys_.size()];
-    }
+    mpk::Pkey keyOfStripe(uint64_t s) const;
 
     /**
      * Builds a linear-memory view over @p slot for instantiation. The
      * reported reserved span covers the expected-slot contract so guard
      * faults attribute correctly.
      */
-    rt::LinearMemory
-    memoryView(const Slot& slot, uint32_t initial_pages,
-               uint32_t max_pages) const;
+    rt::LinearMemory memoryView(const Slot& slot, uint32_t initial_pages,
+                                uint32_t max_pages) const;
 
   private:
-    MemoryPool() = default;
+    struct Core;
 
-    Reservation slab_;
-    SlotLayout layout_;
-    PoolConfig config_;
-    mpk::System* mpk_ = nullptr;
-    std::vector<mpk::Pkey> stripeKeys_;  ///< empty when striping off
-    std::vector<uint64_t> freeList_;
-    std::vector<bool> committed_;  ///< slot has been colored+committed
-    std::vector<bool> inUseFlags_;
-    uint64_t inUse_ = 0;
+    explicit MemoryPool(std::unique_ptr<Core> core);
+
+    /** All state lives behind one pointer so moves cannot tear the
+     *  reclamation thread away from the mutexes it sleeps on. */
+    std::unique_ptr<Core> core_;
 };
 
 }  // namespace sfi::pool

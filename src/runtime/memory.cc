@@ -1,5 +1,7 @@
 #include "runtime/memory.h"
 
+#include <algorithm>
+
 namespace sfi::rt {
 
 Result<LinearMemory>
@@ -34,6 +36,7 @@ LinearMemory::create(const Config& config)
     mem.pages_ = config.minPages;
     mem.maxPages_ = config.maxPages;
     mem.reservedBytes_ = mem.owned_.size();
+    mem.highWaterBytes_ = mem.byteSize();
     mem.ownsMapping_ = true;
     return mem;
 }
@@ -49,6 +52,7 @@ LinearMemory::view(uint8_t* base, uint32_t pages, uint32_t max_pages,
     mem.reservedBytes_ =
         reserved_bytes ? reserved_bytes
                        : uint64_t(max_pages) * kWasmPageSize;
+    mem.highWaterBytes_ = mem.byteSize();
     mem.ownsMapping_ = false;
     return mem;
 }
@@ -69,6 +73,7 @@ LinearMemory::grow(uint32_t delta_pages)
     }
     uint32_t old = pages_;
     pages_ = static_cast<uint32_t>(new_pages);
+    highWaterBytes_ = std::max(highWaterBytes_, byteSize());
     return old;
 }
 

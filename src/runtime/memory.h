@@ -63,6 +63,14 @@ class LinearMemory
     uint32_t pages() const { return pages_; }
     uint32_t maxPages() const { return maxPages_; }
     uint64_t byteSize() const { return uint64_t(pages_) * kWasmPageSize; }
+    /**
+     * Largest byteSize() this memory has ever had — the span a pooling
+     * allocator must treat as dirty when the slot is recycled
+     * (pool::MemoryPool::free touched_bytes). Today Wasm memories never
+     * shrink so this equals byteSize(), but the accessor is the
+     * contract, not the coincidence.
+     */
+    uint64_t highWaterBytes() const { return highWaterBytes_; }
     bool valid() const { return base_ != nullptr; }
 
     /**
@@ -107,6 +115,7 @@ class LinearMemory
     uint32_t pages_ = 0;
     uint32_t maxPages_ = 0;
     uint64_t reservedBytes_ = 0;
+    uint64_t highWaterBytes_ = 0;
     bool ownsMapping_ = false;
 };
 

@@ -159,6 +159,55 @@ TEST(FaasHost, EpochPreemptionHappens)
     EXPECT_GT(stats->epochYields, 0u);
 }
 
+TEST(FaasHost, MultiWorkerMatchesSingleWorker)
+{
+    // The multithreaded scheduler must serve every request exactly once
+    // and produce the same (order-independent) response checksum as the
+    // single-worker run, for each pool-recycling strategy.
+    const uint64_t kReqs = 48;
+    uint64_t reference = 0;
+    bool have_reference = false;
+    for (bool deferred : {false, true}) {
+        for (int workers : {1, 2, 4}) {
+            FaasHost::Options opts;
+            opts.maxConcurrent = 8;
+            opts.workerThreads = workers;
+            opts.deferredDecommit = deferred;
+            opts.ioDelayMeanMs = 0.1;
+            auto host = FaasHost::create(
+                wkld::faasWorkloads()[0].make(), std::move(opts));
+            ASSERT_TRUE(host.isOk()) << host.message();
+            auto stats = (*host)->run(kReqs);
+            ASSERT_TRUE(stats.isOk()) << stats.message();
+            EXPECT_EQ(stats->completed, kReqs)
+                << "workers=" << workers << " deferred=" << deferred;
+            if (!have_reference) {
+                reference = stats->checksum;
+                have_reference = true;
+            }
+            EXPECT_EQ(stats->checksum, reference)
+                << "workers=" << workers << " deferred=" << deferred;
+            EXPECT_EQ((*host)->memoryPool().slotsInUse(), 0u);
+        }
+    }
+}
+
+TEST(FaasHost, WarmAffinityRecyclingHitsCache)
+{
+    FaasHost::Options opts;
+    opts.maxConcurrent = 4;
+    opts.warmAffinity = true;
+    opts.ioDelayMeanMs = 0.1;
+    auto host = FaasHost::create(
+        wkld::faasWorkloads()[0].make(), std::move(opts));
+    ASSERT_TRUE(host.isOk());
+    auto stats = (*host)->run(32);
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_EQ(stats->completed, 32u);
+    // Per-request recycling goes through the warm cache, not decommit.
+    EXPECT_GT((*host)->memoryPool().stats().warmHits, 0u);
+}
+
 TEST(FaasHost, PoolSlotsRecycledAcrossRuns)
 {
     FaasHost::Options opts;

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Concurrency stress for the pooling allocator: many threads hammer
+ * allocate/touch/free cycles against one pool while an atomic
+ * owner-table proves no slot is ever handed to two threads at once.
+ *
+ * Registered under the ctest label "stress" (not tier-1) and meant to
+ * run under -DSFIKIT_SANITIZE=thread|address as well; iteration count
+ * scales via SFIKIT_STRESS_ITERS.
+ */
+#include "pool/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "base/units.h"
+#include "mpk/mpk.h"
+
+namespace sfi::pool {
+namespace {
+
+constexpr int kThreads = 8;
+
+int
+itersPerThread()
+{
+    if (const char* env = std::getenv("SFIKIT_STRESS_ITERS"))
+        return std::max(1, std::atoi(env));
+    return 2000;
+}
+
+/** Runs the 8-thread cycle storm against @p opt-configured pools. */
+void
+stressPool(MemoryPool::Options opt, uint64_t num_slots)
+{
+    auto sys = mpk::makeEmulated(0);
+    opt.config.numSlots = num_slots;
+    opt.config.maxMemoryBytes = 2 * kWasmPageSize;
+    opt.config.guardBytes = 6 * kWasmPageSize;
+    opt.config.stripingEnabled = true;
+    opt.mpk = sys.get();
+    auto pool = MemoryPool::create(std::move(opt));
+    ASSERT_TRUE(pool.isOk()) << pool.message();
+
+    // owner[i] = 1 + thread id while slot i is checked out. A CAS from
+    // 0 failing means the pool double-handed a slot.
+    std::vector<std::atomic<uint32_t>> owner(num_slots);
+    std::atomic<uint64_t> handoutViolations{0};
+    std::atomic<uint64_t> failures{0};
+    const int iters = itersPerThread();
+
+    auto worker = [&](uint32_t tid) {
+        for (int i = 0; i < iters; i++) {
+            auto slot = pool->allocate();
+            if (!slot.isOk()) {
+                // Transient exhaustion is legal when 8 threads race
+                // over few slots; give the others a beat.
+                std::this_thread::yield();
+                continue;
+            }
+            uint32_t expected = 0;
+            if (!owner[slot->index].compare_exchange_strong(expected,
+                                                            tid + 1))
+                handoutViolations.fetch_add(1);
+            // Zero-on-reuse: a fresh checkout never shows stale bytes.
+            if (slot->base[64] != 0)
+                failures.fetch_add(1);
+            slot->base[64] = uint8_t(tid + 1);
+            slot->base[kWasmPageSize + 5] = 0xee;
+            owner[slot->index].store(0);
+            if (!pool->free(*slot, 2 * kWasmPageSize).isOk())
+                failures.fetch_add(1);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < kThreads; t++)
+        threads.emplace_back(worker, t);
+    for (auto& t : threads)
+        t.join();
+    pool->quiesce();
+
+    EXPECT_EQ(handoutViolations.load(), 0u);
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(pool->slotsInUse(), 0u);
+    MemoryPool::Stats st = pool->stats();
+    EXPECT_EQ(st.allocations, st.frees);
+    EXPECT_EQ(st.pendingReclaim, 0u);
+    EXPECT_EQ(st.warmDepth + st.coldDepth, num_slots);
+    // Double-frees must still be rejected after the storm.
+    auto s = pool->allocate();
+    ASSERT_TRUE(s.isOk());
+    EXPECT_TRUE(pool->free(*s).isOk());
+    EXPECT_FALSE(pool->free(*s).isOk());
+}
+
+TEST(PoolStress, SynchronousDecommit)
+{
+    MemoryPool::Options opt;
+    opt.warmSlotsPerShard = 0;
+    stressPool(std::move(opt), 16);
+}
+
+TEST(PoolStress, WarmAffinity)
+{
+    MemoryPool::Options opt;
+    opt.warmSlotsPerShard = 4;
+    stressPool(std::move(opt), 16);
+}
+
+TEST(PoolStress, DeferredDecommit)
+{
+    MemoryPool::Options opt;
+    opt.warmSlotsPerShard = 2;
+    opt.deferredDecommit = true;
+    opt.dirtyByteBudget = 8 * kWasmPageSize;
+    stressPool(std::move(opt), 16);
+}
+
+TEST(PoolStress, ContendedFewSlots)
+{
+    // More threads than slots: constant stealing + transient
+    // exhaustion on every path.
+    MemoryPool::Options opt;
+    opt.shards = 4;
+    opt.warmSlotsPerShard = 1;
+    opt.deferredDecommit = true;
+    opt.dirtyByteBudget = 1;  // reclaimer constantly active
+    stressPool(std::move(opt), 4);
+}
+
+}  // namespace
+}  // namespace sfi::pool

@@ -208,6 +208,190 @@ TEST_F(PoolTest, GuardRegionsStayProtected)
               0);
 }
 
+TEST_F(PoolTest, StatsCountersBalance)
+{
+    auto pool = MemoryPool::create(smallStripedOptions(sys_.get()));
+    ASSERT_TRUE(pool.isOk());
+
+    auto a = pool->allocate();
+    auto b = pool->allocate();
+    ASSERT_TRUE(a.isOk() && b.isOk());
+    MemoryPool::Stats st = pool->stats();
+    EXPECT_EQ(st.allocations, 2u);
+    EXPECT_EQ(st.frees, 0u);
+    EXPECT_EQ(st.firstCommits, 2u);
+
+    ASSERT_TRUE(pool->free(*a, kWasmPageSize).isOk());
+    ASSERT_TRUE(pool->free(*b, kWasmPageSize).isOk());
+    st = pool->stats();
+    EXPECT_EQ(st.frees, 2u);
+    // Both freed slots are either warm-cached or back on a cold list.
+    EXPECT_EQ(st.warmDepth + st.coldDepth, pool->capacity());
+    EXPECT_EQ(st.pendingReclaim, 0u);
+
+    // Re-allocating hits the warm cache; no new first-commit.
+    auto c = pool->allocate();
+    ASSERT_TRUE(c.isOk());
+    st = pool->stats();
+    EXPECT_EQ(st.allocations, 3u);
+    EXPECT_EQ(st.firstCommits, 2u);
+    EXPECT_EQ(st.warmHits, 1u);
+}
+
+TEST_F(PoolTest, WarmAffinityReturnsSameSlotZeroed)
+{
+    MemoryPool::Options opt = smallStripedOptions(sys_.get());
+    opt.warmSlotsPerShard = 4;
+    auto pool = MemoryPool::create(std::move(opt));
+    ASSERT_TRUE(pool.isOk());
+
+    auto s = pool->allocate();
+    ASSERT_TRUE(s.isOk());
+    EXPECT_FALSE(s->warm);  // first use is a cold commit
+    uint64_t idx = s->index;
+    s->base[123] = 0x5a;
+    ASSERT_TRUE(pool->free(*s, kWasmPageSize).isOk());
+
+    auto s2 = pool->allocate();
+    ASSERT_TRUE(s2.isOk());
+    EXPECT_EQ(s2->index, idx);
+    EXPECT_TRUE(s2->warm);
+    EXPECT_EQ(s2->dirtyBytes, 0u);
+    EXPECT_EQ(s2->base[123], 0);  // memset over the dirty span
+    EXPECT_EQ(pool->stats().warmHits, 1u);
+    EXPECT_EQ(pool->stats().decommits, 0u);
+}
+
+TEST_F(PoolTest, DirtySpanReportedWhenZeroingDisabled)
+{
+    MemoryPool::Options opt = smallStripedOptions(sys_.get());
+    opt.zeroOnWarmReuse = false;
+    opt.warmKeepResidentBytes = UINT64_MAX;  // keep the full span
+    auto pool = MemoryPool::create(std::move(opt));
+    ASSERT_TRUE(pool.isOk());
+
+    auto s = pool->allocate();
+    ASSERT_TRUE(s.isOk());
+    s->base[123] = 0x5a;
+    ASSERT_TRUE(pool->free(*s, kWasmPageSize).isOk());
+
+    // Single-tenant affinity reuse: stale bytes stay, and the slot
+    // reports how far they may extend.
+    auto s2 = pool->allocate();
+    ASSERT_TRUE(s2.isOk());
+    EXPECT_TRUE(s2->warm);
+    EXPECT_EQ(s2->dirtyBytes, kWasmPageSize);
+    EXPECT_EQ(s2->base[123], 0x5a);
+}
+
+TEST_F(PoolTest, KeepResidentTrimsLargeWarmSpans)
+{
+    // A footprint beyond warmKeepResidentBytes keeps only its head
+    // committed; the tail is decommitted at free() and so reads zero,
+    // and the memset on reuse covers the head.
+    MemoryPool::Options opt = smallStripedOptions(sys_.get());
+    opt.warmKeepResidentBytes = kWasmPageSize;
+    auto pool = MemoryPool::create(std::move(opt));
+    ASSERT_TRUE(pool.isOk());
+
+    auto s = pool->allocate();
+    ASSERT_TRUE(s.isOk());
+    s->base[0] = 1;                      // head
+    s->base[kWasmPageSize + 17] = 2;     // tail
+    ASSERT_TRUE(pool->free(*s, 2 * kWasmPageSize).isOk());
+    MemoryPool::Stats st = pool->stats();
+    EXPECT_EQ(st.decommittedBytes, kWasmPageSize);  // tail only
+
+    auto s2 = pool->allocate();
+    ASSERT_TRUE(s2.isOk());
+    EXPECT_TRUE(s2->warm);
+    EXPECT_EQ(s2->base[0], 0);
+    EXPECT_EQ(s2->base[kWasmPageSize + 17], 0);
+}
+
+TEST_F(PoolTest, DeferredReclaimZeroesOnReuse)
+{
+    MemoryPool::Options opt = smallStripedOptions(sys_.get());
+    opt.shards = 1;
+    opt.warmSlotsPerShard = 0;  // force every free through the queue
+    opt.deferredDecommit = true;
+    opt.dirtyByteBudget = 1;    // reclaim immediately
+    auto pool = MemoryPool::create(std::move(opt));
+    ASSERT_TRUE(pool.isOk());
+
+    auto s = pool->allocate();
+    ASSERT_TRUE(s.isOk());
+    uint64_t idx = s->index;
+    s->base[77] = 0x77;
+    ASSERT_TRUE(pool->free(*s, kWasmPageSize).isOk());
+    pool->quiesce();
+
+    MemoryPool::Stats st = pool->stats();
+    EXPECT_EQ(st.pendingReclaim, 0u);
+    EXPECT_GT(st.decommittedBytes, 0u);
+
+    // Drain the cold list until the recycled slot comes back: it must
+    // read zero again.
+    std::vector<Slot> held;
+    for (;;) {
+        auto s2 = pool->allocate();
+        ASSERT_TRUE(s2.isOk());
+        if (s2->index == idx) {
+            EXPECT_EQ(s2->base[77], 0);
+            break;
+        }
+        held.push_back(*s2);
+    }
+    for (const Slot& h : held)
+        ASSERT_TRUE(pool->free(h, 0).isOk());
+}
+
+TEST_F(PoolTest, QuiesceDrainsBelowBudget)
+{
+    // Frees smaller than the dirty-byte budget sit in the queue until
+    // quiesce() forces the batch out.
+    MemoryPool::Options opt = smallStripedOptions(sys_.get());
+    opt.warmSlotsPerShard = 0;
+    opt.deferredDecommit = true;
+    opt.dirtyByteBudget = 1 * kGiB;  // never reached by this test
+    auto pool = MemoryPool::create(std::move(opt));
+    ASSERT_TRUE(pool.isOk());
+
+    auto s = pool->allocate();
+    ASSERT_TRUE(s.isOk());
+    s->base[0] = 1;
+    ASSERT_TRUE(pool->free(*s, kWasmPageSize).isOk());
+    EXPECT_EQ(pool->stats().pendingReclaim, 1u);
+    pool->quiesce();
+    EXPECT_EQ(pool->stats().pendingReclaim, 0u);
+    EXPECT_EQ(pool->stats().decommittedBytes, kWasmPageSize);
+}
+
+TEST_F(PoolTest, MoveAssignReleasesStripeKeys)
+{
+    // Regression: a defaulted move-assign dropped the destination's
+    // Core without freeing its stripe keys, leaking them for the life
+    // of the mpk::System.
+    {
+        auto a = MemoryPool::create(smallStripedOptions(sys_.get()));
+        auto b = MemoryPool::create(smallStripedOptions(sys_.get()));
+        ASSERT_TRUE(a.isOk() && b.isOk());
+        ASSERT_GT(a->layout().numStripes, 1u);
+        *b = std::move(*a);  // must release b's original keys
+    }
+    // Every sandbox key must be allocatable again.
+    std::vector<mpk::Pkey> keys;
+    for (;;) {
+        auto k = sys_->allocKey();
+        if (!k.isOk())
+            break;
+        keys.push_back(*k);
+    }
+    EXPECT_EQ(keys.size(), size_t(mpk::kNumSandboxKeys));
+    for (mpk::Pkey k : keys)
+        EXPECT_TRUE(sys_->freeKey(k).isOk());
+}
+
 TEST(PoolNoMpk, ClassicLayoutWorksWithoutStriping)
 {
     auto sys = mpk::makeEmulated(0);
