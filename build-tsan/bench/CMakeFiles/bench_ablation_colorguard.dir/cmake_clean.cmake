@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_colorguard.dir/bench_ablation_colorguard.cc.o"
+  "CMakeFiles/bench_ablation_colorguard.dir/bench_ablation_colorguard.cc.o.d"
+  "bench_ablation_colorguard"
+  "bench_ablation_colorguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_colorguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_spec_w2c.dir/bench_fig3_spec_w2c.cc.o"
+  "CMakeFiles/bench_fig3_spec_w2c.dir/bench_fig3_spec_w2c.cc.o.d"
+  "bench_fig3_spec_w2c"
+  "bench_fig3_spec_w2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_spec_w2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sightglass_wamr.dir/bench_fig4_sightglass_wamr.cc.o"
+  "CMakeFiles/bench_fig4_sightglass_wamr.dir/bench_fig4_sightglass_wamr.cc.o.d"
+  "bench_fig4_sightglass_wamr"
+  "bench_fig4_sightglass_wamr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sightglass_wamr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_spec_lfi.dir/bench_fig5_spec_lfi.cc.o"
+  "CMakeFiles/bench_fig5_spec_lfi.dir/bench_fig5_spec_lfi.cc.o.d"
+  "bench_fig5_spec_lfi"
+  "bench_fig5_spec_lfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_spec_lfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ctx_dtlb.dir/bench_fig7_ctx_dtlb.cc.o"
+  "CMakeFiles/bench_fig7_ctx_dtlb.dir/bench_fig7_ctx_dtlb.cc.o.d"
+  "bench_fig7_ctx_dtlb"
+  "bench_fig7_ctx_dtlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ctx_dtlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

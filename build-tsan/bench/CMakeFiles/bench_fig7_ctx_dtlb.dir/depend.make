@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_ctx_dtlb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pool_scaling.dir/bench_pool_scaling.cc.o"
+  "CMakeFiles/bench_pool_scaling.dir/bench_pool_scaling.cc.o.d"
+  "bench_pool_scaling"
+  "bench_pool_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pool_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

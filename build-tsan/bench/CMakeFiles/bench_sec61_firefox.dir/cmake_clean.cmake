@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_firefox.dir/bench_sec61_firefox.cc.o"
+  "CMakeFiles/bench_sec61_firefox.dir/bench_sec61_firefox.cc.o.d"
+  "bench_sec61_firefox"
+  "bench_sec61_firefox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_firefox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

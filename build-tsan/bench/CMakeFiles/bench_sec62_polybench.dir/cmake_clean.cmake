@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_polybench.dir/bench_sec62_polybench.cc.o"
+  "CMakeFiles/bench_sec62_polybench.dir/bench_sec62_polybench.cc.o.d"
+  "bench_sec62_polybench"
+  "bench_sec62_polybench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_polybench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec641_transitions.dir/bench_sec641_transitions.cc.o"
+  "CMakeFiles/bench_sec641_transitions.dir/bench_sec641_transitions.cc.o.d"
+  "bench_sec641_transitions"
+  "bench_sec641_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec641_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

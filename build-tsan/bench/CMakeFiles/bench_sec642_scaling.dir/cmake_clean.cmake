@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec642_scaling.dir/bench_sec642_scaling.cc.o"
+  "CMakeFiles/bench_sec642_scaling.dir/bench_sec642_scaling.cc.o.d"
+  "bench_sec642_scaling"
+  "bench_sec642_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec642_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

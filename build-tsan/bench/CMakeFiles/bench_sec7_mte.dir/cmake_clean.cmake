@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_mte.dir/bench_sec7_mte.cc.o"
+  "CMakeFiles/bench_sec7_mte.dir/bench_sec7_mte.cc.o.d"
+  "bench_sec7_mte"
+  "bench_sec7_mte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_mte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_invariants.dir/bench_table1_invariants.cc.o"
+  "CMakeFiles/bench_table1_invariants.dir/bench_table1_invariants.cc.o.d"
+  "bench_table1_invariants"
+  "bench_table1_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

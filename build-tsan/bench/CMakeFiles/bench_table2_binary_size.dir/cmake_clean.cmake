@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_binary_size.dir/bench_table2_binary_size.cc.o"
+  "CMakeFiles/bench_table2_binary_size.dir/bench_table2_binary_size.cc.o.d"
+  "bench_table2_binary_size"
+  "bench_table2_binary_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_binary_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

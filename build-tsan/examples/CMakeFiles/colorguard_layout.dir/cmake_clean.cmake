@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colorguard_layout.dir/colorguard_layout.cpp.o"
+  "CMakeFiles/colorguard_layout.dir/colorguard_layout.cpp.o.d"
+  "colorguard_layout"
+  "colorguard_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colorguard_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_edge.dir/faas_edge.cpp.o"
+  "CMakeFiles/faas_edge.dir/faas_edge.cpp.o.d"
+  "faas_edge"
+  "faas_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

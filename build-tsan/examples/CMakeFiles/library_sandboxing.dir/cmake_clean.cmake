@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_sandboxing.dir/library_sandboxing.cpp.o"
+  "CMakeFiles/library_sandboxing.dir/library_sandboxing.cpp.o.d"
+  "library_sandboxing"
+  "library_sandboxing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_sandboxing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("x64")
+subdirs("seg")
+subdirs("mpk")
+subdirs("wasm")
+subdirs("runtime")
+subdirs("interp")
+subdirs("jit")
+subdirs("pool")
+subdirs("w2c")
+subdirs("elf")
+subdirs("wkld")
+subdirs("simx")
+subdirs("faas")

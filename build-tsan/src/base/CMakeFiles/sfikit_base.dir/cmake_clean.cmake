@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_base.dir/cpu.cc.o"
+  "CMakeFiles/sfikit_base.dir/cpu.cc.o.d"
+  "CMakeFiles/sfikit_base.dir/logging.cc.o"
+  "CMakeFiles/sfikit_base.dir/logging.cc.o.d"
+  "CMakeFiles/sfikit_base.dir/os_mem.cc.o"
+  "CMakeFiles/sfikit_base.dir/os_mem.cc.o.d"
+  "libsfikit_base.a"
+  "libsfikit_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

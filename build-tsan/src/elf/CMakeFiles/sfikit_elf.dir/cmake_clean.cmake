@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_elf.dir/symtab.cc.o"
+  "CMakeFiles/sfikit_elf.dir/symtab.cc.o.d"
+  "libsfikit_elf.a"
+  "libsfikit_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

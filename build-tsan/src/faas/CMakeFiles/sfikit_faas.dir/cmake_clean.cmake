@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_faas.dir/fiber.cc.o"
+  "CMakeFiles/sfikit_faas.dir/fiber.cc.o.d"
+  "CMakeFiles/sfikit_faas.dir/scheduler.cc.o"
+  "CMakeFiles/sfikit_faas.dir/scheduler.cc.o.d"
+  "libsfikit_faas.a"
+  "libsfikit_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_interp.dir/interp.cc.o"
+  "CMakeFiles/sfikit_interp.dir/interp.cc.o.d"
+  "libsfikit_interp.a"
+  "libsfikit_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

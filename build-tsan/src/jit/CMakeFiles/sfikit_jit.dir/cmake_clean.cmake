@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_jit.dir/compiler.cc.o"
+  "CMakeFiles/sfikit_jit.dir/compiler.cc.o.d"
+  "CMakeFiles/sfikit_jit.dir/vectorize.cc.o"
+  "CMakeFiles/sfikit_jit.dir/vectorize.cc.o.d"
+  "libsfikit_jit.a"
+  "libsfikit_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_mpk.dir/mpk.cc.o"
+  "CMakeFiles/sfikit_mpk.dir/mpk.cc.o.d"
+  "CMakeFiles/sfikit_mpk.dir/mte.cc.o"
+  "CMakeFiles/sfikit_mpk.dir/mte.cc.o.d"
+  "libsfikit_mpk.a"
+  "libsfikit_mpk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_mpk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_pool.dir/layout.cc.o"
+  "CMakeFiles/sfikit_pool.dir/layout.cc.o.d"
+  "CMakeFiles/sfikit_pool.dir/pool.cc.o"
+  "CMakeFiles/sfikit_pool.dir/pool.cc.o.d"
+  "libsfikit_pool.a"
+  "libsfikit_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_runtime.dir/instance.cc.o"
+  "CMakeFiles/sfikit_runtime.dir/instance.cc.o.d"
+  "CMakeFiles/sfikit_runtime.dir/memory.cc.o"
+  "CMakeFiles/sfikit_runtime.dir/memory.cc.o.d"
+  "CMakeFiles/sfikit_runtime.dir/signals.cc.o"
+  "CMakeFiles/sfikit_runtime.dir/signals.cc.o.d"
+  "CMakeFiles/sfikit_runtime.dir/trap.cc.o"
+  "CMakeFiles/sfikit_runtime.dir/trap.cc.o.d"
+  "libsfikit_runtime.a"
+  "libsfikit_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_seg.dir/seg.cc.o"
+  "CMakeFiles/sfikit_seg.dir/seg.cc.o.d"
+  "libsfikit_seg.a"
+  "libsfikit_seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

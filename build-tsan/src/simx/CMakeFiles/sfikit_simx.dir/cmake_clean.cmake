@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_simx.dir/faas_sim.cc.o"
+  "CMakeFiles/sfikit_simx.dir/faas_sim.cc.o.d"
+  "CMakeFiles/sfikit_simx.dir/tlb.cc.o"
+  "CMakeFiles/sfikit_simx.dir/tlb.cc.o.d"
+  "libsfikit_simx.a"
+  "libsfikit_simx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_simx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

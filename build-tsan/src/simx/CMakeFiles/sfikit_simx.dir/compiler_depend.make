@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sfikit_simx.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_w2c.dir/expat_lite.cc.o"
+  "CMakeFiles/sfikit_w2c.dir/expat_lite.cc.o.d"
+  "CMakeFiles/sfikit_w2c.dir/graphite_lite.cc.o"
+  "CMakeFiles/sfikit_w2c.dir/graphite_lite.cc.o.d"
+  "CMakeFiles/sfikit_w2c.dir/heap.cc.o"
+  "CMakeFiles/sfikit_w2c.dir/heap.cc.o.d"
+  "CMakeFiles/sfikit_w2c.dir/kernels.cc.o"
+  "CMakeFiles/sfikit_w2c.dir/kernels.cc.o.d"
+  "libsfikit_w2c.a"
+  "libsfikit_w2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_w2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_wasm.dir/opcodes.cc.o"
+  "CMakeFiles/sfikit_wasm.dir/opcodes.cc.o.d"
+  "CMakeFiles/sfikit_wasm.dir/validator.cc.o"
+  "CMakeFiles/sfikit_wasm.dir/validator.cc.o.d"
+  "libsfikit_wasm.a"
+  "libsfikit_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wkld/faas_workloads.cc" "src/wkld/CMakeFiles/sfikit_wkld.dir/faas_workloads.cc.o" "gcc" "src/wkld/CMakeFiles/sfikit_wkld.dir/faas_workloads.cc.o.d"
+  "/root/repo/src/wkld/workloads_poly.cc" "src/wkld/CMakeFiles/sfikit_wkld.dir/workloads_poly.cc.o" "gcc" "src/wkld/CMakeFiles/sfikit_wkld.dir/workloads_poly.cc.o.d"
+  "/root/repo/src/wkld/workloads_sightglass.cc" "src/wkld/CMakeFiles/sfikit_wkld.dir/workloads_sightglass.cc.o" "gcc" "src/wkld/CMakeFiles/sfikit_wkld.dir/workloads_sightglass.cc.o.d"
+  "/root/repo/src/wkld/workloads_spec17.cc" "src/wkld/CMakeFiles/sfikit_wkld.dir/workloads_spec17.cc.o" "gcc" "src/wkld/CMakeFiles/sfikit_wkld.dir/workloads_spec17.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/wasm/CMakeFiles/sfikit_wasm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/base/CMakeFiles/sfikit_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_wkld.dir/faas_workloads.cc.o"
+  "CMakeFiles/sfikit_wkld.dir/faas_workloads.cc.o.d"
+  "CMakeFiles/sfikit_wkld.dir/workloads_poly.cc.o"
+  "CMakeFiles/sfikit_wkld.dir/workloads_poly.cc.o.d"
+  "CMakeFiles/sfikit_wkld.dir/workloads_sightglass.cc.o"
+  "CMakeFiles/sfikit_wkld.dir/workloads_sightglass.cc.o.d"
+  "CMakeFiles/sfikit_wkld.dir/workloads_spec17.cc.o"
+  "CMakeFiles/sfikit_wkld.dir/workloads_spec17.cc.o.d"
+  "libsfikit_wkld.a"
+  "libsfikit_wkld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_wkld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sfikit_wkld.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x64/assembler.cc" "src/x64/CMakeFiles/sfikit_x64.dir/assembler.cc.o" "gcc" "src/x64/CMakeFiles/sfikit_x64.dir/assembler.cc.o.d"
+  "/root/repo/src/x64/exec_code.cc" "src/x64/CMakeFiles/sfikit_x64.dir/exec_code.cc.o" "gcc" "src/x64/CMakeFiles/sfikit_x64.dir/exec_code.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/base/CMakeFiles/sfikit_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

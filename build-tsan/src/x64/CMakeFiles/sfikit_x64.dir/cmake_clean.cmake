@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfikit_x64.dir/assembler.cc.o"
+  "CMakeFiles/sfikit_x64.dir/assembler.cc.o.d"
+  "CMakeFiles/sfikit_x64.dir/exec_code.cc.o"
+  "CMakeFiles/sfikit_x64.dir/exec_code.cc.o.d"
+  "libsfikit_x64.a"
+  "libsfikit_x64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfikit_x64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/logging_test.cc.o"
+  "CMakeFiles/test_base.dir/base/logging_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/os_mem_test.cc.o"
+  "CMakeFiles/test_base.dir/base/os_mem_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/rng_test.cc.o"
+  "CMakeFiles/test_base.dir/base/rng_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/stats_test.cc.o"
+  "CMakeFiles/test_base.dir/base/stats_test.cc.o.d"
+  "CMakeFiles/test_base.dir/base/units_test.cc.o"
+  "CMakeFiles/test_base.dir/base/units_test.cc.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

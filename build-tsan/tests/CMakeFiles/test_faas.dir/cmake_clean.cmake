@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faas.dir/faas/faas_test.cc.o"
+  "CMakeFiles/test_faas.dir/faas/faas_test.cc.o.d"
+  "test_faas"
+  "test_faas.pdb"
+  "test_faas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

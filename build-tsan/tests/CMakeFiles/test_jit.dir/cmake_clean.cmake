@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jit.dir/jit/jit_test.cc.o"
+  "CMakeFiles/test_jit.dir/jit/jit_test.cc.o.d"
+  "test_jit"
+  "test_jit.pdb"
+  "test_jit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

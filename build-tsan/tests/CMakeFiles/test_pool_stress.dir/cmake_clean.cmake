@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pool_stress.dir/pool/pool_stress_test.cc.o"
+  "CMakeFiles/test_pool_stress.dir/pool/pool_stress_test.cc.o.d"
+  "test_pool_stress"
+  "test_pool_stress.pdb"
+  "test_pool_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pool_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seg.dir/seg/seg_test.cc.o"
+  "CMakeFiles/test_seg.dir/seg/seg_test.cc.o.d"
+  "test_seg"
+  "test_seg.pdb"
+  "test_seg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

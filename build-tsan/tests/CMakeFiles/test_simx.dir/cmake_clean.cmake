@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simx.dir/simx/simx_test.cc.o"
+  "CMakeFiles/test_simx.dir/simx/simx_test.cc.o.d"
+  "test_simx"
+  "test_simx.pdb"
+  "test_simx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/program_gen.cc.o"
+  "CMakeFiles/test_support.dir/support/program_gen.cc.o.d"
+  "libtest_support.a"
+  "libtest_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

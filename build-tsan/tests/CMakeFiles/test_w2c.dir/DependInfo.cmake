@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/w2c/expat_graphite_test.cc" "tests/CMakeFiles/test_w2c.dir/w2c/expat_graphite_test.cc.o" "gcc" "tests/CMakeFiles/test_w2c.dir/w2c/expat_graphite_test.cc.o.d"
+  "/root/repo/tests/w2c/kernels_test.cc" "tests/CMakeFiles/test_w2c.dir/w2c/kernels_test.cc.o" "gcc" "tests/CMakeFiles/test_w2c.dir/w2c/kernels_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/base/CMakeFiles/sfikit_base.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/w2c/CMakeFiles/sfikit_w2c.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/sfikit_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/seg/CMakeFiles/sfikit_seg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mpk/CMakeFiles/sfikit_mpk.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/jit/CMakeFiles/sfikit_jit.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wasm/CMakeFiles/sfikit_wasm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/x64/CMakeFiles/sfikit_x64.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_w2c.dir/w2c/expat_graphite_test.cc.o"
+  "CMakeFiles/test_w2c.dir/w2c/expat_graphite_test.cc.o.d"
+  "CMakeFiles/test_w2c.dir/w2c/kernels_test.cc.o"
+  "CMakeFiles/test_w2c.dir/w2c/kernels_test.cc.o.d"
+  "test_w2c"
+  "test_w2c.pdb"
+  "test_w2c[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_w2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wasm.dir/wasm/validator_test.cc.o"
+  "CMakeFiles/test_wasm.dir/wasm/validator_test.cc.o.d"
+  "test_wasm"
+  "test_wasm.pdb"
+  "test_wasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

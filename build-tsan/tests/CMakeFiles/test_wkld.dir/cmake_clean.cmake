@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wkld.dir/wkld/workloads_test.cc.o"
+  "CMakeFiles/test_wkld.dir/wkld/workloads_test.cc.o.d"
+  "test_wkld"
+  "test_wkld.pdb"
+  "test_wkld[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wkld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/x64/assembler_test.cc" "tests/CMakeFiles/test_x64.dir/x64/assembler_test.cc.o" "gcc" "tests/CMakeFiles/test_x64.dir/x64/assembler_test.cc.o.d"
+  "/root/repo/tests/x64/exec_test.cc" "tests/CMakeFiles/test_x64.dir/x64/exec_test.cc.o" "gcc" "tests/CMakeFiles/test_x64.dir/x64/exec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/base/CMakeFiles/sfikit_base.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/x64/CMakeFiles/sfikit_x64.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x64.dir/x64/assembler_test.cc.o"
+  "CMakeFiles/test_x64.dir/x64/assembler_test.cc.o.d"
+  "CMakeFiles/test_x64.dir/x64/exec_test.cc.o"
+  "CMakeFiles/test_x64.dir/x64/exec_test.cc.o.d"
+  "test_x64"
+  "test_x64.pdb"
+  "test_x64[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_base[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_x64[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_seg[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_mpk[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_wasm[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_interp[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_jit[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_differential[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pool[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pool_stress[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_w2c[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_wkld[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_elf[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_simx[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_faas[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
