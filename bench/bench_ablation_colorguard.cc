@@ -20,10 +20,11 @@ namespace sfi {
 namespace {
 
 int
-run()
+run(int argc, char** argv)
 {
     bench::header("Ablations — ColorGuard design-space sweeps",
                   "DESIGN.md ablation index");
+    bench::JsonEmitter json(argc, argv, "ablation_colorguard");
 
     std::printf("(1) density vs slot size (8 GiB contract, 15 keys):\n");
     std::printf("    %-12s %10s %10s %8s\n", "slot size", "stripes",
@@ -41,6 +42,13 @@ run()
                     (unsigned long long)lay->numStripes,
                     double(lay->slotBytes) / double(kGiB),
                     double(8 * kGiB) / double(lay->slotBytes));
+        json.row()
+            .field("sweep", std::string("slot_size"))
+            .field("slot_mib", mb)
+            .field("stripes", lay->numStripes)
+            .field("stride_bytes", lay->slotBytes)
+            .field("density",
+                   double(8 * kGiB) / double(lay->slotBytes));
     }
 
     std::printf("\n(2) density vs available keys (544 MiB slots):\n");
@@ -59,6 +67,13 @@ run()
                     (unsigned long long)lay->numStripes,
                     double(lay->slotBytes) / double(kGiB),
                     double(8 * kGiB) / double(lay->slotBytes));
+        json.row()
+            .field("sweep", std::string("key_budget"))
+            .field("keys", keys)
+            .field("stripes", lay->numStripes)
+            .field("stride_bytes", lay->slotBytes)
+            .field("density",
+                   double(8 * kGiB) / double(lay->slotBytes));
     }
 
     std::printf("\n(3) epoch period vs ColorGuard throughput "
@@ -74,6 +89,12 @@ run()
         std::printf("    %8.2f ms %11.0f rps %14.0f\n", epoch_ms,
                     r.throughputRps,
                     double(r.sandboxTransitions) / cfg.simSeconds);
+        json.row()
+            .field("sweep", std::string("epoch_period"))
+            .field("epoch_ms", epoch_ms)
+            .field("rps", r.throughputRps)
+            .field("transitions_per_sec",
+                   double(r.sandboxTransitions) / cfg.simSeconds);
     }
 
     std::printf("\n(4) 4- vs 5-level paging (§8), multiprocess N=15:\n");
@@ -87,6 +108,11 @@ run()
         std::printf("    %d-level walks: %10.0f rps  (%.1f dTLB "
                     "misses/request)\n",
                     levels, r.throughputRps, r.dtlbMissesPerRequest());
+        json.row()
+            .field("sweep", std::string("paging_levels"))
+            .field("walk_levels", levels)
+            .field("rps", r.throughputRps)
+            .field("dtlb_per_req", r.dtlbMissesPerRequest());
     }
     return 0;
 }
@@ -95,7 +121,7 @@ run()
 }  // namespace sfi
 
 int
-main()
+main(int argc, char** argv)
 {
-    return sfi::run();
+    return sfi::run(argc, argv);
 }

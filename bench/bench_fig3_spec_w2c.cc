@@ -38,11 +38,12 @@ timeKernel(int k, uint64_t* checksum)
 }
 
 int
-run()
+run(int argc, char** argv)
 {
     bench::header("Figure 3 — Segue on wasm2c: SPEC CPU 2006 analogs",
                   "norm. runtime vs native; paper: Segue removes 44.7% "
                   "of geomean overhead");
+    bench::JsonEmitter json(argc, argv, "fig3_spec_w2c");
 
     std::printf("%-16s %10s %10s %10s %10s %10s\n", "benchmark",
                 "native(s)", "wasm2c", "+segue", "bounds", "b+segue");
@@ -59,6 +60,14 @@ run()
                     kKernels<NativePolicy>[k].name, native,
                     100 * base / native, 100 * segue / native,
                     100 * bounds / native, 100 * sbounds / native);
+        json.row()
+            .field("benchmark",
+                   std::string(kKernels<NativePolicy>[k].name))
+            .field("native_sec", native)
+            .field("wasm2c_norm", base / native)
+            .field("segue_norm", segue / native)
+            .field("bounds_norm", bounds / native)
+            .field("bounds_segue_norm", sbounds / native);
         over_base.push_back(base / native);
         over_segue.push_back(segue / native);
         over_bounds.push_back(bounds / native);
@@ -66,6 +75,12 @@ run()
     }
     double gb = geomean(over_base), gs = geomean(over_segue);
     double gbo = geomean(over_bounds), gso = geomean(over_sbounds);
+    json.row()
+        .field("benchmark", std::string("geomean"))
+        .field("wasm2c_norm", gb)
+        .field("segue_norm", gs)
+        .field("bounds_norm", gbo)
+        .field("bounds_segue_norm", gso);
     bench::hr();
     std::printf("%-16s %10s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", "geomean",
                 "", 100 * gb, 100 * gs, 100 * gbo, 100 * gso);
@@ -89,7 +104,7 @@ run()
 }  // namespace sfi::w2c
 
 int
-main()
+main(int argc, char** argv)
 {
-    return sfi::w2c::run();
+    return sfi::w2c::run(argc, argv);
 }

@@ -48,12 +48,13 @@ timeWorkloadConfigs(const wkld::Workload& w,
 }
 
 int
-run()
+run(int argc, char** argv)
 {
     bench::header(
         "Figure 4 — Sightglass on the WAMR-style JIT",
         "paper: mostly noise; memmove +35.6%, sieve +48.7% with full "
         "Segue; loads-only fixes both");
+    bench::JsonEmitter json(argc, argv, "fig4_sightglass_wamr");
 
     std::printf("%-14s %11s %9s %9s %12s\n", "benchmark", "native(s)",
                 "wamr", "+segue", "+segue-loads");
@@ -70,13 +71,23 @@ run()
         std::printf("%-14s %11.3f %8.1f%% %8.1f%% %11.1f%%\n", w.name,
                     native, 100 * base / native, 100 * segue / native,
                     100 * loads / native);
+        json.row()
+            .field("benchmark", std::string(w.name))
+            .field("native_sec", native)
+            .field("wamr_norm", base / native)
+            .field("segue_norm", segue / native)
+            .field("segue_loads_norm", loads / native);
         base_overhead.push_back(base / native);
         segue_overhead.push_back(segue / native);
     }
     bench::hr();
-    std::printf("%-14s %11s %8.1f%% %8.1f%%\n", "geomean", "",
-                100 * geomean(base_overhead),
-                100 * geomean(segue_overhead));
+    double gb = geomean(base_overhead), gs = geomean(segue_overhead);
+    std::printf("%-14s %11s %8.1f%% %8.1f%%\n", "geomean", "", 100 * gb,
+                100 * gs);
+    json.row()
+        .field("benchmark", std::string("geomean"))
+        .field("wamr_norm", gb)
+        .field("segue_norm", gs);
     std::printf("(sink=%llx)\n", (unsigned long long)sink);
     return 0;
 }
@@ -85,7 +96,7 @@ run()
 }  // namespace sfi
 
 int
-main()
+main(int argc, char** argv)
 {
-    return sfi::run();
+    return sfi::run(argc, argv);
 }

@@ -48,11 +48,12 @@ timeWorkloadConfigs(const wkld::Workload& w,
 }
 
 int
-run()
+run(int argc, char** argv)
 {
     bench::header("Figure 5 — Segue on LFI: SPEC CPU 2017 analogs",
                   "paper: LFI 17.4% geomean overhead -> 9.4% with "
                   "Segue (46% eliminated)");
+    bench::JsonEmitter json(argc, argv, "fig5_spec_lfi");
 
     std::printf("%-18s %11s %9s %10s\n", "benchmark", "native(s)", "lfi",
                 "lfi+segue");
@@ -67,10 +68,19 @@ run()
         double native = t[0], lfi = t[1], segue = t[2];
         std::printf("%-18s %11.3f %8.1f%% %9.1f%%\n", w.name, native,
                     100 * lfi / native, 100 * segue / native);
+        json.row()
+            .field("benchmark", std::string(w.name))
+            .field("native_sec", native)
+            .field("lfi_norm", lfi / native)
+            .field("lfi_segue_norm", segue / native);
         lfi_norm.push_back(lfi / native);
         segue_norm.push_back(segue / native);
     }
     double gl = geomean(lfi_norm), gs = geomean(segue_norm);
+    json.row()
+        .field("benchmark", std::string("geomean"))
+        .field("lfi_norm", gl)
+        .field("lfi_segue_norm", gs);
     bench::hr();
     std::printf("%-18s %11s %8.1f%% %9.1f%%\n", "geomean", "", 100 * gl,
                 100 * gs);
@@ -87,7 +97,7 @@ run()
 }  // namespace sfi
 
 int
-main()
+main(int argc, char** argv)
 {
-    return sfi::run();
+    return sfi::run(argc, argv);
 }

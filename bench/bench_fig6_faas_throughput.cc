@@ -19,11 +19,22 @@
  * exercising the concurrent pooling allocator end to end. `--json
  * out.json` emits both sections machine-readably; `--sim-only` /
  * `--mt-only` select one.
+ *
+ * `--open-loop` switches to arrival-rate load generation: a seeded
+ * Poisson schedule offers requests at a fixed rate (`--rate <rps>`, or
+ * a sweep that brackets the closed-loop capacity when omitted) and the
+ * host reports p50/p90/p95/p99/p99.9 sojourn-time percentiles next to
+ * achieved throughput — the latency-under-load view closed-loop
+ * numbers hide (coordinated omission). The sweep flags the saturation
+ * knee: the first rate the host fails to serve at ≥95% of offered.
  */
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench/bench_util.h"
+#include "faas/loadgen.h"
 #include "faas/scheduler.h"
 #include "simx/faas_sim.h"
 #include "wkld/workloads.h"
@@ -165,6 +176,96 @@ runMultithreaded(bench::JsonEmitter& json)
                 (unsigned long long)kReqs, w.name);
 }
 
+/**
+ * Open-loop latency section: offered-rate sweep with percentile rows.
+ * @p fixed_rate > 0 pins a single rate instead of sweeping.
+ */
+void
+runOpenLoop(bench::JsonEmitter& json, double fixed_rate)
+{
+    const auto& w = wkld::faasWorkloads()[0];
+    faas::FaasHost::Options opts;
+    opts.maxConcurrent = 32;
+    opts.workerThreads = std::max(
+        1, std::min(4, int(std::thread::hardware_concurrency())));
+    opts.warmAffinity = true;
+    opts.ioDelayMeanMs = 0.2;
+    auto host = faas::FaasHost::create(w.make(), std::move(opts));
+    SFI_CHECK_MSG(host.isOk(), "%s", host.message().c_str());
+
+    std::vector<double> rates;
+    if (fixed_rate > 0) {
+        rates.push_back(fixed_rate);
+    } else {
+        // Bracket the saturation point: calibrate capacity closed-loop,
+        // then offer fractions of it up through overload.
+        auto cal = (*host)->run(400);
+        SFI_CHECK_MSG(cal.isOk(), "%s", cal.message().c_str());
+        double capacity = cal->throughputRps;
+        std::printf("closed-loop capacity ≈ %.0f rps (%d workers)\n\n",
+                    capacity, opts.workerThreads);
+        for (double f : {0.25, 0.5, 0.75, 0.9, 1.0, 1.2})
+            rates.push_back(capacity * f);
+    }
+
+    std::printf("Open-loop latency, workload %s (Poisson arrivals, "
+                "sojourn time = arrival->finish):\n",
+                w.name);
+    std::printf("%10s %10s %9s %9s %9s %9s %9s %9s\n", "rate(rps)",
+                "achieved", "p50(us)", "p90(us)", "p95(us)", "p99(us)",
+                "p99.9(us)", "max(us)");
+
+    double knee_rate = 0;
+    for (double rate : rates) {
+        faas::LoadGenConfig load;
+        load.ratePerSec = rate;
+        load.process = faas::ArrivalProcess::Poisson;
+        // ~1.5 s of offered load per point, bounded for very slow or
+        // very fast hosts.
+        uint64_t reqs = uint64_t(
+            std::clamp(rate * 1.5, 200.0, 20000.0));
+        auto stats = (*host)->runOpenLoop(reqs, load);
+        SFI_CHECK_MSG(stats.isOk(), "%s", stats.message().c_str());
+        SFI_CHECK(stats->completed == reqs);
+
+        const auto& lat = stats->latencyTotalNs;
+        auto us = [](uint64_t ns) { return double(ns) / 1e3; };
+        double p50 = us(lat.percentile(50)), p90 = us(lat.percentile(90));
+        double p95 = us(lat.percentile(95)), p99 = us(lat.percentile(99));
+        double p999 = us(lat.percentile(99.9)), pmax = us(lat.max());
+        bool saturated = stats->throughputRps < 0.95 * rate;
+        if (saturated && knee_rate == 0)
+            knee_rate = rate;
+        std::printf("%10.0f %10.0f %9.0f %9.0f %9.0f %9.0f %9.0f %9.0f%s\n",
+                    rate, stats->throughputRps, p50, p90, p95, p99, p999,
+                    pmax, saturated ? "  <- saturated" : "");
+        json.row()
+            .field("section", std::string("open_loop"))
+            .field("workload", std::string(w.name))
+            .field("workers", opts.workerThreads)
+            .field("offered_rps", rate)
+            .field("achieved_rps", stats->throughputRps)
+            .field("requests", stats->completed)
+            .field("p50_us", p50)
+            .field("p90_us", p90)
+            .field("p95_us", p95)
+            .field("p99_us", p99)
+            .field("p999_us", p999)
+            .field("max_us", pmax)
+            .field("queue_p99_us",
+                   us(stats->latencyQueueNs.percentile(99)))
+            .field("saturated", saturated ? 1 : 0);
+    }
+    if (rates.size() > 1) {
+        if (knee_rate > 0)
+            std::printf("\nsaturation knee ≈ %.0f offered rps (first "
+                        "rate served below 95%% of offered)\n",
+                        knee_rate);
+        else
+            std::printf("\nno saturation knee inside the swept range\n");
+    }
+}
+
 int
 run(int argc, char** argv)
 {
@@ -173,12 +274,21 @@ run(int argc, char** argv)
                   "15 processes");
     bench::JsonEmitter json(argc, argv, "fig6_faas_throughput");
 
-    bool sim_only = false, mt_only = false;
+    bool sim_only = false, mt_only = false, open_loop = false;
+    double rate = 0;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--sim-only") == 0)
             sim_only = true;
         if (std::strcmp(argv[i], "--mt-only") == 0)
             mt_only = true;
+        if (std::strcmp(argv[i], "--open-loop") == 0)
+            open_loop = true;
+        if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc)
+            rate = std::atof(argv[i + 1]);
+    }
+    if (open_loop) {
+        runOpenLoop(json, rate);
+        return 0;
     }
     if (!mt_only)
         runSimulated(json);

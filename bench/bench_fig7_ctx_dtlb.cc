@@ -16,11 +16,12 @@ namespace sfi {
 namespace {
 
 int
-run()
+run(int argc, char** argv)
 {
     bench::header("Figure 7 — context switches and dTLB misses",
                   "paper: both grow with process count for "
                   "multiprocess; ColorGuard stays flat");
+    bench::JsonEmitter json(argc, argv, "fig7_ctx_dtlb");
 
     std::printf("%-10s %16s %16s | %16s %16s\n", "processes",
                 "ctx-sw (MP)", "ctx-sw (CG)", "dTLB/req (MP)",
@@ -44,6 +45,12 @@ run()
                     (unsigned long long)rcg.osContextSwitches,
                     rmp.dtlbMissesPerRequest(),
                     rcg.dtlbMissesPerRequest());
+        json.row()
+            .field("processes", n)
+            .field("ctx_sw_mp", rmp.osContextSwitches)
+            .field("ctx_sw_cg", rcg.osContextSwitches)
+            .field("dtlb_per_req_mp", rmp.dtlbMissesPerRequest())
+            .field("dtlb_per_req_cg", rcg.dtlbMissesPerRequest());
     }
     std::printf("\n(10 simulated seconds per cell; 64 concurrent "
                 "requests per process-equivalent)\n");
@@ -54,7 +61,7 @@ run()
 }  // namespace sfi
 
 int
-main()
+main(int argc, char** argv)
 {
-    return sfi::run();
+    return sfi::run(argc, argv);
 }

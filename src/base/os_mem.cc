@@ -2,6 +2,7 @@
 
 #include <sys/mman.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -115,6 +116,50 @@ Reservation::zero(uint64_t offset, uint64_t bytes)
         return Status::error("zero range out of bounds");
     std::memset(base_ + offset, 0, bytes);
     return Status::ok();
+}
+
+Result<uint64_t>
+residentHighWaterBytes(const void* base, uint64_t bytes)
+{
+#ifndef __linux__
+    (void)base;
+    (void)bytes;
+    return Result<uint64_t>::error("mincore probe unavailable");
+#else
+    uint64_t start = alignDown(reinterpret_cast<uint64_t>(base),
+                               kOsPageSize);
+    uint64_t end = alignUp(reinterpret_cast<uint64_t>(base) + bytes,
+                           kOsPageSize);
+    if (end == start)
+        return Result<uint64_t>(0);
+
+    // Probe in fixed chunks from the top so a sparse slot answers
+    // after one syscall over its (empty) tail in the common case.
+    constexpr uint64_t kChunkPages = 4096;  // 16 MiB per syscall
+    unsigned char vec[kChunkPages];
+    uint64_t chunk_end = end;
+    while (chunk_end > start) {
+        uint64_t pages =
+            std::min<uint64_t>((chunk_end - start) / kOsPageSize,
+                               kChunkPages);
+        uint64_t chunk_start = chunk_end - pages * kOsPageSize;
+        if (mincore(reinterpret_cast<void*>(chunk_start),
+                    pages * kOsPageSize, vec) != 0) {
+            return Result<uint64_t>::error(
+                std::string("mincore failed: ") + std::strerror(errno));
+        }
+        for (uint64_t i = pages; i-- > 0;) {
+            if (vec[i] & 1) {
+                uint64_t last_end =
+                    chunk_start + (i + 1) * kOsPageSize;
+                return Result<uint64_t>(
+                    last_end - reinterpret_cast<uint64_t>(base));
+            }
+        }
+        chunk_end = chunk_start;
+    }
+    return Result<uint64_t>(0);
+#endif
 }
 
 uint64_t

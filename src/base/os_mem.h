@@ -82,6 +82,22 @@ class Reservation
     uint64_t size_ = 0;
 };
 
+/**
+ * Probes page residency of [base, base+bytes) via mincore(2) and
+ * returns the *touched high-water span*: the byte offset (from @p base,
+ * rounded up to a page boundary) just past the last resident page, or
+ * 0 when no page has been faulted in. Anonymous pages become resident
+ * on first touch and decommit (MADV_DONTNEED) evicts them, so for a
+ * pooling-allocator slot the result is the span the occupant actually
+ * dirtied — what MemoryPool::free() wants as touched_bytes instead of
+ * the conservative declared memory size.
+ *
+ * @p base is rounded down and @p bytes up to page boundaries. Errors
+ * (range not mapped, mincore unavailable) surface as a Result error;
+ * callers fall back to their conservative span.
+ */
+Result<uint64_t> residentHighWaterBytes(const void* base, uint64_t bytes);
+
 /** Number of distinct VMAs currently mapped by this process. */
 uint64_t currentVmaCount();
 

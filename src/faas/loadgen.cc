@@ -1,0 +1,40 @@
+#include "faas/loadgen.h"
+
+#include "base/logging.h"
+
+namespace sfi::faas {
+
+LoadGen::LoadGen(LoadGenConfig config)
+    : config_(config), rng_(config.seed)
+{
+    SFI_CHECK_MSG(config_.ratePerSec > 0,
+                  "open-loop arrival rate must be positive");
+}
+
+uint64_t
+LoadGen::nextArrivalNs()
+{
+    double mean_gap_ns = 1e9 / config_.ratePerSec;
+    switch (config_.process) {
+      case ArrivalProcess::Poisson:
+        nextNs_ += rng_.nextExponential(mean_gap_ns);
+        break;
+      case ArrivalProcess::Uniform:
+        nextNs_ += mean_gap_ns;
+        break;
+    }
+    return uint64_t(nextNs_);
+}
+
+std::vector<uint64_t>
+LoadGen::schedule(const LoadGenConfig& config, uint64_t n)
+{
+    LoadGen gen(config);
+    std::vector<uint64_t> arrivals;
+    arrivals.reserve(n);
+    for (uint64_t i = 0; i < n; i++)
+        arrivals.push_back(gen.nextArrivalNs());
+    return arrivals;
+}
+
+}  // namespace sfi::faas

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Open-loop load generation for the FaaS host (§6.4.2's scalability
+ * story, measured the way the serverless literature reports it).
+ *
+ * A closed-loop driver waits for a response before issuing the next
+ * request, so under overload it silently slows its own offered load and
+ * the tail disappears from the numbers (coordinated omission). The
+ * open-loop generator instead fixes an *arrival process*: request i
+ * becomes eligible at a precomputed timestamp regardless of how the
+ * system is doing, and latency is measured from that arrival — backlog
+ * and queueing delay show up in the percentiles, which is the point.
+ *
+ * Arrivals are generated from the deterministic xoshiro RNG, so a
+ * (seed, rate, process) triple names one reproducible schedule across
+ * runs, thread counts, and machines.
+ */
+#ifndef SFIKIT_FAAS_LOADGEN_H_
+#define SFIKIT_FAAS_LOADGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace sfi::faas {
+
+/** Inter-arrival distribution of the open-loop generator. */
+enum class ArrivalProcess {
+    Poisson,  ///< exponential inter-arrivals (memoryless, the default)
+    Uniform,  ///< fixed-rate arrivals (deterministic pacing)
+};
+
+struct LoadGenConfig
+{
+    /** Offered load: mean arrivals per second. Must be > 0. */
+    double ratePerSec = 1000.0;
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    uint64_t seed = 42;
+};
+
+/**
+ * Streaming arrival-time generator: each call to nextArrivalNs()
+ * returns the next request's arrival offset (ns from the run start),
+ * monotonically non-decreasing.
+ */
+class LoadGen
+{
+  public:
+    explicit LoadGen(LoadGenConfig config);
+
+    /** Arrival offset of the next request, ns from run start. */
+    uint64_t nextArrivalNs();
+
+    /**
+     * The full schedule for @p n requests as absolute ns offsets —
+     * what FaasHost precomputes so concurrent workers can gate request
+     * claims on nothing but a load-acquire of the clock.
+     */
+    static std::vector<uint64_t> schedule(const LoadGenConfig& config,
+                                          uint64_t n);
+
+  private:
+    LoadGenConfig config_;
+    Rng rng_;
+    double nextNs_ = 0;  ///< accumulated in double to avoid drift
+};
+
+}  // namespace sfi::faas
+
+#endif  // SFIKIT_FAAS_LOADGEN_H_

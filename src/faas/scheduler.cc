@@ -41,6 +41,10 @@ struct FaasHost::RequestSlot
     uint64_t requestId = 0;
     /** Wall-clock ns when this fiber may run again. */
     uint64_t readyAtNs = 0;
+    /** Absolute arrival timestamp of the current request (ns). */
+    uint64_t enqueueNs = 0;
+    /** Absolute start-of-service timestamp (claim time, ns). */
+    uint64_t startNs = 0;
     bool active = false;  ///< has an in-flight request
 
     /** Saved sandbox context across yields. */
@@ -60,6 +64,13 @@ struct FaasHost::Worker
     Stats stats;
     Status failure;
     std::vector<std::unique_ptr<RequestSlot>> slots;
+
+    // Private latency reservoirs: only this worker's thread writes
+    // them during the run; run() merges them after joining, so the
+    // record path is an increment into a thread-local histogram.
+    LogHistogram latencyQueueNs;
+    LogHistogram latencyServiceNs;
+    LogHistogram latencyTotalNs;
 };
 
 Result<std::unique_ptr<FaasHost>>
@@ -106,15 +117,29 @@ FaasHost::create(wasm::Module workload, Options options)
 
 FaasHost::~FaasHost() = default;
 
-uint64_t
-FaasHost::takeRequestId()
+FaasHost::Claim
+FaasHost::claimRequest(uint64_t now_ns)
 {
+    Claim claim;
     uint64_t cur = nextRequestId_.load(std::memory_order_relaxed);
-    while (cur < totalRequests_ &&
-           !nextRequestId_.compare_exchange_weak(
-               cur, cur + 1, std::memory_order_relaxed)) {
+    while (cur < totalRequests_) {
+        // Open-loop gate: id `cur` does not exist until its arrival
+        // timestamp. Ids are claimed strictly in arrival order, so
+        // checking only the head of the schedule is sufficient.
+        uint64_t arrival =
+            arrivalNs_.empty() ? now_ns : runStartNs_ + arrivalNs_[cur];
+        if (arrival > now_ns) {
+            claim.nextArrivalNs = arrival;
+            return claim;
+        }
+        if (nextRequestId_.compare_exchange_weak(
+                cur, cur + 1, std::memory_order_relaxed)) {
+            claim.id = cur;
+            claim.enqueueNs = arrival;
+            return claim;
+        }
     }
-    return cur < totalRequests_ ? cur : UINT64_MAX;
+    return claim;
 }
 
 void
@@ -122,6 +147,19 @@ FaasHost::yieldFromGuest(RequestSlot* slot)
 {
     // Stash the sandbox context (signal ownership, %gs, PKRU) so other
     // instances can run, then restore it on resume.
+    //
+    // PKRU-under-fibers invariant (audited for the per-thread PKRU in
+    // EmulatedMpk): every suspension saves the PKRU *value* into the
+    // slot and parks the thread register at allowAll; every resumption
+    // rewrites the saved value into whichever thread runs the fiber.
+    // Save/restore is by value, never by thread identity, so it would
+    // stay correct even if a fiber migrated between workers — though
+    // the scheduler never migrates them (a RequestSlot is owned by
+    // exactly one Worker and only ever resumed from its workerLoop).
+    // Slot recycling cannot observe a stale savedPkru either: a slot is
+    // reassigned only after its fiber finished (active == false), and
+    // Instance::callFunction restored the entry PKRU before that, so
+    // the next request overwrites savedPkru before anyone reads it.
     slot->savedExec = rt::setActiveExecution(nullptr);
     slot->savedGs = seg::getGsBase();
     slot->savedPkru = mpk_->readPkru();
@@ -181,6 +219,13 @@ FaasHost::requestBody(RequestSlot* slot)
     SFI_CHECK_MSG(out.ok(), "request trapped: %s", rt::name(out.trap));
     worker->stats.checksum ^= out.value + slot->requestId;
     worker->stats.completed++;
+
+    // Latency sample: enqueue -> start -> finish, into this worker's
+    // private reservoirs (no cross-thread coordination).
+    uint64_t finish = monotonicNs();
+    worker->latencyQueueNs.add(slot->startNs - slot->enqueueNs);
+    worker->latencyServiceNs.add(finish - slot->startNs);
+    worker->latencyTotalNs.add(finish - slot->enqueueNs);
     slot->active = false;
 }
 
@@ -204,8 +249,11 @@ void
 FaasHost::workerTeardown(Worker* w)
 {
     for (auto& slot : w->slots) {
+        // touchedBytes(): the mincore-probed faulted span, not the
+        // conservative full declared memory size — warm reuse then
+        // zeroes/decommits only what this occupant actually dirtied.
         uint64_t touched =
-            slot->instance ? slot->instance->memory().highWaterBytes()
+            slot->instance ? slot->instance->memory().touchedBytes()
                            : 0;
         SFI_CHECK(pool_->free(slot->poolSlot, touched).isOk());
         slot->instance.reset();
@@ -229,20 +277,29 @@ FaasHost::workerLoop(Worker* w)
             for (auto& slot_ptr : w->slots) {
                 RequestSlot* slot = slot_ptr.get();
                 if (!slot->active) {
-                    uint64_t id = takeRequestId();
-                    if (id == UINT64_MAX)
+                    Claim claim = claimRequest(now);
+                    if (claim.id == UINT64_MAX) {
+                        // Nothing claimable now; in open-loop mode wake
+                        // up for the next scheduled arrival.
+                        next_ready =
+                            std::min(next_ready, claim.nextArrivalNs);
                         continue;
+                    }
                     // Assign a new request: fresh fiber + recycled slot
                     // memory. With warm affinity the slot usually comes
                     // straight back from this shard's cache — zeroed by
                     // memset over the previous request's footprint, no
-                    // decommit/refault.
-                    slot->requestId = id;
+                    // decommit/refault. The freed span is the
+                    // mincore-probed faulted span (touchedBytes), not
+                    // the full declared memory size.
+                    slot->requestId = claim.id;
                     slot->active = true;
                     slot->readyAtNs = 0;
+                    slot->enqueueNs = claim.enqueueNs;
+                    slot->startNs = monotonicNs();
                     uint64_t touched =
                         slot->instance
-                            ? slot->instance->memory().highWaterBytes()
+                            ? slot->instance->memory().touchedBytes()
                             : 0;
                     SFI_CHECK(
                         pool_->free(slot->poolSlot, touched).isOk());
@@ -271,7 +328,11 @@ FaasHost::workerLoop(Worker* w)
                 now = monotonicNs();
             }
 
-            if (!any_active)
+            // Open-loop: idle slots with requests still to *arrive* must
+            // keep the worker alive, so exit requires every id claimed.
+            if (!any_active &&
+                nextRequestId_.load(std::memory_order_relaxed) >=
+                    totalRequests_)
                 break;
             if (!progressed && next_ready != UINT64_MAX) {
                 uint64_t wait = next_ready > now ? next_ready - now : 0;
@@ -291,6 +352,22 @@ FaasHost::workerLoop(Worker* w)
 Result<FaasHost::Stats>
 FaasHost::run(uint64_t total_requests)
 {
+    arrivalNs_.clear();
+    offeredRps_ = 0;
+    return runInternal(total_requests);
+}
+
+Result<FaasHost::Stats>
+FaasHost::runOpenLoop(uint64_t total_requests, const LoadGenConfig& load)
+{
+    arrivalNs_ = LoadGen::schedule(load, total_requests);
+    offeredRps_ = load.ratePerSec;
+    return runInternal(total_requests);
+}
+
+Result<FaasHost::Stats>
+FaasHost::runInternal(uint64_t total_requests)
+{
     totalRequests_ = total_requests;
     nextRequestId_.store(0);
 
@@ -309,6 +386,7 @@ FaasHost::run(uint64_t total_requests)
     }
 
     uint64_t start_ns = monotonicNs();
+    runStartNs_ = start_ns;
     if (num_workers == 1) {
         workerLoop(workers[0].get());
     } else {
@@ -321,6 +399,7 @@ FaasHost::run(uint64_t total_requests)
     double elapsed = double(monotonicNs() - start_ns) / 1e9;
 
     Stats stats;
+    stats.offeredRps = offeredRps_;
     for (auto& w : workers) {
         if (!w->failure.isOk())
             return Result<Stats>::error(w->failure.message());
@@ -329,6 +408,9 @@ FaasHost::run(uint64_t total_requests)
         stats.ioYields += w->stats.ioYields;
         stats.transitions += w->stats.transitions;
         stats.checksum ^= w->stats.checksum;
+        stats.latencyQueueNs.merge(w->latencyQueueNs);
+        stats.latencyServiceNs.merge(w->latencyServiceNs);
+        stats.latencyTotalNs.merge(w->latencyTotalNs);
     }
     stats.elapsedSec = elapsed;
     stats.throughputRps =

@@ -12,6 +12,14 @@
  * memory in and out of the shared concurrent MemoryPool (sharded
  * free-lists + warm-slot affinity, so per-request recycling does not
  * serialize the workers).
+ *
+ * Load can be driven two ways: closed-loop (run(): next request issues
+ * as soon as a slot frees up — a throughput measurement) or open-loop
+ * (runOpenLoop(): requests arrive on a deterministic Poisson/uniform
+ * schedule at a configured rate, and per-request
+ * arrival->start->finish timestamps feed lock-free per-worker latency
+ * reservoirs — the tail-latency measurement closed-loop drivers
+ * famously distort through coordinated omission).
  */
 #ifndef SFIKIT_FAAS_SCHEDULER_H_
 #define SFIKIT_FAAS_SCHEDULER_H_
@@ -23,7 +31,9 @@
 
 #include "base/result.h"
 #include "base/rng.h"
+#include "base/stats.h"
 #include "faas/fiber.h"
+#include "faas/loadgen.h"
 #include "pool/pool.h"
 #include "runtime/instance.h"
 #include "wasm/module.h"
@@ -92,6 +102,21 @@ class FaasHost
         uint64_t ioYields = 0;
         uint64_t transitions = 0;
         uint64_t checksum = 0;  ///< xor of responses (verification)
+
+        /** Offered arrival rate (rps); 0 for closed-loop runs. */
+        double offeredRps = 0;
+        /**
+         * Per-request latency distributions in ns, merged from the
+         * per-worker reservoirs after the run (the hot path only ever
+         * touches its own worker's histograms):
+         *   queue   = arrival (or claim, closed-loop) -> start
+         *   service = start -> finish (compute + IO waits)
+         *   total   = arrival -> finish (the sojourn time; this is the
+         *             number coordinated omission hides)
+         */
+        LogHistogram latencyQueueNs;
+        LogHistogram latencyServiceNs;
+        LogHistogram latencyTotalNs;
     };
 
     /**
@@ -106,22 +131,52 @@ class FaasHost
     /** Serves @p total_requests closed-loop at full concurrency. */
     Result<Stats> run(uint64_t total_requests);
 
+    /**
+     * Serves @p total_requests open-loop: request i becomes eligible at
+     * the @p load schedule's i-th arrival timestamp whether or not the
+     * host is keeping up, and the returned Stats carry latency
+     * percentiles measured from that arrival. The schedule is
+     * precomputed from (seed, rate, process), so results are
+     * reproducible across thread counts.
+     */
+    Result<Stats> runOpenLoop(uint64_t total_requests,
+                              const LoadGenConfig& load);
+
     const pool::MemoryPool& memoryPool() const { return *pool_; }
 
   private:
     struct RequestSlot;
     struct Worker;
 
+    /** Outcome of trying to claim the next request id. */
+    struct Claim
+    {
+        /** Claimed id, or UINT64_MAX when nothing was claimable. */
+        uint64_t id = UINT64_MAX;
+        /** Absolute arrival timestamp of the claimed request (ns). */
+        uint64_t enqueueNs = 0;
+        /**
+         * When nothing was claimed: absolute ns at which the next
+         * request arrives, or UINT64_MAX when all ids are taken.
+         */
+        uint64_t nextArrivalNs = UINT64_MAX;
+    };
+
     FaasHost() = default;
 
+    Result<Stats> runInternal(uint64_t total_requests);
     void workerLoop(Worker* worker);
     Status workerSetup(Worker* worker);
     void workerTeardown(Worker* worker);
     void requestBody(RequestSlot* slot);
     void yieldFromGuest(RequestSlot* slot);
 
-    /** Claims the next request id, or UINT64_MAX when none remain. */
-    uint64_t takeRequestId();
+    /**
+     * Claims the next request id whose arrival time has passed. In
+     * closed-loop mode (no arrival schedule) every remaining id is
+     * immediately claimable.
+     */
+    Claim claimRequest(uint64_t now_ns);
 
     Options opts_;
     std::shared_ptr<const rt::SharedModule> module_;
@@ -133,6 +188,15 @@ class FaasHost
 
     uint64_t totalRequests_ = 0;
     std::atomic<uint64_t> nextRequestId_{0};
+
+    /**
+     * Open-loop arrival schedule (ns offsets from runStartNs_), indexed
+     * by request id; empty in closed-loop mode. Written before the
+     * worker threads start and read-only during the run.
+     */
+    std::vector<uint64_t> arrivalNs_;
+    uint64_t runStartNs_ = 0;
+    double offeredRps_ = 0;
 };
 
 }  // namespace sfi::faas

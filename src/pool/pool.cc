@@ -68,6 +68,8 @@ struct MemoryPool::Core
         std::atomic<uint64_t> frees{0};
         std::atomic<uint64_t> firstCommits{0};
         std::atomic<uint64_t> warmHits{0};
+        std::atomic<uint64_t> warmZeroes{0};
+        std::atomic<uint64_t> warmZeroedBytes{0};
         std::atomic<uint64_t> steals{0};
         std::atomic<uint64_t> decommits{0};
         std::atomic<uint64_t> decommittedBytes{0};
@@ -320,6 +322,10 @@ MemoryPool::allocate()
                           .zero(c.layout.slotOffset(index),
                                 c.dirtyBytes[index])
                           .isOk());
+            c.counters.warmZeroes.fetch_add(1,
+                                            std::memory_order_relaxed);
+            c.counters.warmZeroedBytes.fetch_add(
+                c.dirtyBytes[index], std::memory_order_relaxed);
             c.dirtyBytes[index] = 0;
         }
         slot.dirtyBytes = c.dirtyBytes[index];
@@ -478,6 +484,9 @@ MemoryPool::stats() const
     s.firstCommits =
         c.counters.firstCommits.load(std::memory_order_relaxed);
     s.warmHits = c.counters.warmHits.load(std::memory_order_relaxed);
+    s.warmZeroes = c.counters.warmZeroes.load(std::memory_order_relaxed);
+    s.warmZeroedBytes =
+        c.counters.warmZeroedBytes.load(std::memory_order_relaxed);
     s.steals = c.counters.steals.load(std::memory_order_relaxed);
     s.decommits = c.counters.decommits.load(std::memory_order_relaxed);
     s.decommittedBytes =

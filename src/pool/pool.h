@@ -116,6 +116,15 @@ class MemoryPool
         uint64_t firstCommits = 0;
         /** Allocations served from the warm-affinity cache. */
         uint64_t warmHits = 0;
+        /** Warm reuses that had a dirty span to memset-zero. */
+        uint64_t warmZeroes = 0;
+        /**
+         * Total bytes memset-zeroed on warm reuse. With callers
+         * reporting mincore-probed touched spans this tracks the pages
+         * occupants actually faulted — far below
+         * warmHits * maxMemoryBytes for small-footprint workloads.
+         */
+        uint64_t warmZeroedBytes = 0;
         /** Allocations served from another thread's shard. */
         uint64_t steals = 0;
         /** madvise batches issued (sync or by the reclaimer). */

@@ -61,6 +61,7 @@ Instance::create(std::shared_ptr<const SharedModule> shared,
         }
         std::memcpy(inst->memory_.base() + seg.offset, seg.bytes.data(),
                     seg.bytes.size());
+        inst->memory_.noteStore(seg.offset, seg.bytes.size());
     }
 
     // --- globals, imports, table ---

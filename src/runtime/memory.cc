@@ -57,6 +57,22 @@ LinearMemory::view(uint8_t* base, uint32_t pages, uint32_t max_pages,
     return mem;
 }
 
+uint64_t
+LinearMemory::touchedBytes() const
+{
+    if (base_ == nullptr || highWaterBytes_ == 0)
+        return 0;
+    auto probed = residentHighWaterBytes(base_, highWaterBytes_);
+    if (!probed) {
+        // No residency information: report the conservative grow
+        // high-water rather than risk leaking a previous occupant's
+        // bytes to the slot's next tenant.
+        return highWaterBytes_;
+    }
+    uint64_t touched = std::max(*probed, storeHighWaterBytes_);
+    return std::min(touched, highWaterBytes_);
+}
+
 int64_t
 LinearMemory::grow(uint32_t delta_pages)
 {

@@ -12,6 +12,7 @@
 #ifndef SFIKIT_RUNTIME_MEMORY_H_
 #define SFIKIT_RUNTIME_MEMORY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 
@@ -64,13 +65,35 @@ class LinearMemory
     uint32_t maxPages() const { return maxPages_; }
     uint64_t byteSize() const { return uint64_t(pages_) * kWasmPageSize; }
     /**
-     * Largest byteSize() this memory has ever had — the span a pooling
-     * allocator must treat as dirty when the slot is recycled
-     * (pool::MemoryPool::free touched_bytes). Today Wasm memories never
-     * shrink so this equals byteSize(), but the accessor is the
-     * contract, not the coincidence.
+     * Conservative dirty-span upper bound: the largest byteSize() this
+     * memory has ever had (grow high-water). Everything the occupant
+     * could have written lies below it, but an occupant that faulted
+     * only a few pages is *heavily* over-reported — recycling callers
+     * should prefer touchedBytes().
      */
     uint64_t highWaterBytes() const { return highWaterBytes_; }
+    /**
+     * The span actually dirtied, for pool::MemoryPool::free()'s
+     * touched_bytes: the mincore(2)-probed faulted span, combined with
+     * the tracked store high-water (interpreter writes / data
+     * segments). Falls back to the conservative highWaterBytes() when
+     * residency probing is unavailable, so it never under-reports —
+     * under-reporting would leak the previous occupant's bytes to the
+     * next tenant.
+     */
+    uint64_t touchedBytes() const;
+    /**
+     * Records a host-side write of [offset, offset+len) so the store
+     * high-water survives even where residency probing is unavailable.
+     * JIT-compiled guest stores are not individually tracked — they are
+     * what the mincore probe exists for.
+     */
+    void
+    noteStore(uint64_t offset, uint64_t len)
+    {
+        storeHighWaterBytes_ =
+            std::max(storeHighWaterBytes_, offset + len);
+    }
     bool valid() const { return base_ != nullptr; }
 
     /**
@@ -106,6 +129,7 @@ class LinearMemory
         if (!inBounds(offset, sizeof(T)))
             return false;
         std::memcpy(base_ + offset, &value, sizeof(T));
+        noteStore(offset, sizeof(T));
         return true;
     }
 
@@ -116,6 +140,8 @@ class LinearMemory
     uint32_t maxPages_ = 0;
     uint64_t reservedBytes_ = 0;
     uint64_t highWaterBytes_ = 0;
+    /** Genuine high-water of host-tracked stores; starts at 0. */
+    uint64_t storeHighWaterBytes_ = 0;
     bool ownsMapping_ = false;
 };
 

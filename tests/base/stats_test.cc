@@ -1,6 +1,12 @@
 #include "base/stats.h"
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "base/rng.h"
 
 namespace sfi {
 namespace {
@@ -55,6 +61,96 @@ TEST(Histogram, Bins)
     EXPECT_EQ(h.count(1), 2u);
     EXPECT_EQ(h.count(9), 2u);
     EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(LogHistogram, EmptyIsZero)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(LogHistogram, LinearRegionIsExact)
+{
+    // Values below kSubBuckets each get their own bucket: percentiles
+    // must be exact, not approximate.
+    LogHistogram h;
+    for (uint64_t v = 0; v < LogHistogram::kSubBuckets; v++)
+        h.add(v);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), LogHistogram::kSubBuckets - 1);
+    EXPECT_EQ(h.percentile(0), 0u);
+    EXPECT_EQ(h.percentile(100), LogHistogram::kSubBuckets - 1);
+    EXPECT_EQ(h.percentile(50), LogHistogram::kSubBuckets / 2);
+}
+
+TEST(LogHistogram, BucketRoundTrip)
+{
+    // The midpoint of a value's bucket must land back in that bucket,
+    // and stay within one sub-bucket width of the value.
+    for (uint64_t v : std::vector<uint64_t>{
+             1, 63, 64, 65, 1000, 123456, uint64_t(1) << 32,
+             (uint64_t(1) << 40) + 12345}) {
+        size_t b = LogHistogram::bucketOf(v);
+        uint64_t mid = LogHistogram::bucketMidpoint(b);
+        EXPECT_EQ(LogHistogram::bucketOf(mid), b) << "v=" << v;
+        double rel = std::abs(double(mid) - double(v)) / double(v);
+        EXPECT_LE(rel, 1.0 / double(LogHistogram::kSubBuckets))
+            << "v=" << v << " mid=" << mid;
+    }
+}
+
+TEST(LogHistogram, PercentilesMatchSortedOracle)
+{
+    // Deterministic heavy-tailed sample; compare against exact
+    // nearest-rank percentiles on the sorted data.
+    Rng rng(12345);
+    std::vector<uint64_t> vals;
+    LogHistogram h;
+    for (int i = 0; i < 20000; i++) {
+        // Mix of microsecond-ish and long-tail values.
+        uint64_t v = uint64_t(rng.nextExponential(50'000.0)) + 1;
+        if (rng.next() % 100 == 0)
+            v *= 50;  // tail
+        vals.push_back(v);
+        h.add(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+        size_t rank = size_t(p / 100.0 * double(vals.size() - 1) + 0.5);
+        double exact = double(vals[rank]);
+        double approx = double(h.percentile(p));
+        EXPECT_NEAR(approx, exact, exact * 0.03)
+            << "p=" << p;  // within one bucket (~1.6%) + rank slack
+    }
+    EXPECT_EQ(h.max(), vals.back());
+    EXPECT_EQ(h.min(), vals.front());
+    EXPECT_EQ(h.count(), vals.size());
+}
+
+TEST(LogHistogram, MergeEqualsSingle)
+{
+    // Splitting a stream across N histograms and merging must produce
+    // bit-identical results to recording into one.
+    Rng rng(777);
+    LogHistogram whole;
+    LogHistogram parts[4];
+    for (int i = 0; i < 10000; i++) {
+        uint64_t v = uint64_t(rng.nextExponential(1e6)) + 1;
+        whole.add(v);
+        parts[i % 4].add(v);
+    }
+    LogHistogram merged;
+    for (auto& p : parts)
+        merged.merge(p);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.min(), whole.min());
+    EXPECT_EQ(merged.max(), whole.max());
+    EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+    for (double p : {10.0, 50.0, 90.0, 99.0, 99.9})
+        EXPECT_EQ(merged.percentile(p), whole.percentile(p)) << p;
 }
 
 }  // namespace

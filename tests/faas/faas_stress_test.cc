@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Concurrency storm for the open-loop FaaS host: many workers claiming
+ * from one arrival schedule, per-worker latency reservoirs merged at
+ * the end. Labelled "stress" (run with ctest -L stress, ideally under
+ * -DSFIKIT_SANITIZE=thread) so tier-1 stays fast.
+ */
+#include <gtest/gtest.h>
+
+#include "faas/loadgen.h"
+#include "faas/scheduler.h"
+#include "wkld/workloads.h"
+
+namespace sfi::faas {
+namespace {
+
+TEST(FaasStress, OpenLoopManyWorkers)
+{
+    const uint64_t kReqs = 512;
+    uint64_t reference = 0;
+    bool have_reference = false;
+    for (int round = 0; round < 3; round++) {
+        FaasHost::Options opts;
+        opts.maxConcurrent = 32;
+        opts.workerThreads = 4 + round;  // 4, 5, 6 workers
+        opts.warmAffinity = true;
+        opts.deferredDecommit = (round == 2);
+        opts.ioDelayMeanMs = 0.05;
+        auto host = FaasHost::create(
+            wkld::faasWorkloads()[0].make(), std::move(opts));
+        ASSERT_TRUE(host.isOk()) << host.message();
+
+        LoadGenConfig load;
+        load.ratePerSec = 20000;  // deliberately into saturation
+        load.seed = 42;
+        auto stats = (*host)->runOpenLoop(kReqs, load);
+        ASSERT_TRUE(stats.isOk()) << stats.message();
+
+        // Every request served exactly once, across all workers.
+        EXPECT_EQ(stats->completed, kReqs) << "round " << round;
+        EXPECT_EQ(stats->latencyTotalNs.count(), kReqs);
+        EXPECT_EQ(stats->latencyQueueNs.count(), kReqs);
+        EXPECT_EQ(stats->latencyServiceNs.count(), kReqs);
+        EXPECT_GT(stats->latencyTotalNs.percentile(99),
+                  stats->latencyTotalNs.percentile(50) / 2);
+
+        // Checksum is xor-accumulated, so worker count can't change it.
+        if (!have_reference) {
+            reference = stats->checksum;
+            have_reference = true;
+        }
+        EXPECT_EQ(stats->checksum, reference) << "round " << round;
+        EXPECT_EQ((*host)->memoryPool().slotsInUse(), 0u);
+    }
+}
+
+TEST(FaasStress, OpenLoopUnderloadedLatencyIsBounded)
+{
+    // Offered far below capacity: queueing should stay small relative
+    // to sojourn time, and nothing may be lost under concurrency.
+    FaasHost::Options opts;
+    opts.maxConcurrent = 16;
+    opts.workerThreads = 4;
+    opts.ioDelayMeanMs = 0.05;
+    auto host = FaasHost::create(
+        wkld::faasWorkloads()[1].make(), std::move(opts));
+    ASSERT_TRUE(host.isOk()) << host.message();
+
+    LoadGenConfig load;
+    load.ratePerSec = 200;  // ~5 ms apart; host is far faster
+    load.seed = 7;
+    const uint64_t kReqs = 128;
+    auto stats = (*host)->runOpenLoop(kReqs, load);
+    ASSERT_TRUE(stats.isOk()) << stats.message();
+    EXPECT_EQ(stats->completed, kReqs);
+    EXPECT_EQ(stats->latencyTotalNs.count(), kReqs);
+    // Underloaded: achieved tracks offered within scheduling noise.
+    EXPECT_GT(stats->throughputRps, 0.5 * load.ratePerSec);
+    // Queue wait is a small share of the sojourn at this load.
+    EXPECT_LT(stats->latencyQueueNs.percentile(50),
+              stats->latencyTotalNs.percentile(99));
+}
+
+}  // namespace
+}  // namespace sfi::faas

@@ -223,5 +223,109 @@ TEST(FaasHost, PoolSlotsRecycledAcrossRuns)
     EXPECT_EQ((*host)->memoryPool().slotsInUse(), 0u);
 }
 
+TEST(FaasHost, OpenLoopServesAllAndRecordsLatency)
+{
+    const uint64_t kReqs = 64;
+    FaasHost::Options opts;
+    opts.maxConcurrent = 8;
+    opts.workerThreads = 2;
+    opts.ioDelayMeanMs = 0.1;
+    auto host = FaasHost::create(
+        wkld::faasWorkloads()[0].make(), std::move(opts));
+    ASSERT_TRUE(host.isOk()) << host.message();
+
+    // Closed-loop reference checksum for the same request count.
+    auto closed = (*host)->run(kReqs);
+    ASSERT_TRUE(closed.isOk());
+
+    LoadGenConfig load;
+    load.ratePerSec = 2000;
+    load.process = ArrivalProcess::Poisson;
+    load.seed = 11;
+    auto stats = (*host)->runOpenLoop(kReqs, load);
+    ASSERT_TRUE(stats.isOk()) << stats.message();
+    EXPECT_EQ(stats->completed, kReqs);
+    EXPECT_EQ(stats->checksum, closed->checksum);
+    EXPECT_DOUBLE_EQ(stats->offeredRps, 2000.0);
+
+    // Every request lands in each reservoir exactly once.
+    EXPECT_EQ(stats->latencyTotalNs.count(), kReqs);
+    EXPECT_EQ(stats->latencyQueueNs.count(), kReqs);
+    EXPECT_EQ(stats->latencyServiceNs.count(), kReqs);
+    // Sojourn >= service for every request, so percentiles order too.
+    EXPECT_GE(stats->latencyTotalNs.percentile(50),
+              stats->latencyServiceNs.percentile(50) / 2);
+    EXPECT_GT(stats->latencyTotalNs.max(), 0u);
+    // Each request does ~100us of IO, so p50 sojourn can't be below it.
+    EXPECT_GT(stats->latencyTotalNs.percentile(50), 50'000u);
+}
+
+TEST(FaasHost, OpenLoopDeterministicSchedule)
+{
+    // Same seed + rate => same arrival schedule => same checksum (the
+    // checksum is order-independent, but completion must be total).
+    uint64_t checksums[2];
+    for (int i = 0; i < 2; i++) {
+        FaasHost::Options opts;
+        opts.maxConcurrent = 4;
+        opts.workerThreads = 2;
+        opts.ioDelayMeanMs = 0.1;
+        auto host = FaasHost::create(
+            wkld::faasWorkloads()[2].make(), std::move(opts));
+        ASSERT_TRUE(host.isOk());
+        LoadGenConfig load;
+        load.ratePerSec = 5000;
+        load.seed = 3;
+        auto stats = (*host)->runOpenLoop(32, load);
+        ASSERT_TRUE(stats.isOk());
+        EXPECT_EQ(stats->completed, 32u);
+        checksums[i] = stats->checksum;
+    }
+    EXPECT_EQ(checksums[0], checksums[1]);
+}
+
+TEST(FaasHost, ClosedLoopQueueLatencyNearZero)
+{
+    // Closed-loop mode has no arrival schedule: enqueue == claim time,
+    // so the queue reservoir must record (near-)zero waits while the
+    // total reservoir still sees real service time.
+    FaasHost::Options opts;
+    opts.maxConcurrent = 4;
+    opts.ioDelayMeanMs = 0.1;
+    auto host = FaasHost::create(
+        wkld::faasWorkloads()[0].make(), std::move(opts));
+    ASSERT_TRUE(host.isOk());
+    auto stats = (*host)->run(16);
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_EQ(stats->latencyTotalNs.count(), 16u);
+    EXPECT_LT(stats->latencyQueueNs.percentile(50),
+              stats->latencyTotalNs.percentile(50));
+    EXPECT_EQ(stats->offeredRps, 0.0);
+}
+
+TEST(FaasHost, WarmReuseZeroesOnlyTouchedSpan)
+{
+    // Regression test for warm-reuse over-zeroing: FaaS workloads
+    // declare a 1 MiB minimum memory but touch only a few KiB, so the
+    // per-recycle zeroed span must stay far below the full slot size.
+    FaasHost::Options opts;
+    opts.maxConcurrent = 4;
+    opts.warmAffinity = true;
+    opts.ioDelayMeanMs = 0.1;
+    auto host = FaasHost::create(
+        wkld::faasWorkloads()[0].make(), std::move(opts));
+    ASSERT_TRUE(host.isOk());
+    auto stats = (*host)->run(32);
+    ASSERT_TRUE(stats.isOk());
+    auto ps = (*host)->memoryPool().stats();
+    ASSERT_GT(ps.warmZeroes, 0u);
+    uint64_t slot_bytes = (*host)->memoryPool().layout().maxMemoryBytes;
+    // Average zeroed bytes per warm reuse must be well under the slot's
+    // 1 MiB committed size — the touched span, not the declared size.
+    EXPECT_LT(ps.warmZeroedBytes / ps.warmZeroes, slot_bytes / 2)
+        << "zeroed " << ps.warmZeroedBytes << " over " << ps.warmZeroes
+        << " warm reuses (slot " << slot_bytes << ")";
+}
+
 }  // namespace
 }  // namespace sfi::faas

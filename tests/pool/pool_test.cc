@@ -1,5 +1,7 @@
 #include "pool/pool.h"
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "base/units.h"
@@ -236,6 +238,35 @@ TEST_F(PoolTest, StatsCountersBalance)
     EXPECT_EQ(st.allocations, 3u);
     EXPECT_EQ(st.firstCommits, 2u);
     EXPECT_EQ(st.warmHits, 1u);
+}
+
+TEST_F(PoolTest, WarmZeroingCoversOnlyDirtySpan)
+{
+    // Warm reuse must zero the dirty high-water span the freer
+    // reported, not the whole slot — the counter pair makes the cost
+    // observable.
+    MemoryPool::Options opt = smallStripedOptions(sys_.get());
+    opt.warmSlotsPerShard = 4;
+    opt.warmKeepResidentBytes = UINT64_MAX;  // no trimming at free()
+    auto pool = MemoryPool::create(std::move(opt));
+    ASSERT_TRUE(pool.isOk());
+
+    auto s = pool->allocate();
+    ASSERT_TRUE(s.isOk());
+    const uint64_t touched = 3 * kOsPageSize;
+    std::memset(s->base, 0x5a, touched);
+    ASSERT_TRUE(pool->free(*s, touched));
+
+    auto s2 = pool->allocate();  // LIFO warm hit on the same slot
+    ASSERT_TRUE(s2.isOk());
+    EXPECT_EQ(s2->index, s->index);
+    EXPECT_EQ(s2->base[touched - 1], 0);
+
+    MemoryPool::Stats st = pool->stats();
+    EXPECT_EQ(st.warmZeroes, 1u);
+    EXPECT_EQ(st.warmZeroedBytes, touched);
+    EXPECT_LT(st.warmZeroedBytes, pool->layout().maxMemoryBytes);
+    ASSERT_TRUE(pool->free(*s2, touched));
 }
 
 TEST_F(PoolTest, WarmAffinityReturnsSameSlotZeroed)
