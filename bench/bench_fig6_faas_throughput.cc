@@ -29,6 +29,8 @@
  * knee: the first rate the host fails to serve at ≥95% of offered.
  */
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -283,8 +285,24 @@ run(int argc, char** argv)
             mt_only = true;
         if (std::strcmp(argv[i], "--open-loop") == 0)
             open_loop = true;
-        if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc)
-            rate = std::atof(argv[i + 1]);
+        if (std::strcmp(argv[i], "--rate") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--rate requires a value (offered rps)\n");
+                return 2;
+            }
+            char* end = nullptr;
+            errno = 0;
+            rate = std::strtod(argv[i + 1], &end);
+            if (end == argv[i + 1] || *end != '\0' || errno == ERANGE ||
+                !std::isfinite(rate) || rate <= 0) {
+                std::fprintf(stderr,
+                             "--rate: '%s' is not a positive number\n",
+                             argv[i + 1]);
+                return 2;
+            }
+            i++;  // consume the value so it is not re-scanned as a flag
+        }
     }
     if (open_loop) {
         runOpenLoop(json, rate);

@@ -1,6 +1,8 @@
 #include "base/os_mem.h"
 
+#include <fcntl.h>
 #include <sys/mman.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -118,13 +120,104 @@ Reservation::zero(uint64_t offset, uint64_t bytes)
     return Status::ok();
 }
 
+#ifdef __linux__
+namespace {
+
+// Pagemap entry flags (man 5 proc): present pages and swapped-out
+// pages were both faulted by the occupant; everything else was never
+// touched. Unprivileged readers see zeroed PFNs but intact flags
+// (Linux >= 4.2).
+constexpr uint64_t kPagemapPresent = 1ull << 63;
+constexpr uint64_t kPagemapSwapped = 1ull << 62;
+
+/** True when any swap is configured (SwapTotal > 0). Read per call:
+ *  a swapon after a cached "no swap" answer would silently void the
+ *  probe's no-under-report guarantee. Unreadable /proc/meminfo or a
+ *  missing field assume the worst. */
+bool
+swapConfigured()
+{
+    std::FILE* f = std::fopen("/proc/meminfo", "r");
+    if (f == nullptr)
+        return true;
+    char line[160];
+    bool swap = true;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        unsigned long long kb = 0;
+        if (std::sscanf(line, "SwapTotal: %llu", &kb) == 1) {
+            swap = kb > 0;
+            break;
+        }
+    }
+    std::fclose(f);
+    return swap;
+}
+
+/** High-water scan of /proc/self/pagemap over page-aligned
+ *  [start, end): returns the byte offset from @p base just past the
+ *  last present-or-swapped page. Errors when pagemap is unreadable
+ *  (pre-4.2 kernel, masked /proc). */
 Result<uint64_t>
-residentHighWaterBytes(const void* base, uint64_t bytes)
+pagemapHighWaterBytes(const void* base, uint64_t start, uint64_t end)
+{
+    int fd = open("/proc/self/pagemap", O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        return Result<uint64_t>::error(
+            std::string("open /proc/self/pagemap failed: ") +
+            std::strerror(errno));
+    }
+    // Scan in fixed chunks from the top so a sparse slot answers after
+    // one read over its (empty) tail in the common case.
+    constexpr uint64_t kChunkPages = 1024;  // 8 KiB buffer, 4 MiB span
+    uint64_t vec[kChunkPages];
+    uint64_t chunk_end = end;
+    while (chunk_end > start) {
+        uint64_t pages =
+            std::min<uint64_t>((chunk_end - start) / kOsPageSize,
+                               kChunkPages);
+        uint64_t chunk_start = chunk_end - pages * kOsPageSize;
+        uint64_t want = pages * sizeof(uint64_t);
+        uint64_t got = 0;
+        off_t off = static_cast<off_t>(
+            chunk_start / kOsPageSize * sizeof(uint64_t));
+        while (got < want) {
+            ssize_t n = pread(fd, reinterpret_cast<char*>(vec) + got,
+                              want - got, off + static_cast<off_t>(got));
+            if (n <= 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                close(fd);
+                return Result<uint64_t>::error(
+                    std::string("pagemap read failed: ") +
+                    (n < 0 ? std::strerror(errno) : "short read"));
+            }
+            got += uint64_t(n);
+        }
+        for (uint64_t i = pages; i-- > 0;) {
+            if (vec[i] & (kPagemapPresent | kPagemapSwapped)) {
+                close(fd);
+                uint64_t last_end =
+                    chunk_start + (i + 1) * kOsPageSize;
+                return Result<uint64_t>(
+                    last_end - reinterpret_cast<uint64_t>(base));
+            }
+        }
+        chunk_end = chunk_start;
+    }
+    close(fd);
+    return Result<uint64_t>(0);
+}
+
+}  // namespace
+#endif  // __linux__
+
+Result<uint64_t>
+touchedHighWaterBytes(const void* base, uint64_t bytes)
 {
 #ifndef __linux__
     (void)base;
     (void)bytes;
-    return Result<uint64_t>::error("mincore probe unavailable");
+    return Result<uint64_t>::error("touched-span probe unavailable");
 #else
     uint64_t start = alignDown(reinterpret_cast<uint64_t>(base),
                                kOsPageSize);
@@ -133,8 +226,20 @@ residentHighWaterBytes(const void* base, uint64_t bytes)
     if (end == start)
         return Result<uint64_t>(0);
 
-    // Probe in fixed chunks from the top so a sparse slot answers
-    // after one syscall over its (empty) tail in the common case.
+    auto probed = pagemapHighWaterBytes(base, start, end);
+    if (probed)
+        return probed;
+
+    // mincore(2) reports only RAM residency: a dirty page the kernel
+    // swapped out reads as untouched, which would let the slot's next
+    // occupant see the previous occupant's bytes once it faults back.
+    // So the mincore fallback is safe only while no swap is configured.
+    if (swapConfigured()) {
+        return Result<uint64_t>::error(
+            "touched-span probe unavailable: pagemap unreadable and "
+            "swap is configured (" +
+            probed.message() + ")");
+    }
     constexpr uint64_t kChunkPages = 4096;  // 16 MiB per syscall
     unsigned char vec[kChunkPages];
     uint64_t chunk_end = end;

@@ -83,20 +83,28 @@ class Reservation
 };
 
 /**
- * Probes page residency of [base, base+bytes) via mincore(2) and
- * returns the *touched high-water span*: the byte offset (from @p base,
- * rounded up to a page boundary) just past the last resident page, or
- * 0 when no page has been faulted in. Anonymous pages become resident
- * on first touch and decommit (MADV_DONTNEED) evicts them, so for a
- * pooling-allocator slot the result is the span the occupant actually
- * dirtied — what MemoryPool::free() wants as touched_bytes instead of
- * the conservative declared memory size.
+ * Probes [base, base+bytes) and returns the *touched high-water span*:
+ * the byte offset (from @p base, rounded up to a page boundary) just
+ * past the last page the process ever faulted, or 0 when none has
+ * been. Anonymous pages are touched on first store and decommit
+ * (MADV_DONTNEED) forgets them, so for a pooling-allocator slot the
+ * result is the span the occupant actually dirtied — what
+ * MemoryPool::free() wants as touched_bytes instead of the
+ * conservative declared memory size.
+ *
+ * The primary probe reads /proc/self/pagemap and counts a page as
+ * touched when it is RAM-resident *or swapped out* — mincore(2) alone
+ * would report a swapped-out dirty page as untouched and leak the
+ * previous occupant's bytes to the slot's next tenant when the page
+ * faults back in. mincore serves as fallback only when pagemap is
+ * unreadable and no swap is configured (SwapTotal == 0).
  *
  * @p base is rounded down and @p bytes up to page boundaries. Errors
- * (range not mapped, mincore unavailable) surface as a Result error;
- * callers fall back to their conservative span.
+ * (range not mapped, no safe probe available) surface as a Result
+ * error; callers MUST fall back to their conservative span — the
+ * result is isolation-relevant, never best-effort.
  */
-Result<uint64_t> residentHighWaterBytes(const void* base, uint64_t bytes);
+Result<uint64_t> touchedHighWaterBytes(const void* base, uint64_t bytes);
 
 /** Number of distinct VMAs currently mapped by this process. */
 uint64_t currentVmaCount();

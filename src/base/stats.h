@@ -128,8 +128,10 @@ class Histogram
 /**
  * Fixed-bucket log-linear histogram over non-negative integers
  * (HdrHistogram-style): 64 linear buckets below 2^6, then 64
- * sub-buckets per power-of-two octave, giving a bounded ~0.8% relative
- * error across the full uint64_t range with a fixed ~30 KiB footprint.
+ * sub-buckets per power-of-two octave. Buckets are at most
+ * 2^-kSubBucketBits (~1.6%) of their value wide, so reporting the
+ * midpoint bounds the relative error at half that (~0.8%) — across
+ * the full uint64_t range, with a fixed ~30 KiB footprint.
  *
  * Built for latency percentiles on the FaaS hot path: each worker owns
  * a private histogram (add() is a couple of shifts and one increment,
@@ -184,7 +186,8 @@ class LogHistogram
     /**
      * p-th percentile (p in [0, 100]) by nearest-rank over the bucket
      * midpoints; exact at the recorded min/max endpoints, and within
-     * one bucket width (≤ 2^-kSubBucketBits relative) elsewhere.
+     * half a bucket width (≤ 2^-(kSubBucketBits+1), ~0.8% relative)
+     * elsewhere.
      */
     uint64_t
     percentile(double p) const

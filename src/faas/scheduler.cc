@@ -249,7 +249,7 @@ void
 FaasHost::workerTeardown(Worker* w)
 {
     for (auto& slot : w->slots) {
-        // touchedBytes(): the mincore-probed faulted span, not the
+        // touchedBytes(): the probed faulted span, not the
         // conservative full declared memory size — warm reuse then
         // zeroes/decommits only what this occupant actually dirtied.
         uint64_t touched =
@@ -289,9 +289,9 @@ FaasHost::workerLoop(Worker* w)
                     // memory. With warm affinity the slot usually comes
                     // straight back from this shard's cache — zeroed by
                     // memset over the previous request's footprint, no
-                    // decommit/refault. The freed span is the
-                    // mincore-probed faulted span (touchedBytes), not
-                    // the full declared memory size.
+                    // decommit/refault. The freed span is the probed
+                    // faulted span (touchedBytes), not the full
+                    // declared memory size.
                     slot->requestId = claim.id;
                     slot->active = true;
                     slot->readyAtNs = 0;

@@ -120,9 +120,17 @@ class MemoryPool
         uint64_t warmZeroes = 0;
         /**
          * Total bytes memset-zeroed on warm reuse. With callers
-         * reporting mincore-probed touched spans this tracks the pages
+         * reporting probed touched spans this tracks the pages
          * occupants actually faulted — far below
          * warmHits * maxMemoryBytes for small-footprint workloads.
+         *
+         * Caveat: the warm-reuse memset itself refaults the pages it
+         * zeroes, so a slot's probed span — and this counter — is
+         * monotone non-decreasing across successive warm occupants,
+         * converging to the max footprint seen rather than each
+         * occupant's own touch. The free-time trim bounds the ratchet
+         * at warmKeepResidentBytes (the tail beyond it is decommitted,
+         * which resets residency).
          */
         uint64_t warmZeroedBytes = 0;
         /** Allocations served from another thread's shard. */

@@ -62,11 +62,12 @@ LinearMemory::touchedBytes() const
 {
     if (base_ == nullptr || highWaterBytes_ == 0)
         return 0;
-    auto probed = residentHighWaterBytes(base_, highWaterBytes_);
+    auto probed = touchedHighWaterBytes(base_, highWaterBytes_);
     if (!probed) {
-        // No residency information: report the conservative grow
-        // high-water rather than risk leaking a previous occupant's
-        // bytes to the slot's next tenant.
+        // No trustworthy touched-span information (e.g. pagemap
+        // masked while swap is configured): report the conservative
+        // grow high-water rather than risk leaking a previous
+        // occupant's bytes to the slot's next tenant.
         return highWaterBytes_;
     }
     uint64_t touched = std::max(*probed, storeHighWaterBytes_);

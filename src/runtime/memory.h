@@ -74,19 +74,19 @@ class LinearMemory
     uint64_t highWaterBytes() const { return highWaterBytes_; }
     /**
      * The span actually dirtied, for pool::MemoryPool::free()'s
-     * touched_bytes: the mincore(2)-probed faulted span, combined with
-     * the tracked store high-water (interpreter writes / data
-     * segments). Falls back to the conservative highWaterBytes() when
-     * residency probing is unavailable, so it never under-reports —
-     * under-reporting would leak the previous occupant's bytes to the
-     * next tenant.
+     * touched_bytes: the probed faulted span (pagemap-based and
+     * swap-aware; see touchedHighWaterBytes()), combined with the
+     * tracked store high-water (interpreter writes / data segments).
+     * Falls back to the conservative highWaterBytes() when no safe
+     * probe is available, so it never under-reports — under-reporting
+     * would leak the previous occupant's bytes to the next tenant.
      */
     uint64_t touchedBytes() const;
     /**
      * Records a host-side write of [offset, offset+len) so the store
-     * high-water survives even where residency probing is unavailable.
-     * JIT-compiled guest stores are not individually tracked — they are
-     * what the mincore probe exists for.
+     * high-water survives even where touched-span probing is
+     * unavailable. JIT-compiled guest stores are not individually
+     * tracked — they are what the pagemap probe exists for.
      */
     void
     noteStore(uint64_t offset, uint64_t len)

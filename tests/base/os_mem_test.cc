@@ -77,55 +77,55 @@ TEST(VmaAccounting, CountsAndLimit)
     EXPECT_GE(maxVmaCount(), 1024u);
 }
 
-TEST(ResidentHighWater, UntouchedIsZero)
+TEST(TouchedHighWater, UntouchedIsZero)
 {
     // Fresh anonymous pages are not resident until first touch, so an
     // allocate-without-touch region reports an empty touched span.
     auto r = Reservation::allocate(16 * kOsPageSize);
     ASSERT_TRUE(r.isOk());
-    auto hw = residentHighWaterBytes(r->base(), r->size());
+    auto hw = touchedHighWaterBytes(r->base(), r->size());
     ASSERT_TRUE(hw.isOk()) << hw.message();
     EXPECT_EQ(*hw, 0u);
 }
 
-TEST(ResidentHighWater, TracksLastTouchedPage)
+TEST(TouchedHighWater, TracksLastTouchedPage)
 {
     auto r = Reservation::allocate(16 * kOsPageSize);
     ASSERT_TRUE(r.isOk());
     // Touch pages 0..3: high water = 4 pages.
     for (int p = 0; p < 4; p++)
         r->base()[p * kOsPageSize] = 1;
-    auto hw = residentHighWaterBytes(r->base(), r->size());
+    auto hw = touchedHighWaterBytes(r->base(), r->size());
     ASSERT_TRUE(hw.isOk());
     EXPECT_EQ(*hw, 4 * kOsPageSize);
     // Touch page 9 only: the span extends past the gap to page 10's
     // start even though pages 4..8 stay untouched (it is a high-water
     // mark, not a population count).
     r->base()[9 * kOsPageSize + 123] = 2;
-    hw = residentHighWaterBytes(r->base(), r->size());
+    hw = touchedHighWaterBytes(r->base(), r->size());
     ASSERT_TRUE(hw.isOk());
     EXPECT_EQ(*hw, 10 * kOsPageSize);
 }
 
-TEST(ResidentHighWater, DecommitResetsSpan)
+TEST(TouchedHighWater, DecommitResetsSpan)
 {
     auto r = Reservation::allocate(8 * kOsPageSize);
     ASSERT_TRUE(r.isOk());
     std::memset(r->base(), 0xff, 8 * kOsPageSize);
-    auto hw = residentHighWaterBytes(r->base(), r->size());
+    auto hw = touchedHighWaterBytes(r->base(), r->size());
     ASSERT_TRUE(hw.isOk());
     EXPECT_EQ(*hw, 8 * kOsPageSize);
     ASSERT_TRUE(r->decommit(0, 8 * kOsPageSize));
-    hw = residentHighWaterBytes(r->base(), r->size());
+    hw = touchedHighWaterBytes(r->base(), r->size());
     ASSERT_TRUE(hw.isOk());
     EXPECT_EQ(*hw, 0u);
 }
 
-TEST(ResidentHighWater, ZeroLength)
+TEST(TouchedHighWater, ZeroLength)
 {
     auto r = Reservation::allocate(kOsPageSize);
     ASSERT_TRUE(r.isOk());
-    auto hw = residentHighWaterBytes(r->base(), 0);
+    auto hw = touchedHighWaterBytes(r->base(), 0);
     ASSERT_TRUE(hw.isOk());
     EXPECT_EQ(*hw, 0u);
 }
