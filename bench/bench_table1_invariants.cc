@@ -10,7 +10,10 @@
 #include "base/rng.h"
 #include "base/units.h"
 #include "bench/bench_util.h"
+#include "jit/compiler.h"
 #include "pool/layout.h"
+#include "verify/checker.h"
+#include "wkld/workloads.h"
 
 namespace sfi::pool {
 namespace {
@@ -99,7 +102,53 @@ run()
                 (unsigned long long)violations);
     std::printf("  (0 violations = every accepted layout provably "
                 "honors the compiler contract)\n");
-    return violations == 0 ? 0 : 1;
+
+    // The binary-level counterpart: the static SFI verifier over the
+    // full workload x strategy matrix (the paper's VeriWasm extension;
+    // DESIGN.md on src/verify/). Every generated instruction must carry
+    // its sandboxing proof.
+    std::printf("\nStatic SFI verification (machine-code invariants):\n");
+    using jit::CfiMode;
+    using jit::CompilerConfig;
+    using jit::MemStrategy;
+    std::vector<wkld::Workload> all;
+    for (const auto* suite :
+         {&wkld::sightglass(), &wkld::spec17(), &wkld::polydhry(),
+          &wkld::faasWorkloads()})
+        all.insert(all.end(), suite->begin(), suite->end());
+    uint64_t sfiViolations = 0;
+    for (MemStrategy mem :
+         {MemStrategy::BaseReg, MemStrategy::Segue,
+          MemStrategy::SegueLoadsOnly, MemStrategy::BoundsCheck,
+          MemStrategy::SegueBounds}) {
+        for (CfiMode cfi : {CfiMode::None, CfiMode::Lfi}) {
+            CompilerConfig cfg{mem, cfi, true, false,
+                               cfi == CfiMode::Lfi};
+            verify::Stats st;
+            uint64_t viol = 0;
+            for (const auto& w : all) {
+                auto cm = jit::compile(w.make(), cfg);
+                SFI_CHECK(cm.isOk());
+                verify::Report rep = verify::checkModule(*cm);
+                st.merge(rep.stats);
+                viol += rep.violations.size();
+            }
+            sfiViolations += viol;
+            std::printf(
+                "  %-16s %-4s -> %5llu insns: gs %llu (ea32 %llu), "
+                "basereg %llu, bounds %llu, protected-ret %llu : %s\n",
+                jit::name(mem), jit::name(cfi),
+                (unsigned long long)st.instructions,
+                (unsigned long long)st.heapGs,
+                (unsigned long long)st.heapGsEa32,
+                (unsigned long long)st.heapBaseReg,
+                (unsigned long long)st.boundsChecked,
+                (unsigned long long)st.protectedReturns,
+                viol ? "VIOLATIONS" : "verified");
+        }
+    }
+
+    return violations == 0 && sfiViolations == 0 ? 0 : 1;
 }
 
 }  // namespace

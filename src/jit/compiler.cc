@@ -131,6 +131,22 @@ class FunctionCompiler
             gprPool_.push_back(kCodeReg);  // r13 free without LFI
         if (!cfg_.needsHeapBaseReg())
             gprPool_.push_back(kHeapReg);  // Segue frees r15 (§3.1)
+        // A pinned register in the allocation pool would let ordinary
+        // codegen clobber the sandbox base — exactly what the static
+        // verifier's pin.write rule rejects. Fail loudly at compile
+        // time instead.
+        for (Reg r : gprPool_) {
+            SFI_CHECK_MSG(!(r == kHeapReg && cfg_.needsHeapBaseReg()),
+                          "pinned heap base %%r15 leaked into the GPR "
+                          "pool under %s",
+                          name(cfg_.mem));
+            SFI_CHECK_MSG(!(r == kCodeReg && cfg_.cfi == CfiMode::Lfi),
+                          "pinned LFI code base %%r13 leaked into the "
+                          "GPR pool");
+            SFI_CHECK_MSG(r != kCtxReg,
+                          "JitContext register %%r14 must never be "
+                          "allocatable");
+        }
         gprFree_ = gprPool_;
         for (int i = 4; i <= 15; i++)
             xmmFree_.push_back(static_cast<Xmm>(i));

@@ -1,0 +1,1189 @@
+#include "verify/checker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "verify/decoder.h"
+
+namespace sfi::verify {
+
+namespace {
+
+using jit::CfiMode;
+using jit::CompilerConfig;
+using jit::MemStrategy;
+using x64::AluOp;
+using x64::Cond;
+using x64::Reg;
+using x64::Seg;
+using x64::Width;
+
+// Hardware register numbers for the pinned/special registers.
+constexpr int kRsp = 4;
+constexpr int kRbp = 5;
+constexpr int kCode = 13;  // %r13: LFI code base
+constexpr int kCtx = 14;   // %r14: JitContext
+constexpr int kHeap = 15;  // %r15: heap base when pinned
+
+// JitContext layout facts the checker relies on (see jit/context.h).
+constexpr int32_t kOffMemSize = 8;
+constexpr int32_t kCtxBytes = static_cast<int32_t>(sizeof(jit::JitContext));
+
+int
+sizeBytes(Width w)
+{
+    switch (w) {
+      case Width::W8: return 1;
+      case Width::W16: return 2;
+      case Width::W32: return 4;
+      case Width::W64: return 8;
+    }
+    return 8;
+}
+
+/**
+ * Abstract value kinds. The lattice is flat: unequal non-Top values
+ * join to Top.
+ */
+enum class K : uint8_t {
+    Top,         ///< anything (untrusted 64-bit value)
+    U32,         ///< provably zero-extended 32-bit value
+    Trusted,     ///< pointer loaded directly from a JitContext field
+    DiffCode,    ///< x - %r13 (LFI mask, step 1)
+    DiffCode32,  ///< low 32 bits of a DiffCode value (step 2)
+    CodeMasked,  ///< %r13 + DiffCode32: a valid LFI branch target
+    BoundsLea,   ///< idxReg + ext, the lea feeding a limit compare
+};
+
+struct AV
+{
+    K k = K::Top;
+    uint8_t idx = 0;   // BoundsLea: index register
+    int32_t ext = 0;   // BoundsLea: constant addend
+
+    bool
+    operator==(const AV& o) const
+    {
+        return k == o.k && idx == o.idx && ext == o.ext;
+    }
+    bool operator!=(const AV& o) const { return !(*this == o); }
+};
+
+AV
+av(K k)
+{
+    return AV{k, 0, 0};
+}
+
+AV
+joinAV(const AV& a, const AV& b)
+{
+    return a == b ? a : av(K::Top);
+}
+
+/** The flags fact set by `cmp BoundsLea, ctx->memSize`. */
+struct FlagFact
+{
+    bool valid = false;
+    uint8_t idx = 0;
+    int32_t ext = 0;
+
+    bool
+    operator==(const FlagFact& o) const
+    {
+        return valid == o.valid && (!valid || (idx == o.idx && ext == o.ext));
+    }
+};
+
+struct State
+{
+    AV regs[16];
+    /**
+     * bounded[r] = k (>= 0) proves r + k <= ctx->memSize on this path
+     * (established by the fallthrough of `cmp lea; ja trap`); -1 = none.
+     */
+    int64_t bounded[16];
+    FlagFact flags;
+    /** rbp-relative frame slots (spills/locals), disp -> value. */
+    std::map<int32_t, AV> slots;
+
+    State()
+    {
+        for (auto& b : bounded)
+            b = -1;
+    }
+
+    /** Joins @p o into *this; returns true when anything changed. */
+    bool
+    joinWith(const State& o)
+    {
+        bool changed = false;
+        for (int i = 0; i < 16; i++) {
+            AV j = joinAV(regs[i], o.regs[i]);
+            if (j != regs[i]) {
+                regs[i] = j;
+                changed = true;
+            }
+            int64_t nb = (bounded[i] < 0 || o.bounded[i] < 0)
+                             ? -1
+                             : std::min(bounded[i], o.bounded[i]);
+            if (nb != bounded[i]) {
+                bounded[i] = nb;
+                changed = true;
+            }
+        }
+        if (!(flags == o.flags) && flags.valid) {
+            flags.valid = false;
+            changed = true;
+        }
+        for (auto it = slots.begin(); it != slots.end();) {
+            auto oi = o.slots.find(it->first);
+            AV j = oi == o.slots.end() ? av(K::Top)
+                                       : joinAV(it->second, oi->second);
+            if (j.k == K::Top) {
+                it = slots.erase(it);
+                changed = true;
+                continue;
+            }
+            if (j != it->second) {
+                it->second = j;
+                changed = true;
+            }
+            ++it;
+        }
+        return changed;
+    }
+};
+
+/** How a memory operand classifies under the abstract state. */
+enum class MC : uint8_t {
+    Frame,     ///< [%rbp/%rsp ± d]
+    Ctx,       ///< [%r14 + d], d within JitContext
+    Trusted,   ///< base register holds a context-loaded pointer
+    HeapGs,    ///< %gs-prefixed heap access
+    HeapBase,  ///< [%r15 + ...] with %r15 pinned
+    Bad,       ///< nothing provable
+};
+
+struct Block
+{
+    size_t first = 0;  ///< index of first insn
+    size_t last = 0;   ///< index one past the last insn
+    std::vector<size_t> succs;
+    State in;
+    bool visited = false;
+};
+
+class FnChecker
+{
+  public:
+    FnChecker(const uint8_t* code, size_t size, const CompilerConfig& cfg,
+              uint64_t base, Report* rep)
+        : code_(code), size_(size), cfg_(cfg), base_(base), rep_(rep)
+    {
+        fullyExempt_ = cfg.mem == MemStrategy::Unsandboxed &&
+                       cfg.cfi == CfiMode::None;
+        memExempt_ = cfg.mem == MemStrategy::Unsandboxed;
+        pinHeap_ = !fullyExempt_ && cfg.needsHeapBaseReg();
+        lfi_ = cfg.cfi == CfiMode::Lfi;
+    }
+
+    void
+    run()
+    {
+        rep_->stats.bytes += size_;
+        if (!decodeAll())
+            return;
+        if (!buildBlocks())
+            return;
+        analyze();
+        record();
+    }
+
+  private:
+    void
+    violation(uint64_t off, Rule rule, const std::string& insn,
+              std::string detail)
+    {
+        rep_->violations.push_back(
+            {base_ + off, rule, insn, std::move(detail)});
+    }
+
+    bool
+    decodeAll()
+    {
+        size_t off = 0;
+        while (off < size_) {
+            Insn in;
+            if (!decode(code_ + off, size_ - off, &in)) {
+                char buf[64];
+                std::snprintf(buf, sizeof buf, "byte 0x%02x",
+                              code_[off]);
+                violation(off, Rule::DecodeError, buf,
+                          "undecodable instruction (fail closed)");
+                return false;
+            }
+            offToIdx_[off] = insns_.size();
+            offs_.push_back(off);
+            insns_.push_back(in);
+            off += in.len;
+        }
+        rep_->stats.instructions += insns_.size();
+        return true;
+    }
+
+    /** Branch target offset, or -1 for register/indirect forms. */
+    int64_t
+    targetOf(size_t i) const
+    {
+        const Insn& in = insns_[i];
+        if (!in.hasRel)
+            return -1;
+        return static_cast<int64_t>(offs_[i]) + in.len + in.rel;
+    }
+
+    bool
+    inRange(int64_t t) const
+    {
+        return t >= 0 && static_cast<uint64_t>(t) < size_;
+    }
+
+    bool
+    buildBlocks()
+    {
+        std::vector<uint8_t> leader(insns_.size(), 0);
+        leader[0] = 1;
+        for (size_t i = 0; i < insns_.size(); i++) {
+            const Insn& in = insns_[i];
+            if (in.isBranch()) {
+                int64_t t = targetOf(i);
+                if (inRange(t)) {
+                    auto it = offToIdx_.find(static_cast<size_t>(t));
+                    if (it == offToIdx_.end()) {
+                        violation(offs_[i], Rule::BadBranchTarget,
+                                  in.text(),
+                                  "branch target not on an instruction "
+                                  "boundary");
+                        return false;
+                    }
+                    leader[it->second] = 1;
+                }
+            }
+            if ((in.isBranch() || in.isTerminator()) &&
+                i + 1 < insns_.size())
+                leader[i + 1] = 1;
+        }
+
+        for (size_t i = 0; i < insns_.size(); i++) {
+            if (!leader[i])
+                continue;
+            size_t j = i + 1;
+            while (j < insns_.size() && !leader[j])
+                j++;
+            idxToBlock_[i] = blocks_.size();
+            blocks_.push_back(Block{i, j, {}, State{}, false});
+        }
+
+        for (auto& b : blocks_) {
+            const Insn& last = insns_[b.last - 1];
+            int64_t t =
+                last.isBranch() ? targetOf(b.last - 1) : -1;
+            if (last.mn == Mn::Jmp) {
+                if (inRange(t))
+                    b.succs.push_back(blockAt(t));
+                // else: exit to a trap stub / another function
+            } else if (last.mn == Mn::Jcc) {
+                if (b.last < insns_.size())
+                    b.succs.push_back(idxToBlock_.at(b.last));
+                if (inRange(t))
+                    b.succs.push_back(blockAt(t));
+            } else if (!last.isTerminator()) {
+                if (b.last < insns_.size())
+                    b.succs.push_back(idxToBlock_.at(b.last));
+            }
+        }
+        rep_->stats.basicBlocks += blocks_.size();
+        return true;
+    }
+
+    size_t
+    blockAt(int64_t off)
+    {
+        return idxToBlock_.at(
+            offToIdx_.at(static_cast<size_t>(off)));
+    }
+
+    void
+    analyze()
+    {
+        std::vector<size_t> work;
+        auto seed = [&](size_t bi) {
+            blocks_[bi].visited = true;
+            work.push_back(bi);
+        };
+        seed(0);  // entry state: everything Top
+
+        while (true) {
+            while (!work.empty()) {
+                size_t bi = work.back();
+                work.pop_back();
+                Block& b = blocks_[bi];
+                State st = b.in;
+                for (size_t i = b.first; i < b.last; i++)
+                    transfer(st, i, false);
+                for (size_t si : b.succs) {
+                    State es = st;
+                    applyEdgeFact(b, si, es);
+                    Block& s = blocks_[si];
+                    if (!s.visited) {
+                        s.in = es;
+                        s.visited = true;
+                        work.push_back(si);
+                    } else if (s.in.joinWith(es)) {
+                        work.push_back(si);
+                    }
+                }
+            }
+            // Blocks unreachable from the entry (dead code after an
+            // unconditional branch, trap stubs entered from other
+            // functions) are verified with a fresh all-Top state.
+            size_t next = blocks_.size();
+            for (size_t i = 0; i < blocks_.size(); i++) {
+                if (!blocks_[i].visited) {
+                    next = i;
+                    break;
+                }
+            }
+            if (next == blocks_.size())
+                break;
+            seed(next);
+        }
+    }
+
+    /**
+     * The guard pattern `cmp (idx+ext), ctx->memSize; ja <trap>`
+     * proves idx + ext <= memSize on the fallthrough edge when the
+     * taken edge leaves the function (a trap stub).
+     */
+    void
+    applyEdgeFact(const Block& b, size_t succ, State& es) const
+    {
+        const Insn& last = insns_[b.last - 1];
+        if (last.mn != Mn::Jcc || last.cond != Cond::A)
+            return;
+        if (!es.flags.valid)
+            return;
+        int64_t t = static_cast<int64_t>(offs_[b.last - 1]) + last.len +
+                    last.rel;
+        if (inRange(t))
+            return;  // in-function branch: not a trap exit
+        if (b.last < insns_.size() &&
+            idxToBlock_.at(b.last) == succ) {
+            int r = es.flags.idx;
+            es.bounded[r] =
+                std::max(es.bounded[r],
+                         static_cast<int64_t>(es.flags.ext));
+        }
+    }
+
+    // --- state updates ---
+
+    /**
+     * Writes register @p r. @p self_trunc32 marks `mov r32, r32`
+     * self-truncation, which only decreases the value, so bounds facts
+     * about r survive (the Figure 1b truncation after a limit check).
+     */
+    void
+    setReg(State& st, int r, AV v, bool self_trunc32 = false)
+    {
+        if (r < 0 || r == kRsp || r == kRbp)
+            return;  // stack registers are untracked
+        if (!self_trunc32) {
+            st.bounded[r] = -1;
+            if (st.flags.valid && st.flags.idx == r)
+                st.flags.valid = false;
+            for (int j = 0; j < 16; j++)
+                if (j != r && st.regs[j].k == K::BoundsLea &&
+                    st.regs[j].idx == r)
+                    st.regs[j] = av(K::Top);
+        }
+        st.regs[r] = v;
+    }
+
+    /** Partial (8/16-bit) register writes preserve zero-extension. */
+    AV
+    partialWrite(const State& st, int r) const
+    {
+        return st.regs[r].k == K::U32 ? av(K::U32) : av(K::Top);
+    }
+
+    void
+    clobberVolatile(State& st)
+    {
+        for (int r = 0; r < 16; r++) {
+            if (r == kRsp || r == kRbp || r == kCtx)
+                continue;
+            if (r == kHeap && cfg_.needsHeapBaseReg())
+                continue;
+            if (r == kCode && lfi_)
+                continue;
+            setReg(st, r, av(K::Top));
+        }
+        st.flags.valid = false;
+    }
+
+    static bool
+    clobbersFlags(const Insn& in)
+    {
+        switch (in.mn) {
+          case Mn::AluRR: case Mn::AluImm: case Mn::AluMem:
+          case Mn::Test: case Mn::Imul: case Mn::Neg: case Mn::Not:
+          case Mn::Div: case Mn::Idiv: case Mn::ShiftCl:
+          case Mn::ShiftImm: case Mn::Popcnt: case Mn::Ucomisd:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    // --- memory operand handling ---
+
+    MC
+    classify(const State& st, const MemRef& m) const
+    {
+        if (m.seg == Seg::Gs)
+            return MC::HeapGs;
+        if (m.seg == Seg::Fs || !m.hasBase)
+            return MC::Bad;
+        int b = static_cast<int>(m.base);
+        if (b == kRsp || b == kRbp)
+            return m.hasIndex ? MC::Bad : MC::Frame;
+        if (b == kCtx) {
+            if (m.hasIndex || m.disp < 0 || m.disp + 8 > kCtxBytes)
+                return MC::Bad;
+            return MC::Ctx;
+        }
+        if (b == kHeap && cfg_.needsHeapBaseReg())
+            return MC::HeapBase;
+        if (st.regs[b].k == K::Trusted)
+            return MC::Trusted;
+        return MC::Bad;
+    }
+
+    /** Records violations/stats for one heap-or-otherwise access. */
+    void
+    checkAccess(State& st, const Insn& in, bool is_store, MC mc,
+                uint64_t off, bool record)
+    {
+        if (!record)
+            return;
+        Stats& s = rep_->stats;
+        const MemRef& m = in.mem;
+        int bytes = in.mn == Mn::MovsdLoad || in.mn == Mn::MovsdStore
+                        ? 8
+                        : sizeBytes(in.width);
+
+        switch (mc) {
+          case MC::Frame:
+            s.frameAccesses++;
+            return;
+          case MC::Ctx:
+            s.ctxAccesses++;
+            return;
+          case MC::Trusted:
+            s.trustedAccesses++;
+            return;
+          case MC::HeapGs: {
+            if (memExempt_) {
+                s.heapUnsandboxed++;
+                return;
+            }
+            s.heapGs++;
+            if (m.addr32)
+                s.heapGsEa32++;
+            bool want_gs =
+                is_store ? cfg_.segueStores() : cfg_.segueLoads();
+            if (!want_gs) {
+                violation(off, Rule::GsUnexpected, in.text(),
+                          "gs-prefixed access under a strategy that "
+                          "does not segue this direction");
+                return;
+            }
+            if (cfg_.untrustedIndexRegs && !m.addr32) {
+                violation(off, Rule::SegueIndexNotTruncated, in.text(),
+                          "untrusted index needs the 0x67 32-bit "
+                          "effective address (Figure 1c)");
+            } else if (!cfg_.untrustedIndexRegs) {
+                noteIndexTrust(st, m);
+                // Without the 0x67 truncation the displacement adds
+                // into a 64-bit EA; it must stay inside the guard.
+                if (m.disp < 0 && !m.addr32)
+                    violation(off, Rule::MemUnproven, in.text(),
+                              "negative displacement on a 64-bit "
+                              "gs-relative effective address");
+            }
+            if (cfg_.explicitBounds())
+                checkBounds(st, in, off, bytes);
+            return;
+          }
+          case MC::HeapBase: {
+            if (memExempt_) {
+                s.heapUnsandboxed++;
+                return;
+            }
+            s.heapBaseReg++;
+            bool want_gs =
+                is_store ? cfg_.segueStores() : cfg_.segueLoads();
+            if (want_gs) {
+                violation(off,
+                          is_store ? Rule::SegueStoreNoGs
+                                   : Rule::SegueLoadNoGs,
+                          in.text(),
+                          "heap access bypasses the %gs segment base");
+                return;
+            }
+            if ((m.hasIndex && m.scale != 1) || m.disp < 0) {
+                violation(off, Rule::BaseRegShape, in.text(),
+                          "heap operand must be [%r15 + idx*1 + "
+                          "disp>=0] to stay inside the guard region");
+                return;
+            }
+            if (m.hasIndex) {
+                int idx = static_cast<int>(m.index);
+                if (cfg_.untrustedIndexRegs) {
+                    if (st.regs[idx].k != K::U32) {
+                        violation(off, Rule::BaseRegIndexNotTruncated,
+                                  in.text(),
+                                  "untrusted index lacks an explicit "
+                                  "32-bit truncation (Figure 1b)");
+                    } else {
+                        s.indexProvenU32++;
+                    }
+                } else {
+                    noteIndexTrust(st, m);
+                }
+            }
+            if (cfg_.explicitBounds())
+                checkBounds(st, in, off, bytes);
+            return;
+          }
+          case MC::Bad:
+            if (memExempt_)
+                return;
+            if (!is_store && cfg_.segueLoads())
+                violation(off, Rule::SegueLoadNoGs, in.text(),
+                          "load from linear memory without the %gs "
+                          "segment prefix");
+            else if (is_store && cfg_.segueStores())
+                violation(off, Rule::SegueStoreNoGs, in.text(),
+                          "store to linear memory without the %gs "
+                          "segment prefix");
+            else
+                violation(off, Rule::MemUnproven, in.text(),
+                          "memory operand proves neither frame, "
+                          "context, trusted-pointer, nor heap shape");
+            return;
+        }
+    }
+
+    void
+    noteIndexTrust(const State& st, const MemRef& m)
+    {
+        // Wasm-mode configs trust i32 cleanliness by construction
+        // (strategy.h: untrustedIndexRegs == false); record whether the
+        // checker could also prove it locally.
+        auto note = [&](int r) {
+            if (st.regs[r].k == K::U32)
+                rep_->stats.indexProvenU32++;
+            else
+                rep_->stats.indexAssumedU32++;
+        };
+        if (m.seg == Seg::Gs) {
+            if (m.hasBase)
+                note(static_cast<int>(m.base));
+            if (m.hasIndex)
+                note(static_cast<int>(m.index));
+        } else if (m.hasIndex) {
+            note(static_cast<int>(m.index));
+        }
+    }
+
+    void
+    checkBounds(const State& st, const Insn& in, uint64_t off,
+                int bytes)
+    {
+        const MemRef& m = in.mem;
+        // The guarded index register: the SIB index under %r15
+        // addressing, the base under %gs addressing.
+        int idx = -1;
+        if (m.seg == Seg::Gs) {
+            if (m.hasBase && !m.hasIndex)
+                idx = static_cast<int>(m.base);
+        } else if (m.hasIndex) {
+            idx = static_cast<int>(m.index);
+        }
+        int64_t need = static_cast<int64_t>(m.disp) + bytes;
+        if (idx < 0 || m.disp < 0 || st.bounded[idx] < need) {
+            violation(off, Rule::BoundsMissing, in.text(),
+                      "access not dominated by a limit compare "
+                      "covering its extent");
+            return;
+        }
+        rep_->stats.boundsChecked++;
+    }
+
+    // --- pinned / stack register discipline ---
+
+    bool
+    stackWriteAllowed(const Insn& in, int r) const
+    {
+        if (r == kRsp) {
+            if (in.mn == Mn::MovRR && in.width == Width::W64 &&
+                in.rm == kRsp && in.reg == kRbp)
+                return true;  // mov rsp, rbp (epilogue)
+            if (in.mn == Mn::AluImm && in.width == Width::W64 &&
+                in.reg == kRsp &&
+                (in.aluOp == AluOp::Add || in.aluOp == AluOp::Sub))
+                return true;  // frame allocation
+            return false;
+        }
+        // rbp
+        if (in.mn == Mn::Pop && in.reg == kRbp)
+            return true;
+        if (in.mn == Mn::MovRR && in.width == Width::W64 &&
+            in.rm == kRbp && in.reg == kRsp)
+            return true;  // mov rbp, rsp (prologue)
+        return false;
+    }
+
+    void
+    checkRegWrite(const Insn& in, int r, uint64_t off)
+    {
+        if (r < 0 || fullyExempt_)
+            return;
+        if (r == kCtx) {
+            violation(off, Rule::PinnedWrite, in.text(),
+                      "%r14 (JitContext) is pinned");
+        } else if (r == kHeap && pinHeap_) {
+            violation(off, Rule::PinnedWrite, in.text(),
+                      "%r15 (heap base) is pinned under this "
+                      "strategy");
+        } else if (r == kCode && lfi_) {
+            violation(off, Rule::PinnedWrite, in.text(),
+                      "%r13 (LFI code base) is pinned");
+        } else if ((r == kRsp || r == kRbp) &&
+                   !stackWriteAllowed(in, r)) {
+            violation(off, Rule::StackDiscipline, in.text(),
+                      "stack register written outside the recognized "
+                      "prologue/epilogue shapes");
+        }
+    }
+
+    // --- the transfer function ---
+
+    void
+    transfer(State& st, size_t i, bool record)
+    {
+        const Insn& in = insns_[i];
+        uint64_t off = offs_[i];
+
+        // Pinned/stack discipline: every explicitly written GPR.
+        if (record) {
+            for (int r : writtenGprs(in))
+                checkRegWrite(in, r, off);
+        }
+
+        bool flags_fact_set = false;
+
+        switch (in.mn) {
+          case Mn::MovImm64:
+            setReg(st, in.reg,
+                   av(in.imm >= 0 && in.imm <= 0xffffffffll ? K::U32
+                                                            : K::Top));
+            break;
+          case Mn::MovImm32:
+            setReg(st, in.reg, av(K::U32));
+            break;
+
+          case Mn::MovRR: {
+            int dst = in.rm, src = in.reg;
+            if (in.width == Width::W64) {
+                setReg(st, dst,
+                       src == kRsp || src == kRbp ? av(K::Top)
+                                                  : st.regs[src]);
+            } else if (in.width == Width::W32) {
+                if (dst == src) {
+                    AV v = st.regs[dst].k == K::DiffCode
+                               ? av(K::DiffCode32)
+                               : av(K::U32);
+                    setReg(st, dst, v, /*self_trunc32=*/true);
+                } else {
+                    setReg(st, dst, av(K::U32));
+                }
+            } else {
+                setReg(st, dst, partialWrite(st, dst));
+            }
+            break;
+          }
+
+          case Mn::Load: {
+            MC mc = classify(st, in.mem);
+            checkAccess(st, in, false, mc, off, record);
+            AV v = av(K::Top);
+            if (in.width == Width::W64) {
+                if (mc == MC::Ctx)
+                    v = av(K::Trusted);
+                else if (mc == MC::Frame) {
+                    auto it = st.slots.find(in.mem.disp);
+                    if (it != st.slots.end())
+                        v = it->second;
+                }
+            } else if (!in.signExtend) {
+                v = av(K::U32);  // zero-extending sub-64-bit load
+            }
+            setReg(st, in.reg, v);
+            break;
+          }
+
+          case Mn::Store: {
+            MC mc = classify(st, in.mem);
+            checkAccess(st, in, true, mc, off, record);
+            if (mc == MC::Frame) {
+                if (in.width == Width::W64)
+                    st.slots[in.mem.disp] = st.regs[in.reg];
+                else
+                    st.slots.erase(in.mem.disp);
+            }
+            break;
+          }
+          case Mn::StoreImm: {
+            MC mc = classify(st, in.mem);
+            checkAccess(st, in, true, mc, off, record);
+            if (mc == MC::Frame) {
+                if (in.width == Width::W64 && in.imm >= 0)
+                    st.slots[in.mem.disp] = av(K::U32);
+                else
+                    st.slots.erase(in.mem.disp);
+            }
+            break;
+          }
+          case Mn::MovsdStore: {
+            MC mc = classify(st, in.mem);
+            checkAccess(st, in, true, mc, off, record);
+            if (mc == MC::Frame)
+                st.slots.erase(in.mem.disp);
+            break;
+          }
+          case Mn::MovsdLoad:
+            checkAccess(st, in, false, classify(st, in.mem), off,
+                        record);
+            break;
+
+          case Mn::Lea: {
+            AV v = av(K::Top);
+            if (in.width == Width::W32) {
+                v = av(K::U32);
+            } else if (in.mem.hasBase && !in.mem.hasIndex) {
+                int b = static_cast<int>(in.mem.base);
+                if (b == kCtx) {
+                    v = av(K::Trusted);  // address of a ctx field
+                } else if (b != kRsp && b != kRbp &&
+                           !(b == kHeap && pinHeap_) &&
+                           in.mem.disp >= 1) {
+                    v = AV{K::BoundsLea, static_cast<uint8_t>(b),
+                           in.mem.disp};
+                }
+            }
+            setReg(st, in.reg, v);
+            break;
+          }
+
+          case Mn::AluRR: {
+            int dst = in.reg, src = in.rm;
+            if (in.aluOp == AluOp::Cmp)
+                break;  // flags only
+            AV v;
+            if (lfi_ && in.width == Width::W64 && src == kCode &&
+                in.aluOp == AluOp::Sub) {
+                v = av(K::DiffCode);
+            } else if (lfi_ && in.width == Width::W64 &&
+                       src == kCode && in.aluOp == AluOp::Add &&
+                       st.regs[dst].k == K::DiffCode32) {
+                v = av(K::CodeMasked);
+            } else if (in.width == Width::W32 ||
+                       (in.aluOp == AluOp::Xor && dst == src)) {
+                v = av(K::U32);
+            } else if (in.width == Width::W8 ||
+                       in.width == Width::W16) {
+                v = partialWrite(st, dst);
+            } else {
+                v = av(K::Top);
+            }
+            setReg(st, dst, v);
+            break;
+          }
+
+          case Mn::AluImm: {
+            if (in.aluOp == AluOp::Cmp)
+                break;
+            AV v = in.width == Width::W32 ? av(K::U32)
+                   : in.width == Width::W8 || in.width == Width::W16
+                       ? partialWrite(st, in.reg)
+                       : av(K::Top);
+            setReg(st, in.reg, v);
+            break;
+          }
+
+          case Mn::AluMem: {
+            MC mc = classify(st, in.mem);
+            checkAccess(st, in, false, mc, off, record);
+            if (in.aluOp == AluOp::Cmp) {
+                // cmp (idx+ext), ctx->memSize: the bounds pattern.
+                if (in.width == Width::W64 && mc == MC::Ctx &&
+                    in.mem.disp == kOffMemSize &&
+                    st.regs[in.reg].k == K::BoundsLea) {
+                    st.flags = FlagFact{true, st.regs[in.reg].idx,
+                                        st.regs[in.reg].ext};
+                    flags_fact_set = true;
+                }
+                break;
+            }
+            setReg(st, in.reg,
+                   av(in.width == Width::W32 ? K::U32 : K::Top));
+            break;
+          }
+
+          case Mn::Imul:
+          case Mn::ShiftCl:
+          case Mn::ShiftImm:
+          case Mn::Neg:
+          case Mn::Not:
+            setReg(st, in.reg,
+                   in.width == Width::W32 ? av(K::U32)
+                   : in.width == Width::W64
+                       ? av(K::Top)
+                       : partialWrite(st, in.reg));
+            break;
+
+          case Mn::Popcnt:
+            setReg(st, in.reg, av(K::U32));  // result <= 64
+            break;
+
+          case Mn::Div:
+          case Mn::Idiv: {
+            AV v = av(in.width == Width::W32 ? K::U32 : K::Top);
+            setReg(st, 0, v);  // rax
+            setReg(st, 2, v);  // rdx
+            break;
+          }
+          case Mn::Cdq:
+            setReg(st, 2, av(K::U32));
+            break;
+          case Mn::Cqo:
+            setReg(st, 2, av(K::Top));
+            break;
+
+          case Mn::Movzx:
+            setReg(st, in.reg, av(K::U32));
+            break;
+          case Mn::Movsx:
+            setReg(st, in.reg,
+                   av(in.width == Width::W32 ? K::U32 : K::Top));
+            break;
+          case Mn::Movsxd:
+            setReg(st, in.reg, av(K::Top));
+            break;
+
+          case Mn::Setcc:
+            setReg(st, in.reg, partialWrite(st, in.reg));
+            break;
+
+          case Mn::Cmovcc:
+            setReg(st, in.reg,
+                   in.width == Width::W32
+                       ? av(K::U32)
+                       : joinAV(st.regs[in.reg], st.regs[in.rm]));
+            break;
+
+          case Mn::Cvttsd2si:
+            setReg(st, in.reg,
+                   av(in.width == Width::W32 ? K::U32 : K::Top));
+            break;
+          case Mn::MovqFromXmm:
+            setReg(st, in.rm, av(K::Top));
+            break;
+
+          case Mn::Pop:
+            setReg(st, in.reg, av(K::Top));
+            break;
+          case Mn::Push:
+            break;
+
+          case Mn::Call:
+            clobberVolatile(st);
+            break;
+
+          case Mn::CallReg: {
+            if (record) {
+                K k = st.regs[in.reg].k;
+                if (k == K::Trusted)
+                    rep_->stats.trustedIndirects++;
+                else if (k == K::CodeMasked)
+                    rep_->stats.maskedIndirects++;
+                if (lfi_ && k != K::Trusted && k != K::CodeMasked)
+                    violation(off, Rule::LfiCallUnmasked, in.text(),
+                              "indirect call target neither "
+                              "context-loaded nor %r13-masked");
+            }
+            clobberVolatile(st);
+            break;
+          }
+
+          case Mn::JmpReg: {
+            if (record) {
+                K k = st.regs[in.reg].k;
+                if (k == K::CodeMasked)
+                    rep_->stats.protectedReturns++;
+                else if (k == K::Trusted)
+                    rep_->stats.trustedIndirects++;
+                if (lfi_ && k != K::Trusted && k != K::CodeMasked)
+                    violation(off, Rule::LfiJmpUnmasked, in.text(),
+                              "indirect jump target neither "
+                              "context-loaded nor %r13-masked");
+            }
+            break;
+          }
+
+          case Mn::Ret:
+            if (record && lfi_)
+                violation(off, Rule::LfiRetUnprotected, in.text(),
+                          "plain ret under LFI; returns must go "
+                          "through the masked-jump epilogue");
+            break;
+
+          // No SFI-relevant effect.
+          case Mn::Test:
+          case Mn::Jmp:
+          case Mn::Jcc:
+          case Mn::Nop:
+          case Mn::Ud2:
+          case Mn::Int3:
+          case Mn::MovsdRR:
+          case Mn::MovqToXmm:
+          case Mn::Addsd:
+          case Mn::Subsd:
+          case Mn::Mulsd:
+          case Mn::Divsd:
+          case Mn::Sqrtsd:
+          case Mn::Minsd:
+          case Mn::Maxsd:
+          case Mn::Ucomisd:
+          case Mn::Xorpd:
+          case Mn::Cvtsi2sd:
+          case Mn::Invalid:
+            break;
+        }
+
+        if (clobbersFlags(in) && !flags_fact_set)
+            st.flags.valid = false;
+    }
+
+    /** GPRs explicitly written by @p in (implicit rax/rdx included). */
+    static std::vector<int>
+    writtenGprs(const Insn& in)
+    {
+        switch (in.mn) {
+          case Mn::MovImm64: case Mn::MovImm32: case Mn::Load:
+          case Mn::Lea: case Mn::Imul: case Mn::Popcnt:
+          case Mn::Movzx: case Mn::Movsx: case Mn::Movsxd:
+          case Mn::Cmovcc: case Mn::Cvttsd2si: case Mn::Pop:
+          case Mn::Setcc: case Mn::Neg: case Mn::Not:
+          case Mn::ShiftCl: case Mn::ShiftImm:
+            return {in.reg};
+          case Mn::MovRR:
+          case Mn::MovqFromXmm:
+            return {in.rm};
+          case Mn::AluRR: case Mn::AluImm: case Mn::AluMem:
+            return in.aluOp == AluOp::Cmp ? std::vector<int>{}
+                                          : std::vector<int>{in.reg};
+          case Mn::Div: case Mn::Idiv:
+            return {0, 2};
+          case Mn::Cdq: case Mn::Cqo:
+            return {2};
+          default:
+            return {};
+        }
+    }
+
+    void
+    record()
+    {
+        for (auto& b : blocks_) {
+            State st = b.in;
+            for (size_t i = b.first; i < b.last; i++)
+                transfer(st, i, true);
+        }
+    }
+
+    const uint8_t* code_;
+    size_t size_;
+    const CompilerConfig& cfg_;
+    uint64_t base_;
+    Report* rep_;
+
+    bool fullyExempt_ = false;
+    bool memExempt_ = false;
+    bool pinHeap_ = false;
+    bool lfi_ = false;
+
+    std::vector<Insn> insns_;
+    std::vector<size_t> offs_;
+    std::unordered_map<size_t, size_t> offToIdx_;  // offset -> insn
+    std::unordered_map<size_t, size_t> idxToBlock_;
+    std::vector<Block> blocks_;
+};
+
+}  // namespace
+
+const char*
+name(Rule r)
+{
+    switch (r) {
+      case Rule::DecodeError: return "verify.decode";
+      case Rule::BadBranchTarget: return "cfg.target";
+      case Rule::PinnedWrite: return "pin.write";
+      case Rule::StackDiscipline: return "stack.shape";
+      case Rule::SegueLoadNoGs: return "segue.load.gs";
+      case Rule::SegueStoreNoGs: return "segue.store.gs";
+      case Rule::GsUnexpected: return "segue.gs.unexpected";
+      case Rule::SegueIndexNotTruncated: return "segue.index.ea32";
+      case Rule::BaseRegShape: return "basereg.shape";
+      case Rule::BaseRegIndexNotTruncated: return "basereg.index.trunc";
+      case Rule::BoundsMissing: return "bounds.dominate";
+      case Rule::MemUnproven: return "mem.unproven";
+      case Rule::LfiCallUnmasked: return "lfi.call.mask";
+      case Rule::LfiJmpUnmasked: return "lfi.jmp.mask";
+      case Rule::LfiRetUnprotected: return "lfi.ret.protect";
+    }
+    return "?";
+}
+
+void
+Stats::merge(const Stats& o)
+{
+    functions += o.functions;
+    instructions += o.instructions;
+    bytes += o.bytes;
+    basicBlocks += o.basicBlocks;
+    frameAccesses += o.frameAccesses;
+    ctxAccesses += o.ctxAccesses;
+    trustedAccesses += o.trustedAccesses;
+    heapGs += o.heapGs;
+    heapGsEa32 += o.heapGsEa32;
+    heapBaseReg += o.heapBaseReg;
+    heapUnsandboxed += o.heapUnsandboxed;
+    boundsChecked += o.boundsChecked;
+    indexProvenU32 += o.indexProvenU32;
+    indexAssumedU32 += o.indexAssumedU32;
+    maskedIndirects += o.maskedIndirects;
+    trustedIndirects += o.trustedIndirects;
+    protectedReturns += o.protectedReturns;
+}
+
+std::string
+Report::summary() const
+{
+    char buf[256];
+    std::string s;
+    std::snprintf(buf, sizeof buf, "sfi-verify: %zu violation(s)\n",
+                  violations.size());
+    s += buf;
+    for (const auto& v : violations) {
+        std::snprintf(buf, sizeof buf, "  +0x%llx [%s] %s — %s\n",
+                      static_cast<unsigned long long>(v.offset),
+                      name(v.rule), v.insn.c_str(), v.detail.c_str());
+        s += buf;
+    }
+    std::snprintf(
+        buf, sizeof buf,
+        "  %llu insns, %llu bytes, %llu blocks, %llu function(s)\n",
+        static_cast<unsigned long long>(stats.instructions),
+        static_cast<unsigned long long>(stats.bytes),
+        static_cast<unsigned long long>(stats.basicBlocks),
+        static_cast<unsigned long long>(stats.functions));
+    s += buf;
+    std::snprintf(
+        buf, sizeof buf,
+        "  accesses: frame %llu, ctx %llu, trusted %llu, gs %llu "
+        "(ea32 %llu), basereg %llu, unsandboxed %llu\n",
+        static_cast<unsigned long long>(stats.frameAccesses),
+        static_cast<unsigned long long>(stats.ctxAccesses),
+        static_cast<unsigned long long>(stats.trustedAccesses),
+        static_cast<unsigned long long>(stats.heapGs),
+        static_cast<unsigned long long>(stats.heapGsEa32),
+        static_cast<unsigned long long>(stats.heapBaseReg),
+        static_cast<unsigned long long>(stats.heapUnsandboxed));
+    s += buf;
+    std::snprintf(
+        buf, sizeof buf,
+        "  proofs: bounds %llu, idx-proven %llu, idx-assumed %llu, "
+        "masked %llu, trusted-indirect %llu, protected-ret %llu\n",
+        static_cast<unsigned long long>(stats.boundsChecked),
+        static_cast<unsigned long long>(stats.indexProvenU32),
+        static_cast<unsigned long long>(stats.indexAssumedU32),
+        static_cast<unsigned long long>(stats.maskedIndirects),
+        static_cast<unsigned long long>(stats.trustedIndirects),
+        static_cast<unsigned long long>(stats.protectedReturns));
+    s += buf;
+    return s;
+}
+
+Report
+checkFunction(const uint8_t* code, size_t size,
+              const jit::CompilerConfig& cfg, uint64_t base_offset)
+{
+    Report rep;
+    if (size == 0)
+        return rep;
+    FnChecker fc(code, size, cfg, base_offset, &rep);
+    fc.run();
+    return rep;
+}
+
+Report
+checkModule(const jit::CompiledModule& cm)
+{
+    Report rep;
+    const uint8_t* code = static_cast<const uint8_t*>(cm.code.base());
+    for (size_t i = 0; i < cm.funcOffsets.size(); i++) {
+        Report r = checkFunction(code + cm.funcOffsets[i],
+                                 cm.funcCodeSizes[i], cm.config,
+                                 cm.funcOffsets[i]);
+        rep.stats.merge(r.stats);
+        rep.stats.functions++;
+        for (auto& v : r.violations)
+            rep.violations.push_back(std::move(v));
+    }
+    // Trap stubs sit immediately after the last function; they run
+    // sandboxed (reached by in-sandbox jumps), so they are verified
+    // under the same contract. The entry trampoline is exempt trusted
+    // transition code (it writes the pins).
+    if (!cm.funcOffsets.empty()) {
+        uint64_t stubs =
+            cm.funcOffsets.back() + cm.funcCodeSizes.back();
+        if (stubs < cm.totalCodeBytes) {
+            Report r = checkFunction(code + stubs,
+                                     cm.totalCodeBytes - stubs,
+                                     cm.config, stubs);
+            rep.stats.merge(r.stats);
+            for (auto& v : r.violations)
+                rep.violations.push_back(std::move(v));
+        }
+    }
+    return rep;
+}
+
+}  // namespace sfi::verify

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Static SFI checker for JIT-emitted machine code (the VeriWasm role).
+ *
+ * `checkFunction` linearly disassembles one compiled function, recovers
+ * basic blocks, and abstract-interprets register/flag/frame-slot state
+ * to prove the per-strategy contract of `jit::CompilerConfig`:
+ *
+ *  - Segue modes: every heap load/store goes through a %gs-prefixed
+ *    operand (loads, stores, or both per the load/store split); under
+ *    LFI's untrusted-index semantics the 0x67 address-size override
+ *    must also be present (the hardware truncation of Figure 1c).
+ *  - BaseReg modes: every heap access is `[%r15 + idx*1 + disp>=0]`
+ *    (a 33-bit-boundable effective address inside the guard region);
+ *    under untrusted-index semantics the index must be provably
+ *    zero-extended (the explicit `mov r32, r32` of Figure 1b).
+ *  - BoundsCheck/SegueBounds: every heap access is dominated by the
+ *    `lea idx+k; cmp mem_size; ja trap` sequence with k covering the
+ *    access extent.
+ *  - Pinned registers (%r14 ctx, %r15 heap base when pinned, %r13 LFI
+ *    code base) are never written; %rsp/%rbp only move through the
+ *    recognized prologue/epilogue shapes.
+ *  - Under CfiMode::Lfi every indirect call/jump target is either a
+ *    function pointer loaded directly from the (trusted) JitContext or
+ *    has been masked into the code region (`sub %r13; mov r32,r32;
+ *    add %r13`), and plain `ret` is forbidden.
+ *  - All other memory operands must classify as frame (%rbp/%rsp),
+ *    context (%r14, in-bounds displacement), or a pointer loaded from
+ *    the context (globals/table indirections).
+ *
+ * Unsandboxed + no-CFI code is exempt from SFI rules (it is the
+ * "native" baseline); only decodability is checked.
+ *
+ * The checker fails closed: undecodable bytes, unclassifiable memory
+ * operands, and branch targets that miss instruction boundaries are
+ * violations, not warnings.
+ */
+#ifndef SFIKIT_VERIFY_CHECKER_H_
+#define SFIKIT_VERIFY_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jit/compiler.h"
+#include "jit/strategy.h"
+#include "verify/insn.h"
+
+namespace sfi::verify {
+
+/** Violation rule ids (stable strings via name()). */
+enum class Rule : uint8_t {
+    DecodeError,        ///< bytes outside the modeled subset
+    BadBranchTarget,    ///< rel32 lands inside an instruction
+    PinnedWrite,        ///< %r14 / pinned %r15 / LFI %r13 written
+    StackDiscipline,    ///< %rsp/%rbp written outside prologue shapes
+    SegueLoadNoGs,      ///< heap load without %gs under a Segue mode
+    SegueStoreNoGs,     ///< heap store without %gs under a Segue mode
+    GsUnexpected,       ///< %gs access in a non-Segue path
+    SegueIndexNotTruncated,  ///< untrusted index without 0x67 (Fig 1c)
+    BaseRegShape,       ///< heap access not [%r15 + idx*1 + disp>=0]
+    BaseRegIndexNotTruncated,  ///< untrusted index not provably u32
+    BoundsMissing,      ///< access not dominated by limit check
+    MemUnproven,        ///< memory operand classifies as nothing safe
+    LfiCallUnmasked,    ///< indirect call target not masked/trusted
+    LfiJmpUnmasked,     ///< indirect jump target not masked/trusted
+    LfiRetUnprotected,  ///< plain ret under LFI
+};
+
+const char* name(Rule r);
+
+struct Violation
+{
+    uint64_t offset = 0;  ///< byte offset of the instruction
+    Rule rule = Rule::MemUnproven;
+    std::string insn;    ///< decoded text (or hex for decode errors)
+    std::string detail;  ///< human explanation
+};
+
+/** Proof statistics: what the checker classified and how it proved it. */
+struct Stats
+{
+    uint64_t functions = 0;
+    uint64_t instructions = 0;
+    uint64_t bytes = 0;
+    uint64_t basicBlocks = 0;
+
+    uint64_t frameAccesses = 0;    ///< [%rbp/%rsp ± d] spill slots
+    uint64_t ctxAccesses = 0;      ///< [%r14 + d] context fields
+    uint64_t trustedAccesses = 0;  ///< via pointers loaded from ctx
+    uint64_t heapGs = 0;           ///< %gs-prefixed heap accesses
+    uint64_t heapGsEa32 = 0;       ///< ... with the 0x67 truncation
+    uint64_t heapBaseReg = 0;      ///< [%r15 + idx + d] heap accesses
+    uint64_t heapUnsandboxed = 0;  ///< heap accesses in exempt code
+    uint64_t boundsChecked = 0;    ///< accesses proven by a limit check
+    uint64_t indexProvenU32 = 0;   ///< heap index locally proven u32
+    uint64_t indexAssumedU32 = 0;  ///< heap index trusted per Wasm types
+
+    uint64_t maskedIndirects = 0;   ///< LFI-masked call/jmp targets
+    uint64_t trustedIndirects = 0;  ///< targets loaded from JitContext
+    uint64_t protectedReturns = 0;  ///< LFI pop/mask/jmp returns
+
+    void merge(const Stats& o);
+};
+
+struct Report
+{
+    std::vector<Violation> violations;
+    Stats stats;
+
+    bool ok() const { return violations.empty(); }
+    /** Multi-line human summary (violations first, then stats). */
+    std::string summary() const;
+};
+
+/**
+ * Verifies one compiled function's bytes under @p cfg. Offsets in the
+ * report are relative to @p code; pass @p base_offset to bias them
+ * (e.g. a function's offset inside the module code buffer).
+ */
+Report checkFunction(const uint8_t* code, size_t size,
+                     const jit::CompilerConfig& cfg,
+                     uint64_t base_offset = 0);
+
+/**
+ * Verifies every defined function of a compiled module, plus the trap
+ * stub region after the last function. The entry trampoline is exempt:
+ * it is host-side transition code that *establishes* the pins
+ * (loads %r15/%r13 from the context) before entering sandboxed code.
+ */
+Report checkModule(const jit::CompiledModule& cm);
+
+}  // namespace sfi::verify
+
+#endif  // SFIKIT_VERIFY_CHECKER_H_

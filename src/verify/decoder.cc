@@ -1,0 +1,775 @@
+#include "verify/decoder.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sfi::verify {
+
+namespace {
+
+using x64::AluOp;
+using x64::Cond;
+using x64::Reg;
+using x64::Seg;
+using x64::ShiftOp;
+using x64::Width;
+
+/** Cursor over the byte stream; all reads are bounds-checked. */
+struct Cursor
+{
+    const uint8_t* p;
+    size_t avail;
+    size_t pos = 0;
+
+    bool
+    u8(uint8_t* out)
+    {
+        if (pos >= avail)
+            return false;
+        *out = p[pos++];
+        return true;
+    }
+
+    bool
+    peek(uint8_t* out) const
+    {
+        if (pos >= avail)
+            return false;
+        *out = p[pos];
+        return true;
+    }
+
+    bool
+    u32(uint32_t* out)
+    {
+        if (pos + 4 > avail)
+            return false;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; i++)
+            v |= static_cast<uint32_t>(p[pos + i]) << (8 * i);
+        pos += 4;
+        *out = v;
+        return true;
+    }
+
+    bool
+    u64(uint64_t* out)
+    {
+        if (pos + 8 > avail)
+            return false;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; i++)
+            v |= static_cast<uint64_t>(p[pos + i]) << (8 * i);
+        pos += 8;
+        *out = v;
+        return true;
+    }
+};
+
+/** Prefix state accumulated before the opcode. */
+struct Prefixes
+{
+    Seg seg = Seg::None;
+    bool addr32 = false;  // 0x67
+    bool op16 = false;    // 0x66 (operand size or SSE mandatory)
+    bool repF2 = false;   // 0xf2
+    bool repF3 = false;   // 0xf3
+    uint8_t rex = 0;      // 0 when absent
+    bool rexW() const { return (rex & 0x08) != 0; }
+    uint8_t rexR() const { return (rex & 0x04) ? 8 : 0; }
+    uint8_t rexX() const { return (rex & 0x02) ? 8 : 0; }
+    uint8_t rexB() const { return (rex & 0x01) ? 8 : 0; }
+
+    Width
+    opWidth() const  // for non-byte integer ops
+    {
+        if (rexW())
+            return Width::W64;
+        if (op16)
+            return Width::W16;
+        return Width::W32;
+    }
+};
+
+/**
+ * Decodes ModRM (+SIB +disp). On a register form sets *rm_reg (with
+ * REX.B applied) and leaves mem->present false; on a memory form fills
+ * *mem. reg_out receives the (REX.R-extended) reg field.
+ */
+bool
+modrm(Cursor& c, const Prefixes& pfx, uint8_t* reg_out, int8_t* rm_reg,
+      MemRef* mem)
+{
+    uint8_t b;
+    if (!c.u8(&b))
+        return false;
+    uint8_t mod = b >> 6;
+    uint8_t reg = (b >> 3) & 7;
+    uint8_t rm = b & 7;
+    *reg_out = static_cast<uint8_t>(reg | pfx.rexR());
+
+    if (mod == 3) {
+        *rm_reg = static_cast<int8_t>(rm | pfx.rexB());
+        return true;
+    }
+
+    mem->present = true;
+    mem->seg = pfx.seg;
+    mem->addr32 = pfx.addr32;
+
+    uint8_t disp_size = mod == 1 ? 1 : mod == 2 ? 4 : 0;
+
+    if (rm == 4) {
+        uint8_t s;
+        if (!c.u8(&s))
+            return false;
+        uint8_t ss = s >> 6;
+        uint8_t idx = (s >> 3) & 7;
+        uint8_t base = s & 7;
+        if (idx != 4 || pfx.rexX()) {
+            mem->hasIndex = true;
+            mem->index = static_cast<Reg>(idx | pfx.rexX());
+            mem->scale = static_cast<uint8_t>(1u << ss);
+        }
+        if (mod == 0 && base == 5) {
+            disp_size = 4;  // no base, disp32
+        } else {
+            mem->hasBase = true;
+            mem->base = static_cast<Reg>(base | pfx.rexB());
+        }
+    } else if (mod == 0 && rm == 5) {
+        // RIP-relative: the Assembler never emits it; reject so the
+        // checker fails closed on foreign code.
+        return false;
+    } else {
+        mem->hasBase = true;
+        mem->base = static_cast<Reg>(rm | pfx.rexB());
+    }
+
+    if (disp_size == 1) {
+        uint8_t d;
+        if (!c.u8(&d))
+            return false;
+        mem->disp = static_cast<int8_t>(d);
+    } else if (disp_size == 4) {
+        uint32_t d;
+        if (!c.u32(&d))
+            return false;
+        mem->disp = static_cast<int32_t>(d);
+    }
+    return true;
+}
+
+bool
+imm8(Cursor& c, Insn* out)
+{
+    uint8_t v;
+    if (!c.u8(&v))
+        return false;
+    out->hasImm = true;
+    out->imm = static_cast<int8_t>(v);
+    return true;
+}
+
+bool
+imm32(Cursor& c, Insn* out)
+{
+    uint32_t v;
+    if (!c.u32(&v))
+        return false;
+    out->hasImm = true;
+    out->imm = static_cast<int32_t>(v);
+    return true;
+}
+
+bool
+rel32(Cursor& c, Insn* out)
+{
+    uint32_t v;
+    if (!c.u32(&v))
+        return false;
+    out->hasRel = true;
+    out->rel = static_cast<int32_t>(v);
+    return true;
+}
+
+/** Two-byte (0x0f) opcode space. */
+bool
+decode0f(Cursor& c, const Prefixes& pfx, Insn* out)
+{
+    uint8_t op;
+    if (!c.u8(&op))
+        return false;
+
+    uint8_t reg;
+    int8_t rm = -1;
+
+    // Conditional families first.
+    if (op >= 0x40 && op <= 0x4f) {  // cmovcc r, r
+        out->mn = Mn::Cmovcc;
+        out->cond = static_cast<Cond>(op & 0xf);
+        out->width = pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        return true;
+    }
+    if (op >= 0x80 && op <= 0x8f) {  // jcc rel32
+        out->mn = Mn::Jcc;
+        out->cond = static_cast<Cond>(op & 0xf);
+        return rel32(c, out);
+    }
+    if (op >= 0x90 && op <= 0x9f) {  // setcc r8
+        out->mn = Mn::Setcc;
+        out->cond = static_cast<Cond>(op & 0xf);
+        out->width = Width::W8;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = rm;  // the written register
+        out->rm = rm;
+        return true;
+    }
+
+    switch (op) {
+      case 0x0b:
+        out->mn = Mn::Ud2;
+        return true;
+
+      case 0x10:  // movsd xmm, xmm/m64 (F2)
+        if (!pfx.repF2)
+            return false;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        out->mn = out->mem.present ? Mn::MovsdLoad : Mn::MovsdRR;
+        return true;
+      case 0x11:  // movsd m64, xmm (F2)
+        if (!pfx.repF2)
+            return false;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || !out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->mn = Mn::MovsdStore;
+        return true;
+
+      case 0x1f:  // multi-byte NOP, /0
+        out->mn = Mn::Nop;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
+            return false;
+        out->mem = MemRef{};  // operand is meaningless
+        return true;
+
+      case 0x2a:  // cvtsi2sd xmm, r (F2)
+        if (!pfx.repF2)
+            return false;
+        out->mn = Mn::Cvtsi2sd;
+        out->width = pfx.rexW() ? Width::W64 : Width::W32;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);  // xmm dst
+        out->rm = rm;                         // gpr src
+        return true;
+      case 0x2c:  // cvttsd2si r, xmm (F2)
+        if (!pfx.repF2)
+            return false;
+        out->mn = Mn::Cvttsd2si;
+        out->width = pfx.rexW() ? Width::W64 : Width::W32;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);  // gpr dst
+        out->rm = rm;                         // xmm src
+        return true;
+
+      case 0x2e:  // ucomisd (66)
+      case 0x51: case 0x57: case 0x58: case 0x59: case 0x5c: case 0x5d:
+      case 0x5e: case 0x5f: {
+        bool needs66 = op == 0x2e || op == 0x57;
+        if (needs66 ? !pfx.op16 : !pfx.repF2)
+            return false;
+        switch (op) {
+          case 0x2e: out->mn = Mn::Ucomisd; break;
+          case 0x51: out->mn = Mn::Sqrtsd; break;
+          case 0x57: out->mn = Mn::Xorpd; break;
+          case 0x58: out->mn = Mn::Addsd; break;
+          case 0x59: out->mn = Mn::Mulsd; break;
+          case 0x5c: out->mn = Mn::Subsd; break;
+          case 0x5d: out->mn = Mn::Minsd; break;
+          case 0x5e: out->mn = Mn::Divsd; break;
+          case 0x5f: out->mn = Mn::Maxsd; break;
+        }
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        return true;
+      }
+
+      case 0x6e:  // movq xmm, r64 (66 REX.W)
+        if (!pfx.op16)
+            return false;
+        out->mn = Mn::MovqToXmm;
+        out->width = pfx.rexW() ? Width::W64 : Width::W32;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);  // xmm
+        out->rm = rm;                         // gpr
+        return true;
+      case 0x7e:  // movq r64, xmm (66 REX.W)
+        if (!pfx.op16)
+            return false;
+        out->mn = Mn::MovqFromXmm;
+        out->width = pfx.rexW() ? Width::W64 : Width::W32;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);  // xmm src
+        out->rm = rm;                         // gpr dst
+        return true;
+
+      case 0xaf:  // imul r, r
+        out->mn = Mn::Imul;
+        out->width = pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        return true;
+
+      case 0xb6:  // movzx r32, r/m8
+      case 0xb7:  // movzx r32, r/m16
+      case 0xbe:  // movsx r, r/m8
+      case 0xbf: {  // movsx r, r/m16
+        bool sx = op >= 0xbe;
+        Width src = (op == 0xb6 || op == 0xbe) ? Width::W8 : Width::W16;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        out->srcWidth = src;
+        out->signExtend = sx;
+        if (out->mem.present) {
+            // Assembler load() path: movzx/movsx from memory.
+            out->mn = Mn::Load;
+            out->width = src;  // access width
+        } else {
+            out->mn = sx ? Mn::Movsx : Mn::Movzx;
+            out->width = pfx.rexW() ? Width::W64 : Width::W32;
+        }
+        return true;
+      }
+
+      case 0xb8:  // popcnt (F3)
+        if (!pfx.repF3)
+            return false;
+        out->mn = Mn::Popcnt;
+        out->width = pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        return true;
+
+      default:
+        return false;
+    }
+}
+
+bool
+decodeOne(Cursor& c, Insn* out)
+{
+    Prefixes pfx;
+    for (;;) {
+        uint8_t b;
+        if (!c.peek(&b))
+            return false;
+        if (b == 0x65)
+            pfx.seg = Seg::Gs;
+        else if (b == 0x64)
+            pfx.seg = Seg::Fs;
+        else if (b == 0x67)
+            pfx.addr32 = true;
+        else if (b == 0x66)
+            pfx.op16 = true;
+        else if (b == 0xf2)
+            pfx.repF2 = true;
+        else if (b == 0xf3)
+            pfx.repF3 = true;
+        else
+            break;
+        c.pos++;
+    }
+    {
+        uint8_t b;
+        if (c.peek(&b) && (b & 0xf0) == 0x40) {
+            pfx.rex = b;
+            c.pos++;
+        }
+    }
+
+    uint8_t op;
+    if (!c.u8(&op))
+        return false;
+
+    uint8_t reg;
+    int8_t rm = -1;
+
+    if (op == 0x0f)
+        return decode0f(c, pfx, out);
+
+    // ALU family: (aluop << 3) | 0x02 (r8, rm8) or | 0x03 (r, rm).
+    if (op <= 0x3b && (op & 0x06) == 0x02 && (op & 0x01) <= 1) {
+        uint8_t low = op & 0x07;
+        if (low == 2 || low == 3) {
+            out->mn = Mn::AluRR;
+            out->aluOp = static_cast<AluOp>(op >> 3);
+            out->width = low == 2 ? Width::W8 : pfx.opWidth();
+            if (!modrm(c, pfx, &reg, &rm, &out->mem))
+                return false;
+            out->reg = static_cast<int8_t>(reg);  // destination
+            out->rm = rm;
+            if (out->mem.present)
+                out->mn = Mn::AluMem;
+            return true;
+        }
+    }
+
+    if (op >= 0x50 && op <= 0x57) {
+        out->mn = Mn::Push;
+        out->reg = static_cast<int8_t>((op & 7) | pfx.rexB());
+        out->width = Width::W64;
+        return true;
+    }
+    if (op >= 0x58 && op <= 0x5f) {
+        out->mn = Mn::Pop;
+        out->reg = static_cast<int8_t>((op & 7) | pfx.rexB());
+        out->width = Width::W64;
+        return true;
+    }
+
+    if (op >= 0xb8 && op <= 0xbf) {
+        out->reg = static_cast<int8_t>((op & 7) | pfx.rexB());
+        if (pfx.rexW()) {
+            out->mn = Mn::MovImm64;
+            out->width = Width::W64;
+            uint64_t v;
+            if (!c.u64(&v))
+                return false;
+            out->hasImm = true;
+            out->imm = static_cast<int64_t>(v);
+        } else {
+            out->mn = Mn::MovImm32;
+            out->width = Width::W32;
+            if (!imm32(c, out))
+                return false;
+        }
+        return true;
+    }
+
+    switch (op) {
+      case 0x63:  // movsxd r64, r/m32
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        out->signExtend = true;
+        if (out->mem.present) {
+            out->mn = Mn::Load;
+            out->width = Width::W32;
+        } else {
+            out->mn = Mn::Movsxd;
+            out->width = Width::W64;
+            out->srcWidth = Width::W32;
+        }
+        return true;
+
+      case 0x80:  // alu r/m8, imm8
+      case 0x81:  // alu r/m, imm32
+      case 0x83:  // alu r/m, imm8 (sign-extended)
+        out->mn = Mn::AluImm;
+        out->width = op == 0x80 ? Width::W8 : pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->aluOp = static_cast<AluOp>(reg & 7);
+        out->reg = rm;  // destination
+        out->rm = rm;
+        return op == 0x81 ? imm32(c, out) : imm8(c, out);
+
+      case 0x84:  // test rm8, r8
+      case 0x85:  // test rm, r
+        out->mn = Mn::Test;
+        out->width = op == 0x84 ? Width::W8 : pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        return true;
+
+      case 0x88:  // mov rm8, r8
+      case 0x89:  // mov rm, r
+        out->width = op == 0x88 ? Width::W8 : pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
+            return false;
+        out->reg = static_cast<int8_t>(reg);  // source
+        out->rm = rm;                         // dst when register form
+        out->mn = out->mem.present ? Mn::Store : Mn::MovRR;
+        return true;
+
+      case 0x8b:  // mov r, rm (loads only; reg form never emitted)
+        out->mn = Mn::Load;
+        out->width = pfx.rexW() ? Width::W64
+                     : pfx.op16 ? Width::W16
+                                : Width::W32;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || !out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        return true;
+
+      case 0x8d:  // lea
+        out->mn = Mn::Lea;
+        out->width = pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || !out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        return true;
+
+      case 0x90:
+        out->mn = Mn::Nop;
+        return true;
+
+      case 0x99:
+        out->mn = pfx.rexW() ? Mn::Cqo : Mn::Cdq;
+        out->width = pfx.rexW() ? Width::W64 : Width::W32;
+        return true;
+
+      case 0xc0:  // shift r/m8, imm8
+      case 0xc1:  // shift r/m, imm8
+        out->mn = Mn::ShiftImm;
+        out->width = op == 0xc0 ? Width::W8 : pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->shiftOp = static_cast<ShiftOp>(reg & 7);
+        out->reg = rm;
+        out->rm = rm;
+        return imm8(c, out);
+
+      case 0xc3:
+        out->mn = Mn::Ret;
+        return true;
+
+      case 0xc6:  // mov m8, imm8
+      case 0xc7: {  // mov m, imm16/32
+        out->mn = Mn::StoreImm;
+        out->width = op == 0xc6 ? Width::W8 : pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || !out->mem.present ||
+            (reg & 7) != 0)
+            return false;
+        if (op == 0xc6)
+            return imm8(c, out);
+        if (pfx.op16) {
+            uint8_t lo, hi;
+            if (!c.u8(&lo) || !c.u8(&hi))
+                return false;
+            out->hasImm = true;
+            out->imm = static_cast<int16_t>(lo | (hi << 8));
+            return true;
+        }
+        return imm32(c, out);
+      }
+
+      case 0xcc:
+        out->mn = Mn::Int3;
+        return true;
+
+      case 0xd2:  // shift r/m8, cl
+      case 0xd3:  // shift r/m, cl
+        out->mn = Mn::ShiftCl;
+        out->width = op == 0xd2 ? Width::W8 : pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->shiftOp = static_cast<ShiftOp>(reg & 7);
+        out->reg = rm;
+        out->rm = rm;
+        return true;
+
+      case 0xe8:
+        out->mn = Mn::Call;
+        return rel32(c, out);
+      case 0xe9:
+        out->mn = Mn::Jmp;
+        return rel32(c, out);
+
+      case 0xf6:  // group 3, 8-bit
+      case 0xf7: {  // group 3
+        out->width = op == 0xf6 ? Width::W8 : pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        switch (reg & 7) {
+          case 2: out->mn = Mn::Not; break;
+          case 3: out->mn = Mn::Neg; break;
+          case 6: out->mn = Mn::Div; break;
+          case 7: out->mn = Mn::Idiv; break;
+          default: return false;
+        }
+        out->reg = rm;
+        out->rm = rm;
+        return true;
+      }
+
+      case 0xff: {  // group 5: call/jmp r
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        switch (reg & 7) {
+          case 2: out->mn = Mn::CallReg; break;
+          case 4: out->mn = Mn::JmpReg; break;
+          default: return false;
+        }
+        out->reg = rm;
+        out->rm = rm;
+        out->width = Width::W64;
+        return true;
+      }
+
+      default:
+        return false;
+    }
+}
+
+}  // namespace
+
+bool
+decode(const uint8_t* p, size_t avail, Insn* out)
+{
+    *out = Insn{};
+    Cursor c{p, avail};
+    bool ok = decodeOne(c, out);
+    out->len = static_cast<uint8_t>(c.pos > 0 ? c.pos
+                                    : avail > 0 ? 1
+                                                : 0);
+    if (!ok)
+        out->mn = Mn::Invalid;
+    return ok;
+}
+
+const char*
+name(Mn m)
+{
+    switch (m) {
+      case Mn::Invalid: return "(bad)";
+      case Mn::MovImm64: return "movabs";
+      case Mn::MovImm32: return "mov";
+      case Mn::MovRR: return "mov";
+      case Mn::Load: return "mov.load";
+      case Mn::Store: return "mov.store";
+      case Mn::StoreImm: return "mov.storeimm";
+      case Mn::Lea: return "lea";
+      case Mn::AluRR: return "alu";
+      case Mn::AluImm: return "alu.imm";
+      case Mn::AluMem: return "alu.mem";
+      case Mn::Test: return "test";
+      case Mn::Imul: return "imul";
+      case Mn::Neg: return "neg";
+      case Mn::Not: return "not";
+      case Mn::Div: return "div";
+      case Mn::Idiv: return "idiv";
+      case Mn::Cdq: return "cdq";
+      case Mn::Cqo: return "cqo";
+      case Mn::ShiftCl: return "shift.cl";
+      case Mn::ShiftImm: return "shift.imm";
+      case Mn::Movzx: return "movzx";
+      case Mn::Movsx: return "movsx";
+      case Mn::Movsxd: return "movsxd";
+      case Mn::Setcc: return "setcc";
+      case Mn::Cmovcc: return "cmovcc";
+      case Mn::Popcnt: return "popcnt";
+      case Mn::Jmp: return "jmp";
+      case Mn::Jcc: return "jcc";
+      case Mn::JmpReg: return "jmp.reg";
+      case Mn::Call: return "call";
+      case Mn::CallReg: return "call.reg";
+      case Mn::Ret: return "ret";
+      case Mn::Push: return "push";
+      case Mn::Pop: return "pop";
+      case Mn::Nop: return "nop";
+      case Mn::Ud2: return "ud2";
+      case Mn::Int3: return "int3";
+      case Mn::MovsdLoad: return "movsd.load";
+      case Mn::MovsdStore: return "movsd.store";
+      case Mn::MovsdRR: return "movsd";
+      case Mn::MovqToXmm: return "movq.toxmm";
+      case Mn::MovqFromXmm: return "movq.fromxmm";
+      case Mn::Addsd: return "addsd";
+      case Mn::Subsd: return "subsd";
+      case Mn::Mulsd: return "mulsd";
+      case Mn::Divsd: return "divsd";
+      case Mn::Sqrtsd: return "sqrtsd";
+      case Mn::Minsd: return "minsd";
+      case Mn::Maxsd: return "maxsd";
+      case Mn::Ucomisd: return "ucomisd";
+      case Mn::Xorpd: return "xorpd";
+      case Mn::Cvtsi2sd: return "cvtsi2sd";
+      case Mn::Cvttsd2si: return "cvttsd2si";
+    }
+    return "?";
+}
+
+std::string
+Insn::text() const
+{
+    static const char* kRegNames[16] = {
+        "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+        "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+    std::string s = name(mn);
+    auto reg_name = [](int r) {
+        return r >= 0 && r < 16 ? kRegNames[r] : "?";
+    };
+    if (reg >= 0) {
+        s += " ";
+        s += reg_name(reg);
+    }
+    if (rm >= 0 && rm != reg) {
+        s += ", ";
+        s += reg_name(rm);
+    }
+    if (mem.present) {
+        s += mem.seg == x64::Seg::Gs   ? " gs:["
+             : mem.seg == x64::Seg::Fs ? " fs:["
+                                       : " [";
+        bool any = false;
+        if (mem.hasBase) {
+            s += reg_name(static_cast<int>(mem.base));
+            any = true;
+        }
+        if (mem.hasIndex) {
+            if (any)
+                s += "+";
+            s += reg_name(static_cast<int>(mem.index));
+            s += "*";
+            s += std::to_string(mem.scale);
+            any = true;
+        }
+        if (mem.disp != 0 || !any) {
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "%s%d", any ? "+" : "",
+                          mem.disp);
+            s += buf;
+        }
+        s += "]";
+        if (mem.addr32)
+            s += " (ea32)";
+    }
+    if (hasImm) {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, ", %lld",
+                      static_cast<long long>(imm));
+        s += buf;
+    }
+    if (hasRel) {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, " rel %d", rel);
+        s += buf;
+    }
+    return s;
+}
+
+}  // namespace sfi::verify

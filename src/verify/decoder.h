@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Linear x86-64 decoder for the Assembler-emitted subset.
+ *
+ * Handles the legacy prefixes the JIT uses (0x65 %gs, 0x64 %fs, 0x67
+ * address-size, 0x66 operand-size, 0xf2/0xf3 mandatory), REX, two-byte
+ * 0x0f escapes, full ModRM/SIB/disp addressing, and the rel32 branch
+ * forms. Anything else returns false — the checker fails closed.
+ */
+#ifndef SFIKIT_VERIFY_DECODER_H_
+#define SFIKIT_VERIFY_DECODER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "verify/insn.h"
+
+namespace sfi::verify {
+
+/**
+ * Decodes one instruction at @p p (at most @p avail bytes). On success
+ * fills @p out (including out->len) and returns true. On failure
+ * returns false with out->len set to the number of bytes examined
+ * (>= 1 when avail > 0), so callers can report the offending offset.
+ */
+bool decode(const uint8_t* p, size_t avail, Insn* out);
+
+}  // namespace sfi::verify
+
+#endif  // SFIKIT_VERIFY_DECODER_H_

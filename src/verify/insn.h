@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Decoded-instruction representation for the static SFI verifier.
+ *
+ * The decoder (decoder.h) recovers exactly the instruction subset
+ * `x64::Assembler` can emit — the verifier's trusted computing base is
+ * "these bytes decode to instructions whose SFI-relevant effects we
+ * model", so any byte sequence outside that subset is a *decode error*,
+ * which the checker treats as a violation (fail closed, the VeriWasm
+ * discipline).
+ */
+#ifndef SFIKIT_VERIFY_INSN_H_
+#define SFIKIT_VERIFY_INSN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "x64/assembler.h"
+
+namespace sfi::verify {
+
+/**
+ * Mnemonics, one per Assembler encoding path (not per x86 opcode):
+ * the round-trip property tests assert encode(m) |> decode == m at
+ * this granularity.
+ */
+enum class Mn : uint8_t {
+    Invalid,
+    // moves
+    MovImm64, MovImm32, MovRR, Load, Store, StoreImm, Lea,
+    // integer ALU
+    AluRR, AluImm, AluMem, Test, Imul, Neg, Not, Div, Idiv, Cdq, Cqo,
+    ShiftCl, ShiftImm, Movzx, Movsx, Movsxd, Setcc, Cmovcc, Popcnt,
+    // control flow
+    Jmp, Jcc, JmpReg, Call, CallReg, Ret, Push, Pop, Nop, Ud2, Int3,
+    // SSE2 f64
+    MovsdLoad, MovsdStore, MovsdRR, MovqToXmm, MovqFromXmm,
+    Addsd, Subsd, Mulsd, Divsd, Sqrtsd, Minsd, Maxsd, Ucomisd, Xorpd,
+    Cvtsi2sd, Cvttsd2si,
+};
+
+const char* name(Mn m);
+
+/** A decoded memory operand (mirrors x64::Mem). */
+struct MemRef
+{
+    bool present = false;
+    bool hasBase = false;
+    bool hasIndex = false;
+    x64::Reg base = x64::Reg::rax;
+    x64::Reg index = x64::Reg::rax;
+    uint8_t scale = 1;
+    int32_t disp = 0;
+    x64::Seg seg = x64::Seg::None;
+    bool addr32 = false;  ///< 0x67 prefix: 32-bit effective address
+};
+
+/** One decoded instruction. */
+struct Insn
+{
+    Mn mn = Mn::Invalid;
+    uint8_t len = 0;          ///< bytes consumed
+    x64::Width width = x64::Width::W32;
+    /** Source width of Movzx/Movsx register forms (W8 or W16). */
+    x64::Width srcWidth = x64::Width::W8;
+    bool signExtend = false;  ///< Load/Movsx distinction
+
+    // Register operands, as hardware numbers; -1 when absent. For
+    // SSE mnemonics `reg` / `rm` index XMM registers.
+    int8_t reg = -1;  ///< ModRM.reg operand (dst for loads, src for stores)
+    int8_t rm = -1;   ///< ModRM.rm when a register form
+
+    MemRef mem;
+
+    x64::AluOp aluOp = x64::AluOp::Add;
+    x64::ShiftOp shiftOp = x64::ShiftOp::Shl;
+    x64::Cond cond = x64::Cond::O;
+
+    bool hasImm = false;
+    int64_t imm = 0;
+
+    bool hasRel = false;
+    int32_t rel = 0;  ///< rel32 branch displacement (from insn end)
+
+    bool isBranch() const { return mn == Mn::Jmp || mn == Mn::Jcc; }
+    bool
+    isTerminator() const
+    {
+        return mn == Mn::Jmp || mn == Mn::JmpReg || mn == Mn::Ret ||
+               mn == Mn::Ud2;
+    }
+    bool
+    readsMem() const
+    {
+        return mem.present &&
+               (mn == Mn::Load || mn == Mn::AluMem || mn == Mn::MovsdLoad);
+    }
+    bool
+    writesMem() const
+    {
+        return mem.present && (mn == Mn::Store || mn == Mn::StoreImm ||
+                               mn == Mn::MovsdStore);
+    }
+
+    /** "mov r10, gs:[ebx+8]"-style rendering for reports. */
+    std::string text() const;
+};
+
+}  // namespace sfi::verify
+
+#endif  // SFIKIT_VERIFY_INSN_H_

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * sfi-verify: the static SFI verifier as a command-line tool.
+ *
+ * Compiles registry workloads under a chosen (or every) sandboxing
+ * configuration and runs the binary verifier over the emitted machine
+ * code. Exit status is the number of configurations with violations,
+ * so it drops straight into CI.
+ *
+ *   sfi-verify                       # full workload x strategy matrix
+ *   sfi-verify --wkld sieve          # one workload, all strategies
+ *   sfi-verify --mem segue --cfi lfi # one config, all workloads
+ *   sfi-verify --wkld sieve --mem segue-bounds --dump
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "jit/compiler.h"
+#include "verify/checker.h"
+#include "verify/decoder.h"
+#include "wkld/workloads.h"
+
+namespace sfi {
+namespace {
+
+using jit::CfiMode;
+using jit::CompilerConfig;
+using jit::MemStrategy;
+
+struct Options
+{
+    const char* wkld = nullptr;  // nullptr = all
+    const char* mem = nullptr;   // nullptr = all sandboxing strategies
+    const char* cfi = nullptr;   // nullptr = both
+    bool dump = false;
+    bool quiet = false;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: sfi-verify [--wkld NAME] [--mem STRATEGY] [--cfi MODE]\n"
+        "                  [--dump] [--quiet]\n"
+        "  --wkld NAME   verify one registry workload (default: all)\n"
+        "  --mem S       base-reg | segue | segue-loads-only | bounds-check |\n"
+        "                segue-bounds | unsandboxed (default: all "
+        "sandboxing\n"
+        "                strategies)\n"
+        "  --cfi M       none | lfi (default: both)\n"
+        "  --dump        print the decoded instruction listing\n"
+        "  --quiet       only print failing configurations\n");
+    return 2;
+}
+
+std::vector<CompilerConfig>
+selectConfigs(const Options& opt)
+{
+    struct MemName
+    {
+        const char* name;
+        MemStrategy mem;
+    };
+    const MemName mems[] = {
+        {"base-reg", MemStrategy::BaseReg},
+        {"segue", MemStrategy::Segue},
+        {"segue-loads-only", MemStrategy::SegueLoadsOnly},
+        {"bounds-check", MemStrategy::BoundsCheck},
+        {"segue-bounds", MemStrategy::SegueBounds},
+        {"unsandboxed", MemStrategy::Unsandboxed},
+    };
+    std::vector<CompilerConfig> out;
+    for (const MemName& m : mems) {
+        if (opt.mem ? std::strcmp(opt.mem, m.name) != 0
+                    : m.mem == MemStrategy::Unsandboxed)
+            continue;
+        for (CfiMode c : {CfiMode::None, CfiMode::Lfi}) {
+            if (opt.cfi &&
+                std::strcmp(opt.cfi, c == CfiMode::Lfi ? "lfi" : "none"))
+                continue;
+            // LFI deployments hand the sandbox raw 64-bit registers, so
+            // pair Lfi with the untrusted-index contract (the presets'
+            // convention).
+            out.push_back(CompilerConfig{m.mem, c, true, false,
+                                         c == CfiMode::Lfi});
+        }
+    }
+    return out;
+}
+
+std::vector<wkld::Workload>
+selectWorkloads(const Options& opt)
+{
+    std::vector<wkld::Workload> all;
+    for (const auto* suite :
+         {&wkld::sightglass(), &wkld::spec17(), &wkld::polydhry(),
+          &wkld::faasWorkloads()})
+        all.insert(all.end(), suite->begin(), suite->end());
+    if (!opt.wkld)
+        return all;
+    std::vector<wkld::Workload> picked;
+    for (const auto& w : all)
+        if (!std::strcmp(w.name, opt.wkld))
+            picked.push_back(w);
+    if (picked.empty()) {
+        std::fprintf(stderr, "sfi-verify: unknown workload '%s'\n",
+                     opt.wkld);
+    }
+    return picked;
+}
+
+void
+dumpListing(const jit::CompiledModule& cm)
+{
+    const uint8_t* code = static_cast<const uint8_t*>(cm.code.base());
+    for (size_t f = 0; f < cm.funcOffsets.size(); f++) {
+        uint64_t off = cm.funcOffsets[f];
+        uint64_t end = off + cm.funcCodeSizes[f];
+        std::printf("  -- function %zu [%#llx, %#llx) --\n", f,
+                    (unsigned long long)off, (unsigned long long)end);
+        while (off < end) {
+            verify::Insn in;
+            if (!verify::decode(code + off, end - off, &in)) {
+                std::printf("  +%#llx  <undecodable>\n",
+                            (unsigned long long)off);
+                break;
+            }
+            std::printf("  +%#llx  %s\n", (unsigned long long)off,
+                        in.text().c_str());
+            off += in.len;
+        }
+    }
+}
+
+int
+run(const Options& opt)
+{
+    auto configs = selectConfigs(opt);
+    auto workloads = selectWorkloads(opt);
+    if (configs.empty() || workloads.empty())
+        return 2;
+
+    int failures = 0;
+    verify::Stats total;
+    for (const CompilerConfig& cfg : configs) {
+        uint64_t viol = 0;
+        verify::Stats cfgStats;
+        for (const auto& w : workloads) {
+            auto cm = jit::compile(w.make(), cfg);
+            if (!cm.isOk()) {
+                std::printf("%-14s %-4s %-12s COMPILE FAILED: %s\n",
+                            jit::name(cfg.mem), jit::name(cfg.cfi),
+                            w.name, cm.message().c_str());
+                failures++;
+                continue;
+            }
+            verify::Report rep = verify::checkModule(*cm);
+            cfgStats.merge(rep.stats);
+            viol += rep.violations.size();
+            if (!rep.ok()) {
+                std::printf("%-14s %-4s %-12s\n%s\n", jit::name(cfg.mem),
+                            jit::name(cfg.cfi), w.name,
+                            rep.summary().c_str());
+            }
+            if (opt.dump)
+                dumpListing(*cm);
+        }
+        total.merge(cfgStats);
+        if (viol)
+            failures++;
+        if (!opt.quiet || viol) {
+            std::printf(
+                "%-14s %-4s  %-8s %4llu fn %6llu insn  gs %llu "
+                "(ea32 %llu)  basereg %llu  bounds %llu  masked %llu  "
+                "ret %llu\n",
+                jit::name(cfg.mem), jit::name(cfg.cfi),
+                viol ? "FAIL" : "verified",
+                (unsigned long long)cfgStats.functions,
+                (unsigned long long)cfgStats.instructions,
+                (unsigned long long)cfgStats.heapGs,
+                (unsigned long long)cfgStats.heapGsEa32,
+                (unsigned long long)cfgStats.heapBaseReg,
+                (unsigned long long)cfgStats.boundsChecked,
+                (unsigned long long)cfgStats.maskedIndirects,
+                (unsigned long long)cfgStats.protectedReturns);
+        }
+    }
+    if (!opt.quiet) {
+        std::printf(
+            "\n%d configuration(s) failed; %llu instructions verified "
+            "across %llu functions\n",
+            failures, (unsigned long long)total.instructions,
+            (unsigned long long)total.functions);
+    }
+    return failures;
+}
+
+}  // namespace
+}  // namespace sfi
+
+int
+main(int argc, char** argv)
+{
+    sfi::Options opt;
+    for (int i = 1; i < argc; i++) {
+        auto want = [&](const char* flag) -> const char* {
+            if (std::strcmp(argv[i], flag) != 0)
+                return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "sfi-verify: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (const char* v = want("--wkld"))
+            opt.wkld = v;
+        else if (const char* v = want("--mem"))
+            opt.mem = v;
+        else if (const char* v = want("--cfi"))
+            opt.cfi = v;
+        else if (!std::strcmp(argv[i], "--dump"))
+            opt.dump = true;
+        else if (!std::strcmp(argv[i], "--quiet"))
+            opt.quiet = true;
+        else
+            return sfi::usage();
+    }
+    return sfi::run(opt);
+}

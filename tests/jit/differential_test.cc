@@ -14,6 +14,7 @@
 #include "jit/compiler.h"
 #include "runtime/instance.h"
 #include "tests/support/program_gen.h"
+#include "verify/checker.h"
 
 namespace sfi {
 namespace {
@@ -56,6 +57,9 @@ runJit(const wasm::Module& m, const CompilerConfig& cfg, uint64_t a0,
 {
     auto shared = rt::SharedModule::compile(m, cfg);
     SFI_CHECK_MSG(shared.isOk(), "%s", shared.message().c_str());
+    // Static SFI verification rides along on every generated program.
+    auto rep = verify::checkModule((*shared)->code());
+    EXPECT_TRUE(rep.ok()) << rep.summary();
     auto inst = rt::Instance::create(*shared);
     SFI_CHECK_MSG(inst.isOk(), "%s", inst.message().c_str());
     auto out = (*inst)->call("main", {a0, a1});

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "runtime/instance.h"
+#include "verify/checker.h"
 #include "wasm/builder.h"
 
 namespace sfi::jit {
@@ -49,6 +50,10 @@ class JitStrategyTest : public ::testing::TestWithParam<CompilerConfig>
         auto shared =
             SharedModule::compile(std::move(mb).build(), GetParam());
         SFI_CHECK_MSG(shared.isOk(), "%s", shared.message().c_str());
+        // Every module any behavioral test compiles is also statically
+        // verified: the emitted bytes must prove the SFI contract.
+        auto rep = verify::checkModule((*shared)->code());
+        EXPECT_TRUE(rep.ok()) << rep.summary();
         auto inst = Instance::create(std::move(*shared), std::move(host));
         SFI_CHECK_MSG(inst.isOk(), "%s", inst.message().c_str());
         return std::move(*inst);

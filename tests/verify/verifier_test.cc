@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Static SFI verifier tests.
+ *
+ * Three layers:
+ *  1. Checker-mechanics tests: hand-assembled *conforming* sequences
+ *     (bounds-check domination, the LFI mask/epilogue patterns) that
+ *     must be accepted with the right proof statistics.
+ *  2. Negative fixtures: hand-assembled *violating* sequences, each
+ *     rejected with its specific rule id — the fail-closed property.
+ *  3. The full positive matrix: every registered workload compiled
+ *     under every sandboxing strategy x CFI mode must verify clean.
+ */
+#include "verify/checker.h"
+
+#include <gtest/gtest.h>
+
+#include "jit/compiler.h"
+#include "verify/decoder.h"
+#include "wasm/builder.h"
+#include "wkld/workloads.h"
+#include "x64/assembler.h"
+
+namespace sfi::verify {
+namespace {
+
+using jit::CfiMode;
+using jit::CompilerConfig;
+using jit::MemStrategy;
+using wasm::ModuleBuilder;
+using x64::AluOp;
+using x64::Assembler;
+using x64::Cond;
+using x64::Mem;
+using x64::Reg;
+using x64::Width;
+using VT = wasm::ValType;
+
+Report
+check(const Assembler& a, const CompilerConfig& cfg)
+{
+    return checkFunction(a.code().data(), a.code().size(), cfg);
+}
+
+/** Expects exactly one violation carrying @p rule. */
+void
+expectRule(const Report& rep, Rule rule)
+{
+    ASSERT_EQ(rep.violations.size(), 1u) << rep.summary();
+    EXPECT_STREQ(name(rep.violations[0].rule), name(rule))
+        << rep.summary();
+}
+
+// ---------------------------------------------------------------------
+// 1. Conforming hand-assembled sequences.
+// ---------------------------------------------------------------------
+
+TEST(CheckerAccepts, BoundsCheckDomination)
+{
+    // lea rax, [rcx+8]; cmp rax, ctx->memSize; ja <trap>;
+    // store [r15 + rcx + 4] (4 bytes: extent 4+4 = 8 is covered).
+    Assembler a;
+    auto out = a.newLabel();
+    a.lea(Width::W64, Reg::rax, Mem::baseDisp(Reg::rcx, 8));
+    a.aluMem(AluOp::Cmp, Width::W64, Reg::rax,
+             Mem::baseDisp(Reg::r14, 8));
+    a.jcc(Cond::A, out);
+    a.store(Width::W32, Mem::baseIndex(Reg::r15, Reg::rcx, 1, 4),
+            Reg::rdx);
+    a.ret();
+    a.bind(out);  // at end-of-buffer: an out-of-function trap exit
+
+    Report rep = check(a, CompilerConfig{MemStrategy::BoundsCheck});
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_EQ(rep.stats.boundsChecked, 1u);
+    EXPECT_EQ(rep.stats.heapBaseReg, 1u);
+}
+
+TEST(CheckerAccepts, SegueBoundsDomination)
+{
+    Assembler a;
+    auto out = a.newLabel();
+    a.lea(Width::W64, Reg::rax, Mem::baseDisp(Reg::rcx, 12));
+    a.aluMem(AluOp::Cmp, Width::W64, Reg::rax,
+             Mem::baseDisp(Reg::r14, 8));
+    a.jcc(Cond::A, out);
+    Mem m = Mem::baseDisp(Reg::rcx, 4);
+    m.seg = x64::Seg::Gs;
+    a.store(Width::W64, m, Reg::rdx);
+    a.ret();
+    a.bind(out);
+
+    Report rep = check(a, CompilerConfig{MemStrategy::SegueBounds});
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_EQ(rep.stats.boundsChecked, 1u);
+    EXPECT_EQ(rep.stats.heapGs, 1u);
+}
+
+TEST(CheckerAccepts, BoundsSurviveFigure1bTruncation)
+{
+    // LFI order of operations: limit check on the 64-bit index, THEN
+    // the explicit truncation (which only shrinks the value), then the
+    // access. The bound must survive the self-truncating mov.
+    Assembler a;
+    auto out = a.newLabel();
+    a.lea(Width::W64, Reg::rax, Mem::baseDisp(Reg::rcx, 8));
+    a.aluMem(AluOp::Cmp, Width::W64, Reg::rax,
+             Mem::baseDisp(Reg::r14, 8));
+    a.jcc(Cond::A, out);
+    a.mov(Width::W32, Reg::rcx, Reg::rcx);  // Figure 1b truncation
+    a.store(Width::W32, Mem::baseIndex(Reg::r15, Reg::rcx, 1, 4),
+            Reg::rdx);
+    a.ud2();
+    a.bind(out);
+
+    CompilerConfig cfg{MemStrategy::BoundsCheck, CfiMode::Lfi, true,
+                       false, true};
+    Report rep = check(a, cfg);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_EQ(rep.stats.boundsChecked, 1u);
+    EXPECT_EQ(rep.stats.indexProvenU32, 1u);
+}
+
+TEST(CheckerAccepts, LfiProtectedReturn)
+{
+    Assembler a;
+    a.push(Reg::rbp);
+    a.mov(Width::W64, Reg::rbp, Reg::rsp);
+    a.mov(Width::W64, Reg::rsp, Reg::rbp);
+    a.pop(Reg::rbp);
+    a.pop(Reg::rcx);
+    a.alu(AluOp::Sub, Width::W64, Reg::rcx, Reg::r13);
+    a.mov(Width::W32, Reg::rcx, Reg::rcx);
+    a.alu(AluOp::Add, Width::W64, Reg::rcx, Reg::r13);
+    a.jmpReg(Reg::rcx);
+
+    Report rep = check(a, CompilerConfig::lfiBase());
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_EQ(rep.stats.protectedReturns, 1u);
+}
+
+TEST(CheckerAccepts, LfiMaskedIndirectCall)
+{
+    // Table entry loaded through a trusted context pointer, then
+    // masked into the code region before the call.
+    Assembler a;
+    a.load(Width::W64, false, Reg::r11, Mem::baseDisp(Reg::r14, 48));
+    a.load(Width::W64, false, Reg::r11,
+           Mem::baseIndex(Reg::r11, Reg::rax, 8, 0));
+    a.alu(AluOp::Sub, Width::W64, Reg::r11, Reg::r13);
+    a.mov(Width::W32, Reg::r11, Reg::r11);
+    a.alu(AluOp::Add, Width::W64, Reg::r11, Reg::r13);
+    a.callReg(Reg::r11);
+    a.ud2();
+
+    Report rep = check(a, CompilerConfig::lfiBase());
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_EQ(rep.stats.maskedIndirects, 1u);
+    EXPECT_EQ(rep.stats.trustedAccesses, 1u);
+}
+
+TEST(CheckerAccepts, LfiTrustedRuntimeCall)
+{
+    // Function pointers loaded straight from JitContext (trapFn,
+    // hostFn, epochFn...) are trusted call targets.
+    Assembler a;
+    a.load(Width::W64, false, Reg::rax, Mem::baseDisp(Reg::r14, 72));
+    a.callReg(Reg::rax);
+    a.ud2();
+
+    Report rep = check(a, CompilerConfig::lfiSegue());
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_EQ(rep.stats.trustedIndirects, 1u);
+}
+
+TEST(CheckerAccepts, SegueFigure1c)
+{
+    // One-instruction Segue access: 0x65 gs override + 0x67 32-bit EA.
+    Assembler a;
+    a.load(Width::W32, false, Reg::rdx, Mem::gs32(Reg::rbx, 16));
+    a.ud2();
+
+    Report rep = check(a, CompilerConfig::lfiSegue());
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_EQ(rep.stats.heapGs, 1u);
+    EXPECT_EQ(rep.stats.heapGsEa32, 1u);
+}
+
+// ---------------------------------------------------------------------
+// 2. Negative fixtures — each rejected with its distinct rule id.
+// ---------------------------------------------------------------------
+
+TEST(CheckerRejects, RawLoadWithoutGsUnderSegue)
+{
+    Assembler a;
+    a.load(Width::W32, false, Reg::rax, Mem::baseDisp(Reg::rbx, 8));
+    a.ret();
+    expectRule(check(a, CompilerConfig::wamrSegue()),
+               Rule::SegueLoadNoGs);
+}
+
+TEST(CheckerRejects, RawStoreWithoutGsUnderSegue)
+{
+    Assembler a;
+    a.store(Width::W32, Mem::baseDisp(Reg::rbx, 8), Reg::rax);
+    a.ret();
+    expectRule(check(a, CompilerConfig::wamrSegue()),
+               Rule::SegueStoreNoGs);
+}
+
+TEST(CheckerRejects, HeapBaseClobberMidFunction)
+{
+    Assembler a;
+    a.movImm32(Reg::r15, 5);
+    a.ret();
+    expectRule(check(a, CompilerConfig::wamrBase()),
+               Rule::PinnedWrite);
+}
+
+TEST(CheckerRejects, CodeBaseClobberUnderLfi)
+{
+    Assembler a;
+    a.movImm64(Reg::r13, 0x1234);
+    a.ud2();
+    expectRule(check(a, CompilerConfig::lfiBase()), Rule::PinnedWrite);
+}
+
+TEST(CheckerRejects, CtxClobber)
+{
+    Assembler a;
+    a.alu(AluOp::Add, Width::W64, Reg::r14, Reg::rax);
+    a.ret();
+    expectRule(check(a, CompilerConfig::wamrBase()), Rule::PinnedWrite);
+}
+
+TEST(CheckerRejects, StoreWithoutBoundsCheck)
+{
+    Assembler a;
+    a.store(Width::W32, Mem::baseIndex(Reg::r15, Reg::rcx, 1, 0),
+            Reg::rdx);
+    a.ret();
+    expectRule(check(a, CompilerConfig{MemStrategy::BoundsCheck}),
+               Rule::BoundsMissing);
+}
+
+TEST(CheckerRejects, BoundsCheckTooNarrow)
+{
+    // The limit compare covers 4 bytes at disp 0, but the access reads
+    // 8 bytes at disp 4: extent not dominated.
+    Assembler a;
+    auto out = a.newLabel();
+    a.lea(Width::W64, Reg::rax, Mem::baseDisp(Reg::rcx, 4));
+    a.aluMem(AluOp::Cmp, Width::W64, Reg::rax,
+             Mem::baseDisp(Reg::r14, 8));
+    a.jcc(Cond::A, out);
+    a.store(Width::W64, Mem::baseIndex(Reg::r15, Reg::rcx, 1, 4),
+            Reg::rdx);
+    a.ret();
+    a.bind(out);
+    expectRule(check(a, CompilerConfig{MemStrategy::BoundsCheck}),
+               Rule::BoundsMissing);
+}
+
+TEST(CheckerRejects, UntruncatedIndirectCallUnderLfi)
+{
+    Assembler a;
+    a.callReg(Reg::r11);
+    a.ud2();
+    expectRule(check(a, CompilerConfig::lfiSegue()),
+               Rule::LfiCallUnmasked);
+}
+
+TEST(CheckerRejects, PartiallyMaskedCallUnderLfi)
+{
+    // sub/add without the 32-bit truncation in between: the "mask"
+    // is the identity, so the target is NOT confined to code.
+    Assembler a;
+    a.alu(AluOp::Sub, Width::W64, Reg::r11, Reg::r13);
+    a.alu(AluOp::Add, Width::W64, Reg::r11, Reg::r13);
+    a.callReg(Reg::r11);
+    a.ud2();
+    expectRule(check(a, CompilerConfig::lfiBase()),
+               Rule::LfiCallUnmasked);
+}
+
+TEST(CheckerRejects, PlainRetUnderLfi)
+{
+    Assembler a;
+    a.ret();
+    expectRule(check(a, CompilerConfig::lfiBase()),
+               Rule::LfiRetUnprotected);
+}
+
+TEST(CheckerRejects, UnmaskedJmpRegUnderLfi)
+{
+    Assembler a;
+    a.pop(Reg::rcx);
+    a.jmpReg(Reg::rcx);
+    expectRule(check(a, CompilerConfig::lfiBase()),
+               Rule::LfiJmpUnmasked);
+}
+
+TEST(CheckerRejects, GsAccessUnderBaseReg)
+{
+    Assembler a;
+    a.load(Width::W32, false, Reg::rax, Mem::gs32(Reg::rbx, 0));
+    a.ret();
+    expectRule(check(a, CompilerConfig::wamrBase()),
+               Rule::GsUnexpected);
+}
+
+TEST(CheckerRejects, MissingEa32UnderLfiSegue)
+{
+    // gs-prefixed but with a 64-bit effective address: an untrusted
+    // 64-bit index escapes the 4 GiB window (needs Figure 1c's 0x67).
+    Assembler a;
+    Mem m = Mem::baseDisp(Reg::rbx, 4);
+    m.seg = x64::Seg::Gs;
+    a.load(Width::W32, false, Reg::rax, m);
+    a.ud2();
+    expectRule(check(a, CompilerConfig::lfiSegue()),
+               Rule::SegueIndexNotTruncated);
+}
+
+TEST(CheckerRejects, UntruncatedIndexUnderLfiBase)
+{
+    Assembler a;
+    a.load(Width::W32, false, Reg::rax,
+           Mem::baseIndex(Reg::r15, Reg::rbx, 1, 0));
+    a.ud2();
+    expectRule(check(a, CompilerConfig::lfiBase()),
+               Rule::BaseRegIndexNotTruncated);
+}
+
+TEST(CheckerRejects, ScaledHeapIndex)
+{
+    // scale > 1 can push a clean u32 index past the guard region.
+    Assembler a;
+    a.load(Width::W64, false, Reg::rax,
+           Mem::baseIndex(Reg::r15, Reg::rcx, 8, 0));
+    a.ret();
+    expectRule(check(a, CompilerConfig::wamrBase()),
+               Rule::BaseRegShape);
+}
+
+TEST(CheckerRejects, NegativeHeapDisplacement)
+{
+    Assembler a;
+    a.load(Width::W64, false, Reg::rax,
+           Mem::baseIndex(Reg::r15, Reg::rcx, 1, -8));
+    a.ret();
+    expectRule(check(a, CompilerConfig::wamrBase()),
+               Rule::BaseRegShape);
+}
+
+TEST(CheckerRejects, UnclassifiableMemoryOperand)
+{
+    Assembler a;
+    a.load(Width::W64, false, Reg::rax, Mem::baseDisp(Reg::rbx, 0));
+    a.ret();
+    expectRule(check(a, CompilerConfig::wamrBase()),
+               Rule::MemUnproven);
+}
+
+TEST(CheckerRejects, StackPointerHijack)
+{
+    Assembler a;
+    a.mov(Width::W64, Reg::rsp, Reg::rcx);
+    a.ret();
+    expectRule(check(a, CompilerConfig::wamrBase()),
+               Rule::StackDiscipline);
+}
+
+TEST(CheckerRejects, UndecodableBytes)
+{
+    const uint8_t bytes[] = {0x0f, 0x05};  // syscall
+    Report rep = checkFunction(bytes, sizeof bytes,
+                               CompilerConfig::wamrBase());
+    expectRule(rep, Rule::DecodeError);
+}
+
+TEST(CheckerRejects, BranchIntoInstruction)
+{
+    // Raw rel32 jumping one byte into the middle of a movabs.
+    std::vector<uint8_t> code = {
+        0xe9, 0x01, 0x00, 0x00, 0x00,              // jmp +1 (into movabs)
+        0x48, 0xb8, 1, 2, 3, 4, 5, 6, 7, 8,        // movabs rax, imm64
+        0xc3,                                      // ret
+    };
+    Report rep = checkFunction(code.data(), code.size(),
+                               CompilerConfig::wamrBase());
+    expectRule(rep, Rule::BadBranchTarget);
+}
+
+TEST(CheckerRejects, TrustDoesNotSurviveDereference)
+{
+    // A value loaded *through* a trusted pointer is sandbox-controlled
+    // (e.g. a table entry) and must not be callable unmasked.
+    Assembler a;
+    a.load(Width::W64, false, Reg::r11, Mem::baseDisp(Reg::r14, 48));
+    a.load(Width::W64, false, Reg::r11,
+           Mem::baseIndex(Reg::r11, Reg::rax, 8, 0));
+    a.callReg(Reg::r11);
+    a.ud2();
+    expectRule(check(a, CompilerConfig::lfiBase()),
+               Rule::LfiCallUnmasked);
+}
+
+TEST(CheckerRejects, TrustKilledByArithmetic)
+{
+    // Offsetting a trusted pointer forfeits its trust.
+    Assembler a;
+    a.load(Width::W64, false, Reg::rax, Mem::baseDisp(Reg::r14, 72));
+    a.alu(AluOp::Add, Width::W64, Reg::rax, Reg::rbx);
+    a.callReg(Reg::rax);
+    a.ud2();
+    expectRule(check(a, CompilerConfig::lfiBase()),
+               Rule::LfiCallUnmasked);
+}
+
+// ---------------------------------------------------------------------
+// 3. The positive matrix: every workload x every strategy verifies.
+// ---------------------------------------------------------------------
+
+std::vector<CompilerConfig>
+allSandboxConfigs()
+{
+    std::vector<CompilerConfig> v;
+    const MemStrategy mems[] = {
+        MemStrategy::BaseReg,     MemStrategy::Segue,
+        MemStrategy::SegueLoadsOnly, MemStrategy::BoundsCheck,
+        MemStrategy::SegueBounds,
+    };
+    for (MemStrategy m : mems)
+        for (CfiMode c : {CfiMode::None, CfiMode::Lfi})
+            v.push_back(CompilerConfig{m, c, true, false,
+                                       c == CfiMode::Lfi});
+    v.push_back(CompilerConfig::native());  // decode-only exemption
+    return v;
+}
+
+void
+verifySuite(const std::vector<wkld::Workload>& suite)
+{
+    for (const auto& w : suite) {
+        wasm::Module m = w.make();
+        for (const CompilerConfig& cfg : allSandboxConfigs()) {
+            auto cm = jit::compile(m, cfg);
+            ASSERT_TRUE(cm.isOk()) << w.name << ": " << cm.message();
+            Report rep = checkModule(*cm);
+            EXPECT_TRUE(rep.ok())
+                << w.suite << "/" << w.name << " under "
+                << jit::name(cfg.mem) << "/" << jit::name(cfg.cfi)
+                << "\n"
+                << rep.summary();
+            EXPECT_GT(rep.stats.instructions, 0u);
+        }
+    }
+}
+
+TEST(VerifyWorkloads, Sightglass) { verifySuite(wkld::sightglass()); }
+TEST(VerifyWorkloads, Spec17) { verifySuite(wkld::spec17()); }
+TEST(VerifyWorkloads, Polydhry) { verifySuite(wkld::polydhry()); }
+TEST(VerifyWorkloads, Faas) { verifySuite(wkld::faasWorkloads()); }
+
+TEST(VerifyWorkloads, EpochChecksVerify)
+{
+    // Epoch interruption adds trusted-callback codegen at loop heads.
+    wasm::Module m = wkld::sightglass()[0].make();
+    for (CompilerConfig cfg :
+         {CompilerConfig::wamrSegue(), CompilerConfig::lfiBase()}) {
+        cfg.epochChecks = true;
+        auto cm = jit::compile(m, cfg);
+        ASSERT_TRUE(cm.isOk()) << cm.message();
+        Report rep = checkModule(*cm);
+        EXPECT_TRUE(rep.ok()) << rep.summary();
+    }
+}
+
+TEST(VerifyWorkloads, StatsReflectStrategy)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 2);
+    auto f = mb.func("run", {VT::I32}, {VT::I64});
+    f.localGet(0).localGet(0).i32Store(16)
+        .localGet(0).i32Load(16).i64ExtendI32U()
+        .end();
+    mb.exportFunc("run", f.index());
+    wasm::Module m = std::move(mb).build();
+
+    auto stats = [&](const CompilerConfig& cfg) {
+        auto cm = jit::compile(m, cfg);
+        SFI_CHECK(cm.isOk());
+        Report rep = checkModule(*cm);
+        EXPECT_TRUE(rep.ok()) << rep.summary();
+        return rep.stats;
+    };
+
+    Stats segue = stats(CompilerConfig::wamrSegue());
+    EXPECT_GT(segue.heapGs, 0u);
+    EXPECT_EQ(segue.heapBaseReg, 0u);
+
+    Stats base = stats(CompilerConfig::wamrBase());
+    EXPECT_GT(base.heapBaseReg, 0u);
+    EXPECT_EQ(base.heapGs, 0u);
+
+    Stats split = stats(CompilerConfig::wamrSegueLoads());
+    EXPECT_GT(split.heapGs, 0u);      // the load
+    EXPECT_GT(split.heapBaseReg, 0u); // the store
+
+    Stats bounds = stats(CompilerConfig{MemStrategy::BoundsCheck});
+    EXPECT_GT(bounds.boundsChecked, 0u);
+
+    Stats lfi = stats(CompilerConfig::lfiSegue());
+    EXPECT_GT(lfi.heapGsEa32, 0u);          // Figure 1c encodings
+    EXPECT_GT(lfi.protectedReturns, 0u);    // masked epilogue
+
+    Stats native = stats(CompilerConfig::native());
+    EXPECT_GT(native.heapUnsandboxed, 0u);
+    EXPECT_EQ(native.heapGs, 0u);
+}
+
+}  // namespace
+}  // namespace sfi::verify

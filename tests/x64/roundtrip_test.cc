@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Decoder <-> assembler round-trip property tests.
+ *
+ * For every encoding path `x64::Assembler` exposes, assert that the
+ * verifier's decoder recovers the same mnemonic/operands and consumes
+ * exactly the emitted bytes. This is the foundation the static SFI
+ * checker stands on: if the decoder mis-reads any emitted form, the
+ * checker's conclusions are meaningless.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "verify/decoder.h"
+#include "x64/assembler.h"
+
+namespace sfi::verify {
+namespace {
+
+using x64::AluOp;
+using x64::Assembler;
+using x64::Cond;
+using x64::Mem;
+using x64::Reg;
+using x64::ShiftOp;
+using x64::Width;
+using x64::Xmm;
+
+// Register sets chosen to hit every encoding corner: low/high encoding
+// (REX.B/R/X), and the special ModRM cases rsp/rbp/r12/r13 (SIB
+// escapes and forced displacements).
+const Reg kGprs[] = {Reg::rax, Reg::rcx, Reg::rsp, Reg::rbp, Reg::rsi,
+                     Reg::r8,  Reg::r12, Reg::r13, Reg::r15};
+const Reg kBases[] = {Reg::rax, Reg::rbx, Reg::rsp, Reg::rbp,
+                      Reg::r12, Reg::r13, Reg::r14, Reg::r15};
+const Width kIntWidths[] = {Width::W32, Width::W64};
+const int32_t kDisps[] = {0, 1, -1, 0x40, -0x40, 0x1234, -0x1234};
+
+/** Assembles one instruction, decodes it, and checks full consumption. */
+Insn
+roundTrip(const std::function<void(Assembler&)>& emit)
+{
+    Assembler a;
+    emit(a);
+    Insn in;
+    bool ok = decode(a.code().data(), a.code().size(), &in);
+    EXPECT_TRUE(ok) << "undecodable encoding, first byte 0x" << std::hex
+                    << (a.code().empty() ? 0 : int(a.code()[0]));
+    EXPECT_EQ(size_t(in.len), a.code().size()) << in.text();
+    return in;
+}
+
+void
+expectMem(const Insn& in, const Mem& m)
+{
+    ASSERT_TRUE(in.mem.present) << in.text();
+    EXPECT_EQ(in.mem.hasBase, m.hasBase) << in.text();
+    if (m.hasBase) {
+        EXPECT_EQ(int(in.mem.base), int(m.base)) << in.text();
+    }
+    EXPECT_EQ(in.mem.hasIndex, m.hasIndex) << in.text();
+    if (m.hasIndex) {
+        EXPECT_EQ(int(in.mem.index), int(m.index)) << in.text();
+        EXPECT_EQ(int(in.mem.scale), int(m.scale)) << in.text();
+    }
+    EXPECT_EQ(in.mem.disp, m.disp) << in.text();
+    EXPECT_EQ(int(in.mem.seg), int(m.seg)) << in.text();
+    EXPECT_EQ(in.mem.addr32, m.addr32) << in.text();
+}
+
+/** Every memory shape the JIT uses, across the encoding corners. */
+std::vector<Mem>
+memForms()
+{
+    std::vector<Mem> v;
+    for (Reg b : kBases)
+        for (int32_t d : kDisps)
+            v.push_back(Mem::baseDisp(b, d));
+    for (Reg b : {Reg::rax, Reg::rbp, Reg::r12, Reg::r13})
+        for (Reg i : {Reg::rcx, Reg::rbp, Reg::r13, Reg::r15})
+            for (uint8_t s : {1, 2, 4, 8})
+                v.push_back(Mem::baseIndex(b, i, s, 16));
+    for (Reg b : {Reg::rax, Reg::rbp, Reg::r12})
+        for (int32_t d : {0, 64, -64}) {
+            v.push_back(Mem::gs32(b, d));
+            Mem m = Mem::baseDisp(b, d);
+            m.seg = x64::Seg::Gs;  // 64-bit EA segue form (no 0x67)
+            v.push_back(m);
+        }
+    v.push_back(Mem::gs32Index(Reg::rdx, Reg::rdi, 1, 8));
+    v.push_back(Mem::gs32Index(Reg::r9, Reg::r10, 4, -8));
+    return v;
+}
+
+TEST(RoundTrip, MovImm)
+{
+    for (Reg r : kGprs) {
+        Insn a = roundTrip([&](Assembler& x) {
+            x.movImm32(r, 0xdeadbeefu);
+        });
+        EXPECT_EQ(a.mn, Mn::MovImm32);
+        EXPECT_EQ(int(a.reg), int(r));
+        EXPECT_EQ(uint32_t(a.imm), 0xdeadbeefu);
+
+        Insn b = roundTrip([&](Assembler& x) {
+            x.movImm64(r, 0x123456789abcdef0ull);
+        });
+        EXPECT_EQ(b.mn, Mn::MovImm64);
+        EXPECT_EQ(int(b.reg), int(r));
+        EXPECT_EQ(uint64_t(b.imm), 0x123456789abcdef0ull);
+    }
+}
+
+TEST(RoundTrip, MovRegReg)
+{
+    for (Reg d : kGprs)
+        for (Reg s : kGprs)
+            for (Width w : kIntWidths) {
+                Insn in = roundTrip(
+                    [&](Assembler& x) { x.mov(w, d, s); });
+                EXPECT_EQ(in.mn, Mn::MovRR);
+                EXPECT_EQ(int(in.width), int(w));
+                EXPECT_EQ(int(in.rm), int(d));   // destination
+                EXPECT_EQ(int(in.reg), int(s));  // source
+            }
+}
+
+TEST(RoundTrip, LoadAllFormsAndWidths)
+{
+    struct LoadCase
+    {
+        Width w;
+        bool sx;
+    };
+    const LoadCase cases[] = {
+        {Width::W8, false},  {Width::W8, true},  {Width::W16, false},
+        {Width::W16, true},  {Width::W32, false}, {Width::W32, true},
+        {Width::W64, false},
+    };
+    for (const Mem& m : memForms())
+        for (const LoadCase& c : cases) {
+            Insn in = roundTrip([&](Assembler& x) {
+                x.load(c.w, c.sx, Reg::r10, m);
+            });
+            EXPECT_EQ(in.mn, Mn::Load) << in.text();
+            EXPECT_EQ(int(in.reg), int(Reg::r10));
+            EXPECT_EQ(int(in.width), int(c.w)) << in.text();
+            EXPECT_EQ(in.signExtend, c.sx) << in.text();
+            expectMem(in, m);
+        }
+}
+
+TEST(RoundTrip, StoreAllFormsAndWidths)
+{
+    const Width widths[] = {Width::W8, Width::W16, Width::W32,
+                            Width::W64};
+    for (const Mem& m : memForms())
+        for (Width w : widths) {
+            Insn in = roundTrip(
+                [&](Assembler& x) { x.store(w, m, Reg::rdx); });
+            EXPECT_EQ(in.mn, Mn::Store) << in.text();
+            EXPECT_EQ(int(in.reg), int(Reg::rdx));
+            EXPECT_EQ(int(in.width), int(w)) << in.text();
+            expectMem(in, m);
+
+            Insn si = roundTrip(
+                [&](Assembler& x) { x.storeImm32(w, m, -7); });
+            EXPECT_EQ(si.mn, Mn::StoreImm) << si.text();
+            EXPECT_EQ(int(si.width), int(w)) << si.text();
+            EXPECT_TRUE(si.hasImm);
+            // imm8/imm16 truncate on encode; compare truncated.
+            int64_t want = w == Width::W8    ? int8_t(-7)
+                           : w == Width::W16 ? int16_t(-7)
+                                             : -7;
+            EXPECT_EQ(si.imm, want) << si.text();
+            expectMem(si, m);
+        }
+}
+
+TEST(RoundTrip, Lea)
+{
+    for (const Mem& m : memForms()) {
+        if (m.seg != x64::Seg::None)
+            continue;  // lea ignores segments; JIT never emits that
+        for (Width w : kIntWidths) {
+            Insn in = roundTrip(
+                [&](Assembler& x) { x.lea(w, Reg::rax, m); });
+            EXPECT_EQ(in.mn, Mn::Lea) << in.text();
+            EXPECT_EQ(int(in.width), int(w));
+            expectMem(in, m);
+        }
+    }
+}
+
+TEST(RoundTrip, AluRegRegAndImm)
+{
+    const AluOp ops[] = {AluOp::Add, AluOp::Or,  AluOp::And,
+                         AluOp::Sub, AluOp::Xor, AluOp::Cmp};
+    for (AluOp op : ops)
+        for (Reg d : kGprs)
+            for (Width w : kIntWidths) {
+                Insn rr = roundTrip(
+                    [&](Assembler& x) { x.alu(op, w, d, Reg::r9); });
+                EXPECT_EQ(rr.mn, Mn::AluRR);
+                EXPECT_EQ(int(rr.aluOp), int(op));
+                EXPECT_EQ(int(rr.reg), int(d));
+                EXPECT_EQ(int(rr.rm), int(Reg::r9));
+                EXPECT_EQ(int(rr.width), int(w));
+
+                for (int32_t imm : {1, -1, 127, 128, -129, 0x7000}) {
+                    Insn ri = roundTrip([&](Assembler& x) {
+                        x.aluImm(op, w, d, imm);
+                    });
+                    EXPECT_EQ(ri.mn, Mn::AluImm) << ri.text();
+                    EXPECT_EQ(int(ri.aluOp), int(op));
+                    EXPECT_EQ(int(ri.reg), int(d));
+                    EXPECT_EQ(ri.imm, imm) << ri.text();
+                }
+            }
+}
+
+TEST(RoundTrip, AluMem)
+{
+    for (const Mem& m : memForms()) {
+        Insn in = roundTrip([&](Assembler& x) {
+            x.aluMem(AluOp::Cmp, Width::W64, Reg::rax, m);
+        });
+        EXPECT_EQ(in.mn, Mn::AluMem) << in.text();
+        EXPECT_EQ(int(in.aluOp), int(AluOp::Cmp));
+        EXPECT_EQ(int(in.reg), int(Reg::rax));
+        expectMem(in, m);
+    }
+}
+
+TEST(RoundTrip, UnaryAndShifts)
+{
+    for (Reg r : kGprs)
+        for (Width w : kIntWidths) {
+            EXPECT_EQ(roundTrip([&](Assembler& x) { x.neg(w, r); }).mn,
+                      Mn::Neg);
+            EXPECT_EQ(roundTrip([&](Assembler& x) { x.notR(w, r); }).mn,
+                      Mn::Not);
+            EXPECT_EQ(roundTrip([&](Assembler& x) { x.div(w, r); }).mn,
+                      Mn::Div);
+            EXPECT_EQ(roundTrip([&](Assembler& x) { x.idiv(w, r); }).mn,
+                      Mn::Idiv);
+            for (ShiftOp op :
+                 {ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar}) {
+                Insn sc = roundTrip(
+                    [&](Assembler& x) { x.shiftCl(op, w, r); });
+                EXPECT_EQ(sc.mn, Mn::ShiftCl);
+                EXPECT_EQ(int(sc.shiftOp), int(op));
+                EXPECT_EQ(int(sc.reg), int(r));
+                Insn si = roundTrip(
+                    [&](Assembler& x) { x.shiftImm(op, w, r, 13); });
+                EXPECT_EQ(si.mn, Mn::ShiftImm);
+                EXPECT_EQ(si.imm, 13);
+            }
+        }
+}
+
+TEST(RoundTrip, WideningMovesAndMisc)
+{
+    for (Reg d : kGprs)
+        for (Reg s : kGprs) {
+            Insn z8 = roundTrip(
+                [&](Assembler& x) { x.movzx8(d, s); });
+            EXPECT_EQ(z8.mn, Mn::Movzx);
+            EXPECT_EQ(int(z8.srcWidth), int(Width::W8));
+            Insn z16 = roundTrip(
+                [&](Assembler& x) { x.movzx16(d, s); });
+            EXPECT_EQ(z16.mn, Mn::Movzx);
+            EXPECT_EQ(int(z16.srcWidth), int(Width::W16));
+            for (Width w : kIntWidths) {
+                Insn s8 = roundTrip(
+                    [&](Assembler& x) { x.movsx8(w, d, s); });
+                EXPECT_EQ(s8.mn, Mn::Movsx);
+                EXPECT_EQ(int(s8.width), int(w));
+                EXPECT_EQ(int(s8.srcWidth), int(Width::W8));
+                Insn im = roundTrip(
+                    [&](Assembler& x) { x.imul(w, d, s); });
+                EXPECT_EQ(im.mn, Mn::Imul);
+                Insn pc = roundTrip(
+                    [&](Assembler& x) { x.popcnt(w, d, s); });
+                EXPECT_EQ(pc.mn, Mn::Popcnt);
+                Insn cm = roundTrip([&](Assembler& x) {
+                    x.cmovcc(Cond::E, w, d, s);
+                });
+                EXPECT_EQ(cm.mn, Mn::Cmovcc);
+                EXPECT_EQ(int(cm.cond), int(Cond::E));
+            }
+            Insn sx = roundTrip(
+                [&](Assembler& x) { x.movsxd(d, s); });
+            EXPECT_EQ(sx.mn, Mn::Movsxd);
+            Insn tst = roundTrip([&](Assembler& x) {
+                x.test(Width::W64, d, s);
+            });
+            EXPECT_EQ(tst.mn, Mn::Test);
+        }
+    for (Cond cc : {Cond::E, Cond::NE, Cond::B, Cond::A, Cond::L,
+                    Cond::GE}) {
+        Insn in = roundTrip(
+            [&](Assembler& x) { x.setcc(cc, Reg::r11); });
+        EXPECT_EQ(in.mn, Mn::Setcc);
+        EXPECT_EQ(int(in.cond), int(cc));
+        EXPECT_EQ(int(in.reg), int(Reg::r11));
+    }
+    EXPECT_EQ(roundTrip([](Assembler& x) { x.cdq(); }).mn, Mn::Cdq);
+    EXPECT_EQ(roundTrip([](Assembler& x) { x.cqo(); }).mn, Mn::Cqo);
+    EXPECT_EQ(roundTrip([](Assembler& x) { x.ret(); }).mn, Mn::Ret);
+    EXPECT_EQ(roundTrip([](Assembler& x) { x.ud2(); }).mn, Mn::Ud2);
+    EXPECT_EQ(roundTrip([](Assembler& x) { x.int3(); }).mn, Mn::Int3);
+}
+
+TEST(RoundTrip, PushPopAndIndirects)
+{
+    for (Reg r : kGprs) {
+        Insn pu = roundTrip([&](Assembler& x) { x.push(r); });
+        EXPECT_EQ(pu.mn, Mn::Push);
+        EXPECT_EQ(int(pu.reg), int(r));
+        Insn po = roundTrip([&](Assembler& x) { x.pop(r); });
+        EXPECT_EQ(po.mn, Mn::Pop);
+        EXPECT_EQ(int(po.reg), int(r));
+        Insn cr = roundTrip([&](Assembler& x) { x.callReg(r); });
+        EXPECT_EQ(cr.mn, Mn::CallReg);
+        EXPECT_EQ(int(cr.reg), int(r));
+        Insn jr = roundTrip([&](Assembler& x) { x.jmpReg(r); });
+        EXPECT_EQ(jr.mn, Mn::JmpReg);
+        EXPECT_EQ(int(jr.reg), int(r));
+    }
+}
+
+TEST(RoundTrip, BranchesWithRel32)
+{
+    // Backward branch: bind first, then jump; rel is negative.
+    Assembler a;
+    auto top = a.newLabel();
+    a.bind(top);
+    a.nop(3);
+    a.jmp(top);
+    a.jcc(Cond::A, top);
+    a.call(top);
+
+    const uint8_t* p = a.code().data();
+    size_t off = 3;  // skip the nop
+    Insn jmp;
+    ASSERT_TRUE(decode(p + off, a.code().size() - off, &jmp));
+    EXPECT_EQ(jmp.mn, Mn::Jmp);
+    EXPECT_EQ(int64_t(off) + jmp.len + jmp.rel, 0);  // targets `top`
+    off += jmp.len;
+
+    Insn jcc;
+    ASSERT_TRUE(decode(p + off, a.code().size() - off, &jcc));
+    EXPECT_EQ(jcc.mn, Mn::Jcc);
+    EXPECT_EQ(int(jcc.cond), int(Cond::A));
+    EXPECT_EQ(int64_t(off) + jcc.len + jcc.rel, 0);
+    off += jcc.len;
+
+    Insn call;
+    ASSERT_TRUE(decode(p + off, a.code().size() - off, &call));
+    EXPECT_EQ(call.mn, Mn::Call);
+    EXPECT_EQ(int64_t(off) + call.len + call.rel, 0);
+}
+
+TEST(RoundTrip, NopSizes)
+{
+    for (size_t n = 1; n <= 16; n++) {
+        Assembler a;
+        a.nop(n);
+        size_t off = 0;
+        while (off < a.code().size()) {
+            Insn in;
+            ASSERT_TRUE(
+                decode(a.code().data() + off, a.code().size() - off,
+                       &in))
+                << "nop(" << n << ") at +" << off;
+            EXPECT_EQ(in.mn, Mn::Nop);
+            off += in.len;
+        }
+        EXPECT_EQ(off, a.code().size());
+    }
+}
+
+TEST(RoundTrip, Sse2Scalar)
+{
+    const Xmm a = Xmm::xmm1, b = Xmm::xmm7;
+    struct XmmCase
+    {
+        Mn mn;
+        std::function<void(Assembler&)> emit;
+    };
+    const XmmCase cases[] = {
+        {Mn::MovsdRR, [&](Assembler& x) { x.movsd(a, b); }},
+        {Mn::Addsd, [&](Assembler& x) { x.addsd(a, b); }},
+        {Mn::Subsd, [&](Assembler& x) { x.subsd(a, b); }},
+        {Mn::Mulsd, [&](Assembler& x) { x.mulsd(a, b); }},
+        {Mn::Divsd, [&](Assembler& x) { x.divsd(a, b); }},
+        {Mn::Sqrtsd, [&](Assembler& x) { x.sqrtsd(a, b); }},
+        {Mn::Minsd, [&](Assembler& x) { x.minsd(a, b); }},
+        {Mn::Maxsd, [&](Assembler& x) { x.maxsd(a, b); }},
+        {Mn::Ucomisd, [&](Assembler& x) { x.ucomisd(a, b); }},
+        {Mn::Xorpd, [&](Assembler& x) { x.xorpd(a, b); }},
+        {Mn::MovqToXmm,
+         [&](Assembler& x) { x.movqToXmm(a, Reg::r8); }},
+        {Mn::MovqFromXmm,
+         [&](Assembler& x) { x.movqFromXmm(Reg::r8, b); }},
+        {Mn::Cvtsi2sd,
+         [&](Assembler& x) { x.cvtsi2sd(a, Width::W64, Reg::rdx); }},
+        {Mn::Cvttsd2si,
+         [&](Assembler& x) { x.cvttsd2si(Width::W32, Reg::rdx, b); }},
+    };
+    for (const XmmCase& c : cases)
+        EXPECT_EQ(roundTrip(c.emit).mn, c.mn);
+
+    for (const Mem& m : memForms()) {
+        Insn ld = roundTrip(
+            [&](Assembler& x) { x.movsdLoad(a, m); });
+        EXPECT_EQ(ld.mn, Mn::MovsdLoad) << ld.text();
+        expectMem(ld, m);
+        Insn st = roundTrip(
+            [&](Assembler& x) { x.movsdStore(m, b); });
+        EXPECT_EQ(st.mn, Mn::MovsdStore) << st.text();
+        expectMem(st, m);
+    }
+}
+
+TEST(RoundTrip, FailClosedOnForeignBytes)
+{
+    // Encodings x64::Assembler never produces must not decode.
+    const std::vector<std::vector<uint8_t>> foreign = {
+        {0xcd, 0x80},              // int 0x80
+        {0x0f, 0x05},              // syscall
+        {0xf4},                    // hlt
+        {0x8b, 0x05, 0, 0, 0, 0},  // RIP-relative mov
+        {0xc2, 0x08, 0x00},        // ret imm16
+        {0x9c},                    // pushfq
+    };
+    for (const auto& bytes : foreign) {
+        Insn in;
+        EXPECT_FALSE(decode(bytes.data(), bytes.size(), &in))
+            << "byte 0x" << std::hex << int(bytes[0])
+            << " decoded unexpectedly";
+        EXPECT_GE(int(in.len), 1);
+    }
+    Insn in;
+    EXPECT_FALSE(decode(nullptr, 0, &in));
+    // Truncated instruction: mov r, imm32 cut short.
+    const uint8_t cut[] = {0xb8, 0x01, 0x02};
+    EXPECT_FALSE(decode(cut, sizeof cut, &in));
+}
+
+}  // namespace
+}  // namespace sfi::verify
