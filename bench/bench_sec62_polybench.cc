@@ -58,6 +58,57 @@ run()
     std::printf("%-14s %11s %8.1f%% %8.1f%%\n", "geomean", "",
                 100 * geomean(base_n), 100 * geomean(segue_n));
     std::printf("(sink=%llx)\n", (unsigned long long)sink);
+
+    // The verified-optimizer ablation (ISSUE 4): the explicit-bounds
+    // strategies are where guard elimination pays at runtime; sweep
+    // them with the optimizer off (the old single-pass baseline) and
+    // on, normalized to native. EXPERIMENTS.md §6.1 records the
+    // geomeans.
+    std::printf("\nExplicit-bounds strategies, optimizer off vs on "
+                "(normalized to native):\n");
+    std::printf("%-14s %9s %9s %9s %9s\n", "benchmark", "bc/off",
+                "bc/on", "sb/off", "sb/on");
+    using jit::MemStrategy;
+    auto cfgOf = [](MemStrategy mem, bool opt) {
+        return CompilerConfig{.mem = mem, .optimize = opt};
+    };
+    std::vector<std::vector<double>> norms(4);
+    for (const auto& w : wkld::polydhry()) {
+        std::vector<std::unique_ptr<rt::Instance>> instances;
+        for (const CompilerConfig& cfg :
+             {CompilerConfig::native(),
+              cfgOf(MemStrategy::BoundsCheck, false),
+              cfgOf(MemStrategy::BoundsCheck, true),
+              cfgOf(MemStrategy::SegueBounds, false),
+              cfgOf(MemStrategy::SegueBounds, true)}) {
+            auto shared = rt::SharedModule::compile(w.make(), cfg);
+            SFI_CHECK(shared.isOk());
+            auto inst = rt::Instance::create(*shared);
+            SFI_CHECK(inst.isOk());
+            instances.push_back(std::move(*inst));
+        }
+        std::vector<std::function<void()>> fns;
+        for (auto& inst : instances) {
+            rt::Instance* p = inst.get();
+            fns.push_back([p, &w, &sink] {
+                auto out = p->call("run", {w.benchScale});
+                SFI_CHECK(out.ok());
+                sink ^= out.value;
+            });
+        }
+        auto t = bench::timeInterleavedMinSec(fns, 5);
+        std::printf("%-14s", w.name);
+        for (int i = 0; i < 4; i++) {
+            norms[i].push_back(t[i + 1] / t[0]);
+            std::printf(" %8.1f%%", 100 * t[i + 1] / t[0]);
+        }
+        std::printf("\n");
+    }
+    bench::hr();
+    std::printf("%-14s", "geomean");
+    for (int i = 0; i < 4; i++)
+        std::printf(" %8.1f%%", 100 * geomean(norms[i]));
+    std::printf("\n(sink=%llx)\n", (unsigned long long)sink);
     return 0;
 }
 

@@ -117,34 +117,42 @@ run()
           &wkld::faasWorkloads()})
         all.insert(all.end(), suite->begin(), suite->end());
     uint64_t sfiViolations = 0;
-    for (MemStrategy mem :
-         {MemStrategy::BaseReg, MemStrategy::Segue,
-          MemStrategy::SegueLoadsOnly, MemStrategy::BoundsCheck,
-          MemStrategy::SegueBounds}) {
-        for (CfiMode cfi : {CfiMode::None, CfiMode::Lfi}) {
-            CompilerConfig cfg{mem, cfi, true, false,
-                               cfi == CfiMode::Lfi};
-            verify::Stats st;
-            uint64_t viol = 0;
-            for (const auto& w : all) {
-                auto cm = jit::compile(w.make(), cfg);
-                SFI_CHECK(cm.isOk());
-                verify::Report rep = verify::checkModule(*cm);
-                st.merge(rep.stats);
-                viol += rep.violations.size();
+    for (bool optimize : {true, false}) {
+        std::printf("  [optimizer %s]\n", optimize ? "on" : "off");
+        for (MemStrategy mem :
+             {MemStrategy::BaseReg, MemStrategy::Segue,
+              MemStrategy::SegueLoadsOnly, MemStrategy::BoundsCheck,
+              MemStrategy::SegueBounds}) {
+            for (CfiMode cfi : {CfiMode::None, CfiMode::Lfi}) {
+                CompilerConfig cfg{
+                    .mem = mem,
+                    .cfi = cfi,
+                    .untrustedIndexRegs = cfi == CfiMode::Lfi,
+                    .optimize = optimize};
+                verify::Stats st;
+                uint64_t viol = 0;
+                for (const auto& w : all) {
+                    auto cm = jit::compile(w.make(), cfg);
+                    SFI_CHECK(cm.isOk());
+                    verify::Report rep = verify::checkModule(*cm);
+                    st.merge(rep.stats);
+                    viol += rep.violations.size();
+                }
+                sfiViolations += viol;
+                std::printf(
+                    "  %-16s %-4s -> %5llu insns: gs %llu (ea32 %llu), "
+                    "basereg %llu, bounds %llu (static %llu), "
+                    "protected-ret %llu : %s\n",
+                    jit::name(mem), jit::name(cfi),
+                    (unsigned long long)st.instructions,
+                    (unsigned long long)st.heapGs,
+                    (unsigned long long)st.heapGsEa32,
+                    (unsigned long long)st.heapBaseReg,
+                    (unsigned long long)st.boundsChecked,
+                    (unsigned long long)st.boundsStatic,
+                    (unsigned long long)st.protectedReturns,
+                    viol ? "VIOLATIONS" : "verified");
             }
-            sfiViolations += viol;
-            std::printf(
-                "  %-16s %-4s -> %5llu insns: gs %llu (ea32 %llu), "
-                "basereg %llu, bounds %llu, protected-ret %llu : %s\n",
-                jit::name(mem), jit::name(cfi),
-                (unsigned long long)st.instructions,
-                (unsigned long long)st.heapGs,
-                (unsigned long long)st.heapGsEa32,
-                (unsigned long long)st.heapBaseReg,
-                (unsigned long long)st.boundsChecked,
-                (unsigned long long)st.protectedReturns,
-                viol ? "VIOLATIONS" : "verified");
         }
     }
 

@@ -49,13 +49,14 @@ const char* kSymbolNames[] = {
 };
 
 int
-run()
+run(int argc, char** argv)
 {
     (void)anchor<w2c::BaseAddPolicy>();
     (void)anchor<w2c::SeguePolicy>();
 
     bench::header("Table 2 — binary sizes: wasm2c vs wasm2c+Segue",
                   "paper: median 5.9% smaller with Segue, max 12.3%");
+    bench::JsonEmitter json(argc, argv, "table2_binary_size");
 
     auto syms = elf::readFunctionSymbols("/proc/self/exe");
     SFI_CHECK_MSG(syms.isOk(), "%s", syms.message().c_str());
@@ -68,14 +69,18 @@ run()
             *syms, {kSymbolNames[k], "BaseAddPolicy"});
         uint64_t segue = elf::totalSizeMatching(
             *syms, {kSymbolNames[k], "SeguePolicy"});
-        double red =
-            base ? 100.0 * (double(base) - double(segue)) / double(base)
-                 : 0;
+        double red = percentReduction(double(base), double(segue));
         reductions.add(red);
         std::printf("%-16s %10llu B %12llu B %9.1f%%\n",
                     w2c::kKernels<w2c::NativePolicy>[k].name,
                     (unsigned long long)base, (unsigned long long)segue,
                     red);
+        json.row()
+            .field("kernel",
+                   std::string(w2c::kKernels<w2c::NativePolicy>[k].name))
+            .field("wasm2c_bytes", base)
+            .field("wasm2c_segue_bytes", segue)
+            .field("reduction_pct", red);
     }
     bench::hr();
     std::printf("median reduction: %.1f%% (paper: 5.9%%)   max: %.1f%%\n",
@@ -92,18 +97,64 @@ run()
         auto base = jit::compile(m, jit::CompilerConfig::lfiBase());
         auto segue = jit::compile(m, jit::CompilerConfig::lfiSegue());
         SFI_CHECK(base.isOk() && segue.isOk());
-        double red = 100.0 *
-                     (double(base->totalCodeBytes) -
-                      double(segue->totalCodeBytes)) /
-                     double(base->totalCodeBytes);
+        double red = percentReduction(double(base->totalCodeBytes),
+                                      double(segue->totalCodeBytes));
         jit_red.add(red);
         std::printf("%-18s %8llu B %10llu B %9.1f%%\n", w.name,
                     (unsigned long long)base->totalCodeBytes,
                     (unsigned long long)segue->totalCodeBytes, red);
+        json.row()
+            .field("workload", std::string(w.name))
+            .field("lfi_bytes", base->totalCodeBytes)
+            .field("lfi_segue_bytes", segue->totalCodeBytes)
+            .field("reduction_pct", red);
     }
     bench::hr();
     std::printf("median JIT code-size reduction: %.1f%%\n",
                 jit_red.median());
+
+    // The optimizer column: guard elimination + addressing folds +
+    // the peephole change per-strategy code size, so Table 2's story
+    // must be told against both pipelines (ISSUE 4). Sizes are the
+    // sum over the SPEC-proxy suite.
+    std::printf("\nJIT code size per strategy, optimizer off vs on:\n");
+    std::printf("%-18s %12s %12s %10s %22s\n", "strategy", "no-opt",
+                "opt", "reduction", "checks-elim / peep-B");
+    using jit::CfiMode;
+    using jit::CompilerConfig;
+    using jit::MemStrategy;
+    for (MemStrategy mem :
+         {MemStrategy::BaseReg, MemStrategy::Segue,
+          MemStrategy::SegueLoadsOnly, MemStrategy::BoundsCheck,
+          MemStrategy::SegueBounds}) {
+        uint64_t plain = 0, optimized = 0;
+        jit::OptStats ostats;
+        for (const auto& w : wkld::spec17()) {
+            wasm::Module m = w.make();
+            auto off = jit::compile(
+                m, CompilerConfig{.mem = mem, .optimize = false});
+            auto on = jit::compile(
+                m, CompilerConfig{.mem = mem, .optimize = true});
+            SFI_CHECK(off.isOk() && on.isOk());
+            plain += off->totalCodeBytes;
+            optimized += on->totalCodeBytes;
+            ostats.merge(on->optStats);
+        }
+        double red =
+            percentReduction(double(plain), double(optimized));
+        std::printf("%-18s %10llu B %10llu B %9.1f%% %12llu / %llu\n",
+                    jit::name(mem), (unsigned long long)plain,
+                    (unsigned long long)optimized, red,
+                    (unsigned long long)ostats.checksEliminated(),
+                    (unsigned long long)ostats.peepBytesSaved);
+        json.row()
+            .field("strategy", std::string(jit::name(mem)))
+            .field("noopt_bytes", plain)
+            .field("opt_bytes", optimized)
+            .field("reduction_pct", red)
+            .field("checks_eliminated", ostats.checksEliminated())
+            .field("peephole_bytes_saved", ostats.peepBytesSaved);
+    }
     return 0;
 }
 
@@ -111,7 +162,7 @@ run()
 }  // namespace sfi
 
 int
-main()
+main(int argc, char** argv)
 {
-    return sfi::run();
+    return sfi::run(argc, argv);
 }

@@ -83,6 +83,17 @@ class RunningStat
     double sumSq_ = 0;
 };
 
+/**
+ * Size/time reduction of @p opt relative to @p base, in percent
+ * (positive = opt is smaller/faster). 0 when base is 0 so callers can
+ * feed degenerate rows without a guard.
+ */
+inline double
+percentReduction(double base, double opt)
+{
+    return base != 0.0 ? 100.0 * (base - opt) / base : 0.0;
+}
+
 /** Geometric mean of a set of (positive) ratios. */
 inline double
 geomean(const std::vector<double>& xs)

@@ -410,12 +410,12 @@ class FunctionCompiler
      */
     Mem
     heapOperand(Reg idx, uint32_t disp, uint32_t access_bytes,
-                bool is_store)
+                bool is_store, bool elide_bounds = false)
     {
         bool use_segue =
             is_store ? cfg_.segueStores() : cfg_.segueLoads();
 
-        if (cfg_.explicitBounds()) {
+        if (cfg_.explicitBounds() && !elide_bounds) {
             // lea rax, [idx + disp + size]; cmp rax, ctx->memSize; ja trap
             a_.lea(Width::W64, Reg::rax,
                    Mem::baseDisp(idx,
@@ -1209,7 +1209,8 @@ FunctionCompiler::emitLoad(const Instr& in)
                                        : 1;
     Reg idx = popGpr();
     Mem m = heapOperand(idx, static_cast<uint32_t>(in.imm), bytes,
-                        /*is_store=*/false);
+                        /*is_store=*/false,
+                        (in.flags & wasm::kBoundsElided) != 0);
     if (out == ValType::F64) {
         Xmm x = allocXmm();
         a_.movsdLoad(x, m);
@@ -1249,7 +1250,8 @@ FunctionCompiler::emitStore(const Instr& in)
     VEntry val = popV();
     Reg idx = popGpr();
     Mem m = heapOperand(idx, static_cast<uint32_t>(in.imm), bytes,
-                        /*is_store=*/true);
+                        /*is_store=*/true,
+                        (in.flags & wasm::kBoundsElided) != 0);
     if (is_f64) {
         Xmm x = intoXmm(val, vpos);
         a_.movsdStore(m, x);
@@ -1736,6 +1738,11 @@ compile(const wasm::Module& module, const CompilerConfig& config)
     ms.module = &module;
     ms.config = config;
     Assembler& a = ms.asm_;
+    // The machine-level third of the optimizer (dead movs, redundant
+    // zero-extensions, the xor-zero idiom); the IR passes run per
+    // function below. Safe for the trampoline/stubs too — every
+    // rewrite preserves architectural state.
+    a.setPeephole(config.optimize);
 
     for (size_t i = 0; i < module.functions.size(); i++)
         ms.funcLabels.push_back(a.newLabel());
@@ -1797,6 +1804,13 @@ compile(const wasm::Module& module, const CompilerConfig& config)
             transformed = vectorizeBulkLoops(module.functions[i]);
             src = &transformed;
         }
+        if (config.optimize) {
+            // After vectorization (which pattern-matches the original
+            // loop shapes), before emission.
+            transformed = optimizeFunction(*src, module, config,
+                                           &out.optStats);
+            src = &transformed;
+        }
         FunctionCompiler fc(ms, *src);
         fc.compile();
         out.funcCodeSizes.push_back(a.size() - start);
@@ -1815,6 +1829,12 @@ compile(const wasm::Module& module, const CompilerConfig& config)
     }
 
     out.totalCodeBytes = a.size();
+    out.optStats.peepMovsDropped = a.peepStats().movsDropped;
+    out.optStats.peepZextsDropped = a.peepStats().zextsDropped;
+    out.optStats.peepXorZeros = a.peepStats().xorZeros;
+    out.optStats.peepBytesSaved = a.peepStats().bytesSaved;
+    out.minMemBytes =
+        static_cast<uint64_t>(module.memory.minPages) * 64 * 1024;
     auto code = x64::ExecCode::publish(a.code());
     if (!code)
         return Result<CompiledModule>::error(code.message());

@@ -22,6 +22,7 @@
 
 #include "base/result.h"
 #include "jit/context.h"
+#include "jit/optimizer.h"
 #include "jit/strategy.h"
 #include "wasm/module.h"
 #include "x64/exec_code.h"
@@ -42,6 +43,15 @@ struct CompiledModule
     uint64_t entryOffset = 0;
     /** Total bytes of emitted code. */
     uint64_t totalCodeBytes = 0;
+    /**
+     * Initial linear-memory size in bytes (minPages * 64 KiB). The
+     * static verifier uses it to re-prove statically-elided bounds
+     * checks: ctx->memSize only ever grows, so an address below the
+     * initial size stays in bounds for the whole run.
+     */
+    uint64_t minMemBytes = 0;
+    /** Optimizer counters, summed over all functions (zero if off). */
+    OptStats optStats;
 
     /**
      * Result of the generic entry trampoline: integer results arrive in

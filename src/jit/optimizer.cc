@@ -1,0 +1,1218 @@
+/**
+ * @file
+ * IR-level optimizer (see optimizer.h for the contract).
+ *
+ * The optimizer is a symbolic re-execution of the stack machine: it
+ * walks the body once to census values (pass 1), then again to rewrite
+ * (pass 2). Values get hash-consed ids so "the same expression over the
+ * same local versions" is recognizable; each id carries a conservative
+ * max-value bound mirroring — never exceeding — what the machine-code
+ * verifier can re-derive from the emitted instructions. That invariant
+ * is the whole game: any elision the optimizer makes on a bound the
+ * verifier cannot reconstruct shows up as a bounds.dominate violation
+ * in the test suite.
+ *
+ * Scoping is structural rather than CFG-based: facts (known local
+ * values, CSE availability, dominating-check extents) are snapshotted
+ * at Block/If entry and restored at Else/End, loop-assigned locals are
+ * invalidated at Loop entry, and a Loop's End keeps the fall-through
+ * state (the fall-through textually executed the whole body). This is
+ * sound for the same reason single-pass baseline JITs are possible at
+ * all: the flat-stack discipline means every join point is a construct
+ * boundary.
+ */
+#include "jit/optimizer.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace sfi::jit {
+namespace {
+
+using wasm::Function;
+using wasm::FuncType;
+using wasm::Instr;
+using wasm::Module;
+using wasm::Op;
+using wasm::ValType;
+
+constexpr uint64_t kU32Max = 0xFFFFFFFFull;
+constexpr uint32_t kMaxTemps = 24;
+constexpr uint64_t kWasmPageBytes = 64 * 1024;
+
+/** One hash-consed symbolic value. */
+struct Val
+{
+    Op op;  ///< producing opcode; Op::Nop marks an opaque value
+    uint32_t x = 0, y = 0, z = 0;  ///< operand value ids
+    uint64_t imm = 0;  ///< const payload / local key / opaque serial
+    ValType type = ValType::I32;
+    bool pure = false;
+    /** Max possible runtime value (i32 values only; others kU32Max). */
+    uint64_t bound = kU32Max;
+};
+
+struct ValKey
+{
+    Op op;
+    uint32_t x, y, z;
+    uint64_t imm;
+    bool operator==(const ValKey&) const = default;
+};
+
+struct ValKeyHash
+{
+    size_t
+    operator()(const ValKey& k) const
+    {
+        uint64_t h = 1469598103934665603ull;
+        auto mix = [&h](uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ull;
+        };
+        mix(static_cast<uint64_t>(k.op));
+        mix((static_cast<uint64_t>(k.x) << 32) | k.y);
+        mix(k.z);
+        mix(k.imm);
+        return static_cast<size_t>(h);
+    }
+};
+
+/**
+ * One symbolic operand-stack slot.
+ *
+ * `id` is the semantic value; `baseId` + `pendOff` is what the machine
+ * would actually hold if we emitted the span as rewritten so far (a
+ * folded-but-unmaterialized `+pendOff` may still be owed). `[start,end)`
+ * is the output-body span that produced it; `contig` says the span is
+ * exclusively this value's computation; `effect` says the span contains
+ * a trapping/observable instruction and must never be deleted.
+ */
+struct Entry
+{
+    uint32_t id = 0;
+    uint32_t baseId = 0;
+    uint32_t pendOff = 0;
+    ValType type = ValType::I32;
+    size_t start = 0, end = 0;
+    bool contig = false;
+    bool effect = false;
+    /** Local index whose frame slot holds this value, or -1. */
+    int32_t prov = -1;
+};
+
+/** A dominating bounds-check fact: slot of local `prov` was checked. */
+struct Fact
+{
+    uint32_t id = 0;        ///< value id the slot held at check time
+    uint64_t extent = 0;    ///< proven idx + extent <= memSize
+};
+
+struct Scope
+{
+    Op kind = Op::Block;
+    size_t stackHeight = 0;
+    size_t pc = 0;  ///< original-body pc of the construct opcode
+    std::unordered_map<uint32_t, uint32_t> localValue;
+    std::unordered_map<uint32_t, Fact> facts;
+    std::unordered_map<uint32_t, uint32_t> avail;
+};
+
+/** Census shared between the two passes, keyed by value id. */
+struct Census
+{
+    std::unordered_map<uint32_t, uint32_t> prodCount;
+    std::unordered_set<uint32_t> addressUse;
+};
+
+struct OpInfo
+{
+    int arity;
+    ValType result;
+    bool pure;
+};
+
+/** Arity/result/purity for the plain arithmetic/conversion opcodes. */
+bool
+opInfo(Op op, OpInfo* out)
+{
+    switch (op) {
+      case Op::I32Eqz:
+        *out = {1, ValType::I32, true};
+        return true;
+      case Op::I64Eqz:
+        *out = {1, ValType::I32, true};
+        return true;
+      case Op::I32Eq: case Op::I32Ne: case Op::I32LtS: case Op::I32LtU:
+      case Op::I32GtS: case Op::I32GtU: case Op::I32LeS: case Op::I32LeU:
+      case Op::I32GeS: case Op::I32GeU:
+      case Op::I64Eq: case Op::I64Ne: case Op::I64LtS: case Op::I64LtU:
+      case Op::I64GtS: case Op::I64GtU: case Op::I64LeS: case Op::I64LeU:
+      case Op::I64GeS: case Op::I64GeU:
+      case Op::F64Eq: case Op::F64Ne: case Op::F64Lt: case Op::F64Gt:
+      case Op::F64Le: case Op::F64Ge:
+        *out = {2, ValType::I32, true};
+        return true;
+      case Op::I32Add: case Op::I32Sub: case Op::I32Mul:
+      case Op::I32And: case Op::I32Or: case Op::I32Xor:
+      case Op::I32Shl: case Op::I32ShrS: case Op::I32ShrU:
+      case Op::I32Rotl: case Op::I32Rotr:
+        *out = {2, ValType::I32, true};
+        return true;
+      case Op::I32DivS: case Op::I32DivU: case Op::I32RemS:
+      case Op::I32RemU:
+        *out = {2, ValType::I32, false};
+        return true;
+      case Op::I32Popcnt:
+        *out = {1, ValType::I32, true};
+        return true;
+      case Op::I64Add: case Op::I64Sub: case Op::I64Mul:
+      case Op::I64And: case Op::I64Or: case Op::I64Xor:
+      case Op::I64Shl: case Op::I64ShrS: case Op::I64ShrU:
+      case Op::I64Rotl: case Op::I64Rotr:
+        *out = {2, ValType::I64, true};
+        return true;
+      case Op::I64DivS: case Op::I64DivU: case Op::I64RemS:
+      case Op::I64RemU:
+        *out = {2, ValType::I64, false};
+        return true;
+      case Op::I64Popcnt:
+        *out = {1, ValType::I64, true};
+        return true;
+      case Op::I32WrapI64:
+        *out = {1, ValType::I32, true};
+        return true;
+      case Op::I64ExtendI32S: case Op::I64ExtendI32U:
+        *out = {1, ValType::I64, true};
+        return true;
+      case Op::F64Add: case Op::F64Sub: case Op::F64Mul: case Op::F64Div:
+      case Op::F64Min: case Op::F64Max:
+        *out = {2, ValType::F64, true};
+        return true;
+      case Op::F64Sqrt: case Op::F64Neg: case Op::F64Abs:
+        *out = {1, ValType::F64, true};
+        return true;
+      case Op::F64ConvertI32S: case Op::F64ConvertI32U:
+      case Op::F64ConvertI64S:
+        *out = {1, ValType::F64, true};
+        return true;
+      case Op::I32TruncF64S:
+        *out = {1, ValType::I32, false};  // traps on range
+        return true;
+      case Op::I64TruncF64S:
+        *out = {1, ValType::I64, false};
+        return true;
+      case Op::F64ReinterpretI64:
+        *out = {1, ValType::F64, true};
+        return true;
+      case Op::I64ReinterpretF64:
+        *out = {1, ValType::I64, true};
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Access size + result type for the memory opcodes. */
+bool
+accessInfo(Op op, uint32_t* bytes, bool* is_store, ValType* res,
+           uint64_t* res_bound)
+{
+    *res_bound = kU32Max;
+    *is_store = false;
+    switch (op) {
+      case Op::I32Load: *bytes = 4; *res = ValType::I32; return true;
+      case Op::I64Load: *bytes = 8; *res = ValType::I64; return true;
+      case Op::F64Load: *bytes = 8; *res = ValType::F64; return true;
+      case Op::I32Load8S: *bytes = 1; *res = ValType::I32; return true;
+      case Op::I32Load8U:
+        *bytes = 1;
+        *res = ValType::I32;
+        *res_bound = 255;  // matches the verifier's zero-extend rule
+        return true;
+      case Op::I32Load16S: *bytes = 2; *res = ValType::I32; return true;
+      case Op::I32Load16U:
+        *bytes = 2;
+        *res = ValType::I32;
+        *res_bound = 65535;
+        return true;
+      case Op::I64Load32S: *bytes = 4; *res = ValType::I64; return true;
+      case Op::I64Load32U: *bytes = 4; *res = ValType::I64; return true;
+      case Op::I32Store: *bytes = 4; *is_store = true; return true;
+      case Op::I64Store: *bytes = 8; *is_store = true; return true;
+      case Op::F64Store: *bytes = 8; *is_store = true; return true;
+      case Op::I32Store8: *bytes = 1; *is_store = true; return true;
+      case Op::I32Store16: *bytes = 2; *is_store = true; return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCommutative(Op op)
+{
+    switch (op) {
+      case Op::I32Add: case Op::I32Mul: case Op::I32And: case Op::I32Or:
+      case Op::I32Xor: case Op::I32Eq: case Op::I32Ne:
+      case Op::I64Add: case Op::I64Mul: case Op::I64And: case Op::I64Or:
+      case Op::I64Xor: case Op::I64Eq: case Op::I64Ne:
+      case Op::F64Add: case Op::F64Mul: case Op::F64Eq: case Op::F64Ne:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Locals assigned (local.set/local.tee) inside each construct, keyed by
+ * the construct opcode's pc. Used to invalidate loop-carried state at
+ * Loop entry and construct-modified state at Block/If End.
+ */
+std::unordered_map<size_t, std::vector<uint32_t>>
+scanAssignedLocals(const Function& fn)
+{
+    std::unordered_map<size_t, std::vector<uint32_t>> out;
+    std::vector<std::pair<size_t, std::unordered_set<uint32_t>>> open;
+    for (size_t pc = 0; pc < fn.body.size(); pc++) {
+        const Instr& in = fn.body[pc];
+        switch (in.op) {
+          case Op::Block: case Op::Loop: case Op::If:
+            open.emplace_back(pc, std::unordered_set<uint32_t>{});
+            break;
+          case Op::End:
+            if (!open.empty()) {
+                auto& [start, set] = open.back();
+                out[start] = {set.begin(), set.end()};
+                // Propagate into the enclosing construct.
+                if (open.size() >= 2) {
+                    auto& parent = open[open.size() - 2].second;
+                    parent.insert(set.begin(), set.end());
+                }
+                open.pop_back();
+            }
+            break;
+          case Op::LocalSet: case Op::LocalTee:
+            for (auto& [start, set] : open)
+                set.insert(in.a);
+            break;
+          default:
+            break;
+        }
+    }
+    return out;
+}
+
+class Simulator
+{
+  public:
+    Simulator(const Function& fn, const Module& module,
+              const CompilerConfig& cfg,
+              const std::unordered_map<size_t, std::vector<uint32_t>>&
+                  assigned,
+              Census& census, bool rewrite, OptStats* stats)
+        : fn_(fn),
+          module_(module),
+          cfg_(cfg),
+          assigned_(assigned),
+          census_(census),
+          rewrite_(rewrite),
+          stats_(stats)
+    {
+        const FuncType& ft = module.types.at(fn.typeIdx);
+        numParams_ = static_cast<uint32_t>(ft.params.size());
+        numOrigLocals_ =
+            numParams_ + static_cast<uint32_t>(fn.locals.size());
+        version_.resize(numOrigLocals_ + kMaxTemps, 0);
+        minMemBytes_ =
+            static_cast<uint64_t>(module.memory.minPages) * kWasmPageBytes;
+    }
+
+    void
+    run()
+    {
+        for (size_t pc = 0; pc < fn_.body.size(); pc++) {
+            const Instr& in = fn_.body[pc];
+            if (dead_) {
+                stepDead(in);
+                continue;
+            }
+            step(pc, in);
+        }
+    }
+
+    std::vector<Instr>
+    takeBody()
+    {
+        return std::move(out_);
+    }
+
+    const std::vector<ValType>&
+    tempLocals() const
+    {
+        return temps_;
+    }
+
+  private:
+    // ---- value interning -------------------------------------------------
+
+    uint32_t
+    addVal(const Val& v)
+    {
+        vals_.push_back(v);
+        return static_cast<uint32_t>(vals_.size() - 1);
+    }
+
+    uint32_t
+    internKeyed(Val v)
+    {
+        ValKey k{v.op, v.x, v.y, v.z, v.imm};
+        auto it = interned_.find(k);
+        if (it != interned_.end())
+            return it->second;
+        uint32_t id = addVal(v);
+        interned_.emplace(k, id);
+        return id;
+    }
+
+    uint32_t
+    constId(Op op, uint64_t imm, ValType t)
+    {
+        Val v{op, 0, 0, 0, imm, t, /*pure=*/true, kU32Max};
+        if (op == Op::I32Const)
+            v.bound = imm & kU32Max;
+        return internKeyed(v);
+    }
+
+    uint32_t
+    opaqueId(ValType t, uint64_t bound = kU32Max)
+    {
+        return addVal(
+            Val{Op::Nop, 0, 0, 0, opaqueSerial_++, t, false, bound});
+    }
+
+    uint32_t
+    localLeafId(uint32_t l, ValType t)
+    {
+        Val v{Op::LocalGet, l, version_[l], 0, 0, t, true, kU32Max};
+        return internKeyed(v);
+    }
+
+    /**
+     * Max-value bound for an i32-producing pure op. Deliberately a
+     * strict subset of what verify/checker.cc can re-derive from the
+     * machine code — see the file comment.
+     */
+    uint64_t
+    boundFor(Op op, uint32_t x, uint32_t y)
+    {
+        const uint64_t bx = vals_[x].bound;
+        switch (op) {
+          case Op::I32Add: {
+            uint64_t s = bx + vals_[y].bound;
+            return s <= kU32Max ? s : kU32Max;
+          }
+          case Op::I32Mul: {
+            uint64_t by = vals_[y].bound;
+            if (bx != 0 && by > kU32Max / bx)
+                return kU32Max;
+            return bx * by;
+          }
+          case Op::I32And:
+            return std::min(bx, vals_[y].bound);
+          case Op::I32Shl:
+            if (vals_[y].op == Op::I32Const) {
+                uint64_t s = bx << (vals_[y].imm & 31);
+                return s <= kU32Max ? s : kU32Max;
+            }
+            return kU32Max;
+          case Op::I32ShrU:
+            if (vals_[y].op == Op::I32Const)
+                return bx >> (vals_[y].imm & 31);
+            return bx;  // logical right shift never grows the value
+          case Op::I32Eqz: case Op::I64Eqz:
+          case Op::I32Eq: case Op::I32Ne: case Op::I32LtS:
+          case Op::I32LtU: case Op::I32GtS: case Op::I32GtU:
+          case Op::I32LeS: case Op::I32LeU: case Op::I32GeS:
+          case Op::I32GeU:
+          case Op::I64Eq: case Op::I64Ne: case Op::I64LtS:
+          case Op::I64LtU: case Op::I64GtS: case Op::I64GtU:
+          case Op::I64LeS: case Op::I64LeU: case Op::I64GeS:
+          case Op::I64GeU:
+          case Op::F64Eq: case Op::F64Ne: case Op::F64Lt: case Op::F64Gt:
+          case Op::F64Le: case Op::F64Ge:
+            return 255;  // setcc + movzx8: the verifier proves <= 255
+          default:
+            return kU32Max;
+        }
+    }
+
+    uint32_t
+    internOp(Op op, ValType result, uint32_t x, uint32_t y = 0,
+             uint32_t z = 0)
+    {
+        if (isCommutative(op) && x > y)
+            std::swap(x, y);
+        Val v{op, x, y, z, 0, result, true, kU32Max};
+        if (result == ValType::I32)
+            v.bound = boundFor(op, x, y);
+        return internKeyed(v);
+    }
+
+    // ---- symbolic stack --------------------------------------------------
+
+    void
+    pushEntry(const Entry& e)
+    {
+        stack_.push_back(e);
+    }
+
+    Entry
+    popEntry()
+    {
+        SFI_CHECK(!stack_.empty());
+        Entry e = stack_.back();
+        stack_.pop_back();
+        return e;
+    }
+
+    /** Shift spans of stack entries at/after an insertion point. */
+    void
+    shiftSpans(size_t pos, size_t delta, const Entry* skip)
+    {
+        for (auto& s : stack_) {
+            if (&s == skip)
+                continue;
+            if (s.start >= pos) {
+                s.start += delta;
+                s.end += delta;
+            }
+        }
+    }
+
+    /**
+     * Pay off a pending folded offset: insert `i32.const c; i32.add`
+     * right after the entry's span so the machine value matches the
+     * semantic one. Valid at any stack depth — at `end` the entry was
+     * the top of the operand stack.
+     */
+    void
+    materializeAt(size_t si)
+    {
+        Entry& e = stack_[si];
+        if (e.pendOff == 0)
+            return;
+        size_t pos = e.end;
+        Instr c{Op::I32Const, 0, e.pendOff, 0};
+        Instr add{Op::I32Add, 0, 0, 0};
+        out_.insert(out_.begin() + static_cast<ptrdiff_t>(pos), {c, add});
+        shiftSpans(pos, 2, &e);
+        e.end = pos + 2;
+        e.baseId = e.id;
+        e.pendOff = 0;
+        e.prov = -1;
+    }
+
+    void
+    materializeTop()
+    {
+        if (!stack_.empty())
+            materializeAt(stack_.size() - 1);
+    }
+
+    /** Materialize the top `n` entries (call/return/bulk operands). */
+    void
+    materializeTopN(size_t n)
+    {
+        SFI_CHECK(stack_.size() >= n);
+        for (size_t i = stack_.size() - n; i < stack_.size(); i++)
+            materializeAt(i);
+    }
+
+    void
+    resizeStack(size_t h)
+    {
+        while (stack_.size() > h)
+            stack_.pop_back();
+        while (stack_.size() < h) {
+            // Dead-path padding: opaque, effectful, span-less.
+            Entry e;
+            e.id = e.baseId = opaqueId(ValType::I32);
+            e.start = e.end = out_.size();
+            e.effect = true;
+            stack_.push_back(e);
+        }
+    }
+
+    // ---- scoped state ----------------------------------------------------
+
+    void
+    invalidateLocal(uint32_t l)
+    {
+        localValue_.erase(l);
+        facts_.erase(l);
+        if (l < version_.size())
+            version_[l]++;
+    }
+
+    void
+    pushScope(Op kind, size_t pc)
+    {
+        Scope s;
+        s.kind = kind;
+        s.pc = pc;
+        s.stackHeight = stack_.size();
+        s.localValue = localValue_;
+        s.facts = facts_;
+        s.avail = avail_;
+        scopes_.push_back(std::move(s));
+    }
+
+    void
+    restoreScope(const Scope& s)
+    {
+        localValue_ = s.localValue;
+        facts_ = s.facts;
+        avail_ = s.avail;
+    }
+
+    void
+    conservativeClear()
+    {
+        localValue_.clear();
+        facts_.clear();
+        avail_.clear();
+        for (auto& v : version_)
+            v++;
+    }
+
+    const std::vector<uint32_t>*
+    assignedAt(size_t pc) const
+    {
+        auto it = assigned_.find(pc);
+        return it == assigned_.end() ? nullptr : &it->second;
+    }
+
+    // ---- CSE -------------------------------------------------------------
+
+    /**
+     * Census (pass 1) or rewrite (pass 2) hook for a freshly pushed
+     * pure-op result. May collapse the producing span to a temp-local
+     * read, or seed the temp on the value's first profitable sighting.
+     */
+    void
+    onProduce()
+    {
+        Entry& e = stack_.back();
+        const Val& v = vals_[e.id];
+        if (!v.pure || !e.contig || e.effect)
+            return;
+        if (v.op == Op::I32Const || v.op == Op::I64Const ||
+            v.op == Op::F64Const || v.op == Op::LocalGet) {
+            return;
+        }
+        size_t len = e.end - e.start;
+        if (len < 2)
+            return;
+        if (!rewrite_) {
+            census_.prodCount[e.id]++;
+            return;
+        }
+        if (e.type != ValType::I32)
+            return;  // temps are i32: this pass exists for addresses
+        auto hit = avail_.find(e.id);
+        if (hit != avail_.end()) {
+            // The value is live in a temp slot: re-read it instead.
+            SFI_CHECK(e.end == out_.size());
+            out_.resize(e.start);
+            out_.push_back(Instr{Op::LocalGet, hit->second, 0, 0});
+            e.start = out_.size() - 1;
+            e.end = out_.size();
+            e.prov = static_cast<int32_t>(hit->second);
+            if (stats_)
+                stats_->cseHits++;
+            return;
+        }
+        auto pc = census_.prodCount.find(e.id);
+        uint32_t occ = pc == census_.prodCount.end() ? 0 : pc->second;
+        if (occ < 2 || temps_.size() >= kMaxTemps)
+            return;
+        // Address values pay extra via guard elimination — but only
+        // under strategies that emit explicit guards; elsewhere they
+        // must win on instruction count like any other value.
+        bool addr = cfg_.explicitBounds() &&
+                    census_.addressUse.count(e.id) > 0;
+        uint64_t benefit = static_cast<uint64_t>(occ - 1) * (len - 1);
+        if (!(addr ? benefit >= 1 : benefit >= 3))
+            return;
+        uint32_t t = numOrigLocals_ + static_cast<uint32_t>(temps_.size());
+        temps_.push_back(ValType::I32);
+        out_.push_back(Instr{Op::LocalSet, t, 0, 0});
+        out_.push_back(Instr{Op::LocalGet, t, 0, 0});
+        e.end = out_.size();
+        e.prov = static_cast<int32_t>(t);
+        // The span now contains a store: never delete it wholesale.
+        e.effect = true;
+        avail_[e.id] = t;
+        localValue_[t] = e.id;
+        if (stats_)
+            stats_->cseTemps++;
+    }
+
+    // ---- instruction dispatch --------------------------------------------
+
+    void
+    stepDead(const Instr& in)
+    {
+        switch (in.op) {
+          case Op::Block: case Op::Loop: case Op::If:
+            deadDepth_++;
+            out_.push_back(in);
+            break;
+          case Op::Else:
+            if (deadDepth_ == 0) {
+                SFI_CHECK(!scopes_.empty());
+                restoreScope(scopes_.back());
+                resizeStack(scopes_.back().stackHeight);
+                dead_ = false;
+            }
+            out_.push_back(in);
+            break;
+          case Op::End:
+            if (deadDepth_ == 0) {
+                dead_ = false;
+                endConstruct(in, /*from_dead=*/true);
+            } else {
+                deadDepth_--;
+                out_.push_back(in);
+            }
+            break;
+          default:
+            out_.push_back(in);
+            break;
+        }
+    }
+
+    void
+    endConstruct(const Instr& in, bool from_dead)
+    {
+        if (scopes_.empty()) {
+            // Function-level End: the result (if any) must be real.
+            if (!from_dead && !stack_.empty())
+                materializeTop();
+            out_.push_back(in);
+            return;
+        }
+        Scope s = std::move(scopes_.back());
+        scopes_.pop_back();
+        if (s.kind == Op::Loop) {
+            // Fall-through textually executed the whole body, so the
+            // current state stands — unless we got here dead.
+            if (from_dead)
+                conservativeClear();
+        } else {
+            // Block End / If End are join points (br targets, or the
+            // skipped-arm path): back to entry state, minus anything
+            // the construct may have assigned.
+            restoreScope(s);
+            if (const auto* as = assignedAt(s.pc))
+                for (uint32_t l : *as)
+                    invalidateLocal(l);
+        }
+        resizeStack(s.stackHeight);
+        out_.push_back(in);
+    }
+
+    void
+    handleAccess(size_t, const Instr& in, uint32_t bytes, bool is_store,
+                 ValType res, uint64_t res_bound)
+    {
+        if (is_store)
+            materializeTop();  // the stored value must be real
+        size_t ii = stack_.size() - (is_store ? 2 : 1);
+        Instr emit = in;
+        // Addressing-mode folding: pay the pending add via the static
+        // offset when the displacement field can absorb it.
+        if (stack_[ii].pendOff != 0) {
+            uint64_t nd = emit.imm + stack_[ii].pendOff;
+            if (nd + bytes <= static_cast<uint64_t>(INT32_MAX)) {
+                emit.imm = nd;
+                if (stats_)
+                    stats_->addsFolded++;
+            } else {
+                materializeAt(ii);
+            }
+        }
+        Entry value;
+        if (is_store)
+            value = popEntry();
+        Entry idx = popEntry();
+        if (!rewrite_) {
+            // Census: values feeding accesses are CSE priorities.
+            const Val& bv = vals_[idx.baseId];
+            if (bv.pure && bv.op != Op::I32Const &&
+                bv.op != Op::LocalGet) {
+                census_.addressUse.insert(idx.baseId);
+            }
+        }
+        if (cfg_.explicitBounds()) {
+            uint64_t extent = emit.imm + bytes;
+            if (stats_)
+                stats_->checksConsidered++;
+            uint64_t b = vals_[idx.baseId].bound;
+            bool elided = false;
+            if (b + extent <= minMemBytes_) {
+                // Statically below the initial memory size; memSize is
+                // monotone, so this holds for the whole run.
+                elided = true;
+                if (stats_)
+                    stats_->checksStatic++;
+            } else if (idx.prov >= 0) {
+                auto f = facts_.find(static_cast<uint32_t>(idx.prov));
+                if (f != facts_.end() && f->second.id == idx.baseId &&
+                    f->second.extent >= extent) {
+                    // A dominating check with >= reach covers this
+                    // access; never widened, so traps are unchanged.
+                    elided = true;
+                    if (stats_)
+                        stats_->checksDominated++;
+                } else {
+                    // This access's own check becomes the fact.
+                    Fact nf{idx.baseId, extent};
+                    if (f != facts_.end() && f->second.id == idx.baseId)
+                        nf.extent = std::max(nf.extent, f->second.extent);
+                    facts_[static_cast<uint32_t>(idx.prov)] = nf;
+                }
+            }
+            if (elided)
+                emit.flags |= wasm::kBoundsElided;
+        }
+        out_.push_back(emit);
+        if (!is_store) {
+            Entry r;
+            r.id = r.baseId = opaqueId(res, res_bound);
+            r.type = res;
+            r.start = idx.start;
+            r.end = out_.size();
+            r.contig = idx.contig && idx.end == out_.size() - 1;
+            r.effect = true;  // loads can trap / observe memory
+            pushEntry(r);
+        }
+    }
+
+    void
+    genericOp(const Instr& in, const OpInfo& info)
+    {
+        if (info.arity == 2) {
+            materializeAt(stack_.size() - 2);
+            materializeTop();
+            Entry b = popEntry();
+            Entry a = popEntry();
+            out_.push_back(in);
+            Entry r;
+            r.id = r.baseId = info.pure
+                                  ? internOp(in.op, info.result, a.id, b.id)
+                                  : opaqueId(info.result);
+            r.type = info.result;
+            r.start = a.start;
+            r.end = out_.size();
+            r.contig = a.contig && b.contig && a.end == b.start &&
+                       b.end == out_.size() - 1;
+            r.effect = a.effect || b.effect || !info.pure;
+            pushEntry(r);
+        } else {
+            materializeTop();
+            Entry a = popEntry();
+            out_.push_back(in);
+            Entry r;
+            r.id = r.baseId = info.pure
+                                  ? internOp(in.op, info.result, a.id)
+                                  : opaqueId(info.result);
+            r.type = info.result;
+            r.start = a.start;
+            r.end = out_.size();
+            r.contig = a.contig && a.end == out_.size() - 1;
+            r.effect = a.effect || !info.pure;
+            pushEntry(r);
+        }
+        if (info.pure)
+            onProduce();
+    }
+
+    /** `expr; i32.const c; i32.add` with a no-wrap proof folds to a
+     *  pending displacement instead of a materialized add. */
+    bool
+    tryFoldAddConst()
+    {
+        if (stack_.size() < 2)
+            return false;
+        Entry& b = stack_[stack_.size() - 1];
+        Entry& a = stack_[stack_.size() - 2];
+        const Val& bv = vals_[b.id];
+        if (bv.op != Op::I32Const || b.pendOff != 0 || !b.contig ||
+            b.effect || b.end != b.start + 1 || b.end != out_.size() ||
+            a.type != ValType::I32) {
+            return false;
+        }
+        uint32_t c = static_cast<uint32_t>(bv.imm);
+        uint64_t base_bound = vals_[a.baseId].bound;
+        if (base_bound + a.pendOff + c > kU32Max)
+            return false;  // the i32 add could wrap: folding unsound
+        out_.pop_back();  // drop the const producer
+        Entry bent = popEntry();
+        Entry aent = popEntry();
+        Entry r = aent;
+        r.id = internOp(Op::I32Add, ValType::I32, aent.id, bent.id);
+        r.pendOff = aent.pendOff + c;
+        pushEntry(r);
+        return true;
+    }
+
+    ValType
+    localType(uint32_t l) const
+    {
+        const FuncType& ft = module_.types.at(fn_.typeIdx);
+        if (l < numParams_)
+            return ft.params[l];
+        if (l < numOrigLocals_)
+            return fn_.locals[l - numParams_];
+        return ValType::I32;  // CSE temp
+    }
+
+    void
+    step(size_t pc, const Instr& in)
+    {
+        OpInfo info;
+        uint32_t bytes;
+        bool is_store;
+        ValType res = ValType::I32;
+        uint64_t res_bound;
+        if (accessInfo(in.op, &bytes, &is_store, &res, &res_bound)) {
+            handleAccess(pc, in, bytes, is_store, res, res_bound);
+            return;
+        }
+        switch (in.op) {
+          case Op::Nop:
+            out_.push_back(in);
+            break;
+          case Op::Unreachable:
+            out_.push_back(in);
+            dead_ = true;
+            break;
+          case Op::Block:
+            out_.push_back(in);
+            pushScope(Op::Block, pc);
+            break;
+          case Op::Loop:
+            if (const auto* as = assignedAt(pc))
+                for (uint32_t l : *as)
+                    invalidateLocal(l);
+            out_.push_back(in);
+            pushScope(Op::Loop, pc);
+            break;
+          case Op::If: {
+            materializeTop();
+            popEntry();
+            out_.push_back(in);
+            pushScope(Op::If, pc);
+            break;
+          }
+          case Op::Else: {
+            SFI_CHECK(!scopes_.empty());
+            restoreScope(scopes_.back());
+            resizeStack(scopes_.back().stackHeight);
+            out_.push_back(in);
+            break;
+          }
+          case Op::End:
+            endConstruct(in, /*from_dead=*/false);
+            break;
+          case Op::Br:
+            out_.push_back(in);
+            dead_ = true;
+            break;
+          case Op::BrIf:
+            materializeTop();
+            popEntry();
+            out_.push_back(in);
+            break;
+          case Op::BrTable:
+            materializeTop();
+            popEntry();
+            out_.push_back(in);
+            dead_ = true;
+            break;
+          case Op::Return: {
+            const FuncType& ft = module_.types.at(fn_.typeIdx);
+            size_t n = ft.results.size();
+            materializeTopN(n);
+            for (size_t i = 0; i < n; i++)
+                popEntry();
+            out_.push_back(in);
+            dead_ = true;
+            break;
+          }
+          case Op::Call: {
+            const FuncType& ft = module_.typeOfFunc(in.a);
+            size_t n = ft.params.size();
+            materializeTopN(n);
+            for (size_t i = 0; i < n; i++)
+                popEntry();
+            out_.push_back(in);
+            // Calls may grow memory, but memSize is monotone and
+            // locals/temps are private: all facts survive.
+            if (!ft.results.empty()) {
+                Entry r;
+                r.id = r.baseId = opaqueId(ft.results[0]);
+                r.type = ft.results[0];
+                r.start = out_.size() - 1;
+                r.end = out_.size();
+                r.contig = false;
+                r.effect = true;
+                pushEntry(r);
+            }
+            break;
+          }
+          case Op::CallIndirect: {
+            const FuncType& ft = module_.types.at(in.a);
+            size_t n = ft.params.size() + 1;  // args + table index
+            materializeTopN(n);
+            for (size_t i = 0; i < n; i++)
+                popEntry();
+            out_.push_back(in);
+            if (!ft.results.empty()) {
+                Entry r;
+                r.id = r.baseId = opaqueId(ft.results[0]);
+                r.type = ft.results[0];
+                r.start = out_.size() - 1;
+                r.end = out_.size();
+                r.contig = false;
+                r.effect = true;
+                pushEntry(r);
+            }
+            break;
+          }
+          case Op::Drop:
+            // The dropped value is never observed: a pending offset
+            // can die unpaid.
+            popEntry();
+            out_.push_back(in);
+            break;
+          case Op::Select: {
+            materializeAt(stack_.size() - 3);
+            materializeAt(stack_.size() - 2);
+            materializeTop();
+            Entry c = popEntry();
+            Entry b = popEntry();
+            Entry a = popEntry();
+            out_.push_back(in);
+            Entry r;
+            r.id = r.baseId =
+                internOp(Op::Select, a.type, a.id, b.id, c.id);
+            r.type = a.type;
+            r.start = a.start;
+            r.end = out_.size();
+            r.contig = a.contig && b.contig && c.contig &&
+                       a.end == b.start && b.end == c.start &&
+                       c.end == out_.size() - 1;
+            r.effect = a.effect || b.effect || c.effect;
+            pushEntry(r);
+            onProduce();
+            break;
+          }
+          case Op::LocalGet: {
+            uint32_t l = in.a;
+            uint32_t id;
+            auto it = localValue_.find(l);
+            if (it != localValue_.end())
+                id = it->second;
+            else
+                id = localLeafId(l, localType(l));
+            out_.push_back(in);
+            Entry e;
+            e.id = e.baseId = id;
+            e.type = localType(l);
+            e.start = out_.size() - 1;
+            e.end = out_.size();
+            e.contig = true;
+            e.prov = static_cast<int32_t>(l);
+            pushEntry(e);
+            break;
+          }
+          case Op::LocalSet: {
+            materializeTop();
+            Entry e = popEntry();
+            out_.push_back(in);
+            localValue_[in.a] = e.id;
+            facts_.erase(in.a);
+            break;
+          }
+          case Op::LocalTee: {
+            materializeTop();
+            Entry e = popEntry();
+            out_.push_back(in);
+            localValue_[in.a] = e.id;
+            facts_.erase(in.a);
+            Entry r = e;
+            r.end = out_.size();
+            r.prov = static_cast<int32_t>(in.a);
+            r.effect = true;  // the span now writes a user local
+            pushEntry(r);
+            break;
+          }
+          case Op::GlobalGet: {
+            out_.push_back(in);
+            Entry e;
+            ValType t = module_.globals.at(in.a).type;
+            e.id = e.baseId = opaqueId(t);
+            e.type = t;
+            e.start = out_.size() - 1;
+            e.end = out_.size();
+            e.contig = true;
+            e.effect = true;
+            pushEntry(e);
+            break;
+          }
+          case Op::GlobalSet:
+            materializeTop();
+            popEntry();
+            out_.push_back(in);
+            break;
+          case Op::MemorySize: {
+            out_.push_back(in);
+            Entry e;
+            e.id = e.baseId = opaqueId(ValType::I32);
+            e.type = ValType::I32;
+            e.start = out_.size() - 1;
+            e.end = out_.size();
+            e.effect = true;
+            pushEntry(e);
+            break;
+          }
+          case Op::MemoryGrow: {
+            materializeTop();
+            popEntry();
+            out_.push_back(in);
+            Entry e;
+            e.id = e.baseId = opaqueId(ValType::I32);
+            e.type = ValType::I32;
+            e.start = out_.size() - 1;
+            e.end = out_.size();
+            e.effect = true;
+            pushEntry(e);
+            break;
+          }
+          case Op::MemoryFill: case Op::MemoryCopy:
+            materializeTopN(3);
+            popEntry();
+            popEntry();
+            popEntry();
+            out_.push_back(in);
+            break;
+          case Op::I32Const: {
+            out_.push_back(in);
+            Entry e;
+            e.id = e.baseId = constId(Op::I32Const,
+                                      in.imm & kU32Max, ValType::I32);
+            e.type = ValType::I32;
+            e.start = out_.size() - 1;
+            e.end = out_.size();
+            e.contig = true;
+            pushEntry(e);
+            break;
+          }
+          case Op::I64Const: case Op::F64Const: {
+            out_.push_back(in);
+            Entry e;
+            ValType t =
+                in.op == Op::I64Const ? ValType::I64 : ValType::F64;
+            e.id = e.baseId = constId(in.op, in.imm, t);
+            e.type = t;
+            e.start = out_.size() - 1;
+            e.end = out_.size();
+            e.contig = true;
+            pushEntry(e);
+            break;
+          }
+          case Op::I32Add:
+            if (tryFoldAddConst())
+                break;  // counted at the access that absorbs it
+            [[fallthrough]];
+          default: {
+            bool known = opInfo(in.op, &info);
+            SFI_CHECK_MSG(known, "optimizer: unhandled opcode");
+            genericOp(in, info);
+            break;
+          }
+        }
+    }
+
+    // ---- members ---------------------------------------------------------
+
+    const Function& fn_;
+    const Module& module_;
+    const CompilerConfig& cfg_;
+    const std::unordered_map<size_t, std::vector<uint32_t>>& assigned_;
+    Census& census_;
+    const bool rewrite_;
+    OptStats* const stats_;
+
+    uint32_t numParams_ = 0;
+    uint32_t numOrigLocals_ = 0;
+    uint64_t minMemBytes_ = 0;
+
+    std::vector<Instr> out_;
+    std::vector<Entry> stack_;
+    std::vector<Scope> scopes_;
+    std::vector<Val> vals_;
+    std::unordered_map<ValKey, uint32_t, ValKeyHash> interned_;
+    uint64_t opaqueSerial_ = 0;
+
+    std::vector<uint32_t> version_;
+    std::unordered_map<uint32_t, uint32_t> localValue_;
+    std::unordered_map<uint32_t, Fact> facts_;
+    std::unordered_map<uint32_t, uint32_t> avail_;
+    std::vector<ValType> temps_;
+
+    bool dead_ = false;
+    uint32_t deadDepth_ = 0;
+};
+
+}  // namespace
+
+wasm::Function
+optimizeFunction(const wasm::Function& fn, const wasm::Module& module,
+                 const CompilerConfig& config, OptStats* stats)
+{
+    auto assigned = scanAssignedLocals(fn);
+    Census census;
+    {
+        Simulator census_pass(fn, module, config, assigned, census,
+                              /*rewrite=*/false, nullptr);
+        census_pass.run();
+    }
+    OptStats local;
+    Simulator rewrite(fn, module, config, assigned, census,
+                      /*rewrite=*/true, &local);
+    rewrite.run();
+
+    wasm::Function out;
+    out.typeIdx = fn.typeIdx;
+    out.name = fn.name;
+    out.brTables = fn.brTables;
+    out.locals = fn.locals;
+    const auto& temps = rewrite.tempLocals();
+    out.locals.insert(out.locals.end(), temps.begin(), temps.end());
+    out.body = rewrite.takeBody();
+    if (out.body.size() < fn.body.size())
+        local.instrsRemoved += fn.body.size() - out.body.size();
+    if (stats)
+        stats->merge(local);
+    return out;
+}
+
+}  // namespace sfi::jit

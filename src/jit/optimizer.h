@@ -1,0 +1,115 @@
+/**
+ * @file
+ * IR-level optimizer between the wasm IR and the single-pass emitter:
+ * the "verified JIT optimizer" layer.
+ *
+ * Three cooperating transformations, all gated by
+ * `CompilerConfig::optimize`:
+ *
+ *  1. Addressing-mode folding — `expr; i32.const c; i32.add` feeding a
+ *     load/store folds `c` into the access's static offset instead of
+ *     materializing the add, for every MemStrategy (including the %gs
+ *     forms, whose displacement field absorbs it the same way). Folds
+ *     only fire when a max-value bound on `expr` proves the i32 add
+ *     cannot wrap (wrap would change the trapping address) and the
+ *     combined displacement stays in the emitter's int32 range.
+ *
+ *  2. Address-expression CSE — a pure i32 expression that feeds two or
+ *     more heap accesses is computed once into a fresh temp local
+ *     (`local.set t` + `local.get t`) and later occurrences collapse to
+ *     `local.get t`. Besides shrinking code, this is what makes guard
+ *     elimination fire on real kernels, where `(i*N+j)*8` is re-derived
+ *     per access: the shared temp gives the accesses one SSA-ish value
+ *     the bounds fact can attach to — and one frame slot the machine-
+ *     code verifier can track the fact through.
+ *
+ *  3. Redundant-guard elimination (BoundsCheck/SegueBounds only) — an
+ *     access whose index value already passed a dominating limit check
+ *     with greater-or-equal reach, or whose address is statically below
+ *     the module's initial memory size, is tagged `wasm::kBoundsElided`
+ *     and the emitter skips its `lea; cmp memSize; ja` sequence.
+ *     Soundness leans on `memSize` being monotone (memory.grow never
+ *     shrinks): a passed check and the initial-size floor both stay
+ *     true for the rest of the run. Checks are never widened — a
+ *     dropped check must be covered exactly, so trap behavior is
+ *     bit-for-bit identical.
+ *
+ * Dominance is tracked structurally: facts are scoped to the enclosing
+ * Block/If arm, loop-carried locals are invalidated at loop entry, and
+ * anything assigned inside a construct is forgotten at its End. Every
+ * elision is re-proven on the emitted machine code by verify::checkModule
+ * (the dominating-check extension of its `bounds.dominate` rule), so the
+ * optimizer is untrusted in the VeriWasm sense.
+ */
+#ifndef SFIKIT_JIT_OPTIMIZER_H_
+#define SFIKIT_JIT_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "jit/strategy.h"
+#include "wasm/module.h"
+
+namespace sfi::jit {
+
+/** Counters reported by the optimizer (per module; merged by compile). */
+struct OptStats
+{
+    /** Heap accesses that carry an explicit bounds check pre-opt. */
+    uint64_t checksConsidered = 0;
+    /** ... of which a dominating check made the guard redundant. */
+    uint64_t checksDominated = 0;
+    /** ... of which a static bound below initial memory size did. */
+    uint64_t checksStatic = 0;
+    /** i32.const/i32.add pairs folded into access displacements. */
+    uint64_t addsFolded = 0;
+    /** Address expressions replaced by a CSE temp local.get. */
+    uint64_t cseHits = 0;
+    /** CSE temp locals allocated. */
+    uint64_t cseTemps = 0;
+    /** IR instructions removed net of inserted tee/get sequences. */
+    uint64_t instrsRemoved = 0;
+
+    // Machine-level peephole counters (x64::Assembler::PeepStats,
+    // copied here by jit::compile so callers see one stats object).
+    uint64_t peepMovsDropped = 0;   ///< dead 64-bit `mov r, r` elided
+    uint64_t peepZextsDropped = 0;  ///< redundant `mov r32, r32` elided
+    uint64_t peepXorZeros = 0;      ///< `mov r32, 0` -> `xor r32, r32`
+    uint64_t peepBytesSaved = 0;    ///< code bytes the peephole saved
+
+    uint64_t
+    checksEliminated() const
+    {
+        return checksDominated + checksStatic;
+    }
+
+    void
+    merge(const OptStats& o)
+    {
+        checksConsidered += o.checksConsidered;
+        checksDominated += o.checksDominated;
+        checksStatic += o.checksStatic;
+        addsFolded += o.addsFolded;
+        cseHits += o.cseHits;
+        cseTemps += o.cseTemps;
+        instrsRemoved += o.instrsRemoved;
+        peepMovsDropped += o.peepMovsDropped;
+        peepZextsDropped += o.peepZextsDropped;
+        peepXorZeros += o.peepXorZeros;
+        peepBytesSaved += o.peepBytesSaved;
+    }
+};
+
+/**
+ * Returns an optimized copy of @p fn (the input is never mutated; the
+ * shape mirrors vectorizeBulkLoops). @p stats accumulates counters when
+ * non-null. The result validates under the same module and computes
+ * bit-for-bit identical results, trap-for-trap.
+ */
+wasm::Function optimizeFunction(const wasm::Function& fn,
+                                const wasm::Module& module,
+                                const CompilerConfig& config,
+                                OptStats* stats);
+
+}  // namespace sfi::jit
+
+#endif  // SFIKIT_JIT_OPTIMIZER_H_

@@ -80,39 +80,51 @@ struct CompilerConfig
      * zero-extended by construction.
      */
     bool untrustedIndexRegs = false;
+    /**
+     * Run the IR-level optimizer (jit/optimizer.h: redundant-guard
+     * elimination, address-expression CSE, i32.add-const folding into
+     * static offsets) and the assembler peephole before emission.
+     * Default on — benches sweep both settings; every optimized module
+     * must still pass verify::checkModule.
+     */
+    bool optimize = true;
 
     // --- presets used by the benchmark harnesses ---
+    // Designated initializers: adding a config field can't silently
+    // shift positional meaning.
     static CompilerConfig
     native()
     {
-        return {MemStrategy::Unsandboxed, CfiMode::None, true, false,
-                false};
+        return {.mem = MemStrategy::Unsandboxed};
     }
     static CompilerConfig
     wamrBase()
     {
-        return {MemStrategy::BaseReg, CfiMode::None, true, false, false};
+        return {.mem = MemStrategy::BaseReg};
     }
     static CompilerConfig
     wamrSegue()
     {
-        return {MemStrategy::Segue, CfiMode::None, true, false, false};
+        return {.mem = MemStrategy::Segue};
     }
     static CompilerConfig
     wamrSegueLoads()
     {
-        return {MemStrategy::SegueLoadsOnly, CfiMode::None, true, false,
-                false};
+        return {.mem = MemStrategy::SegueLoadsOnly};
     }
     static CompilerConfig
     lfiBase()
     {
-        return {MemStrategy::BaseReg, CfiMode::Lfi, true, false, true};
+        return {.mem = MemStrategy::BaseReg,
+                .cfi = CfiMode::Lfi,
+                .untrustedIndexRegs = true};
     }
     static CompilerConfig
     lfiSegue()
     {
-        return {MemStrategy::Segue, CfiMode::Lfi, true, false, true};
+        return {.mem = MemStrategy::Segue,
+                .cfi = CfiMode::Lfi,
+                .untrustedIndexRegs = true};
     }
 
     /** True when loads go through %gs. */

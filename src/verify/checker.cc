@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -58,16 +59,28 @@ enum class K : uint8_t {
     BoundsLea,   ///< idxReg + ext, the lea feeding a limit compare
 };
 
+/** "No max-value bound known" sentinel for AV::bound. */
+constexpr uint64_t kNoBound = ~0ull;
+
 struct AV
 {
     K k = K::Top;
     uint8_t idx = 0;   // BoundsLea: index register
     int32_t ext = 0;   // BoundsLea: constant addend
+    /**
+     * Max possible runtime value, tracked independently of the kind
+     * lattice (a Top value can still have a known bound, and two U32
+     * values with different bounds still join as U32). Feeds the
+     * static half of the bounds.dominate rule: bound + disp + bytes
+     * <= initial memory size needs no dynamic check.
+     */
+    uint64_t bound = kNoBound;
 
     bool
     operator==(const AV& o) const
     {
-        return k == o.k && idx == o.idx && ext == o.ext;
+        return k == o.k && idx == o.idx && ext == o.ext &&
+               bound == o.bound;
     }
     bool operator!=(const AV& o) const { return !(*this == o); }
 };
@@ -75,13 +88,33 @@ struct AV
 AV
 av(K k)
 {
-    return AV{k, 0, 0};
+    return AV{k, 0, 0, kNoBound};
+}
+
+AV
+avB(K k, uint64_t bound)
+{
+    return AV{k, 0, 0, bound};
 }
 
 AV
 joinAV(const AV& a, const AV& b)
 {
-    return a == b ? a : av(K::Top);
+    // Kind and bound join independently: collapsing the kind to Top
+    // must not lose an agreeing bound, and a disagreeing bound must
+    // not collapse agreeing kinds (the LFI truncation proofs rely on
+    // U32 surviving joins).
+    AV r;
+    if (a.k == b.k && a.idx == b.idx && a.ext == b.ext)
+        r = a;
+    else
+        r = av(K::Top);
+    // Max-value claims widen rather than join by max: a strictly
+    // growing incoming bound (a loop counter stepping 1, 2, 3, ...)
+    // would otherwise crawl the fixpoint toward 2^32 one step at a
+    // time. @p a is the accumulated state, @p b the incoming one.
+    r.bound = b.bound <= a.bound ? a.bound : kNoBound;
+    return r;
 }
 
 /** The flags fact set by `cmp BoundsLea, ctx->memSize`. */
@@ -98,22 +131,47 @@ struct FlagFact
     }
 };
 
+/** regHome sentinel: register has no known frame-slot alias. */
+constexpr int32_t kNoHome = INT32_MIN;
+
 struct State
 {
     AV regs[16];
     /**
-     * bounded[r] = k (>= 0) proves r + k <= ctx->memSize on this path
-     * (established by the fallthrough of `cmp lea; ja trap`); -1 = none.
+     * regBound[r] = k (>= 0) proves r + k <= ctx->memSize on this path
+     * (established by the fallthrough of `cmp lea; ja trap`); -1 =
+     * none. The per-slot mirror slotBound carries the same proof for a
+     * spilled copy of the value, and regHome[r] records which frame
+     * slot register r provably equals (its "home"), so a fact recorded
+     * against either representative reaches the other. This is how one
+     * dominating check covers a later access that re-loads the same
+     * local: check on the register -> fact lands on its home slot ->
+     * the reload picks it back up.
      */
-    int64_t bounded[16];
+    int64_t regBound[16];
+    /** Frame slot the register was last loaded from / stored to. */
+    int32_t regHome[16];
+    /**
+     * true: register provably equals its home slot; false: register is
+     * provably <= the slot (after a 32-bit self-truncation). Facts may
+     * be read through the home either way, but written through it only
+     * when exact — a fact about a truncated value says nothing about
+     * the wider value still sitting in the slot.
+     */
+    bool regHomeEq[16];
+    /** slotBound[disp] = k proves mem[rbp+disp] + k <= ctx->memSize. */
+    std::map<int32_t, int64_t> slotBound;
     FlagFact flags;
     /** rbp-relative frame slots (spills/locals), disp -> value. */
     std::map<int32_t, AV> slots;
 
     State()
     {
-        for (auto& b : bounded)
-            b = -1;
+        for (int r = 0; r < 16; r++) {
+            regBound[r] = -1;
+            regHome[r] = kNoHome;
+            regHomeEq[r] = false;
+        }
     }
 
     /** Joins @p o into *this; returns true when anything changed. */
@@ -127,13 +185,36 @@ struct State
                 regs[i] = j;
                 changed = true;
             }
-            int64_t nb = (bounded[i] < 0 || o.bounded[i] < 0)
+            int64_t nb = (regBound[i] < 0 || o.regBound[i] < 0)
                              ? -1
-                             : std::min(bounded[i], o.bounded[i]);
-            if (nb != bounded[i]) {
-                bounded[i] = nb;
+                             : std::min(regBound[i], o.regBound[i]);
+            if (nb != regBound[i]) {
+                regBound[i] = nb;
                 changed = true;
             }
+            if (regHome[i] != o.regHome[i] && regHome[i] != kNoHome) {
+                regHome[i] = kNoHome;
+                regHomeEq[i] = false;
+                changed = true;
+            } else if (regHome[i] != kNoHome && regHomeEq[i] &&
+                       !o.regHomeEq[i]) {
+                regHomeEq[i] = false;
+                changed = true;
+            }
+        }
+        // Intersect the slot facts, keeping the weaker proof.
+        for (auto it = slotBound.begin(); it != slotBound.end();) {
+            auto oi = o.slotBound.find(it->first);
+            if (oi == o.slotBound.end()) {
+                it = slotBound.erase(it);
+                changed = true;
+                continue;
+            }
+            if (oi->second < it->second) {
+                it->second = oi->second;
+                changed = true;
+            }
+            ++it;
         }
         if (!(flags == o.flags) && flags.valid) {
             flags.valid = false;
@@ -141,9 +222,10 @@ struct State
         }
         for (auto it = slots.begin(); it != slots.end();) {
             auto oi = o.slots.find(it->first);
-            AV j = oi == o.slots.end() ? av(K::Top)
-                                       : joinAV(it->second, oi->second);
-            if (j.k == K::Top) {
+            AV j = oi == o.slots.end()
+                       ? av(K::Top)
+                       : joinAV(it->second, oi->second);
+            if (j.k == K::Top && j.bound == kNoBound) {
                 it = slots.erase(it);
                 changed = true;
                 continue;
@@ -181,8 +263,9 @@ class FnChecker
 {
   public:
     FnChecker(const uint8_t* code, size_t size, const CompilerConfig& cfg,
-              uint64_t base, Report* rep)
-        : code_(code), size_(size), cfg_(cfg), base_(base), rep_(rep)
+              uint64_t base, Report* rep, uint64_t min_mem_bytes)
+        : code_(code), size_(size), cfg_(cfg), base_(base), rep_(rep),
+          minMem_(min_mem_bytes)
     {
         fullyExempt_ = cfg.mem == MemStrategy::Unsandboxed &&
                        cfg.cfi == CfiMode::None;
@@ -383,9 +466,14 @@ class FnChecker
         if (b.last < insns_.size() &&
             idxToBlock_.at(b.last) == succ) {
             int r = es.flags.idx;
-            es.bounded[r] =
-                std::max(es.bounded[r],
-                         static_cast<int64_t>(es.flags.ext));
+            int64_t ext = static_cast<int64_t>(es.flags.ext);
+            es.regBound[r] = std::max(es.regBound[r], ext);
+            // When the register's home slot holds exactly the same
+            // value, the proof covers a later reload of it too.
+            if (es.regHome[r] != kNoHome && es.regHomeEq[r]) {
+                int64_t& sb = es.slotBound[es.regHome[r]];
+                sb = std::max(sb, ext);
+            }
         }
     }
 
@@ -395,20 +483,33 @@ class FnChecker
      * Writes register @p r. @p self_trunc32 marks `mov r32, r32`
      * self-truncation, which only decreases the value, so bounds facts
      * about r survive (the Figure 1b truncation after a limit check).
+     * @p bnd installs a limit fact for the new value (-1 = none) and
+     * @p home its frame-slot alias (kNoHome = none) — used by the
+     * load/store/copy cases that provably preserve a value.
      */
     void
-    setReg(State& st, int r, AV v, bool self_trunc32 = false)
+    setReg(State& st, int r, AV v, bool self_trunc32 = false,
+           int64_t bnd = -1, int32_t home = kNoHome,
+           bool home_eq = true)
     {
         if (r < 0 || r == kRsp || r == kRbp)
             return;  // stack registers are untracked
         if (!self_trunc32) {
-            st.bounded[r] = -1;
             if (st.flags.valid && st.flags.idx == r)
                 st.flags.valid = false;
             for (int j = 0; j < 16; j++)
                 if (j != r && st.regs[j].k == K::BoundsLea &&
                     st.regs[j].idx == r)
                     st.regs[j] = av(K::Top);
+        }
+        if (self_trunc32) {
+            // Keep the fact and the home (the truncated value is at
+            // most the slot's), but demote the home to <=.
+            st.regHomeEq[r] = false;
+        } else {
+            st.regBound[r] = bnd;
+            st.regHome[r] = home;
+            st.regHomeEq[r] = home != kNoHome && home_eq;
         }
         st.regs[r] = v;
     }
@@ -626,13 +727,47 @@ class FnChecker
             idx = static_cast<int>(m.index);
         }
         int64_t need = static_cast<int64_t>(m.disp) + bytes;
-        if (idx < 0 || m.disp < 0 || st.bounded[idx] < need) {
-            violation(off, Rule::BoundsMissing, in.text(),
-                      "access not dominated by a limit compare "
-                      "covering its extent");
-            return;
+        if (idx >= 0 && m.disp >= 0) {
+            // Dynamic proof: a dominating limit compare on this value
+            // (directly or via its home frame slot) covers the extent.
+            int64_t f = st.regBound[idx];
+            if (st.regHome[idx] != kNoHome) {
+                auto it = st.slotBound.find(st.regHome[idx]);
+                if (it != st.slotBound.end())
+                    f = std::max(f, it->second);
+            }
+            if (f >= need) {
+                rep_->stats.boundsChecked++;
+                return;
+            }
+            // Static proof: max value + extent fits below the initial
+            // memory size; ctx->memSize only ever grows past it.
+            uint64_t b = st.regs[idx].bound;
+            if (minMem_ > 0 && b != kNoBound &&
+                b + static_cast<uint64_t>(need) <= minMem_) {
+                rep_->stats.boundsStatic++;
+                return;
+            }
         }
-        rep_->stats.boundsChecked++;
+        if (std::getenv("SFIKIT_VERIFY_DEBUG")) {
+            std::fprintf(
+                stderr,
+                "dbg +%llx idx=%d regBound=%lld home=%d need=%lld "
+                "bound=%llx slotBound={",
+                (unsigned long long)off, idx,
+                idx >= 0 ? (long long)st.regBound[idx] : -1ll,
+                idx >= 0 ? st.regHome[idx] : 0,
+                (long long)need,
+                idx >= 0 ? (unsigned long long)st.regs[idx].bound
+                         : 0ull);
+            for (auto& kv : st.slotBound)
+                std::fprintf(stderr, "%d:%lld ", kv.first,
+                             (long long)kv.second);
+            std::fprintf(stderr, "}\n");
+        }
+        violation(off, Rule::BoundsMissing, in.text(),
+                  "access not dominated by a limit compare "
+                  "covering its extent");
     }
 
     // --- pinned / stack register discipline ---
@@ -684,6 +819,24 @@ class FnChecker
 
     // --- the transfer function ---
 
+    /** Saturating-at-kNoBound helpers for the bound transfer rules. */
+    static uint64_t
+    boundAdd(uint64_t a, uint64_t b)
+    {
+        if (a == kNoBound || b == kNoBound || a + b > 0xffffffffull)
+            return kNoBound;  // a 32-bit add may wrap: no claim
+        return a + b;
+    }
+    static uint64_t
+    boundMul(uint64_t a, uint64_t b)
+    {
+        if (a == kNoBound || b == kNoBound)
+            return kNoBound;
+        if (a != 0 && b > 0xffffffffull / a)
+            return kNoBound;
+        return a * b;
+    }
+
     void
     transfer(State& st, size_t i, bool record)
     {
@@ -701,27 +854,43 @@ class FnChecker
         switch (in.mn) {
           case Mn::MovImm64:
             setReg(st, in.reg,
-                   av(in.imm >= 0 && in.imm <= 0xffffffffll ? K::U32
-                                                            : K::Top));
+                   in.imm >= 0 && in.imm <= 0xffffffffll
+                       ? avB(K::U32, static_cast<uint64_t>(in.imm))
+                       : av(K::Top));
             break;
           case Mn::MovImm32:
-            setReg(st, in.reg, av(K::U32));
+            setReg(st, in.reg,
+                   avB(K::U32, static_cast<uint32_t>(in.imm)));
             break;
 
           case Mn::MovRR: {
             int dst = in.rm, src = in.reg;
             if (in.width == Width::W64) {
-                setReg(st, dst,
-                       src == kRsp || src == kRbp ? av(K::Top)
-                                                  : st.regs[src]);
+                if (src == kRsp || src == kRbp) {
+                    setReg(st, dst, av(K::Top));
+                } else {
+                    // A faithful copy: fact and home travel with it.
+                    setReg(st, dst, st.regs[src], false,
+                           st.regBound[src], st.regHome[src],
+                           st.regHomeEq[src]);
+                }
             } else if (in.width == Width::W32) {
                 if (dst == src) {
                     AV v = st.regs[dst].k == K::DiffCode
                                ? av(K::DiffCode32)
                                : av(K::U32);
+                    // Truncation never grows the value.
+                    v.bound = st.regs[dst].bound;
                     setReg(st, dst, v, /*self_trunc32=*/true);
                 } else {
-                    setReg(st, dst, av(K::U32));
+                    // Cross-register truncation: the result is at most
+                    // the source, so a limit fact (and the source's
+                    // home, demoted to <=) carries over.
+                    AV v = av(K::U32);
+                    if (st.regs[src].bound <= 0xffffffffull)
+                        v.bound = st.regs[src].bound;
+                    setReg(st, dst, v, false, st.regBound[src],
+                           st.regHome[src], false);
                 }
             } else {
                 setReg(st, dst, partialWrite(st, dst));
@@ -733,18 +902,29 @@ class FnChecker
             MC mc = classify(st, in.mem);
             checkAccess(st, in, false, mc, off, record);
             AV v = av(K::Top);
+            int64_t bnd = -1;
+            int32_t home = kNoHome;
             if (in.width == Width::W64) {
-                if (mc == MC::Ctx)
+                if (mc == MC::Ctx) {
                     v = av(K::Trusted);
-                else if (mc == MC::Frame) {
+                } else if (mc == MC::Frame) {
                     auto it = st.slots.find(in.mem.disp);
                     if (it != st.slots.end())
                         v = it->second;
+                    home = in.mem.disp;
+                    auto sb = st.slotBound.find(in.mem.disp);
+                    if (sb != st.slotBound.end())
+                        bnd = sb->second;
                 }
             } else if (!in.signExtend) {
-                v = av(K::U32);  // zero-extending sub-64-bit load
+                // Zero-extending sub-64-bit load: width caps the value.
+                v = av(K::U32);
+                if (in.width == Width::W8)
+                    v.bound = 255;
+                else if (in.width == Width::W16)
+                    v.bound = 65535;
             }
-            setReg(st, in.reg, v);
+            setReg(st, in.reg, v, false, bnd, home);
             break;
           }
 
@@ -752,10 +932,26 @@ class FnChecker
             MC mc = classify(st, in.mem);
             checkAccess(st, in, true, mc, off, record);
             if (mc == MC::Frame) {
-                if (in.width == Width::W64)
-                    st.slots[in.mem.disp] = st.regs[in.reg];
-                else
-                    st.slots.erase(in.mem.disp);
+                int32_t d = in.mem.disp;
+                // The slot's old value is gone: registers homed here
+                // (other than the stored one) no longer match it.
+                for (int j = 0; j < 16; j++)
+                    if (j != in.reg && st.regHome[j] == d)
+                        st.regHome[j] = kNoHome;
+                if (in.width == Width::W64) {
+                    st.slots[d] = st.regs[in.reg];
+                    if (st.regBound[in.reg] >= 0)
+                        st.slotBound[d] = st.regBound[in.reg];
+                    else
+                        st.slotBound.erase(d);
+                    if (in.reg != kRsp && in.reg != kRbp) {
+                        st.regHome[in.reg] = d;
+                        st.regHomeEq[in.reg] = true;
+                    }
+                } else {
+                    st.slots.erase(d);
+                    st.slotBound.erase(d);
+                }
             }
             break;
           }
@@ -763,18 +959,30 @@ class FnChecker
             MC mc = classify(st, in.mem);
             checkAccess(st, in, true, mc, off, record);
             if (mc == MC::Frame) {
-                if (in.width == Width::W64 && in.imm >= 0)
-                    st.slots[in.mem.disp] = av(K::U32);
-                else
-                    st.slots.erase(in.mem.disp);
+                int32_t d = in.mem.disp;
+                for (int j = 0; j < 16; j++)
+                    if (st.regHome[j] == d)
+                        st.regHome[j] = kNoHome;
+                st.slotBound.erase(d);
+                if (in.width == Width::W64 && in.imm >= 0) {
+                    st.slots[d] =
+                        avB(K::U32, static_cast<uint64_t>(in.imm));
+                } else {
+                    st.slots.erase(d);
+                }
             }
             break;
           }
           case Mn::MovsdStore: {
             MC mc = classify(st, in.mem);
             checkAccess(st, in, true, mc, off, record);
-            if (mc == MC::Frame)
+            if (mc == MC::Frame) {
                 st.slots.erase(in.mem.disp);
+                st.slotBound.erase(in.mem.disp);
+                for (int j = 0; j < 16; j++)
+                    if (st.regHome[j] == in.mem.disp)
+                        st.regHome[j] = kNoHome;
+            }
             break;
           }
           case Mn::MovsdLoad:
@@ -813,9 +1021,16 @@ class FnChecker
                        src == kCode && in.aluOp == AluOp::Add &&
                        st.regs[dst].k == K::DiffCode32) {
                 v = av(K::CodeMasked);
-            } else if (in.width == Width::W32 ||
-                       (in.aluOp == AluOp::Xor && dst == src)) {
+            } else if (in.aluOp == AluOp::Xor && dst == src) {
+                v = avB(K::U32, 0);  // canonical zero idiom
+            } else if (in.width == Width::W32) {
                 v = av(K::U32);
+                uint64_t a = st.regs[dst].bound;
+                uint64_t b = st.regs[src].bound;
+                if (in.aluOp == AluOp::Add)
+                    v.bound = boundAdd(a, b);
+                else if (in.aluOp == AluOp::And)
+                    v.bound = a < b ? a : b;
             } else if (in.width == Width::W8 ||
                        in.width == Width::W16) {
                 v = partialWrite(st, dst);
@@ -829,10 +1044,23 @@ class FnChecker
           case Mn::AluImm: {
             if (in.aluOp == AluOp::Cmp)
                 break;
-            AV v = in.width == Width::W32 ? av(K::U32)
-                   : in.width == Width::W8 || in.width == Width::W16
-                       ? partialWrite(st, in.reg)
-                       : av(K::Top);
+            AV v;
+            if (in.width == Width::W32) {
+                v = av(K::U32);
+                if (in.imm >= 0) {
+                    uint64_t c = static_cast<uint64_t>(in.imm);
+                    uint64_t a = st.regs[in.reg].bound;
+                    if (in.aluOp == AluOp::Add)
+                        v.bound = boundAdd(a, c);
+                    else if (in.aluOp == AluOp::And)
+                        v.bound = a < c ? a : c;
+                }
+            } else if (in.width == Width::W8 ||
+                       in.width == Width::W16) {
+                v = partialWrite(st, in.reg);
+            } else {
+                v = av(K::Top);
+            }
             setReg(st, in.reg, v);
             break;
           }
@@ -851,14 +1079,56 @@ class FnChecker
                 }
                 break;
             }
-            setReg(st, in.reg,
-                   av(in.width == Width::W32 ? K::U32 : K::Top));
+            AV v = av(in.width == Width::W32 ? K::U32 : K::Top);
+            if (in.width == Width::W32 && mc == MC::Frame) {
+                auto it = st.slots.find(in.mem.disp);
+                uint64_t m = it != st.slots.end() ? it->second.bound
+                                                  : kNoBound;
+                uint64_t a = st.regs[in.reg].bound;
+                if (in.aluOp == AluOp::Add)
+                    v.bound = boundAdd(a, m);
+                else if (in.aluOp == AluOp::And)
+                    v.bound = a < m ? a : m;
+            }
+            setReg(st, in.reg, v);
             break;
           }
 
-          case Mn::Imul:
-          case Mn::ShiftCl:
-          case Mn::ShiftImm:
+          case Mn::Imul: {
+            AV v = av(in.width == Width::W32 ? K::U32 : K::Top);
+            if (in.width == Width::W32 && in.rm >= 0)
+                v.bound = boundMul(st.regs[in.reg].bound,
+                                   st.regs[in.rm].bound);
+            setReg(st, in.reg, v);
+            break;
+          }
+
+          case Mn::ShiftImm: {
+            AV v = av(in.width == Width::W32 ? K::U32 : K::Top);
+            if (in.width == Width::W32) {
+                uint32_t s = static_cast<uint32_t>(in.imm) & 31;
+                uint64_t a = st.regs[in.reg].bound;
+                if (in.shiftOp == x64::ShiftOp::Shl) {
+                    if (a != kNoBound && (a << s) <= 0xffffffffull)
+                        v.bound = a << s;
+                } else if (in.shiftOp == x64::ShiftOp::Shr) {
+                    v.bound = (a == kNoBound ? 0xffffffffull : a) >> s;
+                }
+            }
+            setReg(st, in.reg, v);
+            break;
+          }
+
+          case Mn::ShiftCl: {
+            AV v = av(in.width == Width::W32 ? K::U32 : K::Top);
+            // A logical right shift never increases the value.
+            if (in.width == Width::W32 &&
+                in.shiftOp == x64::ShiftOp::Shr)
+                v.bound = st.regs[in.reg].bound;
+            setReg(st, in.reg, v);
+            break;
+          }
+
           case Mn::Neg:
           case Mn::Not:
             setReg(st, in.reg,
@@ -869,7 +1139,7 @@ class FnChecker
             break;
 
           case Mn::Popcnt:
-            setReg(st, in.reg, av(K::U32));  // result <= 64
+            setReg(st, in.reg, avB(K::U32, 64));
             break;
 
           case Mn::Div:
@@ -887,7 +1157,9 @@ class FnChecker
             break;
 
           case Mn::Movzx:
-            setReg(st, in.reg, av(K::U32));
+            setReg(st, in.reg,
+                   avB(K::U32,
+                       in.srcWidth == Width::W8 ? 255 : 65535));
             break;
           case Mn::Movsx:
             setReg(st, in.reg,
@@ -1038,6 +1310,8 @@ class FnChecker
     bool memExempt_ = false;
     bool pinHeap_ = false;
     bool lfi_ = false;
+    /** Initial memory size; static bounds proofs need it (0 = none). */
+    uint64_t minMem_ = 0;
 
     std::vector<Insn> insns_;
     std::vector<size_t> offs_;
@@ -1086,6 +1360,7 @@ Stats::merge(const Stats& o)
     heapBaseReg += o.heapBaseReg;
     heapUnsandboxed += o.heapUnsandboxed;
     boundsChecked += o.boundsChecked;
+    boundsStatic += o.boundsStatic;
     indexProvenU32 += o.indexProvenU32;
     indexAssumedU32 += o.indexAssumedU32;
     maskedIndirects += o.maskedIndirects;
@@ -1129,9 +1404,11 @@ Report::summary() const
     s += buf;
     std::snprintf(
         buf, sizeof buf,
-        "  proofs: bounds %llu, idx-proven %llu, idx-assumed %llu, "
-        "masked %llu, trusted-indirect %llu, protected-ret %llu\n",
+        "  proofs: bounds %llu (static %llu), idx-proven %llu, "
+        "idx-assumed %llu, masked %llu, trusted-indirect %llu, "
+        "protected-ret %llu\n",
         static_cast<unsigned long long>(stats.boundsChecked),
+        static_cast<unsigned long long>(stats.boundsStatic),
         static_cast<unsigned long long>(stats.indexProvenU32),
         static_cast<unsigned long long>(stats.indexAssumedU32),
         static_cast<unsigned long long>(stats.maskedIndirects),
@@ -1143,12 +1420,13 @@ Report::summary() const
 
 Report
 checkFunction(const uint8_t* code, size_t size,
-              const jit::CompilerConfig& cfg, uint64_t base_offset)
+              const jit::CompilerConfig& cfg, uint64_t base_offset,
+              uint64_t min_mem_bytes)
 {
     Report rep;
     if (size == 0)
         return rep;
-    FnChecker fc(code, size, cfg, base_offset, &rep);
+    FnChecker fc(code, size, cfg, base_offset, &rep, min_mem_bytes);
     fc.run();
     return rep;
 }
@@ -1161,7 +1439,7 @@ checkModule(const jit::CompiledModule& cm)
     for (size_t i = 0; i < cm.funcOffsets.size(); i++) {
         Report r = checkFunction(code + cm.funcOffsets[i],
                                  cm.funcCodeSizes[i], cm.config,
-                                 cm.funcOffsets[i]);
+                                 cm.funcOffsets[i], cm.minMemBytes);
         rep.stats.merge(r.stats);
         rep.stats.functions++;
         for (auto& v : r.violations)
@@ -1177,7 +1455,7 @@ checkModule(const jit::CompiledModule& cm)
         if (stubs < cm.totalCodeBytes) {
             Report r = checkFunction(code + stubs,
                                      cm.totalCodeBytes - stubs,
-                                     cm.config, stubs);
+                                     cm.config, stubs, cm.minMemBytes);
             rep.stats.merge(r.stats);
             for (auto& v : r.violations)
                 rep.violations.push_back(std::move(v));

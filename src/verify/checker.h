@@ -93,6 +93,7 @@ struct Stats
     uint64_t heapBaseReg = 0;      ///< [%r15 + idx + d] heap accesses
     uint64_t heapUnsandboxed = 0;  ///< heap accesses in exempt code
     uint64_t boundsChecked = 0;    ///< accesses proven by a limit check
+    uint64_t boundsStatic = 0;     ///< accesses proven below initial size
     uint64_t indexProvenU32 = 0;   ///< heap index locally proven u32
     uint64_t indexAssumedU32 = 0;  ///< heap index trusted per Wasm types
 
@@ -120,7 +121,8 @@ struct Report
  */
 Report checkFunction(const uint8_t* code, size_t size,
                      const jit::CompilerConfig& cfg,
-                     uint64_t base_offset = 0);
+                     uint64_t base_offset = 0,
+                     uint64_t min_mem_bytes = 0);
 
 /**
  * Verifies every defined function of a compiled module, plus the trap

@@ -36,6 +36,7 @@ struct Options
     const char* cfi = nullptr;   // nullptr = both
     bool dump = false;
     bool quiet = false;
+    bool optimize = true;
 };
 
 int
@@ -44,13 +45,15 @@ usage()
     std::fprintf(
         stderr,
         "usage: sfi-verify [--wkld NAME] [--mem STRATEGY] [--cfi MODE]\n"
-        "                  [--dump] [--quiet]\n"
+        "                  [--opt | --no-opt] [--dump] [--quiet]\n"
         "  --wkld NAME   verify one registry workload (default: all)\n"
         "  --mem S       base-reg | segue | segue-loads-only | bounds-check |\n"
         "                segue-bounds | unsandboxed (default: all "
         "sandboxing\n"
         "                strategies)\n"
         "  --cfi M       none | lfi (default: both)\n"
+        "  --opt         run the verified optimizer (default)\n"
+        "  --no-opt      disable the optimizer\n"
         "  --dump        print the decoded instruction listing\n"
         "  --quiet       only print failing configurations\n");
     return 2;
@@ -84,8 +87,11 @@ selectConfigs(const Options& opt)
             // LFI deployments hand the sandbox raw 64-bit registers, so
             // pair Lfi with the untrusted-index contract (the presets'
             // convention).
-            out.push_back(CompilerConfig{m.mem, c, true, false,
-                                         c == CfiMode::Lfi});
+            out.push_back(CompilerConfig{
+                .mem = m.mem,
+                .cfi = c,
+                .untrustedIndexRegs = c == CfiMode::Lfi,
+                .optimize = opt.optimize});
         }
     }
     return out;
@@ -148,6 +154,7 @@ run(const Options& opt)
     for (const CompilerConfig& cfg : configs) {
         uint64_t viol = 0;
         verify::Stats cfgStats;
+        jit::OptStats cfgOpt;
         for (const auto& w : workloads) {
             auto cm = jit::compile(w.make(), cfg);
             if (!cm.isOk()) {
@@ -157,6 +164,7 @@ run(const Options& opt)
                 failures++;
                 continue;
             }
+            cfgOpt.merge(cm->optStats);
             verify::Report rep = verify::checkModule(*cm);
             cfgStats.merge(rep.stats);
             viol += rep.violations.size();
@@ -186,6 +194,30 @@ run(const Options& opt)
                 (unsigned long long)cfgStats.boundsChecked,
                 (unsigned long long)cfgStats.maskedIndirects,
                 (unsigned long long)cfgStats.protectedReturns);
+            if (opt.optimize && cfg.explicitBounds()) {
+                std::printf(
+                    "  opt: %llu/%llu checks eliminated (%llu dominated, "
+                    "%llu static), re-proved %llu dynamic + %llu static; "
+                    "%llu adds folded, %llu cse, %llu insns removed\n",
+                    (unsigned long long)cfgOpt.checksEliminated(),
+                    (unsigned long long)cfgOpt.checksConsidered,
+                    (unsigned long long)cfgOpt.checksDominated,
+                    (unsigned long long)cfgOpt.checksStatic,
+                    (unsigned long long)cfgStats.boundsChecked,
+                    (unsigned long long)cfgStats.boundsStatic,
+                    (unsigned long long)cfgOpt.addsFolded,
+                    (unsigned long long)cfgOpt.cseHits,
+                    (unsigned long long)cfgOpt.instrsRemoved);
+            }
+            if (opt.optimize) {
+                std::printf(
+                    "  peephole: %llu dead movs, %llu redundant zexts, "
+                    "%llu xor-zeros; %llu bytes saved\n",
+                    (unsigned long long)cfgOpt.peepMovsDropped,
+                    (unsigned long long)cfgOpt.peepZextsDropped,
+                    (unsigned long long)cfgOpt.peepXorZeros,
+                    (unsigned long long)cfgOpt.peepBytesSaved);
+            }
         }
     }
     if (!opt.quiet) {
@@ -222,6 +254,10 @@ main(int argc, char** argv)
             opt.mem = v;
         else if (const char* v = want("--cfi"))
             opt.cfi = v;
+        else if (!std::strcmp(argv[i], "--opt"))
+            opt.optimize = true;
+        else if (!std::strcmp(argv[i], "--no-opt"))
+            opt.optimize = false;
         else if (!std::strcmp(argv[i], "--dump"))
             opt.dump = true;
         else if (!std::strcmp(argv[i], "--quiet"))

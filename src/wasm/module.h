@@ -76,16 +76,35 @@ enum class Op : uint8_t {
 const char* name(Op op);
 
 /**
+ * Per-instruction optimizer facts (Instr::flags). Produced by
+ * jit/optimizer.h; consumed by the JIT backend. Plain data so the IR
+ * stays a dumb struct.
+ */
+enum InstrFlag : uint8_t {
+    /**
+     * On a load/store: the bounds check for this access is provably
+     * redundant (dominated by an earlier check with >= reach, or the
+     * address is statically below the initial memory size) and the
+     * backend may skip emitting it. The static verifier re-proves the
+     * claim on the machine code (verify/checker.h).
+     */
+    kBoundsElided = 1u << 0,
+};
+
+/**
  * One instruction. Field use by opcode:
  *  - a: local/global/function index, label depth, br_table index,
  *       call_indirect type index;
  *  - imm: constant payload (f64 via bit pattern) or static memory offset.
+ *  - flags: optimizer-derived facts (InstrFlag bits); 0 from the parser
+ *    and all builders, only ever set by jit/optimizer.h.
  */
 struct Instr
 {
     Op op;
     uint32_t a = 0;
     uint64_t imm = 0;
+    uint8_t flags = 0;
 };
 
 /** A function signature. */

@@ -197,6 +197,9 @@ void
 Assembler::bind(Label& label)
 {
     SFI_CHECK(label.valid());
+    // A bound label is a control-flow join: a jump may land here from a
+    // path that did not zero-extend, so the peephole fact dies.
+    zextReg_ = -1;
     LabelState& st = labels_.at(label.id_);
     SFI_CHECK_MSG(st.offset < 0, "label bound twice");
     st.offset = static_cast<int64_t>(code_.size());
@@ -246,19 +249,48 @@ Assembler::movImm64(Reg dst, uint64_t imm)
 void
 Assembler::movImm32(Reg dst, uint32_t imm)
 {
-    if (bits(dst) & 0x8)
+    bool rex = (bits(dst) & 0x8) != 0;
+    if (peephole_ && imm == 0) {
+        // xor r32, r32: 2-3 bytes instead of 5-6, and the canonical
+        // zero idiom (dependency-breaking on real hardware). Clobbers
+        // EFLAGS; see setPeephole for the client contract.
+        alu(AluOp::Xor, Width::W32, dst, dst);
+        peepStats_.xorZeros++;
+        peepStats_.bytesSaved += 3;
+        return;
+    }
+    if (rex)
         emit8(0x41);
     emit8(static_cast<uint8_t>(0xb8 | (bits(dst) & 0x7)));
     emit32(imm);
+    noteZext(dst);
 }
 
 void
 Assembler::mov(Width w, Reg dst, Reg src)
 {
+    if (peephole_ && dst == src) {
+        if (w == Width::W64) {
+            // Architectural no-op (REX.W + opcode + modrm = 3 bytes).
+            peepStats_.movsDropped++;
+            peepStats_.bytesSaved += 3;
+            return;
+        }
+        if (w == Width::W32 && lastZexted(dst)) {
+            // The explicit-truncation idiom, but the previous
+            // instruction already zero-extended dst and no join point
+            // intervened. Nothing is emitted, so the fact stays live.
+            peepStats_.zextsDropped++;
+            peepStats_.bytesSaved += (bits(dst) & 0x8) ? 3 : 2;
+            return;
+        }
+    }
     // mov r/m, r form: rm = dst, reg = src.
     emitPrefixesRR(w, bits(src), bits(dst), w == Width::W8);
     emit8(w == Width::W8 ? 0x88 : 0x89);
     emitModRmReg(bits(src), bits(dst));
+    if (w == Width::W32)
+        noteZext(dst);
 }
 
 void
@@ -272,13 +304,13 @@ Assembler::load(Width w, bool sign_extend, Reg dst, const Mem& m)
         emit8(0x0f);
         emit8(sign_extend ? 0xbe : 0xb6);
         emitModRmMem(bits(dst), m);
-        return;
+        break;
       case Width::W16:
         emitPrefixes(sign_extend ? Width::W64 : Width::W32, bits(dst), m);
         emit8(0x0f);
         emit8(sign_extend ? 0xbf : 0xb7);
         emitModRmMem(bits(dst), m);
-        return;
+        break;
       case Width::W32:
         if (sign_extend) {
             emitPrefixes(Width::W64, bits(dst), m);
@@ -288,13 +320,15 @@ Assembler::load(Width w, bool sign_extend, Reg dst, const Mem& m)
             emit8(0x8b);
         }
         emitModRmMem(bits(dst), m);
-        return;
+        break;
       case Width::W64:
         emitPrefixes(Width::W64, bits(dst), m);
         emit8(0x8b);
         emitModRmMem(bits(dst), m);
-        return;
+        break;
     }
+    if (!sign_extend && w != Width::W64)
+        noteZext(dst);
 }
 
 void
@@ -332,6 +366,8 @@ Assembler::lea(Width w, Reg dst, const Mem& m)
     emitPrefixes(w, bits(dst), m);
     emit8(0x8d);
     emitModRmMem(bits(dst), m);
+    if (w == Width::W32)
+        noteZext(dst);
 }
 
 // --- integer ALU ---
@@ -344,6 +380,8 @@ Assembler::alu(AluOp op, Width w, Reg dst, Reg src)
     emitPrefixesRR(w, bits(dst), bits(src), w == Width::W8);
     emit8(static_cast<uint8_t>(base | (w == Width::W8 ? 0x02 : 0x03)));
     emitModRmReg(bits(dst), bits(src));
+    if (w == Width::W32 && op != AluOp::Cmp)
+        noteZext(dst);
 }
 
 void
@@ -367,6 +405,8 @@ Assembler::aluImm(AluOp op, Width w, Reg dst, int32_t imm)
         emitModRmReg(ext, bits(dst));
         emit32(static_cast<uint32_t>(imm));
     }
+    if (w == Width::W32 && op != AluOp::Cmp)
+        noteZext(dst);
 }
 
 void
@@ -376,6 +416,8 @@ Assembler::aluMem(AluOp op, Width w, Reg dst, const Mem& m)
     emitPrefixes(w, bits(dst), m);
     emit8(static_cast<uint8_t>(base | (w == Width::W8 ? 0x02 : 0x03)));
     emitModRmMem(bits(dst), m);
+    if (w == Width::W32 && op != AluOp::Cmp)
+        noteZext(dst);
 }
 
 void
@@ -393,6 +435,8 @@ Assembler::imul(Width w, Reg dst, Reg src)
     emit8(0x0f);
     emit8(0xaf);
     emitModRmReg(bits(dst), bits(src));
+    if (w == Width::W32)
+        noteZext(dst);
 }
 
 void
@@ -401,6 +445,8 @@ Assembler::neg(Width w, Reg r)
     emitPrefixesRR(w, 0, bits(r));
     emit8(w == Width::W8 ? 0xf6 : 0xf7);
     emitModRmReg(3, bits(r));
+    if (w == Width::W32)
+        noteZext(r);
 }
 
 void
@@ -409,6 +455,8 @@ Assembler::notR(Width w, Reg r)
     emitPrefixesRR(w, 0, bits(r));
     emit8(w == Width::W8 ? 0xf6 : 0xf7);
     emitModRmReg(2, bits(r));
+    if (w == Width::W32)
+        noteZext(r);
 }
 
 void
@@ -446,6 +494,8 @@ Assembler::shiftCl(ShiftOp op, Width w, Reg r)
     emitPrefixesRR(w, 0, bits(r));
     emit8(w == Width::W8 ? 0xd2 : 0xd3);
     emitModRmReg(static_cast<uint8_t>(op), bits(r));
+    if (w == Width::W32)
+        noteZext(r);
 }
 
 void
@@ -455,6 +505,8 @@ Assembler::shiftImm(ShiftOp op, Width w, Reg r, uint8_t amount)
     emit8(w == Width::W8 ? 0xc0 : 0xc1);
     emitModRmReg(static_cast<uint8_t>(op), bits(r));
     emit8(amount);
+    if (w == Width::W32)
+        noteZext(r);
 }
 
 void
@@ -464,6 +516,7 @@ Assembler::movzx8(Reg dst, Reg src)
     emit8(0x0f);
     emit8(0xb6);
     emitModRmReg(bits(dst), bits(src));
+    noteZext(dst);
 }
 
 void
@@ -473,6 +526,7 @@ Assembler::movzx16(Reg dst, Reg src)
     emit8(0x0f);
     emit8(0xb7);
     emitModRmReg(bits(dst), bits(src));
+    noteZext(dst);
 }
 
 void
@@ -487,6 +541,8 @@ Assembler::movsx8(Width w, Reg dst, Reg src)
     emit8(0x0f);
     emit8(0xbe);
     emitModRmReg(bits(dst), bits(src));
+    if (w == Width::W32)
+        noteZext(dst);
 }
 
 void
@@ -497,6 +553,8 @@ Assembler::movsx16(Width w, Reg dst, Reg src)
     emit8(0x0f);
     emit8(0xbf);
     emitModRmReg(bits(dst), bits(src));
+    if (w == Width::W32)
+        noteZext(dst);
 }
 
 void
@@ -523,6 +581,10 @@ Assembler::cmovcc(Cond cc, Width w, Reg dst, Reg src)
     emit8(0x0f);
     emit8(static_cast<uint8_t>(0x40 | static_cast<uint8_t>(cc)));
     emitModRmReg(bits(dst), bits(src));
+    // 32-bit cmov clears the upper half even when the move is not
+    // taken (SDM vol. 1 §3.4.1.1).
+    if (w == Width::W32)
+        noteZext(dst);
 }
 
 void
@@ -541,6 +603,8 @@ Assembler::popcnt(Width w, Reg dst, Reg src)
     emit8(0x0f);
     emit8(0xb8);
     emitModRmReg(bits(dst), bits(src));
+    if (w == Width::W32)
+        noteZext(dst);
 }
 
 // --- control flow ---
@@ -733,6 +797,8 @@ Assembler::cvttsd2si(Width w, Reg dst, Xmm src)
     emit8(0x0f);
     emit8(0x2c);
     emitModRmReg(bits(dst), bits(src));
+    if (w == Width::W32)
+        noteZext(dst);
 }
 
 }  // namespace sfi::x64

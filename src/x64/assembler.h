@@ -121,6 +121,24 @@ struct Mem
     }
 };
 
+/** Counters from the assembler's peephole layer (see setPeephole). */
+struct PeepStats
+{
+    uint64_t movsDropped = 0;   ///< dead 64-bit `mov r, r` elided
+    uint64_t zextsDropped = 0;  ///< redundant `mov r32, r32` elided
+    uint64_t xorZeros = 0;      ///< `mov r32, 0` -> `xor r32, r32`
+    uint64_t bytesSaved = 0;
+
+    void
+    merge(const PeepStats& o)
+    {
+        movsDropped += o.movsDropped;
+        zextsDropped += o.zextsDropped;
+        xorZeros += o.xorZeros;
+        bytesSaved += o.bytesSaved;
+    }
+};
+
 /** A forward-referenceable code position. */
 class Label
 {
@@ -142,6 +160,27 @@ class Assembler
   public:
     const std::vector<uint8_t>& code() const { return code_; }
     size_t size() const { return code_.size(); }
+
+    /**
+     * Enables the peephole layer. Three rewrites, all local to a single
+     * emission site:
+     *
+     *  - 64-bit `mov r, r` is dropped (an architectural no-op);
+     *  - `mov r32, r32` (the explicit zero-extension idiom) is dropped
+     *    only when the instruction emitted immediately before already
+     *    zero-extended r into its full register and no label has been
+     *    bound since (a bound label is a join point where another path
+     *    may enter without the extension);
+     *  - `mov r32, 0` becomes `xor r32, r32`.
+     *
+     * The xor rewrite clobbers EFLAGS, so clients must not materialize
+     * constants between a flag-setting instruction and its consumer
+     * (sfikit's compiler always consumes flags immediately). The SFI
+     * verifier re-proves every transformed function, so a peephole bug
+     * that voided a sandboxing proof would be caught, not shipped.
+     */
+    void setPeephole(bool on) { peephole_ = on; }
+    const PeepStats& peepStats() const { return peepStats_; }
 
     /** Creates an unbound label. */
     Label newLabel();
@@ -252,8 +291,30 @@ class Assembler
 
     void emitRel32(Label& label);
 
+    /** Records that the instruction just emitted zero-extended @p r. */
+    void
+    noteZext(Reg r)
+    {
+        zextReg_ = static_cast<int>(r);
+        zextEnd_ = code_.size();
+    }
+    /**
+     * True iff the instruction emitted immediately before (no
+     * intervening emission or label bind) left @p r zero-extended.
+     */
+    bool
+    lastZexted(Reg r) const
+    {
+        return zextReg_ == static_cast<int>(r) &&
+               zextEnd_ == code_.size() && !code_.empty();
+    }
+
     std::vector<uint8_t> code_;
     std::vector<LabelState> labels_;
+    bool peephole_ = false;
+    PeepStats peepStats_;
+    int zextReg_ = -1;   ///< register of the last zero-extending write
+    size_t zextEnd_ = 0; ///< valid only while == code_.size()
 };
 
 }  // namespace sfi::x64

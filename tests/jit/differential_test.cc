@@ -95,17 +95,26 @@ TEST_P(DifferentialTest, AllStrategiesMatchInterpreter)
 
     for (const auto& args : arg_sets) {
         RunResult ref = runInterp(m, args[0], args[1]);
-        for (const CompilerConfig& cfg : configs) {
-            RunResult got = runJit(m, cfg, args[0], args[1]);
-            std::string where = std::string(jit::name(cfg.mem)) + "/" +
-                                jit::name(cfg.cfi) + " seed=" +
-                                std::to_string(seed);
-            EXPECT_EQ(static_cast<int>(got.trap),
-                      static_cast<int>(ref.trap))
-                << where;
-            EXPECT_EQ(got.value, ref.value) << where;
-            EXPECT_EQ(got.memHash, ref.memHash) << where;
-            EXPECT_EQ(got.global0, ref.global0) << where;
+        for (const CompilerConfig& base_cfg : configs) {
+            // Optimizer on and off must both match the interpreter
+            // bit-for-bit: guard elimination and folding may change
+            // the code, never the observable results.
+            for (bool optimize : {true, false}) {
+                CompilerConfig cfg = base_cfg;
+                cfg.optimize = optimize;
+                RunResult got = runJit(m, cfg, args[0], args[1]);
+                std::string where =
+                    std::string(jit::name(cfg.mem)) + "/" +
+                    jit::name(cfg.cfi) +
+                    (optimize ? "/opt" : "/no-opt") +
+                    " seed=" + std::to_string(seed);
+                EXPECT_EQ(static_cast<int>(got.trap),
+                          static_cast<int>(ref.trap))
+                    << where;
+                EXPECT_EQ(got.value, ref.value) << where;
+                EXPECT_EQ(got.memHash, ref.memHash) << where;
+                EXPECT_EQ(got.global0, ref.global0) << where;
+            }
         }
     }
 }

@@ -70,7 +70,7 @@ TEST(CheckerAccepts, BoundsCheckDomination)
     a.ret();
     a.bind(out);  // at end-of-buffer: an out-of-function trap exit
 
-    Report rep = check(a, CompilerConfig{MemStrategy::BoundsCheck});
+    Report rep = check(a, CompilerConfig{.mem = MemStrategy::BoundsCheck});
     EXPECT_TRUE(rep.ok()) << rep.summary();
     EXPECT_EQ(rep.stats.boundsChecked, 1u);
     EXPECT_EQ(rep.stats.heapBaseReg, 1u);
@@ -90,7 +90,7 @@ TEST(CheckerAccepts, SegueBoundsDomination)
     a.ret();
     a.bind(out);
 
-    Report rep = check(a, CompilerConfig{MemStrategy::SegueBounds});
+    Report rep = check(a, CompilerConfig{.mem = MemStrategy::SegueBounds});
     EXPECT_TRUE(rep.ok()) << rep.summary();
     EXPECT_EQ(rep.stats.boundsChecked, 1u);
     EXPECT_EQ(rep.stats.heapGs, 1u);
@@ -113,8 +113,9 @@ TEST(CheckerAccepts, BoundsSurviveFigure1bTruncation)
     a.ud2();
     a.bind(out);
 
-    CompilerConfig cfg{MemStrategy::BoundsCheck, CfiMode::Lfi, true,
-                       false, true};
+    CompilerConfig cfg{.mem = MemStrategy::BoundsCheck,
+                       .cfi = CfiMode::Lfi,
+                       .untrustedIndexRegs = true};
     Report rep = check(a, cfg);
     EXPECT_TRUE(rep.ok()) << rep.summary();
     EXPECT_EQ(rep.stats.boundsChecked, 1u);
@@ -239,7 +240,7 @@ TEST(CheckerRejects, StoreWithoutBoundsCheck)
     a.store(Width::W32, Mem::baseIndex(Reg::r15, Reg::rcx, 1, 0),
             Reg::rdx);
     a.ret();
-    expectRule(check(a, CompilerConfig{MemStrategy::BoundsCheck}),
+    expectRule(check(a, CompilerConfig{.mem = MemStrategy::BoundsCheck}),
                Rule::BoundsMissing);
 }
 
@@ -257,7 +258,7 @@ TEST(CheckerRejects, BoundsCheckTooNarrow)
             Reg::rdx);
     a.ret();
     a.bind(out);
-    expectRule(check(a, CompilerConfig{MemStrategy::BoundsCheck}),
+    expectRule(check(a, CompilerConfig{.mem = MemStrategy::BoundsCheck}),
                Rule::BoundsMissing);
 }
 
@@ -433,8 +434,10 @@ allSandboxConfigs()
     };
     for (MemStrategy m : mems)
         for (CfiMode c : {CfiMode::None, CfiMode::Lfi})
-            v.push_back(CompilerConfig{m, c, true, false,
-                                       c == CfiMode::Lfi});
+            v.push_back(CompilerConfig{
+                .mem = m,
+                .cfi = c,
+                .untrustedIndexRegs = c == CfiMode::Lfi});
     v.push_back(CompilerConfig::native());  // decode-only exemption
     return v;
 }
@@ -508,7 +511,7 @@ TEST(VerifyWorkloads, StatsReflectStrategy)
     EXPECT_GT(split.heapGs, 0u);      // the load
     EXPECT_GT(split.heapBaseReg, 0u); // the store
 
-    Stats bounds = stats(CompilerConfig{MemStrategy::BoundsCheck});
+    Stats bounds = stats(CompilerConfig{.mem = MemStrategy::BoundsCheck});
     EXPECT_GT(bounds.boundsChecked, 0u);
 
     Stats lfi = stats(CompilerConfig::lfiSegue());
