@@ -27,6 +27,9 @@
  * achieved throughput — the latency-under-load view closed-loop
  * numbers hide (coordinated omission). The sweep flags the saturation
  * knee: the first rate the host fails to serve at ≥95% of offered.
+ * Each row also surfaces the §6.4.1 transition counters (entries, %gs
+ * writes performed/skipped, batch-extension requests); `--batch <n>`
+ * sets the batched-entry fairness bound (Options.batchMax).
  */
 #include <algorithm>
 #include <cerrno>
@@ -180,10 +183,11 @@ runMultithreaded(bench::JsonEmitter& json)
 
 /**
  * Open-loop latency section: offered-rate sweep with percentile rows.
- * @p fixed_rate > 0 pins a single rate instead of sweeping.
+ * @p fixed_rate > 0 pins a single rate instead of sweeping. @p batch
+ * is the §6.4.1 batched-entry fairness bound (Options.batchMax).
  */
 void
-runOpenLoop(bench::JsonEmitter& json, double fixed_rate)
+runOpenLoop(bench::JsonEmitter& json, double fixed_rate, int batch)
 {
     const auto& w = wkld::faasWorkloads()[0];
     faas::FaasHost::Options opts;
@@ -192,6 +196,7 @@ runOpenLoop(bench::JsonEmitter& json, double fixed_rate)
         1, std::min(4, int(std::thread::hardware_concurrency())));
     opts.warmAffinity = true;
     opts.ioDelayMeanMs = 0.2;
+    opts.batchMax = batch;
     auto host = faas::FaasHost::create(w.make(), std::move(opts));
     SFI_CHECK_MSG(host.isOk(), "%s", host.message().c_str());
 
@@ -211,8 +216,8 @@ runOpenLoop(bench::JsonEmitter& json, double fixed_rate)
     }
 
     std::printf("Open-loop latency, workload %s (Poisson arrivals, "
-                "sojourn time = arrival->finish):\n",
-                w.name);
+                "sojourn time = arrival->finish, batchMax=%d):\n",
+                w.name, batch);
     std::printf("%10s %10s %9s %9s %9s %9s %9s %9s\n", "rate(rps)",
                 "achieved", "p50(us)", "p90(us)", "p95(us)", "p99(us)",
                 "p99.9(us)", "max(us)");
@@ -241,6 +246,12 @@ runOpenLoop(bench::JsonEmitter& json, double fixed_rate)
         std::printf("%10.0f %10.0f %9.0f %9.0f %9.0f %9.0f %9.0f %9.0f%s\n",
                     rate, stats->throughputRps, p50, p90, p95, p99, p999,
                     pmax, saturated ? "  <- saturated" : "");
+        std::printf("%10s transitions=%llu gs-switches=%llu "
+                    "gs-skipped=%llu batched=%llu\n", "",
+                    (unsigned long long)stats->sandboxTransitions,
+                    (unsigned long long)stats->gsSwitches,
+                    (unsigned long long)stats->gsSwitchesSkipped,
+                    (unsigned long long)stats->batchedRequests);
         json.row()
             .field("section", std::string("open_loop"))
             .field("workload", std::string(w.name))
@@ -256,6 +267,11 @@ runOpenLoop(bench::JsonEmitter& json, double fixed_rate)
             .field("max_us", pmax)
             .field("queue_p99_us",
                    us(stats->latencyQueueNs.percentile(99)))
+            .field("batch_max", batch)
+            .field("sandbox_transitions", stats->sandboxTransitions)
+            .field("gs_switches", stats->gsSwitches)
+            .field("gs_switches_skipped", stats->gsSwitchesSkipped)
+            .field("batched_requests", stats->batchedRequests)
             .field("saturated", saturated ? 1 : 0);
     }
     if (rates.size() > 1) {
@@ -278,6 +294,7 @@ run(int argc, char** argv)
 
     bool sim_only = false, mt_only = false, open_loop = false;
     double rate = 0;
+    int batch = 1;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--sim-only") == 0)
             sim_only = true;
@@ -285,6 +302,20 @@ run(int argc, char** argv)
             mt_only = true;
         if (std::strcmp(argv[i], "--open-loop") == 0)
             open_loop = true;
+        if (std::strcmp(argv[i], "--batch") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--batch requires a value (batchMax)\n");
+                return 2;
+            }
+            batch = std::atoi(argv[i + 1]);
+            if (batch < 1) {
+                std::fprintf(stderr, "--batch: '%s' must be >= 1\n",
+                             argv[i + 1]);
+                return 2;
+            }
+            i++;
+        }
         if (std::strcmp(argv[i], "--rate") == 0) {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
@@ -305,7 +336,7 @@ run(int argc, char** argv)
         }
     }
     if (open_loop) {
-        runOpenLoop(json, rate);
+        runOpenLoop(json, rate, batch);
         return 0;
     }
     if (!mt_only)

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds and runs the transition-tier microbenchmark (bench_transitions)
+# and persists its machine-readable results at the repo root as
+# BENCH_transitions.json, so the per-tier transition costs can be
+# tracked across PRs. Extra arguments are forwarded to the bench
+# (e.g. --tiers-only); BUILD_DIR overrides the build tree.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j --target bench_transitions >/dev/null
+
+"$build/bench/bench_transitions" --json "$repo/BENCH_transitions.json" "$@"

@@ -88,6 +88,18 @@ class FaasHost
         uint64_t epochUs = 1000;
         /** Mean of the exponential IO delay (paper: 5 ms). */
         double ioDelayMeanMs = 5.0;
+        /**
+         * Batched entry (§6.4.1): after finishing a request, a fiber
+         * drains up to batchMax-1 additional already-arrived requests
+         * on the same instance inside one entry/exit pair, skipping
+         * the per-request transition setup. The bound is the fairness
+         * limit — a slot hands the thread back to the scheduler after
+         * at most batchMax requests even if more are queued. 1 = one
+         * request per entry (no batching). Batched requests reuse the
+         * instance without re-zeroing its memory, the warm-container
+         * semantics real FaaS platforms expose.
+         */
+        int batchMax = 1;
         uint64_t seed = 42;
         /** SFI strategy; epoch checks are forced on. */
         jit::CompilerConfig config = jit::CompilerConfig::wamrSegue();
@@ -102,6 +114,17 @@ class FaasHost
         uint64_t ioYields = 0;
         uint64_t transitions = 0;
         uint64_t checksum = 0;  ///< xor of responses (verification)
+
+        // Transition-tier counters (§6.4.1).
+        /** Sandbox entries (Instance-level transitions). */
+        uint64_t sandboxTransitions = 0;
+        /** %gs-base writes performed on entry. */
+        uint64_t gsSwitches = 0;
+        /** %gs-base writes skipped by the warm-entry cache. */
+        uint64_t gsSwitchesSkipped = 0;
+        /** Requests served as batch extensions (beyond the first in an
+         *  entry scope). */
+        uint64_t batchedRequests = 0;
 
         /** Offered arrival rate (rps); 0 for closed-loop runs. */
         double offeredRps = 0;

@@ -72,6 +72,15 @@ struct ModuleState
     std::vector<Label> funcLabels;  ///< per defined function
     /** Lazily created trap stubs, keyed by trap code. */
     std::optional<Label> trapStubs[16];
+    /**
+     * Registers the allocator handed out in any function body, by
+     * hardware number. Function prologues save only %rbp, so a pool
+     * register that is callee-saved in the System-V sense (rbx, r12,
+     * and r13/r15 when unpinned) is clobbered without being preserved —
+     * the entry trampoline owns that save. Emitting the trampolines
+     * after the bodies lets them preserve exactly this set.
+     */
+    bool gprAllocated[16] = {};
 
     Label&
     trapStub(rt::TrapKind kind)
@@ -125,12 +134,19 @@ class FunctionCompiler
     void
     buildGprPool()
     {
-        gprPool_ = {Reg::rbx, Reg::rsi, Reg::rdi, Reg::r8, Reg::r9,
-                    Reg::r10, Reg::r11, Reg::r12};
-        if (cfg_.cfi != CfiMode::Lfi)
-            gprPool_.push_back(kCodeReg);  // r13 free without LFI
+        // allocGpr pops from the back, so list callee-saved registers
+        // first: they are handed out only once every caller-saved
+        // register is live. Every callee-saved register the allocator
+        // never touches is one push/pop pair the lean entry stub can
+        // drop from its register contract.
+        gprPool_.clear();
         if (!cfg_.needsHeapBaseReg())
             gprPool_.push_back(kHeapReg);  // Segue frees r15 (§3.1)
+        if (cfg_.cfi != CfiMode::Lfi)
+            gprPool_.push_back(kCodeReg);  // r13 free without LFI
+        gprPool_.insert(gprPool_.end(),
+                        {Reg::r12, Reg::rbx, Reg::rsi, Reg::rdi, Reg::r8,
+                         Reg::r9, Reg::r10, Reg::r11});
         // A pinned register in the allocation pool would let ordinary
         // codegen clobber the sandbox base — exactly what the static
         // verifier's pin.write rule rejects. Fail loudly at compile
@@ -175,6 +191,7 @@ class FunctionCompiler
             spillOldestGpr();
         Reg r = gprFree_.back();
         gprFree_.pop_back();
+        ms_.gprAllocated[static_cast<size_t>(r)] = true;
         return r;
     }
 
@@ -1706,6 +1723,116 @@ FunctionCompiler::emitRuntimeCall3(uint32_t fn_off, int nargs)
     }
 }
 
+/**
+ * Emits the generic and the typed direct entry trampolines. Runs after
+ * every function body so the prologue can be trimmed to the register
+ * contract: the callee-saved registers the allocator actually handed
+ * out (ModuleState::gprAllocated) plus the pins the stub itself must
+ * establish (%r14 ctx always; %r15 heap base / %r13 code base when
+ * pinned). With config.fullSaveEntry the legacy shape is emitted
+ * instead — an rbp frame plus the full callee-saved set — so the seed
+ * transition cost stays measurable on identical sandbox code.
+ */
+void
+emitEntryStubs(ModuleState& ms, CompiledModule& out)
+{
+    Assembler& a = ms.asm_;
+    const CompilerConfig& cfg = ms.config;
+
+    std::vector<Reg> saves;
+    if (cfg.fullSaveEntry) {
+        saves = {Reg::rbx, Reg::r12, Reg::r13, Reg::r14, Reg::r15};
+    } else {
+        auto want = [&](Reg r, bool stub_writes) {
+            if (stub_writes || ms.gprAllocated[static_cast<size_t>(r)])
+                saves.push_back(r);
+        };
+        want(Reg::rbx, false);
+        want(Reg::r12, false);
+        want(kCodeReg, cfg.cfi == CfiMode::Lfi);
+        want(kCtxReg, true);
+        want(kHeapReg, cfg.needsHeapBaseReg());
+    }
+    for (Reg r : saves)
+        out.entrySavedRegs |= 1u << static_cast<uint32_t>(r);
+
+    const bool frame = cfg.fullSaveEntry;
+    // The callee sees rsp ≡ 0 (mod 16) at its first instruction only if
+    // ret-addr + frame + pushes + pad total a multiple of 16 at the
+    // callReg below.
+    const size_t pushed = saves.size() + (frame ? 1 : 0);
+    const bool pad = pushed % 2 == 0;
+
+    auto prologue = [&] {
+        if (frame) {
+            a.push(Reg::rbp);
+            a.mov(Width::W64, Reg::rbp, Reg::rsp);
+        }
+        for (Reg r : saves)
+            a.push(r);
+        if (pad)
+            a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 8);
+    };
+    auto pins = [&] {
+        if (cfg.needsHeapBaseReg())
+            a.load(Width::W64, false, kHeapReg, ctxField(kOffMemBase));
+        if (cfg.cfi == CfiMode::Lfi)
+            a.load(Width::W64, false, kCodeReg, ctxField(kOffCodeBase));
+    };
+    auto epilogue = [&] {
+        a.movqFromXmm(Reg::rdx, Xmm::xmm0);  // EntryResult.f64Bits
+        if (pad)
+            a.aluImm(AluOp::Add, Width::W64, Reg::rsp, 8);
+        for (auto it = saves.rbegin(); it != saves.rend(); ++it)
+            a.pop(*it);
+        if (frame)
+            a.pop(Reg::rbp);
+        a.ret();
+    };
+
+    // --- generic entry trampoline ---
+    // EntryResult entry(JitContext* ctx /*rdi*/, const void* fn /*rsi*/,
+    //                   const uint64_t* args /*rdx*/)
+    out.entryOffset = a.size();
+    prologue();
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);  // target fn
+    a.mov(Width::W64, Reg::r10, Reg::rdx);  // args array
+    pins();
+    a.load(Width::W64, false, Reg::rdi, Mem::baseDisp(Reg::r10, 0));
+    a.load(Width::W64, false, Reg::rsi, Mem::baseDisp(Reg::r10, 8));
+    a.load(Width::W64, false, Reg::rdx, Mem::baseDisp(Reg::r10, 16));
+    a.load(Width::W64, false, Reg::rcx, Mem::baseDisp(Reg::r10, 24));
+    a.load(Width::W64, false, Reg::r8, Mem::baseDisp(Reg::r10, 32));
+    a.load(Width::W64, false, Reg::r9, Mem::baseDisp(Reg::r10, 40));
+    a.movsdLoad(Xmm::xmm0, Mem::baseDisp(Reg::r10, 48));
+    a.movsdLoad(Xmm::xmm1, Mem::baseDisp(Reg::r10, 56));
+    a.movsdLoad(Xmm::xmm2, Mem::baseDisp(Reg::r10, 64));
+    a.movsdLoad(Xmm::xmm3, Mem::baseDisp(Reg::r10, 72));
+    a.callReg(Reg::r11);
+    epilogue();
+    out.entrySize = a.size() - out.entryOffset;
+
+    // --- direct entry trampoline (springboard elimination) ---
+    // EntryResult direct(JitContext* ctx /*rdi*/, const void* fn /*rsi*/,
+    //                    uint64_t a0 /*rdx*/, uint64_t a1 /*rcx*/,
+    //                    uint64_t a2 /*r8*/, uint64_t a3 /*r9*/)
+    // Integer args shift down two ABI slots into the internal
+    // convention; no marshal array is touched.
+    out.directEntryOffset = a.size();
+    prologue();
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);  // target fn
+    a.mov(Width::W64, Reg::rdi, Reg::rdx);  // a0
+    a.mov(Width::W64, Reg::rsi, Reg::rcx);  // a1
+    a.mov(Width::W64, Reg::rdx, Reg::r8);   // a2
+    a.mov(Width::W64, Reg::rcx, Reg::r9);   // a3
+    pins();
+    a.callReg(Reg::r11);
+    epilogue();
+    out.directEntrySize = a.size() - out.directEntryOffset;
+}
+
 }  // namespace
 
 const char*
@@ -1750,47 +1877,10 @@ compile(const wasm::Module& module, const CompilerConfig& config)
     CompiledModule out;
     out.config = config;
 
-    // --- generic entry trampoline ---
-    // EntryResult entry(JitContext* ctx /*rdi*/, const void* fn /*rsi*/,
-    //                   const uint64_t* args /*rdx*/)
-    out.entryOffset = a.size();
-    a.push(Reg::rbp);
-    a.mov(Width::W64, Reg::rbp, Reg::rsp);
-    a.push(Reg::rbx);
-    a.push(Reg::r12);
-    a.push(Reg::r13);
-    a.push(Reg::r14);
-    a.push(Reg::r15);
-    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 8);  // 16-byte alignment
-    a.mov(Width::W64, Reg::r14, Reg::rdi);
-    a.mov(Width::W64, Reg::r11, Reg::rsi);   // target fn
-    a.mov(Width::W64, Reg::r10, Reg::rdx);   // args array
-    if (config.needsHeapBaseReg())
-        a.load(Width::W64, false, kHeapReg, ctxField(kOffMemBase));
-    if (config.cfi == CfiMode::Lfi)
-        a.load(Width::W64, false, kCodeReg, ctxField(kOffCodeBase));
-    a.load(Width::W64, false, Reg::rdi, Mem::baseDisp(Reg::r10, 0));
-    a.load(Width::W64, false, Reg::rsi, Mem::baseDisp(Reg::r10, 8));
-    a.load(Width::W64, false, Reg::rdx, Mem::baseDisp(Reg::r10, 16));
-    a.load(Width::W64, false, Reg::rcx, Mem::baseDisp(Reg::r10, 24));
-    a.load(Width::W64, false, Reg::r8, Mem::baseDisp(Reg::r10, 32));
-    a.load(Width::W64, false, Reg::r9, Mem::baseDisp(Reg::r10, 40));
-    a.movsdLoad(Xmm::xmm0, Mem::baseDisp(Reg::r10, 48));
-    a.movsdLoad(Xmm::xmm1, Mem::baseDisp(Reg::r10, 56));
-    a.movsdLoad(Xmm::xmm2, Mem::baseDisp(Reg::r10, 64));
-    a.movsdLoad(Xmm::xmm3, Mem::baseDisp(Reg::r10, 72));
-    a.callReg(Reg::r11);
-    a.movqFromXmm(Reg::rdx, Xmm::xmm0);  // EntryResult.f64Bits
-    a.aluImm(AluOp::Add, Width::W64, Reg::rsp, 8);
-    a.pop(Reg::r15);
-    a.pop(Reg::r14);
-    a.pop(Reg::r13);
-    a.pop(Reg::r12);
-    a.pop(Reg::rbx);
-    a.pop(Reg::rbp);
-    a.ret();
-
     // --- functions ---
+    // Emitted first: the entry trampolines go last so their prologues
+    // can preserve exactly the callee-saved registers the bodies were
+    // observed to allocate (emitEntryStubs).
     for (size_t i = 0; i < module.functions.size(); i++) {
         a.alignTo(16);
         a.bind(ms.funcLabels[i]);
@@ -1827,6 +1917,9 @@ compile(const wasm::Module& module, const CompilerConfig& config)
         a.callReg(Reg::rax);
         a.ud2();  // trapFn never returns
     }
+
+    // --- entry stubs (generic + typed direct) ---
+    emitEntryStubs(ms, out);
 
     out.totalCodeBytes = a.size();
     out.optStats.peepMovsDropped = a.peepStats().movsDropped;

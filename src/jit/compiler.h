@@ -39,8 +39,24 @@ struct CompiledModule
     std::vector<uint64_t> funcOffsets;
     /** Machine-code bytes per defined function (Table 2 measurements). */
     std::vector<uint64_t> funcCodeSizes;
-    /** Offset of the generic entry trampoline. */
+    /**
+     * Offset/size of the generic entry trampoline. The entry stubs are
+     * emitted after the function bodies and trap stubs so their
+     * prologues can save exactly the callee-saved registers the
+     * module's code was observed to allocate (the register contract);
+     * the verifier proves them separately under rule entry.contract.
+     */
     uint64_t entryOffset = 0;
+    uint64_t entrySize = 0;
+    /** Offset/size of the typed direct-entry trampoline. */
+    uint64_t directEntryOffset = 0;
+    uint64_t directEntrySize = 0;
+    /**
+     * Callee-saved registers the entry stubs push (bit = hw register
+     * number). Always includes %r14; %r15/%r13 when pinned; %rbx/%r12
+     * (and unpinned %r13/%r15) only when some function allocated them.
+     */
+    uint32_t entrySavedRegs = 0;
     /** Total bytes of emitted code. */
     uint64_t totalCodeBytes = 0;
     /**
@@ -75,6 +91,23 @@ struct CompiledModule
     entry() const
     {
         return code.entry<EntryFn>(entryOffset);
+    }
+
+    /**
+     * Typed direct entry: up to four integer arguments arrive in
+     * registers, no marshal-slot array. Springboard elimination for
+     * known-signature exports — callers with >4 or non-integer params
+     * must use the generic trampoline. f64 results still arrive in
+     * f64Bits (mirrored from xmm0).
+     */
+    using DirectEntryFn = EntryResult (*)(JitContext* ctx, const void* fn,
+                                          uint64_t a0, uint64_t a1,
+                                          uint64_t a2, uint64_t a3);
+
+    DirectEntryFn
+    directEntry() const
+    {
+        return code.entry<DirectEntryFn>(directEntryOffset);
     }
 
     /** Native address of defined function @p defined_idx. */

@@ -88,6 +88,16 @@ struct CompilerConfig
      * must still pass verify::checkModule.
      */
     bool optimize = true;
+    /**
+     * Emit the legacy full-save entry stubs: an rbp frame plus an
+     * unconditional push/pop of every callee-saved GPR, whether or not
+     * the module's code can touch it. Default off — the lean tier trims
+     * the save set to the registers the JIT actually allocated (tracked
+     * during compilation) plus the pins it must establish. Kept as a
+     * knob so bench_transitions can measure the seed trampoline against
+     * the contract tier on identical code.
+     */
+    bool fullSaveEntry = false;
 
     // --- presets used by the benchmark harnesses ---
     // Designated initializers: adding a config field can't silently

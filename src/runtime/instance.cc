@@ -33,6 +33,7 @@ Instance::create(std::shared_ptr<const SharedModule> shared,
     inst->stackBudget_ = options.stackBudget;
     inst->mpkSystem_ = options.mpkSystem;
     inst->pkey_ = options.pkey;
+    inst->tier_ = options.transitionTier;
 
     // --- memory ---
     if (options.memoryView.valid()) {
@@ -144,6 +145,75 @@ Instance::callFunction(uint32_t func_idx,
             slots[int_pos++] = args[i];
     }
 
+    const void* fn = shared_->code().funcAddr(func_idx - m.numImports());
+    return invoke(ft, fn, slots, nullptr);
+}
+
+// --- the transition in/out (§6.4.1) ---
+
+Instance::EntryScope::EntryScope(Instance* inst) : inst_(inst)
+{
+    SFI_CHECK_MSG(inst->activeScope_ == nullptr,
+                  "nested sandbox entry scope");
+    const jit::CompiledModule& code = inst->shared_->code();
+    inst->transitions_++;
+
+    // Segment base for Segue strategies.
+    if (inst->shared_->config().needsGsBase()) {
+        uint64_t base = reinterpret_cast<uint64_t>(inst->memory_.base());
+        if (inst->tier_ == TransitionTier::Lean) {
+            // Amortized: skip the write on warm re-entry, never
+            // restore — the stale base is harmless to the host.
+            if (seg::enterGsBase(base))
+                inst->gsSwitchesSkipped_++;
+            else
+                inst->gsSwitches_++;
+        } else {
+            savedGs_ = seg::getGsBase();
+            seg::setGsBase(base);
+            restoreGs_ = true;
+            inst->gsSwitches_++;
+        }
+    }
+    // MPK color for ColorGuard (always restored: the key must drop).
+    if (inst->mpkSystem_ != nullptr) {
+        savedPkru_ = inst->mpkSystem_->readPkru();
+        inst->mpkSystem_->writePkru(mpk::Pkru::allowOnly(inst->pkey_));
+    }
+    // Fault ownership. trapJmp points at each call's jump buffer and
+    // is armed in invokeInScope; between calls nothing sandboxed runs.
+    exec_.memStart = reinterpret_cast<uint64_t>(inst->memory_.base());
+    exec_.memEnd = exec_.memStart + inst->memory_.reservedBytes();
+    exec_.codeStart = reinterpret_cast<uint64_t>(code.code.base());
+    exec_.codeEnd = exec_.codeStart + code.code.size();
+    prev_ = setActiveExecution(&exec_);
+    inst->activeScope_ = this;
+}
+
+Instance::EntryScope::~EntryScope()
+{
+    inst_->activeScope_ = nullptr;
+    setActiveExecution(prev_);
+    if (inst_->mpkSystem_ != nullptr)
+        inst_->mpkSystem_->writePkru(savedPkru_);
+    if (restoreGs_)
+        seg::setGsBase(savedGs_);
+}
+
+Outcome
+Instance::invoke(const wasm::FuncType& ft, const void* fn,
+                 const uint64_t* slots, const uint64_t* direct4)
+{
+    if (activeScope_ != nullptr)
+        return invokeInScope(ft, fn, slots, direct4);
+    EntryScope scope(this);
+    return invokeInScope(ft, fn, slots, direct4);
+}
+
+Outcome
+Instance::invokeInScope(const wasm::FuncType& ft, const void* fn,
+                        const uint64_t* slots, const uint64_t* direct4)
+{
     // Refresh the parts of the context that may have changed.
     ctx_.memSize = memory_.byteSize();
     ctx_.memPages = memory_.pages();
@@ -152,39 +222,17 @@ Instance::callFunction(uint32_t func_idx,
     ctx_.stackLimit = rsp_now > stackBudget_ ? rsp_now - stackBudget_ : 0;
 
     const jit::CompiledModule& code = shared_->code();
-    const void* fn = code.funcAddr(func_idx - m.numImports());
-
-    // --- the transition in (§6.4.1) ---
-    transitions_++;
-
-    // Segment base for Segue strategies.
-    uint64_t saved_gs = 0;
-    bool set_gs = shared_->config().needsGsBase();
-    if (set_gs) {
-        saved_gs = seg::getGsBase();
-        seg::setGsBase(reinterpret_cast<uint64_t>(memory_.base()));
-    }
-    // MPK color for ColorGuard.
-    mpk::Pkru saved_pkru{};
-    if (mpkSystem_ != nullptr) {
-        saved_pkru = mpkSystem_->readPkru();
-        mpkSystem_->writePkru(mpk::Pkru::allowOnly(pkey_));
-    }
 
     sigjmp_buf jmp;
-    ActiveExecution exec;
-    exec.trapJmp = &jmp;
-    exec.memStart = reinterpret_cast<uint64_t>(memory_.base());
-    exec.memEnd = exec.memStart + memory_.reservedBytes();
-    exec.codeStart = reinterpret_cast<uint64_t>(code.code.base());
-    exec.codeEnd = exec.codeStart + code.code.size();
-    ActiveExecution* prev = setActiveExecution(&exec);
-
+    activeScope_->exec_.trapJmp = &jmp;
     Outcome out;
     int trap_code = sigsetjmp(jmp, 0);
     if (trap_code == 0) {
         jit::CompiledModule::EntryResult r =
-            code.entry()(&ctx_, fn, slots);
+            direct4 != nullptr
+                ? code.directEntry()(&ctx_, fn, direct4[0], direct4[1],
+                                     direct4[2], direct4[3])
+                : code.entry()(&ctx_, fn, slots);
         out.trap = TrapKind::None;
         if (!ft.results.empty()) {
             out.value = ft.results[0] == wasm::ValType::F64 ? r.f64Bits
@@ -195,14 +243,45 @@ Instance::callFunction(uint32_t func_idx,
     } else {
         out.trap = static_cast<TrapKind>(trap_code);
     }
-
-    // --- the transition out ---
-    setActiveExecution(prev);
-    if (mpkSystem_ != nullptr)
-        mpkSystem_->writePkru(saved_pkru);
-    if (set_gs)
-        seg::setGsBase(saved_gs);
     return out;
+}
+
+Instance::DirectEntry
+Instance::directEntry(const std::string& export_name)
+{
+    const wasm::Module& m = shared_->module();
+    auto it = m.exports.find(export_name);
+    SFI_CHECK_MSG(it != m.exports.end(), "no export named '%s'",
+                  export_name.c_str());
+    uint32_t idx = it->second;
+    SFI_CHECK_MSG(idx >= m.numImports(),
+                  "cannot call an import directly");
+    const wasm::FuncType& ft = m.typeOfFunc(idx);
+
+    DirectEntry de;
+    de.inst_ = this;
+    de.funcIdx_ = idx;
+    de.fn_ = shared_->code().funcAddr(idx - m.numImports());
+    de.direct_ = ft.params.size() <= 4;
+    for (wasm::ValType t : ft.params) {
+        if (t == wasm::ValType::F64)
+            de.direct_ = false;  // f64 params need the marshal slots
+    }
+    return de;
+}
+
+Outcome
+Instance::DirectEntry::call(const std::vector<uint64_t>& args) const
+{
+    if (!direct_)
+        return inst_->callFunction(funcIdx_, args);
+    const wasm::FuncType& ft =
+        inst_->shared_->module().typeOfFunc(funcIdx_);
+    SFI_CHECK_MSG(args.size() == ft.params.size(), "call arity mismatch");
+    uint64_t a[4] = {0, 0, 0, 0};
+    for (size_t i = 0; i < args.size(); i++)
+        a[i] = args[i];
+    return inst_->invoke(ft, fn_, nullptr, a);
 }
 
 void

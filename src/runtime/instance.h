@@ -29,10 +29,27 @@
 #include "jit/strategy.h"
 #include "mpk/mpk.h"
 #include "runtime/memory.h"
+#include "runtime/signals.h"
 #include "runtime/trap.h"
 #include "wasm/module.h"
 
 namespace sfi::rt {
+
+/**
+ * How the runtime performs the transition in/out (§6.4.1).
+ *
+ * Full is the seed behavior: read and save the current %gs base on
+ * every entry, restore it on exit. Lean amortizes the segment setup
+ * through the per-thread cache in src/seg — a warm re-entry into the
+ * same instance skips the WRGSBASE/arch_prctl entirely, and nothing is
+ * restored on exit because the host never addresses through %gs. The
+ * PKRU switch (ColorGuard) is identical in both tiers: the protection
+ * key must be dropped on exit regardless.
+ */
+enum class TransitionTier : uint8_t {
+    Full,
+    Lean,
+};
 
 /** Result of invoking a sandboxed function. */
 struct Outcome
@@ -88,6 +105,8 @@ class Instance
         /** ColorGuard: protection-key system + this sandbox's key. */
         mpk::System* mpkSystem = nullptr;
         mpk::Pkey pkey = 0;
+        /** Transition tier; Lean (amortized %gs) is the default. */
+        TransitionTier transitionTier = TransitionTier::Lean;
     };
 
     static Result<std::unique_ptr<Instance>>
@@ -102,6 +121,64 @@ class Instance
     /** Calls any defined function by index. */
     Outcome callFunction(uint32_t func_idx,
                          const std::vector<uint64_t>& args = {});
+
+    /**
+     * RAII sandbox-entry scope: performs the transition-in state
+     * switches once — %gs base, PKRU, fault ownership — and keeps them
+     * active until destruction. Calls made on the instance while the
+     * scope is alive skip that per-call setup, which is the batched
+     * "enter once, service N requests" tier (§6.4.1). At most one
+     * scope per instance; the sandbox must not be left running across
+     * host operations that change the memory base.
+     */
+    class EntryScope
+    {
+      public:
+        ~EntryScope();
+        EntryScope(const EntryScope&) = delete;
+        EntryScope& operator=(const EntryScope&) = delete;
+
+      private:
+        friend class Instance;
+        explicit EntryScope(Instance* inst);
+
+        Instance* inst_;
+        ActiveExecution exec_{};
+        ActiveExecution* prev_ = nullptr;
+        mpk::Pkru savedPkru_{};
+        uint64_t savedGs_ = 0;
+        bool restoreGs_ = false;
+    };
+
+    /** Opens an entry scope (see EntryScope). */
+    EntryScope enter() { return EntryScope(this); }
+
+    /**
+     * A resolved export bound to the typed direct-entry stub: up to
+     * four integer parameters travel in registers and the marshal-slot
+     * array is never touched (springboard elimination for the known
+     * harness signatures). Signatures the stub can't carry — more than
+     * four parameters, or any f64 parameter — fall back to the generic
+     * trampoline transparently.
+     */
+    class DirectEntry
+    {
+      public:
+        /** True when calls bypass the marshal-slot trampoline. */
+        bool direct() const { return direct_; }
+
+        Outcome call(const std::vector<uint64_t>& args = {}) const;
+
+      private:
+        friend class Instance;
+        Instance* inst_ = nullptr;
+        uint32_t funcIdx_ = 0;
+        const void* fn_ = nullptr;
+        bool direct_ = false;
+    };
+
+    /** Resolves an export to a direct entry (or generic fallback). */
+    DirectEntry directEntry(const std::string& export_name);
 
     LinearMemory& memory() { return memory_; }
     uint64_t global(uint32_t i) const { return globals_.at(i); }
@@ -132,13 +209,29 @@ class Instance
         epochCallback_ = std::move(cb);
     }
 
-    /** Transition counter (entries into the sandbox). */
+    /** Sandbox entries performed: one per entry scope, so N batched
+     *  calls inside one scope count as a single transition. */
     uint64_t transitions() const { return transitions_; }
+    /** %gs-base writes performed on entry (cold entries). */
+    uint64_t gsSwitches() const { return gsSwitches_; }
+    /** %gs-base writes skipped by the warm-entry cache (Lean tier). */
+    uint64_t gsSwitchesSkipped() const { return gsSwitchesSkipped_; }
 
     const SharedModule& shared() const { return *shared_; }
 
   private:
     Instance() = default;
+
+    /**
+     * The shared call path: marshals nothing itself — callers pass
+     * either the 10-slot generic array (@p slots) or four register
+     * args (@p direct4, non-null selects the direct stub). Opens a
+     * transient EntryScope unless one is already active.
+     */
+    Outcome invoke(const wasm::FuncType& ft, const void* fn,
+                   const uint64_t* slots, const uint64_t* direct4);
+    Outcome invokeInScope(const wasm::FuncType& ft, const void* fn,
+                          const uint64_t* slots, const uint64_t* direct4);
 
     static void trapFnImpl(void* rd, uint64_t code);
     static uint64_t growFnImpl(void* rd, uint64_t delta);
@@ -164,7 +257,11 @@ class Instance
     uint64_t stackBudget_ = 4 * kMiB;
     mpk::System* mpkSystem_ = nullptr;
     mpk::Pkey pkey_ = 0;
+    TransitionTier tier_ = TransitionTier::Lean;
+    EntryScope* activeScope_ = nullptr;
     uint64_t transitions_ = 0;
+    uint64_t gsSwitches_ = 0;
+    uint64_t gsSwitchesSkipped_ = 0;
 };
 
 }  // namespace sfi::rt

@@ -3,6 +3,7 @@
 #include <asm/prctl.h>
 #include <csetjmp>
 #include <csignal>
+#include <pthread.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
@@ -63,6 +64,34 @@ archPrctlGetGs()
     return base;
 }
 
+// --- per-thread %gs-base cache ---------------------------------------
+//
+// Every write routed through this module records the value it wrote;
+// reads are then served without touching the hardware, and warm
+// re-entries (enterGsBase) skip the write entirely. The sentinel marks
+// "unknown" — a kernel-assigned base can be any canonical address, but
+// ~0 is non-canonical, so it can never collide with a real base.
+
+constexpr uint64_t kGsUnknown = ~0ull;
+
+thread_local uint64_t tl_cached_gs = kGsUnknown;
+
+/**
+ * fork() keeps the %gs base in the child, but only the forking thread
+ * survives — conservatively drop the child's cache so the first access
+ * re-reads the hardware (the ISSUE-mandated invalidation point; also
+ * protects against vfork-style oddities).
+ */
+void
+registerForkInvalidation()
+{
+    static pthread_once_t once = PTHREAD_ONCE_INIT;
+    pthread_once(&once, [] {
+        pthread_atfork(nullptr, nullptr,
+                       [] { tl_cached_gs = kGsUnknown; });
+    });
+}
+
 }  // namespace
 
 bool
@@ -87,22 +116,52 @@ setGsBase(uint64_t base)
 void
 setGsBaseWith(GsWriteMode mode, uint64_t base)
 {
+    registerForkInvalidation();
     if (mode == GsWriteMode::Fsgsbase) {
         asm volatile("wrgsbase %0" : : "r"(base));
     } else {
         archPrctlSetGs(base);
     }
+    tl_cached_gs = base;
 }
 
 uint64_t
 getGsBase()
 {
+    if (tl_cached_gs != kGsUnknown)
+        return tl_cached_gs;
+    registerForkInvalidation();
+    uint64_t v;
     if (fsgsbaseUsable()) {
-        uint64_t v;
         asm volatile("rdgsbase %0" : "=r"(v));
-        return v;
+    } else {
+        v = archPrctlGetGs();
     }
-    return archPrctlGetGs();
+    // A real base equal to the sentinel is impossible (non-canonical),
+    // so caching unconditionally is sound.
+    tl_cached_gs = v;
+    return v;
+}
+
+bool
+enterGsBase(uint64_t base)
+{
+    if (tl_cached_gs == base)
+        return true;  // warm re-entry: the register already holds it
+    setGsBase(base);
+    return false;
+}
+
+void
+invalidateGsBaseCache()
+{
+    tl_cached_gs = kGsUnknown;
+}
+
+bool
+gsBaseCacheValid()
+{
+    return tl_cached_gs != kGsUnknown;
 }
 
 }  // namespace sfi::seg

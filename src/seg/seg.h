@@ -9,6 +9,15 @@
  * later, with kernel support), or falls back to arch_prctl(ARCH_SET_GS) —
  * a full syscall, whose extra transition cost the paper calls out for
  * older-CPU Firefox deployments.
+ *
+ * Amortization layer (transition tiers): every write made through this
+ * module is mirrored into a per-thread software cache of the current
+ * %gs base. Warm re-entry into the same sandbox — the common case under
+ * the pool's warm-slot affinity — then skips the WRGSBASE/arch_prctl
+ * entirely via enterGsBase(), and getGsBase() is a plain load instead
+ * of an RDGSBASE (or, pre-FSGSBASE, an ARCH_GET_GS syscall). The cache
+ * is invalidated in fork() children and can be invalidated explicitly;
+ * it repopulates from the hardware on the next read.
  */
 #ifndef SFIKIT_SEG_SEG_H_
 #define SFIKIT_SEG_SEG_H_
@@ -39,8 +48,31 @@ void setGsBase(uint64_t base);
 /** Sets the %gs base using a specific mode (benchmarking both paths). */
 void setGsBaseWith(GsWriteMode mode, uint64_t base);
 
-/** Reads the current %gs base. */
+/**
+ * Reads the current %gs base. Served from the per-thread cache when it
+ * is valid; otherwise reads the hardware (RDGSBASE under FSGSBASE,
+ * arch_prctl(ARCH_GET_GS) otherwise) and populates the cache.
+ */
 uint64_t getGsBase();
+
+/**
+ * Warm-entry write: sets the %gs base to @p base unless the per-thread
+ * cache proves it already holds that value. Returns true when the
+ * write was skipped (a cache hit — the amortized-transition fast path).
+ */
+bool enterGsBase(uint64_t base);
+
+/**
+ * Forgets the cached per-thread %gs base; the next getGsBase() or
+ * enterGsBase() re-reads/rewrites the hardware. Automatically invoked
+ * in the child after fork() (registered via pthread_atfork), and
+ * available for tests and for code that changes %gs behind this
+ * module's back.
+ */
+void invalidateGsBaseCache();
+
+/** True when the per-thread cache currently holds a known value. */
+bool gsBaseCacheValid();
 
 /**
  * RAII: sets the %gs base for the current scope and restores the previous
@@ -62,6 +94,27 @@ class ScopedGsBase
 
   private:
     uint64_t saved_;
+};
+
+/**
+ * RAII for the amortized tier: enters the sandbox base via the cache
+ * (skipping the write on warm re-entry) and deliberately does NOT
+ * restore the previous value — the host never addresses through %gs,
+ * so the stale base is harmless and the next entry to the same sandbox
+ * becomes free. `skipped()` reports whether the write was elided.
+ */
+class CachedGsBase
+{
+  public:
+    explicit CachedGsBase(uint64_t base) : skipped_(enterGsBase(base)) {}
+
+    bool skipped() const { return skipped_; }
+
+    CachedGsBase(const CachedGsBase&) = delete;
+    CachedGsBase& operator=(const CachedGsBase&) = delete;
+
+  private:
+    bool skipped_;
 };
 
 }  // namespace sfi::seg

@@ -1320,6 +1320,333 @@ class FnChecker
     std::vector<Block> blocks_;
 };
 
+/**
+ * Linear checker for the entry/exit trampolines (rule entry.contract).
+ * The stubs are straight-line code with exactly one call and one ret,
+ * so no CFG or dataflow join is needed — a single pass tracking a few
+ * facts proves the transition contract described in checker.h.
+ */
+class EntryStubChecker
+{
+  public:
+    EntryStubChecker(const uint8_t* code, size_t size,
+                     const CompilerConfig& cfg, uint64_t base,
+                     Report* rep)
+        : code_(code), size_(size), cfg_(cfg), base_(base), rep_(rep)
+    {
+    }
+
+    void
+    run()
+    {
+        size_t off = 0;
+        while (off < size_) {
+            Insn in;
+            if (!decode(code_ + off, size_ - off, &in)) {
+                fail(off, in, "undecodable byte(s) in entry stub");
+                return;
+            }
+            rep_->stats.instructions++;
+            if (seenRet_) {
+                fail(off, in, "instruction after the stub's ret");
+                return;
+            }
+            if (!step(off, in))
+                return;  // fail closed: stop at the first violation
+            off += in.len;
+        }
+        rep_->stats.bytes += size_;
+        if (!seenCall_)
+            failEnd("stub never calls the target function");
+        else if (!seenRet_)
+            failEnd("stub has no ret — exit edge missing");
+        if (rep_->ok())
+            rep_->stats.entryStubs++;
+    }
+
+  private:
+    static bool
+    calleeSaved(int r)
+    {
+        return r == 3 /*rbx*/ || r == kRbp || r == 12 || r == kCode ||
+               r == kCtx || r == kHeap;
+    }
+
+    /** A write to @p r is legal only if the stub saved it first. */
+    bool
+    writeOk(size_t off, const Insn& in, int r)
+    {
+        if (r == kRsp) {
+            fail(off, in, "%rsp written outside the tracked adjustment");
+            return false;
+        }
+        if (calleeSaved(r) && !isPushed(r)) {
+            fail(off, in,
+                 "callee-saved register written without a prior push");
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    isPushed(int r) const
+    {
+        for (int p : pushed_)
+            if (p == r)
+                return true;
+        return false;
+    }
+
+    bool
+    step(size_t off, const Insn& in)
+    {
+        switch (in.mn) {
+          case Mn::Nop:
+            return true;
+
+          case Mn::Push:
+            if (seenCall_ || rspAdj_ != 0) {
+                fail(off, in, "push outside the prologue");
+                return false;
+            }
+            pushed_.push_back(in.reg);
+            return true;
+
+          case Mn::Pop: {
+            if (!seenCall_) {
+                fail(off, in, "pop before the call — nothing to restore");
+                return false;
+            }
+            if (rspAdj_ != 0) {
+                fail(off, in, "pop before the rsp adjustment is undone");
+                return false;
+            }
+            if (popIdx_ >= pushed_.size()) {
+                fail(off, in, "more pops than pushes");
+                return false;
+            }
+            int expect = pushed_[pushed_.size() - 1 - popIdx_];
+            if (in.reg != expect) {
+                fail(off, in,
+                     "pops must mirror pushes in reverse order");
+                return false;
+            }
+            popIdx_++;
+            return true;
+          }
+
+          case Mn::MovRR: {
+            if (in.width != Width::W64) {
+                fail(off, in, "non-64-bit move in entry stub");
+                return false;
+            }
+            if (!writeOk(off, in, in.rm))
+                return false;
+            if (in.rm == kCtx && in.reg == 7 /*rdi*/)
+                ctxHeld_ = true;
+            else if (in.rm == 11 /*r11*/ && in.reg == 6 /*rsi*/)
+                targetHeld_ = true;
+            else if (in.rm == 10 /*r10*/ && in.reg == 2 /*rdx*/)
+                argsHeld_ = true;
+            else if (in.rm == kRbp && in.reg == kRsp)
+                ;  // full-tier frame setup (rbp push enforced above)
+            return true;
+          }
+
+          case Mn::Load: {
+            if (!in.mem.present || in.mem.seg != Seg::None ||
+                in.mem.hasIndex || in.width != Width::W64) {
+                fail(off, in, "load outside the stub's operand shapes");
+                return false;
+            }
+            if (!writeOk(off, in, in.reg))
+                return false;
+            int b = static_cast<int>(in.mem.base);
+            if (in.mem.hasBase && b == kCtx) {
+                if (!ctxHeld_) {
+                    fail(off, in,
+                         "context load before %r14 holds the "
+                         "JitContext");
+                    return false;
+                }
+                if (in.mem.disp < 0 || in.mem.disp >= kCtxBytes) {
+                    fail(off, in, "context load out of bounds");
+                    return false;
+                }
+                rep_->stats.ctxAccesses++;
+                if (in.reg == kHeap &&
+                    in.mem.disp == static_cast<int32_t>(
+                                       offsetof(jit::JitContext, memBase)))
+                    heapPinned_ = true;
+                if (in.reg == kCode &&
+                    in.mem.disp == static_cast<int32_t>(
+                                       offsetof(jit::JitContext, codeBase)))
+                    codePinned_ = true;
+                return true;
+            }
+            if (in.mem.hasBase && b == 10 /*r10: marshal slots*/) {
+                if (!argsHeld_) {
+                    fail(off, in,
+                         "arg-slot load before %r10 holds the array");
+                    return false;
+                }
+                if (in.mem.disp < 0 || in.mem.disp >= 80) {
+                    fail(off, in, "arg-slot load out of bounds");
+                    return false;
+                }
+                return true;
+            }
+            fail(off, in, "load base is neither context nor arg slots");
+            return false;
+          }
+
+          case Mn::MovsdLoad: {
+            if (!in.mem.present || in.mem.seg != Seg::None ||
+                in.mem.hasIndex || !in.mem.hasBase ||
+                static_cast<int>(in.mem.base) != 10 || !argsHeld_ ||
+                in.mem.disp < 48 || in.mem.disp >= 80) {
+                fail(off, in, "f64 load outside the marshal slots");
+                return false;
+            }
+            return true;
+          }
+
+          case Mn::MovqFromXmm:
+            // EntryResult.f64Bits mirror (xmm0 -> rdx).
+            return writeOk(off, in, in.rm);
+
+          case Mn::AluImm: {
+            if (in.reg != kRsp || in.width != Width::W64 ||
+                (in.aluOp != AluOp::Sub && in.aluOp != AluOp::Add) ||
+                in.imm <= 0 || in.imm % 8 != 0) {
+                fail(off, in, "ALU outside the rsp adjustment pair");
+                return false;
+            }
+            if (in.aluOp == AluOp::Sub) {
+                if (seenCall_) {
+                    fail(off, in, "rsp lowered after the call");
+                    return false;
+                }
+                rspAdj_ += in.imm;
+            } else {
+                if (!seenCall_) {
+                    fail(off, in, "rsp raised before the call");
+                    return false;
+                }
+                rspAdj_ -= in.imm;
+                if (rspAdj_ < 0) {
+                    fail(off, in, "rsp adjustment unbalanced");
+                    return false;
+                }
+            }
+            return true;
+          }
+
+          case Mn::CallReg: {
+            if (seenCall_) {
+                fail(off, in, "entry stub must call exactly once");
+                return false;
+            }
+            if (in.reg != 11 || !targetHeld_) {
+                fail(off, in,
+                     "call target is not the host-passed function "
+                     "(%r11 from %rsi)");
+                return false;
+            }
+            if (!ctxHeld_) {
+                fail(off, in, "%r14 does not hold the JitContext");
+                return false;
+            }
+            if (!isPushed(kCtx)) {
+                fail(off, in, "%r14 clobbered without a save");
+                return false;
+            }
+            if (cfg_.needsHeapBaseReg() && !heapPinned_) {
+                fail(off, in,
+                     "heap base %r15 not pinned before sandbox entry");
+                return false;
+            }
+            if (cfg_.cfi == CfiMode::Lfi && !codePinned_) {
+                fail(off, in,
+                     "LFI code base %r13 not pinned before sandbox "
+                     "entry");
+                return false;
+            }
+            // System-V: rsp must be 16-byte aligned at the callee's
+            // first instruction. Depth = ret addr + pushes + sub.
+            int64_t depth = 8 + 8 * static_cast<int64_t>(pushed_.size()) +
+                            rspAdj_;
+            if (depth % 16 != 0) {
+                fail(off, in, "call site breaks 16-byte alignment");
+                return false;
+            }
+            seenCall_ = true;
+            return true;
+          }
+
+          case Mn::Ret:
+            if (!seenCall_) {
+                fail(off, in, "ret before the call");
+                return false;
+            }
+            if (rspAdj_ != 0) {
+                fail(off, in, "ret with unbalanced rsp adjustment");
+                return false;
+            }
+            if (popIdx_ != pushed_.size()) {
+                fail(off, in,
+                     "ret without restoring every saved register");
+                return false;
+            }
+            seenRet_ = true;
+            return true;
+
+          default:
+            fail(off, in, "instruction outside the entry-stub subset");
+            return false;
+        }
+    }
+
+    void
+    fail(size_t off, const Insn& in, const char* why)
+    {
+        Violation v;
+        v.offset = base_ + off;
+        v.rule = Rule::EntryContract;
+        v.insn = in.mn == Mn::Invalid ? "(bad bytes)" : in.text();
+        v.detail = why;
+        rep_->violations.push_back(std::move(v));
+    }
+
+    void
+    failEnd(const char* why)
+    {
+        Violation v;
+        v.offset = base_ + size_;
+        v.rule = Rule::EntryContract;
+        v.insn = "(end of stub)";
+        v.detail = why;
+        rep_->violations.push_back(std::move(v));
+    }
+
+    const uint8_t* code_;
+    size_t size_;
+    const CompilerConfig& cfg_;
+    uint64_t base_;
+    Report* rep_;
+
+    std::vector<int> pushed_;  ///< hw numbers, in push order
+    size_t popIdx_ = 0;
+    int64_t rspAdj_ = 0;  ///< net bytes subtracted from rsp
+    bool ctxHeld_ = false;     ///< %r14 holds the JitContext
+    bool targetHeld_ = false;  ///< %r11 holds the host-passed target
+    bool argsHeld_ = false;    ///< %r10 holds the marshal-slot array
+    bool heapPinned_ = false;
+    bool codePinned_ = false;
+    bool seenCall_ = false;
+    bool seenRet_ = false;
+};
+
 }  // namespace
 
 const char*
@@ -1341,6 +1668,7 @@ name(Rule r)
       case Rule::LfiCallUnmasked: return "lfi.call.mask";
       case Rule::LfiJmpUnmasked: return "lfi.jmp.mask";
       case Rule::LfiRetUnprotected: return "lfi.ret.protect";
+      case Rule::EntryContract: return "entry.contract";
     }
     return "?";
 }
@@ -1366,6 +1694,7 @@ Stats::merge(const Stats& o)
     maskedIndirects += o.maskedIndirects;
     trustedIndirects += o.trustedIndirects;
     protectedReturns += o.protectedReturns;
+    entryStubs += o.entryStubs;
 }
 
 std::string
@@ -1415,6 +1744,12 @@ Report::summary() const
         static_cast<unsigned long long>(stats.trustedIndirects),
         static_cast<unsigned long long>(stats.protectedReturns));
     s += buf;
+    if (stats.entryStubs) {
+        std::snprintf(buf, sizeof buf,
+                      "  entry stubs proven: %llu (entry.contract)\n",
+                      static_cast<unsigned long long>(stats.entryStubs));
+        s += buf;
+    }
     return s;
 }
 
@@ -1432,35 +1767,53 @@ checkFunction(const uint8_t* code, size_t size,
 }
 
 Report
+checkEntryStub(const uint8_t* code, size_t size,
+               const jit::CompilerConfig& cfg, uint64_t base_offset)
+{
+    Report rep;
+    if (size == 0)
+        return rep;
+    EntryStubChecker ec(code, size, cfg, base_offset, &rep);
+    ec.run();
+    return rep;
+}
+
+Report
 checkModule(const jit::CompiledModule& cm)
 {
     Report rep;
+    auto absorb = [&rep](Report r) {
+        rep.stats.merge(r.stats);
+        for (auto& v : r.violations)
+            rep.violations.push_back(std::move(v));
+    };
     const uint8_t* code = static_cast<const uint8_t*>(cm.code.base());
     for (size_t i = 0; i < cm.funcOffsets.size(); i++) {
         Report r = checkFunction(code + cm.funcOffsets[i],
                                  cm.funcCodeSizes[i], cm.config,
                                  cm.funcOffsets[i], cm.minMemBytes);
-        rep.stats.merge(r.stats);
-        rep.stats.functions++;
-        for (auto& v : r.violations)
-            rep.violations.push_back(std::move(v));
+        r.stats.functions++;
+        absorb(std::move(r));
     }
     // Trap stubs sit immediately after the last function; they run
     // sandboxed (reached by in-sandbox jumps), so they are verified
-    // under the same contract. The entry trampoline is exempt trusted
-    // transition code (it writes the pins).
+    // under the same contract. The entry trampolines follow the trap
+    // stubs at the very end of the buffer (their save set is derived
+    // from the bodies), and are proven under entry.contract instead of
+    // being trusted.
+    uint64_t entry_begin =
+        cm.entrySize != 0 ? cm.entryOffset : cm.totalCodeBytes;
     if (!cm.funcOffsets.empty()) {
         uint64_t stubs =
             cm.funcOffsets.back() + cm.funcCodeSizes.back();
-        if (stubs < cm.totalCodeBytes) {
-            Report r = checkFunction(code + stubs,
-                                     cm.totalCodeBytes - stubs,
-                                     cm.config, stubs, cm.minMemBytes);
-            rep.stats.merge(r.stats);
-            for (auto& v : r.violations)
-                rep.violations.push_back(std::move(v));
-        }
+        if (stubs < entry_begin)
+            absorb(checkFunction(code + stubs, entry_begin - stubs,
+                                 cm.config, stubs, cm.minMemBytes));
     }
+    absorb(checkEntryStub(code + cm.entryOffset, cm.entrySize,
+                          cm.config, cm.entryOffset));
+    absorb(checkEntryStub(code + cm.directEntryOffset, cm.directEntrySize,
+                          cm.config, cm.directEntryOffset));
     return rep;
 }
 

@@ -65,6 +65,7 @@ enum class Rule : uint8_t {
     LfiCallUnmasked,    ///< indirect call target not masked/trusted
     LfiJmpUnmasked,     ///< indirect jump target not masked/trusted
     LfiRetUnprotected,  ///< plain ret under LFI
+    EntryContract,      ///< entry stub breaks the transition contract
 };
 
 const char* name(Rule r);
@@ -101,6 +102,8 @@ struct Stats
     uint64_t trustedIndirects = 0;  ///< targets loaded from JitContext
     uint64_t protectedReturns = 0;  ///< LFI pop/mask/jmp returns
 
+    uint64_t entryStubs = 0;  ///< entry stubs proven under entry.contract
+
     void merge(const Stats& o);
 };
 
@@ -125,10 +128,39 @@ Report checkFunction(const uint8_t* code, size_t size,
                      uint64_t min_mem_bytes = 0);
 
 /**
- * Verifies every defined function of a compiled module, plus the trap
- * stub region after the last function. The entry trampoline is exempt:
- * it is host-side transition code that *establishes* the pins
- * (loads %r15/%r13 from the context) before entering sandboxed code.
+ * Verifies one entry/exit stub under rule id `entry.contract`. The
+ * stubs are host-side transition code that *establishes* the pins, so
+ * the sandboxed-code rules don't apply; instead a dedicated linear
+ * checker proves the transition contract (§6.4.1, lean tiers):
+ *
+ *  - every instruction decodes and belongs to the small stub subset
+ *    (push/pop, reg-reg moves, context/arg-slot loads, one rsp
+ *    adjustment pair, exactly one indirect call, a trailing ret);
+ *  - the JitContext pointer is captured from %rdi before any
+ *    context-relative load, and the call target is the host-passed
+ *    %rsi (never a value fabricated inside the stub);
+ *  - every pinned register the configuration requires (%r15 heap base,
+ *    %r13 LFI code base) is loaded from the context before the call —
+ *    i.e. before the first sandboxed instruction can run;
+ *  - any callee-saved register the stub or the sandbox may write is
+ *    pushed first and popped in exact reverse order on the (single)
+ *    exit edge, with the rsp adjustment balanced — callee-saved state
+ *    is restored on every return path;
+ *  - the call site is 16-byte aligned per the System-V ABI.
+ *
+ * Fails closed: unknown bytes or any instruction outside the subset
+ * are violations.
+ */
+Report checkEntryStub(const uint8_t* code, size_t size,
+                      const jit::CompilerConfig& cfg,
+                      uint64_t base_offset = 0);
+
+/**
+ * Verifies every defined function of a compiled module, the trap stub
+ * region after the last function, and — under rule `entry.contract` —
+ * both entry trampolines (generic and typed direct), which live at the
+ * end of the code buffer so their prologues could be trimmed to the
+ * observed register contract.
  */
 Report checkModule(const jit::CompiledModule& cm);
 

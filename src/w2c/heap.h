@@ -57,6 +57,24 @@ class SandboxHeap
         }
     }
 
+    /**
+     * Amortized entry (the lean transition tier): goes through the
+     * per-thread %gs cache, so re-entering the same heap — the common
+     * per-glyph / per-chunk harness pattern — skips the segment-base
+     * write entirely, and nothing is restored on exit (the host never
+     * addresses through %gs). Use enter() when the previous base must
+     * be reinstated.
+     */
+    template <typename P>
+    void
+    enterCached() const
+    {
+        if constexpr (P::kUsesGs) {
+            seg::CachedGsBase guard(
+                reinterpret_cast<uint64_t>(memory_.base()));
+        }
+    }
+
     rt::LinearMemory& memory() { return memory_; }
 
   private:

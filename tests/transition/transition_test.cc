@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Transition-tier tests (§6.4.1): the per-thread %gs cache (write-
+ * through, explicit invalidation, fork invalidation), the Instance
+ * transition counters across tiers, direct-entry vs generic-trampoline
+ * equivalence on the registry workloads, batched entry scopes, and the
+ * entry.contract verifier rule — positive stubs for every strategy and
+ * hand-assembled negative fixtures that must fail closed.
+ */
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "jit/compiler.h"
+#include "jit/context.h"
+#include "runtime/instance.h"
+#include "seg/seg.h"
+#include "verify/checker.h"
+#include "wasm/builder.h"
+#include "wkld/workloads.h"
+#include "x64/assembler.h"
+
+namespace sfi {
+namespace {
+
+using jit::CfiMode;
+using jit::CompilerConfig;
+using jit::MemStrategy;
+using verify::Report;
+using verify::Rule;
+using wasm::ModuleBuilder;
+using x64::AluOp;
+using x64::Assembler;
+using x64::Mem;
+using x64::Reg;
+using x64::Width;
+using x64::Xmm;
+using VT = wasm::ValType;
+
+// ---------------------------------------------------------------------
+// Per-thread %gs cache.
+// ---------------------------------------------------------------------
+
+alignas(64) uint8_t g_buf_a[64];
+alignas(64) uint8_t g_buf_b[64];
+
+/** Saves and restores the host %gs base around each cache test. */
+class GsCache : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = seg::getGsBase(); }
+    void TearDown() override { seg::setGsBase(saved_); }
+
+  private:
+    uint64_t saved_ = 0;
+};
+
+TEST_F(GsCache, WriteThroughAndWarmHit)
+{
+    uint64_t a = reinterpret_cast<uint64_t>(g_buf_a);
+    uint64_t b = reinterpret_cast<uint64_t>(g_buf_b);
+    seg::setGsBase(a);
+    EXPECT_TRUE(seg::gsBaseCacheValid());
+    EXPECT_TRUE(seg::enterGsBase(a));   // warm: write skipped
+    EXPECT_FALSE(seg::enterGsBase(b));  // different base: write made
+    EXPECT_EQ(seg::getGsBase(), b);
+    EXPECT_TRUE(seg::enterGsBase(b));
+}
+
+TEST_F(GsCache, ExplicitInvalidationForcesWrite)
+{
+    uint64_t a = reinterpret_cast<uint64_t>(g_buf_a);
+    seg::setGsBase(a);
+    seg::invalidateGsBaseCache();
+    EXPECT_FALSE(seg::gsBaseCacheValid());
+    // Cold after invalidation even though the hardware already holds
+    // the value: the cache must not guess.
+    EXPECT_FALSE(seg::enterGsBase(a));
+    EXPECT_TRUE(seg::enterGsBase(a));
+}
+
+TEST_F(GsCache, ReadRepopulates)
+{
+    uint64_t a = reinterpret_cast<uint64_t>(g_buf_a);
+    seg::setGsBase(a);
+    seg::invalidateGsBaseCache();
+    EXPECT_EQ(seg::getGsBase(), a);  // hardware read...
+    EXPECT_TRUE(seg::gsBaseCacheValid());
+    EXPECT_TRUE(seg::enterGsBase(a));  // ...re-arms the warm path
+}
+
+TEST_F(GsCache, ForkChildStartsCold)
+{
+    uint64_t a = reinterpret_cast<uint64_t>(g_buf_a);
+    seg::setGsBase(a);
+    ASSERT_TRUE(seg::enterGsBase(a));
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // The pthread_atfork handler must have dropped the cache: the
+        // first entry performs the write, the second is warm again.
+        bool cold = !seg::gsBaseCacheValid();
+        bool wrote = !seg::enterGsBase(a);
+        bool warm = seg::enterGsBase(a);
+        _exit(cold && wrote && warm ? 0 : 1);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    // The parent's cache is untouched by the child.
+    EXPECT_TRUE(seg::enterGsBase(a));
+}
+
+// ---------------------------------------------------------------------
+// Instance transition counters across tiers.
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const rt::SharedModule>
+compileNop(const CompilerConfig& cfg)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto f = mb.func("nop", {VT::I32}, {VT::I32});
+    f.localGet(0).end();
+    mb.exportFunc("nop", f.index());
+    auto shared = rt::SharedModule::compile(std::move(mb).build(), cfg);
+    EXPECT_TRUE(shared.isOk()) << shared.message();
+    return *shared;
+}
+
+std::unique_ptr<rt::Instance>
+makeInstance(std::shared_ptr<const rt::SharedModule> shared,
+             rt::TransitionTier tier)
+{
+    rt::Instance::Options opts;
+    opts.transitionTier = tier;
+    auto inst =
+        rt::Instance::create(std::move(shared), {}, std::move(opts));
+    EXPECT_TRUE(inst.isOk()) << inst.message();
+    return std::move(*inst);
+}
+
+TEST(TransitionTiers, WarmReentrySkipsGsWrite)
+{
+    auto inst = makeInstance(compileNop(CompilerConfig::wamrSegue()),
+                             rt::TransitionTier::Lean);
+    for (uint64_t i = 0; i < 5; i++)
+        EXPECT_EQ(inst->call("nop", {i}).value, i);
+    // First entry may or may not hit depending on the thread's prior
+    // %gs state; every re-entry must.
+    EXPECT_EQ(inst->gsSwitches() + inst->gsSwitchesSkipped(), 5u);
+    EXPECT_GE(inst->gsSwitchesSkipped(), 4u);
+}
+
+TEST(TransitionTiers, CrossInstanceAlternationWrites)
+{
+    auto shared = compileNop(CompilerConfig::wamrSegue());
+    auto a = makeInstance(shared, rt::TransitionTier::Lean);
+    auto b = makeInstance(shared, rt::TransitionTier::Lean);
+    // A freed instance from an earlier test can leave the cache holding
+    // this instance's (recycled) base; drop it for determinism.
+    seg::invalidateGsBaseCache();
+    for (uint64_t i = 0; i < 2; i++) {
+        a->call("nop", {i});
+        b->call("nop", {i});
+    }
+    // Distinct memory bases: every alternating entry is a real switch.
+    EXPECT_EQ(a->gsSwitches(), 2u);
+    EXPECT_EQ(b->gsSwitches(), 2u);
+    EXPECT_EQ(a->gsSwitchesSkipped() + b->gsSwitchesSkipped(), 0u);
+}
+
+TEST(TransitionTiers, FullTierAlwaysWritesAndRestores)
+{
+    uint64_t host_gs = seg::getGsBase();
+    auto inst = makeInstance(compileNop(CompilerConfig::wamrSegue()),
+                             rt::TransitionTier::Full);
+    for (uint64_t i = 0; i < 3; i++)
+        inst->call("nop", {i});
+    EXPECT_EQ(inst->gsSwitches(), 3u);
+    EXPECT_EQ(inst->gsSwitchesSkipped(), 0u);
+    // The seed discipline: the host base is reinstated on every exit.
+    EXPECT_EQ(seg::getGsBase(), host_gs);
+}
+
+TEST(TransitionTiers, BatchedScopeCountsOneTransition)
+{
+    auto inst = makeInstance(compileNop(CompilerConfig::wamrSegue()),
+                             rt::TransitionTier::Lean);
+    for (uint64_t i = 0; i < 3; i++)
+        inst->call("nop", {i});
+    EXPECT_EQ(inst->transitions(), 3u);
+
+    auto de = inst->directEntry("nop");
+    ASSERT_TRUE(de.direct());
+    {
+        auto scope = inst->enter();
+        for (uint64_t i = 0; i < 5; i++)
+            EXPECT_EQ(de.call({i}).value, i);
+    }
+    // Five batched calls amortize one entry.
+    EXPECT_EQ(inst->transitions(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Direct entry vs generic trampoline equivalence.
+// ---------------------------------------------------------------------
+
+std::vector<std::pair<const char*, CompilerConfig>>
+allConfigs()
+{
+    return {
+        {"native", CompilerConfig::native()},
+        {"base", CompilerConfig::wamrBase()},
+        {"segue", CompilerConfig::wamrSegue()},
+        {"segue-loads", CompilerConfig::wamrSegueLoads()},
+        {"bounds", {.mem = MemStrategy::BoundsCheck}},
+        {"segue-bounds", {.mem = MemStrategy::SegueBounds}},
+        {"lfi-base", CompilerConfig::lfiBase()},
+        {"lfi-segue", CompilerConfig::lfiSegue()},
+    };
+}
+
+/** Runs @p w via trampoline and via direct entry on fresh instances
+ *  (identical initial state) and expects bit-identical results. */
+void
+expectDirectMatchesTrampoline(const wkld::Workload& w,
+                              const CompilerConfig& cfg,
+                              const char* cfg_name)
+{
+    auto shared = rt::SharedModule::compile(w.make(), cfg);
+    ASSERT_TRUE(shared.isOk()) << shared.message();
+    auto a = rt::Instance::create(*shared);
+    auto b = rt::Instance::create(*shared);
+    ASSERT_TRUE(a.isOk() && b.isOk());
+
+    auto via_tramp = (*a)->call("run", {w.testScale});
+    auto de = (*b)->directEntry("run");
+    ASSERT_TRUE(de.direct()) << w.name;
+    auto via_direct = de.call({w.testScale});
+
+    ASSERT_TRUE(via_tramp.ok()) << w.name << "/" << cfg_name;
+    ASSERT_TRUE(via_direct.ok()) << w.name << "/" << cfg_name;
+    EXPECT_EQ(via_tramp.value, via_direct.value)
+        << w.name << "/" << cfg_name;
+}
+
+TEST(DirectEquivalence, SightglassUnderSegue)
+{
+    for (const auto& w : wkld::sightglass())
+        expectDirectMatchesTrampoline(w, CompilerConfig::wamrSegue(),
+                                      "segue");
+}
+
+TEST(DirectEquivalence, PolyDhryUnderSegue)
+{
+    for (const auto& w : wkld::polydhry())
+        expectDirectMatchesTrampoline(w, CompilerConfig::wamrSegue(),
+                                      "segue");
+}
+
+TEST(DirectEquivalence, EveryStrategy)
+{
+    const auto& suite = wkld::sightglass();
+    for (size_t i = 0; i < 3 && i < suite.size(); i++)
+        for (const auto& [cfg_name, cfg] : allConfigs())
+            expectDirectMatchesTrampoline(suite[i], cfg, cfg_name);
+}
+
+TEST(DirectEquivalence, BatchedSequenceMatchesTransient)
+{
+    // Same call sequence on two fresh instances: one transient entry
+    // per call vs one scope over all calls. Workload state evolves
+    // identically, so the value streams must match exactly.
+    const auto& w = wkld::sightglass()[0];
+    auto shared =
+        rt::SharedModule::compile(w.make(), CompilerConfig::wamrSegue());
+    ASSERT_TRUE(shared.isOk());
+    auto a = rt::Instance::create(*shared);
+    auto b = rt::Instance::create(*shared);
+    ASSERT_TRUE(a.isOk() && b.isOk());
+
+    std::vector<uint64_t> transient, batched;
+    for (uint64_t i = 0; i < 3; i++)
+        transient.push_back((*a)->call("run", {w.testScale}).value);
+    auto de = (*b)->directEntry("run");
+    ASSERT_TRUE(de.direct());
+    {
+        auto scope = (*b)->enter();
+        for (uint64_t i = 0; i < 3; i++)
+            batched.push_back(de.call({w.testScale}).value);
+    }
+    EXPECT_EQ(transient, batched);
+}
+
+TEST(DirectEquivalence, FallbackSignaturesStillWork)
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto wide = mb.func("wide",
+                        {VT::I32, VT::I32, VT::I32, VT::I32, VT::I32},
+                        {VT::I32});
+    wide.localGet(4).end();
+    mb.exportFunc("wide", wide.index());
+    auto fp = mb.func("fp", {VT::F64}, {VT::F64});
+    fp.localGet(0).end();
+    mb.exportFunc("fp", fp.index());
+    auto shared = rt::SharedModule::compile(std::move(mb).build(),
+                                            CompilerConfig::wamrSegue());
+    ASSERT_TRUE(shared.isOk()) << shared.message();
+    auto inst = rt::Instance::create(*shared);
+    ASSERT_TRUE(inst.isOk());
+
+    // Five params: one slot too many for the register stub.
+    auto de_wide = (*inst)->directEntry("wide");
+    EXPECT_FALSE(de_wide.direct());
+    EXPECT_EQ(de_wide.call({1, 2, 3, 4, 5}).value, 5u);
+
+    // f64 param: travels in xmm, only the marshal array carries it.
+    auto de_fp = (*inst)->directEntry("fp");
+    EXPECT_FALSE(de_fp.direct());
+    uint64_t pi_bits = 0x400921fb54442d18ull;
+    EXPECT_EQ(de_fp.call({pi_bits}).value, pi_bits);
+}
+
+// ---------------------------------------------------------------------
+// entry.contract: positive stubs for every strategy.
+// ---------------------------------------------------------------------
+
+TEST(EntryContract, CompiledStubsProvenEveryStrategy)
+{
+    for (const auto& [cfg_name, base_cfg] : allConfigs()) {
+        for (bool full_save : {false, true}) {
+            CompilerConfig cfg = base_cfg;
+            cfg.fullSaveEntry = full_save;
+            auto shared = compileNop(cfg);
+            Report rep = verify::checkModule(shared->code());
+            EXPECT_TRUE(rep.ok())
+                << cfg_name << " fullSave=" << full_save << "\n"
+                << rep.summary();
+            // Generic + direct trampoline both proven.
+            EXPECT_EQ(rep.stats.entryStubs, 2u) << cfg_name;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// entry.contract: hand-assembled negative fixtures (fail closed).
+// ---------------------------------------------------------------------
+
+Report
+stubCheck(const Assembler& a, const CompilerConfig& cfg)
+{
+    return verify::checkEntryStub(a.code().data(), a.code().size(), cfg);
+}
+
+/** The checker stops at the first violation; it must carry the
+ *  entry.contract rule id. */
+void
+expectContractViolation(const Report& rep)
+{
+    ASSERT_FALSE(rep.ok()) << rep.summary();
+    ASSERT_GE(rep.violations.size(), 1u);
+    for (const auto& v : rep.violations)
+        EXPECT_STREQ(name(v.rule), "entry.contract") << rep.summary();
+    EXPECT_EQ(rep.stats.entryStubs, 0u);
+}
+
+TEST(EntryContractRejects, MinimalLeanStubAccepted)
+{
+    // Reference shape the negative fixtures are mutations of.
+    Assembler a;
+    a.push(Reg::r14);
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);
+    a.callReg(Reg::r11);
+    a.movqFromXmm(Reg::rdx, Xmm::xmm0);
+    a.pop(Reg::r14);
+    a.ret();
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_EQ(rep.stats.entryStubs, 1u);
+}
+
+TEST(EntryContractRejects, CtxClobberWithoutSave)
+{
+    Assembler a;
+    a.mov(Width::W64, Reg::r14, Reg::rdi);  // no push %r14 first
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, MissingHeapPin)
+{
+    // BaseReg requires %r15 = ctx->memBase before the call.
+    Assembler a;
+    a.push(Reg::r14);
+    a.push(Reg::r15);
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 8);
+    a.callReg(Reg::r11);
+    Report rep = stubCheck(a, CompilerConfig::wamrBase());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, MissingLfiCodePin)
+{
+    Assembler a;
+    a.push(Reg::r14);
+    a.push(Reg::r13);
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 8);
+    a.callReg(Reg::r11);
+    Report rep = stubCheck(a, CompilerConfig::lfiSegue());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, MisalignedCallSite)
+{
+    Assembler a;
+    a.push(Reg::r14);  // odd push count: already aligned...
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 8);  // ...pad breaks it
+    a.callReg(Reg::r11);
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, MissingCalleeSavedRestore)
+{
+    Assembler a;
+    a.push(Reg::r14);
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);
+    a.callReg(Reg::r11);
+    a.ret();  // exits with %r14 still holding the sandbox context
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, PopsOutOfOrder)
+{
+    Assembler a;
+    a.push(Reg::rbx);
+    a.push(Reg::r14);
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 8);
+    a.callReg(Reg::r11);
+    a.aluImm(AluOp::Add, Width::W64, Reg::rsp, 8);
+    a.pop(Reg::rbx);  // must be %r14 first (reverse order)
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, UnbalancedRspAtRet)
+{
+    Assembler a;
+    a.push(Reg::r14);
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 16);
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);
+    a.callReg(Reg::r11);  // depth 8+8+16 = 32: aligned
+    a.aluImm(AluOp::Add, Width::W64, Reg::rsp, 8);  // half undone
+    a.pop(Reg::r14);
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, InstructionAfterRet)
+{
+    Assembler a;
+    a.push(Reg::r14);
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);
+    a.callReg(Reg::r11);
+    a.pop(Reg::r14);
+    a.ret();
+    a.nop();  // trailing reachable bytes are not part of the contract
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, InstructionOutsideSubset)
+{
+    Assembler a;
+    a.push(Reg::r14);
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    // A store before sandbox entry is never part of a trusted stub.
+    a.store(Width::W64, Mem::baseDisp(Reg::r14, 0), Reg::rax);
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, RspWrittenDirectly)
+{
+    Assembler a;
+    a.push(Reg::r14);
+    a.mov(Width::W64, Reg::rsp, Reg::rbp);
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    expectContractViolation(rep);
+}
+
+TEST(EntryContractRejects, ArgSlotLoadOutOfBounds)
+{
+    Assembler a;
+    a.push(Reg::r14);
+    a.mov(Width::W64, Reg::r14, Reg::rdi);
+    a.mov(Width::W64, Reg::r11, Reg::rsi);
+    a.mov(Width::W64, Reg::r10, Reg::rdx);
+    // One slot past the 10-slot marshal array.
+    a.load(Width::W64, false, Reg::rdi, Mem::baseDisp(Reg::r10, 80));
+    Report rep = stubCheck(a, CompilerConfig::wamrSegue());
+    expectContractViolation(rep);
+}
+
+}  // namespace
+}  // namespace sfi
