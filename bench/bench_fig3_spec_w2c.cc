@@ -63,6 +63,8 @@ run(int argc, char** argv)
         json.row()
             .field("benchmark",
                    std::string(kKernels<NativePolicy>[k].name))
+            .field("scale", int(kScale))
+            .field("heap_bytes", kernelHeapBytes(kScale))
             .field("native_sec", native)
             .field("wasm2c_norm", base / native)
             .field("segue_norm", segue / native)

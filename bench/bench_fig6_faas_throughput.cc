@@ -171,7 +171,10 @@ runMultithreaded(bench::JsonEmitter& json)
                 .field("threads", threads)
                 .field("requests", stats->completed)
                 .field("rps", stats->throughputRps)
+                .field("allocations", ps.allocations)
                 .field("warm_hits", ps.warmHits)
+                .field("warm_zeroes", ps.warmZeroes)
+                .field("warm_zeroed_bytes", ps.warmZeroedBytes)
                 .field("steals", ps.steals)
                 .field("decommits", ps.decommits);
         }

@@ -195,6 +195,7 @@ runTiers(bench::JsonEmitter& json)
         json.row()
             .field("section", std::string("tiers"))
             .field("strategy", std::string(s.name))
+            .field("calls", kCalls)
             .field("full_ns", t_full)
             .field("cold_ns", t_cold)
             .field("warm_ns", t_warm)
@@ -345,6 +346,7 @@ runFaas(bench::JsonEmitter& json)
             .field("section", std::string("faas"))
             .field("workload", std::string(w.name))
             .field("batch_max", batch)
+            .field("requests", stats->completed)
             .field("rps", stats->throughputRps)
             .field("sandbox_transitions", stats->sandboxTransitions)
             .field("gs_switches", stats->gsSwitches)

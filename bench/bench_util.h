@@ -8,8 +8,10 @@
 #ifndef SFIKIT_BENCH_BENCH_UTIL_H_
 #define SFIKIT_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <string>
 #include <utility>
@@ -22,13 +24,18 @@
 namespace sfi::bench {
 
 /**
- * Times @p fn: runs it @p reps times, returns the median seconds per
- * run. A value computed by fn should be accumulated by the caller to
- * defeat dead-code elimination.
+ * Times @p fn: one untimed warmup run (absorbing first-rep page-fault
+ * and I-cache noise, matching timeMinSec's contract), then @p reps
+ * timed runs whose median seconds is returned. The median is the
+ * central-tendency estimator (robust to a few interference spikes);
+ * use timeMinSec when the noise-floor minimum is wanted instead. A
+ * value computed by fn should be accumulated by the caller to defeat
+ * dead-code elimination.
  */
 inline double
 timeMedianSec(const std::function<void()>& fn, int reps = 5)
 {
+    fn();  // warmup
     RunningStat stat;
     for (int r = 0; r < reps; r++) {
         uint64_t t0 = monotonicNs();
@@ -119,6 +126,14 @@ class JsonEmitter
         Row&
         field(const char* name, double value)
         {
+            // JSON has no NaN/Infinity literals; %.17g would print
+            // `nan`/`inf` and corrupt the file for strict parsers
+            // (like the perf-lab's). Non-finite measurements become
+            // null.
+            if (!std::isfinite(value)) {
+                fields_.emplace_back(name, "null");
+                return *this;
+            }
             char buf[64];
             std::snprintf(buf, sizeof buf, "%.17g", value);
             fields_.emplace_back(name, buf);
@@ -155,9 +170,26 @@ class JsonEmitter
         {
             std::string out;
             for (char c : s) {
-                if (c == '"' || c == '\\')
-                    out.push_back('\\');
-                out.push_back(c);
+                unsigned char u = static_cast<unsigned char>(c);
+                switch (c) {
+                case '"': out += "\\\""; break;
+                case '\\': out += "\\\\"; break;
+                case '\b': out += "\\b"; break;
+                case '\f': out += "\\f"; break;
+                case '\n': out += "\\n"; break;
+                case '\r': out += "\\r"; break;
+                case '\t': out += "\\t"; break;
+                default:
+                    // Remaining control characters are illegal raw in
+                    // JSON strings; \uXXXX-escape them.
+                    if (u < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof buf, "\\u%04x", u);
+                        out += buf;
+                    } else {
+                        out.push_back(c);
+                    }
+                }
             }
             return out;
         }
@@ -181,7 +213,12 @@ class JsonEmitter
 
     bool enabled() const { return !path_.empty(); }
 
-    /** Appends and returns a fresh result row. */
+    /**
+     * Appends and returns a fresh result row. The reference stays
+     * valid across later row() calls — rows_ is a deque precisely so a
+     * bench can hold one row open while emitting others (a vector
+     * would invalidate it on reallocation).
+     */
     Row& row()
     {
         rows_.emplace_back();
@@ -221,7 +258,7 @@ class JsonEmitter
   private:
     std::string benchName_;
     std::string path_;
-    std::vector<Row> rows_;
+    std::deque<Row> rows_;
     bool written_ = false;
 };
 

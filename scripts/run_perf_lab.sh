@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the perf-lab CLI plus the bench matrix it drives, then runs
+# every configured workload (reps x each figure bench) and rewrites the
+# authoritative BENCH_<workload>.json baselines at the repo root —
+# schema-versioned, environment-fingerprinted, bottleneck-classified.
+# Commit the refreshed baselines so `perflab check` (and the
+# perflab_gate ctest) has something to grade against.
+#
+# Usage: scripts/run_perf_lab.sh [--workload NAME] [--reps N] ...
+#   Extra arguments are forwarded to `perflab run`.
+#   BUILD_DIR overrides the build tree.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j --target perflab bench_transitions \
+    bench_fig6_faas_throughput bench_fig3_spec_w2c >/dev/null
+
+"$build/src/perflab/perflab" run \
+    --bench-dir "$build/bench" \
+    --out-dir "$repo" \
+    "$@"

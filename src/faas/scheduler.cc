@@ -13,12 +13,25 @@ namespace sfi::faas {
 EpochTimer::EpochTimer(uint64_t period_us)
 {
     thread_ = std::thread([this, period_us] {
+        // Sleep in bounded chunks rather than one nanosleep per period:
+        // tv_nsec must stay below 1e9 (a raw `period_us * 1000` fails
+        // EINVAL for any period >= 1 s, returning immediately and
+        // spinning the epoch at MHz rate), and capping each chunk keeps
+        // destruction prompt for long periods.
+        constexpr uint64_t kMaxChunkUs = 50'000;
+        const uint64_t period = std::max<uint64_t>(period_us, 1);
+        uint64_t left_us = period;
         while (!stop_.load(std::memory_order_relaxed)) {
+            uint64_t chunk = std::min(left_us, kMaxChunkUs);
             struct timespec ts;
-            ts.tv_sec = 0;
-            ts.tv_nsec = long(period_us * 1000);
+            ts.tv_sec = time_t(chunk / 1'000'000);
+            ts.tv_nsec = long(chunk % 1'000'000) * 1000;
             nanosleep(&ts, nullptr);
-            epoch_.fetch_add(1, std::memory_order_relaxed);
+            left_us -= chunk;
+            if (left_us == 0) {
+                epoch_.fetch_add(1, std::memory_order_relaxed);
+                left_us = period;
+            }
         }
     });
 }

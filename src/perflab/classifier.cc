@@ -1,0 +1,199 @@
+#include "perflab/classifier.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sfi::perflab {
+
+namespace {
+
+std::string
+fmt(const char* f, double a, double b = 0, double c = 0)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf, f, a, b, c);
+    return buf;
+}
+
+std::optional<double>
+get(const FieldView& v, const char* name)
+{
+    return v(name);
+}
+
+}  // namespace
+
+const std::vector<ClassifierRule>&
+classifierRules()
+{
+    // Ordered: the most specific evidence first. Thresholds are
+    // documented in DESIGN.md §perf-lab; keep the two in sync.
+    static const std::vector<ClassifierRule> kRules = {
+        // Warm-reuse zeroing: more than a quarter MiB memset per
+        // request means the pool spends its time scrubbing pages.
+        {"zeroing.bytes_per_request", "zeroing-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             auto bytes = get(v, "warm_zeroed_bytes");
+             auto reqs = get(v, "requests");
+             if (!bytes || !reqs || *reqs <= 0)
+                 return std::nullopt;
+             double per = *bytes / *reqs;
+             if (per < 256.0 * 1024.0)
+                 return std::nullopt;
+             return fmt("%.0f bytes zeroed per request (>= 262144)",
+                        per);
+         }},
+        // One sandbox entry per request (or more): the batched-entry
+        // tier is not amortizing and the transition tax dominates.
+        {"transition.per_request", "transition-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             auto tr = get(v, "sandbox_transitions");
+             auto reqs = get(v, "requests");
+             if (!tr || !reqs || *reqs <= 0)
+                 return std::nullopt;
+             double per = *tr / *reqs;
+             if (per < 0.5)
+                 return std::nullopt;
+             return fmt("%.2f transitions per request (>= 0.50)", per);
+         }},
+        // Tier microbench: if batching away the entry/exit work
+        // recovers >= 25% of the full-tier cost, the row measures
+        // transition overhead.
+        {"transition.tier_gap", "transition-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             auto full = get(v, "full_ns");
+             auto batched = get(v, "batched_ns");
+             if (!full || !batched || *full <= 0)
+                 return std::nullopt;
+             double gap = (*full - *batched) / *full;
+             if (gap < 0.25)
+                 return std::nullopt;
+             return fmt("full->batched recovers %.0f%% (>= 25%%)",
+                        100 * gap);
+         }},
+        // w2c harnesses: per-entry %gs save/write/restore visible
+        // against the amortized cached entry.
+        {"transition.scoped_entry", "transition-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             auto scoped = get(v, "scoped_ms");
+             auto cached = get(v, "cached_ms");
+             if (!scoped || !cached || *scoped <= 0)
+                 return std::nullopt;
+             double gap = (*scoped - *cached) / *scoped;
+             if (gap < 0.05)
+                 return std::nullopt;
+             return fmt("scoped->cached entry recovers %.1f%% (>= 5%%)",
+                        100 * gap);
+         }},
+        // Normalized-vs-native figures: >= 15% residual overhead in
+        // any sandboxed column means the inline guards are the tax.
+        {"guard.sfi_overhead", "guard-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             static const char* const kNorms[] = {
+                 "wasm2c_norm", "segue_norm", "bounds_norm",
+                 "bounds_segue_norm", "lfi_norm", "lfi_segue_norm",
+             };
+             double worst = 0;
+             const char* which = nullptr;
+             for (const char* n : kNorms) {
+                 auto x = get(v, n);
+                 if (x && *x > worst) {
+                     worst = *x;
+                     which = n;
+                 }
+             }
+             if (which == nullptr || worst < 1.15)
+                 return std::nullopt;
+             return std::string(which) + " = " +
+                    fmt("%.2fx native (>= 1.15x)", worst);
+         }},
+        // JIT guard-elision stats: most checks surviving the verified
+        // optimizer (on a row that got this far) points at guard cost.
+        {"guard.residual_checks", "guard-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             auto total = get(v, "guard_checks_total");
+             auto gone = get(v, "guard_checks_eliminated");
+             if (!total || !gone || *total < 16)
+                 return std::nullopt;
+             double residual = (*total - *gone) / *total;
+             if (residual < 0.5)
+                 return std::nullopt;
+             return fmt("%.0f%% of %0.f guard checks survive elision "
+                        "(>= 50%%)",
+                        100 * residual, *total);
+         }},
+        // Pool churn: allocations crossing shards or hitting the
+        // decommit path instead of the warm cache.
+        {"memory.pool_churn", "memory-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             auto allocs = get(v, "allocations");
+             if (!allocs || *allocs <= 0)
+                 return std::nullopt;
+             auto steals = get(v, "steals");
+             if (steals && *steals / *allocs >= 0.25)
+                 return fmt("%.0f%% of allocations stolen cross-shard "
+                            "(>= 25%%)",
+                            100 * *steals / *allocs);
+             auto warm = get(v, "warm_hits");
+             auto decommits = get(v, "decommits");
+             if (warm && decommits && *decommits >= 1 &&
+                 *warm / *allocs < 0.5)
+                 return fmt("warm-hit rate %.0f%% (< 50%%) with %.0f "
+                            "decommit batches",
+                            100 * *warm / *allocs, *decommits);
+             return std::nullopt;
+         }},
+    };
+    return kRules;
+}
+
+Classification
+classify(const FieldView& fields)
+{
+    for (const ClassifierRule& rule : classifierRules()) {
+        if (auto detail = rule.fires(fields))
+            return {rule.bottleneck, rule.id, *detail};
+    }
+    return {"balanced", "default",
+            "no rule above threshold; cost is spread across guards, "
+            "transitions, and memory"};
+}
+
+Classification
+classifyRow(const BenchRow& row)
+{
+    FieldView view =
+        [&row](const std::string& name) -> std::optional<double> {
+        auto c = row.counters.find(name);
+        if (c != row.counters.end())
+            return double(c->second);
+        auto m = row.metrics.find(name);
+        if (m != row.metrics.end() && !m->second.samples.empty())
+            return m->second.median();
+        // Numeric coordinates live in the key as strings.
+        for (const auto& [k, v] : row.key) {
+            if (k != name)
+                continue;
+            char* end = nullptr;
+            double d = std::strtod(v.c_str(), &end);
+            if (end != v.c_str() && *end == '\0')
+                return d;
+        }
+        return std::nullopt;
+    };
+    return classify(view);
+}
+
+void
+classifyAll(WorkloadResult* result)
+{
+    for (BenchRow& row : result->rows) {
+        Classification c = classifyRow(row);
+        row.bottleneck = c.bottleneck;
+        row.bottleneckRule = c.rule;
+        row.bottleneckDetail = c.detail;
+    }
+}
+
+}  // namespace sfi::perflab

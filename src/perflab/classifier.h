@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic rule-based bottleneck classifier.
+ *
+ * Mirrors rocm-perf-lab's bottleneck-classification stage: no model,
+ * no sampling — an ordered rule table over counters and metrics the
+ * benches already export, where the first rule whose predicate holds
+ * names the bottleneck. Re-running classification on the same row
+ * always yields the same answer, so the stored `bottleneck` field in a
+ * BENCH_*.json is reproducible from its own counters (the perflab CLI
+ * `classify` subcommand recomputes and cross-checks it).
+ *
+ * Classes and the evidence they key on:
+ *   zeroing-bound     warm-reuse page zeroing dominates
+ *                     (warm_zeroed_bytes per request)
+ *   transition-bound  sandbox entry/exit cost dominates
+ *                     (transitions per request, the full->batched tier
+ *                     gap, scoped-vs-cached %gs entry)
+ *   guard-bound       inline SFI checks dominate (normalized overhead
+ *                     vs native, surviving guard-check fraction)
+ *   memory-bound      pool/memory churn dominates (cold allocations,
+ *                     cross-shard steals, decommit traffic)
+ *   balanced          nothing above threshold
+ *
+ * The exact thresholds are part of the rule table below and documented
+ * in DESIGN.md; changing them is a schema-visible change (the stored
+ * classification moves), so do it deliberately.
+ */
+#ifndef SFIKIT_PERFLAB_CLASSIFIER_H_
+#define SFIKIT_PERFLAB_CLASSIFIER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "perflab/model.h"
+
+namespace sfi::perflab {
+
+/** Field accessor a rule reads: name -> value if present. */
+using FieldView = std::function<std::optional<double>(const std::string&)>;
+
+/** One classifier outcome. */
+struct Classification
+{
+    std::string bottleneck;  ///< class name, e.g. "transition-bound"
+    std::string rule;        ///< stable rule id, e.g. "transition.tier_gap"
+    std::string detail;      ///< computed evidence, human-readable
+};
+
+/** One row of the rule table. */
+struct ClassifierRule
+{
+    std::string id;          ///< stable id (DESIGN.md table)
+    std::string bottleneck;  ///< class this rule assigns
+    /** Returns evidence text when the rule fires, nullopt otherwise. */
+    std::function<std::optional<std::string>(const FieldView&)> fires;
+};
+
+/** The ordered rule table (first match wins). */
+const std::vector<ClassifierRule>& classifierRules();
+
+/** Classifies an arbitrary field view (tests feed synthetic sets). */
+Classification classify(const FieldView& fields);
+
+/** Classifies a merged row: counters + metric medians as the view. */
+Classification classifyRow(const BenchRow& row);
+
+/** Runs classifyRow over every row, storing the results in place. */
+void classifyAll(WorkloadResult* result);
+
+}  // namespace sfi::perflab
+
+#endif  // SFIKIT_PERFLAB_CLASSIFIER_H_

@@ -1,0 +1,170 @@
+#include "perflab/gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sfi::perflab {
+
+namespace {
+
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+}  // namespace
+
+GateReport
+grade(const WorkloadResult& baseline, const WorkloadResult& fresh,
+      const GateConfig& config)
+{
+    GateReport report;
+
+    if (!baseline.env.compatibleWith(fresh.env)) {
+        report.envMismatch = true;
+        report.notes.push_back(
+            "environment fingerprint differs from the baseline's "
+            "(cpu/cores/features); a perf comparison across machines "
+            "is not meaningful");
+        if (config.requireEnvMatch) {
+            // Not a failure: the gate declines to judge, which the
+            // caller surfaces as a skip.
+            return report;
+        }
+    }
+    if (baseline.workload != fresh.workload)
+        report.notes.push_back("workload name differs: baseline '" +
+                               baseline.workload + "' vs fresh '" +
+                               fresh.workload + "'");
+
+    for (const BenchRow& base_row : baseline.rows) {
+        std::string key = base_row.keyString();
+        const BenchRow* fresh_row = fresh.findRow(key);
+        if (fresh_row == nullptr) {
+            MetricVerdict v;
+            v.row = key;
+            v.metric = "(row)";
+            v.ok = false;
+            v.note = "row present in baseline but missing from the "
+                     "fresh run (lost coverage)";
+            report.verdicts.push_back(std::move(v));
+            report.pass = false;
+            report.metricsFailed++;
+            continue;
+        }
+
+        for (const auto& [name, base_stat] : base_row.metrics) {
+            if (!metricIsGated(name))
+                continue;  // recorded-only tail/diagnostic metric
+            auto it = fresh_row->metrics.find(name);
+            if (it == fresh_row->metrics.end()) {
+                MetricVerdict v;
+                v.row = key;
+                v.metric = name;
+                v.ok = false;
+                v.note = "metric missing from the fresh run";
+                report.verdicts.push_back(std::move(v));
+                report.pass = false;
+                report.metricsFailed++;
+                continue;
+            }
+            const MetricStat& fresh_stat = it->second;
+            if (base_stat.samples.empty() ||
+                fresh_stat.samples.empty())
+                continue;
+
+            MetricVerdict v;
+            v.row = key;
+            v.metric = name;
+            v.higherIsBetter = metricHigherIsBetter(name);
+            bool lower = !v.higherIsBetter;
+            // Ratio metrics center on the median: their numerator and
+            // denominator come from the same rep, so the per-rep
+            // extreme just finds the rep with the noisiest
+            // denominator (see metricIsRatio).
+            if (metricIsRatio(name)) {
+                v.baseline = base_stat.median();
+                v.fresh = fresh_stat.median();
+            } else {
+                v.baseline = base_stat.best(lower);
+                v.fresh = fresh_stat.best(lower);
+            }
+            v.band = std::max(
+                config.relFloor * std::abs(v.baseline),
+                config.madMult *
+                    std::max(base_stat.mad(), fresh_stat.mad()));
+            double regression =
+                lower ? v.fresh - v.baseline : v.baseline - v.fresh;
+            v.ok = regression <= v.band;
+            if (!v.ok) {
+                double pct = v.baseline != 0
+                                 ? 100.0 * regression /
+                                       std::abs(v.baseline)
+                                 : 0.0;
+                char buf[96];
+                std::snprintf(buf, sizeof buf,
+                              "regressed %.1f%% (band %.1f%%)", pct,
+                              v.baseline != 0
+                                  ? 100.0 * v.band /
+                                        std::abs(v.baseline)
+                                  : 0.0);
+                v.note = buf;
+                report.pass = false;
+                report.metricsFailed++;
+            }
+            report.metricsChecked++;
+            report.verdicts.push_back(std::move(v));
+        }
+
+        for (const auto& [name, stat] : fresh_row->metrics) {
+            if (base_row.metrics.find(name) == base_row.metrics.end())
+                report.notes.push_back(
+                    "new metric '" + name + "' in row [" + key +
+                    "] not in baseline; refresh the baseline to gate "
+                    "it");
+        }
+    }
+
+    for (const BenchRow& fresh_row : fresh.rows) {
+        if (baseline.findRow(fresh_row.keyString()) == nullptr)
+            report.notes.push_back(
+                "new row [" + fresh_row.keyString() +
+                "] not in baseline; refresh the baseline to gate it");
+    }
+
+    return report;
+}
+
+std::string
+formatReport(const GateReport& report, bool verbose)
+{
+    std::string out;
+    for (const MetricVerdict& v : report.verdicts) {
+        if (v.ok && !verbose)
+            continue;
+        out += v.ok ? "  ok   " : "  FAIL ";
+        out += "[" + v.row + "] " + v.metric;
+        if (v.metric != "(row)") {
+            out += ": base " + fmtDouble(v.baseline) + " -> fresh " +
+                   fmtDouble(v.fresh) + " (band " + fmtDouble(v.band) +
+                   (v.higherIsBetter ? ", higher-is-better" : "") + ")";
+        }
+        if (!v.note.empty())
+            out += " — " + v.note;
+        out += "\n";
+    }
+    for (const std::string& n : report.notes)
+        out += "  note " + n + "\n";
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "  %d metrics checked, %d failed\n",
+                  report.metricsChecked, report.metricsFailed);
+    out += buf;
+    return out;
+}
+
+}  // namespace sfi::perflab

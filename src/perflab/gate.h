@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regression gate: grades a fresh WorkloadResult against the committed
+ * baseline, per metric, inside a noise band — the "guarded" step of
+ * the profiling -> analysis -> guarded-optimization pipeline.
+ *
+ * Estimator: each metric's center is its best-of-N (min for
+ * lower-is-better metrics like times and normalized runtimes, max for
+ * higher-is-better ones like rps) — interference only ever makes a
+ * run slower, so the best sample is the noise-robust point estimate.
+ * The band around it is
+ *
+ *     band = max(rel_floor * |baseline_center|,
+ *                mad_mult * max(mad_baseline, mad_fresh))
+ *
+ * i.e. a relative floor (measurement quantization, turbo jitter) OR
+ * the observed run-to-run spread scaled up, whichever is larger —
+ * never a single-sample comparison. A metric fails when the fresh
+ * center lands outside the band on the bad side; improvements never
+ * fail.
+ *
+ * Counters are informational and never gated (a perf PR is allowed to
+ * change how many %gs switches happen — that is usually the point).
+ * Rows missing from the fresh run fail (the bench lost coverage);
+ * rows/metrics that are new pass with a note (coverage grew; commit
+ * the refreshed baseline).
+ */
+#ifndef SFIKIT_PERFLAB_GATE_H_
+#define SFIKIT_PERFLAB_GATE_H_
+
+#include <string>
+#include <vector>
+
+#include "perflab/model.h"
+
+namespace sfi::perflab {
+
+struct GateConfig
+{
+    /**
+     * Relative noise floor. 12% default: wide enough that min-of-N on
+     * an idle machine re-passes its own baseline, narrow enough that
+     * the acceptance-level 20% regression always fails. CI runs that
+     * share the machine with a parallel test sweep should widen it
+     * (the ctest wiring passes --band explicitly).
+     */
+    double relFloor = 0.12;
+    /** MAD multiplier (MAD underestimates sigma; 5x is generous). */
+    double madMult = 5.0;
+    /** Fail (true) or just note (false) env-fingerprint mismatches. */
+    bool requireEnvMatch = true;
+};
+
+/** One gated metric comparison. */
+struct MetricVerdict
+{
+    std::string row;     ///< BenchRow::keyString()
+    std::string metric;
+    double baseline = 0;  ///< baseline center (best-of-N)
+    double fresh = 0;     ///< fresh center (best-of-N)
+    double band = 0;      ///< allowed |delta| on the bad side
+    bool higherIsBetter = false;
+    bool ok = true;
+    std::string note;    ///< set for failures and notes
+};
+
+struct GateReport
+{
+    bool pass = true;
+    /** True when the env fingerprints differ (see GateConfig). */
+    bool envMismatch = false;
+    int metricsChecked = 0;
+    int metricsFailed = 0;
+    std::vector<MetricVerdict> verdicts;  ///< every gated metric
+    std::vector<std::string> notes;       ///< non-gating observations
+};
+
+/** Grades @p fresh against @p baseline. */
+GateReport grade(const WorkloadResult& baseline,
+                 const WorkloadResult& fresh, const GateConfig& config);
+
+/** Renders the report; verbose includes passing metrics. */
+std::string formatReport(const GateReport& report, bool verbose);
+
+}  // namespace sfi::perflab
+
+#endif  // SFIKIT_PERFLAB_GATE_H_

@@ -1,0 +1,603 @@
+#include "perflab/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/logging.h"
+
+namespace sfi::perflab {
+
+Json
+Json::boolean(bool b)
+{
+    Json j;
+    j.kind_ = Kind::Bool;
+    j.bool_ = b;
+    return j;
+}
+
+Json
+Json::number(double v)
+{
+    Json j;
+    if (!std::isfinite(v))
+        return j;  // null: JSON cannot carry non-finite numbers
+    j.kind_ = Kind::Number;
+    j.num_ = v;
+    return j;
+}
+
+Json
+Json::string(std::string s)
+{
+    Json j;
+    j.kind_ = Kind::String;
+    j.str_ = std::move(s);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    SFI_CHECK_MSG(isBool(), "Json::asBool on non-bool");
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    SFI_CHECK_MSG(isNumber(), "Json::asNumber on non-number");
+    return num_;
+}
+
+const std::string&
+Json::asString() const
+{
+    SFI_CHECK_MSG(isString(), "Json::asString on non-string");
+    return str_;
+}
+
+const std::vector<Json>&
+Json::items() const
+{
+    SFI_CHECK_MSG(isArray(), "Json::items on non-array");
+    return arr_;
+}
+
+void
+Json::append(Json v)
+{
+    SFI_CHECK_MSG(isArray(), "Json::append on non-array");
+    arr_.push_back(std::move(v));
+}
+
+const std::vector<std::pair<std::string, Json>>&
+Json::members() const
+{
+    SFI_CHECK_MSG(isObject(), "Json::members on non-object");
+    return obj_;
+}
+
+const Json*
+Json::find(std::string_view name) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto& [k, v] : obj_)
+        if (k == name)
+            return &v;
+    return nullptr;
+}
+
+void
+Json::set(std::string name, Json v)
+{
+    SFI_CHECK_MSG(isObject(), "Json::set on non-object");
+    for (auto& [k, existing] : obj_) {
+        if (k == name) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(std::move(name), std::move(v));
+}
+
+bool
+Json::isIntegral() const
+{
+    if (!isNumber())
+        return false;
+    return num_ == std::floor(num_) && std::abs(num_) < 9.007199254740992e15;
+}
+
+int64_t
+Json::asInt() const
+{
+    SFI_CHECK_MSG(isIntegral(), "Json::asInt on non-integral");
+    return int64_t(num_);
+}
+
+// ------------------------------------------------------------- parsing
+
+namespace {
+
+/** Recursive-descent parser over a string_view; fail-closed. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<Json>
+    run()
+    {
+        skipWs();
+        Json v;
+        if (!parseValue(&v))
+            return Result<Json>::error(error_);
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    Result<Json>
+    fail(const std::string& why)
+    {
+        return Result<Json>::error(errorAt(why));
+    }
+
+    std::string
+    errorAt(const std::string& why)
+    {
+        return "json: " + why + " at offset " + std::to_string(pos_);
+    }
+
+    bool
+    setError(const std::string& why)
+    {
+        if (error_.empty())
+            error_ = errorAt(why);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            pos_++;
+        }
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(Json* out)
+    {
+        if (++depth_ > kMaxDepth)
+            return setError("nesting too deep");
+        bool ok = parseValueInner(out);
+        depth_--;
+        return ok;
+    }
+
+    bool
+    parseValueInner(Json* out)
+    {
+        if (eof())
+            return setError("unexpected end of input");
+        char c = peek();
+        switch (c) {
+        case 'n':
+            if (!literal("null"))
+                return setError("bad literal");
+            *out = Json();
+            return true;
+        case 't':
+            if (!literal("true"))
+                return setError("bad literal");
+            *out = Json::boolean(true);
+            return true;
+        case 'f':
+            if (!literal("false"))
+                return setError("bad literal");
+            *out = Json::boolean(false);
+            return true;
+        case '"': {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = Json::string(std::move(s));
+            return true;
+        }
+        case '[':
+            return parseArray(out);
+        case '{':
+            return parseObject(out);
+        default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            // This is where `nan`, `inf`, `Infinity`, `+1`, `'str'`
+            // etc. land — exactly the corruption the strict parser
+            // exists to catch.
+            return setError(std::string("unexpected character '") + c +
+                            "'");
+        }
+    }
+
+    bool
+    parseNumber(Json* out)
+    {
+        size_t start = pos_;
+        if (!eof() && peek() == '-')
+            pos_++;
+        // Integer part: one digit, or a nonzero digit followed by more.
+        if (eof() || peek() < '0' || peek() > '9')
+            return setError("malformed number");
+        if (peek() == '0') {
+            pos_++;
+        } else {
+            while (!eof() && peek() >= '0' && peek() <= '9')
+                pos_++;
+        }
+        if (!eof() && peek() == '.') {
+            pos_++;
+            if (eof() || peek() < '0' || peek() > '9')
+                return setError("malformed number (fraction)");
+            while (!eof() && peek() >= '0' && peek() <= '9')
+                pos_++;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            pos_++;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                pos_++;
+            if (eof() || peek() < '0' || peek() > '9')
+                return setError("malformed number (exponent)");
+            while (!eof() && peek() >= '0' && peek() <= '9')
+                pos_++;
+        }
+        std::string tok(text_.substr(start, pos_ - start));
+        double v = std::strtod(tok.c_str(), nullptr);
+        if (!std::isfinite(v))
+            return setError("number out of double range");
+        *out = Json::number(v);
+        return true;
+    }
+
+    bool
+    parseString(std::string* out)
+    {
+        pos_++;  // opening quote
+        out->clear();
+        while (true) {
+            if (eof())
+                return setError("unterminated string");
+            unsigned char c = (unsigned char)text_[pos_];
+            if (c == '"') {
+                pos_++;
+                return true;
+            }
+            if (c < 0x20)
+                return setError("raw control character in string");
+            if (c != '\\') {
+                out->push_back(char(c));
+                pos_++;
+                continue;
+            }
+            pos_++;  // backslash
+            if (eof())
+                return setError("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out->push_back('"'); break;
+            case '\\': out->push_back('\\'); break;
+            case '/': out->push_back('/'); break;
+            case 'b': out->push_back('\b'); break;
+            case 'f': out->push_back('\f'); break;
+            case 'n': out->push_back('\n'); break;
+            case 'r': out->push_back('\r'); break;
+            case 't': out->push_back('\t'); break;
+            case 'u': {
+                uint32_t cp;
+                if (!parseHex4(&cp))
+                    return false;
+                // Surrogate pair handling.
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                        text_[pos_ + 1] == 'u') {
+                        pos_ += 2;
+                        uint32_t lo;
+                        if (!parseHex4(&lo))
+                            return false;
+                        if (lo < 0xDC00 || lo > 0xDFFF)
+                            return setError("invalid low surrogate");
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (lo - 0xDC00);
+                    } else {
+                        return setError("lone high surrogate");
+                    }
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    return setError("lone low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                return setError("invalid escape");
+            }
+        }
+    }
+
+    bool
+    parseHex4(uint32_t* out)
+    {
+        if (pos_ + 4 > text_.size())
+            return setError("truncated \\u escape");
+        uint32_t v = 0;
+        for (int i = 0; i < 4; i++) {
+            char c = text_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= uint32_t(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= uint32_t(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= uint32_t(c - 'A' + 10);
+            else
+                return setError("bad hex digit in \\u escape");
+        }
+        *out = v;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string* out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out->push_back(char(cp));
+        } else if (cp < 0x800) {
+            out->push_back(char(0xC0 | (cp >> 6)));
+            out->push_back(char(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out->push_back(char(0xE0 | (cp >> 12)));
+            out->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(char(0x80 | (cp & 0x3F)));
+        } else {
+            out->push_back(char(0xF0 | (cp >> 18)));
+            out->push_back(char(0x80 | ((cp >> 12) & 0x3F)));
+            out->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(char(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    bool
+    parseArray(Json* out)
+    {
+        pos_++;  // '['
+        *out = Json::array();
+        skipWs();
+        if (!eof() && peek() == ']') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            Json v;
+            skipWs();
+            if (!parseValue(&v))
+                return false;
+            out->append(std::move(v));
+            skipWs();
+            if (eof())
+                return setError("unterminated array");
+            char c = text_[pos_++];
+            if (c == ']')
+                return true;
+            if (c != ',')
+                return setError("expected ',' or ']' in array");
+            skipWs();
+            if (!eof() && peek() == ']')
+                return setError("trailing comma in array");
+        }
+    }
+
+    bool
+    parseObject(Json* out)
+    {
+        pos_++;  // '{'
+        *out = Json::object();
+        skipWs();
+        if (!eof() && peek() == '}') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (eof() || peek() != '"')
+                return setError("expected string key in object");
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (eof() || text_[pos_++] != ':')
+                return setError("expected ':' after object key");
+            skipWs();
+            Json v;
+            if (!parseValue(&v))
+                return false;
+            out->set(std::move(key), std::move(v));
+            skipWs();
+            if (eof())
+                return setError("unterminated object");
+            char c = text_[pos_++];
+            if (c == '}')
+                return true;
+            if (c != ',')
+                return setError("expected ',' or '}' in object");
+            skipWs();
+            if (!eof() && peek() == '}')
+                return setError("trailing comma in object");
+        }
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    std::string error_;
+};
+
+}  // namespace
+
+Result<Json>
+Json::parse(std::string_view text)
+{
+    return Parser(text).run();
+}
+
+// ----------------------------------------------------------- dumping
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        unsigned char u = (unsigned char)c;
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (u < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", u);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendNumber(std::string& out, double v)
+{
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", (long long)v);
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+}  // namespace
+
+void
+Json::dumpTo(std::string& out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out.push_back('\n');
+        out.append(size_t(indent) * size_t(d), ' ');
+    };
+    switch (kind_) {
+    case Kind::Null:
+        out += "null";
+        break;
+    case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Kind::Number:
+        appendNumber(out, num_);
+        break;
+    case Kind::String:
+        out.push_back('"');
+        out += jsonEscape(str_);
+        out.push_back('"');
+        break;
+    case Kind::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (size_t i = 0; i < arr_.size(); i++) {
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < arr_.size())
+                out += indent > 0 ? "," : ", ";
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+    case Kind::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (size_t i = 0; i < obj_.size(); i++) {
+            newline(depth + 1);
+            out.push_back('"');
+            out += jsonEscape(obj_[i].first);
+            out += "\": ";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < obj_.size())
+                out += indent > 0 ? "," : ", ";
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+}  // namespace sfi::perflab

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Strict JSON value model and parser for the perf-lab.
+ *
+ * The perf-lab's whole job is to treat bench `--json` output as an
+ * authoritative data source, so the parser is deliberately strict
+ * (RFC 8259): no NaN/Infinity literals, no trailing commas, no raw
+ * control characters inside strings, no trailing garbage after the
+ * top-level value. Anything the hardened JsonEmitter writes must parse
+ * here, and anything that does not parse here is a bug in the emitter
+ * — that contract is what the tests/perflab round-trip suite pins.
+ *
+ * Objects preserve insertion order (schema files stay diffable) and
+ * are small, so member lookup is a linear scan.
+ */
+#ifndef SFIKIT_PERFLAB_JSON_H_
+#define SFIKIT_PERFLAB_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+
+namespace sfi::perflab {
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Json() : kind_(Kind::Null) {}
+    static Json boolean(bool b);
+    static Json number(double v);
+    static Json string(std::string s);
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string& asString() const;
+
+    /** Array elements; panics unless isArray(). */
+    const std::vector<Json>& items() const;
+    void append(Json v);
+
+    /** Object members in insertion order; panics unless isObject(). */
+    const std::vector<std::pair<std::string, Json>>& members() const;
+    /** Member lookup; nullptr when absent (or not an object). */
+    const Json* find(std::string_view name) const;
+    /** Sets (or replaces) a member. */
+    void set(std::string name, Json v);
+
+    /** True when the number has no fractional part and fits int64. */
+    bool isIntegral() const;
+    int64_t asInt() const;
+
+    /**
+     * Parses @p text as exactly one JSON document. Strict: rejects
+     * non-finite number literals, trailing commas, unescaped control
+     * characters, bad \u escapes, and trailing non-whitespace.
+     */
+    static Result<Json> parse(std::string_view text);
+
+    /**
+     * Serializes. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits a compact single line. Output always
+     * re-parses: non-finite numbers cannot be represented and are
+     * emitted as null.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string& out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/** JSON string escaping shared with dump(); exposed for tests. */
+std::string jsonEscape(const std::string& s);
+
+}  // namespace sfi::perflab
+
+#endif  // SFIKIT_PERFLAB_JSON_H_

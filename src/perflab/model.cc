@@ -1,0 +1,498 @@
+#include "perflab/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "base/cpu.h"
+
+namespace sfi::perflab {
+
+// ------------------------------------------------------ EnvFingerprint
+
+namespace {
+
+std::string
+cpuModelName()
+{
+    std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+    if (f == nullptr)
+        return "";
+    char line[512];
+    std::string model;
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (std::strncmp(line, "model name", 10) == 0) {
+            const char* colon = std::strchr(line, ':');
+            if (colon != nullptr) {
+                model = colon + 1;
+                while (!model.empty() &&
+                       (model.front() == ' ' || model.front() == '\t'))
+                    model.erase(model.begin());
+                while (!model.empty() &&
+                       (model.back() == '\n' || model.back() == ' '))
+                    model.pop_back();
+            }
+            break;
+        }
+    }
+    std::fclose(f);
+    return model;
+}
+
+}  // namespace
+
+EnvFingerprint
+EnvFingerprint::current()
+{
+    EnvFingerprint env;
+    env.cpu = cpuModelName();
+    env.hwThreads = int(std::thread::hardware_concurrency());
+    const CpuFeatures& feat = cpuFeatures();
+    env.fsgsbase = feat.fsgsbase;
+    env.pku = feat.pku;
+    env.ospke = feat.ospke;
+    return env;
+}
+
+bool
+EnvFingerprint::compatibleWith(const EnvFingerprint& other) const
+{
+    return cpu == other.cpu && hwThreads == other.hwThreads &&
+           fsgsbase == other.fsgsbase && pku == other.pku &&
+           ospke == other.ospke;
+}
+
+Json
+EnvFingerprint::toJson() const
+{
+    Json j = Json::object();
+    j.set("cpu", Json::string(cpu));
+    j.set("hw_threads", Json::number(hwThreads));
+    j.set("fsgsbase", Json::boolean(fsgsbase));
+    j.set("pku", Json::boolean(pku));
+    j.set("ospke", Json::boolean(ospke));
+    j.set("commit", Json::string(commit));
+    return j;
+}
+
+Result<EnvFingerprint>
+EnvFingerprint::fromJson(const Json& j)
+{
+    if (!j.isObject())
+        return Result<EnvFingerprint>::error("env: not an object");
+    EnvFingerprint env;
+    if (const Json* v = j.find("cpu"); v != nullptr && v->isString())
+        env.cpu = v->asString();
+    if (const Json* v = j.find("hw_threads");
+        v != nullptr && v->isNumber())
+        env.hwThreads = int(v->asNumber());
+    if (const Json* v = j.find("fsgsbase"); v != nullptr && v->isBool())
+        env.fsgsbase = v->asBool();
+    if (const Json* v = j.find("pku"); v != nullptr && v->isBool())
+        env.pku = v->asBool();
+    if (const Json* v = j.find("ospke"); v != nullptr && v->isBool())
+        env.ospke = v->asBool();
+    if (const Json* v = j.find("commit"); v != nullptr && v->isString())
+        env.commit = v->asString();
+    return env;
+}
+
+// ---------------------------------------------------------- MetricStat
+
+double
+MetricStat::minOf() const
+{
+    return samples.empty()
+               ? 0.0
+               : *std::min_element(samples.begin(), samples.end());
+}
+
+double
+MetricStat::maxOf() const
+{
+    return samples.empty()
+               ? 0.0
+               : *std::max_element(samples.begin(), samples.end());
+}
+
+double
+MetricStat::median() const
+{
+    if (samples.empty())
+        return 0.0;
+    std::vector<double> s = samples;
+    std::sort(s.begin(), s.end());
+    size_t n = s.size();
+    return n % 2 == 1 ? s[n / 2] : 0.5 * (s[n / 2 - 1] + s[n / 2]);
+}
+
+double
+MetricStat::mad() const
+{
+    if (samples.size() < 2)
+        return 0.0;
+    double med = median();
+    std::vector<double> dev;
+    dev.reserve(samples.size());
+    for (double x : samples)
+        dev.push_back(std::abs(x - med));
+    std::sort(dev.begin(), dev.end());
+    size_t n = dev.size();
+    return n % 2 == 1 ? dev[n / 2]
+                      : 0.5 * (dev[n / 2 - 1] + dev[n / 2]);
+}
+
+double
+MetricStat::best(bool lower_is_better) const
+{
+    return lower_is_better ? minOf() : maxOf();
+}
+
+// ------------------------------------------------------------ BenchRow
+
+std::string
+BenchRow::keyString() const
+{
+    std::string out;
+    for (const auto& [k, v] : key) {
+        if (!out.empty())
+            out.push_back(' ');
+        out += k + "=" + v;
+    }
+    return out.empty() ? "(row)" : out;
+}
+
+// ------------------------------------------------- field-kind inference
+
+bool
+isCoordinateField(const std::string& name)
+{
+    // Numeric fields that position a row in the sweep rather than
+    // measure it. offered_rps is the configured arrival rate
+    // (achieved_rps is the measurement).
+    static const char* const kCoords[] = {
+        "batch_max", "processes", "threads",  "workers",
+        "batch",     "scale",     "offered_rps",
+    };
+    for (const char* c : kCoords)
+        if (name == c)
+            return true;
+    return false;
+}
+
+bool
+isMetricField(const std::string& name, bool integral_in_all_reps)
+{
+    if (isCoordinateField(name))
+        return false;
+    static const char* const kMetricSuffixes[] = {
+        "_ns", "_us", "_ms", "_sec", "_norm", "_pct", "rps",
+    };
+    for (const char* suf : kMetricSuffixes) {
+        size_t n = std::strlen(suf);
+        if (name.size() >= n &&
+            name.compare(name.size() - n, n, suf) == 0)
+            return true;
+    }
+    // No unit suffix: integral-in-every-rep fields are bookkeeping
+    // counters; fractional ones are measurements.
+    return !integral_in_all_reps;
+}
+
+bool
+metricIsGated(const std::string& name)
+{
+    // max_* / *_max and p999_* record a single extreme event per run
+    // (their MAD is as noisy as they are); queue_* decomposes the
+    // gated sojourn percentiles. All stay in the file for analysis.
+    if (name.compare(0, 4, "max_") == 0)
+        return false;
+    if (name.size() >= 4 &&
+        name.compare(name.size() - 4, 4, "_max") == 0)
+        return false;
+    if (name.compare(0, 5, "p999_") == 0)
+        return false;
+    if (name.compare(0, 6, "queue_") == 0)
+        return false;
+    return true;
+}
+
+bool
+metricHigherIsBetter(const std::string& name)
+{
+    // Rates and gains go up; times, normalized runtimes, and sizes go
+    // down. Default to lower-is-better (the common case for a perf
+    // repo measuring costs).
+    if (name.size() >= 3 &&
+        name.compare(name.size() - 3, 3, "rps") == 0)
+        return true;
+    if (name.find("gain") != std::string::npos)
+        return true;
+    if (name.find("hit_pct") != std::string::npos)
+        return true;
+    return false;
+}
+
+bool
+metricIsRatio(const std::string& name)
+{
+    auto ends = [&](const char* suffix) {
+        size_t n = std::strlen(suffix);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+    };
+    return ends("_norm") || ends("_pct");
+}
+
+// ------------------------------------------------------------- merging
+
+namespace {
+
+std::string
+jsonScalarToKeyString(const Json& v)
+{
+    if (v.isString())
+        return v.asString();
+    if (v.isNumber()) {
+        Json n = v;
+        return n.dump();
+    }
+    if (v.isBool())
+        return v.asBool() ? "true" : "false";
+    return "null";
+}
+
+}  // namespace
+
+Result<WorkloadResult>
+mergeRuns(const std::string& workload, const std::vector<Json>& runs,
+          const EnvFingerprint& env)
+{
+    if (runs.empty())
+        return Result<WorkloadResult>::error("mergeRuns: no runs");
+
+    WorkloadResult out;
+    out.workload = workload;
+    out.env = env;
+    out.reps = int(runs.size());
+
+    // Pass 1: find fields that are integral in every rep (counter
+    // candidates) and pin the bench name.
+    std::map<std::string, bool> integral;  // name -> integral everywhere
+    for (const Json& run : runs) {
+        if (!run.isObject())
+            return Result<WorkloadResult>::error(
+                "mergeRuns: run is not an object");
+        const Json* bench = run.find("bench");
+        if (bench != nullptr && bench->isString()) {
+            if (out.bench.empty())
+                out.bench = bench->asString();
+            else if (out.bench != bench->asString())
+                return Result<WorkloadResult>::error(
+                    "mergeRuns: bench name changed between reps");
+        }
+        const Json* results = run.find("results");
+        if (results == nullptr || !results->isArray())
+            return Result<WorkloadResult>::error(
+                "mergeRuns: missing \"results\" array");
+        for (const Json& row : results->items()) {
+            if (!row.isObject())
+                return Result<WorkloadResult>::error(
+                    "mergeRuns: row is not an object");
+            for (const auto& [name, v] : row.members()) {
+                if (!v.isNumber())
+                    continue;
+                auto [it, inserted] = integral.emplace(name, true);
+                if (!v.isIntegral())
+                    it->second = false;
+            }
+        }
+    }
+
+    // Pass 2: build rows keyed by their identity fields; accumulate
+    // metric samples across reps; counters keep the last rep's value
+    // (they describe one run, and the last rep is the one whose
+    // metrics dominate nothing — any rep would do, last is simplest
+    // and deterministic).
+    std::vector<BenchRow> rows;
+    std::map<std::string, size_t> index;  // keyString -> rows index
+    for (const Json& run : runs) {
+        const Json* results = run.find("results");
+        for (const Json& jrow : results->items()) {
+            BenchRow probe;
+            for (const auto& [name, v] : jrow.members()) {
+                if (v.isString() || v.isBool() ||
+                    (v.isNumber() && isCoordinateField(name)))
+                    probe.key.emplace_back(name,
+                                           jsonScalarToKeyString(v));
+            }
+            std::string ks = probe.keyString();
+            auto [it, inserted] = index.emplace(ks, rows.size());
+            if (inserted)
+                rows.push_back(std::move(probe));
+            BenchRow& row = rows[it->second];
+
+            for (const auto& [name, v] : jrow.members()) {
+                if (v.isNull())
+                    continue;  // hardened-emitter non-finite value
+                if (!v.isNumber() || isCoordinateField(name))
+                    continue;
+                if (isMetricField(name, integral.at(name)))
+                    row.metrics[name].samples.push_back(v.asNumber());
+                else
+                    row.counters[name] = v.asInt();
+            }
+        }
+    }
+
+    out.rows = std::move(rows);
+    return out;
+}
+
+// ----------------------------------------------------- (de)serializing
+
+const BenchRow*
+WorkloadResult::findRow(const std::string& key_string) const
+{
+    for (const BenchRow& r : rows)
+        if (r.keyString() == key_string)
+            return &r;
+    return nullptr;
+}
+
+Json
+WorkloadResult::toJson() const
+{
+    Json j = Json::object();
+    j.set("schema_version", Json::number(schemaVersion));
+    j.set("workload", Json::string(workload));
+    j.set("bench", Json::string(bench));
+    j.set("env", env.toJson());
+    j.set("reps", Json::number(reps));
+
+    Json jrows = Json::array();
+    for (const BenchRow& row : rows) {
+        Json jr = Json::object();
+        Json jkey = Json::object();
+        for (const auto& [k, v] : row.key)
+            jkey.set(k, Json::string(v));
+        jr.set("key", std::move(jkey));
+        jr.set("bottleneck", Json::string(row.bottleneck));
+        jr.set("bottleneck_rule", Json::string(row.bottleneckRule));
+        jr.set("bottleneck_detail",
+               Json::string(row.bottleneckDetail));
+
+        Json jmetrics = Json::object();
+        for (const auto& [name, stat] : row.metrics) {
+            Json jm = Json::object();
+            Json jsamples = Json::array();
+            for (double s : stat.samples)
+                jsamples.append(Json::number(s));
+            jm.set("samples", std::move(jsamples));
+            jm.set("min", Json::number(stat.minOf()));
+            jm.set("median", Json::number(stat.median()));
+            jm.set("mad", Json::number(stat.mad()));
+            jmetrics.set(name, std::move(jm));
+        }
+        jr.set("metrics", std::move(jmetrics));
+
+        Json jcounters = Json::object();
+        for (const auto& [name, v] : row.counters)
+            jcounters.set(name, Json::number(double(v)));
+        jr.set("counters", std::move(jcounters));
+        jrows.append(std::move(jr));
+    }
+    j.set("rows", std::move(jrows));
+    return j;
+}
+
+Result<WorkloadResult>
+WorkloadResult::fromJson(const Json& j)
+{
+    using R = Result<WorkloadResult>;
+    if (!j.isObject())
+        return R::error("workload file: not a JSON object");
+    const Json* ver = j.find("schema_version");
+    if (ver == nullptr || !ver->isIntegral())
+        return R::error("workload file: missing schema_version");
+    if (ver->asInt() != kSchemaVersion)
+        return R::error("workload file: schema_version " +
+                        std::to_string(ver->asInt()) +
+                        " (this build reads " +
+                        std::to_string(kSchemaVersion) + ")");
+
+    WorkloadResult out;
+    out.schemaVersion = int(ver->asInt());
+    if (const Json* v = j.find("workload");
+        v != nullptr && v->isString())
+        out.workload = v->asString();
+    if (const Json* v = j.find("bench"); v != nullptr && v->isString())
+        out.bench = v->asString();
+    if (const Json* v = j.find("env"); v != nullptr) {
+        auto env = EnvFingerprint::fromJson(*v);
+        if (!env.isOk())
+            return R::error(env.message());
+        out.env = *env;
+    }
+    if (const Json* v = j.find("reps"); v != nullptr && v->isIntegral())
+        out.reps = int(v->asInt());
+
+    const Json* jrows = j.find("rows");
+    if (jrows == nullptr || !jrows->isArray())
+        return R::error("workload file: missing rows array");
+    for (const Json& jr : jrows->items()) {
+        if (!jr.isObject())
+            return R::error("workload file: row is not an object");
+        BenchRow row;
+        if (const Json* jkey = jr.find("key");
+            jkey != nullptr && jkey->isObject()) {
+            for (const auto& [k, v] : jkey->members())
+                row.key.emplace_back(
+                    k, v.isString() ? v.asString()
+                                    : jsonScalarToKeyString(v));
+        }
+        if (const Json* v = jr.find("bottleneck");
+            v != nullptr && v->isString())
+            row.bottleneck = v->asString();
+        if (const Json* v = jr.find("bottleneck_rule");
+            v != nullptr && v->isString())
+            row.bottleneckRule = v->asString();
+        if (const Json* v = jr.find("bottleneck_detail");
+            v != nullptr && v->isString())
+            row.bottleneckDetail = v->asString();
+        if (const Json* jm = jr.find("metrics");
+            jm != nullptr && jm->isObject()) {
+            for (const auto& [name, stat] : jm->members()) {
+                MetricStat ms;
+                const Json* samples =
+                    stat.isObject() ? stat.find("samples") : nullptr;
+                if (samples == nullptr || !samples->isArray())
+                    return R::error("workload file: metric '" + name +
+                                    "' has no samples array");
+                for (const Json& s : samples->items()) {
+                    if (!s.isNumber())
+                        return R::error("workload file: metric '" +
+                                        name +
+                                        "' has a non-number sample");
+                    ms.samples.push_back(s.asNumber());
+                }
+                row.metrics.emplace(name, std::move(ms));
+            }
+        }
+        if (const Json* jc = jr.find("counters");
+            jc != nullptr && jc->isObject()) {
+            for (const auto& [name, v] : jc->members()) {
+                if (!v.isIntegral())
+                    return R::error("workload file: counter '" + name +
+                                    "' is not integral");
+                row.counters[name] = v.asInt();
+            }
+        }
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+}  // namespace sfi::perflab

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The perf-lab's data model: one authoritative, schema-versioned
+ * `BENCH_<workload>.json` per workload (rocm-perf-lab's
+ * `.rocpd_profile` idea — a single source of truth every later
+ * analysis reads, never the raw per-run emissions).
+ *
+ * A workload file records:
+ *   - schema_version and the workload/bench names,
+ *   - an environment fingerprint (CPU features, core count, commit)
+ *     so a baseline is never silently compared across machines,
+ *   - rows, each identified by a key (the row's string fields plus
+ *     coordinate fields like batch_max/threads), carrying
+ *       metrics   gated continuous measurements with per-rep samples
+ *                 and min / median / MAD aggregates,
+ *       counters  integral bookkeeping the classifier reads
+ *                 (gs_switches, sandbox_transitions, ...); recorded,
+ *                 never gated,
+ *       bottleneck  the deterministic classification + firing rule.
+ *
+ * Field-kind inference (documented in DESIGN.md §perf-lab): string
+ * fields and known coordinates form the key; numeric fields with a
+ * unit suffix (_ns/_us/_ms/_sec/_norm/_pct/rps) are metrics; numeric
+ * fields integral in every rep are counters; anything else is a
+ * metric.
+ */
+#ifndef SFIKIT_PERFLAB_MODEL_H_
+#define SFIKIT_PERFLAB_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "perflab/json.h"
+
+namespace sfi::perflab {
+
+/** Bump when the BENCH_*.json layout changes incompatibly. */
+constexpr int kSchemaVersion = 1;
+
+/** Host identity a baseline is only valid against. */
+struct EnvFingerprint
+{
+    std::string cpu;      ///< /proc/cpuinfo model name (may be empty)
+    int hwThreads = 0;    ///< std::thread::hardware_concurrency()
+    bool fsgsbase = false;
+    bool pku = false;
+    bool ospke = false;
+    std::string commit;   ///< git HEAD at collection time (informational)
+
+    /** Captures the current host (commit left empty; runner fills it). */
+    static EnvFingerprint current();
+
+    /**
+     * True when @p other was collected on compatible hardware. The
+     * commit intentionally does not participate — comparing across
+     * commits is the whole point of a regression gate.
+     */
+    bool compatibleWith(const EnvFingerprint& other) const;
+
+    Json toJson() const;
+    static Result<EnvFingerprint> fromJson(const Json& j);
+};
+
+/** Aggregates of one metric across the reps of a collection run. */
+struct MetricStat
+{
+    std::vector<double> samples;  ///< one per rep, in rep order
+
+    double minOf() const;
+    double maxOf() const;
+    double median() const;
+    /** Median absolute deviation around the median (robust spread). */
+    double mad() const;
+    /** min for lower-is-better metrics, max for higher-is-better. */
+    double best(bool lower_is_better) const;
+};
+
+/** One result row of a workload. */
+struct BenchRow
+{
+    /** Identity: string fields + coordinates, in emission order. */
+    std::vector<std::pair<std::string, std::string>> key;
+    /** Gated measurements. */
+    std::map<std::string, MetricStat> metrics;
+    /** Classifier inputs; informational. */
+    std::map<std::string, int64_t> counters;
+    /** guard-bound / transition-bound / memory-bound / zeroing-bound /
+     *  balanced. */
+    std::string bottleneck;
+    /** Stable id of the classifier rule that fired. */
+    std::string bottleneckRule;
+    /** Human-readable evidence (the computed ratio). */
+    std::string bottleneckDetail;
+
+    /** "section=tiers strategy=segue" — stable row label. */
+    std::string keyString() const;
+};
+
+/** One workload's authoritative trajectory snapshot. */
+struct WorkloadResult
+{
+    int schemaVersion = kSchemaVersion;
+    std::string workload;  ///< matrix name, e.g. "transitions"
+    std::string bench;     ///< emitting binary's bench name
+    EnvFingerprint env;
+    int reps = 0;
+
+    std::vector<BenchRow> rows;
+
+    const BenchRow* findRow(const std::string& key_string) const;
+
+    Json toJson() const;
+    static Result<WorkloadResult> fromJson(const Json& j);
+};
+
+/** True for fields that identify a row rather than measure it. */
+bool isCoordinateField(const std::string& name);
+/** True for numeric fields gated by the regression gate. */
+bool isMetricField(const std::string& name, bool integral_in_all_reps);
+/**
+ * False for metrics that are recorded but never gated: extreme-tail
+ * observations (max_*, p999_*) whose run-to-run spread is dominated by
+ * single-event noise, and queue_* diagnostics that decompose the
+ * already-gated sojourn percentiles.
+ */
+bool metricIsGated(const std::string& name);
+/** False for times/norms; true for rates (rps) and gain percentages. */
+bool metricHigherIsBetter(const std::string& name);
+/**
+ * True for ratio metrics (_norm, _pct): numerator and denominator come
+ * from the same rep, so noise does not cancel and the per-rep extremes
+ * are meaningless (a slow native denominator makes the ratio look
+ * "best"). The gate centers these on the median instead of min/max.
+ */
+bool metricIsRatio(const std::string& name);
+
+/**
+ * Merges @p runs (one parsed `{"bench":..., "results":[...]}` document
+ * per rep) into rows with per-metric sample vectors. Rows are matched
+ * across reps by key; a row missing from some rep simply has fewer
+ * samples. Fails on schema surprises (no "results" array, key fields
+ * changing type).
+ */
+Result<WorkloadResult> mergeRuns(const std::string& workload,
+                                 const std::vector<Json>& runs,
+                                 const EnvFingerprint& env);
+
+}  // namespace sfi::perflab
+
+#endif  // SFIKIT_PERFLAB_MODEL_H_

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * perflab: the continuous perf-lab as a command-line tool.
+ *
+ *   perflab list                         # show the tracked matrix
+ *   perflab run [--workload W] \
+ *       [--bench-dir D] [--out-dir D] [--reps N]
+ *                                        # refresh BENCH_<W>.json
+ *   perflab check [--workload W] \
+ *       [--baseline-dir D] [--bench-dir D] [--reps N] [--band X]
+ *                                        # fresh run vs committed
+ *                                        # baseline; the CI gate
+ *   perflab gate --baseline A --fresh B [--band X]
+ *                                        # grade two files offline
+ *   perflab classify --file F            # recompute + cross-check
+ *                                        # stored bottleneck labels
+ *
+ * Exit status: 0 pass, 1 regression/violation, 2 usage error, and 77
+ * when a check is skipped (no committed baseline for the workload, or
+ * the environment fingerprint does not match) — ctest maps 77 to
+ * SKIPPED via SKIP_RETURN_CODE so Tier-1 stays green on fresh clones
+ * and foreign machines while still printing why.
+ */
+#include <libgen.h>
+#include <unistd.h>
+
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "perflab/classifier.h"
+#include "perflab/gate.h"
+#include "perflab/json.h"
+#include "perflab/model.h"
+#include "perflab/runner.h"
+
+namespace sfi::perflab {
+namespace {
+
+constexpr int kExitSkip = 77;  ///< ctest SKIP_RETURN_CODE
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: perflab <list|run|check|gate|classify> [options]\n"
+        "  list                    print the tracked workload matrix\n"
+        "  run                     run benches, write BENCH_*.json\n"
+        "    --workload W          one workload (default: all)\n"
+        "    --bench-dir D         bench binaries (default: derived "
+        "from argv[0])\n"
+        "    --out-dir D           output directory (default: .)\n"
+        "    --reps N              repetitions per bench (default: 3)\n"
+        "  check                   run fresh, grade vs committed "
+        "baseline\n"
+        "    --workload W, --bench-dir D, --reps N (default: 1)\n"
+        "    --baseline-dir D      committed BENCH_*.json (default: .)\n"
+        "    --band X              relative noise floor (default: "
+        "0.12)\n"
+        "    --mad-mult X          MAD band multiplier (default: 5)\n"
+        "    --allow-env-mismatch  compare across machines anyway\n"
+        "  gate --baseline A --fresh B [--band X] [--mad-mult X]\n"
+        "  classify --file F       recompute bottleneck labels and\n"
+        "                          cross-check the stored ones\n");
+    return 2;
+}
+
+struct Options
+{
+    std::string workload;  // empty = all
+    std::string benchDir;
+    std::string outDir = ".";
+    std::string baselineDir = ".";
+    std::string baselineFile;
+    std::string freshFile;
+    std::string file;
+    int reps = 0;  // 0 = subcommand default
+    GateConfig gate;
+};
+
+/** perflab lives at <build>/src/perflab/; benches at <build>/bench. */
+std::string
+deriveBenchDir(const char* argv0)
+{
+    char resolved[PATH_MAX];
+    if (realpath(argv0, resolved) == nullptr)
+        return "";
+    std::string dir = dirname(resolved);  // dirname mutates its arg
+    return dir + "/../../bench";
+}
+
+bool
+parseOptions(int argc, char** argv, int first, Options* opts)
+{
+    for (int i = first; i < argc; i++) {
+        auto needsValue = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--workload") == 0) {
+            const char* v = needsValue("--workload");
+            if (v == nullptr)
+                return false;
+            opts->workload = v;
+        } else if (std::strcmp(argv[i], "--bench-dir") == 0) {
+            const char* v = needsValue("--bench-dir");
+            if (v == nullptr)
+                return false;
+            opts->benchDir = v;
+        } else if (std::strcmp(argv[i], "--out-dir") == 0) {
+            const char* v = needsValue("--out-dir");
+            if (v == nullptr)
+                return false;
+            opts->outDir = v;
+        } else if (std::strcmp(argv[i], "--baseline-dir") == 0) {
+            const char* v = needsValue("--baseline-dir");
+            if (v == nullptr)
+                return false;
+            opts->baselineDir = v;
+        } else if (std::strcmp(argv[i], "--baseline") == 0) {
+            const char* v = needsValue("--baseline");
+            if (v == nullptr)
+                return false;
+            opts->baselineFile = v;
+        } else if (std::strcmp(argv[i], "--fresh") == 0) {
+            const char* v = needsValue("--fresh");
+            if (v == nullptr)
+                return false;
+            opts->freshFile = v;
+        } else if (std::strcmp(argv[i], "--file") == 0) {
+            const char* v = needsValue("--file");
+            if (v == nullptr)
+                return false;
+            opts->file = v;
+        } else if (std::strcmp(argv[i], "--reps") == 0) {
+            const char* v = needsValue("--reps");
+            if (v == nullptr)
+                return false;
+            opts->reps = std::atoi(v);
+            if (opts->reps < 1) {
+                std::fprintf(stderr, "--reps: '%s' must be >= 1\n", v);
+                return false;
+            }
+        } else if (std::strcmp(argv[i], "--band") == 0) {
+            const char* v = needsValue("--band");
+            if (v == nullptr)
+                return false;
+            opts->gate.relFloor = std::atof(v);
+            if (opts->gate.relFloor <= 0) {
+                std::fprintf(stderr, "--band: '%s' must be > 0\n", v);
+                return false;
+            }
+        } else if (std::strcmp(argv[i], "--mad-mult") == 0) {
+            const char* v = needsValue("--mad-mult");
+            if (v == nullptr)
+                return false;
+            opts->gate.madMult = std::atof(v);
+            if (opts->gate.madMult < 0) {
+                std::fprintf(stderr, "--mad-mult: '%s' must be >= 0\n",
+                             v);
+                return false;
+            }
+        } else if (std::strcmp(argv[i], "--allow-env-mismatch") == 0) {
+            opts->gate.requireEnvMatch = false;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<const BenchSpec*>
+selectedSpecs(const Options& opts, bool* ok)
+{
+    *ok = true;
+    std::vector<const BenchSpec*> specs;
+    if (opts.workload.empty() || opts.workload == "all") {
+        for (const BenchSpec& s : defaultMatrix())
+            specs.push_back(&s);
+        return specs;
+    }
+    const BenchSpec* s = findSpec(opts.workload);
+    if (s == nullptr) {
+        std::fprintf(stderr,
+                     "unknown workload '%s' (try: perflab list)\n",
+                     opts.workload.c_str());
+        *ok = false;
+        return specs;
+    }
+    specs.push_back(s);
+    return specs;
+}
+
+Result<WorkloadResult>
+loadWorkloadFile(const std::string& path)
+{
+    auto text = readFile(path);
+    if (!text.isOk())
+        return Result<WorkloadResult>::error(text.message());
+    auto json = Json::parse(*text);
+    if (!json.isOk())
+        return Result<WorkloadResult>::error(path + ": " +
+                                             json.message());
+    auto parsed = WorkloadResult::fromJson(*json);
+    if (!parsed.isOk())
+        return Result<WorkloadResult>::error(path + ": " +
+                                             parsed.message());
+    return parsed;
+}
+
+void
+printSummary(const WorkloadResult& w)
+{
+    std::printf("workload %-16s bench %-22s reps %d, %zu rows\n",
+                w.workload.c_str(), w.bench.c_str(), w.reps,
+                w.rows.size());
+    for (const BenchRow& row : w.rows)
+        std::printf("  [%s] %s (%s: %s)\n", row.keyString().c_str(),
+                    row.bottleneck.c_str(), row.bottleneckRule.c_str(),
+                    row.bottleneckDetail.c_str());
+}
+
+int
+cmdList()
+{
+    std::printf("%-16s %-28s args\n", "workload", "binary");
+    for (const BenchSpec& s : defaultMatrix()) {
+        std::string args;
+        for (const std::string& a : s.args)
+            args += (args.empty() ? "" : " ") + a;
+        std::printf("%-16s %-28s %s\n", s.workload.c_str(),
+                    s.binary.c_str(), args.c_str());
+    }
+    return 0;
+}
+
+int
+cmdRun(const Options& opts)
+{
+    bool ok;
+    auto specs = selectedSpecs(opts, &ok);
+    if (!ok)
+        return 2;
+    int reps = opts.reps > 0 ? opts.reps : 3;
+    for (const BenchSpec* spec : specs) {
+        std::printf("running %s (%s, %d reps)...\n",
+                    spec->workload.c_str(), spec->binary.c_str(), reps);
+        auto result = runWorkload(opts.benchDir, *spec, reps);
+        if (!result.isOk()) {
+            std::fprintf(stderr, "error: %s\n",
+                         result.message().c_str());
+            return 1;
+        }
+        std::string path =
+            opts.outDir + "/BENCH_" + spec->workload + ".json";
+        Status st = writeFile(path, result->toJson().dump(2) + "\n");
+        if (!st.isOk()) {
+            std::fprintf(stderr, "error: %s\n", st.message().c_str());
+            return 1;
+        }
+        printSummary(*result);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdCheck(const Options& opts)
+{
+    bool ok;
+    auto specs = selectedSpecs(opts, &ok);
+    if (!ok)
+        return 2;
+    int reps = opts.reps > 0 ? opts.reps : 1;
+    bool any_fail = false;
+    bool any_checked = false;
+    for (const BenchSpec* spec : specs) {
+        std::string path =
+            opts.baselineDir + "/BENCH_" + spec->workload + ".json";
+        if (access(path.c_str(), R_OK) != 0) {
+            std::printf("SKIP %s: no committed baseline at %s — run "
+                        "scripts/run_perf_lab.sh and commit the "
+                        "result\n",
+                        spec->workload.c_str(), path.c_str());
+            continue;
+        }
+        auto baseline = loadWorkloadFile(path);
+        if (!baseline.isOk()) {
+            std::fprintf(stderr, "error: %s\n",
+                         baseline.message().c_str());
+            return 1;
+        }
+        std::printf("checking %s against %s (%d fresh reps)...\n",
+                    spec->workload.c_str(), path.c_str(), reps);
+        auto fresh = runWorkload(opts.benchDir, *spec, reps);
+        if (!fresh.isOk()) {
+            std::fprintf(stderr, "error: %s\n", fresh.message().c_str());
+            return 1;
+        }
+        GateReport report = grade(*baseline, *fresh, opts.gate);
+        if (report.envMismatch && opts.gate.requireEnvMatch) {
+            std::printf("SKIP %s: %s\n", spec->workload.c_str(),
+                        report.notes.empty()
+                            ? "environment mismatch"
+                            : report.notes[0].c_str());
+            continue;
+        }
+        std::fputs(formatReport(report, false).c_str(), stdout);
+        std::printf("%s: %s\n", spec->workload.c_str(),
+                    report.pass ? "PASS" : "FAIL");
+        any_checked = true;
+        any_fail |= !report.pass;
+    }
+    if (any_fail)
+        return 1;
+    return any_checked ? 0 : kExitSkip;
+}
+
+int
+cmdGate(const Options& opts)
+{
+    if (opts.baselineFile.empty() || opts.freshFile.empty()) {
+        std::fprintf(stderr,
+                     "gate requires --baseline and --fresh files\n");
+        return 2;
+    }
+    auto baseline = loadWorkloadFile(opts.baselineFile);
+    auto fresh = loadWorkloadFile(opts.freshFile);
+    if (!baseline.isOk() || !fresh.isOk()) {
+        std::fprintf(stderr, "error: %s\n",
+                     (!baseline.isOk() ? baseline : fresh)
+                         .message()
+                         .c_str());
+        return 1;
+    }
+    GateReport report = grade(*baseline, *fresh, opts.gate);
+    if (report.envMismatch && opts.gate.requireEnvMatch) {
+        std::printf("SKIP: %s\n", report.notes.empty()
+                                      ? "environment mismatch"
+                                      : report.notes[0].c_str());
+        return kExitSkip;
+    }
+    std::fputs(formatReport(report, true).c_str(), stdout);
+    std::printf("%s\n", report.pass ? "PASS" : "FAIL");
+    return report.pass ? 0 : 1;
+}
+
+int
+cmdClassify(const Options& opts)
+{
+    if (opts.file.empty()) {
+        std::fprintf(stderr, "classify requires --file\n");
+        return 2;
+    }
+    auto loaded = loadWorkloadFile(opts.file);
+    if (!loaded.isOk()) {
+        std::fprintf(stderr, "error: %s\n", loaded.message().c_str());
+        return 1;
+    }
+    int mismatches = 0;
+    for (const BenchRow& row : loaded->rows) {
+        Classification c = classifyRow(row);
+        bool match = c.bottleneck == row.bottleneck;
+        if (!match)
+            mismatches++;
+        std::printf("  [%s] %s (%s: %s)%s\n", row.keyString().c_str(),
+                    c.bottleneck.c_str(), c.rule.c_str(),
+                    c.detail.c_str(),
+                    match ? ""
+                          : (" — STORED '" + row.bottleneck +
+                             "' DISAGREES")
+                                .c_str());
+    }
+    if (mismatches > 0) {
+        std::printf("%d stored classification(s) disagree with the "
+                    "rule table; refresh the baseline\n",
+                    mismatches);
+        return 1;
+    }
+    return 0;
+}
+
+int
+run(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    Options opts;
+    opts.benchDir = deriveBenchDir(argv[0]);
+    if (!parseOptions(argc, argv, 2, &opts))
+        return usage();
+
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(opts);
+    if (cmd == "check")
+        return cmdCheck(opts);
+    if (cmd == "gate")
+        return cmdGate(opts);
+    if (cmd == "classify")
+        return cmdClassify(opts);
+    std::fprintf(stderr, "unknown subcommand '%s'\n", cmd.c_str());
+    return usage();
+}
+
+}  // namespace
+}  // namespace sfi::perflab
+
+int
+main(int argc, char** argv)
+{
+    return sfi::perflab::run(argc, argv);
+}

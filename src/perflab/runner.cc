@@ -1,0 +1,154 @@
+#include "perflab/runner.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "perflab/classifier.h"
+
+namespace sfi::perflab {
+
+const std::vector<BenchSpec>&
+defaultMatrix()
+{
+    // Deterministic arguments: the open-loop host runs at a fixed
+    // offered rate and batch bound (a sweep would make row keys depend
+    // on the calibrated capacity and never match across runs).
+    static const std::vector<BenchSpec> kMatrix = {
+        {"transitions", "bench_transitions", {}},
+        {"faas_open_loop",
+         "bench_fig6_faas_throughput",
+         {"--open-loop", "--rate", "20000", "--batch", "16"}},
+        {"fig3_spec_w2c", "bench_fig3_spec_w2c", {}},
+    };
+    return kMatrix;
+}
+
+const BenchSpec*
+findSpec(const std::string& workload)
+{
+    for (const BenchSpec& s : defaultMatrix())
+        if (s.workload == workload)
+            return &s;
+    return nullptr;
+}
+
+std::string
+currentCommit()
+{
+    std::FILE* p = popen("git rev-parse HEAD 2>/dev/null", "r");
+    if (p == nullptr)
+        return "";
+    char buf[96] = {0};
+    if (std::fgets(buf, sizeof buf, p) == nullptr) {
+        pclose(p);
+        return "";
+    }
+    pclose(p);
+    std::string commit = buf;
+    while (!commit.empty() &&
+           (commit.back() == '\n' || commit.back() == ' '))
+        commit.pop_back();
+    return commit;
+}
+
+Result<std::string>
+readFile(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return Result<std::string>::error("cannot read " + path);
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+Status
+writeFile(const std::string& path, const std::string& text)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return Status::error("cannot write " + path);
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    if (std::fclose(f) != 0 || n != text.size())
+        return Status::error("short write to " + path);
+    return Status::ok();
+}
+
+namespace {
+
+std::string
+shellQuote(const std::string& s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out.push_back(c);
+    }
+    out.push_back('\'');
+    return out;
+}
+
+}  // namespace
+
+Result<Json>
+runBenchOnce(const std::string& bench_dir, const BenchSpec& spec)
+{
+    std::string tmp = "/tmp/perflab_" + spec.workload + "_" +
+                      std::to_string(getpid()) + ".json";
+    std::string cmd = shellQuote(bench_dir + "/" + spec.binary);
+    for (const std::string& a : spec.args)
+        cmd += " " + shellQuote(a);
+    cmd += " --json " + shellQuote(tmp) + " >/dev/null";
+
+    int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        std::remove(tmp.c_str());
+        return Result<Json>::error(spec.binary + " exited with status " +
+                                   std::to_string(rc) + " (cmd: " + cmd +
+                                   ")");
+    }
+    auto text = readFile(tmp);
+    std::remove(tmp.c_str());
+    if (!text.isOk())
+        return Result<Json>::error(spec.binary +
+                                   " produced no --json output: " +
+                                   text.message());
+    auto parsed = Json::parse(*text);
+    if (!parsed.isOk())
+        return Result<Json>::error(spec.binary + " emitted bad JSON: " +
+                                   parsed.message());
+    return parsed;
+}
+
+Result<WorkloadResult>
+runWorkload(const std::string& bench_dir, const BenchSpec& spec,
+            int reps)
+{
+    if (reps < 1)
+        return Result<WorkloadResult>::error("reps must be >= 1");
+    std::vector<Json> runs;
+    for (int r = 0; r < reps; r++) {
+        auto run = runBenchOnce(bench_dir, spec);
+        if (!run.isOk())
+            return Result<WorkloadResult>::error(run.message());
+        runs.push_back(std::move(*run));
+    }
+    EnvFingerprint env = EnvFingerprint::current();
+    env.commit = currentCommit();
+    auto merged = mergeRuns(spec.workload, runs, env);
+    if (!merged.isOk())
+        return merged;
+    classifyAll(&*merged);
+    return merged;
+}
+
+}  // namespace sfi::perflab

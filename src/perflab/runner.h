@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The bench-matrix runner: executes the existing figure benches via
+ * their `--json` flags, N repetitions each, and merges the emissions
+ * into one classified, schema-versioned WorkloadResult per workload.
+ *
+ * The matrix is the configured set of workloads the perf-lab tracks;
+ * each entry names the bench binary (found under --bench-dir, i.e.
+ * <build>/bench) and the arguments that make the run deterministic
+ * enough to gate (fixed rates, fixed batch bounds). Repetitions happen
+ * at this level — on top of each bench's internal best-of-N — so the
+ * committed file carries real run-to-run samples for the MAD band.
+ */
+#ifndef SFIKIT_PERFLAB_RUNNER_H_
+#define SFIKIT_PERFLAB_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "perflab/model.h"
+
+namespace sfi::perflab {
+
+/** One workload of the matrix. */
+struct BenchSpec
+{
+    std::string workload;  ///< BENCH_<workload>.json stem
+    std::string binary;    ///< bench executable name
+    std::vector<std::string> args;  ///< deterministic-run arguments
+};
+
+/**
+ * The tracked matrix: transitions (tier microbench + w2c + FaaS
+ * batch sweep), the open-loop FaaS host at a fixed offered rate, and
+ * the fig3 w2c SPEC-analog figure.
+ */
+const std::vector<BenchSpec>& defaultMatrix();
+
+/** Matrix entry by workload name; nullptr when unknown. */
+const BenchSpec* findSpec(const std::string& workload);
+
+/** `git rev-parse HEAD` of the current directory; "" on failure. */
+std::string currentCommit();
+
+/**
+ * Runs @p spec's binary once with `--json <tmp>`, parses the emission
+ * strictly, and returns it. Stdout is discarded; a non-zero exit or
+ * unparseable JSON is an error.
+ */
+Result<Json> runBenchOnce(const std::string& bench_dir,
+                          const BenchSpec& spec);
+
+/**
+ * Runs @p spec @p reps times and merges + classifies the result.
+ */
+Result<WorkloadResult> runWorkload(const std::string& bench_dir,
+                                   const BenchSpec& spec, int reps);
+
+/** Reads an entire file; error when unreadable. */
+Result<std::string> readFile(const std::string& path);
+/** Writes @p text to @p path; error when unwritable. */
+Status writeFile(const std::string& path, const std::string& text);
+
+}  // namespace sfi::perflab
+
+#endif  // SFIKIT_PERFLAB_RUNNER_H_

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The classifier rule table on synthetic counter sets: each rule's
+ * threshold, the first-match precedence order, and classifyRow's view
+ * over a merged BenchRow (counters, metric medians, numeric key
+ * coordinates).
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "perflab/classifier.h"
+
+namespace sfi::perflab {
+namespace {
+
+FieldView
+view(std::map<std::string, double> fields)
+{
+    return [fields = std::move(fields)](
+               const std::string& name) -> std::optional<double> {
+        auto it = fields.find(name);
+        if (it == fields.end())
+            return std::nullopt;
+        return it->second;
+    };
+}
+
+TEST(Classifier, EmptyRowIsBalanced)
+{
+    Classification c = classify(view({}));
+    EXPECT_EQ(c.bottleneck, "balanced");
+    EXPECT_EQ(c.rule, "default");
+}
+
+TEST(Classifier, ZeroingBoundOnBytesPerRequest)
+{
+    // 1 MiB scrubbed per request: zeroing dominates.
+    Classification c = classify(view({
+        {"warm_zeroed_bytes", 400.0 * 1024 * 1024},
+        {"requests", 400},
+    }));
+    EXPECT_EQ(c.bottleneck, "zeroing-bound");
+    EXPECT_EQ(c.rule, "zeroing.bytes_per_request");
+
+    // 4 KiB per request: not the bottleneck.
+    EXPECT_EQ(classify(view({
+                           {"warm_zeroed_bytes", 400.0 * 4096},
+                           {"requests", 400},
+                       }))
+                  .bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, TransitionBoundPerRequest)
+{
+    Classification c = classify(view({
+        {"sandbox_transitions", 1200},
+        {"requests", 1200},
+    }));
+    EXPECT_EQ(c.bottleneck, "transition-bound");
+    EXPECT_EQ(c.rule, "transition.per_request");
+
+    // Batched entry amortized the transitions away.
+    EXPECT_EQ(classify(view({
+                           {"sandbox_transitions", 96},
+                           {"requests", 1200},
+                       }))
+                  .bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, TransitionBoundTierGap)
+{
+    // Segue-shaped: 37.5 ns full -> 12.5 ns batched (67% recovered).
+    Classification c = classify(view({
+        {"full_ns", 37.5},
+        {"batched_ns", 12.5},
+    }));
+    EXPECT_EQ(c.bottleneck, "transition-bound");
+    EXPECT_EQ(c.rule, "transition.tier_gap");
+
+    // Under the 25% threshold.
+    EXPECT_EQ(classify(view({{"full_ns", 20.0}, {"batched_ns", 16.0}}))
+                  .bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, TransitionBoundScopedEntry)
+{
+    Classification c = classify(view({
+        {"scoped_ms", 10.0},
+        {"cached_ms", 9.0},
+    }));
+    EXPECT_EQ(c.rule, "transition.scoped_entry");
+
+    // Cached entry not faster: the per-entry %gs work was not the tax.
+    EXPECT_EQ(classify(view({{"scoped_ms", 9.9}, {"cached_ms", 10.0}}))
+                  .bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, GuardBoundOnNormalizedOverhead)
+{
+    Classification c = classify(view({
+        {"wasm2c_norm", 1.05},
+        {"bounds_norm", 1.35},
+    }));
+    EXPECT_EQ(c.bottleneck, "guard-bound");
+    EXPECT_EQ(c.rule, "guard.sfi_overhead");
+    EXPECT_NE(c.detail.find("bounds_norm"), std::string::npos);
+
+    EXPECT_EQ(classify(view({{"wasm2c_norm", 1.05}})).bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, GuardBoundOnResidualChecks)
+{
+    Classification c = classify(view({
+        {"guard_checks_total", 273},
+        {"guard_checks_eliminated", 50},
+    }));
+    EXPECT_EQ(c.rule, "guard.residual_checks");
+
+    // The optimizer elided most checks: guards are no longer the story.
+    EXPECT_EQ(classify(view({
+                           {"guard_checks_total", 273},
+                           {"guard_checks_eliminated", 250},
+                       }))
+                  .bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, MemoryBoundOnPoolChurn)
+{
+    // Cross-shard steals dominate.
+    Classification steals = classify(view({
+        {"allocations", 1000},
+        {"steals", 400},
+    }));
+    EXPECT_EQ(steals.bottleneck, "memory-bound");
+    EXPECT_EQ(steals.rule, "memory.pool_churn");
+
+    // Cold pool: no warm hits, decommit traffic.
+    Classification cold = classify(view({
+        {"allocations", 400},
+        {"warm_hits", 0},
+        {"steals", 0},
+        {"decommits", 12},
+    }));
+    EXPECT_EQ(cold.bottleneck, "memory-bound");
+
+    // Healthy warm pool.
+    EXPECT_EQ(classify(view({
+                           {"allocations", 400},
+                           {"warm_hits", 390},
+                           {"steals", 0},
+                           {"decommits", 2},
+                       }))
+                  .bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, PrecedenceIsDocumentedOrder)
+{
+    // A row where everything fires classifies by the first rule:
+    // zeroing before transitions before guards before memory.
+    std::map<std::string, double> everything = {
+        {"warm_zeroed_bytes", 1e9}, {"requests", 100},
+        {"sandbox_transitions", 100}, {"full_ns", 40},
+        {"batched_ns", 10},           {"bounds_norm", 1.5},
+        {"allocations", 100},         {"steals", 90},
+    };
+    EXPECT_EQ(classify(view(everything)).bottleneck, "zeroing-bound");
+    everything.erase("warm_zeroed_bytes");
+    EXPECT_EQ(classify(view(everything)).rule,
+              "transition.per_request");
+    everything.erase("sandbox_transitions");
+    EXPECT_EQ(classify(view(everything)).rule, "transition.tier_gap");
+    everything.erase("full_ns");
+    EXPECT_EQ(classify(view(everything)).rule, "guard.sfi_overhead");
+    everything.erase("bounds_norm");
+    EXPECT_EQ(classify(view(everything)).rule, "memory.pool_churn");
+}
+
+TEST(Classifier, ClassifyRowReadsCountersMetricsAndKey)
+{
+    BenchRow row;
+    row.key = {{"section", "faas"}, {"batch_max", "1"}};
+    row.counters["sandbox_transitions"] = 1200;
+    row.counters["requests"] = 1200;
+    row.metrics["rps"].samples = {50000, 51000, 49000};
+    Classification c = classifyRow(row);
+    EXPECT_EQ(c.bottleneck, "transition-bound");
+
+    // Metric medians are visible to rules.
+    BenchRow tier;
+    tier.metrics["full_ns"].samples = {40.0, 41.0, 39.0};
+    tier.metrics["batched_ns"].samples = {12.0, 12.5, 12.2};
+    EXPECT_EQ(classifyRow(tier).rule, "transition.tier_gap");
+}
+
+TEST(Classifier, ClassifyAllStampsEveryRow)
+{
+    WorkloadResult w;
+    BenchRow a;
+    a.metrics["full_ns"].samples = {40.0};
+    a.metrics["batched_ns"].samples = {12.0};
+    BenchRow b;
+    w.rows = {a, b};
+    classifyAll(&w);
+    EXPECT_EQ(w.rows[0].bottleneck, "transition-bound");
+    EXPECT_EQ(w.rows[1].bottleneck, "balanced");
+    EXPECT_FALSE(w.rows[1].bottleneckDetail.empty());
+}
+
+TEST(Classifier, RuleTableIsStable)
+{
+    // The rule ids are part of the schema (stored in BENCH_*.json);
+    // renaming one is a deliberate, test-visible act.
+    std::vector<std::string> ids;
+    for (const ClassifierRule& r : classifierRules())
+        ids.push_back(r.id);
+    EXPECT_EQ(ids, (std::vector<std::string>{
+                       "zeroing.bytes_per_request",
+                       "transition.per_request",
+                       "transition.tier_gap",
+                       "transition.scoped_entry",
+                       "guard.sfi_overhead",
+                       "guard.residual_checks",
+                       "memory.pool_churn",
+                   }));
+}
+
+}  // namespace
+}  // namespace sfi::perflab

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regression test for the EpochTimer nanosleep bug: the seed wrote
+ * `ts.tv_nsec = period_us * 1000` without normalizing into tv_sec, so
+ * any period >= 1s handed nanosleep an out-of-range tv_nsec, got
+ * EINVAL back, and busy-spun — pegging a core and bumping the epoch
+ * millions of times per second instead of once per period.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "faas/scheduler.h"
+
+namespace sfi::faas {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedSec(Clock::time_point since)
+{
+    return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+TEST(EpochTimer, TwoSecondPeriodSleepsInsteadOfSpinning)
+{
+    // epochUs = 2'000'000 is exactly the case that produced
+    // tv_nsec = 2e9 >= 1e9. With the bug, 100ms of wall time saw the
+    // epoch spin into the millions; fixed, it must still read 0.
+    EpochTimer timer(2'000'000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_LE(timer.now(), 1u);
+}
+
+TEST(EpochTimer, DestructionIsPromptMidPeriod)
+{
+    // The fix sleeps in <= 50ms chunks so a long period does not pin
+    // the destructor for the rest of it.
+    Clock::time_point start = Clock::now();
+    {
+        EpochTimer timer(2'000'000);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_LT(elapsedSec(start), 1.0);
+}
+
+TEST(EpochTimer, ShortPeriodStillTicks)
+{
+    EpochTimer timer(2'000);  // 2 ms
+    const uint64_t* raw = timer.counter();
+    Clock::time_point start = Clock::now();
+    while (timer.now() < 5 && elapsedSec(start) < 5.0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GE(timer.now(), 5u);
+    // The JIT-visible raw pointer aliases the same counter (the tick
+    // thread may advance between the two reads).
+    EXPECT_GE(*raw, 5u);
+}
+
+TEST(EpochTimer, ZeroPeriodIsClampedNotUndefined)
+{
+    // Defensive: period 0 must neither divide-by-zero nor hot-spin
+    // with a zero-length sleep; it clamps to 1us and just ticks fast.
+    EpochTimer timer(0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_GE(timer.now(), 1u);
+}
+
+}  // namespace
+}  // namespace sfi::faas

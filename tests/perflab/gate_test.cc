@@ -1,0 +1,359 @@
+/**
+ * @file
+ * The regression gate on hand-built baseline-vs-fresh pairs: the
+ * noise band (relative floor OR scaled MAD), direction handling
+ * (lower-is-better times vs higher-is-better rates), the
+ * injected-20%-slowdown acceptance case, lost-coverage failures,
+ * ungated tail metrics, env-fingerprint skips, and the
+ * WorkloadResult JSON round trip the committed baselines rely on.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "perflab/gate.h"
+#include "perflab/json.h"
+#include "perflab/model.h"
+
+namespace sfi::perflab {
+namespace {
+
+EnvFingerprint
+testEnv()
+{
+    EnvFingerprint env;
+    env.cpu = "Test CPU @ 1.0GHz";
+    env.hwThreads = 4;
+    env.fsgsbase = true;
+    env.commit = "abc123";
+    return env;
+}
+
+/** One-row workload with a single metric's samples. */
+WorkloadResult
+makeResult(const std::string& metric, std::vector<double> samples)
+{
+    WorkloadResult w;
+    w.workload = "fixture";
+    w.bench = "fixture";
+    w.env = testEnv();
+    w.reps = int(samples.size());
+    BenchRow row;
+    row.key = {{"section", "tiers"}, {"strategy", "segue"}};
+    row.metrics[metric].samples = std::move(samples);
+    row.bottleneck = "balanced";
+    w.rows.push_back(std::move(row));
+    return w;
+}
+
+WorkloadResult
+scaled(const WorkloadResult& base, double factor)
+{
+    WorkloadResult w = base;
+    for (BenchRow& row : w.rows)
+        for (auto& [name, stat] : row.metrics)
+            for (double& s : stat.samples)
+                s *= factor;
+    return w;
+}
+
+TEST(Gate, IdenticalRunPasses)
+{
+    WorkloadResult base = makeResult("warm_ns", {23.1, 23.4, 23.2});
+    GateReport r = grade(base, base, GateConfig{});
+    EXPECT_TRUE(r.pass);
+    EXPECT_EQ(r.metricsChecked, 1);
+    EXPECT_EQ(r.metricsFailed, 0);
+}
+
+TEST(Gate, InjectedTwentyPercentSlowdownFails)
+{
+    // The acceptance fixture: a synthetic 20% slowdown on a
+    // low-noise metric must trip the default band (12% floor).
+    WorkloadResult base = makeResult("warm_ns", {23.1, 23.4, 23.2});
+    WorkloadResult slow = scaled(base, 1.20);
+    GateReport r = grade(base, slow, GateConfig{});
+    EXPECT_FALSE(r.pass);
+    ASSERT_EQ(r.metricsFailed, 1);
+    const MetricVerdict* fail = nullptr;
+    for (const MetricVerdict& v : r.verdicts)
+        if (!v.ok)
+            fail = &v;
+    ASSERT_NE(fail, nullptr);
+    EXPECT_EQ(fail->metric, "warm_ns");
+    EXPECT_NE(fail->note.find("regressed"), std::string::npos);
+}
+
+TEST(Gate, SmallDriftInsideTheFloorPasses)
+{
+    WorkloadResult base = makeResult("warm_ns", {23.1, 23.4, 23.2});
+    EXPECT_TRUE(grade(base, scaled(base, 1.05), GateConfig{}).pass);
+    // Improvements never fail, however large.
+    EXPECT_TRUE(grade(base, scaled(base, 0.5), GateConfig{}).pass);
+}
+
+TEST(Gate, MadBandWidensForNoisyMetrics)
+{
+    // 20% drift on a metric whose baseline already swings ~25%
+    // between reps: the MAD term must absorb it.
+    WorkloadResult base = makeResult("p99_us", {1000, 1250, 1100});
+    WorkloadResult fresh = makeResult("p99_us", {1210, 1240, 1500});
+    GateReport r = grade(base, fresh, GateConfig{});
+    EXPECT_TRUE(r.pass) << formatReport(r, true);
+}
+
+TEST(Gate, HigherIsBetterMetricsGateDownward)
+{
+    WorkloadResult base = makeResult("rps", {98000, 97500, 98200});
+    // Throughput drop fails...
+    GateReport drop = grade(base, scaled(base, 0.8), GateConfig{});
+    EXPECT_FALSE(drop.pass);
+    // ...throughput gain passes.
+    EXPECT_TRUE(grade(base, scaled(base, 1.3), GateConfig{}).pass);
+}
+
+TEST(Gate, RatioMetricsCenterOnMedian)
+{
+    // A baseline rep whose native denominator ran slow makes the
+    // min-of-N ratio look like 0.67x native; the median ignores that
+    // rep. Comparing mins here would read as a bogus 54% regression.
+    WorkloadResult base =
+        makeResult("bounds_norm", {0.67, 1.03, 1.05});
+    WorkloadResult fresh = makeResult("bounds_norm", {1.04, 1.02});
+    EXPECT_TRUE(grade(base, fresh, GateConfig{}).pass);
+
+    // A genuine shift of the median still fails.
+    WorkloadResult slow =
+        makeResult("bounds_norm", {1.24, 1.26, 1.25});
+    EXPECT_FALSE(grade(base, slow, GateConfig{}).pass);
+    EXPECT_TRUE(metricIsRatio("bounds_norm"));
+    EXPECT_TRUE(metricIsRatio("hit_pct"));
+    EXPECT_FALSE(metricIsRatio("warm_ns"));
+}
+
+TEST(Gate, MinOfNIsTheCenter)
+{
+    // Fresh run has one slow outlier rep but its min matches the
+    // baseline min: interference noise, not a regression.
+    WorkloadResult base = makeResult("warm_ns", {23.0, 23.3, 23.1});
+    WorkloadResult fresh = makeResult("warm_ns", {23.1, 31.0, 23.2});
+    EXPECT_TRUE(grade(base, fresh, GateConfig{}).pass);
+}
+
+TEST(Gate, MissingRowFailsAsLostCoverage)
+{
+    WorkloadResult base = makeResult("warm_ns", {23.0});
+    BenchRow extra;
+    extra.key = {{"section", "tiers"}, {"strategy", "lfi-base"}};
+    extra.metrics["warm_ns"].samples = {73.0};
+    WorkloadResult base2 = base;
+    base2.rows.push_back(extra);
+
+    GateReport r = grade(base2, base, GateConfig{});
+    EXPECT_FALSE(r.pass);
+    bool found = false;
+    for (const MetricVerdict& v : r.verdicts)
+        if (!v.ok && v.note.find("lost coverage") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+
+    // The reverse — fresh grew a row — passes with a note.
+    GateReport grew = grade(base, base2, GateConfig{});
+    EXPECT_TRUE(grew.pass);
+    ASSERT_FALSE(grew.notes.empty());
+    EXPECT_NE(grew.notes[0].find("new row"), std::string::npos);
+}
+
+TEST(Gate, MissingMetricFails)
+{
+    WorkloadResult base = makeResult("warm_ns", {23.0});
+    WorkloadResult fresh = makeResult("direct_ns", {19.0});
+    GateReport r = grade(base, fresh, GateConfig{});
+    EXPECT_FALSE(r.pass);
+}
+
+TEST(Gate, CountersAreNeverGated)
+{
+    WorkloadResult base = makeResult("warm_ns", {23.0});
+    base.rows[0].counters["gs_switches"] = 60000;
+    WorkloadResult fresh = base;
+    fresh.rows[0].counters["gs_switches"] = 5;  // wildly different
+    GateReport r = grade(base, fresh, GateConfig{});
+    EXPECT_TRUE(r.pass);
+    EXPECT_EQ(r.metricsChecked, 1);  // only warm_ns
+}
+
+TEST(Gate, TailMetricsRecordedButNotGated)
+{
+    WorkloadResult base = makeResult("max_us", {2000});
+    WorkloadResult fresh = makeResult("max_us", {20000});  // 10x
+    GateReport r = grade(base, fresh, GateConfig{});
+    EXPECT_TRUE(r.pass);
+    EXPECT_EQ(r.metricsChecked, 0);
+    EXPECT_FALSE(metricIsGated("max_us"));
+    EXPECT_FALSE(metricIsGated("p999_us"));
+    EXPECT_FALSE(metricIsGated("queue_p99_us"));
+    EXPECT_TRUE(metricIsGated("p99_us"));
+    EXPECT_TRUE(metricIsGated("warm_ns"));
+}
+
+TEST(Gate, EnvMismatchDeclinesToJudge)
+{
+    WorkloadResult base = makeResult("warm_ns", {23.0});
+    WorkloadResult fresh = scaled(base, 2.0);  // would fail the band
+    fresh.env.cpu = "Different CPU";
+
+    GateReport strict = grade(base, fresh, GateConfig{});
+    EXPECT_TRUE(strict.envMismatch);
+    EXPECT_TRUE(strict.pass);  // declined, not judged
+    EXPECT_EQ(strict.metricsChecked, 0);
+
+    GateConfig loose;
+    loose.requireEnvMatch = false;
+    GateReport judged = grade(base, fresh, loose);
+    EXPECT_TRUE(judged.envMismatch);
+    EXPECT_FALSE(judged.pass);
+}
+
+TEST(Gate, CommitDifferenceIsNotAnEnvMismatch)
+{
+    WorkloadResult base = makeResult("warm_ns", {23.0});
+    WorkloadResult fresh = base;
+    fresh.env.commit = "def456";
+    GateReport r = grade(base, fresh, GateConfig{});
+    EXPECT_FALSE(r.envMismatch);
+    EXPECT_TRUE(r.pass);
+}
+
+TEST(Gate, BandScalesWithConfiguredFloor)
+{
+    WorkloadResult base = makeResult("warm_ns", {100.0, 100.5, 99.8});
+    WorkloadResult slow = scaled(base, 1.4);
+    GateConfig wide;
+    wide.relFloor = 0.5;
+    EXPECT_TRUE(grade(base, slow, wide).pass);
+    GateConfig narrow;
+    narrow.relFloor = 0.12;
+    EXPECT_FALSE(grade(base, slow, narrow).pass);
+}
+
+// ------------------------------------------------- model serialization
+
+TEST(Model, WorkloadResultJsonRoundTrip)
+{
+    WorkloadResult w = makeResult("warm_ns", {23.1, 23.4, 23.2});
+    w.rows[0].counters["gs_switches"] = 60001;
+    w.rows[0].bottleneck = "transition-bound";
+    w.rows[0].bottleneckRule = "transition.tier_gap";
+    w.rows[0].bottleneckDetail = "full->batched recovers 66%";
+
+    std::string text = w.toJson().dump(2);
+    auto parsed = Json::parse(text);
+    ASSERT_TRUE(parsed.isOk()) << parsed.message();
+    auto back = WorkloadResult::fromJson(*parsed);
+    ASSERT_TRUE(back.isOk()) << back.message();
+
+    EXPECT_EQ(back->workload, "fixture");
+    EXPECT_EQ(back->schemaVersion, kSchemaVersion);
+    EXPECT_TRUE(back->env.compatibleWith(w.env));
+    EXPECT_EQ(back->env.commit, "abc123");
+    ASSERT_EQ(back->rows.size(), 1u);
+    const BenchRow& row = back->rows[0];
+    EXPECT_EQ(row.keyString(), "section=tiers strategy=segue");
+    EXPECT_EQ(row.bottleneck, "transition-bound");
+    EXPECT_EQ(row.counters.at("gs_switches"), 60001);
+    ASSERT_EQ(row.metrics.at("warm_ns").samples.size(), 3u);
+    EXPECT_DOUBLE_EQ(row.metrics.at("warm_ns").minOf(), 23.1);
+
+    // A graded round trip against itself passes.
+    EXPECT_TRUE(grade(w, *back, GateConfig{}).pass);
+}
+
+TEST(Model, RejectsWrongSchemaVersion)
+{
+    WorkloadResult w = makeResult("warm_ns", {23.0});
+    Json j = w.toJson();
+    j.set("schema_version", Json::number(kSchemaVersion + 1));
+    auto back = WorkloadResult::fromJson(j);
+    EXPECT_FALSE(back.isOk());
+    EXPECT_NE(back.message().find("schema_version"),
+              std::string::npos);
+}
+
+TEST(Model, MetricStatAggregates)
+{
+    MetricStat s;
+    s.samples = {10.0, 14.0, 11.0, 100.0};  // one outlier
+    EXPECT_DOUBLE_EQ(s.minOf(), 10.0);
+    EXPECT_DOUBLE_EQ(s.maxOf(), 100.0);
+    EXPECT_DOUBLE_EQ(s.median(), 12.5);
+    // Deviations from 12.5: 2.5, 1.5, 1.5, 87.5 -> median 2.0.
+    EXPECT_DOUBLE_EQ(s.mad(), 2.0);
+    EXPECT_DOUBLE_EQ(s.best(true), 10.0);
+    EXPECT_DOUBLE_EQ(s.best(false), 100.0);
+}
+
+TEST(Model, MergeRunsBuildsSamplesAcrossReps)
+{
+    const char* rep_template =
+        R"({"bench": "transitions", "results": [
+             {"section": "tiers", "strategy": "segue", "calls": 20000,
+              "warm_ns": %f, "gs_switches": 60001},
+             {"section": "faas", "batch_max": 16, "requests": 1200,
+              "rps": %f, "sandbox_transitions": 96}
+           ]})";
+    std::vector<Json> runs;
+    for (double f : {1.0, 1.01, 0.99}) {
+        char buf[1024];
+        std::snprintf(buf, sizeof buf, rep_template, 23.0 * f,
+                      98000.0 * f);
+        auto j = Json::parse(buf);
+        ASSERT_TRUE(j.isOk()) << j.message();
+        runs.push_back(std::move(*j));
+    }
+    auto merged = mergeRuns("transitions", runs, testEnv());
+    ASSERT_TRUE(merged.isOk()) << merged.message();
+    EXPECT_EQ(merged->bench, "transitions");
+    EXPECT_EQ(merged->reps, 3);
+    ASSERT_EQ(merged->rows.size(), 2u);
+
+    // Row identity: strings + coordinates; samples accumulate.
+    const BenchRow& tiers = merged->rows[0];
+    EXPECT_EQ(tiers.keyString(), "section=tiers strategy=segue");
+    EXPECT_EQ(tiers.metrics.at("warm_ns").samples.size(), 3u);
+    // calls is integral everywhere -> counter, not a metric.
+    EXPECT_EQ(tiers.counters.at("calls"), 20000);
+    EXPECT_EQ(tiers.metrics.count("calls"), 0u);
+
+    const BenchRow& faas = merged->rows[1];
+    EXPECT_EQ(faas.keyString(), "section=faas batch_max=16");
+    // rps has a metric suffix -> gated metric even when integral.
+    EXPECT_EQ(faas.metrics.at("rps").samples.size(), 3u);
+    EXPECT_EQ(faas.counters.at("sandbox_transitions"), 96);
+}
+
+TEST(Model, MergeRunsToleratesNullMeasurements)
+{
+    // The hardened emitter writes null for non-finite doubles; a rep
+    // with a null sample simply contributes nothing to that metric.
+    auto a = Json::parse(
+        R"({"bench": "b", "results": [{"k": "x", "t_ns": 5.5}]})");
+    auto b = Json::parse(
+        R"({"bench": "b", "results": [{"k": "x", "t_ns": null}]})");
+    ASSERT_TRUE(a.isOk() && b.isOk());
+    auto merged = mergeRuns("w", {*a, *b}, testEnv());
+    ASSERT_TRUE(merged.isOk()) << merged.message();
+    EXPECT_EQ(merged->rows[0].metrics.at("t_ns").samples.size(), 1u);
+}
+
+TEST(Model, MergeRunsRejectsSchemaSurprises)
+{
+    auto no_results = Json::parse(R"({"bench": "b"})");
+    ASSERT_TRUE(no_results.isOk());
+    EXPECT_FALSE(mergeRuns("w", {*no_results}, testEnv()).isOk());
+    EXPECT_FALSE(mergeRuns("w", {}, testEnv()).isOk());
+}
+
+}  // namespace
+}  // namespace sfi::perflab

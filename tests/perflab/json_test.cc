@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Strict-parser units and the emitter contract: everything the
+ * hardened bench JsonEmitter writes must parse with perflab's strict
+ * JSON parser — including rows that carry NaN/Inf measurements and
+ * strings with control characters, the two corruptions the seed
+ * emitter produced.
+ */
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "perflab/json.h"
+
+namespace sfi::perflab {
+namespace {
+
+// --------------------------------------------------------- parser units
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(Json::parse("null")->isNull());
+    EXPECT_TRUE(Json::parse("true")->asBool());
+    EXPECT_FALSE(Json::parse("false")->asBool());
+    EXPECT_DOUBLE_EQ(Json::parse("-12.5e2")->asNumber(), -1250.0);
+    EXPECT_EQ(Json::parse("\"hi\"")->asString(), "hi");
+    EXPECT_EQ(Json::parse(" [1, 2, 3] ")->items().size(), 3u);
+}
+
+TEST(JsonParse, ObjectPreservesOrderAndFinds)
+{
+    auto j = Json::parse(R"({"b": 1, "a": {"nested": [true]}})");
+    ASSERT_TRUE(j.isOk());
+    ASSERT_EQ(j->members().size(), 2u);
+    EXPECT_EQ(j->members()[0].first, "b");
+    const Json* a = j->find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_TRUE(a->find("nested")->items()[0].asBool());
+    EXPECT_EQ(j->find("missing"), nullptr);
+}
+
+TEST(JsonParse, StrictRejections)
+{
+    // The corpus of corruptions a lax parser would wave through.
+    const char* bad[] = {
+        "nan",          "inf",           "Infinity",
+        "[1, 2,]",      "{\"a\": 1,}",   "[1] trailing",
+        "'single'",     "{a: 1}",        "\"unterminated",
+        "\"raw\ncontrol\"",              "01",
+        "1.",           "+1",            "--1",
+        "[",            "{\"a\"}",       "\"bad \\x escape\"",
+        "\"\\u12\"",    "\"\\ud800\"",   "",
+    };
+    for (const char* text : bad)
+        EXPECT_FALSE(Json::parse(text).isOk()) << text;
+}
+
+TEST(JsonParse, UnicodeEscapes)
+{
+    auto j = Json::parse(R"("\u0041\u00e9\u2603\ud83d\ude00")");
+    ASSERT_TRUE(j.isOk());
+    EXPECT_EQ(j->asString(), "A\xC3\xA9\xE2\x98\x83\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, DeepNestingBounded)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_FALSE(Json::parse(deep).isOk());
+}
+
+TEST(JsonDump, RoundTrips)
+{
+    const char* text =
+        R"({"s": "a\"b\\c\nd\u0001e", "n": -2.5, "i": 7, )"
+        R"("arr": [null, true, []], "o": {}})";
+    auto j = Json::parse(text);
+    ASSERT_TRUE(j.isOk());
+    for (int indent : {0, 2}) {
+        auto back = Json::parse(j->dump(indent));
+        ASSERT_TRUE(back.isOk()) << j->dump(indent);
+        EXPECT_EQ(back->dump(0), j->dump(0));
+    }
+}
+
+TEST(JsonDump, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(Json::number(std::nan("")).dump(), "null");
+    EXPECT_EQ(
+        Json::number(std::numeric_limits<double>::infinity()).dump(),
+        "null");
+}
+
+// ------------------------------------------- hardened emitter contract
+
+class EmitterFile
+{
+  public:
+    EmitterFile()
+    {
+        std::snprintf(path_, sizeof path_,
+                      "/tmp/perflab_json_test_%d_%p.json", getpid(),
+                      (void*)this);
+    }
+    ~EmitterFile() { std::remove(path_); }
+    const char* path() const { return path_; }
+
+    Result<Json>
+    parse() const
+    {
+        auto text = readWhole();
+        return Json::parse(text);
+    }
+
+    std::string
+    readWhole() const
+    {
+        std::FILE* f = std::fopen(path_, "rb");
+        EXPECT_NE(f, nullptr);
+        std::string text;
+        char buf[4096];
+        size_t n;
+        while (f != nullptr &&
+               (n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, n);
+        if (f != nullptr)
+            std::fclose(f);
+        return text;
+    }
+
+  private:
+    char path_[128];
+};
+
+bench::JsonEmitter
+makeEmitter(const EmitterFile& file, const char* name)
+{
+    const char* argv[] = {"test", "--json", file.path()};
+    return bench::JsonEmitter(3, const_cast<char**>(argv), name);
+}
+
+TEST(JsonEmitter, NonFiniteDoublesEmitNull)
+{
+    EmitterFile file;
+    {
+        auto json = makeEmitter(file, "fixture");
+        json.row()
+            .field("ok_ns", 1.5)
+            .field("nan_ns", std::nan(""))
+            .field("inf_ns", std::numeric_limits<double>::infinity())
+            .field("ninf_ns", -std::numeric_limits<double>::infinity());
+    }
+    auto doc = file.parse();
+    ASSERT_TRUE(doc.isOk()) << doc.message();
+    const Json& row = doc->find("results")->items()[0];
+    EXPECT_DOUBLE_EQ(row.find("ok_ns")->asNumber(), 1.5);
+    EXPECT_TRUE(row.find("nan_ns")->isNull());
+    EXPECT_TRUE(row.find("inf_ns")->isNull());
+    EXPECT_TRUE(row.find("ninf_ns")->isNull());
+}
+
+TEST(JsonEmitter, ControlCharactersEscape)
+{
+    const std::string nasty =
+        std::string("line1\nline2\ttab\x01\x1f quote\" slash\\ end");
+    EmitterFile file;
+    {
+        auto json = makeEmitter(file, "fixture");
+        json.row().field("name", nasty);
+    }
+    auto doc = file.parse();
+    ASSERT_TRUE(doc.isOk()) << doc.message() << "\n"
+                            << file.readWhole();
+    EXPECT_EQ(
+        doc->find("results")->items()[0].find("name")->asString(),
+        nasty);
+}
+
+TEST(JsonEmitter, RowReferencesSurviveLaterRows)
+{
+    // Regression: rows_ was a std::vector, so holding a Row& across
+    // the next row() call dangled on reallocation. With a deque every
+    // early reference stays valid through hundreds of appends.
+    EmitterFile file;
+    {
+        auto json = makeEmitter(file, "fixture");
+        bench::JsonEmitter::Row& first = json.row();
+        first.field("index", 0);
+        for (int i = 1; i < 300; i++)
+            json.row().field("index", i);
+        first.field("late_field", 42.0);  // UB before the fix
+    }
+    auto doc = file.parse();
+    ASSERT_TRUE(doc.isOk()) << doc.message();
+    const auto& rows = doc->find("results")->items();
+    ASSERT_EQ(rows.size(), 300u);
+    ASSERT_NE(rows[0].find("late_field"), nullptr);
+    EXPECT_DOUBLE_EQ(rows[0].find("late_field")->asNumber(), 42.0);
+    EXPECT_EQ(rows[299].find("late_field"), nullptr);
+}
+
+TEST(JsonEmitter, TypicalBenchRowParsesStrictly)
+{
+    EmitterFile file;
+    {
+        auto json = makeEmitter(file, "transitions");
+        json.row()
+            .field("section", std::string("tiers"))
+            .field("strategy", std::string("segue"))
+            .field("full_ns", 37.5465)
+            .field("gs_switches", uint64_t(60001));
+        json.row()
+            .field("section", std::string("faas"))
+            .field("batch_max", 16)
+            .field("rps", 98165.36298974392);
+    }
+    auto doc = file.parse();
+    ASSERT_TRUE(doc.isOk()) << doc.message();
+    EXPECT_EQ(doc->find("bench")->asString(), "transitions");
+    ASSERT_EQ(doc->find("results")->items().size(), 2u);
+    const Json& r0 = doc->find("results")->items()[0];
+    EXPECT_TRUE(r0.find("gs_switches")->isIntegral());
+    EXPECT_EQ(r0.find("gs_switches")->asInt(), 60001);
+}
+
+}  // namespace
+}  // namespace sfi::perflab
