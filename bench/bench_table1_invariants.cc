@@ -6,17 +6,100 @@
  * fuzzing random configurations under the hostile-caller model.
  */
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "base/rng.h"
 #include "base/units.h"
 #include "bench/bench_util.h"
+#include "elf/object.h"
 #include "jit/compiler.h"
 #include "pool/layout.h"
 #include "verify/checker.h"
+#include "verify/objcheck.h"
 #include "wkld/workloads.h"
 
 namespace sfi::pool {
 namespace {
+
+/** Kernel-name fragment from a policy-kernel mangling (after "3w2c"). */
+std::string
+kernelOf(const std::string& mangled)
+{
+    size_t p = mangled.find("3w2c");
+    if (p == std::string::npos)
+        return mangled;
+    p += 4;
+    for (;;) {
+        size_t len = 0;
+        while (p < mangled.size() && isdigit(mangled[p]))
+            len = len * 10 + (mangled[p++] - '0');
+        if (!len || p + len > mangled.size())
+            return mangled;
+        std::string part = mangled.substr(p, len);
+        p += len;
+        if (part != "_GLOBAL__N_1")  // anonymous namespace: skip
+            return part;
+    }
+}
+
+/**
+ * The verified-kernel matrix (EXPERIMENTS.md): every policy x kernel
+ * instantiation in the build's own w2c objects, with its verifier
+ * verdict. Returns the violation count (0 = whole matrix proven).
+ */
+uint64_t
+elfKernelMatrix()
+{
+#ifndef SFIKIT_W2C_OBJECTS
+    std::printf("  (w2c object list not compiled in; skipped)\n");
+    return 0;
+#else
+    // kernel -> policy -> verdict cell
+    std::map<std::string, std::map<int, const char*>> grid;
+    uint64_t violations = 0, kernels = 0, insns = 0;
+    std::string objs = SFIKIT_W2C_OBJECTS;  // ':'-joined by CMake
+    for (size_t pos = 0; pos <= objs.size();) {
+        size_t sep = objs.find(':', pos);
+        if (sep == std::string::npos)
+            sep = objs.size();
+        std::string path = objs.substr(pos, sep - pos);
+        pos = sep + 1;
+        if (path.empty())
+            continue;
+        auto obj = elf::ElfObject::load(path.c_str());
+        SFI_CHECK(obj.isOk());
+        auto rep = verify::checkObject(*obj);
+        SFI_CHECK(rep.isOk());
+        violations += rep->violations.size();
+        insns += rep->instructions;
+        for (const auto& fn : rep->functions) {
+            kernels++;
+            grid[kernelOf(fn.name)][static_cast<int>(fn.policy)] =
+                fn.exempt ? "exempt"
+                          : (fn.violations ? "FAIL" : "ok");
+        }
+    }
+    std::printf("  %-16s", "kernel");
+    for (int p = 1; p <= 5; p++)
+        std::printf(" %-12s",
+                    verify::name(static_cast<verify::W2cPolicy>(p)));
+    std::printf("\n");
+    for (const auto& [kern, cells] : grid) {
+        std::printf("  %-16s", kern.c_str());
+        for (int p = 1; p <= 5; p++) {
+            auto it = cells.find(p);
+            std::printf(" %-12s", it == cells.end() ? "-" : it->second);
+        }
+        std::printf("\n");
+    }
+    std::printf("  %llu instantiations, %llu instructions, %llu "
+                "violation(s)\n",
+                (unsigned long long)kernels, (unsigned long long)insns,
+                (unsigned long long)violations);
+    return violations;
+#endif
+}
 
 void
 show(const char* what, const PoolConfig& cfg, LayoutArithmetic arith)
@@ -156,7 +239,17 @@ run()
         }
     }
 
-    return violations == 0 && sfiViolations == 0 ? 0 : 1;
+    // The other half of the proof: the compiler-emitted w2c policy
+    // kernels, sliced straight out of the build's object files
+    // (verify/objcheck.h) — the verified-kernel matrix of
+    // EXPERIMENTS.md.
+    std::printf(
+        "\nStatic SFI verification (compiler-emitted w2c kernels):\n");
+    uint64_t elfViolations = elfKernelMatrix();
+
+    return violations == 0 && sfiViolations == 0 && elfViolations == 0
+               ? 0
+               : 1;
 }
 
 }  // namespace

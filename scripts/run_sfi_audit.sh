@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full static SFI audit: proves the build's *own* machine code on both
+# halves of the Figure 3 matrix.
+#
+#   1. ELF half — every policy-templated w2c kernel is sliced out of
+#      the sfikit_w2c object files and verified against its per-policy
+#      contract (w2c.gs_access, w2c.bounds.dominate, w2c.cfg.resolved,
+#      w2c.heap_escape); coverage counters land in a perflab-compatible
+#      JSON row.
+#   2. JIT half — the registry workload x sandboxing-strategy matrix is
+#      compiled and checked by the VeriWasm-style module verifier.
+#
+# Usage: scripts/run_sfi_audit.sh [--policy-filter S] [--quiet]
+#   Extra arguments are forwarded to the ELF verification pass.
+#   BUILD_DIR overrides the build tree; AUDIT_JSON overrides where the
+#   coverage row is written (default: <build>/sfi_audit.json).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+json="${AUDIT_JSON:-$build/sfi_audit.json}"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j --target sfi-verify sfikit_w2c >/dev/null
+
+verify="$build/src/verify/sfi-verify"
+
+elf_args=()
+for obj in "$build"/src/w2c/CMakeFiles/sfikit_w2c.dir/*.cc.o; do
+    elf_args+=(--elf "$obj")
+done
+
+echo "== ELF audit: compiler-emitted w2c policy kernels =="
+"$verify" "${elf_args[@]}" --json "$json" "$@"
+echo "coverage counters: $json"
+
+echo
+echo "== JIT audit: workload x strategy matrix =="
+"$verify" --quiet

@@ -1,0 +1,268 @@
+#include "elf/object.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace sfi::elf {
+
+namespace {
+
+// Local ELF64 layouts (see object.h for why these are not <elf.h>).
+struct Ehdr
+{
+    uint8_t ident[16];
+    uint16_t type, machine;
+    uint32_t version;
+    uint64_t entry, phoff, shoff;
+    uint32_t flags;
+    uint16_t ehsize, phentsize, phnum, shentsize, shnum, shstrndx;
+};
+
+struct Shdr
+{
+    uint32_t name, type;
+    uint64_t flags, addr, offset, size;
+    uint32_t link, info;
+    uint64_t addralign, entsize;
+};
+
+struct Sym
+{
+    uint32_t name;
+    uint8_t info, other;
+    uint16_t shndx;
+    uint64_t value, size;
+};
+
+struct Rela
+{
+    uint64_t offset;
+    uint64_t info;  // sym << 32 | type
+    int64_t addend;
+};
+
+constexpr uint32_t kShtSymtab = 2;
+constexpr uint32_t kShtStrtab = 3;
+constexpr uint32_t kShtNobits = 8;
+constexpr uint32_t kShtRela = 4;
+constexpr uint64_t kShfAlloc = 0x2;
+
+std::string
+strAt(const std::vector<uint8_t>& tab, uint32_t off)
+{
+    if (off >= tab.size())
+        return {};
+    const char* s = reinterpret_cast<const char*>(tab.data() + off);
+    size_t max = tab.size() - off;
+    return std::string(s, strnlen(s, max));
+}
+
+}  // namespace
+
+Result<ElfObject>
+ElfObject::load(const std::string& path)
+{
+    using R = Result<ElfObject>;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return R::error("cannot open " + path);
+    auto fail = [&](const std::string& why) {
+        std::fclose(f);
+        return R::error(path + ": " + why);
+    };
+
+    Ehdr eh;
+    if (std::fread(&eh, sizeof eh, 1, f) != 1)
+        return fail("short read on ELF header");
+    if (std::memcmp(eh.ident,
+                    "\x7f"
+                    "ELF",
+                    4) != 0 ||
+        eh.ident[4] != 2 /* ELFCLASS64 */ ||
+        eh.ident[5] != 1 /* little-endian */) {
+        return fail("not a little-endian ELF64 file");
+    }
+    if (eh.shentsize != sizeof(Shdr))
+        return fail("unexpected section-header entry size");
+    if (eh.shnum == 0)
+        return fail("no section headers");
+
+    std::vector<Shdr> shdrs(eh.shnum);
+    if (std::fseek(f, long(eh.shoff), SEEK_SET) != 0 ||
+        std::fread(shdrs.data(), sizeof(Shdr), eh.shnum, f) != eh.shnum)
+        return fail("cannot read section headers");
+    if (eh.shstrndx >= eh.shnum)
+        return fail("bad shstrndx");
+
+    ElfObject obj;
+    obj.type_ = eh.type;
+    obj.sections_.resize(eh.shnum);
+    obj.relocs_.resize(eh.shnum);
+
+    // Pass 1: load raw bytes for every section that has any.
+    for (uint16_t i = 0; i < eh.shnum; i++) {
+        const Shdr& sh = shdrs[i];
+        Section& s = obj.sections_[i];
+        s.type = sh.type;
+        s.flags = sh.flags;
+        s.addr = sh.addr;
+        s.size = sh.size;
+        s.link = sh.link;
+        s.info = sh.info;
+        s.entsize = sh.entsize;
+        if (sh.type == kShtNobits || sh.size == 0)
+            continue;
+        // Only materialize bytes the reader interprets: allocated
+        // sections (code/data), symbol/string tables, and relocations.
+        // This keeps .debug_* of a RelWithDebInfo executable on disk.
+        if (!(sh.flags & kShfAlloc) && sh.type != kShtSymtab &&
+            sh.type != kShtStrtab && sh.type != kShtRela)
+            continue;
+        s.data.resize(sh.size);
+        if (std::fseek(f, long(sh.offset), SEEK_SET) != 0 ||
+            std::fread(s.data.data(), 1, sh.size, f) != sh.size)
+            return fail("cannot read section " + std::to_string(i));
+    }
+    std::fclose(f);
+    f = nullptr;
+
+    // Section names.
+    const std::vector<uint8_t>& shstr = obj.sections_[eh.shstrndx].data;
+    for (uint16_t i = 0; i < eh.shnum; i++)
+        obj.sections_[i].name = strAt(shstr, shdrs[i].name);
+
+    // Pass 2: symbol tables (first SHT_SYMTAB wins; objects have one).
+    for (uint16_t i = 0; i < eh.shnum; i++) {
+        const Section& s = obj.sections_[i];
+        if (s.type != kShtSymtab)
+            continue;
+        if (s.link >= obj.sections_.size())
+            return R::error(path + ": bad symtab strtab link");
+        const std::vector<uint8_t>& strtab =
+            obj.sections_[s.link].data;
+        size_t count = s.data.size() / sizeof(Sym);
+        obj.symbols_.reserve(count);
+        for (size_t k = 0; k < count; k++) {
+            Sym raw;
+            std::memcpy(&raw, s.data.data() + k * sizeof(Sym),
+                        sizeof raw);
+            Symbol sym;
+            sym.name = strAt(strtab, raw.name);
+            sym.value = raw.value;
+            sym.size = raw.size;
+            sym.type = raw.info & 0xf;
+            sym.bind = raw.info >> 4;
+            sym.shndx = raw.shndx;
+            // Section symbols have no name of their own; surface the
+            // section name so relocations resolve to something useful.
+            if (sym.name.empty() && sym.type == 3 /* STT_SECTION */ &&
+                raw.shndx < obj.sections_.size())
+                sym.name = obj.sections_[raw.shndx].name;
+            obj.symbols_.push_back(std::move(sym));
+        }
+        break;
+    }
+
+    // Pass 3: RELA sections, grouped by the section they patch.
+    for (uint16_t i = 0; i < eh.shnum; i++) {
+        const Section& s = obj.sections_[i];
+        if (s.type != kShtRela)
+            continue;
+        if (s.info >= obj.sections_.size())
+            return R::error(path + ": bad rela target link");
+        size_t count = s.data.size() / sizeof(Rela);
+        std::vector<Reloc>& out = obj.relocs_[s.info];
+        out.reserve(out.size() + count);
+        for (size_t k = 0; k < count; k++) {
+            Rela raw;
+            std::memcpy(&raw, s.data.data() + k * sizeof(Rela),
+                        sizeof raw);
+            Reloc r;
+            r.offset = raw.offset;
+            r.type = static_cast<uint32_t>(raw.info & 0xffffffffu);
+            r.addend = raw.addend;
+            r.symIndex = static_cast<uint32_t>(raw.info >> 32);
+            if (r.symIndex < obj.symbols_.size())
+                r.symName = obj.symbols_[r.symIndex].name;
+            out.push_back(std::move(r));
+        }
+    }
+    for (auto& v : obj.relocs_) {
+        std::sort(v.begin(), v.end(),
+                  [](const Reloc& a, const Reloc& b) {
+                      return a.offset < b.offset;
+                  });
+    }
+    return obj;
+}
+
+std::vector<FuncSlice>
+ElfObject::functions() const
+{
+    std::vector<FuncSlice> out;
+    for (const Symbol& sym : symbols_) {
+        if (!sym.isFunc() || !sym.defined() || sym.size == 0)
+            continue;
+        if (sym.shndx >= sections_.size())
+            continue;
+        uint16_t shndx = sym.shndx;
+        uint64_t off = sym.value;
+        if (!relocatable()) {
+            // Executables address symbols by vaddr: find the executable
+            // section containing the symbol's range.
+            bool found = false;
+            for (uint16_t i = 0; i < sections_.size(); i++) {
+                const Section& s = sections_[i];
+                if (!s.executable() || s.data.empty())
+                    continue;
+                if (sym.value >= s.addr &&
+                    sym.value + sym.size <= s.addr + s.size) {
+                    shndx = i;
+                    off = sym.value - s.addr;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                continue;
+        }
+        const Section& sec = sections_[shndx];
+        if (!sec.executable())
+            continue;
+        if (off + sym.size > sec.data.size())
+            continue;  // truncated/corrupt: skip rather than misread
+        out.push_back(FuncSlice{sym.name, shndx, off, sym.size,
+                                sec.data.data() + off});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FuncSlice& a, const FuncSlice& b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+const Reloc*
+ElfObject::relocAt(uint16_t section_index, uint64_t offset) const
+{
+    if (section_index >= relocs_.size())
+        return nullptr;
+    const std::vector<Reloc>& v = relocs_[section_index];
+    auto it = std::lower_bound(
+        v.begin(), v.end(), offset,
+        [](const Reloc& r, uint64_t off) { return r.offset < off; });
+    if (it == v.end() || it->offset != offset)
+        return nullptr;
+    return &*it;
+}
+
+const std::vector<Reloc>&
+ElfObject::relocsFor(uint16_t section_index) const
+{
+    static const std::vector<Reloc> kEmpty;
+    if (section_index >= relocs_.size())
+        return kEmpty;
+    return relocs_[section_index];
+}
+
+}  // namespace sfi::elf

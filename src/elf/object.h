@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ELF64 object reader: sections, symbols, relocations, and per-function
+ * byte slices.
+ *
+ * The static w2c verifier (verify/objcheck.h) audits the build's *own*
+ * object files: it slices every policy-templated kernel out of
+ * `sfikit_w2c`'s `.o` files and proves the per-policy SFI contract on
+ * the compiler's output. That needs more than the symtab reader that
+ * backs Table 2 (symtab.h): section bytes to disassemble, and the
+ * `.rela.text.*` entries that name every call / tail-call target in a
+ * relocatable object (the zeroed rel32 fields are meaningless before
+ * linking).
+ *
+ * Like symtab.cc, the structures are declared locally instead of
+ * pulling in <elf.h>: the parser stays honest about exactly what it
+ * reads, and fails closed on anything malformed (truncated headers,
+ * out-of-range links, overlapping ranges).
+ */
+#ifndef SFIKIT_ELF_OBJECT_H_
+#define SFIKIT_ELF_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace sfi::elf {
+
+/** One parsed section header plus its (loaded) contents. */
+struct Section
+{
+    std::string name;
+    uint32_t type = 0;
+    uint64_t flags = 0;
+    uint64_t addr = 0;
+    uint64_t size = 0;
+    uint32_t link = 0;
+    uint32_t info = 0;
+    uint64_t entsize = 0;
+    /** Raw bytes; empty for SHT_NOBITS and non-loaded section kinds. */
+    std::vector<uint8_t> data;
+
+    bool executable() const { return (flags & 0x4) != 0; }  // SHF_EXECINSTR
+};
+
+/** One symbol-table entry (names resolved through the strtab). */
+struct Symbol
+{
+    std::string name;
+    uint64_t value = 0;  ///< section offset (ET_REL) or vaddr
+    uint64_t size = 0;
+    uint8_t type = 0;    ///< STT_*
+    uint8_t bind = 0;    ///< STB_*
+    uint16_t shndx = 0;  ///< defining section; SHN_UNDEF == 0
+
+    bool isFunc() const { return type == 2; }  // STT_FUNC
+    bool defined() const { return shndx != 0 && shndx < 0xff00; }
+};
+
+/** One RELA entry, with the target symbol name pre-resolved. */
+struct Reloc
+{
+    uint64_t offset = 0;  ///< within the relocated section
+    uint32_t type = 0;    ///< R_X86_64_*
+    int64_t addend = 0;
+    uint32_t symIndex = 0;
+    std::string symName;  ///< symbol (or section) name, may be empty
+};
+
+// The relocation types the verifier interprets (call / tail-call /
+// rip-relative data targets in small-model code).
+constexpr uint32_t kRX86_64Pc32 = 2;
+constexpr uint32_t kRX86_64Plt32 = 4;
+
+/**
+ * A function carved out of an executable section: name plus the byte
+ * range holding its code.
+ */
+struct FuncSlice
+{
+    std::string name;
+    uint16_t sectionIndex = 0;
+    uint64_t sectionOffset = 0;  ///< start within the section
+    uint64_t size = 0;
+    const uint8_t* bytes = nullptr;  ///< into ElfObject section data
+};
+
+/**
+ * A loaded ELF64 object (ET_REL) or executable (ET_EXEC/ET_DYN).
+ * Owns all section bytes; FuncSlice pointers stay valid as long as the
+ * object lives.
+ */
+class ElfObject
+{
+  public:
+    static Result<ElfObject> load(const std::string& path);
+
+    uint16_t type() const { return type_; }
+    bool relocatable() const { return type_ == 1; }  // ET_REL
+
+    const std::vector<Section>& sections() const { return sections_; }
+    const std::vector<Symbol>& symbols() const { return symbols_; }
+
+    /**
+     * All defined STT_FUNC symbols with non-zero size that live in an
+     * executable section, as byte slices ready to decode.
+     */
+    std::vector<FuncSlice> functions() const;
+
+    /**
+     * The relocation applying at @p offset within section
+     * @p section_index, or nullptr. For a `call rel32` at instruction
+     * offset o the relocation sits at o+1 (the displacement field).
+     */
+    const Reloc* relocAt(uint16_t section_index, uint64_t offset) const;
+
+    /** All relocations targeting @p section_index. */
+    const std::vector<Reloc>& relocsFor(uint16_t section_index) const;
+
+  private:
+    uint16_t type_ = 0;
+    std::vector<Section> sections_;
+    std::vector<Symbol> symbols_;
+    /** Indexed by relocated-section index; empty vector when none. */
+    std::vector<std::vector<Reloc>> relocs_;
+};
+
+}  // namespace sfi::elf
+
+#endif  // SFIKIT_ELF_OBJECT_H_

@@ -1,106 +1,24 @@
 #include "elf/symtab.h"
 
-#include <cstdio>
-#include <cstring>
+#include "elf/object.h"
 
 namespace sfi::elf {
-
-namespace {
-
-// Just the ELF64 structures we need (avoiding <elf.h> keeps the parser
-// honest about what it reads).
-struct Ehdr
-{
-    uint8_t ident[16];
-    uint16_t type, machine;
-    uint32_t version;
-    uint64_t entry, phoff, shoff;
-    uint32_t flags;
-    uint16_t ehsize, phentsize, phnum, shentsize, shnum, shstrndx;
-};
-
-struct Shdr
-{
-    uint32_t name, type;
-    uint64_t flags, addr, offset, size;
-    uint32_t link, info;
-    uint64_t addralign, entsize;
-};
-
-struct Sym
-{
-    uint32_t name;
-    uint8_t info, other;
-    uint16_t shndx;
-    uint64_t value, size;
-};
-
-constexpr uint32_t kShtSymtab = 2;
-constexpr uint8_t kSttFunc = 2;
-
-}  // namespace
 
 Result<std::vector<FuncSymbol>>
 readFunctionSymbols(const std::string& path)
 {
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) {
-        return Result<std::vector<FuncSymbol>>::error("cannot open " +
-                                                      path);
-    }
-    auto fail = [&](const char* why) {
-        std::fclose(f);
-        return Result<std::vector<FuncSymbol>>::error(why);
-    };
-
-    Ehdr eh;
-    if (std::fread(&eh, sizeof eh, 1, f) != 1)
-        return fail("short read on ELF header");
-    if (std::memcmp(eh.ident, "\x7f"
-                              "ELF",
-                    4) != 0 ||
-        eh.ident[4] != 2 /* ELFCLASS64 */) {
-        return fail("not an ELF64 file");
-    }
-
-    std::vector<Shdr> sections(eh.shnum);
-    if (std::fseek(f, long(eh.shoff), SEEK_SET) != 0 ||
-        std::fread(sections.data(), sizeof(Shdr), eh.shnum, f) !=
-            eh.shnum) {
-        return fail("cannot read section headers");
-    }
-
+    using R = Result<std::vector<FuncSymbol>>;
+    auto obj = ElfObject::load(path);
+    if (!obj.isOk())
+        return R::error(obj.message());
     std::vector<FuncSymbol> out;
-    for (const Shdr& sh : sections) {
-        if (sh.type != kShtSymtab)
+    for (const Symbol& s : obj->symbols()) {
+        if (!s.isFunc() || s.size == 0 || s.name.empty())
             continue;
-        // Associated string table via sh.link.
-        if (sh.link >= sections.size())
-            return fail("bad symtab link");
-        const Shdr& strs = sections[sh.link];
-        std::vector<char> strtab(strs.size);
-        if (std::fseek(f, long(strs.offset), SEEK_SET) != 0 ||
-            std::fread(strtab.data(), 1, strs.size, f) != strs.size) {
-            return fail("cannot read strtab");
-        }
-        size_t count = sh.size / sizeof(Sym);
-        std::vector<Sym> syms(count);
-        if (std::fseek(f, long(sh.offset), SEEK_SET) != 0 ||
-            std::fread(syms.data(), sizeof(Sym), count, f) != count) {
-            return fail("cannot read symtab");
-        }
-        for (const Sym& s : syms) {
-            if ((s.info & 0xf) != kSttFunc || s.size == 0)
-                continue;
-            if (s.name >= strtab.size())
-                continue;
-            out.push_back(FuncSymbol{
-                std::string(&strtab[s.name]), s.value, s.size});
-        }
+        out.push_back(FuncSymbol{s.name, s.value, s.size});
     }
-    std::fclose(f);
     if (out.empty())
-        return fail("no function symbols (stripped binary?)");
+        return R::error("no function symbols (stripped binary?)");
     return out;
 }
 

@@ -1,12 +1,13 @@
 /**
  * @file
- * Minimal ELF64 symbol-table reader.
+ * Function-symbol convenience view over the ELF64 reader (object.h).
  *
  * Table 2 reports per-benchmark binary sizes with and without Segue.
  * For the wasm2c-style path, each kernel×policy instantiation is a
  * distinct function symbol in this very binary; reading our own symbol
  * table gives exact per-policy machine-code sizes without external
- * tooling.
+ * tooling. The full section/relocation reader behind this lives in
+ * object.h and also feeds the w2c object verifier.
  */
 #ifndef SFIKIT_ELF_SYMTAB_H_
 #define SFIKIT_ELF_SYMTAB_H_

@@ -292,7 +292,40 @@ class FnChecker
               std::string detail)
     {
         rep_->violations.push_back(
-            {base_ + off, rule, insn, std::move(detail)});
+            {base_ + off, rule, std::string(), insn,
+             std::move(detail)});
+    }
+
+    /**
+     * True for decodable forms `x64::Assembler` never emits — they
+     * exist for the ELF object checker (objcheck.h). The JIT path
+     * fails closed on them instead of modeling their effects.
+     */
+    static bool
+    outsideJitSubset(const Insn& in)
+    {
+        switch (in.mn) {
+          case Mn::Xchg: case Mn::AluMemDst: case Mn::AluImmMem:
+          case Mn::TestMem: case Mn::TestImm: case Mn::Mul:
+          case Mn::Bt: case Mn::Cdqe: case Mn::Comisd:
+          case Mn::MovVecLoad: case Mn::MovVecStore:
+          case Mn::MovVecRR: case Mn::Pxor:
+            return true;
+          default:
+            break;
+        }
+        if (!in.mem.present)
+            return false;
+        if (in.mem.ripRel)
+            return true;
+        switch (in.mn) {  // memory forms the Assembler can produce
+          case Mn::Load: case Mn::Store: case Mn::StoreImm:
+          case Mn::Lea: case Mn::AluMem: case Mn::MovsdLoad:
+          case Mn::MovsdStore: case Mn::Nop:
+            return false;
+          default:
+            return true;
+        }
     }
 
     bool
@@ -302,11 +335,15 @@ class FnChecker
         while (off < size_) {
             Insn in;
             if (!decode(code_ + off, size_ - off, &in)) {
-                char buf[64];
-                std::snprintf(buf, sizeof buf, "byte 0x%02x",
-                              code_[off]);
-                violation(off, Rule::DecodeError, buf,
+                violation(off, Rule::DecodeError,
+                          hexWindow(code_, size_, off),
                           "undecodable instruction (fail closed)");
+                return false;
+            }
+            if (outsideJitSubset(in)) {
+                violation(off, Rule::DecodeError, in.text(),
+                          "instruction form outside the JIT-emitted "
+                          "subset (fail closed)");
                 return false;
             }
             offToIdx_[off] = insns_.size();
@@ -555,6 +592,8 @@ class FnChecker
     MC
     classify(const State& st, const MemRef& m) const
     {
+        if (m.ripRel)
+            return MC::Bad;  // the JIT assembler never emits RIP-rel
         if (m.seg == Seg::Gs)
             return MC::HeapGs;
         if (m.seg == Seg::Fs || !m.hasBase)
@@ -1256,6 +1295,13 @@ class FnChecker
           case Mn::Xorpd:
           case Mn::Cvtsi2sd:
           case Mn::Invalid:
+          // ELF-only forms: unreachable here — decodeAll() rejects
+          // them before analysis (outsideJitSubset).
+          case Mn::Xchg: case Mn::AluMemDst: case Mn::AluImmMem:
+          case Mn::TestMem: case Mn::TestImm: case Mn::Mul:
+          case Mn::Bt: case Mn::Cdqe: case Mn::Comisd:
+          case Mn::MovVecLoad: case Mn::MovVecStore:
+          case Mn::MovVecRR: case Mn::Pxor:
             break;
         }
 
@@ -1669,8 +1715,28 @@ name(Rule r)
       case Rule::LfiJmpUnmasked: return "lfi.jmp.mask";
       case Rule::LfiRetUnprotected: return "lfi.ret.protect";
       case Rule::EntryContract: return "entry.contract";
+      case Rule::W2cGsAccess: return "w2c.gs_access";
+      case Rule::W2cBoundsDominate: return "w2c.bounds.dominate";
+      case Rule::W2cCfgResolved: return "w2c.cfg.resolved";
+      case Rule::W2cHeapEscape: return "w2c.heap_escape";
     }
     return "?";
+}
+
+std::string
+hexWindow(const uint8_t* code, size_t size, uint64_t off)
+{
+    std::string s;
+    char b[4];
+    for (uint64_t i = off; i < size && i < off + 12; i++) {
+        std::snprintf(b, sizeof b, "%02x ", code[i]);
+        s += b;
+    }
+    if (!s.empty())
+        s.pop_back();
+    if (off + 12 < size)
+        s += " ..";
+    return s;
 }
 
 void
@@ -1706,7 +1772,8 @@ Report::summary() const
                   violations.size());
     s += buf;
     for (const auto& v : violations) {
-        std::snprintf(buf, sizeof buf, "  +0x%llx [%s] %s — %s\n",
+        std::snprintf(buf, sizeof buf, "  %s%s+0x%llx [%s] %s — %s\n",
+                      v.func.c_str(), v.func.empty() ? "" : " ",
                       static_cast<unsigned long long>(v.offset),
                       name(v.rule), v.insn.c_str(), v.detail.c_str());
         s += buf;
@@ -1793,6 +1860,11 @@ checkModule(const jit::CompiledModule& cm)
                                  cm.funcCodeSizes[i], cm.config,
                                  cm.funcOffsets[i], cm.minMemBytes);
         r.stats.functions++;
+        char fn[32];
+        std::snprintf(fn, sizeof fn, "func#%zu", i);
+        for (auto& v : r.violations)
+            if (v.func.empty())
+                v.func = fn;
         absorb(std::move(r));
     }
     // Trap stubs sit immediately after the last function; they run

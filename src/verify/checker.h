@@ -66,14 +66,31 @@ enum class Rule : uint8_t {
     LfiJmpUnmasked,     ///< indirect jump target not masked/trusted
     LfiRetUnprotected,  ///< plain ret under LFI
     EntryContract,      ///< entry stub breaks the transition contract
+
+    // Rules of the ELF object checker (objcheck.h): the compiler-
+    // emitted w2c policy kernels, keyed off the mangled policy
+    // template argument.
+    W2cGsAccess,       ///< Segue kernels: heap access not a proven
+                       ///< %gs:[zext-u32] form (or stray %gs use)
+    W2cBoundsDominate, ///< Bounds kernels: access without a dominating
+                       ///< limit compare covering its extent
+    W2cCfgResolved,    ///< indirect or unresolvable control flow
+    W2cHeapEscape,     ///< access through an unproven pointer value
 };
 
 const char* name(Rule r);
+
+/**
+ * Renders up to 12 raw bytes starting at @p off as "48 8b 05 .." for
+ * decode-error diagnostics (both the JIT and the ELF object paths).
+ */
+std::string hexWindow(const uint8_t* code, size_t size, uint64_t off);
 
 struct Violation
 {
     uint64_t offset = 0;  ///< byte offset of the instruction
     Rule rule = Rule::MemUnproven;
+    std::string func;    ///< containing function (mangled), if known
     std::string insn;    ///< decoded text (or hex for decode errors)
     std::string detail;  ///< human explanation
 };

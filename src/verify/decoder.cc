@@ -138,9 +138,11 @@ modrm(Cursor& c, const Prefixes& pfx, uint8_t* reg_out, int8_t* rm_reg,
             mem->base = static_cast<Reg>(base | pfx.rexB());
         }
     } else if (mod == 0 && rm == 5) {
-        // RIP-relative: the Assembler never emits it; reject so the
-        // checker fails closed on foreign code.
-        return false;
+        // RIP-relative: marked so each checker can decide — the JIT
+        // checker rejects it (the Assembler never emits it), the ELF
+        // checker resolves the target through relocations.
+        mem->ripRel = true;
+        disp_size = 4;
     } else {
         mem->hasBase = true;
         mem->base = static_cast<Reg>(rm | pfx.rexB());
@@ -205,11 +207,11 @@ decode0f(Cursor& c, const Prefixes& pfx, Insn* out)
     int8_t rm = -1;
 
     // Conditional families first.
-    if (op >= 0x40 && op <= 0x4f) {  // cmovcc r, r
+    if (op >= 0x40 && op <= 0x4f) {  // cmovcc r, r/m
         out->mn = Mn::Cmovcc;
         out->cond = static_cast<Cond>(op & 0xf);
         out->width = pfx.opWidth();
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->reg = static_cast<int8_t>(reg);
         out->rm = rm;
@@ -220,13 +222,13 @@ decode0f(Cursor& c, const Prefixes& pfx, Insn* out)
         out->cond = static_cast<Cond>(op & 0xf);
         return rel32(c, out);
     }
-    if (op >= 0x90 && op <= 0x9f) {  // setcc r8
+    if (op >= 0x90 && op <= 0x9f) {  // setcc r/m8
         out->mn = Mn::Setcc;
         out->cond = static_cast<Cond>(op & 0xf);
         out->width = Width::W8;
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
-        out->reg = rm;  // the written register
+        out->reg = rm;  // the written register (-1 on a memory form)
         out->rm = rm;
         return true;
     }
@@ -236,22 +238,43 @@ decode0f(Cursor& c, const Prefixes& pfx, Insn* out)
         out->mn = Mn::Ud2;
         return true;
 
-      case 0x10:  // movsd xmm, xmm/m64 (F2)
-        if (!pfx.repF2)
+      case 0x10:  // movsd xmm, xmm/m64 (F2); movups/movupd xmm, xmm/m128
+        if (pfx.repF3)
+            return false;  // movss: never emitted for the f64 workloads
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        if (pfx.repF2)
+            out->mn = out->mem.present ? Mn::MovsdLoad : Mn::MovsdRR;
+        else
+            out->mn = out->mem.present ? Mn::MovVecLoad : Mn::MovVecRR;
+        return true;
+      case 0x11:  // movsd m64, xmm (F2); movups/movupd m128, xmm
+        if (pfx.repF3)
             return false;
         if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->reg = static_cast<int8_t>(reg);
         out->rm = rm;
-        out->mn = out->mem.present ? Mn::MovsdLoad : Mn::MovsdRR;
+        if (pfx.repF2)
+            out->mn = out->mem.present ? Mn::MovsdStore : Mn::MovsdRR;
+        else
+            out->mn = out->mem.present ? Mn::MovVecStore : Mn::MovVecRR;
         return true;
-      case 0x11:  // movsd m64, xmm (F2)
-        if (!pfx.repF2)
+
+      case 0x28:  // movaps/movapd xmm, xmm/m128
+      case 0x29:  // movaps/movapd xmm/m128, xmm
+        if (pfx.repF2 || pfx.repF3)
             return false;
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || !out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->reg = static_cast<int8_t>(reg);
-        out->mn = Mn::MovsdStore;
+        out->rm = rm;
+        if (!out->mem.present)
+            out->mn = Mn::MovVecRR;
+        else
+            out->mn = op == 0x28 ? Mn::MovVecLoad : Mn::MovVecStore;
         return true;
 
       case 0x1f:  // multi-byte NOP, /0
@@ -261,35 +284,45 @@ decode0f(Cursor& c, const Prefixes& pfx, Insn* out)
         out->mem = MemRef{};  // operand is meaningless
         return true;
 
-      case 0x2a:  // cvtsi2sd xmm, r (F2)
+      case 0x2a:  // cvtsi2sd xmm, r/m (F2)
         if (!pfx.repF2)
             return false;
         out->mn = Mn::Cvtsi2sd;
         out->width = pfx.rexW() ? Width::W64 : Width::W32;
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->reg = static_cast<int8_t>(reg);  // xmm dst
         out->rm = rm;                         // gpr src
         return true;
-      case 0x2c:  // cvttsd2si r, xmm (F2)
+      case 0x2c:  // cvttsd2si r, xmm/m64 (F2)
         if (!pfx.repF2)
             return false;
         out->mn = Mn::Cvttsd2si;
         out->width = pfx.rexW() ? Width::W64 : Width::W32;
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->reg = static_cast<int8_t>(reg);  // gpr dst
         out->rm = rm;                         // xmm src
         return true;
 
       case 0x2e:  // ucomisd (66)
+      case 0x2f:  // comisd (66)
       case 0x51: case 0x57: case 0x58: case 0x59: case 0x5c: case 0x5d:
       case 0x5e: case 0x5f: {
-        bool needs66 = op == 0x2e || op == 0x57;
-        if (needs66 ? !pfx.op16 : !pfx.repF2)
+        if (op == 0x2e || op == 0x2f) {
+            if (!pfx.op16)
+                return false;
+        } else if (op == 0x57) {
+            // xorpd (66) and the xorps zero idiom (no prefix) are
+            // checker-equivalent.
+            if (pfx.repF2 || pfx.repF3)
+                return false;
+        } else if (!pfx.repF2) {
             return false;
+        }
         switch (op) {
           case 0x2e: out->mn = Mn::Ucomisd; break;
+          case 0x2f: out->mn = Mn::Comisd; break;
           case 0x51: out->mn = Mn::Sqrtsd; break;
           case 0x57: out->mn = Mn::Xorpd; break;
           case 0x58: out->mn = Mn::Addsd; break;
@@ -299,7 +332,7 @@ decode0f(Cursor& c, const Prefixes& pfx, Insn* out)
           case 0x5e: out->mn = Mn::Divsd; break;
           case 0x5f: out->mn = Mn::Maxsd; break;
         }
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->reg = static_cast<int8_t>(reg);
         out->rm = rm;
@@ -316,7 +349,18 @@ decode0f(Cursor& c, const Prefixes& pfx, Insn* out)
         out->reg = static_cast<int8_t>(reg);  // xmm
         out->rm = rm;                         // gpr
         return true;
-      case 0x7e:  // movq r64, xmm (66 REX.W)
+      case 0x7e:  // movq r64, xmm (66 REX.W) / movq xmm, rm64 (F3)
+        if (pfx.repF3) {
+            // F3 0F 7E: 8-byte load into xmm (or xmm-xmm move) —
+            // checker-equivalent to the movsd forms.
+            out->width = Width::W64;
+            if (!modrm(c, pfx, &reg, &rm, &out->mem))
+                return false;
+            out->reg = static_cast<int8_t>(reg);  // xmm dst
+            out->rm = rm;
+            out->mn = out->mem.present ? Mn::MovsdLoad : Mn::MovsdRR;
+            return true;
+        }
         if (!pfx.op16)
             return false;
         out->mn = Mn::MovqFromXmm;
@@ -327,10 +371,19 @@ decode0f(Cursor& c, const Prefixes& pfx, Insn* out)
         out->rm = rm;                         // gpr dst
         return true;
 
-      case 0xaf:  // imul r, r
-        out->mn = Mn::Imul;
+      case 0xa3:  // bt r/m, r (register form only; flags result)
+        out->mn = Mn::Bt;
         out->width = pfx.opWidth();
         if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        return true;
+
+      case 0xaf:  // imul r, r/m
+        out->mn = Mn::Imul;
+        out->width = pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->reg = static_cast<int8_t>(reg);
         out->rm = rm;
@@ -370,6 +423,16 @@ decode0f(Cursor& c, const Prefixes& pfx, Insn* out)
         out->rm = rm;
         return true;
 
+      case 0xef:  // pxor xmm, xmm (66; register zero idiom)
+        if (!pfx.op16)
+            return false;
+        out->mn = Mn::Pxor;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        return true;
+
       default:
         return false;
     }
@@ -395,6 +458,8 @@ decodeOne(Cursor& c, Insn* out)
             pfx.repF2 = true;
         else if (b == 0xf3)
             pfx.repF3 = true;
+        else if (b == 0x2e || b == 0x3e)
+            ;  // cs/ds: branch hints and long-NOP padding; no effect
         else
             break;
         c.pos++;
@@ -417,21 +482,34 @@ decodeOne(Cursor& c, Insn* out)
     if (op == 0x0f)
         return decode0f(c, pfx, out);
 
-    // ALU family: (aluop << 3) | 0x02 (r8, rm8) or | 0x03 (r, rm).
-    if (op <= 0x3b && (op & 0x06) == 0x02 && (op & 0x01) <= 1) {
+    // ALU family: (aluop << 3) | low, where low 0/1 = rm ← rm op r,
+    // 2/3 = r ← r op rm, 4/5 = al/eax ← op imm. Row 2 (0x10, adc)
+    // upward all share the pattern.
+    if (op <= 0x3d && (op & 0x07) <= 5) {
         uint8_t low = op & 0x07;
-        if (low == 2 || low == 3) {
-            out->mn = Mn::AluRR;
-            out->aluOp = static_cast<AluOp>(op >> 3);
-            out->width = low == 2 ? Width::W8 : pfx.opWidth();
-            if (!modrm(c, pfx, &reg, &rm, &out->mem))
-                return false;
-            out->reg = static_cast<int8_t>(reg);  // destination
-            out->rm = rm;
-            if (out->mem.present)
-                out->mn = Mn::AluMem;
-            return true;
+        out->aluOp = static_cast<AluOp>(op >> 3);
+        out->width = (low & 1) == 0 ? Width::W8 : pfx.opWidth();
+        if (low == 4 || low == 5) {  // accumulator, imm
+            out->mn = Mn::AluImm;
+            out->reg = 0;
+            out->rm = 0;
+            return low == 4 ? imm8(c, out) : imm32(c, out);
         }
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
+            return false;
+        if (low == 2 || low == 3) {  // reg is the destination
+            out->reg = static_cast<int8_t>(reg);
+            out->rm = rm;
+            out->mn = out->mem.present ? Mn::AluMem : Mn::AluRR;
+        } else if (out->mem.present) {  // rm (memory) is the dest
+            out->reg = static_cast<int8_t>(reg);  // source
+            out->mn = Mn::AluMemDst;
+        } else {  // rm (register) is the dest: normalize to AluRR
+            out->reg = rm;
+            out->rm = static_cast<int8_t>(reg);
+            out->mn = Mn::AluRR;
+        }
+        return true;
     }
 
     if (op >= 0x50 && op <= 0x57) {
@@ -444,6 +522,45 @@ decodeOne(Cursor& c, Insn* out)
         out->mn = Mn::Pop;
         out->reg = static_cast<int8_t>((op & 7) | pfx.rexB());
         out->width = Width::W64;
+        return true;
+    }
+
+    if (op == 0x69 || op == 0x6b) {  // imul r, r/m, imm
+        out->mn = Mn::Imul;
+        out->width = pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
+            return false;
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        return op == 0x69 ? imm32(c, out) : imm8(c, out);
+    }
+
+    if (op >= 0x70 && op <= 0x7f) {  // jcc rel8
+        out->mn = Mn::Jcc;
+        out->cond = static_cast<Cond>(op & 0xf);
+        uint8_t d;
+        if (!c.u8(&d))
+            return false;
+        out->hasRel = true;
+        out->rel = static_cast<int8_t>(d);
+        return true;
+    }
+
+    if (op == 0x86 || op == 0x87) {  // xchg r, r (register form only)
+        out->mn = Mn::Xchg;
+        out->width = op == 0x86 ? Width::W8 : pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+            return false;  // memory xchg is implicitly locked; reject
+        out->reg = static_cast<int8_t>(reg);
+        out->rm = rm;
+        return true;
+    }
+
+    if (op >= 0x91 && op <= 0x97) {  // xchg eax/rax, r
+        out->mn = Mn::Xchg;
+        out->width = pfx.opWidth();
+        out->reg = 0;
+        out->rm = static_cast<int8_t>((op & 7) | pfx.rexB());
         return true;
     }
 
@@ -486,21 +603,21 @@ decodeOne(Cursor& c, Insn* out)
       case 0x80:  // alu r/m8, imm8
       case 0x81:  // alu r/m, imm32
       case 0x83:  // alu r/m, imm8 (sign-extended)
-        out->mn = Mn::AluImm;
         out->width = op == 0x80 ? Width::W8 : pfx.opWidth();
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->aluOp = static_cast<AluOp>(reg & 7);
-        out->reg = rm;  // destination
+        out->mn = out->mem.present ? Mn::AluImmMem : Mn::AluImm;
+        out->reg = rm;  // destination (-1 on a memory form)
         out->rm = rm;
         return op == 0x81 ? imm32(c, out) : imm8(c, out);
 
       case 0x84:  // test rm8, r8
       case 0x85:  // test rm, r
-        out->mn = Mn::Test;
         out->width = op == 0x84 ? Width::W8 : pfx.opWidth();
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
+        out->mn = out->mem.present ? Mn::TestMem : Mn::Test;
         out->reg = static_cast<int8_t>(reg);
         out->rm = rm;
         return true;
@@ -515,14 +632,24 @@ decodeOne(Cursor& c, Insn* out)
         out->mn = out->mem.present ? Mn::Store : Mn::MovRR;
         return true;
 
-      case 0x8b:  // mov r, rm (loads only; reg form never emitted)
-        out->mn = Mn::Load;
-        out->width = pfx.rexW() ? Width::W64
-                     : pfx.op16 ? Width::W16
-                                : Width::W32;
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || !out->mem.present)
+      case 0x8a:  // mov r8, rm8
+      case 0x8b:  // mov r, rm
+        out->width = op == 0x8a   ? Width::W8
+                     : pfx.rexW() ? Width::W64
+                     : pfx.op16   ? Width::W16
+                                  : Width::W32;
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
-        out->reg = static_cast<int8_t>(reg);
+        if (out->mem.present) {
+            out->mn = Mn::Load;
+            out->reg = static_cast<int8_t>(reg);
+        } else {
+            // Register form: normalize to the 0x89 MovRR convention
+            // (reg = source, rm = destination).
+            out->mn = Mn::MovRR;
+            out->reg = rm;
+            out->rm = static_cast<int8_t>(reg);
+        }
         return true;
 
       case 0x8d:  // lea
@@ -537,16 +664,31 @@ decodeOne(Cursor& c, Insn* out)
         out->mn = Mn::Nop;
         return true;
 
+      case 0x98:  // cltq (with REX.W); plain cwde is never emitted
+        if (!pfx.rexW())
+            return false;
+        out->mn = Mn::Cdqe;
+        out->width = Width::W64;
+        return true;
+
       case 0x99:
         out->mn = pfx.rexW() ? Mn::Cqo : Mn::Cdq;
         out->width = pfx.rexW() ? Width::W64 : Width::W32;
         return true;
 
+      case 0xa8:  // test al, imm8
+      case 0xa9:  // test eax/rax, imm32
+        out->mn = Mn::TestImm;
+        out->width = op == 0xa8 ? Width::W8 : pfx.opWidth();
+        out->reg = 0;
+        out->rm = 0;
+        return op == 0xa8 ? imm8(c, out) : imm32(c, out);
+
       case 0xc0:  // shift r/m8, imm8
       case 0xc1:  // shift r/m, imm8
         out->mn = Mn::ShiftImm;
         out->width = op == 0xc0 ? Width::W8 : pfx.opWidth();
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->shiftOp = static_cast<ShiftOp>(reg & 7);
         out->reg = rm;
@@ -581,11 +723,24 @@ decodeOne(Cursor& c, Insn* out)
         out->mn = Mn::Int3;
         return true;
 
+      case 0xd0:  // shift r/m8, 1
+      case 0xd1:  // shift r/m, 1
+        out->mn = Mn::ShiftImm;
+        out->width = op == 0xd0 ? Width::W8 : pfx.opWidth();
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
+            return false;
+        out->shiftOp = static_cast<ShiftOp>(reg & 7);
+        out->reg = rm;
+        out->rm = rm;
+        out->hasImm = true;
+        out->imm = 1;
+        return true;
+
       case 0xd2:  // shift r/m8, cl
       case 0xd3:  // shift r/m, cl
         out->mn = Mn::ShiftCl;
         out->width = op == 0xd2 ? Width::W8 : pfx.opWidth();
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         out->shiftOp = static_cast<ShiftOp>(reg & 7);
         out->reg = rm;
@@ -598,21 +753,34 @@ decodeOne(Cursor& c, Insn* out)
       case 0xe9:
         out->mn = Mn::Jmp;
         return rel32(c, out);
+      case 0xeb: {  // jmp rel8
+        out->mn = Mn::Jmp;
+        uint8_t d;
+        if (!c.u8(&d))
+            return false;
+        out->hasRel = true;
+        out->rel = static_cast<int8_t>(d);
+        return true;
+      }
 
       case 0xf6:  // group 3, 8-bit
       case 0xf7: {  // group 3
         out->width = op == 0xf6 ? Width::W8 : pfx.opWidth();
-        if (!modrm(c, pfx, &reg, &rm, &out->mem) || out->mem.present)
+        if (!modrm(c, pfx, &reg, &rm, &out->mem))
             return false;
         switch (reg & 7) {
+          case 0: out->mn = Mn::TestImm; break;
           case 2: out->mn = Mn::Not; break;
           case 3: out->mn = Mn::Neg; break;
+          case 4: out->mn = Mn::Mul; break;
           case 6: out->mn = Mn::Div; break;
           case 7: out->mn = Mn::Idiv; break;
           default: return false;
         }
         out->reg = rm;
         out->rm = rm;
+        if (out->mn == Mn::TestImm)
+            return op == 0xf6 ? imm8(c, out) : imm32(c, out);
         return true;
       }
 
@@ -635,6 +803,33 @@ decodeOne(Cursor& c, Insn* out)
     }
 }
 
+/** Bytes a memory operand touches, from mnemonic + operand width. */
+uint8_t
+accessBytesFor(const Insn& in)
+{
+    switch (in.mn) {
+      case Mn::Lea: case Mn::Nop:
+        return 0;  // no access despite the ModRM memory form
+      case Mn::MovVecLoad: case Mn::MovVecStore:
+        return 16;
+      case Mn::MovsdLoad: case Mn::MovsdStore:
+      case Mn::Addsd: case Mn::Subsd: case Mn::Mulsd: case Mn::Divsd:
+      case Mn::Sqrtsd: case Mn::Minsd: case Mn::Maxsd:
+      case Mn::Ucomisd: case Mn::Comisd: case Mn::Cvttsd2si:
+        return 8;
+      case Mn::Setcc:
+        return 1;
+      default:
+        switch (in.width) {
+          case Width::W8: return 1;
+          case Width::W16: return 2;
+          case Width::W32: return 4;
+          case Width::W64: return 8;
+        }
+        return 8;
+    }
+}
+
 }  // namespace
 
 bool
@@ -648,6 +843,8 @@ decode(const uint8_t* p, size_t avail, Insn* out)
                                                 : 0);
     if (!ok)
         out->mn = Mn::Invalid;
+    else if (out->mem.present)
+        out->accessBytes = accessBytesFor(*out);
     return ok;
 }
 
@@ -663,6 +860,7 @@ name(Mn m)
       case Mn::Store: return "mov.store";
       case Mn::StoreImm: return "mov.storeimm";
       case Mn::Lea: return "lea";
+      case Mn::Xchg: return "xchg";
       case Mn::AluRR: return "alu";
       case Mn::AluImm: return "alu.imm";
       case Mn::AluMem: return "alu.mem";
@@ -682,6 +880,13 @@ name(Mn m)
       case Mn::Setcc: return "setcc";
       case Mn::Cmovcc: return "cmovcc";
       case Mn::Popcnt: return "popcnt";
+      case Mn::AluMemDst: return "alu.memdst";
+      case Mn::AluImmMem: return "alu.imm.mem";
+      case Mn::TestMem: return "test.mem";
+      case Mn::TestImm: return "test.imm";
+      case Mn::Mul: return "mul";
+      case Mn::Bt: return "bt";
+      case Mn::Cdqe: return "cltq";
       case Mn::Jmp: return "jmp";
       case Mn::Jcc: return "jcc";
       case Mn::JmpReg: return "jmp.reg";
@@ -709,6 +914,11 @@ name(Mn m)
       case Mn::Xorpd: return "xorpd";
       case Mn::Cvtsi2sd: return "cvtsi2sd";
       case Mn::Cvttsd2si: return "cvttsd2si";
+      case Mn::Comisd: return "comisd";
+      case Mn::MovVecLoad: return "movvec.load";
+      case Mn::MovVecStore: return "movvec.store";
+      case Mn::MovVecRR: return "movvec";
+      case Mn::Pxor: return "pxor";
     }
     return "?";
 }
@@ -736,6 +946,10 @@ Insn::text() const
              : mem.seg == x64::Seg::Fs ? " fs:["
                                        : " [";
         bool any = false;
+        if (mem.ripRel) {
+            s += "rip";
+            any = true;
+        }
         if (mem.hasBase) {
             s += reg_name(static_cast<int>(mem.base));
             any = true;

@@ -27,16 +27,28 @@ namespace sfi::verify {
 enum class Mn : uint8_t {
     Invalid,
     // moves
-    MovImm64, MovImm32, MovRR, Load, Store, StoreImm, Lea,
+    MovImm64, MovImm32, MovRR, Load, Store, StoreImm, Lea, Xchg,
     // integer ALU
     AluRR, AluImm, AluMem, Test, Imul, Neg, Not, Div, Idiv, Cdq, Cqo,
     ShiftCl, ShiftImm, Movzx, Movsx, Movsxd, Setcc, Cmovcc, Popcnt,
+    // compiler-emitted extensions (ELF verification path; the JIT
+    // assembler never produces these)
+    AluMemDst,   ///< alu [m], r — read-modify-write (cmp: read only)
+    AluImmMem,   ///< alu [m], imm — read-modify-write (cmp: read only)
+    TestMem,     ///< test [m], r
+    TestImm,     ///< test r/[m], imm (f6/f7 /0, a8/a9)
+    Mul,         ///< one-operand unsigned mul (f7 /4)
+    Bt,          ///< bt r, r (flags only; register form)
+    Cdqe,        ///< cltq: rax = sext(eax)
     // control flow
     Jmp, Jcc, JmpReg, Call, CallReg, Ret, Push, Pop, Nop, Ud2, Int3,
     // SSE2 f64
     MovsdLoad, MovsdStore, MovsdRR, MovqToXmm, MovqFromXmm,
     Addsd, Subsd, Mulsd, Divsd, Sqrtsd, Minsd, Maxsd, Ucomisd, Xorpd,
     Cvtsi2sd, Cvttsd2si,
+    // 128-bit moves/logic (GCC spill/zero idioms; scalar code only —
+    // auto-vectorization is off in the measured objects)
+    Comisd, MovVecLoad, MovVecStore, MovVecRR, Pxor,
 };
 
 const char* name(Mn m);
@@ -53,6 +65,10 @@ struct MemRef
     int32_t disp = 0;
     x64::Seg seg = x64::Seg::None;
     bool addr32 = false;  ///< 0x67 prefix: 32-bit effective address
+    /** RIP-relative (mod=0, rm=5): disp holds the rel32. The JIT
+     *  checker treats this as Bad (the assembler never emits it); the
+     *  ELF checker resolves it through relocations. */
+    bool ripRel = false;
 };
 
 /** One decoded instruction. */
@@ -80,7 +96,11 @@ struct Insn
     int64_t imm = 0;
 
     bool hasRel = false;
-    int32_t rel = 0;  ///< rel32 branch displacement (from insn end)
+    int32_t rel = 0;  ///< rel8/rel32 branch displacement (from insn end)
+
+    /** Bytes the memory operand touches (0 when no access): access
+     *  width for integer ops, 8 for f64, 16 for the 128-bit moves. */
+    uint8_t accessBytes = 0;
 
     bool isBranch() const { return mn == Mn::Jmp || mn == Mn::Jcc; }
     bool
@@ -92,14 +112,41 @@ struct Insn
     bool
     readsMem() const
     {
-        return mem.present &&
-               (mn == Mn::Load || mn == Mn::AluMem || mn == Mn::MovsdLoad);
+        if (!mem.present)
+            return false;
+        switch (mn) {
+          case Mn::Load: case Mn::AluMem: case Mn::AluMemDst:
+          case Mn::AluImmMem: case Mn::TestMem: case Mn::TestImm:
+          case Mn::Mul: case Mn::Div: case Mn::Idiv: case Mn::Imul:
+          case Mn::Neg: case Mn::Not:
+          case Mn::ShiftImm: case Mn::ShiftCl:
+          case Mn::Cmovcc:
+          case Mn::MovsdLoad: case Mn::MovVecLoad:
+          case Mn::Addsd: case Mn::Subsd: case Mn::Mulsd:
+          case Mn::Divsd: case Mn::Sqrtsd: case Mn::Minsd:
+          case Mn::Maxsd: case Mn::Ucomisd: case Mn::Comisd:
+          case Mn::Xorpd: case Mn::Cvtsi2sd: case Mn::Cvttsd2si:
+            return true;
+          default:
+            return false;
+        }
     }
     bool
     writesMem() const
     {
-        return mem.present && (mn == Mn::Store || mn == Mn::StoreImm ||
-                               mn == Mn::MovsdStore);
+        if (!mem.present)
+            return false;
+        switch (mn) {
+          case Mn::Store: case Mn::StoreImm: case Mn::MovsdStore:
+          case Mn::MovVecStore: case Mn::Setcc:
+          case Mn::Neg: case Mn::Not:
+          case Mn::ShiftImm: case Mn::ShiftCl:
+            return true;
+          case Mn::AluMemDst: case Mn::AluImmMem:
+            return aluOp != x64::AluOp::Cmp;
+          default:
+            return false;
+        }
     }
 
     /** "mov r10, gs:[ebx+8]"-style rendering for reports. */

@@ -1,0 +1,1865 @@
+#include "verify/objcheck.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "verify/decoder.h"
+#include "verify/insn.h"
+
+namespace sfi::verify {
+
+namespace {
+
+using elf::ElfObject;
+using elf::FuncSlice;
+using elf::Reloc;
+using x64::AluOp;
+using x64::Cond;
+using x64::Seg;
+using x64::Width;
+
+constexpr int kRsp = 4;
+
+// Relocation types beyond the two in elf/object.h the checker
+// interprets: GOT-relative loads produce the *address* of the symbol.
+constexpr uint32_t kRGotPcRel = 9;
+constexpr uint32_t kRGotPcRelx = 41;
+constexpr uint32_t kRRexGotPcRelx = 42;
+
+bool
+isGotLoad(uint32_t t)
+{
+    return t == kRGotPcRel || t == kRGotPcRelx || t == kRRexGotPcRelx;
+}
+
+/**
+ * Abstract value kinds for the object checker. The lattice is flat:
+ * unequal non-Top kinds join to Top.
+ */
+enum class K : uint8_t {
+    Top,        ///< anything (untrusted 64-bit value)
+    U32,        ///< provably zero-extended 32-bit value
+    ObjPtr,     ///< the policy-object argument (&policy)
+    HeapBase,   ///< loaded from [ObjPtr+0] (plain-base policies only)
+    HeapSize,   ///< loaded from [ObjPtr+8]
+    HostPtr,    ///< host pointer from the entry ABI (sret) / stack addr
+    GlobalPtr,  ///< rip-relative address resolved via a relocation
+    HeapPtr,    ///< HeapBase + zext(u32) + delta (formed by lea/add)
+};
+
+struct AV
+{
+    K k = K::Top;
+    /** HeapPtr: constant added beyond base + the u32 index. */
+    int64_t delta = 0;
+    /**
+     * Dominating-check fact, tracked independently of the kind:
+     * U32      value + slack <= policy size
+     * HeapPtr  (value - heapBase) + slack <= policy size
+     * -1 = no fact. Established on branch edges of a compare against
+     * the HeapSize field (w2c.bounds.dominate).
+     */
+    int64_t slack = -1;
+    /**
+     * Linear relations: value == current value of register linBase +
+     * linOff (established by lea/mov/add over a zero-extended source).
+     * Invalidated when the base is redefined; lets a fact proven about
+     * `lea rdx,[rax+4]` land on %rax too. Two slots: the direct source
+     * register of the defining copy/lea *and* the folded root of its
+     * chain — GCC freely overwrites either one before the compare that
+     * needs the relation, so a single slot loses whichever the
+     * allocator recycles.
+     */
+    int8_t linBase = -1;
+    int64_t linOff = 0;
+    int8_t linBase2 = -1;
+    int64_t linOff2 = 0;
+
+    /** value == regs[base] + off; slot 2 falls back to slot 1. */
+    void
+    addLin(int base, int64_t off)
+    {
+        if (base < 0 || base == linBase)
+            return;
+        if (linBase < 0) {
+            linBase = static_cast<int8_t>(base);
+            linOff = off;
+        } else if (linBase2 < 0) {
+            linBase2 = static_cast<int8_t>(base);
+            linOff2 = off;
+        }
+    }
+
+    bool
+    operator==(const AV& o) const
+    {
+        return k == o.k && delta == o.delta && slack == o.slack &&
+               linBase == o.linBase && linOff == o.linOff &&
+               linBase2 == o.linBase2 && linOff2 == o.linOff2;
+    }
+    bool operator!=(const AV& o) const { return !(*this == o); }
+};
+
+AV
+av(K k)
+{
+    AV r;
+    r.k = k;
+    return r;
+}
+
+/** Does @p x hold the relation (base, off) in either lin slot? */
+bool
+hasLin(const AV& x, int8_t base, int64_t off)
+{
+    return (x.linBase == base && x.linOff == off) ||
+           (x.linBase2 == base && x.linOff2 == off);
+}
+
+void
+clearLin(AV& x)
+{
+    x.linBase = x.linBase2 = -1;
+    x.linOff = x.linOff2 = 0;
+}
+
+/** Severs any relation of @p x through register @p r (r was written). */
+void
+dropLinTo(AV& x, int r)
+{
+    if (x.linBase2 == r) {
+        x.linBase2 = -1;
+        x.linOff2 = 0;
+    }
+    if (x.linBase == r) {
+        x.linBase = x.linBase2;
+        x.linOff = x.linOff2;
+        x.linBase2 = -1;
+        x.linOff2 = 0;
+    }
+}
+
+AV
+joinAV(const AV& a, const AV& b)
+{
+    AV r;
+    // HeapPtr deltas must agree exactly (they feed the lower-bound
+    // check); disagreeing values collapse to Top.
+    if (a.k == b.k && a.delta == b.delta) {
+        r.k = a.k;
+        r.delta = a.delta;
+    } else {
+        r.k = K::Top;
+        r.delta = 0;
+    }
+    // Slack facts widen instead of chasing a descending chain: a
+    // loop-carried pointer stepping forward each iteration would
+    // otherwise shrink the fact one step per fixpoint round. Keeping
+    // the accumulated fact only when the incoming one is at least as
+    // strong is sound (dropping facts always is) and terminates.
+    r.slack = (a.slack >= 0 && b.slack >= a.slack) ? a.slack : -1;
+    // Lin slots survive a join only if the other side holds the same
+    // relation (in either slot — slot order is not canonical).
+    if (a.linBase >= 0 && hasLin(b, a.linBase, a.linOff))
+        r.addLin(a.linBase, a.linOff);
+    if (a.linBase2 >= 0 && hasLin(b, a.linBase2, a.linOff2))
+        r.addLin(a.linBase2, a.linOff2);
+    return r;
+}
+
+/** Flags fact from `cmp X, size` (or the swapped order). */
+struct FlagFact
+{
+    bool valid = false;
+    bool sizeLeft = false;  ///< compare computed size - X, not X - size
+    int8_t reg = -1;        ///< register holding X
+    int64_t ext = 0;        ///< X == reg + ext (via the reg's lin)
+    int8_t reg2 = -1;       ///< optional second representation
+    int64_t ext2 = 0;
+
+    bool
+    operator==(const FlagFact& o) const
+    {
+        if (valid != o.valid)
+            return false;
+        return !valid ||
+               (sizeLeft == o.sizeLeft && reg == o.reg && ext == o.ext &&
+                reg2 == o.reg2 && ext2 == o.ext2);
+    }
+};
+
+struct State
+{
+    AV regs[16];
+    /** rsp == entry rsp + rspAdj (negative after push/sub). */
+    int64_t rspAdj = 0;
+    bool rspLost = false;  ///< join disagreed; slots untracked
+    /** Entry-rsp-relative spill slots: key = rspAdj + disp. */
+    std::map<int64_t, AV> slots;
+    FlagFact flags;
+
+    bool
+    joinWith(const State& o)
+    {
+        bool changed = false;
+        for (int i = 0; i < 16; i++) {
+            AV j = joinAV(regs[i], o.regs[i]);
+            if (j != regs[i]) {
+                regs[i] = j;
+                changed = true;
+            }
+        }
+        if (!rspLost && (o.rspLost || o.rspAdj != rspAdj)) {
+            rspLost = true;
+            slots.clear();
+            changed = true;
+        }
+        if (!rspLost) {
+            for (auto it = slots.begin(); it != slots.end();) {
+                auto oi = o.slots.find(it->first);
+                AV j = oi == o.slots.end() ? av(K::Top)
+                                           : joinAV(it->second, oi->second);
+                if (j.k == K::Top && j.slack < 0) {
+                    it = slots.erase(it);
+                    changed = true;
+                    continue;
+                }
+                if (j != it->second) {
+                    it->second = j;
+                    changed = true;
+                }
+                ++it;
+            }
+        }
+        if (!(flags == o.flags) && flags.valid) {
+            flags.valid = false;
+            changed = true;
+        }
+        return changed;
+    }
+};
+
+struct Block
+{
+    size_t first = 0;
+    size_t last = 0;
+    std::vector<size_t> succs;
+    State in;
+    bool visited = false;
+    /// Seeded all-Top because no reachable path leads here (alignment
+    /// padding, post-trap code). Checked fail-closed, but its out-edges
+    /// never execute, so its state must not flow into live blocks.
+    bool dead = false;
+};
+
+/** How a memory operand classified. */
+enum class MC : uint8_t {
+    None,       ///< no memory operand
+    Stack,      ///< rsp-relative host stack
+    PolicyObj,  ///< [ObjPtr + d]: the policy object (host)
+    Global,     ///< rip-relative / GOT-resolved host data
+    HostMem,    ///< through an entry host pointer (sret)
+    Gs,         ///< proven %gs heap access (Segue form)
+    Heap,       ///< proven plain-pointer heap access
+    Fs,         ///< %fs:0x28 stack-protector canary
+    Bad,        ///< violation recorded
+};
+
+/** Callees that never return: the block ends at the call site. */
+bool
+isNoreturn(const std::string& sym)
+{
+    if (sym == "_ZN3sfi3w2c10boundsTrapEv" || sym == "abort" ||
+        sym == "__stack_chk_fail" || sym == "_Unwind_Resume" ||
+        sym == "__cxa_throw")
+        return true;
+    return sym.compare(0, 4, "_ZSt") == 0 &&
+           sym.find("__throw") != std::string::npos;
+}
+
+/** SysV caller-saved GPRs: rax rcx rdx rsi rdi r8-r11. */
+constexpr uint32_t kVolatileMask = (1u << 0) | (1u << 1) | (1u << 2) |
+                                   (1u << 6) | (1u << 7) | (1u << 8) |
+                                   (1u << 9) | (1u << 10) | (1u << 11);
+
+/**
+ * Register effects of the local functions a kernel calls, computed
+ * from their own bytes (the whole-binary half of the verifier). GCC
+ * compiles local helpers with IPA-RA and keeps caller values live in
+ * volatile registers the callee provably never writes; re-deriving the
+ * clobber set here keeps those kernels verifiable without trusting the
+ * compiler. Callee-saved registers are covered by the documented SysV
+ * assumption, so only the volatile set is refined. Anything the scan
+ * cannot fully decode or resolve stays `known = false` — the caller
+ * then fails closed to the full volatile clobber.
+ */
+class ClobberIndex
+{
+  public:
+    struct Effects
+    {
+        uint32_t regs = kVolatileMask;  ///< possibly-written volatiles
+        bool usesGs = false;            ///< %gs operand anywhere (transitively)
+        bool known = false;             ///< body + callees fully analyzed
+    };
+
+    explicit ClobberIndex(const ElfObject& obj) : obj_(obj)
+    {
+        for (const FuncSlice& f : obj.functions())
+            entries_[key(f.sectionIndex, f.sectionOffset)] = f;
+    }
+
+    /**
+     * Resolves a call/tail-call relocation to a defined local symbol's
+     * (section, offset). False for undefined (external) targets.
+     */
+    bool
+    resolveCall(const Reloc& r, uint16_t* sec, uint64_t* off) const
+    {
+        if (r.type != elf::kRX86_64Pc32 && r.type != elf::kRX86_64Plt32)
+            return false;
+        if (r.symIndex >= obj_.symbols().size())
+            return false;
+        const elf::Symbol& s = obj_.symbols()[r.symIndex];
+        if (!s.defined())
+            return false;
+        *sec = s.shndx;
+        // rel32 target = S + A + 4 in section coordinates (the reloc
+        // sits on the displacement field, 4 bytes before the insn end).
+        *off = s.value + static_cast<uint64_t>(r.addend + 4);
+        return true;
+    }
+
+    /** Effects of the function whose *entry* is (sec, off). */
+    Effects
+    effectsAt(uint16_t sec, uint64_t off)
+    {
+        auto it = entries_.find(key(sec, off));
+        if (it == entries_.end())
+            return Effects{};  // not a function entry: unknown
+        uint64_t k = key(sec, off);
+        auto m = memo_.find(k);
+        if (m != memo_.end())
+            return m->second;
+        // In-progress marker: mutual recursion falls back to the full
+        // volatile set instead of looping.
+        memo_[k] = Effects{};
+        Effects e = compute(it->second);
+        memo_[k] = e;
+        return e;
+    }
+
+  private:
+    static uint64_t
+    key(uint16_t sec, uint64_t off)
+    {
+        return (static_cast<uint64_t>(sec) << 48) | off;
+    }
+
+    /** Registers instruction @p in may write (over-approximate). */
+    static uint32_t
+    writesOf(const Insn& in)
+    {
+        uint32_t m = 0;
+        auto add = [&m](int r) {
+            if (r >= 0 && r < 16)
+                m |= 1u << r;
+        };
+        switch (in.mn) {
+          case Mn::Mul:
+          case Mn::Div:
+          case Mn::Idiv:
+            add(0);
+            add(2);
+            break;
+          case Mn::Cdq:
+          case Mn::Cqo:
+            add(2);
+            break;
+          case Mn::Cdqe:
+            add(0);
+            break;
+          default:
+            // Adding both ModRM operands over-approximates reads as
+            // writes (cmp, stores); harmless for a clobber set. SSE
+            // mnemonics index XMM registers — irrelevant to GPR facts
+            // but equally harmless to include.
+            add(in.reg);
+            add(in.rm);
+            break;
+        }
+        return m;
+    }
+
+    Effects
+    compute(const FuncSlice& f)
+    {
+        Effects e;
+        e.regs = 0;
+        e.usesGs = false;
+        e.known = true;
+        size_t off = 0;
+        while (off < f.size) {
+            Insn in;
+            if (!decode(f.bytes + off, f.size - off, &in))
+                return Effects{};  // undecodable: fail closed
+            if (in.mem.present && in.mem.seg == Seg::Gs)
+                e.usesGs = true;
+            e.regs |= writesOf(in);
+            if (in.mn == Mn::CallReg || in.mn == Mn::JmpReg)
+                return Effects{};  // indirect flow: fail closed
+            if (in.hasRel &&
+                (in.mn == Mn::Call || in.mn == Mn::Jmp)) {
+                uint64_t lo = f.sectionOffset + off;
+                const Reloc* r = nullptr;
+                for (const Reloc& cand : obj_.relocsFor(f.sectionIndex))
+                    if (cand.offset >= lo && cand.offset < lo + in.len)
+                        r = &cand;
+                if (r) {
+                    if (!isNoreturn(r->symName)) {
+                        uint16_t cs;
+                        uint64_t co;
+                        if (resolveCall(*r, &cs, &co)) {
+                            Effects ce = effectsAt(cs, co);
+                            e.regs |= ce.regs;
+                            e.usesGs = e.usesGs || ce.usesGs;
+                            e.known = e.known && ce.known;
+                        } else {
+                            // External (libc) target: full volatile
+                            // clobber under the documented host-ABI
+                            // assumption.
+                            e.regs |= kVolatileMask;
+                        }
+                    }
+                } else {
+                    // No relocation: a target resolved at compile
+                    // time, necessarily within this section.
+                    uint64_t t = f.sectionOffset + off + in.len +
+                                 static_cast<int64_t>(in.rel);
+                    bool internal = t >= f.sectionOffset &&
+                                    t < f.sectionOffset + f.size;
+                    if (!internal) {
+                        Effects ce = effectsAt(f.sectionIndex, t);
+                        e.regs |= ce.regs;
+                        e.usesGs = e.usesGs || ce.usesGs;
+                        e.known = e.known && ce.known;
+                    }
+                }
+            }
+            off += in.len;
+        }
+        e.regs &= kVolatileMask;
+        return e;
+    }
+
+    const ElfObject& obj_;
+    std::unordered_map<uint64_t, FuncSlice> entries_;
+    std::unordered_map<uint64_t, Effects> memo_;
+};
+
+class ObjFnChecker
+{
+  public:
+    ObjFnChecker(const ElfObject& obj, const FuncSlice& fn, W2cPolicy policy,
+                 bool sret, ClobberIndex* clobbers, ObjReport* rep,
+                 ObjFunctionResult* fr)
+        : obj_(obj), fn_(fn), policy_(policy), sret_(sret),
+          clobbers_(clobbers), rep_(rep), fr_(fr)
+    {
+        usesGs_ = policy == W2cPolicy::Segue ||
+                  policy == W2cPolicy::SegueBounds;
+        plainBase_ = policy == W2cPolicy::BaseAdd ||
+                     policy == W2cPolicy::Bounds;
+        needsBounds_ = policy == W2cPolicy::Bounds ||
+                       policy == W2cPolicy::SegueBounds;
+    }
+
+    void
+    run()
+    {
+        if (!decodeAll())
+            return;
+        if (!buildBlocks())
+            return;
+        analyze();
+        record_ = true;
+        for (auto& b : blocks_) {
+            State st = b.in;
+            for (size_t i = b.first; i < b.last; i++)
+                transfer(st, i);
+        }
+    }
+
+  private:
+    // ---- reporting ------------------------------------------------
+
+    void
+    violation(uint64_t off, Rule rule, const std::string& insn,
+              std::string detail)
+    {
+        rep_->violations.push_back(
+            {off, rule, fn_.name, insn, std::move(detail)});
+        fr_->violations++;
+    }
+
+    // ---- relocations ----------------------------------------------
+
+    /** First relocation landing inside instruction @p i, or nullptr. */
+    const Reloc*
+    relocIn(size_t i) const
+    {
+        uint64_t lo = fn_.sectionOffset + offs_[i];
+        uint64_t hi = lo + insns_[i].len;
+        for (const Reloc& r : obj_.relocsFor(fn_.sectionIndex))
+            if (r.offset >= lo && r.offset < hi)
+                return &r;
+        return nullptr;
+    }
+
+    // ---- decode + CFG ---------------------------------------------
+
+    bool
+    decodeAll()
+    {
+        size_t off = 0;
+        while (off < fn_.size) {
+            Insn in;
+            if (!decode(fn_.bytes + off, fn_.size - off, &in)) {
+                violation(off, Rule::DecodeError,
+                          hexWindow(fn_.bytes, fn_.size, off),
+                          "undecodable instruction (fail closed)");
+                return false;
+            }
+            offToIdx_[off] = insns_.size();
+            offs_.push_back(off);
+            insns_.push_back(in);
+            off += in.len;
+        }
+        fr_->instructions = insns_.size();
+        rep_->instructions += insns_.size();
+        return true;
+    }
+
+    int64_t
+    targetOf(size_t i) const
+    {
+        const Insn& in = insns_[i];
+        if (!in.hasRel)
+            return -1;
+        return static_cast<int64_t>(offs_[i]) + in.len + in.rel;
+    }
+
+    bool
+    inRange(int64_t t) const
+    {
+        return t >= 0 && static_cast<uint64_t>(t) < fn_.size;
+    }
+
+    /** A rel32 call/jump that leaves the function via a relocation. */
+    bool
+    leavesViaReloc(size_t i) const
+    {
+        return insns_[i].hasRel && relocIn(i) != nullptr;
+    }
+
+    bool
+    noreturnCall(size_t i) const
+    {
+        if (insns_[i].mn != Mn::Call)
+            return false;
+        const Reloc* r = relocIn(i);
+        return r && isNoreturn(r->symName);
+    }
+
+    bool
+    buildBlocks()
+    {
+        std::vector<uint8_t> leader(insns_.size(), 0);
+        leader[0] = 1;
+        for (size_t i = 0; i < insns_.size(); i++) {
+            const Insn& in = insns_[i];
+            if (in.isBranch() && !leavesViaReloc(i)) {
+                int64_t t = targetOf(i);
+                auto it = inRange(t)
+                              ? offToIdx_.find(static_cast<size_t>(t))
+                              : offToIdx_.end();
+                if (it == offToIdx_.end()) {
+                    violation(offs_[i], Rule::W2cCfgResolved, in.text(),
+                              "branch target not on a decoded "
+                              "instruction boundary");
+                    return false;
+                }
+                leader[it->second] = 1;
+            }
+            if ((in.isBranch() || in.isTerminator() || noreturnCall(i)) &&
+                i + 1 < insns_.size())
+                leader[i + 1] = 1;
+        }
+
+        for (size_t i = 0; i < insns_.size(); i++) {
+            if (!leader[i])
+                continue;
+            size_t j = i + 1;
+            while (j < insns_.size() && !leader[j])
+                j++;
+            idxToBlock_[i] = blocks_.size();
+            blocks_.push_back(Block{i, j, {}, State{}, false});
+        }
+
+        for (auto& b : blocks_) {
+            size_t li = b.last - 1;
+            const Insn& last = insns_[li];
+            if (noreturnCall(li))
+                continue;  // trap call: no successors
+            if (last.mn == Mn::Jmp) {
+                if (!leavesViaReloc(li))
+                    b.succs.push_back(blockAt(targetOf(li)));
+                // else: relocation-resolved tail call, no successors
+            } else if (last.mn == Mn::Jcc) {
+                if (b.last < insns_.size())
+                    b.succs.push_back(idxToBlock_.at(b.last));
+                if (!leavesViaReloc(li))
+                    b.succs.push_back(blockAt(targetOf(li)));
+            } else if (!last.isTerminator()) {
+                if (b.last < insns_.size())
+                    b.succs.push_back(idxToBlock_.at(b.last));
+            }
+        }
+        fr_->basicBlocks = blocks_.size();
+        return true;
+    }
+
+    size_t
+    blockAt(int64_t off)
+    {
+        return idxToBlock_.at(offToIdx_.at(static_cast<size_t>(off)));
+    }
+
+    // ---- entry state ----------------------------------------------
+
+    State
+    entryState() const
+    {
+        State st;  // everything Top
+        // SysV integer argument order; a by-value class return (sret)
+        // shifts the policy reference one slot right.
+        static constexpr int kArg[2] = {7 /*rdi*/, 6 /*rsi*/};
+        int ai = 0;
+        if (sret_)
+            st.regs[kArg[ai++]] = av(K::HostPtr);
+        st.regs[kArg[ai]] = av(K::ObjPtr);
+        return st;
+    }
+
+    // ---- fixpoint -------------------------------------------------
+
+    void
+    analyze()
+    {
+        std::vector<size_t> work;
+        blocks_[0].in = entryState();
+        blocks_[0].visited = true;
+        work.push_back(0);
+
+        while (true) {
+            while (!work.empty()) {
+                size_t bi = work.back();
+                work.pop_back();
+                Block& b = blocks_[bi];
+                State st = b.in;
+                for (size_t i = b.first; i < b.last; i++)
+                    transfer(st, i);
+                // Dead-seeded blocks are verified (fail closed) but
+                // their edges never execute: propagating their all-Top
+                // state would poison live loop headers they precede.
+                if (b.dead)
+                    continue;
+                bool twoWay = b.succs.size() == 2 &&
+                              b.succs[0] != b.succs[1];
+                for (size_t e = 0; e < b.succs.size(); e++) {
+                    State es = st;
+                    // succs[0] is the fallthrough, succs[1] the taken
+                    // edge of a Jcc (buildBlocks order).
+                    if (twoWay)
+                        applyEdgeFact(b, e == 1, es);
+                    es.flags.valid = false;
+                    Block& s = blocks_[b.succs[e]];
+                    if (!s.visited) {
+                        s.in = es;
+                        s.visited = true;
+                        work.push_back(b.succs[e]);
+                    } else if (s.in.joinWith(es)) {
+                        work.push_back(b.succs[e]);
+                    }
+                }
+            }
+            // Unreachable blocks (e.g. after a noreturn call) verify
+            // from a fresh all-Top state: fail closed, never skipped.
+            size_t next = blocks_.size();
+            for (size_t i = 0; i < blocks_.size(); i++)
+                if (!blocks_[i].visited) {
+                    next = i;
+                    break;
+                }
+            if (next == blocks_.size())
+                break;
+            blocks_[next].visited = true;
+            blocks_[next].dead = true;
+            work.push_back(next);
+        }
+    }
+
+    /**
+     * Turns the `cmp X, size; jcc` fact into a slack on the compared
+     * register (and its lin base) along the edge where X is proven
+     * below the policy size.
+     */
+    void
+    applyEdgeFact(const Block& b, bool taken, State& es) const
+    {
+        const Insn& last = insns_[b.last - 1];
+        if (last.mn != Mn::Jcc || !es.flags.valid)
+            return;
+        // Effective condition on this edge (x86 tttn: ^1 inverts).
+        uint8_t c = static_cast<uint8_t>(last.cond);
+        if (!taken)
+            c ^= 1;
+        // Relation of X vs size under the effective condition:
+        // 0 none, 1 X <= size, 2 X < size.
+        int rel = 0;
+        if (!es.flags.sizeLeft) {  // flags = X - size
+            if (c == 0x2)  // b
+                rel = 2;
+            else if (c == 0x6 || c == 0x4)  // be, e
+                rel = 1;
+        } else {  // flags = size - X
+            if (c == 0x7)  // a
+                rel = 2;
+            else if (c == 0x3 || c == 0x4)  // ae, e
+                rel = 1;
+        }
+        if (!rel)
+            return;
+        int64_t add = rel == 2 ? 1 : 0;
+        applySlack(es, es.flags.reg, es.flags.ext + add);
+        if (es.flags.reg2 >= 0)
+            applySlack(es, es.flags.reg2, es.flags.ext2 + add);
+    }
+
+    static void
+    raiseSlack(State& es, int r, int64_t s)
+    {
+        if (s >= 0 && es.regs[r].slack < s)
+            es.regs[r].slack = s;
+    }
+
+    static void
+    applySlack(State& es, int r, int64_t s)
+    {
+        if (r < 0 || s < 0)
+            return;
+        raiseSlack(es, r, s);
+        // The compare names one copy of the value; registers related
+        // through lin chains hold the same value shifted by a known
+        // offset (value(j) == value(anchor) + linOff_j), so the bound
+        // transfers. Lin records point at the *direct* source register
+        // of each copy/lea, so the chain from the compared register is
+        // walked transitively (it cannot cycle: writing a register
+        // severs every lin pointing at it). HeapPtr slack has different
+        // semantics (relative to the heap base) and is never raised
+        // from an offset fact.
+        int anchors[8];
+        int64_t aslack[8];
+        int n = 0;
+        anchors[n] = r;
+        aslack[n++] = s;
+        // Breadth-first over both lin slots of every anchor (writing a
+        // register severs relations through it, so the graph is acyclic;
+        // the seen-check and the cap bound the walk regardless).
+        for (int head = 0; head < n; head++) {
+            const AV& a = es.regs[anchors[head]];
+            const int8_t bases[2] = {a.linBase, a.linBase2};
+            const int64_t offs[2] = {a.linOff, a.linOff2};
+            for (int p = 0; p < 2 && n < 8; p++) {
+                int b = bases[p];
+                if (b < 0)
+                    continue;
+                int64_t bs = aslack[head] + offs[p];
+                if (bs < 0)
+                    continue;
+                bool seen = false;
+                for (int t = 0; t < n; t++)
+                    seen = seen || anchors[t] == b;
+                if (seen)
+                    continue;
+                if (es.regs[b].k != K::HeapPtr)
+                    raiseSlack(es, b, bs);
+                anchors[n] = b;
+                aslack[n++] = bs;
+            }
+        }
+        for (int j = 0; j < 16; j++) {
+            const AV& a = es.regs[j];
+            if (a.k == K::HeapPtr)
+                continue;
+            for (int t = 0; t < n; t++) {
+                if (j == anchors[t])
+                    continue;
+                if (a.linBase == anchors[t])
+                    raiseSlack(es, j, aslack[t] - a.linOff);
+                if (a.linBase2 == anchors[t])
+                    raiseSlack(es, j, aslack[t] - a.linOff2);
+            }
+        }
+    }
+
+    // ---- state helpers --------------------------------------------
+
+    void
+    setReg(State& st, int r, AV v)
+    {
+        if (r < 0 || r > 15)
+            return;
+        if (r == kRsp) {
+            if (record_)
+                violation(curOff_, Rule::StackDiscipline,
+                          insns_[curIdx_].text(),
+                          "%rsp written outside push/pop/sub/add/lea "
+                          "frame shapes");
+            return;
+        }
+        dropLinTo(v, r);
+        for (int j = 0; j < 16; j++)
+            if (j != r)
+                dropLinTo(st.regs[j], r);
+        if (st.flags.valid && (st.flags.reg == r || st.flags.reg2 == r))
+            st.flags.valid = false;
+        st.regs[r] = v;
+    }
+
+    /** 8/16-bit partial write: zero-extension (if any) survives. */
+    AV
+    narrow(const State& st, int r) const
+    {
+        return av(st.regs[r].k == K::U32 ? K::U32 : K::Top);
+    }
+
+    void
+    clobberRegs(State& st, uint32_t mask)
+    {
+        for (int r = 0; r < 16; r++)
+            if (mask & (1u << r))
+                setReg(st, r, av(K::Top));
+        st.flags.valid = false;
+        // The red zone (below the callee's entry rsp) is dead across
+        // any call, refined clobber set or not.
+        if (!st.rspLost)
+            st.slots.erase(st.slots.begin(),
+                           st.slots.lower_bound(st.rspAdj));
+    }
+
+    void
+    clobberVolatile(State& st)
+    {
+        // SysV caller-saved: rax rcx rdx rsi rdi r8-r11.
+        clobberRegs(st, kVolatileMask);
+    }
+
+    /** A store hit the policy object: cached base/size facts die. */
+    void
+    killHeapFacts(State& st)
+    {
+        auto kill = [](AV& v) {
+            if (v.k == K::HeapBase || v.k == K::HeapSize ||
+                v.k == K::HeapPtr)
+                v = av(K::Top);
+            v.slack = -1;
+        };
+        for (int r = 0; r < 16; r++)
+            kill(st.regs[r]);
+        for (auto& [d, v] : st.slots)
+            kill(v);
+        st.flags.valid = false;
+    }
+
+    int64_t
+    slotKey(const State& st, int32_t disp) const
+    {
+        return st.rspAdj + disp;
+    }
+
+    AV
+    slotLoad(const State& st, const MemRef& m) const
+    {
+        if (st.rspLost || m.hasIndex)
+            return av(K::Top);
+        auto it = st.slots.find(slotKey(st, m.disp));
+        return it == st.slots.end() ? av(K::Top) : it->second;
+    }
+
+    void
+    slotStore(State& st, const MemRef& m, AV v, int bytes)
+    {
+        if (st.rspLost)
+            return;
+        if (m.hasIndex) {
+            // Indexed store into a stack array. A zero-extended index
+            // only reaches offsets >= disp, so slots strictly below the
+            // array base survive; anything else may alias and dies.
+            if (st.regs[static_cast<int>(m.index)].k == K::U32)
+                st.slots.erase(st.slots.lower_bound(slotKey(st, m.disp)),
+                               st.slots.end());
+            else
+                st.slots.clear();
+            return;
+        }
+        int64_t key = slotKey(st, m.disp);
+        clearLin(v);  // lin is register-relative; spills drop it
+        if (bytes == 8) {
+            st.slots[key] = v;
+        } else {
+            st.slots.erase(key);
+            if (bytes == 16)
+                st.slots.erase(key + 8);
+        }
+    }
+
+    // ---- memory classification (the policy rules) -----------------
+
+    MC
+    checkAccess(State& st, size_t i)
+    {
+        const Insn& in = insns_[i];
+        const MemRef& m = in.mem;
+        uint64_t off = offs_[i];
+        int bytes = in.accessBytes ? in.accessBytes : 1;
+
+        if (m.seg == Seg::Gs) {
+            if (!usesGs_) {
+                if (record_)
+                    violation(off, Rule::W2cGsAccess, in.text(),
+                              "stray %gs access in a non-Segue kernel");
+                return MC::Bad;
+            }
+            bool shape = m.hasBase && !m.hasIndex && m.disp == 0 &&
+                         !m.ripRel;
+            int b = shape ? static_cast<int>(m.base) : -1;
+            if (!shape || st.regs[b].k != K::U32) {
+                if (record_)
+                    violation(off, Rule::W2cGsAccess, in.text(),
+                              "heap access is not %gs:(reg) with a "
+                              "provably zero-extended u32 register");
+                return MC::Bad;
+            }
+            if (policy_ == W2cPolicy::SegueBounds) {
+                if (st.regs[b].slack < bytes) {
+                    if (record_)
+                        violation(off, Rule::W2cBoundsDominate, in.text(),
+                                  "gs heap access without a dominating "
+                                  "size check covering its extent");
+                    return MC::Bad;
+                }
+                if (record_)
+                    fr_->boundsChecked++;
+            }
+            if (record_)
+                fr_->heapAccesses++;
+            return MC::Gs;
+        }
+        if (m.seg == Seg::Fs) {
+            // %fs:0x28 is the stack-protector canary (host TLS).
+            if (!m.hasBase && !m.hasIndex && m.disp == 0x28) {
+                if (record_)
+                    fr_->hostAccesses++;
+                return MC::Fs;
+            }
+            if (record_)
+                violation(off, Rule::W2cHeapEscape, in.text(),
+                          "unrecognized %fs access");
+            return MC::Bad;
+        }
+        if (m.ripRel) {
+            if (relocIn(i)) {
+                if (record_)
+                    fr_->hostAccesses++;
+                return MC::Global;
+            }
+            if (record_)
+                violation(off, Rule::W2cHeapEscape, in.text(),
+                          "rip-relative access without a resolving "
+                          "relocation");
+            return MC::Bad;
+        }
+        if (!m.hasBase) {
+            if (record_)
+                violation(off, Rule::W2cHeapEscape, in.text(),
+                          "absolute-address access");
+            return MC::Bad;
+        }
+        int b = static_cast<int>(m.base);
+        if (b == kRsp) {
+            if (record_)
+                fr_->hostAccesses++;
+            return MC::Stack;
+        }
+        const AV bv = st.regs[b];
+        switch (bv.k) {
+          case K::ObjPtr:
+            if (m.hasIndex) {
+                if (record_)
+                    violation(off, Rule::W2cHeapEscape, in.text(),
+                              "indexed access into the policy object");
+                return MC::Bad;
+            }
+            if (record_)
+                fr_->hostAccesses++;
+            return MC::PolicyObj;
+          case K::HostPtr:
+            if (record_)
+                fr_->hostAccesses++;
+            return MC::HostMem;
+          case K::GlobalPtr:
+            if (record_)
+                fr_->hostAccesses++;
+            return MC::Global;
+          case K::HeapBase:
+          case K::HeapPtr:
+            return checkHeapAccess(st, in, bv, off, bytes);
+          default:
+            if (record_)
+                violation(off, Rule::W2cHeapEscape, in.text(),
+                          "access through a value the analysis cannot "
+                          "classify");
+            return MC::Bad;
+        }
+    }
+
+    MC
+    checkHeapAccess(State& st, const Insn& in, const AV& bv, uint64_t off,
+                    int bytes)
+    {
+        const MemRef& m = in.mem;
+        if (usesGs_) {
+            // Segue kernels never form plain heap pointers (HeapBase is
+            // not even assigned for them); defensive fail-close.
+            if (record_)
+                violation(off, Rule::W2cGsAccess, in.text(),
+                          "non-%gs heap access in a Segue kernel");
+            return MC::Bad;
+        }
+        int64_t idxSlack = -1;
+        if (m.hasIndex) {
+            int idx = static_cast<int>(m.index);
+            // The index must be a zero-extended u32 at byte scale on
+            // the plain HeapBase; a second index over an already-offset
+            // HeapPtr could overflow the 8 GiB reservation.
+            if (m.scale != 1 || st.regs[idx].k != K::U32 ||
+                bv.k != K::HeapBase) {
+                if (record_)
+                    violation(off, Rule::W2cHeapEscape, in.text(),
+                              "heap access is not [base + zext(u32)*1 "
+                              "+ disp]");
+                return MC::Bad;
+            }
+            idxSlack = st.regs[idx].slack;
+        }
+        int64_t delta = bv.k == K::HeapPtr ? bv.delta : 0;
+        if (delta + m.disp < 0) {
+            if (record_)
+                violation(off, Rule::W2cHeapEscape, in.text(),
+                          "effective displacement below the heap base");
+            return MC::Bad;
+        }
+        if (policy_ == W2cPolicy::Bounds) {
+            int64_t slack = m.hasIndex ? idxSlack : bv.slack;
+            int64_t need = delta + m.disp + bytes;
+            if (slack < need) {
+                if (record_)
+                    violation(off, Rule::W2cBoundsDominate, in.text(),
+                              "heap access without a dominating size "
+                              "check covering its extent");
+                return MC::Bad;
+            }
+            if (record_)
+                fr_->boundsChecked++;
+        }
+        if (record_)
+            fr_->heapAccesses++;
+        return MC::Heap;
+    }
+
+    // ---- transfer -------------------------------------------------
+
+    void transfer(State& st, size_t i);
+
+    /** Records a flags fact when @p x is compared against HeapSize. */
+    void
+    setCmpFact(State& st, int x, bool sizeLeft)
+    {
+        if (x < 0)
+            return;
+        FlagFact f;
+        f.valid = true;
+        f.sizeLeft = sizeLeft;
+        f.reg = static_cast<int8_t>(x);
+        f.ext = 0;
+        if (st.regs[x].linBase >= 0) {
+            f.reg2 = st.regs[x].linBase;
+            f.ext2 = st.regs[x].linOff;
+        }
+        st.flags = f;
+        factSet_ = true;
+    }
+
+    /** Mnemonics that leave EFLAGS untouched (facts survive them). */
+    static bool
+    preservesFlags(Mn m)
+    {
+        switch (m) {
+          case Mn::MovImm64: case Mn::MovImm32: case Mn::MovRR:
+          case Mn::Load: case Mn::Store: case Mn::StoreImm:
+          case Mn::Lea: case Mn::Xchg: case Mn::Movzx: case Mn::Movsx:
+          case Mn::Movsxd: case Mn::Setcc: case Mn::Cmovcc:
+          case Mn::Push: case Mn::Pop: case Mn::Nop: case Mn::Jmp:
+          case Mn::Jcc: case Mn::Cdq: case Mn::Cqo: case Mn::Cdqe:
+          case Mn::MovsdLoad: case Mn::MovsdStore: case Mn::MovsdRR:
+          case Mn::MovqToXmm: case Mn::MovqFromXmm:
+          case Mn::MovVecLoad: case Mn::MovVecStore: case Mn::MovVecRR:
+          case Mn::Addsd: case Mn::Subsd: case Mn::Mulsd: case Mn::Divsd:
+          case Mn::Sqrtsd: case Mn::Minsd: case Mn::Maxsd:
+          case Mn::Xorpd: case Mn::Pxor: case Mn::Cvtsi2sd:
+          case Mn::Cvttsd2si:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    const ElfObject& obj_;
+    const FuncSlice& fn_;
+    W2cPolicy policy_;
+    bool sret_;
+    ClobberIndex* clobbers_;
+    ObjReport* rep_;
+    ObjFunctionResult* fr_;
+    bool usesGs_ = false;
+    bool plainBase_ = false;
+    bool needsBounds_ = false;
+
+    std::vector<Insn> insns_;
+    std::vector<size_t> offs_;
+    std::unordered_map<size_t, size_t> offToIdx_;
+    std::unordered_map<size_t, size_t> idxToBlock_;
+    std::vector<Block> blocks_;
+
+    bool record_ = false;
+    bool factSet_ = false;
+    uint64_t curOff_ = 0;
+    size_t curIdx_ = 0;
+};
+
+void
+ObjFnChecker::transfer(State& st, size_t i)
+{
+    const Insn& in = insns_[i];
+    uint64_t off = offs_[i];
+    curOff_ = off;
+    curIdx_ = i;
+    factSet_ = false;
+
+    // Classify the memory operand once, before modeling the value
+    // effect: every accessing form funnels through the policy rules.
+    MC mc = MC::None;
+    if (in.mem.present && in.mn != Mn::Lea && in.mn != Mn::Nop &&
+        (in.readsMem() || in.writesMem()))
+        mc = checkAccess(st, i);
+
+    switch (in.mn) {
+      case Mn::MovImm64:
+        setReg(st, in.reg,
+               av(in.imm >= 0 && in.imm <= 0xffffffffll ? K::U32
+                                                        : K::Top));
+        break;
+      case Mn::MovImm32:
+        if (in.mem.present) {  // c7 /0 with a memory destination
+            if (mc == MC::Stack)
+                slotStore(st, in.mem, av(K::Top), 0);
+        } else {
+            setReg(st, in.reg, av(K::U32));
+        }
+        break;
+
+      case Mn::MovRR: {
+        int dst = in.rm, src = in.reg;
+        if (in.width == Width::W64) {
+            AV v = st.regs[src];
+            // Keep the relation to the *direct* source alongside the
+            // source's own (folded) relation: GCC recycles whichever
+            // register dies first, and the compare that needs the link
+            // may come after either one is overwritten.
+            if (src != dst) {
+                AV chain = st.regs[src];
+                clearLin(v);
+                v.addLin(src, 0);
+                v.addLin(chain.linBase, chain.linOff);
+            }
+            setReg(st, dst, v);
+        } else if (in.width == Width::W32) {
+            AV v = st.regs[src];
+            AV r = av(K::U32);
+            // low32(x) <= x: a dominating-check fact survives the
+            // truncation; the lin relation only when no bits drop.
+            r.slack = v.slack;
+            if (v.k == K::U32) {
+                if (src != dst) {
+                    r.addLin(src, 0);
+                    r.addLin(v.linBase, v.linOff);
+                } else {
+                    r.linBase = v.linBase;
+                    r.linOff = v.linOff;
+                    r.linBase2 = v.linBase2;
+                    r.linOff2 = v.linOff2;
+                }
+            }
+            setReg(st, dst, r);
+        } else {
+            setReg(st, dst, narrow(st, dst));
+        }
+        break;
+      }
+
+      case Mn::Load: {
+        AV v = av(K::Top);
+        if (in.signExtend) {
+            v = av(in.width == Width::W8 || in.width == Width::W16
+                       ? K::Top  // movsx to 32/64: sign bit unknown
+                       : K::Top);
+        } else if (in.width == Width::W64) {
+            if (mc == MC::PolicyObj && !in.mem.hasIndex) {
+                if (in.mem.disp == 0 && plainBase_)
+                    v = av(K::HeapBase);
+                else if (in.mem.disp == 8)
+                    v = av(K::HeapSize);
+            } else if (mc == MC::Stack) {
+                v = slotLoad(st, in.mem);
+            } else if (mc == MC::Global) {
+                const Reloc* r = relocIn(i);
+                if (r && isGotLoad(r->type))
+                    v = av(K::GlobalPtr);
+            }
+        } else {
+            v = av(K::U32);  // 8/16/32-bit loads zero-extend
+        }
+        setReg(st, in.reg, v);
+        break;
+      }
+
+      case Mn::Store:
+        if (mc == MC::Stack)
+            slotStore(st, in.mem, st.regs[in.reg],
+                      in.width == Width::W64 ? 8 : 0);
+        else if (mc == MC::PolicyObj)
+            killHeapFacts(st);
+        break;
+      case Mn::StoreImm:
+        if (mc == MC::Stack)
+            slotStore(st, in.mem,
+                      in.width == Width::W64 && in.imm >= 0 &&
+                              in.imm <= 0xffffffffll
+                          ? av(K::U32)
+                          : av(K::Top),
+                      in.width == Width::W64 ? 8 : 0);
+        else if (mc == MC::PolicyObj)
+            killHeapFacts(st);
+        break;
+      case Mn::MovsdStore:
+      case Mn::MovVecStore:
+        if (mc == MC::Stack)
+            slotStore(st, in.mem, av(K::Top),
+                      in.mn == Mn::MovVecStore ? 16 : 0);
+        else if (mc == MC::PolicyObj)
+            killHeapFacts(st);
+        break;
+
+      case Mn::Lea: {
+        const MemRef& m = in.mem;
+        AV v = av(K::Top);
+        if (m.ripRel) {
+            if (relocIn(i))
+                v = av(K::GlobalPtr);
+        } else if (in.width == Width::W32) {
+            v = av(K::U32);  // wrapping u32 address arithmetic
+        } else if (m.hasBase) {
+            int b = static_cast<int>(m.base);
+            const AV bv = st.regs[b];
+            if (b == kRsp) {
+                v = av(K::HostPtr);
+            } else if (bv.k == K::HostPtr || bv.k == K::GlobalPtr) {
+                // Indexed or displaced host-side address computation
+                // (stack arrays, rodata tables) stays host-side.
+                v = av(bv.k);
+            } else if (!m.hasIndex) {
+                if (bv.k == K::HeapBase) {
+                    v = av(K::HeapPtr);
+                    v.delta = m.disp;
+                } else if (bv.k == K::HeapPtr) {
+                    v = bv;
+                    clearLin(v);
+                    v.delta += m.disp;
+                    if (v.slack >= 0) {
+                        v.slack -= m.disp;
+                        if (v.slack < 0)
+                            v.slack = -1;
+                    }
+                } else if (bv.k == K::U32) {
+                    // value = base + disp exactly (no 64-bit wrap for
+                    // disp >= 0; for disp < 0 the fact consumer guards).
+                    // Record the direct base *and* its folded root:
+                    // either may be the register GCC recycles before
+                    // the compare (setReg severs dangling relations,
+                    // including to the lea destination itself).
+                    v = av(K::Top);
+                    if (b != in.reg)
+                        v.addLin(b, m.disp);
+                    if (bv.linBase >= 0)
+                        v.addLin(bv.linBase, bv.linOff + m.disp);
+                    if (m.disp >= 0 && bv.slack >= m.disp)
+                        v.slack = bv.slack - m.disp;
+                }
+            } else if (m.scale == 1 && bv.k == K::HeapBase &&
+                       st.regs[static_cast<int>(m.index)].k == K::U32) {
+                v = av(K::HeapPtr);
+                v.delta = m.disp;
+                int64_t s = st.regs[static_cast<int>(m.index)].slack;
+                if (s >= 0) {
+                    v.slack = s - m.disp;
+                    if (v.slack < 0)
+                        v.slack = -1;
+                }
+            }
+        }
+        setReg(st, in.reg, v);
+        break;
+      }
+
+      case Mn::AluRR: {
+        int dst = in.reg, src = in.rm;
+        if (in.aluOp == AluOp::Cmp) {
+            if (in.width == Width::W64) {
+                if (st.regs[src].k == K::HeapSize)
+                    setCmpFact(st, dst, false);
+                else if (st.regs[dst].k == K::HeapSize)
+                    setCmpFact(st, src, true);
+            }
+            break;
+        }
+        AV v = av(K::Top);
+        if (in.aluOp == AluOp::Xor && dst == src) {
+            v = av(K::U32);
+        } else if (in.width == Width::W32) {
+            v = av(K::U32);
+        } else if (in.width == Width::W8 || in.width == Width::W16) {
+            v = narrow(st, dst);
+        } else if (in.aluOp == AluOp::Add) {
+            const AV &a = st.regs[dst], &b = st.regs[src];
+            if (a.k == K::HeapBase && b.k == K::U32) {
+                v = av(K::HeapPtr);
+                v.slack = b.slack;
+            } else if (a.k == K::U32 && b.k == K::HeapBase) {
+                v = av(K::HeapPtr);
+                v.slack = a.slack;
+            }
+        }
+        setReg(st, dst, v);
+        break;
+      }
+
+      case Mn::AluImm: {
+        if (in.aluOp == AluOp::Cmp)
+            break;
+        int dst = in.reg;
+        if (dst == kRsp) {
+            // Frame allocation: the only rsp arithmetic allowed.
+            if (in.width == Width::W64 && in.aluOp == AluOp::Sub)
+                st.rspAdj -= in.imm;
+            else if (in.width == Width::W64 && in.aluOp == AluOp::Add)
+                st.rspAdj += in.imm;
+            else
+                setReg(st, kRsp, av(K::Top));  // reports StackDiscipline
+            break;
+        }
+        AV v = av(K::Top);
+        const AV bv = st.regs[dst];
+        if (in.width == Width::W32) {
+            v = av(K::U32);
+        } else if (in.width == Width::W8 || in.width == Width::W16) {
+            v = narrow(st, dst);
+        } else if (in.aluOp == AluOp::Add) {
+            if (bv.k == K::HeapPtr) {
+                v = bv;
+                clearLin(v);
+                v.delta += in.imm;
+                if (v.slack >= 0) {
+                    v.slack -= in.imm;
+                    if (v.slack < 0)
+                        v.slack = -1;
+                }
+            } else if (bv.k == K::HeapBase) {
+                v = av(K::HeapPtr);
+                v.delta = in.imm;
+            } else if (bv.k == K::HostPtr || bv.k == K::GlobalPtr) {
+                v = av(bv.k);  // host-side pointer walk stays host-side
+            } else if (bv.k == K::U32) {
+                v.addLin(bv.linBase, bv.linOff + in.imm);
+                v.addLin(bv.linBase2, bv.linOff2 + in.imm);
+                if (in.imm >= 0 && bv.slack >= in.imm)
+                    v.slack = bv.slack - in.imm;
+            }
+        } else if (in.aluOp == AluOp::Sub) {
+            if (bv.k == K::HeapPtr) {
+                v = bv;
+                clearLin(v);
+                v.delta -= in.imm;
+                if (v.slack >= 0)
+                    v.slack += in.imm;
+            } else if (bv.k == K::HostPtr || bv.k == K::GlobalPtr) {
+                v = av(bv.k);
+            } else if (bv.k == K::U32) {
+                v.addLin(bv.linBase, bv.linOff - in.imm);
+                v.addLin(bv.linBase2, bv.linOff2 - in.imm);
+            }
+        } else if (in.aluOp == AluOp::And && in.imm >= 0 &&
+                   in.imm <= 0xffffffffll) {
+            v = av(K::U32);
+        }
+        if (in.width == Width::W64 &&
+            (in.aluOp == AluOp::Add || in.aluOp == AluOp::Sub)) {
+            // A 64-bit add/sub of a constant shifts the value by a
+            // known amount: registers holding lin aliases of dst rebase
+            // onto the new value instead of losing the relation (GCC
+            // likes `mov rax,rdx; add $4,rdx; cmp rdx,size` where the
+            // access then goes through rax).
+            int64_t d = in.aluOp == AluOp::Add ? in.imm : -in.imm;
+            for (int j = 0; j < 16; j++) {
+                if (j == dst)
+                    continue;
+                if (st.regs[j].linBase == dst)
+                    st.regs[j].linOff -= d;
+                if (st.regs[j].linBase2 == dst)
+                    st.regs[j].linOff2 -= d;
+            }
+            if (st.flags.valid &&
+                (st.flags.reg == dst || st.flags.reg2 == dst))
+                st.flags.valid = false;
+            dropLinTo(v, dst);
+            st.regs[dst] = v;
+            break;
+        }
+        setReg(st, dst, v);
+        break;
+      }
+
+      case Mn::AluMem: {
+        if (in.aluOp == AluOp::Cmp) {
+            // The size operand may be the policy field itself or a
+            // stack slot GCC spilled it to (slots keep the kind).
+            if (in.width == Width::W64 &&
+                ((mc == MC::PolicyObj && !in.mem.hasIndex &&
+                  in.mem.disp == 8) ||
+                 (mc == MC::Stack &&
+                  slotLoad(st, in.mem).k == K::HeapSize)))
+                setCmpFact(st, in.reg, false);
+            break;
+        }
+        setReg(st, in.reg,
+               in.width == Width::W32
+                   ? av(K::U32)
+                   : in.width == Width::W64 ? av(K::Top)
+                                            : narrow(st, in.reg));
+        break;
+      }
+
+      case Mn::AluMemDst: {
+        if (in.aluOp == AluOp::Cmp) {
+            if (in.width == Width::W64 &&
+                ((mc == MC::PolicyObj && !in.mem.hasIndex &&
+                  in.mem.disp == 8) ||
+                 (mc == MC::Stack &&
+                  slotLoad(st, in.mem).k == K::HeapSize)))
+                setCmpFact(st, in.reg, true);
+            break;
+        }
+        if (mc == MC::Stack)
+            slotStore(st, in.mem, av(K::Top), 0);  // RMW: value unknown
+        else if (mc == MC::PolicyObj)
+            killHeapFacts(st);
+        break;
+      }
+      case Mn::AluImmMem:
+        if (in.aluOp != AluOp::Cmp) {
+            if (mc == MC::Stack)
+                slotStore(st, in.mem, av(K::Top), 0);
+            else if (mc == MC::PolicyObj)
+                killHeapFacts(st);
+        }
+        break;
+
+      case Mn::Imul:
+        setReg(st, in.reg,
+               av(in.width == Width::W32 ? K::U32 : K::Top));
+        break;
+
+      case Mn::ShiftImm: {
+        AV v = av(in.width == Width::W32 ? K::U32 : K::Top);
+        // A 64-bit logical right shift by >= 32 lands in u32 range.
+        if (in.width == Width::W64 && in.shiftOp == x64::ShiftOp::Shr &&
+            (in.imm & 63) >= 32)
+            v = av(K::U32);
+        if (in.mem.present) {
+            if (mc == MC::Stack)
+                slotStore(st, in.mem, av(K::Top), 0);
+            else if (mc == MC::PolicyObj)
+                killHeapFacts(st);
+        } else {
+            setReg(st, in.reg, v);
+        }
+        break;
+      }
+      case Mn::ShiftCl:
+        if (in.mem.present) {
+            if (mc == MC::Stack)
+                slotStore(st, in.mem, av(K::Top), 0);
+            else if (mc == MC::PolicyObj)
+                killHeapFacts(st);
+        } else {
+            setReg(st, in.reg,
+                   av(in.width == Width::W32 ? K::U32 : K::Top));
+        }
+        break;
+
+      case Mn::Neg:
+      case Mn::Not:
+        if (in.mem.present) {
+            if (mc == MC::Stack)
+                slotStore(st, in.mem, av(K::Top), 0);
+            else if (mc == MC::PolicyObj)
+                killHeapFacts(st);
+        } else {
+            setReg(st, in.reg,
+                   in.width == Width::W32
+                       ? av(K::U32)
+                       : in.width == Width::W64 ? av(K::Top)
+                                                : narrow(st, in.reg));
+        }
+        break;
+
+      case Mn::Popcnt:
+        setReg(st, in.reg, av(K::U32));
+        break;
+
+      case Mn::Mul:
+      case Mn::Div:
+      case Mn::Idiv: {
+        AV v = av(in.width == Width::W32 ? K::U32 : K::Top);
+        setReg(st, 0, v);  // rax
+        setReg(st, 2, v);  // rdx
+        break;
+      }
+      case Mn::Cdq:
+        setReg(st, 2, av(K::U32));  // 32-bit write zero-extends
+        break;
+      case Mn::Cqo:
+        setReg(st, 2, av(K::Top));
+        break;
+      case Mn::Cdqe:
+        setReg(st, 0, av(K::Top));
+        break;
+
+      case Mn::Movzx:
+        setReg(st, in.reg, av(K::U32));
+        break;
+      case Mn::Movsx:
+        setReg(st, in.reg,
+               av(in.width == Width::W32 ? K::U32 : K::Top));
+        break;
+      case Mn::Movsxd:
+        setReg(st, in.reg, av(K::Top));
+        break;
+
+      case Mn::Setcc:
+        if (in.mem.present) {
+            if (mc == MC::Stack)
+                slotStore(st, in.mem, av(K::Top), 0);
+        } else {
+            setReg(st, in.reg, narrow(st, in.reg));
+        }
+        break;
+
+      case Mn::Cmovcc:
+        if (in.width == Width::W32)
+            setReg(st, in.reg, av(K::U32));
+        else if (in.mem.present)
+            setReg(st, in.reg, joinAV(st.regs[in.reg], av(K::Top)));
+        else
+            setReg(st, in.reg,
+                   joinAV(st.regs[in.reg], st.regs[in.rm]));
+        break;
+
+      case Mn::Xchg: {
+        AV a = st.regs[in.reg], b = st.regs[in.rm];
+        if (in.width != Width::W64) {
+            a = av(in.width == Width::W32 ? K::U32 : K::Top);
+            b = a;
+        }
+        setReg(st, in.reg, b);
+        setReg(st, in.rm, a);
+        break;
+      }
+
+      case Mn::Cvttsd2si:
+        setReg(st, in.reg,
+               av(in.width == Width::W32 ? K::U32 : K::Top));
+        break;
+      case Mn::MovqFromXmm:
+        setReg(st, in.rm,
+               av(in.width == Width::W32 ? K::U32 : K::Top));
+        break;
+
+      case Mn::Push:
+        st.rspAdj -= 8;
+        if (!st.rspLost)
+            st.slots[st.rspAdj] = st.regs[in.reg];
+        break;
+      case Mn::Pop: {
+        AV v = av(K::Top);
+        if (!st.rspLost) {
+            auto it = st.slots.find(st.rspAdj);
+            if (it != st.slots.end())
+                v = it->second;
+            st.slots.erase(st.rspAdj);
+        }
+        st.rspAdj += 8;
+        setReg(st, in.reg, v);
+        break;
+      }
+
+      case Mn::Call: {
+        const Reloc* r = relocIn(i);
+        if (record_) {
+            int64_t t = targetOf(i);
+            if (r || (inRange(t) &&
+                      offToIdx_.count(static_cast<size_t>(t))))
+                fr_->calls++;  // reloc-resolved or self-recursion
+            else
+                violation(off, Rule::W2cCfgResolved, in.text(),
+                          "direct call resolves to no relocation or "
+                          "in-function target");
+        }
+        // GCC's IPA-RA keeps caller values live in volatile registers a
+        // local callee provably never writes; clobber only the callee's
+        // actual effect set, re-derived from its own bytes, when the
+        // target resolves to a fully analyzable local function. Anything
+        // else (externals, unanalyzable bodies) gets the full volatile
+        // set under the documented host-ABI assumption.
+        uint32_t mask = kVolatileMask;
+        uint16_t csec;
+        uint64_t coff;
+        if (clobbers_ && r && clobbers_->resolveCall(*r, &csec, &coff)) {
+            ClobberIndex::Effects e = clobbers_->effectsAt(csec, coff);
+            if (e.known) {
+                mask = e.regs;
+                // A local callee touching %gs inside a non-Segue kernel
+                // would be an unchecked sandbox access: the callee is
+                // verified under *its own* policy only if it carries a
+                // policy mangling, which gs-clean plain helpers do not.
+                if (e.usesGs && !usesGs_ && record_)
+                    violation(off, Rule::W2cGsAccess, in.text(),
+                              "call target touches %gs in a non-segue "
+                              "policy kernel");
+            }
+        }
+        clobberRegs(st, mask);
+        break;
+      }
+      case Mn::CallReg:
+        if (record_)
+            violation(off, Rule::W2cCfgResolved, in.text(),
+                      "indirect call in a policy kernel");
+        clobberVolatile(st);
+        break;
+      case Mn::JmpReg:
+        if (record_)
+            violation(off, Rule::W2cCfgResolved, in.text(),
+                      "indirect jump in a policy kernel");
+        break;
+      case Mn::Jmp:
+        if (record_ && leavesViaReloc(i))
+            fr_->calls++;  // relocation-resolved tail call
+        break;
+
+      default:
+        break;  // flags-only, SSE-internal, nop, ret, jcc
+    }
+
+    if (!factSet_ && !preservesFlags(in.mn))
+        st.flags.valid = false;
+}
+
+}  // namespace
+
+const char*
+name(W2cPolicy p)
+{
+    switch (p) {
+      case W2cPolicy::None: return "none";
+      case W2cPolicy::Native: return "native";
+      case W2cPolicy::BaseAdd: return "baseadd";
+      case W2cPolicy::Segue: return "segue";
+      case W2cPolicy::Bounds: return "bounds";
+      case W2cPolicy::SegueBounds: return "segue+bounds";
+    }
+    return "?";
+}
+
+W2cPolicy
+policyOf(const std::string& mangled)
+{
+    // Length-prefixed type tokens are substring-safe against each
+    // other ("12BoundsPolicy" never occurs inside a mangling of
+    // SegueBoundsPolicy).
+    static const struct
+    {
+        const char* token;
+        W2cPolicy policy;
+    } kTokens[] = {
+        {"17SegueBoundsPolicy", W2cPolicy::SegueBounds},
+        {"12NativePolicy", W2cPolicy::Native},
+        {"13BaseAddPolicy", W2cPolicy::BaseAdd},
+        {"11SeguePolicy", W2cPolicy::Segue},
+        {"12BoundsPolicy", W2cPolicy::Bounds},
+    };
+    for (const auto& t : kTokens)
+        if (mangled.find(t.token) != std::string::npos)
+            return t.policy;
+    return W2cPolicy::None;
+}
+
+namespace {
+
+/**
+ * A by-value class return (e.g. XmlStats, 32 bytes) arrives via a
+ * hidden sret pointer in %rdi, shifting the policy reference to %rsi.
+ * In the mangling the return type follows the template-argument list:
+ * ...I<policy>E..E<ret><params>; a class return starts with 'N'.
+ */
+bool
+returnsViaSret(const std::string& mangled, W2cPolicy p)
+{
+    const char* tok = nullptr;
+    switch (p) {
+      case W2cPolicy::Native: tok = "12NativePolicy"; break;
+      case W2cPolicy::BaseAdd: tok = "13BaseAddPolicy"; break;
+      case W2cPolicy::Segue: tok = "11SeguePolicy"; break;
+      case W2cPolicy::Bounds: tok = "12BoundsPolicy"; break;
+      case W2cPolicy::SegueBounds: tok = "17SegueBoundsPolicy"; break;
+      case W2cPolicy::None: return false;
+    }
+    size_t pos = mangled.find(tok);
+    if (pos == std::string::npos)
+        return false;
+    pos += std::string(tok).size();
+    while (pos < mangled.size() && mangled[pos] == 'E')
+        pos++;
+    return pos < mangled.size() && mangled[pos] == 'N';
+}
+
+}  // namespace
+
+std::string
+ObjReport::summary() const
+{
+    char buf[512];
+    std::string s;
+    std::snprintf(buf, sizeof buf,
+                  "sfi-verify (elf): %zu violation(s)\n",
+                  violations.size());
+    s += buf;
+    for (const auto& v : violations) {
+        std::snprintf(buf, sizeof buf, "  %s+0x%llx [%s] %s — %s\n",
+                      v.func.empty() ? "" : (v.func + " ").c_str(),
+                      static_cast<unsigned long long>(v.offset),
+                      name(v.rule), v.insn.c_str(), v.detail.c_str());
+        s += buf;
+    }
+    uint64_t heap = 0, host = 0, checked = 0, calls = 0;
+    for (const auto& f : functions) {
+        heap += f.heapAccesses;
+        host += f.hostAccesses;
+        checked += f.boundsChecked;
+        calls += f.calls;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  kernels: %zu (%llu verified, %llu exempt), "
+                  "%llu instructions\n",
+                  functions.size(),
+                  static_cast<unsigned long long>(verified),
+                  static_cast<unsigned long long>(exempt),
+                  static_cast<unsigned long long>(instructions));
+    s += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  accesses: heap %llu (bounds-checked %llu), host "
+                  "%llu; resolved calls %llu\n",
+                  static_cast<unsigned long long>(heap),
+                  static_cast<unsigned long long>(checked),
+                  static_cast<unsigned long long>(host),
+                  static_cast<unsigned long long>(calls));
+    s += buf;
+    return s;
+}
+
+Result<ObjReport>
+checkObject(const ElfObject& obj, const ObjCheckOptions& opts)
+{
+    ObjReport rep;
+    uint64_t checked = 0;
+    ClobberIndex clobbers(obj);  // shared across the object's kernels
+    for (const FuncSlice& f : obj.functions()) {
+        W2cPolicy p = policyOf(f.name);
+        if (p == W2cPolicy::None)
+            continue;
+        ObjFunctionResult fr;
+        fr.name = f.name;
+        fr.policy = p;
+        if (p == W2cPolicy::Native) {
+            fr.exempt = true;
+            rep.exempt++;
+            rep.functions.push_back(std::move(fr));
+            continue;
+        }
+        if (!opts.policyFilter.empty() &&
+            std::string(name(p)).find(opts.policyFilter) ==
+                std::string::npos)
+            continue;
+        if (f.size == 0 || f.bytes == nullptr)
+            return Status::error("policy kernel '" + f.name +
+                                 "' has no bytes to verify");
+        ObjFnChecker fc(obj, f, p, returnsViaSret(f.name, p), &clobbers,
+                        &rep, &fr);
+        fc.run();
+        if (fr.violations == 0)
+            rep.verified++;
+        rep.functions.push_back(std::move(fr));
+        checked++;
+    }
+    // Zero matches is not an error here: one object of a multi-object
+    // audit may legitimately hold no kernels (heap.cc.o). The caller is
+    // responsible for refusing a vacuous pass across the whole audit
+    // (the CLI exits 3 when *no* object yields an analyzed kernel).
+    (void)checked;
+    return rep;
+}
+
+}  // namespace sfi::verify

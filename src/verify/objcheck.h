@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Whole-binary static SFI verification of the compiler-emitted w2c
+ * policy kernels (the ELF-object half of the verifier; the JIT half is
+ * checker.h).
+ *
+ * The build compiles every workload kernel once per SFI policy
+ * (w2c/policy.h); the policies constrain the code GCC may emit for a
+ * heap access (pinned u32 offsets, single-register %gs operands). This
+ * checker closes the loop: it slices each policy-templated kernel out
+ * of the build's *own* object files (elf/object.h), reconstructs its
+ * CFG with relocation-resolved call targets, and abstract-interprets
+ * the x86-64 to prove the per-policy contract on the compiler's actual
+ * output — the VeriWasm discipline applied at the wasm2c boundary
+ * instead of a JIT boundary.
+ *
+ * Per-policy proof obligations (stable rule ids):
+ *
+ *   SeguePolicy / SegueBoundsPolicy
+ *     w2c.gs_access       every heap access is exactly `%gs:(reg)` with
+ *                         a provably zero-extended u32 register, no
+ *                         index, no displacement; %gs never appears in
+ *                         kernels of other policies.
+ *   BoundsPolicy / SegueBoundsPolicy
+ *     w2c.bounds.dominate every heap access is dominated by a compare
+ *                         of its offset (plus access extent) against
+ *                         the policy's `size` field, branching to a
+ *                         noreturn trap.
+ *   BaseAddPolicy
+ *     w2c.heap_escape     every heap access is `[base + zext(u32)*1 +
+ *                         disp>=0]` — boundable inside the 4 GiB
+ *                         reservation + 4 GiB guard.
+ *   all policies
+ *     w2c.cfg.resolved    no indirect calls or jumps; every direct
+ *                         call/tail-call resolves through a relocation
+ *                         or lands on a decoded instruction boundary.
+ *     w2c.heap_escape     any access through a value the analysis
+ *                         cannot prove is host memory (stack, the
+ *                         policy object, rip-relative globals) or a
+ *                         policy-shaped heap address.
+ *
+ * NativePolicy kernels are the native baseline and the single explicit
+ * exemption: they are inventoried but not analyzed.
+ *
+ * Soundness assumptions (documented, mirrored in DESIGN.md): heap
+ * stores do not alias host memory the analysis tracks (the sandbox
+ * invariant this verifier itself establishes), and called helpers
+ * follow the SysV ABI (callee-saved registers preserved; policy-tagged
+ * callees are themselves verified). Volatile registers are refined
+ * further: local callees' clobber sets are re-derived from their own
+ * bytes (GCC's IPA-RA keeps caller values live in volatiles the callee
+ * never writes), failing closed to the full caller-saved set for
+ * external or unanalyzable targets. External (libc) callees are
+ * additionally assumed not to touch %gs.
+ *
+ * Fails closed: undecodable bytes, unclassifiable memory operands, and
+ * unresolved control flow are violations, not warnings.
+ */
+#ifndef SFIKIT_VERIFY_OBJCHECK_H_
+#define SFIKIT_VERIFY_OBJCHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "elf/object.h"
+#include "verify/checker.h"
+
+namespace sfi::verify {
+
+/** The SFI policy a kernel instantiation was compiled against. */
+enum class W2cPolicy : uint8_t {
+    None,  ///< not a policy-templated symbol
+    Native,
+    BaseAdd,
+    Segue,
+    Bounds,
+    SegueBounds,
+};
+
+const char* name(W2cPolicy p);
+
+/**
+ * Detects the policy template argument from a mangled symbol name via
+ * the length-prefixed type tokens ("12BoundsPolicy", ...), which are
+ * substring-safe against each other. None = not a policy kernel.
+ */
+W2cPolicy policyOf(const std::string& mangled);
+
+/** Per-function verification outcome (one policy instantiation). */
+struct ObjFunctionResult
+{
+    std::string name;  ///< mangled symbol
+    W2cPolicy policy = W2cPolicy::None;
+    uint64_t instructions = 0;
+    uint64_t basicBlocks = 0;
+    uint64_t heapAccesses = 0;    ///< accesses proven under the policy rule
+    uint64_t hostAccesses = 0;    ///< stack / policy-object / global accesses
+    uint64_t boundsChecked = 0;   ///< heap accesses proven by a dominating check
+    uint64_t calls = 0;           ///< relocation-resolved direct (tail) calls
+    bool exempt = false;          ///< NativePolicy: inventoried, not analyzed
+    uint64_t violations = 0;
+};
+
+struct ObjCheckOptions
+{
+    /**
+     * Substring filter on the policy name ("segue", "bounds", ...);
+     * empty = all policies. Exempt NativePolicy entries are always
+     * inventoried regardless of the filter.
+     */
+    std::string policyFilter;
+};
+
+struct ObjReport
+{
+    std::vector<Violation> violations;  ///< func holds the mangled symbol
+    std::vector<ObjFunctionResult> functions;
+    uint64_t instructions = 0;  ///< decoded across all checked kernels
+    uint64_t verified = 0;      ///< non-exempt kernels with no violations
+    uint64_t exempt = 0;        ///< NativePolicy instantiations
+
+    bool ok() const { return violations.empty(); }
+    /** Multi-line human summary (violations first, then totals). */
+    std::string summary() const;
+};
+
+/**
+ * Verifies every policy-templated kernel in @p obj. Returns an error
+ * status — distinct from a verification failure — when a kernel's
+ * bytes cannot be sliced. An object with no matching kernels yields an
+ * ok report with an empty function list: the vacuous-pass guard
+ * (sfi-verify exit code 3) aggregates across all objects of an audit,
+ * since one object of several may legitimately hold no kernels.
+ */
+Result<ObjReport> checkObject(const elf::ElfObject& obj,
+                              const ObjCheckOptions& opts = {});
+
+}  // namespace sfi::verify
+
+#endif  // SFIKIT_VERIFY_OBJCHECK_H_

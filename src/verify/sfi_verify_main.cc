@@ -11,15 +11,27 @@
  *   sfi-verify --wkld sieve          # one workload, all strategies
  *   sfi-verify --mem segue --cfi lfi # one config, all workloads
  *   sfi-verify --wkld sieve --mem segue-bounds --dump
+ *
+ * A second mode audits the build's own object files: every
+ * policy-templated w2c kernel is sliced out of the ELF and statically
+ * verified against its policy contract (verify/objcheck.h).
+ *
+ *   sfi-verify --elf kernels.cc.o [--elf ...] [--policy-filter segue]
+ *
+ * ELF-mode exit codes (so the ctest gate cannot pass vacuously):
+ *   0 every matched kernel verified   1 violations found
+ *   2 usage error                     3 could not parse / no kernels
  */
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "elf/object.h"
 #include "jit/compiler.h"
 #include "verify/checker.h"
 #include "verify/decoder.h"
+#include "verify/objcheck.h"
 #include "wkld/workloads.h"
 
 namespace sfi {
@@ -34,6 +46,9 @@ struct Options
     const char* wkld = nullptr;  // nullptr = all
     const char* mem = nullptr;   // nullptr = all sandboxing strategies
     const char* cfi = nullptr;   // nullptr = both
+    std::vector<const char*> elfObjs;  // non-empty = ELF object mode
+    const char* policyFilter = nullptr;
+    const char* jsonPath = nullptr;
     bool dump = false;
     bool quiet = false;
     bool optimize = true;
@@ -46,6 +61,8 @@ usage()
         stderr,
         "usage: sfi-verify [--wkld NAME] [--mem STRATEGY] [--cfi MODE]\n"
         "                  [--opt | --no-opt] [--dump] [--quiet]\n"
+        "       sfi-verify --elf OBJ [--elf OBJ ...] [--policy-filter S]\n"
+        "                  [--json PATH] [--dump] [--quiet]\n"
         "  --wkld NAME   verify one registry workload (default: all)\n"
         "  --mem S       base-reg | segue | segue-loads-only | bounds-check |\n"
         "                segue-bounds | unsandboxed (default: all "
@@ -54,8 +71,15 @@ usage()
         "  --cfi M       none | lfi (default: both)\n"
         "  --opt         run the verified optimizer (default)\n"
         "  --no-opt      disable the optimizer\n"
+        "  --elf OBJ     verify the policy-templated w2c kernels inside an\n"
+        "                ELF relocatable object (repeatable)\n"
+        "  --policy-filter S  only check policies whose name contains S\n"
+        "  --json PATH   write per-policy coverage counters as JSON\n"
         "  --dump        print the decoded instruction listing\n"
-        "  --quiet       only print failing configurations\n");
+        "  --quiet       only print failing configurations/kernels\n"
+        "ELF-mode exit codes: 0 verified, 1 violation, 2 usage,\n"
+        "                     3 could-not-parse (incl. no matching "
+        "kernels)\n");
     return 2;
 }
 
@@ -139,6 +163,171 @@ dumpListing(const jit::CompiledModule& cm)
             off += in.len;
         }
     }
+}
+
+void
+dumpElfListing(const elf::FuncSlice& fn)
+{
+    std::printf("  -- %s [%llu bytes] --\n", fn.name.c_str(),
+                (unsigned long long)fn.size);
+    uint64_t off = 0;
+    while (off < fn.size) {
+        verify::Insn in;
+        if (!verify::decode(fn.bytes + off, fn.size - off, &in)) {
+            std::printf("  +%#llx  <undecodable> %s\n",
+                        (unsigned long long)off,
+                        verify::hexWindow(fn.bytes, fn.size, off).c_str());
+            break;
+        }
+        std::printf("  +%#llx  %s\n", (unsigned long long)off,
+                    in.text().c_str());
+        off += in.len;
+    }
+}
+
+/** Aggregated per-policy coverage counters for the --json row. */
+struct PolicyTotals
+{
+    uint64_t kernels = 0;
+    uint64_t verified = 0;
+    uint64_t exempt = 0;
+    uint64_t instructions = 0;
+    uint64_t heapAccesses = 0;
+    uint64_t hostAccesses = 0;
+    uint64_t boundsChecked = 0;
+    uint64_t calls = 0;
+    uint64_t violations = 0;
+};
+
+bool
+writeCoverageJson(const char* path,
+                  const PolicyTotals (&per)[6])
+{
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "sfi-verify: cannot write %s\n", path);
+        return false;
+    }
+    // Same shape the benchmarks emit (bench/bench_util.h JsonEmitter),
+    // so the perf-lab ingester picks these rows up unchanged.
+    std::fprintf(f, "{\n  \"bench\": \"sfi_verify_elf\",\n"
+                    "  \"results\": [\n");
+    bool first = true;
+    for (int p = 1; p <= 5; p++) {
+        const PolicyTotals& t = per[p];
+        if (!t.kernels)
+            continue;
+        if (!first)
+            std::fprintf(f, ",\n");
+        first = false;
+        std::fprintf(
+            f,
+            "    {\"policy\": \"%s\", \"kernels\": %llu, "
+            "\"verified\": %llu, \"exempt\": %llu, "
+            "\"instructions\": %llu, \"heap_accesses\": %llu, "
+            "\"host_accesses\": %llu, \"bounds_checked\": %llu, "
+            "\"calls\": %llu, \"violations\": %llu}",
+            verify::name(static_cast<verify::W2cPolicy>(p)),
+            (unsigned long long)t.kernels,
+            (unsigned long long)t.verified,
+            (unsigned long long)t.exempt,
+            (unsigned long long)t.instructions,
+            (unsigned long long)t.heapAccesses,
+            (unsigned long long)t.hostAccesses,
+            (unsigned long long)t.boundsChecked,
+            (unsigned long long)t.calls,
+            (unsigned long long)t.violations);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+int
+runElf(const Options& opt)
+{
+    verify::ObjCheckOptions checkOpts;
+    if (opt.policyFilter)
+        checkOpts.policyFilter = opt.policyFilter;
+
+    PolicyTotals per[6];
+    uint64_t violations = 0, kernels = 0, verified = 0, exempt = 0,
+             instructions = 0;
+    for (const char* path : opt.elfObjs) {
+        auto obj = elf::ElfObject::load(path);
+        if (!obj.isOk()) {
+            std::fprintf(stderr, "sfi-verify: %s: %s\n", path,
+                         obj.message().c_str());
+            return 3;
+        }
+        auto rep = verify::checkObject(*obj, checkOpts);
+        if (!rep.isOk()) {
+            std::fprintf(stderr, "sfi-verify: %s: %s\n", path,
+                         rep.message().c_str());
+            return 3;
+        }
+        violations += rep->violations.size();
+        kernels += rep->functions.size();
+        verified += rep->verified;
+        exempt += rep->exempt;
+        instructions += rep->instructions;
+        if (!opt.quiet || !rep->ok())
+            std::printf("== %s ==\n", path);
+        if (!rep->ok())
+            std::printf("%s", rep->summary().c_str());
+        for (const auto& fn : rep->functions) {
+            int p = static_cast<int>(fn.policy);
+            per[p].kernels++;
+            per[p].exempt += fn.exempt;
+            per[p].verified += !fn.exempt && !fn.violations;
+            per[p].instructions += fn.instructions;
+            per[p].heapAccesses += fn.heapAccesses;
+            per[p].hostAccesses += fn.hostAccesses;
+            per[p].boundsChecked += fn.boundsChecked;
+            per[p].calls += fn.calls;
+            per[p].violations += fn.violations;
+            if (!opt.quiet || fn.violations) {
+                std::printf(
+                    "  %-12s %-8s %5llu insn %3llu bb  heap %3llu  "
+                    "host %3llu  bounds %3llu  calls %2llu  %s\n",
+                    verify::name(fn.policy),
+                    fn.exempt ? "exempt"
+                              : (fn.violations ? "FAIL" : "verified"),
+                    (unsigned long long)fn.instructions,
+                    (unsigned long long)fn.basicBlocks,
+                    (unsigned long long)fn.heapAccesses,
+                    (unsigned long long)fn.hostAccesses,
+                    (unsigned long long)fn.boundsChecked,
+                    (unsigned long long)fn.calls, fn.name.c_str());
+            }
+        }
+        if (opt.dump) {
+            for (const auto& fn : obj->functions())
+                if (verify::policyOf(fn.name) != verify::W2cPolicy::None)
+                    dumpElfListing(fn);
+        }
+    }
+    if (!opt.quiet) {
+        std::printf(
+            "\n%llu violation(s); %llu/%llu kernel(s) verified, "
+            "%llu exempt (native); %llu instructions\n",
+            (unsigned long long)violations, (unsigned long long)verified,
+            (unsigned long long)(kernels - exempt),
+            (unsigned long long)exempt,
+            (unsigned long long)instructions);
+    }
+    if (kernels == exempt) {
+        // Refuse a vacuous pass: a mangling or filter change that
+        // matches no analyzable kernel must not read as "verified".
+        std::fprintf(stderr,
+                     "sfi-verify: no policy kernel was analyzed across "
+                     "%zu object(s) — refusing a vacuous pass\n",
+                     opt.elfObjs.size());
+        return 3;
+    }
+    if (opt.jsonPath && !writeCoverageJson(opt.jsonPath, per))
+        return 3;
+    return violations ? 1 : 0;
 }
 
 int
@@ -254,6 +443,12 @@ main(int argc, char** argv)
             opt.mem = v;
         else if (const char* v = want("--cfi"))
             opt.cfi = v;
+        else if (const char* v = want("--elf"))
+            opt.elfObjs.push_back(v);
+        else if (const char* v = want("--policy-filter"))
+            opt.policyFilter = v;
+        else if (const char* v = want("--json"))
+            opt.jsonPath = v;
         else if (!std::strcmp(argv[i], "--opt"))
             opt.optimize = true;
         else if (!std::strcmp(argv[i], "--no-opt"))
@@ -265,5 +460,12 @@ main(int argc, char** argv)
         else
             return sfi::usage();
     }
+    if (!opt.elfObjs.empty()) {
+        if (opt.wkld || opt.mem || opt.cfi)
+            return sfi::usage();
+        return sfi::runElf(opt);
+    }
+    if (opt.policyFilter || opt.jsonPath)
+        return sfi::usage();
     return sfi::run(opt);
 }

@@ -15,10 +15,7 @@
  *                      materialized, then added to a 64-bit base — the
  *                      two-instruction Figure 1b pattern.
  *   SeguePolicy        the base lives in %gs; a single gs-relative
- *                      instruction performs the access with the full
- *                      addressing mode folded (Figure 1c). Implemented
- *                      with inline asm "m" operands so GCC still
- *                      chooses [base + index*scale + disp] forms.
+ *                      instruction performs the access (Figure 1c).
  *   BoundsPolicy       explicit limit check before each access — what
  *                      engines emit for 64-bit memories (§6.1).
  *   SegueBoundsPolicy  bounds check + gs-relative access.
@@ -26,6 +23,31 @@
  * All SFI policies use u32 offsets into a 4 GiB-reserved linear memory
  * with trailing guard pages, so stray accesses fault exactly as in
  * production Wasm engines.
+ *
+ * Verifiability-constrained codegen: the SFI accessors pin the address
+ * formation the host compiler may use, so the static object verifier
+ * (verify/objcheck.h) can prove the emitted code rather than trust it —
+ * the same discipline NaCl and Lucet applied to their emitters, moved
+ * to the wasm2c boundary:
+ *
+ *  - gs accesses take the *whole* effective address in one register
+ *    whose value is a zero-extended u32 ("r" operand, not "m"), so the
+ *    verifier's proof obligation is `reg < 2^32` against the
+ *    4 GiB + 4 GiB guard reservation; free-form [base+index*scale]
+ *    folding into the gs operand would require re-deriving GCC's
+ *    value-range analysis to bound it.
+ *  - plain-pointer policies (BaseAdd/Bounds) pass the u32 offset
+ *    through an empty asm barrier, which (a) materializes it in a
+ *    32-bit register the verifier can see is zero-extended and (b)
+ *    keeps GCC from re-associating `base + u32(a + i*s)` into
+ *    `base + a + i*s` over 64 bits — correct only under a no-overflow
+ *    argument the object code no longer carries.
+ *
+ * The cost is at most one lea per access (the address is computed
+ * anyway; it just can't merge into the accessing instruction), measured
+ * in EXPERIMENTS.md alongside the verified-kernel matrix. NativePolicy
+ * is deliberately unconstrained: it is the native baseline and the
+ * verifier's single explicit exemption.
  */
 #ifndef SFIKIT_W2C_POLICY_H_
 #define SFIKIT_W2C_POLICY_H_
@@ -86,6 +108,81 @@ struct NativePolicy
     }
 };
 
+namespace detail {
+
+/**
+ * Materializes a u32 offset in a register the optimizer treats as
+ * opaque: the verifier then sees a 32-bit definition (hence a provably
+ * zero-extended index) feeding the access, and GCC cannot re-associate
+ * the wrapped u32 arithmetic into 64-bit addressing forms.
+ */
+inline uint32_t
+pinOffset(uint32_t off)
+{
+    asm("" : "+r"(off));
+    return off;
+}
+
+// The shadow "m" operands below are lvalues at raw u32 addresses; GCC's
+// array-bounds analysis flags constant-folded low addresses even though
+// the asm templates never reference them (they only carry load/store
+// dependence, replacing a far costlier "memory" clobber).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+
+/**
+ * gs-relative load: the effective address arrives fully computed in one
+ * register, zero-extended from u32 (see the file comment — this is the
+ * verifiable shape; addressing through an "m" operand would let GCC
+ * fold arbitrary modes). The unreferenced "m" input only tells the
+ * scheduler which location is read.
+ */
+template <typename T>
+inline T
+gsLoad(uint32_t off)
+{
+    T v;
+    // Pin before widening: without the barrier GCC strength-reduces the
+    // zext into a 64-bit loop counter (`add $4,%rax` feeding %gs:(%rax))
+    // whose u32 range only *its* value-range analysis knows. The pin
+    // keeps a 32-bit definition of the offset in the object code.
+    uint64_t ea = pinOffset(off);  // zero-extension visible in the code
+    if constexpr (sizeof(T) == 8 && __is_same(T, double)) {
+        asm("movsd %%gs:(%1), %0"
+            : "=x"(v)
+            : "r"(ea), "m"(*reinterpret_cast<const T*>(ea)));
+    } else {
+        asm("mov %%gs:(%1), %0"
+            : "=r"(v)
+            : "r"(ea), "m"(*reinterpret_cast<const T*>(ea)));
+    }
+    return v;
+}
+
+template <typename T>
+inline void
+gsStore(uint32_t off, T v)
+{
+    // The unreferenced "=m" output expresses the written location, so
+    // dependence against gsLoad orders correctly without a "memory"
+    // clobber (which would be an optimization barrier the plain-pointer
+    // policies don't pay).
+    uint64_t ea = pinOffset(off);  // see gsLoad: keeps the u32 def
+    if constexpr (sizeof(T) == 8 && __is_same(T, double)) {
+        asm("movsd %2, %%gs:(%1)"
+            : "=m"(*reinterpret_cast<T*>(ea))
+            : "r"(ea), "x"(v));
+    } else {
+        asm("mov %2, %%gs:(%1)"
+            : "=m"(*reinterpret_cast<T*>(ea))
+            : "r"(ea), "r"(v));
+    }
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace detail
+
 /** Classic wasm2c: u32 offsets, explicit 64-bit base addition. */
 struct BaseAddPolicy
 {
@@ -104,8 +201,10 @@ struct BaseAddPolicy
         T v;
         // The u32 offset is zero-extended and added to the 64-bit base:
         // the compiler must materialize the 32-bit offset computation
-        // before the access (Figure 1b).
-        std::memcpy(&v, base + uint64_t(off), sizeof v);
+        // before the access (Figure 1b). pinOffset keeps that shape in
+        // the object code — the verifier proves [base + zext(u32)*1].
+        std::memcpy(&v, base + uint64_t(detail::pinOffset(off)),
+                    sizeof v);
         return v;
     }
 
@@ -113,7 +212,8 @@ struct BaseAddPolicy
     void
     store(Index off, T v) const
     {
-        std::memcpy(base + uint64_t(off), &v, sizeof v);
+        std::memcpy(base + uint64_t(detail::pinOffset(off)), &v,
+                    sizeof v);
     }
 
     template <typename T>
@@ -131,54 +231,6 @@ struct BaseAddPolicy
     }
 };
 
-namespace detail {
-
-// The "m" operands below are lvalues at raw u32 addresses; GCC's
-// array-bounds analysis flags constant-folded low addresses even though
-// the asm only uses the *address* (relative to %gs).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Warray-bounds"
-
-/** gs-relative load of any scalar type, with full mode folding. */
-template <typename T>
-inline T
-gsLoad(uint64_t ea)
-{
-    T v;
-    if constexpr (sizeof(T) == 8 && __is_same(T, double)) {
-        asm("movsd %%gs:%1, %0"
-            : "=x"(v)
-            : "m"(*reinterpret_cast<const T*>(ea)));
-    } else {
-        asm("mov %%gs:%1, %0"
-            : "=r"(v)
-            : "m"(*reinterpret_cast<const T*>(ea)));
-    }
-    return v;
-}
-
-template <typename T>
-inline void
-gsStore(uint64_t ea, T v)
-{
-    // The "=m" output expresses the written location; GCC's dependence
-    // analysis orders these against the gsLoad "m" inputs without a
-    // full "memory" clobber (which would be an optimization barrier the
-    // plain-pointer policies don't pay).
-    if constexpr (sizeof(T) == 8 && __is_same(T, double)) {
-        asm("movsd %1, %%gs:%0"
-            : "=m"(*reinterpret_cast<T*>(ea))
-            : "x"(v));
-    } else {
-        asm("mov %1, %%gs:%0"
-            : "=m"(*reinterpret_cast<T*>(ea))
-            : "r"(v));
-    }
-}
-
-#pragma GCC diagnostic pop
-
-}  // namespace detail
 
 /**
  * Segue: %gs holds the heap base (set by the harness via
@@ -199,33 +251,32 @@ struct SeguePolicy
     T
     load(Index off) const
     {
-        return detail::gsLoad<T>(uint64_t(off));
+        return detail::gsLoad<T>(off);
     }
 
     template <typename T>
     void
     store(Index off, T v) const
     {
-        detail::gsStore<T>(uint64_t(off), v);
+        detail::gsStore<T>(off, v);
     }
 
     template <typename T>
     T
     loadAt(Index array, Index idx) const
     {
-        // 64-bit effective-address arithmetic is safe here (both values
-        // are clean u32), and it lets the compiler fold the whole
-        // [base + index*scale] form into the gs access.
-        return detail::gsLoad<T>(uint64_t(array) +
-                                 uint64_t(idx) * sizeof(T));
+        // Wrapping u32 effective-address arithmetic: wasm2c semantics,
+        // and the verifiable shape — the gs access receives one
+        // zero-extended u32 register, so a stray index wraps inside the
+        // reservation instead of escaping past the guard.
+        return detail::gsLoad<T>(Index(array + idx * sizeof(T)));
     }
 
     template <typename T>
     void
     storeAt(Index array, Index idx, T v) const
     {
-        detail::gsStore<T>(uint64_t(array) + uint64_t(idx) * sizeof(T),
-                           v);
+        detail::gsStore<T>(Index(array + idx * sizeof(T)), v);
     }
 };
 
@@ -244,6 +295,10 @@ struct BoundsPolicy
     T
     load(Index off) const
     {
+        // Pin first, then check: the dominating compare and the access
+        // then share one registered offset value the verifier can tie
+        // together (w2c.bounds.dominate).
+        off = detail::pinOffset(off);
         if (uint64_t(off) + sizeof(T) > size) [[unlikely]]
             boundsTrap();
         T v;
@@ -255,6 +310,7 @@ struct BoundsPolicy
     void
     store(Index off, T v) const
     {
+        off = detail::pinOffset(off);
         if (uint64_t(off) + sizeof(T) > size) [[unlikely]]
             boundsTrap();
         std::memcpy(base + uint64_t(off), &v, sizeof v);
@@ -290,38 +346,42 @@ struct SegueBoundsPolicy
     T
     load(Index off) const
     {
+        // Pin first (as BoundsPolicy does) so the dominating compare
+        // and the gs access consume the same materialized u32: without
+        // it GCC proves the check against *its* value-range analysis
+        // and emits 32-bit index forms the verifier cannot tie to the
+        // access. The second pin inside gsLoad is the identity on the
+        // already-pinned register and emits nothing.
+        off = detail::pinOffset(off);
         if (uint64_t(off) + sizeof(T) > size) [[unlikely]]
             boundsTrap();
-        return detail::gsLoad<T>(uint64_t(off));
+        return detail::gsLoad<T>(off);
     }
 
     template <typename T>
     void
     store(Index off, T v) const
     {
+        off = detail::pinOffset(off);
         if (uint64_t(off) + sizeof(T) > size) [[unlikely]]
             boundsTrap();
-        detail::gsStore<T>(uint64_t(off), v);
+        detail::gsStore<T>(off, v);
     }
 
     template <typename T>
     T
     loadAt(Index array, Index idx) const
     {
-        uint64_t ea = uint64_t(array) + uint64_t(idx) * sizeof(T);
-        if (ea + sizeof(T) > size) [[unlikely]]
-            boundsTrap();
-        return detail::gsLoad<T>(ea);
+        // Wrapping u32 address like SeguePolicy::loadAt; the check then
+        // bounds the exact value the gs access consumes.
+        return load<T>(Index(array + idx * sizeof(T)));
     }
 
     template <typename T>
     void
     storeAt(Index array, Index idx, T v) const
     {
-        uint64_t ea = uint64_t(array) + uint64_t(idx) * sizeof(T);
-        if (ea + sizeof(T) > size) [[unlikely]]
-            boundsTrap();
-        detail::gsStore<T>(ea, v);
+        store<T>(Index(array + idx * sizeof(T)), v);
     }
 };
 

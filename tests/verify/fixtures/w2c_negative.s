@@ -1,0 +1,79 @@
+# Hand-assembled negative fixtures for the ELF object checker
+# (verify/objcheck.h): each function carries a policy-mangled name the
+# checker keys off and violates exactly one SFI proof obligation, so
+# tests/verify/objcheck_test.cc can assert the precise stable rule id
+# fires (and that no negative slips through as "verified").
+#
+# The manglings mimic real kernel instantiations
+# (_ZN3sfi3w2c<len><name>INS0_<len><Policy>EEEj RKT_ j ...): policyOf()
+# matches on the length-prefixed policy token, and the trailing 'j'
+# return type keeps the sret detection off, so the policy reference
+# arrives in %rdi exactly as in compiler output.
+
+	.text
+
+# ---- w2c.gs_access: stray %gs access in a non-Segue kernel ----------
+	.globl	_ZN3sfi3w2c10fixGsStrayINS0_12BoundsPolicyEEEjRKT_j
+	.type	_ZN3sfi3w2c10fixGsStrayINS0_12BoundsPolicyEEEjRKT_j,@function
+_ZN3sfi3w2c10fixGsStrayINS0_12BoundsPolicyEEEjRKT_j:
+	movl	%gs:(%rsi), %eax
+	ret
+	.size	_ZN3sfi3w2c10fixGsStrayINS0_12BoundsPolicyEEEjRKT_j, .-_ZN3sfi3w2c10fixGsStrayINS0_12BoundsPolicyEEEjRKT_j
+
+# ---- w2c.gs_access: gs operand register not provably zext u32 -------
+# %rdx is untracked (Top) at entry: a 64-bit value straight into the gs
+# addressing register could reach past the 4 GiB + 4 GiB reservation.
+	.globl	_ZN3sfi3w2c8fixGsU32INS0_11SeguePolicyEEEjRKT_j
+	.type	_ZN3sfi3w2c8fixGsU32INS0_11SeguePolicyEEEjRKT_j,@function
+_ZN3sfi3w2c8fixGsU32INS0_11SeguePolicyEEEjRKT_j:
+	movl	%gs:(%rdx), %eax
+	ret
+	.size	_ZN3sfi3w2c8fixGsU32INS0_11SeguePolicyEEEjRKT_j, .-_ZN3sfi3w2c8fixGsU32INS0_11SeguePolicyEEEjRKT_j
+
+# ---- w2c.bounds.dominate: Bounds access with the check hoisted out --
+# The offset is a proper zext u32 and the base is the real heap base
+# loaded from the policy object, but no compare against [obj+8]
+# dominates the access.
+	.globl	_ZN3sfi3w2c10fixUncheckINS0_12BoundsPolicyEEEjRKT_j
+	.type	_ZN3sfi3w2c10fixUncheckINS0_12BoundsPolicyEEEjRKT_j,@function
+_ZN3sfi3w2c10fixUncheckINS0_12BoundsPolicyEEEjRKT_j:
+	movq	(%rdi), %rax
+	movl	%esi, %esi
+	movl	(%rax,%rsi,1), %eax
+	ret
+	.size	_ZN3sfi3w2c10fixUncheckINS0_12BoundsPolicyEEEjRKT_j, .-_ZN3sfi3w2c10fixUncheckINS0_12BoundsPolicyEEEjRKT_j
+
+# ---- w2c.bounds.dominate: SegueBounds gs access without a check -----
+	.globl	_ZN3sfi3w2c12fixGsUncheckINS0_17SegueBoundsPolicyEEEjRKT_j
+	.type	_ZN3sfi3w2c12fixGsUncheckINS0_17SegueBoundsPolicyEEEjRKT_j,@function
+_ZN3sfi3w2c12fixGsUncheckINS0_17SegueBoundsPolicyEEEjRKT_j:
+	movl	%esi, %esi
+	movl	%gs:(%rsi), %eax
+	ret
+	.size	_ZN3sfi3w2c12fixGsUncheckINS0_17SegueBoundsPolicyEEEjRKT_j, .-_ZN3sfi3w2c12fixGsUncheckINS0_17SegueBoundsPolicyEEEjRKT_j
+
+# ---- w2c.cfg.resolved: indirect jump in a policy kernel -------------
+	.globl	_ZN3sfi3w2c11fixIndirectINS0_13BaseAddPolicyEEEjRKT_j
+	.type	_ZN3sfi3w2c11fixIndirectINS0_13BaseAddPolicyEEEjRKT_j,@function
+_ZN3sfi3w2c11fixIndirectINS0_13BaseAddPolicyEEEjRKT_j:
+	xorl	%eax, %eax
+	jmp	*%rax
+	.size	_ZN3sfi3w2c11fixIndirectINS0_13BaseAddPolicyEEEjRKT_j, .-_ZN3sfi3w2c11fixIndirectINS0_13BaseAddPolicyEEEjRKT_j
+
+# ---- w2c.heap_escape: access through an unclassifiable value --------
+	.globl	_ZN3sfi3w2c9fixEscapeINS0_13BaseAddPolicyEEEjRKT_j
+	.type	_ZN3sfi3w2c9fixEscapeINS0_13BaseAddPolicyEEEjRKT_j,@function
+_ZN3sfi3w2c9fixEscapeINS0_13BaseAddPolicyEEEjRKT_j:
+	movl	(%rdx), %eax
+	ret
+	.size	_ZN3sfi3w2c9fixEscapeINS0_13BaseAddPolicyEEEjRKT_j, .-_ZN3sfi3w2c9fixEscapeINS0_13BaseAddPolicyEEEjRKT_j
+
+# ---- decode.error: bytes outside the modeled subset -----------------
+# 0x06 (push %es) is invalid in 64-bit mode; the checker must fail
+# closed and report the offset + hex window, not skip the function.
+	.globl	_ZN3sfi3w2c9fixDecodeINS0_11SeguePolicyEEEjRKT_j
+	.type	_ZN3sfi3w2c9fixDecodeINS0_11SeguePolicyEEEjRKT_j,@function
+_ZN3sfi3w2c9fixDecodeINS0_11SeguePolicyEEEjRKT_j:
+	.byte	0x06
+	ret
+	.size	_ZN3sfi3w2c9fixDecodeINS0_11SeguePolicyEEEjRKT_j, .-_ZN3sfi3w2c9fixDecodeINS0_11SeguePolicyEEEjRKT_j

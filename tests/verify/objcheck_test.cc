@@ -1,0 +1,257 @@
+/**
+ * @file
+ * ELF object checker (verify/objcheck.h) against real build artifacts:
+ *
+ *  - negative fixtures (fixtures/w2c_negative.s): each hand-assembled
+ *    policy kernel must fail under its exact stable rule id — never
+ *    slip through as verified;
+ *  - property test over the build's own sfikit_w2c objects: every
+ *    policy x kernel instantiation present in the symbol tables is
+ *    analyzed and verified, zero symbols silently skipped, NativePolicy
+ *    the single explicit exemption;
+ *  - sfi-verify CLI exit codes: 0 verified / 1 violation / 2 usage /
+ *    3 could-not-parse-or-vacuous, so the ctest gate cannot pass on a
+ *    malformed object or an empty filter.
+ *
+ * The harness passes the artifact paths on the command line (see
+ * tests/CMakeLists.txt): --tool <sfi-verify> --fixtures <obj>...
+ * --w2c <obj>...
+ */
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "elf/object.h"
+#include "verify/objcheck.h"
+
+namespace sfi::verify {
+namespace {
+
+std::string gTool;
+std::vector<std::string> gFixtures;
+std::vector<std::string> gW2cObjs;
+
+Result<ObjReport>
+check(const std::string& path)
+{
+    auto obj = elf::ElfObject::load(path.c_str());
+    if (!obj.isOk())
+        return Status::error(obj.message());
+    return checkObject(*obj);
+}
+
+/** Rules hit per function, aggregated over the report's violations. */
+std::map<std::string, std::set<Rule>>
+rulesByFunction(const ObjReport& rep)
+{
+    std::map<std::string, std::set<Rule>> out;
+    for (const Violation& v : rep.violations)
+        out[v.func].insert(v.rule);
+    return out;
+}
+
+TEST(ObjcheckFixtures, EachNegativeFailsUnderItsRule)
+{
+    ASSERT_FALSE(gFixtures.empty()) << "--fixtures not passed";
+    for (const std::string& path : gFixtures) {
+        auto rep = check(path);
+        ASSERT_TRUE(rep.isOk()) << path << ": " << rep.message();
+        auto rules = rulesByFunction(*rep);
+
+        const struct
+        {
+            const char* fn;  // distinctive mangled-name fragment
+            Rule rule;
+        } kExpect[] = {
+            {"fixGsStray", Rule::W2cGsAccess},
+            {"fixGsU32", Rule::W2cGsAccess},
+            {"fixUncheck", Rule::W2cBoundsDominate},
+            {"fixGsUncheck", Rule::W2cBoundsDominate},
+            {"fixIndirect", Rule::W2cCfgResolved},
+            {"fixEscape", Rule::W2cHeapEscape},
+            {"fixDecode", Rule::DecodeError},
+        };
+        for (const auto& e : kExpect) {
+            bool found = false;
+            for (const auto& [fn, rs] : rules) {
+                if (fn.find(e.fn) == std::string::npos ||
+                    // fixUncheck is a substring of fixGsUncheck: demand
+                    // the fragment is preceded by its length prefix.
+                    fn.find(std::to_string(std::string(e.fn).size()) +
+                            e.fn) == std::string::npos)
+                    continue;
+                found = true;
+                EXPECT_TRUE(rs.count(e.rule))
+                    << fn << " did not fire " << name(e.rule);
+            }
+            EXPECT_TRUE(found) << "fixture " << e.fn << " missing from "
+                               << path;
+        }
+
+        // Fail-closed: no negative fixture may read as verified.
+        for (const ObjFunctionResult& f : rep->functions) {
+            EXPECT_FALSE(f.exempt) << f.name;
+            EXPECT_GT(f.violations, 0u) << f.name << " passed verification";
+        }
+        EXPECT_EQ(rep->verified, 0u);
+    }
+}
+
+TEST(ObjcheckFixtures, DecodeRejectCarriesOffsetAndHexWindow)
+{
+    ASSERT_FALSE(gFixtures.empty());
+    auto rep = check(gFixtures.front());
+    ASSERT_TRUE(rep.isOk()) << rep.message();
+    bool found = false;
+    for (const Violation& v : rep->violations) {
+        if (v.rule != Rule::DecodeError)
+            continue;
+        found = true;
+        EXPECT_NE(v.func.find("fixDecode"), std::string::npos);
+        // The insn field holds the raw-byte window for decode errors;
+        // the fixture's poison byte is 0x06.
+        EXPECT_NE(v.insn.find("06"), std::string::npos) << v.insn;
+    }
+    EXPECT_TRUE(found) << "no DecodeError reported for fixDecode";
+}
+
+TEST(ObjcheckProperty, EveryPolicyKernelInstantiationVerifies)
+{
+    if (gW2cObjs.empty())
+        GTEST_SKIP() << "w2c objects not passed (sanitizer build: "
+                        "instrumented kernels are outside the "
+                        "constrained-codegen contract)";
+    uint64_t perPolicy[6] = {};
+    uint64_t analyzed = 0;
+    for (const std::string& path : gW2cObjs) {
+        auto obj = elf::ElfObject::load(path.c_str());
+        ASSERT_TRUE(obj.isOk()) << path << ": " << obj.message();
+        auto rep = checkObject(*obj);
+        ASSERT_TRUE(rep.isOk()) << path << ": " << rep.message();
+        EXPECT_TRUE(rep->ok()) << path << ":\n" << rep->summary();
+
+        // Inventory completeness: every policy-mangled function symbol
+        // in the object appears in the report exactly once — a symbol
+        // the checker silently skipped would be an unverified kernel
+        // shipping under a verified banner.
+        std::map<std::string, int> reported;
+        for (const ObjFunctionResult& f : rep->functions)
+            reported[f.name]++;
+        uint64_t policySyms = 0;
+        for (const elf::FuncSlice& f : obj->functions()) {
+            W2cPolicy p = policyOf(f.name);
+            if (p == W2cPolicy::None)
+                continue;
+            policySyms++;
+            EXPECT_EQ(reported[f.name], 1)
+                << path << ": " << f.name << " skipped or duplicated";
+        }
+        EXPECT_EQ(policySyms, rep->functions.size()) << path;
+
+        for (const ObjFunctionResult& f : rep->functions) {
+            // NativePolicy is the single allowed exemption, and it must
+            // be explicit; everything else is analyzed and clean.
+            EXPECT_EQ(f.exempt, f.policy == W2cPolicy::Native) << f.name;
+            if (!f.exempt) {
+                EXPECT_EQ(f.violations, 0u) << f.name;
+                EXPECT_GT(f.instructions, 0u) << f.name;
+                analyzed++;
+            }
+            perPolicy[static_cast<int>(f.policy)]++;
+        }
+    }
+    // Every SFI policy is instantiated somewhere in the build.
+    for (W2cPolicy p : {W2cPolicy::BaseAdd, W2cPolicy::Segue,
+                        W2cPolicy::Bounds, W2cPolicy::SegueBounds})
+        EXPECT_GT(perPolicy[static_cast<int>(p)], 0u) << name(p);
+    EXPECT_GE(analyzed, 30u) << "suspiciously few kernels analyzed";
+}
+
+TEST(ObjcheckProperty, KernellessObjectIsOkNotAnError)
+{
+    // heap.cc.o (runtime support, no policy templates) must not turn
+    // the audit into an error; vacuity is judged across the whole
+    // audit by the CLI.
+    if (gW2cObjs.empty())
+        GTEST_SKIP() << "w2c objects not passed (sanitizer build)";
+    for (const std::string& path : gW2cObjs) {
+        auto rep = check(path);
+        ASSERT_TRUE(rep.isOk()) << path << ": " << rep.message();
+    }
+}
+
+int
+runTool(const std::string& args)
+{
+    std::string cmd = gTool + " " + args + " >/dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    return rc < 0 ? rc : WEXITSTATUS(rc);
+}
+
+TEST(SfiVerifyCli, ExitCodesAreDistinct)
+{
+    ASSERT_FALSE(gTool.empty()) << "--tool not passed";
+    ASSERT_FALSE(gFixtures.empty());
+
+    EXPECT_EQ(runTool("--quiet --elf " + gFixtures.front()), 1)
+        << "violations";
+    EXPECT_EQ(runTool("--bogus-flag"), 2) << "usage";
+    EXPECT_EQ(runTool("--quiet --elf /nonexistent/no.o"), 3)
+        << "unreadable object";
+    // A filter matching nothing must refuse the vacuous pass (the
+    // fixture object has no NativePolicy symbols, so nothing matches).
+    EXPECT_EQ(runTool("--quiet --policy-filter nosuchpolicy --elf " +
+                      gFixtures.front()),
+              3)
+        << "vacuous filter";
+
+    if (gW2cObjs.empty())
+        GTEST_SKIP() << "w2c objects not passed (sanitizer build)";
+    std::string allW2c;
+    for (const std::string& o : gW2cObjs)
+        allW2c += " --elf " + o;
+    EXPECT_EQ(runTool("--quiet" + allW2c), 0) << "clean objects";
+}
+
+}  // namespace
+}  // namespace sfi::verify
+
+int
+main(int argc, char** argv)
+{
+    testing::InitGoogleTest(&argc, argv);
+    using sfi::verify::gFixtures;
+    using sfi::verify::gTool;
+    using sfi::verify::gW2cObjs;
+    std::vector<std::string>* sink = nullptr;
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        if (a == "--tool" && i + 1 < argc) {
+            gTool = argv[++i];
+            sink = nullptr;
+        } else if (a == "--fixtures") {
+            sink = &gFixtures;
+        } else if (a == "--w2c") {
+            sink = &gW2cObjs;
+        } else if (sink) {
+            // CMake passes $<TARGET_OBJECTS:...> as one ;-joined
+            // argument; accept both spellings.
+            size_t pos = 0;
+            while (pos <= a.size()) {
+                size_t sep = a.find(';', pos);
+                if (sep == std::string::npos)
+                    sep = a.size();
+                if (sep > pos)
+                    sink->push_back(a.substr(pos, sep - pos));
+                pos = sep + 1;
+            }
+        }
+    }
+    return RUN_ALL_TESTS();
+}

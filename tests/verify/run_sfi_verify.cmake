@@ -1,0 +1,15 @@
+# ctest driver for the sfi_verify_w2c tier-1 gate: expands the ;-joined
+# object list (add_test cannot splice a generator-expression list into
+# separate arguments) into repeated --elf flags and fails on any
+# non-zero exit — violation (1) and vacuous/unparsable audit (3) alike.
+if(NOT TOOL OR NOT OBJS)
+  message(FATAL_ERROR "usage: cmake -DTOOL=<sfi-verify> -DOBJS=<o1;o2;..> -P run_sfi_verify.cmake")
+endif()
+set(args --quiet)
+foreach(obj IN LISTS OBJS)
+  list(APPEND args --elf ${obj})
+endforeach()
+execute_process(COMMAND ${TOOL} ${args} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${TOOL} exited ${rc}: w2c policy kernels failed static SFI verification")
+endif()

@@ -433,7 +433,6 @@ TEST(RoundTrip, FailClosedOnForeignBytes)
         {0xcd, 0x80},              // int 0x80
         {0x0f, 0x05},              // syscall
         {0xf4},                    // hlt
-        {0x8b, 0x05, 0, 0, 0, 0},  // RIP-relative mov
         {0xc2, 0x08, 0x00},        // ret imm16
         {0x9c},                    // pushfq
     };
@@ -449,6 +448,16 @@ TEST(RoundTrip, FailClosedOnForeignBytes)
     // Truncated instruction: mov r, imm32 cut short.
     const uint8_t cut[] = {0xb8, 0x01, 0x02};
     EXPECT_FALSE(decode(cut, sizeof cut, &in));
+
+    // RIP-relative decodes (the ELF path resolves it via relocations)
+    // but is marked, and the JIT checker treats it as Bad: the
+    // assembler never emits it.
+    const uint8_t riprel[] = {0x8b, 0x05, 0, 0, 0, 0};
+    ASSERT_TRUE(decode(riprel, sizeof riprel, &in));
+    EXPECT_EQ(in.mn, Mn::Load);
+    EXPECT_TRUE(in.mem.present);
+    EXPECT_TRUE(in.mem.ripRel);
+    EXPECT_FALSE(in.mem.hasBase);
 }
 
 }  // namespace
