@@ -16,7 +16,8 @@ build="${BUILD_DIR:-$repo/build}"
 
 cmake -B "$build" -S "$repo" >/dev/null
 cmake --build "$build" -j --target perflab bench_transitions \
-    bench_fig6_faas_throughput bench_fig3_spec_w2c >/dev/null
+    bench_fig6_faas_throughput bench_fig3_spec_w2c \
+    bench_pool_scaling >/dev/null
 
 "$build/src/perflab/perflab" run \
     --bench-dir "$build/bench" \

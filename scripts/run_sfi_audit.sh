@@ -9,6 +9,10 @@
 #      JSON row.
 #   2. JIT half — the registry workload x sandboxing-strategy matrix is
 #      compiled and checked by the VeriWasm-style module verifier.
+#   3. Cache half — the tiered pipeline fills the process-wide code
+#      cache from the same matrix (baseline + optimized blobs + thunk
+#      sets) and every published blob is re-proven from stored
+#      metadata (`sfi-verify --cache-audit`).
 #
 # Usage: scripts/run_sfi_audit.sh [--policy-filter S] [--quiet]
 #   Extra arguments are forwarded to the ELF verification pass.
@@ -37,3 +41,7 @@ echo "coverage counters: $json"
 echo
 echo "== JIT audit: workload x strategy matrix =="
 "$verify" --quiet
+
+echo
+echo "== Cache audit: tiered code-cache blobs re-proven =="
+"$verify" --cache-audit

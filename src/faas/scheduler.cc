@@ -96,7 +96,11 @@ FaasHost::create(wasm::Module workload, Options options)
 
     jit::CompilerConfig cfg = host->opts_.config;
     cfg.epochChecks = true;
-    auto shared = rt::SharedModule::compile(std::move(workload), cfg);
+    auto shared =
+        host->opts_.tiered
+            ? rt::SharedModule::compileTiered(std::move(workload), cfg,
+                                              host->opts_.tierOptions)
+            : rt::SharedModule::compile(std::move(workload), cfg);
     if (!shared)
         return Result<std::unique_ptr<FaasHost>>::error(shared.message());
     host->module_ = *shared;
@@ -217,6 +221,7 @@ FaasHost::requestBody(RequestSlot* slot)
         std::move(iopt));
     SFI_CHECK_MSG(inst.isOk(), "instance creation failed: %s",
                   inst.message().c_str());
+    worker->stats.coldStarts++;
     slot->instance = std::move(*inst);
     slot->instance->setEpoch(timer_->counter(), timer_->now());
     slot->instance->setEpochCallback([this, slot, worker] {
@@ -455,6 +460,7 @@ FaasHost::runInternal(uint64_t total_requests)
         stats.gsSwitches += w->stats.gsSwitches;
         stats.gsSwitchesSkipped += w->stats.gsSwitchesSkipped;
         stats.batchedRequests += w->stats.batchedRequests;
+        stats.coldStarts += w->stats.coldStarts;
         stats.checksum ^= w->stats.checksum;
         stats.latencyQueueNs.merge(w->latencyQueueNs);
         stats.latencyServiceNs.merge(w->latencyServiceNs);
@@ -463,6 +469,15 @@ FaasHost::runInternal(uint64_t total_requests)
     stats.elapsedSec = elapsed;
     stats.throughputRps =
         elapsed > 0 ? double(stats.completed) / elapsed : 0;
+    if (const jit::TieredModule* tm = module_->tiered()) {
+        jit::TierStatsSnapshot ts = tm->stats();
+        stats.baselineCompiles = ts.baselineCompiles;
+        stats.tierUps = ts.tierUps;
+        stats.cacheHits = ts.cacheHits;
+        stats.interpFallbacks = ts.interpFallbacks;
+        stats.compileNs = ts.compileNs;
+        stats.cacheFillVerifyNs = ts.cacheFillVerifyNs;
+    }
     return stats;
 }
 

@@ -103,6 +103,15 @@ class FaasHost
         uint64_t seed = 42;
         /** SFI strategy; epoch checks are forced on. */
         jit::CompilerConfig config = jit::CompilerConfig::wamrSegue();
+        /**
+         * Tiered cold start (jit/tier.h): compile nothing up front,
+         * resolve functions lazily through the process-wide verified
+         * code cache, tier up the hot ones. Off = the seed behavior,
+         * one monolithic optimized compile before the first request.
+         */
+        bool tiered = false;
+        /** Tier policy when tiered (threshold, cache sharing). */
+        jit::TierOptions tierOptions;
     };
 
     struct Stats
@@ -125,6 +134,21 @@ class FaasHost
         /** Requests served as batch extensions (beyond the first in an
          *  entry scope). */
         uint64_t batchedRequests = 0;
+
+        // Cold-start / tiered-compilation counters (ISSUE 9). The
+        // tier* fields snapshot the shared TieredModule after the run
+        // (zero when Options::tiered is off); coldStarts counts fresh
+        // instance spin-ups — each is a FaaS cold start whose first
+        // request pays whatever compilation the tier policy defers.
+        uint64_t coldStarts = 0;
+        uint64_t baselineCompiles = 0;
+        uint64_t tierUps = 0;
+        uint64_t cacheHits = 0;
+        uint64_t interpFallbacks = 0;
+        /** Compile+verify wall time spent filling the cache (ns). */
+        uint64_t compileNs = 0;
+        /** Verifier share of the fills (ns). */
+        uint64_t cacheFillVerifyNs = 0;
 
         /** Offered arrival rate (rps); 0 for closed-loop runs. */
         double offeredRps = 0;

@@ -32,41 +32,17 @@ asBits(double v)
 
 }  // namespace
 
-Result<Instance>
-Instance::instantiate(const wasm::Module& module,
-                      std::map<std::string, HostFn> host_fns)
+Status
+Instance::initCommon(Instance& inst, const wasm::Module& module,
+                     const std::map<std::string, HostFn>& host_fns)
 {
     if (auto st = wasm::validate(module); !st)
-        return Result<Instance>::error("validation: " + st.message());
-
-    Instance inst;
-    inst.module_ = module;
-
-    // Memory: the interpreter always bounds-checks in software, so no
-    // guard reservation is needed.
-    rt::LinearMemory::Config cfg;
-    cfg.minPages = module.memory.minPages;
-    cfg.maxPages = module.memory.maxPages;
-    cfg.guardBytes = 0;
-    cfg.reserveFull = false;
-    auto mem = rt::LinearMemory::create(cfg);
-    if (!mem)
-        return Result<Instance>::error(mem.message());
-    inst.memory_ = std::move(*mem);
-
-    for (const wasm::DataSegment& seg : module.data)
-        std::memcpy(inst.memory_.base() + seg.offset, seg.bytes.data(),
-                    seg.bytes.size());
-
-    for (const wasm::Global& g : module.globals)
-        inst.globals_.push_back(g.init);
+        return Status::error("validation: " + st.message());
 
     for (const wasm::Import& imp : module.imports) {
         auto it = host_fns.find(imp.name);
-        if (it == host_fns.end()) {
-            return Result<Instance>::error("unresolved import: " +
-                                           imp.name);
-        }
+        if (it == host_fns.end())
+            return Status::error("unresolved import: " + imp.name);
         inst.imports_.push_back(it->second);
     }
 
@@ -95,6 +71,56 @@ Instance::instantiate(const wasm::Module& module,
         }
         inst.controlMaps_.push_back(std::move(cm));
     }
+    return Status::ok();
+}
+
+Result<Instance>
+Instance::instantiate(const wasm::Module& module,
+                      std::map<std::string, HostFn> host_fns)
+{
+    Instance inst;
+    inst.module_ = module;
+    if (auto st = initCommon(inst, module, host_fns); !st)
+        return Result<Instance>::error(st.message());
+
+    // Memory: the interpreter always bounds-checks in software, so no
+    // guard reservation is needed.
+    rt::LinearMemory::Config cfg;
+    cfg.minPages = module.memory.minPages;
+    cfg.maxPages = module.memory.maxPages;
+    cfg.guardBytes = 0;
+    cfg.reserveFull = false;
+    auto mem = rt::LinearMemory::create(cfg);
+    if (!mem)
+        return Result<Instance>::error(mem.message());
+    inst.memory_ = std::move(*mem);
+
+    for (const wasm::DataSegment& seg : module.data)
+        std::memcpy(inst.memory_.base() + seg.offset, seg.bytes.data(),
+                    seg.bytes.size());
+
+    for (const wasm::Global& g : module.globals)
+        inst.globals_.push_back(g.init);
+
+    return inst;
+}
+
+Result<Instance>
+Instance::instantiateAttached(const wasm::Module& module,
+                              std::map<std::string, HostFn> host_fns,
+                              rt::LinearMemory* memory,
+                              std::vector<uint64_t>* globals)
+{
+    SFI_CHECK(memory != nullptr && globals != nullptr);
+    Instance inst;
+    inst.module_ = module;
+    if (auto st = initCommon(inst, module, host_fns); !st)
+        return Result<Instance>::error(st.message());
+
+    // The runtime owns memory and globals and has already applied data
+    // segments and global initializers; attach, don't re-initialize.
+    inst.extMemory_ = memory;
+    inst.extGlobals_ = globals;
     return inst;
 }
 
@@ -156,14 +182,19 @@ Instance::invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
     auto pushF = [&](double v) { stack.push_back(asBits(v)); };
     auto popF = [&]() { return asF64(pop()); };
 
+    // Resolve the live memory/globals once per frame: either this
+    // instance's own state or the runtime state it is attached to.
+    rt::LinearMemory& lm = mem();
+    std::vector<uint64_t>& gl = glb();
+
     auto memCheck = [&](uint64_t addr, uint64_t len, bool is_write,
                         TrapKind* out) {
-        if (!memory_.inBounds(addr, len)) {
+        if (!lm.inBounds(addr, len)) {
             *out = TrapKind::OutOfBounds;
             return false;
         }
         if (accessHook_ &&
-            !accessHook_(memory_.base() + addr, is_write)) {
+            !accessHook_(lm.base() + addr, is_write)) {
             *out = TrapKind::MpkViolation;
             return false;
         }
@@ -323,10 +354,10 @@ Instance::invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
             locals[in.a] = stack.back();
             break;
           case Op::GlobalGet:
-            push(globals_[in.a]);
+            push(gl[in.a]);
             break;
           case Op::GlobalSet:
-            globals_[in.a] = pop();
+            gl[in.a] = pop();
             break;
 
 #define SFIKIT_LOAD(T, push_expr)                                      \
@@ -336,7 +367,7 @@ Instance::invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
         if (!memCheck(addr, sizeof(T), false, &tk))                    \
             return {tk, 0};                                            \
         T v;                                                           \
-        std::memcpy(&v, memory_.base() + addr, sizeof(T));             \
+        std::memcpy(&v, lm.base() + addr, sizeof(T));                  \
         push_expr;                                                     \
     }                                                                  \
     break
@@ -368,7 +399,7 @@ Instance::invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
         TrapKind tk;                                                   \
         if (!memCheck(addr, sizeof(T), true, &tk))                     \
             return {tk, 0};                                            \
-        std::memcpy(memory_.base() + addr, &v, sizeof(T));             \
+        std::memcpy(lm.base() + addr, &v, sizeof(T));                  \
     }                                                                  \
     break
 
@@ -385,11 +416,11 @@ Instance::invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
 #undef SFIKIT_STORE
 
           case Op::MemorySize:
-            push(memory_.pages());
+            push(lm.pages());
             break;
           case Op::MemoryGrow: {
             uint32_t delta = static_cast<uint32_t>(pop());
-            push(static_cast<uint32_t>(memory_.grow(delta)));
+            push(static_cast<uint32_t>(lm.grow(delta)));
             break;
           }
           case Op::MemoryFill: {
@@ -399,7 +430,7 @@ Instance::invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
             TrapKind tk;
             if (n > 0 && !memCheck(dst, n, true, &tk))
                 return {tk, 0};
-            std::memset(memory_.base() + dst, int(val & 0xff), n);
+            std::memset(lm.base() + dst, int(val & 0xff), n);
             break;
           }
           case Op::MemoryCopy: {
@@ -410,7 +441,7 @@ Instance::invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
             if (n > 0 && (!memCheck(src, n, false, &tk) ||
                           !memCheck(dst, n, true, &tk)))
                 return {tk, 0};
-            std::memmove(memory_.base() + dst, memory_.base() + src, n);
+            std::memmove(lm.base() + dst, lm.base() + src, n);
             break;
           }
 

@@ -54,6 +54,22 @@ class Instance
     instantiate(const wasm::Module& module,
                 std::map<std::string, HostFn> host_fns = {});
 
+    /**
+     * Instantiates against runtime-owned state instead of creating a
+     * private copy: linear-memory accesses go through @p memory and
+     * globals through @p globals (both must outlive the Instance, and
+     * are assumed already initialized — data segments and global
+     * initializers are NOT re-applied). This is the tiered
+     * interpreter-fallback mode: a JIT instance lends its memory and
+     * globals so interpreted functions observe and produce exactly the
+     * state compiled functions do.
+     */
+    static Result<Instance>
+    instantiateAttached(const wasm::Module& module,
+                        std::map<std::string, HostFn> host_fns,
+                        rt::LinearMemory* memory,
+                        std::vector<uint64_t>* globals);
+
     /** Calls an exported function. */
     Outcome callExport(const std::string& name,
                        const std::vector<uint64_t>& args = {});
@@ -62,11 +78,17 @@ class Instance
     Outcome callFunction(uint32_t func_idx,
                          const std::vector<uint64_t>& args = {});
 
-    rt::LinearMemory& memory() { return memory_; }
-    const rt::LinearMemory& memory() const { return memory_; }
+    rt::LinearMemory& memory() { return mem(); }
+    const rt::LinearMemory& memory() const
+    {
+        return extMemory_ ? *extMemory_ : memory_;
+    }
 
-    uint64_t global(uint32_t i) const { return globals_.at(i); }
-    void setGlobal(uint32_t i, uint64_t v) { globals_.at(i) = v; }
+    uint64_t global(uint32_t i) const
+    {
+        return extGlobals_ ? extGlobals_->at(i) : globals_.at(i);
+    }
+    void setGlobal(uint32_t i, uint64_t v) { glb().at(i) = v; }
 
     /**
      * Limits execution to roughly @p instructions interpreter steps;
@@ -103,9 +125,23 @@ class Instance
     Outcome invoke(uint32_t func_idx, const uint64_t* args, size_t nargs,
                    int depth);
 
+    /** Validation, import resolution, control maps (both modes). */
+    static Status initCommon(Instance& inst, const wasm::Module& module,
+                             const std::map<std::string, HostFn>& host_fns);
+
+    /** Live memory: the attached one when present, else the owned one. */
+    rt::LinearMemory& mem() { return extMemory_ ? *extMemory_ : memory_; }
+    std::vector<uint64_t>&
+    glb()
+    {
+        return extGlobals_ ? *extGlobals_ : globals_;
+    }
+
     wasm::Module module_;
     rt::LinearMemory memory_;
     std::vector<uint64_t> globals_;
+    rt::LinearMemory* extMemory_ = nullptr;
+    std::vector<uint64_t>* extGlobals_ = nullptr;
     std::vector<HostFn> imports_;
     std::vector<ControlMap> controlMaps_;
     uint64_t fuel_ = 0;

@@ -1,0 +1,429 @@
+#include "jit/codecache.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "verify/checker.h"
+
+namespace sfi::jit {
+
+namespace {
+
+constexpr uint64_t kArenaBytes = 256ull << 20;
+constexpr uint64_t kPage = 4096;
+
+uint64_t
+alignPage(uint64_t n)
+{
+    return (n + kPage - 1) & ~(kPage - 1);
+}
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** FNV-1a 64-bit accumulator over the canonical serialization. */
+struct Fnv
+{
+    uint64_t h = 14695981039346656037ull;
+
+    void
+    byte(uint8_t b)
+    {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; i++)
+            byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void u32(uint32_t v) { u64(v); }
+    void u8(uint8_t v) { u64(v); }
+
+    void
+    str(const std::string& s)
+    {
+        u64(s.size());
+        for (char c : s)
+            byte(static_cast<uint8_t>(c));
+    }
+
+    void
+    bytes(const std::vector<uint8_t>& v)
+    {
+        u64(v.size());
+        for (uint8_t b : v)
+            byte(b);
+    }
+};
+
+}  // namespace
+
+CodeCache&
+CodeCache::instance()
+{
+    static CodeCache cache;
+    return cache;
+}
+
+uint64_t
+CodeCache::moduleHash(const wasm::Module& module)
+{
+    Fnv f;
+    f.u64(module.types.size());
+    for (const auto& t : module.types) {
+        f.u64(t.params.size());
+        for (auto v : t.params)
+            f.u8(static_cast<uint8_t>(v));
+        f.u64(t.results.size());
+        for (auto v : t.results)
+            f.u8(static_cast<uint8_t>(v));
+    }
+    f.u64(module.imports.size());
+    for (const auto& im : module.imports) {
+        f.str(im.name);
+        f.u32(im.typeIdx);
+    }
+    f.u64(module.functions.size());
+    for (const auto& fn : module.functions) {
+        f.u32(fn.typeIdx);
+        f.u64(fn.locals.size());
+        for (auto v : fn.locals)
+            f.u8(static_cast<uint8_t>(v));
+        // Instr::flags is optimizer output, Function::name is a
+        // diagnostic: neither affects what compiles, so neither
+        // participates in the content hash.
+        f.u64(fn.body.size());
+        for (const auto& in : fn.body) {
+            f.u8(static_cast<uint8_t>(in.op));
+            f.u32(in.a);
+            f.u64(in.imm);
+        }
+        f.u64(fn.brTables.size());
+        for (const auto& bt : fn.brTables) {
+            f.u64(bt.size());
+            for (uint32_t d : bt)
+                f.u32(d);
+        }
+    }
+    f.u64(module.globals.size());
+    for (const auto& g : module.globals) {
+        f.u8(static_cast<uint8_t>(g.type));
+        f.u8(g.isMutable ? 1 : 0);
+        f.u64(g.init);
+    }
+    f.u32(module.memory.minPages);
+    f.u32(module.memory.maxPages);
+    f.u64(module.data.size());
+    for (const auto& d : module.data) {
+        f.u32(d.offset);
+        f.bytes(d.bytes);
+    }
+    f.u64(module.table.size());
+    for (uint32_t fi : module.table)
+        f.u32(fi);
+    f.u64(module.exports.size());
+    for (const auto& [name, idx] : module.exports) {
+        f.str(name);
+        f.u32(idx);
+    }
+    return f.h;
+}
+
+uint64_t
+CodeCache::configFingerprint(const CompilerConfig& config)
+{
+    Fnv f;
+    f.u8(static_cast<uint8_t>(config.mem));
+    f.u8(static_cast<uint8_t>(config.cfi));
+    f.u8(config.vectorizeBulkLoops ? 1 : 0);
+    f.u8(config.epochChecks ? 1 : 0);
+    f.u8(config.untrustedIndexRegs ? 1 : 0);
+    f.u8(config.optimize ? 1 : 0);
+    f.u8(config.fullSaveEntry ? 1 : 0);
+    f.u8(config.tieredCalls ? 1 : 0);
+    f.u8(config.tierCounters ? 1 : 0);
+    return f.h;
+}
+
+Status
+CodeCache::ensureArena()
+{
+    if (arena_.valid())
+        return Status::ok();
+    auto r = Reservation::reserve(kArenaBytes);
+    if (!r.isOk())
+        return Status::error("code cache arena reservation failed");
+    arena_ = std::move(*r);
+    cursor_ = 0;
+    return Status::ok();
+}
+
+Result<uint64_t>
+CodeCache::publish(const std::vector<uint8_t>& bytes)
+{
+    using R = Result<uint64_t>;
+    uint64_t off = alignPage(cursor_);
+    uint64_t span = alignPage(bytes.size());
+    if (off + span > arena_.size())
+        return R::error("code cache arena exhausted");
+    Status s = arena_.protect(off, span, PageAccess::ReadWrite);
+    if (!s.isOk())
+        return R::error("code cache commit failed");
+    std::memcpy(arena_.base() + off, bytes.data(), bytes.size());
+    s = arena_.protect(off, span, PageAccess::ReadExec);
+    if (!s.isOk())
+        return R::error("code cache seal failed");
+    cursor_ = off + span;
+    stats_.publishedBytes += bytes.size();
+    return R(off);
+}
+
+namespace {
+
+/**
+ * Proves a per-function blob: the body and its private trap-stub
+ * region as two ranges, mirroring checkModule. The split matters for
+ * BoundsCheck strategies — the `ja <trap>` guard only proves the
+ * fall-through bound when the taken edge *leaves* the verified range,
+ * so trap stubs must sit outside the body's range just as they sit
+ * outside each function in a monolithic module.
+ */
+Status
+checkFunctionBlob(const uint8_t* blob, uint64_t size,
+                  uint64_t body_size, const CompilerConfig& cfg,
+                  uint64_t min_mem_bytes)
+{
+    verify::Report rep = verify::checkFunction(
+        blob, body_size, cfg, /*base_offset=*/0, min_mem_bytes);
+    if (!rep.ok())
+        return Status::error(rep.summary());
+    if (body_size < size) {
+        rep = verify::checkFunction(blob + body_size, size - body_size,
+                                    cfg, body_size, min_mem_bytes);
+        if (!rep.ok())
+            return Status::error(rep.summary());
+    }
+    return Status::ok();
+}
+
+}  // namespace
+
+Status
+CodeCache::verifyEntry(const Entry& e) const
+{
+    const uint8_t* blob = arena_.base() + e.offset;
+    if (e.kind == Entry::Kind::Function)
+        return checkFunctionBlob(blob, e.size, e.bodySize, e.cfg,
+                                 e.minMemBytes);
+    const TierStubs& m = e.meta;
+    verify::Report rep = verify::checkEntryStub(
+        blob + m.entryOffset, m.entrySize, e.cfg, m.entryOffset);
+    if (!rep.ok())
+        return Status::error(rep.summary());
+    rep = verify::checkEntryStub(blob + m.directEntryOffset,
+                                 m.directEntrySize, e.cfg,
+                                 m.directEntryOffset);
+    if (!rep.ok())
+        return Status::error(rep.summary());
+    for (size_t i = 0; i < m.dispatchOffsets.size(); i++) {
+        rep = verify::checkTierStub(
+            blob + m.dispatchOffsets[i], m.dispatchSizes[i],
+            verify::TierStubKind::Dispatch, e.cfg, m.dispatchOffsets[i]);
+        if (!rep.ok())
+            return Status::error(rep.summary());
+        rep = verify::checkTierStub(
+            blob + m.resolverOffsets[i], m.resolverSizes[i],
+            verify::TierStubKind::Resolver, e.cfg, m.resolverOffsets[i]);
+        if (!rep.ok())
+            return Status::error(rep.summary());
+        rep = verify::checkTierStub(
+            blob + m.interpOffsets[i], m.interpSizes[i],
+            verify::TierStubKind::Interp, e.cfg, m.interpOffsets[i]);
+        if (!rep.ok())
+            return Status::error(rep.summary());
+    }
+    return Status::ok();
+}
+
+Result<CodeCache::FuncResult>
+CodeCache::getFunction(uint64_t module_hash, uint32_t defined_idx,
+                       const wasm::Module& module,
+                       const CompilerConfig& config,
+                       uint64_t min_mem_bytes)
+{
+    using R = Result<FuncResult>;
+    std::lock_guard<std::mutex> lock(mu_);
+    Key k{module_hash, configFingerprint(config),
+          (static_cast<uint64_t>(defined_idx) << 1) | 1};
+    auto it = entries_.find(k);
+    if (it != entries_.end()) {
+        stats_.hits++;
+        const Entry& e = it->second;
+        return R(FuncResult{arena_.base() + e.offset, e.size,
+                            e.bodySize, /*hit=*/true, /*verifyNs=*/0});
+    }
+    Status as = ensureArena();
+    if (!as.isOk())
+        return R::error(as.message());
+
+    auto cf = compileFunction(module, defined_idx, config);
+    if (!cf.isOk())
+        return R::error(cf.message());
+
+    // Verification at fill: the blob earns its arena slot or it does
+    // not exist. The unpublished bytes are proven first — nothing
+    // unverified is ever mapped executable.
+    uint64_t t0 = nowNs();
+    Status vs = checkFunctionBlob(cf->bytes.data(), cf->bytes.size(),
+                                  cf->bodySize, config, min_mem_bytes);
+    uint64_t vns = nowNs() - t0;
+    if (!vs.isOk()) {
+        stats_.verifyFailures++;
+        return R::error("cache fill rejected by verifier:\n" +
+                        vs.message());
+    }
+
+    auto off = publish(cf->bytes);
+    if (!off.isOk())
+        return R::error(off.message());
+
+    Entry e;
+    e.kind = Entry::Kind::Function;
+    e.offset = *off;
+    e.size = cf->bytes.size();
+    e.bodySize = cf->bodySize;
+    e.minMemBytes = min_mem_bytes;
+    e.cfg = config;
+    e.verifyNs = vns;
+    entries_.emplace(k, std::move(e));
+    stats_.fills++;
+    stats_.verifyNs += vns;
+    stats_.entries = entries_.size();
+    return R(FuncResult{arena_.base() + *off, cf->bytes.size(),
+                        cf->bodySize, /*hit=*/false, vns});
+}
+
+Result<CodeCache::StubsResult>
+CodeCache::getStubs(uint64_t module_hash, const wasm::Module& module,
+                    const CompilerConfig& config)
+{
+    using R = Result<StubsResult>;
+    std::lock_guard<std::mutex> lock(mu_);
+    Key k{module_hash, configFingerprint(config), 0};
+    auto it = entries_.find(k);
+    if (it != entries_.end()) {
+        stats_.hits++;
+        const Entry& e = it->second;
+        return R(StubsResult{arena_.base() + e.offset, &e.meta,
+                             /*hit=*/true, /*verifyNs=*/0});
+    }
+    Status as = ensureArena();
+    if (!as.isOk())
+        return R::error(as.message());
+
+    auto ts = compileTierStubs(module, config);
+    if (!ts.isOk())
+        return R::error(ts.message());
+
+    Entry e;
+    e.kind = Entry::Kind::Stubs;
+    e.size = ts->bytes.size();
+    e.cfg = config;
+    e.meta = *ts;
+    e.meta.bytes.clear();  // the arena owns the code; keep offsets only
+    e.meta.bytes.shrink_to_fit();
+
+    // Prove every stub before publication (entry.contract for the
+    // trampolines, tier.thunk for the per-function thunks).
+    uint64_t t0 = nowNs();
+    {
+        // verifyEntry() reads from the arena; this fill-time pass runs
+        // on the raw unpublished bytes instead (same checks).
+        const TierStubs& m = e.meta;
+        const uint8_t* blob = ts->bytes.data();
+        auto check = [&](verify::Report rep) -> Status {
+            if (!rep.ok())
+                return Status::error(rep.summary());
+            return Status::ok();
+        };
+        Status s = check(verify::checkEntryStub(blob + m.entryOffset,
+                                                m.entrySize, config,
+                                                m.entryOffset));
+        if (s.isOk())
+            s = check(verify::checkEntryStub(
+                blob + m.directEntryOffset, m.directEntrySize, config,
+                m.directEntryOffset));
+        for (size_t i = 0; s.isOk() && i < m.dispatchOffsets.size();
+             i++) {
+            s = check(verify::checkTierStub(
+                blob + m.dispatchOffsets[i], m.dispatchSizes[i],
+                verify::TierStubKind::Dispatch, config,
+                m.dispatchOffsets[i]));
+            if (s.isOk())
+                s = check(verify::checkTierStub(
+                    blob + m.resolverOffsets[i], m.resolverSizes[i],
+                    verify::TierStubKind::Resolver, config,
+                    m.resolverOffsets[i]));
+            if (s.isOk())
+                s = check(verify::checkTierStub(
+                    blob + m.interpOffsets[i], m.interpSizes[i],
+                    verify::TierStubKind::Interp, config,
+                    m.interpOffsets[i]));
+        }
+        if (!s.isOk()) {
+            stats_.verifyFailures++;
+            return R::error("cache fill rejected by verifier:\n" +
+                            s.message());
+        }
+    }
+    uint64_t vns = nowNs() - t0;
+
+    auto off = publish(ts->bytes);
+    if (!off.isOk())
+        return R::error(off.message());
+    e.offset = *off;
+    e.verifyNs = vns;
+    auto [pos, inserted] = entries_.emplace(k, std::move(e));
+    (void)inserted;
+    stats_.fills++;
+    stats_.verifyNs += vns;
+    stats_.entries = entries_.size();
+    return R(StubsResult{arena_.base() + *off, &pos->second.meta,
+                         /*hit=*/false, vns});
+}
+
+CodeCache::Stats
+CodeCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+Result<uint64_t>
+CodeCache::audit() const
+{
+    using R = Result<uint64_t>;
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t proven = 0;
+    for (const auto& [k, e] : entries_) {
+        Status s = verifyEntry(e);
+        if (!s.isOk())
+            return R::error("cache audit failure at blob offset " +
+                            std::to_string(e.offset) + ":\n" +
+                            s.message());
+        proven++;
+    }
+    return R(proven);
+}
+
+}  // namespace sfi::jit

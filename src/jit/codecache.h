@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Process-wide verified code cache for tiered execution.
+ *
+ * FaaS pools instantiate the same image many times; without sharing,
+ * every pool slot pays the full compile + verify cost on its first
+ * request (the cold-start tax). The cache keys machine code on
+ * (module content hash, defined function index, compiler-config
+ * fingerprint), so the second instantiation of an image compiles zero
+ * functions — it reuses already-verified blobs.
+ *
+ * Security contract (verification at fill): compilation happens
+ * *inside* the cache, and every blob is proven by the static verifier
+ * (verify/checker.h) before it is published into the executable arena.
+ * A caller can never insert bytes of its own, and a verification
+ * failure is a hard error — the blob is not published and the miss is
+ * reported (fail closed). `audit()` re-proves every published blob
+ * from its stored metadata, so `sfi-verify --cache-audit` can check
+ * the whole cache after the fact.
+ *
+ * Publication: one 256 MiB PROT_NONE reservation; each blob gets a
+ * page-aligned bump allocation that is committed read-write, filled,
+ * then flipped read-exec. Page alignment means a new blob's fill never
+ * toggles protection on a page some already-published blob occupies —
+ * W^X holds without double-mapping, and concurrent executors of old
+ * blobs are never faulted. Blobs are immortal (never unpublished), so
+ * readers need no locks and pointers into the arena stay valid for the
+ * process lifetime.
+ */
+#ifndef SFIKIT_JIT_CODECACHE_H_
+#define SFIKIT_JIT_CODECACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "base/os_mem.h"
+#include "base/result.h"
+#include "jit/compiler.h"
+#include "jit/strategy.h"
+#include "wasm/module.h"
+
+namespace sfi::jit {
+
+class CodeCache
+{
+  public:
+    /** The process-wide cache. */
+    static CodeCache& instance();
+
+    /** One published per-function blob (body + private trap stubs). */
+    struct FuncResult
+    {
+        const uint8_t* base = nullptr;  ///< executable entry address
+        uint64_t size = 0;              ///< total blob bytes
+        uint64_t bodySize = 0;          ///< body proper (stubs follow)
+        bool hit = false;               ///< served without compiling
+        uint64_t verifyNs = 0;          ///< verifier time (0 on a hit)
+    };
+
+    /** One published per-module stub set. */
+    struct StubsResult
+    {
+        const uint8_t* base = nullptr;  ///< blob base in the arena
+        /**
+         * Offsets/sizes within the blob. Points into the cache entry —
+         * entries are immortal, so the pointer never dangles.
+         */
+        const TierStubs* meta = nullptr;
+        bool hit = false;
+        uint64_t verifyNs = 0;
+    };
+
+    /**
+     * Returns the verified machine code of defined function
+     * @p defined_idx compiled under @p config, compiling + verifying +
+     * publishing on miss. @p module_hash must be moduleHash(@p module)
+     * (possibly salted when sharing is off): a wrong hash can only
+     * cause the wrong *verified* blob to be shared, never unverified
+     * bytes to run. @p min_mem_bytes re-proves statically-elided
+     * bounds checks (CompiledModule::minMemBytes semantics).
+     */
+    Result<FuncResult> getFunction(uint64_t module_hash,
+                                   uint32_t defined_idx,
+                                   const wasm::Module& module,
+                                   const CompilerConfig& config,
+                                   uint64_t min_mem_bytes);
+
+    /**
+     * Returns the verified stub set (entry trampolines under
+     * entry.contract, dispatch/resolver/interp thunks under
+     * tier.thunk) for @p module under @p config.
+     */
+    Result<StubsResult> getStubs(uint64_t module_hash,
+                                 const wasm::Module& module,
+                                 const CompilerConfig& config);
+
+    /**
+     * Arena span for fault attribution: a tiered instance's
+     * ActiveExecution code range is the whole arena, since its slots
+     * may point anywhere inside it.
+     */
+    const uint8_t* arenaBase() const { return arena_.base(); }
+    uint64_t arenaSize() const { return arena_.size(); }
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t fills = 0;
+        uint64_t verifyFailures = 0;
+        uint64_t verifyNs = 0;        ///< total fill-time verifier ns
+        uint64_t publishedBytes = 0;
+        uint64_t entries = 0;
+    };
+
+    Stats stats() const;
+
+    /**
+     * Re-proves every published blob from stored metadata (function
+     * blobs via checkFunction, stub blobs via checkEntryStub +
+     * checkTierStub). Returns the number of blobs proven, or the first
+     * failure's report summary as an error.
+     */
+    Result<uint64_t> audit() const;
+
+    /**
+     * Content hash of @p module (FNV-1a over a canonical
+     * serialization). Excludes Instr::flags (optimizer-derived, not
+     * content) and function names (diagnostics): two modules that
+     * compile identically hash identically.
+     */
+    static uint64_t moduleHash(const wasm::Module& module);
+
+    /** Fingerprint of every codegen-relevant CompilerConfig field. */
+    static uint64_t configFingerprint(const CompilerConfig& config);
+
+  private:
+    CodeCache() = default;
+
+    struct Entry
+    {
+        enum class Kind : uint8_t { Function, Stubs };
+        Kind kind = Kind::Function;
+        uint64_t offset = 0;  ///< blob offset in the arena
+        uint64_t size = 0;
+        uint64_t bodySize = 0;     ///< functions only
+        uint64_t minMemBytes = 0;  ///< functions only
+        CompilerConfig cfg;        ///< for audit re-verification
+        TierStubs meta;            ///< stubs only (offsets/sizes)
+        uint64_t verifyNs = 0;
+    };
+
+    /** Key: {module hash, config fingerprint, (idx << 1) | isFunc}. */
+    using Key = std::array<uint64_t, 3>;
+
+    Status ensureArena();
+    /** Commits, fills, and seals one page-aligned blob. */
+    Result<uint64_t> publish(const std::vector<uint8_t>& bytes);
+    Status verifyEntry(const Entry& e) const;
+
+    mutable std::mutex mu_;
+    Reservation arena_;
+    uint64_t cursor_ = 0;
+    std::map<Key, Entry> entries_;
+    Stats stats_;
+};
+
+}  // namespace sfi::jit
+
+#endif  // SFIKIT_JIT_CODECACHE_H_

@@ -62,6 +62,12 @@ constexpr uint32_t kOffMemPages = offsetof(JitContext, memPages);
 constexpr uint32_t kOffStackLimit = offsetof(JitContext, stackLimit);
 constexpr uint32_t kOffHostArgs = offsetof(JitContext, hostArgs);
 constexpr uint32_t kOffCodeBase = offsetof(JitContext, codeBase);
+constexpr uint32_t kOffFuncEntries = offsetof(JitContext, funcEntries);
+constexpr uint32_t kOffTierCounters = offsetof(JitContext, tierCounters);
+constexpr uint32_t kOffTierThreshold =
+    offsetof(JitContext, tierThreshold);
+constexpr uint32_t kOffTierFn = offsetof(JitContext, tierFn);
+constexpr uint32_t kOffInterpFn = offsetof(JitContext, interpFn);
 
 /** Module-wide emission state shared across functions. */
 struct ModuleState
@@ -81,6 +87,11 @@ struct ModuleState
      * after the bodies lets them preserve exactly this set.
      */
     bool gprAllocated[16] = {};
+    /**
+     * Defined index of the function being compiled — the tier-counter
+     * prologue and diagnostics need it; rel32 codegen does not.
+     */
+    uint32_t currentDefinedIdx = 0;
 
     Label&
     trapStub(rt::TrapKind kind)
@@ -658,6 +669,32 @@ FunctionCompiler::compile()
         for (size_t i = numParams_; i < numLocals_; i++)
             a_.store(Width::W64, localSlot(static_cast<uint32_t>(i)),
                      Reg::rax);
+    }
+
+    // Hot-count tier-up (baseline tier only): bump this function's
+    // counter and call ctx->tierFn at the threshold. Parameters are
+    // already spilled to their local slots, so rax/rdx and every
+    // argument register are dead; rsp ≡ 0 (mod 16) here, so the
+    // C-ABI tierFn call is correctly aligned. The counter pointer is
+    // loaded from a JitContext field, which the static verifier
+    // tracks as a trusted runtime pointer (verify: MC::Trusted).
+    if (cfg_.tierCounters) {
+        uint32_t idx = ms_.currentDefinedIdx;
+        int32_t slot = static_cast<int32_t>(8 * idx);
+        Label skip = a_.newLabel();
+        a_.load(Width::W64, false, Reg::rax, ctxField(kOffTierCounters));
+        a_.load(Width::W64, false, Reg::rdx,
+                Mem::baseDisp(Reg::rax, slot));
+        a_.aluImm(AluOp::Add, Width::W64, Reg::rdx, 1);
+        a_.store(Width::W64, Mem::baseDisp(Reg::rax, slot), Reg::rdx);
+        a_.aluMem(AluOp::Cmp, Width::W64, Reg::rdx,
+                  ctxField(kOffTierThreshold));
+        a_.jcc(Cond::B, skip);
+        a_.load(Width::W64, false, Reg::rdi, ctxField(kOffRuntimeData));
+        a_.movImm32(Reg::rsi, idx);
+        a_.load(Width::W64, false, Reg::rax, ctxField(kOffTierFn));
+        a_.callReg(Reg::rax);
+        a_.bind(skip);
     }
 
     // --- body ---
@@ -1611,7 +1648,19 @@ FunctionCompiler::emitCall(const Instr& in)
     const wasm::FuncType& ft = mod_.typeOfFunc(in.a);
     spillAll();
     loadCallArgs(ft);
-    a_.call(ms_.funcLabels[in.a - mod_.numImports()]);
+    if (cfg_.tieredCalls) {
+        // Call through the per-function entry slot so the callee can
+        // move between tiers (resolver -> baseline -> optimized) under
+        // our feet. rax is not in the GPR pool and the args are already
+        // in their convention registers, so it is free scratch here.
+        uint32_t d = in.a - mod_.numImports();
+        a_.load(Width::W64, false, Reg::rax, ctxField(kOffFuncEntries));
+        a_.load(Width::W64, false, Reg::rax,
+                Mem::baseDisp(Reg::rax, static_cast<int32_t>(8 * d)));
+        a_.callReg(Reg::rax);
+    } else {
+        a_.call(ms_.funcLabels[in.a - mod_.numImports()]);
+    }
     if (!ft.results.empty()) {
         if (ft.results[0] == ValType::F64) {
             Xmm x = allocXmm();
@@ -1833,6 +1882,23 @@ emitEntryStubs(ModuleState& ms, CompiledModule& out)
     out.directEntrySize = a.size() - out.directEntryOffset;
 }
 
+/** Emits every trap stub a compiled region requested. */
+void
+emitTrapStubs(ModuleState& ms)
+{
+    Assembler& a = ms.asm_;
+    for (size_t k = 0; k < 16; k++) {
+        if (!ms.trapStubs[k])
+            continue;
+        a.bind(*ms.trapStubs[k]);
+        a.load(Width::W64, false, Reg::rdi, ctxField(kOffRuntimeData));
+        a.movImm32(Reg::rsi, static_cast<uint32_t>(k));
+        a.load(Width::W64, false, Reg::rax, ctxField(kOffTrapFn));
+        a.callReg(Reg::rax);
+        a.ud2();  // trapFn never returns
+    }
+}
+
 }  // namespace
 
 const char*
@@ -1901,22 +1967,14 @@ compile(const wasm::Module& module, const CompilerConfig& config)
                                            &out.optStats);
             src = &transformed;
         }
+        ms.currentDefinedIdx = static_cast<uint32_t>(i);
         FunctionCompiler fc(ms, *src);
         fc.compile();
         out.funcCodeSizes.push_back(a.size() - start);
     }
 
     // --- trap stubs ---
-    for (size_t k = 0; k < 16; k++) {
-        if (!ms.trapStubs[k])
-            continue;
-        a.bind(*ms.trapStubs[k]);
-        a.load(Width::W64, false, Reg::rdi, ctxField(kOffRuntimeData));
-        a.movImm32(Reg::rsi, static_cast<uint32_t>(k));
-        a.load(Width::W64, false, Reg::rax, ctxField(kOffTrapFn));
-        a.callReg(Reg::rax);
-        a.ud2();  // trapFn never returns
-    }
+    emitTrapStubs(ms);
 
     // --- entry stubs (generic + typed direct) ---
     emitEntryStubs(ms, out);
@@ -1932,6 +1990,172 @@ compile(const wasm::Module& module, const CompilerConfig& config)
     if (!code)
         return Result<CompiledModule>::error(code.message());
     out.code = std::move(*code);
+    return out;
+}
+
+Result<CompiledFunction>
+compileFunction(const wasm::Module& module, uint32_t defined_idx,
+                const CompilerConfig& config)
+{
+    // The module is validated once by the tiered runtime before any
+    // per-function compile; re-validating the whole module for every
+    // lazy function would turn cold-start back into O(module²).
+    SFI_CHECK_MSG(config.tieredCalls,
+                  "per-function compilation requires tieredCalls: the "
+                  "blob must be position-independent (no rel32 "
+                  "intra-module calls)");
+    SFI_CHECK(defined_idx < module.functions.size());
+
+    ModuleState ms;
+    ms.module = &module;
+    ms.config = config;
+    ms.currentDefinedIdx = defined_idx;
+    Assembler& a = ms.asm_;
+    a.setPeephole(config.optimize);
+
+    CompiledFunction out;
+    wasm::Function transformed;
+    const wasm::Function* src = &module.functions[defined_idx];
+    if (config.vectorizeBulkLoops && !config.segueStores()) {
+        transformed = vectorizeBulkLoops(*src);
+        src = &transformed;
+    }
+    if (config.optimize) {
+        transformed = optimizeFunction(*src, module, config,
+                                       &out.optStats);
+        src = &transformed;
+    }
+    FunctionCompiler fc(ms, *src);
+    fc.compile();
+    out.bodySize = a.size();
+
+    // Private trap stubs keep the blob position-independent: every
+    // out-of-blob transfer is ctx-indirect (trapFn / funcEntries /
+    // hostFn), so the bytes can live at any cache address.
+    emitTrapStubs(ms);
+    out.optStats.peepMovsDropped = a.peepStats().movsDropped;
+    out.optStats.peepZextsDropped = a.peepStats().zextsDropped;
+    out.optStats.peepXorZeros = a.peepStats().xorZeros;
+    out.optStats.peepBytesSaved = a.peepStats().bytesSaved;
+    out.bytes = a.code();
+    return out;
+}
+
+Result<TierStubs>
+compileTierStubs(const wasm::Module& module, const CompilerConfig& config)
+{
+    SFI_CHECK(config.tieredCalls);
+    ModuleState ms;
+    ms.module = &module;
+    ms.config = config;
+    Assembler& a = ms.asm_;
+    // Canonical shapes: the tier-thunk verifier pattern-matches these
+    // stubs instruction by instruction, so keep the peephole out.
+    a.setPeephole(false);
+
+    // Entry trampolines. Lazy compilation makes the per-module register
+    // contract unknowable up front (bodies compile after instances
+    // already hold the entry pointer), so claim every pool callee-saved
+    // register and let emitEntryStubs derive the conservative save set.
+    ms.gprAllocated[static_cast<size_t>(Reg::rbx)] = true;
+    ms.gprAllocated[static_cast<size_t>(Reg::r12)] = true;
+    ms.gprAllocated[static_cast<size_t>(Reg::r13)] = true;
+    ms.gprAllocated[static_cast<size_t>(Reg::r15)] = true;
+    CompiledModule entry;
+    emitEntryStubs(ms, entry);
+
+    TierStubs out;
+    out.entryOffset = entry.entryOffset;
+    out.entrySize = entry.entrySize;
+    out.directEntryOffset = entry.directEntryOffset;
+    out.directEntrySize = entry.directEntrySize;
+    out.entrySavedRegs = entry.entrySavedRegs;
+
+    size_t n = module.functions.size();
+    for (size_t i = 0; i < n; i++) {
+        int32_t slot = static_cast<int32_t>(8 * i);
+
+        // Dispatch stub: a stable address that always lands on the
+        // function's *current* tier. Table entries, DirectEntry, and
+        // host-cached pointers use it instead of the raw slot value,
+        // which would go stale across tier-up.
+        a.alignTo(16);
+        out.dispatchOffsets.push_back(a.size());
+        a.load(Width::W64, false, Reg::r11, ctxField(kOffFuncEntries));
+        a.load(Width::W64, false, Reg::r11,
+               Mem::baseDisp(Reg::r11, slot));
+        a.jmpReg(Reg::r11);
+        out.dispatchSizes.push_back(a.size() - out.dispatchOffsets.back());
+
+        // Resolver stub: the initial entry-slot value. Preserves the
+        // internal argument registers, asks ctx->tierFn to compile (or
+        // cache-hit) the function, then tail-jumps to the returned
+        // entry with the arguments restored. At the callReg the stack
+        // displacement from function entry is 8 (ret) + 48 (pushes) +
+        // 40 = 96 ≡ 0 (mod 16), keeping the C ABI aligned.
+        a.alignTo(16);
+        out.resolverOffsets.push_back(a.size());
+        a.push(Reg::rdi);
+        a.push(Reg::rsi);
+        a.push(Reg::rdx);
+        a.push(Reg::rcx);
+        a.push(Reg::r8);
+        a.push(Reg::r9);
+        a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 40);
+        for (int x = 0; x < 4; x++)
+            a.movsdStore(Mem::baseDisp(Reg::rsp, 8 * x),
+                         static_cast<Xmm>(x));
+        a.load(Width::W64, false, Reg::rdi, ctxField(kOffRuntimeData));
+        a.movImm32(Reg::rsi, static_cast<uint32_t>(i));
+        a.load(Width::W64, false, Reg::rax, ctxField(kOffTierFn));
+        a.callReg(Reg::rax);
+        for (int x = 0; x < 4; x++)
+            a.movsdLoad(static_cast<Xmm>(x),
+                        Mem::baseDisp(Reg::rsp, 8 * x));
+        a.aluImm(AluOp::Add, Width::W64, Reg::rsp, 40);
+        a.pop(Reg::r9);
+        a.pop(Reg::r8);
+        a.pop(Reg::rcx);
+        a.pop(Reg::rdx);
+        a.pop(Reg::rsi);
+        a.pop(Reg::rdi);
+        a.jmpReg(Reg::rax);
+        out.resolverSizes.push_back(a.size() - out.resolverOffsets.back());
+
+        // Interpreter thunk: marshals the internal-convention argument
+        // registers into a frame array and routes to ctx->interpFn.
+        // The tier state machine points a function's slot here when
+        // its JIT compile (or its verification) fails — fail-closed
+        // degradation — or when the tier options pin it to the
+        // interpreter. 88 frame bytes: 8 + 88 = 96 ≡ 0 (mod 16) at the
+        // callReg, and 11 slots cover the ≤10-parameter convention.
+        const wasm::FuncType& ft =
+            module.types[module.functions[i].typeIdx];
+        a.alignTo(16);
+        out.interpOffsets.push_back(a.size());
+        a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 88);
+        size_t int_pos = 0, f64_pos = 0;
+        for (size_t j = 0; j < ft.params.size(); j++) {
+            Mem m = Mem::baseDisp(Reg::rsp,
+                                  static_cast<int32_t>(8 * j));
+            if (ft.params[j] == ValType::F64)
+                a.movsdStore(m, static_cast<Xmm>(f64_pos++));
+            else
+                a.store(Width::W64, m, kIntArgRegs[int_pos++]);
+        }
+        a.load(Width::W64, false, Reg::rdi, ctxField(kOffRuntimeData));
+        a.movImm32(Reg::rsi, static_cast<uint32_t>(i));
+        a.lea(Width::W64, Reg::rdx, Mem::baseDisp(Reg::rsp, 0));
+        a.load(Width::W64, false, Reg::rax, ctxField(kOffInterpFn));
+        a.callReg(Reg::rax);
+        if (!ft.results.empty() && ft.results[0] == ValType::F64)
+            a.movqToXmm(Xmm::xmm0, Reg::rax);
+        a.aluImm(AluOp::Add, Width::W64, Reg::rsp, 88);
+        a.ret();
+        out.interpSizes.push_back(a.size() - out.interpOffsets.back());
+    }
+
+    out.bytes = a.code();
     return out;
 }
 

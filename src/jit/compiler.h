@@ -122,6 +122,70 @@ struct CompiledModule
 Result<CompiledModule> compile(const wasm::Module& module,
                                const CompilerConfig& config);
 
+/**
+ * One position-independent compiled function (tiered execution).
+ *
+ * The blob is self-contained: intra-module calls go through
+ * ctx->funcEntries, traps through private trap stubs appended after the
+ * body, host/runtime calls through ctx fields — no rel32 leaves the
+ * buffer, so the bytes can be published at any code-cache address.
+ * Produced unpublished (plain bytes): the code cache verifies them
+ * fail-closed before they ever become executable.
+ */
+struct CompiledFunction
+{
+    /** Raw machine code: body followed by its private trap stubs. */
+    std::vector<uint8_t> bytes;
+    /** Bytes of the body proper (trap stubs start here). */
+    uint64_t bodySize = 0;
+    /** Optimizer counters (zero for baseline-tier compiles). */
+    OptStats optStats;
+};
+
+/**
+ * Compiles defined function @p defined_idx of an already-validated
+ * @p module under @p config (which must set tieredCalls).
+ */
+Result<CompiledFunction> compileFunction(const wasm::Module& module,
+                                         uint32_t defined_idx,
+                                         const CompilerConfig& config);
+
+/**
+ * The per-module stub set for tiered execution: entry trampolines with
+ * a conservative register contract plus three thunks per defined
+ * function. Emitted once per (module, config) — the code cache shares
+ * it across every instance of the image.
+ */
+struct TierStubs
+{
+    std::vector<uint8_t> bytes;
+    /** Generic/direct entry trampolines (CompiledModule layout). */
+    uint64_t entryOffset = 0;
+    uint64_t entrySize = 0;
+    uint64_t directEntryOffset = 0;
+    uint64_t directEntrySize = 0;
+    uint32_t entrySavedRegs = 0;
+    /**
+     * Dispatch stubs: stable per-function addresses that forward to
+     * the current ctx->funcEntries slot. Used for table entries,
+     * DirectEntry, and any host-cached pointer — caching a raw slot
+     * value would go stale across tier-up.
+     */
+    std::vector<uint64_t> dispatchOffsets, dispatchSizes;
+    /**
+     * Resolver stubs: initial slot values. Preserve the argument
+     * registers, call ctx->tierFn to compile the function, tail-jump
+     * to the result.
+     */
+    std::vector<uint64_t> resolverOffsets, resolverSizes;
+    /** Interpreter-fallback thunks routing to ctx->interpFn. */
+    std::vector<uint64_t> interpOffsets, interpSizes;
+};
+
+/** Emits the tiered stub set for @p module (config.tieredCalls). */
+Result<TierStubs> compileTierStubs(const wasm::Module& module,
+                                   const CompilerConfig& config);
+
 }  // namespace sfi::jit
 
 #endif  // SFIKIT_JIT_COMPILER_H_

@@ -59,6 +59,35 @@ struct JitContext
     uint64_t hostArgs[8];                                      // +136
     /** Base of the module's code region (LFI control-flow masking). */
     uint64_t codeBase;                                         // +200
+
+    // --- tiered execution (CompilerConfig::tieredCalls/tierCounters) ---
+    /**
+     * Per-defined-function entry slots. Tiered code calls through
+     * these instead of rel32: a slot holds the resolver stub until the
+     * function first compiles, then the baseline body, then (after
+     * hot-count tier-up) the optimized body — always patched with a
+     * release store so concurrent callers read either the old or the
+     * new pointer, never a torn one.
+     */
+    const void* const* funcEntries;                            // +208
+    /** Per-defined-function call counters (baseline prologues bump). */
+    uint64_t* tierCounters;                                    // +216
+    /** Calls before a baseline function requests tier-up. */
+    uint64_t tierThreshold;                                    // +224
+    /**
+     * Tier-up/resolve entry: compiles (or looks up) defined function
+     * @p defined_idx and returns its new entry address after patching
+     * the slot. Called from resolver stubs and baseline prologues.
+     */
+    const void* (*tierFn)(void* runtime_data,
+                          uint64_t defined_idx);               // +232
+    /**
+     * Interpreter fallback: executes defined function @p defined_idx
+     * with marshalled args (interp thunks route here when a function
+     * is pinned to the interpreter tier).
+     */
+    uint64_t (*interpFn)(void* runtime_data, uint64_t defined_idx,
+                         const uint64_t* args);                // +240
 };
 
 // The compiler emits these offsets into instructions; keep them honest.
@@ -81,6 +110,11 @@ static_assert(offsetof(JitContext, memPages) == 120);
 static_assert(offsetof(JitContext, stackLimit) == 128);
 static_assert(offsetof(JitContext, hostArgs) == 136);
 static_assert(offsetof(JitContext, codeBase) == 200);
+static_assert(offsetof(JitContext, funcEntries) == 208);
+static_assert(offsetof(JitContext, tierCounters) == 216);
+static_assert(offsetof(JitContext, tierThreshold) == 224);
+static_assert(offsetof(JitContext, tierFn) == 232);
+static_assert(offsetof(JitContext, interpFn) == 240);
 
 }  // namespace sfi::jit
 

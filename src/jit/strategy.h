@@ -98,6 +98,24 @@ struct CompilerConfig
      * the contract tier on identical code.
      */
     bool fullSaveEntry = false;
+    /**
+     * Tiered execution: route every intra-module call through the
+     * per-function entry-slot table at ctx->funcEntries instead of a
+     * rel32 direct call. Slots start out pointing at resolver stubs
+     * (lazy compilation) and are patched atomically on tier-up, so a
+     * function emitted under this flag keeps working as its callees
+     * move between tiers. Requires CfiMode::None — the slot values are
+     * trusted runtime-owned pointers, not sandboxed code addresses, so
+     * the LFI mask chain must not truncate them.
+     */
+    bool tieredCalls = false;
+    /**
+     * Tiered execution: bump ctx->tierCounters[i] in each function
+     * prologue and call ctx->tierFn once the count crosses
+     * ctx->tierThreshold (hot-count tier-up). Only meaningful for
+     * baseline-tier compiles; the optimized tier leaves it off.
+     */
+    bool tierCounters = false;
 
     // --- presets used by the benchmark harnesses ---
     // Designated initializers: adding a config field can't silently

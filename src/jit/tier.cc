@@ -1,0 +1,237 @@
+#include "jit/tier.h"
+
+#include <chrono>
+
+#include "base/logging.h"
+
+namespace sfi::jit {
+
+namespace {
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Salt for useCodeCache=false: a per-TieredModule unique hash. */
+uint64_t
+nextSalt()
+{
+    static std::atomic<uint64_t> counter{0};
+    uint64_t n = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+    // SplitMix64 finalizer: spread the counter over the hash space so
+    // salted keys cannot collide with content hashes in practice.
+    n ^= n >> 30;
+    n *= 0xbf58476d1ce4e5b9ull;
+    n ^= n >> 27;
+    n *= 0x94d049bb133111ebull;
+    n ^= n >> 31;
+    return n;
+}
+
+}  // namespace
+
+static_assert(sizeof(std::atomic<const void*>) == sizeof(const void*),
+              "entry slots must be plain pointer-sized for JIT loads");
+
+Result<std::unique_ptr<TieredModule>>
+TieredModule::create(const wasm::Module& module,
+                     const CompilerConfig& config,
+                     const TierOptions& opts)
+{
+    using R = Result<std::unique_ptr<TieredModule>>;
+    if (config.cfi != CfiMode::None)
+        return R::error(
+            "tiered execution requires CfiMode::None: entry-slot "
+            "values are trusted runtime pointers, not maskable "
+            "sandbox addresses");
+
+    std::unique_ptr<TieredModule> tm(new TieredModule(module, opts));
+
+    tm->baseCfg_ = config;
+    tm->baseCfg_.tieredCalls = true;
+    tm->baseCfg_.tierCounters = true;
+    tm->baseCfg_.optimize = false;
+    tm->baseCfg_.vectorizeBulkLoops = false;
+
+    tm->optCfg_ = config;
+    tm->optCfg_.tieredCalls = true;
+    tm->optCfg_.tierCounters = false;
+
+    tm->hash_ = CodeCache::moduleHash(module);
+    if (!opts.useCodeCache)
+        tm->hash_ ^= nextSalt();
+    tm->minMemBytes_ =
+        static_cast<uint64_t>(module.memory.minPages) * 65536;
+
+    // The stub set is shared between both tiers (the thunks only read
+    // context fields both configs lay out identically); key it on the
+    // baseline fingerprint.
+    auto stubs = CodeCache::instance().getStubs(tm->hash_, module,
+                                                tm->baseCfg_);
+    if (!stubs.isOk())
+        return R::error(stubs.message());
+    tm->stubsBase_ = stubs->base;
+    tm->stubMeta_ = stubs->meta;
+    if (stubs->hit)
+        tm->statCacheHits_.fetch_add(1, std::memory_order_relaxed);
+    tm->statVerifyNs_.fetch_add(stubs->verifyNs,
+                                std::memory_order_relaxed);
+
+    size_t n = module.functions.size();
+    tm->slots_ =
+        std::make_unique<std::atomic<const void*>[]>(n ? n : 1);
+    tm->counters_ = std::make_unique<uint64_t[]>(n ? n : 1);
+    tm->states_.assign(n, opts.forceInterp ? FuncState::Interp
+                                           : FuncState::Unresolved);
+    tm->tierFailed_.assign(n, 0);
+    for (size_t i = 0; i < n; i++) {
+        tm->counters_[i] = 0;
+        const void* initial =
+            opts.forceInterp
+                ? tm->interpThunkAddr(static_cast<uint32_t>(i))
+                : static_cast<const void*>(
+                      tm->stubsBase_ +
+                      tm->stubMeta_->resolverOffsets[i]);
+        tm->slots_[i].store(initial, std::memory_order_release);
+    }
+    return R(std::move(tm));
+}
+
+const void*
+TieredModule::interpThunkAddr(uint32_t defined_idx) const
+{
+    return stubsBase_ + stubMeta_->interpOffsets[defined_idx];
+}
+
+const void*
+TieredModule::dispatchAddr(uint32_t defined_idx) const
+{
+    return stubsBase_ + stubMeta_->dispatchOffsets[defined_idx];
+}
+
+CompiledModule::EntryFn
+TieredModule::entry() const
+{
+    return reinterpret_cast<CompiledModule::EntryFn>(
+        const_cast<uint8_t*>(stubsBase_ + stubMeta_->entryOffset));
+}
+
+CompiledModule::DirectEntryFn
+TieredModule::directEntry() const
+{
+    return reinterpret_cast<CompiledModule::DirectEntryFn>(
+        const_cast<uint8_t*>(stubsBase_ +
+                             stubMeta_->directEntryOffset));
+}
+
+void
+TieredModule::setSlot(uint32_t defined_idx, const void* entry)
+{
+    slots_[defined_idx].store(entry, std::memory_order_release);
+}
+
+TieredModule::FuncState
+TieredModule::state(uint32_t defined_idx) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return states_.at(defined_idx);
+}
+
+TierStatsSnapshot
+TieredModule::stats() const
+{
+    TierStatsSnapshot s;
+    s.baselineCompiles =
+        statBaselineCompiles_.load(std::memory_order_relaxed);
+    s.tierUps = statTierUps_.load(std::memory_order_relaxed);
+    s.cacheHits = statCacheHits_.load(std::memory_order_relaxed);
+    s.interpFallbacks =
+        statInterpFallbacks_.load(std::memory_order_relaxed);
+    s.compileNs = statCompileNs_.load(std::memory_order_relaxed);
+    s.cacheFillVerifyNs = statVerifyNs_.load(std::memory_order_relaxed);
+    return s;
+}
+
+const void*
+TieredModule::resolve(uint32_t defined_idx)
+{
+    SFI_CHECK(defined_idx < module_.functions.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    FuncState st = states_[defined_idx];
+
+    // Terminal or already-advanced states: another thread won the
+    // race (or the prologue counter fired for a function that just
+    // tiered up). Return the live slot.
+    if (st == FuncState::Optimized || st == FuncState::Interp)
+        return slots_[defined_idx].load(std::memory_order_acquire);
+
+    CodeCache& cache = CodeCache::instance();
+
+    if (st == FuncState::Unresolved) {
+        uint64_t t0 = nowNs();
+        auto r = cache.getFunction(hash_, defined_idx, module_,
+                                   baseCfg_, minMemBytes_);
+        statCompileNs_.fetch_add(nowNs() - t0,
+                                 std::memory_order_relaxed);
+        if (!r.isOk()) {
+            // Fail closed: the baseline body did not verify (or did
+            // not compile), so the function runs interpreted forever.
+            SFI_WARN("tier: baseline for func#%u fell back to the "
+                     "interpreter: %s",
+                     defined_idx, r.message().c_str());
+            const void* thunk = interpThunkAddr(defined_idx);
+            setSlot(defined_idx, thunk);
+            states_[defined_idx] = FuncState::Interp;
+            statInterpFallbacks_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            return thunk;
+        }
+        if (r->hit)
+            statCacheHits_.fetch_add(1, std::memory_order_relaxed);
+        else
+            statBaselineCompiles_.fetch_add(1,
+                                            std::memory_order_relaxed);
+        statVerifyNs_.fetch_add(r->verifyNs,
+                                std::memory_order_relaxed);
+        setSlot(defined_idx, r->base);
+        states_[defined_idx] = FuncState::Baseline;
+        return r->base;
+    }
+
+    // Baseline and the prologue counter crossed the threshold:
+    // tier up through the optimizer.
+    if (tierFailed_[defined_idx]) {
+        // Verification is deterministic — don't recompile on every
+        // threshold crossing; just keep the prologue cheap.
+        counters_[defined_idx] = 0;
+        return slots_[defined_idx].load(std::memory_order_acquire);
+    }
+    uint64_t t0 = nowNs();
+    auto r = cache.getFunction(hash_, defined_idx, module_, optCfg_,
+                               minMemBytes_);
+    statCompileNs_.fetch_add(nowNs() - t0, std::memory_order_relaxed);
+    if (!r.isOk()) {
+        // The verified baseline stays live; never degrade a working
+        // tier because a better one failed to prove.
+        SFI_WARN("tier: tier-up for func#%u failed, keeping baseline: "
+                 "%s",
+                 defined_idx, r.message().c_str());
+        tierFailed_[defined_idx] = 1;
+        counters_[defined_idx] = 0;
+        return slots_[defined_idx].load(std::memory_order_acquire);
+    }
+    if (r->hit)
+        statCacheHits_.fetch_add(1, std::memory_order_relaxed);
+    statVerifyNs_.fetch_add(r->verifyNs, std::memory_order_relaxed);
+    statTierUps_.fetch_add(1, std::memory_order_relaxed);
+    setSlot(defined_idx, r->base);
+    states_[defined_idx] = FuncState::Optimized;
+    return r->base;
+}
+
+}  // namespace sfi::jit

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Per-module tiered-execution state: lazy baseline compilation,
+ * hot-count tier-up, and the entry-slot table JIT'd code calls
+ * through.
+ *
+ * Tier state machine, per defined function:
+ *
+ *     Unresolved --first call--> Baseline --hot count--> Optimized
+ *          \--compile/verify failure--> Interp (fail closed)
+ *
+ * A function starts Unresolved: its ctx->funcEntries slot points at
+ * the resolver thunk, which calls ctx->tierFn (routed here) to
+ * compile the single-pass baseline body and patch the slot. Baseline
+ * prologues bump ctx->tierCounters[i]; past TierOptions::hotThreshold
+ * they call tierFn again, which recompiles through the optimizer and
+ * patches the slot to the optimized body. Slot patches are release
+ * stores and readers (JIT'd call sites, dispatch thunks) issue plain
+ * aligned 64-bit loads, so a concurrent caller sees the old or the
+ * new entry — never a torn pointer — and there is no stop-the-world.
+ *
+ * Every body comes from the process-wide verified CodeCache
+ * (codecache.h): machine code is proven by the static verifier before
+ * it is published, and instantiating the same image twice compiles
+ * zero functions the second time. If a baseline compile or its
+ * verification fails, the function degrades to the interpreter thunk
+ * (fail closed — unverified code never runs); if a *tier-up* fails,
+ * the verified baseline stays in place and the function is marked so
+ * it does not retry (verification is deterministic).
+ */
+#ifndef SFIKIT_JIT_TIER_H_
+#define SFIKIT_JIT_TIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/result.h"
+#include "jit/codecache.h"
+#include "jit/compiler.h"
+#include "jit/strategy.h"
+#include "wasm/module.h"
+
+namespace sfi::jit {
+
+/** Tiered-execution policy knobs. */
+struct TierOptions
+{
+    /** Baseline calls before a function requests tier-up. */
+    uint64_t hotThreshold = 64;
+    /**
+     * Share code across modules with identical content. Off salts the
+     * cache key per TieredModule, so blobs are still verified-at-fill
+     * and arena-published but never shared (isolation-paranoid mode /
+     * cache-miss benchmarking).
+     */
+    bool useCodeCache = true;
+    /** Pin every function to the interpreter thunk (differential
+     *  testing: the oracle path with the tiered entry ABI). */
+    bool forceInterp = false;
+};
+
+/** Monotonic per-module tiering counters (relaxed; reporting only). */
+struct TierStatsSnapshot
+{
+    uint64_t baselineCompiles = 0;
+    uint64_t tierUps = 0;
+    uint64_t cacheHits = 0;
+    uint64_t interpFallbacks = 0;
+    uint64_t compileNs = 0;        ///< compile+verify wall time (fills)
+    uint64_t cacheFillVerifyNs = 0;
+};
+
+/**
+ * The tiered twin of CompiledModule, shared by every instance of a
+ * module image (it lives on rt::SharedModule next to the wasm IR).
+ * All code lives in the CodeCache arena; this object owns only the
+ * slot/counter tables and the tier state.
+ */
+class TieredModule
+{
+  public:
+    /** Per-function tier (state()). */
+    enum class FuncState : uint8_t {
+        Unresolved,  ///< slot -> resolver thunk
+        Baseline,    ///< slot -> single-pass body (counters on)
+        Optimized,   ///< slot -> optimizer-tier body
+        Interp,      ///< slot -> interpreter thunk (fail-closed)
+    };
+
+    /**
+     * Builds the tiered state for @p module under the user-facing
+     * @p config (which must have CfiMode::None — entry-slot values
+     * are trusted runtime pointers the LFI mask chain would mangle).
+     * @p module must outlive the TieredModule.
+     */
+    static Result<std::unique_ptr<TieredModule>> create(
+        const wasm::Module& module, const CompilerConfig& config,
+        const TierOptions& opts);
+
+    /**
+     * ctx->tierFn target: resolves (first call) or tiers up (hot
+     * count) defined function @p defined_idx and returns the entry to
+     * continue through. Thread-safe; concurrent callers for the same
+     * function serialize on the module mutex and the winner's result
+     * is shared.
+     */
+    const void* resolve(uint32_t defined_idx);
+
+    /** Entry-slot table for ctx->funcEntries. */
+    const void* const* entries() const
+    {
+        return reinterpret_cast<const void* const*>(slots_.get());
+    }
+
+    /** Counter table for ctx->tierCounters. */
+    uint64_t* counters() const { return counters_.get(); }
+
+    uint64_t threshold() const { return opts_.hotThreshold; }
+
+    /**
+     * Stable address of @p defined_idx: the dispatch thunk, which
+     * forwards to the live slot on every call. Anything that caches a
+     * function address across calls (table entries, DirectEntry,
+     * host-held pointers) must cache this, not the slot value.
+     */
+    const void* dispatchAddr(uint32_t defined_idx) const;
+
+    /** Entry trampolines (CompiledModule-compatible signatures). */
+    CompiledModule::EntryFn entry() const;
+    CompiledModule::DirectEntryFn directEntry() const;
+    uint32_t entrySavedRegs() const { return stubMeta_->entrySavedRegs; }
+
+    FuncState state(uint32_t defined_idx) const;
+    uint32_t numDefined() const
+    {
+        return static_cast<uint32_t>(module_.functions.size());
+    }
+
+    const CompilerConfig& baseConfig() const { return baseCfg_; }
+    const CompilerConfig& optConfig() const { return optCfg_; }
+    uint64_t moduleHash() const { return hash_; }
+
+    TierStatsSnapshot stats() const;
+
+  private:
+    TieredModule(const wasm::Module& module, const TierOptions& opts)
+        : module_(module), opts_(opts)
+    {
+    }
+
+    const void* interpThunkAddr(uint32_t defined_idx) const;
+    /** Patches a slot (release store). */
+    void setSlot(uint32_t defined_idx, const void* entry);
+
+    const wasm::Module& module_;
+    TierOptions opts_;
+    CompilerConfig baseCfg_;  ///< user config, optimizer off, counters on
+    CompilerConfig optCfg_;   ///< user config, optimizer on, counters off
+    uint64_t hash_ = 0;       ///< moduleHash, salted when sharing is off
+    uint64_t minMemBytes_ = 0;
+
+    const uint8_t* stubsBase_ = nullptr;
+    const TierStubs* stubMeta_ = nullptr;
+
+    std::unique_ptr<std::atomic<const void*>[]> slots_;
+    std::unique_ptr<uint64_t[]> counters_;
+
+    mutable std::mutex mu_;
+    std::vector<FuncState> states_;     ///< guarded by mu_
+    std::vector<uint8_t> tierFailed_;   ///< guarded by mu_
+
+    mutable std::atomic<uint64_t> statBaselineCompiles_{0};
+    mutable std::atomic<uint64_t> statTierUps_{0};
+    mutable std::atomic<uint64_t> statCacheHits_{0};
+    mutable std::atomic<uint64_t> statInterpFallbacks_{0};
+    mutable std::atomic<uint64_t> statCompileNs_{0};
+    mutable std::atomic<uint64_t> statVerifyNs_{0};
+};
+
+}  // namespace sfi::jit
+
+#endif  // SFIKIT_JIT_TIER_H_

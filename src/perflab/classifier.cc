@@ -30,6 +30,24 @@ classifierRules()
     // Ordered: the most specific evidence first. Thresholds are
     // documented in DESIGN.md §perf-lab; keep the two in sync.
     static const std::vector<ClassifierRule> kRules = {
+        // Cold-start rows (ISSUE 9): when per-cold-start compile+verify
+        // time is a quarter or more of the first-request p50, the row
+        // is measuring the compiler, not the workload — the tiered
+        // cache is (or would be) the fix.
+        {"coldstart.compile_bound", "compile-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             auto colds = get(v, "cold_starts");
+             auto compile = get(v, "compile_ns");
+             auto p50 = get(v, "first_req_p50_us");
+             if (!colds || !compile || !p50 || *colds <= 0 || *p50 <= 0)
+                 return std::nullopt;
+             double per_ns = *compile / *colds;
+             if (per_ns < 0.25 * *p50 * 1000.0)
+                 return std::nullopt;
+             return fmt("compile %.0f us per cold start = %.0f%% of "
+                        "first-request p50 (>= 25%%)",
+                        per_ns / 1e3, 100.0 * per_ns / (*p50 * 1000.0));
+         }},
         // Warm-reuse zeroing: more than a quarter MiB memset per
         // request means the pool spends its time scrubbing pages.
         {"zeroing.bytes_per_request", "zeroing-bound",

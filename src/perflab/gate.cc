@@ -93,8 +93,14 @@ grade(const WorkloadResult& baseline, const WorkloadResult& fresh,
                 v.baseline = base_stat.best(lower);
                 v.fresh = fresh_stat.best(lower);
             }
+            // Ratio metrics keep their precision band even when the
+            // caller widened --band for noisy wall-clock metrics.
+            double floor =
+                metricIsRatio(name)
+                    ? std::min(config.relFloor, config.ratioRelFloor)
+                    : config.relFloor;
             v.band = std::max(
-                config.relFloor * std::abs(v.baseline),
+                floor * std::abs(v.baseline),
                 config.madMult *
                     std::max(base_stat.mad(), fresh_stat.mad()));
             double regression =

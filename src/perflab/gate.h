@@ -45,6 +45,17 @@ struct GateConfig
      * (the ctest wiring passes --band explicitly).
      */
     double relFloor = 0.12;
+    /**
+     * Precision floor for ratio metrics (metricIsRatio: _norm, _pct,
+     * counter-normalized *_per_transition). Their numerator and
+     * denominator come from the same run, so shared-runner load noise
+     * largely cancels and they stay trustworthy even when a CI
+     * invocation widens --band to 100% for wall-clock metrics. The
+     * effective floor for a ratio metric is min(relFloor,
+     * ratioRelFloor): widening the band never loosens them, but an
+     * explicitly narrower --band still applies.
+     */
+    double ratioRelFloor = 0.12;
     /** MAD multiplier (MAD underestimates sigma; 5x is generous). */
     double madMult = 5.0;
     /** Fail (true) or just note (false) env-fingerprint mismatches. */

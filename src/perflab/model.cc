@@ -228,6 +228,9 @@ metricHigherIsBetter(const std::string& name)
     if (name.size() >= 3 &&
         name.compare(name.size() - 3, 3, "rps") == 0)
         return true;
+    if (name.size() >= 8 &&
+        name.compare(name.size() - 8, 8, "_per_sec") == 0)
+        return true;
     if (name.find("gain") != std::string::npos)
         return true;
     if (name.find("hit_pct") != std::string::npos)
@@ -243,7 +246,10 @@ metricIsRatio(const std::string& name)
         return name.size() >= n &&
                name.compare(name.size() - n, n, suffix) == 0;
     };
-    return ends("_norm") || ends("_pct");
+    // *_per_transition: wall time divided by the run's own transition
+    // counter (bench_transitions faas rows) — the counter-normalized
+    // form the gate holds to the precision band.
+    return ends("_norm") || ends("_pct") || ends("_per_transition");
 }
 
 // ------------------------------------------------------------- merging

@@ -61,6 +61,11 @@ usage()
         "    --baseline-dir D      committed BENCH_*.json (default: .)\n"
         "    --band X              relative noise floor (default: "
         "0.12)\n"
+        "    --ratio-band X        precision floor for ratio metrics\n"
+        "                          (_norm/_pct/_per_transition; "
+        "default: 0.12,\n"
+        "                          effective floor min(band, "
+        "ratio-band))\n"
         "    --mad-mult X          MAD band multiplier (default: 5)\n"
         "    --allow-env-mismatch  compare across machines anyway\n"
         "  gate --baseline A --fresh B [--band X] [--mad-mult X]\n"
@@ -155,6 +160,16 @@ parseOptions(int argc, char** argv, int first, Options* opts)
             opts->gate.relFloor = std::atof(v);
             if (opts->gate.relFloor <= 0) {
                 std::fprintf(stderr, "--band: '%s' must be > 0\n", v);
+                return false;
+            }
+        } else if (std::strcmp(argv[i], "--ratio-band") == 0) {
+            const char* v = needsValue("--ratio-band");
+            if (v == nullptr)
+                return false;
+            opts->gate.ratioRelFloor = std::atof(v);
+            if (opts->gate.ratioRelFloor <= 0) {
+                std::fprintf(stderr, "--ratio-band: '%s' must be > 0\n",
+                             v);
                 return false;
             }
         } else if (std::strcmp(argv[i], "--mad-mult") == 0) {

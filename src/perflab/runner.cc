@@ -22,6 +22,11 @@ defaultMatrix()
          "bench_fig6_faas_throughput",
          {"--open-loop", "--rate", "20000", "--batch", "16"}},
         {"fig3_spec_w2c", "bench_fig3_spec_w2c", {}},
+        {"pool_scaling", "bench_pool_scaling", {}},
+        // Cold-start rows (ISSUE 9): first-request latency of the
+        // monolithic / tiered-cold / tiered-warm compilation modes on
+        // the synthetic multi-handler FaaS image.
+        {"cold_start", "bench_fig6_faas_throughput", {"--cold-start"}},
     };
     return kMatrix;
 }

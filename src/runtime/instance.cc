@@ -23,6 +23,29 @@ SharedModule::compile(wasm::Module module, const jit::CompilerConfig& config)
     return std::shared_ptr<SharedModule>(std::move(shared));
 }
 
+Result<std::shared_ptr<SharedModule>>
+SharedModule::compileTiered(wasm::Module module,
+                            const jit::CompilerConfig& config,
+                            const jit::TierOptions& tier_opts)
+{
+    using R = Result<std::shared_ptr<SharedModule>>;
+    // Validate once here: the per-function tiered compiles skip
+    // re-validation (jit::compileFunction), and the interpreter
+    // fallback revalidates harmlessly.
+    if (auto st = wasm::validate(module); !st)
+        return R::error("validation: " + st.message());
+    auto shared = std::make_shared<SharedModule>();
+    shared->module_ = std::move(module);
+    // No monolithic code; keep the config reachable via config().
+    shared->code_.config = config;
+    auto tm = jit::TieredModule::create(shared->module_, config,
+                                        tier_opts);
+    if (!tm.isOk())
+        return R::error(tm.message());
+    shared->tiered_ = std::move(*tm);
+    return std::shared_ptr<SharedModule>(std::move(shared));
+}
+
 Result<std::unique_ptr<Instance>>
 Instance::create(std::shared_ptr<const SharedModule> shared,
                  std::map<std::string, HostFn> host_fns, Options options)
@@ -76,6 +99,9 @@ Instance::create(std::shared_ptr<const SharedModule> shared,
         }
         inst->hostFns_.push_back(it->second);
     }
+    jit::TieredModule* tm = inst->shared_->tiered();
+    if (tm != nullptr)
+        inst->tierHostFns_ = host_fns;  // for the lazy interp fallback
     for (uint32_t fi : m.table) {
         if (fi < m.numImports()) {
             // Host functions are not directly callable through tables;
@@ -84,8 +110,15 @@ Instance::create(std::shared_ptr<const SharedModule> shared,
             inst->tableEntries_.push_back(0);
         } else {
             inst->tableTypeIds_.push_back(m.typeIndexOfFunc(fi));
-            inst->tableEntries_.push_back(reinterpret_cast<uint64_t>(
-                inst->shared_->code().funcAddr(fi - m.numImports())));
+            // Tiered: table entries must stay valid across tier-up, so
+            // they point at the stable dispatch thunks, never at a
+            // momentary funcEntries slot value.
+            const void* addr =
+                tm != nullptr
+                    ? tm->dispatchAddr(fi - m.numImports())
+                    : inst->shared_->code().funcAddr(fi - m.numImports());
+            inst->tableEntries_.push_back(
+                reinterpret_cast<uint64_t>(addr));
         }
     }
 
@@ -107,8 +140,18 @@ Instance::create(std::shared_ptr<const SharedModule> shared,
     ctx.fillFn = &Instance::fillFnImpl;
     ctx.copyFn = &Instance::copyFnImpl;
     ctx.epochFn = &Instance::epochFnImpl;
-    ctx.codeBase =
-        reinterpret_cast<uint64_t>(inst->shared_->code().code.base());
+    if (tm != nullptr) {
+        ctx.codeBase = reinterpret_cast<uint64_t>(
+            jit::CodeCache::instance().arenaBase());
+        ctx.funcEntries = tm->entries();
+        ctx.tierCounters = tm->counters();
+        ctx.tierThreshold = tm->threshold();
+        ctx.tierFn = &Instance::tierFnImpl;
+        ctx.interpFn = &Instance::interpFnImpl;
+    } else {
+        ctx.codeBase = reinterpret_cast<uint64_t>(
+            inst->shared_->code().code.base());
+    }
 
     installSignalHandlers();
     return Result<std::unique_ptr<Instance>>(std::move(inst));
@@ -145,7 +188,10 @@ Instance::callFunction(uint32_t func_idx,
             slots[int_pos++] = args[i];
     }
 
-    const void* fn = shared_->code().funcAddr(func_idx - m.numImports());
+    uint32_t d = func_idx - m.numImports();
+    const void* fn = shared_->isTiered()
+                         ? shared_->tiered()->dispatchAddr(d)
+                         : shared_->code().funcAddr(d);
     return invoke(ft, fn, slots, nullptr);
 }
 
@@ -184,8 +230,17 @@ Instance::EntryScope::EntryScope(Instance* inst) : inst_(inst)
     // is armed in invokeInScope; between calls nothing sandboxed runs.
     exec_.memStart = reinterpret_cast<uint64_t>(inst->memory_.base());
     exec_.memEnd = exec_.memStart + inst->memory_.reservedBytes();
-    exec_.codeStart = reinterpret_cast<uint64_t>(code.code.base());
-    exec_.codeEnd = exec_.codeStart + code.code.size();
+    if (inst->shared_->isTiered()) {
+        // Tiered slots can point anywhere in the shared code-cache
+        // arena (and move there on tier-up), so the whole arena is
+        // this instance's code span for fault attribution.
+        const jit::CodeCache& cache = jit::CodeCache::instance();
+        exec_.codeStart = reinterpret_cast<uint64_t>(cache.arenaBase());
+        exec_.codeEnd = exec_.codeStart + cache.arenaSize();
+    } else {
+        exec_.codeStart = reinterpret_cast<uint64_t>(code.code.base());
+        exec_.codeEnd = exec_.codeStart + code.code.size();
+    }
     prev_ = setActiveExecution(&exec_);
     inst->activeScope_ = this;
 }
@@ -228,11 +283,15 @@ Instance::invokeInScope(const wasm::FuncType& ft, const void* fn,
     Outcome out;
     int trap_code = sigsetjmp(jmp, 0);
     if (trap_code == 0) {
+        const jit::TieredModule* tm = shared_->tiered();
         jit::CompiledModule::EntryResult r =
             direct4 != nullptr
-                ? code.directEntry()(&ctx_, fn, direct4[0], direct4[1],
-                                     direct4[2], direct4[3])
-                : code.entry()(&ctx_, fn, slots);
+                ? (tm != nullptr ? tm->directEntry()
+                                 : code.directEntry())(
+                      &ctx_, fn, direct4[0], direct4[1], direct4[2],
+                      direct4[3])
+                : (tm != nullptr ? tm->entry() : code.entry())(&ctx_, fn,
+                                                               slots);
         out.trap = TrapKind::None;
         if (!ft.results.empty()) {
             out.value = ft.results[0] == wasm::ValType::F64 ? r.f64Bits
@@ -261,7 +320,11 @@ Instance::directEntry(const std::string& export_name)
     DirectEntry de;
     de.inst_ = this;
     de.funcIdx_ = idx;
-    de.fn_ = shared_->code().funcAddr(idx - m.numImports());
+    // Tiered: cache the dispatch thunk, which survives tier-up; a raw
+    // slot value cached here would go stale when the slot is patched.
+    de.fn_ = shared_->isTiered()
+                 ? shared_->tiered()->dispatchAddr(idx - m.numImports())
+                 : shared_->code().funcAddr(idx - m.numImports());
     de.direct_ = ft.params.size() <= 4;
     for (wasm::ValType t : ft.params) {
         if (t == wasm::ValType::F64)
@@ -291,6 +354,58 @@ Instance::trapFnImpl(void* rd, uint64_t code)
     ActiveExecution* active = activeExecution();
     SFI_CHECK_MSG(active != nullptr, "trap outside sandbox execution");
     siglongjmp(*active->trapJmp, static_cast<int>(code));
+}
+
+const void*
+Instance::tierFnImpl(void* rd, uint64_t defined_idx)
+{
+    auto* inst = static_cast<Instance*>(rd);
+    return inst->shared_->tiered()->resolve(
+        static_cast<uint32_t>(defined_idx));
+}
+
+interp::Instance&
+Instance::interpFallback()
+{
+    if (!interpInst_) {
+        std::map<std::string, interp::HostFn> hf;
+        for (const auto& [name, fn] : tierHostFns_) {
+            HostFn copy = fn;
+            hf[name] = [copy](uint64_t* a, size_t n) {
+                HostOutcome o = copy(a, n);
+                return interp::HostOutcome{o.trap, o.value};
+            };
+        }
+        auto r = interp::Instance::instantiateAttached(
+            shared_->module(), std::move(hf), &memory_, &globals_);
+        SFI_CHECK_MSG(r.isOk(),
+                      "interp fallback instantiation failed: %s",
+                      r.message().c_str());
+        interpInst_ =
+            std::make_unique<interp::Instance>(std::move(*r));
+    }
+    return *interpInst_;
+}
+
+uint64_t
+Instance::interpFnImpl(void* rd, uint64_t defined_idx,
+                       const uint64_t* args)
+{
+    auto* inst = static_cast<Instance*>(rd);
+    const wasm::Module& m = inst->shared_->module();
+    uint32_t fi = m.numImports() + static_cast<uint32_t>(defined_idx);
+    const wasm::FuncType& ft = m.typeOfFunc(fi);
+    std::vector<uint64_t> a(args, args + ft.params.size());
+    interp::Outcome out = inst->interpFallback().callFunction(fi, a);
+    // The interpreter shares this instance's memory and may have grown
+    // it; refresh the context before compiled code resumes. (A stale-
+    // smaller memSize would only make bounds checks stricter, but the
+    // JIT'd caller should observe the grow like any other.)
+    inst->ctx_.memSize = inst->memory_.byteSize();
+    inst->ctx_.memPages = inst->memory_.pages();
+    if (out.trap != TrapKind::None)
+        trapFnImpl(rd, static_cast<uint64_t>(out.trap));
+    return out.value;
 }
 
 uint64_t

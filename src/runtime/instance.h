@@ -24,9 +24,11 @@
 #include <vector>
 
 #include "base/result.h"
+#include "interp/interp.h"
 #include "jit/compiler.h"
 #include "jit/context.h"
 #include "jit/strategy.h"
+#include "jit/tier.h"
 #include "mpk/mpk.h"
 #include "runtime/memory.h"
 #include "runtime/signals.h"
@@ -77,13 +79,30 @@ class SharedModule
     static Result<std::shared_ptr<SharedModule>>
     compile(wasm::Module module, const jit::CompilerConfig& config);
 
+    /**
+     * Tiered variant: compiles *nothing* up front. Functions start on
+     * resolver stubs (lazy baseline compilation via the process-wide
+     * verified code cache) and tier up through the optimizer once hot;
+     * see jit/tier.h. @p config supplies the SFI memory strategy; the
+     * optimize flag is managed per tier. Requires CfiMode::None.
+     */
+    static Result<std::shared_ptr<SharedModule>>
+    compileTiered(wasm::Module module, const jit::CompilerConfig& config,
+                  const jit::TierOptions& tier_opts = {});
+
     const wasm::Module& module() const { return module_; }
     const jit::CompiledModule& code() const { return code_; }
     const jit::CompilerConfig& config() const { return code_.config; }
 
+    bool isTiered() const { return tiered_ != nullptr; }
+    /** Tiered state, or nullptr for monolithic modules. Shared across
+     *  instances; resolve() is thread-safe. */
+    jit::TieredModule* tiered() const { return tiered_.get(); }
+
   private:
     wasm::Module module_;
-    jit::CompiledModule code_;
+    jit::CompiledModule code_;  ///< empty (config only) when tiered
+    std::unique_ptr<jit::TieredModule> tiered_;
 };
 
 /** One executing sandbox. */
@@ -234,6 +253,16 @@ class Instance
                           const uint64_t* slots, const uint64_t* direct4);
 
     static void trapFnImpl(void* rd, uint64_t code);
+    /** ctx->tierFn: lazy compile / hot-count tier-up (jit/tier.h). */
+    static const void* tierFnImpl(void* rd, uint64_t defined_idx);
+    /** ctx->interpFn: interpreter fallback for functions whose
+     *  baseline compile or verification failed (fail closed). */
+    static uint64_t interpFnImpl(void* rd, uint64_t defined_idx,
+                                 const uint64_t* args);
+    /** Lazily builds the attached interpreter (shares this instance's
+     *  memory and globals; fuel off — fallback functions run to
+     *  completion like compiled ones, epoch checks excepted). */
+    interp::Instance& interpFallback();
     static uint64_t growFnImpl(void* rd, uint64_t delta);
     static uint64_t hostFnImpl(void* rd, uint64_t idx,
                                const uint64_t* args, uint64_t n);
@@ -250,6 +279,9 @@ class Instance
     LinearMemory memory_;
     std::vector<uint64_t> globals_;
     std::vector<HostFn> hostFns_;
+    /** Import map kept for the lazy interp fallback (tiered only). */
+    std::map<std::string, HostFn> tierHostFns_;
+    std::unique_ptr<interp::Instance> interpInst_;
     std::vector<uint64_t> tableTypeIds_;
     std::vector<uint64_t> tableEntries_;
     std::function<void()> epochCallback_;

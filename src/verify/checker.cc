@@ -1693,6 +1693,419 @@ class EntryStubChecker
     bool seenRet_ = false;
 };
 
+/**
+ * Linear checker for the tiered per-function thunks (rule tier.thunk).
+ * Like EntryStubChecker: straight-line code, no CFG — a single pass
+ * tracks provenance of the few registers that matter (what was loaded
+ * from which JitContext field) and the thunk's own frame discipline.
+ */
+class TierStubChecker
+{
+  public:
+    TierStubChecker(const uint8_t* code, size_t size, TierStubKind kind,
+                    const CompilerConfig& cfg, uint64_t base,
+                    Report* rep)
+        : code_(code), size_(size), kind_(kind), cfg_(cfg), base_(base),
+          rep_(rep)
+    {
+    }
+
+    void
+    run()
+    {
+        size_t off = 0;
+        while (off < size_) {
+            Insn in;
+            if (!decode(code_ + off, size_ - off, &in)) {
+                fail(off, in, "undecodable byte(s) in tier thunk");
+                return;
+            }
+            rep_->stats.instructions++;
+            if (terminated_) {
+                fail(off, in, "instruction after the thunk's exit");
+                return;
+            }
+            if (!step(off, in))
+                return;  // fail closed
+            off += in.len;
+        }
+        rep_->stats.bytes += size_;
+        if (!terminated_) {
+            failEnd("thunk falls off the end without jmp/ret");
+            return;
+        }
+        if (kind_ != TierStubKind::Dispatch && !seenCall_) {
+            failEnd("thunk never calls its runtime entry");
+            return;
+        }
+        if (rep_->ok())
+            rep_->stats.tierStubs++;
+    }
+
+  private:
+    /** What a tracked register currently holds. */
+    enum class Val : uint8_t {
+        Unknown,
+        FuncEntries,  ///< ctx->funcEntries array pointer
+        SlotValue,    ///< a value loaded from a funcEntries slot
+        TierFn,       ///< ctx->tierFn
+        InterpFn,     ///< ctx->interpFn
+        CallResult,   ///< tierFn's return value (rax after the call)
+    };
+
+    bool
+    pinnedWrite(size_t off, const Insn& in, int r)
+    {
+        if (r == kCtx) {
+            fail(off, in, "%r14 (JitContext) written inside a thunk");
+            return true;
+        }
+        if (r == kHeap && cfg_.needsHeapBaseReg()) {
+            fail(off, in, "pinned heap base %r15 written inside a thunk");
+            return true;
+        }
+        if (r == kCode && cfg_.cfi == CfiMode::Lfi) {
+            fail(off, in, "pinned LFI code base %r13 written");
+            return true;
+        }
+        if (r == kRsp || r == kRbp) {
+            fail(off, in,
+                 "stack register written outside the tracked "
+                 "adjustment");
+            return true;
+        }
+        return false;
+    }
+
+    void
+    setVal(int r, Val v)
+    {
+        vals_[r] = v;
+    }
+
+    bool
+    frameAccessOk(const Insn& in)
+    {
+        const MemRef& m = in.mem;
+        if (!m.present || m.seg != Seg::None || !m.hasBase ||
+            m.hasIndex || static_cast<int>(m.base) != kRsp)
+            return false;
+        // All thunk frame traffic is 8 bytes (u64 slots / f64).
+        return m.disp >= 0 &&
+               static_cast<int64_t>(m.disp) + 8 <= rspAdj_;
+    }
+
+    bool
+    step(size_t off, const Insn& in)
+    {
+        switch (in.mn) {
+          case Mn::Nop:
+            return true;
+
+          case Mn::Push: {
+            if (kind_ != TierStubKind::Resolver) {
+                fail(off, in, "push outside the resolver thunk");
+                return false;
+            }
+            if (seenCall_ || rspAdj_ != 0) {
+                fail(off, in, "push outside the resolver prologue");
+                return false;
+            }
+            int r = in.reg;
+            // Only the internal-convention argument registers need
+            // preserving across tierFn; anything else being pushed is
+            // not the emitted shape.
+            if (r != 7 && r != 6 && r != 2 && r != 1 && r != 8 &&
+                r != 9) {
+                fail(off, in, "push of a non-argument register");
+                return false;
+            }
+            pushed_.push_back(r);
+            return true;
+          }
+
+          case Mn::Pop: {
+            if (!seenCall_ || rspAdj_ != 0) {
+                fail(off, in,
+                     "pop before the call / before the frame is "
+                     "released");
+                return false;
+            }
+            if (popIdx_ >= pushed_.size()) {
+                fail(off, in, "more pops than pushes");
+                return false;
+            }
+            int expect = pushed_[pushed_.size() - 1 - popIdx_];
+            if (in.reg != expect) {
+                fail(off, in,
+                     "pops must mirror pushes in reverse order");
+                return false;
+            }
+            popIdx_++;
+            return true;
+          }
+
+          case Mn::AluImm: {
+            if (in.reg != kRsp || in.width != Width::W64 ||
+                (in.aluOp != AluOp::Sub && in.aluOp != AluOp::Add) ||
+                in.imm <= 0 || in.imm % 8 != 0) {
+                fail(off, in, "ALU outside the rsp adjustment pair");
+                return false;
+            }
+            if (kind_ == TierStubKind::Dispatch) {
+                fail(off, in, "dispatch thunk must not touch rsp");
+                return false;
+            }
+            if (in.aluOp == AluOp::Sub) {
+                if (seenCall_ || rspAdj_ != 0) {
+                    fail(off, in, "unexpected second frame allocation");
+                    return false;
+                }
+                rspAdj_ = in.imm;
+            } else {
+                if (!seenCall_ || in.imm != rspAdj_) {
+                    fail(off, in, "rsp adjustment unbalanced");
+                    return false;
+                }
+                rspAdj_ = 0;
+            }
+            return true;
+          }
+
+          case Mn::Load: {
+            if (!in.mem.present || in.mem.seg != Seg::None ||
+                in.mem.hasIndex || in.width != Width::W64 ||
+                !in.mem.hasBase) {
+                fail(off, in, "load outside the thunk's operand shapes");
+                return false;
+            }
+            if (pinnedWrite(off, in, in.reg))
+                return false;
+            int b = static_cast<int>(in.mem.base);
+            if (b == kCtx) {
+                if (in.mem.disp < 0 || in.mem.disp + 8 > kCtxBytes) {
+                    fail(off, in, "context load out of bounds");
+                    return false;
+                }
+                rep_->stats.ctxAccesses++;
+                auto field = [&](auto member_off) {
+                    return in.mem.disp ==
+                           static_cast<int32_t>(member_off);
+                };
+                if (field(offsetof(jit::JitContext, funcEntries)))
+                    setVal(in.reg, Val::FuncEntries);
+                else if (field(offsetof(jit::JitContext, tierFn)))
+                    setVal(in.reg, Val::TierFn);
+                else if (field(offsetof(jit::JitContext, interpFn)))
+                    setVal(in.reg, Val::InterpFn);
+                else if (field(offsetof(jit::JitContext, runtimeData)))
+                    setVal(in.reg, Val::Unknown);
+                else {
+                    fail(off, in,
+                         "thunk loads a context field it has no "
+                         "business reading");
+                    return false;
+                }
+                return true;
+            }
+            if (vals_[b] == Val::FuncEntries) {
+                if (in.mem.disp < 0 || in.mem.disp % 8 != 0) {
+                    fail(off, in, "misaligned funcEntries slot load");
+                    return false;
+                }
+                rep_->stats.trustedAccesses++;
+                setVal(in.reg, Val::SlotValue);
+                return true;
+            }
+            fail(off, in,
+                 "load base is neither context nor the funcEntries "
+                 "array");
+            return false;
+          }
+
+          case Mn::Store: {
+            if (kind_ != TierStubKind::Interp ||
+                in.width != Width::W64 || !frameAccessOk(in)) {
+                fail(off, in,
+                     "store outside the interp thunk's arg frame");
+                return false;
+            }
+            if (seenCall_) {
+                fail(off, in, "arg store after the call");
+                return false;
+            }
+            rep_->stats.frameAccesses++;
+            return true;
+          }
+
+          case Mn::MovsdStore:
+            if (!frameAccessOk(in) || seenCall_) {
+                fail(off, in, "f64 store outside the thunk frame");
+                return false;
+            }
+            rep_->stats.frameAccesses++;
+            return true;
+
+          case Mn::MovsdLoad:
+            if (kind_ != TierStubKind::Resolver || !frameAccessOk(in) ||
+                !seenCall_) {
+                fail(off, in,
+                     "f64 load outside the resolver's restore "
+                     "sequence");
+                return false;
+            }
+            rep_->stats.frameAccesses++;
+            return true;
+
+          case Mn::MovImm32:
+            // The defined-function index for rsi — nothing else.
+            if (in.reg != 6 /*rsi*/) {
+                fail(off, in, "immediate into a non-index register");
+                return false;
+            }
+            setVal(in.reg, Val::Unknown);
+            return true;
+
+          case Mn::Lea: {
+            // lea rdx, [rsp + 0]: the interp thunk's args pointer.
+            if (kind_ != TierStubKind::Interp || in.reg != 2 /*rdx*/ ||
+                !in.mem.hasBase || in.mem.hasIndex ||
+                static_cast<int>(in.mem.base) != kRsp ||
+                in.mem.disp != 0 || rspAdj_ == 0) {
+                fail(off, in, "lea outside the args-pointer shape");
+                return false;
+            }
+            setVal(in.reg, Val::Unknown);
+            return true;
+          }
+
+          case Mn::MovqToXmm:
+            // Interp thunk mirrors an f64 result from rax to xmm0.
+            if (kind_ != TierStubKind::Interp || !seenCall_) {
+                fail(off, in, "xmm move outside the result mirror");
+                return false;
+            }
+            return true;
+
+          case Mn::CallReg: {
+            if (kind_ == TierStubKind::Dispatch) {
+                fail(off, in, "dispatch thunk must not call");
+                return false;
+            }
+            if (seenCall_) {
+                fail(off, in, "thunk must call exactly once");
+                return false;
+            }
+            Val want = kind_ == TierStubKind::Resolver ? Val::TierFn
+                                                       : Val::InterpFn;
+            if (vals_[in.reg] != want) {
+                fail(off, in,
+                     kind_ == TierStubKind::Resolver
+                         ? "call target is not ctx->tierFn"
+                         : "call target is not ctx->interpFn");
+                return false;
+            }
+            // Thunks are entered by call (return address on the
+            // stack): depth = ret addr + pushes + frame.
+            int64_t depth = 8 +
+                            8 * static_cast<int64_t>(pushed_.size()) +
+                            rspAdj_;
+            if (depth % 16 != 0) {
+                fail(off, in, "call site breaks 16-byte alignment");
+                return false;
+            }
+            rep_->stats.trustedIndirects++;
+            seenCall_ = true;
+            for (auto& v : vals_)
+                v = Val::Unknown;  // the callee clobbers volatiles
+            vals_[0] = Val::CallResult;  // rax
+            return true;
+          }
+
+          case Mn::JmpReg: {
+            if (kind_ == TierStubKind::Interp) {
+                fail(off, in, "interp thunk must return, not jump");
+                return false;
+            }
+            if (rspAdj_ != 0 || popIdx_ != pushed_.size()) {
+                fail(off, in,
+                     "tail-jump with unbalanced frame or unrestored "
+                     "registers");
+                return false;
+            }
+            Val want = kind_ == TierStubKind::Dispatch
+                           ? Val::SlotValue
+                           : Val::CallResult;
+            if (vals_[in.reg] != want) {
+                fail(off, in,
+                     kind_ == TierStubKind::Dispatch
+                         ? "jump target is not a funcEntries slot value"
+                         : "jump target is not tierFn's return value");
+                return false;
+            }
+            if (kind_ == TierStubKind::Resolver && !seenCall_) {
+                fail(off, in, "resolver tail-jump before the call");
+                return false;
+            }
+            terminated_ = true;
+            return true;
+          }
+
+          case Mn::Ret:
+            if (kind_ != TierStubKind::Interp) {
+                fail(off, in, "only the interp thunk returns");
+                return false;
+            }
+            if (!seenCall_ || rspAdj_ != 0) {
+                fail(off, in, "ret with unbalanced frame");
+                return false;
+            }
+            terminated_ = true;
+            return true;
+
+          default:
+            fail(off, in, "instruction outside the tier-thunk subset");
+            return false;
+        }
+    }
+
+    void
+    fail(size_t off, const Insn& in, const char* why)
+    {
+        Violation v;
+        v.offset = base_ + off;
+        v.rule = Rule::TierThunk;
+        v.insn = in.mn == Mn::Invalid ? "(bad bytes)" : in.text();
+        v.detail = why;
+        rep_->violations.push_back(std::move(v));
+    }
+
+    void
+    failEnd(const char* why)
+    {
+        Violation v;
+        v.offset = base_ + size_;
+        v.rule = Rule::TierThunk;
+        v.insn = "(end of thunk)";
+        v.detail = why;
+        rep_->violations.push_back(std::move(v));
+    }
+
+    const uint8_t* code_;
+    size_t size_;
+    TierStubKind kind_;
+    const CompilerConfig& cfg_;
+    uint64_t base_;
+    Report* rep_;
+
+    Val vals_[16] = {};
+    std::vector<int> pushed_;
+    size_t popIdx_ = 0;
+    int64_t rspAdj_ = 0;
+    bool seenCall_ = false;
+    bool terminated_ = false;
+};
+
 }  // namespace
 
 const char*
@@ -1715,6 +2128,7 @@ name(Rule r)
       case Rule::LfiJmpUnmasked: return "lfi.jmp.mask";
       case Rule::LfiRetUnprotected: return "lfi.ret.protect";
       case Rule::EntryContract: return "entry.contract";
+      case Rule::TierThunk: return "tier.thunk";
       case Rule::W2cGsAccess: return "w2c.gs_access";
       case Rule::W2cBoundsDominate: return "w2c.bounds.dominate";
       case Rule::W2cCfgResolved: return "w2c.cfg.resolved";
@@ -1761,6 +2175,7 @@ Stats::merge(const Stats& o)
     trustedIndirects += o.trustedIndirects;
     protectedReturns += o.protectedReturns;
     entryStubs += o.entryStubs;
+    tierStubs += o.tierStubs;
 }
 
 std::string
@@ -1817,6 +2232,12 @@ Report::summary() const
                       static_cast<unsigned long long>(stats.entryStubs));
         s += buf;
     }
+    if (stats.tierStubs) {
+        std::snprintf(buf, sizeof buf,
+                      "  tier thunks proven: %llu (tier.thunk)\n",
+                      static_cast<unsigned long long>(stats.tierStubs));
+        s += buf;
+    }
     return s;
 }
 
@@ -1842,6 +2263,18 @@ checkEntryStub(const uint8_t* code, size_t size,
         return rep;
     EntryStubChecker ec(code, size, cfg, base_offset, &rep);
     ec.run();
+    return rep;
+}
+
+Report
+checkTierStub(const uint8_t* code, size_t size, TierStubKind kind,
+              const jit::CompilerConfig& cfg, uint64_t base_offset)
+{
+    Report rep;
+    if (size == 0)
+        return rep;
+    TierStubChecker tc(code, size, kind, cfg, base_offset, &rep);
+    tc.run();
     return rep;
 }
 

@@ -66,6 +66,8 @@ enum class Rule : uint8_t {
     LfiJmpUnmasked,     ///< indirect jump target not masked/trusted
     LfiRetUnprotected,  ///< plain ret under LFI
     EntryContract,      ///< entry stub breaks the transition contract
+    TierThunk,          ///< tiered dispatch/resolver/interp thunk breaks
+                        ///< its contract (checkTierStub)
 
     // Rules of the ELF object checker (objcheck.h): the compiler-
     // emitted w2c policy kernels, keyed off the mangled policy
@@ -120,6 +122,7 @@ struct Stats
     uint64_t protectedReturns = 0;  ///< LFI pop/mask/jmp returns
 
     uint64_t entryStubs = 0;  ///< entry stubs proven under entry.contract
+    uint64_t tierStubs = 0;   ///< tier thunks proven under tier.thunk
 
     void merge(const Stats& o);
 };
@@ -171,6 +174,36 @@ Report checkFunction(const uint8_t* code, size_t size,
 Report checkEntryStub(const uint8_t* code, size_t size,
                       const jit::CompilerConfig& cfg,
                       uint64_t base_offset = 0);
+
+/** The three per-function thunk shapes of the tiered stub set. */
+enum class TierStubKind : uint8_t {
+    Dispatch,  ///< load slot from ctx->funcEntries, jmp
+    Resolver,  ///< save args, call ctx->tierFn, restore, tail-jump
+    Interp,    ///< marshal args to the frame, call ctx->interpFn, ret
+};
+
+/**
+ * Verifies one tiered thunk under rule id `tier.thunk` (fail-closed,
+ * linear, like checkEntryStub). Proven properties, per kind:
+ *
+ *  - only the thunk's instruction subset appears; pinned registers
+ *    (%r14 ctx, %r15 heap base when pinned) are never written;
+ *  - every memory access is a JitContext field, a funcEntries slot
+ *    (pointer chain loaded from the context), or the thunk's own
+ *    %rsp-relative frame within its tracked adjustment;
+ *  - Dispatch: the jump target is a ctx->funcEntries slot value — the
+ *    thunk can only land on runtime-published tier entries;
+ *  - Resolver: the single call target is ctx->tierFn, the argument
+ *    registers are saved before and restored (exact reverse order)
+ *    after, the frame is balanced, the call site is 16-byte aligned,
+ *    and the tail-jump target is tierFn's return value;
+ *  - Interp: the single call target is ctx->interpFn, arg stores stay
+ *    inside the frame, the frame is balanced, the call site is 16-byte
+ *    aligned, and the thunk returns (no other control flow).
+ */
+Report checkTierStub(const uint8_t* code, size_t size, TierStubKind kind,
+                     const jit::CompilerConfig& cfg,
+                     uint64_t base_offset = 0);
 
 /**
  * Verifies every defined function of a compiled module, the trap stub

@@ -18,7 +18,15 @@
  *
  *   sfi-verify --elf kernels.cc.o [--elf ...] [--policy-filter segue]
  *
- * ELF-mode exit codes (so the ctest gate cannot pass vacuously):
+ * A third mode audits the tiered code cache (jit/codecache.h): it
+ * drives the lazy pipeline over the workload x strategy matrix —
+ * publishing the same baseline blobs, optimized blobs, and thunk sets
+ * a FaaS host would — then re-proves every published blob from the
+ * cache's stored metadata, independently of the fill-time checks.
+ *
+ *   sfi-verify --cache-audit [--wkld NAME] [--mem STRATEGY]
+ *
+ * ELF/cache-mode exit codes (so the ctest gate cannot pass vacuously):
  *   0 every matched kernel verified   1 violations found
  *   2 usage error                     3 could not parse / no kernels
  */
@@ -28,7 +36,9 @@
 #include <vector>
 
 #include "elf/object.h"
+#include "jit/codecache.h"
 #include "jit/compiler.h"
+#include "jit/tier.h"
 #include "verify/checker.h"
 #include "verify/decoder.h"
 #include "verify/objcheck.h"
@@ -52,6 +62,7 @@ struct Options
     bool dump = false;
     bool quiet = false;
     bool optimize = true;
+    bool cacheAudit = false;
 };
 
 int
@@ -63,6 +74,8 @@ usage()
         "                  [--opt | --no-opt] [--dump] [--quiet]\n"
         "       sfi-verify --elf OBJ [--elf OBJ ...] [--policy-filter S]\n"
         "                  [--json PATH] [--dump] [--quiet]\n"
+        "       sfi-verify --cache-audit [--wkld NAME] [--mem STRATEGY]\n"
+        "                  [--quiet]\n"
         "  --wkld NAME   verify one registry workload (default: all)\n"
         "  --mem S       base-reg | segue | segue-loads-only | bounds-check |\n"
         "                segue-bounds | unsandboxed (default: all "
@@ -73,6 +86,8 @@ usage()
         "  --no-opt      disable the optimizer\n"
         "  --elf OBJ     verify the policy-templated w2c kernels inside an\n"
         "                ELF relocatable object (repeatable)\n"
+        "  --cache-audit fill the tiered code cache from the selected\n"
+        "                matrix, then re-prove every published blob\n"
         "  --policy-filter S  only check policies whose name contains S\n"
         "  --json PATH   write per-policy coverage counters as JSON\n"
         "  --dump        print the decoded instruction listing\n"
@@ -330,6 +345,93 @@ runElf(const Options& opt)
     return violations ? 1 : 0;
 }
 
+/**
+ * --cache-audit: exercise the lazy tiered pipeline over the selected
+ * matrix so the process-wide CodeCache holds exactly the blobs a FaaS
+ * host would publish (baseline bodies via resolve(), optimized bodies
+ * via the tier-up fill path, thunk sets via create()), then ask the
+ * cache to re-prove every one of them from stored metadata. The audit
+ * is independent of the fill-time verification — a checker or cache
+ * bug that let a bad blob through the fill is caught here.
+ */
+int
+runCacheAudit(const Options& opt)
+{
+    auto configs = selectConfigs(opt);
+    auto workloads = selectWorkloads(opt);
+    if (configs.empty() || workloads.empty())
+        return 2;
+
+    jit::CodeCache& cache = jit::CodeCache::instance();
+    uint64_t modules = 0, functions = 0, fallbacks = 0;
+    for (const CompilerConfig& cfg : configs) {
+        // The tiered pipeline is CfiMode::None-only (tier.h).
+        if (cfg.cfi == CfiMode::Lfi)
+            continue;
+        for (const auto& w : workloads) {
+            wasm::Module m = w.make();
+            auto tm = jit::TieredModule::create(m, cfg,
+                                                jit::TierOptions{});
+            if (!tm.isOk()) {
+                std::fprintf(stderr,
+                             "sfi-verify: %-14s %-12s tiered create "
+                             "failed: %s\n",
+                             jit::name(cfg.mem), w.name,
+                             tm.message().c_str());
+                return 3;
+            }
+            uint64_t min_mem =
+                uint64_t(m.memory.minPages) * 65536;
+            for (uint32_t i = 0; i < (*tm)->numDefined(); i++) {
+                (*tm)->resolve(i);  // baseline fill (or interp, closed)
+                // Optimized-tier fill: the same cache call tier-up
+                // makes when the counter trips.
+                auto blob = cache.getFunction((*tm)->moduleHash(), i, m,
+                                              (*tm)->optConfig(),
+                                              min_mem);
+                if (!blob.isOk() && !opt.quiet)
+                    std::printf("  note: %-14s %-12s fn %u optimized "
+                                "fill rejected (fail closed): %s\n",
+                                jit::name(cfg.mem), w.name, i,
+                                blob.message().c_str());
+                functions++;
+            }
+            fallbacks += (*tm)->stats().interpFallbacks;
+            modules++;
+        }
+    }
+
+    auto proven = cache.audit();
+    jit::CodeCache::Stats st = cache.stats();
+    if (!proven.isOk()) {
+        std::printf("cache audit FAILED after %llu modules: %s\n",
+                    (unsigned long long)modules,
+                    proven.message().c_str());
+        return 1;
+    }
+    if (!opt.quiet) {
+        std::printf(
+            "cache audit: %llu blob(s) re-proven (%llu cache entries, "
+            "%llu KiB published) from %llu module fills, %llu "
+            "functions, %llu interp fallbacks; %llu fill-time verify "
+            "failure(s) stayed unpublished\n",
+            (unsigned long long)*proven,
+            (unsigned long long)st.entries,
+            (unsigned long long)(st.publishedBytes / 1024),
+            (unsigned long long)modules, (unsigned long long)functions,
+            (unsigned long long)fallbacks,
+            (unsigned long long)st.verifyFailures);
+    }
+    if (*proven == 0) {
+        // Same vacuous-pass refusal as the ELF gate.
+        std::fprintf(stderr,
+                     "sfi-verify: cache audit proved no blob — "
+                     "refusing a vacuous pass\n");
+        return 3;
+    }
+    return 0;
+}
+
 int
 run(const Options& opt)
 {
@@ -457,15 +559,19 @@ main(int argc, char** argv)
             opt.dump = true;
         else if (!std::strcmp(argv[i], "--quiet"))
             opt.quiet = true;
+        else if (!std::strcmp(argv[i], "--cache-audit"))
+            opt.cacheAudit = true;
         else
             return sfi::usage();
     }
     if (!opt.elfObjs.empty()) {
-        if (opt.wkld || opt.mem || opt.cfi)
+        if (opt.wkld || opt.mem || opt.cfi || opt.cacheAudit)
             return sfi::usage();
         return sfi::runElf(opt);
     }
     if (opt.policyFilter || opt.jsonPath)
         return sfi::usage();
+    if (opt.cacheAudit)
+        return sfi::runCacheAudit(opt);
     return sfi::run(opt);
 }

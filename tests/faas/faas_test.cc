@@ -142,6 +142,44 @@ TEST(FaasHost, ResultsDeterministicAcrossStrategies)
     EXPECT_EQ(checksums[0], checksums[1]);
 }
 
+TEST(FaasHost, TieredHostMatchesMonolithicAndCountsColdStarts)
+{
+    // Options::tiered switches the host's shared module to the lazy
+    // pipeline (ISSUE 9). End-to-end: the served responses must be
+    // bit-identical to the monolithic host's, every fresh instance
+    // spin-up counts as a cold start, the tier counters surface in
+    // Stats, and nothing fell back to the interpreter.
+    const uint64_t kReqs = 48;
+    uint64_t checksums[2];
+    for (int tiered = 0; tiered < 2; tiered++) {
+        FaasHost::Options opts;
+        opts.maxConcurrent = 8;
+        opts.workerThreads = 2;
+        opts.ioDelayMeanMs = 0.2;
+        opts.tiered = tiered != 0;
+        opts.tierOptions.hotThreshold = 4;  // exercise tier-up mid-run
+        opts.tierOptions.useCodeCache = false;  // isolate this test
+        auto host = FaasHost::create(
+            wkld::faasWorkloads()[0].make(), std::move(opts));
+        ASSERT_TRUE(host.isOk()) << host.message();
+        auto stats = (*host)->run(kReqs);
+        ASSERT_TRUE(stats.isOk()) << stats.message();
+        EXPECT_EQ(stats->completed, kReqs);
+        checksums[tiered] = stats->checksum;
+        if (tiered) {
+            EXPECT_GE(stats->coldStarts, 1u);
+            EXPECT_GE(stats->baselineCompiles, 1u);
+            EXPECT_GE(stats->tierUps, 1u);
+            EXPECT_EQ(stats->interpFallbacks, 0u);
+            EXPECT_GT(stats->compileNs, 0u);
+        } else {
+            EXPECT_EQ(stats->baselineCompiles, 0u);
+            EXPECT_EQ(stats->tierUps, 0u);
+        }
+    }
+    EXPECT_EQ(checksums[0], checksums[1]);
+}
+
 TEST(FaasHost, EpochPreemptionHappens)
 {
     // With a long-running request mix and a short epoch, at least some

@@ -34,6 +34,36 @@ TEST(Classifier, EmptyRowIsBalanced)
     EXPECT_EQ(c.rule, "default");
 }
 
+TEST(Classifier, CompileBoundOnColdStartShare)
+{
+    // 580 us of compile per cold start against a 590 us p50: the row
+    // is measuring the compiler (the monolithic cold-start shape).
+    Classification c = classify(view({
+        {"cold_starts", 30},
+        {"compile_ns", 30 * 580e3},
+        {"first_req_p50_us", 590.0},
+    }));
+    EXPECT_EQ(c.bottleneck, "compile-bound");
+    EXPECT_EQ(c.rule, "coldstart.compile_bound");
+
+    // Warm cache: ~1 us of compile against the same p50 — not
+    // compile-bound (and the rule must not fire on zero cold starts).
+    EXPECT_EQ(classify(view({
+                           {"cold_starts", 30},
+                           {"compile_ns", 30 * 1e3},
+                           {"first_req_p50_us", 127.0},
+                       }))
+                  .bottleneck,
+              "balanced");
+    EXPECT_EQ(classify(view({
+                           {"cold_starts", 0},
+                           {"compile_ns", 1e9},
+                           {"first_req_p50_us", 590.0},
+                       }))
+                  .bottleneck,
+              "balanced");
+}
+
 TEST(Classifier, ZeroingBoundOnBytesPerRequest)
 {
     // 1 MiB scrubbed per request: zeroing dominates.
@@ -167,11 +197,16 @@ TEST(Classifier, PrecedenceIsDocumentedOrder)
     // A row where everything fires classifies by the first rule:
     // zeroing before transitions before guards before memory.
     std::map<std::string, double> everything = {
-        {"warm_zeroed_bytes", 1e9}, {"requests", 100},
-        {"sandbox_transitions", 100}, {"full_ns", 40},
-        {"batched_ns", 10},           {"bounds_norm", 1.5},
-        {"allocations", 100},         {"steals", 90},
+        {"cold_starts", 10},          {"compile_ns", 10 * 500e3},
+        {"first_req_p50_us", 600},    {"warm_zeroed_bytes", 1e9},
+        {"requests", 100},            {"sandbox_transitions", 100},
+        {"full_ns", 40},              {"batched_ns", 10},
+        {"bounds_norm", 1.5},         {"allocations", 100},
+        {"steals", 90},
     };
+    EXPECT_EQ(classify(view(everything)).rule,
+              "coldstart.compile_bound");
+    everything.erase("cold_starts");
     EXPECT_EQ(classify(view(everything)).bottleneck, "zeroing-bound");
     everything.erase("warm_zeroed_bytes");
     EXPECT_EQ(classify(view(everything)).rule,
@@ -223,6 +258,7 @@ TEST(Classifier, RuleTableIsStable)
     for (const ClassifierRule& r : classifierRules())
         ids.push_back(r.id);
     EXPECT_EQ(ids, (std::vector<std::string>{
+                       "coldstart.compile_bound",
                        "zeroing.bytes_per_request",
                        "transition.per_request",
                        "transition.tier_gap",

@@ -111,6 +111,14 @@ TEST(Gate, HigherIsBetterMetricsGateDownward)
     EXPECT_FALSE(drop.pass);
     // ...throughput gain passes.
     EXPECT_TRUE(grade(base, scaled(base, 1.3), GateConfig{}).pass);
+
+    // _per_sec rates are throughput too (bench_pool_scaling
+    // ops_per_sec): a gain must never read as a regression, even when
+    // the baseline run caught a bimodal-slow rep as its minimum.
+    WorkloadResult ops =
+        makeResult("ops_per_sec", {13483, 32633, 36661});
+    EXPECT_TRUE(grade(ops, scaled(ops, 2.5), GateConfig{}).pass);
+    EXPECT_FALSE(grade(ops, scaled(ops, 0.4), GateConfig{}).pass);
 }
 
 TEST(Gate, RatioMetricsCenterOnMedian)
@@ -236,6 +244,34 @@ TEST(Gate, BandScalesWithConfiguredFloor)
     GateConfig narrow;
     narrow.relFloor = 0.12;
     EXPECT_FALSE(grade(base, slow, narrow).pass);
+}
+
+TEST(Gate, RatioMetricsKeepPrecisionFloorUnderWideBand)
+{
+    // The CI gate runs with --band 1.0 for wall-clock metrics; a
+    // counter-normalized *_per_transition metric must still be held
+    // to the 12% ratioRelFloor: a 40% regression fails even though
+    // the wall band would have allowed it.
+    WorkloadResult base =
+        makeResult("ns_per_transition", {100.0, 100.5, 99.8});
+    WorkloadResult slow = scaled(base, 1.4);
+    GateConfig wide;
+    wide.relFloor = 1.0;
+    EXPECT_TRUE(metricIsRatio("ns_per_transition"));
+    EXPECT_FALSE(grade(base, slow, wide).pass);
+    // Drift inside the precision floor still passes.
+    EXPECT_TRUE(grade(base, scaled(base, 1.05), wide).pass);
+
+    // A plain wall-clock metric keeps the wide band.
+    WorkloadResult wall = makeResult("warm_ns", {100.0, 100.5, 99.8});
+    EXPECT_TRUE(grade(wall, scaled(wall, 1.4), wide).pass);
+
+    // An explicitly narrower --band still applies to ratio metrics
+    // (the effective floor is min(relFloor, ratioRelFloor)).
+    GateConfig tight;
+    tight.relFloor = 0.02;
+    tight.madMult = 0.0;
+    EXPECT_FALSE(grade(base, scaled(base, 1.05), tight).pass);
 }
 
 // ------------------------------------------------- model serialization

@@ -1,0 +1,518 @@
+/**
+ * @file
+ * Tiered-execution tests (ISSUE 9): lazy baseline resolution, hot-count
+ * tier-up, the process-wide verified code cache (warm instantiation
+ * compiles zero functions), the interpreter fail-closed path, the
+ * differential matrix (interpreter vs baseline vs optimized vs
+ * monolithic, bit-identical across registry workloads x strategies),
+ * the tier.thunk verifier rule with hand-assembled negative fixtures,
+ * and the cache audit that re-proves every published blob.
+ */
+#include <gtest/gtest.h>
+
+#include "interp/interp.h"
+#include "jit/codecache.h"
+#include "jit/compiler.h"
+#include "jit/context.h"
+#include "jit/tier.h"
+#include "runtime/instance.h"
+#include "verify/checker.h"
+#include "wasm/builder.h"
+#include "wkld/workloads.h"
+#include "x64/assembler.h"
+
+namespace sfi {
+namespace {
+
+using jit::CompilerConfig;
+using jit::MemStrategy;
+using jit::TierOptions;
+using jit::TieredModule;
+using verify::Rule;
+using verify::TierStubKind;
+using wasm::ModuleBuilder;
+using x64::AluOp;
+using x64::Assembler;
+using x64::Mem;
+using x64::Reg;
+using x64::Width;
+using x64::Xmm;
+using VT = wasm::ValType;
+using FuncState = TieredModule::FuncState;
+
+/** Two defined functions: "run" calls a helper; "idle" is never
+ *  called — it must stay Unresolved forever (laziness proof). */
+wasm::Module
+twoFuncModule()
+{
+    ModuleBuilder mb;
+    mb.memory(1, 1);
+    auto helper = mb.func("helper", {VT::I32}, {VT::I32});
+    helper.localGet(0).i32Const(7).i32Add().end();
+    auto idle = mb.func("idle", {VT::I32}, {VT::I32});
+    idle.localGet(0).end();
+    auto run = mb.func("run", {VT::I32}, {VT::I32});
+    run.localGet(0).call(helper.index()).end();
+    mb.exportFunc("run", run.index());
+    mb.exportFunc("idle", idle.index());
+    return std::move(mb).build();
+}
+
+std::shared_ptr<const rt::SharedModule>
+compileTiered(wasm::Module m, const CompilerConfig& cfg,
+              const TierOptions& opts)
+{
+    auto shared =
+        rt::SharedModule::compileTiered(std::move(m), cfg, opts);
+    EXPECT_TRUE(shared.isOk()) << shared.message();
+    return *shared;
+}
+
+// ---------------------------------------------------------------------
+// Lazy resolution and tier state machine.
+// ---------------------------------------------------------------------
+
+TEST(TieredExec, LazyBaselineResolution)
+{
+    TierOptions opts;
+    opts.useCodeCache = false;  // isolate this module's counters
+    auto shared = compileTiered(twoFuncModule(),
+                                CompilerConfig::wamrSegue(), opts);
+    const TieredModule* tm = shared->tiered();
+    ASSERT_NE(tm, nullptr);
+    for (uint32_t i = 0; i < tm->numDefined(); i++)
+        EXPECT_EQ(tm->state(i), FuncState::Unresolved);
+
+    auto inst = rt::Instance::create(shared);
+    ASSERT_TRUE(inst.isOk()) << inst.message();
+    // Instantiation alone compiles nothing.
+    EXPECT_EQ(tm->stats().baselineCompiles, 0u);
+
+    auto out = (*inst)->call("run", {35});
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value, 42u);
+
+    // run + helper resolved to baseline; idle untouched.
+    EXPECT_EQ(tm->state(0), FuncState::Baseline);  // helper
+    EXPECT_EQ(tm->state(1), FuncState::Unresolved);  // idle
+    EXPECT_EQ(tm->state(2), FuncState::Baseline);  // run
+    EXPECT_EQ(tm->stats().baselineCompiles, 2u);
+    EXPECT_EQ(tm->stats().tierUps, 0u);
+}
+
+TEST(TieredExec, HotCountTierUpPatchesSlot)
+{
+    TierOptions opts;
+    opts.useCodeCache = false;
+    opts.hotThreshold = 4;
+    auto shared = compileTiered(twoFuncModule(),
+                                CompilerConfig::wamrSegue(), opts);
+    const TieredModule* tm = shared->tiered();
+    auto inst = rt::Instance::create(shared);
+    ASSERT_TRUE(inst.isOk()) << inst.message();
+
+    const void* baselineSlot = nullptr;
+    for (uint64_t i = 0; i < 10; i++) {
+        auto out = (*inst)->call("run", {i});
+        ASSERT_TRUE(out.ok());
+        EXPECT_EQ(out.value, i + 7);  // identical across the tier flip
+        if (i == 0)
+            baselineSlot = tm->entries()[2];
+    }
+    EXPECT_EQ(tm->state(2), FuncState::Optimized);
+    EXPECT_EQ(tm->state(0), FuncState::Optimized);
+    EXPECT_GE(tm->stats().tierUps, 2u);
+    // The slot really was patched to a different entry.
+    EXPECT_NE(tm->entries()[2], baselineSlot);
+    // The dispatch thunk address stayed stable across the patch.
+    EXPECT_EQ(tm->dispatchAddr(2), tm->dispatchAddr(2));
+}
+
+TEST(TieredExec, ForceInterpRunsFailClosedPath)
+{
+    TierOptions opts;
+    opts.useCodeCache = false;
+    opts.forceInterp = true;
+    auto shared = compileTiered(twoFuncModule(),
+                                CompilerConfig::wamrSegue(), opts);
+    const TieredModule* tm = shared->tiered();
+    auto inst = rt::Instance::create(shared);
+    ASSERT_TRUE(inst.isOk()) << inst.message();
+    auto out = (*inst)->call("run", {100});
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value, 107u);
+    EXPECT_EQ(tm->state(2), FuncState::Interp);
+    // interpFallbacks counts fail-closed *degradations*; pinning by
+    // policy is not a failure, so it stays 0.
+    EXPECT_EQ(tm->stats().interpFallbacks, 0u);
+    EXPECT_EQ(tm->stats().baselineCompiles, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Process-wide verified code cache.
+// ---------------------------------------------------------------------
+
+TEST(CodeCacheSharing, WarmInstantiationCompilesZeroFunctions)
+{
+    const wkld::Workload& w = wkld::findWorkload("sieve");
+    CompilerConfig cfg = CompilerConfig::wamrSegue();
+    TierOptions opts;  // useCodeCache = true
+
+    auto cold = compileTiered(w.make(), cfg, opts);
+    auto instA = rt::Instance::create(cold);
+    ASSERT_TRUE(instA.isOk()) << instA.message();
+    auto refOut = (*instA)->call("run", {w.testScale});
+    ASSERT_TRUE(refOut.ok());
+
+    // Same image, same config: every resolution must be a cache hit.
+    auto warm = compileTiered(w.make(), cfg, opts);
+    const TieredModule* tm = warm->tiered();
+    EXPECT_EQ(tm->moduleHash(), cold->tiered()->moduleHash());
+    auto instB = rt::Instance::create(warm);
+    ASSERT_TRUE(instB.isOk()) << instB.message();
+    auto out = (*instB)->call("run", {w.testScale});
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value, refOut.value);
+    EXPECT_EQ(tm->stats().baselineCompiles, 0u);
+    EXPECT_GE(tm->stats().cacheHits, 1u);
+    EXPECT_EQ(tm->stats().cacheFillVerifyNs, 0u);
+}
+
+TEST(CodeCacheSharing, SaltedKeysDoNotShare)
+{
+    // useCodeCache=false still fills/verifies but never cross-hits:
+    // two salted modules of identical content both compile.
+    wasm::Module m1 = twoFuncModule();
+    wasm::Module m2 = twoFuncModule();
+    CompilerConfig cfg = CompilerConfig::wamrSegue();
+    TierOptions opts;
+    opts.useCodeCache = false;
+    auto a = compileTiered(std::move(m1), cfg, opts);
+    auto b = compileTiered(std::move(m2), cfg, opts);
+    EXPECT_NE(a->tiered()->moduleHash(), b->tiered()->moduleHash());
+    auto ia = rt::Instance::create(a);
+    auto ib = rt::Instance::create(b);
+    ASSERT_TRUE(ia.isOk() && ib.isOk());
+    ASSERT_TRUE((*ia)->call("run", {1}).ok());
+    ASSERT_TRUE((*ib)->call("run", {1}).ok());
+    EXPECT_GE(a->tiered()->stats().baselineCompiles, 2u);
+    EXPECT_GE(b->tiered()->stats().baselineCompiles, 2u);
+    EXPECT_EQ(b->tiered()->stats().cacheHits, 0u);
+}
+
+TEST(CodeCacheSharing, FillsRecordVerifyTime)
+{
+    // Self-contained (each gtest case may run in its own process):
+    // publish at least one blob, then check the process-wide counters.
+    auto shared = compileTiered(twoFuncModule(),
+                                CompilerConfig::wamrSegue(), TierOptions{});
+    auto inst = rt::Instance::create(shared);
+    ASSERT_TRUE(inst.isOk()) << inst.message();
+    ASSERT_TRUE((*inst)->call("run", {1}).ok());
+    jit::CodeCache::Stats s = jit::CodeCache::instance().stats();
+    EXPECT_GE(s.fills, 1u);
+    EXPECT_GT(s.verifyNs, 0u);
+    EXPECT_GT(s.publishedBytes, 0u);
+    EXPECT_EQ(s.verifyFailures, 0u);
+}
+
+TEST(CodeCacheAudit, ReprovesEveryPublishedBlob)
+{
+    // Everything published so far must re-verify from the executable
+    // arena itself (sfi-verify --cache-audit path). Publish at least
+    // one blob first so the audit is never vacuous.
+    auto shared = compileTiered(twoFuncModule(),
+                                CompilerConfig::wamrSegue(), TierOptions{});
+    auto inst = rt::Instance::create(shared);
+    ASSERT_TRUE(inst.isOk()) << inst.message();
+    ASSERT_TRUE((*inst)->call("run", {1}).ok());
+    auto audited = jit::CodeCache::instance().audit();
+    ASSERT_TRUE(audited.isOk()) << audited.message();
+    EXPECT_GE(*audited, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Differential matrix: interpreter oracle vs baseline vs optimized vs
+// monolithic, across registry workloads x MemStrategy variants.
+// ---------------------------------------------------------------------
+
+struct StratCase
+{
+    const char* name;
+    CompilerConfig cfg;
+};
+
+std::vector<StratCase>
+allStrategies()
+{
+    return {
+        {"unsandboxed", {.mem = MemStrategy::Unsandboxed}},
+        {"basereg", {.mem = MemStrategy::BaseReg}},
+        {"segue", {.mem = MemStrategy::Segue}},
+        {"segue-loads", {.mem = MemStrategy::SegueLoadsOnly}},
+        {"bounds", {.mem = MemStrategy::BoundsCheck}},
+        {"segue-bounds", {.mem = MemStrategy::SegueBounds}},
+    };
+}
+
+class TierDifferential
+    : public ::testing::TestWithParam<const wkld::Workload*>
+{
+};
+
+TEST_P(TierDifferential, InterpBaselineOptimizedMonolithicAgree)
+{
+    const wkld::Workload& w = *GetParam();
+
+    auto oracle = interp::Instance::instantiate(w.make());
+    ASSERT_TRUE(oracle.isOk()) << oracle.message();
+    auto expect = oracle->callExport("run", {w.testScale});
+    ASSERT_TRUE(expect.ok());
+
+    for (const StratCase& sc : allStrategies()) {
+        SCOPED_TRACE(sc.name);
+
+        auto mono = rt::SharedModule::compile(w.make(), sc.cfg);
+        ASSERT_TRUE(mono.isOk()) << mono.message();
+        auto mi = rt::Instance::create(*mono);
+        ASSERT_TRUE(mi.isOk()) << mi.message();
+        auto monoOut = (*mi)->call("run", {w.testScale});
+        ASSERT_TRUE(monoOut.ok());
+        EXPECT_EQ(monoOut.value, expect.value);
+
+        // threshold 2: rep 0 runs baseline bodies, rep 1 tiers the hot
+        // functions up mid-run, rep 2 runs fully optimized. A fresh
+        // instance per rep (some workloads keep state in memory across
+        // calls) — the tier counters live on the shared TieredModule,
+        // so tier-up still crosses instances, the pool pattern.
+        TierOptions opts;
+        opts.hotThreshold = 2;
+        auto tiered = compileTiered(w.make(), sc.cfg, opts);
+        for (int rep = 0; rep < 3; rep++) {
+            auto ti = rt::Instance::create(tiered);
+            ASSERT_TRUE(ti.isOk()) << ti.message();
+            auto out = (*ti)->call("run", {w.testScale});
+            ASSERT_TRUE(out.ok()) << "rep " << rep;
+            EXPECT_EQ(out.value, expect.value) << "rep " << rep;
+        }
+
+        // Interpreter thunk path under the tiered entry ABI.
+        TierOptions fi;
+        fi.useCodeCache = false;
+        fi.forceInterp = true;
+        auto finst = rt::Instance::create(
+            compileTiered(w.make(), sc.cfg, fi));
+        ASSERT_TRUE(finst.isOk()) << finst.message();
+        auto fout = (*finst)->call("run", {w.testScale});
+        ASSERT_TRUE(fout.ok());
+        EXPECT_EQ(fout.value, expect.value);
+    }
+}
+
+std::vector<const wkld::Workload*>
+registryWorkloads()
+{
+    std::vector<const wkld::Workload*> all;
+    for (const auto& w : wkld::sightglass()) all.push_back(&w);
+    for (const auto& w : wkld::spec17()) all.push_back(&w);
+    for (const auto& w : wkld::polydhry()) all.push_back(&w);
+    return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, TierDifferential, ::testing::ValuesIn(registryWorkloads()),
+    [](const ::testing::TestParamInfo<const wkld::Workload*>& info) {
+        std::string n = info.param->name;
+        for (char& c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// tier.thunk verifier rule: positive stub set per strategy, negative
+// hand-assembled fixtures that must fail closed.
+// ---------------------------------------------------------------------
+
+TEST(TierThunkVerifier, EmittedStubSetProvesForEveryStrategy)
+{
+    wasm::Module m = twoFuncModule();
+    for (const StratCase& sc : allStrategies()) {
+        SCOPED_TRACE(sc.name);
+        CompilerConfig cfg = sc.cfg;
+        cfg.tieredCalls = true;
+        cfg.tierCounters = true;
+        auto ts = jit::compileTierStubs(m, cfg);
+        ASSERT_TRUE(ts.isOk()) << ts.message();
+        const uint8_t* base = ts->bytes.data();
+        for (size_t i = 0; i < ts->dispatchOffsets.size(); i++) {
+            auto r = verify::checkTierStub(
+                base + ts->dispatchOffsets[i], ts->dispatchSizes[i],
+                TierStubKind::Dispatch, cfg);
+            EXPECT_TRUE(r.ok()) << "dispatch " << i << "\n"
+                                << r.summary();
+            auto rr = verify::checkTierStub(
+                base + ts->resolverOffsets[i], ts->resolverSizes[i],
+                TierStubKind::Resolver, cfg);
+            EXPECT_TRUE(rr.ok()) << "resolver " << i << "\n"
+                                 << rr.summary();
+            auto ri = verify::checkTierStub(
+                base + ts->interpOffsets[i], ts->interpSizes[i],
+                TierStubKind::Interp, cfg);
+            EXPECT_TRUE(ri.ok()) << "interp " << i << "\n"
+                                 << ri.summary();
+        }
+    }
+}
+
+bool
+failsTierThunk(const Assembler& a, TierStubKind kind)
+{
+    auto r = verify::checkTierStub(a.code().data(), a.code().size(),
+                                   kind, CompilerConfig::wamrSegue());
+    if (r.ok())
+        return false;
+    EXPECT_FALSE(r.violations.empty());
+    for (const auto& v : r.violations)
+        EXPECT_EQ(v.rule, Rule::TierThunk);
+    return true;
+}
+
+constexpr int32_t kOffFuncEntries =
+    offsetof(jit::JitContext, funcEntries);
+constexpr int32_t kOffTierFn = offsetof(jit::JitContext, tierFn);
+constexpr int32_t kOffMemBase = offsetof(jit::JitContext, memBase);
+constexpr int32_t kOffRuntimeData =
+    offsetof(jit::JitContext, runtimeData);
+
+TEST(TierThunkVerifier, DispatchThroughWrongCtxFieldFails)
+{
+    // Jump target loaded from ctx->memBase instead of a funcEntries
+    // slot: not a runtime-published tier entry.
+    Assembler a;
+    a.load(Width::W64, false, Reg::r11,
+           Mem::baseDisp(Reg::r14, kOffMemBase));
+    a.jmpReg(Reg::r11);
+    EXPECT_TRUE(failsTierThunk(a, TierStubKind::Dispatch));
+}
+
+TEST(TierThunkVerifier, DispatchSkippingSlotLoadFails)
+{
+    // Jumps to the funcEntries *table pointer* itself, not a slot
+    // value loaded from it.
+    Assembler a;
+    a.load(Width::W64, false, Reg::r11,
+           Mem::baseDisp(Reg::r14, kOffFuncEntries));
+    a.jmpReg(Reg::r11);
+    EXPECT_TRUE(failsTierThunk(a, TierStubKind::Dispatch));
+}
+
+TEST(TierThunkVerifier, ResolverCallingWrongCtxFieldFails)
+{
+    // Call target from ctx->memBase: only ctx->tierFn may be called.
+    Assembler a;
+    a.push(Reg::rdi);
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 8);
+    a.load(Width::W64, false, Reg::rdi,
+           Mem::baseDisp(Reg::r14, kOffRuntimeData));
+    a.movImm32(Reg::rsi, 0);
+    a.load(Width::W64, false, Reg::rax,
+           Mem::baseDisp(Reg::r14, kOffMemBase));
+    a.callReg(Reg::rax);
+    a.aluImm(AluOp::Add, Width::W64, Reg::rsp, 8);
+    a.pop(Reg::rdi);
+    a.jmpReg(Reg::rax);
+    EXPECT_TRUE(failsTierThunk(a, TierStubKind::Resolver));
+}
+
+TEST(TierThunkVerifier, ResolverMisalignedCallSiteFails)
+{
+    // Frame depth 8 (return address) + 0 pushes: call site not 16-byte
+    // aligned, so the C-ABI tierFn call would be UB. Must fail closed.
+    Assembler a;
+    a.load(Width::W64, false, Reg::rdi,
+           Mem::baseDisp(Reg::r14, kOffRuntimeData));
+    a.movImm32(Reg::rsi, 0);
+    a.load(Width::W64, false, Reg::rax,
+           Mem::baseDisp(Reg::r14, kOffTierFn));
+    a.callReg(Reg::rax);
+    a.jmpReg(Reg::rax);
+    EXPECT_TRUE(failsTierThunk(a, TierStubKind::Resolver));
+}
+
+TEST(TierThunkVerifier, ResolverClobberingSavedArgsFails)
+{
+    // Pops in the wrong order: rsi's value lands in rdi. The restore
+    // must be the exact reverse of the save.
+    Assembler a;
+    a.push(Reg::rdi);
+    a.push(Reg::rsi);
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 8);
+    a.load(Width::W64, false, Reg::rdi,
+           Mem::baseDisp(Reg::r14, kOffRuntimeData));
+    a.movImm32(Reg::rsi, 0);
+    a.load(Width::W64, false, Reg::rax,
+           Mem::baseDisp(Reg::r14, kOffTierFn));
+    a.callReg(Reg::rax);
+    a.aluImm(AluOp::Add, Width::W64, Reg::rsp, 8);
+    a.pop(Reg::rdi);  // wrong: should pop rsi first
+    a.pop(Reg::rsi);
+    a.jmpReg(Reg::rax);
+    EXPECT_TRUE(failsTierThunk(a, TierStubKind::Resolver));
+}
+
+TEST(TierThunkVerifier, InterpStoreOutsideFrameFails)
+{
+    // Arg store beyond the allocated frame: would scribble on the
+    // caller's stack.
+    Assembler a;
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 88);
+    a.store(Width::W64, Mem::baseDisp(Reg::rsp, 200), Reg::rdi);
+    EXPECT_TRUE(failsTierThunk(a, TierStubKind::Interp));
+}
+
+TEST(TierThunkVerifier, InterpUnbalancedFrameFails)
+{
+    // Returns with the frame still open.
+    Assembler a;
+    a.aluImm(AluOp::Sub, Width::W64, Reg::rsp, 88);
+    a.load(Width::W64, false, Reg::rdi,
+           Mem::baseDisp(Reg::r14, kOffRuntimeData));
+    a.movImm32(Reg::rsi, 0);
+    a.lea(Width::W64, Reg::rdx, Mem::baseDisp(Reg::rsp, 0));
+    a.load(Width::W64, false, Reg::rax,
+           Mem::baseDisp(Reg::r14, offsetof(jit::JitContext, interpFn)));
+    a.callReg(Reg::rax);
+    a.ret();
+    EXPECT_TRUE(failsTierThunk(a, TierStubKind::Interp));
+}
+
+TEST(TierThunkVerifier, PinnedRegisterWriteFails)
+{
+    // No thunk may write %r14 (context) — classic pivot primitive.
+    Assembler a;
+    a.load(Width::W64, false, Reg::r14,
+           Mem::baseDisp(Reg::r14, kOffFuncEntries));
+    a.load(Width::W64, false, Reg::r11, Mem::baseDisp(Reg::r14, 0));
+    a.jmpReg(Reg::r11);
+    EXPECT_TRUE(failsTierThunk(a, TierStubKind::Dispatch));
+}
+
+TEST(TierThunkVerifier, KindShapeMismatchFails)
+{
+    // A (valid) dispatch body checked as a resolver must fail: the
+    // kinds have disjoint contracts.
+    wasm::Module m = twoFuncModule();
+    CompilerConfig cfg = CompilerConfig::wamrSegue();
+    cfg.tieredCalls = true;
+    cfg.tierCounters = true;
+    auto ts = jit::compileTierStubs(m, cfg);
+    ASSERT_TRUE(ts.isOk());
+    auto r = verify::checkTierStub(
+        ts->bytes.data() + ts->dispatchOffsets[0], ts->dispatchSizes[0],
+        TierStubKind::Resolver, cfg);
+    EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace sfi
