@@ -30,6 +30,16 @@
  * Each row also surfaces the §6.4.1 transition counters (entries, %gs
  * writes performed/skipped, batch-extension requests); `--batch <n>`
  * sets the batched-entry fairness bound (Options.batchMax).
+ *
+ * Production-host knobs (ISSUE 10): `--policy
+ * <none|reject|shed|backpressure>` selects the per-shard admission
+ * policy, `--queue-depth <n>` bounds each shard's admission queue, and
+ * `--backend <mpk|mte>` picks the isolation backend. Open-loop rows
+ * then also report the admission counters (admitted / rejected / shed /
+ * overload events / steals / admission-delay p99) and the
+ * backend-degradation counters (key recycles/shares, recolors, retags)
+ * so the perf-lab's faas_overload and mte_backend baselines can gate
+ * them.
  */
 #include <algorithm>
 #include <cerrno>
@@ -188,28 +198,58 @@ runMultithreaded(bench::JsonEmitter& json)
                 (unsigned long long)kReqs, w.name);
 }
 
+/** Open-loop section knobs (ISSUE 10 adds the production-host ones). */
+struct OpenLoopConfig
+{
+    double fixedRate = 0;  ///< > 0 pins one rate instead of sweeping
+    int batch = 1;         ///< §6.4.1 batched-entry bound (batchMax)
+    faas::AdmissionPolicy policy = faas::AdmissionPolicy::None;
+    uint32_t queueDepth = 64;
+    faas::IsolationBackend backend = faas::IsolationBackend::Mpk;
+    /** Disable warm-affinity reuse: every recycle decommits, which on
+     *  the MTE backend discards tags and forces the retag walk (§7
+     *  Observation 2) — the cost the mte_backend baseline gates. */
+    bool cold = false;
+};
+
+const char*
+policyName(faas::AdmissionPolicy p)
+{
+    switch (p) {
+    case faas::AdmissionPolicy::Reject: return "reject";
+    case faas::AdmissionPolicy::Shed: return "shed";
+    case faas::AdmissionPolicy::Backpressure: return "backpressure";
+    default: return "none";
+    }
+}
+
 /**
  * Open-loop latency section: offered-rate sweep with percentile rows.
- * @p fixed_rate > 0 pins a single rate instead of sweeping. @p batch
- * is the §6.4.1 batched-entry fairness bound (Options.batchMax).
+ * Admission policy / queue depth / isolation backend come from @p cfg
+ * so the perf-lab can pin overload (faas_overload) and backend-parity
+ * (mte_backend) rows.
  */
 void
-runOpenLoop(bench::JsonEmitter& json, double fixed_rate, int batch)
+runOpenLoop(bench::JsonEmitter& json, const OpenLoopConfig& cfg)
 {
     const auto& w = wkld::faasWorkloads()[0];
+    const int batch = cfg.batch;
     faas::FaasHost::Options opts;
     opts.maxConcurrent = 32;
     opts.workerThreads = std::max(
         1, std::min(4, int(std::thread::hardware_concurrency())));
-    opts.warmAffinity = true;
+    opts.warmAffinity = !cfg.cold;
     opts.ioDelayMeanMs = 0.2;
     opts.batchMax = batch;
+    opts.admission = cfg.policy;
+    opts.admissionQueueDepth = cfg.queueDepth;
+    opts.backend = cfg.backend;
     auto host = faas::FaasHost::create(w.make(), std::move(opts));
     SFI_CHECK_MSG(host.isOk(), "%s", host.message().c_str());
 
     std::vector<double> rates;
-    if (fixed_rate > 0) {
-        rates.push_back(fixed_rate);
+    if (cfg.fixedRate > 0) {
+        rates.push_back(cfg.fixedRate);
     } else {
         // Bracket the saturation point: calibrate capacity closed-loop,
         // then offer fractions of it up through overload.
@@ -223,8 +263,11 @@ runOpenLoop(bench::JsonEmitter& json, double fixed_rate, int batch)
     }
 
     std::printf("Open-loop latency, workload %s (Poisson arrivals, "
-                "sojourn time = arrival->finish, batchMax=%d):\n",
-                w.name, batch);
+                "sojourn time = arrival->finish, batchMax=%d, "
+                "policy=%s, queue=%u, backend=%s):\n",
+                w.name, batch, policyName(cfg.policy), cfg.queueDepth,
+                cfg.backend == faas::IsolationBackend::Mte ? "mte"
+                                                           : "mpk");
     std::printf("%10s %10s %9s %9s %9s %9s %9s %9s\n", "rate(rps)",
                 "achieved", "p50(us)", "p90(us)", "p95(us)", "p99(us)",
                 "p99.9(us)", "max(us)");
@@ -240,7 +283,11 @@ runOpenLoop(bench::JsonEmitter& json, double fixed_rate, int batch)
             std::clamp(rate * 1.5, 200.0, 20000.0));
         auto stats = (*host)->runOpenLoop(reqs, load);
         SFI_CHECK_MSG(stats.isOk(), "%s", stats.message().c_str());
-        SFI_CHECK(stats->completed == reqs);
+        // Conservation, not completion: Reject/Shed turn work away at
+        // admission instead of serving it (None keeps the old check).
+        SFI_CHECK(stats->completed + stats->rejected +
+                      stats->shedRequests ==
+                  reqs);
 
         const auto& lat = stats->latencyTotalNs;
         auto us = [](uint64_t ns) { return double(ns) / 1e3; };
@@ -259,13 +306,47 @@ runOpenLoop(bench::JsonEmitter& json, double fixed_rate, int batch)
                     (unsigned long long)stats->gsSwitches,
                     (unsigned long long)stats->gsSwitchesSkipped,
                     (unsigned long long)stats->batchedRequests);
+        if (cfg.policy != faas::AdmissionPolicy::None) {
+            std::printf("%10s admitted=%llu rejected=%llu shed=%llu "
+                        "overloads=%llu stolen=%llu adm-p99=%.0fus\n",
+                        "", (unsigned long long)stats->admitted,
+                        (unsigned long long)stats->rejected,
+                        (unsigned long long)stats->shedRequests,
+                        (unsigned long long)stats->overloadEvents,
+                        (unsigned long long)stats->stolenAdmissions,
+                        us(stats->admissionDelayNs.percentile(99)));
+        }
+        uint64_t shard_max_depth = 0;
+        for (const auto& sh : stats->shards)
+            shard_max_depth = std::max(shard_max_depth, sh.maxDepth);
         json.row()
             .field("section", std::string("open_loop"))
             .field("workload", std::string(w.name))
+            .field("policy", std::string(policyName(cfg.policy)))
+            .field("backend",
+                   std::string(cfg.backend == faas::IsolationBackend::Mte
+                                   ? "mte"
+                                   : "mpk"))
+            .field("queue_depth", int(cfg.queueDepth))
             .field("workers", opts.workerThreads)
             .field("offered_rps", rate)
             .field("achieved_rps", stats->throughputRps)
             .field("requests", stats->completed)
+            .field("offered_requests", reqs)
+            .field("admitted", stats->admitted)
+            .field("rejected", stats->rejected)
+            .field("shed_requests", stats->shedRequests)
+            .field("overload_events", stats->overloadEvents)
+            .field("stolen_admissions", stats->stolenAdmissions)
+            .field("shard_max_depth", shard_max_depth)
+            .field("admission_p99_us",
+                   us(stats->admissionDelayNs.count()
+                          ? stats->admissionDelayNs.percentile(99)
+                          : 0))
+            .field("key_recycles", stats->keyRecycles)
+            .field("key_shares", stats->keyShares)
+            .field("recolors", stats->recolors)
+            .field("retags", stats->retags)
             .field("p50_us", p50)
             .field("p90_us", p90)
             .field("p95_us", p95)
@@ -521,11 +602,66 @@ run(int argc, char** argv)
 
     bool sim_only = false, mt_only = false, open_loop = false;
     bool cold_start = false;
-    double rate = 0;
-    int batch = 1;
+    OpenLoopConfig olc;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--cold-start") == 0)
             cold_start = true;
+        if (std::strcmp(argv[i], "--policy") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--policy requires a value "
+                                     "(none|reject|shed|backpressure)\n");
+                return 2;
+            }
+            const char* v = argv[++i];
+            if (std::strcmp(v, "none") == 0)
+                olc.policy = faas::AdmissionPolicy::None;
+            else if (std::strcmp(v, "reject") == 0)
+                olc.policy = faas::AdmissionPolicy::Reject;
+            else if (std::strcmp(v, "shed") == 0)
+                olc.policy = faas::AdmissionPolicy::Shed;
+            else if (std::strcmp(v, "backpressure") == 0)
+                olc.policy = faas::AdmissionPolicy::Backpressure;
+            else {
+                std::fprintf(stderr, "--policy: unknown policy '%s'\n",
+                             v);
+                return 2;
+            }
+        }
+        if (std::strcmp(argv[i], "--queue-depth") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--queue-depth requires a value\n");
+                return 2;
+            }
+            int depth = std::atoi(argv[++i]);
+            if (depth < 1) {
+                std::fprintf(stderr, "--queue-depth: '%s' must be "
+                                     ">= 1\n",
+                             argv[i]);
+                return 2;
+            }
+            olc.queueDepth = uint32_t(depth);
+        }
+        if (std::strcmp(argv[i], "--cold") == 0)
+            olc.cold = true;
+        if (std::strcmp(argv[i], "--backend") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--backend requires a value (mpk|mte)\n");
+                return 2;
+            }
+            const char* v = argv[++i];
+            if (std::strcmp(v, "mpk") == 0)
+                olc.backend = faas::IsolationBackend::Mpk;
+            else if (std::strcmp(v, "mte") == 0)
+                olc.backend = faas::IsolationBackend::Mte;
+            else {
+                std::fprintf(stderr, "--backend: unknown backend "
+                                     "'%s'\n",
+                             v);
+                return 2;
+            }
+        }
         if (std::strcmp(argv[i], "--sim-only") == 0)
             sim_only = true;
         if (std::strcmp(argv[i], "--mt-only") == 0)
@@ -538,8 +674,8 @@ run(int argc, char** argv)
                              "--batch requires a value (batchMax)\n");
                 return 2;
             }
-            batch = std::atoi(argv[i + 1]);
-            if (batch < 1) {
+            olc.batch = std::atoi(argv[i + 1]);
+            if (olc.batch < 1) {
                 std::fprintf(stderr, "--batch: '%s' must be >= 1\n",
                              argv[i + 1]);
                 return 2;
@@ -554,9 +690,9 @@ run(int argc, char** argv)
             }
             char* end = nullptr;
             errno = 0;
-            rate = std::strtod(argv[i + 1], &end);
+            olc.fixedRate = std::strtod(argv[i + 1], &end);
             if (end == argv[i + 1] || *end != '\0' || errno == ERANGE ||
-                !std::isfinite(rate) || rate <= 0) {
+                !std::isfinite(olc.fixedRate) || olc.fixedRate <= 0) {
                 std::fprintf(stderr,
                              "--rate: '%s' is not a positive number\n",
                              argv[i + 1]);
@@ -570,7 +706,7 @@ run(int argc, char** argv)
         return 0;
     }
     if (open_loop) {
-        runOpenLoop(json, rate, batch);
+        runOpenLoop(json, olc);
         return 0;
     }
     if (!mt_only)

@@ -1,0 +1,132 @@
+#include "base/fault.h"
+
+#include <map>
+#include <mutex>
+
+#include "base/logging.h"
+
+namespace sfi {
+namespace fault {
+
+namespace detail {
+std::atomic<uint64_t> armedPoints{0};
+}  // namespace detail
+
+namespace {
+
+struct PointState {
+    uint64_t skip = 0;       // firings to let pass before failing
+    uint64_t remaining = 0;  // fail budget
+    uint64_t hits = 0;       // firings that failed
+    uint64_t triggers = 0;   // firings evaluated at all
+    bool armed = false;      // still owned by a live plan
+};
+
+struct Registry {
+    std::mutex mu;
+    // Entries persist after disarm so hits()/triggers() stay readable
+    // until the owning plan resets; plans erase their entries on reset.
+    std::map<std::string, PointState> points;
+};
+
+Registry&
+registry()
+{
+    static Registry* r = new Registry();
+    return *r;
+}
+
+}  // namespace
+
+bool
+fireSlow(const char* point)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(point);
+    if (it == r.points.end() || !it->second.armed) {
+        return false;
+    }
+    PointState& st = it->second;
+    st.triggers++;
+    if (st.skip > 0) {
+        st.skip--;
+        return false;
+    }
+    if (st.remaining == 0) {
+        return false;
+    }
+    st.remaining--;
+    st.hits++;
+    return true;
+}
+
+FaultPlan::~FaultPlan()
+{
+    reset();
+}
+
+void
+FaultPlan::arm(const std::string& point, uint64_t skip, uint64_t count)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    PointState& st = r.points[point];
+    SFI_CHECK_MSG(!st.armed, "fault point '%s' armed twice", point.c_str());
+    st.skip = skip;
+    st.remaining = count;
+    st.hits = 0;
+    st.triggers = 0;
+    st.armed = true;
+    owned_.push_back(point);
+    detail::armedPoints.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+FaultPlan::disarm(const std::string& point)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(point);
+    if (it == r.points.end() || !it->second.armed) {
+        return;
+    }
+    it->second.armed = false;
+    detail::armedPoints.fetch_sub(1, std::memory_order_relaxed);
+}
+
+uint64_t
+FaultPlan::hits(const std::string& point) const
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(point);
+    return it == r.points.end() ? 0 : it->second.hits;
+}
+
+uint64_t
+FaultPlan::triggers(const std::string& point) const
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(point);
+    return it == r.points.end() ? 0 : it->second.triggers;
+}
+
+void
+FaultPlan::reset()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (const std::string& point : owned_) {
+        auto it = r.points.find(point);
+        if (it != r.points.end() && it->second.armed) {
+            detail::armedPoints.fetch_sub(1, std::memory_order_relaxed);
+        }
+        r.points.erase(point);
+    }
+    owned_.clear();
+}
+
+}  // namespace fault
+}  // namespace sfi

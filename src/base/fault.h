@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Test-only fault injection: named failure points compiled into the
+ * production paths, armed only from tests.
+ *
+ * A fault point is a string id checked at a specific spot in the code,
+ * e.g. `fault::fire("keyring.alloc")` inside the key allocator. When no
+ * plan is armed anywhere in the process the check is a single relaxed
+ * atomic load of a global counter — cheap enough to leave in release
+ * builds, which is the point: the tested binary is the shipped binary.
+ *
+ * Tests arm points through FaultPlan:
+ *
+ *     sfi::fault::FaultPlan plan;
+ *     plan.arm("keyring.alloc", 2, 1);   // skip 2 firings, then fail once
+ *     ...                                // run the workload
+ *     EXPECT_EQ(plan.hits("keyring.alloc"), 1);
+ *
+ * The plan disarms its points on destruction, so a throwing test cannot
+ * leave faults armed for the next one. Arming is process-global (the
+ * code under test does not know which test armed it), so tests that arm
+ * faults must not share a process timeslice with tests that assume a
+ * fault-free run of the same point — in practice: keep fault tests in
+ * their own suite.
+ */
+#ifndef SFIKIT_BASE_FAULT_H_
+#define SFIKIT_BASE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfi {
+namespace fault {
+
+namespace detail {
+/** Count of armed points across the process; 0 == fast path. */
+extern std::atomic<uint64_t> armedPoints;
+}  // namespace detail
+
+/**
+ * Returns true if the named point should fail this time.
+ *
+ * Disarmed (the common case): one relaxed load, no branch into the
+ * registry. Armed: consults the registry under a lock; a point fails
+ * while its remaining fail budget is positive, after its skip budget
+ * is exhausted.
+ */
+bool fireSlow(const char* point);
+
+inline bool
+fire(const char* point)
+{
+    if (__builtin_expect(
+            detail::armedPoints.load(std::memory_order_relaxed) == 0, 1)) {
+        return false;
+    }
+    return fireSlow(point);
+}
+
+/**
+ * RAII owner of a set of armed fault points.
+ *
+ * Arming the same point from two live plans is a test bug and panics.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    ~FaultPlan();
+
+    FaultPlan(const FaultPlan&) = delete;
+    FaultPlan& operator=(const FaultPlan&) = delete;
+
+    /**
+     * Arms @p point: the first @p skip firings pass, the next @p count
+     * firings fail, later firings pass again (but are still counted as
+     * hits-after-exhaustion via triggers()).
+     */
+    void arm(const std::string& point, uint64_t skip = 0,
+             uint64_t count = UINT64_MAX);
+
+    /** Disarms @p point (no-op if this plan did not arm it). */
+    void disarm(const std::string& point);
+
+    /** Number of times @p point actually *failed* so far. */
+    uint64_t hits(const std::string& point) const;
+
+    /** Number of times @p point was evaluated (failed or not). */
+    uint64_t triggers(const std::string& point) const;
+
+    /** Disarms everything this plan armed. */
+    void reset();
+
+  private:
+    std::vector<std::string> owned_;
+};
+
+}  // namespace fault
+}  // namespace sfi
+
+#endif  // SFIKIT_BASE_FAULT_H_

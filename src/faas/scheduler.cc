@@ -1,10 +1,14 @@
 #include "faas/scheduler.h"
 
 #include <algorithm>
+#include <deque>
+#include <mutex>
 
 #include "base/cpu.h"
+#include "base/fault.h"
 #include "base/logging.h"
 #include "base/units.h"
+#include "mpk/mte_backend.h"
 #include "runtime/signals.h"
 #include "seg/seg.h"
 
@@ -84,6 +88,20 @@ struct FaasHost::Worker
     LogHistogram latencyQueueNs;
     LogHistogram latencyServiceNs;
     LogHistogram latencyTotalNs;
+    LogHistogram admissionDelayNs;
+
+    /** KeyRing fence handle (null unless keyRecycling). */
+    mpk::KeyRing::Participant* participant = nullptr;
+
+    /**
+     * This worker's admission shard: a bounded queue of accepted
+     * (id, enqueueNs) pairs. The mutex is the cross-worker boundary —
+     * idle workers steal from the front (oldest first). All other
+     * shard counters are owner-written.
+     */
+    std::mutex admMu;
+    std::deque<std::pair<uint64_t, uint64_t>> admitted;
+    Stats::ShardStats shard;
 };
 
 Result<std::unique_ptr<FaasHost>>
@@ -107,14 +125,24 @@ FaasHost::create(wasm::Module workload, Options options)
 
     // Pool: slots sized to the workload's memory, ColorGuard striping,
     // one free-list shard per worker so checkout never funnels through
-    // a single lock.
-    host->mpk_ = mpk::makeEmulated();
+    // a single lock. The isolation backend is selectable: emulated MPK
+    // (default) or the emulated-MTE System, which models §7's tag
+    // semantics (tags ride in pointers, tags die with decommit).
+    host->mpk_ = host->opts_.backend == IsolationBackend::Mte
+                     ? std::unique_ptr<mpk::System>(mpk::makeMteBackend())
+                     : mpk::makeEmulated();
     pool::MemoryPool::Options popt;
     popt.config.numSlots = uint64_t(host->opts_.maxConcurrent);
     popt.config.maxMemoryBytes = host->opts_.slotBytes;
     popt.config.guardBytes = 8 * host->opts_.slotBytes;
     popt.config.stripingEnabled = host->opts_.colorguard;
     popt.mpk = host->mpk_.get();
+    if (host->opts_.keyRecycling) {
+        mpk::KeyRing::Options ropt;
+        ropt.system = host->mpk_.get();
+        host->ring_ = std::make_unique<mpk::KeyRing>(ropt);
+        popt.keyRing = host->ring_.get();
+    }
     popt.shards = uint32_t(host->opts_.workerThreads);
     popt.warmSlotsPerShard =
         host->opts_.warmAffinity
@@ -159,6 +187,142 @@ FaasHost::claimRequest(uint64_t now_ns)
     return claim;
 }
 
+bool
+FaasHost::arrivalPending(uint64_t now_ns) const
+{
+    uint64_t cur = nextRequestId_.load(std::memory_order_relaxed);
+    if (cur >= totalRequests_)
+        return false;
+    uint64_t arrival =
+        arrivalNs_.empty() ? now_ns : runStartNs_ + arrivalNs_[cur];
+    return arrival <= now_ns;
+}
+
+void
+FaasHost::pumpAdmission(Worker* w, uint64_t now_ns)
+{
+    if (opts_.admission == AdmissionPolicy::None)
+        return;
+    const size_t bound = std::max<uint32_t>(opts_.admissionQueueDepth, 1);
+    bool saw_overload = false;
+    for (;;) {
+        size_t depth;
+        {
+            std::lock_guard<std::mutex> lock(w->admMu);
+            depth = w->admitted.size();
+        }
+        if (depth < bound) {
+            if (!arrivalPending(now_ns))
+                break;
+            // Fault point: pretend the shard is full so tests can
+            // drive the overflow/degradation path without saturating
+            // the host. Consulted only with an arrival actually
+            // claimable, so every forced firing maps to one
+            // policy-degraded request.
+            if (fault::fire("admission.overflow"))
+                goto overflow;
+            Claim c = claimRequest(now_ns);
+            if (c.id == UINT64_MAX)
+                break;
+            // Under Backpressure the request's sojourn clock starts at
+            // admission, not arrival: the arrival queue upstream of the
+            // bounded shard is the load generator's problem, and the
+            // bounded queue is what keeps the measured sojourn bounded.
+            uint64_t admit = std::max(now_ns, c.enqueueNs);
+            w->admissionDelayNs.add(admit - c.enqueueNs);
+            uint64_t enqueue =
+                opts_.admission == AdmissionPolicy::Backpressure
+                    ? admit
+                    : c.enqueueNs;
+            std::lock_guard<std::mutex> lock(w->admMu);
+            w->admitted.emplace_back(c.id, enqueue);
+            w->stats.admitted++;
+            w->shard.admitted++;
+            w->shard.maxDepth =
+                std::max<uint64_t>(w->shard.maxDepth, w->admitted.size());
+            continue;
+        }
+
+        // Queue full. Anything already arrived is overload; how it
+        // degrades is the policy.
+        if (!arrivalPending(now_ns))
+            break;
+    overflow:
+        saw_overload = true;
+        if (opts_.admission == AdmissionPolicy::Backpressure) {
+            // Stop claiming: arrivals stay queued upstream and the
+            // bounded shard never grows, so per-request sojourn stays
+            // bounded while the arrival backlog absorbs the overload.
+            break;
+        }
+        Claim c = claimRequest(now_ns);
+        if (c.id == UINT64_MAX)
+            break;
+        if (opts_.admission == AdmissionPolicy::Reject) {
+            // Claim + drop newest: the id is consumed (so the run
+            // terminates) but never served.
+            w->stats.rejected++;
+            w->shard.rejected++;
+            continue;
+        }
+        // Shed: admit the newest, drop the oldest queued request.
+        uint64_t admit = std::max(now_ns, c.enqueueNs);
+        w->admissionDelayNs.add(admit - c.enqueueNs);
+        std::lock_guard<std::mutex> lock(w->admMu);
+        w->admitted.emplace_back(c.id, c.enqueueNs);
+        if (w->admitted.size() > 1) {
+            // May be empty when the fault point forced the overflow
+            // path; then there is nothing to drop.
+            w->admitted.pop_front();
+            w->stats.shedRequests++;
+            w->shard.shed++;
+        }
+        w->stats.admitted++;
+        w->shard.admitted++;
+    }
+    if (saw_overload) {
+        w->stats.overloadEvents++;
+        w->shard.overloadEvents++;
+    }
+}
+
+FaasHost::Claim
+FaasHost::claimForService(Worker* w, uint64_t now_ns)
+{
+    if (opts_.admission == AdmissionPolicy::None)
+        return claimRequest(now_ns);
+    Claim claim;
+    {
+        std::lock_guard<std::mutex> lock(w->admMu);
+        if (!w->admitted.empty()) {
+            claim.id = w->admitted.front().first;
+            claim.enqueueNs = w->admitted.front().second;
+            w->admitted.pop_front();
+            return claim;
+        }
+    }
+    // Own shard dry: steal the oldest admission from a sibling so a
+    // hot shard cannot back up while others idle.
+    for (Worker* v : allWorkers_) {
+        if (v == w)
+            continue;
+        std::lock_guard<std::mutex> lock(v->admMu);
+        if (!v->admitted.empty()) {
+            claim.id = v->admitted.front().first;
+            claim.enqueueNs = v->admitted.front().second;
+            v->admitted.pop_front();
+            w->stats.stolenAdmissions++;
+            return claim;
+        }
+    }
+    // Nothing admitted anywhere; report the next scheduled arrival so
+    // the caller can sleep instead of spinning.
+    uint64_t cur = nextRequestId_.load(std::memory_order_relaxed);
+    if (cur < totalRequests_ && !arrivalNs_.empty())
+        claim.nextArrivalNs = runStartNs_ + arrivalNs_[cur];
+    return claim;
+}
+
 void
 FaasHost::yieldFromGuest(RequestSlot* slot)
 {
@@ -181,6 +345,12 @@ FaasHost::yieldFromGuest(RequestSlot* slot)
     slot->savedGs = seg::getGsBase();
     slot->savedPkru = mpk_->readPkru();
     mpk_->writePkru(mpk::Pkru::allowAll());
+    // Quiescent point for key recycling: with PKRU parked at allowAll
+    // this thread grants no *retired* key (the saved key is live — its
+    // lease is not released until the slot is freed), so recyclers may
+    // re-tag behind us.
+    if (slot->worker->participant)
+        slot->worker->participant->fence();
 
     slot->fiber->yield();
 
@@ -261,7 +431,7 @@ FaasHost::requestBody(RequestSlot* slot)
 
             if (++served >= batch_max)
                 break;  // fairness bound reached
-            Claim claim = claimRequest(monotonicNs());
+            Claim claim = claimForService(worker, monotonicNs());
             if (claim.id == UINT64_MAX)
                 break;  // nothing queued right now
             worker->stats.batchedRequests++;
@@ -281,11 +451,13 @@ FaasHost::requestBody(RequestSlot* slot)
 Status
 FaasHost::workerSetup(Worker* w)
 {
+    if (ring_)
+        w->participant = ring_->registerParticipant();
     for (int i = 0; i < w->numSlots; i++) {
         auto slot = std::make_unique<RequestSlot>();
         slot->host = this;
         slot->worker = w;
-        auto ps = pool_->allocate();
+        auto ps = pool_->allocate(w->participant);
         if (!ps)
             return Status::error(ps.message());
         slot->poolSlot = *ps;
@@ -308,6 +480,10 @@ FaasHost::workerTeardown(Worker* w)
         slot->instance.reset();
     }
     w->slots.clear();
+    if (w->participant) {
+        ring_->unregisterParticipant(w->participant);
+        w->participant = nullptr;
+    }
 }
 
 void
@@ -323,10 +499,16 @@ FaasHost::workerLoop(Worker* w)
             bool progressed = false;
             bool any_active = false;
 
+            // Top of the scheduling round is host code with PKRU at
+            // allowAll — a natural quiescent point for key recycling.
+            if (w->participant)
+                w->participant->fence();
+            pumpAdmission(w, now);
+
             for (auto& slot_ptr : w->slots) {
                 RequestSlot* slot = slot_ptr.get();
                 if (!slot->active) {
-                    Claim claim = claimRequest(now);
+                    Claim claim = claimForService(w, now);
                     if (claim.id == UINT64_MAX) {
                         // Nothing claimable now; in open-loop mode wake
                         // up for the next scheduled arrival.
@@ -352,7 +534,7 @@ FaasHost::workerLoop(Worker* w)
                             : 0;
                     SFI_CHECK(
                         pool_->free(slot->poolSlot, touched).isOk());
-                    auto ps = pool_->allocate();
+                    auto ps = pool_->allocate(w->participant);
                     SFI_CHECK(ps.isOk());
                     slot->poolSlot = *ps;
                     auto fiber = Fiber::create(
@@ -378,13 +560,26 @@ FaasHost::workerLoop(Worker* w)
             }
 
             // Open-loop: idle slots with requests still to *arrive* must
-            // keep the worker alive, so exit requires every id claimed.
-            if (!any_active &&
+            // keep the worker alive, so exit requires every id claimed —
+            // and, with admission control, this shard drained (other
+            // shards drain themselves or get stolen from).
+            bool queue_empty = true;
+            if (opts_.admission != AdmissionPolicy::None) {
+                std::lock_guard<std::mutex> lock(w->admMu);
+                queue_empty = w->admitted.empty();
+            }
+            if (!any_active && queue_empty &&
                 nextRequestId_.load(std::memory_order_relaxed) >=
                     totalRequests_)
                 break;
             if (!progressed && next_ready != UINT64_MAX) {
                 uint64_t wait = next_ready > now ? next_ready - now : 0;
+                // Cap the nap when other machinery may need this
+                // thread soon: a recycle epoch cannot retire keys until
+                // every participant fences, and sibling shards may fill
+                // with stealable admissions.
+                if (ring_ || opts_.admission != AdmissionPolicy::None)
+                    wait = std::min<uint64_t>(wait, 200'000);
                 if (wait > 10'000) {
                     struct timespec ts;
                     ts.tv_sec = long(wait / 1'000'000'000ull);
@@ -434,6 +629,13 @@ FaasHost::runInternal(uint64_t total_requests)
         workers.push_back(std::move(w));
     }
 
+    // Published for admission stealing; cleared before the workers are
+    // destroyed. Safe to read concurrently: the vector is immutable
+    // while any worker thread runs.
+    allWorkers_.clear();
+    for (auto& w : workers)
+        allWorkers_.push_back(w.get());
+
     uint64_t start_ns = monotonicNs();
     runStartNs_ = start_ns;
     if (num_workers == 1) {
@@ -446,6 +648,7 @@ FaasHost::runInternal(uint64_t total_requests)
             t.join();
     }
     double elapsed = double(monotonicNs() - start_ns) / 1e9;
+    allWorkers_.clear();
 
     Stats stats;
     stats.offeredRps = offeredRps_;
@@ -465,7 +668,22 @@ FaasHost::runInternal(uint64_t total_requests)
         stats.latencyQueueNs.merge(w->latencyQueueNs);
         stats.latencyServiceNs.merge(w->latencyServiceNs);
         stats.latencyTotalNs.merge(w->latencyTotalNs);
+        stats.admitted += w->stats.admitted;
+        stats.rejected += w->stats.rejected;
+        stats.shedRequests += w->stats.shedRequests;
+        stats.overloadEvents += w->stats.overloadEvents;
+        stats.stolenAdmissions += w->stats.stolenAdmissions;
+        stats.admissionDelayNs.merge(w->admissionDelayNs);
+        stats.shards.push_back(w->shard);
     }
+    // Cumulative across runs of this host (pool/ring counters are
+    // monotonic), which is what the perf-lab wants anyway.
+    pool::MemoryPool::Stats ps = pool_->stats();
+    stats.recolors = ps.recolors;
+    stats.retags = ps.retags;
+    stats.keyRecycles = ps.keyRecycles;
+    stats.recycleStallNs = ps.recycleStallNs;
+    stats.keyShares = ps.keyShares;
     stats.elapsedSec = elapsed;
     stats.throughputRps =
         elapsed > 0 ? double(stats.completed) / elapsed : 0;

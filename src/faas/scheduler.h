@@ -34,11 +34,42 @@
 #include "base/stats.h"
 #include "faas/fiber.h"
 #include "faas/loadgen.h"
+#include "mpk/keyring.h"
 #include "pool/pool.h"
 #include "runtime/instance.h"
 #include "wasm/module.h"
 
 namespace sfi::faas {
+
+/**
+ * What the host does when a shard's admission queue is full and another
+ * request has arrived (open-loop overload past the saturation knee).
+ */
+enum class AdmissionPolicy : uint8_t
+{
+    /** No admission layer: the legacy claim-directly-from-schedule
+     *  path. Queue growth is unbounded (it lives in the arrival
+     *  backlog) and sojourn grows without bound past the knee. */
+    None,
+    /** Claim and immediately fail the newest request (counted, never
+     *  served). Bounded queues, bounded sojourn, lossy. */
+    Reject,
+    /** Admit the newest request and drop the *oldest* queued one —
+     *  freshness wins, as in LIFO/drop-head overload designs. */
+    Shed,
+    /** Stop claiming: arrivals wait upstream and the host admits only
+     *  as capacity frees. Lossless; sojourn is measured from admission
+     *  (the instant the host accepted the request), which the bounded
+     *  queue keeps bounded. */
+    Backpressure,
+};
+
+/** Which ColorGuard enforcement backend the host instantiates. */
+enum class IsolationBackend : uint8_t
+{
+    Mpk,  ///< emulated MPK (PTE colors + modeled WRPKRU)
+    Mte,  ///< emulated MTE (granule tags; tags die with decommit)
+};
 
 /** Background thread bumping the global epoch (Wasmtime's design). */
 class EpochTimer
@@ -112,6 +143,25 @@ class FaasHost
         bool tiered = false;
         /** Tier policy when tiered (threshold, cache sharing). */
         jit::TierOptions tierOptions;
+
+        /**
+         * Admission control (per worker shard). None keeps the legacy
+         * unbounded claim path; the other policies bound each worker's
+         * admission queue at admissionQueueDepth and degrade per the
+         * policy when it overflows.
+         */
+        AdmissionPolicy admission = AdmissionPolicy::None;
+        /** Per-shard admission queue bound (ignored under None). */
+        uint32_t admissionQueueDepth = 64;
+        /**
+         * Lease slot colors from a generation-counted KeyRing instead
+         * of static stripes: live-sandbox count stops being bounded by
+         * 15 stripes, at the cost of quiesce/recycle epochs when the
+         * key space wraps (counted in Stats).
+         */
+        bool keyRecycling = false;
+        /** Enforcement backend (MPK PTE colors vs MTE granule tags). */
+        IsolationBackend backend = IsolationBackend::Mpk;
     };
 
     struct Stats
@@ -149,6 +199,39 @@ class FaasHost
         uint64_t compileNs = 0;
         /** Verifier share of the fills (ns). */
         uint64_t cacheFillVerifyNs = 0;
+
+        // Admission-control counters (zero under AdmissionPolicy::None).
+        /** Requests accepted into a shard's admission queue. */
+        uint64_t admitted = 0;
+        /** Requests failed at admission (Reject). */
+        uint64_t rejected = 0;
+        /** Queued requests dropped for newer arrivals (Shed). */
+        uint64_t shedRequests = 0;
+        /** Pump passes that found a shard queue full with work waiting. */
+        uint64_t overloadEvents = 0;
+        /** Admitted requests served by a non-home worker (stealing). */
+        uint64_t stolenAdmissions = 0;
+        /** Arrival -> admission wait (meaningful under Backpressure). */
+        LogHistogram admissionDelayNs;
+
+        /** Per-worker-shard admission counters. */
+        struct ShardStats
+        {
+            uint64_t admitted = 0;
+            uint64_t rejected = 0;
+            uint64_t shed = 0;
+            uint64_t overloadEvents = 0;
+            uint64_t maxDepth = 0;  ///< high-water queue depth
+        };
+        std::vector<ShardStats> shards;
+
+        // Key-recycling + backend counters (pool passthrough; zero in
+        // static-stripe MPK mode).
+        uint64_t keyRecycles = 0;
+        uint64_t recycleStallNs = 0;
+        uint64_t keyShares = 0;
+        uint64_t recolors = 0;
+        uint64_t retags = 0;
 
         /** Offered arrival rate (rps); 0 for closed-loop runs. */
         double offeredRps = 0;
@@ -225,13 +308,34 @@ class FaasHost
      */
     Claim claimRequest(uint64_t now_ns);
 
+    /** Is there an arrived-but-unclaimed request right now? */
+    bool arrivalPending(uint64_t now_ns) const;
+
+    /**
+     * Admission pump: move arrived requests from the global schedule
+     * into @p worker's bounded queue, applying the overflow policy.
+     * No-op under AdmissionPolicy::None.
+     */
+    void pumpAdmission(Worker* worker, uint64_t now_ns);
+
+    /**
+     * Next request for a slot to serve: the admission queue (own shard,
+     * then stealing) when admission control is on, else the raw claim
+     * path.
+     */
+    Claim claimForService(Worker* worker, uint64_t now_ns);
+
     Options opts_;
     std::shared_ptr<const rt::SharedModule> module_;
-    // mpk_ must outlive pool_ (the pool frees its stripe keys on
-    // destruction), so it is declared first.
+    // Destruction order (reverse of declaration): pool_ releases leases
+    // into ring_, ring_ frees its keys into mpk_ — so mpk_ first, then
+    // ring_, then pool_.
     std::unique_ptr<mpk::System> mpk_;
+    std::unique_ptr<mpk::KeyRing> ring_;
     std::unique_ptr<pool::MemoryPool> pool_;
     std::unique_ptr<EpochTimer> timer_;
+    /** Live only while runInternal executes; for admission stealing. */
+    std::vector<Worker*> allWorkers_;
 
     uint64_t totalRequests_ = 0;
     std::atomic<uint64_t> nextRequestId_{0};

@@ -1,0 +1,315 @@
+#include "mpk/keyring.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "base/cpu.h"
+#include "base/fault.h"
+#include "base/logging.h"
+
+namespace sfi::mpk {
+
+namespace {
+
+void
+sleepNs(uint64_t ns)
+{
+    struct timespec ts;
+    ts.tv_sec = ns / 1'000'000'000ull;
+    ts.tv_nsec = long(ns % 1'000'000'000ull);
+    nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+struct KeyRing::KeyState {
+    Pkey key = 0;
+    uint64_t generation = 1;
+    uint64_t liveCount = 0;  // outstanding leases (>1 only when sharing)
+    bool retired = false;
+    uint64_t retiredAtEpoch = 0;  // epoch_ when the key retired
+    std::vector<RetagFn> retags;  // run post-fence, before reissue
+};
+
+struct KeyRing::Core {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::vector<KeyState> keys;   // every key ever allocated from system
+    std::vector<size_t> freeIdx;  // indices into keys, ready to issue
+    bool recycleInProgress = false;
+    bool systemExhausted = false;
+    Stats stats;
+
+    std::mutex participantsMu;
+    std::deque<std::unique_ptr<Participant>> participants;
+};
+
+KeyRing::KeyRing(const Options& options)
+    : system_(options.system), options_(options),
+      core_(std::make_unique<Core>())
+{
+    SFI_CHECK_MSG(system_ != nullptr, "KeyRing requires a backend system");
+}
+
+KeyRing::~KeyRing()
+{
+    std::lock_guard<std::mutex> lock(core_->mu);
+    for (KeyState& ks : core_->keys) {
+        system_->freeKey(ks.key);
+    }
+}
+
+KeyRing::Participant*
+KeyRing::registerParticipant()
+{
+    auto p = std::unique_ptr<Participant>(new Participant(this));
+    // Born fenced: a fresh thread cannot hold a stale sandbox PKRU, so it
+    // must not stall a quiesce that opened before it registered.
+    p->fenced_.store(epoch_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    Participant* raw = p.get();
+    std::lock_guard<std::mutex> lock(core_->participantsMu);
+    core_->participants.push_back(std::move(p));
+    return raw;
+}
+
+void
+KeyRing::unregisterParticipant(Participant* p)
+{
+    if (p == nullptr) {
+        return;
+    }
+    // Keep the slot (quiescers may hold a snapshot); just stop waiting
+    // on it.
+    p->active_.store(false, std::memory_order_release);
+}
+
+bool
+KeyRing::waitQuiesce(uint64_t target, Participant* self, uint64_t* stall_ns)
+{
+    if (fault::fire("keyring.quiesce")) {
+        return false;  // caller counts the timeout under its lock
+    }
+    if (self != nullptr) {
+        self->fence();
+    }
+    uint64_t start = monotonicNs();
+    for (;;) {
+        bool allFenced = true;
+        {
+            std::lock_guard<std::mutex> lock(core_->participantsMu);
+            for (const auto& p : core_->participants) {
+                if (!p->active_.load(std::memory_order_acquire)) {
+                    continue;
+                }
+                if (p->fenced_.load(std::memory_order_acquire) < target) {
+                    allFenced = false;
+                    break;
+                }
+            }
+        }
+        uint64_t elapsed = monotonicNs() - start;
+        if (allFenced) {
+            *stall_ns += elapsed;
+            return true;
+        }
+        if (elapsed > options_.quiesceTimeoutNs) {
+            *stall_ns += elapsed;
+            return false;
+        }
+        sleepNs(options_.quiescePollNs);
+    }
+}
+
+Result<Lease>
+KeyRing::acquire(Participant* self, uint16_t avoid_mask)
+{
+    if (self != nullptr) {
+        // Never let our own stale fence block the quiesce we may be
+        // about to open (or one another thread already opened).
+        self->fence();
+    }
+    Core& c = *core_;
+    std::unique_lock<std::mutex> lock(c.mu);
+    for (;;) {
+        // 1. Free list, respecting the neighbor-color avoid mask.
+        for (size_t i = 0; i < c.freeIdx.size(); i++) {
+            KeyState& ks = c.keys[c.freeIdx[i]];
+            if (avoid_mask & (1u << ks.key)) {
+                continue;
+            }
+            c.freeIdx.erase(c.freeIdx.begin() + long(i));
+            ks.liveCount = 1;
+            c.stats.liveKeys++;
+            c.stats.freeKeys--;
+            return Lease{ks.key, ks.generation};
+        }
+
+        // 2. Grow from the backend while it still has raw keys. An
+        //    injected allocation failure is transient: count it and
+        //    degrade through recycling/sharing this round (the same
+        //    ladder exhaustion uses) instead of wedging the caller.
+        if (!c.systemExhausted) {
+            if (fault::fire("keyring.alloc")) {
+                c.stats.allocFailures++;
+            } else {
+                Result<Pkey> raw = system_->allocKey();
+                if (raw.isOk()) {
+                    KeyState ks;
+                    ks.key = raw.value();
+                    c.keys.push_back(std::move(ks));
+                    c.freeIdx.push_back(c.keys.size() - 1);
+                    c.stats.freeKeys++;
+                    continue;
+                }
+                c.systemExhausted = true;
+            }
+        }
+
+        // 3. Recycle the retired cohort: quiesce -> fence -> retag ->
+        //    reissue. Done by whichever acquirer hits the dry free list
+        //    first; others fence and wait so they cannot stall it.
+        bool haveRetired = std::any_of(
+            c.keys.begin(), c.keys.end(),
+            [](const KeyState& ks) { return ks.retired; });
+        if (haveRetired && !c.recycleInProgress) {
+            c.recycleInProgress = true;
+            uint64_t target =
+                epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+            lock.unlock();
+            uint64_t stallNs = 0;
+            bool quiesced = waitQuiesce(target, self, &stallNs);
+            lock.lock();
+            c.stats.recycleStallNs += stallNs;
+            c.recycleInProgress = false;
+            if (quiesced) {
+                uint64_t recycled = 0;
+                for (size_t i = 0; i < c.keys.size(); i++) {
+                    KeyState& ks = c.keys[i];
+                    // A key retired after this epoch opened has not been
+                    // fenced against; it waits for the next epoch.
+                    if (!ks.retired || ks.retiredAtEpoch >= target) {
+                        continue;
+                    }
+                    for (RetagFn& fn : ks.retags) {
+                        if (fn) {
+                            fn();
+                        }
+                    }
+                    ks.retags.clear();
+                    ks.retired = false;
+                    ks.generation++;
+                    c.freeIdx.push_back(i);
+                    recycled++;
+                }
+                c.stats.keyRecycles++;
+                c.stats.keysRecycled += recycled;
+                c.stats.retiredKeys -= recycled;
+                c.stats.freeKeys += recycled;
+            } else {
+                c.stats.quiesceTimeouts++;
+            }
+            c.cv.notify_all();
+            if (quiesced) {
+                continue;  // free list refilled; take step 1
+            }
+            // Quiesce failed: fall through to sharing rather than wedge.
+        } else if (c.recycleInProgress) {
+            if (self != nullptr) {
+                self->fence();
+            }
+            c.cv.wait_for(lock, std::chrono::microseconds(50));
+            continue;
+        }
+
+        // 4. Exhausted (or quiesce timed out): share a live key. This is
+        //    the same spatial reuse striping performs — two tenants on
+        //    one color — constrained by the caller's neighbor mask.
+        KeyState* best = nullptr;
+        for (KeyState& ks : c.keys) {
+            if (ks.retired || ks.liveCount == 0) {
+                continue;
+            }
+            if (avoid_mask & (1u << ks.key)) {
+                continue;
+            }
+            if (best == nullptr || ks.liveCount < best->liveCount) {
+                best = &ks;
+            }
+        }
+        if (best == nullptr) {
+            return Result<Lease>::error(
+                "keyring: no key satisfies the neighbor-color constraint");
+        }
+        best->liveCount++;
+        c.stats.keyShares++;
+        return Lease{best->key, best->generation};
+    }
+}
+
+void
+KeyRing::release(const Lease& lease, RetagFn retag)
+{
+    if (!lease.valid()) {
+        return;
+    }
+    Core& c = *core_;
+    std::lock_guard<std::mutex> lock(c.mu);
+    for (KeyState& ks : c.keys) {
+        if (ks.key != lease.key) {
+            continue;
+        }
+        if (ks.generation != lease.generation) {
+            // Lease outlived a recycle of its key: the pages were already
+            // re-tagged by the recycle pass, nothing left to do.
+            c.stats.staleReleases++;
+            return;
+        }
+        SFI_CHECK_MSG(ks.liveCount > 0, "release of key %d with no lease",
+                      lease.key);
+        ks.liveCount--;
+        if (retag) {
+            ks.retags.push_back(std::move(retag));
+        }
+        if (ks.liveCount == 0) {
+            ks.retired = true;
+            ks.retiredAtEpoch = epoch_.load(std::memory_order_acquire);
+            c.stats.liveKeys--;
+            c.stats.retiredKeys++;
+        }
+        return;
+    }
+    SFI_PANIC("release of unknown key %d", lease.key);
+}
+
+uint64_t
+KeyRing::generationOf(Pkey key) const
+{
+    std::lock_guard<std::mutex> lock(core_->mu);
+    for (const KeyState& ks : core_->keys) {
+        if (ks.key == key) {
+            return ks.generation;
+        }
+    }
+    return 0;
+}
+
+bool
+KeyRing::isCurrent(const Lease& lease) const
+{
+    return lease.valid() && generationOf(lease.key) == lease.generation;
+}
+
+KeyRing::Stats
+KeyRing::stats() const
+{
+    std::lock_guard<std::mutex> lock(core_->mu);
+    return core_->stats;
+}
+
+}  // namespace sfi::mpk

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Generation-counted protection-key allocator with batched recycling.
+ *
+ * ColorGuard has 15 usable colors (§3.2); without reuse that hard-bounds
+ * the number of concurrently-live sandboxes per striping domain. The
+ * KeyRing removes the bound by recycling keys in batches:
+ *
+ *   1. Released keys are *retired*, not freed: the pages they color may
+ *      still be reachable through a stale PKRU on some thread.
+ *   2. When the free list runs dry, the allocating thread opens a
+ *      *recycle epoch*: it bumps the global epoch counter and waits for
+ *      every registered participant (worker thread) to fence — i.e. to
+ *      declare "my PKRU no longer grants any retired key" by storing the
+ *      current epoch into its participant slot. This is the PKRU fence of
+ *      the quiesce→fence→re-tag→reissue sequence.
+ *   3. Only after the fence do the retag callbacks run (re-coloring the
+ *      retired cohort's pages), the per-key generation counters bump, and
+ *      the whole retired cohort moves to the free list at once.
+ *
+ * Ordering argument (also in DESIGN.md): re-tagging before the fence
+ * would let a thread that is still *inside* a departed sandbox — PKRU =
+ * allowOnly(k) — read or write pages that have just been re-colored k for
+ * a *new* tenant: cross-sandbox aliasing. The fence makes that
+ * impossible, and the generation counter makes stale Lease handles
+ * detectable after the fact.
+ *
+ * When every key is live (nothing retired, nothing free) the ring falls
+ * back to *sharing*: two sandboxes on one color, exactly the spatial
+ * reuse striping already performs, avoiding the caller's neighbor colors
+ * so the adjacent-slots-differ contract holds.
+ *
+ * Fault points (see base/fault.h): "keyring.alloc" fails a key
+ * allocation, "keyring.quiesce" simulates a quiesce timeout.
+ */
+#ifndef SFIKIT_MPK_KEYRING_H_
+#define SFIKIT_MPK_KEYRING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/result.h"
+#include "mpk/mpk.h"
+
+namespace sfi::mpk {
+
+/** A key grant tied to the recycle generation it was issued under. */
+struct Lease {
+    Pkey key = 0;
+    uint64_t generation = 0;
+
+    bool valid() const { return key != 0; }
+};
+
+/** Re-colors a retired key's pages; runs after the PKRU fence. */
+using RetagFn = std::function<void()>;
+
+class KeyRing
+{
+  public:
+    struct Options {
+        /** Backend that owns the raw keys. Required. */
+        System* system = nullptr;
+        /** Give up on a quiesce after this long and degrade to sharing. */
+        uint64_t quiesceTimeoutNs = 2'000'000'000;
+        /** Polling interval while waiting for participant fences. */
+        uint64_t quiescePollNs = 5'000;
+    };
+
+    struct Stats {
+        uint64_t keyRecycles = 0;      ///< recycle epochs completed
+        uint64_t keysRecycled = 0;     ///< keys moved retired -> free
+        uint64_t recycleStallNs = 0;   ///< time spent waiting on fences
+        uint64_t keyShares = 0;        ///< leases served by sharing
+        uint64_t quiesceTimeouts = 0;  ///< epochs abandoned on timeout
+        uint64_t allocFailures = 0;    ///< backend/injected alloc failures
+        uint64_t staleReleases = 0;    ///< releases with an old generation
+        uint64_t liveKeys = 0;         ///< keys with a live lease
+        uint64_t retiredKeys = 0;      ///< keys awaiting recycle
+        uint64_t freeKeys = 0;         ///< keys ready to issue
+    };
+
+    /**
+     * A thread that may hold sandbox PKRU values. Workers register once
+     * and call fence() at every point where their PKRU grants no retired
+     * key — host idle loops, post-request cleanup, fiber park sites.
+     */
+    class Participant
+    {
+      public:
+        /** Declare "my PKRU grants no retired key as of now". Lock-free. */
+        void
+        fence()
+        {
+            fenced_.store(ring_->epoch_.load(std::memory_order_acquire),
+                          std::memory_order_release);
+        }
+
+      private:
+        friend class KeyRing;
+        explicit Participant(KeyRing* ring) : ring_(ring) {}
+
+        KeyRing* ring_;
+        std::atomic<uint64_t> fenced_{0};
+        std::atomic<bool> active_{true};
+    };
+
+    explicit KeyRing(const Options& options);
+    ~KeyRing();
+
+    KeyRing(const KeyRing&) = delete;
+    KeyRing& operator=(const KeyRing&) = delete;
+
+    /**
+     * Registers the calling thread as a fence participant. The returned
+     * pointer stays valid for the ring's lifetime; call
+     * unregisterParticipant when the thread exits so quiesces stop
+     * waiting on it.
+     */
+    Participant* registerParticipant();
+    void unregisterParticipant(Participant* p);
+
+    /**
+     * Issues a key lease. @p self (may be null for single-threaded use)
+     * is fenced on entry so the caller never blocks its own quiesce.
+     * @p avoid_mask bit k set means "do not issue key k" — callers pass
+     * their neighbor slots' colors to keep the striping contract.
+     *
+     * May open a recycle epoch (blocking until quiesce) when the free
+     * list is dry; degrades to sharing a live key on exhaustion or
+     * quiesce timeout.
+     */
+    Result<Lease> acquire(Participant* self, uint16_t avoid_mask = 0);
+
+    /**
+     * Returns a lease. The last release of a key retires it; @p retag
+     * (may be empty) is deferred until after that key's next post-fence
+     * recycle, and is dropped if the lease generation is stale.
+     */
+    void release(const Lease& lease, RetagFn retag = nullptr);
+
+    /** Current generation of @p key (0 if never issued). */
+    uint64_t generationOf(Pkey key) const;
+
+    /** True if @p lease is from the current generation of its key. */
+    bool isCurrent(const Lease& lease) const;
+
+    Stats stats() const;
+
+    System* system() const { return system_; }
+
+  private:
+    struct KeyState;
+    struct Core;
+
+    bool waitQuiesce(uint64_t target, Participant* self, uint64_t* stall_ns);
+
+    System* system_;
+    Options options_;
+    std::atomic<uint64_t> epoch_{1};
+    std::unique_ptr<Core> core_;
+};
+
+}  // namespace sfi::mpk
+
+#endif  // SFIKIT_MPK_KEYRING_H_

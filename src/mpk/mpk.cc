@@ -13,127 +13,9 @@
 #include "base/cpu.h"
 #include "base/logging.h"
 #include "base/units.h"
+#include "mpk/colormap.h"
 
 namespace sfi::mpk {
-
-namespace {
-
-/** ~3-cycle dependent multiplies to model a fixed instruction latency. */
-inline void
-latencyChain(int cycles)
-{
-    uint64_t x = 3;
-    for (int i = 0; i < cycles / 3; i++)
-        asm volatile("imulq %0, %0" : "+r"(x));
-}
-
-/** Colored range bookkeeping shared by every backend: addr -> (end, key). */
-class ColorMap
-{
-  public:
-    struct Range
-    {
-        uint64_t end;
-        Pkey key;
-        PageAccess access;
-    };
-
-    void
-    set(uint64_t start, uint64_t end, Pkey key, PageAccess access)
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        // Split any interval overlapping [start, end).
-        auto it = ranges_.lower_bound(start);
-        if (it != ranges_.begin()) {
-            auto prev = std::prev(it);
-            if (prev->second.end > start) {
-                Range tail = prev->second;
-                uint64_t tail_end = tail.end;
-                prev->second.end = start;
-                if (tail_end > end)
-                    ranges_[end] = {tail_end, tail.key, tail.access};
-            }
-        }
-        while (it != ranges_.end() && it->first < end) {
-            Range cur = it->second;
-            uint64_t cur_start = it->first;
-            it = ranges_.erase(it);
-            (void)cur_start;
-            if (cur.end > end)
-                ranges_[end] = cur;
-        }
-        ranges_[start] = {end, key, access};
-    }
-
-    /** Key + access of the range containing @p addr; key 0 if uncolored. */
-    Range
-    lookup(uint64_t addr) const
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        auto it = ranges_.upper_bound(addr);
-        if (it != ranges_.begin()) {
-            auto prev = std::prev(it);
-            if (prev->second.end > addr)
-                return prev->second;
-        }
-        return {0, 0, PageAccess::ReadWrite};
-    }
-
-    template <typename Fn>
-    void
-    forEach(Fn&& fn) const
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        for (const auto& [start, r] : ranges_)
-            fn(start, r);
-    }
-
-  private:
-    mutable std::mutex mu_;
-    std::map<uint64_t, Range> ranges_;
-};
-
-/** Key-allocation bitmap shared by every backend (thread-safe). */
-class KeyPool
-{
-  public:
-    Result<Pkey>
-    alloc()
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        for (Pkey k = 1; k < kNumKeys; k++) {
-            if (!(used_ & (1u << k))) {
-                used_ |= 1u << k;
-                return k;
-            }
-        }
-        return Result<Pkey>::error("protection keys exhausted (15 in use)");
-    }
-
-    Status
-    free(Pkey key)
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (key <= 0 || key >= kNumKeys || !(used_ & (1u << key)))
-            return Status::error("freeing unallocated key");
-        used_ &= ~(1u << key);
-        return Status::ok();
-    }
-
-  private:
-    std::mutex mu_;
-    uint32_t used_ = 0;
-};
-
-bool
-accessAllows(PageAccess access, bool is_write)
-{
-    switch (access) {
-      case PageAccess::None: return false;
-      case PageAccess::ReadOnly: return !is_write;
-      default: return true;
-    }
-}
 
 int
 protFlags(PageAccess access)
@@ -148,6 +30,8 @@ protFlags(PageAccess access)
     }
     return PROT_NONE;
 }
+
+namespace {
 
 /**
  * Real MPK. PKRU is genuinely per-thread in hardware; bookkeeping mirrors

@@ -124,6 +124,27 @@ class System
 
     /** The color assigned to the page containing @p addr (0 if none). */
     virtual Pkey keyOf(const void* addr) const = 0;
+
+    /**
+     * Does the color assignment survive the backing pages being
+     * decommitted? MPK colors live in the PTE, which madvise(DONTNEED)
+     * leaves intact, so the answer is yes for every MPK backend. MTE tags
+     * live in the physical granules and are dropped with them (paper §7,
+     * Observation 2), so the MTE backend answers no and the pool re-tags
+     * on the next allocation of a decommitted slot.
+     */
+    virtual bool tagsSurviveDecommit() const { return true; }
+
+    /**
+     * Notification that [addr, addr+len) was decommitted. Backends whose
+     * tags do not survive decommit drop their tag bookkeeping here so the
+     * probe API agrees with what hardware would do.
+     */
+    virtual void onDecommit(void* addr, uint64_t len)
+    {
+        (void)addr;
+        (void)len;
+    }
 };
 
 /** True if the CPU+OS support real MPK (CPUID OSPKE). */

@@ -1,0 +1,185 @@
+#include "mpk/mte_backend.h"
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "base/logging.h"
+#include "base/units.h"
+#include "mpk/colormap.h"
+#include "mpk/mte.h"
+
+namespace sfi::mpk {
+
+struct MteSystem::Impl {
+    MteBackendOptions options;
+    KeyPool tags;      // tag nibbles 1..15, same space as pkeys
+    ColorMap granules; // addr range -> (tag, page access)
+    uint64_t id;       // thread-local Pkru map key (see EmulatedMpk)
+
+    std::mutex statsMu;
+    Stats stats;  // tagChecks tracked separately (hot path, lock-free)
+    std::atomic<uint64_t> tagChecks{0};
+
+    Pkru&
+    tlPkru() const
+    {
+        static thread_local std::map<uint64_t, Pkru> map;
+        return map[id];
+    }
+
+    static uint64_t
+    nextId()
+    {
+        static std::atomic<uint64_t> next{1u << 20};  // disjoint from MPK ids
+        return next.fetch_add(1, std::memory_order_relaxed);
+    }
+};
+
+MteSystem::MteSystem(const MteBackendOptions& options)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->options = options;
+    impl_->id = Impl::nextId();
+}
+
+MteSystem::~MteSystem() = default;
+
+Result<Pkey>
+MteSystem::allocKey()
+{
+    return impl_->tags.alloc();
+}
+
+Status
+MteSystem::freeKey(Pkey key)
+{
+    return impl_->tags.free(key);
+}
+
+Status
+MteSystem::protectRange(void* addr, uint64_t len, PageAccess access,
+                        Pkey key)
+{
+    if (key < 0 || key >= kNumKeys)
+        return Status::error("bad mte tag");
+    uint64_t start = reinterpret_cast<uint64_t>(addr);
+    if (!isAligned(start, kOsPageSize) || !isAligned(len, kOsPageSize))
+        return Status::error("mte protect range not page aligned");
+    if (mprotect(addr, len, protFlags(access)) != 0) {
+        return Status::error(std::string("mprotect: ") +
+                             std::strerror(errno));
+    }
+    if (impl_->options.modelUserTagCost) {
+        // Userspace ST2G path: two granules per serialized instruction
+        // (§7 Observation 1) — same cost shape MteEmu::setTagRangeUser
+        // models, without a second tag array to keep coherent.
+        uint64_t chain = 1;
+        for (uint64_t done = 0; done < len; done += 2 * kMteGranule) {
+            for (int c = 0; c < 16; c++)
+                asm volatile("imulq %0, %0" : "+r"(chain));
+        }
+    }
+    impl_->granules.set(start, start + len, key, access);
+    std::lock_guard<std::mutex> lock(impl_->statsMu);
+    impl_->stats.granulesTagged += len / kMteGranule;
+    return Status::ok();
+}
+
+void
+MteSystem::writePkru(Pkru pkru)
+{
+    // MTE has no PKRU: the sandbox color rides in the pointer's top
+    // nibble, so a transition just starts using differently-tagged
+    // pointers. We keep the Pkru *image* per thread to derive the active
+    // tag for the probe API, but model zero switch cost — this is the
+    // transition-cost advantage MTE has over WRPKRU.
+    impl_->tlPkru() = pkru;
+}
+
+Pkru
+MteSystem::readPkru() const
+{
+    return impl_->tlPkru();
+}
+
+bool
+MteSystem::checkAccess(const void* addr, bool is_write) const
+{
+    impl_->tagChecks.fetch_add(1, std::memory_order_relaxed);
+    auto r = impl_->granules.lookup(reinterpret_cast<uint64_t>(addr));
+    if (!accessAllows(r.access, is_write))
+        return false;
+    Pkru pkru = impl_->tlPkru();
+    if (pkru == Pkru::allowAll()) {
+        // Host mode: trusted runtime accesses run tag-check-free
+        // (PSTATE.TCO / untagged host mapping).
+        return true;
+    }
+    // Sandbox mode: the pointer carries the single enabled tag. Accesses
+    // hit granules of that tag (the slot) or tag 0 (shared runtime pages
+    // reached through untagged pointers) — the analogue of pkey 0.
+    if (r.key == 0)
+        return true;
+    return pkru.canAccess(r.key);
+}
+
+Pkey
+MteSystem::keyOf(const void* addr) const
+{
+    return impl_->granules.lookup(reinterpret_cast<uint64_t>(addr)).key;
+}
+
+bool
+MteSystem::tagsSurviveDecommit() const
+{
+    return impl_->options.preserveTagsOnDecommit;
+}
+
+void
+MteSystem::onDecommit(void* addr, uint64_t len)
+{
+    std::lock_guard<std::mutex> lock(impl_->statsMu);
+    impl_->stats.decommits++;
+    if (impl_->options.preserveTagsOnDecommit)
+        return;
+    // madvise(MADV_DONTNEED) drops the physical granules and their tags
+    // (§7 Observation 2): the range reverts to tag 0. Page access is
+    // unchanged — the mapping itself survives.
+    uint64_t start = reinterpret_cast<uint64_t>(addr);
+    uint64_t end = start + len;
+    auto r = impl_->granules.lookup(start);
+    impl_->granules.set(start, end, 0,
+                        r.end != 0 ? r.access : PageAccess::ReadWrite);
+    impl_->stats.granulesDiscarded += len / kMteGranule;
+}
+
+void
+MteSystem::poisonGranule(void* addr, uint8_t tag)
+{
+    uint64_t start = reinterpret_cast<uint64_t>(addr) & ~(kMteGranule - 1);
+    auto r = impl_->granules.lookup(start);
+    impl_->granules.set(start, start + kMteGranule, Pkey(tag & 0xf),
+                        r.end != 0 ? r.access : PageAccess::ReadWrite);
+}
+
+MteSystem::Stats
+MteSystem::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->statsMu);
+    Stats s = impl_->stats;
+    s.tagChecks = impl_->tagChecks.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::unique_ptr<MteSystem>
+makeMteBackend(const MteBackendOptions& options)
+{
+    return std::make_unique<MteSystem>(options);
+}
+
+}  // namespace sfi::mpk

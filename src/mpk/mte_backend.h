@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Emulated ARMv9 MTE as a first-class ColorGuard backend (§7, CAGE).
+ *
+ * ColorGuard's layout/striping logic only needs a "color" abstraction —
+ * assign a color to a slot's pages, switch the thread's active color at
+ * sandbox transitions, ask whether an access is legal. MPK realizes the
+ * color as a PTE protection key; MTE realizes it as the 4-bit allocation
+ * tag of each 16-byte granule plus the pointer's top-nibble logical tag.
+ * This backend maps the existing mpk::System interface onto MTE
+ * semantics so every consumer (pool, runtime, scheduler, interpreter
+ * access hook) runs unchanged on either backend:
+ *
+ *  - allocKey()      -> allocate a tag nibble 1..15 (tag 0 = untagged
+ *                       runtime memory, the analogue of pkey 0).
+ *  - protectRange()  -> mprotect() the pages *and* tag the granules.
+ *  - writePkru()     -> derive the thread's *active pointer tag* from the
+ *                       Pkru image: allowOnly(k) means "this thread's
+ *                       sandbox pointers carry tag k"; allowAll means
+ *                       host mode (tag checks suppressed, like PSTATE.TCO
+ *                       during trusted runtime execution). There is no
+ *                       PKRU register to write, which is why MTE
+ *                       transitions are modeled as free — the tag rides
+ *                       in the pointer.
+ *  - checkAccess()   -> page access check plus granule-tag match: a
+ *                       sandbox thread with active tag k may touch
+ *                       granules tagged k (its slot) or 0 (shared
+ *                       runtime pages).
+ *
+ * The two MTE cost asymmetries the paper measures (§7) surface through
+ * the same interface: Observation 1 (slow userspace ST2G tagging) as an
+ * optional modeled cost on protectRange, and Observation 2 (madvise
+ * discards tags) via tagsSurviveDecommit() == false + onDecommit()
+ * clearing tags, which makes the pool re-tag recycled slots.
+ */
+#ifndef SFIKIT_MPK_MTE_BACKEND_H_
+#define SFIKIT_MPK_MTE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "mpk/mpk.h"
+
+namespace sfi::mpk {
+
+struct MteBackendOptions {
+    /**
+     * Model the userspace ST2G path on protectRange (two granules per
+     * serialized instruction, Observation 1). Off by default so
+     * functional tests run fast; the §7 bench turns it on.
+     */
+    bool modelUserTagCost = false;
+    /**
+     * Tags survive decommit (the madvise tag-preserving flag the paper
+     * proposes). Off = current Linux semantics, Observation 2.
+     */
+    bool preserveTagsOnDecommit = false;
+};
+
+class MteSystem : public System
+{
+  public:
+    explicit MteSystem(const MteBackendOptions& options);
+    ~MteSystem() override;
+
+    const char* name() const override { return "emulated-mte"; }
+    bool enforcesInHardware() const override { return false; }
+
+    Result<Pkey> allocKey() override;
+    Status freeKey(Pkey key) override;
+    Status protectRange(void* addr, uint64_t len, PageAccess access,
+                        Pkey key) override;
+    void writePkru(Pkru pkru) override;
+    Pkru readPkru() const override;
+    bool checkAccess(const void* addr, bool is_write) const override;
+    Pkey keyOf(const void* addr) const override;
+
+    bool tagsSurviveDecommit() const override;
+    void onDecommit(void* addr, uint64_t len) override;
+
+    /**
+     * Test hook: overwrite the tag of the single granule containing
+     * @p addr (as a corrupted or stale tag would), without touching page
+     * protection. Negative fixtures use this to prove mis-tagged
+     * granules are caught.
+     */
+    void poisonGranule(void* addr, uint8_t tag);
+
+    struct Stats {
+        uint64_t granulesTagged = 0;     ///< granules written by protectRange
+        uint64_t granulesDiscarded = 0;  ///< tags lost to decommit
+        uint64_t decommits = 0;          ///< onDecommit notifications
+        uint64_t tagChecks = 0;          ///< checkAccess probes
+    };
+    Stats stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Emulated-MTE backend behind the common System interface. */
+std::unique_ptr<MteSystem> makeMteBackend(const MteBackendOptions& options = {});
+
+}  // namespace sfi::mpk
+
+#endif  // SFIKIT_MPK_MTE_BACKEND_H_

@@ -48,6 +48,35 @@ classifierRules()
                         "first-request p50 (>= 25%%)",
                         per_ns / 1e3, 100.0 * per_ns / (*p50 * 1000.0));
          }},
+        // Admission-bound rows (ISSUE 10): the bounded shard queues are
+        // turning offered work away (or, under Backpressure, holding it
+        // upstream longer than it takes to serve) — the row grades the
+        // admission policy, not the execution path.
+        {"admission.queue_bound", "admission-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             auto offered = get(v, "offered_requests");
+             auto rejected = get(v, "rejected");
+             auto shed = get(v, "shed_requests");
+             if (offered && *offered > 0) {
+                 double away = (rejected ? *rejected : 0) +
+                               (shed ? *shed : 0);
+                 if (away / *offered >= 0.10)
+                     return fmt("%.0f%% of offered requests turned "
+                                "away at admission (>= 10%%)",
+                                100.0 * away / *offered);
+             }
+             // Backpressure turns nothing away; the bound shows up as
+             // admission delay dominating the served latency.
+             auto adm = get(v, "admission_p99_us");
+             auto p99 = get(v, "p99_us");
+             auto overloads = get(v, "overload_events");
+             if (adm && p99 && overloads && *overloads >= 1 &&
+                 *p99 > 0 && *adm >= *p99)
+                 return fmt("admission-delay p99 %.0f us >= served "
+                            "p99 %.0f us with %.0f overload events",
+                            *adm, *p99, *overloads);
+             return std::nullopt;
+         }},
         // Warm-reuse zeroing: more than a quarter MiB memset per
         // request means the pool spends its time scrubbing pages.
         {"zeroing.bytes_per_request", "zeroing-bound",
@@ -141,18 +170,29 @@ classifierRules()
                         "(>= 50%%)",
                         100 * residual, *total);
          }},
-        // Pool churn: allocations crossing shards or hitting the
-        // decommit path instead of the warm cache.
+        // Cross-shard contention: a quarter or more of allocations
+        // stolen from another shard means the shards are fighting over
+        // slots, not serving their own working set. Ordered before the
+        // churn rule — contention is the more specific diagnosis.
+        {"pool.shard_contention", "contention-bound",
+         [](const FieldView& v) -> std::optional<std::string> {
+             auto allocs = get(v, "allocations");
+             auto steals = get(v, "steals");
+             if (!allocs || !steals || *allocs <= 0)
+                 return std::nullopt;
+             if (*steals / *allocs < 0.25)
+                 return std::nullopt;
+             return fmt("%.0f%% of allocations stolen cross-shard "
+                        "(>= 25%%)",
+                        100 * *steals / *allocs);
+         }},
+        // Pool churn: allocations hitting the decommit path instead of
+        // the warm cache.
         {"memory.pool_churn", "memory-bound",
          [](const FieldView& v) -> std::optional<std::string> {
              auto allocs = get(v, "allocations");
              if (!allocs || *allocs <= 0)
                  return std::nullopt;
-             auto steals = get(v, "steals");
-             if (steals && *steals / *allocs >= 0.25)
-                 return fmt("%.0f%% of allocations stolen cross-shard "
-                            "(>= 25%%)",
-                            100 * *steals / *allocs);
              auto warm = get(v, "warm_hits");
              auto decommits = get(v, "decommits");
              if (warm && decommits && *decommits >= 1 &&

@@ -174,7 +174,7 @@ isCoordinateField(const std::string& name)
     // (achieved_rps is the measurement).
     static const char* const kCoords[] = {
         "batch_max", "processes", "threads",  "workers",
-        "batch",     "scale",     "offered_rps",
+        "batch",     "scale",     "offered_rps", "queue_depth",
     };
     for (const char* c : kCoords)
         if (name == c)

@@ -27,6 +27,24 @@ defaultMatrix()
         // monolithic / tiered-cold / tiered-warm compilation modes on
         // the synthetic multi-handler FaaS image.
         {"cold_start", "bench_fig6_faas_throughput", {"--cold-start"}},
+        // Overload row (ISSUE 10): 2x the faas_open_loop rate with a
+        // bounded shard queue — grades how admission degrades (shed
+        // fraction, overload events, admission delay) rather than how
+        // fast the host goes.
+        {"faas_overload",
+         "bench_fig6_faas_throughput",
+         {"--open-loop", "--rate", "40000", "--batch", "16",
+          "--policy", "shed", "--queue-depth", "32"}},
+        // Backend-parity row (ISSUE 10): the same open-loop point
+        // served by the MTE backend; gates the retag/recolor overhead
+        // the granule-tag backend adds.
+        // --cold disables warm-affinity reuse so every recycle
+        // decommits — which discards MTE tags and pays the retag walk
+        // (§7 Observation 2), the cost this row exists to gate.
+        {"mte_backend",
+         "bench_fig6_faas_throughput",
+         {"--open-loop", "--rate", "20000", "--batch", "16",
+          "--backend", "mte", "--cold"}},
     };
     return kMatrix;
 }

@@ -53,6 +53,7 @@ struct MemoryPool::Core
     PoolConfig config;
     Options opts;
     mpk::System* mpk = nullptr;
+    mpk::KeyRing* ring = nullptr;       ///< lease mode when non-null
     std::vector<mpk::Pkey> stripeKeys;  ///< empty when striping off
 
     std::vector<Shard> shards;
@@ -60,6 +61,19 @@ struct MemoryPool::Core
     std::vector<uint8_t> committed;
     std::vector<uint64_t> dirtyBytes;  ///< page-aligned high-water span
     std::unique_ptr<std::atomic<uint8_t>[]> state;
+    /**
+     * Color currently stamped in the slot's PTEs/granules, and (lease
+     * mode) the generation it was leased under. Atomics because the
+     * retire-time scrub and neighbor-mask reads cross slot ownership.
+     */
+    std::unique_ptr<std::atomic<int>[]> slotKey;
+    std::unique_ptr<std::atomic<uint64_t>[]> slotKeyGen;
+    /**
+     * The slot's stamped color is stale — either its backend dropped
+     * tags on decommit (MTE) or its key retired and may be reissued.
+     * allocate() must re-protect before handing the slot out.
+     */
+    std::unique_ptr<std::atomic<uint8_t>[]> needsRecolor;
     std::atomic<uint64_t> inUse{0};
 
     struct Counters
@@ -73,6 +87,8 @@ struct MemoryPool::Core
         std::atomic<uint64_t> steals{0};
         std::atomic<uint64_t> decommits{0};
         std::atomic<uint64_t> decommittedBytes{0};
+        std::atomic<uint64_t> recolors{0};
+        std::atomic<uint64_t> retags{0};
     } counters;
 
     // Reclamation thread state.
@@ -97,6 +113,10 @@ struct MemoryPool::Core
     void firstCommitFailed(uint64_t index);
     void reclaimerLoop();
     bool popPendingReclaim(uint64_t* index);
+    void notifyDecommit(uint64_t index, uint64_t offset, uint64_t len);
+    void drainReclaimer();
+    bool stealFromLists(uint64_t index);
+    void scrubRetiredSlot(uint64_t index, int key, uint64_t gen);
 };
 
 Result<MemoryPool>
@@ -115,14 +135,25 @@ MemoryPool::create(Options options)
     core->config = options.config;
     core->opts = options;
     core->mpk = options.mpk ? options.mpk : &mpk::defaultSystem();
+    core->ring = options.keyRing;
+    if (core->ring != nullptr) {
+        if (options.mpk == nullptr) {
+            core->mpk = core->ring->system();
+        } else if (core->ring->system() != core->mpk) {
+            return Result<MemoryPool>::error(
+                "keyRing uses a different mpk::System than the pool");
+        }
+    }
 
     auto slab = Reservation::reserve(core->layout.totalSlotBytes);
     if (!slab)
         return Result<MemoryPool>::error(slab.message());
     core->slab = std::move(*slab);
 
-    // One key per stripe; striping disabled when numStripes == 1.
-    if (core->layout.numStripes > 1) {
+    // One key per stripe; striping disabled when numStripes == 1. In
+    // lease mode the ring owns the key space instead — static stripe
+    // keys would pin it.
+    if (core->layout.numStripes > 1 && core->ring == nullptr) {
         for (uint64_t s = 0; s < core->layout.numStripes; s++) {
             auto key = core->mpk->allocKey();
             if (!key) {
@@ -155,6 +186,9 @@ MemoryPool::create(Options options)
     core->committed.assign(n, 0);
     core->dirtyBytes.assign(n, 0);
     core->state = std::make_unique<std::atomic<uint8_t>[]>(n);
+    core->slotKey = std::make_unique<std::atomic<int>[]>(n);
+    core->slotKeyGen = std::make_unique<std::atomic<uint64_t>[]>(n);
+    core->needsRecolor = std::make_unique<std::atomic<uint8_t>[]>(n);
 
     if (options.deferredDecommit) {
         Core* c = core.get();
@@ -210,8 +244,26 @@ MemoryPool::Core::decommitSlot(uint64_t index)
         counters.decommittedBytes.fetch_add(span,
                                             std::memory_order_relaxed);
         dirtyBytes[index] = 0;
+        notifyDecommit(index, layout.slotOffset(index), span);
     }
     return st;
+}
+
+/**
+ * Tell the backend pages went away. MPK's PTE colors survive madvise so
+ * this is a no-op there; MTE drops granule tags with the pages (§7
+ * Observation 2), so the slot is flagged for re-tagging on its next
+ * checkout.
+ */
+void
+MemoryPool::Core::notifyDecommit(uint64_t index, uint64_t offset,
+                                 uint64_t len)
+{
+    if (mpk->tagsSurviveDecommit())
+        return;
+    mpk->onDecommit(slab.base() + offset, len);
+    if (slotKey[index].load(std::memory_order_relaxed) != 0)
+        needsRecolor[index].store(1, std::memory_order_relaxed);
 }
 
 /** Undo a failed checkout: the slot goes back to its cold list. */
@@ -238,6 +290,12 @@ MemoryPool::Core::popPendingReclaim(uint64_t* index)
 
 Result<Slot>
 MemoryPool::allocate()
+{
+    return allocate(nullptr);
+}
+
+Result<Slot>
+MemoryPool::allocate(mpk::KeyRing::Participant* self)
 {
     Core& c = *core_;
     const uint32_t nshards = uint32_t(c.shards.size());
@@ -290,13 +348,41 @@ MemoryPool::allocate()
     Slot slot;
     slot.index = index;
     slot.base = c.slab.base() + c.layout.slotOffset(index);
-    slot.pkey = keyOfStripe(c.layout.stripeOf(index));
 
+    if (c.ring != nullptr) {
+        // Lease mode: a fresh generation-counted lease per occupancy.
+        // Pass the address-space neighbors' colors as the avoid mask so
+        // adjacent slots keep distinct colors (the contiguous-overflow
+        // contract striping provides).
+        uint16_t avoid = 0;
+        auto maskOf = [](int k) -> uint16_t {
+            return (k > 0 && k < mpk::kNumKeys) ? uint16_t(1u << k) : 0;
+        };
+        if (index > 0) {
+            avoid |= maskOf(
+                c.slotKey[index - 1].load(std::memory_order_relaxed));
+        }
+        if (index + 1 < c.layout.numSlots) {
+            avoid |= maskOf(
+                c.slotKey[index + 1].load(std::memory_order_relaxed));
+        }
+        auto lease = c.ring->acquire(self, avoid);
+        if (!lease) {
+            c.firstCommitFailed(index);
+            return Result<Slot>::error(lease.message());
+        }
+        slot.pkey = lease->key;
+        slot.keyGeneration = lease->generation;
+    } else {
+        slot.pkey = keyOfStripe(c.layout.stripeOf(index));
+    }
+
+    uint64_t commit = c.layout.maxMemoryBytes;
     if (!c.committed[index]) {
-        // First use: commit the memory range and stamp its color. The
-        // color persists across free/decommit cycles (MPK stores it in
-        // the PTE), so this happens once per slot lifetime.
-        uint64_t commit = c.layout.maxMemoryBytes;
+        // First use: commit the memory range and stamp its color. In
+        // static-stripe mode on MPK the color persists across
+        // free/decommit cycles (the PTE stores it), so this happens
+        // once per slot lifetime.
         Status st =
             slot.pkey != 0
                 ? c.mpk->protectRange(slot.base, commit,
@@ -304,11 +390,63 @@ MemoryPool::allocate()
                 : c.slab.protect(c.layout.slotOffset(index), commit,
                                  PageAccess::ReadWrite);
         if (!st) {
+            if (c.ring != nullptr)
+                c.ring->release({slot.pkey, slot.keyGeneration});
             c.firstCommitFailed(index);
             return Result<Slot>::error(st.message());
         }
         c.committed[index] = 1;
         c.counters.firstCommits.fetch_add(1, std::memory_order_relaxed);
+        c.slotKey[index].store(slot.pkey, std::memory_order_relaxed);
+        c.slotKeyGen[index].store(slot.keyGeneration,
+                                  std::memory_order_relaxed);
+        c.needsRecolor[index].store(0, std::memory_order_relaxed);
+    } else {
+        bool colorChanged =
+            c.ring != nullptr &&
+            (c.slotKey[index].load(std::memory_order_relaxed) !=
+                 slot.pkey ||
+             c.slotKeyGen[index].load(std::memory_order_relaxed) !=
+                 slot.keyGeneration);
+        bool stale =
+            c.needsRecolor[index].load(std::memory_order_relaxed) != 0;
+        if (colorChanged || stale) {
+            if (colorChanged) {
+                // The previous occupant ran under a different (key,
+                // generation). Scrub before re-coloring: any bytes a
+                // stale same-color PKRU could have scribbled between
+                // retire and reissue must not reach the new tenant.
+                if (c.slab.decommit(c.layout.slotOffset(index), commit)
+                        .isOk()) {
+                    c.counters.decommits.fetch_add(
+                        1, std::memory_order_relaxed);
+                    c.counters.decommittedBytes.fetch_add(
+                        commit, std::memory_order_relaxed);
+                    c.dirtyBytes[index] = 0;
+                    if (!c.mpk->tagsSurviveDecommit())
+                        c.mpk->onDecommit(slot.base, commit);
+                }
+            }
+            Status st =
+                slot.pkey != 0
+                    ? c.mpk->protectRange(slot.base, commit,
+                                          PageAccess::ReadWrite,
+                                          slot.pkey)
+                    : c.slab.protect(c.layout.slotOffset(index), commit,
+                                     PageAccess::ReadWrite);
+            if (!st) {
+                if (c.ring != nullptr)
+                    c.ring->release({slot.pkey, slot.keyGeneration});
+                c.firstCommitFailed(index);
+                return Result<Slot>::error(st.message());
+            }
+            (colorChanged ? c.counters.recolors : c.counters.retags)
+                .fetch_add(1, std::memory_order_relaxed);
+            c.slotKey[index].store(slot.pkey, std::memory_order_relaxed);
+            c.slotKeyGen[index].store(slot.keyGeneration,
+                                      std::memory_order_relaxed);
+            c.needsRecolor[index].store(0, std::memory_order_relaxed);
+        }
     }
 
     c.inUse.fetch_add(1, std::memory_order_relaxed);
@@ -355,6 +493,23 @@ MemoryPool::free(const Slot& slot, uint64_t touched_bytes)
     c.counters.frees.fetch_add(1, std::memory_order_relaxed);
     c.inUse.fetch_sub(1, std::memory_order_relaxed);
 
+    // Lease mode: the release (which can retire the key and later run
+    // the retire-time scrub) must happen only after the slot has landed
+    // on a free list or the reclaim queue — the scrub finds cohort
+    // slots through those structures. Deferred to the return paths.
+    Core* core = &c;
+    uint64_t index = slot.index;
+    int leaseKey = slot.pkey;
+    uint64_t leaseGen = slot.keyGeneration;
+    auto releaseLease = [core, index, leaseKey, leaseGen] {
+        if (core->ring == nullptr || leaseKey == 0)
+            return;
+        core->ring->release(
+            {leaseKey, leaseGen}, [core, index, leaseKey, leaseGen] {
+                core->scrubRetiredSlot(index, leaseKey, leaseGen);
+            });
+    };
+
     // Warm-affinity: keep the slot committed in the freeing thread's
     // shard if there is cache room.
     if (c.opts.warmSlotsPerShard > 0 && c.committed[slot.index]) {
@@ -376,18 +531,28 @@ MemoryPool::free(const Slot& slot, uint64_t touched_bytes)
                 c.counters.decommittedBytes.fetch_add(
                     tail, std::memory_order_relaxed);
                 c.dirtyBytes[slot.index] = keep;
+                c.notifyDecommit(slot.index,
+                                 c.layout.slotOffset(slot.index) + keep,
+                                 tail);
             } else {
                 // Full decommit below; the slot skips the warm cache.
                 trimmed = false;
             }
         }
         if (trimmed) {
-            Core::Shard& sh = c.shards[c.homeShard()];
-            std::lock_guard<std::mutex> lock(sh.mu);
-            if (sh.warm.size() < c.opts.warmSlotsPerShard) {
-                c.state[slot.index].store(kWarm,
-                                          std::memory_order_relaxed);
-                sh.warm.push_back(slot.index);
+            bool cached = false;
+            {
+                Core::Shard& sh = c.shards[c.homeShard()];
+                std::lock_guard<std::mutex> lock(sh.mu);
+                if (sh.warm.size() < c.opts.warmSlotsPerShard) {
+                    c.state[slot.index].store(kWarm,
+                                              std::memory_order_relaxed);
+                    sh.warm.push_back(slot.index);
+                    cached = true;
+                }
+            }
+            if (cached) {
+                releaseLease();
                 return Status::ok();
             }
         }
@@ -405,15 +570,19 @@ MemoryPool::free(const Slot& slot, uint64_t touched_bytes)
         }
         if (kick)
             c.reclaimCv.notify_one();
+        releaseLease();
         return Status::ok();
     }
 
     // Synchronous path: zero-on-reuse via decommit of the dirty span.
     Status st = c.decommitSlot(slot.index);
-    Core::Shard& sh = c.shards[c.homeShard()];
-    std::lock_guard<std::mutex> lock(sh.mu);
-    c.state[slot.index].store(kCold, std::memory_order_relaxed);
-    sh.cold.push_back(slot.index);
+    {
+        Core::Shard& sh = c.shards[c.homeShard()];
+        std::lock_guard<std::mutex> lock(sh.mu);
+        c.state[slot.index].store(kCold, std::memory_order_relaxed);
+        sh.cold.push_back(slot.index);
+    }
+    releaseLease();
     return st;
 }
 
@@ -460,18 +629,84 @@ MemoryPool::Core::reclaimerLoop()
 }
 
 void
+MemoryPool::Core::drainReclaimer()
+{
+    if (!reclaimer.joinable())
+        return;
+    std::unique_lock<std::mutex> lock(reclaimMu);
+    drainRequested = true;
+    reclaimCv.notify_all();
+    idleCv.wait(lock,
+                [&] { return reclaimQueue.empty() && !reclaimerBusy; });
+    drainRequested = false;
+}
+
+/** Claim @p index off whichever free list holds it. */
+bool
+MemoryPool::Core::stealFromLists(uint64_t index)
+{
+    for (Shard& sh : shards) {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto it = std::find(sh.warm.begin(), sh.warm.end(), index);
+        if (it != sh.warm.end()) {
+            sh.warm.erase(it);
+            state[index].store(kFreeing, std::memory_order_relaxed);
+            return true;
+        }
+        it = std::find(sh.cold.begin(), sh.cold.end(), index);
+        if (it != sh.cold.end()) {
+            sh.cold.erase(it);
+            state[index].store(kFreeing, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Retire-time scrub, run by the KeyRing after the PKRU fence and before
+ * the key is reissued. A retired cohort slot is necessarily free (its
+ * lease was released, and release happens only after the slot reaches a
+ * free list or the reclaim queue), so it is claimed through those
+ * structures, its previous occupant's bytes are dropped, and it is
+ * flagged for re-coloring on its next checkout. Without this, a warm
+ * slot of the retired cohort would keep its old tenant's data readable
+ * by the key's *next* tenant — the cross-generation aliasing the stress
+ * tier hunts for.
+ */
+void
+MemoryPool::Core::scrubRetiredSlot(uint64_t index, int key, uint64_t gen)
+{
+    if (slotKey[index].load(std::memory_order_relaxed) != key ||
+        slotKeyGen[index].load(std::memory_order_relaxed) != gen) {
+        return;  // re-leased and re-colored since; nothing stale left
+    }
+    needsRecolor[index].store(1, std::memory_order_relaxed);
+    bool owned = stealFromLists(index);
+    if (!owned &&
+        state[index].load(std::memory_order_relaxed) == kPending) {
+        // In the reclaimer's hands; wait for the batch to land back on
+        // the cold lists, then claim it there.
+        drainReclaimer();
+        owned = stealFromLists(index);
+    }
+    if (!owned) {
+        // Already checked out again under a *different* lease: that
+        // allocate observed the key/generation change and did the
+        // scrub + recolor itself.
+        return;
+    }
+    (void)decommitSlot(index);
+    Shard& sh = shards[index % shards.size()];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    state[index].store(kCold, std::memory_order_relaxed);
+    sh.cold.push_back(index);
+}
+
+void
 MemoryPool::quiesce()
 {
-    Core& c = *core_;
-    if (!c.reclaimer.joinable())
-        return;
-    std::unique_lock<std::mutex> lock(c.reclaimMu);
-    c.drainRequested = true;
-    c.reclaimCv.notify_all();
-    c.idleCv.wait(lock, [&] {
-        return c.reclaimQueue.empty() && !c.reclaimerBusy;
-    });
-    c.drainRequested = false;
+    core_->drainReclaimer();
 }
 
 MemoryPool::Stats
@@ -491,6 +726,14 @@ MemoryPool::stats() const
     s.decommits = c.counters.decommits.load(std::memory_order_relaxed);
     s.decommittedBytes =
         c.counters.decommittedBytes.load(std::memory_order_relaxed);
+    s.recolors = c.counters.recolors.load(std::memory_order_relaxed);
+    s.retags = c.counters.retags.load(std::memory_order_relaxed);
+    if (c.ring != nullptr) {
+        mpk::KeyRing::Stats rs = c.ring->stats();
+        s.keyRecycles = rs.keyRecycles;
+        s.recycleStallNs = rs.recycleStallNs;
+        s.keyShares = rs.keyShares;
+    }
     for (Core::Shard& sh : c.shards) {
         std::lock_guard<std::mutex> lock(sh.mu);
         s.coldDepth += sh.cold.size();

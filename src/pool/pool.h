@@ -37,6 +37,7 @@
 #include "base/os_mem.h"
 #include "base/result.h"
 #include "base/units.h"
+#include "mpk/keyring.h"
 #include "mpk/mpk.h"
 #include "pool/layout.h"
 #include "runtime/memory.h"
@@ -50,6 +51,12 @@ struct Slot
     uint8_t* base = nullptr;
     /** MPK key protecting this slot (0 when striping is off). */
     mpk::Pkey pkey = 0;
+    /**
+     * Recycle generation of pkey when leased through a KeyRing (0 in
+     * static-stripe mode). A (pkey, keyGeneration) pair is unique over
+     * the pool's lifetime even though the 4-bit pkey space recycles.
+     */
+    uint64_t keyGeneration = 0;
     /** Reused from the warm-affinity cache (no decommit in between). */
     bool warm = false;
     /**
@@ -69,6 +76,17 @@ class MemoryPool
         PoolConfig config;
         /** Key system for striping; nullptr = mpk::defaultSystem(). */
         mpk::System* mpk = nullptr;
+        /**
+         * Recycling key allocator. When set, slots are colored with
+         * per-occupancy leases instead of static stripe keys: each
+         * allocate() acquires a generation-counted lease (avoiding the
+         * address-space neighbors' colors so the adjacent-slots-differ
+         * contract holds) and each free() releases it. The ring's
+         * quiesce→fence→retag→reissue cycle then lets live-sandbox
+         * count exceed 15 × shards. The ring must outlive the pool and
+         * use the same System as Options::mpk.
+         */
+        mpk::KeyRing* keyRing = nullptr;
         LayoutArithmetic arithmetic = LayoutArithmetic::Checked;
 
         /**
@@ -144,6 +162,21 @@ class MemoryPool
         uint64_t warmDepth = 0;
         /** Slots queued for the reclamation thread right now. */
         uint64_t pendingReclaim = 0;
+        /**
+         * Lease-mode re-protects because a slot's color or generation
+         * changed between occupancies (pages re-colored + scrubbed).
+         */
+        uint64_t recolors = 0;
+        /**
+         * Re-protects forced by a backend whose tags do not survive
+         * decommit (MTE, §7 Observation 2): the slot's granule tags
+         * were dropped with its pages and had to be rewritten.
+         */
+        uint64_t retags = 0;
+        /** KeyRing passthrough (0 in static-stripe mode). */
+        uint64_t keyRecycles = 0;
+        uint64_t recycleStallNs = 0;
+        uint64_t keyShares = 0;
     };
 
     /**
@@ -169,6 +202,14 @@ class MemoryPool
      * use. Thread-safe.
      */
     Result<Slot> allocate();
+
+    /**
+     * allocate() with the caller's KeyRing participant, so a lease
+     * acquisition that has to open a recycle epoch can fence the caller
+     * instead of deadlocking on its own quiesce. Worker threads in
+     * lease mode must use this overload.
+     */
+    Result<Slot> allocate(mpk::KeyRing::Participant* self);
 
     /**
      * Returns a slot. @p touched_bytes is the span from the slot base

@@ -1,0 +1,267 @@
+#include "simx/admission_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace sfi::simx {
+namespace {
+
+/** One queued admission. */
+struct Item
+{
+    uint64_t id;
+    uint64_t arrivalNs;
+    /** Start of the sojourn clock (arrival, or admission time under
+     *  Backpressure). */
+    uint64_t sojournStartNs;
+};
+
+struct Shard
+{
+    std::deque<Item> queue;
+    /** Servers homed here that are currently in service. */
+    int busy = 0;
+    /** Servers homed here, total. */
+    int capacity = 0;
+};
+
+/** An in-flight request: (completion time, home shard of its server,
+ *  sojourn start). Min-heap on completion time; ties by id order. */
+struct InFlight
+{
+    uint64_t doneNs;
+    uint64_t id;
+    int serverShard;
+    uint64_t sojournStartNs;
+
+    bool
+    operator>(const InFlight& o) const
+    {
+        return doneNs != o.doneNs ? doneNs > o.doneNs : id > o.id;
+    }
+};
+
+/** The degradation ladder of mpk::KeyRing, with one knob per rung. */
+struct KeyModel
+{
+    int space = 0;  ///< 0 = disabled
+    int freeKeys = 0;
+    int retired = 0;
+    int live = 0;
+    uint64_t recycles = 0;
+    uint64_t shares = 0;
+
+    /** Returns the stall (ns) the acquiring request pays. */
+    uint64_t
+    acquire(double stall_ns)
+    {
+        if (space == 0)
+            return 0;
+        if (freeKeys > 0) {
+            freeKeys--;
+            live++;
+            return 0;
+        }
+        if (retired > 0) {
+            // Recycle epoch: quiesce, re-tag, batch-refill.
+            recycles++;
+            freeKeys += retired;
+            retired = 0;
+            freeKeys--;
+            live++;
+            return uint64_t(stall_ns);
+        }
+        // Every key live: share one (spatial striping still holds).
+        shares++;
+        live++;
+        return 0;
+    }
+
+    void
+    release()
+    {
+        if (space == 0)
+            return;
+        live--;
+        // A released lease retires its key only when it was the last
+        // holder; with shares in play approximate by retiring while
+        // holders fit in the space.
+        if (live < space)
+            retired++;
+    }
+};
+
+}  // namespace
+
+AdmissionSimResult
+simulateAdmission(const AdmissionSimConfig& config,
+                  const std::vector<uint64_t>& arrival_ns)
+{
+    AdmissionSimResult r;
+    const int num_shards = std::max(config.shards, 1);
+    const int servers = std::max(config.servers, 1);
+    const size_t bound = std::max<uint32_t>(config.queueDepth, 1);
+    const bool bounded = config.policy != AdmissionPolicy::None;
+
+    std::vector<Shard> shards(static_cast<size_t>(num_shards));
+    for (int i = 0; i < num_shards; i++)
+        shards[size_t(i)].capacity =
+            servers / num_shards + (i < servers % num_shards ? 1 : 0);
+
+    std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
+        inflight;
+    Rng rng(config.seed);
+    KeyModel keys;
+    keys.space = config.keySpace;
+    keys.freeKeys = config.keySpace;
+
+    size_t next = 0;        // arrival cursor
+    size_t rr = 0;          // round-robin shard assignment
+    uint64_t last_done = 0; // last completion timestamp
+
+    // Dispatch: idle servers drain their own shard's queue, then (work
+    // stealing) the oldest admission across sibling shards — mirroring
+    // claimForService in the host.
+    auto dispatch = [&](uint64_t now) {
+        for (int s = 0; s < num_shards; s++) {
+            Shard& home = shards[size_t(s)];
+            while (home.busy < home.capacity) {
+                Item it;
+                bool stolen = false;
+                if (!home.queue.empty()) {
+                    it = home.queue.front();
+                    home.queue.pop_front();
+                } else if (config.workStealing) {
+                    // Steal the globally oldest queued admission.
+                    int victim = -1;
+                    for (int v = 0; v < num_shards; v++) {
+                        if (v == s || shards[size_t(v)].queue.empty())
+                            continue;
+                        if (victim < 0 ||
+                            shards[size_t(v)].queue.front().id <
+                                shards[size_t(victim)].queue.front().id)
+                            victim = v;
+                    }
+                    if (victim < 0)
+                        break;
+                    it = shards[size_t(victim)].queue.front();
+                    shards[size_t(victim)].queue.pop_front();
+                    stolen = true;
+                } else {
+                    break;
+                }
+                if (stolen)
+                    r.stolen++;
+                home.busy++;
+                uint64_t stall = keys.acquire(config.recycleStallNs);
+                uint64_t svc = uint64_t(
+                    rng.nextExponential(config.serviceMeanNs));
+                inflight.push(InFlight{now + stall + svc, it.id, s,
+                                       it.sojournStartNs});
+            }
+        }
+    };
+
+    auto track_depth = [&](const Shard& sh) {
+        r.maxDepth = std::max<uint64_t>(r.maxDepth, sh.queue.size());
+    };
+
+    // Admit one arrival at time `now`, applying the overflow policy.
+    // Returns false when the arrival must wait upstream (Backpressure).
+    auto admit = [&](uint64_t id, uint64_t now, uint64_t arrival) {
+        Shard& sh = shards[rr++ % size_t(num_shards)];
+        if (bounded && sh.queue.size() >= bound) {
+            r.overloadArrivals++;
+            switch (config.policy) {
+            case AdmissionPolicy::Reject:
+                r.rejected++;
+                return true;
+            case AdmissionPolicy::Shed:
+                sh.queue.pop_front();
+                r.shed++;
+                sh.queue.push_back(Item{id, arrival, arrival});
+                r.admitted++;
+                track_depth(sh);
+                return true;
+            case AdmissionPolicy::Backpressure:
+                return false;
+            case AdmissionPolicy::None:
+                break;
+            }
+        }
+        uint64_t sojourn_start =
+            config.policy == AdmissionPolicy::Backpressure ? now : arrival;
+        r.admissionDelayNs.add(now - arrival);
+        sh.queue.push_back(Item{id, arrival, sojourn_start});
+        r.admitted++;
+        track_depth(sh);
+        return true;
+    };
+
+    // Upstream FIFO of arrivals Backpressure has not yet admitted.
+    std::deque<std::pair<uint64_t, uint64_t>> upstream;  // (id, arrival)
+
+    auto pump_upstream = [&](uint64_t now) {
+        while (!upstream.empty()) {
+            // Re-check space: admit() consumes it round-robin.
+            bool placed = false;
+            for (int s = 0; s < num_shards && !placed; s++) {
+                Shard& sh = shards[rr % size_t(num_shards)];
+                if (sh.queue.size() < bound) {
+                    auto [id, arr] = upstream.front();
+                    upstream.pop_front();
+                    admit(id, now, arr);
+                    placed = true;
+                } else {
+                    rr++;
+                }
+            }
+            if (!placed)
+                break;
+        }
+    };
+
+    while (next < arrival_ns.size() || !inflight.empty()) {
+        uint64_t next_arrival =
+            next < arrival_ns.size() ? arrival_ns[next] : UINT64_MAX;
+        uint64_t next_done =
+            !inflight.empty() ? inflight.top().doneNs : UINT64_MAX;
+
+        if (next_arrival <= next_done) {
+            uint64_t now = next_arrival;
+            uint64_t id = next++;
+            r.arrivals++;
+            if (!admit(id, now, now))
+                upstream.emplace_back(id, now);
+            dispatch(now);
+        } else {
+            InFlight f = inflight.top();
+            inflight.pop();
+            uint64_t now = f.doneNs;
+            last_done = now;
+            shards[size_t(f.serverShard)].busy--;
+            keys.release();
+            r.completed++;
+            r.sojournNs.add(now - f.sojournStartNs);
+            pump_upstream(now);
+            dispatch(now);
+        }
+    }
+
+    r.keyRecycles = keys.recycles;
+    r.keyShares = keys.shares;
+    r.elapsedNs = double(last_done);
+    r.throughputRps =
+        last_done > 0 ? double(r.completed) / (double(last_done) / 1e9) : 0;
+
+    // Conservation: every arrival is exactly one of
+    // completed / rejected / shed.
+    SFI_CHECK(r.completed + r.rejected + r.shed == r.arrivals);
+    return r;
+}
+
+}  // namespace sfi::simx

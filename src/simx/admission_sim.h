@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Discrete-event model of the FaaS host's admission layer: a c-server
+ * queueing system with per-shard bounded admission queues, the three
+ * overflow policies (Reject / Shed / Backpressure), work stealing, and
+ * a coarse model of ColorGuard key leasing/recycling.
+ *
+ * The model consumes the *same* arrival trace the real host precomputes
+ * (faas::LoadGen::schedule offsets), so a (seed, rate, process) triple
+ * names one workload for both systems. That makes the sim
+ * cross-validatable: run the real scheduler and this model on the same
+ * trace and the conservation counters (admitted / rejected / shed /
+ * completed) and degradation shape must agree — drift in either
+ * direction flags a modeling bug or a scheduler regression
+ * (tests/simx/admission_sim_test.cc does exactly this).
+ *
+ * A "server" is one request slot of the real host (maxConcurrent), not
+ * a CPU: during a request's IO waits the slot stays occupied while the
+ * worker thread serves other slots, so slot residence time — not CPU
+ * time — is the service time of the queueing system. Calibrate
+ * serviceMeanNs from the real host's measured latencyServiceNs mean.
+ */
+#ifndef SFIKIT_SIMX_ADMISSION_SIM_H_
+#define SFIKIT_SIMX_ADMISSION_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.h"
+
+namespace sfi::simx {
+
+/** Mirrors faas::AdmissionPolicy (simx must not depend on faas). */
+enum class AdmissionPolicy : uint8_t
+{
+    None,
+    Reject,
+    Shed,
+    Backpressure,
+};
+
+struct AdmissionSimConfig
+{
+    /** Request slots (the real host's maxConcurrent), all shards. */
+    int servers = 64;
+    /** Worker shards, each with its own bounded admission queue. */
+    int shards = 1;
+    /** Per-shard queue bound (ignored under None, where the queue is
+     *  the unbounded arrival backlog itself). */
+    uint32_t queueDepth = 64;
+    AdmissionPolicy policy = AdmissionPolicy::None;
+
+    /** Mean exponential slot-residence time per request (ns). */
+    double serviceMeanNs = 5e6;
+    /** Idle servers take the oldest admission from sibling shards. */
+    bool workStealing = true;
+
+    /**
+     * ColorGuard key model: usable protection keys (15 for MPK), or 0
+     * to disable. Each in-service request holds a key lease; releases
+     * retire the key; an acquire that finds the free list empty
+     * recycles every retired key in one epoch (keyRecycles++, the
+     * acquiring request stalled by recycleStallNs) or, when every key
+     * is live, shares one (keyShares++) — the same degradation ladder
+     * as mpk::KeyRing.
+     */
+    int keySpace = 0;
+    double recycleStallNs = 20'000;
+
+    uint64_t seed = 42;
+};
+
+struct AdmissionSimResult
+{
+    uint64_t arrivals = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+    uint64_t completed = 0;
+    /** Admissions served by a non-home shard's server. */
+    uint64_t stolen = 0;
+    /** Arrivals that found every shard queue full. */
+    uint64_t overloadArrivals = 0;
+    /** High-water admission-queue depth over all shards. */
+    uint64_t maxDepth = 0;
+
+    uint64_t keyRecycles = 0;
+    uint64_t keyShares = 0;
+
+    /** Sojourn (policy-defined start -> completion), ns. Under
+     *  Backpressure the clock starts at admission, as in the host. */
+    LogHistogram sojournNs;
+    /** Arrival -> admission wait, ns (Backpressure's upstream queue). */
+    LogHistogram admissionDelayNs;
+
+    double elapsedNs = 0;
+    double throughputRps = 0;
+};
+
+/**
+ * Runs the model over @p arrival_ns (absolute ns offsets, sorted
+ * non-decreasing — faas::LoadGen::schedule output). Deterministic for a
+ * given (config, trace).
+ */
+AdmissionSimResult simulateAdmission(const AdmissionSimConfig& config,
+                                     const std::vector<uint64_t>& arrival_ns);
+
+}  // namespace sfi::simx
+
+#endif  // SFIKIT_SIMX_ADMISSION_SIM_H_

@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Stress + fault-injection + differential tier for the production-shape
+ * host (ISSUE 10). Labelled "stress" (ctest -L stress, ideally under
+ * -DSFIKIT_SANITIZE=thread) so tier-1 stays fast.
+ *
+ * Three proof obligations:
+ *  1. Key recycling under churn: N threads drive the KeyRing (and the
+ *     pool's lease mode) through key exhaustion, so every request
+ *     crosses a recycling epoch; canary writes prove a recycled color
+ *     never exposes a previous tenant's bytes (zero aliasing).
+ *  2. Fault injection: key-allocation failure, quiesce timeout, and
+ *     admission-queue overflow each degrade per policy instead of
+ *     wedging a shard.
+ *  3. MPK <-> MTE differential: identical workloads produce
+ *     bit-identical checksums on both backends, and the mis-tagged
+ *     granule negative fixture is caught.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "base/fault.h"
+#include "faas/loadgen.h"
+#include "faas/scheduler.h"
+#include "mpk/keyring.h"
+#include "mpk/mte_backend.h"
+#include "pool/pool.h"
+#include "wkld/workloads.h"
+
+namespace sfi {
+namespace {
+
+// ---------------------------------------------------------------------
+// 1. Key-recycle stress
+// ---------------------------------------------------------------------
+
+TEST(KeyRecycleStress, RingChurnManyThreads)
+{
+    auto sys = mpk::makeEmulated();
+    mpk::KeyRing::Options ropt;
+    ropt.system = sys.get();
+    mpk::KeyRing ring(ropt);
+
+    const int kThreads = 8;
+    const int kIters = 1500;
+    std::atomic<uint64_t> acquired{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&ring, &acquired] {
+            mpk::KeyRing::Participant* self = ring.registerParticipant();
+            std::vector<mpk::Lease> held;
+            for (int i = 0; i < kIters; i++) {
+                auto lease = ring.acquire(self);
+                ASSERT_TRUE(lease.isOk()) << lease.message();
+                held.push_back(*lease);
+                // Hold a small working set so keys keep retiring and
+                // epochs keep opening across all threads.
+                if (held.size() >= 3) {
+                    ring.release(held.front());
+                    held.erase(held.begin());
+                }
+                acquired.fetch_add(1, std::memory_order_relaxed);
+                self->fence();
+            }
+            for (const auto& l : held)
+                ring.release(l);
+            ring.unregisterParticipant(self);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    mpk::KeyRing::Stats s = ring.stats();
+    EXPECT_EQ(acquired.load(), uint64_t(kThreads) * kIters);
+    // Far more concurrent-lifetime leases than raw keys exist: the
+    // recycling epochs (and, transiently, sharing) carried the excess.
+    EXPECT_GT(acquired.load(), 15u * kThreads);
+    EXPECT_GT(s.keyRecycles, 0u);
+    EXPECT_GT(s.keysRecycled, 0u);
+    // Everything returned: no leases outstanding, nothing wedged.
+    EXPECT_EQ(s.liveKeys, 0u);
+    EXPECT_EQ(s.quiesceTimeouts, 0u);
+    EXPECT_EQ(s.allocFailures, 0u);
+}
+
+TEST(KeyRecycleStress, PoolLeaseCanariesNeverAlias)
+{
+    auto sys = mpk::makeEmulated();
+    mpk::KeyRing::Options ropt;
+    ropt.system = sys.get();
+    mpk::KeyRing ring(ropt);
+
+    pool::MemoryPool::Options popt;
+    popt.config.numSlots = 32;
+    popt.config.maxMemoryBytes = 4 * kWasmPageSize;
+    popt.config.guardBytes = 4 * kWasmPageSize;
+    popt.config.stripingEnabled = true;
+    popt.mpk = sys.get();
+    popt.keyRing = &ring;
+    popt.shards = 4;
+    auto pool = pool::MemoryPool::create(std::move(popt));
+    ASSERT_TRUE(pool.isOk()) << pool.message();
+
+    const int kThreads = 4;
+    const int kIters = 400;
+    const uint64_t kCanarySpan = 1024;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&, t] {
+            mpk::KeyRing::Participant* self = ring.registerParticipant();
+            for (int i = 0; i < kIters; i++) {
+                auto slot = pool->allocate(self);
+                ASSERT_TRUE(slot.isOk()) << slot.message();
+                // Zero-aliasing assertion: whatever the previous tenant
+                // of this color/slot wrote must be gone.
+                for (uint64_t b = 0; b < kCanarySpan; b++) {
+                    ASSERT_EQ(slot->base[b], 0)
+                        << "thread " << t << " iter " << i << " byte "
+                        << b << " leaked a previous tenant's canary";
+                }
+                // Distinct per-(thread, iter) canary across the cohort.
+                uint8_t canary = uint8_t(0x40 + ((t * kIters + i) % 0xbf));
+                std::memset(slot->base, canary, kCanarySpan);
+                ASSERT_EQ(slot->base[kCanarySpan - 1], canary);
+                ASSERT_TRUE(pool->free(*slot, kCanarySpan).isOk());
+                self->fence();
+            }
+            ring.unregisterParticipant(self);
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+
+    pool::MemoryPool::Stats ps = pool->stats();
+    // The churn sustained far more concurrent-lifetime sandboxes than
+    // 15 keys x shards could without recycling.
+    EXPECT_EQ(ps.allocations, uint64_t(kThreads) * kIters);
+    EXPECT_GT(ps.allocations, 15u * 4u);
+    EXPECT_GT(ps.keyRecycles + ps.keyShares, 0u);
+    EXPECT_EQ(pool->slotsInUse(), 0u);
+}
+
+TEST(KeyRecycleStress, HostKeyExhaustionMatchesStaticStripingChecksum)
+{
+    // maxConcurrent far above 15 usable keys: with keyRecycling every
+    // worker's slot churn crosses recycle epochs, yet results must be
+    // bit-identical to the static-striping host on the same trace.
+    const uint64_t kReqs = 768;
+    faas::LoadGenConfig load;
+    load.ratePerSec = 20000;
+    load.seed = 42;
+
+    auto run = [&](bool recycling) {
+        faas::FaasHost::Options opts;
+        opts.maxConcurrent = 48;
+        opts.workerThreads = 4;
+        opts.ioDelayMeanMs = 0.05;
+        opts.keyRecycling = recycling;
+        auto host = faas::FaasHost::create(
+            wkld::faasWorkloads()[0].make(), std::move(opts));
+        EXPECT_TRUE(host.isOk()) << host.message();
+        auto stats = (*host)->runOpenLoop(kReqs, load);
+        EXPECT_TRUE(stats.isOk()) << stats.message();
+        EXPECT_EQ((*host)->memoryPool().slotsInUse(), 0u);
+        return *stats;
+    };
+
+    faas::FaasHost::Stats baseline = run(false);
+    faas::FaasHost::Stats recycled = run(true);
+    EXPECT_EQ(baseline.completed, kReqs);
+    EXPECT_EQ(recycled.completed, kReqs);
+    EXPECT_EQ(recycled.checksum, baseline.checksum);
+    // The lease churn actually exercised the ring.
+    EXPECT_GT(recycled.keyRecycles + recycled.keyShares, 0u);
+    EXPECT_EQ(baseline.keyRecycles, 0u);
+}
+
+// ---------------------------------------------------------------------
+// 2. Fault injection
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, KeyAllocFailureDegradesInsteadOfWedging)
+{
+    auto sys = mpk::makeEmulated();
+    mpk::KeyRing::Options ropt;
+    ropt.system = sys.get();
+    mpk::KeyRing ring(ropt);
+
+    auto a = ring.acquire(nullptr);
+    ASSERT_TRUE(a.isOk());
+
+    fault::FaultPlan plan;
+    plan.arm("keyring.alloc");
+    // Free list dry and growth injected to fail: the acquire is
+    // counted as a failure but degrades to sharing the one live key.
+    auto b = ring.acquire(nullptr);
+    ASSERT_TRUE(b.isOk()) << b.message();
+    EXPECT_EQ(b->key, a->key);
+    mpk::KeyRing::Stats s = ring.stats();
+    EXPECT_GE(s.allocFailures, 1u);
+    EXPECT_GE(s.keyShares, 1u);
+
+    // Both leases gone: the retired key recycles past the failing
+    // growth path (generation bumps prove it was reissued, not grown).
+    ring.release(*a);
+    ring.release(*b);
+    auto c = ring.acquire(nullptr);
+    ASSERT_TRUE(c.isOk()) << c.message();
+    EXPECT_EQ(c->key, a->key);
+    EXPECT_GT(c->generation, a->generation);
+    EXPECT_GE(ring.stats().keyRecycles, 1u);
+    plan.disarm("keyring.alloc");
+
+    // Disarmed: growth works again and hands out a different key.
+    auto d = ring.acquire(nullptr, /*avoid_mask=*/uint16_t(1u << c->key));
+    ASSERT_TRUE(d.isOk()) << d.message();
+    EXPECT_NE(d->key, c->key);
+    ring.release(*c);
+    ring.release(*d);
+}
+
+TEST(FaultInjection, QuiesceTimeoutDegradesToSharing)
+{
+    auto sys = mpk::makeEmulated();
+    mpk::KeyRing::Options ropt;
+    ropt.system = sys.get();
+    mpk::KeyRing ring(ropt);
+
+    // Exhaust the 15-key space, then retire ten keys and keep five
+    // live so the timeout path has somewhere to degrade to.
+    std::vector<mpk::Lease> leases;
+    for (int i = 0; i < 15; i++) {
+        auto l = ring.acquire(nullptr);
+        ASSERT_TRUE(l.isOk()) << l.message();
+        leases.push_back(*l);
+    }
+    for (int i = 0; i < 10; i++)
+        ring.release(leases[size_t(i)]);
+
+    fault::FaultPlan plan;
+    plan.arm("keyring.quiesce");
+    auto shared = ring.acquire(nullptr);
+    ASSERT_TRUE(shared.isOk()) << shared.message();
+    mpk::KeyRing::Stats s = ring.stats();
+    EXPECT_GE(s.quiesceTimeouts, 1u);
+    EXPECT_GE(s.keyShares, 1u);
+    // The degraded lease shares one of the *live* keys — never a
+    // retired (unfenced) one.
+    bool is_live = false;
+    for (int i = 10; i < 15; i++)
+        is_live |= leases[size_t(i)].key == shared->key;
+    EXPECT_TRUE(is_live);
+    plan.disarm("keyring.quiesce");
+
+    // With the fault gone the next dry acquire recycles normally.
+    ring.release(*shared);
+    auto fresh = ring.acquire(nullptr);
+    ASSERT_TRUE(fresh.isOk());
+    EXPECT_GE(ring.stats().keyRecycles, 1u);
+}
+
+class AdmissionOverflowFault
+    : public ::testing::TestWithParam<faas::AdmissionPolicy>
+{
+};
+
+TEST_P(AdmissionOverflowFault, DegradesPerPolicy)
+{
+    const uint64_t kReqs = 256;
+    fault::FaultPlan plan;
+    // Force the overflow path on a slice of pump passes even though the
+    // real queues never fill at this load.
+    plan.arm("admission.overflow", /*skip=*/3, /*count=*/40);
+
+    faas::FaasHost::Options opts;
+    opts.maxConcurrent = 16;
+    opts.workerThreads = 2;
+    opts.ioDelayMeanMs = 0.05;
+    opts.admission = GetParam();
+    opts.admissionQueueDepth = 8;
+    auto host = faas::FaasHost::create(wkld::faasWorkloads()[0].make(),
+                                       std::move(opts));
+    ASSERT_TRUE(host.isOk()) << host.message();
+
+    faas::LoadGenConfig load;
+    load.ratePerSec = 20000;
+    load.seed = 7;
+    auto stats = (*host)->runOpenLoop(kReqs, load);
+    ASSERT_TRUE(stats.isOk()) << stats.message();
+    EXPECT_GE(plan.triggers("admission.overflow"), 1u);
+
+    // Conservation per policy: nothing wedges, nothing is lost twice.
+    EXPECT_EQ(stats->completed + stats->rejected + stats->shedRequests,
+              kReqs);
+    switch (GetParam()) {
+    case faas::AdmissionPolicy::Reject:
+        EXPECT_GE(stats->rejected, 1u);
+        EXPECT_EQ(stats->shedRequests, 0u);
+        break;
+    case faas::AdmissionPolicy::Shed:
+        EXPECT_EQ(stats->rejected, 0u);
+        break;
+    case faas::AdmissionPolicy::Backpressure:
+        // Lossless: forced overflow only delays admission.
+        EXPECT_EQ(stats->completed, kReqs);
+        break;
+    case faas::AdmissionPolicy::None:
+        break;
+    }
+    EXPECT_EQ((*host)->memoryPool().slotsInUse(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AdmissionOverflowFault,
+    ::testing::Values(faas::AdmissionPolicy::Reject,
+                      faas::AdmissionPolicy::Shed,
+                      faas::AdmissionPolicy::Backpressure),
+    [](const auto& info) {
+        switch (info.param) {
+        case faas::AdmissionPolicy::Reject: return "Reject";
+        case faas::AdmissionPolicy::Shed: return "Shed";
+        case faas::AdmissionPolicy::Backpressure: return "Backpressure";
+        default: return "None";
+        }
+    });
+
+// ---------------------------------------------------------------------
+// 3. MPK <-> MTE differential
+// ---------------------------------------------------------------------
+
+TEST(MpkMteDifferential, RegistryWorkloadsBitIdenticalChecksums)
+{
+    // Registry FaaS workloads x SFI strategies, one seeded open-loop
+    // trace: the enforcement backend must be semantically invisible.
+    const jit::CompilerConfig strategies[] = {
+        jit::CompilerConfig::wamrSegue(),
+        jit::CompilerConfig::wamrBase(),
+    };
+    const uint64_t kReqs = 96;
+    faas::LoadGenConfig load;
+    load.ratePerSec = 10000;
+    load.seed = 42;
+
+    for (const auto& w : wkld::faasWorkloads()) {
+        for (const auto& cfg : strategies) {
+            uint64_t checksum[2] = {0, 0};
+            for (int be = 0; be < 2; be++) {
+                faas::FaasHost::Options opts;
+                opts.maxConcurrent = 12;
+                opts.workerThreads = 2;
+                opts.ioDelayMeanMs = 0.05;
+                opts.config = cfg;
+                opts.backend = be == 0 ? faas::IsolationBackend::Mpk
+                                       : faas::IsolationBackend::Mte;
+                opts.keyRecycling = true;  // exercise re-tag on both
+                auto host =
+                    faas::FaasHost::create(w.make(), std::move(opts));
+                ASSERT_TRUE(host.isOk())
+                    << w.name << ": " << host.message();
+                auto stats = (*host)->runOpenLoop(kReqs, load);
+                ASSERT_TRUE(stats.isOk())
+                    << w.name << ": " << stats.message();
+                EXPECT_EQ(stats->completed, kReqs) << w.name;
+                checksum[be] = stats->checksum;
+            }
+            EXPECT_EQ(checksum[0], checksum[1])
+                << w.name << " diverged across backends";
+        }
+    }
+}
+
+TEST(MpkMteDifferential, MteRetagsWhereMpkDoesNot)
+{
+    // Observation 2 (§7): decommit drops MTE tags but not PTE colors,
+    // so the pool re-tags on the MTE backend only. Cold allocate/free
+    // churn (warm affinity off) forces decommits between occupancies.
+    auto churn = [](mpk::System* sys) {
+        pool::MemoryPool::Options popt;
+        popt.config.numSlots = 4;
+        popt.config.maxMemoryBytes = 4 * kWasmPageSize;
+        popt.config.guardBytes = 4 * kWasmPageSize;
+        popt.config.stripingEnabled = true;
+        popt.mpk = sys;
+        popt.shards = 1;
+        popt.warmSlotsPerShard = 0;
+        auto pool = pool::MemoryPool::create(std::move(popt));
+        EXPECT_TRUE(pool.isOk()) << pool.message();
+        for (int i = 0; i < 32; i++) {
+            auto s = pool->allocate();
+            EXPECT_TRUE(s.isOk());
+            s->base[0] = uint8_t(i + 1);
+            EXPECT_TRUE(pool->free(*s, kWasmPageSize).isOk());
+        }
+        return pool->stats();
+    };
+
+    auto mpkSys = mpk::makeEmulated();
+    auto mteSys = mpk::makeMteBackend();
+    pool::MemoryPool::Stats mpkStats = churn(mpkSys.get());
+    pool::MemoryPool::Stats mteStats = churn(mteSys.get());
+    EXPECT_EQ(mpkStats.retags, 0u);
+    EXPECT_GT(mteStats.retags, 0u);
+    EXPECT_GT(mteSys->stats().granulesDiscarded, 0u);
+}
+
+TEST(MpkMteDifferential, MisTaggedGranuleIsCaught)
+{
+    // Negative fixture: a granule whose allocation tag was corrupted
+    // (or went stale) must fail the sandbox-mode tag check.
+    auto sys = mpk::makeMteBackend();
+    pool::MemoryPool::Options popt;
+    popt.config.numSlots = 4;
+    popt.config.maxMemoryBytes = kWasmPageSize;
+    popt.config.guardBytes = 2 * kWasmPageSize;
+    popt.config.stripingEnabled = true;
+    popt.mpk = sys.get();
+    auto pool = pool::MemoryPool::create(std::move(popt));
+    ASSERT_TRUE(pool.isOk()) << pool.message();
+
+    auto slot = pool->allocate();
+    ASSERT_TRUE(slot.isOk());
+    slot->base[0] = 1;  // commit
+
+    sys->writePkru(mpk::Pkru::allowOnly(slot->pkey));
+    EXPECT_TRUE(sys->checkAccess(slot->base, true));
+
+    // Corrupt one granule mid-slot: the pointer still carries the
+    // slot's tag, the memory no longer does.
+    uint8_t* victim = slot->base + 256;
+    sys->poisonGranule(victim, uint8_t((slot->pkey % 15) + 1 == slot->pkey
+                                           ? slot->pkey + 1
+                                           : (slot->pkey % 15) + 1));
+    EXPECT_FALSE(sys->checkAccess(victim, false));
+    EXPECT_FALSE(sys->checkAccess(victim, true));
+    // Neighboring granules are untouched.
+    EXPECT_TRUE(sys->checkAccess(slot->base, true));
+    EXPECT_TRUE(sys->checkAccess(victim + 16, true));
+
+    // Host mode (PSTATE.TCO analogue) suppresses the tag check.
+    sys->writePkru(mpk::Pkru::allowAll());
+    EXPECT_TRUE(sys->checkAccess(victim, true));
+    ASSERT_TRUE(pool->free(*slot).isOk());
+}
+
+}  // namespace
+}  // namespace sfi

@@ -162,16 +162,72 @@ TEST(Classifier, GuardBoundOnResidualChecks)
               "balanced");
 }
 
-TEST(Classifier, MemoryBoundOnPoolChurn)
+TEST(Classifier, AdmissionBoundOnTurnedAwayFraction)
 {
-    // Cross-shard steals dominate.
+    // A 2x-overload Shed row: 40% of offered work turned away.
+    Classification c = classify(view({
+        {"offered_requests", 1000},
+        {"rejected", 0},
+        {"shed_requests", 400},
+    }));
+    EXPECT_EQ(c.bottleneck, "admission-bound");
+    EXPECT_EQ(c.rule, "admission.queue_bound");
+
+    // 2% turned away: the queue absorbed a burst, not the bottleneck.
+    EXPECT_EQ(classify(view({
+                           {"offered_requests", 1000},
+                           {"rejected", 20},
+                           {"shed_requests", 0},
+                       }))
+                  .bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, AdmissionBoundOnBackpressureDelay)
+{
+    // Backpressure is lossless; the bound surfaces as admission delay
+    // dominating the served p99, with overload events recorded.
+    Classification c = classify(view({
+        {"offered_requests", 1000},
+        {"rejected", 0},
+        {"shed_requests", 0},
+        {"overload_events", 12},
+        {"admission_p99_us", 9000},
+        {"p99_us", 2000},
+    }));
+    EXPECT_EQ(c.rule, "admission.queue_bound");
+
+    // No overload events: a loaded-but-keeping-up host stays balanced.
+    EXPECT_EQ(classify(view({
+                           {"offered_requests", 1000},
+                           {"overload_events", 0},
+                           {"admission_p99_us", 9000},
+                           {"p99_us", 2000},
+                       }))
+                  .bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, ContentionBoundOnCrossShardSteals)
+{
     Classification steals = classify(view({
         {"allocations", 1000},
         {"steals", 400},
     }));
-    EXPECT_EQ(steals.bottleneck, "memory-bound");
-    EXPECT_EQ(steals.rule, "memory.pool_churn");
+    EXPECT_EQ(steals.bottleneck, "contention-bound");
+    EXPECT_EQ(steals.rule, "pool.shard_contention");
 
+    // Under the 25% threshold: not contention.
+    EXPECT_EQ(classify(view({
+                           {"allocations", 1000},
+                           {"steals", 100},
+                       }))
+                  .bottleneck,
+              "balanced");
+}
+
+TEST(Classifier, MemoryBoundOnPoolChurn)
+{
     // Cold pool: no warm hits, decommit traffic.
     Classification cold = classify(view({
         {"allocations", 400},
@@ -198,15 +254,19 @@ TEST(Classifier, PrecedenceIsDocumentedOrder)
     // zeroing before transitions before guards before memory.
     std::map<std::string, double> everything = {
         {"cold_starts", 10},          {"compile_ns", 10 * 500e3},
-        {"first_req_p50_us", 600},    {"warm_zeroed_bytes", 1e9},
+        {"first_req_p50_us", 600},    {"offered_requests", 100},
+        {"rejected", 40},             {"warm_zeroed_bytes", 1e9},
         {"requests", 100},            {"sandbox_transitions", 100},
         {"full_ns", 40},              {"batched_ns", 10},
         {"bounds_norm", 1.5},         {"allocations", 100},
-        {"steals", 90},
+        {"steals", 90},               {"warm_hits", 10},
+        {"decommits", 4},
     };
     EXPECT_EQ(classify(view(everything)).rule,
               "coldstart.compile_bound");
     everything.erase("cold_starts");
+    EXPECT_EQ(classify(view(everything)).rule, "admission.queue_bound");
+    everything.erase("offered_requests");
     EXPECT_EQ(classify(view(everything)).bottleneck, "zeroing-bound");
     everything.erase("warm_zeroed_bytes");
     EXPECT_EQ(classify(view(everything)).rule,
@@ -216,6 +276,8 @@ TEST(Classifier, PrecedenceIsDocumentedOrder)
     everything.erase("full_ns");
     EXPECT_EQ(classify(view(everything)).rule, "guard.sfi_overhead");
     everything.erase("bounds_norm");
+    EXPECT_EQ(classify(view(everything)).rule, "pool.shard_contention");
+    everything.erase("steals");
     EXPECT_EQ(classify(view(everything)).rule, "memory.pool_churn");
 }
 
@@ -259,12 +321,14 @@ TEST(Classifier, RuleTableIsStable)
         ids.push_back(r.id);
     EXPECT_EQ(ids, (std::vector<std::string>{
                        "coldstart.compile_bound",
+                       "admission.queue_bound",
                        "zeroing.bytes_per_request",
                        "transition.per_request",
                        "transition.tier_gap",
                        "transition.scoped_entry",
                        "guard.sfi_overhead",
                        "guard.residual_checks",
+                       "pool.shard_contention",
                        "memory.pool_churn",
                    }));
 }
